@@ -1,0 +1,74 @@
+// Ablation: clustering quality by distance measure (k-Shape vs baselines).
+//
+// Section 6 of the paper motivates cross-correlation partly through
+// k-Shape's "state-of-the-art performance" for time-series clustering.
+// This bench validates that claim on the archive: Adjusted Rand Index of
+// k-Shape (SBD), k-means (ED), and k-medoids (DTW / SBD) against the
+// generator's ground-truth classes.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/cluster/evaluation.h"
+#include "src/cluster/kmeans.h"
+#include "src/cluster/kshape.h"
+#include "src/core/registry.h"
+
+namespace {
+
+using tsdist::bench::BenchArchive;
+using tsdist::bench::MeanOf;
+
+}  // namespace
+
+int main() {
+  const auto archive = BenchArchive();
+  std::cout << "Ablation: clustering ARI by algorithm/measure over "
+            << archive.size() << " datasets\n";
+  std::cout << std::left << std::setw(22) << "Dataset" << std::setw(14)
+            << "kshape(SBD)" << std::setw(14) << "kmeans(ED)" << std::setw(14)
+            << "kmed(DTW)" << std::setw(14) << "kmed(SBD)" << "\n";
+
+  const tsdist::MeasurePtr dtw =
+      tsdist::Registry::Global().Create("dtw", {{"delta", 10.0}});
+  const tsdist::MeasurePtr sbd = tsdist::Registry::Global().Create("nccc");
+
+  std::vector<double> ari_kshape, ari_kmeans, ari_kmed_dtw, ari_kmed_sbd;
+  for (const auto& dataset : archive) {
+    const std::vector<int> truth = dataset.train_labels();
+    const std::size_t k = dataset.num_classes();
+
+    tsdist::KShapeOptions ks;
+    ks.k = k;
+    ks.seed = 31;
+    tsdist::KMeansOptions km;
+    km.k = k;
+    km.seed = 31;
+
+    const double a1 = tsdist::AdjustedRandIndex(
+        tsdist::KShape(dataset.train(), ks).assignments, truth);
+    const double a2 = tsdist::AdjustedRandIndex(
+        tsdist::KMeans(dataset.train(), km).assignments, truth);
+    const double a3 = tsdist::AdjustedRandIndex(
+        tsdist::KMedoids(dataset.train(), *dtw, km).assignments, truth);
+    const double a4 = tsdist::AdjustedRandIndex(
+        tsdist::KMedoids(dataset.train(), *sbd, km).assignments, truth);
+    ari_kshape.push_back(a1);
+    ari_kmeans.push_back(a2);
+    ari_kmed_dtw.push_back(a3);
+    ari_kmed_sbd.push_back(a4);
+    std::cout << std::left << std::setw(22) << dataset.name() << std::fixed
+              << std::setprecision(3) << std::setw(14) << a1 << std::setw(14)
+              << a2 << std::setw(14) << a3 << std::setw(14) << a4 << "\n";
+  }
+  std::cout << std::left << std::setw(22) << "AVERAGE" << std::fixed
+            << std::setprecision(3) << std::setw(14) << MeanOf(ari_kshape)
+            << std::setw(14) << MeanOf(ari_kmeans) << std::setw(14)
+            << MeanOf(ari_kmed_dtw) << std::setw(14) << MeanOf(ari_kmed_sbd)
+            << "\n";
+  std::cout << "\n(Expected shape: k-Shape leads on shift-dominated datasets\n"
+            << " and is competitive overall — the k-Shape paper's claim the\n"
+            << " debunking paper leans on.)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: DTW lower-bound cascade effectiveness.
+//
+// Section 10 of the paper points to lower bounding as the standard
+// acceleration for elastic measures. This bench quantifies it on the
+// synthetic archive: fraction of full DTW computations pruned by the
+// LB_Kim -> LB_Keogh cascade during exact 1-NN classification, and the
+// wall-clock speedup over exhaustive search, per warping-window width.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/elastic/dtw.h"
+#include "src/elastic/lower_bounds.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tsdist::bench::BenchArchive;
+
+}  // namespace
+
+int main() {
+  const auto archive = BenchArchive();
+  std::cout << "Ablation: LB_Kim -> LB_Keogh pruning for exact DTW 1-NN over "
+            << archive.size() << " datasets\n";
+  std::cout << std::left << std::setw(10) << "window%" << std::setw(12)
+            << "pruned%" << std::setw(12) << "kim%" << std::setw(12)
+            << "keogh%" << std::setw(14) << "exhaust(ms)" << std::setw(14)
+            << "pruned(ms)" << std::setw(10) << "speedup" << "\n";
+
+  for (double window : {2.0, 5.0, 10.0, 20.0}) {
+    std::size_t total = 0, kim = 0, keogh = 0, full = 0;
+    double exhaustive_ms = 0.0, pruned_ms = 0.0;
+    for (const auto& dataset : archive) {
+      std::vector<std::vector<double>> train;
+      std::vector<tsdist::Envelope> envelopes;
+      for (const auto& s : dataset.train()) {
+        train.emplace_back(s.values().begin(), s.values().end());
+        envelopes.push_back(tsdist::BuildEnvelope(train.back(), window));
+      }
+      const tsdist::DtwDistance dtw(window);
+
+      const auto t0 = Clock::now();
+      for (const auto& q : dataset.test()) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& c : train) {
+          best = std::min(best, dtw.Distance(q.values(), c));
+        }
+      }
+      const auto t1 = Clock::now();
+      for (const auto& q : dataset.test()) {
+        const tsdist::PrunedSearchResult r =
+            tsdist::PrunedOneNn(q.values(), train, envelopes, window);
+        total += train.size();
+        kim += r.lb_kim_pruned;
+        keogh += r.lb_keogh_pruned;
+        full += r.full_computations;
+      }
+      const auto t2 = Clock::now();
+      exhaustive_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      pruned_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+    }
+    const double pruned_pct =
+        100.0 * static_cast<double>(kim + keogh) / static_cast<double>(total);
+    std::cout << std::left << std::setw(10) << window << std::setw(12)
+              << std::fixed << std::setprecision(1) << pruned_pct
+              << std::setw(12)
+              << 100.0 * static_cast<double>(kim) / static_cast<double>(total)
+              << std::setw(12)
+              << 100.0 * static_cast<double>(keogh) / static_cast<double>(total)
+              << std::setw(14) << exhaustive_ms << std::setw(14) << pruned_ms
+              << std::setw(10) << std::setprecision(2)
+              << exhaustive_ms / pruned_ms << "\n";
+  }
+  std::cout << "\n(Expected shape: narrower windows -> tighter envelopes ->\n"
+            << " more pruning and larger speedups.)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: do the elastic-measure extensions (DDTW, WDTW, CID) improve
+// over their base measures?
+//
+// Section 7 of the paper excludes these variants, citing the bake-off study
+// [11] which "did not identify significant improvements from their use".
+// This bench revisits that call on the synthetic archive: each variant vs
+// its base, with Wilcoxon verdicts.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/classify/one_nn.h"
+#include "src/elastic/variants.h"
+
+namespace {
+
+using tsdist::bench::BenchArchive;
+using tsdist::bench::ComboAccuracies;
+
+ComboAccuracies EvaluateFromRegistry(const tsdist::Registry& registry,
+                                     const std::string& name,
+                                     const tsdist::ParamMap& params,
+                                     const std::vector<tsdist::Dataset>& archive,
+                                     const tsdist::PairwiseEngine& engine) {
+  ComboAccuracies out;
+  out.measure = name;
+  out.normalization = "zscore";
+  out.label = name;
+  if (!params.empty()) {
+    out.label += " (";
+    out.label += tsdist::ToString(params);
+    out.label += ")";
+  }
+  for (const auto& dataset : archive) {
+    const tsdist::MeasurePtr measure = registry.Create(name, params);
+    const tsdist::Matrix e =
+        engine.Compute(dataset.test(), dataset.train(), *measure);
+    out.accuracies.push_back(tsdist::OneNnAccuracy(
+        e, dataset.test_labels(), dataset.train_labels()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto archive = BenchArchive();
+  const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
+
+  // Local registry = global inventory + the variants.
+  tsdist::Registry registry;
+  for (const auto& name : tsdist::Registry::Global().Names()) {
+    registry.Register(name, [name](const tsdist::ParamMap& params) {
+      return tsdist::Registry::Global().Create(name, params);
+    });
+  }
+  tsdist::RegisterElasticVariants(&registry);
+
+  std::cout << "Ablation: elastic variants vs their base measures, "
+            << archive.size() << " datasets\n";
+
+  struct Pair {
+    const char* variant;
+    tsdist::ParamMap variant_params;
+    const char* base;
+    tsdist::ParamMap base_params;
+  };
+  const std::vector<Pair> pairs = {
+      {"ddtw", {{"delta", 10.0}}, "dtw", {{"delta", 10.0}}},
+      {"wdtw", {{"g", 0.05}}, "dtw", {{"delta", 100.0}}},
+      {"cid_euclidean", {}, "euclidean", {}},
+      {"cid_dtw", {{"delta", 10.0}}, "dtw", {{"delta", 10.0}}},
+  };
+
+  for (const auto& pair : pairs) {
+    const ComboAccuracies base = EvaluateFromRegistry(
+        registry, pair.base, pair.base_params, archive, engine);
+    const ComboAccuracies variant = EvaluateFromRegistry(
+        registry, pair.variant, pair.variant_params, archive, engine);
+    tsdist::bench::PrintTableHeader(
+        std::string(pair.variant) + " vs " + pair.base, base.label);
+    tsdist::bench::PrintComparisonRow(variant, base.accuracies);
+    tsdist::bench::PrintBaselineRow(base.label, base.accuracies);
+    std::cout << "\n";
+  }
+  std::cout << "(Paper context: the bake-off found no significant gains from\n"
+            << " these variants; expect mostly 'no' verdicts here too.)\n";
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "src/classify/one_nn.h"
+#include "src/classify/tuning.h"
+#include "src/core/registry.h"
+#include "src/normalization/normalization.h"
+#include "src/stats/ranking.h"
+#include "src/stats/wilcoxon.h"
+
+namespace tsdist::bench {
+
+ArchiveScale ScaleFromEnv() {
+  const char* env = std::getenv("TSDIST_SCALE");
+  if (env == nullptr) return ArchiveScale::kSmall;
+  const std::string value(env);
+  if (value == "tiny") return ArchiveScale::kTiny;
+  if (value == "medium") return ArchiveScale::kMedium;
+  return ArchiveScale::kSmall;
+}
+
+std::size_t ThreadsFromEnv() {
+  const char* env = std::getenv("TSDIST_THREADS");
+  if (env == nullptr) return 0;
+  return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+}
+
+std::vector<Dataset> BenchArchive() {
+  ArchiveOptions options;
+  options.scale = ScaleFromEnv();
+  options.z_normalize = true;
+  return BuildArchive(options);
+}
+
+ComboAccuracies EvaluateCombo(const std::string& measure_name,
+                              const ParamMap& params,
+                              const std::string& normalization,
+                              const std::vector<Dataset>& archive,
+                              const PairwiseEngine& engine) {
+  ComboAccuracies out;
+  out.measure = measure_name;
+  out.normalization = normalization;
+  out.label = measure_name + "+" + normalization;
+
+  const bool adaptive = normalization == "adaptive";
+  NormalizerPtr normalizer;
+  if (!adaptive && normalization != "zscore" && normalization != "none") {
+    normalizer = MakeNormalizer(normalization);
+  }
+  // "zscore": the archive is already z-normalized, so it is a no-op re-apply;
+  // we skip the copy for speed. (Re-applying z-score to z-normalized data is
+  // the identity.)
+
+  for (const Dataset& dataset : archive) {
+    const Dataset* eval_set = &dataset;
+    Dataset transformed;
+    if (normalizer != nullptr) {
+      transformed = normalizer->Apply(dataset);
+      eval_set = &transformed;
+    }
+    if (adaptive) {
+      MeasurePtr base = Registry::Global().Create(measure_name, params);
+      const AdaptiveScalingMeasure measure(std::move(base));
+      const Matrix e =
+          engine.Compute(eval_set->test(), eval_set->train(), measure);
+      out.accuracies.push_back(OneNnAccuracy(e, eval_set->test_labels(),
+                                             eval_set->train_labels()));
+    } else {
+      out.accuracies.push_back(
+          EvaluateFixed(measure_name, params, *eval_set, engine)
+              .test_accuracy);
+    }
+  }
+  return out;
+}
+
+ComboAccuracies EvaluateComboTuned(const std::string& measure_name,
+                                   const std::vector<ParamMap>& grid,
+                                   const std::vector<Dataset>& archive,
+                                   const PairwiseEngine& engine) {
+  ComboAccuracies out;
+  out.measure = measure_name;
+  out.normalization = "zscore";
+  out.label = measure_name + " (LOOCV)";
+  for (const Dataset& dataset : archive) {
+    out.accuracies.push_back(
+        EvaluateTuned(measure_name, grid, dataset, engine).test_accuracy);
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+void PrintTableHeader(const std::string& title, const std::string& baseline) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "(baseline: " << baseline
+            << "; 'Better' = Wilcoxon signed-rank, 95% confidence)\n";
+  std::cout << std::left << std::setw(34) << "Measure+Normalization"
+            << std::setw(8) << "Better" << std::setw(12) << "AvgAcc"
+            << std::setw(5) << ">" << std::setw(5) << "=" << std::setw(5)
+            << "<" << "\n";
+}
+
+namespace {
+
+void PrintRow(const std::string& label, const std::string& better,
+              double avg, int wins, int ties, int losses) {
+  std::cout << std::left << std::setw(34) << label << std::setw(8) << better
+            << std::setw(12) << std::fixed << std::setprecision(4) << avg
+            << std::setw(5) << wins << std::setw(5) << ties << std::setw(5)
+            << losses << "\n";
+}
+
+}  // namespace
+
+void PrintComparisonRow(const ComboAccuracies& combo,
+                        const std::vector<double>& baseline) {
+  int wins = 0, ties = 0, losses = 0;
+  for (std::size_t i = 0; i < combo.accuracies.size(); ++i) {
+    if (combo.accuracies[i] > baseline[i]) {
+      ++wins;
+    } else if (combo.accuracies[i] == baseline[i]) {
+      ++ties;
+    } else {
+      ++losses;
+    }
+  }
+  const WilcoxonResult w = WilcoxonSignedRank(combo.accuracies, baseline);
+  const bool better = w.p_value < 0.05 && w.w_plus > w.w_minus;
+  const bool worse = w.p_value < 0.05 && w.w_plus < w.w_minus;
+  PrintRow(combo.label, better ? "yes" : (worse ? "WORSE" : "no"),
+           MeanOf(combo.accuracies), wins, ties, losses);
+}
+
+void PrintBaselineRow(const std::string& label,
+                      const std::vector<double>& accuracies) {
+  PrintRow(label + " (baseline)", "-", MeanOf(accuracies), 0, 0, 0);
+}
+
+Matrix AccuracyMatrix(const std::vector<ComboAccuracies>& combos) {
+  const std::size_t n = combos.empty() ? 0 : combos[0].accuracies.size();
+  Matrix out(n, combos.size());
+  for (std::size_t j = 0; j < combos.size(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out(i, j) = combos[j].accuracies[i];
+    }
+  }
+  return out;
+}
+
+void PrintCdDiagram(const std::string& title,
+                    const std::vector<ComboAccuracies>& combos, double alpha) {
+  std::vector<std::string> names;
+  names.reserve(combos.size());
+  for (const auto& c : combos) names.push_back(c.label);
+  const CdAnalysis analysis = AnalyzeRanks(AccuracyMatrix(combos), names, alpha);
+  std::cout << "--- " << title << " (alpha = " << alpha << ") ---\n";
+  std::cout << RenderCdDiagram(analysis);
+}
+
+}  // namespace tsdist::bench

@@ -1,0 +1,91 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Each bench binary regenerates one table or figure of the SIGMOD'20 study
+// on the synthetic archive (see DESIGN.md for the substitution rationale).
+// Conventions shared with the paper:
+//  * the archive ships z-normalized (like the UCR archive); normalization
+//    combos are applied on top of that base;
+//  * "Better" means significantly better than the baseline per the Wilcoxon
+//    signed-rank test at 95% confidence;
+//  * ">", "=", "<" count datasets where a measure beats / ties / loses to
+//    the baseline;
+//  * figures are Friedman + Nemenyi critical-difference diagrams (90%),
+//    rendered as ASCII.
+//
+// Environment knobs:
+//  * TSDIST_SCALE  = tiny | small | medium   (default small)
+//  * TSDIST_THREADS = N                      (default: hardware concurrency)
+
+#ifndef TSDIST_BENCH_BENCH_COMMON_H_
+#define TSDIST_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/pairwise_engine.h"
+#include "src/data/archive.h"
+#include "src/linalg/matrix.h"
+
+namespace tsdist::bench {
+
+/// Scale preset from TSDIST_SCALE (tiny/small/medium; default small).
+ArchiveScale ScaleFromEnv();
+
+/// Thread count from TSDIST_THREADS (default 0 = hardware concurrency).
+std::size_t ThreadsFromEnv();
+
+/// The benchmark archive: z-normalized synthetic suite at the environment
+/// scale, fixed seed.
+std::vector<Dataset> BenchArchive();
+
+/// One measure/normalization combination evaluated across the archive.
+struct ComboAccuracies {
+  std::string measure;
+  std::string normalization;  ///< per-series normalizer name or "adaptive"
+  std::string label;          ///< display label, e.g. "lorentzian+meannorm"
+  std::vector<double> accuracies;  ///< one test accuracy per dataset
+};
+
+/// Evaluates `measure_name` (fixed `params`) under `normalization` ("zscore",
+/// ..., "adaptive", or "none") across the archive. "adaptive" wraps the
+/// measure in the pairwise AdaptiveScalingMeasure; any other name re-applies
+/// that per-series transform on top of the z-normalized base.
+ComboAccuracies EvaluateCombo(const std::string& measure_name,
+                              const ParamMap& params,
+                              const std::string& normalization,
+                              const std::vector<Dataset>& archive,
+                              const PairwiseEngine& engine);
+
+/// Evaluates with supervised LOOCV tuning over `grid` (z-normalized data).
+ComboAccuracies EvaluateComboTuned(const std::string& measure_name,
+                                   const std::vector<ParamMap>& grid,
+                                   const std::vector<Dataset>& archive,
+                                   const PairwiseEngine& engine);
+
+/// Mean of a vector (0 for empty).
+double MeanOf(const std::vector<double>& values);
+
+/// Prints the header of a paper-style comparison table.
+void PrintTableHeader(const std::string& title, const std::string& baseline);
+
+/// Prints one row: Better? (Wilcoxon, 95%), average accuracy, >/=/< counts
+/// against `baseline` accuracies. Follows Table 2/3/5/6/7 layout.
+void PrintComparisonRow(const ComboAccuracies& combo,
+                        const std::vector<double>& baseline);
+
+/// Prints the baseline row.
+void PrintBaselineRow(const std::string& label,
+                      const std::vector<double>& accuracies);
+
+/// Builds an N-datasets x k-combos accuracy matrix from combos.
+Matrix AccuracyMatrix(const std::vector<ComboAccuracies>& combos);
+
+/// Prints an ASCII critical-difference diagram (Friedman + Nemenyi at the
+/// given alpha) for the combos — the paper's figure format.
+void PrintCdDiagram(const std::string& title,
+                    const std::vector<ComboAccuracies>& combos, double alpha);
+
+}  // namespace tsdist::bench
+
+#endif  // TSDIST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,59 @@
+// Figures 7 and 8 reproduction: critical-difference diagrams of the
+// strongest kernel functions together with the leading elastic and sliding
+// measures, supervised (Fig. 7) and unsupervised (Fig. 8).
+//
+// Paper shape: KDTW significantly outranks DTW in both regimes (the first
+// kernel reported to do so); GAK is comparable to DTW; MSM/TWE lead only in
+// the unsupervised regime.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/classify/param_grids.h"
+
+namespace {
+
+using tsdist::bench::BenchArchive;
+using tsdist::bench::ComboAccuracies;
+using tsdist::bench::EvaluateCombo;
+using tsdist::bench::EvaluateComboTuned;
+
+constexpr const char* kMeasures[] = {"kdtw", "gak", "msm", "twe", "dtw"};
+
+}  // namespace
+
+int main() {
+  const auto archive = BenchArchive();
+  const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
+  std::cout << "Figures 7/8: kernel + elastic + sliding rankings over "
+            << archive.size() << " datasets\n";
+
+  // Figure 7: supervised.
+  {
+    std::vector<ComboAccuracies> combos;
+    for (const char* measure : kMeasures) {
+      combos.push_back(EvaluateComboTuned(
+          measure, tsdist::ParamGridFor(measure), archive, engine));
+    }
+    combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    tsdist::bench::PrintCdDiagram("Figure 7: supervised kernels vs elastic",
+                                  combos, 0.10);
+  }
+
+  // Figure 8: unsupervised.
+  {
+    std::vector<ComboAccuracies> combos;
+    for (const char* measure : kMeasures) {
+      ComboAccuracies combo =
+          EvaluateCombo(measure, tsdist::UnsupervisedParamsFor(measure),
+                        "zscore", archive, engine);
+      combo.label = std::string(measure) + " (fixed)";
+      combos.push_back(std::move(combo));
+    }
+    combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    tsdist::bench::PrintCdDiagram("Figure 8: unsupervised kernels vs elastic",
+                                  combos, 0.10);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Micro-benchmarks of the per-comparison distance kernels (google-benchmark).
+//
+// Quantifies the raw cost classes behind Figure 9: O(m) lock-step,
+// O(m log m) sliding, O(m^2) elastic/alignment-kernel, across series
+// lengths. Run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/core/registry.h"
+#include "src/linalg/rng.h"
+
+namespace {
+
+std::vector<double> RandomSeries(std::size_t m, std::uint64_t seed) {
+  tsdist::Rng rng(seed);
+  std::vector<double> out(m);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+void BM_Distance(benchmark::State& state, const std::string& name,
+                 const tsdist::ParamMap& params) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomSeries(m, 1);
+  const auto b = RandomSeries(m, 2);
+  const auto measure = tsdist::Registry::Global().Create(name, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure->Distance(a, b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m));
+}
+
+void RegisterAll() {
+  struct Entry {
+    const char* name;
+    tsdist::ParamMap params;
+  };
+  static const Entry kEntries[] = {
+      {"euclidean", {}},
+      {"manhattan", {}},
+      {"lorentzian", {}},
+      {"emanon4", {}},
+      {"nccc", {}},
+      {"dtw", {{"delta", 10.0}}},
+      {"dtw", {{"delta", 100.0}}},
+      {"msm", {{"c", 0.5}}},
+      {"twe", {{"lambda", 1.0}, {"nu", 0.0001}}},
+      {"erp", {}},
+      {"lcss", {{"delta", 10.0}, {"epsilon", 0.2}}},
+      {"edr", {{"epsilon", 0.1}}},
+      {"sink", {{"gamma", 5.0}}},
+      {"rbf", {{"gamma", 2.0}}},
+      {"gak", {{"gamma", 0.1}}},
+      {"kdtw", {{"gamma", 0.125}}},
+  };
+  for (const auto& entry : kEntries) {
+    std::string label = "BM_Distance/";
+    label += entry.name;
+    if (!entry.params.empty()) {
+      label += "/";
+      label += tsdist::ToString(entry.params);
+    }
+    benchmark::RegisterBenchmark(
+        label.c_str(),
+        [entry](benchmark::State& state) {
+          BM_Distance(state, entry.name, entry.params);
+        })
+        ->RangeMultiplier(4)
+        ->Range(64, 1024)
+        ->Complexity();
+  }
+}
+
+const bool kRegistered = (RegisterAll(), true);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Table 7 reproduction: embedding measures (ED over learned
+// representations) vs NCCc. Representations have the same target length
+// (paper: 100; here scaled with the archive preset) for fairness.
+//
+// Paper shape: GRAIL is the only embedding comparable to NCCc (no
+// significant difference); RWS, SPIRAL, and SIDL are significantly worse,
+// with SIDL far behind.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/embedding/representation.h"
+
+namespace {
+
+using tsdist::bench::BenchArchive;
+using tsdist::bench::ComboAccuracies;
+using tsdist::bench::EvaluateCombo;
+
+}  // namespace
+
+int main() {
+  const auto archive = BenchArchive();
+  const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
+  // Paper uses 100-dimensional representations; cap by the smallest train
+  // split so every dataset gets the same target dimension.
+  std::size_t dimension = 100;
+  for (const auto& d : archive) {
+    dimension = std::min(dimension, d.train_size());
+  }
+  std::cout << "Table 7: embedding measures vs NCCc, " << archive.size()
+            << " datasets, representation length " << dimension << "\n";
+
+  const ComboAccuracies baseline =
+      EvaluateCombo("nccc", {}, "zscore", archive, engine);
+
+  tsdist::bench::PrintTableHeader("Embedding measures vs NCCc",
+                                  "nccc+zscore");
+  for (const char* name : {"grail", "rws", "spiral", "sidl"}) {
+    ComboAccuracies combo;
+    combo.measure = name;
+    combo.normalization = "zscore";
+    combo.label = std::string(name) + " (ED on representations)";
+    for (const auto& dataset : archive) {
+      auto rep = tsdist::MakeRepresentation(name, {}, dimension, /*seed=*/7);
+      combo.accuracies.push_back(
+          tsdist::EvaluateEmbedding(rep.get(), dataset).test_accuracy);
+    }
+    tsdist::bench::PrintComparisonRow(combo, baseline.accuracies);
+  }
+  tsdist::bench::PrintBaselineRow("nccc+zscore", baseline.accuracies);
+
+  std::cout << "\n(Paper shape: GRAIL comparable to NCCc; RWS/SPIRAL/SIDL\n"
+            << " significantly worse; none beats DTW.)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// A miniature version of the paper's full evaluation pipeline: several
+// measures over the synthetic archive, with Wilcoxon pairwise verdicts and
+// a Friedman/Nemenyi critical-difference diagram.
+//
+//   $ ./archive_evaluation [tiny|small|medium]
+//
+// This is the template to copy when evaluating your own measure: implement
+// DistanceMeasure, register it, add its name below.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "src/classify/tuning.h"
+#include "src/data/archive.h"
+#include "src/stats/ranking.h"
+#include "src/stats/wilcoxon.h"
+
+int main(int argc, char** argv) {
+  using namespace tsdist;
+
+  ArchiveOptions archive_options;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "tiny") == 0) {
+      archive_options.scale = ArchiveScale::kTiny;
+    } else if (std::strcmp(argv[1], "medium") == 0) {
+      archive_options.scale = ArchiveScale::kMedium;
+    }
+  }
+  const std::vector<Dataset> archive = BuildArchive(archive_options);
+  const PairwiseEngine engine;
+
+  const std::vector<std::string> measures = {"euclidean", "lorentzian",
+                                             "nccc", "dtw", "msm"};
+  std::printf("evaluating %zu measures on %zu datasets...\n\n",
+              measures.size(), archive.size());
+
+  Matrix accuracies(archive.size(), measures.size());
+  for (std::size_t i = 0; i < archive.size(); ++i) {
+    std::printf("%-20s", archive[i].name().c_str());
+    for (std::size_t j = 0; j < measures.size(); ++j) {
+      const EvalResult r = EvaluateFixed(measures[j], {}, archive[i], engine);
+      accuracies(i, j) = r.test_accuracy;
+      std::printf("  %s=%.3f", measures[j].c_str(), r.test_accuracy);
+    }
+    std::printf("\n");
+  }
+
+  // Pairwise: is each measure significantly better than ED?
+  std::printf("\npairwise Wilcoxon vs euclidean (95%%):\n");
+  std::vector<double> ed_acc(archive.size());
+  for (std::size_t i = 0; i < archive.size(); ++i) ed_acc[i] = accuracies(i, 0);
+  for (std::size_t j = 1; j < measures.size(); ++j) {
+    std::vector<double> acc(archive.size());
+    for (std::size_t i = 0; i < archive.size(); ++i) acc[i] = accuracies(i, j);
+    const WilcoxonResult w = WilcoxonSignedRank(acc, ed_acc);
+    std::printf("  %-12s p=%.4f  %s\n", measures[j].c_str(), w.p_value,
+                (w.p_value < 0.05 && w.w_plus > w.w_minus)
+                    ? "significantly better"
+                    : "no significant difference");
+  }
+
+  // All together: the paper's critical-difference figure.
+  const CdAnalysis analysis = AnalyzeRanks(accuracies, measures, 0.10);
+  std::printf("\n");
+  std::cout << RenderCdDiagram(analysis);
+  return 0;
+}

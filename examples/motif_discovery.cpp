@@ -1,0 +1,75 @@
+// Motif discovery and anomaly detection with the matrix profile — the
+// intro's remaining headline tasks, driven entirely by the z-normalized ED
+// machinery of this library.
+//
+//   $ ./motif_discovery
+//
+// Builds a day-long sensor-style recording with a repeated daily routine
+// (the motif) and one corrupted segment (the discord), then recovers both.
+
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "src/linalg/rng.h"
+#include "src/search/matrix_profile.h"
+
+int main() {
+  using namespace tsdist;
+
+  const std::size_t n = 2000;
+  const std::size_t window = 64;
+  Rng rng(31);
+  std::vector<double> series(n);
+  // Structured background: a daily cycle plus mild noise. (A discord is
+  // only meaningful against repeating structure — in pure noise every
+  // window is equally anomalous.)
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i] =
+        0.8 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 125.0) +
+        rng.Gaussian(0.0, 0.1);
+  }
+
+  // The routine: a double bump, repeated at two far-apart times of "day".
+  auto routine = [](std::size_t t) {
+    const double x = static_cast<double>(t) / 64.0;
+    return 2.0 * std::exp(-120.0 * (x - 0.3) * (x - 0.3)) +
+           1.4 * std::exp(-120.0 * (x - 0.7) * (x - 0.7));
+  };
+  // The two occurrences are genuine repetitions of the same event: the
+  // routine *replaces* the background there, with only tiny per-occurrence
+  // noise (background windows, by contrast, differ by the full noise
+  // level).
+  for (std::size_t t = 0; t < window; ++t) {
+    series[400 + t] = routine(t) + rng.Gaussian(0.0, 0.01);
+    series[1500 + t] = routine(t) + rng.Gaussian(0.0, 0.01);
+  }
+  // The anomaly: a burst of high-frequency oscillation.
+  for (std::size_t t = 0; t < window; ++t) {
+    series[1000 + t] += ((t % 2 == 0) ? 2.0 : -2.0);
+  }
+
+  std::printf("recording: %zu points, window %zu\n", n, window);
+  std::printf("planted: motif pair at 400 and 1500, anomaly at 1000\n\n");
+
+  const MatrixProfile mp = ComputeMatrixProfile(series, window);
+
+  const MotifPair motif = TopMotif(mp);
+  std::printf("top motif:   windows %4zu and %4zu (profile %.4f)\n",
+              motif.first, motif.second, motif.distance);
+
+  const auto discords = TopDiscords(mp, 3);
+  std::printf("top discords:");
+  for (std::size_t d : discords) std::printf(" %zu", d);
+  std::printf("\n\n");
+
+  const bool motif_found =
+      (motif.first + 3 >= 400 && motif.first <= 403) &&
+      (motif.second + 3 >= 1500 && motif.second <= 1503);
+  const bool discord_found =
+      !discords.empty() && discords[0] + window >= 1000 &&
+      discords[0] <= 1000 + window;
+  std::printf("motif recovered:   %s\n", motif_found ? "yes" : "NO");
+  std::printf("anomaly recovered: %s\n", discord_found ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Subsequence search with MASS: find where a short pattern occurs inside a
+// long recording — the "subsequence matching" problem of Faloutsos et al.
+// [51] that seeded the whole similarity-search line the paper revisits.
+//
+//   $ ./subsequence_search
+//
+// Builds a long noisy recording with three planted heartbeats-like events,
+// then locates them with the FFT-accelerated distance profile.
+
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "src/linalg/rng.h"
+#include "src/search/mass.h"
+
+int main() {
+  using namespace tsdist;
+
+  // A 4000-point noisy recording.
+  Rng rng(2026);
+  std::vector<double> recording(4000);
+  for (auto& v : recording) v = rng.Gaussian(0.0, 0.4);
+  // Slow baseline wander.
+  for (std::size_t i = 0; i < recording.size(); ++i) {
+    recording[i] += std::sin(0.002 * static_cast<double>(i));
+  }
+
+  // The pattern: a spike followed by a dip (a crude QRS complex).
+  const std::size_t m = 64;
+  std::vector<double> pattern(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(m);
+    pattern[i] = 2.5 * std::exp(-200.0 * (t - 0.4) * (t - 0.4)) -
+                 1.0 * std::exp(-150.0 * (t - 0.55) * (t - 0.55));
+  }
+
+  // Plant three occurrences at different scales and offsets.
+  const std::size_t positions[] = {700, 1900, 3200};
+  const double scales[] = {1.0, 2.2, 0.6};
+  const double offsets[] = {0.0, 1.5, -0.8};
+  for (int occ = 0; occ < 3; ++occ) {
+    for (std::size_t i = 0; i < m; ++i) {
+      recording[positions[occ] + i] =
+          scales[occ] * pattern[i] + offsets[occ] + rng.Gaussian(0.0, 0.05);
+    }
+  }
+
+  std::printf("recording: %zu points; pattern: %zu points; "
+              "3 occurrences planted at 700, 1900, 3200\n\n",
+              recording.size(), m);
+
+  const auto matches = TopKMatches(pattern, recording, 5);
+  std::printf("top-5 matches by z-normalized subsequence ED (MASS):\n");
+  for (std::size_t r = 0; r < matches.size(); ++r) {
+    bool planted = false;
+    for (std::size_t p : positions) {
+      const std::size_t gap = matches[r].position > p
+                                  ? matches[r].position - p
+                                  : p - matches[r].position;
+      if (gap <= 3) planted = true;
+    }
+    std::printf("  #%zu  position %4zu  distance %7.4f  %s\n", r + 1,
+                matches[r].position, matches[r].distance,
+                planted ? "<- planted occurrence" : "(background)");
+  }
+  std::printf("\nz-normalization inside the profile makes the match immune "
+              "to the\nper-occurrence scale and offset — the invariance "
+              "Section 4 of the\npaper is about.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/classify/one_nn.h"
+
+#include <cassert>
+#include <limits>
+
+namespace tsdist {
+
+double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
+                     const std::vector<int>& train_labels) {
+  const std::size_t r = e.rows();
+  const std::size_t p = e.cols();
+  assert(test_labels.size() == r);
+  assert(train_labels.size() == p);
+  if (r == 0 || p == 0) return 0.0;
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < r; ++i) {
+    double best_dist = std::numeric_limits<double>::infinity();
+    int best_label = -1;
+    const auto row = e.row(i);
+    for (std::size_t j = 0; j < p; ++j) {
+      if (row[j] < best_dist) {
+        best_dist = row[j];
+        best_label = train_labels[j];
+      }
+    }
+    if (best_label == test_labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(r);
+}
+
+double LeaveOneOutAccuracy(const Matrix& w, const std::vector<int>& labels) {
+  const std::size_t p = w.rows();
+  assert(w.cols() == p);
+  assert(labels.size() == p);
+  if (p < 2) return 0.0;
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    double best_dist = std::numeric_limits<double>::infinity();
+    int best_label = -1;
+    const auto row = w.row(i);
+    for (std::size_t j = 0; j < p; ++j) {
+      if (j == i) continue;  // leave the query itself out
+      if (row[j] < best_dist) {
+        best_dist = row[j];
+        best_label = labels[j];
+      }
+    }
+    if (best_label == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(p);
+}
+
+std::vector<std::size_t> NearestNeighborIndices(const Matrix& e) {
+  std::vector<std::size_t> out(e.rows(), 0);
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < e.cols(); ++j) {
+      if (e(i, j) < best_dist) {
+        best_dist = e(i, j);
+        out[i] = j;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,36 @@
+// 1-Nearest-Neighbor evaluation (Algorithm 1 of the paper).
+//
+// The paper's evaluation framework: classification accuracy of a 1-NN
+// classifier driven by a dissimilarity matrix. Two entry points mirror the
+// paper exactly:
+//  * test accuracy from E (test x train) plus the two label vectors, and
+//  * leave-one-out training accuracy from W (train x train), which excludes
+//    the diagonal self-match and enables supervised parameter tuning.
+// Ties are broken by the lowest training index, making results deterministic.
+
+#ifndef TSDIST_CLASSIFY_ONE_NN_H_
+#define TSDIST_CLASSIFY_ONE_NN_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+/// Fraction of test series whose nearest training series (per row of `e`)
+/// shares their label. `e` is r-by-p, `test_labels` has r entries,
+/// `train_labels` has p entries.
+double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
+                     const std::vector<int>& train_labels);
+
+/// Leave-one-out 1-NN accuracy over the self-dissimilarity matrix `w`
+/// (p-by-p): each series is classified by its nearest *other* series.
+double LeaveOneOutAccuracy(const Matrix& w, const std::vector<int>& labels);
+
+/// Index of the nearest reference for each query row of `e` (lowest index
+/// wins ties). Exposed for similarity-search style examples.
+std::vector<std::size_t> NearestNeighborIndices(const Matrix& e);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CLASSIFY_ONE_NN_H_

@@ -1,0 +1,114 @@
+#include "src/classify/param_grids.h"
+
+#include <cmath>
+
+namespace tsdist {
+
+namespace {
+
+std::vector<ParamMap> Grid1(const std::string& key,
+                            const std::vector<double>& values) {
+  std::vector<ParamMap> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back({{key, v}});
+  return out;
+}
+
+std::vector<ParamMap> Grid2(const std::string& key1,
+                            const std::vector<double>& values1,
+                            const std::string& key2,
+                            const std::vector<double>& values2) {
+  std::vector<ParamMap> out;
+  out.reserve(values1.size() * values2.size());
+  for (double v1 : values1) {
+    for (double v2 : values2) {
+      out.push_back({{key1, v1}, {key2, v2}});
+    }
+  }
+  return out;
+}
+
+std::vector<double> PowersOfTwo(int lo, int hi) {
+  std::vector<double> out;
+  for (int e = lo; e <= hi; ++e) out.push_back(std::pow(2.0, e));
+  return out;
+}
+
+const std::vector<double> kEpsilonGrid = {0.001, 0.003, 0.005, 0.007, 0.009,
+                                          0.01,  0.03,  0.05,  0.07,  0.09,
+                                          0.1,   0.2,   0.3,   0.4,   0.5,
+                                          0.6,   0.7,   0.8,   0.9,   1.0};
+
+}  // namespace
+
+std::vector<ParamMap> ParamGridFor(const std::string& measure_name) {
+  if (measure_name == "msm") {
+    return Grid1("c", {0.01, 0.1, 1, 10, 100, 0.05, 0.5, 5, 50, 500});
+  }
+  if (measure_name == "dtw") {
+    return Grid1("delta", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                           12, 13, 14, 15, 16, 17, 18, 19, 20, 100});
+  }
+  if (measure_name == "edr") {
+    return Grid1("epsilon", kEpsilonGrid);
+  }
+  if (measure_name == "lcss") {
+    std::vector<double> eps = {0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03,
+                               0.05,  0.07,  0.09,  0.1,   0.2,   0.3,  0.4,
+                               0.5,   0.6,   0.7,   0.8,   0.9,   1.0};
+    return Grid2("delta", {5, 10}, "epsilon", eps);
+  }
+  if (measure_name == "twe") {
+    return Grid2("lambda", {0, 0.25, 0.5, 0.75, 1.0}, "nu",
+                 {0.00001, 0.0001, 0.001, 0.01, 0.1, 1});
+  }
+  if (measure_name == "swale") {
+    // p and r are fixed (p = 5, r = 1); only epsilon is swept.
+    std::vector<ParamMap> out;
+    for (double e : {0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5,
+                     0.6, 0.7, 0.8, 0.9, 1.0}) {
+      out.push_back({{"epsilon", e}, {"p", 5.0}, {"r", 1.0}});
+    }
+    return out;
+  }
+  if (measure_name == "minkowski") {
+    return Grid1("p", {0.1, 0.3, 0.5, 0.7, 0.9, 1, 1.3, 1.5, 1.7, 1.9,
+                       2, 3, 5, 7, 9, 11, 13, 15, 17, 20});
+  }
+  if (measure_name == "kdtw" || measure_name == "rbf") {
+    return Grid1("gamma", PowersOfTwo(-15, 0));
+  }
+  if (measure_name == "gak") {
+    return Grid1("gamma", {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1, 2, 3, 4, 5, 6,
+                           7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20});
+  }
+  if (measure_name == "sink" || measure_name == "grail") {
+    return Grid1("gamma", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                           16, 17, 18, 19, 20});
+  }
+  if (measure_name == "rws") {
+    return Grid1("gamma", {1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.14, 0.19, 0.28, 0.39,
+                           0.56, 0.79, 1.12, 1.58, 2.23, 3.16, 4.46, 6.30,
+                           8.91, 10, 31.62, 1e2, 3e2, 1e3});
+  }
+  if (measure_name == "sidl") {
+    return Grid2("lambda", {0.1, 1, 10}, "r", {0.1, 0.25, 0.5});
+  }
+  return {ParamMap{}};
+}
+
+ParamMap UnsupervisedParamsFor(const std::string& measure_name) {
+  if (measure_name == "msm") return {{"c", 0.5}};
+  if (measure_name == "twe") return {{"lambda", 1.0}, {"nu", 0.0001}};
+  if (measure_name == "dtw") return {{"delta", 10.0}};
+  if (measure_name == "edr") return {{"epsilon", 0.1}};
+  if (measure_name == "swale") return {{"epsilon", 0.2}, {"p", 5.0}, {"r", 1.0}};
+  if (measure_name == "lcss") return {{"delta", 5.0}, {"epsilon", 0.2}};
+  if (measure_name == "kdtw") return {{"gamma", 0.125}};
+  if (measure_name == "gak") return {{"gamma", 0.1}};
+  if (measure_name == "sink") return {{"gamma", 5.0}};
+  if (measure_name == "rbf") return {{"gamma", 2.0}};
+  return {};
+}
+
+}  // namespace tsdist

@@ -1,0 +1,30 @@
+// Parameter grids of Table 4 of the paper.
+//
+// Each grid is the list of candidate ParamMaps evaluated by supervised
+// (leave-one-out) tuning. Grids are declarative data so that experiment
+// definitions read like the paper's table.
+
+#ifndef TSDIST_CLASSIFY_PARAM_GRIDS_H_
+#define TSDIST_CLASSIFY_PARAM_GRIDS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/distance_measure.h"
+
+namespace tsdist {
+
+/// The Table 4 grid for `measure_name` ("msm", "dtw", "edr", "lcss", "twe",
+/// "swale", "minkowski", "kdtw", "gak", "sink", "rbf", "grail", "rws",
+/// "sidl"). Returns a single empty ParamMap for parameter-free measures and
+/// unknown names.
+std::vector<ParamMap> ParamGridFor(const std::string& measure_name);
+
+/// The paper's unsupervised ("fixed") parameter choice for `measure_name`,
+/// from Tables 5 and 6 (e.g. msm: c = 0.5; dtw: delta = 10; kdtw:
+/// gamma = 0.125). Empty for parameter-free measures.
+ParamMap UnsupervisedParamsFor(const std::string& measure_name);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CLASSIFY_PARAM_GRIDS_H_

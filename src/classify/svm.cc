@@ -1,0 +1,215 @@
+#include "src/classify/svm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/core/pairwise_engine.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+
+void BinaryKernelSvm::Train(const Matrix& gram, const std::vector<int>& labels,
+                            const SvmOptions& options) {
+  const std::size_t n = labels.size();
+  assert(gram.rows() == n && gram.cols() == n);
+  for (int y : labels) {
+    assert(y == 1 || y == -1);
+    (void)y;
+  }
+  labels_ = labels;
+  alphas_.assign(n, 0.0);
+  bias_ = 0.0;
+  if (n == 0) return;
+
+  Rng rng(options.seed);
+  auto decision_on_train = [&](std::size_t i) {
+    double acc = bias_;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (alphas_[t] != 0.0) {
+        acc += alphas_[t] * labels_[t] * gram(t, i);
+      }
+    }
+    return acc;
+  };
+
+  // Simplified SMO: sweep over samples, fix KKT violations with a random
+  // partner, stop after `max_passes` clean sweeps.
+  int passes = 0;
+  int iterations = 0;
+  while (passes < options.max_passes && iterations < options.max_iterations) {
+    ++iterations;
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double error_i = decision_on_train(i) - labels_[i];
+      const bool violates =
+          (labels_[i] * error_i < -options.tolerance &&
+           alphas_[i] < options.c) ||
+          (labels_[i] * error_i > options.tolerance && alphas_[i] > 0.0);
+      if (!violates) continue;
+      // Random partner j != i.
+      std::size_t j = rng.UniformInt(n - 1);
+      if (j >= i) ++j;
+      const double error_j = decision_on_train(j) - labels_[j];
+
+      const double alpha_i_old = alphas_[i];
+      const double alpha_j_old = alphas_[j];
+      double lo, hi;
+      if (labels_[i] != labels_[j]) {
+        lo = std::max(0.0, alpha_j_old - alpha_i_old);
+        hi = std::min(options.c, options.c + alpha_j_old - alpha_i_old);
+      } else {
+        lo = std::max(0.0, alpha_i_old + alpha_j_old - options.c);
+        hi = std::min(options.c, alpha_i_old + alpha_j_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * gram(i, j) - gram(i, i) - gram(j, j);
+      if (eta >= 0.0) continue;
+
+      double alpha_j = alpha_j_old - labels_[j] * (error_i - error_j) / eta;
+      alpha_j = std::clamp(alpha_j, lo, hi);
+      if (std::fabs(alpha_j - alpha_j_old) < 1e-7) continue;
+      const double alpha_i =
+          alpha_i_old + labels_[i] * labels_[j] * (alpha_j_old - alpha_j);
+
+      alphas_[i] = alpha_i;
+      alphas_[j] = alpha_j;
+
+      const double b1 = bias_ - error_i -
+                        labels_[i] * (alpha_i - alpha_i_old) * gram(i, i) -
+                        labels_[j] * (alpha_j - alpha_j_old) * gram(i, j);
+      const double b2 = bias_ - error_j -
+                        labels_[i] * (alpha_i - alpha_i_old) * gram(i, j) -
+                        labels_[j] * (alpha_j - alpha_j_old) * gram(j, j);
+      if (alpha_i > 0.0 && alpha_i < options.c) {
+        bias_ = b1;
+      } else if (alpha_j > 0.0 && alpha_j < options.c) {
+        bias_ = b2;
+      } else {
+        bias_ = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+}
+
+double BinaryKernelSvm::Decision(std::span<const double> kernel_row) const {
+  assert(kernel_row.size() == alphas_.size());
+  double acc = bias_;
+  for (std::size_t t = 0; t < alphas_.size(); ++t) {
+    if (alphas_[t] != 0.0) {
+      acc += alphas_[t] * labels_[t] * kernel_row[t];
+    }
+  }
+  return acc;
+}
+
+void OneVsOneSvm::Train(const Matrix& gram, const std::vector<int>& labels,
+                        const SvmOptions& options) {
+  machines_.clear();
+  std::set<int> classes(labels.begin(), labels.end());
+  const std::vector<int> class_list(classes.begin(), classes.end());
+
+  for (std::size_t a = 0; a < class_list.size(); ++a) {
+    for (std::size_t b = a + 1; b < class_list.size(); ++b) {
+      PairMachine machine;
+      machine.class_a = class_list[a];
+      machine.class_b = class_list[b];
+      std::vector<int> binary_labels;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] == machine.class_a) {
+          machine.indices.push_back(i);
+          binary_labels.push_back(1);
+        } else if (labels[i] == machine.class_b) {
+          machine.indices.push_back(i);
+          binary_labels.push_back(-1);
+        }
+      }
+      const std::size_t sub_n = machine.indices.size();
+      Matrix sub_gram(sub_n, sub_n);
+      for (std::size_t i = 0; i < sub_n; ++i) {
+        for (std::size_t j = 0; j < sub_n; ++j) {
+          sub_gram(i, j) = gram(machine.indices[i], machine.indices[j]);
+        }
+      }
+      machine.svm.Train(sub_gram, binary_labels, options);
+      machines_.push_back(std::move(machine));
+    }
+  }
+}
+
+int OneVsOneSvm::Predict(std::span<const double> kernel_row) const {
+  assert(!machines_.empty());
+  std::map<int, int> votes;
+  for (const auto& machine : machines_) {
+    std::vector<double> sub_row(machine.indices.size());
+    for (std::size_t i = 0; i < machine.indices.size(); ++i) {
+      sub_row[i] = kernel_row[machine.indices[i]];
+    }
+    const double decision = machine.svm.Decision(sub_row);
+    votes[decision >= 0.0 ? machine.class_a : machine.class_b] += 1;
+  }
+  int best_class = votes.begin()->first;
+  int best_votes = votes.begin()->second;
+  for (const auto& [cls, count] : votes) {
+    if (count > best_votes) {  // ties keep the smaller class id
+      best_votes = count;
+      best_class = cls;
+    }
+  }
+  return best_class;
+}
+
+double EvaluateSvm(const KernelFunction& kernel, const Dataset& dataset,
+                   const SvmOptions& options, std::size_t num_threads) {
+  // Normalized-similarity matrices via the KernelDistance adapter
+  // (similarity = 1 - distance), reusing its threading and self-similarity
+  // caching.
+  class Adapter : public KernelFunction {
+   public:
+    explicit Adapter(const KernelFunction& inner) : inner_(inner) {}
+    double LogSimilarity(std::span<const double> a,
+                         std::span<const double> b) const override {
+      return inner_.LogSimilarity(a, b);
+    }
+    std::string name() const override { return inner_.name(); }
+    ParamMap params() const override { return inner_.params(); }
+    CostClass cost_class() const override { return inner_.cost_class(); }
+
+   private:
+    const KernelFunction& inner_;
+  };
+  const KernelDistance distance(std::make_unique<Adapter>(kernel));
+  const PairwiseEngine engine(num_threads);
+
+  Matrix train_gram = engine.ComputeSelf(dataset.train(), distance);
+  for (std::size_t i = 0; i < train_gram.rows(); ++i) {
+    for (std::size_t j = 0; j < train_gram.cols(); ++j) {
+      train_gram(i, j) = 1.0 - train_gram(i, j);  // distance -> similarity
+    }
+  }
+  Matrix test_rows = engine.Compute(dataset.test(), dataset.train(), distance);
+  for (std::size_t i = 0; i < test_rows.rows(); ++i) {
+    for (std::size_t j = 0; j < test_rows.cols(); ++j) {
+      test_rows(i, j) = 1.0 - test_rows(i, j);
+    }
+  }
+
+  OneVsOneSvm svm;
+  svm.Train(train_gram, dataset.train_labels(), options);
+
+  const std::vector<int> test_labels = dataset.test_labels();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.test_size(); ++i) {
+    if (svm.Predict(test_rows.row(i)) == test_labels[i]) ++correct;
+  }
+  return dataset.test_size() == 0
+             ? 0.0
+             : static_cast<double>(correct) /
+                   static_cast<double>(dataset.test_size());
+}
+
+}  // namespace tsdist

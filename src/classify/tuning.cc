@@ -1,0 +1,49 @@
+#include "src/classify/tuning.h"
+
+#include <cassert>
+
+#include "src/classify/one_nn.h"
+
+namespace tsdist {
+
+EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params,
+                         const Dataset& dataset, const PairwiseEngine& engine,
+                         const Registry& registry) {
+  const MeasurePtr measure = registry.Create(measure_name, params);
+  assert(measure != nullptr && "unknown measure name");
+  const Matrix e = engine.Compute(dataset.test(), dataset.train(), *measure);
+  EvalResult result;
+  result.measure = measure_name;
+  result.params = params;
+  result.test_accuracy =
+      OneNnAccuracy(e, dataset.test_labels(), dataset.train_labels());
+  return result;
+}
+
+EvalResult EvaluateTuned(const std::string& measure_name,
+                         const std::vector<ParamMap>& grid,
+                         const Dataset& dataset, const PairwiseEngine& engine,
+                         const Registry& registry) {
+  assert(!grid.empty());
+  const std::vector<int> train_labels = dataset.train_labels();
+
+  ParamMap best_params = grid.front();
+  double best_train = -1.0;
+  for (const ParamMap& candidate : grid) {
+    const MeasurePtr measure = registry.Create(measure_name, candidate);
+    assert(measure != nullptr && "unknown measure name");
+    const Matrix w = engine.ComputeSelf(dataset.train(), *measure);
+    const double train_acc = LeaveOneOutAccuracy(w, train_labels);
+    if (train_acc > best_train) {
+      best_train = train_acc;
+      best_params = candidate;
+    }
+  }
+
+  EvalResult result = EvaluateFixed(measure_name, best_params, dataset, engine,
+                                    registry);
+  result.train_accuracy = best_train;
+  return result;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,44 @@
+// Supervised (leave-one-out) parameter tuning and end-to-end evaluation.
+//
+// Implements the paper's two regimes:
+//  * supervised "LOOCCV": every grid candidate is scored by leave-one-out
+//    1-NN accuracy on the training split; the best (first on ties, making
+//    tuning deterministic) is evaluated on the test split;
+//  * unsupervised: a single fixed parameter set is evaluated directly.
+
+#ifndef TSDIST_CLASSIFY_TUNING_H_
+#define TSDIST_CLASSIFY_TUNING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/pairwise_engine.h"
+#include "src/core/registry.h"
+
+namespace tsdist {
+
+/// Result of evaluating one measure on one dataset.
+struct EvalResult {
+  std::string measure;   ///< registry name
+  ParamMap params;       ///< parameters actually used
+  double train_accuracy = 0.0;  ///< leave-one-out accuracy (supervised only)
+  double test_accuracy = 0.0;   ///< Algorithm-1 accuracy on the test split
+};
+
+/// Evaluates `measure_name` with fixed `params` on `dataset`.
+EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params,
+                         const Dataset& dataset, const PairwiseEngine& engine,
+                         const Registry& registry = Registry::Global());
+
+/// Tunes `measure_name` over `grid` by leave-one-out accuracy on the train
+/// split, then evaluates the winner on the test split. The first candidate
+/// achieving the best training accuracy wins (deterministic).
+EvalResult EvaluateTuned(const std::string& measure_name,
+                         const std::vector<ParamMap>& grid,
+                         const Dataset& dataset, const PairwiseEngine& engine,
+                         const Registry& registry = Registry::Global());
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CLASSIFY_TUNING_H_

@@ -1,0 +1,95 @@
+#include "src/cluster/evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace tsdist {
+
+namespace {
+
+// Contingency counts shared by the pair-counting metrics.
+struct PairCounts {
+  double same_same = 0.0;  // same cluster in both labelings
+  double same_diff = 0.0;
+  double diff_same = 0.0;
+  double diff_diff = 0.0;
+};
+
+PairCounts CountPairs(const std::vector<int>& a, const std::vector<int>& b) {
+  assert(a.size() == b.size());
+  PairCounts counts;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      if (same_a && same_b) {
+        counts.same_same += 1.0;
+      } else if (same_a && !same_b) {
+        counts.same_diff += 1.0;
+      } else if (!same_a && same_b) {
+        counts.diff_same += 1.0;
+      } else {
+        counts.diff_diff += 1.0;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+double RandIndex(const std::vector<int>& labels_a,
+                 const std::vector<int>& labels_b) {
+  if (labels_a.size() < 2) return 1.0;
+  const PairCounts c = CountPairs(labels_a, labels_b);
+  const double total = c.same_same + c.same_diff + c.diff_same + c.diff_diff;
+  return (c.same_same + c.diff_diff) / total;
+}
+
+double AdjustedRandIndex(const std::vector<int>& labels_a,
+                         const std::vector<int>& labels_b) {
+  assert(labels_a.size() == labels_b.size());
+  const std::size_t n = labels_a.size();
+  if (n < 2) return 1.0;
+
+  // Contingency table.
+  std::map<std::pair<int, int>, double> table;
+  std::map<int, double> row_sums;
+  std::map<int, double> col_sums;
+  for (std::size_t i = 0; i < n; ++i) {
+    table[{labels_a[i], labels_b[i]}] += 1.0;
+    row_sums[labels_a[i]] += 1.0;
+    col_sums[labels_b[i]] += 1.0;
+  }
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_table = 0.0, sum_rows = 0.0, sum_cols = 0.0;
+  for (const auto& [key, v] : table) sum_table += choose2(v);
+  for (const auto& [key, v] : row_sums) sum_rows += choose2(v);
+  for (const auto& [key, v] : col_sums) sum_cols += choose2(v);
+  const double total_pairs = choose2(static_cast<double>(n));
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // degenerate (single cluster both)
+  return (sum_table - expected) / (max_index - expected);
+}
+
+double Purity(const std::vector<int>& predicted,
+              const std::vector<int>& truth) {
+  assert(predicted.size() == truth.size());
+  if (predicted.empty()) return 1.0;
+  std::map<int, std::map<int, std::size_t>> per_cluster;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    per_cluster[predicted[i]][truth[i]] += 1;
+  }
+  std::size_t majority_total = 0;
+  for (const auto& [cluster, votes] : per_cluster) {
+    std::size_t best = 0;
+    for (const auto& [cls, count] : votes) best = std::max(best, count);
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) /
+         static_cast<double>(predicted.size());
+}
+
+}  // namespace tsdist

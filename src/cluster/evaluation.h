@@ -1,0 +1,31 @@
+// External clustering evaluation metrics.
+//
+// Used by the clustering substrate to score partitions against ground-truth
+// class labels: Rand index, Adjusted Rand Index (Hubert & Arabie), and
+// purity. These are the standard metrics in the k-Shape line of work the
+// paper builds on.
+
+#ifndef TSDIST_CLUSTER_EVALUATION_H_
+#define TSDIST_CLUSTER_EVALUATION_H_
+
+#include <vector>
+
+namespace tsdist {
+
+/// Rand index in [0, 1]: fraction of pairs on which two labelings agree
+/// (same-cluster vs different-cluster).
+double RandIndex(const std::vector<int>& labels_a,
+                 const std::vector<int>& labels_b);
+
+/// Adjusted Rand Index: Rand index corrected for chance; 1 for identical
+/// partitions, ~0 for random ones (can be negative).
+double AdjustedRandIndex(const std::vector<int>& labels_a,
+                         const std::vector<int>& labels_b);
+
+/// Purity in [0, 1]: each cluster votes for its majority class.
+/// `predicted` are cluster ids, `truth` are class labels.
+double Purity(const std::vector<int>& predicted, const std::vector<int>& truth);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CLUSTER_EVALUATION_H_

@@ -1,0 +1,176 @@
+#include "src/cluster/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/linalg/rng.h"
+#include "src/lockstep/minkowski_family.h"
+
+namespace tsdist {
+
+namespace {
+
+// k-means++ seeding under the given measure: first centroid uniform, each
+// next chosen with probability proportional to squared distance to the
+// nearest chosen centroid.
+std::vector<std::size_t> PlusPlusSeed(const std::vector<TimeSeries>& series,
+                                      const DistanceMeasure& measure,
+                                      std::size_t k, Rng& rng) {
+  const std::size_t n = series.size();
+  std::vector<std::size_t> chosen;
+  chosen.push_back(rng.UniformInt(n));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (chosen.size() < k) {
+    const auto& last = series[chosen.back()];
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = measure.Distance(series[i].values(), last.values());
+      min_dist[i] = std::min(min_dist[i], d * d);
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      chosen.push_back(rng.UniformInt(n));
+      continue;
+    }
+    double target = rng.Uniform() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= min_dist[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    chosen.push_back(pick);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+ClusteringResult KMeans(const std::vector<TimeSeries>& series,
+                        const KMeansOptions& options) {
+  assert(!series.empty());
+  const std::size_t n = series.size();
+  const std::size_t m = series.front().size();
+  const std::size_t k = std::min(options.k, n);
+  const EuclideanDistance ed;
+  Rng rng(options.seed);
+
+  ClusteringResult result;
+  result.centroids.clear();
+  for (std::size_t idx : PlusPlusSeed(series, ed, k, rng)) {
+    result.centroids.push_back(series[idx]);
+  }
+  result.assignments.assign(n, 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = result.assignments[i];
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d =
+            ed.Distance(series[i].values(), result.centroids[c].values());
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (best_c != result.assignments[i]) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update: mean centroid; empty clusters re-seed randomly.
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<double> mean(m, 0.0);
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (result.assignments[i] != static_cast<int>(c)) continue;
+        ++count;
+        for (std::size_t t = 0; t < m; ++t) mean[t] += series[i][t];
+      }
+      if (count == 0) {
+        result.centroids[c] = series[rng.UniformInt(n)];
+        continue;
+      }
+      for (double& v : mean) v /= static_cast<double>(count);
+      result.centroids[c] = TimeSeries(std::move(mean));
+    }
+  }
+  return result;
+}
+
+ClusteringResult KMedoids(const std::vector<TimeSeries>& series,
+                          const DistanceMeasure& measure,
+                          const KMeansOptions& options) {
+  assert(!series.empty());
+  const std::size_t n = series.size();
+  const std::size_t k = std::min(options.k, n);
+  Rng rng(options.seed);
+
+  std::vector<std::size_t> medoids = PlusPlusSeed(series, measure, k, rng);
+  std::vector<int> assignments(n, 0);
+
+  ClusteringResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment to the nearest medoid.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = assignments[i];
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d =
+            measure.Distance(series[i].values(), series[medoids[c]].values());
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (best_c != assignments[i]) {
+        assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    // Medoid update: the member minimizing the summed distance to its
+    // cluster.
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assignments[i] == static_cast<int>(c)) members.push_back(i);
+      }
+      if (members.empty()) {
+        medoids[c] = rng.UniformInt(n);
+        continue;
+      }
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::size_t best_medoid = medoids[c];
+      for (std::size_t candidate : members) {
+        double cost = 0.0;
+        for (std::size_t other : members) {
+          cost += measure.Distance(series[candidate].values(),
+                                   series[other].values());
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_medoid = candidate;
+        }
+      }
+      medoids[c] = best_medoid;
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.assignments = std::move(assignments);
+  result.centroids.clear();
+  for (std::size_t idx : medoids) result.centroids.push_back(series[idx]);
+  return result;
+}
+
+}  // namespace tsdist

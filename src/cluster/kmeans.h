@@ -1,0 +1,37 @@
+// Baseline clustering algorithms: k-means (ED centroids) and k-medoids
+// (PAM-style, any distance measure). These are the comparison points for
+// k-Shape in the clustering ablation — the setting in which the paper cites
+// cross-correlation's state-of-the-art results.
+
+#ifndef TSDIST_CLUSTER_KMEANS_H_
+#define TSDIST_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/kshape.h"
+#include "src/core/distance_measure.h"
+
+namespace tsdist {
+
+/// Configuration shared by the baseline algorithms.
+struct KMeansOptions {
+  std::size_t k = 3;
+  int max_iterations = 50;
+  std::uint64_t seed = 1;
+};
+
+/// Lloyd's k-means with Euclidean distance and mean centroids, k-means++
+/// initialization.
+ClusteringResult KMeans(const std::vector<TimeSeries>& series,
+                        const KMeansOptions& options);
+
+/// k-medoids (alternating PAM): centroids are actual series, assignment and
+/// medoid update use `measure` (any distance, e.g. DTW or SBD).
+ClusteringResult KMedoids(const std::vector<TimeSeries>& series,
+                          const DistanceMeasure& measure,
+                          const KMeansOptions& options);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CLUSTER_KMEANS_H_

@@ -1,0 +1,160 @@
+#include "src/cluster/kshape.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/linalg/eigen.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/rng.h"
+#include "src/normalization/normalization.h"
+#include "src/sliding/cross_correlation.h"
+#include "src/sliding/ncc_measures.h"
+
+namespace tsdist {
+
+namespace cluster_internal {
+
+std::vector<double> AlignToReference(std::span<const double> series,
+                                     std::span<const double> reference) {
+  assert(series.size() == reference.size());
+  const std::size_t m = series.size();
+  std::vector<double> out(m, 0.0);
+  if (m == 0) return out;
+  // Best lag: maximize cross-correlation of reference against series.
+  const std::vector<double> cc = CrossCorrelationSequence(reference, series);
+  std::size_t best_w = 0;
+  for (std::size_t w = 1; w < cc.size(); ++w) {
+    if (cc[w] > cc[best_w]) best_w = w;
+  }
+  const std::ptrdiff_t shift =
+      static_cast<std::ptrdiff_t>(best_w) - static_cast<std::ptrdiff_t>(m - 1);
+  // Shift the series by `shift` (zero padding), so it lines up with the
+  // reference.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(i) - shift;
+    if (src >= 0 && src < static_cast<std::ptrdiff_t>(m)) {
+      out[i] = series[static_cast<std::size_t>(src)];
+    }
+  }
+  return out;
+}
+
+std::vector<double> ExtractShape(const std::vector<std::vector<double>>& members,
+                                 std::span<const double> previous_centroid) {
+  assert(!members.empty());
+  const std::size_t m = members.front().size();
+  (void)previous_centroid;
+
+  // Gram matrix S = sum_x x x^T over aligned members.
+  Matrix s(m, m);
+  for (const auto& x : members) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (x[i] == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        s(i, j) += x[i] * x[j];
+      }
+    }
+  }
+  // M = Q S Q with the centering matrix Q = I - (1/m) 1 1^T, computed
+  // without materializing Q: (QSQ)_{ij} = S_{ij} - rowmean_i - colmean_j +
+  // grandmean.
+  std::vector<double> row_mean(m, 0.0);
+  double grand = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) row_mean[i] += s(i, j);
+    row_mean[i] /= static_cast<double>(m);
+    grand += row_mean[i];
+  }
+  grand /= static_cast<double>(m);
+  Matrix centered(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      centered(i, j) = s(i, j) - row_mean[i] - row_mean[j] + grand;
+    }
+  }
+
+  const EigenDecomposition eig = SymmetricEigen(centered, 1e-9, 30);
+  std::vector<double> shape(m);
+  for (std::size_t i = 0; i < m; ++i) shape[i] = eig.vectors(i, 0);
+
+  // The eigenvector's sign is arbitrary: pick the orientation that agrees
+  // with the members.
+  double agreement = 0.0;
+  for (const auto& x : members) {
+    for (std::size_t i = 0; i < m; ++i) agreement += x[i] * shape[i];
+  }
+  if (agreement < 0.0) {
+    for (double& v : shape) v = -v;
+  }
+  return ZScoreNormalizer().Apply(std::span<const double>(shape));
+}
+
+}  // namespace cluster_internal
+
+ClusteringResult KShape(const std::vector<TimeSeries>& series,
+                        const KShapeOptions& options) {
+  assert(!series.empty());
+  assert(options.k >= 1);
+  const std::size_t n = series.size();
+  const std::size_t m = series.front().size();
+  const std::size_t k = std::min(options.k, n);
+
+  // Defensive z-normalization: k-Shape is defined on z-normalized data.
+  const ZScoreNormalizer zscore;
+  std::vector<TimeSeries> data;
+  data.reserve(n);
+  for (const auto& s : series) data.push_back(zscore.Apply(s));
+
+  Rng rng(options.seed);
+  ClusteringResult result;
+  result.assignments.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.assignments[i] = static_cast<int>(rng.UniformInt(k));
+  }
+  result.centroids.assign(k, TimeSeries(std::vector<double>(m, 0.0)));
+
+  const NccCoefficientDistance sbd;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Refinement: shape extraction per cluster.
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<std::vector<double>> members;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (result.assignments[i] != static_cast<int>(c)) continue;
+        members.push_back(cluster_internal::AlignToReference(
+            data[i].values(), result.centroids[c].values()));
+      }
+      if (members.empty()) {
+        // Empty cluster: re-seed with a random series.
+        result.centroids[c] = data[rng.UniformInt(n)];
+        continue;
+      }
+      result.centroids[c] = TimeSeries(cluster_internal::ExtractShape(
+          members, result.centroids[c].values()));
+    }
+    // Assignment: nearest centroid under SBD.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = result.assignments[i];
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d =
+            sbd.Distance(data[i].values(), result.centroids[c].values());
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (best_c != result.assignments[i]) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+  return result;
+}
+
+}  // namespace tsdist

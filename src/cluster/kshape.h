@@ -1,0 +1,57 @@
+// k-Shape clustering (Paparrizos & Gravano, SIGMOD'15).
+//
+// The clustering algorithm built on the cross-correlation machinery this
+// paper re-centers: assignment uses the Shape-Based Distance (NCCc), and
+// each centroid is the "shape extraction" solution — the series maximizing
+// the summed squared normalized correlation to the (shift-aligned) cluster
+// members, i.e. the principal eigenvector of a centered Gram matrix of the
+// aligned members. The paper cites k-Shape's state-of-the-art clustering
+// results as evidence for cross-correlation's strength (Section 6).
+
+#ifndef TSDIST_CLUSTER_KSHAPE_H_
+#define TSDIST_CLUSTER_KSHAPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time_series.h"
+
+namespace tsdist {
+
+/// Result of a clustering run.
+struct ClusteringResult {
+  std::vector<int> assignments;       ///< cluster id per input series
+  std::vector<TimeSeries> centroids;  ///< one per cluster
+  int iterations = 0;                 ///< iterations until convergence
+};
+
+/// Configuration for KShape.
+struct KShapeOptions {
+  std::size_t k = 3;
+  int max_iterations = 30;
+  std::uint64_t seed = 1;
+};
+
+/// Runs k-Shape on z-normalized series (inputs are re-normalized
+/// defensively; k-Shape is defined on z-normalized data).
+ClusteringResult KShape(const std::vector<TimeSeries>& series,
+                        const KShapeOptions& options);
+
+namespace cluster_internal {
+
+/// Aligns `series` to `reference` by the shift maximizing their
+/// cross-correlation (zero-padding the vacated positions).
+std::vector<double> AlignToReference(std::span<const double> series,
+                                     std::span<const double> reference);
+
+/// Shape extraction: the new centroid of `members` (already aligned to the
+/// previous centroid): principal eigenvector of the centered Gram matrix,
+/// sign-disambiguated toward the members, z-normalized.
+std::vector<double> ExtractShape(const std::vector<std::vector<double>>& members,
+                                 std::span<const double> previous_centroid);
+
+}  // namespace cluster_internal
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CLUSTER_KSHAPE_H_

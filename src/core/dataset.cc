@@ -1,0 +1,50 @@
+#include "src/core/dataset.h"
+
+#include <set>
+#include <utility>
+
+namespace tsdist {
+
+Dataset::Dataset(std::string name, std::vector<TimeSeries> train,
+                 std::vector<TimeSeries> test)
+    : name_(std::move(name)), train_(std::move(train)), test_(std::move(test)) {}
+
+std::size_t Dataset::series_length() const {
+  if (!train_.empty()) return train_.front().size();
+  if (!test_.empty()) return test_.front().size();
+  return 0;
+}
+
+std::size_t Dataset::num_classes() const {
+  std::set<int> labels;
+  for (const auto& s : train_) labels.insert(s.label());
+  for (const auto& s : test_) labels.insert(s.label());
+  return labels.size();
+}
+
+std::vector<int> Dataset::train_labels() const {
+  std::vector<int> out;
+  out.reserve(train_.size());
+  for (const auto& s : train_) out.push_back(s.label());
+  return out;
+}
+
+std::vector<int> Dataset::test_labels() const {
+  std::vector<int> out;
+  out.reserve(test_.size());
+  for (const auto& s : test_) out.push_back(s.label());
+  return out;
+}
+
+bool Dataset::IsRectangular() const {
+  const std::size_t m = series_length();
+  for (const auto& s : train_) {
+    if (s.size() != m) return false;
+  }
+  for (const auto& s : test_) {
+    if (s.size() != m) return false;
+  }
+  return true;
+}
+
+}  // namespace tsdist

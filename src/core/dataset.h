@@ -1,0 +1,60 @@
+// Class-labeled time-series dataset with a fixed train/test split.
+//
+// Mirrors the UCR archive convention used by the paper: every dataset ships a
+// predetermined train and test partition ("we respect the split of training
+// and test sets provided by the UCR archive"), making evaluation
+// deterministic and reproducible.
+
+#ifndef TSDIST_CORE_DATASET_H_
+#define TSDIST_CORE_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/time_series.h"
+
+namespace tsdist {
+
+/// A named collection of labeled time series split into train and test sets.
+/// All series within a dataset have equal length (ragged inputs are resampled
+/// by the loader before a Dataset is constructed).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, std::vector<TimeSeries> train,
+          std::vector<TimeSeries> test);
+
+  const std::string& name() const { return name_; }
+
+  const std::vector<TimeSeries>& train() const { return train_; }
+  const std::vector<TimeSeries>& test() const { return test_; }
+  std::vector<TimeSeries>& mutable_train() { return train_; }
+  std::vector<TimeSeries>& mutable_test() { return test_; }
+
+  std::size_t train_size() const { return train_.size(); }
+  std::size_t test_size() const { return test_.size(); }
+
+  /// Length of the series in this dataset (0 when empty).
+  std::size_t series_length() const;
+
+  /// Number of distinct class labels across both splits.
+  std::size_t num_classes() const;
+
+  /// Class labels of the training split, in order.
+  std::vector<int> train_labels() const;
+  /// Class labels of the test split, in order.
+  std::vector<int> test_labels() const;
+
+  /// True when every series in both splits has the same length.
+  bool IsRectangular() const;
+
+ private:
+  std::string name_;
+  std::vector<TimeSeries> train_;
+  std::vector<TimeSeries> test_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CORE_DATASET_H_

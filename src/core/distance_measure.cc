@@ -1,0 +1,34 @@
+#include "src/core/distance_measure.h"
+
+#include <sstream>
+
+namespace tsdist {
+
+std::string ToString(MeasureCategory category) {
+  switch (category) {
+    case MeasureCategory::kLockStep:
+      return "lock-step";
+    case MeasureCategory::kSliding:
+      return "sliding";
+    case MeasureCategory::kElastic:
+      return "elastic";
+    case MeasureCategory::kKernel:
+      return "kernel";
+    case MeasureCategory::kEmbedding:
+      return "embedding";
+  }
+  return "unknown";
+}
+
+std::string ToString(const ParamMap& params) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) os << ",";
+    os << key << "=" << value;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace tsdist

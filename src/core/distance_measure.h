@@ -1,0 +1,86 @@
+// Abstract interface shared by every distance measure in the library.
+//
+// The SIGMOD'20 study groups measures into five categories (lock-step,
+// sliding, elastic, kernel, embedding). All but the embedding category are
+// expressed as pairwise functions d(x, y) and implement this interface;
+// embedding measures are dataset-level transforms (see
+// src/embedding/representation.h) whose induced measure is ED over the
+// learned representations.
+
+#ifndef TSDIST_CORE_DISTANCE_MEASURE_H_
+#define TSDIST_CORE_DISTANCE_MEASURE_H_
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace tsdist {
+
+/// Category of a distance measure, following the paper's taxonomy.
+enum class MeasureCategory {
+  kLockStep,   ///< compares the i-th point of one series with the i-th of the other
+  kSliding,    ///< compares one series with all shifted versions of the other
+  kElastic,    ///< non-linear one-to-many alignment via dynamic programming
+  kKernel,     ///< p.s.d. similarity function turned into a distance
+  kEmbedding,  ///< ED over a learned similarity-preserving representation
+};
+
+/// Returns a human-readable name for a category ("lock-step", ...).
+std::string ToString(MeasureCategory category);
+
+/// Asymptotic per-comparison cost class, used by the accuracy-to-runtime
+/// analysis (Figure 9).
+enum class CostClass {
+  kLinear,        ///< O(m)
+  kLinearithmic,  ///< O(m log m)
+  kQuadratic,     ///< O(m^2)
+};
+
+/// Named parameter bag for measure construction and tuning, e.g.
+/// {{"delta", 10}, {"epsilon", 0.2}}.
+using ParamMap = std::map<std::string, double>;
+
+/// Renders a ParamMap as "k1=v1,k2=v2" for logs and bench output.
+std::string ToString(const ParamMap& params);
+
+/// A dissimilarity function over pairs of equal-length time series.
+///
+/// Implementations must be (a) deterministic and (b) safe to call
+/// concurrently from multiple threads on distinct inputs (const calls share
+/// no mutable state). Lower values mean more similar; similarity-native
+/// measures (cross-correlation, kernels) are converted so this convention
+/// holds uniformly.
+class DistanceMeasure {
+ public:
+  virtual ~DistanceMeasure() = default;
+
+  /// Dissimilarity between two series. Implementations may require equal
+  /// lengths (all the paper's workloads are rectangular after resampling).
+  virtual double Distance(std::span<const double> a,
+                          std::span<const double> b) const = 0;
+
+  /// Unique registry name, e.g. "lorentzian", "dtw", "nccc".
+  virtual std::string name() const = 0;
+
+  /// Taxonomy bucket for this measure.
+  virtual MeasureCategory category() const = 0;
+
+  /// True when the measure satisfies the metric axioms (identity, symmetry,
+  /// triangle inequality) on its valid domain. E.g. MSM and ERP are metrics;
+  /// DTW is not.
+  virtual bool is_metric() const { return false; }
+
+  /// Per-comparison asymptotic cost.
+  virtual CostClass cost_class() const = 0;
+
+  /// Parameters this instance was constructed with (empty for
+  /// parameter-free measures).
+  virtual ParamMap params() const { return {}; }
+};
+
+using MeasurePtr = std::unique_ptr<DistanceMeasure>;
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CORE_DISTANCE_MEASURE_H_

@@ -1,0 +1,81 @@
+#include "src/core/pairwise_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace tsdist {
+
+PairwiseEngine::PairwiseEngine(std::size_t num_threads)
+    : num_threads_(num_threads == 0
+                       ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                       : num_threads) {}
+
+Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
+                               const std::vector<TimeSeries>& references,
+                               const DistanceMeasure& measure) const {
+  const std::size_t r = queries.size();
+  const std::size_t p = references.size();
+  Matrix out(r, p);
+  if (r == 0 || p == 0) return out;
+
+  std::atomic<std::size_t> next_row{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next_row.fetch_add(1);
+      if (i >= r) return;
+      auto row = out.mutable_row(i);
+      const auto q = queries[i].values();
+      for (std::size_t j = 0; j < p; ++j) {
+        row[j] = measure.Distance(q, references[j].values());
+      }
+    }
+  };
+
+  const std::size_t threads = std::min(num_threads_, r);
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return out;
+}
+
+Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
+                                   const DistanceMeasure& measure) const {
+  const std::size_t n = series.size();
+  Matrix out(n, n);
+  if (n == 0) return out;
+
+  std::atomic<std::size_t> next_row{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next_row.fetch_add(1);
+      if (i >= n) return;
+      const auto a = series[i].values();
+      for (std::size_t j = i; j < n; ++j) {
+        out(i, j) = measure.Distance(a, series[j].values());
+      }
+    }
+  };
+
+  const std::size_t threads = std::min(num_threads_, n);
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,58 @@
+#include "src/core/registry.h"
+
+#include <algorithm>
+
+#include "src/elastic/elastic_all.h"
+#include "src/kernel/kernel_measure.h"
+#include "src/lockstep/lockstep_all.h"
+#include "src/sliding/ncc_measures.h"
+
+namespace tsdist {
+
+void Registry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+MeasurePtr Registry::Create(const std::string& name,
+                            const ParamMap& params) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second(params);
+}
+
+bool Registry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map keeps keys sorted
+}
+
+std::vector<std::string> Registry::NamesInCategory(
+    MeasureCategory category) const {
+  std::vector<std::string> out;
+  for (const auto& [name, factory] : factories_) {
+    const MeasurePtr measure = factory({});
+    if (measure != nullptr && measure->category() == category) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+const Registry& Registry::Global() {
+  static const Registry* kGlobal = [] {
+    auto* registry = new Registry();
+    RegisterLockStepMeasures(registry);
+    RegisterSlidingMeasures(registry);
+    RegisterElasticMeasures(registry);
+    RegisterKernelMeasures(registry);
+    return registry;
+  }();
+  return *kGlobal;
+}
+
+}  // namespace tsdist

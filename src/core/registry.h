@@ -1,0 +1,52 @@
+// Name-based factory registry for distance measures.
+//
+// Benchmarks, examples, and the tuning harness construct measures by name +
+// parameter bag ("dtw" with {delta: 10}), which keeps experiment definitions
+// declarative (Table 4 of the paper is literally a list of names and grids).
+
+#ifndef TSDIST_CORE_REGISTRY_H_
+#define TSDIST_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/distance_measure.h"
+
+namespace tsdist {
+
+/// Maps measure names to factories. Thread-compatible: build it once, then
+/// share it read-only.
+class Registry {
+ public:
+  using Factory = std::function<MeasurePtr(const ParamMap&)>;
+
+  /// Registers a factory under `name`; overwrites any existing entry.
+  void Register(const std::string& name, Factory factory);
+
+  /// Instantiates a measure. Returns nullptr for unknown names.
+  MeasurePtr Create(const std::string& name, const ParamMap& params = {}) const;
+
+  /// True when `name` is registered.
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// All registered names in the given category, sorted. Instantiates each
+  /// measure with default parameters to query its category.
+  std::vector<std::string> NamesInCategory(MeasureCategory category) const;
+
+  /// The global registry with every built-in pairwise measure (lock-step,
+  /// sliding, elastic, kernel). Embedding measures are dataset-level
+  /// transforms and live in src/embedding/ instead.
+  static const Registry& Global();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CORE_REGISTRY_H_

@@ -1,0 +1,59 @@
+#include "src/core/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace tsdist {
+
+double TimeSeries::Mean() const {
+  if (values_.empty()) return 0.0;
+  const double sum = std::accumulate(values_.begin(), values_.end(), 0.0);
+  return sum / static_cast<double>(values_.size());
+}
+
+double TimeSeries::StdDev() const {
+  if (values_.empty()) return 0.0;
+  const double mu = Mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double TimeSeries::Norm() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double TimeSeries::Min() const {
+  assert(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Max() const {
+  assert(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Median() const {
+  assert(!values_.empty());
+  std::vector<double> tmp = values_;
+  std::sort(tmp.begin(), tmp.end());
+  const std::size_t n = tmp.size();
+  if (n % 2 == 1) return tmp[n / 2];
+  return 0.5 * (tmp[n / 2 - 1] + tmp[n / 2]);
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace tsdist

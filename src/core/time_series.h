@@ -1,0 +1,75 @@
+// Core time-series value type.
+//
+// A time series is an ordered sequence of real-valued observations sampled at
+// a uniform rate (the SIGMOD'20 study setting: univariate, equal sampling,
+// discrete timestamps omitted). The class is a thin, cache-friendly wrapper
+// around a contiguous buffer plus an integer class label used by the
+// classification-based evaluation framework.
+
+#ifndef TSDIST_CORE_TIME_SERIES_H_
+#define TSDIST_CORE_TIME_SERIES_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsdist {
+
+/// A univariate, uniformly sampled time series with an optional class label.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Constructs a series from raw values. `label` is the class annotation
+  /// used by the 1-NN evaluation framework (-1 means unlabeled).
+  explicit TimeSeries(std::vector<double> values, int label = -1)
+      : values_(std::move(values)), label_(label) {}
+
+  /// Number of observations.
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Value access.
+  double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+
+  /// Read-only view over the observations.
+  std::span<const double> values() const { return values_; }
+  /// Mutable access to the underlying buffer.
+  std::vector<double>& mutable_values() { return values_; }
+
+  int label() const { return label_; }
+  void set_label(int label) { label_ = label; }
+
+  /// Arithmetic mean of the observations. Returns 0 for an empty series.
+  double Mean() const;
+
+  /// Population standard deviation (divides by n, the convention used by
+  /// z-normalization in the time-series literature). Returns 0 if empty.
+  double StdDev() const;
+
+  /// Euclidean (L2) norm of the observation vector.
+  double Norm() const;
+
+  /// Minimum observation; requires a non-empty series.
+  double Min() const;
+
+  /// Maximum observation; requires a non-empty series.
+  double Max() const;
+
+  /// Median observation (average of middle two for even length); requires a
+  /// non-empty series.
+  double Median() const;
+
+ private:
+  std::vector<double> values_;
+  int label_ = -1;
+};
+
+/// Sum of element-wise products of two equal-length spans.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CORE_TIME_SERIES_H_

@@ -1,0 +1,197 @@
+#include "src/data/archive.h"
+
+#include <map>
+#include <string>
+
+#include "src/data/generators.h"
+#include "src/normalization/normalization.h"
+
+namespace tsdist {
+
+namespace {
+
+struct ScalePreset {
+  std::size_t length;
+  std::size_t train_per_class;
+  std::size_t test_per_class;
+};
+
+ScalePreset PresetFor(ArchiveScale scale) {
+  switch (scale) {
+    case ArchiveScale::kTiny:
+      return {48, 6, 8};
+    case ArchiveScale::kSmall:
+      return {96, 12, 16};
+    case ArchiveScale::kMedium:
+      return {192, 20, 25};
+  }
+  return {96, 12, 16};
+}
+
+}  // namespace
+
+std::vector<Dataset> BuildArchive(const ArchiveOptions& options) {
+  const ScalePreset preset = PresetFor(options.scale);
+  GeneratorOptions base;
+  base.length = preset.length;
+  base.train_per_class = preset.train_per_class;
+  base.test_per_class = preset.test_per_class;
+  base.seed = options.seed;
+
+  std::vector<Dataset> archive;
+  // Each dataset gets a distinct derived seed so the suite consists of
+  // independent draws while remaining a pure function of options.seed.
+  std::uint64_t index = 0;
+  auto next = [&base, &index](auto mutate) {
+    GeneratorOptions opts = base;
+    opts.seed = base.seed + 7919 * (++index);
+    mutate(opts);
+    return opts;
+  };
+
+  // Noise-dominated shape classes.
+  archive.push_back(MakeCbf(next([](GeneratorOptions& o) { o.noise = 0.35; })));
+  archive.push_back(
+      MakeTwoPatterns(next([](GeneratorOptions& o) { o.noise = 0.4; })));
+  archive.push_back(MakeGunPointLike(next([](GeneratorOptions& o) {
+    o.noise = 0.05;
+    o.warp = 0.04;
+  })));
+  // Medical-like.
+  archive.push_back(MakeEcgLike(next([](GeneratorOptions& o) {
+    o.noise = 0.08;
+    o.warp = 0.03;
+  })));
+  archive.push_back(MakeEcgLike(next([](GeneratorOptions& o) {
+    o.noise = 0.2;
+    o.warp = 0.06;
+  })));
+  // Shift-dominated (sliding measures should win here).
+  archive.push_back(
+      MakeShiftedEvents(next([](GeneratorOptions& o) { o.noise = 0.12; })));
+  archive.push_back(MakeShiftedEvents(next([](GeneratorOptions& o) {
+    o.noise = 0.25;
+  })));
+  archive.push_back(MakeOutlines(next([](GeneratorOptions& o) {
+    o.noise = 0.06;
+  })));
+  // Warp-dominated (elastic measures should win here).
+  archive.push_back(MakeWarpedPrototypes(next([](GeneratorOptions& o) {
+    o.noise = 0.1;
+    o.warp = 0.15;
+  })));
+  archive.push_back(MakeWarpedPrototypes(next([](GeneratorOptions& o) {
+    o.noise = 0.05;
+    o.warp = 0.25;
+  })));
+  // Scale-dominated (normalization matters most here).
+  archive.push_back(
+      MakeScaledPatterns(next([](GeneratorOptions& o) { o.noise = 0.15; })));
+  // Device / seasonal profiles.
+  archive.push_back(MakeSeasonalDevices(next([](GeneratorOptions& o) {
+    o.noise = 0.15;
+    o.warp = 0.05;
+  })));
+  // Spectrograph-like.
+  archive.push_back(MakeSpectroMixtures(next([](GeneratorOptions& o) {
+    o.noise = 0.05;
+  })));
+  // Simulated chirps.
+  archive.push_back(MakeChirps(next([](GeneratorOptions& o) {
+    o.noise = 0.2;
+  })));
+  // Mixed-distortion stress sets.
+  archive.push_back(MakeCbf(next([](GeneratorOptions& o) {
+    o.noise = 0.2;
+    o.warp = 0.08;
+    o.max_shift = o.length / 16;
+  })));
+  archive.push_back(MakeOutlines(next([](GeneratorOptions& o) {
+    o.noise = 0.12;
+    o.warp = 0.06;
+  })));
+  // Second wave: independent re-draws with different distortion mixes, for
+  // statistical power (the paper has 128 datasets; pairwise tests need
+  // enough of them to resolve significance).
+  archive.push_back(MakeCbf(next([](GeneratorOptions& o) { o.noise = 0.5; })));
+  archive.push_back(MakeTwoPatterns(next([](GeneratorOptions& o) {
+    o.noise = 0.25;
+    o.warp = 0.05;
+  })));
+  archive.push_back(MakeGunPointLike(next([](GeneratorOptions& o) {
+    o.noise = 0.1;
+    o.warp = 0.08;
+  })));
+  archive.push_back(MakeEcgLike(next([](GeneratorOptions& o) {
+    o.noise = 0.12;
+    o.max_shift = o.length / 20;
+  })));
+  archive.push_back(MakeShiftedEvents(next([](GeneratorOptions& o) {
+    o.noise = 0.18;
+    o.warp = 0.05;
+  })));
+  archive.push_back(MakeOutlines(next([](GeneratorOptions& o) {
+    o.noise = 0.2;
+  })));
+  archive.push_back(MakeWarpedPrototypes(next([](GeneratorOptions& o) {
+    o.noise = 0.15;
+    o.warp = 0.2;
+    o.max_shift = o.length / 24;
+  })));
+  archive.push_back(MakeScaledPatterns(next([](GeneratorOptions& o) {
+    o.noise = 0.25;
+    o.warp = 0.04;
+  })));
+  archive.push_back(MakeSeasonalDevices(next([](GeneratorOptions& o) {
+    o.noise = 0.3;
+  })));
+  archive.push_back(MakeSpectroMixtures(next([](GeneratorOptions& o) {
+    o.noise = 0.1;
+    o.warp = 0.04;
+  })));
+  archive.push_back(MakeChirps(next([](GeneratorOptions& o) {
+    o.noise = 0.35;
+    o.warp = 0.03;
+  })));
+  archive.push_back(MakeTwoPatterns(next([](GeneratorOptions& o) {
+    o.noise = 0.15;
+    o.max_shift = o.length / 12;
+  })));
+  archive.push_back(MakeGunPointLike(next([](GeneratorOptions& o) {
+    o.noise = 0.15;
+    o.trend = 0.5;
+  })));
+  archive.push_back(MakeEcgLike(next([](GeneratorOptions& o) {
+    o.noise = 0.1;
+    o.warp = 0.1;
+    o.trend = 0.3;
+  })));
+  archive.push_back(MakeCbf(next([](GeneratorOptions& o) {
+    o.noise = 0.3;
+    o.scale_jitter = 0.4;
+  })));
+  archive.push_back(MakeSpectroMixtures(next([](GeneratorOptions& o) {
+    o.noise = 0.08;
+    o.trend = 0.4;
+  })));
+
+  // Disambiguate duplicate family names: the second CBF becomes "CBF2", the
+  // third "CBF3", and so on.
+  std::map<std::string, int> name_counts;
+  for (auto& dataset : archive) {
+    const int count = ++name_counts[dataset.name()];
+    if (count > 1) {
+      dataset = Dataset(dataset.name() + std::to_string(count),
+                        std::move(dataset.mutable_train()),
+                        std::move(dataset.mutable_test()));
+    }
+  }
+
+  if (options.z_normalize) {
+    const ZScoreNormalizer z;
+    for (auto& dataset : archive) dataset = z.Apply(dataset);
+  }
+  return archive;
+}
+
+}  // namespace tsdist

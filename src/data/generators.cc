@@ -1,0 +1,409 @@
+#include "src/data/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <vector>
+
+namespace tsdist {
+
+namespace data_internal {
+
+std::vector<double> TimeWarp(const std::vector<double>& values, double warp,
+                             Rng& rng) {
+  const std::size_t m = values.size();
+  if (m < 3 || warp <= 0.0) return values;
+  // Build a smooth monotone time map from a few random anchor offsets,
+  // interpolated with cosine smoothing, then resample by linear
+  // interpolation.
+  constexpr std::size_t kAnchors = 5;
+  std::vector<double> offsets(kAnchors);
+  for (auto& o : offsets) {
+    o = rng.Uniform(-warp, warp) * static_cast<double>(m);
+  }
+  offsets.front() = 0.0;
+  offsets.back() = 0.0;
+
+  std::vector<double> out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double pos = static_cast<double>(i) / static_cast<double>(m - 1) *
+                       static_cast<double>(kAnchors - 1);
+    const std::size_t a = std::min<std::size_t>(static_cast<std::size_t>(pos),
+                                                kAnchors - 2);
+    const double t = pos - static_cast<double>(a);
+    const double smooth = 0.5 - 0.5 * std::cos(t * std::numbers::pi);
+    const double offset = offsets[a] * (1.0 - smooth) + offsets[a + 1] * smooth;
+    double src = static_cast<double>(i) + offset;
+    src = std::clamp(src, 0.0, static_cast<double>(m - 1));
+    const std::size_t lo = static_cast<std::size_t>(src);
+    const std::size_t hi = std::min(lo + 1, m - 1);
+    const double frac = src - static_cast<double>(lo);
+    out[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+  }
+  return out;
+}
+
+std::vector<double> CircularShift(const std::vector<double>& values,
+                                  std::ptrdiff_t shift) {
+  const std::size_t m = values.size();
+  if (m == 0) return values;
+  std::vector<double> out(m);
+  const std::ptrdiff_t sm = static_cast<std::ptrdiff_t>(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::ptrdiff_t src = (static_cast<std::ptrdiff_t>(i) - shift) % sm;
+    if (src < 0) src += sm;
+    out[i] = values[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+void AddNoise(std::vector<double>* values, double stddev, Rng& rng) {
+  if (stddev <= 0.0) return;
+  for (double& v : *values) v += rng.Gaussian(0.0, stddev);
+}
+
+std::vector<double> Distort(const std::vector<double>& prototype,
+                            const GeneratorOptions& options, Rng& rng) {
+  std::vector<double> out = TimeWarp(prototype, options.warp, rng);
+  if (options.max_shift > 0) {
+    const std::ptrdiff_t span = static_cast<std::ptrdiff_t>(options.max_shift);
+    const std::ptrdiff_t shift =
+        static_cast<std::ptrdiff_t>(rng.UniformInt(2 * options.max_shift + 1)) -
+        span;
+    out = CircularShift(out, shift);
+  }
+  if (options.scale_jitter > 0.0) {
+    const double scale =
+        1.0 + rng.Uniform(-options.scale_jitter, options.scale_jitter);
+    for (double& v : out) v *= scale;
+  }
+  if (options.trend > 0.0) {
+    const double slope = rng.Uniform(-options.trend, options.trend);
+    const double m = static_cast<double>(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += slope * static_cast<double>(i) / m;
+    }
+  }
+  AddNoise(&out, options.noise, rng);
+  return out;
+}
+
+}  // namespace data_internal
+
+namespace {
+
+using data_internal::Distort;
+
+constexpr double kPi = std::numbers::pi;
+
+// Assembles a Dataset from a per-class prototype factory. The factory is
+// called freshly for every instance (prototypes themselves may be
+// stochastic), then the shared distortion pipeline is applied.
+Dataset BuildFromPrototypes(
+    const std::string& name, std::size_t num_classes,
+    const GeneratorOptions& options,
+    const std::function<std::vector<double>(int cls, Rng& rng)>& prototype) {
+  Rng rng(options.seed);
+  std::vector<TimeSeries> train;
+  std::vector<TimeSeries> test;
+  for (int cls = 0; cls < static_cast<int>(num_classes); ++cls) {
+    for (std::size_t i = 0; i < options.train_per_class; ++i) {
+      train.emplace_back(Distort(prototype(cls, rng), options, rng), cls);
+    }
+    for (std::size_t i = 0; i < options.test_per_class; ++i) {
+      test.emplace_back(Distort(prototype(cls, rng), options, rng), cls);
+    }
+  }
+  // Shuffle so that class blocks do not trivially align with indices.
+  const std::vector<std::size_t> train_perm = rng.Permutation(train.size());
+  const std::vector<std::size_t> test_perm = rng.Permutation(test.size());
+  std::vector<TimeSeries> train_shuffled(train.size());
+  std::vector<TimeSeries> test_shuffled(test.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    train_shuffled[i] = std::move(train[train_perm[i]]);
+  }
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    test_shuffled[i] = std::move(test[test_perm[i]]);
+  }
+  return Dataset(name, std::move(train_shuffled), std::move(test_shuffled));
+}
+
+// A smooth gaussian bump centred at `center` (fractions of m).
+void AddBump(std::vector<double>* v, double center, double width,
+             double height) {
+  const double m = static_cast<double>(v->size());
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    const double x = (static_cast<double>(i) / m - center) / width;
+    (*v)[i] += height * std::exp(-0.5 * x * x);
+  }
+}
+
+}  // namespace
+
+Dataset MakeCbf(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "CBF", 3, options, [m](int cls, Rng& rng) {
+        // Classic CBF: random onset a, offset b, then cylinder (plateau),
+        // bell (ramp up), or funnel (ramp down) of height ~6.
+        std::vector<double> v(m, 0.0);
+        const std::size_t a = 16 * m / 128 + rng.UniformInt(m / 4);
+        const std::size_t b =
+            std::min(m - 1, a + m / 4 + rng.UniformInt(m / 3));
+        const double height = 6.0 + rng.Gaussian(0.0, 1.0);
+        const double span = static_cast<double>(b - a + 1);
+        for (std::size_t i = a; i <= b && i < m; ++i) {
+          const double frac = static_cast<double>(i - a + 1) / span;
+          if (cls == 0) {
+            v[i] = height;  // cylinder
+          } else if (cls == 1) {
+            v[i] = height * frac;  // bell
+          } else {
+            v[i] = height * (1.0 - frac);  // funnel
+          }
+        }
+        return v;
+      });
+}
+
+Dataset MakeGunPointLike(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "GunPointLike", 2, options, [m](int cls, Rng& rng) {
+        // Smooth raise-hold-lower motion; class 1 adds a small dip before
+        // the hold (the "gun draw" artifact).
+        std::vector<double> v(m, 0.0);
+        const double center = 0.5 + rng.Uniform(-0.05, 0.05);
+        AddBump(&v, center, 0.16, 1.0);
+        if (cls == 1) {
+          AddBump(&v, center - 0.22, 0.035, -0.25);
+          AddBump(&v, center + 0.22, 0.035, 0.12);
+        }
+        return v;
+      });
+}
+
+Dataset MakeEcgLike(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "ECGLike", 3, options, [m](int cls, Rng& rng) {
+        // Two-beat waveform: P wave, QRS complex, T wave per beat.
+        std::vector<double> v(m, 0.0);
+        const double jitter = rng.Uniform(-0.02, 0.02);
+        for (int beat = 0; beat < 2; ++beat) {
+          const double base = 0.25 + 0.5 * beat + jitter;
+          AddBump(&v, base - 0.10, 0.02, 0.25);            // P
+          AddBump(&v, base - 0.015, 0.008, -0.4);          // Q
+          AddBump(&v, base, 0.010, 2.4);                   // R
+          AddBump(&v, base + 0.015, 0.008, -0.5);          // S
+          const double t_sign = (cls == 2) ? -1.0 : 1.0;   // inverted T
+          AddBump(&v, base + 0.10, 0.03, 0.5 * t_sign);    // T
+        }
+        if (cls == 1) {
+          // Premature extra beat between the two normal beats.
+          AddBump(&v, 0.5 + jitter, 0.008, 1.6);
+        }
+        return v;
+      });
+}
+
+Dataset MakeShiftedEvents(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  GeneratorOptions opts = options;
+  // Force large random phase shifts; that is the point of this regime.
+  opts.max_shift = std::max<std::size_t>(opts.max_shift, m / 3);
+  return BuildFromPrototypes(
+      "ShiftedEvents", 3, opts, [m](int cls, Rng& rng) {
+        std::vector<double> v(m, 0.0);
+        const double jitter = rng.Uniform(-0.01, 0.01);
+        if (cls == 0) {
+          AddBump(&v, 0.5 + jitter, 0.04, 2.0);  // single peak
+        } else if (cls == 1) {
+          AddBump(&v, 0.42 + jitter, 0.035, 1.6);  // double peak
+          AddBump(&v, 0.58 + jitter, 0.035, 1.6);
+        } else {
+          AddBump(&v, 0.5 + jitter, 0.05, 1.8);  // peak with side dips
+          AddBump(&v, 0.38 + jitter, 0.03, -0.9);
+          AddBump(&v, 0.62 + jitter, 0.03, -0.9);
+        }
+        return v;
+      });
+}
+
+Dataset MakeWarpedPrototypes(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  GeneratorOptions opts = options;
+  opts.warp = std::max(opts.warp, 0.12);  // force meaningful local warping
+  return BuildFromPrototypes(
+      "WarpedPrototypes", 3, opts, [m](int cls, Rng& rng) {
+        std::vector<double> v(m, 0.0);
+        const double jitter = rng.Uniform(-0.01, 0.01);
+        // Same three bumps per class, but with class-specific ordering of
+        // heights — local alignment recovers the identity under warping.
+        const double heights[3][3] = {
+            {2.0, 1.0, 1.5}, {1.0, 2.0, 1.5}, {1.5, 1.0, 2.0}};
+        AddBump(&v, 0.25 + jitter, 0.05, heights[cls][0]);
+        AddBump(&v, 0.50 + jitter, 0.05, heights[cls][1]);
+        AddBump(&v, 0.75 + jitter, 0.05, heights[cls][2]);
+        return v;
+      });
+}
+
+Dataset MakeScaledPatterns(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  GeneratorOptions opts = options;
+  opts.scale_jitter = 0.0;  // scale is controlled per-instance below
+  return BuildFromPrototypes(
+      "ScaledPatterns", 2, opts, [m](int cls, Rng& rng) {
+        // Both classes are sinusoids; class 1 has a second harmonic. Each
+        // instance gets a large random amplitude and offset, so raw-value
+        // measures fail without normalization.
+        std::vector<double> v(m, 0.0);
+        // Log-uniform amplitude and a wide offset range make the scale
+        // confound dominate raw-value comparisons.
+        const double amp = std::exp(rng.Uniform(std::log(0.25), std::log(6.0)));
+        const double offset = rng.Uniform(-8.0, 8.0);
+        const double phase = rng.Uniform(0.0, 0.2);
+        for (std::size_t i = 0; i < m; ++i) {
+          const double t = static_cast<double>(i) / static_cast<double>(m);
+          double y = std::sin(2.0 * kPi * (2.0 * t + phase));
+          if (cls == 1) y += 0.6 * std::sin(2.0 * kPi * (4.0 * t + phase));
+          v[i] = amp * y + offset;
+        }
+        return v;
+      });
+}
+
+Dataset MakeSeasonalDevices(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "SeasonalDevices", 3, options, [m](int cls, Rng& rng) {
+        // Daily load profile: base sinusoid plus class-dependent activation
+        // blocks (morning, evening, or both).
+        std::vector<double> v(m, 0.0);
+        for (std::size_t i = 0; i < m; ++i) {
+          const double t = static_cast<double>(i) / static_cast<double>(m);
+          v[i] = 0.3 * std::sin(2.0 * kPi * t);
+        }
+        const double jitter = rng.Uniform(-0.02, 0.02);
+        if (cls == 0 || cls == 2) AddBump(&v, 0.3 + jitter, 0.06, 1.5);
+        if (cls == 1 || cls == 2) AddBump(&v, 0.75 + jitter, 0.06, 1.5);
+        return v;
+      });
+}
+
+Dataset MakeOutlines(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "Outlines", 4, options, [m](int cls, Rng& rng) {
+        // Centroid-distance signature of a closed curve: 1 + per-class
+        // harmonic mix; starting point is arbitrary, giving natural phase
+        // shift within a class.
+        std::vector<double> v(m, 0.0);
+        const double phase = rng.Uniform(0.0, 2.0 * kPi);
+        const int lobes = 2 + cls;  // 2..5 lobes
+        for (std::size_t i = 0; i < m; ++i) {
+          const double t =
+              2.0 * kPi * static_cast<double>(i) / static_cast<double>(m);
+          v[i] = 1.0 + 0.35 * std::cos(lobes * t + phase) +
+                 0.1 * std::cos(2.0 * lobes * t + 2.0 * phase);
+        }
+        return v;
+      });
+}
+
+Dataset MakeSpectroMixtures(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "SpectroMixtures", 3, options, [m](int cls, Rng& rng) {
+        // Smooth absorption spectra: a broad baseline plus class-specific
+        // peaks at fixed wavelengths.
+        std::vector<double> v(m, 0.0);
+        AddBump(&v, 0.5, 0.5, 1.0);  // broad baseline
+        const double jitter = rng.Uniform(-0.005, 0.005);
+        const double peaks[3][2] = {{0.3, 0.62}, {0.38, 0.7}, {0.25, 0.55}};
+        AddBump(&v, peaks[cls][0] + jitter, 0.02, 0.8);
+        AddBump(&v, peaks[cls][1] + jitter, 0.02, 0.6);
+        return v;
+      });
+}
+
+Dataset MakeChirps(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "Chirps", 3, options, [m](int cls, Rng& rng) {
+        // Linear chirps with class-specific modulation rates.
+        std::vector<double> v(m, 0.0);
+        const double f0 = 1.5 + rng.Uniform(-0.1, 0.1);
+        const double rate = 1.0 + 1.5 * cls;
+        const double phase = rng.Uniform(0.0, 2.0 * kPi);
+        for (std::size_t i = 0; i < m; ++i) {
+          const double t = static_cast<double>(i) / static_cast<double>(m);
+          v[i] = std::sin(2.0 * kPi * (f0 * t + 0.5 * rate * t * t) + phase);
+        }
+        return v;
+      });
+}
+
+Dataset MakeTwoPatterns(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "TwoPatterns", 4, options, [m](int cls, Rng& rng) {
+        // Two step events, each either up-down or down-up; 4 combinations.
+        std::vector<double> v(m, 0.0);
+        const bool first_up = (cls & 1) != 0;
+        const bool second_up = (cls & 2) != 0;
+        auto add_step = [&](double center, bool up) {
+          const std::size_t c = static_cast<std::size_t>(
+              center * static_cast<double>(m));
+          const std::size_t w = m / 10;
+          for (std::size_t i = c; i < std::min(c + w, m); ++i) {
+            v[i] += up ? 2.0 : -2.0;
+          }
+          for (std::size_t i = c + w; i < std::min(c + 2 * w, m); ++i) {
+            v[i] += up ? -2.0 : 2.0;
+          }
+        };
+        add_step(0.2 + rng.Uniform(-0.05, 0.05), first_up);
+        add_step(0.6 + rng.Uniform(-0.05, 0.05), second_up);
+        return v;
+      });
+}
+
+Dataset MakeRandomWalks(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "RandomWalks", 3, options, [m](int cls, Rng& rng) {
+        // Drift per step: class 0 down, 1 flat, 2 up.
+        const double drift = 0.05 * static_cast<double>(cls - 1);
+        std::vector<double> v(m, 0.0);
+        double level = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          level += drift + rng.Gaussian(0.0, 0.15);
+          v[i] = level;
+        }
+        return v;
+      });
+}
+
+Dataset MakeArProcesses(const GeneratorOptions& options) {
+  const std::size_t m = options.length;
+  return BuildFromPrototypes(
+      "ArProcesses", 3, options, [m](int cls, Rng& rng) {
+        // AR(1) with phi in {0.1, 0.6, 0.95}: increasingly smooth paths.
+        const double phi = (cls == 0) ? 0.1 : (cls == 1 ? 0.6 : 0.95);
+        // Stationary innovation scale keeps the marginal variance at 1.
+        const double innovation = std::sqrt(1.0 - phi * phi);
+        std::vector<double> v(m, 0.0);
+        double state = rng.Gaussian();
+        for (std::size_t i = 0; i < m; ++i) {
+          state = phi * state + innovation * rng.Gaussian();
+          v[i] = state;
+        }
+        return v;
+      });
+}
+
+}  // namespace tsdist

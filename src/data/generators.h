@@ -1,0 +1,109 @@
+// Synthetic class-labeled dataset generators.
+//
+// Stand-in for the UCR Time-Series Archive (see DESIGN.md, Substitutions):
+// each generator produces a labeled dataset in one of the archive's regimes —
+// shape classes under noise (CBF, two-patterns), smooth motions (gun-point),
+// quasi-periodic medical signals (ECG), phase-shifted events (where sliding
+// measures shine), locally warped prototypes (where elastic measures shine),
+// amplitude/scale classes (where normalization matters), seasonal device
+// profiles, image-outline-like closed curves, spectrograph-like smooth
+// mixtures, and frequency-modulated chirps. Everything is a pure function of
+// (options, seed).
+
+#ifndef TSDIST_DATA_GENERATORS_H_
+#define TSDIST_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/dataset.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+
+/// Shared knobs for all generators.
+struct GeneratorOptions {
+  std::size_t length = 128;          ///< series length m
+  std::size_t train_per_class = 25;  ///< training series per class
+  std::size_t test_per_class = 25;   ///< test series per class
+  double noise = 0.10;               ///< additive gaussian noise stddev
+  double warp = 0.0;                 ///< local time-warp strength in [0, ~0.5]
+  std::size_t max_shift = 0;         ///< max circular phase shift (points)
+  double scale_jitter = 0.0;         ///< multiplicative amplitude jitter
+  double trend = 0.0;                ///< random linear trend magnitude
+  std::uint64_t seed = 42;           ///< RNG seed
+};
+
+/// Cylinder-Bell-Funnel, the classic 3-class simulated benchmark.
+Dataset MakeCbf(const GeneratorOptions& options);
+
+/// Two smooth motion classes differing in a subtle plateau (gun-point-like).
+Dataset MakeGunPointLike(const GeneratorOptions& options);
+
+/// Quasi-periodic heartbeat-like signals; classes differ in beat morphology
+/// (normal, premature peak, inverted repolarization).
+Dataset MakeEcgLike(const GeneratorOptions& options);
+
+/// Identical event shapes per class placed at large random phase shifts —
+/// the regime where sliding measures dominate lock-step ones.
+Dataset MakeShiftedEvents(const GeneratorOptions& options);
+
+/// Class prototypes distorted by smooth local time warping — the regime
+/// motivating elastic measures.
+Dataset MakeWarpedPrototypes(const GeneratorOptions& options);
+
+/// Classes sharing one shape but differing in amplitude scale and offset —
+/// the regime where the choice of normalization decides everything.
+Dataset MakeScaledPatterns(const GeneratorOptions& options);
+
+/// Seasonal load profiles (electric-device-like): classes differ in the
+/// number and position of daily activations.
+Dataset MakeSeasonalDevices(const GeneratorOptions& options);
+
+/// Image-outline-like closed curves from per-class Fourier descriptors.
+Dataset MakeOutlines(const GeneratorOptions& options);
+
+/// Spectrograph-like smooth mixtures of Gaussian bumps; classes differ in
+/// component locations.
+Dataset MakeSpectroMixtures(const GeneratorOptions& options);
+
+/// Frequency-modulated chirps; classes differ in modulation rate.
+Dataset MakeChirps(const GeneratorOptions& options);
+
+/// Four-class up/down step patterns (two-patterns-like).
+Dataset MakeTwoPatterns(const GeneratorOptions& options);
+
+/// Random walks (cumulative sums of gaussian steps); classes differ in
+/// drift. The classic workload of the indexing literature (random-walk
+/// data is what the original F-index experiments used).
+Dataset MakeRandomWalks(const GeneratorOptions& options);
+
+/// Stationary AR(1) processes; classes differ in the autoregressive
+/// coefficient (distinguishable by autocorrelation structure, not shape —
+/// a deliberately hard regime for shape-based measures).
+Dataset MakeArProcesses(const GeneratorOptions& options);
+
+namespace data_internal {
+
+/// Applies a smooth monotone time warp of strength `warp` (fraction of the
+/// series length that any point may move).
+std::vector<double> TimeWarp(const std::vector<double>& values, double warp,
+                             Rng& rng);
+
+/// Circularly shifts values right by `shift` positions.
+std::vector<double> CircularShift(const std::vector<double>& values,
+                                  std::ptrdiff_t shift);
+
+/// Adds iid gaussian noise of the given standard deviation.
+void AddNoise(std::vector<double>* values, double stddev, Rng& rng);
+
+/// Applies the common distortion pipeline from `options`
+/// (warp -> shift -> scale jitter -> trend -> noise).
+std::vector<double> Distort(const std::vector<double>& prototype,
+                            const GeneratorOptions& options, Rng& rng);
+
+}  // namespace data_internal
+
+}  // namespace tsdist
+
+#endif  // TSDIST_DATA_GENERATORS_H_

@@ -1,0 +1,88 @@
+#include "src/data/preprocess.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+std::vector<double> InterpolateMissing(const std::vector<double>& values) {
+  std::vector<double> out = values;
+  const std::size_t n = out.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (std::isfinite(out[i])) {
+      ++i;
+      continue;
+    }
+    // Find the NaN run [i, j).
+    std::size_t j = i;
+    while (j < n && !std::isfinite(out[j])) ++j;
+    const bool has_left = i > 0;
+    const bool has_right = j < n;
+    if (!has_left && !has_right) {
+      std::fill(out.begin(), out.end(), 0.0);
+      return out;
+    }
+    if (!has_left) {
+      std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(j),
+                out[j]);
+    } else if (!has_right) {
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(i), out.end(),
+                out[i - 1]);
+    } else {
+      const double left = out[i - 1];
+      const double right = out[j];
+      const double span = static_cast<double>(j - i + 1);
+      for (std::size_t k = i; k < j; ++k) {
+        const double t = static_cast<double>(k - i + 1) / span;
+        out[k] = left * (1.0 - t) + right * t;
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::vector<double> ResampleToLength(const std::vector<double>& values,
+                                     std::size_t target_length) {
+  assert(target_length >= 1);
+  const std::size_t n = values.size();
+  if (n == target_length) return values;
+  if (n == 0) return std::vector<double>(target_length, 0.0);
+  if (n == 1) return std::vector<double>(target_length, values[0]);
+
+  std::vector<double> out(target_length);
+  const double scale = static_cast<double>(n - 1) /
+                       static_cast<double>(target_length - 1);
+  for (std::size_t i = 0; i < target_length; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const std::size_t lo = std::min(static_cast<std::size_t>(pos), n - 2);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+  }
+  return out;
+}
+
+Dataset PreprocessDataset(const Dataset& dataset) {
+  std::size_t max_len = 0;
+  for (const auto& s : dataset.train()) max_len = std::max(max_len, s.size());
+  for (const auto& s : dataset.test()) max_len = std::max(max_len, s.size());
+  if (max_len == 0) return dataset;
+
+  auto process = [max_len](const std::vector<TimeSeries>& in) {
+    std::vector<TimeSeries> out;
+    out.reserve(in.size());
+    for (const auto& s : in) {
+      std::vector<double> v(s.values().begin(), s.values().end());
+      v = InterpolateMissing(v);
+      v = ResampleToLength(v, max_len);
+      out.emplace_back(std::move(v), s.label());
+    }
+    return out;
+  };
+  return Dataset(dataset.name(), process(dataset.train()),
+                 process(dataset.test()));
+}
+
+}  // namespace tsdist

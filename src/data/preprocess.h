@@ -1,0 +1,30 @@
+// Preprocessing for real-world (ragged / incomplete) series, matching the
+// paper's handling of the 2018 UCR archive: shorter series are resampled to
+// the longest length in the dataset, and missing values (NaNs) are filled by
+// linear interpolation.
+
+#ifndef TSDIST_DATA_PREPROCESS_H_
+#define TSDIST_DATA_PREPROCESS_H_
+
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace tsdist {
+
+/// Fills NaN entries by linear interpolation between the nearest finite
+/// neighbours; leading/trailing NaNs take the nearest finite value. A series
+/// with no finite values becomes all zeros.
+std::vector<double> InterpolateMissing(const std::vector<double>& values);
+
+/// Linearly resamples `values` to `target_length` (>= 1).
+std::vector<double> ResampleToLength(const std::vector<double>& values,
+                                     std::size_t target_length);
+
+/// Applies both steps to every series of a dataset: interpolate NaNs, then
+/// resample everything to the longest series length across both splits.
+Dataset PreprocessDataset(const Dataset& dataset);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_DATA_PREPROCESS_H_

@@ -1,0 +1,128 @@
+#include "src/data/ucr_loader.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "src/data/preprocess.h"
+
+namespace tsdist {
+
+namespace {
+
+// Splits on tabs, commas, or runs of spaces.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t' || c == ',' || c == ' ' || c == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+// Parses a value token; "NaN" (any case) maps to quiet NaN. Returns false on
+// malformed input.
+bool ParseValue(const std::string& token, double* out) {
+  if (token == "NaN" || token == "nan" || token == "NAN" || token == "?") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+bool ParseSplit(const std::vector<std::string>& lines,
+                const std::string& source_name,
+                std::vector<TimeSeries>* out, std::string* error) {
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::vector<std::string> tokens = Tokenize(lines[ln]);
+    if (tokens.empty()) continue;  // skip blank lines
+    if (tokens.size() < 2) {
+      *error = source_name + ": line " + std::to_string(ln + 1) +
+               " has no values";
+      return false;
+    }
+    double label_value = 0.0;
+    if (!ParseValue(tokens[0], &label_value) || std::isnan(label_value)) {
+      *error = source_name + ": line " + std::to_string(ln + 1) +
+               " has a malformed label '" + tokens[0] + "'";
+      return false;
+    }
+    std::vector<double> values;
+    values.reserve(tokens.size() - 1);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      double v = 0.0;
+      if (!ParseValue(tokens[i], &v)) {
+        *error = source_name + ": line " + std::to_string(ln + 1) +
+                 " has a malformed value '" + tokens[i] + "'";
+        return false;
+      }
+      values.push_back(v);
+    }
+    out->emplace_back(std::move(values), static_cast<int>(label_value));
+  }
+  if (out->empty()) {
+    *error = source_name + ": no series found";
+    return false;
+  }
+  return true;
+}
+
+bool ReadLines(const std::string& path, std::vector<std::string>* lines,
+               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) lines->push_back(line);
+  return true;
+}
+
+}  // namespace
+
+LoadResult ParseUcrLines(const std::vector<std::string>& lines,
+                         const std::string& source_name) {
+  LoadResult result;
+  std::vector<TimeSeries> series;
+  if (!ParseSplit(lines, source_name, &series, &result.error)) {
+    return result;
+  }
+  result.ok = true;
+  result.dataset = Dataset(source_name, std::move(series), {});
+  return result;
+}
+
+LoadResult LoadUcrDataset(const std::string& dir, const std::string& name) {
+  LoadResult result;
+  std::vector<std::string> train_lines;
+  std::vector<std::string> test_lines;
+  if (!ReadLines(dir + "/" + name + "_TRAIN.tsv", &train_lines, &result.error) ||
+      !ReadLines(dir + "/" + name + "_TEST.tsv", &test_lines, &result.error)) {
+    return result;
+  }
+  std::vector<TimeSeries> train;
+  std::vector<TimeSeries> test;
+  if (!ParseSplit(train_lines, name + "_TRAIN", &train, &result.error) ||
+      !ParseSplit(test_lines, name + "_TEST", &test, &result.error)) {
+    return result;
+  }
+  result.ok = true;
+  result.dataset =
+      PreprocessDataset(Dataset(name, std::move(train), std::move(test)));
+  return result;
+}
+
+}  // namespace tsdist

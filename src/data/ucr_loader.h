@@ -1,0 +1,39 @@
+// Loader for datasets in the UCR Time-Series Archive text format.
+//
+// The archive stores one dataset as <Name>_TRAIN.tsv and <Name>_TEST.tsv;
+// each line is "<label><sep><v1><sep><v2>...". Both tab- and comma-separated
+// variants exist; missing values appear as "NaN". The loader accepts either
+// separator, applies the paper's preprocessing (interpolate missing values,
+// resample ragged series to the longest length), and returns a rectangular
+// Dataset. Errors are reported by value — no exceptions cross the library
+// boundary.
+
+#ifndef TSDIST_DATA_UCR_LOADER_H_
+#define TSDIST_DATA_UCR_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace tsdist {
+
+/// Result of a load attempt: check `ok` before using `dataset`.
+struct LoadResult {
+  bool ok = false;
+  std::string error;  ///< human-readable description when !ok
+  Dataset dataset;
+};
+
+/// Parses UCR-format lines (already split) into labeled series.
+/// Exposed separately for testing.
+LoadResult ParseUcrLines(const std::vector<std::string>& lines,
+                         const std::string& source_name);
+
+/// Loads <dir>/<name>_TRAIN.tsv and <dir>/<name>_TEST.tsv and applies
+/// preprocessing.
+LoadResult LoadUcrDataset(const std::string& dir, const std::string& name);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_DATA_UCR_LOADER_H_

@@ -1,0 +1,55 @@
+#include "src/elastic/dtw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace tsdist {
+
+namespace elastic_internal {
+
+std::size_t BandWidth(double window_pct, std::size_t m) {
+  if (window_pct >= 100.0) return m;
+  if (window_pct <= 0.0) return 0;
+  const double w = std::ceil(window_pct / 100.0 * static_cast<double>(m));
+  return std::min<std::size_t>(static_cast<std::size_t>(w), m);
+}
+
+}  // namespace elastic_internal
+
+DtwDistance::DtwDistance(double delta) : delta_(delta) {
+  assert(delta_ >= 0.0);
+}
+
+double DtwDistance::Distance(std::span<const double> a,
+                             std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  const std::size_t band = elastic_internal::BandWidth(delta_, m);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Two-row rolling DP over the (m+1) x (m+1) accumulated-cost matrix.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const std::size_t lo = (i > band) ? i - band : 1;
+    const std::size_t hi = std::min(m, i + band);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double cost = d * d;
+      const double best =
+          std::min({prev[j - 1], prev[j], curr[j - 1]});
+      curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace tsdist

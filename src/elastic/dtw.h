@@ -1,0 +1,32 @@
+// Dynamic Time Warping (Sakoe & Chiba 1978; Berndt & Clifford 1994).
+//
+// The historically dominant elastic measure and the subject of misconception
+// M4 ("is DTW the best elastic measure?"). Finds the warping path minimizing
+// the accumulated squared point distance, optionally constrained to a
+// Sakoe-Chiba band. delta = 0 degenerates to squared Euclidean distance;
+// delta = 100 is unconstrained warping.
+
+#ifndef TSDIST_ELASTIC_DTW_H_
+#define TSDIST_ELASTIC_DTW_H_
+
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// DTW with a Sakoe-Chiba band. The `delta` parameter is the window size as
+/// a percentage of the series length (Table 4: {0, 1, ..., 20, 100}).
+class DtwDistance : public ElasticMeasure {
+ public:
+  explicit DtwDistance(double delta = 100.0);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "dtw"; }
+  ParamMap params() const override { return {{"delta", delta_}}; }
+
+ private:
+  double delta_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_DTW_H_

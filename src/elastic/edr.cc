@@ -1,0 +1,39 @@
+#include "src/elastic/edr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tsdist {
+
+EdrDistance::EdrDistance(double epsilon) : epsilon_(epsilon) {
+  assert(epsilon_ >= 0.0);
+}
+
+double EdrDistance::Distance(std::span<const double> a,
+                             std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  // Aligning against the empty prefix costs one gap per point.
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    curr[0] = static_cast<double>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double subcost =
+          std::fabs(a[i - 1] - b[j - 1]) < epsilon_ ? 0.0 : 1.0;
+      curr[j] = std::min({prev[j - 1] + subcost,   // match / substitute
+                          prev[j] + 1.0,           // gap in b
+                          curr[j - 1] + 1.0});     // gap in a
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace tsdist

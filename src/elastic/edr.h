@@ -1,0 +1,29 @@
+// Edit Distance on Real sequences (Chen, Ozsu & Oria, SIGMOD'05).
+//
+// Edit-distance measure quantizing point distances to {0, 1} via the epsilon
+// threshold, with unit penalties for gaps between matched subsequences.
+
+#ifndef TSDIST_ELASTIC_EDR_H_
+#define TSDIST_ELASTIC_EDR_H_
+
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// EDR distance with match threshold `epsilon` (Table 4: {0.001 ... 1}).
+/// Returns the raw edit count (0 for identical series, at most m).
+class EdrDistance : public ElasticMeasure {
+ public:
+  explicit EdrDistance(double epsilon = 0.1);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "edr"; }
+  ParamMap params() const override { return {{"epsilon", epsilon_}}; }
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_EDR_H_

@@ -1,0 +1,36 @@
+// Base class for elastic measures.
+//
+// Elastic measures (paper Section 7) create a non-linear mapping between
+// series, allowing observations to "stretch" or "shrink" to improve matching.
+// All seven are dynamic programs over an m-by-m cost matrix; DTW and LCSS
+// additionally support a Sakoe-Chiba band whose window is expressed as a
+// percentage of the series length (a value of 10 means 10% of m; 100 means
+// unconstrained), following the paper's Table 4 convention.
+
+#ifndef TSDIST_ELASTIC_ELASTIC_H_
+#define TSDIST_ELASTIC_ELASTIC_H_
+
+#include <cstddef>
+
+#include "src/core/distance_measure.h"
+
+namespace tsdist {
+
+/// Common base for O(m^2) dynamic-programming alignment measures.
+class ElasticMeasure : public DistanceMeasure {
+ public:
+  MeasureCategory category() const override { return MeasureCategory::kElastic; }
+  CostClass cost_class() const override { return CostClass::kQuadratic; }
+};
+
+namespace elastic_internal {
+
+/// Converts a window percentage (0..100) into an absolute band half-width
+/// for series of length m: ceil(pct/100 * m), clamped to [0, m].
+std::size_t BandWidth(double window_pct, std::size_t m);
+
+}  // namespace elastic_internal
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_ELASTIC_H_

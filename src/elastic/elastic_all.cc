@@ -1,0 +1,50 @@
+#include "src/elastic/elastic_all.h"
+
+#include <memory>
+
+namespace tsdist {
+
+namespace {
+
+double GetOr(const ParamMap& params, const std::string& key, double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+void RegisterElasticMeasures(Registry* registry) {
+  registry->Register("dtw", [](const ParamMap& p) -> MeasurePtr {
+    return std::make_unique<DtwDistance>(GetOr(p, "delta", 100.0));
+  });
+  registry->Register("lcss", [](const ParamMap& p) -> MeasurePtr {
+    return std::make_unique<LcssDistance>(GetOr(p, "delta", 10.0),
+                                          GetOr(p, "epsilon", 0.2));
+  });
+  registry->Register("edr", [](const ParamMap& p) -> MeasurePtr {
+    return std::make_unique<EdrDistance>(GetOr(p, "epsilon", 0.1));
+  });
+  registry->Register("erp", [](const ParamMap& p) -> MeasurePtr {
+    return std::make_unique<ErpDistance>(GetOr(p, "g", 0.0));
+  });
+  registry->Register("msm", [](const ParamMap& p) -> MeasurePtr {
+    return std::make_unique<MsmDistance>(GetOr(p, "c", 0.5));
+  });
+  registry->Register("twe", [](const ParamMap& p) -> MeasurePtr {
+    return std::make_unique<TweDistance>(GetOr(p, "lambda", 1.0),
+                                         GetOr(p, "nu", 1e-4));
+  });
+  registry->Register("swale", [](const ParamMap& p) -> MeasurePtr {
+    return std::make_unique<SwaleDistance>(GetOr(p, "epsilon", 0.2),
+                                           GetOr(p, "p", 5.0),
+                                           GetOr(p, "r", 1.0));
+  });
+}
+
+const std::vector<std::string>& ElasticMeasureNames() {
+  static const std::vector<std::string> kNames = {
+      "msm", "twe", "dtw", "edr", "swale", "erp", "lcss"};
+  return kNames;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,30 @@
+// Aggregation header for the 7 elastic measures.
+
+#ifndef TSDIST_ELASTIC_ELASTIC_ALL_H_
+#define TSDIST_ELASTIC_ELASTIC_ALL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/registry.h"
+#include "src/elastic/dtw.h"
+#include "src/elastic/edr.h"
+#include "src/elastic/erp.h"
+#include "src/elastic/lcss.h"
+#include "src/elastic/msm.h"
+#include "src/elastic/swale.h"
+#include "src/elastic/twe.h"
+
+namespace tsdist {
+
+/// Registers the 7 elastic measures. Factories honour the Table 4 parameter
+/// names: dtw {delta}, lcss {delta, epsilon}, edr {epsilon}, erp {g},
+/// msm {c}, twe {lambda, nu}, swale {epsilon, p, r}.
+void RegisterElasticMeasures(Registry* registry);
+
+/// Names of the 7 elastic measures.
+const std::vector<std::string>& ElasticMeasureNames();
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_ELASTIC_ALL_H_

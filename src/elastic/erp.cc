@@ -1,0 +1,37 @@
+#include "src/elastic/erp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tsdist {
+
+ErpDistance::ErpDistance(double g) : g_(g) {}
+
+double ErpDistance::Distance(std::span<const double> a,
+                             std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  // Empty-prefix alignment: every point of b is a gap against g.
+  for (std::size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + std::fabs(b[j - 1] - g_);
+  }
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    curr[0] = prev[0] + std::fabs(a[i - 1] - g_);
+    for (std::size_t j = 1; j <= m; ++j) {
+      curr[j] = std::min({prev[j - 1] + std::fabs(a[i - 1] - b[j - 1]),
+                          prev[j] + std::fabs(a[i - 1] - g_),
+                          curr[j - 1] + std::fabs(b[j - 1] - g_)});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace tsdist

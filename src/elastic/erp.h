@@ -1,0 +1,32 @@
+// Edit distance with Real Penalty (Chen & Ng, VLDB'04).
+//
+// Bridges DTW and EDR: gaps are penalized by the real distance to a constant
+// reference value g (default 0, the natural choice for z-normalized data).
+// Unlike DTW, ERP satisfies the triangle inequality — it is a metric. The
+// paper highlights ERP as the only parameter-free elastic measure that
+// significantly outperforms NCCc in both tuning regimes (Table 5).
+
+#ifndef TSDIST_ELASTIC_ERP_H_
+#define TSDIST_ELASTIC_ERP_H_
+
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// ERP distance with gap reference value `g` (default 0).
+class ErpDistance : public ElasticMeasure {
+ public:
+  explicit ErpDistance(double g = 0.0);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "erp"; }
+  bool is_metric() const override { return true; }
+  ParamMap params() const override { return {{"g", g_}}; }
+
+ private:
+  double g_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_ERP_H_

@@ -1,0 +1,42 @@
+#include "src/elastic/lcss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tsdist {
+
+LcssDistance::LcssDistance(double delta, double epsilon)
+    : delta_(delta), epsilon_(epsilon) {
+  assert(delta_ >= 0.0);
+  assert(epsilon_ >= 0.0);
+}
+
+double LcssDistance::Distance(std::span<const double> a,
+                              std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  const std::size_t band = elastic_internal::BandWidth(delta_, m);
+
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), 0.0);
+    const std::size_t lo = (i > band) ? i - band : 1;
+    const std::size_t hi = std::min(m, i + band);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (std::fabs(a[i - 1] - b[j - 1]) < epsilon_) {
+        curr[j] = prev[j - 1] + 1.0;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  const double lcss = *std::max_element(prev.begin(), prev.end());
+  return 1.0 - lcss / static_cast<double>(m);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,32 @@
+// Longest Common Subsequence distance (Vlachos et al., ICDE'02).
+//
+// Edit-distance-style measure: two points match when they differ by less
+// than epsilon and their indices differ by at most the warping window delta
+// (a percentage of m, Table 4: {5, 10}). The distance is 1 - LCSS/m.
+
+#ifndef TSDIST_ELASTIC_LCSS_H_
+#define TSDIST_ELASTIC_LCSS_H_
+
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// LCSS distance with match threshold `epsilon` and window `delta` (% of m).
+class LcssDistance : public ElasticMeasure {
+ public:
+  explicit LcssDistance(double delta = 10.0, double epsilon = 0.2);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "lcss"; }
+  ParamMap params() const override {
+    return {{"delta", delta_}, {"epsilon", epsilon_}};
+  }
+
+ private:
+  double delta_;
+  double epsilon_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_LCSS_H_

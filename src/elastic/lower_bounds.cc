@@ -1,0 +1,99 @@
+#include "src/elastic/lower_bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/elastic/dtw.h"
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+Envelope BuildEnvelope(std::span<const double> values, double window_pct) {
+  const std::size_t m = values.size();
+  Envelope env;
+  env.lower.resize(m);
+  env.upper.resize(m);
+  const std::size_t band = elastic_internal::BandWidth(window_pct, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t lo = (i > band) ? i - band : 0;
+    const std::size_t hi = std::min(m - 1, i + band);
+    double mn = values[lo];
+    double mx = values[lo];
+    for (std::size_t j = lo + 1; j <= hi; ++j) {
+      mn = std::min(mn, values[j]);
+      mx = std::max(mx, values[j]);
+    }
+    env.lower[i] = mn;
+    env.upper[i] = mx;
+  }
+  return env;
+}
+
+double LbKim(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  auto sq = [](double x) { return x * x; };
+  // Every warping path aligns the first points and the last points; those
+  // two matrix cells are distinct when m >= 2, so their costs add.
+  double endpoint = sq(a.front() - b.front());
+  if (m >= 2) endpoint += sq(a.back() - b.back());
+  // The global maxima must align with *some* point of the other series,
+  // which cannot exceed that series' maximum (dually for minima). A single
+  // aligned pair realizes at least the squared feature difference.
+  const auto [a_min_it, a_max_it] = std::minmax_element(a.begin(), a.end());
+  const auto [b_min_it, b_max_it] = std::minmax_element(b.begin(), b.end());
+  const double max_feature = sq(*a_max_it - *b_max_it);
+  const double min_feature = sq(*a_min_it - *b_min_it);
+  // max() rather than sum: the feature cells could coincide with the
+  // endpoint cells, so summing would over-count.
+  return std::max({endpoint, max_feature, min_feature});
+}
+
+double LbKeogh(std::span<const double> query, const Envelope& envelope) {
+  assert(query.size() == envelope.lower.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    if (query[i] > envelope.upper[i]) {
+      const double d = query[i] - envelope.upper[i];
+      acc += d * d;
+    } else if (query[i] < envelope.lower[i]) {
+      const double d = query[i] - envelope.lower[i];
+      acc += d * d;
+    }
+  }
+  return acc;
+}
+
+PrunedSearchResult PrunedOneNn(
+    std::span<const double> query,
+    const std::vector<std::vector<double>>& candidates,
+    const std::vector<Envelope>& envelopes, double window_pct) {
+  assert(!candidates.empty());
+  assert(candidates.size() == envelopes.size());
+  const DtwDistance dtw(window_pct);
+
+  PrunedSearchResult result;
+  result.best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (LbKim(query, candidates[i]) >= result.best_distance) {
+      ++result.lb_kim_pruned;
+      continue;
+    }
+    if (LbKeogh(query, envelopes[i]) >= result.best_distance) {
+      ++result.lb_keogh_pruned;
+      continue;
+    }
+    ++result.full_computations;
+    const double d = dtw.Distance(query, candidates[i]);
+    if (d < result.best_distance) {
+      result.best_distance = d;
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,65 @@
+// Lower bounds for DTW and cascade-pruned 1-NN search.
+//
+// Section 10 of the paper notes that "for elastic measures, the runtime
+// cost can be substantially improved with the use of lower bounding
+// measures (i.e., efficient measures to prune the expensive pairwise
+// comparisons)". This module implements the two classic bounds and the
+// pruned search built on them:
+//  * LB_Kim (O(1) after feature extraction): squared differences of the
+//    first/last/min/max features;
+//  * LB_Keogh (O(m)): squared distance to the Sakoe-Chiba envelope of the
+//    candidate;
+//  * PrunedOneNn: exact 1-NN under banded DTW using the
+//    LB_Kim -> LB_Keogh -> full-DTW cascade with early abandoning on the
+//    best-so-far.
+// Both bounds are valid for this library's DTW (squared point costs,
+// Sakoe-Chiba band, equal lengths): LB_Kim <= DTW and LB_Keogh <= DTW.
+
+#ifndef TSDIST_ELASTIC_LOWER_BOUNDS_H_
+#define TSDIST_ELASTIC_LOWER_BOUNDS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// Sakoe-Chiba envelope of a series: for each position i, the min and max
+/// over the window [i - band, i + band].
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Builds the envelope for a window expressed as a percentage of the length
+/// (the DTW `delta` convention).
+Envelope BuildEnvelope(std::span<const double> values, double window_pct);
+
+/// LB_Kim: constant-time bound from the first, last, minimum, and maximum
+/// points. Valid lower bound of banded DTW with squared costs.
+double LbKim(std::span<const double> a, std::span<const double> b);
+
+/// LB_Keogh: sum of squared distances from `query` to the envelope of the
+/// candidate. Asymmetric (envelope belongs to the candidate).
+double LbKeogh(std::span<const double> query, const Envelope& envelope);
+
+/// Result of a pruned nearest-neighbour search.
+struct PrunedSearchResult {
+  std::size_t best_index = 0;
+  double best_distance = 0.0;
+  std::size_t full_computations = 0;  ///< DTW evaluations not pruned away
+  std::size_t lb_kim_pruned = 0;
+  std::size_t lb_keogh_pruned = 0;
+};
+
+/// Exact 1-NN of `query` among `candidates` under DTW with window
+/// `window_pct`, using the LB_Kim -> LB_Keogh -> DTW cascade. `envelopes`
+/// must be the precomputed envelopes of the candidates (same window).
+PrunedSearchResult PrunedOneNn(std::span<const double> query,
+                               const std::vector<std::vector<double>>& candidates,
+                               const std::vector<Envelope>& envelopes,
+                               double window_pct);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_LOWER_BOUNDS_H_

@@ -1,0 +1,55 @@
+#include "src/elastic/msm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tsdist {
+
+namespace {
+
+// Cost of splitting/merging `x` adjacent to `prev` while aligning against
+// `other` on the opposite series: the flat cost c when x lies between the
+// neighbours, otherwise c plus the distance to the nearer neighbour.
+double SplitMergeCost(double x, double prev, double other, double c) {
+  if ((prev <= x && x <= other) || (prev >= x && x >= other)) {
+    return c;
+  }
+  return c + std::min(std::fabs(x - prev), std::fabs(x - other));
+}
+
+}  // namespace
+
+MsmDistance::MsmDistance(double c) : c_(c) {
+  assert(c_ >= 0.0);
+}
+
+double MsmDistance::Distance(std::span<const double> a,
+                             std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+
+  std::vector<double> prev_row(m, 0.0);
+  std::vector<double> curr_row(m, 0.0);
+
+  prev_row[0] = std::fabs(a[0] - b[0]);
+  for (std::size_t j = 1; j < m; ++j) {
+    prev_row[j] = prev_row[j - 1] + SplitMergeCost(b[j], b[j - 1], a[0], c_);
+  }
+
+  for (std::size_t i = 1; i < m; ++i) {
+    curr_row[0] = prev_row[0] + SplitMergeCost(a[i], a[i - 1], b[0], c_);
+    for (std::size_t j = 1; j < m; ++j) {
+      curr_row[j] =
+          std::min({prev_row[j - 1] + std::fabs(a[i] - b[j]),
+                    prev_row[j] + SplitMergeCost(a[i], a[i - 1], b[j], c_),
+                    curr_row[j - 1] + SplitMergeCost(b[j], b[j - 1], a[i], c_)});
+    }
+    std::swap(prev_row, curr_row);
+  }
+  return prev_row[m - 1];
+}
+
+}  // namespace tsdist

@@ -1,0 +1,33 @@
+// Move-Split-Merge distance (Stefan, Athitsos & Das, TKDE'13).
+//
+// Edit-based elastic measure built from three operations — move (substitute),
+// split (duplicate a point), merge (fuse equal adjacent points) — each
+// costing `c` plus any value change. MSM is a metric. Together with TWE it
+// is one of the two measures the paper shows to significantly outperform DTW
+// (debunked misconception M4).
+
+#ifndef TSDIST_ELASTIC_MSM_H_
+#define TSDIST_ELASTIC_MSM_H_
+
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// MSM distance with split/merge cost `c` (Table 4: {0.01 ... 500};
+/// unsupervised default 0.5).
+class MsmDistance : public ElasticMeasure {
+ public:
+  explicit MsmDistance(double c = 0.5);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "msm"; }
+  bool is_metric() const override { return true; }
+  ParamMap params() const override { return {{"c", c_}}; }
+
+ private:
+  double c_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_MSM_H_

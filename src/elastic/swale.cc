@@ -1,0 +1,42 @@
+#include "src/elastic/swale.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tsdist {
+
+SwaleDistance::SwaleDistance(double epsilon, double p, double r)
+    : epsilon_(epsilon), p_(p), r_(r) {
+  assert(epsilon_ >= 0.0);
+}
+
+double SwaleDistance::Distance(std::span<const double> a,
+                               std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+
+  // Alignment score DP: matches add the reward, gaps subtract the penalty.
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  for (std::size_t j = 0; j <= m; ++j) {
+    prev[j] = -static_cast<double>(j) * p_;
+  }
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    curr[0] = -static_cast<double>(i) * p_;
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (std::fabs(a[i - 1] - b[j - 1]) < epsilon_) {
+        curr[j] = prev[j - 1] + r_;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]) - p_;
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return -prev[m];
+}
+
+}  // namespace tsdist

@@ -1,0 +1,36 @@
+// Sequence Weighted ALignment model (Morse & Patel, SIGMOD'07).
+//
+// A similarity model (not a distance): matching points earn a reward r,
+// gaps pay a penalty p, with the match threshold epsilon deciding what
+// counts as a match. We report the negated similarity so that the library's
+// lower-is-closer convention holds.
+
+#ifndef TSDIST_ELASTIC_SWALE_H_
+#define TSDIST_ELASTIC_SWALE_H_
+
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// Swale dissimilarity = -(alignment score) with match threshold `epsilon`,
+/// gap penalty `p`, and match reward `r` (Table 4: epsilon in {0.01 ... 1},
+/// p = 5, r = 1).
+class SwaleDistance : public ElasticMeasure {
+ public:
+  explicit SwaleDistance(double epsilon = 0.2, double p = 5.0, double r = 1.0);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "swale"; }
+  ParamMap params() const override {
+    return {{"epsilon", epsilon_}, {"p", p_}, {"r", r_}};
+  }
+
+ private:
+  double epsilon_;
+  double p_;
+  double r_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_SWALE_H_

@@ -1,0 +1,60 @@
+#include "src/elastic/twe.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace tsdist {
+
+TweDistance::TweDistance(double lambda, double nu) : lambda_(lambda), nu_(nu) {
+  assert(lambda_ >= 0.0);
+  assert(nu_ >= 0.0);
+}
+
+double TweDistance::Distance(std::span<const double> a,
+                             std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // DP over 1-based indices with an implicit 0-valued point at time 0
+  // (Marteau's convention). Timestamps are the indices themselves.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  auto at = [](std::span<const double> s, std::size_t idx) {
+    return idx == 0 ? 0.0 : s[idx - 1];
+  };
+
+  for (std::size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + std::fabs(at(b, j) - at(b, j - 1)) + nu_ + lambda_;
+  }
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    curr[0] = prev[0] + std::fabs(at(a, i) - at(a, i - 1)) + nu_ + lambda_;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double di = static_cast<double>(i);
+      const double dj = static_cast<double>(j);
+      // Match: align (a_i, b_j) and (a_{i-1}, b_{j-1}) with stiffness
+      // proportional to the timestamp difference.
+      const double match = prev[j - 1] + std::fabs(at(a, i) - at(b, j)) +
+                           std::fabs(at(a, i - 1) - at(b, j - 1)) +
+                           2.0 * nu_ * std::fabs(di - dj);
+      // Delete in a.
+      const double del_a = prev[j] + std::fabs(at(a, i) - at(a, i - 1)) +
+                           nu_ + lambda_;
+      // Delete in b.
+      const double del_b = curr[j - 1] + std::fabs(at(b, j) - at(b, j - 1)) +
+                           nu_ + lambda_;
+      curr[j] = std::min({match, del_a, del_b});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace tsdist

@@ -1,0 +1,37 @@
+// Time Warp Edit distance (Marteau, TPAMI'09).
+//
+// Combines merits of LCSS and DTW: an edit distance whose delete operations
+// carry a constant penalty lambda, with a stiffness parameter nu that
+// penalizes warping proportionally to the timestamp gap. TWE is a metric for
+// lambda, nu >= 0. With MSM, one of the two measures the paper finds to
+// significantly outperform DTW in both tuning regimes.
+
+#ifndef TSDIST_ELASTIC_TWE_H_
+#define TSDIST_ELASTIC_TWE_H_
+
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// TWE distance with gap penalty `lambda` and stiffness `nu`
+/// (Table 4: lambda in {0 ... 1}, nu in {1e-5 ... 1}; unsupervised default
+/// lambda = 1, nu = 1e-4).
+class TweDistance : public ElasticMeasure {
+ public:
+  explicit TweDistance(double lambda = 1.0, double nu = 1e-4);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "twe"; }
+  bool is_metric() const override { return true; }
+  ParamMap params() const override {
+    return {{"lambda", lambda_}, {"nu", nu_}};
+  }
+
+ private:
+  double lambda_;
+  double nu_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_TWE_H_

@@ -1,0 +1,121 @@
+#include "src/elastic/variants.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/elastic/dtw.h"
+#include "src/lockstep/minkowski_family.h"
+
+namespace tsdist {
+
+DerivativeDistance::DerivativeDistance(MeasurePtr base)
+    : base_(std::move(base)) {
+  assert(base_ != nullptr);
+}
+
+std::vector<double> DerivativeDistance::Derive(std::span<const double> values) {
+  const std::size_t m = values.size();
+  std::vector<double> out(m, 0.0);
+  if (m < 3) return out;
+  for (std::size_t i = 1; i + 1 < m; ++i) {
+    out[i] = ((values[i] - values[i - 1]) +
+              (values[i + 1] - values[i - 1]) / 2.0) /
+             2.0;
+  }
+  out[0] = out[1];
+  out[m - 1] = out[m - 2];
+  return out;
+}
+
+double DerivativeDistance::Distance(std::span<const double> a,
+                                    std::span<const double> b) const {
+  const std::vector<double> da = Derive(a);
+  const std::vector<double> db = Derive(b);
+  return base_->Distance(da, db);
+}
+
+WdtwDistance::WdtwDistance(double g) : g_(g) {
+  assert(g_ >= 0.0);
+}
+
+double WdtwDistance::Distance(std::span<const double> a,
+                              std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kWMax = 1.0;
+
+  // Precompute the logistic weights for every index distance.
+  std::vector<double> weight(m);
+  const double half = static_cast<double>(m) / 2.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    weight[k] = kWMax / (1.0 + std::exp(-g_ * (static_cast<double>(k) - half)));
+  }
+
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const std::size_t k = i > j ? i - j : j - i;
+      const double cost = weight[k] * d * d;
+      curr[j] = cost + std::min({prev[j - 1], prev[j], curr[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+CidDistance::CidDistance(MeasurePtr base) : base_(std::move(base)) {
+  assert(base_ != nullptr);
+}
+
+double CidDistance::ComplexityEstimate(std::span<const double> values) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    const double d = values[i + 1] - values[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double CidDistance::Distance(std::span<const double> a,
+                             std::span<const double> b) const {
+  constexpr double kEps = 1e-12;
+  const double ce_a = ComplexityEstimate(a);
+  const double ce_b = ComplexityEstimate(b);
+  const double hi = std::max(ce_a, ce_b);
+  const double lo = std::max(std::min(ce_a, ce_b), kEps);
+  return base_->Distance(a, b) * (hi / lo);
+}
+
+void RegisterElasticVariants(Registry* registry) {
+  registry->Register("ddtw", [](const ParamMap& params) -> MeasurePtr {
+    const auto it = params.find("delta");
+    const double delta = it == params.end() ? 100.0 : it->second;
+    return std::make_unique<DerivativeDistance>(
+        std::make_unique<DtwDistance>(delta));
+  });
+  registry->Register("wdtw", [](const ParamMap& params) -> MeasurePtr {
+    const auto it = params.find("g");
+    return std::make_unique<WdtwDistance>(
+        it == params.end() ? 0.05 : it->second);
+  });
+  registry->Register("cid_euclidean", [](const ParamMap&) -> MeasurePtr {
+    return std::make_unique<CidDistance>(std::make_unique<EuclideanDistance>());
+  });
+  registry->Register("cid_dtw", [](const ParamMap& params) -> MeasurePtr {
+    const auto it = params.find("delta");
+    const double delta = it == params.end() ? 10.0 : it->second;
+    return std::make_unique<CidDistance>(std::make_unique<DtwDistance>(delta));
+  });
+}
+
+}  // namespace tsdist

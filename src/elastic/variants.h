@@ -1,0 +1,91 @@
+// Elastic-measure variants discussed (and deliberately excluded from the
+// headline comparison) in Section 7 of the paper: Derivative DTW (Keogh &
+// Pazzani, SDM'01 / Gorecki & Luczak 2013), Weighted DTW (Jeong, Jeong &
+// Omitaomu 2011), and the Complexity-Invariant Distance weighting (Batista
+// et al. 2014). Implemented here as the paper's "extension" features so the
+// exclusion can be revisited: the ablation bench compares them against
+// their base measures.
+
+#ifndef TSDIST_ELASTIC_VARIANTS_H_
+#define TSDIST_ELASTIC_VARIANTS_H_
+
+#include "src/core/registry.h"
+#include "src/elastic/elastic.h"
+
+namespace tsdist {
+
+/// Derivative transform wrapper: compares first-order derivative estimates
+/// d_i = ((x_i - x_{i-1}) + (x_{i+1} - x_{i-1}) / 2) / 2 (Keogh & Pazzani)
+/// under the wrapped base measure. With DTW as the base this is DDTW.
+class DerivativeDistance : public DistanceMeasure {
+ public:
+  explicit DerivativeDistance(MeasurePtr base);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override {
+    std::string n = "d";
+    n += base_->name();
+    return n;
+  }
+  MeasureCategory category() const override { return base_->category(); }
+  CostClass cost_class() const override { return base_->cost_class(); }
+  ParamMap params() const override { return base_->params(); }
+
+  /// The derivative estimate itself (exposed for tests). Output has the
+  /// same length as the input; the endpoints replicate their neighbours.
+  static std::vector<double> Derive(std::span<const double> values);
+
+ private:
+  MeasurePtr base_;
+};
+
+/// Weighted DTW: the cost of aligning points i and j is multiplied by a
+/// logistic weight of their index distance,
+///   w(k) = w_max / (1 + exp(-g * (k - m/2))),
+/// penalizing far-from-diagonal matches softly (a smooth alternative to a
+/// hard Sakoe-Chiba band). `g` controls the penalty steepness.
+class WdtwDistance : public ElasticMeasure {
+ public:
+  explicit WdtwDistance(double g = 0.05);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "wdtw"; }
+  ParamMap params() const override { return {{"g", g_}}; }
+
+ private:
+  double g_;
+};
+
+/// Complexity-Invariant Distance: scales the base distance by
+/// max(CE(a), CE(b)) / min(CE(a), CE(b)), where CE is the length of the
+/// polyline (sqrt of summed squared one-step differences) — penalizing the
+/// pairing of simple with complex series.
+class CidDistance : public DistanceMeasure {
+ public:
+  explicit CidDistance(MeasurePtr base);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override {
+    std::string n = "cid_";
+    n += base_->name();
+    return n;
+  }
+  MeasureCategory category() const override { return base_->category(); }
+  CostClass cost_class() const override { return base_->cost_class(); }
+  ParamMap params() const override { return base_->params(); }
+
+  /// The complexity estimate CE (exposed for tests).
+  static double ComplexityEstimate(std::span<const double> values);
+
+ private:
+  MeasurePtr base_;
+};
+
+/// Registers "ddtw" (delta), "wdtw" (g), "cid_euclidean", and "cid_dtw"
+/// (delta) in `registry`. Kept out of Registry::Global()'s headline
+/// inventory: the paper's 71-measure count excludes these variants.
+void RegisterElasticVariants(Registry* registry);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_ELASTIC_VARIANTS_H_

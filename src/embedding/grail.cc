@@ -1,0 +1,131 @@
+#include "src/embedding/grail.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/linalg/eigen.h"
+#include "src/linalg/rng.h"
+#include "src/sliding/ncc_measures.h"
+
+namespace tsdist {
+
+namespace {
+
+// Smallest eigenvalue (relative to the largest) kept in the projection.
+constexpr double kEigenvalueCutoff = 1e-8;
+
+// Deterministic farthest-point landmark selection under SBD.
+std::vector<std::size_t> SelectLandmarks(const std::vector<TimeSeries>& train,
+                                         std::size_t k, std::uint64_t seed) {
+  const std::size_t n = train.size();
+  assert(k >= 1 && k <= n);
+  const NccCoefficientDistance sbd;
+  Rng rng(seed);
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  chosen.push_back(rng.UniformInt(n));
+
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (chosen.size() < k) {
+    const auto& last = train[chosen.back()];
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             sbd.Distance(train[i].values(), last.values()));
+    }
+    std::size_t best = 0;
+    double best_dist = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (min_dist[i] > best_dist) {
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+GrailRepresentation::GrailRepresentation(double gamma, std::size_t dimension,
+                                         std::uint64_t seed)
+    : gamma_(gamma), target_dimension_(dimension), seed_(seed),
+      kernel_(gamma) {}
+
+double GrailRepresentation::NormalizedSink(std::span<const double> a,
+                                           std::span<const double> b,
+                                           double log_self_a,
+                                           double log_self_b) const {
+  return std::exp(kernel_.LogSimilarity(a, b) -
+                  0.5 * (log_self_a + log_self_b));
+}
+
+void GrailRepresentation::Fit(const std::vector<TimeSeries>& train) {
+  assert(!train.empty());
+  const std::size_t k = std::min(target_dimension_, train.size());
+
+  const std::vector<std::size_t> indices = SelectLandmarks(train, k, seed_);
+  landmarks_.clear();
+  landmarks_.reserve(k);
+  for (std::size_t idx : indices) landmarks_.push_back(train[idx]);
+
+  landmark_log_self_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    landmark_log_self_[i] =
+        kernel_.LogSimilarity(landmarks_[i].values(), landmarks_[i].values());
+  }
+
+  Matrix w(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    w(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double s =
+          NormalizedSink(landmarks_[i].values(), landmarks_[j].values(),
+                         landmark_log_self_[i], landmark_log_self_[j]);
+      w(i, j) = s;
+      w(j, i) = s;
+    }
+  }
+
+  const EigenDecomposition eig = SymmetricEigen(w);
+  const double lead = std::max(eig.values.empty() ? 0.0 : eig.values[0], 0.0);
+  rank_ = 0;
+  while (rank_ < k && eig.values[rank_] > kEigenvalueCutoff * lead &&
+         eig.values[rank_] > 0.0) {
+    ++rank_;
+  }
+  if (rank_ == 0) rank_ = 1;
+
+  // projection_ = U_r * diag(lambda_r^{-1/2}).
+  projection_ = Matrix(k, rank_);
+  for (std::size_t j = 0; j < rank_; ++j) {
+    const double inv_sqrt = 1.0 / std::sqrt(std::max(eig.values[j], 1e-12));
+    for (std::size_t i = 0; i < k; ++i) {
+      projection_(i, j) = eig.vectors(i, j) * inv_sqrt;
+    }
+  }
+}
+
+std::vector<double> GrailRepresentation::Transform(
+    const TimeSeries& series) const {
+  assert(!landmarks_.empty() && "Fit must be called before Transform");
+  const std::size_t k = landmarks_.size();
+  const double log_self =
+      kernel_.LogSimilarity(series.values(), series.values());
+  std::vector<double> sims(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sims[i] = NormalizedSink(series.values(), landmarks_[i].values(), log_self,
+                             landmark_log_self_[i]);
+  }
+  std::vector<double> out(rank_, 0.0);
+  for (std::size_t j = 0; j < rank_; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += sims[i] * projection_(i, j);
+    out[j] = acc;
+  }
+  return out;
+}
+
+}  // namespace tsdist

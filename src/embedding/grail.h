@@ -1,0 +1,50 @@
+// GRAIL: Generic RepresentAtIon Learning (Paparrizos & Franklin, VLDB'19).
+//
+// Nystrom-style representation preserving the SINK kernel:
+//  1. select k diverse landmark series from the training split (we use
+//     deterministic farthest-point selection under the SBD distance — a
+//     simplification of the paper's k-Shape centroids that preserves the
+//     "diverse landmarks" role),
+//  2. eigendecompose the k x k landmark SINK matrix W = U L U^T,
+//  3. embed any series x as  Z(x) = [sink(x, l_1) ... sink(x, l_k)] U L^-1/2.
+// ED between embeddings then approximates the SINK-induced geometry.
+
+#ifndef TSDIST_EMBEDDING_GRAIL_H_
+#define TSDIST_EMBEDDING_GRAIL_H_
+
+#include <cstdint>
+
+#include "src/embedding/representation.h"
+#include "src/kernel/sink.h"
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+/// GRAIL representation with SINK scale `gamma` and target dimension `k`.
+class GrailRepresentation : public Representation {
+ public:
+  GrailRepresentation(double gamma, std::size_t dimension, std::uint64_t seed);
+
+  void Fit(const std::vector<TimeSeries>& train) override;
+  std::vector<double> Transform(const TimeSeries& series) const override;
+  std::string name() const override { return "grail"; }
+  std::size_t dimension() const override { return rank_; }
+  ParamMap params() const override { return {{"gamma", gamma_}}; }
+
+ private:
+  double NormalizedSink(std::span<const double> a, std::span<const double> b,
+                        double log_self_a, double log_self_b) const;
+
+  double gamma_;
+  std::size_t target_dimension_;
+  std::uint64_t seed_;
+  SinkKernel kernel_;
+  std::vector<TimeSeries> landmarks_;
+  std::vector<double> landmark_log_self_;  ///< log k(l_i, l_i)
+  Matrix projection_;                      ///< k x rank
+  std::size_t rank_ = 0;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_EMBEDDING_GRAIL_H_

@@ -1,0 +1,77 @@
+#include "src/embedding/representation.h"
+
+#include <cassert>
+
+#include "src/classify/one_nn.h"
+#include "src/embedding/grail.h"
+#include "src/embedding/rws.h"
+#include "src/embedding/sidl.h"
+#include "src/embedding/spiral.h"
+#include "src/lockstep/minkowski_family.h"
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+EmbeddingEvalResult EvaluateEmbedding(Representation* representation,
+                                      const Dataset& dataset) {
+  assert(representation != nullptr);
+  representation->Fit(dataset.train());
+
+  auto transform_all = [&](const std::vector<TimeSeries>& series) {
+    std::vector<std::vector<double>> out;
+    out.reserve(series.size());
+    for (const auto& s : series) out.push_back(representation->Transform(s));
+    return out;
+  };
+  const auto train_reps = transform_all(dataset.train());
+  const auto test_reps = transform_all(dataset.test());
+
+  const EuclideanDistance ed;
+  Matrix e(test_reps.size(), train_reps.size());
+  for (std::size_t i = 0; i < test_reps.size(); ++i) {
+    for (std::size_t j = 0; j < train_reps.size(); ++j) {
+      e(i, j) = ed.Distance(test_reps[i], train_reps[j]);
+    }
+  }
+
+  EmbeddingEvalResult result;
+  result.name = representation->name();
+  result.test_accuracy =
+      OneNnAccuracy(e, dataset.test_labels(), dataset.train_labels());
+  return result;
+}
+
+namespace {
+
+double GetOr(const ParamMap& params, const std::string& key, double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+RepresentationPtr MakeRepresentation(const std::string& name,
+                                     const ParamMap& params,
+                                     std::size_t dimension,
+                                     std::uint64_t seed) {
+  if (name == "grail") {
+    return std::make_unique<GrailRepresentation>(
+        GetOr(params, "gamma", 5.0), dimension, seed);
+  }
+  if (name == "spiral") {
+    return std::make_unique<SpiralRepresentation>(dimension, seed);
+  }
+  if (name == "rws") {
+    return std::make_unique<RwsRepresentation>(
+        GetOr(params, "gamma", 1.0),
+        static_cast<std::size_t>(GetOr(params, "dmax", 25.0)), dimension, seed);
+  }
+  if (name == "sidl") {
+    return std::make_unique<SidlRepresentation>(
+        GetOr(params, "lambda", 1.0), GetOr(params, "r", 0.25), dimension,
+        seed);
+  }
+  return nullptr;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,68 @@
+// Embedding measures (paper Section 9).
+//
+// An embedding measure uses a similarity function only to *construct* a new
+// fixed-length representation; the induced distance is plain ED over the
+// learned representations, which approximates the original similarity
+// ("similarity-preserving"). The paper compares four frameworks — GRAIL
+// (SINK), SPIRAL (DTW), RWS (GAK), SIDL (shift-invariant dictionary) — all
+// producing representations of the same length (100) for fairness.
+
+#ifndef TSDIST_EMBEDDING_REPRESENTATION_H_
+#define TSDIST_EMBEDDING_REPRESENTATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/distance_measure.h"
+#include "src/core/time_series.h"
+
+namespace tsdist {
+
+/// A learned, similarity-preserving fixed-length representation.
+class Representation {
+ public:
+  virtual ~Representation() = default;
+
+  /// Learns the representation from the training split. Must be called
+  /// before Transform.
+  virtual void Fit(const std::vector<TimeSeries>& train) = 0;
+
+  /// Maps a series to its learned representation.
+  virtual std::vector<double> Transform(const TimeSeries& series) const = 0;
+
+  /// Registry name ("grail", "spiral", "rws", "sidl").
+  virtual std::string name() const = 0;
+
+  /// Output dimensionality (valid after Fit).
+  virtual std::size_t dimension() const = 0;
+
+  /// Parameters of this instance.
+  virtual ParamMap params() const { return {}; }
+};
+
+using RepresentationPtr = std::unique_ptr<Representation>;
+
+/// Result of evaluating an embedding measure on one dataset.
+struct EmbeddingEvalResult {
+  std::string name;
+  double test_accuracy = 0.0;
+};
+
+/// Fits `representation` on the training split, transforms both splits, and
+/// reports 1-NN accuracy under ED over the representations.
+EmbeddingEvalResult EvaluateEmbedding(Representation* representation,
+                                      const Dataset& dataset);
+
+/// Constructs a representation by name with the given parameters and target
+/// dimension (paper default 100); nullptr for unknown names. All
+/// constructions are deterministic given `seed`.
+RepresentationPtr MakeRepresentation(const std::string& name,
+                                     const ParamMap& params = {},
+                                     std::size_t dimension = 100,
+                                     std::uint64_t seed = 7);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_EMBEDDING_REPRESENTATION_H_

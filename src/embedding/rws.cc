@@ -1,0 +1,58 @@
+#include "src/embedding/rws.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+
+RwsRepresentation::RwsRepresentation(double gamma, std::size_t dmax,
+                                     std::size_t dimension, std::uint64_t seed)
+    : gamma_(gamma), dmax_(dmax == 0 ? 1 : dmax),
+      target_dimension_(dimension), seed_(seed),
+      // The GAK bandwidth plays the role of sigma = 1/gamma in the RWS
+      // construction: larger gamma = narrower alignment kernel. The random
+      // warping series are short by design, so the length-based bandwidth
+      // scaling is disabled.
+      kernel_(1.0 / std::max(gamma, 1e-6), /*scale_with_length=*/false) {
+  assert(dimension > 0);
+}
+
+void RwsRepresentation::Fit(const std::vector<TimeSeries>& train) {
+  // RWS is data-independent: the random series depend only on the seed and
+  // hyper-parameters. The training split is accepted for interface
+  // uniformity.
+  (void)train;
+  Rng rng(seed_);
+  random_series_.clear();
+  random_series_.reserve(target_dimension_);
+  random_log_self_.clear();
+  random_log_self_.reserve(target_dimension_);
+  for (std::size_t r = 0; r < target_dimension_; ++r) {
+    const std::size_t len = 1 + rng.UniformInt(dmax_);
+    std::vector<double> w(len);
+    for (double& v : w) v = rng.Gaussian();
+    random_log_self_.push_back(kernel_.LogSimilarity(w, w));
+    random_series_.push_back(std::move(w));
+  }
+}
+
+std::vector<double> RwsRepresentation::Transform(
+    const TimeSeries& series) const {
+  assert(!random_series_.empty() && "Fit must be called before Transform");
+  const std::size_t r = random_series_.size();
+  const double inv_sqrt_r = 1.0 / std::sqrt(static_cast<double>(r));
+  const double log_self =
+      kernel_.LogSimilarity(series.values(), series.values());
+  std::vector<double> out(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    const double log_sim = kernel_.LogSimilarity(series.values(),
+                                                 random_series_[i]);
+    out[i] = inv_sqrt_r *
+             std::exp(log_sim - 0.5 * (log_self + random_log_self_[i]));
+  }
+  return out;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,46 @@
+// RWS: Random Warping Series (Wu et al., AISTATS'18).
+//
+// A random-features method for alignment kernels: draw R short random series
+// ("warping series") with values ~ N(0, 1) scaled by 1/gamma and random
+// lengths up to Dmax, and embed a series x as the vector of its normalized
+// global-alignment (GAK) similarities to the R random series, scaled by
+// 1/sqrt(R). Inner products of embeddings then approximate the GAK kernel.
+
+#ifndef TSDIST_EMBEDDING_RWS_H_
+#define TSDIST_EMBEDDING_RWS_H_
+
+#include <cstdint>
+
+#include "src/embedding/representation.h"
+#include "src/kernel/gak.h"
+
+namespace tsdist {
+
+/// RWS representation: `dimension` = R random series, lengths in [1, dmax]
+/// (Table 4: Dmax = 25), GAK bandwidth derived from `gamma`.
+class RwsRepresentation : public Representation {
+ public:
+  RwsRepresentation(double gamma, std::size_t dmax, std::size_t dimension,
+                    std::uint64_t seed);
+
+  void Fit(const std::vector<TimeSeries>& train) override;
+  std::vector<double> Transform(const TimeSeries& series) const override;
+  std::string name() const override { return "rws"; }
+  std::size_t dimension() const override { return random_series_.size(); }
+  ParamMap params() const override {
+    return {{"gamma", gamma_}, {"dmax", static_cast<double>(dmax_)}};
+  }
+
+ private:
+  double gamma_;
+  std::size_t dmax_;
+  std::size_t target_dimension_;
+  std::uint64_t seed_;
+  GakKernel kernel_;
+  std::vector<std::vector<double>> random_series_;
+  std::vector<double> random_log_self_;  ///< log k(w_i, w_i)
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_EMBEDDING_RWS_H_

@@ -1,0 +1,150 @@
+#include "src/embedding/sidl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+
+namespace {
+
+constexpr int kLearningIterations = 4;
+constexpr std::size_t kActivationsPerSeries = 3;
+
+// Normalizes a vector to unit L2 norm (no-op for near-zero vectors).
+void NormalizeAtom(std::vector<double>* atom) {
+  double norm = 0.0;
+  for (double v : *atom) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) return;
+  for (double& v : *atom) v /= norm;
+}
+
+}  // namespace
+
+SidlRepresentation::SidlRepresentation(double lambda, double atom_fraction,
+                                       std::size_t dimension,
+                                       std::uint64_t seed)
+    : lambda_(lambda), atom_fraction_(atom_fraction),
+      target_dimension_(dimension), seed_(seed) {
+  assert(atom_fraction_ > 0.0 && atom_fraction_ <= 1.0);
+  assert(dimension > 0);
+}
+
+std::vector<SidlRepresentation::Activation> SidlRepresentation::SparseCode(
+    std::vector<double>* residual, std::size_t max_activations) const {
+  const std::size_t m = residual->size();
+  const std::size_t q = atom_length_;
+  std::vector<Activation> activations;
+  if (q == 0 || q > m) return activations;
+  const std::size_t num_shifts = m - q + 1;
+
+  // Activation threshold: lambda scaled by the residual energy per point.
+  for (std::size_t step = 0; step < max_activations; ++step) {
+    Activation best;
+    double best_abs = 0.0;
+    for (std::size_t a = 0; a < atoms_.size(); ++a) {
+      const auto& atom = atoms_[a];
+      for (std::size_t s = 0; s < num_shifts; ++s) {
+        double corr = 0.0;
+        for (std::size_t t = 0; t < q; ++t) {
+          corr += (*residual)[s + t] * atom[t];
+        }
+        if (std::fabs(corr) > best_abs) {
+          best_abs = std::fabs(corr);
+          best.atom = a;
+          best.shift = s;
+          best.coefficient = corr;
+        }
+      }
+    }
+    // Stop once the best activation is below the sparsity threshold.
+    if (best_abs < lambda_ * 1e-2) break;
+    for (std::size_t t = 0; t < q; ++t) {
+      (*residual)[best.shift + t] -= best.coefficient * atoms_[best.atom][t];
+    }
+    activations.push_back(best);
+  }
+  return activations;
+}
+
+void SidlRepresentation::Fit(const std::vector<TimeSeries>& train) {
+  assert(!train.empty());
+  const std::size_t m = train.front().size();
+  atom_length_ = std::max<std::size_t>(
+      2, static_cast<std::size_t>(atom_fraction_ * static_cast<double>(m)));
+  atom_length_ = std::min(atom_length_, m);
+
+  // Initialize atoms from random training subsequences.
+  Rng rng(seed_);
+  atoms_.clear();
+  atoms_.reserve(target_dimension_);
+  for (std::size_t a = 0; a < target_dimension_; ++a) {
+    const auto& src = train[rng.UniformInt(train.size())];
+    const std::size_t max_start = src.size() - atom_length_;
+    const std::size_t start =
+        max_start == 0 ? 0 : rng.UniformInt(max_start + 1);
+    std::vector<double> atom(atom_length_);
+    for (std::size_t t = 0; t < atom_length_; ++t) {
+      atom[t] = src[start + t];
+    }
+    NormalizeAtom(&atom);
+    atoms_.push_back(std::move(atom));
+  }
+
+  // Alternating minimization: sparse-code all series, then refresh each atom
+  // as the normalized mean of the segments it explained.
+  for (int iter = 0; iter < kLearningIterations; ++iter) {
+    std::vector<std::vector<double>> sums(atoms_.size(),
+                                          std::vector<double>(atom_length_, 0.0));
+    std::vector<double> weights(atoms_.size(), 0.0);
+    for (const auto& series : train) {
+      std::vector<double> residual(series.values().begin(),
+                                   series.values().end());
+      const auto activations = SparseCode(&residual, kActivationsPerSeries);
+      for (const Activation& act : activations) {
+        // The segment this activation explained = residual contribution plus
+        // the subtracted reconstruction.
+        for (std::size_t t = 0; t < atom_length_; ++t) {
+          const double segment = residual[act.shift + t] +
+                                 act.coefficient * atoms_[act.atom][t];
+          sums[act.atom][t] += act.coefficient * segment;
+        }
+        weights[act.atom] += std::fabs(act.coefficient);
+      }
+    }
+    for (std::size_t a = 0; a < atoms_.size(); ++a) {
+      if (weights[a] < 1e-9) continue;  // unused atom: keep as-is
+      std::vector<double> updated = sums[a];
+      NormalizeAtom(&updated);
+      atoms_[a] = std::move(updated);
+    }
+  }
+}
+
+std::vector<double> SidlRepresentation::Transform(
+    const TimeSeries& series) const {
+  assert(!atoms_.empty() && "Fit must be called before Transform");
+  const std::size_t m = series.size();
+  const std::size_t q = atom_length_;
+  std::vector<double> out(atoms_.size(), 0.0);
+  if (q > m) return out;
+  const std::size_t num_shifts = m - q + 1;
+  // Max-pooled absolute activation per atom: shift-invariant feature.
+  for (std::size_t a = 0; a < atoms_.size(); ++a) {
+    double best = 0.0;
+    for (std::size_t s = 0; s < num_shifts; ++s) {
+      double corr = 0.0;
+      for (std::size_t t = 0; t < q; ++t) {
+        corr += series[s + t] * atoms_[a][t];
+      }
+      best = std::max(best, std::fabs(corr));
+    }
+    out[a] = best;
+  }
+  return out;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,60 @@
+// SIDL: Shift-Invariant Dictionary Learning (Zheng, Yang & Carbonell,
+// KDD'16).
+//
+// Learns K short atoms such that every series is approximated by a sparse
+// set of shifted atom activations. We implement the standard alternating
+// scheme: (1) sparse coding by greedy shift-invariant matching pursuit —
+// repeatedly pick the (atom, shift) pair with the largest correlation to the
+// residual and subtract it; (2) dictionary update — each atom becomes the
+// normalized mean of the residual-corrected segments it matched. The
+// representation of a series is per-atom max-pooled activation magnitude
+// (shift-invariant by construction).
+
+#ifndef TSDIST_EMBEDDING_SIDL_H_
+#define TSDIST_EMBEDDING_SIDL_H_
+
+#include <cstdint>
+
+#include "src/embedding/representation.h"
+
+namespace tsdist {
+
+/// SIDL representation: `dimension` atoms of length r * m, sparsity
+/// threshold scaled by `lambda` (Table 4: lambda in {0.1, 1, 10},
+/// r in {0.1, 0.25, 0.5}).
+class SidlRepresentation : public Representation {
+ public:
+  SidlRepresentation(double lambda, double atom_fraction,
+                     std::size_t dimension, std::uint64_t seed);
+
+  void Fit(const std::vector<TimeSeries>& train) override;
+  std::vector<double> Transform(const TimeSeries& series) const override;
+  std::string name() const override { return "sidl"; }
+  std::size_t dimension() const override { return atoms_.size(); }
+  ParamMap params() const override {
+    return {{"lambda", lambda_}, {"r", atom_fraction_}};
+  }
+
+ private:
+  struct Activation {
+    std::size_t atom = 0;
+    std::size_t shift = 0;
+    double coefficient = 0.0;
+  };
+
+  /// Greedy shift-invariant matching pursuit on one series; returns up to
+  /// `max_activations` activations and updates `residual` in place.
+  std::vector<Activation> SparseCode(std::vector<double>* residual,
+                                     std::size_t max_activations) const;
+
+  double lambda_;
+  double atom_fraction_;
+  std::size_t target_dimension_;
+  std::uint64_t seed_;
+  std::size_t atom_length_ = 0;
+  std::vector<std::vector<double>> atoms_;  ///< unit-norm atoms
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_EMBEDDING_SIDL_H_

@@ -1,0 +1,106 @@
+#include "src/embedding/spiral.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/elastic/dtw.h"
+#include "src/linalg/eigen.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+
+namespace {
+
+constexpr double kEigenvalueCutoff = 1e-8;
+// Warping window used for the similarity (10%, the paper's unsupervised DTW).
+constexpr double kDtwWindowPct = 10.0;
+
+}  // namespace
+
+SpiralRepresentation::SpiralRepresentation(std::size_t dimension,
+                                           std::uint64_t seed)
+    : target_dimension_(dimension), seed_(seed) {}
+
+double SpiralRepresentation::Similarity(std::span<const double> a,
+                                        std::span<const double> b) const {
+  const DtwDistance dtw(kDtwWindowPct);
+  return std::exp(-dtw.Distance(a, b) / sigma_);
+}
+
+void SpiralRepresentation::Fit(const std::vector<TimeSeries>& train) {
+  assert(!train.empty());
+  const std::size_t k = std::min(target_dimension_, train.size());
+
+  Rng rng(seed_);
+  const std::vector<std::size_t> perm = rng.Permutation(train.size());
+  landmarks_.clear();
+  landmarks_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) landmarks_.push_back(train[perm[i]]);
+
+  // Auto-scale sigma to the median pairwise landmark DTW so that the
+  // similarity matrix is well conditioned regardless of series scale.
+  const DtwDistance dtw(kDtwWindowPct);
+  std::vector<double> dists;
+  Matrix raw(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double d =
+          dtw.Distance(landmarks_[i].values(), landmarks_[j].values());
+      raw(i, j) = d;
+      raw(j, i) = d;
+      dists.push_back(d);
+    }
+  }
+  if (!dists.empty()) {
+    std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                     dists.end());
+    sigma_ = std::max(dists[dists.size() / 2], 1e-9);
+  }
+
+  Matrix w(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    w(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double s = std::exp(-raw(i, j) / sigma_);
+      w(i, j) = s;
+      w(j, i) = s;
+    }
+  }
+
+  const EigenDecomposition eig = SymmetricEigen(w);
+  const double lead = std::max(eig.values.empty() ? 0.0 : eig.values[0], 0.0);
+  rank_ = 0;
+  while (rank_ < k && eig.values[rank_] > kEigenvalueCutoff * lead &&
+         eig.values[rank_] > 0.0) {
+    ++rank_;
+  }
+  if (rank_ == 0) rank_ = 1;
+
+  projection_ = Matrix(k, rank_);
+  for (std::size_t j = 0; j < rank_; ++j) {
+    const double inv_sqrt = 1.0 / std::sqrt(std::max(eig.values[j], 1e-12));
+    for (std::size_t i = 0; i < k; ++i) {
+      projection_(i, j) = eig.vectors(i, j) * inv_sqrt;
+    }
+  }
+}
+
+std::vector<double> SpiralRepresentation::Transform(
+    const TimeSeries& series) const {
+  assert(!landmarks_.empty() && "Fit must be called before Transform");
+  const std::size_t k = landmarks_.size();
+  std::vector<double> sims(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sims[i] = Similarity(series.values(), landmarks_[i].values());
+  }
+  std::vector<double> out(rank_, 0.0);
+  for (std::size_t j = 0; j < rank_; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += sims[i] * projection_(i, j);
+    out[j] = acc;
+  }
+  return out;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,44 @@
+// SPIRAL: Similarity-Preserving Representation Learning (Lei et al., 2017).
+//
+// Learns embeddings whose inner products approximate a DTW-derived
+// similarity. We implement the landmark (Nystrom) form: random landmarks,
+// similarity s(x, y) = exp(-DTW(x, y) / sigma) with sigma auto-scaled to the
+// median landmark DTW, eigendecomposition of the landmark similarity matrix,
+// and out-of-sample extension exactly as in GRAIL. This preserves the
+// framework's structure (DTW-based similarity + low-rank factorization)
+// while remaining deterministic.
+
+#ifndef TSDIST_EMBEDDING_SPIRAL_H_
+#define TSDIST_EMBEDDING_SPIRAL_H_
+
+#include <cstdint>
+
+#include "src/embedding/representation.h"
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+/// SPIRAL representation with target dimension `dimension`.
+class SpiralRepresentation : public Representation {
+ public:
+  SpiralRepresentation(std::size_t dimension, std::uint64_t seed);
+
+  void Fit(const std::vector<TimeSeries>& train) override;
+  std::vector<double> Transform(const TimeSeries& series) const override;
+  std::string name() const override { return "spiral"; }
+  std::size_t dimension() const override { return rank_; }
+
+ private:
+  double Similarity(std::span<const double> a, std::span<const double> b) const;
+
+  std::size_t target_dimension_;
+  std::uint64_t seed_;
+  double sigma_ = 1.0;
+  std::vector<TimeSeries> landmarks_;
+  Matrix projection_;  ///< k x rank
+  std::size_t rank_ = 0;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_EMBEDDING_SPIRAL_H_

@@ -1,0 +1,46 @@
+#include "src/index/dft.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/linalg/fft.h"
+
+namespace tsdist {
+
+std::vector<std::complex<double>> DftFeatures(std::span<const double> values,
+                                              std::size_t num_coefficients) {
+  const std::size_t n = values.size();
+  assert(num_coefficients >= 1 && num_coefficients <= n);
+  std::vector<std::complex<double>> input(n);
+  for (std::size_t i = 0; i < n; ++i) input[i] = {values[i], 0.0};
+  const std::vector<std::complex<double>> spectrum =
+      FftAnySize(input, /*inverse=*/false);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  std::vector<std::complex<double>> out(num_coefficients);
+  for (std::size_t k = 0; k < num_coefficients; ++k) {
+    out[k] = spectrum[k] * scale;
+  }
+  return out;
+}
+
+double DftLowerBound(std::span<const std::complex<double>> features_a,
+                     std::span<const std::complex<double>> features_b,
+                     std::size_t series_length) {
+  assert(features_a.size() == features_b.size());
+  assert(features_a.size() <= series_length);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < features_a.size(); ++k) {
+    const std::complex<double> d = features_a[k] - features_b[k];
+    double weight = 2.0;
+    // DC has no conjugate twin; neither does Nyquist for even n.
+    if (k == 0) weight = 1.0;
+    if (2 * k == series_length) weight = 1.0;
+    // Coefficients past the fold would double-count; the caller is expected
+    // to pass the folded half only, but clamp defensively.
+    if (2 * k > series_length) weight = 0.0;
+    acc += weight * std::norm(d);
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,37 @@
+// Truncated-DFT features and the Parseval lower bound (Agrawal, Faloutsos
+// & Swami, FODO'93 — ref [2], the paper that made ED the default).
+//
+// With orthonormal DFT coefficients (1/sqrt(n) scaling), Parseval's theorem
+// makes ED in coefficient space equal ED in time space; keeping only the
+// first few coefficients therefore *lower-bounds* ED — the "F-index"
+// contract behind the original similarity-search architecture and the
+// reason M2 credits ED's popularity to its Fourier connection.
+
+#ifndef TSDIST_INDEX_DFT_H_
+#define TSDIST_INDEX_DFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// First `num_coefficients` orthonormal DFT coefficients of a real series
+/// (X_k = (1/sqrt(n)) sum_t x_t e^{-2 pi i k t / n}, k = 0..c-1). Requires
+/// num_coefficients <= n.
+std::vector<std::complex<double>> DftFeatures(std::span<const double> values,
+                                              std::size_t num_coefficients);
+
+/// Lower bound of ED between the series behind two feature vectors of the
+/// same length, exploiting conjugate symmetry of real-series spectra: every
+/// non-DC, non-Nyquist coefficient difference counts twice. `series_length`
+/// is the original n. Equals ED exactly when the features cover the whole
+/// (folded) spectrum.
+double DftLowerBound(std::span<const std::complex<double>> features_a,
+                     std::span<const std::complex<double>> features_b,
+                     std::size_t series_length);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_INDEX_DFT_H_

@@ -1,0 +1,48 @@
+#include "src/index/paa.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+std::vector<std::size_t> PaaSegmentWidths(std::size_t length,
+                                          std::size_t segments) {
+  assert(segments >= 1 && segments <= length);
+  std::vector<std::size_t> widths(segments, length / segments);
+  // Distribute the remainder over the leading segments so widths differ by
+  // at most one.
+  const std::size_t remainder = length % segments;
+  for (std::size_t i = 0; i < remainder; ++i) ++widths[i];
+  return widths;
+}
+
+std::vector<double> PaaTransform(std::span<const double> values,
+                                 std::size_t segments) {
+  const std::vector<std::size_t> widths =
+      PaaSegmentWidths(values.size(), segments);
+  std::vector<double> out(segments, 0.0);
+  std::size_t pos = 0;
+  for (std::size_t j = 0; j < segments; ++j) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < widths[j]; ++t) acc += values[pos + t];
+    out[j] = acc / static_cast<double>(widths[j]);
+    pos += widths[j];
+  }
+  return out;
+}
+
+double PaaLowerBound(std::span<const double> paa_a,
+                     std::span<const double> paa_b,
+                     std::size_t series_length) {
+  assert(paa_a.size() == paa_b.size());
+  const std::vector<std::size_t> widths =
+      PaaSegmentWidths(series_length, paa_a.size());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < paa_a.size(); ++j) {
+    const double d = paa_a[j] - paa_b[j];
+    acc += static_cast<double>(widths[j]) * d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,36 @@
+// Piecewise Aggregate Approximation (PAA).
+//
+// The dimensionality-reduction step underlying the indexing mechanisms the
+// paper's M2 discussion credits for ED's popularity (iSAX and friends, refs
+// [25, 135]): a series is summarized by the means of w equal-width
+// segments, and the segment-space distance lower-bounds ED — the property
+// that makes index pruning exact.
+
+#ifndef TSDIST_INDEX_PAA_H_
+#define TSDIST_INDEX_PAA_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// PAA transform: means of `segments` equal-width segments (the last
+/// segment absorbs the remainder when `segments` does not divide the
+/// length). Requires 1 <= segments <= length.
+std::vector<double> PaaTransform(std::span<const double> values,
+                                 std::size_t segments);
+
+/// Lower bound of ED(a, b) from the PAA representations of two
+/// equal-length series: sqrt(sum_j len_j * (paa_a[j] - paa_b[j])^2).
+/// `series_length` is the original length (needed for segment widths).
+double PaaLowerBound(std::span<const double> paa_a,
+                     std::span<const double> paa_b, std::size_t series_length);
+
+/// Widths of the segments PaaTransform uses for the given configuration.
+std::vector<std::size_t> PaaSegmentWidths(std::size_t length,
+                                          std::size_t segments);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_INDEX_PAA_H_

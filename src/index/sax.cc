@@ -1,0 +1,91 @@
+#include "src/index/sax.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/index/paa.h"
+
+namespace tsdist {
+
+double InverseNormalCdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations on three regions.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+std::vector<double> SaxBreakpoints(std::size_t alphabet_size) {
+  assert(alphabet_size >= 2 && alphabet_size <= 64);
+  std::vector<double> breakpoints(alphabet_size - 1);
+  for (std::size_t i = 1; i < alphabet_size; ++i) {
+    breakpoints[i - 1] = InverseNormalCdf(static_cast<double>(i) /
+                                          static_cast<double>(alphabet_size));
+  }
+  return breakpoints;
+}
+
+std::vector<std::uint8_t> SaxWord(std::span<const double> values,
+                                  std::size_t word_length,
+                                  std::size_t alphabet_size) {
+  const std::vector<double> paa = PaaTransform(values, word_length);
+  const std::vector<double> breakpoints = SaxBreakpoints(alphabet_size);
+  std::vector<std::uint8_t> word(word_length);
+  for (std::size_t j = 0; j < word_length; ++j) {
+    const auto it =
+        std::upper_bound(breakpoints.begin(), breakpoints.end(), paa[j]);
+    word[j] =
+        static_cast<std::uint8_t>(std::distance(breakpoints.begin(), it));
+  }
+  return word;
+}
+
+double SaxMinDist(std::span<const std::uint8_t> word_a,
+                  std::span<const std::uint8_t> word_b,
+                  std::size_t series_length, std::size_t alphabet_size) {
+  assert(word_a.size() == word_b.size());
+  const std::vector<double> breakpoints = SaxBreakpoints(alphabet_size);
+  const double scale = static_cast<double>(series_length) /
+                       static_cast<double>(word_a.size());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < word_a.size(); ++j) {
+    const std::size_t lo = std::min(word_a[j], word_b[j]);
+    const std::size_t hi = std::max(word_a[j], word_b[j]);
+    if (hi - lo <= 1) continue;  // adjacent or equal symbols: distance 0
+    const double gap = breakpoints[hi - 1] - breakpoints[lo];
+    acc += gap * gap;
+  }
+  return std::sqrt(scale * acc);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,42 @@
+// Symbolic Aggregate approXimation (SAX) and the MINDIST lower bound.
+//
+// SAX quantizes PAA segments into symbols via equiprobable breakpoints of
+// the standard normal distribution (valid because series are z-normalized),
+// giving the discrete words that iSAX-style indexes (paper refs [25, 135])
+// organize. MINDIST between two SAX words lower-bounds the ED between the
+// original series, so symbol-level pruning is exact.
+
+#ifndef TSDIST_INDEX_SAX_H_
+#define TSDIST_INDEX_SAX_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// Equiprobable N(0,1) breakpoints for an alphabet of the given size
+/// (size - 1 values, increasing). Supported sizes: 2..64.
+std::vector<double> SaxBreakpoints(std::size_t alphabet_size);
+
+/// SAX word of a series: PAA into `word_length` segments, then quantize
+/// each mean into [0, alphabet_size) using the breakpoints.
+std::vector<std::uint8_t> SaxWord(std::span<const double> values,
+                                  std::size_t word_length,
+                                  std::size_t alphabet_size);
+
+/// MINDIST lower bound of ED between the series behind two SAX words
+/// (Lin et al.): sqrt(n/w * sum_j cell_dist(a_j, b_j)^2), where cell_dist
+/// is the breakpoint gap between non-adjacent symbols.
+double SaxMinDist(std::span<const std::uint8_t> word_a,
+                  std::span<const std::uint8_t> word_b,
+                  std::size_t series_length, std::size_t alphabet_size);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9). Exposed for tests.
+double InverseNormalCdf(double p);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_INDEX_SAX_H_

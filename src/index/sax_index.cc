@@ -1,0 +1,132 @@
+#include "src/index/sax_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "src/index/paa.h"
+#include "src/index/sax.h"
+
+namespace tsdist {
+
+namespace {
+
+// Early-abandoning ED: stops accumulating once the partial sum exceeds
+// `best_sq` (squared best-so-far).
+double EarlyAbandonEdSquared(std::span<const double> a,
+                             std::span<const double> b, double best_sq) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+    if (acc > best_sq) return acc;
+  }
+  return acc;
+}
+
+}  // namespace
+
+SaxIndex::SaxIndex(std::size_t word_length, std::size_t alphabet_size)
+    : word_length_(word_length), alphabet_size_(alphabet_size) {
+  assert(word_length_ >= 1);
+  assert(alphabet_size_ >= 2 && alphabet_size_ <= 64);
+}
+
+void SaxIndex::Build(const std::vector<TimeSeries>& series) {
+  assert(!series.empty());
+  series_ = series;
+  series_length_ = series_.front().size();
+  paa_.clear();
+  paa_.reserve(series_.size());
+  // Keyed by the word rendered as a string (chars are the symbol ids).
+  std::map<std::string, std::size_t> bucket_of;
+  buckets_.clear();
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    assert(series_[i].size() == series_length_);
+    paa_.push_back(PaaTransform(series_[i].values(), word_length_));
+    std::vector<std::uint8_t> word =
+        SaxWord(series_[i].values(), word_length_, alphabet_size_);
+    const std::string key(word.begin(), word.end());
+    const auto it = bucket_of.find(key);
+    if (it == bucket_of.end()) {
+      bucket_of.emplace(key, buckets_.size());
+      buckets_.push_back({std::move(word), {i}});
+    } else {
+      buckets_[it->second].members.push_back(i);
+    }
+  }
+}
+
+std::vector<SaxIndex::Neighbor> SaxIndex::Knn(std::span<const double> query,
+                                              std::size_t k,
+                                              Stats* stats) const {
+  assert(!series_.empty() && "Build must be called before Knn");
+  assert(query.size() == series_length_);
+  k = std::min(k, series_.size());
+
+  Stats local;
+  local.candidates = series_.size();
+
+  const std::vector<std::uint8_t> q_word =
+      SaxWord(query, word_length_, alphabet_size_);
+  const std::vector<double> q_paa = PaaTransform(query, word_length_);
+
+  // Visit buckets in increasing MINDIST order so pruning kicks in early.
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(buckets_.size());
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    order.emplace_back(
+        SaxMinDist(q_word, buckets_[b].word, series_length_, alphabet_size_),
+        b);
+  }
+  std::sort(order.begin(), order.end());
+
+  // Max-heap of the k best (distance, index) pairs, kept as a sorted vector
+  // (k is small in every workload here).
+  std::vector<Neighbor> best;
+  auto worst_distance = [&best, k]() {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.back().distance;
+  };
+  auto offer = [&best, k](std::size_t index, double distance) {
+    Neighbor entry{index, distance};
+    auto pos = std::lower_bound(best.begin(), best.end(), entry,
+                                [](const Neighbor& x, const Neighbor& y) {
+                                  return x.distance < y.distance ||
+                                         (x.distance == y.distance &&
+                                          x.index < y.index);
+                                });
+    best.insert(pos, entry);
+    if (best.size() > k) best.pop_back();
+  };
+
+  for (const auto& [mindist, b] : order) {
+    if (mindist >= worst_distance()) {
+      local.bucket_pruned += buckets_[b].members.size();
+      continue;
+    }
+    for (std::size_t idx : buckets_[b].members) {
+      const double threshold = worst_distance();
+      const double paa_lb = PaaLowerBound(q_paa, paa_[idx], series_length_);
+      if (paa_lb >= threshold) {
+        ++local.paa_pruned;
+        continue;
+      }
+      ++local.full_distances;
+      const double threshold_sq =
+          std::isfinite(threshold) ? threshold * threshold
+                                   : std::numeric_limits<double>::infinity();
+      const double sq =
+          EarlyAbandonEdSquared(query, series_[idx].values(), threshold_sq);
+      const double d = std::sqrt(sq);
+      if (d < threshold) offer(idx, d);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+}  // namespace tsdist

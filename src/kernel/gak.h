@@ -1,0 +1,38 @@
+// Global Alignment Kernel (Cuturi, ICML'11).
+//
+// Sums the products of local similarities over *all* monotone alignment
+// paths (where DTW keeps only the best one), which yields a p.s.d. kernel
+// when the local kernel is geometrically divisible. We use Cuturi's
+// recommended local kernel k/(2-k) with k = exp(-(a_i-b_j)^2 / (2 gamma^2)).
+// The quadratic DP is evaluated entirely in log space: path products over
+// hundreds of points underflow doubles otherwise.
+
+#ifndef TSDIST_KERNEL_GAK_H_
+#define TSDIST_KERNEL_GAK_H_
+
+#include "src/kernel/kernel_measure.h"
+
+namespace tsdist {
+
+/// GAK with bandwidth `gamma` (Table 4: {0.01 ... 20}; unsupervised
+/// default 0.1). When `scale_with_length` is true (default), the effective
+/// bandwidth is gamma * sqrt(mean series length), following Cuturi's
+/// recommendation that sigma grow with the alignment length; RWS disables
+/// the scaling because its random warping series are deliberately short.
+class GakKernel : public KernelFunction {
+ public:
+  explicit GakKernel(double gamma = 0.1, bool scale_with_length = true);
+  double LogSimilarity(std::span<const double> a,
+                       std::span<const double> b) const override;
+  std::string name() const override { return "gak"; }
+  ParamMap params() const override { return {{"gamma", gamma_}}; }
+  CostClass cost_class() const override { return CostClass::kQuadratic; }
+
+ private:
+  double gamma_;
+  bool scale_with_length_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_KERNEL_GAK_H_

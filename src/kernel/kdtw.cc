@@ -1,0 +1,106 @@
+#include "src/kernel/kdtw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace tsdist {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Rescale threshold. Local kernels are <= 1/3, so DP values only shrink;
+// overflow is impossible and only underflow needs guarding.
+constexpr double kTiny = 1e-150;
+
+}  // namespace
+
+KdtwKernel::KdtwKernel(double gamma, double epsilon)
+    : gamma_(gamma), epsilon_(epsilon) {
+  assert(gamma_ > 0.0);
+  assert(epsilon_ > 0.0);
+}
+
+double KdtwKernel::LogSimilarity(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+
+  // Regularized local kernel, in (0, 1/3].
+  const double norm = 3.0 * (1.0 + epsilon_);
+  auto local = [&](double x, double y) {
+    const double d = x - y;
+    return (std::exp(-gamma_ * d * d) + epsilon_) / norm;
+  };
+
+  // Diagonal local kernels lk(a_h, b_h), used by the synchronized DP.
+  std::vector<double> dpl(m + 1, 0.0);
+  for (std::size_t h = 1; h <= m; ++h) {
+    dpl[h] = local(a[h - 1], b[h - 1]);
+  }
+
+  // Two coupled DPs (Marteau & Gibet): Kdtw over all alignments, Kdtw1 over
+  // index-synchronized ones. Both are linear recursions in the matrix
+  // entries, so we keep them in linear space and rescale the *current pair
+  // of rows* by a shared factor whenever values shrink below kTiny,
+  // accumulating the log of the factors (exact, since row i+1 depends only
+  // on row i).
+  std::vector<double> k_prev(m + 1, 0.0), k_curr(m + 1, 0.0);
+  std::vector<double> k1_prev(m + 1, 0.0), k1_curr(m + 1, 0.0);
+  double log_scale = 0.0;
+
+  // Row 0: running products. Chunk-rescale the prefix whenever the running
+  // values underflow (a uniform factor over the whole row keeps it exact).
+  k_prev[0] = 1.0;
+  k1_prev[0] = 1.0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    k_prev[j] = k_prev[j - 1] * local(a[0], b[j - 1]);
+    k1_prev[j] = k1_prev[j - 1] * dpl[j];
+    const double row_max = std::max(k_prev[j], k1_prev[j]);
+    if (row_max > 0.0 && row_max < kTiny) {
+      const double inv = 1.0 / row_max;
+      for (std::size_t t = 0; t <= j; ++t) {
+        k_prev[t] *= inv;
+        k1_prev[t] *= inv;
+      }
+      log_scale += std::log(row_max);
+    }
+  }
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    k_curr[0] = k_prev[0] * local(a[i - 1], b[0]);
+    k1_curr[0] = k1_prev[0] * dpl[i];
+    double row_max = std::max(k_curr[0], k1_curr[0]);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double lk = local(a[i - 1], b[j - 1]);
+      k_curr[j] = lk * (k_prev[j] + k_curr[j - 1] + k_prev[j - 1]);
+      if (i == j) {
+        k1_curr[j] = k1_prev[j - 1] * lk + k1_prev[j] * dpl[i] +
+                     k1_curr[j - 1] * dpl[j];
+      } else {
+        k1_curr[j] = k1_prev[j] * dpl[i] + k1_curr[j - 1] * dpl[j];
+      }
+      row_max = std::max({row_max, k_curr[j], k1_curr[j]});
+    }
+    if (row_max <= 0.0) return kNegInf;
+    if (row_max < kTiny) {
+      const double inv = 1.0 / row_max;
+      for (std::size_t t = 0; t <= m; ++t) {
+        k_curr[t] *= inv;
+        k1_curr[t] *= inv;
+      }
+      log_scale += std::log(row_max);
+    }
+    std::swap(k_prev, k_curr);
+    std::swap(k1_prev, k1_curr);
+  }
+  const double total = k_prev[m] + k1_prev[m];
+  if (total <= 0.0) return kNegInf;
+  return std::log(total) + log_scale;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,38 @@
+// KDTW: Dynamic Time Warping kernel (Marteau & Gibet, TNNLS'15).
+//
+// A regularized recursive edit-distance kernel. Two coupled DPs accumulate
+// path products of the local kernel
+//   lk(i, j) = (exp(-gamma (a_i - b_j)^2) + epsilon) / (3 (1 + epsilon)),
+// one over all alignments (like GAK) and one restricted to index-synchronized
+// paths, and the kernel is their sum. Evaluated in log space for the same
+// underflow reason as GAK. The paper's strongest kernel: the first measure
+// reported to significantly outperform DTW under both tuning regimes.
+
+#ifndef TSDIST_KERNEL_KDTW_H_
+#define TSDIST_KERNEL_KDTW_H_
+
+#include "src/kernel/kernel_measure.h"
+
+namespace tsdist {
+
+/// KDTW with bandwidth `gamma` (Table 4: 2^-15 ... 2^0; unsupervised
+/// default 0.125) and regularizer `epsilon`.
+class KdtwKernel : public KernelFunction {
+ public:
+  explicit KdtwKernel(double gamma = 0.125, double epsilon = 1e-3);
+  double LogSimilarity(std::span<const double> a,
+                       std::span<const double> b) const override;
+  std::string name() const override { return "kdtw"; }
+  ParamMap params() const override {
+    return {{"gamma", gamma_}, {"epsilon", epsilon_}};
+  }
+  CostClass cost_class() const override { return CostClass::kQuadratic; }
+
+ private:
+  double gamma_;
+  double epsilon_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_KERNEL_KDTW_H_

@@ -1,0 +1,89 @@
+#include "src/kernel/kernel_measure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/kernel/gak.h"
+#include "src/kernel/kdtw.h"
+#include "src/kernel/rbf.h"
+#include "src/kernel/sink.h"
+
+namespace tsdist {
+
+namespace kernel_internal {
+
+double LogSumExp3(double a, double b, double c) {
+  const double m = std::max({a, b, c});
+  if (m == -std::numeric_limits<double>::infinity()) return m;
+  return m + std::log(std::exp(a - m) + std::exp(b - m) + std::exp(c - m));
+}
+
+}  // namespace kernel_internal
+
+KernelDistance::KernelDistance(KernelPtr kernel) : kernel_(std::move(kernel)) {
+  assert(kernel_ != nullptr);
+}
+
+double KernelDistance::CachedSelfSimilarity(std::span<const double> x) const {
+  const std::pair<const double*, std::size_t> key{x.data(), x.size()};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = self_cache_.find(key);
+    if (it != self_cache_.end()) return it->second;
+  }
+  const double value = kernel_->LogSimilarity(x, x);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  self_cache_.emplace(key, value);
+  return value;
+}
+
+double KernelDistance::Distance(std::span<const double> a,
+                                std::span<const double> b) const {
+  const double log_ab = kernel_->LogSimilarity(a, b);
+  const double log_aa = CachedSelfSimilarity(a);
+  const double log_bb = CachedSelfSimilarity(b);
+  const double normalized = std::exp(log_ab - 0.5 * (log_aa + log_bb));
+  return 1.0 - normalized;
+}
+
+namespace {
+
+double GetOr(const ParamMap& params, const std::string& key, double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+KernelPtr MakeKernel(const std::string& name, const ParamMap& params) {
+  if (name == "rbf") {
+    return std::make_unique<RbfKernel>(GetOr(params, "gamma", 2.0));
+  }
+  if (name == "sink") {
+    return std::make_unique<SinkKernel>(GetOr(params, "gamma", 5.0));
+  }
+  if (name == "gak") {
+    return std::make_unique<GakKernel>(GetOr(params, "gamma", 0.1));
+  }
+  if (name == "kdtw") {
+    return std::make_unique<KdtwKernel>(GetOr(params, "gamma", 0.125));
+  }
+  return nullptr;
+}
+
+void RegisterKernelMeasures(Registry* registry) {
+  for (const std::string name : {"rbf", "sink", "gak", "kdtw"}) {
+    registry->Register(name, [name](const ParamMap& params) -> MeasurePtr {
+      return std::make_unique<KernelDistance>(MakeKernel(name, params));
+    });
+  }
+}
+
+const std::vector<std::string>& KernelMeasureNames() {
+  static const std::vector<std::string> kNames = {"kdtw", "gak", "sink", "rbf"};
+  return kNames;
+}
+
+}  // namespace tsdist

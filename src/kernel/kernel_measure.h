@@ -1,0 +1,96 @@
+// Kernel measures (paper Section 8).
+//
+// Kernel functions are positive semi-definite similarities. For 1-NN
+// evaluation each kernel k is turned into the normalized distance
+//   d(x, y) = 1 - k(x, y) / sqrt(k(x, x) * k(y, y)),
+// which is invariant to per-pair scale. Alignment kernels (GAK, KDTW) sum
+// exponentially many path products and underflow doubles for realistic
+// series lengths, so every kernel exposes its *logarithm* and the
+// normalization happens in log space.
+
+#ifndef TSDIST_KERNEL_KERNEL_MEASURE_H_
+#define TSDIST_KERNEL_KERNEL_MEASURE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "src/core/distance_measure.h"
+#include "src/core/registry.h"
+
+namespace tsdist {
+
+/// A p.s.d. similarity function exposed through its logarithm.
+class KernelFunction {
+ public:
+  virtual ~KernelFunction() = default;
+
+  /// log k(a, b). Must be finite for finite inputs.
+  virtual double LogSimilarity(std::span<const double> a,
+                               std::span<const double> b) const = 0;
+
+  /// Registry name ("rbf", "sink", "gak", "kdtw").
+  virtual std::string name() const = 0;
+
+  /// Parameters of this instance.
+  virtual ParamMap params() const { return {}; }
+
+  /// Per-comparison asymptotic cost.
+  virtual CostClass cost_class() const = 0;
+};
+
+using KernelPtr = std::unique_ptr<KernelFunction>;
+
+/// Adapts a kernel into the DistanceMeasure interface via normalized
+/// similarity: d = 1 - exp(log k(a,b) - (log k(a,a) + log k(b,b)) / 2).
+///
+/// Self-similarities k(x, x) are memoized keyed by the span's data pointer:
+/// during a dissimilarity-matrix computation every series participates in
+/// O(n) comparisons but its self-similarity is needed only once. The cache
+/// is thread-safe and assumes the underlying buffers are not mutated while
+/// this measure instance is in use (true for the evaluation pipeline, which
+/// treats datasets as immutable).
+class KernelDistance : public DistanceMeasure {
+ public:
+  explicit KernelDistance(KernelPtr kernel);
+
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return kernel_->name(); }
+  MeasureCategory category() const override { return MeasureCategory::kKernel; }
+  CostClass cost_class() const override { return kernel_->cost_class(); }
+  ParamMap params() const override { return kernel_->params(); }
+
+  const KernelFunction& kernel() const { return *kernel_; }
+
+ private:
+  double CachedSelfSimilarity(std::span<const double> x) const;
+
+  KernelPtr kernel_;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::pair<const double*, std::size_t>, double> self_cache_;
+};
+
+/// Constructs a kernel by name with the given parameters; nullptr when
+/// unknown. Names: "rbf", "sink", "gak", "kdtw"; all take {"gamma": value}.
+KernelPtr MakeKernel(const std::string& name, const ParamMap& params = {});
+
+/// Registers the kernel-induced distances under their kernel names.
+void RegisterKernelMeasures(Registry* registry);
+
+/// Names of the 4 kernel measures in paper order.
+const std::vector<std::string>& KernelMeasureNames();
+
+namespace kernel_internal {
+
+/// Numerically stable log(exp(a) + exp(b) + exp(c)); tolerates -inf inputs.
+double LogSumExp3(double a, double b, double c);
+
+}  // namespace kernel_internal
+
+}  // namespace tsdist
+
+#endif  // TSDIST_KERNEL_KERNEL_MEASURE_H_

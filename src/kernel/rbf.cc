@@ -1,0 +1,22 @@
+#include "src/kernel/rbf.h"
+
+#include <cassert>
+
+namespace tsdist {
+
+RbfKernel::RbfKernel(double gamma) : gamma_(gamma) {
+  assert(gamma_ > 0.0);
+}
+
+double RbfKernel::LogSimilarity(std::span<const double> a,
+                                std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return -gamma_ * sq;
+}
+
+}  // namespace tsdist

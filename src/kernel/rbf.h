@@ -1,0 +1,30 @@
+// Radial Basis Function kernel: k(a, b) = exp(-gamma * ||a - b||^2).
+//
+// The general-purpose lock-step kernel (Cristianini & Shawe-Taylor 2000).
+// The paper includes it as the baseline kernel and finds it significantly
+// *worse* than NCCc — shift and warping invariance matter for time series.
+
+#ifndef TSDIST_KERNEL_RBF_H_
+#define TSDIST_KERNEL_RBF_H_
+
+#include "src/kernel/kernel_measure.h"
+
+namespace tsdist {
+
+/// RBF kernel with bandwidth `gamma` (Table 4: 2^-15 ... 2^0).
+class RbfKernel : public KernelFunction {
+ public:
+  explicit RbfKernel(double gamma = 2.0);
+  double LogSimilarity(std::span<const double> a,
+                       std::span<const double> b) const override;
+  std::string name() const override { return "rbf"; }
+  ParamMap params() const override { return {{"gamma", gamma_}}; }
+  CostClass cost_class() const override { return CostClass::kLinear; }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_KERNEL_RBF_H_

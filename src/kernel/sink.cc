@@ -1,0 +1,42 @@
+#include "src/kernel/sink.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/sliding/cross_correlation.h"
+
+namespace tsdist {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+double Norm2(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+SinkKernel::SinkKernel(double gamma) : gamma_(gamma) {
+  assert(gamma_ > 0.0);
+}
+
+double SinkKernel::LogSimilarity(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::vector<double> cc = CrossCorrelationSequence(a, b);
+  double den = Norm2(a) * Norm2(b);
+  if (den < kEps) den = kEps;
+  // log sum_w exp(gamma * ncc_w), evaluated stably around the max exponent.
+  double max_exp = -std::numeric_limits<double>::infinity();
+  for (double v : cc) max_exp = std::max(max_exp, gamma_ * v / den);
+  double acc = 0.0;
+  for (double v : cc) acc += std::exp(gamma_ * v / den - max_exp);
+  return max_exp + std::log(acc);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,86 @@
+#include "src/linalg/eigen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace tsdist {
+
+EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  // Work on a symmetrized copy to absorb tiny numerical asymmetry.
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = 0.5 * (a(i, j) + a(j, i));
+    }
+  }
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&m, n]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) acc += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * acc);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() < tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Choose the smaller rotation for numerical stability.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,34 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Used by the embedding measures: GRAIL and SPIRAL both project data through
+// the eigendecomposition of a small landmark kernel matrix (Nystrom
+// approximation). Kernel matrices are symmetric positive semi-definite, so
+// the Jacobi method — simple, robust, and accurate for small dense systems —
+// is the right tool.
+
+#ifndef TSDIST_LINALG_EIGEN_H_
+#define TSDIST_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+/// Result of a symmetric eigendecomposition: A = V * diag(values) * V^T.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column j of this matrix is the eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Decomposes a symmetric matrix with the cyclic Jacobi method.
+/// `a` must be square and symmetric; asymmetry below 1e-9 is tolerated and
+/// symmetrized. Converges to off-diagonal Frobenius norm < tol.
+EigenDecomposition SymmetricEigen(const Matrix& a, double tol = 1e-12,
+                                  int max_sweeps = 100);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LINALG_EIGEN_H_

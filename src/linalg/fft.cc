@@ -1,0 +1,165 @@
+#include "src/linalg/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace tsdist {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Reorders `a` by bit-reversed index, the first stage of the iterative FFT.
+void BitReversePermute(std::vector<std::complex<double>>& a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+}  // namespace
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  assert(n > 0 && (n & (n - 1)) == 0 && "size must be a power of two");
+  BitReversePermute(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+std::vector<std::complex<double>> FftAnySize(
+    std::span<const std::complex<double>> a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0) return {};
+  if ((n & (n - 1)) == 0) {
+    std::vector<std::complex<double>> out(a.begin(), a.end());
+    Fft(out, inverse);
+    return out;
+  }
+  // Bluestein's algorithm: express the DFT as a convolution of chirped
+  // sequences, evaluated with power-of-two FFTs.
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<std::complex<double>> chirp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // i^2 mod 2n avoids precision loss for large i.
+    const double k = static_cast<double>((i * i) % (2 * n));
+    const double angle = sign * kPi * k / static_cast<double>(n);
+    chirp[i] = std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<std::complex<double>> fa(m, {0.0, 0.0});
+  std::vector<std::complex<double>> fb(m, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) fa[i] = a[i] * chirp[i];
+  fb[0] = std::conj(chirp[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    fb[i] = fb[m - i] = std::conj(chirp[i]);
+  }
+  Fft(fa, /*inverse=*/false);
+  Fft(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  Fft(fa, /*inverse=*/true);
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = fa[i] * chirp[i];
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : out) x *= inv_n;
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> NaiveDft(
+    std::span<const std::complex<double>> a, bool inverse) {
+  const std::size_t n = a.size();
+  std::vector<std::complex<double>> out(n, {0.0, 0.0});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          sign * 2.0 * kPi * static_cast<double>(k * t) / static_cast<double>(n);
+      out[k] += a[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : out) x *= inv_n;
+  }
+  return out;
+}
+
+std::vector<double> CrossCorrelationFft(std::span<const double> x,
+                                        std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t m = x.size();
+  if (m == 0) return {};
+  const std::size_t n = NextPowerOfTwo(2 * m - 1);
+  std::vector<std::complex<double>> fx(n, {0.0, 0.0});
+  std::vector<std::complex<double>> fy(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < m; ++i) {
+    fx[i] = std::complex<double>(x[i], 0.0);
+    fy[i] = std::complex<double>(y[i], 0.0);
+  }
+  Fft(fx, /*inverse=*/false);
+  Fft(fy, /*inverse=*/false);
+  for (std::size_t i = 0; i < n; ++i) fx[i] *= std::conj(fy[i]);
+  Fft(fx, /*inverse=*/true);
+  // fx[k] now holds sum_i x[i + k] * y[i] for lag k (circularly); negative
+  // lags wrap to the tail of the buffer.
+  std::vector<double> out(2 * m - 1, 0.0);
+  for (std::size_t w = 0; w < 2 * m - 1; ++w) {
+    const std::ptrdiff_t k =
+        static_cast<std::ptrdiff_t>(w) - static_cast<std::ptrdiff_t>(m - 1);
+    const std::size_t idx =
+        k >= 0 ? static_cast<std::size_t>(k) : n - static_cast<std::size_t>(-k);
+    out[w] = fx[idx].real();
+  }
+  return out;
+}
+
+std::vector<double> CrossCorrelationNaive(std::span<const double> x,
+                                          std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t m = x.size();
+  if (m == 0) return {};
+  std::vector<double> out(2 * m - 1, 0.0);
+  for (std::size_t w = 0; w < 2 * m - 1; ++w) {
+    const std::ptrdiff_t k =
+        static_cast<std::ptrdiff_t>(w) - static_cast<std::ptrdiff_t>(m - 1);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::ptrdiff_t xi = static_cast<std::ptrdiff_t>(i) + k;
+      if (xi < 0 || xi >= static_cast<std::ptrdiff_t>(m)) continue;
+      acc += x[static_cast<std::size_t>(xi)] * y[i];
+    }
+    out[w] = acc;
+  }
+  return out;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,53 @@
+// Fast Fourier Transform and FFT-based cross-correlation.
+//
+// Cross-correlation is the core primitive of the sliding measures (Section 6
+// of the paper): its naive cost is O(m^2) but drops to O(m log m) with the
+// FFT, the property that made the measure practical after Cooley-Tukey. We
+// implement an iterative radix-2 transform for power-of-two sizes and
+// Bluestein's chirp-z algorithm for arbitrary sizes.
+
+#ifndef TSDIST_LINALG_FFT_H_
+#define TSDIST_LINALG_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// In-place iterative radix-2 FFT. `a.size()` must be a power of two.
+/// When `inverse` is true computes the inverse transform including the 1/N
+/// scaling.
+void Fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// FFT of arbitrary size via Bluestein's algorithm (falls back to radix-2
+/// when the size is a power of two). Returns the transformed sequence.
+std::vector<std::complex<double>> FftAnySize(
+    std::span<const std::complex<double>> a, bool inverse);
+
+/// Naive O(n^2) DFT, used as a correctness oracle in tests.
+std::vector<std::complex<double>> NaiveDft(
+    std::span<const std::complex<double>> a, bool inverse);
+
+/// Full linear cross-correlation sequence of two equal-length real series.
+///
+/// Returns a vector of length 2m-1 whose entry w (0-based) corresponds to
+/// lag k = w - (m - 1):
+///   result[w] = sum_i x[i + k] * y[i]   over valid indices i.
+/// Entry w = m-1 (lag 0) is the plain inner product <x, y>.
+/// Cost: O(m log m).
+std::vector<double> CrossCorrelationFft(std::span<const double> x,
+                                        std::span<const double> y);
+
+/// Reference O(m^2) implementation of CrossCorrelationFft with identical
+/// output layout; used for testing and for very short series.
+std::vector<double> CrossCorrelationNaive(std::span<const double> x,
+                                          std::span<const double> y);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LINALG_FFT_H_

@@ -1,0 +1,74 @@
+// Minimal dense row-major matrix used by the dissimilarity engine and the
+// embedding measures. Not a general-purpose linear algebra library: it
+// implements exactly the operations the study needs (products, transpose,
+// row views) with contiguous storage for cache efficiency.
+
+#ifndef TSDIST_LINALG_MATRIX_H_
+#define TSDIST_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows-by-cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates a matrix from row-major data; `data.size()` must equal
+  /// `rows * cols`.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Read-only view of row r.
+  std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// Mutable view of row r.
+  std::span<double> mutable_row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Matrix product this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// True when dimensions and all entries match `other` within `tol`.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LINALG_MATRIX_H_

@@ -1,0 +1,51 @@
+#include "src/lockstep/combination_family.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::kEps;
+using lockstep_internal::SafeDiv;
+using lockstep_internal::SafeLog;
+using lockstep_internal::SafeSqrt;
+
+double TanejaDistance::Distance(std::span<const double> a,
+                                std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double s = a[i] + b[i];
+    const double g = 2.0 * SafeSqrt(a[i] * b[i]);
+    acc += 0.5 * s * (SafeLog(s) - SafeLog(g));
+  }
+  return acc;
+}
+
+double KumarJohnsonDistance::Distance(std::span<const double> a,
+                                      std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] * a[i] - b[i] * b[i];
+    const double prod = a[i] * b[i];
+    const double den = 2.0 * std::pow(prod < kEps ? kEps : prod, 1.5);
+    acc += SafeDiv(d * d, den);
+  }
+  return acc;
+}
+
+double AvgL1LinfDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0, best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(a[i] - b[i]);
+    sum += d;
+    best = std::max(best, d);
+  }
+  return 0.5 * (sum + best);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,40 @@
+// Combination measures (3): Taneja, Kumar-Johnson, Avg(L1, Linf). These
+// combine ideas from multiple families (entropy + fidelity, chi-square +
+// fidelity, L1 + Chebyshev). Avg(L1, Linf) is among the measures the paper
+// finds to significantly outperform ED (Table 2, Figure 2).
+
+#ifndef TSDIST_LOCKSTEP_COMBINATION_FAMILY_H_
+#define TSDIST_LOCKSTEP_COMBINATION_FAMILY_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// Taneja divergence: sum ((a+b)/2) * ln( (a+b) / (2*sqrt(a*b)) ).
+class TanejaDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "taneja"; }
+};
+
+/// Kumar-Johnson distance: sum (a^2 - b^2)^2 / (2 * (a*b)^(3/2)).
+class KumarJohnsonDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "kumarjohnson"; }
+};
+
+/// Average of L1 and Chebyshev: ( sum|a-b| + max|a-b| ) / 2.
+class AvgL1LinfDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "avg_l1_linf"; }
+  bool is_metric() const override { return true; }
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_COMBINATION_FAMILY_H_

@@ -1,0 +1,67 @@
+#include "src/lockstep/emanon_family.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::SafeDiv;
+
+double Emanon1Distance::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += SafeDiv(std::fabs(a[i] - b[i]), std::min(a[i], b[i]));
+  }
+  return acc;
+}
+
+double Emanon2Distance::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    const double mn = std::min(a[i], b[i]);
+    acc += SafeDiv(d * d, mn * mn);
+  }
+  return acc;
+}
+
+double Emanon3Distance::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += SafeDiv(d * d, std::min(a[i], b[i]));
+  }
+  return acc;
+}
+
+double Emanon4Distance::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += SafeDiv(d * d, std::max(a[i], b[i]));
+  }
+  return acc;
+}
+
+double MaxSymmetricChiSqDistance::Distance(std::span<const double> a,
+                                           std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc_a = 0.0, acc_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc_a += SafeDiv(d * d, a[i]);
+    acc_b += SafeDiv(d * d, b[i]);
+  }
+  return std::max(acc_a, acc_b);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,59 @@
+// "Emanon" measures (5): the distances proposed in Cha's survey without
+// names in the prior literature ("no name" reversed), a.k.a. the Vicis
+// measures. Emanon4 (Vicis symmetric chi-square, max-denominator form) under
+// MinMax is one of the three previously unreported measures the paper finds
+// to significantly outperform ED — the headline of debunked misconception M2.
+
+#ifndef TSDIST_LOCKSTEP_EMANON_FAMILY_H_
+#define TSDIST_LOCKSTEP_EMANON_FAMILY_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// Emanon1 (Vicis-Wave Hedges): sum |a-b| / min(a,b).
+class Emanon1Distance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "emanon1"; }
+};
+
+/// Emanon2 (Vicis symmetric chi-square, squared-min denominator):
+/// sum (a-b)^2 / min(a,b)^2.
+class Emanon2Distance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "emanon2"; }
+};
+
+/// Emanon3 (Vicis symmetric chi-square, min denominator):
+/// sum (a-b)^2 / min(a,b).
+class Emanon3Distance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "emanon3"; }
+};
+
+/// Emanon4 (Vicis symmetric chi-square, max denominator):
+/// sum (a-b)^2 / max(a,b).
+class Emanon4Distance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "emanon4"; }
+};
+
+/// Max-symmetric chi-square: max( sum (a-b)^2/a , sum (a-b)^2/b ).
+class MaxSymmetricChiSqDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "max_symmetric_chisq"; }
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_EMANON_FAMILY_H_

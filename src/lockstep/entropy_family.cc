@@ -1,0 +1,83 @@
+#include "src/lockstep/entropy_family.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::kEps;
+using lockstep_internal::SafeLog;
+
+namespace {
+
+// x * ln(x / y) with both arguments clamped positive; returns 0 when x is at
+// or below the clamp (lim_{x->0} x ln x = 0).
+double XLogXOverY(double x, double y) {
+  if (x < kEps) return 0.0;
+  return x * (SafeLog(x) - SafeLog(y));
+}
+
+}  // namespace
+
+double KullbackLeiblerDistance::Distance(std::span<const double> a,
+                                         std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += XLogXOverY(a[i], b[i]);
+  }
+  return acc;
+}
+
+double JeffreysDistance::Distance(std::span<const double> a,
+                                  std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += (a[i] - b[i]) * (SafeLog(a[i]) - SafeLog(b[i]));
+  }
+  return acc;
+}
+
+double KDivergenceDistance::Distance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += XLogXOverY(2.0 * a[i], a[i] + b[i]) / 2.0;
+  }
+  return acc;
+}
+
+double TopsoeDistance::Distance(std::span<const double> a,
+                                std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double s = a[i] + b[i];
+    acc += XLogXOverY(2.0 * a[i], s) / 2.0 + XLogXOverY(2.0 * b[i], s) / 2.0;
+  }
+  return acc;
+}
+
+double JensenShannonDistance::Distance(std::span<const double> a,
+                                       std::span<const double> b) const {
+  assert(a.size() == b.size());
+  TopsoeDistance topsoe;
+  return 0.5 * topsoe.Distance(a, b);
+}
+
+double JensenDifferenceDistance::Distance(std::span<const double> a,
+                                          std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i] < kEps ? kEps : a[i];
+    const double y = b[i] < kEps ? kEps : b[i];
+    const double m = 0.5 * (x + y);
+    acc += 0.5 * (x * SafeLog(x) + y * SafeLog(y)) - m * SafeLog(m);
+  }
+  return acc;
+}
+
+}  // namespace tsdist

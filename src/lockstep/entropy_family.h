@@ -1,0 +1,65 @@
+// Shannon-entropy family (6 measures): Kullback-Leibler, Jeffreys,
+// K divergence, Topsoe, Jensen-Shannon, Jensen difference. Information-
+// theoretic divergences defined for positive data; logarithm arguments are
+// clamped (see lockstep.h). Topsoe with MinMax appears in Table 2 of the
+// paper among the measures compared against ED.
+
+#ifndef TSDIST_LOCKSTEP_ENTROPY_FAMILY_H_
+#define TSDIST_LOCKSTEP_ENTROPY_FAMILY_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// Kullback-Leibler divergence: sum a * ln(a/b). Asymmetric.
+class KullbackLeiblerDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "kullback_leibler"; }
+};
+
+/// Jeffreys divergence (symmetrized KL): sum (a-b) * ln(a/b).
+class JeffreysDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "jeffreys"; }
+};
+
+/// K divergence: sum a * ln(2a / (a+b)).
+class KDivergenceDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "k_divergence"; }
+};
+
+/// Topsoe distance: sum [ a*ln(2a/(a+b)) + b*ln(2b/(a+b)) ].
+class TopsoeDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "topsoe"; }
+};
+
+/// Jensen-Shannon divergence: half the Topsoe distance.
+class JensenShannonDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "jensen_shannon"; }
+};
+
+/// Jensen difference:
+/// sum [ (a*ln a + b*ln b)/2 - ((a+b)/2) * ln((a+b)/2) ].
+class JensenDifferenceDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "jensen_difference"; }
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_ENTROPY_FAMILY_H_

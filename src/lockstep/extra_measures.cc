@@ -1,0 +1,43 @@
+#include "src/lockstep/extra_measures.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::kEps;
+
+double DissimDistance::Distance(std::span<const double> a,
+                                std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  if (m == 1) return std::fabs(a[0] - b[0]);
+  // Trapezoid approximation of the time integral of |a(t) - b(t)|.
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    const double d0 = std::fabs(a[i] - b[i]);
+    const double d1 = std::fabs(a[i + 1] - b[i + 1]);
+    acc += 0.5 * (d0 + d1);
+  }
+  return acc;
+}
+
+double AdaptiveScalingDistance::Distance(std::span<const double> a,
+                                         std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double dot_ab = 0.0, dot_bb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot_ab += a[i] * b[i];
+    dot_bb += b[i] * b[i];
+  }
+  const double alpha = dot_bb < kEps ? 0.0 : dot_ab / dot_bb;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - alpha * b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace tsdist

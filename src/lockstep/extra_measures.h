@@ -1,0 +1,37 @@
+// The two lock-step measures outside the Cha survey that the paper adds:
+// DISSIM and the Adaptive Scaling Distance (ASD).
+
+#ifndef TSDIST_LOCKSTEP_EXTRA_MEASURES_H_
+#define TSDIST_LOCKSTEP_EXTRA_MEASURES_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// DISSIM (Frentzos et al., ICDE'07): defines distance as the definite
+/// integral over time of the Euclidean distance between the series, to
+/// accommodate different sampling rates. For uniformly sampled series the
+/// integral is approximated by the trapezoid rule over per-point distances —
+/// "a modified version of ED that considers in the distance of the i-th
+/// points the (i+1)-th points", i.e. a smoothing of ED.
+class DissimDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "dissim"; }
+};
+
+/// Adaptive Scaling Distance (Chu & Wong, PODS'99; Yang & Leskovec, WSDM'11):
+/// embeds the AdaptiveScaling normalization into the comparison — each pair
+/// is compared under the optimal scaling factor alpha* = <a,b>/<b,b> that
+/// minimizes ||a - alpha*b||, and the distance is ED(a, alpha* b).
+class AdaptiveScalingDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "asd"; }
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_EXTRA_MEASURES_H_

@@ -1,0 +1,63 @@
+#include "src/lockstep/fidelity_family.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::SafeLog;
+using lockstep_internal::SafeSqrt;
+
+namespace {
+
+// sum over i of (sqrt(a_i) - sqrt(b_i))^2 with clamped square roots.
+double SquaredChordSum(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = SafeSqrt(a[i]) - SafeSqrt(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double FidelityDistance::Distance(std::span<const double> a,
+                                  std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += SafeSqrt(a[i] * b[i]);
+  }
+  return 1.0 - acc;
+}
+
+double BhattacharyyaDistance::Distance(std::span<const double> a,
+                                       std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += SafeSqrt(a[i] * b[i]);
+  }
+  return -SafeLog(acc);
+}
+
+double HellingerDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  return std::sqrt(2.0 * SquaredChordSum(a, b));
+}
+
+double MatusitaDistance::Distance(std::span<const double> a,
+                                  std::span<const double> b) const {
+  assert(a.size() == b.size());
+  return std::sqrt(SquaredChordSum(a, b));
+}
+
+double SquaredChordDistance::Distance(std::span<const double> a,
+                                      std::span<const double> b) const {
+  assert(a.size() == b.size());
+  return SquaredChordSum(a, b);
+}
+
+}  // namespace tsdist

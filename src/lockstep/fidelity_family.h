@@ -1,0 +1,57 @@
+// Fidelity (squared-chord) family (5 measures): Fidelity, Bhattacharyya,
+// Hellinger, Matusita, SquaredChord. These compare square roots of the
+// coordinates — meaningful for non-negative data, so negative products /
+// arguments are clamped to zero (see lockstep.h). In the paper's pipeline
+// they are paired with MinMax-style normalizations, which keep inputs in the
+// valid domain.
+
+#ifndef TSDIST_LOCKSTEP_FIDELITY_FAMILY_H_
+#define TSDIST_LOCKSTEP_FIDELITY_FAMILY_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// Fidelity dissimilarity: 1 - sum sqrt(a*b).
+class FidelityDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "fidelity"; }
+};
+
+/// Bhattacharyya distance: -ln( sum sqrt(a*b) ).
+class BhattacharyyaDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "bhattacharyya"; }
+};
+
+/// Hellinger distance: sqrt( 2 * sum (sqrt(a) - sqrt(b))^2 ).
+class HellingerDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "hellinger"; }
+};
+
+/// Matusita distance: sqrt( sum (sqrt(a) - sqrt(b))^2 ).
+class MatusitaDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "matusita"; }
+};
+
+/// Squared-chord distance: sum (sqrt(a) - sqrt(b))^2.
+class SquaredChordDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "squaredchord"; }
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_FIDELITY_FAMILY_H_

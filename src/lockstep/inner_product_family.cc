@@ -1,0 +1,81 @@
+#include "src/lockstep/inner_product_family.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::kEps;
+using lockstep_internal::SafeDiv;
+
+double InnerProductDistance::Distance(std::span<const double> a,
+                                      std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return -acc;
+}
+
+double HarmonicMeanDistance::Distance(std::span<const double> a,
+                                      std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += SafeDiv(a[i] * b[i], a[i] + b[i]);
+  }
+  return -2.0 * acc;
+}
+
+double CosineDistance::Distance(std::span<const double> a,
+                                std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double den = std::sqrt(na) * std::sqrt(nb);
+  return 1.0 - (den < kEps ? 0.0 : dot / den);
+}
+
+double KumarHassebrookDistance::Distance(std::span<const double> a,
+                                         std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return 1.0 - SafeDiv(dot, na + nb - dot);
+}
+
+double JaccardDistance::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return SafeDiv(sq, na + nb - dot);
+}
+
+double DiceDistance::Distance(std::span<const double> a,
+                              std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double na = 0.0, nb = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return SafeDiv(sq, na + nb);
+}
+
+}  // namespace tsdist

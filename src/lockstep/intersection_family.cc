@@ -1,0 +1,87 @@
+#include "src/lockstep/intersection_family.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::SafeDiv;
+
+double IntersectionDistance::Distance(std::span<const double> a,
+                                      std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a[i] - b[i]);
+  }
+  return 0.5 * acc;
+}
+
+double WaveHedgesDistance::Distance(std::span<const double> a,
+                                    std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += SafeDiv(std::fabs(a[i] - b[i]), std::max(a[i], b[i]));
+  }
+  return acc;
+}
+
+double CzekanowskiDistance::Distance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double min_sum = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    min_sum += std::min(a[i], b[i]);
+    total += a[i] + b[i];
+  }
+  return 1.0 - SafeDiv(2.0 * min_sum, total);
+}
+
+double MotykaDistance::Distance(std::span<const double> a,
+                                std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double max_sum = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_sum += std::max(a[i], b[i]);
+    total += a[i] + b[i];
+  }
+  return SafeDiv(max_sum, total);
+}
+
+double KulczynskiSDistance::Distance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double diff = 0.0, min_sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::fabs(a[i] - b[i]);
+    min_sum += std::min(a[i], b[i]);
+  }
+  return SafeDiv(diff, min_sum);
+}
+
+double RuzickaDistance::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double min_sum = 0.0, max_sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    min_sum += std::min(a[i], b[i]);
+    max_sum += std::max(a[i], b[i]);
+  }
+  return 1.0 - SafeDiv(min_sum, max_sum);
+}
+
+double TanimotoDistance::Distance(std::span<const double> a,
+                                  std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double sum_a = 0.0, sum_b = 0.0, min_sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum_a += a[i];
+    sum_b += b[i];
+    min_sum += std::min(a[i], b[i]);
+  }
+  return SafeDiv(sum_a + sum_b - 2.0 * min_sum, sum_a + sum_b - min_sum);
+}
+
+}  // namespace tsdist

@@ -1,0 +1,75 @@
+// Intersection family (7 measures): Intersection, Wave Hedges, Czekanowski,
+// Motyka, Kulczynski s, Ruzicka, Tanimoto. These compare coordinate-wise
+// minima/maxima ("overlap") of the two series. Several members are known to
+// be monotone transforms of each other on valid domains (e.g. Ruzicka's
+// distance form equals Soergel); the study keeps them all to mirror the
+// survey faithfully and documents the equivalences.
+
+#ifndef TSDIST_LOCKSTEP_INTERSECTION_FAMILY_H_
+#define TSDIST_LOCKSTEP_INTERSECTION_FAMILY_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// Intersection distance (non-overlap): (1/2) sum |a-b|.
+class IntersectionDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "intersection"; }
+};
+
+/// Wave Hedges distance: sum |a-b| / max(a,b).
+class WaveHedgesDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "wavehedges"; }
+};
+
+/// Czekanowski distance: 1 - 2*sum min(a,b) / sum(a+b).
+class CzekanowskiDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "czekanowski"; }
+};
+
+/// Motyka distance: sum max(a,b) / sum(a+b) (>= 0.5 on non-negative data).
+class MotykaDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "motyka"; }
+};
+
+/// Kulczynski similarity s = sum min(a,b) / sum|a-b|, reported as the
+/// distance 1/s (the survey's d = sum|a-b| / sum min).
+class KulczynskiSDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "kulczynski_s"; }
+};
+
+/// Ruzicka distance: 1 - sum min(a,b) / sum max(a,b).
+class RuzickaDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "ruzicka"; }
+};
+
+/// Tanimoto distance: (sum a + sum b - 2 sum min(a,b)) /
+/// (sum a + sum b - sum min(a,b)).
+class TanimotoDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "tanimoto"; }
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_INTERSECTION_FAMILY_H_

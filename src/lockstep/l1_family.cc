@@ -1,0 +1,75 @@
+#include "src/lockstep/l1_family.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::SafeDiv;
+
+double SorensenDistance::Distance(std::span<const double> a,
+                                  std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::fabs(a[i] - b[i]);
+    den += a[i] + b[i];
+  }
+  return SafeDiv(num, den);
+}
+
+double GowerDistance::Distance(std::span<const double> a,
+                               std::span<const double> b) const {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a[i] - b[i]);
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double SoergelDistance::Distance(std::span<const double> a,
+                                 std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::fabs(a[i] - b[i]);
+    den += std::max(a[i], b[i]);
+  }
+  return SafeDiv(num, den);
+}
+
+double KulczynskiDDistance::Distance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::fabs(a[i] - b[i]);
+    den += std::min(a[i], b[i]);
+  }
+  return SafeDiv(num, den);
+}
+
+double CanberraDistance::Distance(std::span<const double> a,
+                                  std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += SafeDiv(std::fabs(a[i] - b[i]), a[i] + b[i]);
+  }
+  return acc;
+}
+
+double LorentzianDistance::Distance(std::span<const double> a,
+                                    std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::log1p(std::fabs(a[i] - b[i]));
+  }
+  return acc;
+}
+
+}  // namespace tsdist

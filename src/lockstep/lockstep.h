@@ -1,0 +1,63 @@
+// Base class and shared numerical helpers for lock-step measures.
+//
+// The 52 lock-step measures follow the taxonomy of Cha's 2007 survey
+// ("Comprehensive survey on distance/similarity measures between probability
+// density functions"), adapted to real-valued time series as in the SIGMOD'20
+// study: seven families (Minkowski, L1, Intersection, Inner-product,
+// Fidelity, Squared-L2/chi-square, Entropy), three combination measures, five
+// "Emanon" measures proposed-but-unnamed in the survey, plus DISSIM and the
+// adaptive scaling distance (ASD).
+//
+// Domain handling: several formulas assume non-negative (probability-like)
+// input — they divide by coordinate values or take logs/square roots. Time
+// series are arbitrary reals, so, exactly like the practical implementations
+// the paper imports, we make the formulas total functions: denominators are
+// clamped away from zero (kEps), logarithm arguments are clamped positive,
+// and square-root arguments are clamped at zero. Combined with MinMax-style
+// normalizations (which the paper shows these measures prefer) the clamps are
+// rarely exercised; they only guarantee finite, deterministic output on all
+// inputs.
+
+#ifndef TSDIST_LOCKSTEP_LOCKSTEP_H_
+#define TSDIST_LOCKSTEP_LOCKSTEP_H_
+
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "src/core/distance_measure.h"
+
+namespace tsdist {
+
+/// Common base for O(m) point-wise measures.
+class LockStepMeasure : public DistanceMeasure {
+ public:
+  MeasureCategory category() const override { return MeasureCategory::kLockStep; }
+  CostClass cost_class() const override { return CostClass::kLinear; }
+};
+
+namespace lockstep_internal {
+
+/// Clamp bound shared by all domain guards.
+inline constexpr double kEps = 1e-10;
+
+/// x / y with |y| clamped to at least kEps (sign preserved; exact zero maps
+/// to +kEps).
+inline double SafeDiv(double x, double y) {
+  if (y > -kEps && y < kEps) {
+    y = (y < 0.0) ? -kEps : kEps;
+  }
+  return x / y;
+}
+
+/// Natural log with the argument clamped to at least kEps.
+inline double SafeLog(double x) { return std::log(x < kEps ? kEps : x); }
+
+/// Square root with negative arguments clamped to zero.
+inline double SafeSqrt(double x) { return std::sqrt(x < 0.0 ? 0.0 : x); }
+
+}  // namespace lockstep_internal
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_LOCKSTEP_H_

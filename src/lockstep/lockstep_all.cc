@@ -1,0 +1,118 @@
+#include "src/lockstep/lockstep_all.h"
+
+#include <memory>
+
+namespace tsdist {
+
+namespace {
+
+// Registers a default-constructible measure type under its name().
+template <typename M>
+void RegisterSimple(Registry* registry) {
+  const std::string name = M().name();
+  registry->Register(name,
+                     [](const ParamMap&) { return std::make_unique<M>(); });
+}
+
+}  // namespace
+
+void RegisterLockStepMeasures(Registry* registry) {
+  // Lp Minkowski family.
+  RegisterSimple<EuclideanDistance>(registry);
+  RegisterSimple<ManhattanDistance>(registry);
+  RegisterSimple<ChebyshevDistance>(registry);
+  registry->Register("minkowski", [](const ParamMap& params) -> MeasurePtr {
+    const auto it = params.find("p");
+    const double p = it == params.end() ? 2.0 : it->second;
+    return std::make_unique<MinkowskiDistance>(p);
+  });
+  // L1 family.
+  RegisterSimple<SorensenDistance>(registry);
+  RegisterSimple<GowerDistance>(registry);
+  RegisterSimple<SoergelDistance>(registry);
+  RegisterSimple<KulczynskiDDistance>(registry);
+  RegisterSimple<CanberraDistance>(registry);
+  RegisterSimple<LorentzianDistance>(registry);
+  // Intersection family.
+  RegisterSimple<IntersectionDistance>(registry);
+  RegisterSimple<WaveHedgesDistance>(registry);
+  RegisterSimple<CzekanowskiDistance>(registry);
+  RegisterSimple<MotykaDistance>(registry);
+  RegisterSimple<KulczynskiSDistance>(registry);
+  RegisterSimple<RuzickaDistance>(registry);
+  RegisterSimple<TanimotoDistance>(registry);
+  // Inner-product family.
+  RegisterSimple<InnerProductDistance>(registry);
+  RegisterSimple<HarmonicMeanDistance>(registry);
+  RegisterSimple<CosineDistance>(registry);
+  RegisterSimple<KumarHassebrookDistance>(registry);
+  RegisterSimple<JaccardDistance>(registry);
+  RegisterSimple<DiceDistance>(registry);
+  // Fidelity family.
+  RegisterSimple<FidelityDistance>(registry);
+  RegisterSimple<BhattacharyyaDistance>(registry);
+  RegisterSimple<HellingerDistance>(registry);
+  RegisterSimple<MatusitaDistance>(registry);
+  RegisterSimple<SquaredChordDistance>(registry);
+  // Squared-L2 (chi-square) family.
+  RegisterSimple<SquaredEuclideanDistance>(registry);
+  RegisterSimple<PearsonChiSqDistance>(registry);
+  RegisterSimple<NeymanChiSqDistance>(registry);
+  RegisterSimple<SquaredChiSqDistance>(registry);
+  RegisterSimple<ProbSymmetricChiSqDistance>(registry);
+  RegisterSimple<DivergenceDistance>(registry);
+  RegisterSimple<ClarkDistance>(registry);
+  RegisterSimple<AdditiveSymmetricChiSqDistance>(registry);
+  // Entropy family.
+  RegisterSimple<KullbackLeiblerDistance>(registry);
+  RegisterSimple<JeffreysDistance>(registry);
+  RegisterSimple<KDivergenceDistance>(registry);
+  RegisterSimple<TopsoeDistance>(registry);
+  RegisterSimple<JensenShannonDistance>(registry);
+  RegisterSimple<JensenDifferenceDistance>(registry);
+  // Combinations.
+  RegisterSimple<TanejaDistance>(registry);
+  RegisterSimple<KumarJohnsonDistance>(registry);
+  RegisterSimple<AvgL1LinfDistance>(registry);
+  // Emanon (Vicis) measures.
+  RegisterSimple<Emanon1Distance>(registry);
+  RegisterSimple<Emanon2Distance>(registry);
+  RegisterSimple<Emanon3Distance>(registry);
+  RegisterSimple<Emanon4Distance>(registry);
+  RegisterSimple<MaxSymmetricChiSqDistance>(registry);
+  // Extra measures.
+  RegisterSimple<DissimDistance>(registry);
+  RegisterSimple<AdaptiveScalingDistance>(registry);
+}
+
+const std::vector<std::string>& LockStepMeasureNames() {
+  static const std::vector<std::string> kNames = {
+      // Lp Minkowski (4)
+      "euclidean", "manhattan", "chebyshev", "minkowski",
+      // L1 (6)
+      "sorensen", "gower", "soergel", "kulczynski_d", "canberra", "lorentzian",
+      // Intersection (7)
+      "intersection", "wavehedges", "czekanowski", "motyka", "kulczynski_s",
+      "ruzicka", "tanimoto",
+      // Inner product (6)
+      "innerproduct", "harmonicmean", "cosine", "kumarhassebrook", "jaccard",
+      "dice",
+      // Fidelity (5)
+      "fidelity", "bhattacharyya", "hellinger", "matusita", "squaredchord",
+      // Squared L2 / chi-square (8)
+      "squared_euclidean", "pearson_chisq", "neyman_chisq", "squared_chisq",
+      "prob_symmetric_chisq", "divergence", "clark", "additive_symmetric_chisq",
+      // Entropy (6)
+      "kullback_leibler", "jeffreys", "k_divergence", "topsoe",
+      "jensen_shannon", "jensen_difference",
+      // Combinations (3)
+      "taneja", "kumarjohnson", "avg_l1_linf",
+      // Emanon (5)
+      "emanon1", "emanon2", "emanon3", "emanon4", "max_symmetric_chisq",
+      // Extra (2)
+      "dissim", "asd",
+  };
+  return kNames;
+}
+
+}  // namespace tsdist

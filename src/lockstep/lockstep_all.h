@@ -1,0 +1,33 @@
+// Aggregation header for the 52 lock-step measures: registration into a
+// Registry plus the canonical name list used by the Table 2 benchmark.
+
+#ifndef TSDIST_LOCKSTEP_LOCKSTEP_ALL_H_
+#define TSDIST_LOCKSTEP_LOCKSTEP_ALL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/registry.h"
+#include "src/lockstep/combination_family.h"
+#include "src/lockstep/emanon_family.h"
+#include "src/lockstep/entropy_family.h"
+#include "src/lockstep/extra_measures.h"
+#include "src/lockstep/fidelity_family.h"
+#include "src/lockstep/inner_product_family.h"
+#include "src/lockstep/intersection_family.h"
+#include "src/lockstep/l1_family.h"
+#include "src/lockstep/minkowski_family.h"
+#include "src/lockstep/squared_l2_family.h"
+
+namespace tsdist {
+
+/// Registers the 52 lock-step measures. The "minkowski" factory honours
+/// {"p": value} (default 2).
+void RegisterLockStepMeasures(Registry* registry);
+
+/// Names of all 52 lock-step measures, in survey (family) order.
+const std::vector<std::string>& LockStepMeasureNames();
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_LOCKSTEP_ALL_H_

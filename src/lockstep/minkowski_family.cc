@@ -1,0 +1,54 @@
+#include "src/lockstep/minkowski_family.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+double EuclideanDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double ManhattanDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a[i] - b[i]);
+  }
+  return acc;
+}
+
+double ChebyshevDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+MinkowskiDistance::MinkowskiDistance(double p) : p_(p) {
+  assert(p_ > 0.0);
+}
+
+double MinkowskiDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::pow(std::fabs(a[i] - b[i]), p_);
+  }
+  return std::pow(acc, 1.0 / p_);
+}
+
+}  // namespace tsdist

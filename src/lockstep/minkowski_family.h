@@ -1,0 +1,58 @@
+// Lp Minkowski family (4 measures): Euclidean, Manhattan, Chebyshev,
+// Minkowski(p). Euclidean distance is the baseline the paper's misconception
+// M2 concerns; Minkowski is the only lock-step measure requiring parameter
+// tuning (Table 4: p in {0.1 ... 20}).
+
+#ifndef TSDIST_LOCKSTEP_MINKOWSKI_FAMILY_H_
+#define TSDIST_LOCKSTEP_MINKOWSKI_FAMILY_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// Euclidean (L2-norm) distance: sqrt(sum (a_i - b_i)^2).
+class EuclideanDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "euclidean"; }
+  bool is_metric() const override { return true; }
+};
+
+/// Manhattan (L1-norm, city block) distance: sum |a_i - b_i|.
+class ManhattanDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "manhattan"; }
+  bool is_metric() const override { return true; }
+};
+
+/// Chebyshev (L-infinity) distance: max_i |a_i - b_i|.
+class ChebyshevDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "chebyshev"; }
+  bool is_metric() const override { return true; }
+};
+
+/// Minkowski (Lp-norm) distance: (sum |a_i - b_i|^p)^(1/p). A metric for
+/// p >= 1; for 0 < p < 1 it is still a valid dissimilarity (the paper tunes
+/// p down to 0.1).
+class MinkowskiDistance : public LockStepMeasure {
+ public:
+  explicit MinkowskiDistance(double p = 2.0);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "minkowski"; }
+  bool is_metric() const override { return p_ >= 1.0; }
+  ParamMap params() const override { return {{"p", p_}}; }
+
+ private:
+  double p_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_MINKOWSKI_FAMILY_H_

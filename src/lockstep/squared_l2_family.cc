@@ -1,0 +1,99 @@
+#include "src/lockstep/squared_l2_family.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+using lockstep_internal::SafeDiv;
+
+double SquaredEuclideanDistance::Distance(std::span<const double> a,
+                                          std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double PearsonChiSqDistance::Distance(std::span<const double> a,
+                                      std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += SafeDiv(d * d, b[i]);
+  }
+  return acc;
+}
+
+double NeymanChiSqDistance::Distance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += SafeDiv(d * d, a[i]);
+  }
+  return acc;
+}
+
+double SquaredChiSqDistance::Distance(std::span<const double> a,
+                                      std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += SafeDiv(d * d, a[i] + b[i]);
+  }
+  return acc;
+}
+
+double ProbSymmetricChiSqDistance::Distance(std::span<const double> a,
+                                            std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += SafeDiv(d * d, a[i] + b[i]);
+  }
+  return 2.0 * acc;
+}
+
+double DivergenceDistance::Distance(std::span<const double> a,
+                                    std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    const double s = a[i] + b[i];
+    acc += SafeDiv(d * d, s * s);
+  }
+  return 2.0 * acc;
+}
+
+double ClarkDistance::Distance(std::span<const double> a,
+                               std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double t = SafeDiv(std::fabs(a[i] - b[i]), a[i] + b[i]);
+    acc += t * t;
+  }
+  return std::sqrt(acc);
+}
+
+double AdditiveSymmetricChiSqDistance::Distance(std::span<const double> a,
+                                                std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += SafeDiv(d * d * (a[i] + b[i]), a[i] * b[i]);
+  }
+  return acc;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,81 @@
+// Squared-L2 (chi-square) family (8 measures): SquaredEuclidean, Pearson
+// chi^2, Neyman chi^2, Squared chi^2, Probabilistic-symmetric chi^2,
+// Divergence, Clark, Additive-symmetric chi^2. These weight squared
+// differences by the coordinate magnitudes. The Clark distance appears in
+// Table 2 of the paper among the measures compared against ED under MinMax.
+
+#ifndef TSDIST_LOCKSTEP_SQUARED_L2_FAMILY_H_
+#define TSDIST_LOCKSTEP_SQUARED_L2_FAMILY_H_
+
+#include "src/lockstep/lockstep.h"
+
+namespace tsdist {
+
+/// Squared Euclidean distance: sum (a-b)^2. Monotone transform of ED (same
+/// 1-NN ordering), kept for survey fidelity.
+class SquaredEuclideanDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "squared_euclidean"; }
+};
+
+/// Pearson chi-square: sum (a-b)^2 / b. Asymmetric.
+class PearsonChiSqDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "pearson_chisq"; }
+};
+
+/// Neyman chi-square: sum (a-b)^2 / a. Asymmetric.
+class NeymanChiSqDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "neyman_chisq"; }
+};
+
+/// Squared chi-square: sum (a-b)^2 / (a+b).
+class SquaredChiSqDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "squared_chisq"; }
+};
+
+/// Probabilistic symmetric chi-square: 2 * sum (a-b)^2 / (a+b).
+class ProbSymmetricChiSqDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "prob_symmetric_chisq"; }
+};
+
+/// Divergence: 2 * sum (a-b)^2 / (a+b)^2.
+class DivergenceDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "divergence"; }
+};
+
+/// Clark distance: sqrt( sum ( |a-b| / (a+b) )^2 ).
+class ClarkDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "clark"; }
+};
+
+/// Additive symmetric chi-square: sum (a-b)^2 * (a+b) / (a*b).
+class AdditiveSymmetricChiSqDistance : public LockStepMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "additive_symmetric_chisq"; }
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_LOCKSTEP_SQUARED_L2_FAMILY_H_

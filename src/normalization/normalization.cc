@@ -1,0 +1,189 @@
+#include "src/normalization/normalization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct Stats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Stats ComputeStats(std::span<const double> values) {
+  Stats s;
+  if (values.empty()) return s;
+  s.min = s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+}  // namespace
+
+TimeSeries Normalizer::Apply(const TimeSeries& series) const {
+  return TimeSeries(Apply(series.values()), series.label());
+}
+
+Dataset Normalizer::Apply(const Dataset& dataset) const {
+  std::vector<TimeSeries> train;
+  train.reserve(dataset.train_size());
+  for (const auto& s : dataset.train()) train.push_back(Apply(s));
+  std::vector<TimeSeries> test;
+  test.reserve(dataset.test_size());
+  for (const auto& s : dataset.test()) test.push_back(Apply(s));
+  return Dataset(dataset.name(), std::move(train), std::move(test));
+}
+
+std::vector<double> ZScoreNormalizer::Apply(std::span<const double> values) const {
+  const Stats s = ComputeStats(values);
+  double var = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    var += d * d;
+  }
+  const double stddev =
+      values.empty() ? 0.0 : std::sqrt(var / static_cast<double>(values.size()));
+  std::vector<double> out(values.size());
+  if (stddev < kEps) {
+    // Constant series: define the output as all-zeros (centred).
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - s.mean) / stddev;
+  }
+  return out;
+}
+
+MinMaxNormalizer::MinMaxNormalizer(double lo, double hi) : lo_(lo), hi_(hi) {
+  assert(hi_ > lo_);
+}
+
+std::vector<double> MinMaxNormalizer::Apply(std::span<const double> values) const {
+  const Stats s = ComputeStats(values);
+  const double range = s.max - s.min;
+  std::vector<double> out(values.size());
+  if (range < kEps) {
+    std::fill(out.begin(), out.end(), lo_);
+    return out;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = lo_ + (values[i] - s.min) * (hi_ - lo_) / range;
+  }
+  return out;
+}
+
+std::vector<double> MeanNormalizer::Apply(std::span<const double> values) const {
+  const Stats s = ComputeStats(values);
+  const double range = s.max - s.min;
+  std::vector<double> out(values.size());
+  if (range < kEps) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - s.mean) / range;
+  }
+  return out;
+}
+
+std::vector<double> MedianNormalizer::Apply(std::span<const double> values) const {
+  std::vector<double> out(values.begin(), values.end());
+  if (values.empty()) return out;
+  std::vector<double> tmp = out;
+  std::nth_element(tmp.begin(), tmp.begin() + tmp.size() / 2, tmp.end());
+  double median = tmp[tmp.size() / 2];
+  if (tmp.size() % 2 == 0) {
+    const double hi = median;
+    std::nth_element(tmp.begin(), tmp.begin() + tmp.size() / 2 - 1, tmp.end());
+    median = 0.5 * (tmp[tmp.size() / 2 - 1] + hi);
+  }
+  if (std::fabs(median) < kEps) {
+    median = median < 0.0 ? -kEps : kEps;
+  }
+  for (double& v : out) v /= median;
+  return out;
+}
+
+std::vector<double> UnitLengthNormalizer::Apply(std::span<const double> values) const {
+  double norm = 0.0;
+  for (double v : values) norm += v * v;
+  norm = std::sqrt(norm);
+  std::vector<double> out(values.begin(), values.end());
+  if (norm < kEps) return out;
+  for (double& v : out) v /= norm;
+  return out;
+}
+
+std::vector<double> LogisticNormalizer::Apply(std::span<const double> values) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = 1.0 / (1.0 + std::exp(-values[i]));
+  }
+  return out;
+}
+
+std::vector<double> TanhNormalizer::Apply(std::span<const double> values) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = std::tanh(values[i]);
+  }
+  return out;
+}
+
+std::vector<double> IdentityNormalizer::Apply(std::span<const double> values) const {
+  return {values.begin(), values.end()};
+}
+
+AdaptiveScalingMeasure::AdaptiveScalingMeasure(MeasurePtr base)
+    : base_(std::move(base)) {
+  assert(base_ != nullptr);
+}
+
+double AdaptiveScalingMeasure::Distance(std::span<const double> a,
+                                        std::span<const double> b) const {
+  assert(a.size() == b.size());
+  double dot_ab = 0.0, dot_bb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot_ab += a[i] * b[i];
+    dot_bb += b[i] * b[i];
+  }
+  const double alpha = dot_bb < kEps ? 1.0 : dot_ab / dot_bb;
+  std::vector<double> scaled(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) scaled[i] = alpha * b[i];
+  return base_->Distance(a, scaled);
+}
+
+NormalizerPtr MakeNormalizer(const std::string& name) {
+  if (name == "zscore") return std::make_unique<ZScoreNormalizer>();
+  if (name == "minmax") return std::make_unique<MinMaxNormalizer>();
+  if (name == "meannorm") return std::make_unique<MeanNormalizer>();
+  if (name == "mediannorm") return std::make_unique<MedianNormalizer>();
+  if (name == "unitlength") return std::make_unique<UnitLengthNormalizer>();
+  if (name == "logistic") return std::make_unique<LogisticNormalizer>();
+  if (name == "tanh") return std::make_unique<TanhNormalizer>();
+  if (name == "none") return std::make_unique<IdentityNormalizer>();
+  return nullptr;
+}
+
+const std::vector<std::string>& PerSeriesNormalizerNames() {
+  static const std::vector<std::string> kNames = {
+      "zscore",     "minmax",     "meannorm", "mediannorm",
+      "unitlength", "logistic",   "tanh",
+  };
+  return kNames;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,145 @@
+// The 8 time-series normalization methods of Section 4 of the paper.
+//
+// Seven of them are per-series transforms (z-score, MinMax, MeanNorm,
+// MedianNorm, UnitLength, Logistic, Tanh); AdaptiveScaling is fundamentally
+// pairwise — it rescales one series optimally against the other inside each
+// comparison — and is therefore exposed as a measure wrapper rather than a
+// per-series transform.
+
+#ifndef TSDIST_NORMALIZATION_NORMALIZATION_H_
+#define TSDIST_NORMALIZATION_NORMALIZATION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/distance_measure.h"
+#include "src/core/time_series.h"
+
+namespace tsdist {
+
+/// Per-series normalization transform.
+class Normalizer {
+ public:
+  virtual ~Normalizer() = default;
+
+  /// Transformed copy of the input values.
+  virtual std::vector<double> Apply(std::span<const double> values) const = 0;
+
+  /// Registry name ("zscore", "minmax", ...).
+  virtual std::string name() const = 0;
+
+  /// Applies the transform to a series, keeping its label.
+  TimeSeries Apply(const TimeSeries& series) const;
+
+  /// Applies the transform to every series of both splits.
+  Dataset Apply(const Dataset& dataset) const;
+};
+
+using NormalizerPtr = std::unique_ptr<Normalizer>;
+
+/// Z-score: (x - mean) / std. Constant series map to all-zeros.
+class ZScoreNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "zscore"; }
+};
+
+/// MinMax: (x - min) / (max - min), scaled into [lo, hi] (default [0, 1]).
+/// The paper notes many measures cannot deal with zeros, hence the optional
+/// range shift (eq. 3).
+class MinMaxNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  explicit MinMaxNormalizer(double lo = 0.0, double hi = 1.0);
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "minmax"; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// MeanNorm: (x - mean) / (max - min) — z-score numerator with MinMax
+/// denominator (eq. 4). The method the paper finds to "perform the best" for
+/// several measures.
+class MeanNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "meannorm"; }
+};
+
+/// MedianNorm: x / median(x) (eq. 5). Numerically delicate when the median
+/// is near zero; the divisor is clamped.
+class MedianNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "mediannorm"; }
+};
+
+/// UnitLength: x / ||x||_2 (eq. 6).
+class UnitLengthNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "unitlength"; }
+};
+
+/// Logistic (sigmoid) activation: 1 / (1 + e^-x) (eq. 8).
+class LogisticNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "logistic"; }
+};
+
+/// Hyperbolic-tangent activation: tanh(x) (eq. 9).
+class TanhNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "tanh"; }
+};
+
+/// Identity transform, for uniform experiment plumbing.
+class IdentityNormalizer : public Normalizer {
+ public:
+  using Normalizer::Apply;
+  std::vector<double> Apply(std::span<const double> values) const override;
+  std::string name() const override { return "none"; }
+};
+
+/// AdaptiveScaling as a pairwise measure wrapper (eq. 7): before delegating
+/// to the base measure, the second series is rescaled by the factor
+/// alpha* = <a,b>/<b,b> minimizing ||a - alpha*b||.
+class AdaptiveScalingMeasure : public DistanceMeasure {
+ public:
+  explicit AdaptiveScalingMeasure(MeasurePtr base);
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "adaptive+" + base_->name(); }
+  MeasureCategory category() const override { return base_->category(); }
+  CostClass cost_class() const override { return base_->cost_class(); }
+  ParamMap params() const override { return base_->params(); }
+
+ private:
+  MeasurePtr base_;
+};
+
+/// Constructs a per-series normalizer by name: "zscore", "minmax",
+/// "meannorm", "mediannorm", "unitlength", "logistic", "tanh", "none".
+/// Returns nullptr for unknown names ("adaptive" is pairwise; see
+/// AdaptiveScalingMeasure).
+NormalizerPtr MakeNormalizer(const std::string& name);
+
+/// The seven per-series normalization method names, in paper order.
+const std::vector<std::string>& PerSeriesNormalizerNames();
+
+}  // namespace tsdist
+
+#endif  // TSDIST_NORMALIZATION_NORMALIZATION_H_

@@ -1,0 +1,163 @@
+#include "src/search/mass.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <limits>
+
+#include "src/linalg/fft.h"
+
+namespace tsdist {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// Running mean and population stddev of every length-m window of `series`.
+void WindowStats(std::span<const double> series, std::size_t m,
+                 std::vector<double>* means, std::vector<double>* stds) {
+  const std::size_t n = series.size();
+  const std::size_t windows = n - m + 1;
+  means->resize(windows);
+  stds->resize(windows);
+  // Prefix sums of x and x^2 for O(1) window statistics.
+  std::vector<double> sum(n + 1, 0.0), sum_sq(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i + 1] = sum[i] + series[i];
+    sum_sq[i + 1] = sum_sq[i] + series[i] * series[i];
+  }
+  const double dm = static_cast<double>(m);
+  for (std::size_t i = 0; i < windows; ++i) {
+    const double s = sum[i + m] - sum[i];
+    const double sq = sum_sq[i + m] - sum_sq[i];
+    const double mean = s / dm;
+    const double var = std::max(sq / dm - mean * mean, 0.0);
+    (*means)[i] = mean;
+    (*stds)[i] = std::sqrt(var);
+  }
+}
+
+}  // namespace
+
+std::vector<double> SlidingDotProduct(std::span<const double> query,
+                                      std::span<const double> series) {
+  const std::size_t m = query.size();
+  const std::size_t n = series.size();
+  assert(m >= 1 && m <= n);
+  const std::size_t size = NextPowerOfTwo(n + m);
+  std::vector<std::complex<double>> fs(size, {0.0, 0.0});
+  std::vector<std::complex<double>> fq(size, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) fs[i] = {series[i], 0.0};
+  for (std::size_t i = 0; i < m; ++i) fq[i] = {query[i], 0.0};
+  Fft(fs, /*inverse=*/false);
+  Fft(fq, /*inverse=*/false);
+  for (std::size_t i = 0; i < size; ++i) fs[i] *= std::conj(fq[i]);
+  Fft(fs, /*inverse=*/true);
+  std::vector<double> out(n - m + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fs[i].real();
+  return out;
+}
+
+std::vector<double> MassDistanceProfile(std::span<const double> query,
+                                        std::span<const double> series) {
+  const std::size_t m = query.size();
+  assert(m >= 1 && m <= series.size());
+
+  double q_mean = 0.0;
+  for (double v : query) q_mean += v;
+  q_mean /= static_cast<double>(m);
+  double q_var = 0.0;
+  for (double v : query) q_var += (v - q_mean) * (v - q_mean);
+  const double q_std = std::sqrt(q_var / static_cast<double>(m));
+
+  std::vector<double> means, stds;
+  WindowStats(series, m, &means, &stds);
+  const std::vector<double> qs = SlidingDotProduct(query, series);
+
+  const double dm = static_cast<double>(m);
+  std::vector<double> profile(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const bool q_flat = q_std < kEps;
+    const bool w_flat = stds[i] < kEps;
+    if (q_flat && w_flat) {
+      profile[i] = 0.0;  // both normalize to all-zeros
+    } else if (q_flat || w_flat) {
+      // One side is all-zeros after z-normalization; the other has
+      // squared norm m.
+      profile[i] = std::sqrt(dm);
+    } else {
+      const double corr =
+          (qs[i] - dm * q_mean * means[i]) / (dm * q_std * stds[i]);
+      const double sq = 2.0 * dm * (1.0 - corr);
+      profile[i] = std::sqrt(std::max(sq, 0.0));
+    }
+  }
+  return profile;
+}
+
+std::vector<double> NaiveDistanceProfile(std::span<const double> query,
+                                         std::span<const double> series) {
+  const std::size_t m = query.size();
+  const std::size_t n = series.size();
+  assert(m >= 1 && m <= n);
+
+  auto znorm = [](std::vector<double> v) {
+    double mean = 0.0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v) var += (x - mean) * (x - mean);
+    const double stddev = std::sqrt(var / static_cast<double>(v.size()));
+    for (double& x : v) {
+      x = stddev < kEps ? 0.0 : (x - mean) / stddev;
+    }
+    return v;
+  };
+  const std::vector<double> q = znorm({query.begin(), query.end()});
+
+  std::vector<double> profile(n - m + 1);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const std::vector<double> w =
+        znorm({series.begin() + static_cast<std::ptrdiff_t>(i),
+               series.begin() + static_cast<std::ptrdiff_t>(i + m)});
+    double acc = 0.0;
+    for (std::size_t t = 0; t < m; ++t) {
+      const double d = q[t] - w[t];
+      acc += d * d;
+    }
+    profile[i] = std::sqrt(acc);
+  }
+  return profile;
+}
+
+std::vector<SubsequenceMatch> TopKMatches(std::span<const double> query,
+                                          std::span<const double> series,
+                                          std::size_t k) {
+  std::vector<double> profile = MassDistanceProfile(query, series);
+  const std::size_t m = query.size();
+  const std::size_t exclusion = std::max<std::size_t>(1, m / 2);
+
+  std::vector<SubsequenceMatch> matches;
+  while (matches.size() < k) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      if (profile[i] < best_d) {
+        best_d = profile[i];
+        best = i;
+      }
+    }
+    if (!std::isfinite(best_d)) break;  // everything excluded
+    matches.push_back({best, best_d});
+    // Exclude the neighbourhood so matches do not trivially overlap.
+    const std::size_t lo = best > exclusion ? best - exclusion : 0;
+    const std::size_t hi = std::min(profile.size(), best + exclusion + 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      profile[i] = std::numeric_limits<double>::infinity();
+    }
+  }
+  return matches;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,51 @@
+// MASS: Mueen's Algorithm for Similarity Search (ref [103] of the paper).
+//
+// Computes the *distance profile* — the z-normalized Euclidean distance
+// between a query and every subsequence of a long series — in O(n log n)
+// using the FFT cross-correlation identity
+//   ED_znorm^2(q, s_i) = 2 m (1 - (QS_i - m mu_q mu_i) / (m sigma_q sigma_i)),
+// where QS is the sliding dot product. This is the engine behind
+// subsequence matching [51], motif discovery, and the similarity-search
+// workloads the paper's 1-NN evaluation stands in for.
+
+#ifndef TSDIST_SEARCH_MASS_H_
+#define TSDIST_SEARCH_MASS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// Sliding dot products of `query` against every length-|query| window of
+/// `series`; result[i] = sum_t query[t] * series[i + t]. Computed via FFT
+/// in O(n log n). Requires |query| <= |series|.
+std::vector<double> SlidingDotProduct(std::span<const double> query,
+                                      std::span<const double> series);
+
+/// Distance profile: z-normalized ED between `query` and every window of
+/// `series`. result[i] corresponds to the window starting at i
+/// (|series| - |query| + 1 entries). Constant windows are treated as
+/// all-zero after normalization.
+std::vector<double> MassDistanceProfile(std::span<const double> query,
+                                        std::span<const double> series);
+
+/// Reference O(n m) implementation of MassDistanceProfile (per-window
+/// z-normalization + ED), used as the correctness oracle.
+std::vector<double> NaiveDistanceProfile(std::span<const double> query,
+                                         std::span<const double> series);
+
+/// Top-k non-overlapping matches (smallest profile values, excluding
+/// windows overlapping an already-reported match by more than half the
+/// query length).
+struct SubsequenceMatch {
+  std::size_t position = 0;
+  double distance = 0.0;
+};
+std::vector<SubsequenceMatch> TopKMatches(std::span<const double> query,
+                                          std::span<const double> series,
+                                          std::size_t k);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_SEARCH_MASS_H_

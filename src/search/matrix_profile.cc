@@ -1,0 +1,83 @@
+#include "src/search/matrix_profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/search/mass.h"
+
+namespace tsdist {
+
+MatrixProfile ComputeMatrixProfile(std::span<const double> series,
+                                   std::size_t m) {
+  const std::size_t n = series.size();
+  assert(m >= 2);
+  assert(n >= 2 * m && "series must fit at least two non-trivial windows");
+  const std::size_t windows = n - m + 1;
+  const std::size_t exclusion = std::max<std::size_t>(1, m / 2);
+
+  MatrixProfile mp;
+  mp.window = m;
+  mp.profile.assign(windows, std::numeric_limits<double>::infinity());
+  mp.index.assign(windows, 0);
+
+  for (std::size_t i = 0; i < windows; ++i) {
+    const std::span<const double> query = series.subspan(i, m);
+    const std::vector<double> distances = MassDistanceProfile(query, series);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = i;
+    for (std::size_t j = 0; j < windows; ++j) {
+      // Trivial-match exclusion: windows overlapping i by more than half
+      // the window length match themselves, not structure.
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap < exclusion) continue;
+      if (distances[j] < best) {
+        best = distances[j];
+        best_j = j;
+      }
+    }
+    mp.profile[i] = best;
+    mp.index[i] = best_j;
+  }
+  return mp;
+}
+
+MotifPair TopMotif(const MatrixProfile& mp) {
+  assert(!mp.profile.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < mp.profile.size(); ++i) {
+    if (mp.profile[i] < mp.profile[best]) best = i;
+  }
+  MotifPair motif;
+  motif.first = std::min(best, mp.index[best]);
+  motif.second = std::max(best, mp.index[best]);
+  motif.distance = mp.profile[best];
+  return motif;
+}
+
+std::vector<std::size_t> TopDiscords(const MatrixProfile& mp, std::size_t k) {
+  const std::size_t exclusion = std::max<std::size_t>(1, mp.window / 2);
+  std::vector<double> profile = mp.profile;
+  std::vector<std::size_t> discords;
+  while (discords.size() < k) {
+    std::size_t best = 0;
+    double best_v = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      if (std::isfinite(profile[i]) && profile[i] > best_v) {
+        best_v = profile[i];
+        best = i;
+      }
+    }
+    if (best_v == -std::numeric_limits<double>::infinity()) break;
+    discords.push_back(best);
+    const std::size_t lo = best > exclusion ? best - exclusion : 0;
+    const std::size_t hi = std::min(profile.size(), best + exclusion + 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      profile[i] = -std::numeric_limits<double>::infinity();
+    }
+  }
+  return discords;
+}
+
+}  // namespace tsdist

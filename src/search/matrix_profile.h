@@ -1,0 +1,49 @@
+// Matrix profile (Yeh et al., ICDM'16 — refs [157, 158] of the paper).
+//
+// The self-join distance profile: for every length-m window of a series,
+// the z-normalized ED to its nearest *non-trivial* neighbour elsewhere in
+// the series. Its minima are motifs (repeated structure) and its maxima
+// are discords (anomalies) — two of the intro's headline tasks ("motif
+// discovery", "anomaly detection") driven purely by a distance measure.
+// Computed with one MASS pass per window (O(n^2 log n) total), which is
+// ample at library scale and keeps the implementation transparent.
+
+#ifndef TSDIST_SEARCH_MATRIX_PROFILE_H_
+#define TSDIST_SEARCH_MATRIX_PROFILE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// The matrix profile of `series` for window length `m`.
+struct MatrixProfile {
+  /// profile[i] = z-normalized ED from window i to its nearest non-trivial
+  /// neighbour (exclusion zone m/2 around i).
+  std::vector<double> profile;
+  /// index[i] = start of that nearest neighbour.
+  std::vector<std::size_t> index;
+  std::size_t window = 0;
+};
+
+/// Computes the matrix profile. Requires 2 <= m and n >= 2m (so every
+/// window has at least one non-trivial neighbour).
+MatrixProfile ComputeMatrixProfile(std::span<const double> series,
+                                   std::size_t m);
+
+/// The top motif: the pair of windows at minimum profile value.
+struct MotifPair {
+  std::size_t first = 0;
+  std::size_t second = 0;
+  double distance = 0.0;
+};
+MotifPair TopMotif(const MatrixProfile& mp);
+
+/// Top-k discords: windows with the largest profile values, separated by
+/// at least one exclusion zone (m/2).
+std::vector<std::size_t> TopDiscords(const MatrixProfile& mp, std::size_t k);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_SEARCH_MATRIX_PROFILE_H_

@@ -1,0 +1,33 @@
+#include "src/sliding/cross_correlation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/linalg/fft.h"
+
+namespace tsdist {
+
+namespace {
+
+// Below this length the O(m^2) direct method beats FFT setup cost.
+constexpr std::size_t kFftThreshold = 64;
+
+}  // namespace
+
+std::vector<double> CrossCorrelationSequence(std::span<const double> x,
+                                             std::span<const double> y) {
+  assert(x.size() == y.size());
+  if (x.size() < kFftThreshold) {
+    return CrossCorrelationNaive(x, y);
+  }
+  return CrossCorrelationFft(x, y);
+}
+
+double MaxCrossCorrelation(std::span<const double> x,
+                           std::span<const double> y) {
+  const std::vector<double> cc = CrossCorrelationSequence(x, y);
+  assert(!cc.empty());
+  return *std::max_element(cc.begin(), cc.end());
+}
+
+}  // namespace tsdist

@@ -1,0 +1,29 @@
+// Cross-correlation sequence utilities shared by the sliding measures.
+//
+// Cross-correlation "maximizes the correlation (or, equivalently, minimizes
+// the ED) between a time series x and all shifted versions of another time
+// series y" (paper Section 6). The full sequence CC_w has length 2m-1; the
+// library computes it in O(m log m) via the FFT (eq. 10), falling back to the
+// naive O(m^2) algorithm for tiny inputs where FFT setup dominates.
+
+#ifndef TSDIST_SLIDING_CROSS_CORRELATION_H_
+#define TSDIST_SLIDING_CROSS_CORRELATION_H_
+
+#include <span>
+#include <vector>
+
+namespace tsdist {
+
+/// Full cross-correlation sequence between two equal-length series:
+/// entry w in [0, 2m-2] is the inner product at lag k = w - (m-1). Chooses
+/// FFT or the direct algorithm based on the series length.
+std::vector<double> CrossCorrelationSequence(std::span<const double> x,
+                                             std::span<const double> y);
+
+/// Maximum of the cross-correlation sequence (the NCC similarity before
+/// normalization).
+double MaxCrossCorrelation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_SLIDING_CROSS_CORRELATION_H_

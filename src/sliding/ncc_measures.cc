@@ -1,0 +1,82 @@
+#include "src/sliding/ncc_measures.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "src/sliding/cross_correlation.h"
+
+namespace tsdist {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+double Norm2(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+double NccDistance::Distance(std::span<const double> a,
+                             std::span<const double> b) const {
+  assert(a.size() == b.size());
+  return -MaxCrossCorrelation(a, b);
+}
+
+double NccBiasedDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const double m = static_cast<double>(a.size());
+  return -MaxCrossCorrelation(a, b) / m;
+}
+
+double NccUnbiasedDistance::Distance(std::span<const double> a,
+                                     std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const std::vector<double> cc = CrossCorrelationSequence(a, b);
+  const std::size_t m = a.size();
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t w = 0; w < cc.size(); ++w) {
+    // Overlap length at index w: with lag k = w - (m-1), m - |k| points align.
+    const std::ptrdiff_t k =
+        static_cast<std::ptrdiff_t>(w) - static_cast<std::ptrdiff_t>(m - 1);
+    const double overlap = static_cast<double>(m) - std::fabs(static_cast<double>(k));
+    best = std::max(best, cc[w] / overlap);
+  }
+  return -best;
+}
+
+double NccCoefficientDistance::Distance(std::span<const double> a,
+                                        std::span<const double> b) const {
+  assert(a.size() == b.size());
+  const double den = Norm2(a) * Norm2(b);
+  if (den < kEps) return 1.0;
+  return 1.0 - MaxCrossCorrelation(a, b) / den;
+}
+
+void RegisterSlidingMeasures(Registry* registry) {
+  registry->Register("ncc", [](const ParamMap&) -> MeasurePtr {
+    return std::make_unique<NccDistance>();
+  });
+  registry->Register("nccb", [](const ParamMap&) -> MeasurePtr {
+    return std::make_unique<NccBiasedDistance>();
+  });
+  registry->Register("nccu", [](const ParamMap&) -> MeasurePtr {
+    return std::make_unique<NccUnbiasedDistance>();
+  });
+  registry->Register("nccc", [](const ParamMap&) -> MeasurePtr {
+    return std::make_unique<NccCoefficientDistance>();
+  });
+}
+
+const std::vector<std::string>& SlidingMeasureNames() {
+  static const std::vector<std::string> kNames = {"ncc", "nccb", "nccu", "nccc"};
+  return kNames;
+}
+
+}  // namespace tsdist

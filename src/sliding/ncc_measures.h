@@ -1,0 +1,66 @@
+// The 4 sliding distance measures (paper Section 6, eq. 11): variants of
+// normalized cross-correlation. Each maximizes a (possibly normalized)
+// cross-correlation over all 2m-1 shifts and converts the similarity into a
+// distance. NCCc is the Shape-Based Distance (SBD) of k-Shape, the measure
+// the paper identifies as the strongest parameter-free baseline — the one
+// most elastic measures fail to beat (debunked misconception M3).
+
+#ifndef TSDIST_SLIDING_NCC_MEASURES_H_
+#define TSDIST_SLIDING_NCC_MEASURES_H_
+
+#include "src/core/distance_measure.h"
+#include "src/core/registry.h"
+
+namespace tsdist {
+
+/// Common base for the sliding measures.
+class SlidingMeasure : public DistanceMeasure {
+ public:
+  MeasureCategory category() const override { return MeasureCategory::kSliding; }
+  CostClass cost_class() const override { return CostClass::kLinearithmic; }
+};
+
+/// Raw NCC: distance = -max_w CC_w(x, y). Assumes some underlying
+/// per-series normalization of the inputs.
+class NccDistance : public SlidingMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "ncc"; }
+};
+
+/// Biased estimator NCC_b: distance = -max_w CC_w(x, y) / m.
+class NccBiasedDistance : public SlidingMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "nccb"; }
+};
+
+/// Unbiased estimator NCC_u: distance = -max_w CC_w(x, y) / (m - |w - m|),
+/// dividing each lag by its overlap length.
+class NccUnbiasedDistance : public SlidingMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "nccu"; }
+};
+
+/// Coefficient-normalized NCC_c, a.k.a. SBD:
+/// distance = 1 - max_w CC_w(x, y) / (||x|| * ||y||), in [0, 2].
+class NccCoefficientDistance : public SlidingMeasure {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override;
+  std::string name() const override { return "nccc"; }
+};
+
+/// Registers ncc, nccb, nccu, nccc.
+void RegisterSlidingMeasures(Registry* registry);
+
+/// Names of the 4 sliding measures in paper order.
+const std::vector<std::string>& SlidingMeasureNames();
+
+}  // namespace tsdist
+
+#endif  // TSDIST_SLIDING_NCC_MEASURES_H_

@@ -1,0 +1,96 @@
+#include "src/stats/friedman.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/stats/wilcoxon.h"
+
+namespace tsdist {
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) by series expansion (x < a+1).
+double GammaPSeries(double a, double x) {
+  const double gln = std::lgamma(a);
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - gln);
+}
+
+// Regularized upper incomplete gamma Q(a, x) by continued fraction (x >= a+1).
+double GammaQContinuedFraction(double a, double x) {
+  const double gln = std::lgamma(a);
+  const double kFpMin = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+// Regularized upper incomplete gamma Q(a, x).
+double GammaQ(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+}  // namespace
+
+double ChiSquareSurvival(double x, double df) {
+  return GammaQ(0.5 * df, 0.5 * x);
+}
+
+FriedmanResult FriedmanTest(const Matrix& accuracies) {
+  const std::size_t n = accuracies.rows();
+  const std::size_t k = accuracies.cols();
+  FriedmanResult result;
+  result.n_datasets = n;
+  result.n_measures = k;
+  result.average_ranks.assign(k, 0.0);
+  if (n == 0 || k < 2) return result;
+
+  // Per dataset: rank 1 = highest accuracy. MidRanks ranks ascending, so we
+  // rank the negated accuracies.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> negated(k);
+    for (std::size_t j = 0; j < k; ++j) negated[j] = -accuracies(i, j);
+    const std::vector<double> ranks = MidRanks(negated);
+    for (std::size_t j = 0; j < k; ++j) result.average_ranks[j] += ranks[j];
+  }
+  for (double& r : result.average_ranks) r /= static_cast<double>(n);
+
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  double sum_r_sq = 0.0;
+  for (double r : result.average_ranks) sum_r_sq += r * r;
+  result.chi_square = 12.0 * dn / (dk * (dk + 1.0)) *
+                      (sum_r_sq - dk * (dk + 1.0) * (dk + 1.0) / 4.0);
+  const double denom = dn * (dk - 1.0) - result.chi_square;
+  result.f_statistic =
+      denom > 0.0 ? (dn - 1.0) * result.chi_square / denom : 0.0;
+  result.p_value = ChiSquareSurvival(result.chi_square, dk - 1.0);
+  return result;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,40 @@
+// Friedman test (Friedman 1937) for comparing k measures over N datasets.
+//
+// The paper's multi-measure significance test, again following Demsar: per
+// dataset, measures are ranked by accuracy (rank 1 = best, midranks for
+// ties); the test statistic aggregates squared deviations of the average
+// ranks from their expectation under the null of no difference. We report
+// both the chi-square form and Iman-Davenport's F form, and the p-value from
+// the chi-square approximation.
+
+#ifndef TSDIST_STATS_FRIEDMAN_H_
+#define TSDIST_STATS_FRIEDMAN_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+/// Outcome of a Friedman test over an N-datasets x k-measures accuracy
+/// matrix.
+struct FriedmanResult {
+  std::vector<double> average_ranks;  ///< length k, rank 1 = best
+  double chi_square = 0.0;            ///< chi-square-form statistic
+  double f_statistic = 0.0;           ///< Iman-Davenport improvement
+  double p_value = 1.0;               ///< from the chi-square approximation
+  std::size_t n_datasets = 0;
+  std::size_t n_measures = 0;
+};
+
+/// Runs the Friedman test on `accuracies` (rows = datasets, columns =
+/// measures; higher accuracy = better = lower rank).
+FriedmanResult FriedmanTest(const Matrix& accuracies);
+
+/// Survival function of the chi-square distribution: P(X > x) with `df`
+/// degrees of freedom (regularized upper incomplete gamma).
+double ChiSquareSurvival(double x, double df);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_STATS_FRIEDMAN_H_

@@ -1,0 +1,54 @@
+#include "src/stats/holm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tsdist {
+
+std::vector<HolmOutcome> HolmCorrection(const std::vector<double>& p_values,
+                                        double alpha) {
+  const std::size_t k = p_values.size();
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&p_values](std::size_t a, std::size_t b) {
+    return p_values[a] < p_values[b];
+  });
+
+  std::vector<HolmOutcome> outcomes(k);
+  bool still_rejecting = true;
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    HolmOutcome& outcome = outcomes[rank];
+    outcome.original_index = order[rank];
+    outcome.p_value = p_values[order[rank]];
+    outcome.adjusted_threshold = alpha / static_cast<double>(k - rank);
+    if (still_rejecting && outcome.p_value < outcome.adjusted_threshold) {
+      outcome.rejected = true;
+    } else {
+      still_rejecting = false;  // step-down: stop at the first failure
+      outcome.rejected = false;
+    }
+  }
+  return outcomes;
+}
+
+std::vector<double> HolmAdjustedPValues(const std::vector<double>& p_values) {
+  const std::size_t k = p_values.size();
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&p_values](std::size_t a, std::size_t b) {
+    return p_values[a] < p_values[b];
+  });
+
+  std::vector<double> adjusted(k, 0.0);
+  double running_max = 0.0;
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    const double scaled =
+        std::min(1.0, static_cast<double>(k - rank) * p_values[order[rank]]);
+    running_max = std::max(running_max, scaled);
+    adjusted[order[rank]] = running_max;
+  }
+  return adjusted;
+}
+
+}  // namespace tsdist

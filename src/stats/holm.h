@@ -1,0 +1,36 @@
+// Holm-Bonferroni step-down correction for multiple pairwise comparisons.
+//
+// Demsar 2006 (the methodology the paper follows) recommends Holm's
+// procedure when one baseline is compared against k measures with k
+// Wilcoxon tests: sort p-values ascending and compare p_(i) against
+// alpha / (k - i); reject hypotheses until the first failure. Controls the
+// family-wise error rate without the Nemenyi test's conservatism.
+
+#ifndef TSDIST_STATS_HOLM_H_
+#define TSDIST_STATS_HOLM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tsdist {
+
+/// Outcome of the Holm procedure for one hypothesis.
+struct HolmOutcome {
+  std::size_t original_index = 0;  ///< position in the input vector
+  double p_value = 0.0;
+  double adjusted_threshold = 0.0;  ///< alpha / (k - rank)
+  bool rejected = false;            ///< null rejected (difference significant)
+};
+
+/// Runs Holm's step-down procedure on `p_values` at level `alpha`.
+/// Returns outcomes sorted by ascending p-value.
+std::vector<HolmOutcome> HolmCorrection(const std::vector<double>& p_values,
+                                        double alpha);
+
+/// Holm-adjusted p-values in the original input order:
+/// p_adj_(i) = max over j <= i of min(1, (k - j) * p_(j)) (monotone).
+std::vector<double> HolmAdjustedPValues(const std::vector<double>& p_values);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_STATS_HOLM_H_

@@ -1,0 +1,36 @@
+#include "src/stats/nemenyi.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsdist {
+
+namespace {
+
+// Demsar 2006, Table 5(a): two-tailed studentized range / sqrt(2), for the
+// Nemenyi test. Index 0 corresponds to k = 2.
+constexpr double kQ005[] = {1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031,
+                            3.102, 3.164, 3.219, 3.268, 3.313, 3.354, 3.391,
+                            3.426, 3.458, 3.489, 3.517, 3.544};
+constexpr double kQ010[] = {1.645, 2.052, 2.291, 2.459, 2.589, 2.693, 2.780,
+                            2.855, 2.920, 2.978, 3.030, 3.077, 3.120, 3.159,
+                            3.196, 3.230, 3.261, 3.291, 3.319};
+
+}  // namespace
+
+double NemenyiCriticalValue(std::size_t k, double alpha) {
+  assert(k >= 2 && k <= 20);
+  assert(alpha == 0.05 || alpha == 0.10);
+  const std::size_t idx = k - 2;
+  return alpha == 0.05 ? kQ005[idx] : kQ010[idx];
+}
+
+double NemenyiCriticalDifference(std::size_t k, std::size_t n, double alpha) {
+  assert(n > 0);
+  const double dk = static_cast<double>(k);
+  const double dn = static_cast<double>(n);
+  return NemenyiCriticalValue(k, alpha) *
+         std::sqrt(dk * (dk + 1.0) / (6.0 * dn));
+}
+
+}  // namespace tsdist

@@ -1,0 +1,28 @@
+// Post-hoc Nemenyi test (Nemenyi 1963), following Demsar 2006.
+//
+// After a Friedman test rejects the null, two measures differ significantly
+// when their average ranks differ by at least the critical difference
+//   CD = q_alpha(k) * sqrt( k (k+1) / (6 N) ),
+// where q_alpha is the studentized-range quantile divided by sqrt(2). The
+// paper reports Nemenyi results at 90% confidence (alpha = 0.10), noting the
+// test "requires more evidence than Wilcoxon".
+
+#ifndef TSDIST_STATS_NEMENYI_H_
+#define TSDIST_STATS_NEMENYI_H_
+
+#include <cstddef>
+
+namespace tsdist {
+
+/// q_alpha(k): critical value of the studentized range statistic divided by
+/// sqrt(2), for k in [2, 20] and alpha in {0.05, 0.10} (Demsar's Table 5).
+/// Asserts on unsupported arguments.
+double NemenyiCriticalValue(std::size_t k, double alpha);
+
+/// Critical difference in average ranks for k measures over n datasets at
+/// significance `alpha` (0.05 or 0.10).
+double NemenyiCriticalDifference(std::size_t k, std::size_t n, double alpha);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_STATS_NEMENYI_H_

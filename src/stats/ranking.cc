@@ -1,0 +1,90 @@
+#include "src/stats/ranking.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "src/stats/friedman.h"
+#include "src/stats/nemenyi.h"
+
+namespace tsdist {
+
+CdAnalysis AnalyzeRanks(const Matrix& accuracies,
+                        const std::vector<std::string>& names, double alpha) {
+  assert(accuracies.cols() == names.size());
+  CdAnalysis out;
+  const FriedmanResult friedman = FriedmanTest(accuracies);
+  out.friedman_p_value = friedman.p_value;
+  if (names.size() >= 2 && accuracies.rows() > 0) {
+    out.critical_difference =
+        NemenyiCriticalDifference(names.size(), accuracies.rows(), alpha);
+  }
+
+  out.ranking.resize(names.size());
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    out.ranking[j].name = names[j];
+    out.ranking[j].average_rank = friedman.average_ranks[j];
+  }
+  std::sort(out.ranking.begin(), out.ranking.end(),
+            [](const RankedMeasure& a, const RankedMeasure& b) {
+              return a.average_rank < b.average_rank;
+            });
+
+  // Maximal runs of consecutive measures whose extreme ranks differ by less
+  // than CD (the bars of a critical-difference diagram).
+  const std::size_t k = out.ranking.size();
+  std::size_t group_start = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    // Extend the group that starts at group_start while within CD.
+    if (out.ranking[i].average_rank - out.ranking[group_start].average_rank >
+        out.critical_difference) {
+      // Emit [group_start, i-1] if it is maximal (not nested in previous).
+      if (out.groups.empty() || out.groups.back().back() < i - 1) {
+        std::vector<std::size_t> group;
+        for (std::size_t g = group_start; g < i; ++g) group.push_back(g);
+        out.groups.push_back(std::move(group));
+      }
+      // Advance group_start to the first measure within CD of measure i.
+      while (out.ranking[i].average_rank -
+                 out.ranking[group_start].average_rank >
+             out.critical_difference) {
+        ++group_start;
+      }
+    }
+  }
+  if (out.groups.empty() || out.groups.back().back() < k - 1) {
+    std::vector<std::size_t> group;
+    for (std::size_t g = group_start; g < k; ++g) group.push_back(g);
+    out.groups.push_back(std::move(group));
+  }
+  return out;
+}
+
+std::string RenderCdDiagram(const CdAnalysis& analysis) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "Friedman p-value: " << analysis.friedman_p_value
+     << "   Nemenyi CD: " << analysis.critical_difference << "\n";
+  std::size_t width = 0;
+  for (const auto& m : analysis.ranking) {
+    width = std::max(width, m.name.size());
+  }
+  for (std::size_t i = 0; i < analysis.ranking.size(); ++i) {
+    const auto& m = analysis.ranking[i];
+    os << "  " << std::setw(static_cast<int>(width)) << std::left << m.name
+       << "  avg rank " << std::setw(8) << std::right << m.average_rank << "  ";
+    // Mark group membership with bars, one column per group.
+    for (const auto& group : analysis.groups) {
+      const bool in_group =
+          std::find(group.begin(), group.end(), i) != group.end();
+      os << (in_group ? '|' : ' ');
+    }
+    os << "\n";
+  }
+  os << "  (measures sharing a '|' column are NOT significantly different)\n";
+  return os.str();
+}
+
+}  // namespace tsdist

@@ -1,0 +1,46 @@
+// Average-rank analysis and textual critical-difference diagrams.
+//
+// The paper's Figures 2-8 are critical-difference diagrams: measures placed
+// on an average-rank axis with a bar connecting groups whose rank difference
+// is below the Nemenyi critical difference. This module computes the
+// rankings and renders an ASCII rendition of those figures for the bench
+// binaries.
+
+#ifndef TSDIST_STATS_RANKING_H_
+#define TSDIST_STATS_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+/// One entry of a critical-difference analysis.
+struct RankedMeasure {
+  std::string name;
+  double average_rank = 0.0;
+};
+
+/// Full critical-difference analysis of an accuracy matrix.
+struct CdAnalysis {
+  std::vector<RankedMeasure> ranking;  ///< sorted by average rank (best first)
+  double critical_difference = 0.0;
+  double friedman_p_value = 1.0;
+  /// Groups of measure indices (into `ranking`) that are NOT significantly
+  /// different (maximal cliques of the "within CD" relation on the sorted
+  /// rank axis).
+  std::vector<std::vector<std::size_t>> groups;
+};
+
+/// Builds the analysis for `accuracies` (rows = datasets, columns = measures
+/// named by `names`) at significance `alpha` (0.05 or 0.10).
+CdAnalysis AnalyzeRanks(const Matrix& accuracies,
+                        const std::vector<std::string>& names, double alpha);
+
+/// Renders the analysis as a multi-line ASCII critical-difference diagram.
+std::string RenderCdDiagram(const CdAnalysis& analysis);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_STATS_RANKING_H_

@@ -1,0 +1,142 @@
+#include "src/stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace tsdist {
+
+namespace {
+
+// Largest sample size for which the exact permutation distribution is used.
+constexpr std::size_t kExactLimit = 25;
+
+// Exact two-sided p-value: P(T <= t_obs) under the null where every sign
+// assignment of the ranks is equally likely, doubled and capped at 1.
+// Ranks are midranks, so we work in half-units (2 * rank is integral).
+double ExactPValue(const std::vector<double>& ranks, double t_obs) {
+  std::vector<int> r2(ranks.size());
+  int total2 = 0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    r2[i] = static_cast<int>(std::lround(2.0 * ranks[i]));
+    total2 += r2[i];
+  }
+  // counts[s] = number of sign assignments with W+ (in half-units) == s.
+  std::vector<double> counts(static_cast<std::size_t>(total2) + 1, 0.0);
+  counts[0] = 1.0;
+  int running = 0;
+  for (int r : r2) {
+    running += r;
+    for (int s = running; s >= r; --s) {
+      counts[static_cast<std::size_t>(s)] +=
+          counts[static_cast<std::size_t>(s - r)];
+    }
+  }
+  const double n_assignments = std::pow(2.0, static_cast<double>(r2.size()));
+  const int t2 = static_cast<int>(std::lround(2.0 * t_obs));
+  // T = min(W+, W-); by symmetry P(min <= t) = P(W+ <= t) + P(W+ >= total-t)
+  // (the two events are disjoint when t < total/2).
+  double cum = 0.0;
+  for (int s = 0; s <= t2 && s <= total2; ++s) {
+    cum += counts[static_cast<std::size_t>(s)];
+  }
+  double p = 2.0 * cum / n_assignments;
+  return std::min(1.0, p);
+}
+
+}  // namespace
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg = 0.5 * (static_cast<double>(i + 1) +
+                              static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  WilcoxonResult result;
+
+  std::vector<double> diffs;
+  diffs.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  result.n_nonzero = diffs.size();
+  if (diffs.empty()) return result;  // identical samples: p = 1
+
+  std::vector<double> abs_diffs(diffs.size());
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    abs_diffs[i] = std::fabs(diffs[i]);
+  }
+  const std::vector<double> ranks = MidRanks(abs_diffs);
+
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    if (diffs[i] > 0.0) {
+      result.w_plus += ranks[i];
+    } else {
+      result.w_minus += ranks[i];
+    }
+  }
+  result.statistic = std::min(result.w_plus, result.w_minus);
+
+  const std::size_t n = diffs.size();
+  if (n <= kExactLimit) {
+    result.p_value = ExactPValue(ranks, result.statistic);
+    return result;
+  }
+
+  // Normal approximation with tie correction. The variance of W+ is
+  // n(n+1)(2n+1)/24 minus sum(t^3 - t)/48 over tie groups.
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn + 1.0) / 4.0;
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted = abs_diffs;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double var = dn * (dn + 1.0) * (2.0 * dn + 1.0) / 24.0 - tie_term / 48.0;
+  if (var <= 0.0) {
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  const double z = (result.statistic - mean + 0.5) / std::sqrt(var);
+  result.p_value = std::min(1.0, 2.0 * NormalCdf(z));
+  return result;
+}
+
+bool SignificantlyGreater(const std::vector<double>& a,
+                          const std::vector<double>& b, double alpha) {
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  return r.p_value < alpha && r.w_plus > r.w_minus;
+}
+
+}  // namespace tsdist

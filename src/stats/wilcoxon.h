@@ -1,0 +1,45 @@
+// Wilcoxon signed-rank test (Wilcoxon 1945).
+//
+// The paper's pairwise significance test, following Demsar's methodology for
+// comparing two classifiers over multiple datasets: differences in accuracy
+// per dataset are ranked by magnitude (midranks for ties, zeros dropped) and
+// the smaller signed-rank sum is the statistic. Exact null distribution for
+// small samples, normal approximation with tie and continuity corrections
+// otherwise. The paper uses a 95% confidence level.
+
+#ifndef TSDIST_STATS_WILCOXON_H_
+#define TSDIST_STATS_WILCOXON_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tsdist {
+
+/// Outcome of a Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  double statistic = 0.0;     ///< T = min(W+, W-)
+  double w_plus = 0.0;        ///< signed-rank sum of positive differences
+  double w_minus = 0.0;       ///< signed-rank sum of negative differences
+  double p_value = 1.0;       ///< two-sided
+  std::size_t n_nonzero = 0;  ///< pairs remaining after dropping zero diffs
+};
+
+/// Two-sided test of the hypothesis that paired samples `a` and `b` come
+/// from the same distribution. Vectors must have equal length.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Convenience: true when `a` is significantly better (larger) than `b` at
+/// the given significance level, i.e. two-sided p < alpha and W+ > W-.
+bool SignificantlyGreater(const std::vector<double>& a,
+                          const std::vector<double>& b, double alpha = 0.05);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+/// Midranks of `values` (1-based average ranks, ties share the mean rank).
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_STATS_WILCOXON_H_

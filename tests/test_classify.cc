@@ -1,0 +1,161 @@
+// Unit tests for the 1-NN classifier, LOOCV, and tuning.
+
+#include <gtest/gtest.h>
+
+#include "src/classify/one_nn.h"
+#include "src/classify/param_grids.h"
+#include "src/classify/tuning.h"
+#include "src/data/generators.h"
+
+namespace tsdist {
+namespace {
+
+TEST(OneNnTest, PerfectMatrixGivesFullAccuracy) {
+  // Test i is closest to train i, labels match.
+  Matrix e(2, 2, {0.1, 5.0, 5.0, 0.1});
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(e, {0, 1}, {0, 1}), 1.0);
+}
+
+TEST(OneNnTest, AdversarialMatrixGivesZeroAccuracy) {
+  Matrix e(2, 2, {5.0, 0.1, 0.1, 5.0});
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(e, {0, 1}, {0, 1}), 0.0);
+}
+
+TEST(OneNnTest, TiesBreakTowardLowestIndex) {
+  // Both training series are equidistant: index 0 (label 0) wins.
+  Matrix e(1, 2, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(e, {0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(e, {1}, {0, 1}), 0.0);
+}
+
+TEST(OneNnTest, NegativeDistancesAreValid) {
+  // Similarity-derived measures produce negative distances; ordering rules.
+  Matrix e(1, 2, {-5.0, -2.0});
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(e, {0}, {0, 1}), 1.0);
+}
+
+TEST(OneNnTest, PartialAccuracy) {
+  Matrix e(4, 2, {0.0, 1.0,    // -> train 0 (label 0), true 0: correct
+                  1.0, 0.0,    // -> train 1 (label 1), true 1: correct
+                  0.0, 1.0,    // -> train 0 (label 0), true 1: wrong
+                  1.0, 0.0});  // -> train 1 (label 1), true 0: wrong
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(e, {0, 1, 1, 0}, {0, 1}), 0.5);
+}
+
+TEST(LeaveOneOutTest, ExcludesSelfMatch) {
+  // Diagonal zeros would win every row if self-matches were allowed.
+  Matrix w(3, 3, {0.0, 1.0, 9.0,
+                  1.0, 0.0, 9.0,
+                  9.0, 9.0, 0.0});
+  // Labels: series 0 and 1 are mutual NNs (same class); series 2's NN is
+  // series 0 (different class).
+  EXPECT_NEAR(LeaveOneOutAccuracy(w, {0, 0, 1}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(LeaveOneOutTest, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(LeaveOneOutAccuracy(Matrix(1, 1), {0}), 0.0);
+  EXPECT_DOUBLE_EQ(LeaveOneOutAccuracy(Matrix(0, 0), {}), 0.0);
+}
+
+TEST(NearestNeighborIndicesTest, FindsArgmins) {
+  Matrix e(2, 3, {3.0, 1.0, 2.0,
+                  0.5, 4.0, 0.5});
+  const auto nn = NearestNeighborIndices(e);
+  EXPECT_EQ(nn, (std::vector<std::size_t>{1, 0}));  // ties -> lowest index
+}
+
+TEST(EvaluateFixedTest, SeparableDatasetIsLearnable) {
+  GeneratorOptions options;
+  options.length = 48;
+  options.train_per_class = 8;
+  options.test_per_class = 8;
+  options.noise = 0.05;
+  options.seed = 3;
+  const Dataset data = MakeGunPointLike(options);
+  const PairwiseEngine engine(2);
+  const EvalResult r = EvaluateFixed("euclidean", {}, data, engine);
+  EXPECT_EQ(r.measure, "euclidean");
+  EXPECT_GT(r.test_accuracy, 0.8);
+}
+
+TEST(EvaluateTunedTest, PicksParameterThatHelpsTraining) {
+  // On a warped dataset, LOOCV over the DTW grid must not pick delta = 0
+  // (which degenerates to lock-step squared ED and scores worse on train).
+  GeneratorOptions options;
+  options.length = 48;
+  options.train_per_class = 8;
+  options.test_per_class = 4;
+  options.noise = 0.05;
+  options.warp = 0.2;
+  options.seed = 4;
+  const Dataset data = MakeWarpedPrototypes(options);
+  const PairwiseEngine engine(2);
+  const std::vector<ParamMap> grid = {{{"delta", 0.0}}, {{"delta", 20.0}}};
+  const EvalResult r = EvaluateTuned("dtw", grid, data, engine);
+  EXPECT_GT(r.train_accuracy, 0.0);
+  // The tuned choice is recorded in the result.
+  EXPECT_TRUE(r.params.count("delta"));
+}
+
+TEST(EvaluateTunedTest, DeterministicTieBreakPrefersFirstCandidate) {
+  // Two identical candidates: the first must win.
+  GeneratorOptions options;
+  options.length = 32;
+  options.train_per_class = 4;
+  options.test_per_class = 2;
+  options.seed = 5;
+  const Dataset data = MakeCbf(options);
+  const PairwiseEngine engine(1);
+  const std::vector<ParamMap> grid = {{{"delta", 5.0}}, {{"delta", 5.0}}};
+  const EvalResult r = EvaluateTuned("dtw", grid, data, engine);
+  EXPECT_DOUBLE_EQ(r.params.at("delta"), 5.0);
+}
+
+TEST(PairwiseEngineTest, MatrixValuesMatchDirectCalls) {
+  GeneratorOptions options;
+  options.length = 24;
+  options.train_per_class = 3;
+  options.test_per_class = 2;
+  options.seed = 6;
+  const Dataset data = MakeCbf(options);
+  const auto measure = Registry::Global().Create("euclidean");
+  const PairwiseEngine engine(3);
+  const Matrix e = engine.Compute(data.test(), data.train(), *measure);
+  ASSERT_EQ(e.rows(), data.test_size());
+  ASSERT_EQ(e.cols(), data.train_size());
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    for (std::size_t j = 0; j < e.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(e(i, j), measure->Distance(data.test()[i].values(),
+                                                  data.train()[j].values()));
+    }
+  }
+}
+
+TEST(PairwiseEngineTest, SelfMatrixIsSymmetricAndThreadCountInvariant) {
+  GeneratorOptions options;
+  options.length = 24;
+  options.train_per_class = 4;
+  options.test_per_class = 1;
+  options.seed = 7;
+  const Dataset data = MakeCbf(options);
+  const auto measure = Registry::Global().Create("dtw", {{"delta", 10.0}});
+  const Matrix w1 = PairwiseEngine(1).ComputeSelf(data.train(), *measure);
+  const Matrix w4 = PairwiseEngine(4).ComputeSelf(data.train(), *measure);
+  EXPECT_TRUE(w1.ApproxEquals(w4, 0.0));  // bit-identical
+  for (std::size_t i = 0; i < w1.rows(); ++i) {
+    for (std::size_t j = 0; j < w1.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(w1(i, j), w1(j, i));
+    }
+  }
+}
+
+TEST(PairwiseEngineTest, EmptyInputsYieldEmptyMatrix) {
+  const auto measure = Registry::Global().Create("euclidean");
+  const PairwiseEngine engine(2);
+  const Matrix e = engine.Compute({}, {}, *measure);
+  EXPECT_EQ(e.rows(), 0u);
+  EXPECT_EQ(e.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace tsdist

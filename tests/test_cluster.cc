@@ -1,0 +1,216 @@
+// Unit and integration tests for the clustering substrate (k-Shape,
+// k-means, k-medoids) and the external evaluation metrics.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/evaluation.h"
+#include "src/cluster/kmeans.h"
+#include "src/cluster/kshape.h"
+#include "src/core/registry.h"
+#include "src/data/generators.h"
+#include "src/normalization/normalization.h"
+#include "src/sliding/ncc_measures.h"
+
+namespace tsdist {
+namespace {
+
+TEST(RandIndexTest, IdenticalPartitionsScoreOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(RandIndex(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(RandIndexTest, RelabeledPartitionsScoreOne) {
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {7, 7, 3, 3};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(RandIndexTest, HandComputedValue) {
+  // a: {0,0,1,1}, b: {0,1,1,1}. Pairs: (0,1) same/diff, (0,2) diff/diff,
+  // (0,3) diff/diff, (1,2) diff/same, (1,3) diff/same, (2,3) same/same.
+  // Agreements: 3 of 6.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 0.5);
+}
+
+TEST(AdjustedRandIndexTest, IndependentPartitionsScoreNearZero) {
+  // Checkerboard labelings carry no information about each other.
+  std::vector<int> a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(i % 2);
+    b.push_back((i / 2) % 2);
+  }
+  EXPECT_LT(std::fabs(AdjustedRandIndex(a, b)), 0.2);
+  // Unadjusted Rand stays near 0.5 here; ARI is the chance-corrected one.
+}
+
+TEST(PurityTest, MajorityVote) {
+  const std::vector<int> clusters = {0, 0, 0, 1, 1};
+  const std::vector<int> truth = {5, 5, 6, 7, 7};
+  // Cluster 0 majority 5 (2 of 3), cluster 1 majority 7 (2 of 2): 4/5.
+  EXPECT_DOUBLE_EQ(Purity(clusters, truth), 0.8);
+}
+
+TEST(AlignToReferenceTest, AlignedCopyMatchesReference) {
+  std::vector<double> ref(32, 0.0);
+  for (int i = 8; i < 16; ++i) ref[static_cast<std::size_t>(i)] = 1.0;
+  const auto shifted = data_internal::CircularShift(ref, 5);
+  const auto aligned = cluster_internal::AlignToReference(shifted, ref);
+  // After alignment the series matches the reference (up to edge padding).
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    diff += std::fabs(aligned[i] - ref[i]);
+  }
+  EXPECT_LT(diff, 1e-9);
+}
+
+TEST(ExtractShapeTest, RecoversCommonShapeFromNoisyMembers) {
+  Rng rng(3);
+  std::vector<double> proto(48);
+  for (std::size_t i = 0; i < proto.size(); ++i) {
+    proto[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  std::vector<std::vector<double>> members;
+  for (int r = 0; r < 10; ++r) {
+    std::vector<double> noisy = proto;
+    for (auto& v : noisy) v += rng.Gaussian(0.0, 0.1);
+    members.push_back(std::move(noisy));
+  }
+  const auto shape = cluster_internal::ExtractShape(members, proto);
+  // The extracted shape correlates strongly with the prototype.
+  const auto zproto = ZScoreNormalizer().Apply(std::span<const double>(proto));
+  double corr = 0.0;
+  for (std::size_t i = 0; i < shape.size(); ++i) corr += shape[i] * zproto[i];
+  corr /= static_cast<double>(shape.size());
+  EXPECT_GT(corr, 0.9);
+}
+
+GeneratorOptions ClusterOptions(std::uint64_t seed) {
+  GeneratorOptions options;
+  options.length = 64;
+  options.train_per_class = 12;
+  options.test_per_class = 1;
+  options.noise = 0.15;
+  options.seed = seed;
+  return options;
+}
+
+TEST(KShapeTest, RecoversShiftedClasses) {
+  // Shift-dominated data is k-Shape's home turf.
+  GeneratorOptions options = ClusterOptions(5);
+  options.max_shift = 16;
+  const Dataset data = MakeShiftedEvents(options);
+  KShapeOptions ks;
+  ks.k = data.num_classes();
+  ks.seed = 2;
+  const ClusteringResult result = KShape(data.train(), ks);
+  const double ari = AdjustedRandIndex(result.assignments, data.train_labels());
+  EXPECT_GT(ari, 0.5) << "ARI " << ari;
+}
+
+TEST(KShapeTest, DeterministicGivenSeed) {
+  const Dataset data = MakeCbf(ClusterOptions(6));
+  KShapeOptions ks;
+  ks.k = 3;
+  ks.seed = 9;
+  const ClusteringResult a = KShape(data.train(), ks);
+  const ClusteringResult b = KShape(data.train(), ks);
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST(KShapeTest, CentroidsAreZNormalized) {
+  const Dataset data = MakeCbf(ClusterOptions(7));
+  KShapeOptions ks;
+  ks.k = 3;
+  const ClusteringResult result = KShape(data.train(), ks);
+  for (const auto& c : result.centroids) {
+    EXPECT_NEAR(c.Mean(), 0.0, 1e-6);
+  }
+}
+
+TEST(KMeansTest, SeparatesEasyClasses) {
+  // Spectra with class-specific peak locations: textbook ED clusters.
+  GeneratorOptions options = ClusterOptions(8);
+  options.noise = 0.05;
+  const Dataset data = ZScoreNormalizer().Apply(MakeSpectroMixtures(options));
+  KMeansOptions km;
+  km.k = data.num_classes();
+  km.seed = 4;
+  const ClusteringResult result = KMeans(data.train(), km);
+  EXPECT_GT(AdjustedRandIndex(result.assignments, data.train_labels()), 0.5);
+}
+
+TEST(KMeansTest, AssignsEveryClusterIdInRange) {
+  const Dataset data = MakeCbf(ClusterOptions(9));
+  KMeansOptions km;
+  km.k = 3;
+  const ClusteringResult result = KMeans(data.train(), km);
+  for (int a : result.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+  EXPECT_EQ(result.centroids.size(), 3u);
+}
+
+TEST(KMedoidsTest, MedoidsAreActualSeries) {
+  const Dataset data = MakeCbf(ClusterOptions(10));
+  const NccCoefficientDistance sbd;
+  KMeansOptions km;
+  km.k = 3;
+  const ClusteringResult result = KMedoids(data.train(), sbd, km);
+  // Every centroid equals some input series exactly.
+  for (const auto& c : result.centroids) {
+    bool found = false;
+    for (const auto& s : data.train()) {
+      if (std::equal(c.values().begin(), c.values().end(),
+                     s.values().begin())) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(KMedoidsTest, WorksWithElasticMeasureOnWarpedData) {
+  GeneratorOptions options = ClusterOptions(11);
+  options.warp = 0.15;
+  options.train_per_class = 8;
+  const Dataset data = ZScoreNormalizer().Apply(MakeWarpedPrototypes(options));
+  const MeasurePtr dtw = Registry::Global().Create("dtw", {{"delta", 10.0}});
+  KMeansOptions km;
+  km.k = 3;
+  km.seed = 5;
+  const ClusteringResult result = KMedoids(data.train(), *dtw, km);
+  EXPECT_GT(AdjustedRandIndex(result.assignments, data.train_labels()), 0.3);
+}
+
+TEST(KShapeVsKMeansTest, KShapeWinsOnShiftedData) {
+  // The k-Shape paper's headline: SBD-based clustering dominates ED-based
+  // k-means when classes differ by phase.
+  GeneratorOptions options = ClusterOptions(12);
+  options.max_shift = 20;
+  options.train_per_class = 15;
+  const Dataset data = ZScoreNormalizer().Apply(MakeShiftedEvents(options));
+  KShapeOptions ks;
+  ks.k = data.num_classes();
+  ks.seed = 3;
+  KMeansOptions km;
+  km.k = data.num_classes();
+  km.seed = 3;
+  const double ari_kshape = AdjustedRandIndex(
+      KShape(data.train(), ks).assignments, data.train_labels());
+  const double ari_kmeans = AdjustedRandIndex(
+      KMeans(data.train(), km).assignments, data.train_labels());
+  EXPECT_GT(ari_kshape, ari_kmeans);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,317 @@
+// Unit tests for the data substrate: generators, archive, preprocessing,
+// and the UCR-format loader.
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/data/archive.h"
+#include "src/data/generators.h"
+#include "src/data/preprocess.h"
+#include "src/data/ucr_loader.h"
+
+namespace tsdist {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions options;
+  options.length = 32;
+  options.train_per_class = 4;
+  options.test_per_class = 3;
+  options.seed = 11;
+  return options;
+}
+
+using DatasetFactory = Dataset (*)(const GeneratorOptions&);
+
+class GeneratorTest
+    : public ::testing::TestWithParam<std::pair<const char*, DatasetFactory>> {};
+
+TEST_P(GeneratorTest, ShapeAndLabelsAreConsistent) {
+  const auto [name, factory] = GetParam();
+  const Dataset d = factory(SmallOptions());
+  EXPECT_FALSE(d.name().empty());
+  EXPECT_TRUE(d.IsRectangular());
+  EXPECT_EQ(d.series_length(), 32u);
+  EXPECT_GE(d.num_classes(), 2u);
+  // Balanced classes.
+  const std::size_t classes = d.num_classes();
+  EXPECT_EQ(d.train_size(), 4u * classes);
+  EXPECT_EQ(d.test_size(), 3u * classes);
+  // Every value finite.
+  for (const auto& s : d.train()) {
+    for (double v : s.values()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(GeneratorTest, DeterministicGivenSeed) {
+  const auto [name, factory] = GetParam();
+  const Dataset a = factory(SmallOptions());
+  const Dataset b = factory(SmallOptions());
+  ASSERT_EQ(a.train_size(), b.train_size());
+  for (std::size_t i = 0; i < a.train_size(); ++i) {
+    EXPECT_EQ(a.train()[i].label(), b.train()[i].label());
+    for (std::size_t t = 0; t < a.series_length(); ++t) {
+      EXPECT_DOUBLE_EQ(a.train()[i][t], b.train()[i][t]);
+    }
+  }
+}
+
+TEST_P(GeneratorTest, DifferentSeedsDiffer) {
+  const auto [name, factory] = GetParam();
+  GeneratorOptions other = SmallOptions();
+  other.seed = 999;
+  const Dataset a = factory(SmallOptions());
+  const Dataset b = factory(other);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train_size() && !any_diff; ++i) {
+    for (std::size_t t = 0; t < a.series_length(); ++t) {
+      if (a.train()[i][t] != b.train()[i][t]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorTest,
+    ::testing::Values(
+        std::make_pair("cbf", &MakeCbf),
+        std::make_pair("gunpoint", &MakeGunPointLike),
+        std::make_pair("ecg", &MakeEcgLike),
+        std::make_pair("shifted", &MakeShiftedEvents),
+        std::make_pair("warped", &MakeWarpedPrototypes),
+        std::make_pair("scaled", &MakeScaledPatterns),
+        std::make_pair("devices", &MakeSeasonalDevices),
+        std::make_pair("outlines", &MakeOutlines),
+        std::make_pair("spectro", &MakeSpectroMixtures),
+        std::make_pair("chirps", &MakeChirps),
+        std::make_pair("twopatterns", &MakeTwoPatterns),
+        std::make_pair("randomwalks", &MakeRandomWalks),
+        std::make_pair("arprocesses", &MakeArProcesses)),
+    [](const ::testing::TestParamInfo<std::pair<const char*, DatasetFactory>>&
+           info) { return info.param.first; });
+
+TEST(RandomWalkTest, DriftSeparatesClassEndpoints) {
+  GeneratorOptions options = SmallOptions();
+  options.length = 200;
+  options.noise = 0.0;
+  const Dataset d = MakeRandomWalks(options);
+  // Class-2 (up-drift) walks end higher than class-0 (down-drift) walks on
+  // average.
+  double up = 0.0, down = 0.0;
+  int n_up = 0, n_down = 0;
+  for (const auto& s : d.train()) {
+    if (s.label() == 2) {
+      up += s[s.size() - 1];
+      ++n_up;
+    } else if (s.label() == 0) {
+      down += s[s.size() - 1];
+      ++n_down;
+    }
+  }
+  EXPECT_GT(up / n_up, down / n_down);
+}
+
+TEST(ArProcessTest, SmoothnessOrderedByCoefficient) {
+  GeneratorOptions options = SmallOptions();
+  options.length = 256;
+  options.noise = 0.0;
+  const Dataset d = MakeArProcesses(options);
+  // Mean squared one-step difference shrinks as phi grows.
+  double rough[3] = {0.0, 0.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (const auto& s : d.train()) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      const double step = s[i + 1] - s[i];
+      acc += step * step;
+    }
+    rough[s.label()] += acc / static_cast<double>(s.size());
+    ++counts[s.label()];
+  }
+  for (int c = 0; c < 3; ++c) rough[c] /= counts[c];
+  EXPECT_GT(rough[0], rough[1]);
+  EXPECT_GT(rough[1], rough[2]);
+}
+
+TEST(TimeWarpTest, ZeroStrengthIsIdentity) {
+  Rng rng(1);
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(data_internal::TimeWarp(v, 0.0, rng), v);
+}
+
+TEST(TimeWarpTest, PreservesLengthAndRange) {
+  Rng rng(2);
+  std::vector<double> v(64);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  const auto warped = data_internal::TimeWarp(v, 0.3, rng);
+  EXPECT_EQ(warped.size(), v.size());
+  for (double x : warped) {
+    EXPECT_GE(x, -1.0 - 1e-9);
+    EXPECT_LE(x, 1.0 + 1e-9);
+  }
+}
+
+TEST(CircularShiftTest, ShiftAndUnshiftRoundTrip) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto shifted = data_internal::CircularShift(v, 2);
+  EXPECT_EQ(shifted, (std::vector<double>{4.0, 5.0, 1.0, 2.0, 3.0}));
+  EXPECT_EQ(data_internal::CircularShift(shifted, -2), v);
+}
+
+TEST(ArchiveTest, BuildsThirtyTwoUniquelyNamedDatasets) {
+  const auto archive = BuildArchive({ArchiveScale::kTiny, 1, true});
+  EXPECT_EQ(archive.size(), 32u);
+  std::set<std::string> names;
+  for (const auto& d : archive) names.insert(d.name());
+  EXPECT_EQ(names.size(), archive.size());
+}
+
+TEST(ArchiveTest, ZNormalizedByDefault) {
+  const auto archive = BuildArchive({ArchiveScale::kTiny, 1, true});
+  for (const auto& d : archive) {
+    const auto& s = d.train().front();
+    EXPECT_NEAR(s.Mean(), 0.0, 1e-9) << d.name();
+    // Std is 1 unless the series was constant.
+    EXPECT_NEAR(s.StdDev(), 1.0, 1e-6) << d.name();
+  }
+}
+
+TEST(ArchiveTest, DeterministicAcrossBuilds) {
+  const auto a = BuildArchive({ArchiveScale::kTiny, 42, true});
+  const auto b = BuildArchive({ArchiveScale::kTiny, 42, true});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].train_size(), b[i].train_size());
+    EXPECT_DOUBLE_EQ(a[i].train()[0][0], b[i].train()[0][0]);
+  }
+}
+
+TEST(ArchiveTest, ScalePresetsChangeSizes) {
+  const auto tiny = BuildArchive({ArchiveScale::kTiny, 1, true});
+  const auto small = BuildArchive({ArchiveScale::kSmall, 1, true});
+  EXPECT_LT(tiny[0].series_length(), small[0].series_length());
+  EXPECT_LT(tiny[0].train_size(), small[0].train_size());
+}
+
+TEST(InterpolateMissingTest, MiddleGapIsLinearlyFilled) {
+  const double nan = std::nan("");
+  const std::vector<double> v = {1.0, nan, nan, 4.0};
+  const auto filled = InterpolateMissing(v);
+  EXPECT_DOUBLE_EQ(filled[0], 1.0);
+  EXPECT_DOUBLE_EQ(filled[1], 2.0);
+  EXPECT_DOUBLE_EQ(filled[2], 3.0);
+  EXPECT_DOUBLE_EQ(filled[3], 4.0);
+}
+
+TEST(InterpolateMissingTest, EdgeGapsTakeNearestValue) {
+  const double nan = std::nan("");
+  const std::vector<double> v = {nan, 2.0, 3.0, nan};
+  const auto filled = InterpolateMissing(v);
+  EXPECT_DOUBLE_EQ(filled[0], 2.0);
+  EXPECT_DOUBLE_EQ(filled[3], 3.0);
+}
+
+TEST(InterpolateMissingTest, AllMissingBecomesZeros) {
+  const double nan = std::nan("");
+  const std::vector<double> v = {nan, nan};
+  const auto filled = InterpolateMissing(v);
+  EXPECT_DOUBLE_EQ(filled[0], 0.0);
+  EXPECT_DOUBLE_EQ(filled[1], 0.0);
+}
+
+TEST(InterpolateMissingTest, NoMissingIsIdentity) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(InterpolateMissing(v), v);
+}
+
+TEST(ResampleTest, IdentityWhenLengthsMatch) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(ResampleToLength(v, 3), v);
+}
+
+TEST(ResampleTest, UpsamplingInterpolatesLinearly) {
+  const std::vector<double> v = {0.0, 2.0};
+  const auto up = ResampleToLength(v, 5);
+  ASSERT_EQ(up.size(), 5u);
+  EXPECT_DOUBLE_EQ(up[0], 0.0);
+  EXPECT_DOUBLE_EQ(up[2], 1.0);
+  EXPECT_DOUBLE_EQ(up[4], 2.0);
+}
+
+TEST(ResampleTest, DownsamplingKeepsEndpoints) {
+  const std::vector<double> v = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto down = ResampleToLength(v, 3);
+  ASSERT_EQ(down.size(), 3u);
+  EXPECT_DOUBLE_EQ(down.front(), 0.0);
+  EXPECT_DOUBLE_EQ(down.back(), 5.0);
+}
+
+TEST(PreprocessDatasetTest, RaggedSeriesBecomeRectangular) {
+  std::vector<TimeSeries> train = {TimeSeries({1.0, 2.0, 3.0, 4.0}, 0),
+                                   TimeSeries({1.0, 2.0}, 1)};
+  const Dataset d("ragged", std::move(train), {});
+  const Dataset out = PreprocessDataset(d);
+  EXPECT_TRUE(out.IsRectangular());
+  EXPECT_EQ(out.series_length(), 4u);
+}
+
+TEST(UcrLoaderTest, ParsesTabSeparatedLines) {
+  const std::vector<std::string> lines = {"1\t0.5\t0.6\t0.7",
+                                          "2\t1.5\t1.6\t1.7"};
+  const LoadResult r = ParseUcrLines(lines, "demo");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.dataset.train_size(), 2u);
+  EXPECT_EQ(r.dataset.train()[0].label(), 1);
+  EXPECT_DOUBLE_EQ(r.dataset.train()[1][2], 1.7);
+}
+
+TEST(UcrLoaderTest, ParsesCommaSeparatedAndNaN) {
+  const std::vector<std::string> lines = {"0,1.0,NaN,3.0"};
+  const LoadResult r = ParseUcrLines(lines, "demo");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(std::isnan(r.dataset.train()[0][1]));
+}
+
+TEST(UcrLoaderTest, RejectsMalformedValue) {
+  const LoadResult r = ParseUcrLines({"1\tabc"}, "demo");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("malformed"), std::string::npos);
+}
+
+TEST(UcrLoaderTest, RejectsEmptyInput) {
+  const LoadResult r = ParseUcrLines({}, "demo");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(UcrLoaderTest, MissingFileReportsError) {
+  const LoadResult r = LoadUcrDataset("/nonexistent", "Nothing");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(UcrLoaderTest, RoundTripThroughFiles) {
+  const std::string dir = ::testing::TempDir();
+  {
+    std::ofstream train(dir + "/Demo_TRAIN.tsv");
+    train << "1\t0.1\t0.2\t0.3\n2\t1.1\t1.2\t1.3\n";
+    std::ofstream test(dir + "/Demo_TEST.tsv");
+    test << "1\t0.4\tNaN\t0.6\n";
+  }
+  const LoadResult r = LoadUcrDataset(dir, "Demo");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dataset.train_size(), 2u);
+  EXPECT_EQ(r.dataset.test_size(), 1u);
+  // NaN was interpolated: (0.4 + 0.6) / 2.
+  EXPECT_NEAR(r.dataset.test()[0][1], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,60 @@
+// Unit tests for the Dataset type.
+
+#include "src/core/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace tsdist {
+namespace {
+
+Dataset MakeToy() {
+  std::vector<TimeSeries> train = {TimeSeries({1.0, 2.0}, 0),
+                                   TimeSeries({3.0, 4.0}, 1)};
+  std::vector<TimeSeries> test = {TimeSeries({5.0, 6.0}, 1)};
+  return Dataset("toy", std::move(train), std::move(test));
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.name(), "toy");
+  EXPECT_EQ(d.train_size(), 2u);
+  EXPECT_EQ(d.test_size(), 1u);
+  EXPECT_EQ(d.series_length(), 2u);
+}
+
+TEST(DatasetTest, NumClassesCountsDistinctLabelsAcrossSplits) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.num_classes(), 2u);
+}
+
+TEST(DatasetTest, LabelVectors) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.train_labels(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(d.test_labels(), (std::vector<int>{1}));
+}
+
+TEST(DatasetTest, RectangularDetection) {
+  const Dataset d = MakeToy();
+  EXPECT_TRUE(d.IsRectangular());
+
+  std::vector<TimeSeries> train = {TimeSeries({1.0, 2.0}, 0),
+                                   TimeSeries({3.0}, 1)};
+  const Dataset ragged("ragged", std::move(train), {});
+  EXPECT_FALSE(ragged.IsRectangular());
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  const Dataset d;
+  EXPECT_EQ(d.series_length(), 0u);
+  EXPECT_EQ(d.num_classes(), 0u);
+  EXPECT_TRUE(d.IsRectangular());
+}
+
+TEST(DatasetTest, SeriesLengthFallsBackToTestSplit) {
+  std::vector<TimeSeries> test = {TimeSeries({1.0, 2.0, 3.0}, 0)};
+  const Dataset d("test-only", {}, std::move(test));
+  EXPECT_EQ(d.series_length(), 3u);
+}
+
+}  // namespace
+}  // namespace tsdist

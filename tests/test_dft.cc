@@ -1,0 +1,99 @@
+// Unit and property tests for the truncated-DFT feature space.
+
+#include "src/index/dft.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/rng.h"
+#include "src/lockstep/minkowski_family.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(DftFeaturesTest, DcCoefficientIsScaledSum) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto features = DftFeatures(v, 1);
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_NEAR(features[0].real(), 10.0 / 2.0, 1e-9);  // sum / sqrt(4)
+  EXPECT_NEAR(features[0].imag(), 0.0, 1e-9);
+}
+
+TEST(DftFeaturesTest, ParsevalEnergyEquality) {
+  // With orthonormal scaling, total spectral energy equals time energy.
+  const auto v = RandomSeries(32, 1);
+  const auto features = DftFeatures(v, 32);
+  double spectral = 0.0;
+  for (const auto& c : features) spectral += std::norm(c);
+  double time = 0.0;
+  for (double x : v) time += x * x;
+  EXPECT_NEAR(spectral, time, 1e-8);
+}
+
+// Property sweep: the truncated-DFT distance never exceeds ED, for any
+// number of kept coefficients, including non-power-of-two lengths.
+class DftLowerBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DftLowerBoundProperty, LowerBoundsEuclidean) {
+  const std::size_t n = 48;  // not a power of two: exercises Bluestein
+  const auto a = RandomSeries(n, 100 + GetParam());
+  const auto b = RandomSeries(n, 200 + GetParam());
+  const double ed = EuclideanDistance().Distance(a, b);
+  for (std::size_t c : {1u, 2u, 5u, 10u, 24u}) {
+    const double lb =
+        DftLowerBound(DftFeatures(a, c), DftFeatures(b, c), n);
+    EXPECT_LE(lb, ed + 1e-8) << "coefficients " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DftLowerBoundProperty, ::testing::Range(0, 15));
+
+TEST(DftLowerBoundTest, FullFoldedSpectrumIsExact) {
+  // Even n: coefficients 0..n/2 with DC and Nyquist counted once cover the
+  // whole spectrum, making the bound exact.
+  const std::size_t n = 32;
+  const auto a = RandomSeries(n, 7);
+  const auto b = RandomSeries(n, 8);
+  const double lb =
+      DftLowerBound(DftFeatures(a, n / 2 + 1), DftFeatures(b, n / 2 + 1), n);
+  EXPECT_NEAR(lb, EuclideanDistance().Distance(a, b), 1e-8);
+}
+
+TEST(DftLowerBoundTest, MoreCoefficientsTightenTheBound) {
+  const std::size_t n = 64;
+  const auto a = RandomSeries(n, 9);
+  const auto b = RandomSeries(n, 10);
+  double prev = 0.0;
+  for (std::size_t c : {1u, 2u, 4u, 8u, 16u, 33u}) {
+    const double lb = DftLowerBound(DftFeatures(a, c), DftFeatures(b, c), n);
+    EXPECT_GE(lb, prev - 1e-9) << "coefficients " << c;
+    prev = lb;
+  }
+}
+
+TEST(DftLowerBoundTest, SmoothSeriesBoundIsTightWithFewCoefficients) {
+  // Low-frequency series concentrate energy in the leading coefficients, so
+  // a handful of them nearly recover ED — the F-index's raison d'etre.
+  const std::size_t n = 64;
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    a[i] = std::sin(2.0 * std::numbers::pi * t);
+    b[i] = std::sin(2.0 * std::numbers::pi * (t + 0.1));
+  }
+  const double ed = EuclideanDistance().Distance(a, b);
+  const double lb = DftLowerBound(DftFeatures(a, 4), DftFeatures(b, 4), n);
+  EXPECT_GT(lb, 0.95 * ed);
+}
+
+}  // namespace
+}  // namespace tsdist

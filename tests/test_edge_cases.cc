@@ -1,0 +1,110 @@
+// Failure-injection / degenerate-input sweeps across the whole measure
+// inventory: constant series, single points, extreme magnitudes, and long
+// inputs must never produce NaN/Inf or crash. These are the inputs real
+// archives contain (the UCR archive famously has constant-valued series).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/linalg/rng.h"
+#include "src/normalization/normalization.h"
+
+namespace tsdist {
+namespace {
+
+class AllMeasuresEdgeCases : public ::testing::TestWithParam<std::string> {
+ protected:
+  MeasurePtr Create() const { return Registry::Global().Create(GetParam()); }
+};
+
+TEST_P(AllMeasuresEdgeCases, ConstantSeriesPair) {
+  const MeasurePtr m = Create();
+  const std::vector<double> a(32, 1.5);
+  const std::vector<double> b(32, -2.0);
+  EXPECT_TRUE(std::isfinite(m->Distance(a, b))) << m->name();
+  EXPECT_TRUE(std::isfinite(m->Distance(a, a))) << m->name();
+}
+
+TEST_P(AllMeasuresEdgeCases, AllZeroSeries) {
+  const MeasurePtr m = Create();
+  const std::vector<double> zeros(16, 0.0);
+  const std::vector<double> other = {1, -1, 2, -2, 3, -3, 4, -4,
+                                     1, -1, 2, -2, 3, -3, 4, -4};
+  EXPECT_TRUE(std::isfinite(m->Distance(zeros, other))) << m->name();
+  EXPECT_TRUE(std::isfinite(m->Distance(zeros, zeros))) << m->name();
+}
+
+TEST_P(AllMeasuresEdgeCases, SinglePointSeries) {
+  const MeasurePtr m = Create();
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {-2.0};
+  EXPECT_TRUE(std::isfinite(m->Distance(a, b))) << m->name();
+}
+
+TEST_P(AllMeasuresEdgeCases, ExtremeMagnitudes) {
+  const MeasurePtr m = Create();
+  const std::vector<double> huge(8, 1e12);
+  const std::vector<double> tiny(8, 1e-12);
+  EXPECT_FALSE(std::isnan(m->Distance(huge, tiny))) << m->name();
+  EXPECT_FALSE(std::isnan(m->Distance(tiny, huge))) << m->name();
+}
+
+TEST_P(AllMeasuresEdgeCases, AlternatingSignSpikes) {
+  const MeasurePtr m = Create();
+  std::vector<double> spiky(24);
+  for (std::size_t i = 0; i < spiky.size(); ++i) {
+    spiky[i] = (i % 2 == 0) ? 1e6 : -1e6;
+  }
+  const std::vector<double> flat(24, 0.1);
+  EXPECT_FALSE(std::isnan(m->Distance(spiky, flat))) << m->name();
+}
+
+TEST_P(AllMeasuresEdgeCases, ModeratelyLongSeries) {
+  // Long inputs stress the underflow handling of the alignment kernels and
+  // the FFT path of the sliding measures.
+  const MeasurePtr m = Create();
+  Rng rng(1);
+  std::vector<double> a(600), b(600);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  const double d = m->Distance(a, b);
+  EXPECT_TRUE(std::isfinite(d)) << m->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inventory, AllMeasuresEdgeCases,
+    ::testing::ValuesIn(Registry::Global().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(NormalizerEdgeCases, ConstantAndEmptyInputs) {
+  for (const auto& name : PerSeriesNormalizerNames()) {
+    const NormalizerPtr n = MakeNormalizer(name);
+    const std::vector<double> constant(8, 42.0);
+    for (double v : n->Apply(std::span<const double>(constant))) {
+      EXPECT_TRUE(std::isfinite(v)) << name;
+    }
+    const std::vector<double> empty;
+    EXPECT_TRUE(n->Apply(std::span<const double>(empty)).empty()) << name;
+  }
+}
+
+TEST(NormalizerEdgeCases, ExtremeValuesStayFinite) {
+  for (const auto& name : PerSeriesNormalizerNames()) {
+    const NormalizerPtr n = MakeNormalizer(name);
+    const std::vector<double> extreme = {1e300, -1e300, 0.0, 1e-300};
+    for (double v : n->Apply(std::span<const double>(extreme))) {
+      EXPECT_FALSE(std::isnan(v)) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

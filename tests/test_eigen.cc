@@ -1,0 +1,96 @@
+// Unit tests for the symmetric Jacobi eigensolver.
+
+#include "src/linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const EigenDecomposition eig = SymmetricEigen(a);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2, {2, 1, 1, 2});
+  const EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Rng rng(77);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.Gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const EigenDecomposition eig = SymmetricEigen(a);
+  // Rebuild V * diag(values) * V^T.
+  Matrix scaled = eig.vectors;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled(i, j) *= eig.values[j];
+    }
+  }
+  const Matrix rebuilt = scaled.Multiply(eig.vectors.Transposed());
+  EXPECT_TRUE(rebuilt.ApproxEquals(a, 1e-8));
+}
+
+TEST(EigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(78);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.Uniform();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const EigenDecomposition eig = SymmetricEigen(a);
+  const Matrix vtv = eig.vectors.Transposed().Multiply(eig.vectors);
+  EXPECT_TRUE(vtv.ApproxEquals(Matrix::Identity(n), 1e-8));
+}
+
+TEST(EigenTest, PsdGramMatrixHasNonNegativeEigenvalues) {
+  // Gram matrix of random vectors is positive semi-definite.
+  Rng rng(79);
+  const std::size_t n = 5;
+  Matrix b(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) b(i, j) = rng.Gaussian();
+  }
+  const Matrix gram = b.Multiply(b.Transposed());
+  const EigenDecomposition eig = SymmetricEigen(gram);
+  for (double v : eig.values) {
+    EXPECT_GE(v, -1e-9);
+  }
+}
+
+TEST(EigenTest, OneByOne) {
+  Matrix a(1, 1, {4.2});
+  const EigenDecomposition eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.values[0], 4.2, 1e-12);
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsdist

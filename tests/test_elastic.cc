@@ -1,0 +1,212 @@
+// Known-value unit tests for the 7 elastic measures.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/elastic/elastic_all.h"
+#include "src/lockstep/minkowski_family.h"
+#include "src/lockstep/squared_l2_family.h"
+
+namespace tsdist {
+namespace {
+
+const std::vector<double> kA = {1.0, 2.0, 3.0, 4.0};
+const std::vector<double> kB = {1.0, 1.0, 2.0, 4.0};
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(DtwDistance().Distance(kA, kA), 0.0);
+}
+
+TEST(DtwTest, NeverExceedsSquaredEuclidean) {
+  // The diagonal path is always available, so DTW <= lock-step squared ED.
+  const double dtw = DtwDistance().Distance(kA, kB);
+  const double sqed = SquaredEuclideanDistance().Distance(kA, kB);
+  EXPECT_LE(dtw, sqed + 1e-12);
+}
+
+TEST(DtwTest, ZeroWindowDegeneratesToSquaredEuclidean) {
+  EXPECT_NEAR(DtwDistance(0.0).Distance(kA, kB),
+              SquaredEuclideanDistance().Distance(kA, kB), 1e-12);
+}
+
+TEST(DtwTest, WarpingAbsorbsLocalStretch) {
+  // b is a locally stretched version of a: unconstrained DTW aligns them
+  // perfectly, squared ED does not.
+  const std::vector<double> a = {0.0, 1.0, 2.0, 3.0, 3.0, 3.0};
+  const std::vector<double> b = {0.0, 0.0, 1.0, 2.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(100.0).Distance(a, b), 0.0);
+  EXPECT_GT(SquaredEuclideanDistance().Distance(a, b), 0.0);
+}
+
+TEST(DtwTest, WiderWindowNeverIncreasesDistance) {
+  const std::vector<double> a = {0.0, 2.0, 1.0, 3.0, 0.0, 1.0, 2.0, 0.0};
+  const std::vector<double> b = {1.0, 0.0, 3.0, 1.0, 2.0, 0.0, 0.0, 2.0};
+  double prev = DtwDistance(0.0).Distance(a, b);
+  for (double delta : {5.0, 10.0, 25.0, 50.0, 100.0}) {
+    const double d = DtwDistance(delta).Distance(a, b);
+    EXPECT_LE(d, prev + 1e-12) << "delta " << delta;
+    prev = d;
+  }
+}
+
+TEST(DtwTest, KnownHandComputedValue) {
+  // a = [0, 1], b = [1, 1]: best path cost is (0-1)^2 + (1-1)^2 = 1.
+  const std::vector<double> a = {0.0, 1.0};
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(DtwDistance().Distance(a, b), 1.0);
+}
+
+TEST(LcssTest, IdenticalSeriesHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(LcssDistance(10.0, 0.1).Distance(kA, kA), 0.0);
+}
+
+TEST(LcssTest, DistanceIsInUnitInterval) {
+  const LcssDistance lcss(10.0, 0.2);
+  const double d = lcss.Distance(kA, kB);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(LcssTest, HugeEpsilonMatchesEverything) {
+  EXPECT_DOUBLE_EQ(LcssDistance(100.0, 1000.0).Distance(kA, kB), 0.0);
+}
+
+TEST(LcssTest, TinyEpsilonMatchesNothingDissimilar) {
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {5.0, 6.0, 7.0};
+  EXPECT_DOUBLE_EQ(LcssDistance(100.0, 1e-6).Distance(a, b), 1.0);
+}
+
+TEST(EdrTest, IdenticalSeriesHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(EdrDistance(0.1).Distance(kA, kA), 0.0);
+}
+
+TEST(EdrTest, CompletelyDifferentSeriesCostFullSubstitution) {
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {9.0, 9.0, 9.0};
+  EXPECT_DOUBLE_EQ(EdrDistance(0.1).Distance(a, b), 3.0);
+}
+
+TEST(EdrTest, ToleranceControlsMatching) {
+  const std::vector<double> a = {0.0, 0.5, 1.0};
+  const std::vector<double> b = {0.05, 0.55, 1.05};
+  EXPECT_DOUBLE_EQ(EdrDistance(0.1).Distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(EdrDistance(0.01).Distance(a, b), 3.0);
+}
+
+TEST(ErpTest, IdenticalSeriesHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(ErpDistance().Distance(kA, kA), 0.0);
+}
+
+TEST(ErpTest, NeverExceedsManhattan) {
+  // The diagonal (no-gap) path costs exactly L1.
+  EXPECT_LE(ErpDistance().Distance(kA, kB),
+            ManhattanDistance().Distance(kA, kB) + 1e-12);
+}
+
+TEST(ErpTest, GapCostsDistanceToReference) {
+  // Aligning [5] against [5, 5] (unequal content, equal length padded) —
+  // use equal lengths: a = [5, 0], b = [5, 5]: matching 5-5 then 0-5 costs
+  // 5; gapping instead costs |0 - g| + |5 - g| = 10 with g = 0; ERP picks 5.
+  const std::vector<double> a = {5.0, 0.0};
+  const std::vector<double> b = {5.0, 5.0};
+  EXPECT_DOUBLE_EQ(ErpDistance(0.0).Distance(a, b), 5.0);
+}
+
+TEST(MsmTest, IdenticalSeriesHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(MsmDistance(0.5).Distance(kA, kA), 0.0);
+}
+
+TEST(MsmTest, SingleSubstitutionCost) {
+  // Different only at one point, difference 1: move operation costs 1.
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(MsmDistance(0.5).Distance(a, b), 1.0);
+}
+
+TEST(MsmTest, DistanceIsMonotoneInSplitMergeCost) {
+  // Raising c can only make alignments costlier.
+  const std::vector<double> a = {0.0, 3.0, 1.0, 4.0, 1.0, 5.0};
+  const std::vector<double> b = {0.0, 0.0, 3.0, 1.0, 4.0, 1.0};
+  double prev = MsmDistance(0.01).Distance(a, b);
+  for (double c : {0.1, 0.5, 1.0, 10.0, 100.0}) {
+    const double d = MsmDistance(c).Distance(a, b);
+    EXPECT_GE(d, prev - 1e-12) << "c " << c;
+    prev = d;
+  }
+}
+
+TEST(MsmTest, SplitMergeUsedWhenCheaperThanMoves) {
+  // a holds its peak one step longer than b: with tiny c a merge absorbs
+  // the repeated 5 far below the pure-substitution cost.
+  const std::vector<double> a = {0.0, 5.0, 5.0, 0.0};
+  const std::vector<double> b = {0.0, 5.0, 0.0, 0.0};
+  const double small_c = MsmDistance(0.01).Distance(a, b);
+  EXPECT_LE(small_c, 0.5);  // split path: ~c, not |0-5|
+  const double large_c = MsmDistance(100.0).Distance(a, b);
+  EXPECT_DOUBLE_EQ(large_c, 5.0);  // move path: substitute 0 -> 5
+}
+
+TEST(TweTest, IdenticalSeriesHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(TweDistance(1.0, 1e-4).Distance(kA, kA), 0.0);
+}
+
+TEST(TweTest, StiffnessPenalizesWarping) {
+  // Higher nu makes off-diagonal matches costlier, never cheaper.
+  const std::vector<double> a = {0.0, 1.0, 2.0, 3.0, 2.0, 1.0};
+  const std::vector<double> b = {0.0, 0.0, 1.0, 2.0, 3.0, 2.0};
+  const double loose = TweDistance(0.0, 1e-5).Distance(a, b);
+  const double stiff = TweDistance(0.0, 1.0).Distance(a, b);
+  EXPECT_LE(loose, stiff + 1e-12);
+}
+
+TEST(TweTest, LambdaPenalizesDeletions) {
+  const std::vector<double> a = {0.0, 5.0, 0.0, 0.0};
+  const std::vector<double> b = {0.0, 0.0, 5.0, 0.0};
+  const double cheap_gaps = TweDistance(0.0, 1e-5).Distance(a, b);
+  const double dear_gaps = TweDistance(1.0, 1e-5).Distance(a, b);
+  EXPECT_LE(cheap_gaps, dear_gaps + 1e-12);
+}
+
+TEST(SwaleTest, IdenticalSeriesEarnFullReward) {
+  // Every point matches: score = m * r, distance = -m * r.
+  const SwaleDistance swale(0.1, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(swale.Distance(kA, kA), -4.0);
+}
+
+TEST(SwaleTest, MismatchesArePenalized) {
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {9.0, 9.0, 9.0};
+  const SwaleDistance swale(0.1, 5.0, 1.0);
+  EXPECT_GT(swale.Distance(a, b), 0.0);  // negative score -> positive distance
+}
+
+TEST(SwaleTest, RewardScalesScore) {
+  const SwaleDistance r1(0.1, 5.0, 1.0);
+  const SwaleDistance r2(0.1, 5.0, 2.0);
+  EXPECT_DOUBLE_EQ(r2.Distance(kA, kA), 2.0 * r1.Distance(kA, kA));
+}
+
+TEST(ElasticInventoryTest, SevenMeasuresRegistered) {
+  EXPECT_EQ(ElasticMeasureNames().size(), 7u);
+  for (const auto& name : ElasticMeasureNames()) {
+    const auto m = Registry::Global().Create(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->category(), MeasureCategory::kElastic);
+    EXPECT_EQ(m->cost_class(), CostClass::kQuadratic);
+  }
+}
+
+TEST(ElasticRegistryTest, ParamsArePluggedThrough) {
+  const auto dtw = Registry::Global().Create("dtw", {{"delta", 7.0}});
+  EXPECT_DOUBLE_EQ(dtw->params().at("delta"), 7.0);
+  const auto twe = Registry::Global().Create(
+      "twe", {{"lambda", 0.25}, {"nu", 0.01}});
+  EXPECT_DOUBLE_EQ(twe->params().at("lambda"), 0.25);
+  EXPECT_DOUBLE_EQ(twe->params().at("nu"), 0.01);
+}
+
+}  // namespace
+}  // namespace tsdist

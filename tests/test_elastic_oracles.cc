@@ -1,0 +1,251 @@
+// Independent-oracle cross-checks for the elastic measures: every
+// rolling-row DP in src/elastic is compared against a naive full-matrix
+// reference implementation on random data. Catches off-by-one and
+// row-swap errors that property tests cannot see.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/elastic/elastic_all.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+double RefDtw(const std::vector<double>& a, const std::vector<double>& b,
+              double window_pct) {
+  const std::size_t m = a.size();
+  const std::size_t band =
+      window_pct >= 100.0
+          ? m
+          : static_cast<std::size_t>(
+                std::ceil(window_pct / 100.0 * static_cast<double>(m)));
+  std::vector<std::vector<double>> d(m + 1, std::vector<double>(m + 1, kInf));
+  d[0][0] = 0.0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap > band) continue;
+      const double cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+      d[i][j] = cost + std::min({d[i - 1][j - 1], d[i - 1][j], d[i][j - 1]});
+    }
+  }
+  return d[m][m];
+}
+
+double RefErp(const std::vector<double>& a, const std::vector<double>& b,
+              double g) {
+  const std::size_t m = a.size();
+  std::vector<std::vector<double>> d(m + 1, std::vector<double>(m + 1, 0.0));
+  for (std::size_t i = 1; i <= m; ++i) {
+    d[i][0] = d[i - 1][0] + std::fabs(a[i - 1] - g);
+  }
+  for (std::size_t j = 1; j <= m; ++j) {
+    d[0][j] = d[0][j - 1] + std::fabs(b[j - 1] - g);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      d[i][j] = std::min({d[i - 1][j - 1] + std::fabs(a[i - 1] - b[j - 1]),
+                          d[i - 1][j] + std::fabs(a[i - 1] - g),
+                          d[i][j - 1] + std::fabs(b[j - 1] - g)});
+    }
+  }
+  return d[m][m];
+}
+
+double RefEdr(const std::vector<double>& a, const std::vector<double>& b,
+              double epsilon) {
+  const std::size_t m = a.size();
+  std::vector<std::vector<double>> d(m + 1, std::vector<double>(m + 1, 0.0));
+  for (std::size_t i = 0; i <= m; ++i) {
+    d[i][0] = static_cast<double>(i);
+    d[0][i] = static_cast<double>(i);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double sub =
+          std::fabs(a[i - 1] - b[j - 1]) < epsilon ? 0.0 : 1.0;
+      d[i][j] = std::min({d[i - 1][j - 1] + sub, d[i - 1][j] + 1.0,
+                          d[i][j - 1] + 1.0});
+    }
+  }
+  return d[m][m];
+}
+
+double RefLcss(const std::vector<double>& a, const std::vector<double>& b,
+               double window_pct, double epsilon) {
+  const std::size_t m = a.size();
+  const std::size_t band =
+      window_pct >= 100.0
+          ? m
+          : static_cast<std::size_t>(
+                std::ceil(window_pct / 100.0 * static_cast<double>(m)));
+  std::vector<std::vector<double>> d(m + 1, std::vector<double>(m + 1, 0.0));
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap > band) continue;
+      if (std::fabs(a[i - 1] - b[j - 1]) < epsilon) {
+        d[i][j] = d[i - 1][j - 1] + 1.0;
+      } else {
+        d[i][j] = std::max(d[i - 1][j], d[i][j - 1]);
+      }
+    }
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = 0; j <= m; ++j) best = std::max(best, d[i][j]);
+  }
+  return 1.0 - best / static_cast<double>(m);
+}
+
+double RefMsmCost(double x, double prev, double other, double c) {
+  if ((prev <= x && x <= other) || (prev >= x && x >= other)) return c;
+  return c + std::min(std::fabs(x - prev), std::fabs(x - other));
+}
+
+double RefMsm(const std::vector<double>& a, const std::vector<double>& b,
+              double c) {
+  const std::size_t m = a.size();
+  std::vector<std::vector<double>> d(m, std::vector<double>(m, 0.0));
+  d[0][0] = std::fabs(a[0] - b[0]);
+  for (std::size_t j = 1; j < m; ++j) {
+    d[0][j] = d[0][j - 1] + RefMsmCost(b[j], b[j - 1], a[0], c);
+  }
+  for (std::size_t i = 1; i < m; ++i) {
+    d[i][0] = d[i - 1][0] + RefMsmCost(a[i], a[i - 1], b[0], c);
+    for (std::size_t j = 1; j < m; ++j) {
+      d[i][j] = std::min({d[i - 1][j - 1] + std::fabs(a[i] - b[j]),
+                          d[i - 1][j] + RefMsmCost(a[i], a[i - 1], b[j], c),
+                          d[i][j - 1] + RefMsmCost(b[j], b[j - 1], a[i], c)});
+    }
+  }
+  return d[m - 1][m - 1];
+}
+
+double RefTwe(const std::vector<double>& a, const std::vector<double>& b,
+              double lambda, double nu) {
+  const std::size_t m = a.size();
+  auto at = [](const std::vector<double>& s, std::size_t idx) {
+    return idx == 0 ? 0.0 : s[idx - 1];
+  };
+  std::vector<std::vector<double>> d(m + 1, std::vector<double>(m + 1, kInf));
+  d[0][0] = 0.0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    d[i][0] = d[i - 1][0] + std::fabs(at(a, i) - at(a, i - 1)) + nu + lambda;
+  }
+  for (std::size_t j = 1; j <= m; ++j) {
+    d[0][j] = d[0][j - 1] + std::fabs(at(b, j) - at(b, j - 1)) + nu + lambda;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double match =
+          d[i - 1][j - 1] + std::fabs(at(a, i) - at(b, j)) +
+          std::fabs(at(a, i - 1) - at(b, j - 1)) +
+          2.0 * nu * std::fabs(static_cast<double>(i) - static_cast<double>(j));
+      const double del_a =
+          d[i - 1][j] + std::fabs(at(a, i) - at(a, i - 1)) + nu + lambda;
+      const double del_b =
+          d[i][j - 1] + std::fabs(at(b, j) - at(b, j - 1)) + nu + lambda;
+      d[i][j] = std::min({match, del_a, del_b});
+    }
+  }
+  return d[m][m];
+}
+
+double RefSwale(const std::vector<double>& a, const std::vector<double>& b,
+                double epsilon, double p, double r) {
+  const std::size_t m = a.size();
+  std::vector<std::vector<double>> s(m + 1, std::vector<double>(m + 1, 0.0));
+  for (std::size_t i = 0; i <= m; ++i) {
+    s[i][0] = -static_cast<double>(i) * p;
+    s[0][i] = -static_cast<double>(i) * p;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (std::fabs(a[i - 1] - b[j - 1]) < epsilon) {
+        s[i][j] = s[i - 1][j - 1] + r;
+      } else {
+        s[i][j] = std::max(s[i - 1][j], s[i][j - 1]) - p;
+      }
+    }
+  }
+  return -s[m][m];
+}
+
+class ElasticOracleTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::vector<double> A() const { return RandomSeries(25, 100 + GetParam()); }
+  std::vector<double> B() const { return RandomSeries(25, 500 + GetParam()); }
+};
+
+TEST_P(ElasticOracleTest, DtwUnconstrained) {
+  const auto a = A(), b = B();
+  const auto m = Registry::Global().Create("dtw", {{"delta", 100.0}});
+  EXPECT_NEAR(m->Distance(a, b), RefDtw(a, b, 100.0), 1e-9);
+}
+
+TEST_P(ElasticOracleTest, DtwBanded) {
+  const auto a = A(), b = B();
+  for (double delta : {4.0, 10.0, 20.0}) {
+    const auto m = Registry::Global().Create("dtw", {{"delta", delta}});
+    EXPECT_NEAR(m->Distance(a, b), RefDtw(a, b, delta), 1e-9) << delta;
+  }
+}
+
+TEST_P(ElasticOracleTest, Erp) {
+  const auto a = A(), b = B();
+  const auto m = Registry::Global().Create("erp");
+  EXPECT_NEAR(m->Distance(a, b), RefErp(a, b, 0.0), 1e-9);
+}
+
+TEST_P(ElasticOracleTest, Edr) {
+  const auto a = A(), b = B();
+  const auto m = Registry::Global().Create("edr", {{"epsilon", 0.5}});
+  EXPECT_NEAR(m->Distance(a, b), RefEdr(a, b, 0.5), 1e-9);
+}
+
+TEST_P(ElasticOracleTest, Lcss) {
+  const auto a = A(), b = B();
+  const auto m = Registry::Global().Create(
+      "lcss", {{"delta", 10.0}, {"epsilon", 0.5}});
+  EXPECT_NEAR(m->Distance(a, b), RefLcss(a, b, 10.0, 0.5), 1e-9);
+}
+
+TEST_P(ElasticOracleTest, Msm) {
+  const auto a = A(), b = B();
+  const auto m = Registry::Global().Create("msm", {{"c", 0.5}});
+  EXPECT_NEAR(m->Distance(a, b), RefMsm(a, b, 0.5), 1e-9);
+}
+
+TEST_P(ElasticOracleTest, Twe) {
+  const auto a = A(), b = B();
+  const auto m = Registry::Global().Create(
+      "twe", {{"lambda", 0.5}, {"nu", 0.001}});
+  EXPECT_NEAR(m->Distance(a, b), RefTwe(a, b, 0.5, 0.001), 1e-9);
+}
+
+TEST_P(ElasticOracleTest, Swale) {
+  const auto a = A(), b = B();
+  const auto m = Registry::Global().Create(
+      "swale", {{"epsilon", 0.5}, {"p", 5.0}, {"r", 1.0}});
+  EXPECT_NEAR(m->Distance(a, b), RefSwale(a, b, 0.5, 5.0, 1.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElasticOracleTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,161 @@
+// Property-style TEST_P sweeps over the elastic measures.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/classify/param_grids.h"
+#include "src/core/registry.h"
+#include "src/elastic/elastic_all.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+class ElasticPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  MeasurePtr Create() const {
+    // Use the paper's unsupervised parameters — the defaults a practitioner
+    // would run with.
+    return Registry::Global().Create(GetParam(),
+                                     UnsupervisedParamsFor(GetParam()));
+  }
+};
+
+TEST_P(ElasticPropertyTest, SelfDistanceIsMinimal) {
+  const MeasurePtr m = Create();
+  const auto x = RandomSeries(20, 1);
+  const double self = m->Distance(x, x);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto y = RandomSeries(20, 100 + seed);
+    EXPECT_LE(self, m->Distance(x, y) + 1e-9) << m->name();
+  }
+}
+
+TEST_P(ElasticPropertyTest, Symmetric) {
+  const MeasurePtr m = Create();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto a = RandomSeries(18, 200 + seed);
+    const auto b = RandomSeries(18, 300 + seed);
+    EXPECT_NEAR(m->Distance(a, b), m->Distance(b, a), 1e-9) << m->name();
+  }
+}
+
+TEST_P(ElasticPropertyTest, FiniteOnRandomData) {
+  const MeasurePtr m = Create();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = RandomSeries(25, 400 + seed);
+    const auto b = RandomSeries(25, 500 + seed);
+    EXPECT_TRUE(std::isfinite(m->Distance(a, b))) << m->name();
+  }
+}
+
+TEST_P(ElasticPropertyTest, MetricMeasuresSatisfyTriangleInequality) {
+  const MeasurePtr m = Create();
+  if (!m->is_metric()) GTEST_SKIP() << "not a metric";
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto a = RandomSeries(14, 600 + seed);
+    const auto b = RandomSeries(14, 700 + seed);
+    const auto c = RandomSeries(14, 800 + seed);
+    EXPECT_LE(m->Distance(a, c),
+              m->Distance(a, b) + m->Distance(b, c) + 1e-9)
+        << m->name();
+  }
+}
+
+TEST_P(ElasticPropertyTest, DeterministicAcrossCalls) {
+  const MeasurePtr m = Create();
+  const auto a = RandomSeries(16, 2);
+  const auto b = RandomSeries(16, 3);
+  EXPECT_EQ(m->Distance(a, b), m->Distance(a, b));
+}
+
+TEST_P(ElasticPropertyTest, InvariantUnderCommonTranslationForValueBased) {
+  // DTW / ERP(g translated too) are value-difference based; verify the
+  // weaker universal property: adding the same constant to both series does
+  // not change difference-based measures (threshold measures included, since
+  // |(a+k) - (b+k)| = |a-b|).
+  const MeasurePtr m = Create();
+  if (m->name() == "erp" || m->name() == "twe") {
+    GTEST_SKIP() << "compares against a fixed reference (erp: g, twe: the "
+                    "implicit zero-valued point at time 0)";
+  }
+  const auto a = RandomSeries(16, 4);
+  const auto b = RandomSeries(16, 5);
+  std::vector<double> a_shift = a;
+  std::vector<double> b_shift = b;
+  for (auto& v : a_shift) v += 3.0;
+  for (auto& v : b_shift) v += 3.0;
+  EXPECT_NEAR(m->Distance(a, b), m->Distance(a_shift, b_shift), 1e-9)
+      << m->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllElastic, ElasticPropertyTest, ::testing::ValuesIn(ElasticMeasureNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// Table 4 grids must be non-empty and honoured by the factories.
+class ElasticGridTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ElasticGridTest, GridCandidatesConstructible) {
+  const auto grid = ParamGridFor(GetParam());
+  EXPECT_FALSE(grid.empty());
+  for (const auto& params : grid) {
+    const MeasurePtr m = Registry::Global().Create(GetParam(), params);
+    ASSERT_NE(m, nullptr);
+    for (const auto& [key, value] : params) {
+      const auto got = m->params();
+      ASSERT_TRUE(got.count(key)) << GetParam() << " missing " << key;
+      EXPECT_DOUBLE_EQ(got.at(key), value) << GetParam() << " " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllElastic, ElasticGridTest, ::testing::ValuesIn(ElasticMeasureNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(ParamGridTest, Table4Cardinalities) {
+  EXPECT_EQ(ParamGridFor("msm").size(), 10u);
+  EXPECT_EQ(ParamGridFor("dtw").size(), 22u);
+  EXPECT_EQ(ParamGridFor("edr").size(), 20u);
+  EXPECT_EQ(ParamGridFor("lcss").size(), 40u);  // 2 deltas x 20 epsilons
+  EXPECT_EQ(ParamGridFor("twe").size(), 30u);   // 5 lambdas x 6 nus
+  EXPECT_EQ(ParamGridFor("swale").size(), 15u);
+  EXPECT_EQ(ParamGridFor("minkowski").size(), 20u);
+  EXPECT_EQ(ParamGridFor("kdtw").size(), 16u);
+  EXPECT_EQ(ParamGridFor("gak").size(), 26u);
+  EXPECT_EQ(ParamGridFor("sink").size(), 20u);
+  EXPECT_EQ(ParamGridFor("rbf").size(), 16u);
+}
+
+TEST(ParamGridTest, UnknownMeasureGetsSingleEmptyGrid) {
+  const auto grid = ParamGridFor("erp");
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid[0].empty());
+}
+
+TEST(ParamGridTest, UnsupervisedDefaultsMatchPaper) {
+  EXPECT_DOUBLE_EQ(UnsupervisedParamsFor("msm").at("c"), 0.5);
+  EXPECT_DOUBLE_EQ(UnsupervisedParamsFor("dtw").at("delta"), 10.0);
+  EXPECT_DOUBLE_EQ(UnsupervisedParamsFor("twe").at("lambda"), 1.0);
+  EXPECT_DOUBLE_EQ(UnsupervisedParamsFor("twe").at("nu"), 0.0001);
+  EXPECT_DOUBLE_EQ(UnsupervisedParamsFor("kdtw").at("gamma"), 0.125);
+  EXPECT_TRUE(UnsupervisedParamsFor("erp").empty());
+}
+
+}  // namespace
+}  // namespace tsdist

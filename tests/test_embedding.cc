@@ -1,0 +1,179 @@
+// Unit and integration tests for the 4 embedding measures.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/embedding/grail.h"
+#include "src/embedding/representation.h"
+#include "src/embedding/rws.h"
+#include "src/embedding/sidl.h"
+#include "src/embedding/spiral.h"
+
+namespace tsdist {
+namespace {
+
+GeneratorOptions TinyOptions() {
+  GeneratorOptions options;
+  options.length = 48;
+  options.train_per_class = 6;
+  options.test_per_class = 6;
+  options.noise = 0.1;
+  options.seed = 13;
+  return options;
+}
+
+class EmbeddingTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  RepresentationPtr Create(std::size_t dimension = 16) const {
+    return MakeRepresentation(GetParam(), {}, dimension, /*seed=*/5);
+  }
+};
+
+TEST_P(EmbeddingTest, FactoryResolvesName) {
+  const RepresentationPtr rep = Create();
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->name(), GetParam());
+}
+
+TEST_P(EmbeddingTest, TransformsHaveConsistentDimension) {
+  const Dataset data = MakeCbf(TinyOptions());
+  RepresentationPtr rep = Create();
+  rep->Fit(data.train());
+  const std::size_t dim = rep->dimension();
+  EXPECT_GT(dim, 0u);
+  EXPECT_LE(dim, 16u);
+  for (const auto& s : data.test()) {
+    EXPECT_EQ(rep->Transform(s).size(), dim);
+  }
+}
+
+TEST_P(EmbeddingTest, DeterministicGivenSeed) {
+  const Dataset data = MakeCbf(TinyOptions());
+  RepresentationPtr rep1 = Create();
+  RepresentationPtr rep2 = Create();
+  rep1->Fit(data.train());
+  rep2->Fit(data.train());
+  const auto v1 = rep1->Transform(data.test()[0]);
+  const auto v2 = rep2->Transform(data.test()[0]);
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v1[i], v2[i]);
+  }
+}
+
+TEST_P(EmbeddingTest, FiniteRepresentations) {
+  const Dataset data = MakeCbf(TinyOptions());
+  RepresentationPtr rep = Create();
+  rep->Fit(data.train());
+  for (const auto& s : data.train()) {
+    for (double v : rep->Transform(s)) {
+      EXPECT_TRUE(std::isfinite(v)) << GetParam();
+    }
+  }
+}
+
+TEST_P(EmbeddingTest, BeatsRandomGuessingOnEasyDataset) {
+  // CBF with modest noise: 3 balanced classes, chance = 1/3. Every
+  // embedding should be informative enough to clear chance comfortably.
+  GeneratorOptions options = TinyOptions();
+  options.noise = 0.15;
+  const Dataset data = MakeCbf(options);
+  RepresentationPtr rep = Create();
+  const EmbeddingEvalResult result = EvaluateEmbedding(rep.get(), data);
+  EXPECT_GT(result.test_accuracy, 0.45) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEmbeddings, EmbeddingTest,
+                         ::testing::Values("grail", "spiral", "rws", "sidl"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(MakeRepresentationTest, UnknownNameIsNull) {
+  EXPECT_EQ(MakeRepresentation("bogus"), nullptr);
+}
+
+TEST(GrailTest, DimensionCappedByTrainSize) {
+  const Dataset data = MakeCbf(TinyOptions());  // 18 training series
+  GrailRepresentation grail(5.0, 100, 3);
+  grail.Fit(data.train());
+  EXPECT_LE(grail.dimension(), data.train_size());
+}
+
+TEST(GrailTest, PreservesSinkNeighborhoodStructure) {
+  // Series from the same class should, on average, be closer in GRAIL space
+  // than series from different classes.
+  const Dataset data = MakeCbf(TinyOptions());
+  GrailRepresentation grail(5.0, 16, 3);
+  grail.Fit(data.train());
+  double same = 0.0, diff = 0.0;
+  int n_same = 0, n_diff = 0;
+  std::vector<std::vector<double>> reps;
+  for (const auto& s : data.train()) reps.push_back(grail.Transform(s));
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    for (std::size_t j = i + 1; j < reps.size(); ++j) {
+      double d = 0.0;
+      for (std::size_t t = 0; t < reps[i].size(); ++t) {
+        const double delta = reps[i][t] - reps[j][t];
+        d += delta * delta;
+      }
+      if (data.train()[i].label() == data.train()[j].label()) {
+        same += d;
+        ++n_same;
+      } else {
+        diff += d;
+        ++n_diff;
+      }
+    }
+  }
+  EXPECT_LT(same / n_same, diff / n_diff);
+}
+
+TEST(RwsTest, FitIsDataIndependent) {
+  const Dataset data1 = MakeCbf(TinyOptions());
+  GeneratorOptions other = TinyOptions();
+  other.seed = 99;
+  const Dataset data2 = MakeEcgLike(other);
+  RwsRepresentation a(1.0, 10, 8, 4);
+  RwsRepresentation b(1.0, 10, 8, 4);
+  a.Fit(data1.train());
+  b.Fit(data2.train());
+  // Same seed, same random series -> same transform of the same input.
+  const auto v1 = a.Transform(data1.test()[0]);
+  const auto v2 = b.Transform(data1.test()[0]);
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) EXPECT_DOUBLE_EQ(v1[i], v2[i]);
+}
+
+TEST(SidlTest, AtomLengthFollowsFraction) {
+  const Dataset data = MakeCbf(TinyOptions());  // length 48
+  SidlRepresentation sidl(1.0, 0.25, 8, 4);
+  sidl.Fit(data.train());
+  // Transform of a series shorter than the atom yields all-zero features.
+  const TimeSeries tiny({1.0, 2.0}, 0);
+  for (double v : sidl.Transform(tiny)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SidlTest, FeaturesAreShiftInvariant) {
+  // Max-pooled activations barely move under a circular shift of the input.
+  const Dataset data = MakeCbf(TinyOptions());
+  SidlRepresentation sidl(1.0, 0.25, 8, 4);
+  sidl.Fit(data.train());
+  std::vector<double> x(data.test()[0].values().begin(),
+                        data.test()[0].values().end());
+  const auto shifted = data_internal::CircularShift(x, 5);
+  const auto fx = sidl.Transform(TimeSeries(x, 0));
+  const auto fs = sidl.Transform(TimeSeries(shifted, 0));
+  double diff = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    diff += std::fabs(fx[i] - fs[i]);
+    norm += std::fabs(fx[i]);
+  }
+  EXPECT_LT(diff, 0.5 * norm + 1e-9);
+}
+
+}  // namespace
+}  // namespace tsdist

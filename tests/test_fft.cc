@@ -1,0 +1,146 @@
+// Unit and property tests for the FFT and FFT-based cross-correlation.
+
+#include "src/linalg/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> RandomComplex(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> out(n);
+  for (auto& c : out) c = Complex(rng.Gaussian(), rng.Gaussian());
+  return out;
+}
+
+void ExpectClose(const std::vector<Complex>& a, const std::vector<Complex>& b,
+                 double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "index " << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "index " << i;
+  }
+}
+
+TEST(NextPowerOfTwoTest, KnownValues) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(17), 32u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(FftTest, MatchesNaiveDftOnPowerOfTwo) {
+  const auto input = RandomComplex(64, 1);
+  std::vector<Complex> fast = input;
+  Fft(fast, /*inverse=*/false);
+  const auto slow = NaiveDft(input, /*inverse=*/false);
+  ExpectClose(fast, slow, 1e-9);
+}
+
+TEST(FftTest, RoundTripRecoversInput) {
+  const auto input = RandomComplex(128, 2);
+  std::vector<Complex> buffer = input;
+  Fft(buffer, /*inverse=*/false);
+  Fft(buffer, /*inverse=*/true);
+  ExpectClose(buffer, input, 1e-9);
+}
+
+TEST(FftTest, DeltaFunctionHasFlatSpectrum) {
+  std::vector<Complex> input(8, {0.0, 0.0});
+  input[0] = {1.0, 0.0};
+  Fft(input, /*inverse=*/false);
+  for (const auto& c : input) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftAnySizeTest, MatchesNaiveDftOnNonPowerOfTwo) {
+  for (std::size_t n : {3u, 5u, 7u, 12u, 30u, 100u}) {
+    const auto input = RandomComplex(n, 100 + n);
+    const auto fast = FftAnySize(input, /*inverse=*/false);
+    const auto slow = NaiveDft(input, /*inverse=*/false);
+    ExpectClose(fast, slow, 1e-8);
+  }
+}
+
+TEST(FftAnySizeTest, InverseRoundTrip) {
+  const auto input = RandomComplex(45, 3);
+  const auto forward = FftAnySize(input, /*inverse=*/false);
+  const auto back = FftAnySize(forward, /*inverse=*/true);
+  ExpectClose(back, input, 1e-8);
+}
+
+TEST(FftAnySizeTest, EmptyInput) {
+  EXPECT_TRUE(FftAnySize({}, false).empty());
+}
+
+TEST(CrossCorrelationTest, ZeroLagIsInnerProduct) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, 5.0, 6.0};
+  const auto cc = CrossCorrelationNaive(x, y);
+  ASSERT_EQ(cc.size(), 5u);
+  EXPECT_DOUBLE_EQ(cc[2], 32.0);  // lag 0 at index m-1
+}
+
+TEST(CrossCorrelationTest, HandComputedLags) {
+  // x = [1, 2], y = [3, 4]:
+  //   lag -1: x[0]*y[1]        = 4
+  //   lag  0: 1*3 + 2*4        = 11
+  //   lag +1: x[1]*y[0]        = 6
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {3.0, 4.0};
+  const auto cc = CrossCorrelationNaive(x, y);
+  ASSERT_EQ(cc.size(), 3u);
+  EXPECT_DOUBLE_EQ(cc[0], 4.0);
+  EXPECT_DOUBLE_EQ(cc[1], 11.0);
+  EXPECT_DOUBLE_EQ(cc[2], 6.0);
+}
+
+// Property sweep: FFT-based and naive cross-correlation agree for many
+// lengths, including ones that are not powers of two.
+class CrossCorrelationEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossCorrelationEquivalence, FftMatchesNaive) {
+  const std::size_t m = static_cast<std::size_t>(GetParam());
+  Rng rng(9000 + m);
+  std::vector<double> x(m), y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+  }
+  const auto fast = CrossCorrelationFft(x, y);
+  const auto slow = CrossCorrelationNaive(x, y);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-8) << "lag index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CrossCorrelationEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 31, 64, 100,
+                                           127, 128, 200));
+
+TEST(CrossCorrelationTest, SelfCorrelationPeaksAtZeroLag) {
+  Rng rng(4);
+  std::vector<double> x(50);
+  for (auto& v : x) v = rng.Gaussian();
+  const auto cc = CrossCorrelationFft(x, x);
+  const std::size_t zero_lag = x.size() - 1;
+  for (std::size_t i = 0; i < cc.size(); ++i) {
+    EXPECT_LE(cc[i], cc[zero_lag] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

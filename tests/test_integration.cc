@@ -1,0 +1,146 @@
+// End-to-end integration tests: full pipeline (archive -> dissimilarity
+// matrices -> 1-NN -> statistics) on tiny data, asserting the qualitative
+// orderings the paper's findings rest on.
+
+#include <gtest/gtest.h>
+
+#include "src/classify/param_grids.h"
+#include "src/classify/tuning.h"
+#include "src/data/archive.h"
+#include "src/data/generators.h"
+#include "src/normalization/normalization.h"
+#include "src/stats/ranking.h"
+#include "src/stats/wilcoxon.h"
+
+namespace tsdist {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static GeneratorOptions Options(std::uint64_t seed) {
+    GeneratorOptions options;
+    options.length = 64;
+    options.train_per_class = 10;
+    options.test_per_class = 10;
+    options.noise = 0.1;
+    options.seed = seed;
+    return options;
+  }
+
+  static double Accuracy(const std::string& measure, const ParamMap& params,
+                         const Dataset& data) {
+    const PairwiseEngine engine(4);
+    return EvaluateFixed(measure, params, data, engine).test_accuracy;
+  }
+};
+
+TEST_F(IntegrationTest, SlidingBeatsLockStepOnShiftedData) {
+  // The M3 regime: identical shapes at random phases. NCCc must dominate ED.
+  GeneratorOptions options = Options(1);
+  options.max_shift = 20;
+  const Dataset raw = MakeShiftedEvents(options);
+  const Dataset data = ZScoreNormalizer().Apply(raw);
+  const double ed = Accuracy("euclidean", {}, data);
+  const double sbd = Accuracy("nccc", {}, data);
+  EXPECT_GT(sbd, ed + 0.1) << "ed=" << ed << " sbd=" << sbd;
+  EXPECT_GT(sbd, 0.8);
+}
+
+TEST_F(IntegrationTest, ElasticBeatsLockStepOnWarpedData) {
+  // The M4 regime: locally warped prototypes. DTW must dominate ED.
+  GeneratorOptions options = Options(2);
+  options.warp = 0.2;
+  options.noise = 0.05;
+  const Dataset data = ZScoreNormalizer().Apply(MakeWarpedPrototypes(options));
+  const double ed = Accuracy("euclidean", {}, data);
+  const double dtw = Accuracy("dtw", {{"delta", 20.0}}, data);
+  EXPECT_GE(dtw, ed) << "ed=" << ed << " dtw=" << dtw;
+  EXPECT_GT(dtw, 0.7);
+}
+
+TEST_F(IntegrationTest, NormalizationRescuesScaledData) {
+  // The M1 regime: same shapes at wildly different scales. Under z-score the
+  // classes separate; on raw values ED is near chance.
+  GeneratorOptions options = Options(3);
+  options.train_per_class = 5;  // few amplitude-matched in-class neighbours
+  const Dataset raw = MakeScaledPatterns(options);
+  const Dataset normalized = ZScoreNormalizer().Apply(raw);
+  const double ed_raw = Accuracy("euclidean", {}, raw);
+  const double ed_norm = Accuracy("euclidean", {}, normalized);
+  EXPECT_GT(ed_norm, ed_raw + 0.1)
+      << "raw=" << ed_raw << " normalized=" << ed_norm;
+  EXPECT_GT(ed_norm, 0.9);
+}
+
+TEST_F(IntegrationTest, KernelMeasuresAreCompetitiveOnWarpedData) {
+  GeneratorOptions options = Options(4);
+  options.warp = 0.15;
+  const Dataset data = ZScoreNormalizer().Apply(MakeWarpedPrototypes(options));
+  const double ed = Accuracy("euclidean", {}, data);
+  const double kdtw = Accuracy("kdtw", {{"gamma", 0.125}}, data);
+  EXPECT_GE(kdtw, ed - 0.05) << "ed=" << ed << " kdtw=" << kdtw;
+}
+
+TEST_F(IntegrationTest, SupervisedTuningNeverHurtsMuchOnTest) {
+  // LOOCV-tuned DTW should be at least close to the fixed default on test.
+  GeneratorOptions options = Options(5);
+  options.warp = 0.15;
+  options.train_per_class = 8;
+  options.test_per_class = 6;
+  const Dataset data = ZScoreNormalizer().Apply(MakeWarpedPrototypes(options));
+  const PairwiseEngine engine(4);
+  const EvalResult tuned =
+      EvaluateTuned("dtw", ParamGridFor("dtw"), data, engine);
+  const EvalResult fixed = EvaluateFixed(
+      "dtw", UnsupervisedParamsFor("dtw"), data, engine);
+  EXPECT_GE(tuned.test_accuracy, fixed.test_accuracy - 0.15);
+  EXPECT_GT(tuned.train_accuracy, 0.5);
+}
+
+TEST_F(IntegrationTest, FullStatisticalPipelineOnTinyArchive) {
+  // Run three measures over the tiny archive and push the accuracies through
+  // the Friedman/Nemenyi machinery — the exact shape of the paper's
+  // Figures 2-8.
+  const auto archive = BuildArchive({ArchiveScale::kTiny, 7, true});
+  const std::vector<std::string> measures = {"euclidean", "lorentzian", "nccc"};
+  Matrix accuracies(archive.size(), measures.size());
+  const PairwiseEngine engine(4);
+  for (std::size_t i = 0; i < archive.size(); ++i) {
+    for (std::size_t j = 0; j < measures.size(); ++j) {
+      accuracies(i, j) =
+          EvaluateFixed(measures[j], {}, archive[i], engine).test_accuracy;
+    }
+  }
+  const CdAnalysis analysis = AnalyzeRanks(accuracies, measures, 0.10);
+  ASSERT_EQ(analysis.ranking.size(), 3u);
+  EXPECT_GT(analysis.critical_difference, 0.0);
+  // All accuracies must be meaningful (above chance on >= 2-class data).
+  for (std::size_t i = 0; i < archive.size(); ++i) {
+    for (std::size_t j = 0; j < measures.size(); ++j) {
+      EXPECT_GE(accuracies(i, j), 0.0);
+      EXPECT_LE(accuracies(i, j), 1.0);
+    }
+  }
+  // The diagram renders.
+  EXPECT_FALSE(RenderCdDiagram(analysis).empty());
+}
+
+TEST_F(IntegrationTest, WilcoxonDetectsConsistentImprovement) {
+  // NCCc vs ED across a shift-heavy suite: the improvement must register as
+  // significant with the paper's pairwise test.
+  std::vector<double> sbd_acc, ed_acc;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    GeneratorOptions options = Options(100 + seed);
+    options.length = 48;
+    options.train_per_class = 6;
+    options.test_per_class = 6;
+    options.max_shift = 16;
+    const Dataset data = ZScoreNormalizer().Apply(MakeShiftedEvents(options));
+    sbd_acc.push_back(Accuracy("nccc", {}, data));
+    ed_acc.push_back(Accuracy("euclidean", {}, data));
+  }
+  EXPECT_TRUE(SignificantlyGreater(sbd_acc, ed_acc, 0.05));
+}
+
+}  // namespace
+}  // namespace tsdist

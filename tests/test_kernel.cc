@@ -1,0 +1,203 @@
+// Unit and property tests for the 4 kernel measures.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/kernel/gak.h"
+#include "src/kernel/kdtw.h"
+#include "src/kernel/kernel_measure.h"
+#include "src/kernel/rbf.h"
+#include "src/kernel/sink.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(LogSumExp3Test, KnownValuesAndInfTolerance) {
+  using kernel_internal::LogSumExp3;
+  EXPECT_NEAR(LogSumExp3(0.0, 0.0, 0.0), std::log(3.0), 1e-12);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(LogSumExp3(-inf, 0.0, -inf), 0.0, 1e-12);
+  EXPECT_EQ(LogSumExp3(-inf, -inf, -inf), -inf);
+  // Stability with large magnitudes.
+  EXPECT_NEAR(LogSumExp3(1000.0, 1000.0, -inf), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(RbfKernelTest, SelfSimilarityLogIsZero) {
+  const auto x = RandomSeries(32, 1);
+  EXPECT_DOUBLE_EQ(RbfKernel(2.0).LogSimilarity(x, x), 0.0);
+}
+
+TEST(RbfKernelTest, KnownValue) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {1.0, 1.0};
+  // log k = -gamma * ||a-b||^2 = -2 * gamma.
+  EXPECT_NEAR(RbfKernel(0.5).LogSimilarity(a, b), -1.0, 1e-12);
+}
+
+TEST(SinkKernelTest, SymmetricInArguments) {
+  const SinkKernel k(5.0);
+  const auto a = RandomSeries(40, 2);
+  const auto b = RandomSeries(40, 3);
+  EXPECT_NEAR(k.LogSimilarity(a, b), k.LogSimilarity(b, a), 1e-9);
+}
+
+TEST(SinkKernelTest, ShiftedCopyNearlySelfSimilar) {
+  std::vector<double> x(96, 0.0);
+  for (int i = 30; i < 50; ++i) x[static_cast<std::size_t>(i)] = 1.0;
+  const auto shifted = data_internal::CircularShift(x, 12);
+  KernelDistance sink(std::make_unique<SinkKernel>(10.0));
+  EXPECT_LT(sink.Distance(x, shifted), 0.05);
+}
+
+TEST(GakKernelTest, SymmetricInArguments) {
+  const GakKernel k(0.5);
+  const auto a = RandomSeries(24, 4);
+  const auto b = RandomSeries(24, 5);
+  EXPECT_NEAR(k.LogSimilarity(a, b), k.LogSimilarity(b, a), 1e-9);
+}
+
+TEST(GakKernelTest, SupportsUnequalLengths) {
+  const auto a = RandomSeries(30, 6);
+  const auto b = RandomSeries(7, 7);
+  EXPECT_TRUE(std::isfinite(GakKernel(1.0).LogSimilarity(a, b)));
+}
+
+TEST(GakKernelTest, NoUnderflowOnLongSeries) {
+  // The raison d'etre of the log-domain DP: alignments over hundreds of
+  // points multiply hundreds of sub-unity local kernels.
+  const auto a = RandomSeries(512, 8);
+  const auto b = RandomSeries(512, 9);
+  const double log_k = GakKernel(1.0).LogSimilarity(a, b);
+  EXPECT_TRUE(std::isfinite(log_k));
+}
+
+TEST(KdtwKernelTest, SymmetricInArguments) {
+  const KdtwKernel k(0.125);
+  const auto a = RandomSeries(24, 10);
+  const auto b = RandomSeries(24, 11);
+  EXPECT_NEAR(k.LogSimilarity(a, b), k.LogSimilarity(b, a), 1e-9);
+}
+
+TEST(KdtwKernelTest, NoUnderflowOnLongSeries) {
+  const auto a = RandomSeries(400, 12);
+  const auto b = RandomSeries(400, 13);
+  EXPECT_TRUE(std::isfinite(KdtwKernel(0.125).LogSimilarity(a, b)));
+}
+
+// Shared distance-level properties across all four kernels.
+class KernelDistanceProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  MeasurePtr Create() const { return Registry::Global().Create(GetParam()); }
+};
+
+TEST_P(KernelDistanceProperty, SelfDistanceIsZero) {
+  const MeasurePtr m = Create();
+  const auto x = RandomSeries(32, 20);
+  EXPECT_NEAR(m->Distance(x, x), 0.0, 1e-9) << m->name();
+}
+
+TEST_P(KernelDistanceProperty, NormalizedDistanceIsInUnitRange) {
+  // d = 1 - k/sqrt(kk') with k > 0 p.s.d.: normalized similarity lies in
+  // (0, 1], so d is in [0, 1).
+  const MeasurePtr m = Create();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto a = RandomSeries(28, 30 + seed);
+    const auto b = RandomSeries(28, 60 + seed);
+    const double d = m->Distance(a, b);
+    EXPECT_GE(d, 0.0) << m->name();
+    EXPECT_LE(d, 1.0) << m->name();
+  }
+}
+
+TEST_P(KernelDistanceProperty, SymmetricDistance) {
+  const MeasurePtr m = Create();
+  const auto a = RandomSeries(20, 40);
+  const auto b = RandomSeries(20, 41);
+  EXPECT_NEAR(m->Distance(a, b), m->Distance(b, a), 1e-9) << m->name();
+}
+
+TEST_P(KernelDistanceProperty, CategoryAndRegistryMetadata) {
+  const MeasurePtr m = Create();
+  EXPECT_EQ(m->category(), MeasureCategory::kKernel);
+  EXPECT_EQ(m->name(), GetParam());
+}
+
+TEST_P(KernelDistanceProperty, MoreNoiseMeansMoreDistance) {
+  // Distances grow (weakly) with perturbation magnitude from a common base.
+  const MeasurePtr m = Create();
+  const auto base = RandomSeries(32, 50);
+  Rng rng(51);
+  std::vector<double> direction(base.size());
+  for (auto& v : direction) v = rng.Gaussian();
+  double prev = 0.0;
+  for (double eps : {0.01, 0.1, 0.5, 1.0}) {
+    std::vector<double> noisy = base;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      noisy[i] += eps * direction[i];
+    }
+    const double d = m->Distance(base, noisy);
+    EXPECT_GE(d, prev - 1e-6) << m->name() << " eps " << eps;
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelDistanceProperty,
+    ::testing::ValuesIn(KernelMeasureNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(MakeKernelTest, ResolvesAllNamesAndParameters) {
+  for (const auto& name : KernelMeasureNames()) {
+    const KernelPtr k = MakeKernel(name, {{"gamma", 0.25}});
+    ASSERT_NE(k, nullptr) << name;
+    EXPECT_EQ(k->name(), name);
+    EXPECT_DOUBLE_EQ(k->params().at("gamma"), 0.25);
+  }
+  EXPECT_EQ(MakeKernel("bogus"), nullptr);
+}
+
+TEST(KernelPsdTest, SmallGramMatricesHaveNonNegativeEigenvalues) {
+  // Spot-check positive semi-definiteness on a small sample for each kernel
+  // (necessary condition; full p.s.d. proofs are in the cited papers).
+  for (const auto& name : KernelMeasureNames()) {
+    const KernelPtr k = MakeKernel(name);
+    std::vector<std::vector<double>> xs;
+    for (std::uint64_t s = 0; s < 4; ++s) xs.push_back(RandomSeries(16, 70 + s));
+    // Normalized similarities.
+    std::vector<double> self(4);
+    for (int i = 0; i < 4; ++i) self[i] = k->LogSimilarity(xs[i], xs[i]);
+    double gram[4][4];
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        gram[i][j] = std::exp(k->LogSimilarity(xs[i], xs[j]) -
+                              0.5 * (self[i] + self[j]));
+      }
+    }
+    // All 2x2 principal minors non-negative (necessary for p.s.d.).
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (i == j) continue;
+        const double det = gram[i][i] * gram[j][j] - gram[i][j] * gram[j][i];
+        EXPECT_GE(det, -1e-9) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,270 @@
+// Known-value unit tests for the lock-step distance measures.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/lockstep/lockstep_all.h"
+
+namespace tsdist {
+namespace {
+
+const std::vector<double> kA = {1.0, 2.0, 3.0};
+const std::vector<double> kB = {2.0, 4.0, 6.0};
+
+TEST(MinkowskiFamilyTest, EuclideanKnownValue) {
+  EXPECT_NEAR(EuclideanDistance().Distance(kA, kB),
+              std::sqrt(1.0 + 4.0 + 9.0), 1e-12);
+}
+
+TEST(MinkowskiFamilyTest, ManhattanKnownValue) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance().Distance(kA, kB), 6.0);
+}
+
+TEST(MinkowskiFamilyTest, ChebyshevKnownValue) {
+  EXPECT_DOUBLE_EQ(ChebyshevDistance().Distance(kA, kB), 3.0);
+}
+
+TEST(MinkowskiFamilyTest, MinkowskiReducesToSpecialCases) {
+  EXPECT_NEAR(MinkowskiDistance(2.0).Distance(kA, kB),
+              EuclideanDistance().Distance(kA, kB), 1e-12);
+  EXPECT_NEAR(MinkowskiDistance(1.0).Distance(kA, kB),
+              ManhattanDistance().Distance(kA, kB), 1e-12);
+  // Large p approaches Chebyshev.
+  EXPECT_NEAR(MinkowskiDistance(64.0).Distance(kA, kB),
+              ChebyshevDistance().Distance(kA, kB), 0.1);
+}
+
+TEST(L1FamilyTest, SorensenKnownValue) {
+  // sum|a-b| = 6, sum(a+b) = 18.
+  EXPECT_NEAR(SorensenDistance().Distance(kA, kB), 6.0 / 18.0, 1e-12);
+}
+
+TEST(L1FamilyTest, GowerIsMeanAbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(GowerDistance().Distance(kA, kB), 2.0);
+}
+
+TEST(L1FamilyTest, SoergelKnownValue) {
+  // sum max = 2+4+6 = 12.
+  EXPECT_NEAR(SoergelDistance().Distance(kA, kB), 6.0 / 12.0, 1e-12);
+}
+
+TEST(L1FamilyTest, KulczynskiDKnownValue) {
+  // sum min = 1+2+3 = 6.
+  EXPECT_NEAR(KulczynskiDDistance().Distance(kA, kB), 6.0 / 6.0, 1e-12);
+}
+
+TEST(L1FamilyTest, CanberraKnownValue) {
+  // per-point |a-b|/(a+b) = 1/3 each.
+  EXPECT_NEAR(CanberraDistance().Distance(kA, kB), 1.0, 1e-12);
+}
+
+TEST(L1FamilyTest, LorentzianKnownValue) {
+  const double expected = std::log(2.0) + std::log(3.0) + std::log(4.0);
+  EXPECT_NEAR(LorentzianDistance().Distance(kA, kB), expected, 1e-12);
+}
+
+TEST(IntersectionFamilyTest, IntersectionIsHalfL1) {
+  EXPECT_DOUBLE_EQ(IntersectionDistance().Distance(kA, kB), 3.0);
+}
+
+TEST(IntersectionFamilyTest, WaveHedgesKnownValue) {
+  // per-point |a-b|/max = 1/2 each.
+  EXPECT_NEAR(WaveHedgesDistance().Distance(kA, kB), 1.5, 1e-12);
+}
+
+TEST(IntersectionFamilyTest, CzekanowskiEqualsSorensenOnPositiveData) {
+  EXPECT_NEAR(CzekanowskiDistance().Distance(kA, kB),
+              SorensenDistance().Distance(kA, kB), 1e-12);
+}
+
+TEST(IntersectionFamilyTest, MotykaKnownValue) {
+  EXPECT_NEAR(MotykaDistance().Distance(kA, kB), 12.0 / 18.0, 1e-12);
+}
+
+TEST(IntersectionFamilyTest, MotykaIsAtLeastHalfOnPositiveData) {
+  EXPECT_GE(MotykaDistance().Distance(kA, kB), 0.5);
+  EXPECT_NEAR(MotykaDistance().Distance(kA, kA), 0.5, 1e-12);
+}
+
+TEST(IntersectionFamilyTest, RuzickaEqualsSoergelOnPositiveData) {
+  EXPECT_NEAR(RuzickaDistance().Distance(kA, kB),
+              SoergelDistance().Distance(kA, kB), 1e-12);
+}
+
+TEST(IntersectionFamilyTest, TanimotoKnownValue) {
+  // (6 + 12 - 2*6) / (6 + 12 - 6) = 6/12.
+  EXPECT_NEAR(TanimotoDistance().Distance(kA, kB), 0.5, 1e-12);
+}
+
+TEST(InnerProductFamilyTest, InnerProductIsNegatedDot) {
+  EXPECT_DOUBLE_EQ(InnerProductDistance().Distance(kA, kB), -28.0);
+}
+
+TEST(InnerProductFamilyTest, CosineOfParallelVectorsIsZero) {
+  // kB = 2 * kA, so cosine similarity is exactly 1.
+  EXPECT_NEAR(CosineDistance().Distance(kA, kB), 0.0, 1e-12);
+}
+
+TEST(InnerProductFamilyTest, CosineOfOrthogonalVectorsIsOne) {
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> y = {0.0, 1.0};
+  EXPECT_NEAR(CosineDistance().Distance(x, y), 1.0, 1e-12);
+}
+
+TEST(InnerProductFamilyTest, JaccardKnownValue) {
+  // sum(a-b)^2 = 14; a.a = 14, b.b = 56, a.b = 28 -> denom = 42.
+  EXPECT_NEAR(JaccardDistance().Distance(kA, kB), 14.0 / 42.0, 1e-12);
+}
+
+TEST(InnerProductFamilyTest, DiceKnownValue) {
+  EXPECT_NEAR(DiceDistance().Distance(kA, kB), 14.0 / 70.0, 1e-12);
+}
+
+TEST(InnerProductFamilyTest, KumarHassebrookOfIdenticalIsZero) {
+  EXPECT_NEAR(KumarHassebrookDistance().Distance(kA, kA), 0.0, 1e-12);
+}
+
+TEST(FidelityFamilyTest, FidelityOfProbabilityVectorIsZero) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(FidelityDistance().Distance(p, p), 0.0, 1e-12);
+}
+
+TEST(FidelityFamilyTest, HellingerMatusitaSquaredChordRelations) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  const std::vector<double> q = {0.4, 0.4, 0.2};
+  const double sc = SquaredChordDistance().Distance(p, q);
+  EXPECT_NEAR(MatusitaDistance().Distance(p, q), std::sqrt(sc), 1e-12);
+  EXPECT_NEAR(HellingerDistance().Distance(p, q), std::sqrt(2.0 * sc), 1e-12);
+}
+
+TEST(FidelityFamilyTest, BhattacharyyaOfIdenticalDistributionIsZero) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(BhattacharyyaDistance().Distance(p, p), 0.0, 1e-10);
+}
+
+TEST(SquaredL2FamilyTest, SquaredEuclideanKnownValue) {
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance().Distance(kA, kB), 14.0);
+}
+
+TEST(SquaredL2FamilyTest, PearsonAndNeymanAreAsymmetricTwins) {
+  const double pearson = PearsonChiSqDistance().Distance(kA, kB);
+  const double neyman = NeymanChiSqDistance().Distance(kB, kA);
+  EXPECT_NEAR(pearson, neyman, 1e-12);
+}
+
+TEST(SquaredL2FamilyTest, ProbSymmetricIsTwiceSquaredChiSq) {
+  EXPECT_NEAR(ProbSymmetricChiSqDistance().Distance(kA, kB),
+              2.0 * SquaredChiSqDistance().Distance(kA, kB), 1e-12);
+}
+
+TEST(SquaredL2FamilyTest, ClarkKnownValue) {
+  // per-point (|a-b|/(a+b))^2 = 1/9 -> sqrt(3/9).
+  EXPECT_NEAR(ClarkDistance().Distance(kA, kB), std::sqrt(1.0 / 3.0), 1e-12);
+}
+
+TEST(SquaredL2FamilyTest, AdditiveSymmetricKnownValue) {
+  // sum (a-b)^2 (a+b) / (a b): 1*3/2 + 4*6/8 + 9*9/18 = 9.
+  EXPECT_NEAR(AdditiveSymmetricChiSqDistance().Distance(kA, kB), 9.0, 1e-12);
+}
+
+TEST(EntropyFamilyTest, KlOfIdenticalDistributionIsZero) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(KullbackLeiblerDistance().Distance(p, p), 0.0, 1e-12);
+}
+
+TEST(EntropyFamilyTest, KlIsAsymmetric) {
+  const std::vector<double> p = {0.1, 0.9};
+  const std::vector<double> q = {0.5, 0.5};
+  const double pq = KullbackLeiblerDistance().Distance(p, q);
+  const double qp = KullbackLeiblerDistance().Distance(q, p);
+  EXPECT_GT(std::fabs(pq - qp), 1e-3);
+}
+
+TEST(EntropyFamilyTest, JeffreysIsSymmetrizedKl) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  const std::vector<double> q = {0.5, 0.3, 0.2};
+  const double expected = KullbackLeiblerDistance().Distance(p, q) +
+                          KullbackLeiblerDistance().Distance(q, p);
+  EXPECT_NEAR(JeffreysDistance().Distance(p, q), expected, 1e-12);
+}
+
+TEST(EntropyFamilyTest, JensenShannonIsHalfTopsoe) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  const std::vector<double> q = {0.5, 0.3, 0.2};
+  EXPECT_NEAR(JensenShannonDistance().Distance(p, q),
+              0.5 * TopsoeDistance().Distance(p, q), 1e-12);
+}
+
+TEST(EntropyFamilyTest, JensenShannonEqualsJensenDifferenceOnDistributions) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  const std::vector<double> q = {0.5, 0.3, 0.2};
+  EXPECT_NEAR(JensenDifferenceDistance().Distance(p, q),
+              JensenShannonDistance().Distance(p, q), 1e-10);
+}
+
+TEST(EntropyFamilyTest, JensenShannonBoundedByLn2) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_LE(JensenShannonDistance().Distance(p, q), std::log(2.0) + 1e-9);
+}
+
+TEST(CombinationFamilyTest, AvgL1LinfKnownValue) {
+  EXPECT_DOUBLE_EQ(AvgL1LinfDistance().Distance(kA, kB), 0.5 * (6.0 + 3.0));
+}
+
+TEST(CombinationFamilyTest, TanejaOfIdenticalIsZero) {
+  EXPECT_NEAR(TanejaDistance().Distance(kA, kA), 0.0, 1e-10);
+}
+
+TEST(CombinationFamilyTest, KumarJohnsonOfIdenticalIsZero) {
+  EXPECT_NEAR(KumarJohnsonDistance().Distance(kA, kA), 0.0, 1e-10);
+}
+
+TEST(EmanonFamilyTest, Emanon4KnownValue) {
+  // sum (a-b)^2 / max: 1/2 + 4/4 + 9/6 = 3.
+  EXPECT_NEAR(Emanon4Distance().Distance(kA, kB), 3.0, 1e-12);
+}
+
+TEST(EmanonFamilyTest, Emanon3VersusEmanon4Ordering) {
+  // min-denominator variant must dominate the max-denominator variant on
+  // positive data.
+  EXPECT_GE(Emanon3Distance().Distance(kA, kB),
+            Emanon4Distance().Distance(kA, kB));
+}
+
+TEST(EmanonFamilyTest, MaxSymmetricChiSqIsMaxOfPearsonNeyman) {
+  const double expected = std::max(NeymanChiSqDistance().Distance(kA, kB),
+                                   PearsonChiSqDistance().Distance(kA, kB));
+  EXPECT_NEAR(MaxSymmetricChiSqDistance().Distance(kA, kB), expected, 1e-12);
+}
+
+TEST(ExtraMeasuresTest, DissimOfIdenticalIsZero) {
+  EXPECT_DOUBLE_EQ(DissimDistance().Distance(kA, kA), 0.0);
+}
+
+TEST(ExtraMeasuresTest, DissimTrapezoidKnownValue) {
+  // Per-point |a-b| = {1, 2, 3}; trapezoid: (1+2)/2 + (2+3)/2 = 4.
+  EXPECT_NEAR(DissimDistance().Distance(kA, kB), 4.0, 1e-12);
+}
+
+TEST(ExtraMeasuresTest, DissimSingletonFallsBackToAbsoluteDifference) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {4.0};
+  EXPECT_DOUBLE_EQ(DissimDistance().Distance(x, y), 3.0);
+}
+
+TEST(ExtraMeasuresTest, AsdIsScaleInvariantInSecondArgument) {
+  // ASD aligns b to a under the optimal scale, so scaled copies match.
+  EXPECT_NEAR(AdaptiveScalingDistance().Distance(kA, kB), 0.0, 1e-12);
+}
+
+TEST(ExtraMeasuresTest, AsdDetectsShapeDifference) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {3.0, 1.0, 2.0};
+  EXPECT_GT(AdaptiveScalingDistance().Distance(x, y), 0.1);
+}
+
+}  // namespace
+}  // namespace tsdist

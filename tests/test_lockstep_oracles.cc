@@ -1,0 +1,508 @@
+// Independent-oracle cross-checks for all 52 lock-step measures.
+//
+// Each registered measure is compared against a deliberately naive inline
+// reimplementation of its survey formula on random positive data (the
+// survey's valid domain, so no clamps fire and the formulas are exact).
+// This catches transcription errors that family-level property tests
+// (symmetry, self-distance) cannot see.
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/linalg/rng.h"
+#include "src/lockstep/lockstep_all.h"
+
+namespace tsdist {
+namespace {
+
+using Oracle = std::function<double(const std::vector<double>&,
+                                    const std::vector<double>&)>;
+
+double Sum(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+const std::map<std::string, Oracle>& Oracles() {
+  static const auto* kOracles = new std::map<std::string, Oracle>{
+      {"euclidean",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]);
+         }
+         return std::sqrt(s);
+       }},
+      {"manhattan",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+         return s;
+       }},
+      {"chebyshev",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s = std::max(s, std::abs(a[i] - b[i]));
+         }
+         return s;
+       }},
+      {"sorensen",
+       [](const auto& a, const auto& b) {
+         double n = 0, d = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           n += std::abs(a[i] - b[i]);
+           d += a[i] + b[i];
+         }
+         return n / d;
+       }},
+      {"gower",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+         return s / static_cast<double>(a.size());
+       }},
+      {"soergel",
+       [](const auto& a, const auto& b) {
+         double n = 0, d = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           n += std::abs(a[i] - b[i]);
+           d += std::max(a[i], b[i]);
+         }
+         return n / d;
+       }},
+      {"kulczynski_d",
+       [](const auto& a, const auto& b) {
+         double n = 0, d = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           n += std::abs(a[i] - b[i]);
+           d += std::min(a[i], b[i]);
+         }
+         return n / d;
+       }},
+      {"canberra",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += std::abs(a[i] - b[i]) / (a[i] + b[i]);
+         }
+         return s;
+       }},
+      {"lorentzian",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += std::log(1.0 + std::abs(a[i] - b[i]));
+         }
+         return s;
+       }},
+      {"intersection",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+         return 0.5 * s;
+       }},
+      {"wavehedges",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += std::abs(a[i] - b[i]) / std::max(a[i], b[i]);
+         }
+         return s;
+       }},
+      {"czekanowski",
+       [](const auto& a, const auto& b) {
+         double mn = 0, tot = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           mn += std::min(a[i], b[i]);
+           tot += a[i] + b[i];
+         }
+         return 1.0 - 2.0 * mn / tot;
+       }},
+      {"motyka",
+       [](const auto& a, const auto& b) {
+         double mx = 0, tot = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           mx += std::max(a[i], b[i]);
+           tot += a[i] + b[i];
+         }
+         return mx / tot;
+       }},
+      {"kulczynski_s",
+       [](const auto& a, const auto& b) {
+         double diff = 0, mn = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           diff += std::abs(a[i] - b[i]);
+           mn += std::min(a[i], b[i]);
+         }
+         return diff / mn;
+       }},
+      {"ruzicka",
+       [](const auto& a, const auto& b) {
+         double mn = 0, mx = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           mn += std::min(a[i], b[i]);
+           mx += std::max(a[i], b[i]);
+         }
+         return 1.0 - mn / mx;
+       }},
+      {"tanimoto",
+       [](const auto& a, const auto& b) {
+         double mn = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) mn += std::min(a[i], b[i]);
+         const double sa = Sum(a), sb = Sum(b);
+         return (sa + sb - 2.0 * mn) / (sa + sb - mn);
+       }},
+      {"innerproduct",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+         return -s;
+       }},
+      {"harmonicmean",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += a[i] * b[i] / (a[i] + b[i]);
+         }
+         return -2.0 * s;
+       }},
+      {"cosine",
+       [](const auto& a, const auto& b) {
+         double dot = 0, na = 0, nb = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           dot += a[i] * b[i];
+           na += a[i] * a[i];
+           nb += b[i] * b[i];
+         }
+         return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+       }},
+      {"kumarhassebrook",
+       [](const auto& a, const auto& b) {
+         double dot = 0, na = 0, nb = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           dot += a[i] * b[i];
+           na += a[i] * a[i];
+           nb += b[i] * b[i];
+         }
+         return 1.0 - dot / (na + nb - dot);
+       }},
+      {"jaccard",
+       [](const auto& a, const auto& b) {
+         double dot = 0, na = 0, nb = 0, sq = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           dot += a[i] * b[i];
+           na += a[i] * a[i];
+           nb += b[i] * b[i];
+           sq += (a[i] - b[i]) * (a[i] - b[i]);
+         }
+         return sq / (na + nb - dot);
+       }},
+      {"dice",
+       [](const auto& a, const auto& b) {
+         double na = 0, nb = 0, sq = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           na += a[i] * a[i];
+           nb += b[i] * b[i];
+           sq += (a[i] - b[i]) * (a[i] - b[i]);
+         }
+         return sq / (na + nb);
+       }},
+      {"fidelity",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) s += std::sqrt(a[i] * b[i]);
+         return 1.0 - s;
+       }},
+      {"bhattacharyya",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) s += std::sqrt(a[i] * b[i]);
+         return -std::log(s);
+       }},
+      {"hellinger",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+           s += d * d;
+         }
+         return std::sqrt(2.0 * s);
+       }},
+      {"matusita",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+           s += d * d;
+         }
+         return std::sqrt(s);
+       }},
+      {"squaredchord",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double d = std::sqrt(a[i]) - std::sqrt(b[i]);
+           s += d * d;
+         }
+         return s;
+       }},
+      {"squared_euclidean",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]);
+         }
+         return s;
+       }},
+      {"pearson_chisq",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]) / b[i];
+         }
+         return s;
+       }},
+      {"neyman_chisq",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]) / a[i];
+         }
+         return s;
+       }},
+      {"squared_chisq",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]) / (a[i] + b[i]);
+         }
+         return s;
+       }},
+      {"prob_symmetric_chisq",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]) / (a[i] + b[i]);
+         }
+         return 2.0 * s;
+       }},
+      {"divergence",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double sum = a[i] + b[i];
+           s += (a[i] - b[i]) * (a[i] - b[i]) / (sum * sum);
+         }
+         return 2.0 * s;
+       }},
+      {"clark",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double t = std::abs(a[i] - b[i]) / (a[i] + b[i]);
+           s += t * t;
+         }
+         return std::sqrt(s);
+       }},
+      {"additive_symmetric_chisq",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]) * (a[i] + b[i]) / (a[i] * b[i]);
+         }
+         return s;
+       }},
+      {"kullback_leibler",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += a[i] * std::log(a[i] / b[i]);
+         }
+         return s;
+       }},
+      {"jeffreys",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * std::log(a[i] / b[i]);
+         }
+         return s;
+       }},
+      {"k_divergence",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += a[i] * std::log(2.0 * a[i] / (a[i] + b[i]));
+         }
+         return s;
+       }},
+      {"topsoe",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += a[i] * std::log(2.0 * a[i] / (a[i] + b[i])) +
+                b[i] * std::log(2.0 * b[i] / (a[i] + b[i]));
+         }
+         return s;
+       }},
+      {"jensen_shannon",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += a[i] * std::log(2.0 * a[i] / (a[i] + b[i])) +
+                b[i] * std::log(2.0 * b[i] / (a[i] + b[i]));
+         }
+         return 0.5 * s;
+       }},
+      {"jensen_difference",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double mid = 0.5 * (a[i] + b[i]);
+           s += 0.5 * (a[i] * std::log(a[i]) + b[i] * std::log(b[i])) -
+                mid * std::log(mid);
+         }
+         return s;
+       }},
+      {"taneja",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double sum = a[i] + b[i];
+           s += 0.5 * sum * std::log(sum / (2.0 * std::sqrt(a[i] * b[i])));
+         }
+         return s;
+       }},
+      {"kumarjohnson",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double d = a[i] * a[i] - b[i] * b[i];
+           s += d * d / (2.0 * std::pow(a[i] * b[i], 1.5));
+         }
+         return s;
+       }},
+      {"avg_l1_linf",
+       [](const auto& a, const auto& b) {
+         double sum = 0, mx = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double d = std::abs(a[i] - b[i]);
+           sum += d;
+           mx = std::max(mx, d);
+         }
+         return 0.5 * (sum + mx);
+       }},
+      {"emanon1",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += std::abs(a[i] - b[i]) / std::min(a[i], b[i]);
+         }
+         return s;
+       }},
+      {"emanon2",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double mn = std::min(a[i], b[i]);
+           s += (a[i] - b[i]) * (a[i] - b[i]) / (mn * mn);
+         }
+         return s;
+       }},
+      {"emanon3",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]) / std::min(a[i], b[i]);
+         }
+         return s;
+       }},
+      {"emanon4",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           s += (a[i] - b[i]) * (a[i] - b[i]) / std::max(a[i], b[i]);
+         }
+         return s;
+       }},
+      {"max_symmetric_chisq",
+       [](const auto& a, const auto& b) {
+         double sa = 0, sb = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double d2 = (a[i] - b[i]) * (a[i] - b[i]);
+           sa += d2 / a[i];
+           sb += d2 / b[i];
+         }
+         return std::max(sa, sb);
+       }},
+      {"dissim",
+       [](const auto& a, const auto& b) {
+         double s = 0;
+         for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+           s += 0.5 * (std::abs(a[i] - b[i]) + std::abs(a[i + 1] - b[i + 1]));
+         }
+         return s;
+       }},
+      {"asd",
+       [](const auto& a, const auto& b) {
+         double ab = 0, bb = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           ab += a[i] * b[i];
+           bb += b[i] * b[i];
+         }
+         const double alpha = ab / bb;
+         double s = 0;
+         for (std::size_t i = 0; i < a.size(); ++i) {
+           const double d = a[i] - alpha * b[i];
+           s += d * d;
+         }
+         return std::sqrt(s);
+       }},
+  };
+  return *kOracles;
+}
+
+class LockStepOracleTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LockStepOracleTest, MatchesIndependentReimplementation) {
+  const std::string& name = GetParam();
+  const auto it = Oracles().find(name);
+  if (it == Oracles().end()) {
+    // Only "minkowski" lacks an oracle (parameterized; covered by its
+    // reduction tests in test_lockstep.cc).
+    ASSERT_EQ(name, "minkowski");
+    GTEST_SKIP();
+  }
+  const MeasurePtr measure = Registry::Global().Create(name);
+  ASSERT_NE(measure, nullptr);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(1000 + seed);
+    std::vector<double> a(20), b(20);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = rng.Uniform(0.5, 3.0);  // strictly positive: exact domain
+      b[i] = rng.Uniform(0.5, 3.0);
+    }
+    const double expected = it->second(a, b);
+    const double actual = measure->Distance(a, b);
+    EXPECT_NEAR(actual, expected, 1e-9 * (1.0 + std::fabs(expected)))
+        << name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLockStep, LockStepOracleTest,
+    ::testing::ValuesIn(LockStepMeasureNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,188 @@
+// Property-style TEST_P sweeps over all 52 lock-step measures.
+//
+// Checks that every measure is a well-behaved dissimilarity on its valid
+// domain: finite output, (near-)minimal self-distance, symmetry for the
+// symmetric measures, and metric axioms for the measures claiming to be
+// metrics. Inputs are positive (MinMax-[1,2]-style), matching the domain the
+// survey defines the formulas on.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/linalg/rng.h"
+#include "src/lockstep/lockstep_all.h"
+
+namespace tsdist {
+namespace {
+
+// Measures that are genuinely asymmetric by definition.
+bool IsAsymmetric(const std::string& name) {
+  return name == "pearson_chisq" || name == "neyman_chisq" ||
+         name == "kullback_leibler" || name == "k_divergence" ||
+         name == "asd";
+}
+
+std::vector<double> PositiveSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Uniform(1.0, 2.0);
+  return out;
+}
+
+class LockStepPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  MeasurePtr Create() const {
+    MeasurePtr m = Registry::Global().Create(GetParam());
+    EXPECT_NE(m, nullptr) << GetParam();
+    return m;
+  }
+};
+
+TEST_P(LockStepPropertyTest, RegisteredWithCorrectMetadata) {
+  const MeasurePtr m = Create();
+  EXPECT_EQ(m->name(), GetParam());
+  EXPECT_EQ(m->category(), MeasureCategory::kLockStep);
+  EXPECT_EQ(m->cost_class(), CostClass::kLinear);
+}
+
+TEST_P(LockStepPropertyTest, FiniteOnRandomPositiveData) {
+  const MeasurePtr m = Create();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto a = PositiveSeries(32, 100 + seed);
+    const auto b = PositiveSeries(32, 200 + seed);
+    EXPECT_TRUE(std::isfinite(m->Distance(a, b))) << m->name();
+  }
+}
+
+TEST_P(LockStepPropertyTest, FiniteOnDataWithZerosAndNegatives) {
+  // The domain guards must keep every measure total on raw (z-normalized
+  // style) data containing zeros and negative values.
+  const MeasurePtr m = Create();
+  const std::vector<double> a = {0.0, -1.0, 2.0, 0.0, -0.5};
+  const std::vector<double> b = {1.0, 0.0, -2.0, 0.0, 0.5};
+  EXPECT_TRUE(std::isfinite(m->Distance(a, b))) << m->name();
+  EXPECT_TRUE(std::isfinite(m->Distance(a, a))) << m->name();
+}
+
+// Measures for which d(x, x) <= d(x, y) is NOT guaranteed on arbitrary
+// positive data: unbounded similarity negations (a longer vector can
+// out-correlate x with itself) and the non-symmetrized entropy divergences
+// (which can be negative off the probability simplex).
+bool SelfMinimalityNotGuaranteed(const std::string& name) {
+  return name == "innerproduct" || name == "harmonicmean" ||
+         name == "fidelity" || name == "bhattacharyya" ||
+         name == "kullback_leibler" || name == "k_divergence";
+}
+
+TEST_P(LockStepPropertyTest, SelfDistanceIsMinimal) {
+  // d(x, x) <= d(x, y) for all y: self-comparison can never look worse than
+  // comparison to a different series (similarity-derived measures may have
+  // negative or non-zero self values, but they must still be minimal).
+  const MeasurePtr m = Create();
+  if (SelfMinimalityNotGuaranteed(m->name())) {
+    GTEST_SKIP() << "self-minimality holds only on normalized domains";
+  }
+  const auto x = PositiveSeries(24, 7);
+  const double self = m->Distance(x, x);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto y = PositiveSeries(24, 300 + seed);
+    EXPECT_LE(self, m->Distance(x, y) + 1e-9)
+        << m->name() << " seed " << seed;
+  }
+}
+
+TEST_P(LockStepPropertyTest, SymmetricUnlessDocumented) {
+  const MeasurePtr m = Create();
+  if (IsAsymmetric(m->name())) GTEST_SKIP() << "asymmetric by definition";
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto a = PositiveSeries(20, 400 + seed);
+    const auto b = PositiveSeries(20, 500 + seed);
+    EXPECT_NEAR(m->Distance(a, b), m->Distance(b, a), 1e-9) << m->name();
+  }
+}
+
+TEST_P(LockStepPropertyTest, MetricMeasuresSatisfyTriangleInequality) {
+  const MeasurePtr m = Create();
+  if (!m->is_metric()) GTEST_SKIP() << "not a metric";
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = PositiveSeries(16, 600 + seed);
+    const auto b = PositiveSeries(16, 700 + seed);
+    const auto c = PositiveSeries(16, 800 + seed);
+    EXPECT_LE(m->Distance(a, c),
+              m->Distance(a, b) + m->Distance(b, c) + 1e-9)
+        << m->name();
+  }
+}
+
+TEST_P(LockStepPropertyTest, DeterministicAcrossCalls) {
+  const MeasurePtr m = Create();
+  const auto a = PositiveSeries(30, 1);
+  const auto b = PositiveSeries(30, 2);
+  EXPECT_EQ(m->Distance(a, b), m->Distance(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLockStep, LockStepPropertyTest,
+    ::testing::ValuesIn(LockStepMeasureNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(LockStepInventoryTest, ExactlyFiftyTwoMeasures) {
+  EXPECT_EQ(LockStepMeasureNames().size(), 52u);
+}
+
+TEST(LockStepInventoryTest, AllNamesRegisteredAndUnique) {
+  const auto& names = LockStepMeasureNames();
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "duplicate lock-step measure name";
+  for (const auto& name : names) {
+    EXPECT_TRUE(Registry::Global().Contains(name)) << name;
+  }
+}
+
+TEST(LockStepEquivalenceTest, EdAndInnerProductAgreeUnderZNormalization) {
+  // Under z-normalization ED^2 = 2m - 2<a, b>, so the 1-NN orderings of ED
+  // and (negated) inner product coincide — the equivalence the paper uses to
+  // criticize the earlier lock-step study.
+  Rng rng(99);
+  auto znorm = [](std::vector<double> v) {
+    double mean = 0.0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v) var += (x - mean) * (x - mean);
+    const double stddev = std::sqrt(var / static_cast<double>(v.size()));
+    for (double& x : v) x = (x - mean) / stddev;
+    return v;
+  };
+  std::vector<std::vector<double>> pool;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<double> v(32);
+    for (auto& x : v) x = rng.Gaussian();
+    pool.push_back(znorm(v));
+  }
+  const EuclideanDistance ed;
+  const InnerProductDistance ip;
+  // Orderings relative to pool[0] must match.
+  std::vector<std::size_t> by_ed = {1, 2, 3, 4, 5};
+  std::vector<std::size_t> by_ip = by_ed;
+  auto cmp = [&pool](const auto& d) {
+    return [&pool, &d](std::size_t x, std::size_t y) {
+      return d.Distance(pool[0], pool[x]) < d.Distance(pool[0], pool[y]);
+    };
+  };
+  std::sort(by_ed.begin(), by_ed.end(), cmp(ed));
+  std::sort(by_ip.begin(), by_ip.end(), cmp(ip));
+  EXPECT_EQ(by_ed, by_ip);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,152 @@
+// Unit and property tests for the DTW lower bounds and pruned 1-NN search.
+
+#include "src/elastic/lower_bounds.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/elastic/dtw.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(EnvelopeTest, ZeroWindowIsTheSeriesItself) {
+  const std::vector<double> v = {1.0, 3.0, 2.0};
+  const Envelope env = BuildEnvelope(v, 0.0);
+  EXPECT_EQ(env.lower, v);
+  EXPECT_EQ(env.upper, v);
+}
+
+TEST(EnvelopeTest, FullWindowIsGlobalMinMax) {
+  const std::vector<double> v = {1.0, 3.0, 2.0};
+  const Envelope env = BuildEnvelope(v, 100.0);
+  for (double lo : env.lower) EXPECT_DOUBLE_EQ(lo, 1.0);
+  for (double hi : env.upper) EXPECT_DOUBLE_EQ(hi, 3.0);
+}
+
+TEST(EnvelopeTest, EnvelopeContainsTheSeries) {
+  const auto v = RandomSeries(64, 1);
+  const Envelope env = BuildEnvelope(v, 10.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(env.lower[i], v[i]);
+    EXPECT_GE(env.upper[i], v[i]);
+  }
+}
+
+TEST(LbKeoghTest, ZeroForSeriesInsideEnvelope) {
+  const auto v = RandomSeries(32, 2);
+  const Envelope env = BuildEnvelope(v, 10.0);
+  EXPECT_DOUBLE_EQ(LbKeogh(v, env), 0.0);
+}
+
+TEST(LbKimTest, ZeroForIdenticalSeries) {
+  const auto v = RandomSeries(32, 3);
+  EXPECT_DOUBLE_EQ(LbKim(v, v), 0.0);
+}
+
+// Property sweep: both bounds never exceed the true banded DTW distance.
+class LowerBoundValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowerBoundValidity, BoundsNeverExceedDtw) {
+  const double window_pct = 10.0;
+  const auto a = RandomSeries(48, 100 + GetParam());
+  const auto b = RandomSeries(48, 200 + GetParam());
+  const double dtw = DtwDistance(window_pct).Distance(a, b);
+  EXPECT_LE(LbKim(a, b), dtw + 1e-9);
+  const Envelope env_b = BuildEnvelope(b, window_pct);
+  EXPECT_LE(LbKeogh(a, env_b), dtw + 1e-9);
+}
+
+TEST_P(LowerBoundValidity, BoundsHoldForUnconstrainedDtwToo) {
+  const auto a = RandomSeries(32, 300 + GetParam());
+  const auto b = RandomSeries(32, 400 + GetParam());
+  const double dtw = DtwDistance(100.0).Distance(a, b);
+  EXPECT_LE(LbKim(a, b), dtw + 1e-9);
+  const Envelope env_b = BuildEnvelope(b, 100.0);
+  EXPECT_LE(LbKeogh(a, env_b), dtw + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundValidity, ::testing::Range(0, 25));
+
+TEST(PrunedOneNnTest, AgreesWithExhaustiveSearch) {
+  const double window_pct = 10.0;
+  std::vector<std::vector<double>> candidates;
+  std::vector<Envelope> envelopes;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    candidates.push_back(RandomSeries(48, 500 + s));
+    envelopes.push_back(BuildEnvelope(candidates.back(), window_pct));
+  }
+  const DtwDistance dtw(window_pct);
+  for (std::uint64_t q = 0; q < 5; ++q) {
+    const auto query = RandomSeries(48, 900 + q);
+    const PrunedSearchResult pruned =
+        PrunedOneNn(query, candidates, envelopes, window_pct);
+    // Exhaustive reference.
+    std::size_t best = 0;
+    double best_d = dtw.Distance(query, candidates[0]);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const double d = dtw.Distance(query, candidates[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    EXPECT_EQ(pruned.best_index, best);
+    EXPECT_DOUBLE_EQ(pruned.best_distance, best_d);
+  }
+}
+
+TEST(PrunedOneNnTest, PruningActuallyHappensOnStructuredData) {
+  // Candidates: one near-copy of the query and many distant series. The
+  // cascade must prune most of the distant ones.
+  const double window_pct = 5.0;
+  Rng rng(42);
+  std::vector<double> base(64);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  std::vector<std::vector<double>> candidates;
+  std::vector<double> near = base;
+  for (auto& v : near) v += rng.Gaussian(0.0, 0.01);
+  candidates.push_back(near);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> far(64);
+    for (auto& v : far) v = rng.Gaussian(5.0, 1.0);  // offset far away
+    candidates.push_back(std::move(far));
+  }
+  std::vector<Envelope> envelopes;
+  for (const auto& c : candidates) {
+    envelopes.push_back(BuildEnvelope(c, window_pct));
+  }
+  const PrunedSearchResult result =
+      PrunedOneNn(base, candidates, envelopes, window_pct);
+  EXPECT_EQ(result.best_index, 0u);
+  EXPECT_GT(result.lb_kim_pruned + result.lb_keogh_pruned, 25u);
+  EXPECT_LT(result.full_computations, 26u);
+}
+
+TEST(PrunedOneNnTest, CountsAreConsistent) {
+  std::vector<std::vector<double>> candidates;
+  std::vector<Envelope> envelopes;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    candidates.push_back(RandomSeries(32, 600 + s));
+    envelopes.push_back(BuildEnvelope(candidates.back(), 10.0));
+  }
+  const auto query = RandomSeries(32, 999);
+  const PrunedSearchResult r = PrunedOneNn(query, candidates, envelopes, 10.0);
+  EXPECT_EQ(r.full_computations + r.lb_kim_pruned + r.lb_keogh_pruned,
+            candidates.size());
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,129 @@
+// Unit and property tests for MASS subsequence search.
+
+#include "src/search/mass.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(SlidingDotProductTest, HandComputedValues) {
+  const std::vector<double> query = {1.0, 2.0};
+  const std::vector<double> series = {1.0, 0.0, 2.0, 3.0};
+  const auto dots = SlidingDotProduct(query, series);
+  ASSERT_EQ(dots.size(), 3u);
+  EXPECT_NEAR(dots[0], 1.0, 1e-9);   // 1*1 + 2*0
+  EXPECT_NEAR(dots[1], 4.0, 1e-9);   // 1*0 + 2*2
+  EXPECT_NEAR(dots[2], 8.0, 1e-9);   // 1*2 + 2*3
+}
+
+TEST(SlidingDotProductTest, QuerySameLengthAsSeries) {
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  const auto dots = SlidingDotProduct(q, q);
+  ASSERT_EQ(dots.size(), 1u);
+  EXPECT_NEAR(dots[0], 14.0, 1e-9);
+}
+
+// Property sweep: the FFT profile matches the naive per-window computation.
+class MassEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MassEquivalence, MatchesNaiveProfile) {
+  const auto series = RandomSeries(200, 10 + GetParam());
+  const auto query = RandomSeries(16 + GetParam() % 7, 100 + GetParam());
+  const auto fast = MassDistanceProfile(query, series);
+  const auto slow = NaiveDistanceProfile(query, series);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-6) << "window " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MassEquivalence, ::testing::Range(0, 10));
+
+TEST(MassTest, EmbeddedPatternHasNearZeroDistance) {
+  Rng rng(4);
+  std::vector<double> series = RandomSeries(300, 5);
+  // Plant a scaled/offset copy of the query at position 120: z-normalized
+  // ED ignores scale and offset, so the profile dips to ~0 there.
+  std::vector<double> query(32);
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    query[i] = std::sin(0.4 * static_cast<double>(i));
+  }
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    series[120 + i] = 3.0 * query[i] + 7.0;
+  }
+  const auto profile = MassDistanceProfile(query, series);
+  EXPECT_NEAR(profile[120], 0.0, 1e-6);
+  // And 120 is the global minimum.
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_GE(profile[i], profile[120] - 1e-9);
+  }
+}
+
+TEST(MassTest, ConstantWindowsHandled) {
+  std::vector<double> series(64, 5.0);  // fully constant
+  const auto query = RandomSeries(8, 6);
+  const auto profile = MassDistanceProfile(query, series);
+  for (double v : profile) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, std::sqrt(8.0), 1e-9);  // ||z-normed query|| = sqrt(m)
+  }
+}
+
+TEST(MassTest, ConstantQueryAgainstConstantSeriesIsZero) {
+  const std::vector<double> series(32, 2.0);
+  const std::vector<double> query(8, -3.0);
+  for (double v : MassDistanceProfile(query, series)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(TopKMatchesTest, FindsPlantedOccurrences) {
+  std::vector<double> series = RandomSeries(400, 7);
+  std::vector<double> query(24);
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    query[i] = std::cos(0.5 * static_cast<double>(i));
+  }
+  // Plant two occurrences far apart.
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    series[50 + i] = query[i];
+    series[300 + i] = 2.0 * query[i] - 1.0;
+  }
+  const auto matches = TopKMatches(query, series, 2);
+  ASSERT_EQ(matches.size(), 2u);
+  std::vector<std::size_t> positions = {matches[0].position,
+                                        matches[1].position};
+  std::sort(positions.begin(), positions.end());
+  EXPECT_EQ(positions[0], 50u);
+  EXPECT_EQ(positions[1], 300u);
+}
+
+TEST(TopKMatchesTest, MatchesDoNotOverlap) {
+  const auto series = RandomSeries(256, 8);
+  const auto query = RandomSeries(32, 9);
+  const auto matches = TopKMatches(query, series, 5);
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    for (std::size_t j = i + 1; j < matches.size(); ++j) {
+      const std::size_t gap =
+          matches[i].position > matches[j].position
+              ? matches[i].position - matches[j].position
+              : matches[j].position - matches[i].position;
+      EXPECT_GT(gap, 16u);  // exclusion zone = m/2
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,88 @@
+// Unit tests for the dense Matrix type.
+
+#include "src/linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace tsdist {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, ConstructFromData) {
+  Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, RowViewIsContiguous) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+}
+
+TEST(MatrixTest, MutableRowWritesThrough) {
+  Matrix m(2, 2);
+  m.mutable_row(0)[1] = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.Multiply(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoOp) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix i = Matrix::Identity(2);
+  EXPECT_TRUE(a.Multiply(i).ApproxEquals(a, 0.0));
+  EXPECT_TRUE(i.Multiply(a).ApproxEquals(a, 0.0));
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = a.Transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(MatrixTest, DoubleTransposeIsIdentityOperation) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(a.Transposed().Transposed().ApproxEquals(a, 0.0));
+}
+
+TEST(MatrixTest, ApproxEqualsRespectsTolerance) {
+  Matrix a(1, 1, {1.0});
+  Matrix b(1, 1, {1.0 + 1e-9});
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-8));
+  EXPECT_FALSE(a.ApproxEquals(b, 1e-10));
+}
+
+TEST(MatrixTest, ApproxEqualsRejectsShapeMismatch) {
+  EXPECT_FALSE(Matrix(1, 2).ApproxEquals(Matrix(2, 1), 1.0));
+}
+
+}  // namespace
+}  // namespace tsdist

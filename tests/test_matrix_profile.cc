@@ -1,0 +1,121 @@
+// Unit and integration tests for the matrix profile.
+
+#include "src/search/matrix_profile.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/rng.h"
+#include "src/search/mass.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(MatrixProfileTest, ShapeAndFiniteness) {
+  const auto series = RandomSeries(200, 1);
+  const MatrixProfile mp = ComputeMatrixProfile(series, 20);
+  EXPECT_EQ(mp.profile.size(), 181u);
+  EXPECT_EQ(mp.index.size(), 181u);
+  EXPECT_EQ(mp.window, 20u);
+  for (double v : mp.profile) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MatrixProfileTest, NeighborsRespectExclusionZone) {
+  const auto series = RandomSeries(150, 2);
+  const std::size_t m = 16;
+  const MatrixProfile mp = ComputeMatrixProfile(series, m);
+  for (std::size_t i = 0; i < mp.profile.size(); ++i) {
+    const std::size_t gap =
+        mp.index[i] > i ? mp.index[i] - i : i - mp.index[i];
+    EXPECT_GE(gap, m / 2) << "window " << i;
+  }
+}
+
+TEST(MatrixProfileTest, ProfileValuesMatchPerWindowMass) {
+  // Cross-check a few entries against a direct MASS computation.
+  const auto series = RandomSeries(120, 3);
+  const std::size_t m = 12;
+  const MatrixProfile mp = ComputeMatrixProfile(series, m);
+  for (std::size_t i : {0u, 30u, 80u}) {
+    const std::span<const double> query(series.data() + i, m);
+    const auto distances = MassDistanceProfile(query, series);
+    EXPECT_NEAR(mp.profile[i], distances[mp.index[i]], 1e-9) << i;
+  }
+}
+
+TEST(MatrixProfileTest, PlantedMotifIsTheMinimum) {
+  auto series = RandomSeries(400, 4);
+  // Plant two near-identical patterns far apart.
+  const std::size_t m = 32;
+  for (std::size_t t = 0; t < m; ++t) {
+    const double v = std::sin(0.5 * static_cast<double>(t));
+    series[60 + t] = v;
+    series[300 + t] = v + 0.01;
+  }
+  const MatrixProfile mp = ComputeMatrixProfile(series, m);
+  const MotifPair motif = TopMotif(mp);
+  // Allow a small positional slop (neighbouring windows overlap the motif).
+  EXPECT_NEAR(static_cast<double>(motif.first), 60.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(motif.second), 300.0, 2.0);
+  EXPECT_LT(motif.distance, 0.5);
+}
+
+TEST(MatrixProfileTest, PlantedAnomalyIsTheTopDiscord) {
+  // A periodic series with one corrupted cycle: the discord.
+  const std::size_t n = 512;
+  const std::size_t m = 32;
+  std::vector<double> series(n);
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 32.0) +
+                rng.Gaussian(0.0, 0.05);
+  }
+  for (std::size_t t = 0; t < m; ++t) {
+    series[256 + t] += (t % 2 == 0) ? 1.5 : -1.5;  // corrupted cycle
+  }
+  const MatrixProfile mp = ComputeMatrixProfile(series, m);
+  const auto discords = TopDiscords(mp, 1);
+  ASSERT_EQ(discords.size(), 1u);
+  // The discord window overlaps the corruption.
+  EXPECT_GE(discords[0] + m, 256u);
+  EXPECT_LE(discords[0], 256u + m);
+}
+
+TEST(MatrixProfileTest, TopDiscordsAreSeparated) {
+  const auto series = RandomSeries(300, 6);
+  const std::size_t m = 24;
+  const MatrixProfile mp = ComputeMatrixProfile(series, m);
+  const auto discords = TopDiscords(mp, 4);
+  for (std::size_t i = 0; i < discords.size(); ++i) {
+    for (std::size_t j = i + 1; j < discords.size(); ++j) {
+      const std::size_t gap = discords[i] > discords[j]
+                                  ? discords[i] - discords[j]
+                                  : discords[j] - discords[i];
+      EXPECT_GE(gap, m / 2);
+    }
+  }
+}
+
+TEST(MatrixProfileTest, PeriodicSeriesHasUniformlyLowProfile) {
+  // Perfectly repeating structure: every window has a near-exact twin.
+  const std::size_t n = 256;
+  const std::size_t m = 16;
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 16.0);
+  }
+  const MatrixProfile mp = ComputeMatrixProfile(series, m);
+  for (double v : mp.profile) EXPECT_LT(v, 1e-4);
+}
+
+}  // namespace
+}  // namespace tsdist

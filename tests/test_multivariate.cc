@@ -1,0 +1,127 @@
+// Unit and integration tests for the multivariate extension.
+
+#include "src/multivariate/multivariate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsdist {
+namespace {
+
+MultivariateSeries Toy(int label = 0) {
+  return MultivariateSeries({{1.0, 2.0, 3.0}, {0.0, -1.0, 1.0}}, label);
+}
+
+TEST(MultivariateSeriesTest, ShapeAccessors) {
+  const MultivariateSeries s = Toy(7);
+  EXPECT_EQ(s.num_channels(), 2u);
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_EQ(s.label(), 7);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 2), 1.0);
+}
+
+TEST(MultivariateSeriesTest, ZNormalizationPerChannel) {
+  const MultivariateSeries s = Toy().ZNormalized();
+  for (std::size_t c = 0; c < s.num_channels(); ++c) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < s.length(); ++t) mean += s.at(c, t);
+    EXPECT_NEAR(mean / static_cast<double>(s.length()), 0.0, 1e-12);
+  }
+}
+
+TEST(MultivariateEdTest, DependentIsStackedEuclidean) {
+  const MultivariateSeries a({{0.0, 0.0}, {0.0, 0.0}});
+  const MultivariateSeries b({{3.0, 0.0}, {0.0, 4.0}});
+  // Stacked differences: 3 and 4 -> 5.
+  EXPECT_DOUBLE_EQ(MultivariateEdDependent().Distance(a, b), 5.0);
+}
+
+TEST(MultivariateEdTest, IndependentIsSumOfChannelEds) {
+  const MultivariateSeries a({{0.0, 0.0}, {0.0, 0.0}});
+  const MultivariateSeries b({{3.0, 0.0}, {0.0, 4.0}});
+  // Channel EDs: 3 and 4 -> 7.
+  EXPECT_DOUBLE_EQ(MultivariateEdIndependent().Distance(a, b), 7.0);
+}
+
+TEST(MultivariateEdTest, IndependentNeverBelowDependent) {
+  // ||.||_2 of channel EDs <= their sum (triangle on the channel vector):
+  // ED_D = sqrt(sum ed_c^2) <= sum ed_c = ED_I.
+  MultivariateGeneratorOptions options;
+  options.train_per_class = 2;
+  options.test_per_class = 2;
+  options.seed = 3;
+  const auto data = MakeMultivariateMotions(options);
+  const MultivariateEdIndependent ed_i;
+  const MultivariateEdDependent ed_d;
+  for (std::size_t i = 0; i + 1 < data.train.size(); ++i) {
+    EXPECT_GE(ed_i.Distance(data.train[i], data.train[i + 1]),
+              ed_d.Distance(data.train[i], data.train[i + 1]) - 1e-9);
+  }
+}
+
+TEST(MultivariateDtwTest, IdenticalSeriesAreZero) {
+  const MultivariateSeries s = Toy();
+  EXPECT_DOUBLE_EQ(MultivariateDtwIndependent().Distance(s, s), 0.0);
+  EXPECT_DOUBLE_EQ(MultivariateDtwDependent().Distance(s, s), 0.0);
+}
+
+TEST(MultivariateDtwTest, DependentNeverExceedsStackedSquaredEd) {
+  MultivariateGeneratorOptions options;
+  options.train_per_class = 3;
+  options.test_per_class = 1;
+  options.seed = 4;
+  const auto data = MakeMultivariateMotions(options);
+  const MultivariateDtwDependent dtw_d(100.0);
+  const MultivariateEdDependent ed_d;
+  for (std::size_t i = 0; i + 1 < data.train.size(); ++i) {
+    const double ed = ed_d.Distance(data.train[i], data.train[i + 1]);
+    EXPECT_LE(dtw_d.Distance(data.train[i], data.train[i + 1]),
+              ed * ed + 1e-9);
+  }
+}
+
+TEST(MultivariateDtwTest, IndependentAbsorbsPerChannelWarps) {
+  // Channels warped independently: DTW_I can align each channel on its own
+  // path; DTW_D (single path) cannot.
+  MultivariateGeneratorOptions options;
+  options.warp = 0.15;
+  options.shared_warp = false;
+  options.train_per_class = 8;
+  options.test_per_class = 8;
+  options.noise = 0.05;
+  options.seed = 5;
+  const auto data = MakeMultivariateMotions(options);
+  const double acc_i =
+      MultivariateOneNnAccuracy(MultivariateDtwIndependent(20.0), data);
+  const double acc_d =
+      MultivariateOneNnAccuracy(MultivariateDtwDependent(20.0), data);
+  EXPECT_GE(acc_i, acc_d - 0.05);
+  EXPECT_GT(acc_i, 0.6);
+}
+
+TEST(MultivariateOneNnTest, GeneratorClassesAreLearnable) {
+  MultivariateGeneratorOptions options;
+  options.noise = 0.1;
+  options.seed = 6;
+  const auto data = MakeMultivariateMotions(options);
+  EXPECT_GT(MultivariateOneNnAccuracy(MultivariateEdDependent(), data), 0.7);
+}
+
+TEST(MultivariateGeneratorTest, DeterministicAndBalanced) {
+  MultivariateGeneratorOptions options;
+  options.seed = 7;
+  const auto a = MakeMultivariateMotions(options);
+  const auto b = MakeMultivariateMotions(options);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  EXPECT_EQ(a.train.size(), 30u);  // 3 classes x 10
+  EXPECT_EQ(a.test.size(), 30u);
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].label(), b.train[i].label());
+    EXPECT_DOUBLE_EQ(a.train[i].at(0, 0), b.train[i].at(0, 0));
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,190 @@
+// Unit and property tests for the 8 normalization methods.
+
+#include "src/normalization/normalization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/rng.h"
+#include "src/lockstep/minkowski_family.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian(3.0, 2.0);
+  return out;
+}
+
+double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  const double mu = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+TEST(ZScoreTest, ProducesZeroMeanUnitVariance) {
+  const auto x = RandomSeries(200, 1);
+  const auto z = ZScoreNormalizer().Apply(std::span<const double>(x));
+  EXPECT_NEAR(Mean(z), 0.0, 1e-10);
+  EXPECT_NEAR(StdDev(z), 1.0, 1e-10);
+}
+
+TEST(ZScoreTest, InvariantToLinearTransform) {
+  // z-score(a*x + b) == z-score(x) for a > 0 — the scale/translation
+  // invariance that motivated normalization in the first place (Section 4).
+  const auto x = RandomSeries(100, 2);
+  std::vector<double> scaled(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) scaled[i] = 2.5 * x[i] - 7.0;
+  const ZScoreNormalizer z;
+  const auto zx = z.Apply(std::span<const double>(x));
+  const auto zs = z.Apply(std::span<const double>(scaled));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(zx[i], zs[i], 1e-9);
+  }
+}
+
+TEST(ZScoreTest, ConstantSeriesMapsToZeros) {
+  const std::vector<double> x(10, 3.0);
+  const auto z = ZScoreNormalizer().Apply(std::span<const double>(x));
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MinMaxTest, RangeIsUnitInterval) {
+  const auto x = RandomSeries(100, 3);
+  const auto y = MinMaxNormalizer().Apply(std::span<const double>(x));
+  EXPECT_NEAR(*std::min_element(y.begin(), y.end()), 0.0, 1e-12);
+  EXPECT_NEAR(*std::max_element(y.begin(), y.end()), 1.0, 1e-12);
+}
+
+TEST(MinMaxTest, CustomRange) {
+  const auto x = RandomSeries(100, 4);
+  const auto y = MinMaxNormalizer(1.0, 2.0).Apply(std::span<const double>(x));
+  EXPECT_NEAR(*std::min_element(y.begin(), y.end()), 1.0, 1e-12);
+  EXPECT_NEAR(*std::max_element(y.begin(), y.end()), 2.0, 1e-12);
+}
+
+TEST(MinMaxTest, ConstantSeriesMapsToLowerBound) {
+  const std::vector<double> x(5, 9.0);
+  const auto y = MinMaxNormalizer(0.5, 1.5).Apply(std::span<const double>(x));
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(MeanNormTest, ZeroMeanAndBoundedByOne) {
+  const auto x = RandomSeries(100, 5);
+  const auto y = MeanNormalizer().Apply(std::span<const double>(x));
+  EXPECT_NEAR(Mean(y), 0.0, 1e-10);
+  const double lo = *std::min_element(y.begin(), y.end());
+  const double hi = *std::max_element(y.begin(), y.end());
+  EXPECT_NEAR(hi - lo, 1.0, 1e-12);  // range is exactly 1 by construction
+}
+
+TEST(MedianNormTest, MedianBecomesOne) {
+  const std::vector<double> x = {2.0, 4.0, 8.0};
+  const auto y = MedianNormalizer().Apply(std::span<const double>(x));
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(MedianNormTest, NearZeroMedianIsClamped) {
+  const std::vector<double> x = {-1.0, 0.0, 1.0};
+  const auto y = MedianNormalizer().Apply(std::span<const double>(x));
+  for (double v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(UnitLengthTest, ResultHasUnitNorm) {
+  const auto x = RandomSeries(64, 6);
+  const auto y = UnitLengthNormalizer().Apply(std::span<const double>(x));
+  double norm = 0.0;
+  for (double v : y) norm += v * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-12);
+}
+
+TEST(LogisticTest, MapsIntoOpenUnitInterval) {
+  const auto x = RandomSeries(100, 7);
+  const auto y = LogisticNormalizer().Apply(std::span<const double>(x));
+  for (double v : y) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  // Logistic(0) = 0.5.
+  const std::vector<double> zero = {0.0};
+  EXPECT_DOUBLE_EQ(
+      LogisticNormalizer().Apply(std::span<const double>(zero))[0], 0.5);
+}
+
+TEST(TanhTest, MapsIntoMinusOneOne) {
+  const auto x = RandomSeries(100, 8);
+  const auto y = TanhNormalizer().Apply(std::span<const double>(x));
+  for (double v : y) {
+    EXPECT_GT(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(TanhTest, MatchesPaperFormula) {
+  // (e^{2x} - 1) / (e^{2x} + 1) == tanh(x).
+  for (double x : {-2.0, -0.5, 0.0, 0.7, 3.0}) {
+    const double expected = (std::exp(2 * x) - 1.0) / (std::exp(2 * x) + 1.0);
+    const std::vector<double> in = {x};
+    EXPECT_NEAR(TanhNormalizer().Apply(std::span<const double>(in))[0],
+                expected, 1e-12);
+  }
+}
+
+TEST(IdentityTest, IsNoOp) {
+  const auto x = RandomSeries(10, 9);
+  const auto y = IdentityNormalizer().Apply(std::span<const double>(x));
+  EXPECT_EQ(x, y);
+}
+
+TEST(NormalizerTest, DatasetApplicationKeepsLabelsAndShape) {
+  std::vector<TimeSeries> train = {TimeSeries({1.0, 2.0, 3.0}, 0),
+                                   TimeSeries({4.0, 5.0, 6.0}, 1)};
+  std::vector<TimeSeries> test = {TimeSeries({7.0, 8.0, 9.0}, 1)};
+  const Dataset d("toy", std::move(train), std::move(test));
+  const Dataset out = ZScoreNormalizer().Apply(d);
+  EXPECT_EQ(out.name(), "toy");
+  EXPECT_EQ(out.train_size(), 2u);
+  EXPECT_EQ(out.test_size(), 1u);
+  EXPECT_EQ(out.train_labels(), d.train_labels());
+  EXPECT_EQ(out.series_length(), 3u);
+}
+
+TEST(MakeNormalizerTest, AllNamesResolve) {
+  for (const auto& name : PerSeriesNormalizerNames()) {
+    const NormalizerPtr n = MakeNormalizer(name);
+    ASSERT_NE(n, nullptr) << name;
+    EXPECT_EQ(n->name(), name);
+  }
+  EXPECT_NE(MakeNormalizer("none"), nullptr);
+  EXPECT_EQ(MakeNormalizer("bogus"), nullptr);
+}
+
+TEST(AdaptiveScalingTest, ZeroDistanceForScaledPair) {
+  // With the optimal alpha, a and 2a align exactly under ED.
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  AdaptiveScalingMeasure measure(std::make_unique<EuclideanDistance>());
+  EXPECT_NEAR(measure.Distance(a, b), 0.0, 1e-12);
+}
+
+TEST(AdaptiveScalingTest, DelegatesCategoryAndName) {
+  AdaptiveScalingMeasure measure(std::make_unique<EuclideanDistance>());
+  EXPECT_EQ(measure.name(), "adaptive+euclidean");
+  EXPECT_EQ(measure.category(), MeasureCategory::kLockStep);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,76 @@
+// Unit tests for the measure registry and the library's measure inventory.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/registry.h"
+#include "src/elastic/elastic_all.h"
+#include "src/kernel/kernel_measure.h"
+#include "src/lockstep/lockstep_all.h"
+#include "src/sliding/ncc_measures.h"
+
+namespace tsdist {
+namespace {
+
+TEST(RegistryTest, GlobalContainsFullInventory) {
+  const Registry& registry = Registry::Global();
+  // 52 lock-step + 4 sliding + 7 elastic + 4 kernel = 67 pairwise measures
+  // (the 4 embedding measures are dataset-level transforms, completing the
+  // paper's 71).
+  EXPECT_EQ(registry.Names().size(), 67u);
+}
+
+TEST(RegistryTest, CategoriesPartitionTheInventory) {
+  const Registry& registry = Registry::Global();
+  EXPECT_EQ(registry.NamesInCategory(MeasureCategory::kLockStep).size(), 52u);
+  EXPECT_EQ(registry.NamesInCategory(MeasureCategory::kSliding).size(), 4u);
+  EXPECT_EQ(registry.NamesInCategory(MeasureCategory::kElastic).size(), 7u);
+  EXPECT_EQ(registry.NamesInCategory(MeasureCategory::kKernel).size(), 4u);
+}
+
+TEST(RegistryTest, CreateUnknownReturnsNull) {
+  EXPECT_EQ(Registry::Global().Create("not-a-measure"), nullptr);
+}
+
+TEST(RegistryTest, NamesAreSorted) {
+  const auto names = Registry::Global().Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(RegistryTest, LocalRegistryOverride) {
+  Registry local;
+  local.Register("custom", [](const ParamMap&) -> MeasurePtr {
+    return Registry::Global().Create("euclidean");
+  });
+  EXPECT_TRUE(local.Contains("custom"));
+  EXPECT_FALSE(local.Contains("euclidean"));
+  const MeasurePtr m = local.Create("custom");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->name(), "euclidean");
+}
+
+TEST(RegistryTest, EveryMeasureNameMatchesItsRegistryKey) {
+  const Registry& registry = Registry::Global();
+  for (const auto& name : registry.Names()) {
+    const MeasurePtr m = registry.Create(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->name(), name);
+  }
+}
+
+TEST(RegistryTest, ToStringOfCategories) {
+  EXPECT_EQ(ToString(MeasureCategory::kLockStep), "lock-step");
+  EXPECT_EQ(ToString(MeasureCategory::kSliding), "sliding");
+  EXPECT_EQ(ToString(MeasureCategory::kElastic), "elastic");
+  EXPECT_EQ(ToString(MeasureCategory::kKernel), "kernel");
+  EXPECT_EQ(ToString(MeasureCategory::kEmbedding), "embedding");
+}
+
+TEST(ParamMapToStringTest, RendersSortedKeyValuePairs) {
+  EXPECT_EQ(ToString(ParamMap{{"b", 2.0}, {"a", 1.5}}), "a=1.5,b=2");
+  EXPECT_EQ(ToString(ParamMap{}), "");
+}
+
+}  // namespace
+}  // namespace tsdist

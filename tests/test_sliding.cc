@@ -1,0 +1,192 @@
+// Unit and property tests for the sliding (cross-correlation) measures.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/linalg/fft.h"
+#include "src/linalg/rng.h"
+#include "src/lockstep/minkowski_family.h"
+#include "src/normalization/normalization.h"
+#include "src/sliding/cross_correlation.h"
+#include "src/sliding/ncc_measures.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomZNormalized(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian();
+  return ZScoreNormalizer().Apply(std::span<const double>(v));
+}
+
+TEST(CrossCorrelationSequenceTest, ShortAndLongPathsAgree) {
+  // Exercise both the naive (< threshold) and FFT (>= threshold) paths.
+  for (std::size_t m : {8u, 200u}) {
+    Rng rng(m);
+    std::vector<double> x(m), y(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      x[i] = rng.Gaussian();
+      y[i] = rng.Gaussian();
+    }
+    const auto seq = CrossCorrelationSequence(x, y);
+    const auto ref = CrossCorrelationNaive(x, y);
+    ASSERT_EQ(seq.size(), ref.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_NEAR(seq[i], ref[i], 1e-8);
+    }
+  }
+}
+
+TEST(NcccTest, SelfDistanceIsZero) {
+  const auto x = RandomZNormalized(64, 1);
+  EXPECT_NEAR(NccCoefficientDistance().Distance(x, x), 0.0, 1e-9);
+}
+
+TEST(NcccTest, RangeIsZeroToTwo) {
+  const NccCoefficientDistance sbd;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto x = RandomZNormalized(48, 10 + seed);
+    const auto y = RandomZNormalized(48, 50 + seed);
+    const double d = sbd.Distance(x, y);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 2.0);
+  }
+}
+
+TEST(NcccTest, InvariantToCircularShift) {
+  // The defining property of a sliding measure: a shifted copy is (nearly)
+  // identical to the original. Near, not exactly: shifting truncates the
+  // overlap, but with a localized pattern the peak correlation survives.
+  std::vector<double> x(128, 0.0);
+  for (int i = 50; i < 70; ++i) {
+    x[static_cast<std::size_t>(i)] = std::sin((i - 50) * 0.3);
+  }
+  const auto shifted = data_internal::CircularShift(x, 17);
+  const NccCoefficientDistance sbd;
+  EXPECT_NEAR(sbd.Distance(x, shifted), 0.0, 1e-9);
+  // A lock-step measure, by contrast, sees a large distance.
+  EXPECT_GT(EuclideanDistance().Distance(x, shifted), 1.0);
+}
+
+TEST(NcccTest, SymmetricByLagReversal) {
+  const NccCoefficientDistance sbd;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto x = RandomZNormalized(40, 100 + seed);
+    const auto y = RandomZNormalized(40, 200 + seed);
+    EXPECT_NEAR(sbd.Distance(x, y), sbd.Distance(y, x), 1e-9);
+  }
+}
+
+TEST(NccTest, RawVariantIsNegatedMaxCorrelation) {
+  const auto x = RandomZNormalized(32, 3);
+  const auto y = RandomZNormalized(32, 4);
+  EXPECT_DOUBLE_EQ(NccDistance().Distance(x, y), -MaxCrossCorrelation(x, y));
+}
+
+TEST(NccbTest, BiasedIsRawDividedByLength) {
+  const auto x = RandomZNormalized(32, 5);
+  const auto y = RandomZNormalized(32, 6);
+  EXPECT_NEAR(NccBiasedDistance().Distance(x, y),
+              NccDistance().Distance(x, y) / 32.0, 1e-12);
+}
+
+TEST(NccbTest, SameOrderingAsRawNcc) {
+  // NCC and NCCb differ by the constant 1/m, so 1-NN orderings coincide for
+  // equal-length series — the "negligible differences" the paper reports.
+  const auto q = RandomZNormalized(32, 7);
+  const NccDistance raw;
+  const NccBiasedDistance biased;
+  double prev_raw = -1e300, prev_biased = -1e300;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto y = RandomZNormalized(32, 300 + seed);
+    const double d_raw = raw.Distance(q, y);
+    const double d_biased = biased.Distance(q, y);
+    EXPECT_EQ(d_raw > prev_raw, d_biased > prev_biased);
+    prev_raw = d_raw;
+    prev_biased = d_biased;
+  }
+}
+
+TEST(NccuTest, UnbiasedWeightsLagsByOverlap) {
+  // For a series identical to itself, the unbiased estimator still peaks at
+  // zero lag with value <x,x>/m.
+  const auto x = RandomZNormalized(64, 8);
+  double dot = 0.0;
+  for (double v : x) dot += v * v;
+  EXPECT_NEAR(NccUnbiasedDistance().Distance(x, x), -dot / 64.0, 1e-9);
+}
+
+TEST(NccuTest, FavorsFullOverlapOnWhiteNoise) {
+  const NccUnbiasedDistance nccu;
+  const auto x = RandomZNormalized(64, 9);
+  const auto y = RandomZNormalized(64, 10);
+  EXPECT_TRUE(std::isfinite(nccu.Distance(x, y)));
+}
+
+TEST(NccZeroSeriesTest, DegenerateInputHandled) {
+  const std::vector<double> zeros(16, 0.0);
+  const auto x = RandomZNormalized(16, 11);
+  EXPECT_DOUBLE_EQ(NccCoefficientDistance().Distance(zeros, x), 1.0);
+  EXPECT_DOUBLE_EQ(NccCoefficientDistance().Distance(zeros, zeros), 1.0);
+}
+
+TEST(NcccTest, ScaleInvariantInBothArguments) {
+  // NCCc divides by both norms, so positive rescaling of either side is a
+  // no-op — this is why the paper's Table 3 rows for z-score and UnitLength
+  // report identical accuracies (UnitLength after z-score only rescales).
+  const NccCoefficientDistance sbd;
+  const auto x = RandomZNormalized(40, 60);
+  const auto y = RandomZNormalized(40, 61);
+  std::vector<double> xs = x;
+  std::vector<double> ys = y;
+  for (auto& v : xs) v *= 3.7;
+  for (auto& v : ys) v *= 0.2;
+  EXPECT_NEAR(sbd.Distance(x, y), sbd.Distance(xs, ys), 1e-9);
+}
+
+TEST(NcccTest, UnitLengthAfterZScoreIsANoOpForNccc) {
+  const NccCoefficientDistance sbd;
+  const auto x = RandomZNormalized(48, 62);
+  const auto y = RandomZNormalized(48, 63);
+  const UnitLengthNormalizer unit;
+  const auto xu = unit.Apply(std::span<const double>(x));
+  const auto yu = unit.Apply(std::span<const double>(y));
+  EXPECT_NEAR(sbd.Distance(x, y), sbd.Distance(xu, yu), 1e-9);
+}
+
+TEST(SlidingInventoryTest, FourMeasuresRegistered) {
+  EXPECT_EQ(SlidingMeasureNames().size(), 4u);
+  for (const auto& name : SlidingMeasureNames()) {
+    const auto m = Registry::Global().Create(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->category(), MeasureCategory::kSliding);
+    EXPECT_EQ(m->cost_class(), CostClass::kLinearithmic);
+  }
+}
+
+// Property sweep: for z-normalized series NCCc relates to the minimum
+// shifted Euclidean distance: min_s ED^2(x, y_s) = 2m (1 - max NCCc) over
+// full-overlap shifts; we verify the zero-shift inequality
+// NCCc(x, y) <= ED^2(x, y) / (2m) + tolerance.
+class NcccEdRelation : public ::testing::TestWithParam<int> {};
+
+TEST_P(NcccEdRelation, UpperBoundedByLockStepCounterpart) {
+  const std::size_t m = 48;
+  const auto x = RandomZNormalized(m, 1000 + GetParam());
+  const auto y = RandomZNormalized(m, 2000 + GetParam());
+  const double sbd = NccCoefficientDistance().Distance(x, y);
+  const double ed = EuclideanDistance().Distance(x, y);
+  // ED^2 = 2m - 2<x,y> for z-normalized (population) series with ||x|| =
+  // sqrt(m); NCCc uses the best shift, so 1 - <x,y>/m >= sbd.
+  const double zero_shift = 1.0 - (2.0 * m - ed * ed) / (2.0 * m);
+  EXPECT_LE(sbd, zero_shift + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NcccEdRelation, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace tsdist

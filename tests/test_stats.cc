@@ -1,0 +1,236 @@
+// Unit tests for the statistical machinery: Wilcoxon signed-rank, Friedman,
+// Nemenyi, and the critical-difference analysis.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/friedman.h"
+#include "src/stats/nemenyi.h"
+#include "src/stats/ranking.h"
+#include "src/stats/wilcoxon.h"
+
+namespace tsdist {
+namespace {
+
+TEST(MidRanksTest, DistinctValues) {
+  const std::vector<double> v = {10.0, 30.0, 20.0};
+  EXPECT_EQ(MidRanks(v), (std::vector<double>{1.0, 3.0, 2.0}));
+}
+
+TEST(MidRanksTest, TiesShareAverageRank) {
+  const std::vector<double> v = {5.0, 5.0, 1.0};
+  // Sorted: 1 (rank 1), then the two 5s share (2+3)/2 = 2.5.
+  EXPECT_EQ(MidRanks(v), (std::vector<double>{2.5, 2.5, 1.0}));
+}
+
+TEST(MidRanksTest, AllEqual) {
+  const std::vector<double> v = {2.0, 2.0, 2.0, 2.0};
+  for (double r : MidRanks(v)) EXPECT_DOUBLE_EQ(r, 2.5);
+}
+
+TEST(NormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.644853627), 0.05, 1e-6);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesAreNotSignificant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const WilcoxonResult r = WilcoxonSignedRank(a, a);
+  EXPECT_EQ(r.n_nonzero, 0u);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, KnownSmallExample) {
+  // Classic example: differences {1, 2, 3, 4, 5} all positive.
+  const std::vector<double> a = {2.0, 4.0, 6.0, 8.0, 10.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  EXPECT_DOUBLE_EQ(r.w_plus, 15.0);
+  EXPECT_DOUBLE_EQ(r.w_minus, 0.0);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  // Exact two-sided p for the extreme assignment with n = 5: 2/32.
+  EXPECT_NEAR(r.p_value, 2.0 / 32.0, 1e-12);
+}
+
+TEST(WilcoxonTest, SymmetricInSign) {
+  const std::vector<double> a = {5.0, 1.0, 7.0, 2.0, 9.0, 4.0};
+  const std::vector<double> b = {4.0, 3.0, 5.0, 4.0, 6.0, 8.0};
+  const WilcoxonResult ab = WilcoxonSignedRank(a, b);
+  const WilcoxonResult ba = WilcoxonSignedRank(b, a);
+  EXPECT_DOUBLE_EQ(ab.p_value, ba.p_value);
+  EXPECT_DOUBLE_EQ(ab.w_plus, ba.w_minus);
+}
+
+TEST(WilcoxonTest, LargeSampleUsesNormalApproximation) {
+  // 40 paired samples with a consistent positive shift: p must be tiny.
+  std::vector<double> a(40), b(40);
+  for (int i = 0; i < 40; ++i) {
+    a[static_cast<std::size_t>(i)] = i + 1.0;
+    b[static_cast<std::size_t>(i)] = i + 0.3 + 0.01 * (i % 3);
+  }
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(WilcoxonTest, ExactAndApproximateAgreeNearBoundary) {
+  // n = 25 (exact) vs the same data evaluated with the approximation at
+  // n = 26 (one extra neutral-ish pair): p-values should be in the same
+  // ballpark. This guards against unit mistakes in either branch.
+  std::vector<double> a, b;
+  for (int i = 0; i < 25; ++i) {
+    a.push_back(i + ((i % 3 == 0) ? -0.5 : 1.0));
+    b.push_back(static_cast<double>(i));
+  }
+  const WilcoxonResult exact = WilcoxonSignedRank(a, b);
+  a.push_back(100.0);
+  b.push_back(99.0);
+  const WilcoxonResult approx = WilcoxonSignedRank(a, b);
+  EXPECT_LT(std::fabs(std::log10(exact.p_value) - std::log10(approx.p_value)),
+            1.0);
+}
+
+TEST(SignificantlyGreaterTest, DirectionMatters) {
+  std::vector<double> high(30), low(30);
+  for (int i = 0; i < 30; ++i) {
+    high[static_cast<std::size_t>(i)] = 1.0 + 0.01 * i;
+    low[static_cast<std::size_t>(i)] = 0.5 + 0.01 * i;
+  }
+  EXPECT_TRUE(SignificantlyGreater(high, low, 0.05));
+  EXPECT_FALSE(SignificantlyGreater(low, high, 0.05));
+}
+
+TEST(ChiSquareSurvivalTest, KnownValues) {
+  // P(X > 3.841; df=1) = 0.05, P(X > 5.991; df=2) = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841459, 1.0), 0.05, 1e-4);
+  EXPECT_NEAR(ChiSquareSurvival(5.991465, 2.0), 0.05, 1e-4);
+  EXPECT_NEAR(ChiSquareSurvival(0.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(FriedmanTest, NoDifferenceGivesHighPValue) {
+  // Accuracy columns are permutations across rows: no systematic ranking.
+  Matrix acc(6, 3, {0.1, 0.2, 0.3,
+                    0.3, 0.1, 0.2,
+                    0.2, 0.3, 0.1,
+                    0.1, 0.3, 0.2,
+                    0.2, 0.1, 0.3,
+                    0.3, 0.2, 0.1});
+  const FriedmanResult r = FriedmanTest(acc);
+  EXPECT_NEAR(r.average_ranks[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.average_ranks[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.average_ranks[2], 2.0, 1e-12);
+  EXPECT_NEAR(r.chi_square, 0.0, 1e-9);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(FriedmanTest, DominantMeasureGetsRankOne) {
+  Matrix acc(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    acc(i, 0) = 0.9;  // always best
+    acc(i, 1) = 0.5;
+    acc(i, 2) = 0.1;  // always worst
+  }
+  const FriedmanResult r = FriedmanTest(acc);
+  EXPECT_DOUBLE_EQ(r.average_ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[2], 3.0);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(FriedmanTest, HandComputedStatistic) {
+  // k = 3, N = 4, perfectly consistent ranking: chi^2 = 12*4/(3*4) *
+  // ((1 + 4 + 9) - 3*16/4) = 4 * (14 - 12) = 8.
+  Matrix acc(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    acc(i, 0) = 3.0;
+    acc(i, 1) = 2.0;
+    acc(i, 2) = 1.0;
+  }
+  const FriedmanResult r = FriedmanTest(acc);
+  EXPECT_NEAR(r.chi_square, 8.0, 1e-9);
+}
+
+TEST(NemenyiTest, CriticalValuesFromDemsarTable) {
+  EXPECT_NEAR(NemenyiCriticalValue(2, 0.05), 1.960, 1e-9);
+  EXPECT_NEAR(NemenyiCriticalValue(10, 0.05), 3.164, 1e-9);
+  EXPECT_NEAR(NemenyiCriticalValue(2, 0.10), 1.645, 1e-9);
+  EXPECT_NEAR(NemenyiCriticalValue(10, 0.10), 2.920, 1e-9);
+}
+
+TEST(NemenyiTest, CriticalDifferenceFormula) {
+  // CD = q * sqrt(k(k+1)/(6N)): k = 5, N = 30, alpha = 0.05.
+  const double expected = 2.728 * std::sqrt(5.0 * 6.0 / (6.0 * 30.0));
+  EXPECT_NEAR(NemenyiCriticalDifference(5, 30, 0.05), expected, 1e-9);
+}
+
+TEST(NemenyiTest, MoreDatasetsShrinkTheCd) {
+  EXPECT_LT(NemenyiCriticalDifference(5, 100, 0.05),
+            NemenyiCriticalDifference(5, 10, 0.05));
+}
+
+TEST(CdAnalysisTest, RankingIsSortedAndGroupsCoverAllMeasures) {
+  Matrix acc(12, 4);
+  for (std::size_t i = 0; i < 12; ++i) {
+    acc(i, 0) = 0.9 + 0.001 * static_cast<double>(i % 3);
+    acc(i, 1) = 0.88;
+    acc(i, 2) = 0.5;
+    acc(i, 3) = 0.48;
+  }
+  const CdAnalysis analysis =
+      AnalyzeRanks(acc, {"best", "second", "third", "worst"}, 0.10);
+  ASSERT_EQ(analysis.ranking.size(), 4u);
+  EXPECT_EQ(analysis.ranking[0].name, "best");
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GE(analysis.ranking[i].average_rank,
+              analysis.ranking[i - 1].average_rank);
+  }
+  // Every measure appears in at least one group.
+  std::vector<bool> covered(4, false);
+  for (const auto& group : analysis.groups) {
+    for (std::size_t idx : group) covered[idx] = true;
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(CdAnalysisTest, CloseMeasuresShareAGroupDistantOnesDoNot) {
+  // best/second are within CD of each other; third/worst are far away.
+  Matrix acc(20, 4);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const bool flip = (i % 2 == 0);
+    acc(i, 0) = flip ? 0.91 : 0.90;
+    acc(i, 1) = flip ? 0.90 : 0.91;
+    acc(i, 2) = 0.50;
+    acc(i, 3) = 0.30;
+  }
+  const CdAnalysis analysis =
+      AnalyzeRanks(acc, {"a", "b", "c", "d"}, 0.10);
+  // a and b must be in a common group.
+  bool ab_together = false;
+  bool ad_together = false;
+  for (const auto& group : analysis.groups) {
+    bool has_a = false, has_b = false, has_d = false;
+    for (std::size_t idx : group) {
+      if (analysis.ranking[idx].name == "a") has_a = true;
+      if (analysis.ranking[idx].name == "b") has_b = true;
+      if (analysis.ranking[idx].name == "d") has_d = true;
+    }
+    ab_together |= (has_a && has_b);
+    ad_together |= (has_a && has_d);
+  }
+  EXPECT_TRUE(ab_together);
+  EXPECT_FALSE(ad_together);
+}
+
+TEST(CdAnalysisTest, RenderedDiagramMentionsEveryMeasure) {
+  Matrix acc(5, 2, {0.9, 0.1, 0.8, 0.2, 0.9, 0.3, 0.7, 0.1, 0.8, 0.2});
+  const CdAnalysis analysis = AnalyzeRanks(acc, {"alpha", "beta"}, 0.05);
+  const std::string diagram = RenderCdDiagram(analysis);
+  EXPECT_NE(diagram.find("alpha"), std::string::npos);
+  EXPECT_NE(diagram.find("beta"), std::string::npos);
+  EXPECT_NE(diagram.find("CD"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsdist

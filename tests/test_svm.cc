@@ -1,0 +1,139 @@
+// Unit and integration tests for the kernel SVM evaluation framework.
+
+#include "src/classify/svm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/kernel/rbf.h"
+#include "src/kernel/sink.h"
+#include "src/normalization/normalization.h"
+
+namespace tsdist {
+namespace {
+
+// Linear kernel gram matrix of 2-d points.
+Matrix LinearGram(const std::vector<std::pair<double, double>>& points) {
+  const std::size_t n = points.size();
+  Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      gram(i, j) = points[i].first * points[j].first +
+                   points[i].second * points[j].second;
+    }
+  }
+  return gram;
+}
+
+TEST(BinaryKernelSvmTest, SeparatesLinearlySeparablePoints) {
+  // Two clusters on either side of x = 0.
+  const std::vector<std::pair<double, double>> points = {
+      {2.0, 1.0}, {3.0, -1.0}, {2.5, 0.5}, {-2.0, 1.0}, {-3.0, -1.0},
+      {-2.5, 0.5}};
+  const std::vector<int> labels = {1, 1, 1, -1, -1, -1};
+  BinaryKernelSvm svm;
+  SvmOptions options;
+  options.c = 10.0;
+  svm.Train(LinearGram(points), labels, options);
+  // Training points classified correctly.
+  const Matrix gram = LinearGram(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_GT(svm.Decision(gram.row(i)) * labels[i], 0.0) << "point " << i;
+  }
+}
+
+TEST(BinaryKernelSvmTest, AlphasRespectBoxConstraint) {
+  const std::vector<std::pair<double, double>> points = {
+      {1.0, 0.0}, {0.9, 0.1}, {-1.0, 0.0}, {-0.9, -0.1}};
+  const std::vector<int> labels = {1, 1, -1, -1};
+  BinaryKernelSvm svm;
+  SvmOptions options;
+  options.c = 0.5;
+  svm.Train(LinearGram(points), labels, options);
+  for (double a : svm.alphas()) {
+    EXPECT_GE(a, -1e-12);
+    EXPECT_LE(a, 0.5 + 1e-12);
+  }
+}
+
+TEST(BinaryKernelSvmTest, DualConstraintHolds) {
+  // sum alpha_i y_i = 0 at any SMO fixed point (pairwise updates preserve
+  // it from the zero start).
+  const std::vector<std::pair<double, double>> points = {
+      {1.5, 0.3}, {1.2, -0.2}, {-1.4, 0.1}, {-1.1, -0.3}, {1.0, 1.0},
+      {-1.0, -1.0}};
+  const std::vector<int> labels = {1, 1, -1, -1, 1, -1};
+  BinaryKernelSvm svm;
+  svm.Train(LinearGram(points), labels, SvmOptions{});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    acc += svm.alphas()[i] * labels[i];
+  }
+  EXPECT_NEAR(acc, 0.0, 1e-9);
+}
+
+TEST(OneVsOneSvmTest, ThreeClassToyProblem) {
+  // Three well-separated clusters on a line, linear kernel.
+  std::vector<std::pair<double, double>> points;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < 4; ++r) {
+      points.push_back({3.0 * c + 0.1 * r, 0.5 * r});
+      labels.push_back(c);
+    }
+  }
+  const Matrix gram = LinearGram(points);
+  OneVsOneSvm svm;
+  svm.Train(gram, labels, SvmOptions{});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (svm.Predict(gram.row(i)) == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 10u);  // at least 10 of 12 training points
+}
+
+GeneratorOptions SvmDataOptions(std::uint64_t seed) {
+  GeneratorOptions options;
+  options.length = 48;
+  options.train_per_class = 10;
+  options.test_per_class = 8;
+  options.noise = 0.15;
+  options.seed = seed;
+  return options;
+}
+
+TEST(EvaluateSvmTest, RbfSvmLearnsEasyDataset) {
+  const Dataset data =
+      ZScoreNormalizer().Apply(MakeSpectroMixtures(SvmDataOptions(1)));
+  const RbfKernel rbf(0.05);
+  SvmOptions options;
+  options.c = 10.0;
+  const double acc = EvaluateSvm(rbf, data, options, /*num_threads=*/2);
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(EvaluateSvmTest, SinkSvmHandlesShiftedData) {
+  GeneratorOptions gen = SvmDataOptions(2);
+  gen.max_shift = 12;
+  const Dataset data = ZScoreNormalizer().Apply(MakeShiftedEvents(gen));
+  const SinkKernel sink(10.0);
+  SvmOptions options;
+  options.c = 10.0;
+  const double acc = EvaluateSvm(sink, data, options, /*num_threads=*/2);
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(EvaluateSvmTest, DeterministicGivenSeed) {
+  const Dataset data = ZScoreNormalizer().Apply(MakeCbf(SvmDataOptions(3)));
+  const RbfKernel rbf(0.05);
+  SvmOptions options;
+  options.seed = 5;
+  const double a = EvaluateSvm(rbf, data, options, 1);
+  const double b = EvaluateSvm(rbf, data, options, 1);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,94 @@
+// Unit tests for the TimeSeries value type.
+
+#include "src/core/time_series.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tsdist {
+namespace {
+
+TEST(TimeSeriesTest, DefaultIsEmptyUnlabeled) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.label(), -1);
+}
+
+TEST(TimeSeriesTest, ConstructionStoresValuesAndLabel) {
+  TimeSeries ts({1.0, 2.0, 3.0}, 7);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.label(), 7);
+  EXPECT_DOUBLE_EQ(ts[0], 1.0);
+  EXPECT_DOUBLE_EQ(ts[2], 3.0);
+}
+
+TEST(TimeSeriesTest, MeanOfKnownValues) {
+  TimeSeries ts({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(ts.Mean(), 4.0);
+}
+
+TEST(TimeSeriesTest, MeanOfEmptyIsZero) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.Mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, StdDevIsPopulationConvention) {
+  // Population std of {1, 3} is 1 (divide by n, not n-1).
+  TimeSeries ts({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ts.StdDev(), 1.0);
+}
+
+TEST(TimeSeriesTest, StdDevOfConstantIsZero) {
+  TimeSeries ts({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(ts.StdDev(), 0.0);
+}
+
+TEST(TimeSeriesTest, NormOfPythagoreanTriple) {
+  TimeSeries ts({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ts.Norm(), 5.0);
+}
+
+TEST(TimeSeriesTest, MinMax) {
+  TimeSeries ts({3.0, -1.0, 4.0, 1.0});
+  EXPECT_DOUBLE_EQ(ts.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(ts.Max(), 4.0);
+}
+
+TEST(TimeSeriesTest, MedianOddLength) {
+  TimeSeries ts({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(ts.Median(), 2.0);
+}
+
+TEST(TimeSeriesTest, MedianEvenLengthAveragesMiddleTwo) {
+  TimeSeries ts({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(ts.Median(), 2.5);
+}
+
+TEST(TimeSeriesTest, MutableValuesAllowsInPlaceEdits) {
+  TimeSeries ts({1.0, 2.0});
+  ts.mutable_values()[0] = 9.0;
+  EXPECT_DOUBLE_EQ(ts[0], 9.0);
+}
+
+TEST(TimeSeriesTest, SetLabel) {
+  TimeSeries ts({1.0});
+  ts.set_label(3);
+  EXPECT_EQ(ts.label(), 3);
+}
+
+TEST(DotTest, KnownValue) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(DotTest, EmptyIsZero) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Dot(empty, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace tsdist

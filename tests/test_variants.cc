@@ -1,0 +1,140 @@
+// Unit tests for the elastic-measure variants (DDTW, WDTW, CID).
+
+#include "src/elastic/variants.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/elastic/dtw.h"
+#include "src/linalg/rng.h"
+#include "src/lockstep/minkowski_family.h"
+
+namespace tsdist {
+namespace {
+
+std::vector<double> RandomSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+TEST(DerivativeTest, LinearRampHasConstantDerivative) {
+  const std::vector<double> ramp = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto d = DerivativeDistance::Derive(ramp);
+  ASSERT_EQ(d.size(), ramp.size());
+  for (double v : d) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(DerivativeTest, ConstantSeriesHasZeroDerivative) {
+  const std::vector<double> flat(8, 3.0);
+  for (double v : DerivativeDistance::Derive(flat)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(DerivativeTest, OffsetInvariance) {
+  // DDTW's purpose: a vertical offset does not change the derivative, so
+  // the wrapped distance is offset-invariant.
+  const auto a = RandomSeries(32, 1);
+  std::vector<double> shifted = a;
+  for (auto& v : shifted) v += 5.0;
+  DerivativeDistance ddtw(std::make_unique<DtwDistance>(10.0));
+  EXPECT_NEAR(ddtw.Distance(a, shifted), 0.0, 1e-12);
+  // Plain DTW, by contrast, sees the offset.
+  EXPECT_GT(DtwDistance(10.0).Distance(a, shifted), 1.0);
+}
+
+TEST(DerivativeTest, NameReflectsBase) {
+  DerivativeDistance d(std::make_unique<DtwDistance>());
+  EXPECT_EQ(d.name(), "ddtw");
+}
+
+TEST(WdtwTest, IdenticalSeriesHaveZeroDistance) {
+  const auto a = RandomSeries(24, 2);
+  EXPECT_DOUBLE_EQ(WdtwDistance(0.05).Distance(a, a), 0.0);
+}
+
+TEST(WdtwTest, SymmetricInArguments) {
+  const auto a = RandomSeries(20, 3);
+  const auto b = RandomSeries(20, 4);
+  const WdtwDistance wdtw(0.1);
+  EXPECT_NEAR(wdtw.Distance(a, b), wdtw.Distance(b, a), 1e-9);
+}
+
+TEST(WdtwTest, ZeroSteepnessIsHalfWeightedDtw) {
+  // g = 0 gives uniform weight 1/2 at every cell, so WDTW = DTW / 2 when
+  // the optimal path is the same (weights uniform => same argmin path).
+  const auto a = RandomSeries(16, 5);
+  const auto b = RandomSeries(16, 6);
+  const double wdtw = WdtwDistance(0.0).Distance(a, b);
+  const double dtw = DtwDistance(100.0).Distance(a, b);
+  EXPECT_NEAR(wdtw, 0.5 * dtw, 1e-9);
+}
+
+TEST(WdtwTest, SteeperPenaltyNeverDecreasesOffDiagonalCost) {
+  // With very large g, off-diagonal matches cost full weight while
+  // diagonal ones are nearly free: WDTW approaches something dominated by
+  // the diagonal. Sanity: distance is monotone-ish in g for a warped pair
+  // (weak check: g=5 >= g=0 up to numerical noise).
+  const std::vector<double> a = {0, 0, 1, 2, 3, 3, 3, 2, 1, 0};
+  const std::vector<double> b = {0, 1, 2, 3, 3, 3, 2, 1, 0, 0};
+  const double loose = WdtwDistance(0.0).Distance(a, b);
+  const double tight = WdtwDistance(5.0).Distance(a, b);
+  EXPECT_GE(tight, loose - 1e-9);
+}
+
+TEST(CidTest, ComplexityEstimateOfFlatSeriesIsZero) {
+  const std::vector<double> flat(10, 2.0);
+  EXPECT_DOUBLE_EQ(CidDistance::ComplexityEstimate(flat), 0.0);
+}
+
+TEST(CidTest, ComplexityEstimateKnownValue) {
+  // Differences: 1, -1, 1 -> sqrt(3).
+  const std::vector<double> v = {0.0, 1.0, 0.0, 1.0};
+  EXPECT_NEAR(CidDistance::ComplexityEstimate(v), std::sqrt(3.0), 1e-12);
+}
+
+TEST(CidTest, EqualComplexityLeavesBaseDistanceUnchanged) {
+  const auto a = RandomSeries(32, 7);
+  std::vector<double> b = a;
+  std::reverse(b.begin(), b.end());  // same polyline length
+  CidDistance cid(std::make_unique<EuclideanDistance>());
+  EXPECT_NEAR(cid.Distance(a, b), EuclideanDistance().Distance(a, b), 1e-9);
+}
+
+TEST(CidTest, ComplexityMismatchInflatesDistance) {
+  std::vector<double> smooth(32, 0.0);
+  std::vector<double> rough(32, 0.0);
+  for (std::size_t i = 0; i < 32; ++i) {
+    smooth[i] = 0.1 * static_cast<double>(i);
+    rough[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  CidDistance cid(std::make_unique<EuclideanDistance>());
+  EXPECT_GT(cid.Distance(smooth, rough),
+            EuclideanDistance().Distance(smooth, rough));
+}
+
+TEST(VariantRegistryTest, AllVariantsRegisterAndConstruct) {
+  Registry registry;
+  RegisterElasticVariants(&registry);
+  for (const char* name : {"ddtw", "wdtw", "cid_euclidean", "cid_dtw"}) {
+    const MeasurePtr m = registry.Create(name);
+    ASSERT_NE(m, nullptr) << name;
+  }
+  const MeasurePtr wdtw = registry.Create("wdtw", {{"g", 0.2}});
+  EXPECT_DOUBLE_EQ(wdtw->params().at("g"), 0.2);
+}
+
+TEST(VariantRegistryTest, VariantsAreNotInTheGlobalInventory) {
+  // The paper's 71-measure count excludes these extensions; the global
+  // registry must stay at 67 pairwise measures.
+  EXPECT_FALSE(Registry::Global().Contains("ddtw"));
+  EXPECT_FALSE(Registry::Global().Contains("wdtw"));
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,197 @@
+// tsdist_eval: command-line driver for the evaluation pipeline.
+//
+// Runs any set of measures over the synthetic archive (or a real UCR
+// dataset directory) and emits the per-dataset accuracy matrix as CSV,
+// optionally with the statistical analysis. The scriptable entry point for
+// users who want the paper's pipeline without writing C++.
+//
+// Usage:
+//   tsdist_eval [--scale tiny|small|medium] [--measures m1,m2,...]
+//               [--norm zscore|...] [--supervised] [--csv]
+//               [--ucr <dir> --dataset <Name>]
+//
+// Examples:
+//   tsdist_eval --measures euclidean,lorentzian,nccc --csv
+//   tsdist_eval --measures dtw,msm --supervised
+//   tsdist_eval --ucr ~/UCRArchive_2018 --dataset ECGFiveDays
+//               --measures nccc,dtw     (one line)
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/classify/param_grids.h"
+#include "src/classify/tuning.h"
+#include "src/data/archive.h"
+#include "src/data/ucr_loader.h"
+#include "src/normalization/normalization.h"
+#include "src/stats/ranking.h"
+
+namespace {
+
+struct Options {
+  tsdist::ArchiveScale scale = tsdist::ArchiveScale::kSmall;
+  std::vector<std::string> measures = {"euclidean", "lorentzian", "nccc"};
+  std::string norm = "zscore";
+  bool supervised = false;
+  bool csv = false;
+  std::string ucr_dir;
+  std::string ucr_dataset;
+};
+
+std::vector<std::string> SplitCommas(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "tiny") == 0) {
+        options->scale = tsdist::ArchiveScale::kTiny;
+      } else if (std::strcmp(v, "medium") == 0) {
+        options->scale = tsdist::ArchiveScale::kMedium;
+      } else if (std::strcmp(v, "small") == 0) {
+        options->scale = tsdist::ArchiveScale::kSmall;
+      } else {
+        return false;
+      }
+    } else if (arg == "--measures") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->measures = SplitCommas(v);
+    } else if (arg == "--norm") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->norm = v;
+    } else if (arg == "--supervised") {
+      options->supervised = true;
+    } else if (arg == "--csv") {
+      options->csv = true;
+    } else if (arg == "--ucr") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->ucr_dir = v;
+    } else if (arg == "--dataset") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->ucr_dataset = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options->measures.empty();
+}
+
+void PrintUsage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scale tiny|small|medium] [--measures m1,m2,...]\n"
+      "          [--norm zscore|minmax|meannorm|mediannorm|unitlength|\n"
+      "                  logistic|tanh|none] [--supervised] [--csv]\n"
+      "          [--ucr <archive-dir> --dataset <Name>]\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsdist;
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  // Validate measures up front.
+  for (const auto& name : options.measures) {
+    if (!Registry::Global().Contains(name)) {
+      std::fprintf(stderr, "unknown measure '%s'; known measures:\n",
+                   name.c_str());
+      for (const auto& known : Registry::Global().Names()) {
+        std::fprintf(stderr, "  %s\n", known.c_str());
+      }
+      return 2;
+    }
+  }
+
+  // Assemble the datasets.
+  std::vector<Dataset> datasets;
+  if (!options.ucr_dir.empty()) {
+    if (options.ucr_dataset.empty()) {
+      std::fprintf(stderr, "--ucr requires --dataset\n");
+      return 2;
+    }
+    const LoadResult loaded =
+        LoadUcrDataset(options.ucr_dir, options.ucr_dataset);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "load failed: %s\n", loaded.error.c_str());
+      return 1;
+    }
+    datasets.push_back(ZScoreNormalizer().Apply(loaded.dataset));
+  } else {
+    ArchiveOptions archive_options;
+    archive_options.scale = options.scale;
+    datasets = BuildArchive(archive_options);
+  }
+  // Optional re-normalization on top of the z-normalized base.
+  if (options.norm != "zscore" && options.norm != "none") {
+    const NormalizerPtr normalizer = MakeNormalizer(options.norm);
+    if (normalizer == nullptr) {
+      std::fprintf(stderr, "unknown normalization '%s'\n",
+                   options.norm.c_str());
+      return 2;
+    }
+    for (auto& d : datasets) d = normalizer->Apply(d);
+  }
+
+  const PairwiseEngine engine;
+  Matrix accuracies(datasets.size(), options.measures.size());
+  if (options.csv) {
+    std::printf("dataset");
+    for (const auto& m : options.measures) std::printf(",%s", m.c_str());
+    std::printf("\n");
+  }
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    if (options.csv) std::printf("%s", datasets[i].name().c_str());
+    for (std::size_t j = 0; j < options.measures.size(); ++j) {
+      const std::string& name = options.measures[j];
+      const EvalResult result =
+          options.supervised
+              ? EvaluateTuned(name, ParamGridFor(name), datasets[i], engine)
+              : EvaluateFixed(name, UnsupervisedParamsFor(name), datasets[i],
+                              engine);
+      accuracies(i, j) = result.test_accuracy;
+      if (options.csv) {
+        std::printf(",%.4f", result.test_accuracy);
+      } else {
+        std::printf("%-22s %-14s %.4f\n", datasets[i].name().c_str(),
+                    name.c_str(), result.test_accuracy);
+      }
+    }
+    if (options.csv) std::printf("\n");
+  }
+
+  if (!options.csv && datasets.size() >= 3 && options.measures.size() >= 2) {
+    const CdAnalysis analysis =
+        AnalyzeRanks(accuracies, options.measures, 0.10);
+    std::printf("\n");
+    std::cout << RenderCdDiagram(analysis);
+  }
+  return 0;
+}
