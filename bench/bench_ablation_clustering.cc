@@ -23,6 +23,7 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_ablation_clustering");
   const auto archive = BenchArchive();
   std::cout << "Ablation: clustering ARI by algorithm/measure over "
             << archive.size() << " datasets\n";

@@ -23,6 +23,7 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_ablation_indexing");
   // One larger collection: many CBF series (an indexing workload, not a
   // classification one).
   tsdist::GeneratorOptions options;

@@ -23,6 +23,7 @@ using tsdist::bench::BenchArchive;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_ablation_lower_bounds");
   const auto archive = BenchArchive();
   std::cout << "Ablation: LB_Kim -> LB_Keogh pruning for exact DTW 1-NN over "
             << archive.size() << " datasets\n";

@@ -45,6 +45,7 @@ ComboAccuracies EvaluateFromRegistry(const tsdist::Registry& registry,
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_ablation_variants");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
 

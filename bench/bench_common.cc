@@ -1,17 +1,50 @@
 #include "bench/bench_common.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "src/classify/one_nn.h"
 #include "src/classify/tuning.h"
 #include "src/core/registry.h"
 #include "src/normalization/normalization.h"
+#include "src/obs/obs.h"
 #include "src/stats/ranking.h"
 #include "src/stats/wilcoxon.h"
 
 namespace tsdist::bench {
+
+ObsSession::ObsSession(std::string bench_name)
+    : name_(std::move(bench_name)), start_ns_(obs::NowNs()) {}
+
+double ObsSession::ElapsedSeconds() const {
+  return static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
+}
+
+ObsSession::~ObsSession() {
+  const double wall_ms = ElapsedSeconds() * 1e3;
+  const char* dir = std::getenv("TSDIST_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "ObsSession: cannot write " << path << "\n";
+    return;
+  }
+  const char* scale_env = std::getenv("TSDIST_SCALE");
+  std::ostringstream body;
+  body << "{\n  \"schema\": \"tsdist.bench.v1\",\n  \"bench\": \"" << name_
+       << "\",\n  \"scale\": \"" << (scale_env != nullptr ? scale_env : "small")
+       << "\",\n  \"threads\": " << ThreadsFromEnv()
+       << ",\n  \"wall_ms\": " << std::fixed << std::setprecision(3) << wall_ms
+       << ",\n  \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
+       << "}\n";
+  out << body.str();
+  std::cerr << "ObsSession: wrote " << path << " (wall "
+            << std::fixed << std::setprecision(1) << wall_ms << " ms)\n";
+}
 
 ArchiveScale ScaleFromEnv() {
   const char* env = std::getenv("TSDIST_SCALE");

@@ -15,10 +15,16 @@
 // Environment knobs:
 //  * TSDIST_SCALE  = tiny | small | medium   (default small)
 //  * TSDIST_THREADS = N                      (default: hardware concurrency)
+//  * TSDIST_BENCH_JSON = <dir>               when set, each bench binary
+//    writes <dir>/BENCH_<name>.json on exit: wall-clock for the whole
+//    reproduction plus the full tsdist.metrics.v1 snapshot, so BENCH_*.json
+//    trajectories are self-describing and comparable across commits (see
+//    docs/OBSERVABILITY.md)
 
 #ifndef TSDIST_BENCH_BENCH_COMMON_H_
 #define TSDIST_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,6 +34,26 @@
 #include "src/linalg/matrix.h"
 
 namespace tsdist::bench {
+
+/// RAII session for one bench binary: declare first in main(). Measures
+/// wall-clock for the whole reproduction and, when TSDIST_BENCH_JSON names
+/// a directory, writes <dir>/BENCH_<name>.json with the shared
+/// tsdist.bench.v1 schema (wall_ms + embedded metrics snapshot).
+class ObsSession {
+ public:
+  explicit ObsSession(std::string bench_name);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Seconds since construction.
+  double ElapsedSeconds() const;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_;
+};
 
 /// Scale preset from TSDIST_SCALE (tiny/small/medium; default small).
 ArchiveScale ScaleFromEnv();

@@ -12,6 +12,8 @@
 
 #include "src/multivariate/multivariate.h"
 
+#include "bench/bench_common.h"
+
 namespace {
 
 void RunRegime(const char* title, bool shared_warp, double warp,
@@ -45,6 +47,7 @@ void RunRegime(const char* title, bool shared_warp, double warp,
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_ext_multivariate");
   std::cout << "Extension: multivariate strategies (paper footnote 1)\n\n";
   RunRegime("No warping", false, 0.0, 11);
   RunRegime("Independent per-channel warping", false, 0.2, 12);

@@ -108,6 +108,7 @@ double TunedSvmAccuracy(const std::string& kernel_name, const Dataset& dataset,
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_ext_svm");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Extension: 1-NN vs SVM evaluation frameworks for kernel "

@@ -35,6 +35,7 @@ Dataset TruncatedTrain(const Dataset& full, std::size_t train_size) {
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig10_convergence");
   // A large warped dataset: the regime where elastic/sliding measures hold
   // a persistent edge.
   GeneratorOptions options;

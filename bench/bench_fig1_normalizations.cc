@@ -14,6 +14,8 @@
 #include "src/data/generators.h"
 #include "src/normalization/normalization.h"
 
+#include "bench/bench_common.h"
+
 namespace {
 
 // Renders values as a one-line sparkline over a fixed glyph ramp.
@@ -33,6 +35,7 @@ std::string Sparkline(const std::vector<double>& values) {
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig1_normalizations");
   using namespace tsdist;
 
   // Two heartbeat series of different classes (normal vs inverted-T), raw.

@@ -21,6 +21,7 @@ using tsdist::bench::EvaluateComboTuned;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig2_lockstep_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 2: ranking of lock-step measures under z-score over "

@@ -19,6 +19,7 @@ using tsdist::bench::EvaluateCombo;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig3_norm_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 3: normalization methods for the Lorentzian distance "

@@ -19,6 +19,7 @@ using tsdist::bench::EvaluateCombo;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig4_nccc_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 4: normalization methods for NCCc over "

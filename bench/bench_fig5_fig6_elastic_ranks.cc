@@ -25,6 +25,7 @@ constexpr const char* kElastic[] = {"msm", "twe", "dtw", "edr",
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig5_fig6_elastic_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figures 5/6: elastic + sliding measure rankings over "

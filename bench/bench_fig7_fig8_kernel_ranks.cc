@@ -24,6 +24,7 @@ constexpr const char* kMeasures[] = {"kdtw", "gak", "msm", "twe", "dtw"};
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig7_fig8_kernel_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figures 7/8: kernel + elastic + sliding rankings over "

@@ -26,6 +26,7 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_fig9_acc_runtime");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 9: accuracy vs inference runtime over "

@@ -9,7 +9,10 @@
 #include "src/core/registry.h"
 #include "src/normalization/normalization.h"
 
+#include "bench/bench_common.h"
+
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_table1_inventory");
   using namespace tsdist;
   const Registry& registry = Registry::Global();
   // 7 per-series methods + pairwise AdaptiveScaling = the paper's 8.

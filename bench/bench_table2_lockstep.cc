@@ -28,6 +28,7 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_table2_lockstep");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 2: lock-step measures under 8 normalizations, "

@@ -22,6 +22,7 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_table3_sliding");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 3: sliding measures under 8 normalizations, "

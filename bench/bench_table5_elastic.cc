@@ -23,6 +23,7 @@ using tsdist::bench::EvaluateComboTuned;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_table5_elastic");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 5: elastic measures vs NCCc, " << archive.size()

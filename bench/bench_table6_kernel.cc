@@ -22,6 +22,7 @@ using tsdist::bench::EvaluateComboTuned;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_table6_kernel");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 6: kernel measures vs NCCc, " << archive.size()

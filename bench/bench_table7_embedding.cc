@@ -22,6 +22,7 @@ using tsdist::bench::EvaluateCombo;
 }  // namespace
 
 int main() {
+  const tsdist::bench::ObsSession obs_session("bench_table7_embedding");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   // Paper uses 100-dimensional representations; cap by the smallest train

@@ -3,7 +3,22 @@
 #include <cassert>
 #include <limits>
 
+#include "src/obs/obs.h"
+
 namespace tsdist {
+
+namespace {
+
+// Timer + query counter for one classification entry point.
+obs::ScopedTimer ClassifyTimer(const char* histogram_name,
+                               const char* counter_name, std::size_t queries) {
+  if (!obs::Enabled()) return obs::ScopedTimer(nullptr);
+  auto& metrics = obs::MetricsRegistry::Global();
+  return obs::ScopedTimer(&metrics.GetHistogram(histogram_name),
+                          &metrics.GetCounter(counter_name), queries);
+}
+
+}  // namespace
 
 double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
                      const std::vector<int>& train_labels) {
@@ -12,6 +27,8 @@ double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
   assert(test_labels.size() == r);
   assert(train_labels.size() == p);
   if (r == 0 || p == 0) return 0.0;
+  const obs::ScopedTimer timer = ClassifyTimer(
+      "tsdist.classify.one_nn_ns", "tsdist.classify.one_nn_queries", r);
 
   std::size_t correct = 0;
   for (std::size_t i = 0; i < r; ++i) {
@@ -34,6 +51,8 @@ double LeaveOneOutAccuracy(const Matrix& w, const std::vector<int>& labels) {
   assert(w.cols() == p);
   assert(labels.size() == p);
   if (p < 2) return 0.0;
+  const obs::ScopedTimer timer = ClassifyTimer(
+      "tsdist.classify.loocv_ns", "tsdist.classify.loocv_queries", p);
 
   std::size_t correct = 0;
   for (std::size_t i = 0; i < p; ++i) {

@@ -3,12 +3,22 @@
 #include <cassert>
 
 #include "src/classify/one_nn.h"
+#include "src/obs/obs.h"
 
 namespace tsdist {
 
 EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params,
                          const Dataset& dataset, const PairwiseEngine& engine,
                          const Registry& registry) {
+  const obs::TraceSpan span(
+      obs::TraceRecorder::Global().enabled()
+          ? "classify.evaluate_fixed/" + measure_name
+          : std::string());
+  obs::ScopedTimer timer(
+      obs::Enabled()
+          ? &obs::MetricsRegistry::Global().GetHistogram(
+                "tsdist.classify.evaluate_ns")
+          : nullptr);
   const MeasurePtr measure = registry.Create(measure_name, params);
   assert(measure != nullptr && "unknown measure name");
   const Matrix e = engine.Compute(dataset.test(), dataset.train(), *measure);
@@ -25,11 +35,29 @@ EvalResult EvaluateTuned(const std::string& measure_name,
                          const Dataset& dataset, const PairwiseEngine& engine,
                          const Registry& registry) {
   assert(!grid.empty());
+  const bool trace_on = obs::TraceRecorder::Global().enabled();
+  const bool obs_on = obs::Enabled();
+  const obs::TraceSpan span(
+      trace_on ? "classify.evaluate_tuned/" + measure_name : std::string());
+  obs::Histogram* candidate_ns = nullptr;
+  obs::Counter* candidates = nullptr;
+  if (obs_on) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    candidate_ns = &metrics.GetHistogram("tsdist.tuning.candidate_ns");
+    candidates = &metrics.GetCounter("tsdist.tuning.candidates");
+  }
   const std::vector<int> train_labels = dataset.train_labels();
 
   ParamMap best_params = grid.front();
   double best_train = -1.0;
   for (const ParamMap& candidate : grid) {
+    // One LOOCV span per grid point: the dominant cost of supervised tuning
+    // (|grid| self-distance matrices per dataset).
+    const obs::TraceSpan candidate_span(
+        trace_on ? "tuning.loocv/" + measure_name + "{" + ToString(candidate) +
+                       "}"
+                 : std::string());
+    obs::ScopedTimer candidate_timer(candidate_ns, candidates);
     const MeasurePtr measure = registry.Create(measure_name, candidate);
     assert(measure != nullptr && "unknown measure name");
     const Matrix w = engine.ComputeSelf(dataset.train(), *measure);

@@ -2,9 +2,58 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "src/obs/obs.h"
+
 namespace tsdist {
+
+namespace {
+
+// A malformed input row (e.g. a truncated UCR line) used to surface as a
+// cryptic failure deep inside a measure; reject it here with the offending
+// index instead.
+void ValidateNonEmpty(const std::vector<TimeSeries>& series,
+                      const char* collection, const char* function) {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].empty()) {
+      throw std::invalid_argument(
+          std::string("PairwiseEngine::") + function + ": " + collection +
+          "[" + std::to_string(i) + "] is an empty (zero-length) series");
+    }
+  }
+}
+
+// Cached handles for the pairwise metrics of one measure; resolved once per
+// matrix so the per-row cost is relaxed atomic adds plus two clock reads.
+struct PairwiseMetrics {
+  obs::Counter* cells_total = nullptr;
+  obs::Counter* cells_measure = nullptr;
+  obs::Counter* rows = nullptr;
+  obs::Histogram* row_ns = nullptr;
+
+  explicit PairwiseMetrics(const std::string& measure_name) {
+    auto& registry = obs::MetricsRegistry::Global();
+    cells_total = &registry.GetCounter("tsdist.pairwise.cells");
+    cells_measure =
+        &registry.GetCounter("tsdist.pairwise.cells." + measure_name);
+    rows = &registry.GetCounter("tsdist.pairwise.rows");
+    row_ns = &registry.GetHistogram("tsdist.pairwise.row_ns." + measure_name);
+  }
+
+  void RecordRow(std::uint64_t cells, std::uint64_t elapsed_ns) const {
+    cells_total->Add(cells);
+    cells_measure->Add(cells);
+    rows->Add(1);
+    row_ns->Record(elapsed_ns);
+    obs::ProgressTick(cells);
+  }
+};
+
+}  // namespace
 
 PairwiseEngine::PairwiseEngine(std::size_t num_threads)
     : num_threads_(num_threads == 0
@@ -18,17 +67,30 @@ Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
   const std::size_t p = references.size();
   Matrix out(r, p);
   if (r == 0 || p == 0) return out;
+  ValidateNonEmpty(queries, "queries", "Compute");
+  ValidateNonEmpty(references, "references", "Compute");
+
+  const bool obs_on = obs::Enabled();
+  const bool trace_on = obs::TraceRecorder::Global().enabled();
+  const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
+                                     : std::string());
+  std::optional<PairwiseMetrics> metrics_storage;
+  if (obs_on) metrics_storage.emplace(measure.name());
+  const PairwiseMetrics* metrics =
+      metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
   std::atomic<std::size_t> next_row{0};
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next_row.fetch_add(1);
       if (i >= r) return;
+      const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
       auto row = out.mutable_row(i);
       const auto q = queries[i].values();
       for (std::size_t j = 0; j < p; ++j) {
         row[j] = measure.Distance(q, references[j].values());
       }
+      if (metrics != nullptr) metrics->RecordRow(p, obs::NowNs() - t0);
     }
   };
 
@@ -49,16 +111,29 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
   const std::size_t n = series.size();
   Matrix out(n, n);
   if (n == 0) return out;
+  ValidateNonEmpty(series, "series", "ComputeSelf");
+
+  const bool obs_on = obs::Enabled();
+  const bool trace_on = obs::TraceRecorder::Global().enabled();
+  const obs::TraceSpan span(trace_on
+                                ? "pairwise.compute_self/" + measure.name()
+                                : std::string());
+  std::optional<PairwiseMetrics> metrics_storage;
+  if (obs_on) metrics_storage.emplace(measure.name());
+  const PairwiseMetrics* metrics =
+      metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
   std::atomic<std::size_t> next_row{0};
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next_row.fetch_add(1);
       if (i >= n) return;
+      const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
       const auto a = series[i].values();
       for (std::size_t j = i; j < n; ++j) {
         out(i, j) = measure.Distance(a, series[j].values());
       }
+      if (metrics != nullptr) metrics->RecordRow(n - i, obs::NowNs() - t0);
     }
   };
 

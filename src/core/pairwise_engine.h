@@ -8,6 +8,12 @@
 //   E (r x p): test vs train, used for test accuracy.
 // Rows are distributed across threads; output is bit-identical regardless of
 // thread count because each cell is an independent pure computation.
+//
+// Both entry points validate that every series is non-empty and throw
+// std::invalid_argument naming the offending index otherwise, and report
+// per-row timing plus cell counts to the obs layer (see src/obs/obs.h:
+// counters tsdist.pairwise.cells[.<measure>], histogram
+// tsdist.pairwise.row_ns.<measure>). Instrumentation never alters results.
 
 #ifndef TSDIST_CORE_PAIRWISE_ENGINE_H_
 #define TSDIST_CORE_PAIRWISE_ENGINE_H_

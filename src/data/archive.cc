@@ -5,6 +5,7 @@
 
 #include "src/data/generators.h"
 #include "src/normalization/normalization.h"
+#include "src/obs/obs.h"
 
 namespace tsdist {
 
@@ -31,6 +32,11 @@ ScalePreset PresetFor(ArchiveScale scale) {
 }  // namespace
 
 std::vector<Dataset> BuildArchive(const ArchiveOptions& options) {
+  const obs::TraceSpan span("data.build_archive");
+  obs::ScopedTimer timer(
+      obs::Enabled() ? &obs::MetricsRegistry::Global().GetHistogram(
+                           "tsdist.data.archive_build_ns")
+                     : nullptr);
   const ScalePreset preset = PresetFor(options.scale);
   GeneratorOptions base;
   base.length = preset.length;
@@ -190,6 +196,11 @@ std::vector<Dataset> BuildArchive(const ArchiveOptions& options) {
   if (options.z_normalize) {
     const ZScoreNormalizer z;
     for (auto& dataset : archive) dataset = z.Apply(dataset);
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("tsdist.data.archive_datasets")
+        .Add(archive.size());
   }
   return archive;
 }

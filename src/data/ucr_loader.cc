@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/data/preprocess.h"
+#include "src/obs/obs.h"
 
 namespace tsdist {
 
@@ -96,9 +97,18 @@ bool ReadLines(const std::string& path, std::vector<std::string>* lines,
 LoadResult ParseUcrLines(const std::vector<std::string>& lines,
                          const std::string& source_name) {
   LoadResult result;
+  obs::ScopedTimer timer(
+      obs::Enabled() ? &obs::MetricsRegistry::Global().GetHistogram(
+                           "tsdist.data.ucr_parse_ns")
+                     : nullptr);
   std::vector<TimeSeries> series;
   if (!ParseSplit(lines, source_name, &series, &result.error)) {
     return result;
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("tsdist.data.ucr_series")
+        .Add(series.size());
   }
   result.ok = true;
   result.dataset = Dataset(source_name, std::move(series), {});
@@ -107,6 +117,13 @@ LoadResult ParseUcrLines(const std::vector<std::string>& lines,
 
 LoadResult LoadUcrDataset(const std::string& dir, const std::string& name) {
   LoadResult result;
+  const obs::TraceSpan span(
+      obs::TraceRecorder::Global().enabled() ? "data.ucr_load/" + name
+                                             : std::string());
+  obs::ScopedTimer timer(
+      obs::Enabled() ? &obs::MetricsRegistry::Global().GetHistogram(
+                           "tsdist.data.ucr_load_ns")
+                     : nullptr);
   std::vector<std::string> train_lines;
   std::vector<std::string> test_lines;
   if (!ReadLines(dir + "/" + name + "_TRAIN.tsv", &train_lines, &result.error) ||
@@ -118,6 +135,11 @@ LoadResult LoadUcrDataset(const std::string& dir, const std::string& name) {
   if (!ParseSplit(train_lines, name + "_TRAIN", &train, &result.error) ||
       !ParseSplit(test_lines, name + "_TEST", &test, &result.error)) {
     return result;
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("tsdist.data.ucr_series")
+        .Add(train.size() + test.size());
   }
   result.ok = true;
   result.dataset =

@@ -7,6 +7,7 @@
 
 #include "src/linalg/eigen.h"
 #include "src/linalg/rng.h"
+#include "src/obs/obs.h"
 #include "src/sliding/ncc_measures.h"
 
 namespace tsdist {
@@ -64,6 +65,11 @@ double GrailRepresentation::NormalizedSink(std::span<const double> a,
 
 void GrailRepresentation::Fit(const std::vector<TimeSeries>& train) {
   assert(!train.empty());
+  const obs::TraceSpan span("embedding.grail_fit");
+  obs::ScopedTimer timer(
+      obs::Enabled() ? &obs::MetricsRegistry::Global().GetHistogram(
+                           "tsdist.embedding.grail_fit_ns")
+                     : nullptr);
   const std::size_t k = std::min(target_dimension_, train.size());
 
   const std::vector<std::size_t> indices = SelectLandmarks(train, k, seed_);

@@ -5,11 +5,28 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/obs/obs.h"
+
 namespace tsdist {
 
 EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
   assert(a.rows() == a.cols());
   const std::size_t n = a.rows();
+  const obs::TraceSpan span(
+      obs::TraceRecorder::Global().enabled()
+          ? "linalg.eigen/n=" + std::to_string(n)
+          : std::string());
+  obs::Histogram* eigen_ns = nullptr;
+  obs::Counter* eigen_calls = nullptr;
+  obs::Counter* eigen_sweeps = nullptr;
+  if (obs::Enabled()) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    eigen_ns = &metrics.GetHistogram("tsdist.linalg.eigen_ns");
+    eigen_calls = &metrics.GetCounter("tsdist.linalg.eigen_calls");
+    eigen_sweeps = &metrics.GetCounter("tsdist.linalg.eigen_sweeps");
+  }
+  obs::ScopedTimer timer(eigen_ns, eigen_calls);
+  int sweeps_run = 0;
   // Work on a symmetrized copy to absorb tiny numerical asymmetry.
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -29,6 +46,7 @@ EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     if (off_diagonal_norm() < tol) break;
+    ++sweeps_run;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = m(p, q);
@@ -61,6 +79,10 @@ EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
         }
       }
     }
+  }
+
+  if (eigen_sweeps != nullptr) {
+    eigen_sweeps->Add(static_cast<std::uint64_t>(sweeps_run));
   }
 
   // Sort eigenpairs by descending eigenvalue.

@@ -1,0 +1,246 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/obs.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+#if !defined(TSDIST_OBS_NOOP)
+std::atomic<bool> g_enabled{true};
+#endif
+
+// JSON string escaping for metric names (ASCII control chars, quote,
+// backslash).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Formats a double so the output is valid JSON (no inf/nan literals).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+#if !defined(TSDIST_OBS_NOOP)
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+#endif
+
+std::size_t ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    seen += bucket_counts[i];
+    if (seen >= target && bucket_counts[i] > 0) {
+      // Overflow bucket has no finite bound; report the observed max.
+      if (i >= Histogram::kFiniteBuckets) return static_cast<double>(max);
+      return static_cast<double>(
+          std::min<std::uint64_t>(Histogram::BucketBound(i), max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) {
+  if (value <= 64) return 0;
+  const std::size_t idx = static_cast<std::size_t>(std::bit_width(value - 1)) - 6;
+  return std::min(idx, kFiniteBuckets);  // kFiniteBuckets == overflow slot
+}
+
+void Histogram::Record(std::uint64_t value) {
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t observed = shard.min.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !shard.min.compare_exchange_weak(observed, value,
+                                          std::memory_order_relaxed)) {
+  }
+  observed = shard.max.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !shard.max.compare_exchange_weak(observed, value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.bucket_counts.assign(kFiniteBuckets + 1, 0);
+  std::uint64_t min = ~std::uint64_t{0};
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i <= kFiniteBuckets; ++i) {
+      out.bucket_counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count += shard.count.load(std::memory_order_relaxed);
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, shard.max.load(std::memory_order_relaxed));
+  }
+  out.min = out.count == 0 ? 0 : min;
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms[name] = histogram->Snapshot();
+  }
+  return out;
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"tsdist.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << JsonNumber(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"min\": " << h.min << ", \"max\": " << h.max
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < Histogram::kFiniteBuckets) {
+        os << Histogram::BucketBound(i);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ", \"count\": " << h.bucket_counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const { return SnapshotToJson(Snapshot()); }
+
+std::string MetricsRegistry::ToCsv() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  std::ostringstream os;
+  os << "type,name,count,sum,min,max,mean,p50,p90,p99\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "counter," << name << ",," << value << ",,,,,,\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "gauge," << name << ",," << JsonNumber(value) << ",,,,,,\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "histogram," << name << "," << h.count << "," << h.sum << ","
+       << h.min << "," << h.max << "," << JsonNumber(h.Mean()) << ","
+       << JsonNumber(h.Quantile(0.5)) << "," << JsonNumber(h.Quantile(0.9))
+       << "," << JsonNumber(h.Quantile(0.99)) << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,158 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms.
+//
+// Write path: each metric is split into kMetricShards cache-line-padded
+// shards; a thread picks its shard once (sequential assignment, wrapping past
+// kMetricShards) and increments it with a relaxed atomic add, so concurrent
+// writers almost never touch the same cache line and never take a lock.
+// Read path: Snapshot()/ToJson() sum the shards; readers may race with
+// writers, so a snapshot is a consistent-enough aggregate, not a linearizable
+// point-in-time cut (fine for telemetry).
+//
+// Histograms use fixed power-of-two bucket bounds — bucket i counts values
+// v <= 64 << i (nanosecond-oriented: 64 ns up to ~8.6 s) plus an overflow
+// bucket — so histograms from different runs and different builds are always
+// mergeable bucket-by-bucket.
+
+#ifndef TSDIST_OBS_METRICS_H_
+#define TSDIST_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsdist::obs {
+
+/// Number of cache-line-padded shards per metric.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable shard index for the calling thread (assigned sequentially on first
+/// use, wrapping past kMetricShards).
+std::size_t ThisThreadShard();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards.
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Last-write-wins scalar (plus atomic add for accumulating gauges).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only aggregate of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< sum of recorded values (ns for latency metrics)
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  /// One count per finite bucket plus the trailing overflow bucket.
+  std::vector<std::uint64_t> bucket_counts;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Approximate quantile (q in [0,1]) from the bucket upper bounds.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram of non-negative integer values.
+class Histogram {
+ public:
+  /// Number of finite buckets; bucket i holds values v <= kBucketBound(i).
+  static constexpr std::size_t kFiniteBuckets = 28;
+  /// Upper (inclusive) bound of finite bucket i: 64 << i.
+  static constexpr std::uint64_t BucketBound(std::size_t i) {
+    return static_cast<std::uint64_t>(64) << i;
+  }
+
+  void Record(std::uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  static std::size_t BucketIndex(std::uint64_t value);
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kFiniteBuckets + 1> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Consistent-enough aggregate of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Registry of named metrics. Lookup takes a mutex; cache the returned
+/// reference outside hot loops. References stay valid until Reset(), which
+/// is test-only.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all tsdist instrumentation.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Serializes the snapshot as the `tsdist.metrics.v1` JSON schema
+  /// (validated by tools/check_metrics_schema.py).
+  std::string ToJson() const;
+
+  /// Flat CSV: type,name,count,sum,min,max,mean,p50,p90,p99 (counters and
+  /// gauges use the `sum` column only).
+  std::string ToCsv() const;
+
+  /// Drops every registered metric. Invalidates previously returned
+  /// references — test-only; never call while instrumented code may run.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Renders a MetricsSnapshot as the `tsdist.metrics.v1` JSON object.
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_METRICS_H_

@@ -1,0 +1,58 @@
+// Umbrella header for the tsdist observability layer.
+//
+// The subsystem has three parts, all process-wide and thread-safe:
+//   * metrics.h   — MetricsRegistry with named counters, gauges, and
+//                   fixed-bucket latency histograms (sharded relaxed atomics;
+//                   ~one uncontended atomic add per event on the write path);
+//   * trace.h     — RAII TraceSpan/ScopedTimer producing an in-memory span
+//                   tree exportable as Chrome trace-event JSON;
+//   * progress.h  — ProgressReporter with rate + ETA for long matrix jobs.
+//
+// Instrumentation never changes numerical results: it only reads the clock
+// and bumps counters, so matrix outputs are bit-identical with observability
+// on or off. Two kill switches exist:
+//   * runtime:      obs::SetEnabled(false)  (metrics + timers; tracing has
+//                   its own opt-in toggle, TraceRecorder::SetEnabled);
+//   * compile time: define TSDIST_OBS_NOOP (CMake -DTSDIST_OBS_NOOP=ON) to
+//                   compile every instrumentation site down to nothing. The
+//                   metric/trace *classes* stay functional so tools that dump
+//                   JSON keep linking; only the hot-path hooks disappear.
+//
+// Metric naming scheme: tsdist.<layer>.<name>[.<qualifier>], e.g.
+// tsdist.pairwise.cells.dtw or tsdist.linalg.eigen_ns. See
+// docs/OBSERVABILITY.md for the full inventory.
+
+#ifndef TSDIST_OBS_OBS_H_
+#define TSDIST_OBS_OBS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
+#include "src/obs/trace.h"
+
+namespace tsdist::obs {
+
+/// Monotonic nanosecond timestamp (steady clock, arbitrary epoch).
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if defined(TSDIST_OBS_NOOP)
+/// Compile-time no-op build: every `if (obs::Enabled())` block is dead code
+/// the optimizer removes entirely.
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#else
+/// Runtime master switch for metrics + timers (default: on).
+bool Enabled();
+void SetEnabled(bool enabled);
+#endif
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_OBS_H_

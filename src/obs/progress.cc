@@ -1,0 +1,140 @@
+#include "src/obs/progress.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "src/obs/obs.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+std::atomic<ProgressReporter*> g_active{nullptr};
+
+// 1234567 -> "1.2M"; keeps the status line compact.
+std::string HumanCount(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+std::string HumanEta(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0) return "--:--";
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  char buf[32];
+  if (total >= 3600) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 ":%02" PRIu64 ":%02" PRIu64,
+                  total / 3600, (total / 60) % 60, total % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "%02" PRIu64 ":%02" PRIu64, total / 60,
+                  total % 60);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(std::string label, std::uint64_t total_units,
+                                   std::ostream* out, std::string unit)
+    : label_(std::move(label)),
+      unit_(std::move(unit)),
+      total_(total_units),
+      out_(out),
+      start_ns_(NowNs()) {}
+
+ProgressReporter::~ProgressReporter() {
+  ProgressReporter* self = this;
+  g_active.compare_exchange_strong(self, nullptr);
+  Finish();
+}
+
+void ProgressReporter::Add(std::uint64_t n) {
+  done_.fetch_add(n, std::memory_order_relaxed);
+  MaybePrint(/*force=*/false);
+}
+
+double ProgressReporter::RatePerSec() const {
+  const std::uint64_t elapsed = NowNs() - start_ns_;
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(done()) * 1e9 / static_cast<double>(elapsed);
+}
+
+double ProgressReporter::EtaSeconds() const {
+  const std::uint64_t d = done();
+  if (total_ == 0 || d >= total_) return 0.0;
+  const double rate = RatePerSec();
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(total_ - d) / rate;
+}
+
+std::string ProgressReporter::RenderLine() const {
+  const std::uint64_t d = done();
+  std::string line = label_;
+  line += "  ";
+  line += HumanCount(static_cast<double>(d));
+  if (total_ > 0) {
+    line += "/";
+    line += HumanCount(static_cast<double>(total_));
+    line += " " + unit_;
+    char pct[32];
+    std::snprintf(pct, sizeof pct, " (%.1f%%)",
+                  100.0 * static_cast<double>(d) / static_cast<double>(total_));
+    line += pct;
+  } else {
+    line += " " + unit_;
+  }
+  line += "  " + HumanCount(RatePerSec()) + "/s";
+  if (total_ > 0 && d < total_) {
+    line += "  ETA " + HumanEta(EtaSeconds());
+  }
+  return line;
+}
+
+void ProgressReporter::MaybePrint(bool force) {
+  const std::uint64_t now = NowNs();
+  std::uint64_t last = last_print_ns_.load(std::memory_order_relaxed);
+  if (!force) {
+    if (last != 0 && now - last < min_interval_ns_) return;
+    // One thread claims this print slot; losers skip.
+    if (!last_print_ns_.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed)) {
+      return;
+    }
+  } else {
+    last_print_ns_.store(now, std::memory_order_relaxed);
+  }
+  printed_.store(true, std::memory_order_relaxed);
+  std::ostream& out = out_ != nullptr ? *out_ : std::cerr;
+  // Trailing spaces wipe leftovers from a previously longer line.
+  out << "\r" << RenderLine() << "    " << std::flush;
+}
+
+void ProgressReporter::Finish() {
+  if (finished_.exchange(true)) return;
+  if (!printed_.load(std::memory_order_relaxed)) return;
+  MaybePrint(/*force=*/true);
+  std::ostream& out = out_ != nullptr ? *out_ : std::cerr;
+  out << "\n" << std::flush;
+}
+
+void SetActiveProgress(ProgressReporter* reporter) {
+  g_active.store(reporter, std::memory_order_release);
+}
+
+void ProgressTick(std::uint64_t n) {
+  ProgressReporter* reporter = g_active.load(std::memory_order_acquire);
+  if (reporter != nullptr) reporter->Add(n);
+}
+
+}  // namespace tsdist::obs

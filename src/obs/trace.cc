@@ -1,0 +1,232 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "src/obs/obs.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::atomic<std::int64_t> g_next_span_id{0};
+std::atomic<std::uint32_t> g_next_tid{0};
+
+// The recorder epoch: first NowNs() observed by the trace module, so ts
+// values stay small and chrome://tracing renders from t=0.
+std::uint64_t EpochNs() {
+  static const std::uint64_t epoch = NowNs();
+  return epoch;
+}
+
+struct BufHolder;
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<BufHolder>> bufs;
+};
+
+}  // namespace
+
+struct TraceRecorder::ThreadBuf {
+  std::mutex mu;  // guards events against concurrent snapshot/export
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+  std::int64_t open_parent = -1;  // innermost open span on this thread
+};
+
+namespace {
+
+// Keeps ThreadBufs alive after their owning thread exits so a later export
+// still sees their events.
+struct BufHolder {
+  TraceRecorder::ThreadBuf buf;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuf& TraceRecorder::BufForThisThread() {
+  thread_local std::shared_ptr<BufHolder> holder = [] {
+    auto h = std::make_shared<BufHolder>();
+    h->buf.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.bufs.push_back(h);
+    return h;
+  }();
+  return holder->buf;
+}
+
+void TraceRecorder::SetEnabled(bool enabled) {
+#if defined(TSDIST_OBS_NOOP)
+  (void)enabled;  // tracing cannot be enabled in a no-op build
+#else
+  if (enabled) EpochNs();  // pin the epoch before the first span
+  enabled_.store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+void TraceRecorder::Clear() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& holder : registry.bufs) {
+    std::lock_guard<std::mutex> buf_lock(holder->buf.mu);
+    holder->buf.events.clear();
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& holder : registry.bufs) {
+    std::lock_guard<std::mutex> buf_lock(holder->buf.mu);
+    out.insert(out.end(), holder->buf.events.begin(), holder->buf.events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<TraceRecorder::SpanNode> TraceRecorder::SpanForest() const {
+  std::vector<TraceEvent> events = Events();
+  // A child span always starts at-or-after its parent and gets a larger id,
+  // so processing events in decreasing (ts, id) order moves every node into
+  // its parent only after all of its own children have been attached.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns > b.ts_ns;
+              return a.id > b.id;
+            });
+  std::map<std::int64_t, SpanNode> nodes;
+  for (const TraceEvent& e : events) nodes[e.id].event = e;
+  std::vector<SpanNode> roots;
+  for (const TraceEvent& e : events) {
+    auto it = nodes.find(e.id);
+    if (e.parent >= 0) {
+      auto parent_it = nodes.find(e.parent);
+      if (parent_it != nodes.end()) {
+        parent_it->second.children.push_back(std::move(it->second));
+        continue;
+      }
+    }
+    roots.push_back(std::move(it->second));
+  }
+  // Attachment ran in reverse chronological order; restore start order.
+  auto sort_children = [](auto&& self, std::vector<SpanNode>& list) -> void {
+    std::sort(list.begin(), list.end(),
+              [](const SpanNode& a, const SpanNode& b) {
+                if (a.event.ts_ns != b.event.ts_ns) {
+                  return a.event.ts_ns < b.event.ts_ns;
+                }
+                return a.event.id < b.event.id;
+              });
+    for (SpanNode& node : list) self(self, node.children);
+  };
+  sort_children(sort_children, roots);
+  return roots;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \""
+       << JsonEscape(e.category) << "\", \"ph\": \"X\", \"ts\": "
+       << (static_cast<double>(e.ts_ns) / 1000.0)
+       << ", \"dur\": " << (static_cast<double>(e.dur_ns) / 1000.0)
+       << ", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent
+       << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  TraceRecorder::ThreadBuf& buf = recorder.BufForThisThread();
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  saved_parent_ = buf.open_parent;
+  buf.open_parent = id_;
+  start_ns_ = NowNs();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = NowNs();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceRecorder::ThreadBuf& buf = recorder.BufForThisThread();
+  buf.open_parent = saved_parent_;
+  // Record even if tracing was switched off mid-span, so nesting stays
+  // balanced for anything recorded while it was on.
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  const std::uint64_t epoch = EpochNs();
+  event.ts_ns = start_ns_ >= epoch ? start_ns_ - epoch : 0;
+  event.dur_ns = end_ns - start_ns_;
+  event.tid = buf.tid;
+  event.id = id_;
+  event.parent = saved_parent_;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(event));
+}
+
+ScopedTimer::ScopedTimer(Histogram* histogram, Counter* counter,
+                         std::uint64_t counter_increment)
+    : histogram_(histogram),
+      counter_(counter),
+      counter_increment_(counter_increment),
+      start_ns_(NowNs()) {}
+
+std::uint64_t ScopedTimer::ElapsedNs() const { return NowNs() - start_ns_; }
+
+ScopedTimer::~ScopedTimer() {
+  if (cancelled_ || !Enabled()) return;
+  const std::uint64_t elapsed = ElapsedNs();
+  if (histogram_ != nullptr) histogram_->Record(elapsed);
+  if (counter_ != nullptr) counter_->Add(counter_increment_);
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,118 @@
+// Scoped tracing: RAII spans collected into per-thread buffers, exportable
+// as an in-memory span tree or as Chrome trace-event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is opt-in (TraceRecorder::SetEnabled) because a long evaluation
+// can produce millions of spans; when disabled a TraceSpan is two relaxed
+// atomic loads. Span begin/end never locks on the hot path — events append
+// to a thread-local buffer whose mutex is only contended when a snapshot or
+// export runs concurrently.
+
+#ifndef TSDIST_OBS_TRACE_H_
+#define TSDIST_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace tsdist::obs {
+
+/// One completed span. Timestamps are nanoseconds relative to the recorder
+/// epoch (process start of tracing).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_ns = 0;   ///< span start
+  std::uint64_t dur_ns = 0;  ///< span duration
+  std::uint32_t tid = 0;     ///< small sequential thread id
+  std::int64_t id = -1;      ///< unique span id
+  std::int64_t parent = -1;  ///< id of the enclosing span, -1 for roots
+};
+
+/// Process-wide collector of completed spans.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Tracing master switch (default: off).
+  void SetEnabled(bool enabled);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events (open spans keep their parent linkage).
+  void Clear();
+
+  /// All completed events, sorted by (tid, ts_ns).
+  std::vector<TraceEvent> Events() const;
+
+  /// Span tree rebuilt from parent links; one forest entry per root span.
+  struct SpanNode {
+    TraceEvent event;
+    std::vector<SpanNode> children;
+  };
+  std::vector<SpanNode> SpanForest() const;
+
+  /// Chrome trace-event format: a JSON array of complete ("ph":"X") events
+  /// with name/cat/ph/ts/dur/pid/tid fields (ts and dur in microseconds).
+  std::string ToChromeJson() const;
+
+  /// Implementation detail shared with TraceSpan; not part of the API.
+  struct ThreadBuf;
+
+ private:
+  friend class TraceSpan;
+  ThreadBuf& BufForThisThread();
+
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: records a TraceEvent for its lifetime when tracing is enabled.
+/// Cheap when disabled; never copy/move it across threads.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, std::string category = "tsdist");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_ns_ = 0;
+  std::int64_t id_ = -1;
+  std::int64_t saved_parent_ = -1;
+  bool active_ = false;
+};
+
+/// RAII timer: records its lifetime in nanoseconds into a Histogram and
+/// optionally bumps a Counter, honoring the obs::Enabled() master switch at
+/// destruction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, Counter* counter = nullptr,
+                       std::uint64_t counter_increment = 1);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Nanoseconds since construction.
+  std::uint64_t ElapsedNs() const;
+
+  /// Suppresses recording at destruction.
+  void Cancel() { cancelled_ = true; }
+
+ private:
+  Histogram* histogram_;
+  Counter* counter_;
+  std::uint64_t counter_increment_;
+  std::uint64_t start_ns_;
+  bool cancelled_ = false;
+};
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_TRACE_H_

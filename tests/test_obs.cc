@@ -1,0 +1,366 @@
+// Unit tests for the observability layer: metric correctness under
+// concurrent writers, span-tree nesting, trace-JSON schema round-trip,
+// progress reporting, and the determinism guarantee (PairwiseEngine output
+// is bit-identical with instrumentation on or off).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/core/pairwise_engine.h"
+#include "src/core/registry.h"
+#include "src/data/generators.h"
+#include "src/obs/obs.h"
+
+namespace tsdist {
+namespace {
+
+// Restores the obs global state (master switch, tracing, metrics) that a
+// test mutates, so test order never matters.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(true);
+    obs::TraceRecorder::Global().SetEnabled(false);
+    obs::TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    obs::SetEnabled(true);
+    obs::TraceRecorder::Global().SetEnabled(false);
+    obs::TraceRecorder::Global().Clear();
+    obs::SetActiveProgress(nullptr);
+  }
+};
+
+TEST_F(ObsTest, CounterSumsConcurrentWriters) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  obs::Gauge gauge;
+  gauge.Set(2.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4.0);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -1.0);
+}
+
+TEST_F(ObsTest, HistogramAggregatesUnderConcurrentWriters) {
+  obs::Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<std::uint64_t>(t) * 1000 + 7);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+  EXPECT_EQ(snapshot.min, 7u);
+  EXPECT_EQ(snapshot.max, 7007u);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += (static_cast<std::uint64_t>(t) * 1000 + 7) * kPerThread;
+  }
+  EXPECT_EQ(snapshot.sum, expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : snapshot.bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snapshot.count);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  obs::Histogram histogram;
+  histogram.Record(1);     // first bucket (<= 64)
+  histogram.Record(64);    // still first bucket (inclusive bound)
+  histogram.Record(65);    // second bucket
+  histogram.Record(128);   // second bucket
+  histogram.Record(129);   // third bucket
+  const obs::HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.bucket_counts[0], 2u);
+  EXPECT_EQ(snapshot.bucket_counts[1], 2u);
+  EXPECT_EQ(snapshot.bucket_counts[2], 1u);
+  // A value past every finite bound lands in the overflow bucket.
+  obs::Histogram overflow;
+  overflow.Record(~std::uint64_t{0} / 2);
+  EXPECT_EQ(overflow.Snapshot().bucket_counts.back(), 1u);
+  // Quantiles stay within observed range.
+  EXPECT_GE(snapshot.Quantile(0.5), static_cast<double>(snapshot.min));
+  EXPECT_LE(snapshot.Quantile(0.99), static_cast<double>(snapshot.max));
+}
+
+TEST_F(ObsTest, RegistryReturnsStableHandlesAndSnapshot) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter& counter = registry.GetCounter("tsdist.test.registry_counter");
+  const std::uint64_t before = counter.Value();
+  EXPECT_EQ(&counter, &registry.GetCounter("tsdist.test.registry_counter"));
+  counter.Add(3);
+  registry.GetGauge("tsdist.test.registry_gauge").Set(1.25);
+  registry.GetHistogram("tsdist.test.registry_hist").Record(100);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("tsdist.test.registry_counter"), before + 3);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("tsdist.test.registry_gauge"), 1.25);
+  EXPECT_GE(snapshot.histograms.at("tsdist.test.registry_hist").count, 1u);
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesSchemaAndEntries) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("tsdist.test.json_counter").Add(41);
+  registry.GetHistogram("tsdist.test.json_hist").Record(5000);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"tsdist.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tsdist.test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"tsdist.test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("counter,tsdist.test.json_counter"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,tsdist.test.json_hist"), std::string::npos);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsIntoHistogramAndCounter) {
+  obs::Histogram histogram;
+  obs::Counter counter;
+  const std::uint64_t count_before = histogram.Snapshot().count;
+  {
+    obs::ScopedTimer timer(&histogram, &counter, 4);
+    EXPECT_GE(timer.ElapsedNs() + 1, 1u);  // monotone, non-negative
+  }
+#if defined(TSDIST_OBS_NOOP)
+  EXPECT_EQ(histogram.Snapshot().count, count_before);
+  EXPECT_EQ(counter.Value(), 0u);
+#else
+  EXPECT_EQ(histogram.Snapshot().count, count_before + 1);
+  EXPECT_EQ(counter.Value(), 4u);
+  {
+    obs::ScopedTimer cancelled(&histogram, &counter, 4);
+    cancelled.Cancel();
+  }
+  EXPECT_EQ(histogram.Snapshot().count, count_before + 1);
+  // The master switch suppresses recording.
+  obs::SetEnabled(false);
+  { obs::ScopedTimer off(&histogram, &counter, 4); }
+  obs::SetEnabled(true);
+  EXPECT_EQ(histogram.Snapshot().count, count_before + 1);
+#endif
+}
+
+TEST_F(ObsTest, SpanTreeNesting) {
+#if defined(TSDIST_OBS_NOOP)
+  GTEST_SKIP() << "tracing compiled out in TSDIST_OBS_NOOP builds";
+#else
+  auto& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(true);
+  {
+    obs::TraceSpan root("root");
+    {
+      obs::TraceSpan child_a("child_a");
+      { obs::TraceSpan grandchild("grandchild"); }
+    }
+    { obs::TraceSpan child_b("child_b"); }
+  }
+  { obs::TraceSpan second_root("second_root"); }
+  recorder.SetEnabled(false);
+
+  const auto forest = recorder.SpanForest();
+  ASSERT_EQ(forest.size(), 2u);
+  EXPECT_EQ(forest[0].event.name, "root");
+  ASSERT_EQ(forest[0].children.size(), 2u);
+  EXPECT_EQ(forest[0].children[0].event.name, "child_a");
+  EXPECT_EQ(forest[0].children[1].event.name, "child_b");
+  ASSERT_EQ(forest[0].children[0].children.size(), 1u);
+  EXPECT_EQ(forest[0].children[0].children[0].event.name, "grandchild");
+  EXPECT_EQ(forest[1].event.name, "second_root");
+  // Parent spans contain their children in time.
+  const auto& root_event = forest[0].event;
+  const auto& grandchild_event = forest[0].children[0].children[0].event;
+  EXPECT_LE(root_event.ts_ns, grandchild_event.ts_ns);
+  EXPECT_GE(root_event.ts_ns + root_event.dur_ns,
+            grandchild_event.ts_ns + grandchild_event.dur_ns);
+#endif
+}
+
+TEST_F(ObsTest, TraceChromeJsonSchemaRoundTrip) {
+#if defined(TSDIST_OBS_NOOP)
+  GTEST_SKIP() << "tracing compiled out in TSDIST_OBS_NOOP builds";
+#else
+  auto& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(true);
+  {
+    obs::TraceSpan outer("outer");
+    obs::TraceSpan inner("inner \"quoted\"");
+  }
+  recorder.SetEnabled(false);
+  const std::string json = recorder.ToChromeJson();
+  // Array-of-objects shape.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // Every event carries the Chrome trace-event required fields.
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("{\"name\":"); pos != std::string::npos;
+       pos = json.find("{\"name\":", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, recorder.Events().size());
+  for (const char* field :
+       {"\"name\":", "\"cat\":", "\"ph\": \"X\"", "\"ts\":", "\"dur\":",
+        "\"pid\":", "\"tid\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  // The quote inside the span name must be escaped.
+  EXPECT_NE(json.find("inner \\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find("inner \"quoted\""), std::string::npos);
+#endif
+}
+
+TEST_F(ObsTest, TraceDisabledRecordsNothing) {
+  auto& recorder = obs::TraceRecorder::Global();
+  { obs::TraceSpan span("ignored"); }
+  EXPECT_TRUE(recorder.Events().empty());
+}
+
+TEST_F(ObsTest, ProgressReporterCountsAndRenders) {
+  std::ostringstream sink;
+  obs::ProgressReporter progress("test", 1000, &sink, "cells");
+  progress.set_min_interval_ns(0);
+  progress.Add(250);
+  EXPECT_EQ(progress.done(), 250u);
+  EXPECT_GT(progress.RatePerSec(), 0.0);
+  const std::string line = progress.RenderLine();
+  EXPECT_NE(line.find("test"), std::string::npos);
+  EXPECT_NE(line.find("250"), std::string::npos);
+  EXPECT_NE(line.find("(25.0%)"), std::string::npos);
+  EXPECT_NE(line.find("ETA"), std::string::npos);
+  progress.Add(750);
+  progress.Finish();
+  progress.Finish();  // idempotent
+  EXPECT_NE(sink.str().find("(100.0%)"), std::string::npos);
+}
+
+TEST_F(ObsTest, ProgressTickForwardsToActiveReporter) {
+  std::ostringstream sink;
+  obs::ProgressReporter progress("tick", 0, &sink);
+  obs::ProgressTick(5);  // no reporter installed: dropped
+  EXPECT_EQ(progress.done(), 0u);
+  obs::SetActiveProgress(&progress);
+  obs::ProgressTick(5);
+  obs::ProgressTick(7);
+  EXPECT_EQ(progress.done(), 12u);
+  obs::SetActiveProgress(nullptr);
+  obs::ProgressTick(100);
+  EXPECT_EQ(progress.done(), 12u);
+}
+
+TEST_F(ObsTest, PairwiseEngineRejectsEmptySeriesWithIndex) {
+  GeneratorOptions options;
+  options.length = 16;
+  options.train_per_class = 2;
+  options.test_per_class = 2;
+  options.seed = 11;
+  const Dataset data = MakeCbf(options);
+  const MeasurePtr measure = Registry::Global().Create("euclidean", {});
+  const PairwiseEngine engine(2);
+
+  std::vector<TimeSeries> bad = data.train();
+  bad[1] = TimeSeries({}, 0);
+  try {
+    engine.Compute(data.test(), bad, *measure);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("references[1]"), std::string::npos)
+        << e.what();
+  }
+  try {
+    engine.ComputeSelf(bad, *measure);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("series[1]"), std::string::npos)
+        << e.what();
+  }
+  // Empty *collections* stay a valid degenerate case.
+  const Matrix empty = engine.Compute({}, {}, *measure);
+  EXPECT_EQ(empty.rows(), 0u);
+}
+
+TEST_F(ObsTest, PairwiseOutputBitIdenticalWithInstrumentationOnOrOff) {
+  GeneratorOptions options;
+  options.length = 64;
+  options.train_per_class = 6;
+  options.test_per_class = 6;
+  options.noise = 0.2;
+  options.seed = 29;
+  const Dataset data = MakeTwoPatterns(options);
+  const PairwiseEngine engine(3);
+
+  for (const char* name : {"euclidean", "dtw"}) {
+    const MeasurePtr measure = Registry::Global().Create(
+        name, std::string(name) == "dtw" ? ParamMap{{"delta", 8.0}}
+                                         : ParamMap{});
+    obs::SetEnabled(true);
+    obs::TraceRecorder::Global().SetEnabled(true);
+    const Matrix instrumented =
+        engine.Compute(data.test(), data.train(), *measure);
+    const Matrix instrumented_self = engine.ComputeSelf(data.train(), *measure);
+    obs::TraceRecorder::Global().SetEnabled(false);
+    obs::SetEnabled(false);
+    const Matrix plain = engine.Compute(data.test(), data.train(), *measure);
+    const Matrix plain_self = engine.ComputeSelf(data.train(), *measure);
+    obs::SetEnabled(true);
+
+    ASSERT_EQ(instrumented.rows(), plain.rows());
+    ASSERT_EQ(instrumented.cols(), plain.cols());
+    EXPECT_EQ(std::memcmp(instrumented.data().data(), plain.data().data(),
+                          instrumented.data().size() * sizeof(double)),
+              0)
+        << name;
+    EXPECT_EQ(std::memcmp(instrumented_self.data().data(),
+                          plain_self.data().data(),
+                          instrumented_self.data().size() * sizeof(double)),
+              0)
+        << name;
+  }
+}
+
+TEST_F(ObsTest, PairwiseCountersMatchMatrixShape) {
+#if defined(TSDIST_OBS_NOOP)
+  GTEST_SKIP() << "metrics instrumentation compiled out";
+#else
+  GeneratorOptions options;
+  options.length = 32;
+  options.train_per_class = 4;
+  options.test_per_class = 3;
+  options.seed = 5;
+  const Dataset data = MakeCbf(options);
+  const MeasurePtr measure = Registry::Global().Create("manhattan", {});
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::uint64_t cells_before =
+      registry.GetCounter("tsdist.pairwise.cells.manhattan").Value();
+  const PairwiseEngine engine(2);
+  const Matrix e = engine.Compute(data.test(), data.train(), *measure);
+  const std::uint64_t cells_after =
+      registry.GetCounter("tsdist.pairwise.cells.manhattan").Value();
+  EXPECT_EQ(cells_after - cells_before, e.rows() * e.cols());
+  EXPECT_GE(registry.GetHistogram("tsdist.pairwise.row_ns.manhattan")
+                .Snapshot()
+                .count,
+            e.rows());
+#endif
+}
+
+}  // namespace
+}  // namespace tsdist

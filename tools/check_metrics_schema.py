@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Validate tsdist observability JSON artifacts.
+
+Checks a metrics dump against the tsdist.metrics.v1 schema, and optionally a
+trace file against the Chrome trace-event format and a BENCH_*.json file
+against the tsdist.bench.v1 schema. Stdlib only; exits 0 on success, 1 with
+one message per violation otherwise.
+
+Usage:
+  check_metrics_schema.py METRICS.json
+      [--trace TRACE.json] [--bench BENCH.json]
+      [--require-nonzero COUNTER ...] [--require-histogram NAME ...]
+"""
+
+import argparse
+import json
+import sys
+
+METRICS_SCHEMA = "tsdist.metrics.v1"
+BENCH_SCHEMA = "tsdist.bench.v1"
+
+
+def _err(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_histogram(errors, path, name, hist):
+    if not isinstance(hist, dict):
+        _err(errors, path, f"histogram {name!r} is not an object")
+        return
+    for key in ("count", "sum", "min", "max", "buckets"):
+        if key not in hist:
+            _err(errors, path, f"histogram {name!r} missing field {key!r}")
+            return
+    for key in ("count", "sum", "min", "max"):
+        v = hist[key]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            _err(errors, path,
+                 f"histogram {name!r} field {key!r} must be a non-negative "
+                 f"integer, got {v!r}")
+    buckets = hist["buckets"]
+    if not isinstance(buckets, list) or not buckets:
+        _err(errors, path, f"histogram {name!r} has no bucket list")
+        return
+    prev_bound = -1
+    total = 0
+    for i, bucket in enumerate(buckets):
+        if not isinstance(bucket, dict) or "le" not in bucket or "count" not in bucket:
+            _err(errors, path,
+                 f"histogram {name!r} bucket {i} must be {{'le', 'count'}}")
+            return
+        count = bucket["count"]
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            _err(errors, path,
+                 f"histogram {name!r} bucket {i} count must be a "
+                 f"non-negative integer, got {count!r}")
+            return
+        total += count
+        le = bucket["le"]
+        last = i == len(buckets) - 1
+        if last:
+            if le != "+Inf":
+                _err(errors, path,
+                     f"histogram {name!r} last bucket le must be '+Inf', "
+                     f"got {le!r}")
+        else:
+            if not isinstance(le, int) or isinstance(le, bool):
+                _err(errors, path,
+                     f"histogram {name!r} bucket {i} le must be an integer "
+                     f"bound, got {le!r}")
+                return
+            if le <= prev_bound:
+                _err(errors, path,
+                     f"histogram {name!r} bucket bounds must be strictly "
+                     f"increasing ({le} after {prev_bound})")
+            prev_bound = le
+    if total != hist["count"]:
+        _err(errors, path,
+             f"histogram {name!r} bucket counts sum to {total} but count "
+             f"is {hist['count']}")
+    if hist["count"] > 0 and hist["min"] > hist["max"]:
+        _err(errors, path, f"histogram {name!r} has min > max")
+
+
+def check_metrics(errors, path, doc, require_nonzero=(), require_histogram=()):
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+    if doc.get("schema") != METRICS_SCHEMA:
+        _err(errors, path,
+             f"schema must be {METRICS_SCHEMA!r}, got {doc.get('schema')!r}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            _err(errors, path, f"missing or non-object section {section!r}")
+            return
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            _err(errors, path,
+                 f"counter {name!r} must be a non-negative integer, "
+                 f"got {value!r}")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            _err(errors, path, f"gauge {name!r} must be a number, got {value!r}")
+    for name, hist in doc["histograms"].items():
+        check_histogram(errors, path, name, hist)
+    for name in require_nonzero:
+        value = doc["counters"].get(name)
+        if not isinstance(value, int) or value <= 0:
+            _err(errors, path,
+                 f"required counter {name!r} missing or zero (got {value!r})")
+    for name in require_histogram:
+        hist = doc["histograms"].get(name)
+        if not isinstance(hist, dict) or hist.get("count", 0) <= 0:
+            _err(errors, path,
+                 f"required histogram {name!r} missing or empty")
+
+
+def check_trace(errors, path, doc):
+    if not isinstance(doc, list):
+        _err(errors, path, "trace must be a JSON array of event objects")
+        return
+    if not doc:
+        _err(errors, path, "trace contains no events")
+        return
+    for i, event in enumerate(doc):
+        if not isinstance(event, dict):
+            _err(errors, path, f"event {i} is not an object")
+            return
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                _err(errors, path, f"event {i} missing field {key!r}")
+                return
+        if not isinstance(event["name"], str):
+            _err(errors, path, f"event {i} name must be a string")
+        if not isinstance(event["ph"], str):
+            _err(errors, path, f"event {i} ph must be a string")
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(event[key], (int, float)) or isinstance(event[key], bool):
+                _err(errors, path, f"event {i} {key!r} must be a number")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                _err(errors, path,
+                     f"complete event {i} needs a non-negative 'dur', "
+                     f"got {dur!r}")
+
+
+def check_bench(errors, path, doc):
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+    if doc.get("schema") != BENCH_SCHEMA:
+        _err(errors, path,
+             f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        _err(errors, path, "field 'bench' must be a non-empty string")
+    wall = doc.get("wall_ms")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        _err(errors, path, f"field 'wall_ms' must be a non-negative number, got {wall!r}")
+    if "metrics" not in doc:
+        _err(errors, path, "missing embedded 'metrics' object")
+    else:
+        check_metrics(errors, f"{path}#metrics", doc["metrics"])
+
+
+def load(errors, path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        _err(errors, path, f"cannot read: {exc}")
+    except json.JSONDecodeError as exc:
+        _err(errors, path, f"invalid JSON: {exc}")
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="tsdist.metrics.v1 JSON file")
+    parser.add_argument("--trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--bench", help="tsdist.bench.v1 BENCH_*.json file")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="COUNTER",
+                        help="fail unless this counter exists and is > 0")
+    parser.add_argument("--require-histogram", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this histogram exists with count > 0")
+    args = parser.parse_args(argv)
+
+    errors = []
+    doc = load(errors, args.metrics)
+    if doc is not None:
+        check_metrics(errors, args.metrics, doc,
+                      require_nonzero=args.require_nonzero,
+                      require_histogram=args.require_histogram)
+    if args.trace:
+        trace = load(errors, args.trace)
+        if trace is not None:
+            check_trace(errors, args.trace, trace)
+    if args.bench:
+        bench = load(errors, args.bench)
+        if bench is not None:
+            check_bench(errors, args.bench, bench)
+
+    for message in errors:
+        print(f"check_metrics_schema: {message}", file=sys.stderr)
+    if errors:
+        return 1
+    print("check_metrics_schema: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,19 +5,25 @@
 // optionally with the statistical analysis. The scriptable entry point for
 // users who want the paper's pipeline without writing C++.
 //
-// Usage:
-//   tsdist_eval [--scale tiny|small|medium] [--measures m1,m2,...]
-//               [--norm zscore|...] [--supervised] [--csv]
-//               [--ucr <dir> --dataset <Name>]
+// Observability (see docs/OBSERVABILITY.md):
+//   --metrics-json <path>  dump the tsdist.metrics.v1 JSON after the run
+//   --metrics-csv <path>   same aggregates as flat CSV
+//   --trace-json <path>    record spans; dump Chrome trace-event JSON
+//                          (open in chrome://tracing or ui.perfetto.dev)
+//   --progress             live cells/sec + ETA status line on stderr
 //
 // Examples:
 //   tsdist_eval --measures euclidean,lorentzian,nccc --csv
-//   tsdist_eval --measures dtw,msm --supervised
+//   tsdist_eval --measures dtw,msm --supervised --progress
+//   tsdist_eval --measures euclidean,dtw --metrics-json m.json
+//               --trace-json t.json     (one line)
 //   tsdist_eval --ucr ~/UCRArchive_2018 --dataset ECGFiveDays
 //               --measures nccc,dtw     (one line)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -28,6 +34,7 @@
 #include "src/data/archive.h"
 #include "src/data/ucr_loader.h"
 #include "src/normalization/normalization.h"
+#include "src/obs/obs.h"
 #include "src/stats/ranking.h"
 
 namespace {
@@ -40,6 +47,12 @@ struct Options {
   bool csv = false;
   std::string ucr_dir;
   std::string ucr_dataset;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::string metrics_json_path;
+  std::string metrics_csv_path;
+  std::string trace_json_path;
+  bool progress = false;
+  bool help = false;
 };
 
 std::vector<std::string> SplitCommas(const std::string& value) {
@@ -52,15 +65,25 @@ std::vector<std::string> SplitCommas(const std::string& value) {
   return out;
 }
 
+// Parses argv into `options`. On any malformed input — an unknown flag, a
+// flag missing its value, or a bad enum value — prints a specific complaint
+// to stderr and returns false (the caller exits non-zero with usage).
 bool ParseArgs(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
+    auto next = [&](const char** value) -> bool {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s requires a value\n", arg.c_str());
+        return false;
+      }
+      *value = argv[++i];
+      return true;
     };
-    if (arg == "--scale") {
-      const char* v = next();
-      if (v == nullptr) return false;
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--scale") {
+      if (!next(&v)) return false;
       if (std::strcmp(v, "tiny") == 0) {
         options->scale = tsdist::ArchiveScale::kTiny;
       } else if (std::strcmp(v, "medium") == 0) {
@@ -68,44 +91,87 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       } else if (std::strcmp(v, "small") == 0) {
         options->scale = tsdist::ArchiveScale::kSmall;
       } else {
+        std::fprintf(stderr, "--scale must be tiny, small, or medium (got '%s')\n", v);
         return false;
       }
     } else if (arg == "--measures") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!next(&v)) return false;
       options->measures = SplitCommas(v);
+      if (options->measures.empty()) {
+        std::fprintf(stderr, "--measures needs a comma-separated list\n");
+        return false;
+      }
     } else if (arg == "--norm") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!next(&v)) return false;
       options->norm = v;
     } else if (arg == "--supervised") {
       options->supervised = true;
     } else if (arg == "--csv") {
       options->csv = true;
     } else if (arg == "--ucr") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!next(&v)) return false;
       options->ucr_dir = v;
     } else if (arg == "--dataset") {
-      const char* v = next();
-      if (v == nullptr) return false;
+      if (!next(&v)) return false;
       options->ucr_dataset = v;
+    } else if (arg == "--threads") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--threads must be a non-negative integer (got '%s')\n", v);
+        return false;
+      }
+      options->threads = static_cast<std::size_t>(parsed);
+    } else if (arg == "--metrics-json") {
+      if (!next(&v)) return false;
+      options->metrics_json_path = v;
+    } else if (arg == "--metrics-csv") {
+      if (!next(&v)) return false;
+      options->metrics_csv_path = v;
+    } else if (arg == "--trace-json") {
+      if (!next(&v)) return false;
+      options->trace_json_path = v;
+    } else if (arg == "--progress") {
+      options->progress = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
     }
   }
-  return !options->measures.empty();
+  return true;
 }
 
-void PrintUsage(const char* prog) {
+void PrintUsage(std::FILE* out, const char* prog) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s [--scale tiny|small|medium] [--measures m1,m2,...]\n"
       "          [--norm zscore|minmax|meannorm|mediannorm|unitlength|\n"
       "                  logistic|tanh|none] [--supervised] [--csv]\n"
-      "          [--ucr <archive-dir> --dataset <Name>]\n",
+      "          [--ucr <archive-dir> --dataset <Name>] [--threads N]\n"
+      "          [--metrics-json <path>] [--metrics-csv <path>]\n"
+      "          [--trace-json <path>] [--progress] [--help]\n"
+      "\n"
+      "observability:\n"
+      "  --metrics-json <path>  write counters/gauges/histograms\n"
+      "                         (tsdist.metrics.v1 schema) after the run\n"
+      "  --metrics-csv <path>   the same aggregates as flat CSV\n"
+      "  --trace-json <path>    record scoped spans and write Chrome\n"
+      "                         trace-event JSON (chrome://tracing, Perfetto)\n"
+      "  --progress             live cells/sec + ETA on stderr\n",
       prog);
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& contents,
+                         const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s file '%s' for writing\n", what,
+                 path.c_str());
+    return false;
+  }
+  out << contents;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -114,8 +180,12 @@ int main(int argc, char** argv) {
   using namespace tsdist;
   Options options;
   if (!ParseArgs(argc, argv, &options)) {
-    PrintUsage(argv[0]);
+    PrintUsage(stderr, argv[0]);
     return 2;
+  }
+  if (options.help) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
   }
 
   // Validate measures up front.
@@ -128,6 +198,10 @@ int main(int argc, char** argv) {
       }
       return 2;
     }
+  }
+
+  if (!options.trace_json_path.empty()) {
+    obs::TraceRecorder::Global().SetEnabled(true);
   }
 
   // Assemble the datasets.
@@ -160,31 +234,62 @@ int main(int argc, char** argv) {
     for (auto& d : datasets) d = normalizer->Apply(d);
   }
 
-  const PairwiseEngine engine;
+  // Total pairwise cells across the whole run, for the progress ETA. The
+  // supervised path computes |grid| upper-triangle self matrices per
+  // dataset/measure on top of the test-vs-train matrix.
+  std::uint64_t total_cells = 0;
+  for (const auto& d : datasets) {
+    const std::uint64_t train = d.train().size();
+    const std::uint64_t test = d.test().size();
+    for (const auto& m : options.measures) {
+      total_cells += test * train;
+      if (options.supervised) {
+        total_cells +=
+            ParamGridFor(m).size() * (train * (train + 1)) / 2;
+      }
+    }
+  }
+  obs::ProgressReporter progress("tsdist_eval", total_cells);
+  if (options.progress) obs::SetActiveProgress(&progress);
+
+  const PairwiseEngine engine(options.threads);
   Matrix accuracies(datasets.size(), options.measures.size());
   if (options.csv) {
     std::printf("dataset");
     for (const auto& m : options.measures) std::printf(",%s", m.c_str());
     std::printf("\n");
   }
-  for (std::size_t i = 0; i < datasets.size(); ++i) {
-    if (options.csv) std::printf("%s", datasets[i].name().c_str());
-    for (std::size_t j = 0; j < options.measures.size(); ++j) {
-      const std::string& name = options.measures[j];
-      const EvalResult result =
-          options.supervised
-              ? EvaluateTuned(name, ParamGridFor(name), datasets[i], engine)
-              : EvaluateFixed(name, UnsupervisedParamsFor(name), datasets[i],
-                              engine);
-      accuracies(i, j) = result.test_accuracy;
-      if (options.csv) {
-        std::printf(",%.4f", result.test_accuracy);
-      } else {
-        std::printf("%-22s %-14s %.4f\n", datasets[i].name().c_str(),
-                    name.c_str(), result.test_accuracy);
+  {
+    // Scoped so the root span closes (and lands in the trace file) before
+    // the exports below run.
+    const obs::TraceSpan run_span("tsdist_eval.run");
+    for (std::size_t i = 0; i < datasets.size(); ++i) {
+      const obs::TraceSpan dataset_span(
+          obs::TraceRecorder::Global().enabled()
+              ? "eval.dataset/" + datasets[i].name()
+              : std::string());
+      if (options.csv) std::printf("%s", datasets[i].name().c_str());
+      for (std::size_t j = 0; j < options.measures.size(); ++j) {
+        const std::string& name = options.measures[j];
+        const EvalResult result =
+            options.supervised
+                ? EvaluateTuned(name, ParamGridFor(name), datasets[i], engine)
+                : EvaluateFixed(name, UnsupervisedParamsFor(name), datasets[i],
+                                engine);
+        accuracies(i, j) = result.test_accuracy;
+        if (options.csv) {
+          std::printf(",%.4f", result.test_accuracy);
+        } else {
+          std::printf("%-22s %-14s %.4f\n", datasets[i].name().c_str(),
+                      name.c_str(), result.test_accuracy);
+        }
       }
+      if (options.csv) std::printf("\n");
     }
-    if (options.csv) std::printf("\n");
+  }
+  if (options.progress) {
+    obs::SetActiveProgress(nullptr);
+    progress.Finish();
   }
 
   if (!options.csv && datasets.size() >= 3 && options.measures.size() >= 2) {
@@ -192,6 +297,25 @@ int main(int argc, char** argv) {
         AnalyzeRanks(accuracies, options.measures, 0.10);
     std::printf("\n");
     std::cout << RenderCdDiagram(analysis);
+  }
+
+  if (!options.metrics_json_path.empty() &&
+      !WriteFileOrComplain(options.metrics_json_path,
+                           obs::MetricsRegistry::Global().ToJson(),
+                           "metrics JSON")) {
+    return 1;
+  }
+  if (!options.metrics_csv_path.empty() &&
+      !WriteFileOrComplain(options.metrics_csv_path,
+                           obs::MetricsRegistry::Global().ToCsv(),
+                           "metrics CSV")) {
+    return 1;
+  }
+  if (!options.trace_json_path.empty() &&
+      !WriteFileOrComplain(options.trace_json_path,
+                           obs::TraceRecorder::Global().ToChromeJson(),
+                           "trace JSON")) {
+    return 1;
   }
   return 0;
 }
