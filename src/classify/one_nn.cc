@@ -1,6 +1,7 @@
 #include "src/classify/one_nn.h"
 
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "src/obs/obs.h"
@@ -18,6 +19,15 @@ obs::ScopedTimer ClassifyTimer(const char* histogram_name,
                           &metrics.GetCounter(counter_name), queries);
 }
 
+// Flushes a NaN-distance tally to tsdist.classify.nan_distances (see the
+// NaN policy in the header). No-op when nothing was seen or obs is off.
+void ReportNanDistances(std::uint64_t nan_count) {
+  if (nan_count == 0 || !obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetCounter("tsdist.classify.nan_distances")
+      .Add(nan_count);
+}
+
 }  // namespace
 
 double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
@@ -31,11 +41,16 @@ double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
       "tsdist.classify.one_nn_ns", "tsdist.classify.one_nn_queries", r);
 
   std::size_t correct = 0;
+  std::uint64_t nan_distances = 0;
   for (std::size_t i = 0; i < r; ++i) {
     double best_dist = std::numeric_limits<double>::infinity();
     int best_label = -1;
     const auto row = e.row(i);
     for (std::size_t j = 0; j < p; ++j) {
+      if (std::isnan(row[j])) {
+        ++nan_distances;  // loses every comparison below; never selected
+        continue;
+      }
       if (row[j] < best_dist) {
         best_dist = row[j];
         best_label = train_labels[j];
@@ -43,6 +58,7 @@ double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
     }
     if (best_label == test_labels[i]) ++correct;
   }
+  ReportNanDistances(nan_distances);
   return static_cast<double>(correct) / static_cast<double>(r);
 }
 
@@ -55,12 +71,17 @@ double LeaveOneOutAccuracy(const Matrix& w, const std::vector<int>& labels) {
       "tsdist.classify.loocv_ns", "tsdist.classify.loocv_queries", p);
 
   std::size_t correct = 0;
+  std::uint64_t nan_distances = 0;
   for (std::size_t i = 0; i < p; ++i) {
     double best_dist = std::numeric_limits<double>::infinity();
     int best_label = -1;
     const auto row = w.row(i);
     for (std::size_t j = 0; j < p; ++j) {
       if (j == i) continue;  // leave the query itself out
+      if (std::isnan(row[j])) {
+        ++nan_distances;
+        continue;
+      }
       if (row[j] < best_dist) {
         best_dist = row[j];
         best_label = labels[j];
@@ -68,7 +89,42 @@ double LeaveOneOutAccuracy(const Matrix& w, const std::vector<int>& labels) {
     }
     if (best_label == labels[i]) ++correct;
   }
+  ReportNanDistances(nan_distances);
   return static_cast<double>(correct) / static_cast<double>(p);
+}
+
+double OneNnAccuracyFromIndices(const std::vector<std::size_t>& nn_indices,
+                                const std::vector<int>& test_labels,
+                                const std::vector<int>& train_labels) {
+  assert(nn_indices.size() == test_labels.size());
+  if (nn_indices.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < nn_indices.size(); ++i) {
+    const std::size_t j = nn_indices[i];
+    // Out-of-range covers the kNoNeighbor all-NaN sentinel: a miss, exactly
+    // like the matrix path's best_label = -1.
+    if (j < train_labels.size() && train_labels[j] == test_labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(nn_indices.size());
+}
+
+double LeaveOneOutAccuracyFromIndices(
+    const std::vector<std::size_t>& nn_indices,
+    const std::vector<int>& labels) {
+  assert(nn_indices.size() == labels.size());
+  if (nn_indices.size() < 2) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < nn_indices.size(); ++i) {
+    const std::size_t j = nn_indices[i];
+    // j != i guards against a caller passing self-matches; the pruned
+    // search never produces them.
+    if (j < labels.size() && j != i && labels[j] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(nn_indices.size());
 }
 
 std::vector<std::size_t> NearestNeighborIndices(const Matrix& e) {

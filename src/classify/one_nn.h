@@ -7,10 +7,23 @@
 //  * leave-one-out training accuracy from W (train x train), which excludes
 //    the diagonal self-match and enables supervised parameter tuning.
 // Ties are broken by the lowest training index, making results deterministic.
+//
+// The *FromIndices variants score precomputed 1-NN predictions — the output
+// of PairwiseEngine's cascade-pruned search — under the same tie and miss
+// policy, so matrix-path and pruned-path accuracies are identical by
+// construction (docs/PRUNING.md).
+//
+// NaN policy: a NaN distance loses every `<` comparison, so it can never be
+// selected as the nearest neighbour; a query row whose candidates are all
+// NaN is counted as a misclassification. Every NaN distance encountered
+// bumps the tsdist.classify.nan_distances counter so datasets or measures
+// that silently produce NaNs are visible in the metrics export instead of
+// just depressing accuracy.
 
 #ifndef TSDIST_CLASSIFY_ONE_NN_H_
 #define TSDIST_CLASSIFY_ONE_NN_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/linalg/matrix.h"
@@ -26,6 +39,19 @@ double OneNnAccuracy(const Matrix& e, const std::vector<int>& test_labels,
 /// Leave-one-out 1-NN accuracy over the self-dissimilarity matrix `w`
 /// (p-by-p): each series is classified by its nearest *other* series.
 double LeaveOneOutAccuracy(const Matrix& w, const std::vector<int>& labels);
+
+/// Accuracy from precomputed 1-NN predictions: nn_indices[i] is the index
+/// of query i's nearest training series. Any out-of-range index (notably
+/// PairwiseEngine::kNoNeighbor, the all-NaN-row sentinel) counts as a miss.
+double OneNnAccuracyFromIndices(const std::vector<std::size_t>& nn_indices,
+                                const std::vector<int>& test_labels,
+                                const std::vector<int>& train_labels);
+
+/// Leave-one-out counterpart: nn_indices[i] is the nearest *other* series
+/// of series i (as returned by PairwiseEngine::LeaveOneOutNeighborsPruned).
+double LeaveOneOutAccuracyFromIndices(
+    const std::vector<std::size_t>& nn_indices,
+    const std::vector<int>& labels);
 
 /// Index of the nearest reference for each query row of `e` (lowest index
 /// wins ties). Exposed for similarity-search style examples.

@@ -9,7 +9,7 @@ namespace tsdist {
 
 EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params,
                          const Dataset& dataset, const PairwiseEngine& engine,
-                         const Registry& registry) {
+                         const Registry& registry, const EvalOptions& options) {
   const obs::TraceSpan span(
       obs::TraceRecorder::Global().enabled()
           ? "classify.evaluate_fixed/" + measure_name
@@ -21,19 +21,28 @@ EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params
           : nullptr);
   const MeasurePtr measure = registry.Create(measure_name, params);
   assert(measure != nullptr && "unknown measure name");
-  const Matrix e = engine.Compute(dataset.test(), dataset.train(), *measure);
   EvalResult result;
   result.measure = measure_name;
   result.params = params;
-  result.test_accuracy =
-      OneNnAccuracy(e, dataset.test_labels(), dataset.train_labels());
+  if (options.pruned) {
+    // Per-query cascade search; predictions (and hence the accuracy) are
+    // bit-identical to the matrix path below.
+    const std::vector<std::size_t> nn = engine.NearestNeighborIndicesPruned(
+        dataset.test(), dataset.train(), *measure);
+    result.test_accuracy = OneNnAccuracyFromIndices(
+        nn, dataset.test_labels(), dataset.train_labels());
+  } else {
+    const Matrix e = engine.Compute(dataset.test(), dataset.train(), *measure);
+    result.test_accuracy =
+        OneNnAccuracy(e, dataset.test_labels(), dataset.train_labels());
+  }
   return result;
 }
 
 EvalResult EvaluateTuned(const std::string& measure_name,
                          const std::vector<ParamMap>& grid,
                          const Dataset& dataset, const PairwiseEngine& engine,
-                         const Registry& registry) {
+                         const Registry& registry, const EvalOptions& options) {
   assert(!grid.empty());
   const bool trace_on = obs::TraceRecorder::Global().enabled();
   const bool obs_on = obs::Enabled();
@@ -52,7 +61,8 @@ EvalResult EvaluateTuned(const std::string& measure_name,
   double best_train = -1.0;
   for (const ParamMap& candidate : grid) {
     // One LOOCV span per grid point: the dominant cost of supervised tuning
-    // (|grid| self-distance matrices per dataset).
+    // (|grid| self-distance matrices per dataset on the full-matrix path;
+    // the pruned path replaces each matrix with a cascade-pruned 1-NN pass).
     const obs::TraceSpan candidate_span(
         trace_on ? "tuning.loocv/" + measure_name + "{" + ToString(candidate) +
                        "}"
@@ -60,8 +70,19 @@ EvalResult EvaluateTuned(const std::string& measure_name,
     obs::ScopedTimer candidate_timer(candidate_ns, candidates);
     const MeasurePtr measure = registry.Create(measure_name, candidate);
     assert(measure != nullptr && "unknown measure name");
-    const Matrix w = engine.ComputeSelf(dataset.train(), *measure);
-    const double train_acc = LeaveOneOutAccuracy(w, train_labels);
+    double train_acc = 0.0;
+    if (options.pruned) {
+      // LeaveOneOutAccuracy returns 0 for < 2 series; match it rather than
+      // tripping the engine's 2-series precondition.
+      if (dataset.train().size() >= 2) {
+        const std::vector<std::size_t> nn =
+            engine.LeaveOneOutNeighborsPruned(dataset.train(), *measure);
+        train_acc = LeaveOneOutAccuracyFromIndices(nn, train_labels);
+      }
+    } else {
+      const Matrix w = engine.ComputeSelf(dataset.train(), *measure);
+      train_acc = LeaveOneOutAccuracy(w, train_labels);
+    }
     if (train_acc > best_train) {
       best_train = train_acc;
       best_params = candidate;
@@ -69,7 +90,7 @@ EvalResult EvaluateTuned(const std::string& measure_name,
   }
 
   EvalResult result = EvaluateFixed(measure_name, best_params, dataset, engine,
-                                    registry);
+                                    registry, options);
   result.train_accuracy = best_train;
   return result;
 }

@@ -5,6 +5,16 @@
 //    1-NN accuracy on the training split; the best (first on ties, making
 //    tuning deterministic) is evaluated on the test split;
 //  * unsupervised: a single fixed parameter set is evaluated directly.
+//
+// Both regimes support two execution paths selected by EvalOptions::pruned:
+//  * the full-matrix path computes W / E via PairwiseEngine and scores them
+//    with the matrix accuracy functions;
+//  * the pruned path skips the matrices entirely and runs the
+//    LB_Kim -> LB_Keogh -> early-abandon cascade per query
+//    (PairwiseEngine::LeaveOneOutNeighborsPruned / NearestNeighborIndicesPruned),
+//    producing bit-identical predictions — and therefore identical
+//    accuracies — while skipping most full elastic-measure evaluations.
+// See docs/PRUNING.md.
 
 #ifndef TSDIST_CLASSIFY_TUNING_H_
 #define TSDIST_CLASSIFY_TUNING_H_
@@ -26,10 +36,20 @@ struct EvalResult {
   double test_accuracy = 0.0;   ///< Algorithm-1 accuracy on the test split
 };
 
+/// Execution options shared by the evaluation entry points.
+struct EvalOptions {
+  /// Use the cascade-pruned 1-NN path instead of full dissimilarity
+  /// matrices. Accuracies are exactly identical; runtime drops for elastic
+  /// measures (most DTW evaluations are pruned or abandoned). Prune rates
+  /// are exported through the tsdist.prune.* counters.
+  bool pruned = false;
+};
+
 /// Evaluates `measure_name` with fixed `params` on `dataset`.
 EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params,
                          const Dataset& dataset, const PairwiseEngine& engine,
-                         const Registry& registry = Registry::Global());
+                         const Registry& registry = Registry::Global(),
+                         const EvalOptions& options = {});
 
 /// Tunes `measure_name` over `grid` by leave-one-out accuracy on the train
 /// split, then evaluates the winner on the test split. The first candidate
@@ -37,7 +57,8 @@ EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params
 EvalResult EvaluateTuned(const std::string& measure_name,
                          const std::vector<ParamMap>& grid,
                          const Dataset& dataset, const PairwiseEngine& engine,
-                         const Registry& registry = Registry::Global());
+                         const Registry& registry = Registry::Global(),
+                         const EvalOptions& options = {});
 
 }  // namespace tsdist
 

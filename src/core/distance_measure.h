@@ -71,6 +71,32 @@ class DistanceMeasure {
   /// DTW is not.
   virtual bool is_metric() const { return false; }
 
+  /// True when d(a, b) == d(b, a) for all inputs. Most measures are
+  /// symmetric; the known exceptions (Kullback-Leibler, K divergence,
+  /// Pearson chi^2, Neyman chi^2, ASD) override this to false.
+  /// PairwiseEngine::ComputeSelf relies on this to decide whether the
+  /// self-dissimilarity matrix can be mirrored from one triangle.
+  virtual bool symmetric() const { return true; }
+
+  /// Distance with an early-abandon cutoff. Contract:
+  ///  * if the true distance is < `cutoff`, returns exactly Distance(a, b)
+  ///    (bit-identical — same accumulation order);
+  ///  * otherwise it may stop early and return any value >= cutoff (a
+  ///    partial accumulation that already reached the cutoff, or the true
+  ///    distance).
+  /// Pruned 1-NN search passes its best-so-far as the cutoff: a return
+  /// value >= cutoff can never become the new nearest neighbour under the
+  /// strict `<` comparison, so predictions are unchanged.
+  /// The default ignores the cutoff and computes the full distance, which
+  /// trivially satisfies the contract. Overridden by measures whose
+  /// accumulation is monotone (DTW, the Minkowski and L1 lock-step
+  /// families).
+  virtual double EarlyAbandonDistance(std::span<const double> a,
+                                      std::span<const double> b,
+                                      double /*cutoff*/) const {
+    return Distance(a, b);
+  }
+
   /// Per-comparison asymptotic cost.
   virtual CostClass cost_class() const = 0;
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
+#include "src/elastic/dtw.h"
+#include "src/elastic/lower_bounds.h"
 #include "src/obs/obs.h"
 
 namespace tsdist {
@@ -25,6 +27,47 @@ void ValidateNonEmpty(const std::vector<TimeSeries>& series,
           "[" + std::to_string(i) + "] is an empty (zero-length) series");
     }
   }
+}
+
+// Every measure in the library assumes equal-length inputs (the paper's
+// workloads are rectangular after resampling), but inside the measures that
+// assumption is guarded only by assert — an out-of-bounds read under NDEBUG.
+// Enforce it once here, naming the offending pair.
+void ValidateUniformLength(const std::vector<TimeSeries>& series,
+                           const char* collection, const char* function,
+                           std::size_t expected, const char* expected_origin) {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].size() != expected) {
+      throw std::invalid_argument(
+          std::string("PairwiseEngine::") + function + ": length mismatch: " +
+          collection + "[" + std::to_string(i) + "] has length " +
+          std::to_string(series[i].size()) + " but " + expected_origin +
+          " has length " + std::to_string(expected));
+    }
+  }
+}
+
+// Validates one collection: non-empty series, all of one length.
+void ValidateCollection(const std::vector<TimeSeries>& series,
+                        const char* collection, const char* function) {
+  ValidateNonEmpty(series, collection, function);
+  if (series.empty()) return;
+  ValidateUniformLength(series, collection, function, series[0].size(),
+                        (std::string(collection) + "[0]").c_str());
+}
+
+// Validates a queries/references pair: each collection uniform, and both on
+// the same length.
+void ValidatePair(const std::vector<TimeSeries>& queries,
+                  const std::vector<TimeSeries>& references,
+                  const char* function) {
+  ValidateNonEmpty(queries, "queries", function);
+  ValidateNonEmpty(references, "references", function);
+  if (queries.empty() || references.empty()) return;
+  ValidateUniformLength(queries, "queries", function, queries[0].size(),
+                        "queries[0]");
+  ValidateUniformLength(references, "references", function, queries[0].size(),
+                        "queries[0]");
 }
 
 // Cached handles for the pairwise metrics of one measure; resolved once per
@@ -53,12 +96,132 @@ struct PairwiseMetrics {
   }
 };
 
+// Cached handles for the prune/abandon counters of the cascade (see
+// docs/PRUNING.md for the inventory).
+struct PruneMetrics {
+  obs::Counter* candidates = nullptr;
+  obs::Counter* lb_kim = nullptr;
+  obs::Counter* lb_keogh = nullptr;
+  obs::Counter* abandoned = nullptr;
+  obs::Counter* full = nullptr;
+  obs::Counter* nan_distances = nullptr;
+
+  PruneMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    candidates = &registry.GetCounter("tsdist.prune.candidates");
+    lb_kim = &registry.GetCounter("tsdist.prune.lb_kim");
+    lb_keogh = &registry.GetCounter("tsdist.prune.lb_keogh");
+    abandoned = &registry.GetCounter("tsdist.prune.abandoned");
+    full = &registry.GetCounter("tsdist.prune.full");
+    nan_distances = &registry.GetCounter("tsdist.classify.nan_distances");
+  }
+};
+
+// Per-row tallies, flushed to the sharded counters once per query row.
+struct PruneTally {
+  std::uint64_t candidates = 0;
+  std::uint64_t lb_kim = 0;
+  std::uint64_t lb_keogh = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t full = 0;
+  std::uint64_t nan_distances = 0;
+
+  void FlushTo(const PruneMetrics& metrics) const {
+    metrics.candidates->Add(candidates);
+    if (lb_kim > 0) metrics.lb_kim->Add(lb_kim);
+    if (lb_keogh > 0) metrics.lb_keogh->Add(lb_keogh);
+    if (abandoned > 0) metrics.abandoned->Add(abandoned);
+    if (full > 0) metrics.full->Add(full);
+    if (nan_distances > 0) metrics.nan_distances->Add(nan_distances);
+    obs::ProgressTick(candidates);
+  }
+};
+
+// Shared per-collection acceleration state for the cascade: when the measure
+// is plain banded DTW, the Sakoe-Chiba envelopes of the references (built
+// once, reused by every query); otherwise nothing, and the cascade degrades
+// to early abandoning alone.
+struct CascadeContext {
+  const DtwDistance* dtw = nullptr;  // non-null iff LB_Kim/LB_Keogh apply
+  double window_pct = 0.0;
+  std::vector<Envelope> envelopes;  // one per reference when dtw != nullptr
+};
+
+CascadeContext BuildCascadeContext(const std::vector<TimeSeries>& references,
+                                   const DistanceMeasure& measure,
+                                   ThreadPool& pool) {
+  CascadeContext ctx;
+  ctx.dtw = dynamic_cast<const DtwDistance*>(&measure);
+  if (ctx.dtw == nullptr) return ctx;
+  ctx.window_pct = ctx.dtw->params().at("delta");
+  ctx.envelopes.resize(references.size());
+  pool.ParallelFor(references.size(), [&](std::size_t i) {
+    ctx.envelopes[i] = BuildEnvelope(references[i].values(), ctx.window_pct);
+  });
+  return ctx;
+}
+
+// The cascade for one query row: LB_Kim -> LB_Keogh -> early-abandoned
+// distance, best-so-far as the cutoff. Iterates references in index order
+// with a strict `<` improvement test, so ties resolve to the lowest index —
+// exactly the argmin of the corresponding Compute() row. A pruned candidate
+// has lb >= best and therefore d >= best: it could never have improved the
+// strict minimum, which is why predictions are bit-identical to the matrix
+// path. NaN distances lose every comparison (matching the matrix argmin) and
+// are tallied, never selected.
+NearestNeighbor CascadeRow(std::span<const double> query,
+                           const std::vector<TimeSeries>& references,
+                           const DistanceMeasure& measure,
+                           const CascadeContext& ctx, std::size_t skip,
+                           PruneTally* tally) {
+  NearestNeighbor best;
+  best.index = PairwiseEngine::kNoNeighbor;
+  for (std::size_t j = 0; j < references.size(); ++j) {
+    if (j == skip) continue;
+    ++tally->candidates;
+    const auto candidate = references[j].values();
+    if (ctx.dtw != nullptr) {
+      if (LbKim(query, candidate) >= best.distance) {
+        ++tally->lb_kim;
+        continue;
+      }
+      if (LbKeogh(query, ctx.envelopes[j]) >= best.distance) {
+        ++tally->lb_keogh;
+        continue;
+      }
+    }
+    const double d = measure.EarlyAbandonDistance(query, candidate, best.distance);
+    if (std::isinf(d) && d > 0.0) {
+      // Abandoning implementations signal via +infinity (see the
+      // EarlyAbandonDistance contract); a completed distance on finite
+      // input is finite, so this candidate reached the cutoff and can be
+      // discarded without affecting the strict minimum.
+      ++tally->abandoned;
+      continue;
+    }
+    ++tally->full;
+    if (std::isnan(d)) {
+      // Same policy as the matrix argmin: NaN loses every `<` comparison
+      // and is never selected. Tallied so silent misclassification has a
+      // signal (tsdist.classify.nan_distances).
+      ++tally->nan_distances;
+      continue;
+    }
+    if (d < best.distance) {
+      best.distance = d;
+      best.index = j;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 PairwiseEngine::PairwiseEngine(std::size_t num_threads)
     : num_threads_(num_threads == 0
                        ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-                       : num_threads) {}
+                       : num_threads),
+      pool_(std::make_unique<ThreadPool>(num_threads_)) {}
 
 Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
                                const std::vector<TimeSeries>& references,
@@ -67,8 +230,7 @@ Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
   const std::size_t p = references.size();
   Matrix out(r, p);
   if (r == 0 || p == 0) return out;
-  ValidateNonEmpty(queries, "queries", "Compute");
-  ValidateNonEmpty(references, "references", "Compute");
+  ValidatePair(queries, references, "Compute");
 
   const bool obs_on = obs::Enabled();
   const bool trace_on = obs::TraceRecorder::Global().enabled();
@@ -79,30 +241,15 @@ Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
   const PairwiseMetrics* metrics =
       metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
-  std::atomic<std::size_t> next_row{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next_row.fetch_add(1);
-      if (i >= r) return;
-      const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
-      auto row = out.mutable_row(i);
-      const auto q = queries[i].values();
-      for (std::size_t j = 0; j < p; ++j) {
-        row[j] = measure.Distance(q, references[j].values());
-      }
-      if (metrics != nullptr) metrics->RecordRow(p, obs::NowNs() - t0);
+  pool_->ParallelFor(r, [&](std::size_t i) {
+    const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
+    auto row = out.mutable_row(i);
+    const auto q = queries[i].values();
+    for (std::size_t j = 0; j < p; ++j) {
+      row[j] = measure.Distance(q, references[j].values());
     }
-  };
-
-  const std::size_t threads = std::min(num_threads_, r);
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+    if (metrics != nullptr) metrics->RecordRow(p, obs::NowNs() - t0);
+  });
   return out;
 }
 
@@ -111,7 +258,7 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
   const std::size_t n = series.size();
   Matrix out(n, n);
   if (n == 0) return out;
-  ValidateNonEmpty(series, "series", "ComputeSelf");
+  ValidateCollection(series, "series", "ComputeSelf");
 
   const bool obs_on = obs::Enabled();
   const bool trace_on = obs::TraceRecorder::Global().enabled();
@@ -123,33 +270,103 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
   const PairwiseMetrics* metrics =
       metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
-  std::atomic<std::size_t> next_row{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next_row.fetch_add(1);
-      if (i >= n) return;
-      const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
-      const auto a = series[i].values();
-      for (std::size_t j = i; j < n; ++j) {
-        out(i, j) = measure.Distance(a, series[j].values());
-      }
-      if (metrics != nullptr) metrics->RecordRow(n - i, obs::NowNs() - t0);
+  // Only symmetric measures admit the mirror trick; asymmetric ones
+  // (Kullback-Leibler, Pearson/Neyman chi^2, K divergence, ASD) need the
+  // full matrix — mirroring them used to silently corrupt the lower
+  // triangle of W and every LOOCV accuracy derived from it.
+  const bool mirror = measure.symmetric();
+  pool_->ParallelFor(n, [&](std::size_t i) {
+    const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
+    const auto a = series[i].values();
+    const std::size_t start = mirror ? i : 0;
+    for (std::size_t j = start; j < n; ++j) {
+      out(i, j) = measure.Distance(a, series[j].values());
     }
-  };
+    if (metrics != nullptr) metrics->RecordRow(n - start, obs::NowNs() - t0);
+  });
+  if (mirror) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+    }
+  }
+  return out;
+}
 
-  const std::size_t threads = std::min(num_threads_, n);
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
+NearestNeighbor PairwiseEngine::NearestNeighborRow(
+    const TimeSeries& query, const std::vector<TimeSeries>& references,
+    const DistanceMeasure& measure, std::size_t skip) const {
+  if (references.empty() || (references.size() == 1 && skip == 0)) {
+    throw std::invalid_argument(
+        "PairwiseEngine::NearestNeighborRow: no candidate references "
+        "(references empty, or the only reference is skipped)");
   }
-  // Mirror the upper triangle.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  const std::vector<TimeSeries> query_collection = {query};
+  ValidatePair(query_collection, references, "NearestNeighborRow");
+
+  const CascadeContext ctx = BuildCascadeContext(references, measure, *pool_);
+  const bool obs_on = obs::Enabled();
+  PruneTally tally;
+  const NearestNeighbor best =
+      CascadeRow(query.values(), references, measure, ctx, skip, &tally);
+  if (obs_on) tally.FlushTo(PruneMetrics());
+  return best;
+}
+
+std::vector<std::size_t> PairwiseEngine::NearestNeighborIndicesPruned(
+    const std::vector<TimeSeries>& queries,
+    const std::vector<TimeSeries>& references,
+    const DistanceMeasure& measure) const {
+  if (queries.empty()) return {};
+  if (references.empty()) {
+    throw std::invalid_argument(
+        "PairwiseEngine::NearestNeighborIndicesPruned: references is empty");
   }
+  ValidatePair(queries, references, "NearestNeighborIndicesPruned");
+
+  const obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
+                                ? "pairwise.pruned_nn/" + measure.name()
+                                : std::string());
+  const CascadeContext ctx = BuildCascadeContext(references, measure, *pool_);
+  const bool obs_on = obs::Enabled();
+  std::optional<PruneMetrics> metrics;
+  if (obs_on) metrics.emplace();
+
+  std::vector<std::size_t> out(queries.size(), 0);
+  pool_->ParallelFor(queries.size(), [&](std::size_t i) {
+    PruneTally tally;
+    out[i] = CascadeRow(queries[i].values(), references, measure, ctx, kNoSkip,
+                        &tally)
+                 .index;
+    if (metrics.has_value()) tally.FlushTo(*metrics);
+  });
+  return out;
+}
+
+std::vector<std::size_t> PairwiseEngine::LeaveOneOutNeighborsPruned(
+    const std::vector<TimeSeries>& series,
+    const DistanceMeasure& measure) const {
+  if (series.size() < 2) {
+    throw std::invalid_argument(
+        "PairwiseEngine::LeaveOneOutNeighborsPruned: needs at least 2 series, "
+        "got " + std::to_string(series.size()));
+  }
+  ValidateCollection(series, "series", "LeaveOneOutNeighborsPruned");
+
+  const obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
+                                ? "pairwise.pruned_loocv/" + measure.name()
+                                : std::string());
+  const CascadeContext ctx = BuildCascadeContext(series, measure, *pool_);
+  const bool obs_on = obs::Enabled();
+  std::optional<PruneMetrics> metrics;
+  if (obs_on) metrics.emplace();
+
+  std::vector<std::size_t> out(series.size(), 0);
+  pool_->ParallelFor(series.size(), [&](std::size_t i) {
+    PruneTally tally;
+    out[i] =
+        CascadeRow(series[i].values(), series, measure, ctx, i, &tally).index;
+    if (metrics.has_value()) tally.FlushTo(*metrics);
+  });
   return out;
 }
 

@@ -1,4 +1,4 @@
-// Dissimilarity-matrix computation engine.
+// Dissimilarity-matrix computation engine and pruned 1-NN search.
 //
 // The evaluation framework of the paper decouples (1) dissimilarity-matrix
 // computation, (2) parameter tuning, and (3) measure evaluation. This engine
@@ -6,31 +6,59 @@
 // produces the matrices the 1-NN classifier consumes —
 //   W (p x p): train vs train, used for leave-one-out tuning, and
 //   E (r x p): test vs train, used for test accuracy.
-// Rows are distributed across threads; output is bit-identical regardless of
-// thread count because each cell is an independent pure computation.
+// Rows are distributed across a persistent thread pool owned by the engine;
+// output is bit-identical regardless of thread count because each cell is an
+// independent pure computation.
 //
-// Both entry points validate that every series is non-empty and throw
-// std::invalid_argument naming the offending index otherwise, and report
-// per-row timing plus cell counts to the obs layer (see src/obs/obs.h:
-// counters tsdist.pairwise.cells[.<measure>], histogram
-// tsdist.pairwise.row_ns.<measure>). Instrumentation never alters results.
+// For 1-NN workloads the full matrix is wasteful: only each row's argmin is
+// consumed. The NearestNeighbor* entry points compute exactly those argmins
+// through the LB_Kim -> LB_Keogh -> early-abandoned-distance cascade
+// (src/elastic/lower_bounds.h, DistanceMeasure::EarlyAbandonDistance),
+// skipping most full evaluations for DTW while returning bit-identical
+// predictions to the matrix path. See docs/PRUNING.md.
+//
+// Input validation: every entry point checks that all series are non-empty
+// and of equal length, throwing std::invalid_argument naming the offending
+// series otherwise. Per-row timing, cell counts, and prune/abandon rates are
+// reported to the obs layer (counters tsdist.pairwise.*, tsdist.prune.*;
+// see docs/OBSERVABILITY.md). Instrumentation never alters results.
 
 #ifndef TSDIST_CORE_PAIRWISE_ENGINE_H_
 #define TSDIST_CORE_PAIRWISE_ENGINE_H_
 
 #include <cstddef>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "src/core/distance_measure.h"
+#include "src/core/thread_pool.h"
 #include "src/core/time_series.h"
 #include "src/linalg/matrix.h"
 
 namespace tsdist {
 
+/// Result of one pruned nearest-neighbour query.
+struct NearestNeighbor {
+  std::size_t index = 0;  ///< position in the reference collection
+  double distance = std::numeric_limits<double>::infinity();
+};
+
 /// Computes dissimilarity matrices between series collections.
 class PairwiseEngine {
  public:
-  /// `num_threads` = 0 selects the hardware concurrency.
+  /// Sentinel for NearestNeighborRow: exclude no reference.
+  static constexpr std::size_t kNoSkip = std::numeric_limits<std::size_t>::max();
+
+  /// Sentinel index returned when a query found no valid neighbour (every
+  /// candidate distance was NaN). The accuracy helpers in
+  /// src/classify/one_nn.h count it as a misclassification, matching the
+  /// matrix path's policy for NaN rows.
+  static constexpr std::size_t kNoNeighbor =
+      std::numeric_limits<std::size_t>::max() - 1;
+
+  /// `num_threads` = 0 selects the hardware concurrency. The engine owns a
+  /// persistent thread pool of that size for the lifetime of the object.
   explicit PairwiseEngine(std::size_t num_threads = 0);
 
   /// Dissimilarity matrix between `queries` (rows) and `references`
@@ -39,16 +67,50 @@ class PairwiseEngine {
                  const std::vector<TimeSeries>& references,
                  const DistanceMeasure& measure) const;
 
-  /// Symmetric self-dissimilarity matrix W over one collection. When
-  /// `measure` is symmetric this computes only the upper triangle and
-  /// mirrors it; use Compute() for asymmetric measures.
+  /// Self-dissimilarity matrix W over one collection. When
+  /// `measure.symmetric()` is true, only the upper triangle is computed and
+  /// mirrored; asymmetric measures (Kullback-Leibler, Pearson/Neyman chi^2,
+  /// K divergence, ASD) get the full matrix so that
+  /// ComputeSelf(s) == Compute(s, s) holds for every measure (up to last-ulp
+  /// noise for symmetric measures whose evaluation is not bitwise
+  /// argument-order invariant, e.g. SINK's normalization divisions).
   Matrix ComputeSelf(const std::vector<TimeSeries>& series,
                      const DistanceMeasure& measure) const;
+
+  /// Exact 1-NN of `query` among `references` under `measure`, via the
+  /// LB_Kim -> LB_Keogh -> early-abandon cascade when `measure` is DTW
+  /// (plain early abandoning otherwise). `skip` excludes one reference —
+  /// the leave-one-out self-match. Ties break to the lowest index, exactly
+  /// like the argmin over a Compute() row; NaN distances never win.
+  /// Builds the DTW envelopes of `references` on each call; prefer the
+  /// batch entry points below to amortize that cost over many queries.
+  /// Throws std::invalid_argument when `references` is empty.
+  NearestNeighbor NearestNeighborRow(const TimeSeries& query,
+                                     const std::vector<TimeSeries>& references,
+                                     const DistanceMeasure& measure,
+                                     std::size_t skip = kNoSkip) const;
+
+  /// Pruned counterpart of Compute() + per-row argmin: the 1-NN reference
+  /// index for every query. Predictions are bit-identical to
+  /// NearestNeighborIndices(Compute(queries, references, measure)).
+  std::vector<std::size_t> NearestNeighborIndicesPruned(
+      const std::vector<TimeSeries>& queries,
+      const std::vector<TimeSeries>& references,
+      const DistanceMeasure& measure) const;
+
+  /// Pruned counterpart of ComputeSelf() + leave-one-out argmin: for each
+  /// series, the index of its nearest *other* series. Predictions are
+  /// bit-identical to the row argmins (diagonal excluded) of
+  /// ComputeSelf(series, measure). Requires at least 2 series.
+  std::vector<std::size_t> LeaveOneOutNeighborsPruned(
+      const std::vector<TimeSeries>& series,
+      const DistanceMeasure& measure) const;
 
   std::size_t num_threads() const { return num_threads_; }
 
  private:
   std::size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace tsdist

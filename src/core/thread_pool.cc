@@ -1,0 +1,86 @@
+#include "src/core/thread_pool.h"
+
+#include <algorithm>
+
+namespace tsdist {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t t = 0; t + 1 < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunJob(Job* job) {
+  for (;;) {
+    const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->count) return;
+    (*job->body)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t last_seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_seq_ != last_seen);
+      });
+      if (stop_) return;
+      last_seen = job_seq_;
+      job = job_;
+      ++active_workers_;
+    }
+    RunJob(job);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  Job job;
+  job.body = &body;
+  job.count = count;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  RunJob(&job);  // the submitting thread participates
+  {
+    // Retract the job under the lock so a late-waking worker cannot pick it
+    // up, then wait for every worker that did to leave RunJob: `job` lives
+    // on this stack frame and must outlive all references to it.
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = nullptr;
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  }
+}
+
+}  // namespace tsdist

@@ -1,0 +1,81 @@
+// Persistent thread pool for row-parallel matrix jobs.
+//
+// PairwiseEngine used to spawn one wave of std::threads per matrix, which for
+// supervised tuning meant |grid| spawn waves per dataset. This pool keeps the
+// workers alive for the lifetime of the engine and hands them work through a
+// shared atomic index, so repeated small jobs (one LOOCV matrix per grid
+// candidate) pay one condition-variable broadcast instead of thread creation.
+//
+// Scheduling is dynamic: workers (and the submitting thread, which
+// participates) claim indices one at a time with a relaxed fetch_add, exactly
+// like the previous per-matrix spawning code. Each index is an independent
+// pure computation, so results remain bit-identical regardless of worker
+// count or claim order.
+
+#ifndef TSDIST_CORE_THREAD_POOL_H_
+#define TSDIST_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsdist {
+
+/// Fixed-size pool of persistent worker threads executing indexed loops.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs jobs on `num_threads` threads total: the
+  /// submitting thread plus `num_threads - 1` persistent workers.
+  /// `num_threads` = 0 selects the hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers. Must not be called while a ParallelFor is running.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a job runs on (workers + the submitting thread).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `body(i)` for every i in [0, count), distributing indices
+  /// dynamically across the pool; blocks until all indices are done. The
+  /// calling thread participates. One job at a time: concurrent calls from
+  /// different threads are serialized.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  // One indexed loop handed to the workers; lives on the ParallelFor stack.
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};  // next unclaimed index
+  };
+
+  // Claims and runs indices until the job is exhausted.
+  static void RunJob(Job* job);
+
+  void WorkerLoop();
+
+  std::mutex submit_mu_;  // serializes ParallelFor callers
+
+  std::mutex mu_;  // guards job_/job_seq_/stop_
+  std::condition_variable work_cv_;  // workers wait here for a new job
+  std::condition_variable done_cv_;  // submitter waits here for completion
+  Job* job_ = nullptr;
+  std::uint64_t job_seq_ = 0;  // bumped per job so workers never re-run one
+  int active_workers_ = 0;     // workers currently inside RunJob
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_CORE_THREAD_POOL_H_

@@ -52,4 +52,40 @@ double DtwDistance::Distance(std::span<const double> a,
   return prev[m];
 }
 
+double DtwDistance::EarlyAbandonDistance(std::span<const double> a,
+                                         std::span<const double> b,
+                                         double cutoff) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  const std::size_t band = elastic_internal::BandWidth(delta_, m);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Same two-row rolling DP as Distance(), with one addition: every warping
+  // path crosses each DP row inside the band, and squared point costs make
+  // accumulated cost non-decreasing along a path, so min(curr[lo..hi]) lower
+  // bounds the final distance. Once it reaches the cutoff, abandon.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const std::size_t lo = (i > band) ? i - band : 1;
+    const std::size_t hi = std::min(m, i + band);
+    double row_min = kInf;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double cost = d * d;
+      const double best =
+          std::min({prev[j - 1], prev[j], curr[j - 1]});
+      curr[j] = cost + best;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min >= cutoff) return kInf;
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
 }  // namespace tsdist

@@ -20,6 +20,17 @@ class DtwDistance : public ElasticMeasure {
   explicit DtwDistance(double delta = 100.0);
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+
+  /// Early-abandoning DTW: point costs are squared differences, so every
+  /// row of the accumulated-cost matrix is non-decreasing along any warping
+  /// path. After each DP row, if the minimum over the banded cells already
+  /// reaches `cutoff`, no completion can come in below it — abandon and
+  /// return +infinity (the contract's abandon signal). Otherwise returns
+  /// exactly Distance(a, b), bit-identically (same accumulation order).
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
+
   std::string name() const override { return "dtw"; }
   ParamMap params() const override { return {{"delta", delta_}}; }
 

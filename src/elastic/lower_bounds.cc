@@ -71,8 +71,17 @@ PrunedSearchResult PrunedOneNn(
     std::span<const double> query,
     const std::vector<std::vector<double>>& candidates,
     const std::vector<Envelope>& envelopes, double window_pct) {
-  assert(!candidates.empty());
-  assert(candidates.size() == envelopes.size());
+  // assert-only guards here were undefined behaviour in release builds; a
+  // caller with an empty training split deserves a diagnosis instead.
+  if (candidates.empty()) {
+    throw std::invalid_argument("PrunedOneNn: candidates is empty");
+  }
+  if (candidates.size() != envelopes.size()) {
+    throw std::invalid_argument(
+        "PrunedOneNn: " + std::to_string(envelopes.size()) +
+        " envelopes for " + std::to_string(candidates.size()) +
+        " candidates (build one envelope per candidate, same window)");
+  }
   const DtwDistance dtw(window_pct);
 
   PrunedSearchResult result;
@@ -87,7 +96,12 @@ PrunedSearchResult PrunedOneNn(
       continue;
     }
     ++result.full_computations;
-    const double d = dtw.Distance(query, candidates[i]);
+    const double d =
+        dtw.EarlyAbandonDistance(query, candidates[i], result.best_distance);
+    if (std::isinf(d)) {
+      ++result.early_abandoned;  // reached the cutoff; cannot be the 1-NN
+      continue;
+    }
     if (d < result.best_distance) {
       result.best_distance = d;
       result.best_index = i;

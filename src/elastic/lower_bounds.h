@@ -47,14 +47,19 @@ double LbKeogh(std::span<const double> query, const Envelope& envelope);
 struct PrunedSearchResult {
   std::size_t best_index = 0;
   double best_distance = 0.0;
-  std::size_t full_computations = 0;  ///< DTW evaluations not pruned away
+  std::size_t full_computations = 0;  ///< DTW evaluations started (not pruned)
   std::size_t lb_kim_pruned = 0;
   std::size_t lb_keogh_pruned = 0;
+  /// Subset of full_computations that the row-min early-abandon check cut
+  /// short before completion (see DtwDistance::EarlyAbandonDistance).
+  std::size_t early_abandoned = 0;
 };
 
 /// Exact 1-NN of `query` among `candidates` under DTW with window
-/// `window_pct`, using the LB_Kim -> LB_Keogh -> DTW cascade. `envelopes`
-/// must be the precomputed envelopes of the candidates (same window).
+/// `window_pct`, using the LB_Kim -> LB_Keogh -> early-abandoned-DTW
+/// cascade. `envelopes` must be the precomputed envelopes of the candidates
+/// (same window). Throws std::invalid_argument when `candidates` is empty
+/// or `envelopes` has a different size.
 PrunedSearchResult PrunedOneNn(std::span<const double> query,
                                const std::vector<std::vector<double>>& candidates,
                                const std::vector<Envelope>& envelopes,

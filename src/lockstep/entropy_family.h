@@ -17,6 +17,7 @@ class KullbackLeiblerDistance : public LockStepMeasure {
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
   std::string name() const override { return "kullback_leibler"; }
+  bool symmetric() const override { return false; }
 };
 
 /// Jeffreys divergence (symmetrized KL): sum (a-b) * ln(a/b).
@@ -27,12 +28,13 @@ class JeffreysDistance : public LockStepMeasure {
   std::string name() const override { return "jeffreys"; }
 };
 
-/// K divergence: sum a * ln(2a / (a+b)).
+/// K divergence: sum a * ln(2a / (a+b)). Asymmetric.
 class KDivergenceDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
   std::string name() const override { return "k_divergence"; }
+  bool symmetric() const override { return false; }
 };
 
 /// Topsoe distance: sum [ a*ln(2a/(a+b)) + b*ln(2b/(a+b)) ].

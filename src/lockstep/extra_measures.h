@@ -25,11 +25,13 @@ class DissimDistance : public LockStepMeasure {
 /// embeds the AdaptiveScaling normalization into the comparison — each pair
 /// is compared under the optimal scaling factor alpha* = <a,b>/<b,b> that
 /// minimizes ||a - alpha*b||, and the distance is ED(a, alpha* b).
+/// Asymmetric: the scaling factor is fitted to the second argument.
 class AdaptiveScalingDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
   std::string name() const override { return "asd"; }
+  bool symmetric() const override { return false; }
 };
 
 }  // namespace tsdist

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace tsdist {
 
@@ -68,6 +69,55 @@ double LorentzianDistance::Distance(std::span<const double> a,
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     acc += std::log1p(std::fabs(a[i] - b[i]));
+  }
+  return acc;
+}
+
+
+// Early-abandoning variants for the two members whose per-point terms are
+// always non-negative (Canberra's clamped division can go negative, and the
+// ratio measures need the full denominator; they keep the default full
+// computation). Accumulation mirrors Distance() exactly, so completed scans
+// return bit-identical values; an abandon returns +infinity per the
+// contract in src/core/distance_measure.h.
+
+namespace {
+constexpr std::size_t kAbandonCheckEvery = 16;
+constexpr double kAbandonInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double GowerDistance::EarlyAbandonDistance(std::span<const double> a,
+                                           std::span<const double> b,
+                                           double cutoff) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  if (m == 0) return 0.0;
+  const double inv_m = static_cast<double>(m);
+  double acc = 0.0;
+  std::size_t i = 0;
+  while (i < m) {
+    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
+    for (; i < stop; ++i) {
+      acc += std::fabs(a[i] - b[i]);
+    }
+    if (i < m && acc / inv_m >= cutoff) return kAbandonInf;
+  }
+  return acc / inv_m;
+}
+
+double LorentzianDistance::EarlyAbandonDistance(std::span<const double> a,
+                                                std::span<const double> b,
+                                                double cutoff) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  double acc = 0.0;
+  std::size_t i = 0;
+  while (i < m) {
+    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
+    for (; i < stop; ++i) {
+      acc += std::log1p(std::fabs(a[i] - b[i]));
+    }
+    if (i < m && acc >= cutoff) return kAbandonInf;
   }
   return acc;
 }

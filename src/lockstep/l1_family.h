@@ -2,6 +2,11 @@
 // Lorentzian. The Lorentzian distance — the natural logarithm of L1 — is the
 // measure the paper identifies as the new state-of-the-art lock-step measure
 // (Figure 2), significantly outperforming Euclidean distance.
+//
+// Gower and Lorentzian accumulate non-negative terms and override
+// EarlyAbandonDistance (see src/core/distance_measure.h for the contract);
+// the ratio measures and Canberra (whose clamped division can produce
+// negative terms) keep the default full computation.
 
 #ifndef TSDIST_LOCKSTEP_L1_FAMILY_H_
 #define TSDIST_LOCKSTEP_L1_FAMILY_H_
@@ -23,6 +28,9 @@ class GowerDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
   std::string name() const override { return "gower"; }
   bool is_metric() const override { return true; }
 };
@@ -58,6 +66,9 @@ class LorentzianDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
   std::string name() const override { return "lorentzian"; }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace tsdist {
 
@@ -47,6 +48,88 @@ double MinkowskiDistance::Distance(std::span<const double> a,
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     acc += std::pow(std::fabs(a[i] - b[i]), p_);
+  }
+  return std::pow(acc, 1.0 / p_);
+}
+
+
+// Early-abandoning variants. Accumulation mirrors Distance() exactly (same
+// order, same operations), so a completed scan returns a bit-identical
+// value; the cutoff is checked once per block of kAbandonCheckEvery points
+// against the final transformation of the partial accumulation, which is
+// monotone in the accumulator, so an abandon implies the completed distance
+// would also have reached the cutoff.
+
+namespace {
+constexpr std::size_t kAbandonCheckEvery = 16;
+constexpr double kAbandonInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double EuclideanDistance::EarlyAbandonDistance(std::span<const double> a,
+                                               std::span<const double> b,
+                                               double cutoff) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  double acc = 0.0;
+  std::size_t i = 0;
+  while (i < m) {
+    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
+    for (; i < stop; ++i) {
+      const double d = a[i] - b[i];
+      acc += d * d;
+    }
+    if (i < m && std::sqrt(acc) >= cutoff) return kAbandonInf;
+  }
+  return std::sqrt(acc);
+}
+
+double ManhattanDistance::EarlyAbandonDistance(std::span<const double> a,
+                                               std::span<const double> b,
+                                               double cutoff) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  double acc = 0.0;
+  std::size_t i = 0;
+  while (i < m) {
+    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
+    for (; i < stop; ++i) {
+      acc += std::fabs(a[i] - b[i]);
+    }
+    if (i < m && acc >= cutoff) return kAbandonInf;
+  }
+  return acc;
+}
+
+double ChebyshevDistance::EarlyAbandonDistance(std::span<const double> a,
+                                               std::span<const double> b,
+                                               double cutoff) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  double best = 0.0;
+  std::size_t i = 0;
+  while (i < m) {
+    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
+    for (; i < stop; ++i) {
+      best = std::max(best, std::fabs(a[i] - b[i]));
+    }
+    if (i < m && best >= cutoff) return kAbandonInf;
+  }
+  return best;
+}
+
+double MinkowskiDistance::EarlyAbandonDistance(std::span<const double> a,
+                                               std::span<const double> b,
+                                               double cutoff) const {
+  assert(a.size() == b.size());
+  const std::size_t m = a.size();
+  double acc = 0.0;
+  std::size_t i = 0;
+  while (i < m) {
+    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
+    for (; i < stop; ++i) {
+      acc += std::pow(std::fabs(a[i] - b[i]), p_);
+    }
+    if (i < m && std::pow(acc, 1.0 / p_) >= cutoff) return kAbandonInf;
   }
   return std::pow(acc, 1.0 / p_);
 }

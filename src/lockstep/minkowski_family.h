@@ -2,6 +2,11 @@
 // Minkowski(p). Euclidean distance is the baseline the paper's misconception
 // M2 concerns; Minkowski is the only lock-step measure requiring parameter
 // tuning (Table 4: p in {0.1 ... 20}).
+//
+// All four accumulate non-negative per-point terms (or a running max), so
+// they override EarlyAbandonDistance: the partial value only grows, and once
+// it reaches the cutoff the scan stops and returns +infinity (the abandon
+// signal — see the contract in src/core/distance_measure.h).
 
 #ifndef TSDIST_LOCKSTEP_MINKOWSKI_FAMILY_H_
 #define TSDIST_LOCKSTEP_MINKOWSKI_FAMILY_H_
@@ -15,6 +20,9 @@ class EuclideanDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
   std::string name() const override { return "euclidean"; }
   bool is_metric() const override { return true; }
 };
@@ -24,6 +32,9 @@ class ManhattanDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
   std::string name() const override { return "manhattan"; }
   bool is_metric() const override { return true; }
 };
@@ -33,6 +44,9 @@ class ChebyshevDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
   std::string name() const override { return "chebyshev"; }
   bool is_metric() const override { return true; }
 };
@@ -45,6 +59,9 @@ class MinkowskiDistance : public LockStepMeasure {
   explicit MinkowskiDistance(double p = 2.0);
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
   std::string name() const override { return "minkowski"; }
   bool is_metric() const override { return p_ >= 1.0; }
   ParamMap params() const override { return {{"p", p_}}; }

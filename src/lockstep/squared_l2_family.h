@@ -26,6 +26,7 @@ class PearsonChiSqDistance : public LockStepMeasure {
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
   std::string name() const override { return "pearson_chisq"; }
+  bool symmetric() const override { return false; }
 };
 
 /// Neyman chi-square: sum (a-b)^2 / a. Asymmetric.
@@ -34,6 +35,7 @@ class NeymanChiSqDistance : public LockStepMeasure {
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
   std::string name() const override { return "neyman_chisq"; }
+  bool symmetric() const override { return false; }
 };
 
 /// Squared chi-square: sum (a-b)^2 / (a+b).

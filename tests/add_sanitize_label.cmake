@@ -1,0 +1,18 @@
+# Appends the `sanitize` label to every discovered test. Runs at ctest load
+# time via TEST_INCLUDE_FILES, after the gtest_discover_tests scripts in
+# this binary directory have called add_test — which is the only point where
+# the discovered test names are known (gtest_discover_tests cannot forward
+# list-valued properties like LABELS "tier1;sanitize" itself).
+file(GLOB _tsdist_discovery_files "${CMAKE_CURRENT_LIST_DIR}/*_tests.cmake")
+foreach(_file IN LISTS _tsdist_discovery_files)
+  file(STRINGS "${_file}" _add_test_lines REGEX "^add_test")
+  foreach(_line IN LISTS _add_test_lines)
+    # add_test([=[SuiteName.TestName]=] ...)
+    if(_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "tier1;sanitize")
+    endif()
+  endforeach()
+endforeach()
+unset(_tsdist_discovery_files)
+unset(_add_test_lines)

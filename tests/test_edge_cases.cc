@@ -4,12 +4,16 @@
 // archives contain (the UCR archive famously has constant-valued series).
 
 #include <cmath>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/core/pairwise_engine.h"
 #include "src/core/registry.h"
+#include "src/elastic/dtw.h"
+#include "src/elastic/lower_bounds.h"
 #include "src/linalg/rng.h"
 #include "src/normalization/normalization.h"
 
@@ -83,6 +87,28 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::string>& info) {
       return info.param;
     });
+
+TEST(PrunedSearchEdgeCases, EmptyCandidatesThrowInsteadOfUndefinedBehaviour) {
+  // Pre-fix these were assert-only: release builds sailed into UB on an
+  // empty training split.
+  const std::vector<double> query = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(PrunedOneNn(query, {}, {}, 10.0), std::invalid_argument);
+  const PairwiseEngine engine(1);
+  const DtwDistance dtw(10.0);
+  EXPECT_THROW(engine.NearestNeighborRow(TimeSeries({1.0, 2.0}, 0),
+                                         std::vector<TimeSeries>{}, dtw),
+               std::invalid_argument);
+}
+
+TEST(PrunedSearchEdgeCases, EngineRejectsRaggedCollections) {
+  const PairwiseEngine engine(1);
+  const DtwDistance dtw(10.0);
+  const std::vector<TimeSeries> ragged = {TimeSeries({1.0, 2.0, 3.0}, 0),
+                                          TimeSeries({1.0, 2.0}, 1)};
+  EXPECT_THROW(engine.ComputeSelf(ragged, dtw), std::invalid_argument);
+  EXPECT_THROW(engine.LeaveOneOutNeighborsPruned(ragged, dtw),
+               std::invalid_argument);
+}
 
 TEST(NormalizerEdgeCases, ConstantAndEmptyInputs) {
   for (const auto& name : PerSeriesNormalizerNames()) {

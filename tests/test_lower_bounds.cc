@@ -3,6 +3,8 @@
 #include "src/elastic/lower_bounds.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -54,29 +56,38 @@ TEST(LbKimTest, ZeroForIdenticalSeries) {
   EXPECT_DOUBLE_EQ(LbKim(v, v), 0.0);
 }
 
-// Property sweep: both bounds never exceed the true banded DTW distance.
-class LowerBoundValidity : public ::testing::TestWithParam<int> {};
+// Property sweep: both bounds never exceed the true banded DTW distance,
+// for every warping-window width the evaluation pipeline uses (0 = diagonal,
+// 100 = unconstrained).
+class LowerBoundValidity
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
 
 TEST_P(LowerBoundValidity, BoundsNeverExceedDtw) {
-  const double window_pct = 10.0;
-  const auto a = RandomSeries(48, 100 + GetParam());
-  const auto b = RandomSeries(48, 200 + GetParam());
+  const auto [seed, window_pct] = GetParam();
+  const auto a = RandomSeries(48, 100 + static_cast<std::uint64_t>(seed));
+  const auto b = RandomSeries(48, 200 + static_cast<std::uint64_t>(seed));
   const double dtw = DtwDistance(window_pct).Distance(a, b);
   EXPECT_LE(LbKim(a, b), dtw + 1e-9);
   const Envelope env_b = BuildEnvelope(b, window_pct);
   EXPECT_LE(LbKeogh(a, env_b), dtw + 1e-9);
 }
 
-TEST_P(LowerBoundValidity, BoundsHoldForUnconstrainedDtwToo) {
-  const auto a = RandomSeries(32, 300 + GetParam());
-  const auto b = RandomSeries(32, 400 + GetParam());
-  const double dtw = DtwDistance(100.0).Distance(a, b);
-  EXPECT_LE(LbKim(a, b), dtw + 1e-9);
-  const Envelope env_b = BuildEnvelope(b, 100.0);
-  EXPECT_LE(LbKeogh(a, env_b), dtw + 1e-9);
+TEST_P(LowerBoundValidity, BoundsHoldUnderTheOtherOperandOrderToo) {
+  // LB_Keogh is asymmetric (the envelope belongs to the candidate); both
+  // orientations must still lower-bound DTW, which is symmetric.
+  const auto [seed, window_pct] = GetParam();
+  const auto a = RandomSeries(32, 300 + static_cast<std::uint64_t>(seed));
+  const auto b = RandomSeries(32, 400 + static_cast<std::uint64_t>(seed));
+  const double dtw = DtwDistance(window_pct).Distance(a, b);
+  EXPECT_LE(LbKim(b, a), dtw + 1e-9);
+  const Envelope env_a = BuildEnvelope(a, window_pct);
+  EXPECT_LE(LbKeogh(b, env_a), dtw + 1e-9);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundValidity, ::testing::Range(0, 25));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByWindow, LowerBoundValidity,
+    ::testing::Combine(::testing::Range(0, 25),
+                       ::testing::Values(0.0, 5.0, 10.0, 100.0)));
 
 TEST(PrunedOneNnTest, AgreesWithExhaustiveSearch) {
   const double window_pct = 10.0;
@@ -146,6 +157,25 @@ TEST(PrunedOneNnTest, CountsAreConsistent) {
   const PrunedSearchResult r = PrunedOneNn(query, candidates, envelopes, 10.0);
   EXPECT_EQ(r.full_computations + r.lb_kim_pruned + r.lb_keogh_pruned,
             candidates.size());
+  // Abandoned runs are a subset of the started full computations.
+  EXPECT_LE(r.early_abandoned, r.full_computations);
+}
+
+TEST(PrunedOneNnTest, ThrowsOnEmptyCandidates) {
+  const auto query = RandomSeries(16, 1);
+  const std::vector<std::vector<double>> no_candidates;
+  const std::vector<Envelope> no_envelopes;
+  EXPECT_THROW(PrunedOneNn(query, no_candidates, no_envelopes, 10.0),
+               std::invalid_argument);
+}
+
+TEST(PrunedOneNnTest, ThrowsOnEnvelopeCountMismatch) {
+  const auto query = RandomSeries(16, 2);
+  const std::vector<std::vector<double>> candidates = {RandomSeries(16, 3),
+                                                       RandomSeries(16, 4)};
+  const std::vector<Envelope> envelopes = {BuildEnvelope(candidates[0], 10.0)};
+  EXPECT_THROW(PrunedOneNn(query, candidates, envelopes, 10.0),
+               std::invalid_argument);
 }
 
 }  // namespace

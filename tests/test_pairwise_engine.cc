@@ -1,0 +1,214 @@
+// Regression and contract tests for PairwiseEngine.
+//
+// The load-bearing test here is SelfMatrixMatchesFullComputeForEveryMeasure:
+// ComputeSelf used to mirror the upper triangle unconditionally, silently
+// corrupting the lower triangle of W for every asymmetric measure
+// (Kullback-Leibler, Pearson/Neyman chi^2, K divergence, ASD) and every
+// LOOCV accuracy derived from it.
+
+#include "src/core/pairwise_engine.h"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/classify/one_nn.h"
+#include "src/classify/param_grids.h"
+#include "src/core/registry.h"
+#include "src/elastic/dtw.h"
+#include "src/linalg/rng.h"
+
+namespace tsdist {
+namespace {
+
+// Strictly positive series keep ratio/entropy measures (KL, chi^2, ...) in
+// their natural domain, where their asymmetry is material rather than a
+// guard-clause artifact.
+std::vector<TimeSeries> PositiveCollection(std::size_t n, std::size_t m,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimeSeries> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(m);
+    for (auto& v : values) v = 0.1 + std::abs(rng.Gaussian());
+    out.emplace_back(std::move(values), static_cast<int>(i % 2));
+  }
+  return out;
+}
+
+// Cells must agree to within one part in 1e12 (NaN == NaN for this
+// purpose). The pre-fix mirroring bug corrupted asymmetric measures at the
+// 1e-1..1e+1 scale, so this tolerance only forgives last-ulp noise from
+// mathematically-symmetric measures whose evaluation is not bitwise
+// argument-order invariant (e.g. SINK's normalization divisions).
+void ExpectSameMatrix(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::isnan(a(i, j)) && std::isnan(b(i, j))) continue;
+      const double scale =
+          std::max({1.0, std::abs(a(i, j)), std::abs(b(i, j))});
+      ASSERT_LE(std::abs(a(i, j) - b(i, j)), 1e-12 * scale)
+          << what << " differs at (" << i << ", " << j << "): " << a(i, j)
+          << " vs " << b(i, j);
+    }
+  }
+}
+
+class EveryMeasure : public ::testing::TestWithParam<std::string> {};
+
+// The asymmetric-mirroring regression test: fails on the pre-fix engine for
+// every asymmetric measure, passes now that mirroring is gated on
+// measure.symmetric().
+TEST_P(EveryMeasure, SelfMatrixMatchesFullCompute) {
+  const MeasurePtr measure =
+      Registry::Global().Create(GetParam(), UnsupervisedParamsFor(GetParam()));
+  ASSERT_NE(measure, nullptr);
+  const auto series = PositiveCollection(7, 24, 11);
+  const PairwiseEngine engine(2);
+  const Matrix self = engine.ComputeSelf(series, *measure);
+  const Matrix full = engine.Compute(series, series, *measure);
+  ExpectSameMatrix(self, full, GetParam().c_str());
+}
+
+// symmetric() must describe the measure's actual behaviour: a measure
+// claiming symmetry gets its lower triangle mirrored, so a false claim
+// would reintroduce the corruption this PR fixes.
+TEST_P(EveryMeasure, SymmetricFlagMatchesBehaviour) {
+  const MeasurePtr measure =
+      Registry::Global().Create(GetParam(), UnsupervisedParamsFor(GetParam()));
+  ASSERT_NE(measure, nullptr);
+  const auto series = PositiveCollection(6, 24, 29);
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      const double ab = measure->Distance(series[i].values(), series[j].values());
+      const double ba = measure->Distance(series[j].values(), series[i].values());
+      if (std::isnan(ab) || std::isnan(ba)) continue;
+      const double scale = std::max({1.0, std::abs(ab), std::abs(ba)});
+      max_gap = std::max(max_gap, std::abs(ab - ba) / scale);
+    }
+  }
+  if (measure->symmetric()) {
+    EXPECT_LE(max_gap, 1e-9) << GetParam() << " claims symmetry but is not";
+  } else {
+    EXPECT_GT(max_gap, 1e-9)
+        << GetParam() << " claims asymmetry but behaved symmetrically";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EveryMeasure,
+    ::testing::ValuesIn(Registry::Global().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(PairwiseEngineTest, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const auto series = PositiveCollection(9, 32, 5);
+  const DtwDistance dtw(10.0);
+  const PairwiseEngine serial(1);
+  const PairwiseEngine threaded(4);
+  ExpectSameMatrix(serial.ComputeSelf(series, dtw),
+                   threaded.ComputeSelf(series, dtw), "ComputeSelf");
+  ExpectSameMatrix(serial.Compute(series, series, dtw),
+                   threaded.Compute(series, series, dtw), "Compute");
+  EXPECT_EQ(serial.NearestNeighborIndicesPruned(series, series, dtw),
+            threaded.NearestNeighborIndicesPruned(series, series, dtw));
+}
+
+TEST(PairwiseEngineTest, NearestNeighborRowAgreesWithMatrixArgmin) {
+  const auto train = PositiveCollection(12, 32, 7);
+  const auto test = PositiveCollection(4, 32, 8);
+  const DtwDistance dtw(10.0);
+  const PairwiseEngine engine(2);
+  const Matrix e = engine.Compute(test, train, dtw);
+  const std::vector<std::size_t> argmin = NearestNeighborIndices(e);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const NearestNeighbor nn = engine.NearestNeighborRow(test[i], train, dtw);
+    EXPECT_EQ(nn.index, argmin[i]);
+    EXPECT_EQ(nn.distance, e(i, argmin[i]));
+  }
+}
+
+TEST(PairwiseEngineTest, NearestNeighborRowHonorsSkip) {
+  const auto series = PositiveCollection(8, 24, 13);
+  const DtwDistance dtw(10.0);
+  const PairwiseEngine engine(2);
+  // Skipping the query's own position must never return it.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const NearestNeighbor nn =
+        engine.NearestNeighborRow(series[i], series, dtw, i);
+    EXPECT_NE(nn.index, i);
+    EXPECT_LT(nn.index, series.size());
+  }
+}
+
+TEST(PairwiseEngineTest, ThrowsOnLengthMismatch) {
+  std::vector<TimeSeries> queries = {TimeSeries({1.0, 2.0, 3.0}, 0)};
+  std::vector<TimeSeries> references = {TimeSeries({1.0, 2.0, 3.0}, 0),
+                                        TimeSeries({1.0, 2.0}, 1)};
+  const PairwiseEngine engine(1);
+  const DtwDistance dtw(10.0);
+  EXPECT_THROW(engine.Compute(queries, references, dtw),
+               std::invalid_argument);
+  EXPECT_THROW(engine.ComputeSelf(references, dtw), std::invalid_argument);
+  EXPECT_THROW(engine.NearestNeighborRow(queries[0], references, dtw),
+               std::invalid_argument);
+  EXPECT_THROW(engine.NearestNeighborIndicesPruned(queries, references, dtw),
+               std::invalid_argument);
+  EXPECT_THROW(engine.LeaveOneOutNeighborsPruned(references, dtw),
+               std::invalid_argument);
+}
+
+TEST(PairwiseEngineTest, LengthMismatchMessageNamesTheOffendingPair) {
+  std::vector<TimeSeries> queries = {TimeSeries({1.0, 2.0, 3.0}, 0)};
+  std::vector<TimeSeries> references = {TimeSeries({1.0, 2.0, 3.0}, 0),
+                                        TimeSeries({1.0, 2.0}, 1)};
+  const PairwiseEngine engine(1);
+  const DtwDistance dtw(10.0);
+  try {
+    engine.Compute(queries, references, dtw);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("references[1]"), std::string::npos) << message;
+    EXPECT_NE(message.find("length"), std::string::npos) << message;
+  }
+}
+
+TEST(PairwiseEngineTest, ThrowsOnEmptySeries) {
+  std::vector<TimeSeries> series = {TimeSeries({1.0, 2.0}, 0),
+                                    TimeSeries(std::vector<double>{}, 1)};
+  const PairwiseEngine engine(1);
+  const DtwDistance dtw(10.0);
+  EXPECT_THROW(engine.ComputeSelf(series, dtw), std::invalid_argument);
+}
+
+TEST(PairwiseEngineTest, NearestNeighborRowThrowsWithoutCandidates) {
+  const auto series = PositiveCollection(1, 16, 17);
+  const PairwiseEngine engine(1);
+  const DtwDistance dtw(10.0);
+  EXPECT_THROW(
+      engine.NearestNeighborRow(series[0], std::vector<TimeSeries>{}, dtw),
+      std::invalid_argument);
+  // The only reference is the skipped self-match: no candidates either.
+  EXPECT_THROW(engine.NearestNeighborRow(series[0], series, dtw, 0),
+               std::invalid_argument);
+}
+
+TEST(PairwiseEngineTest, LeaveOneOutNeighborsPrunedNeedsTwoSeries) {
+  const auto series = PositiveCollection(1, 16, 19);
+  const PairwiseEngine engine(1);
+  const DtwDistance dtw(10.0);
+  EXPECT_THROW(engine.LeaveOneOutNeighborsPruned(series, dtw),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,202 @@
+// End-to-end tests for the pruned 1-NN evaluation path.
+//
+// Contract under test (docs/PRUNING.md): the cascade path — LB_Kim ->
+// LB_Keogh -> EarlyAbandonDistance — produces predictions bit-identical to
+// the full-matrix path, for every warping window and for non-elastic
+// measures too (which skip the lower bounds and only early-abandon).
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/classify/one_nn.h"
+#include "src/classify/param_grids.h"
+#include "src/classify/tuning.h"
+#include "src/core/pairwise_engine.h"
+#include "src/core/registry.h"
+#include "src/data/generators.h"
+#include "src/elastic/dtw.h"
+#include "src/linalg/rng.h"
+#include "src/lockstep/minkowski_family.h"
+
+namespace tsdist {
+namespace {
+
+Dataset SmallDataset(std::uint64_t seed) {
+  GeneratorOptions options;
+  options.length = 48;
+  options.train_per_class = 8;
+  options.test_per_class = 6;
+  options.warp = 0.1;
+  options.seed = seed;
+  return MakeCbf(options);
+}
+
+// Reference implementation: row argmins of the full matrices.
+std::vector<std::size_t> MatrixTestNeighbors(const Dataset& dataset,
+                                             const PairwiseEngine& engine,
+                                             const DistanceMeasure& measure) {
+  return NearestNeighborIndices(
+      engine.Compute(dataset.test(), dataset.train(), measure));
+}
+
+std::vector<std::size_t> MatrixLoocvNeighbors(const Dataset& dataset,
+                                              const PairwiseEngine& engine,
+                                              const DistanceMeasure& measure) {
+  const Matrix w = engine.ComputeSelf(dataset.train(), measure);
+  std::vector<std::size_t> out(w.rows());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = PairwiseEngine::kNoNeighbor;
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      if (j == i) continue;
+      if (w(i, j) < best) {
+        best = w(i, j);
+        best_j = j;
+      }
+    }
+    out[i] = best_j;
+  }
+  return out;
+}
+
+class PrunedDtwWindows : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrunedDtwWindows, TestNeighborsMatchMatrixPath) {
+  const Dataset dataset = SmallDataset(31);
+  const PairwiseEngine engine(2);
+  const DtwDistance dtw(GetParam());
+  EXPECT_EQ(
+      engine.NearestNeighborIndicesPruned(dataset.test(), dataset.train(), dtw),
+      MatrixTestNeighbors(dataset, engine, dtw));
+}
+
+TEST_P(PrunedDtwWindows, LoocvNeighborsMatchMatrixPath) {
+  const Dataset dataset = SmallDataset(37);
+  const PairwiseEngine engine(2);
+  const DtwDistance dtw(GetParam());
+  EXPECT_EQ(engine.LeaveOneOutNeighborsPruned(dataset.train(), dtw),
+            MatrixLoocvNeighbors(dataset, engine, dtw));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, PrunedDtwWindows,
+                         ::testing::Values(0.0, 5.0, 10.0, 100.0));
+
+// Non-DTW measures take the early-abandon-only path; a lock-step, an
+// elastic variant, and a kernel measure cover the three dispatch shapes.
+class PrunedOtherMeasures : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PrunedOtherMeasures, NeighborsMatchMatrixPath) {
+  const MeasurePtr measure =
+      Registry::Global().Create(GetParam(), UnsupervisedParamsFor(GetParam()));
+  ASSERT_NE(measure, nullptr);
+  const Dataset dataset = SmallDataset(41);
+  const PairwiseEngine engine(2);
+  EXPECT_EQ(engine.NearestNeighborIndicesPruned(dataset.test(),
+                                                dataset.train(), *measure),
+            MatrixTestNeighbors(dataset, engine, *measure));
+  EXPECT_EQ(engine.LeaveOneOutNeighborsPruned(dataset.train(), *measure),
+            MatrixLoocvNeighbors(dataset, engine, *measure));
+}
+
+INSTANTIATE_TEST_SUITE_P(Measures, PrunedOtherMeasures,
+                         ::testing::Values("euclidean", "manhattan",
+                                           "lorentzian", "kullback_leibler",
+                                           "msm", "sink"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// The EarlyAbandonDistance contract itself.
+TEST(EarlyAbandonContractTest, InfiniteCutoffIsBitIdenticalToDistance) {
+  Rng rng(53);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(64), b(64);
+    for (auto& v : a) v = rng.Gaussian();
+    for (auto& v : b) v = rng.Gaussian();
+    for (const char* name : {"euclidean", "manhattan", "chebyshev",
+                             "lorentzian", "gower", "dtw"}) {
+      const MeasurePtr m =
+          Registry::Global().Create(name, UnsupervisedParamsFor(name));
+      ASSERT_NE(m, nullptr) << name;
+      EXPECT_EQ(m->EarlyAbandonDistance(a, b, inf), m->Distance(a, b)) << name;
+    }
+  }
+}
+
+TEST(EarlyAbandonContractTest, CompletedRunsMatchDistanceExactly) {
+  Rng rng(59);
+  std::vector<double> a(64), b(64);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  const EuclideanDistance euclidean;
+  const double d = euclidean.Distance(a, b);
+  // Cutoff just above the true distance: the run completes and must return
+  // the bit-identical value, not an approximation.
+  EXPECT_EQ(euclidean.EarlyAbandonDistance(a, b, d * (1.0 + 1e-12)), d);
+}
+
+TEST(EarlyAbandonContractTest, AbandonedRunsReturnAtLeastTheCutoff) {
+  Rng rng(61);
+  std::vector<double> a(256), b(256);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian(10.0, 1.0);  // far apart: must abandon
+  for (const char* name : {"euclidean", "manhattan", "dtw"}) {
+    const MeasurePtr m =
+        Registry::Global().Create(name, UnsupervisedParamsFor(name));
+    ASSERT_NE(m, nullptr) << name;
+    const double cutoff = 0.5 * m->Distance(a, b);
+    const double d = m->EarlyAbandonDistance(a, b, cutoff);
+    EXPECT_GE(d, cutoff) << name;
+    EXPECT_TRUE(std::isinf(d)) << name << ": abandon signals with +infinity";
+  }
+}
+
+TEST(EarlyAbandonContractTest, DefaultImplementationDelegatesToDistance) {
+  // Measures without a monotone accumulation keep the base-class behaviour:
+  // never abandon, always exact.
+  Rng rng(67);
+  std::vector<double> a(32), b(32);
+  for (auto& v : a) v = 0.1 + std::abs(rng.Gaussian());
+  for (auto& v : b) v = 0.1 + std::abs(rng.Gaussian());
+  const MeasurePtr canberra = Registry::Global().Create("canberra");
+  ASSERT_NE(canberra, nullptr);
+  EXPECT_EQ(canberra->EarlyAbandonDistance(a, b, 1e-12),
+            canberra->Distance(a, b));
+}
+
+// End to end: the flag flips the execution path, not the numbers.
+TEST(PrunedEvaluationTest, EvaluateFixedAccuraciesAreIdentical) {
+  const Dataset dataset = SmallDataset(71);
+  const PairwiseEngine engine(2);
+  for (const char* name : {"dtw", "euclidean", "kullback_leibler"}) {
+    const ParamMap params = UnsupervisedParamsFor(name);
+    const EvalResult full = EvaluateFixed(name, params, dataset, engine,
+                                          Registry::Global(), {.pruned = false});
+    const EvalResult pruned = EvaluateFixed(name, params, dataset, engine,
+                                            Registry::Global(), {.pruned = true});
+    EXPECT_EQ(full.test_accuracy, pruned.test_accuracy) << name;
+  }
+}
+
+TEST(PrunedEvaluationTest, EvaluateTunedAccuraciesAreIdentical) {
+  const Dataset dataset = SmallDataset(73);
+  const PairwiseEngine engine(2);
+  for (const char* name : {"dtw", "erp"}) {
+    const EvalResult full =
+        EvaluateTuned(name, ParamGridFor(name), dataset, engine,
+                      Registry::Global(), {.pruned = false});
+    const EvalResult pruned =
+        EvaluateTuned(name, ParamGridFor(name), dataset, engine,
+                      Registry::Global(), {.pruned = true});
+    EXPECT_EQ(full.train_accuracy, pruned.train_accuracy) << name;
+    EXPECT_EQ(full.test_accuracy, pruned.test_accuracy) << name;
+    EXPECT_EQ(full.params, pruned.params) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -44,6 +44,7 @@ struct Options {
   std::vector<std::string> measures = {"euclidean", "lorentzian", "nccc"};
   std::string norm = "zscore";
   bool supervised = false;
+  bool pruned = false;
   bool csv = false;
   std::string ucr_dir;
   std::string ucr_dataset;
@@ -106,6 +107,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->norm = v;
     } else if (arg == "--supervised") {
       options->supervised = true;
+    } else if (arg == "--pruned") {
+      options->pruned = true;
     } else if (arg == "--csv") {
       options->csv = true;
     } else if (arg == "--ucr") {
@@ -147,10 +150,16 @@ void PrintUsage(std::FILE* out, const char* prog) {
       out,
       "usage: %s [--scale tiny|small|medium] [--measures m1,m2,...]\n"
       "          [--norm zscore|minmax|meannorm|mediannorm|unitlength|\n"
-      "                  logistic|tanh|none] [--supervised] [--csv]\n"
-      "          [--ucr <archive-dir> --dataset <Name>] [--threads N]\n"
+      "                  logistic|tanh|none] [--supervised] [--pruned]\n"
+      "          [--csv] [--ucr <archive-dir> --dataset <Name>] [--threads N]\n"
       "          [--metrics-json <path>] [--metrics-csv <path>]\n"
       "          [--trace-json <path>] [--progress] [--help]\n"
+      "\n"
+      "  --pruned               classify through the lower-bound cascade\n"
+      "                         (LB_Kim -> LB_Keogh -> early-abandoned DTW)\n"
+      "                         instead of full dissimilarity matrices.\n"
+      "                         Accuracies are identical; a prune-rate\n"
+      "                         summary is printed to stderr after the run.\n"
       "\n"
       "observability:\n"
       "  --metrics-json <path>  write counters/gauges/histograms\n"
@@ -235,17 +244,28 @@ int main(int argc, char** argv) {
   }
 
   // Total pairwise cells across the whole run, for the progress ETA. The
-  // supervised path computes |grid| upper-triangle self matrices per
-  // dataset/measure on top of the test-vs-train matrix.
+  // supervised path adds |grid| LOOCV passes per dataset/measure on top of
+  // the test-vs-train pass. Per pass:
+  //  * pruned: one progress tick per candidate examined, so train per test
+  //    query and train-1 per LOOCV query;
+  //  * full matrix: test*train cells, and for LOOCV an upper triangle when
+  //    the measure is symmetric or the full n^2 matrix when it is not.
   std::uint64_t total_cells = 0;
   for (const auto& d : datasets) {
     const std::uint64_t train = d.train().size();
     const std::uint64_t test = d.test().size();
     for (const auto& m : options.measures) {
       total_cells += test * train;
-      if (options.supervised) {
-        total_cells +=
-            ParamGridFor(m).size() * (train * (train + 1)) / 2;
+      if (!options.supervised) continue;
+      const std::uint64_t grid = ParamGridFor(m).size();
+      if (options.pruned) {
+        total_cells += grid * train * (train > 0 ? train - 1 : 0);
+      } else {
+        const MeasurePtr probe =
+            Registry::Global().Create(m, UnsupervisedParamsFor(m));
+        const bool symmetric = probe == nullptr || probe->symmetric();
+        total_cells += grid * (symmetric ? (train * (train + 1)) / 2
+                                         : train * train);
       }
     }
   }
@@ -271,11 +291,13 @@ int main(int argc, char** argv) {
       if (options.csv) std::printf("%s", datasets[i].name().c_str());
       for (std::size_t j = 0; j < options.measures.size(); ++j) {
         const std::string& name = options.measures[j];
+        const EvalOptions eval_options{.pruned = options.pruned};
         const EvalResult result =
             options.supervised
-                ? EvaluateTuned(name, ParamGridFor(name), datasets[i], engine)
+                ? EvaluateTuned(name, ParamGridFor(name), datasets[i], engine,
+                                Registry::Global(), eval_options)
                 : EvaluateFixed(name, UnsupervisedParamsFor(name), datasets[i],
-                                engine);
+                                engine, Registry::Global(), eval_options);
         accuracies(i, j) = result.test_accuracy;
         if (options.csv) {
           std::printf(",%.4f", result.test_accuracy);
@@ -290,6 +312,31 @@ int main(int argc, char** argv) {
   if (options.progress) {
     obs::SetActiveProgress(nullptr);
     progress.Finish();
+  }
+
+  if (options.pruned && obs::Enabled()) {
+    // How much work the cascade actually avoided, from the same counters
+    // that land in --metrics-json (see docs/PRUNING.md).
+    auto& metrics = obs::MetricsRegistry::Global();
+    const std::uint64_t candidates =
+        metrics.GetCounter("tsdist.prune.candidates").Value();
+    const std::uint64_t kim = metrics.GetCounter("tsdist.prune.lb_kim").Value();
+    const std::uint64_t keogh =
+        metrics.GetCounter("tsdist.prune.lb_keogh").Value();
+    const std::uint64_t abandoned =
+        metrics.GetCounter("tsdist.prune.abandoned").Value();
+    const std::uint64_t full = metrics.GetCounter("tsdist.prune.full").Value();
+    const double denom = candidates > 0 ? static_cast<double>(candidates) : 1.0;
+    std::fprintf(stderr,
+                 "pruning: %llu candidates | LB_Kim pruned %llu (%.1f%%) | "
+                 "LB_Keogh pruned %llu (%.1f%%) | abandoned %llu (%.1f%%) | "
+                 "full computations %llu (%.1f%%)\n",
+                 static_cast<unsigned long long>(candidates),
+                 static_cast<unsigned long long>(kim), 100.0 * kim / denom,
+                 static_cast<unsigned long long>(keogh), 100.0 * keogh / denom,
+                 static_cast<unsigned long long>(abandoned),
+                 100.0 * abandoned / denom,
+                 static_cast<unsigned long long>(full), 100.0 * full / denom);
   }
 
   if (!options.csv && datasets.size() >= 3 && options.measures.size() >= 2) {
