@@ -23,7 +23,7 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_ablation_clustering");
+  tsdist::bench::ObsSession obs_session("bench_ablation_clustering");
   const auto archive = BenchArchive();
   std::cout << "Ablation: clustering ARI by algorithm/measure over "
             << archive.size() << " datasets\n";
@@ -36,32 +36,37 @@ int main() {
   const tsdist::MeasurePtr sbd = tsdist::Registry::Global().Create("nccc");
 
   std::vector<double> ari_kshape, ari_kmeans, ari_kmed_dtw, ari_kmed_sbd;
-  for (const auto& dataset : archive) {
-    const std::vector<int> truth = dataset.train_labels();
-    const std::size_t k = dataset.num_classes();
+  obs_session.RunCase("cluster_archive", [&] {
+    ari_kshape.clear();
+    ari_kmeans.clear();
+    ari_kmed_dtw.clear();
+    ari_kmed_sbd.clear();
+    for (const auto& dataset : archive) {
+      const std::vector<int> truth = dataset.train_labels();
+      const std::size_t k = dataset.num_classes();
 
-    tsdist::KShapeOptions ks;
-    ks.k = k;
-    ks.seed = 31;
-    tsdist::KMeansOptions km;
-    km.k = k;
-    km.seed = 31;
+      tsdist::KShapeOptions ks;
+      ks.k = k;
+      ks.seed = 31;
+      tsdist::KMeansOptions km;
+      km.k = k;
+      km.seed = 31;
 
-    const double a1 = tsdist::AdjustedRandIndex(
-        tsdist::KShape(dataset.train(), ks).assignments, truth);
-    const double a2 = tsdist::AdjustedRandIndex(
-        tsdist::KMeans(dataset.train(), km).assignments, truth);
-    const double a3 = tsdist::AdjustedRandIndex(
-        tsdist::KMedoids(dataset.train(), *dtw, km).assignments, truth);
-    const double a4 = tsdist::AdjustedRandIndex(
-        tsdist::KMedoids(dataset.train(), *sbd, km).assignments, truth);
-    ari_kshape.push_back(a1);
-    ari_kmeans.push_back(a2);
-    ari_kmed_dtw.push_back(a3);
-    ari_kmed_sbd.push_back(a4);
-    std::cout << std::left << std::setw(22) << dataset.name() << std::fixed
-              << std::setprecision(3) << std::setw(14) << a1 << std::setw(14)
-              << a2 << std::setw(14) << a3 << std::setw(14) << a4 << "\n";
+      ari_kshape.push_back(tsdist::AdjustedRandIndex(
+          tsdist::KShape(dataset.train(), ks).assignments, truth));
+      ari_kmeans.push_back(tsdist::AdjustedRandIndex(
+          tsdist::KMeans(dataset.train(), km).assignments, truth));
+      ari_kmed_dtw.push_back(tsdist::AdjustedRandIndex(
+          tsdist::KMedoids(dataset.train(), *dtw, km).assignments, truth));
+      ari_kmed_sbd.push_back(tsdist::AdjustedRandIndex(
+          tsdist::KMedoids(dataset.train(), *sbd, km).assignments, truth));
+    }
+  });
+  for (std::size_t i = 0; i < archive.size(); ++i) {
+    std::cout << std::left << std::setw(22) << archive[i].name() << std::fixed
+              << std::setprecision(3) << std::setw(14) << ari_kshape[i]
+              << std::setw(14) << ari_kmeans[i] << std::setw(14)
+              << ari_kmed_dtw[i] << std::setw(14) << ari_kmed_sbd[i] << "\n";
   }
   std::cout << std::left << std::setw(22) << "AVERAGE" << std::fixed
             << std::setprecision(3) << std::setw(14) << MeanOf(ari_kshape)

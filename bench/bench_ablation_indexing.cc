@@ -23,7 +23,7 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_ablation_indexing");
+  tsdist::bench::ObsSession obs_session("bench_ablation_indexing");
   // One larger collection: many CBF series (an indexing workload, not a
   // classification one).
   tsdist::GeneratorOptions options;
@@ -49,44 +49,61 @@ int main() {
 
   // Linear-scan reference time.
   const tsdist::EuclideanDistance ed;
-  const auto t0 = Clock::now();
   double checksum = 0.0;
-  for (const auto& q : queries) {
-    double best = 1e300;
-    for (const auto& c : collection) {
-      best = std::min(best, ed.Distance(q.values(), c.values()));
-    }
-    checksum += best;
-  }
-  const double scan_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-
-  for (const auto& [word, alphabet] :
-       std::vector<std::pair<std::size_t, std::size_t>>{
-           {4, 4}, {8, 4}, {8, 8}, {16, 8}}) {
-    tsdist::SaxIndex index(word, alphabet);
-    index.Build(collection);
-    std::size_t bucket = 0, paa = 0, full = 0, total = 0;
-    const auto t1 = Clock::now();
+  double scan_ms = 0.0;
+  obs_session.RunCase("linear_scan", [&] {
+    checksum = 0.0;
+    const auto t0 = Clock::now();
     for (const auto& q : queries) {
-      tsdist::SaxIndex::Stats stats;
-      index.Knn(q.values(), 10, &stats);
-      bucket += stats.bucket_pruned;
-      paa += stats.paa_pruned;
-      full += stats.full_distances;
-      total += stats.candidates;
+      double best = 1e300;
+      for (const auto& c : collection) {
+        best = std::min(best, ed.Distance(q.values(), c.values()));
+      }
+      checksum += best;
     }
-    const double index_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - t1).count();
-    const double dt = static_cast<double>(total);
+    scan_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  });
+
+  struct Row {
+    std::size_t word, alphabet;
+    std::size_t bucket, paa, full, total;
+    double index_ms;
+  };
+  std::vector<Row> rows;
+  obs_session.RunCase("sax_knn_sweep", [&] {
+    rows.clear();
+    for (const auto& [word, alphabet] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {4, 4}, {8, 4}, {8, 8}, {16, 8}}) {
+      tsdist::SaxIndex index(word, alphabet);
+      index.Build(collection);
+      Row row{word, alphabet, 0, 0, 0, 0, 0.0};
+      const auto t1 = Clock::now();
+      for (const auto& q : queries) {
+        tsdist::SaxIndex::Stats stats;
+        index.Knn(q.values(), 10, &stats);
+        row.bucket += stats.bucket_pruned;
+        row.paa += stats.paa_pruned;
+        row.full += stats.full_distances;
+        row.total += stats.candidates;
+      }
+      row.index_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t1).count();
+      rows.push_back(row);
+    }
+  });
+  for (const auto& row : rows) {
+    const double dt = static_cast<double>(row.total);
     std::cout << std::left << std::setw(18)
-              << (std::to_string(word) + " x " + std::to_string(alphabet))
+              << (std::to_string(row.word) + " x " +
+                  std::to_string(row.alphabet))
               << std::fixed << std::setprecision(1) << std::setw(12)
-              << 100.0 * static_cast<double>(bucket) / dt << std::setw(12)
-              << 100.0 * static_cast<double>(paa) / dt << std::setw(12)
-              << 100.0 * static_cast<double>(full) / dt << std::setw(12)
-              << scan_ms << std::setw(12) << index_ms << std::setw(10)
-              << std::setprecision(2) << scan_ms / index_ms << "\n";
+              << 100.0 * static_cast<double>(row.bucket) / dt << std::setw(12)
+              << 100.0 * static_cast<double>(row.paa) / dt << std::setw(12)
+              << 100.0 * static_cast<double>(row.full) / dt << std::setw(12)
+              << scan_ms << std::setw(12) << row.index_ms << std::setw(10)
+              << std::setprecision(2) << scan_ms / row.index_ms << "\n";
   }
   std::cout << "(checksum " << std::setprecision(3) << checksum << ")\n";
   std::cout << "\n(Expected shape: longer words / larger alphabets prune\n"

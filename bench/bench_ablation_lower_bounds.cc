@@ -57,7 +57,7 @@ struct PruneCounts {
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_ablation_lower_bounds");
+  tsdist::bench::ObsSession obs_session("bench_ablation_lower_bounds");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Ablation: LB_Kim -> LB_Keogh -> early-abandon cascade for "
@@ -69,41 +69,59 @@ int main() {
             << std::setw(14) << "exhaust(ms)" << std::setw(13) << "pruned(ms)"
             << std::setw(10) << "speedup" << "\n";
 
+  struct Row {
+    double window;
+    PruneCounts delta;
+    double exhaustive_ms;
+    double pruned_ms;
+  };
+  std::vector<Row> rows;
   bool identical = true;
-  for (double window : {2.0, 5.0, 10.0, 20.0}) {
-    const tsdist::DtwDistance dtw(window);
-    double exhaustive_ms = 0.0, pruned_ms = 0.0;
-    const PruneCounts before = PruneCounts::Snapshot();
-    for (const auto& dataset : archive) {
-      const auto t0 = Clock::now();
-      const tsdist::Matrix e =
-          engine.Compute(dataset.test(), dataset.train(), dtw);
-      const std::vector<std::size_t> matrix_nn =
-          tsdist::NearestNeighborIndices(e);
-      const auto t1 = Clock::now();
-      const std::vector<std::size_t> pruned_nn =
-          engine.NearestNeighborIndicesPruned(dataset.test(), dataset.train(),
-                                              dtw);
-      const auto t2 = Clock::now();
-      identical = identical && (matrix_nn == pruned_nn);
-      exhaustive_ms +=
-          std::chrono::duration<double, std::milli>(t1 - t0).count();
-      pruned_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+  obs_session.RunCase("dtw_cascade_sweep", [&] {
+    rows.clear();
+    identical = true;
+    for (double window : {2.0, 5.0, 10.0, 20.0}) {
+      const tsdist::DtwDistance dtw(window);
+      double exhaustive_ms = 0.0, pruned_ms = 0.0;
+      const PruneCounts before = PruneCounts::Snapshot();
+      for (const auto& dataset : archive) {
+        const auto t0 = Clock::now();
+        const tsdist::Matrix e =
+            engine.Compute(dataset.test(), dataset.train(), dtw);
+        const std::vector<std::size_t> matrix_nn =
+            tsdist::NearestNeighborIndices(e);
+        const auto t1 = Clock::now();
+        const std::vector<std::size_t> pruned_nn =
+            engine.NearestNeighborIndicesPruned(dataset.test(),
+                                                dataset.train(), dtw);
+        const auto t2 = Clock::now();
+        identical = identical && (matrix_nn == pruned_nn);
+        exhaustive_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        pruned_ms +=
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+      }
+      const PruneCounts delta = PruneCounts::Snapshot() - before;
+      rows.push_back({window, delta, exhaustive_ms, pruned_ms});
     }
-    const PruneCounts delta = PruneCounts::Snapshot() - before;
-    const double denom =
-        delta.candidates > 0 ? static_cast<double>(delta.candidates) : 1.0;
+  });
+  for (const auto& row : rows) {
+    const double denom = row.delta.candidates > 0
+                             ? static_cast<double>(row.delta.candidates)
+                             : 1.0;
     const auto pct = [denom](std::uint64_t n) {
       return 100.0 * static_cast<double>(n) / denom;
     };
-    std::cout << std::left << std::setw(10) << window << std::fixed
+    std::cout << std::left << std::setw(10) << row.window << std::fixed
               << std::setprecision(1) << std::setw(10)
-              << pct(delta.kim + delta.keogh + delta.abandoned) << std::setw(8)
-              << pct(delta.kim) << std::setw(8) << pct(delta.keogh)
-              << std::setw(10) << pct(delta.abandoned) << std::setw(8)
-              << pct(delta.full) << std::setw(14) << exhaustive_ms
-              << std::setw(13) << pruned_ms << std::setw(10)
-              << std::setprecision(2) << exhaustive_ms / pruned_ms << "\n";
+              << pct(row.delta.kim + row.delta.keogh + row.delta.abandoned)
+              << std::setw(8) << pct(row.delta.kim) << std::setw(8)
+              << pct(row.delta.keogh) << std::setw(10)
+              << pct(row.delta.abandoned) << std::setw(8)
+              << pct(row.delta.full) << std::setw(14) << row.exhaustive_ms
+              << std::setw(13) << row.pruned_ms << std::setw(10)
+              << std::setprecision(2) << row.exhaustive_ms / row.pruned_ms
+              << "\n";
   }
   std::cout << "\npredictions identical to the full-matrix path: "
             << (identical ? "yes" : "NO — BUG") << "\n";

@@ -45,7 +45,7 @@ ComboAccuracies EvaluateFromRegistry(const tsdist::Registry& registry,
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_ablation_variants");
+  tsdist::bench::ObsSession obs_session("bench_ablation_variants");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
 
@@ -74,13 +74,22 @@ int main() {
       {"cid_dtw", {{"delta", 10.0}}, "dtw", {{"delta", 10.0}}},
   };
 
-  for (const auto& pair : pairs) {
-    const ComboAccuracies base = EvaluateFromRegistry(
-        registry, pair.base, pair.base_params, archive, engine);
-    const ComboAccuracies variant = EvaluateFromRegistry(
-        registry, pair.variant, pair.variant_params, archive, engine);
+  std::vector<std::pair<ComboAccuracies, ComboAccuracies>> results;
+  obs_session.RunCase("evaluate_variants", [&] {
+    results.clear();
+    for (const auto& pair : pairs) {
+      ComboAccuracies base = EvaluateFromRegistry(
+          registry, pair.base, pair.base_params, archive, engine);
+      ComboAccuracies variant = EvaluateFromRegistry(
+          registry, pair.variant, pair.variant_params, archive, engine);
+      results.emplace_back(std::move(base), std::move(variant));
+    }
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ComboAccuracies& base = results[i].first;
+    const ComboAccuracies& variant = results[i].second;
     tsdist::bench::PrintTableHeader(
-        std::string(pair.variant) + " vs " + pair.base, base.label);
+        std::string(pairs[i].variant) + " vs " + pairs[i].base, base.label);
     tsdist::bench::PrintComparisonRow(variant, base.accuracies);
     tsdist::bench::PrintBaselineRow(base.label, base.accuracies);
     std::cout << "\n";

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "src/classify/one_nn.h"
 #include "src/classify/tuning.h"
@@ -23,6 +24,24 @@ double ObsSession::ElapsedSeconds() const {
   return static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
 }
 
+void ObsSession::RunCase(const std::string& name,
+                         const std::function<void()>& body) {
+  obs::BenchCaseResult result;
+  result.name = name;
+  result.warmup = BenchWarmupFromEnv();
+  const int iters = BenchRepeatFromEnv();
+  for (int i = 0; i < result.warmup; ++i) body();
+  result.samples_ms.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t iter_start = obs::NowNs();
+    body();
+    result.samples_ms.push_back(
+        static_cast<double>(obs::NowNs() - iter_start) / 1e6);
+  }
+  obs::UpdatePeakRssGauge();
+  cases_.push_back(std::move(result));
+}
+
 ObsSession::~ObsSession() {
   const double wall_ms = ElapsedSeconds() * 1e3;
   const char* dir = std::getenv("TSDIST_BENCH_JSON");
@@ -33,32 +52,70 @@ ObsSession::~ObsSession() {
     std::cerr << "ObsSession: cannot write " << path << "\n";
     return;
   }
-  const char* scale_env = std::getenv("TSDIST_SCALE");
-  std::ostringstream body;
-  body << "{\n  \"schema\": \"tsdist.bench.v1\",\n  \"bench\": \"" << name_
-       << "\",\n  \"scale\": \"" << (scale_env != nullptr ? scale_env : "small")
-       << "\",\n  \"threads\": " << ThreadsFromEnv()
-       << ",\n  \"wall_ms\": " << std::fixed << std::setprecision(3) << wall_ms
-       << ",\n  \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
-       << "}\n";
-  out << body.str();
+
+  std::size_t threads = ThreadsFromEnv();
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+
+  obs::BenchReport report;
+  report.bench = name_;
+  report.scale = ScaleNameFromEnv();
+  report.threads = threads;
+  report.wall_ms = wall_ms;
+  report.manifest =
+      obs::CollectRunManifest(threads, ArchiveOptions{}.seed, report.scale);
+  obs::UpdatePeakRssGauge();
+  report.peak_rss_bytes = obs::PeakRssBytes();
+  report.cases = cases_;
+  if (report.cases.empty()) {
+    // Binary never declared an explicit case: expose the whole run as one
+    // single-sample case so every v2 artifact has a sample array.
+    obs::BenchCaseResult total;
+    total.name = "total";
+    total.warmup = 0;
+    total.samples_ms.push_back(wall_ms);
+    report.cases.push_back(std::move(total));
+  }
+  report.metrics_json = obs::MetricsRegistry::Global().ToJson();
+
+  out << obs::BenchReportToJson(report);
   std::cerr << "ObsSession: wrote " << path << " (wall "
-            << std::fixed << std::setprecision(1) << wall_ms << " ms)\n";
+            << std::fixed << std::setprecision(1) << wall_ms << " ms, "
+            << report.cases.size() << " case(s))\n";
 }
 
 ArchiveScale ScaleFromEnv() {
-  const char* env = std::getenv("TSDIST_SCALE");
-  if (env == nullptr) return ArchiveScale::kSmall;
-  const std::string value(env);
+  const std::string value = ScaleNameFromEnv();
   if (value == "tiny") return ArchiveScale::kTiny;
   if (value == "medium") return ArchiveScale::kMedium;
   return ArchiveScale::kSmall;
+}
+
+std::string ScaleNameFromEnv() {
+  const char* env = std::getenv("TSDIST_SCALE");
+  if (env == nullptr) return "small";
+  const std::string value(env);
+  if (value == "tiny" || value == "medium") return value;
+  return "small";
 }
 
 std::size_t ThreadsFromEnv() {
   const char* env = std::getenv("TSDIST_THREADS");
   if (env == nullptr) return 0;
   return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+}
+
+int BenchRepeatFromEnv() {
+  const char* env = std::getenv("TSDIST_BENCH_REPEAT");
+  if (env == nullptr) return 1;
+  const long value = std::strtol(env, nullptr, 10);
+  return value < 1 ? 1 : static_cast<int>(value);
+}
+
+int BenchWarmupFromEnv() {
+  const char* env = std::getenv("TSDIST_BENCH_WARMUP");
+  if (env == nullptr) return 0;
+  const long value = std::strtol(env, nullptr, 10);
+  return value < 0 ? 0 : static_cast<int>(value);
 }
 
 std::vector<Dataset> BenchArchive() {

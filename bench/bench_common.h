@@ -15,16 +15,21 @@
 // Environment knobs:
 //  * TSDIST_SCALE  = tiny | small | medium   (default small)
 //  * TSDIST_THREADS = N                      (default: hardware concurrency)
+//  * TSDIST_BENCH_REPEAT = N                 measured iterations per RunCase
+//    (default 1); TSDIST_BENCH_WARMUP = K    unmeasured warmup iterations
+//    (default 0). The tsdist_bench orchestrator sets both.
 //  * TSDIST_BENCH_JSON = <dir>               when set, each bench binary
-//    writes <dir>/BENCH_<name>.json on exit: wall-clock for the whole
-//    reproduction plus the full tsdist.metrics.v1 snapshot, so BENCH_*.json
-//    trajectories are self-describing and comparable across commits (see
-//    docs/OBSERVABILITY.md)
+//    writes <dir>/BENCH_<name>.json on exit: a tsdist.bench.v2 report with
+//    the run manifest (git SHA, compiler, CPU, seed), per-case wall-clock
+//    sample arrays, the peak-RSS gauge, and the full tsdist.metrics.v1
+//    snapshot, so BENCH_*.json trajectories are self-describing and
+//    comparable across commits (see docs/BENCHMARKING.md)
 
 #ifndef TSDIST_BENCH_BENCH_COMMON_H_
 #define TSDIST_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,13 +37,15 @@
 #include "src/core/pairwise_engine.h"
 #include "src/data/archive.h"
 #include "src/linalg/matrix.h"
+#include "src/obs/runinfo.h"
 
 namespace tsdist::bench {
 
 /// RAII session for one bench binary: declare first in main(). Measures
 /// wall-clock for the whole reproduction and, when TSDIST_BENCH_JSON names
 /// a directory, writes <dir>/BENCH_<name>.json with the shared
-/// tsdist.bench.v1 schema (wall_ms + embedded metrics snapshot).
+/// tsdist.bench.v2 schema (manifest + per-case samples + peak RSS +
+/// embedded metrics snapshot).
 class ObsSession {
  public:
   explicit ObsSession(std::string bench_name);
@@ -50,16 +57,38 @@ class ObsSession {
   /// Seconds since construction.
   double ElapsedSeconds() const;
 
+  /// Runs `body` BenchWarmupFromEnv() times unmeasured, then
+  /// BenchRepeatFromEnv() times measured, recording one wall-clock sample
+  /// per measured iteration under case `name` in the v2 report. `body` must
+  /// be idempotent (every bench computation here is deterministic, so
+  /// re-running it reproduces the same tables). With the default
+  /// repeat=1 / warmup=0 a case runs exactly once, like the v1 behavior.
+  void RunCase(const std::string& name, const std::function<void()>& body);
+
+  /// Cases recorded so far (exposed for tests and the session destructor).
+  const std::vector<obs::BenchCaseResult>& cases() const { return cases_; }
+
  private:
   std::string name_;
   std::uint64_t start_ns_;
+  std::vector<obs::BenchCaseResult> cases_;
 };
 
 /// Scale preset from TSDIST_SCALE (tiny/small/medium; default small).
 ArchiveScale ScaleFromEnv();
 
+/// The normalized TSDIST_SCALE name ("tiny"/"small"/"medium").
+std::string ScaleNameFromEnv();
+
 /// Thread count from TSDIST_THREADS (default 0 = hardware concurrency).
 std::size_t ThreadsFromEnv();
+
+/// Measured iterations per RunCase from TSDIST_BENCH_REPEAT (default 1,
+/// floor 1).
+int BenchRepeatFromEnv();
+
+/// Warmup iterations per RunCase from TSDIST_BENCH_WARMUP (default 0).
+int BenchWarmupFromEnv();
 
 /// The benchmark archive: z-normalized synthetic suite at the environment
 /// scale, fixed seed.

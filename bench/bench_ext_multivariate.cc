@@ -47,11 +47,16 @@ void RunRegime(const char* title, bool shared_warp, double warp,
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_ext_multivariate");
+  tsdist::bench::ObsSession obs_session("bench_ext_multivariate");
   std::cout << "Extension: multivariate strategies (paper footnote 1)\n\n";
-  RunRegime("No warping", false, 0.0, 11);
-  RunRegime("Independent per-channel warping", false, 0.2, 12);
-  RunRegime("Shared (coupled) warping", true, 0.2, 13);
+  obs_session.RunCase("no_warping",
+                      [&] { RunRegime("No warping", false, 0.0, 11); });
+  obs_session.RunCase("independent_warping", [&] {
+    RunRegime("Independent per-channel warping", false, 0.2, 12);
+  });
+  obs_session.RunCase("shared_warping", [&] {
+    RunRegime("Shared (coupled) warping", true, 0.2, 13);
+  });
   std::cout << "(Expected shape: the class signal here is inter-channel\n"
             << " timing, so DTW_D — which warps all channels with one path\n"
             << " and preserves their relative lags — dominates DTW_I, which\n"

@@ -108,7 +108,7 @@ double TunedSvmAccuracy(const std::string& kernel_name, const Dataset& dataset,
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_ext_svm");
+  tsdist::bench::ObsSession obs_session("bench_ext_svm");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Extension: 1-NN vs SVM evaluation frameworks for kernel "
@@ -119,20 +119,34 @@ int main() {
             << "1NN-acc" << std::setw(12) << "SVM-acc" << std::setw(24)
             << "SVM better (Wilcoxon)?" << "\n";
 
-  for (const char* name : {"sink", "gak", "kdtw", "rbf"}) {
-    const auto nn = tsdist::bench::EvaluateComboTuned(
-        name, tsdist::ParamGridFor(name), archive, engine);
+  struct Row {
+    const char* name;
+    std::vector<double> nn_acc;
     std::vector<double> svm_acc;
-    for (const auto& dataset : archive) {
-      svm_acc.push_back(TunedSvmAccuracy(name, dataset, engine));
+  };
+  std::vector<Row> rows;
+  obs_session.RunCase("svm_vs_1nn", [&] {
+    rows.clear();
+    for (const char* name : {"sink", "gak", "kdtw", "rbf"}) {
+      Row row;
+      row.name = name;
+      row.nn_acc = tsdist::bench::EvaluateComboTuned(
+                       name, tsdist::ParamGridFor(name), archive, engine)
+                       .accuracies;
+      for (const auto& dataset : archive) {
+        row.svm_acc.push_back(TunedSvmAccuracy(name, dataset, engine));
+      }
+      rows.push_back(std::move(row));
     }
+  });
+  for (const auto& row : rows) {
     const tsdist::WilcoxonResult w =
-        tsdist::WilcoxonSignedRank(svm_acc, nn.accuracies);
+        tsdist::WilcoxonSignedRank(row.svm_acc, row.nn_acc);
     const bool better = w.p_value < 0.05 && w.w_plus > w.w_minus;
     const bool worse = w.p_value < 0.05 && w.w_plus < w.w_minus;
-    std::cout << std::left << std::setw(10) << name << std::setw(12)
-              << std::fixed << std::setprecision(4) << MeanOf(nn.accuracies)
-              << std::setw(12) << MeanOf(svm_acc) << std::setw(24)
+    std::cout << std::left << std::setw(10) << row.name << std::setw(12)
+              << std::fixed << std::setprecision(4) << MeanOf(row.nn_acc)
+              << std::setw(12) << MeanOf(row.svm_acc) << std::setw(24)
               << (better ? "yes" : (worse ? "WORSE" : "no")) << "\n";
   }
   std::cout << "\n(Paper context [109]: kernels gain under SVM evaluation;\n"

@@ -35,7 +35,7 @@ Dataset TruncatedTrain(const Dataset& full, std::size_t train_size) {
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig10_convergence");
+  tsdist::bench::ObsSession obs_session("bench_fig10_convergence");
   // A large warped dataset: the regime where elastic/sliding measures hold
   // a persistent edge.
   GeneratorOptions options;
@@ -66,20 +66,35 @@ int main() {
   }
   std::cout << "\n";
 
-  for (double frac : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    const std::size_t n = static_cast<std::size_t>(
-        frac * static_cast<double>(full.train_size()));
-    if (n < 3) continue;
-    const Dataset subset = TruncatedTrain(full, n);
-    std::cout << std::left << std::setw(10) << n;
-    for (const auto& [name, params] : measures) {
-      const auto measure = tsdist::Registry::Global().Create(name, params);
-      const tsdist::Matrix e =
-          engine.Compute(subset.test(), subset.train(), *measure);
-      const double acc = tsdist::OneNnAccuracy(e, subset.test_labels(),
-                                               subset.train_labels());
-      std::cout << std::setw(12) << std::fixed << std::setprecision(4)
-                << 1.0 - acc;
+  struct Row {
+    std::size_t train_n;
+    std::vector<double> errors;
+  };
+  std::vector<Row> rows;
+  obs_session.RunCase("growing_train_sweep", [&] {
+    rows.clear();
+    for (double frac : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const std::size_t n = static_cast<std::size_t>(
+          frac * static_cast<double>(full.train_size()));
+      if (n < 3) continue;
+      const Dataset subset = TruncatedTrain(full, n);
+      Row row;
+      row.train_n = n;
+      for (const auto& [name, params] : measures) {
+        const auto measure = tsdist::Registry::Global().Create(name, params);
+        const tsdist::Matrix e =
+            engine.Compute(subset.test(), subset.train(), *measure);
+        const double acc = tsdist::OneNnAccuracy(e, subset.test_labels(),
+                                                 subset.train_labels());
+        row.errors.push_back(1.0 - acc);
+      }
+      rows.push_back(std::move(row));
+    }
+  });
+  for (const auto& row : rows) {
+    std::cout << std::left << std::setw(10) << row.train_n;
+    for (const double err : row.errors) {
+      std::cout << std::setw(12) << std::fixed << std::setprecision(4) << err;
     }
     std::cout << "\n";
   }

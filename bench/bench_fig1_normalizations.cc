@@ -35,7 +35,7 @@ std::string Sparkline(const std::vector<double>& values) {
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig1_normalizations");
+  tsdist::bench::ObsSession obs_session("bench_fig1_normalizations");
   using namespace tsdist;
 
   // Two heartbeat series of different classes (normal vs inverted-T), raw.
@@ -67,14 +67,14 @@ int main() {
     std::printf("  y: %s\n\n", Sparkline(b).c_str());
   };
 
-  show("raw", x, y);
-  for (const auto& name : PerSeriesNormalizerNames()) {
-    const NormalizerPtr n = MakeNormalizer(name);
-    show(name.c_str(), n->Apply(std::span<const double>(x)),
-         n->Apply(std::span<const double>(y)));
-  }
-  // AdaptiveScaling is pairwise: show y rescaled against x.
-  {
+  obs_session.RunCase("render_normalizations", [&] {
+    show("raw", x, y);
+    for (const auto& name : PerSeriesNormalizerNames()) {
+      const NormalizerPtr n = MakeNormalizer(name);
+      show(name.c_str(), n->Apply(std::span<const double>(x)),
+           n->Apply(std::span<const double>(y)));
+    }
+    // AdaptiveScaling is pairwise: show y rescaled against x.
     double dot_xy = 0.0, dot_yy = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       dot_xy += x[i] * y[i];
@@ -84,7 +84,7 @@ int main() {
     std::vector<double> scaled = y;
     for (auto& v : scaled) v *= alpha;
     show("adaptive(y|x)", x, scaled);
-  }
+  });
   std::printf("(Paper observation: differences are mostly in the value\n"
               " range; MinMax/MeanNorm/AdaptiveScaling re-anchor it; the\n"
               " non-linear Logistic and Tanh visibly reshape the waveform.)\n");

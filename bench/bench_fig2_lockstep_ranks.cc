@@ -21,21 +21,25 @@ using tsdist::bench::EvaluateComboTuned;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig2_lockstep_ranks");
+  tsdist::bench::ObsSession obs_session("bench_fig2_lockstep_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 2: ranking of lock-step measures under z-score over "
             << archive.size() << " datasets\n";
 
   std::vector<ComboAccuracies> combos;
-  // Minkowski is supervised (LOOCV over the Table 4 p-grid), like the paper.
-  combos.push_back(EvaluateComboTuned("minkowski",
-                                      tsdist::ParamGridFor("minkowski"),
-                                      archive, engine));
-  for (const char* measure :
-       {"lorentzian", "manhattan", "avg_l1_linf", "dissim", "euclidean"}) {
-    combos.push_back(EvaluateCombo(measure, {}, "zscore", archive, engine));
-  }
+  obs_session.RunCase("evaluate_ranks", [&] {
+    combos.clear();
+    // Minkowski is supervised (LOOCV over the Table 4 p-grid), like the
+    // paper.
+    combos.push_back(EvaluateComboTuned("minkowski",
+                                        tsdist::ParamGridFor("minkowski"),
+                                        archive, engine));
+    for (const char* measure :
+         {"lorentzian", "manhattan", "avg_l1_linf", "dissim", "euclidean"}) {
+      combos.push_back(EvaluateCombo(measure, {}, "zscore", archive, engine));
+    }
+  });
 
   tsdist::bench::PrintCdDiagram(
       "Average ranks (Friedman + Nemenyi): lock-step under z-score", combos,

@@ -19,17 +19,20 @@ using tsdist::bench::EvaluateCombo;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig3_norm_ranks");
+  tsdist::bench::ObsSession obs_session("bench_fig3_norm_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 3: normalization methods for the Lorentzian distance "
             << "over " << archive.size() << " datasets\n";
 
   std::vector<ComboAccuracies> combos;
-  for (const char* norm : {"zscore", "minmax", "unitlength", "meannorm"}) {
-    combos.push_back(EvaluateCombo("lorentzian", {}, norm, archive, engine));
-  }
-  combos.push_back(EvaluateCombo("euclidean", {}, "zscore", archive, engine));
+  obs_session.RunCase("evaluate_ranks", [&] {
+    combos.clear();
+    for (const char* norm : {"zscore", "minmax", "unitlength", "meannorm"}) {
+      combos.push_back(EvaluateCombo("lorentzian", {}, norm, archive, engine));
+    }
+    combos.push_back(EvaluateCombo("euclidean", {}, "zscore", archive, engine));
+  });
 
   tsdist::bench::PrintCdDiagram(
       "Average ranks: Lorentzian x normalization vs ED + z-score", combos,

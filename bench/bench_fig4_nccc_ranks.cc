@@ -19,19 +19,22 @@ using tsdist::bench::EvaluateCombo;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig4_nccc_ranks");
+  tsdist::bench::ObsSession obs_session("bench_fig4_nccc_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 4: normalization methods for NCCc over "
             << archive.size() << " datasets\n";
 
   std::vector<ComboAccuracies> combos;
-  for (const char* norm :
-       {"zscore", "meannorm", "unitlength", "adaptive", "minmax"}) {
-    combos.push_back(EvaluateCombo("nccc", {}, norm, archive, engine));
-  }
-  combos.push_back(
-      EvaluateCombo("lorentzian", {}, "unitlength", archive, engine));
+  obs_session.RunCase("evaluate_ranks", [&] {
+    combos.clear();
+    for (const char* norm :
+         {"zscore", "meannorm", "unitlength", "adaptive", "minmax"}) {
+      combos.push_back(EvaluateCombo("nccc", {}, norm, archive, engine));
+    }
+    combos.push_back(
+        EvaluateCombo("lorentzian", {}, "unitlength", archive, engine));
+  });
 
   tsdist::bench::PrintCdDiagram(
       "Average ranks: NCCc x normalization vs Lorentzian + UnitLength",

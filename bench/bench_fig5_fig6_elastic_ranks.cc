@@ -25,7 +25,7 @@ constexpr const char* kElastic[] = {"msm", "twe", "dtw", "edr",
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig5_fig6_elastic_ranks");
+  tsdist::bench::ObsSession obs_session("bench_fig5_fig6_elastic_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figures 5/6: elastic + sliding measure rankings over "
@@ -34,11 +34,14 @@ int main() {
   // Figure 5: supervised.
   {
     std::vector<ComboAccuracies> combos;
-    for (const char* measure : kElastic) {
-      combos.push_back(EvaluateComboTuned(
-          measure, tsdist::ParamGridFor(measure), archive, engine));
-    }
-    combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    obs_session.RunCase("supervised_ranks", [&] {
+      combos.clear();
+      for (const char* measure : kElastic) {
+        combos.push_back(EvaluateComboTuned(
+            measure, tsdist::ParamGridFor(measure), archive, engine));
+      }
+      combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    });
     tsdist::bench::PrintCdDiagram(
         "Figure 5: supervised elastic measures + NCCc", combos, 0.10);
   }
@@ -46,14 +49,17 @@ int main() {
   // Figure 6: unsupervised (paper's fixed parameters).
   {
     std::vector<ComboAccuracies> combos;
-    for (const char* measure : kElastic) {
-      ComboAccuracies combo =
-          EvaluateCombo(measure, tsdist::UnsupervisedParamsFor(measure),
-                        "zscore", archive, engine);
-      combo.label = std::string(measure) + " (fixed)";
-      combos.push_back(std::move(combo));
-    }
-    combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    obs_session.RunCase("unsupervised_ranks", [&] {
+      combos.clear();
+      for (const char* measure : kElastic) {
+        ComboAccuracies combo =
+            EvaluateCombo(measure, tsdist::UnsupervisedParamsFor(measure),
+                          "zscore", archive, engine);
+        combo.label = std::string(measure) + " (fixed)";
+        combos.push_back(std::move(combo));
+      }
+      combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    });
     tsdist::bench::PrintCdDiagram(
         "Figure 6: unsupervised elastic measures + NCCc", combos, 0.10);
   }

@@ -24,7 +24,7 @@ constexpr const char* kMeasures[] = {"kdtw", "gak", "msm", "twe", "dtw"};
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig7_fig8_kernel_ranks");
+  tsdist::bench::ObsSession obs_session("bench_fig7_fig8_kernel_ranks");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figures 7/8: kernel + elastic + sliding rankings over "
@@ -33,11 +33,14 @@ int main() {
   // Figure 7: supervised.
   {
     std::vector<ComboAccuracies> combos;
-    for (const char* measure : kMeasures) {
-      combos.push_back(EvaluateComboTuned(
-          measure, tsdist::ParamGridFor(measure), archive, engine));
-    }
-    combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    obs_session.RunCase("supervised_ranks", [&] {
+      combos.clear();
+      for (const char* measure : kMeasures) {
+        combos.push_back(EvaluateComboTuned(
+            measure, tsdist::ParamGridFor(measure), archive, engine));
+      }
+      combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    });
     tsdist::bench::PrintCdDiagram("Figure 7: supervised kernels vs elastic",
                                   combos, 0.10);
   }
@@ -45,14 +48,17 @@ int main() {
   // Figure 8: unsupervised.
   {
     std::vector<ComboAccuracies> combos;
-    for (const char* measure : kMeasures) {
-      ComboAccuracies combo =
-          EvaluateCombo(measure, tsdist::UnsupervisedParamsFor(measure),
-                        "zscore", archive, engine);
-      combo.label = std::string(measure) + " (fixed)";
-      combos.push_back(std::move(combo));
-    }
-    combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    obs_session.RunCase("unsupervised_ranks", [&] {
+      combos.clear();
+      for (const char* measure : kMeasures) {
+        ComboAccuracies combo =
+            EvaluateCombo(measure, tsdist::UnsupervisedParamsFor(measure),
+                          "zscore", archive, engine);
+        combo.label = std::string(measure) + " (fixed)";
+        combos.push_back(std::move(combo));
+      }
+      combos.push_back(EvaluateCombo("nccc", {}, "zscore", archive, engine));
+    });
     tsdist::bench::PrintCdDiagram("Figure 8: unsupervised kernels vs elastic",
                                   combos, 0.10);
   }

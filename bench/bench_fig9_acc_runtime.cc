@@ -26,7 +26,7 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_fig9_acc_runtime");
+  tsdist::bench::ObsSession obs_session("bench_fig9_acc_runtime");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Figure 9: accuracy vs inference runtime over "
@@ -52,31 +52,44 @@ int main() {
       {"kdtw", tsdist::UnsupervisedParamsFor("kdtw")},
   };
 
-  for (const auto& entry : entries) {
-    std::vector<double> accuracies;
-    const auto start = Clock::now();
-    for (const auto& dataset : archive) {
+  struct Row {
+    const char* name;
+    double avg_acc;
+    double ms;
+    const char* cost;
+  };
+  std::vector<Row> results;
+  obs_session.RunCase("evaluate_entries", [&] {
+    results.clear();
+    for (const auto& entry : entries) {
+      std::vector<double> accuracies;
+      const auto start = Clock::now();
+      for (const auto& dataset : archive) {
+        const auto measure =
+            tsdist::Registry::Global().Create(entry.name, entry.params);
+        const tsdist::Matrix e =
+            engine.Compute(dataset.test(), dataset.train(), *measure);
+        accuracies.push_back(tsdist::OneNnAccuracy(
+            e, dataset.test_labels(), dataset.train_labels()));
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
       const auto measure =
           tsdist::Registry::Global().Create(entry.name, entry.params);
-      const tsdist::Matrix e =
-          engine.Compute(dataset.test(), dataset.train(), *measure);
-      accuracies.push_back(tsdist::OneNnAccuracy(
-          e, dataset.test_labels(), dataset.train_labels()));
+      const char* cost =
+          measure->cost_class() == tsdist::CostClass::kLinear ? "O(m)"
+          : measure->cost_class() == tsdist::CostClass::kLinearithmic
+              ? "O(m log m)"
+              : "O(m^2)";
+      results.push_back({entry.name, MeanOf(accuracies), ms, cost});
     }
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - start)
-            .count();
-    const auto measure =
-        tsdist::Registry::Global().Create(entry.name, entry.params);
-    const char* cost =
-        measure->cost_class() == tsdist::CostClass::kLinear ? "O(m)"
-        : measure->cost_class() == tsdist::CostClass::kLinearithmic
-            ? "O(m log m)"
-            : "O(m^2)";
-    std::cout << std::left << std::setw(12) << entry.name << std::setw(12)
-              << std::fixed << std::setprecision(4) << MeanOf(accuracies)
-              << std::setw(14) << std::setprecision(1) << ms << std::setw(14)
-              << cost << "\n";
+  });
+  for (const auto& row : results) {
+    std::cout << std::left << std::setw(12) << row.name << std::setw(12)
+              << std::fixed << std::setprecision(4) << row.avg_acc
+              << std::setw(14) << std::setprecision(1) << row.ms
+              << std::setw(14) << row.cost << "\n";
   }
   std::cout << "\n(Paper shape: runtime ordering O(m) < O(m log m) << O(m^2)\n"
             << " while NCCc/SINK hold most of the elastic accuracy.)\n";

@@ -5,6 +5,7 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "src/core/registry.h"
 #include "src/normalization/normalization.h"
@@ -12,7 +13,7 @@
 #include "bench/bench_common.h"
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_table1_inventory");
+  tsdist::bench::ObsSession obs_session("bench_table1_inventory");
   using namespace tsdist;
   const Registry& registry = Registry::Global();
   // 7 per-series methods + pairwise AdaptiveScaling = the paper's 8.
@@ -23,16 +24,20 @@ int main() {
     std::size_t cardinality;
     std::size_t scaling_methods;
   };
-  const Row rows[] = {
-      {"Lock-step",
-       registry.NamesInCategory(MeasureCategory::kLockStep).size(), norms},
-      {"Sliding", registry.NamesInCategory(MeasureCategory::kSliding).size(),
-       norms},
-      {"Elastic", registry.NamesInCategory(MeasureCategory::kElastic).size(),
-       1},
-      {"Kernel", registry.NamesInCategory(MeasureCategory::kKernel).size(), 1},
-      {"Embedding", 4 /* dataset-level transforms; see src/embedding */, 1},
-  };
+  std::vector<Row> rows;
+  obs_session.RunCase("inventory", [&] {
+    rows = {
+        {"Lock-step",
+         registry.NamesInCategory(MeasureCategory::kLockStep).size(), norms},
+        {"Sliding", registry.NamesInCategory(MeasureCategory::kSliding).size(),
+         norms},
+        {"Elastic", registry.NamesInCategory(MeasureCategory::kElastic).size(),
+         1},
+        {"Kernel", registry.NamesInCategory(MeasureCategory::kKernel).size(),
+         1},
+        {"Embedding", 4 /* dataset-level transforms; see src/embedding */, 1},
+    };
+  });
 
   std::cout << "Table 1: measure inventory (generated from the registry)\n";
   std::cout << std::left << std::setw(12) << "Category" << std::setw(14)

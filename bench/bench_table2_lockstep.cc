@@ -28,39 +28,41 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_table2_lockstep");
+  tsdist::bench::ObsSession obs_session("bench_table2_lockstep");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 2: lock-step measures under 8 normalizations, "
             << archive.size() << " datasets\n";
-
-  // Baseline: ED with z-score (the archive's native normalization).
-  const ComboAccuracies baseline =
-      EvaluateCombo("euclidean", {}, "zscore", archive, engine);
 
   // Normalizations evaluated per measure: the 7 per-series transforms plus
   // the pairwise adaptive scaling (8 methods, Section 4).
   std::vector<std::string> norms = tsdist::PerSeriesNormalizerNames();
   norms.push_back("adaptive");
 
+  // Baseline: ED with z-score (the archive's native normalization).
+  ComboAccuracies baseline;
   std::vector<ComboAccuracies> above_baseline;
-  const double baseline_avg = MeanOf(baseline.accuracies);
-  for (const auto& measure : tsdist::LockStepMeasureNames()) {
-    for (const auto& norm : norms) {
-      ParamMap params;
-      if (measure == "minkowski") {
-        // The only lock-step measure with a parameter; the paper tunes it
-        // with LOOCV. Use the strong fixed choice p = 0.5 here and report
-        // the supervised variant separately below.
-        params["p"] = 0.5;
-      }
-      ComboAccuracies combo =
-          EvaluateCombo(measure, params, norm, archive, engine);
-      if (MeanOf(combo.accuracies) > baseline_avg) {
-        above_baseline.push_back(std::move(combo));
+  obs_session.RunCase("evaluate_combos", [&] {
+    baseline = EvaluateCombo("euclidean", {}, "zscore", archive, engine);
+    above_baseline.clear();
+    const double baseline_avg = MeanOf(baseline.accuracies);
+    for (const auto& measure : tsdist::LockStepMeasureNames()) {
+      for (const auto& norm : norms) {
+        ParamMap params;
+        if (measure == "minkowski") {
+          // The only lock-step measure with a parameter; the paper tunes it
+          // with LOOCV. Use the strong fixed choice p = 0.5 here and report
+          // the supervised variant separately below.
+          params["p"] = 0.5;
+        }
+        ComboAccuracies combo =
+            EvaluateCombo(measure, params, norm, archive, engine);
+        if (MeanOf(combo.accuracies) > baseline_avg) {
+          above_baseline.push_back(std::move(combo));
+        }
       }
     }
-  }
+  });
 
   tsdist::bench::PrintTableHeader(
       "Lock-step x normalization combos with avg accuracy above ED+z-score",

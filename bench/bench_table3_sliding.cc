@@ -22,28 +22,31 @@ using tsdist::bench::MeanOf;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_table3_sliding");
+  tsdist::bench::ObsSession obs_session("bench_table3_sliding");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 3: sliding measures under 8 normalizations, "
             << archive.size() << " datasets\n";
 
-  const ComboAccuracies baseline =
-      EvaluateCombo("lorentzian", {}, "zscore", archive, engine);
-  const double baseline_avg = MeanOf(baseline.accuracies);
-
   std::vector<std::string> norms = tsdist::PerSeriesNormalizerNames();
   norms.push_back("adaptive");
 
+  ComboAccuracies baseline;
   std::vector<ComboAccuracies> above;
-  for (const auto& measure : tsdist::SlidingMeasureNames()) {
-    for (const auto& norm : norms) {
-      ComboAccuracies combo = EvaluateCombo(measure, {}, norm, archive, engine);
-      if (MeanOf(combo.accuracies) > baseline_avg) {
-        above.push_back(std::move(combo));
+  obs_session.RunCase("evaluate_combos", [&] {
+    baseline = EvaluateCombo("lorentzian", {}, "zscore", archive, engine);
+    const double baseline_avg = MeanOf(baseline.accuracies);
+    above.clear();
+    for (const auto& measure : tsdist::SlidingMeasureNames()) {
+      for (const auto& norm : norms) {
+        ComboAccuracies combo =
+            EvaluateCombo(measure, {}, norm, archive, engine);
+        if (MeanOf(combo.accuracies) > baseline_avg) {
+          above.push_back(std::move(combo));
+        }
       }
     }
-  }
+  });
 
   tsdist::bench::PrintTableHeader(
       "Sliding x normalization combos above the Lorentzian baseline",

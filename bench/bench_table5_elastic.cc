@@ -23,37 +23,44 @@ using tsdist::bench::EvaluateComboTuned;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_table5_elastic");
+  tsdist::bench::ObsSession obs_session("bench_table5_elastic");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 5: elastic measures vs NCCc, " << archive.size()
             << " datasets (supervised LOOCV + unsupervised fixed params)\n";
 
-  const ComboAccuracies baseline =
-      EvaluateCombo("nccc", {}, "zscore", archive, engine);
+  ComboAccuracies baseline;
+  std::vector<ComboAccuracies> rows;
+  obs_session.RunCase("evaluate_elastic", [&] {
+    baseline = EvaluateCombo("nccc", {}, "zscore", archive, engine);
+    rows.clear();
+    for (const char* measure :
+         {"msm", "twe", "dtw", "edr", "swale", "erp", "lcss"}) {
+      // Supervised row (ERP is parameter-free; its "grid" is a single
+      // entry).
+      rows.push_back(EvaluateComboTuned(
+          measure, tsdist::ParamGridFor(measure), archive, engine));
+      // Unsupervised row with the paper's fixed parameters.
+      const ParamMap fixed = tsdist::UnsupervisedParamsFor(measure);
+      ComboAccuracies unsup = EvaluateCombo(measure, fixed, "zscore", archive,
+                                            engine);
+      unsup.label = std::string(measure) + " (" +
+                    (fixed.empty() ? "param-free" : tsdist::ToString(fixed)) +
+                    ")";
+      rows.push_back(std::move(unsup));
+    }
+    // The paper also reports DTW with delta = 100 (unconstrained)
+    // explicitly.
+    ComboAccuracies dtw100 =
+        EvaluateCombo("dtw", {{"delta", 100.0}}, "zscore", archive, engine);
+    dtw100.label = "dtw (delta=100)";
+    rows.push_back(std::move(dtw100));
+  });
 
   tsdist::bench::PrintTableHeader("Elastic measures vs NCCc", "nccc+zscore");
-  for (const char* measure :
-       {"msm", "twe", "dtw", "edr", "swale", "erp", "lcss"}) {
-    // Supervised row (ERP is parameter-free; its "grid" is a single entry).
-    ComboAccuracies tuned = EvaluateComboTuned(
-        measure, tsdist::ParamGridFor(measure), archive, engine);
-    tsdist::bench::PrintComparisonRow(tuned, baseline.accuracies);
-    // Unsupervised row with the paper's fixed parameters.
-    const ParamMap fixed = tsdist::UnsupervisedParamsFor(measure);
-    ComboAccuracies unsup = EvaluateCombo(measure, fixed, "zscore", archive,
-                                          engine);
-    unsup.label = std::string(measure) + " (" +
-                  (fixed.empty() ? "param-free" : tsdist::ToString(fixed)) +
-                  ")";
-    tsdist::bench::PrintComparisonRow(unsup, baseline.accuracies);
+  for (const auto& row : rows) {
+    tsdist::bench::PrintComparisonRow(row, baseline.accuracies);
   }
-  // The paper also reports DTW with delta = 100 (unconstrained) explicitly.
-  ComboAccuracies dtw100 =
-      EvaluateCombo("dtw", {{"delta", 100.0}}, "zscore", archive, engine);
-  dtw100.label = "dtw (delta=100)";
-  tsdist::bench::PrintComparisonRow(dtw100, baseline.accuracies);
-
   tsdist::bench::PrintBaselineRow("nccc+zscore", baseline.accuracies);
   std::cout << "\n(Paper shape: supervised elastic measures beat NCCc except\n"
             << " LCSS; unsupervised, only MSM/TWE/ERP do — most elastic\n"

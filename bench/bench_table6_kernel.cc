@@ -22,26 +22,32 @@ using tsdist::bench::EvaluateComboTuned;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_table6_kernel");
+  tsdist::bench::ObsSession obs_session("bench_table6_kernel");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   std::cout << "Table 6: kernel measures vs NCCc, " << archive.size()
             << " datasets\n";
 
-  const ComboAccuracies baseline =
-      EvaluateCombo("nccc", {}, "zscore", archive, engine);
+  ComboAccuracies baseline;
+  std::vector<ComboAccuracies> rows;
+  obs_session.RunCase("evaluate_kernels", [&] {
+    baseline = EvaluateCombo("nccc", {}, "zscore", archive, engine);
+    rows.clear();
+    for (const auto& measure : tsdist::KernelMeasureNames()) {
+      rows.push_back(EvaluateComboTuned(
+          measure, tsdist::ParamGridFor(measure), archive, engine));
+
+      const tsdist::ParamMap fixed = tsdist::UnsupervisedParamsFor(measure);
+      ComboAccuracies unsup =
+          EvaluateCombo(measure, fixed, "zscore", archive, engine);
+      unsup.label = measure + " (" + tsdist::ToString(fixed) + ")";
+      rows.push_back(std::move(unsup));
+    }
+  });
 
   tsdist::bench::PrintTableHeader("Kernel measures vs NCCc", "nccc+zscore");
-  for (const auto& measure : tsdist::KernelMeasureNames()) {
-    ComboAccuracies tuned = EvaluateComboTuned(
-        measure, tsdist::ParamGridFor(measure), archive, engine);
-    tsdist::bench::PrintComparisonRow(tuned, baseline.accuracies);
-
-    const tsdist::ParamMap fixed = tsdist::UnsupervisedParamsFor(measure);
-    ComboAccuracies unsup =
-        EvaluateCombo(measure, fixed, "zscore", archive, engine);
-    unsup.label = measure + " (" + tsdist::ToString(fixed) + ")";
-    tsdist::bench::PrintComparisonRow(unsup, baseline.accuracies);
+  for (const auto& row : rows) {
+    tsdist::bench::PrintComparisonRow(row, baseline.accuracies);
   }
   tsdist::bench::PrintBaselineRow("nccc+zscore", baseline.accuracies);
 

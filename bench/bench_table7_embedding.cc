@@ -22,7 +22,7 @@ using tsdist::bench::EvaluateCombo;
 }  // namespace
 
 int main() {
-  const tsdist::bench::ObsSession obs_session("bench_table7_embedding");
+  tsdist::bench::ObsSession obs_session("bench_table7_embedding");
   const auto archive = BenchArchive();
   const tsdist::PairwiseEngine engine(tsdist::bench::ThreadsFromEnv());
   // Paper uses 100-dimensional representations; cap by the smallest train
@@ -34,22 +34,29 @@ int main() {
   std::cout << "Table 7: embedding measures vs NCCc, " << archive.size()
             << " datasets, representation length " << dimension << "\n";
 
-  const ComboAccuracies baseline =
-      EvaluateCombo("nccc", {}, "zscore", archive, engine);
+  ComboAccuracies baseline;
+  std::vector<ComboAccuracies> rows;
+  obs_session.RunCase("evaluate_embeddings", [&] {
+    baseline = EvaluateCombo("nccc", {}, "zscore", archive, engine);
+    rows.clear();
+    for (const char* name : {"grail", "rws", "spiral", "sidl"}) {
+      ComboAccuracies combo;
+      combo.measure = name;
+      combo.normalization = "zscore";
+      combo.label = std::string(name) + " (ED on representations)";
+      for (const auto& dataset : archive) {
+        auto rep = tsdist::MakeRepresentation(name, {}, dimension, /*seed=*/7);
+        combo.accuracies.push_back(
+            tsdist::EvaluateEmbedding(rep.get(), dataset).test_accuracy);
+      }
+      rows.push_back(std::move(combo));
+    }
+  });
 
   tsdist::bench::PrintTableHeader("Embedding measures vs NCCc",
                                   "nccc+zscore");
-  for (const char* name : {"grail", "rws", "spiral", "sidl"}) {
-    ComboAccuracies combo;
-    combo.measure = name;
-    combo.normalization = "zscore";
-    combo.label = std::string(name) + " (ED on representations)";
-    for (const auto& dataset : archive) {
-      auto rep = tsdist::MakeRepresentation(name, {}, dimension, /*seed=*/7);
-      combo.accuracies.push_back(
-          tsdist::EvaluateEmbedding(rep.get(), dataset).test_accuracy);
-    }
-    tsdist::bench::PrintComparisonRow(combo, baseline.accuracies);
+  for (const auto& row : rows) {
+    tsdist::bench::PrintComparisonRow(row, baseline.accuracies);
   }
   tsdist::bench::PrintBaselineRow("nccc+zscore", baseline.accuracies);
 

@@ -2,11 +2,45 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
+
 namespace tsdist {
+
+namespace {
+
+// Utilization counters for all pools in the process. Handles are resolved
+// per use-site scope (one registry lookup per job, not per index) instead of
+// being cached in a static so MetricsRegistry::Reset() in tests never leaves
+// dangling pointers behind.
+struct PoolMetrics {
+  obs::Counter* jobs;
+  obs::Counter* inline_jobs;
+  obs::Counter* tasks;
+  obs::Counter* busy_ns;
+  obs::Counter* idle_ns;
+
+  PoolMetrics() {
+    auto& registry = obs::MetricsRegistry::Global();
+    jobs = &registry.GetCounter("tsdist.pool.jobs");
+    inline_jobs = &registry.GetCounter("tsdist.pool.inline_jobs");
+    tasks = &registry.GetCounter("tsdist.pool.tasks");
+    busy_ns = &registry.GetCounter("tsdist.pool.busy_ns");
+    idle_ns = &registry.GetCounter("tsdist.pool.idle_ns");
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (obs::Enabled()) {
+    // Last-constructed pool wins; all current callers build one engine-owned
+    // pool per process, and the bench manifest records the intended count.
+    obs::MetricsRegistry::Global()
+        .GetGauge("tsdist.pool.threads")
+        .Set(static_cast<double>(num_threads));
   }
   workers_.reserve(num_threads - 1);
   for (std::size_t t = 0; t + 1 < num_threads; ++t) {
@@ -35,6 +69,7 @@ void ThreadPool::WorkerLoop() {
   std::uint64_t last_seen = 0;
   for (;;) {
     Job* job = nullptr;
+    const std::uint64_t wait_start = obs::Enabled() ? obs::NowNs() : 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
@@ -45,7 +80,15 @@ void ThreadPool::WorkerLoop() {
       job = job_;
       ++active_workers_;
     }
-    RunJob(job);
+    if (wait_start != 0 && obs::Enabled()) {
+      const PoolMetrics metrics;
+      metrics.idle_ns->Add(obs::NowNs() - wait_start);
+      const std::uint64_t busy_start = obs::NowNs();
+      RunJob(job);
+      metrics.busy_ns->Add(obs::NowNs() - busy_start);
+    } else {
+      RunJob(job);
+    }
     {
       const std::lock_guard<std::mutex> lock(mu_);
       --active_workers_;
@@ -58,7 +101,16 @@ void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    if (obs::Enabled()) {
+      const PoolMetrics metrics;
+      metrics.inline_jobs->Add(1);
+      metrics.tasks->Add(count);
+      const std::uint64_t busy_start = obs::NowNs();
+      for (std::size_t i = 0; i < count; ++i) body(i);
+      metrics.busy_ns->Add(obs::NowNs() - busy_start);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    }
     return;
   }
 
@@ -72,7 +124,16 @@ void ThreadPool::ParallelFor(std::size_t count,
     ++job_seq_;
   }
   work_cv_.notify_all();
-  RunJob(&job);  // the submitting thread participates
+  if (obs::Enabled()) {
+    const PoolMetrics metrics;
+    metrics.jobs->Add(1);
+    metrics.tasks->Add(count);
+    const std::uint64_t busy_start = obs::NowNs();
+    RunJob(&job);  // the submitting thread participates
+    metrics.busy_ns->Add(obs::NowNs() - busy_start);
+  } else {
+    RunJob(&job);  // the submitting thread participates
+  }
   {
     // Retract the job under the lock so a late-waking worker cannot pick it
     // up, then wait for every worker that did to leave RunJob: `job` lives

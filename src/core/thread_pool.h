@@ -11,6 +11,14 @@
 // like the previous per-matrix spawning code. Each index is an independent
 // pure computation, so results remain bit-identical regardless of worker
 // count or claim order.
+//
+// Utilization telemetry: the pool reports to the obs layer so every
+// BENCH_*.json records how busy the workers actually were (counters
+// tsdist.pool.jobs / inline_jobs / tasks / busy_ns / idle_ns, gauge
+// tsdist.pool.threads — see docs/OBSERVABILITY.md). Timing is per *job*
+// per participant, never per index, so the hot claim loop stays two relaxed
+// atomics; everything is guarded by obs::Enabled() and compiles out under
+// TSDIST_OBS_NOOP.
 
 #ifndef TSDIST_CORE_THREAD_POOL_H_
 #define TSDIST_CORE_THREAD_POOL_H_

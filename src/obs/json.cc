@@ -1,0 +1,319 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace tsdist::obs {
+
+namespace {
+
+[[noreturn]] void TypeError(const char* want, JsonValue::Type got) {
+  throw std::runtime_error(std::string("JsonValue: expected ") + want +
+                           ", got type " +
+                           std::to_string(static_cast<int>(got)));
+}
+
+// Recursive-descent parser over the raw document text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void ExpectLiteral(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        Fail(std::string("expected literal '") + literal + "'");
+      }
+      ++pos_;
+    }
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return JsonValue::MakeString(ParseString());
+      case 't':
+        ExpectLiteral("true");
+        return JsonValue::MakeBool(true);
+      case 'f':
+        ExpectLiteral("false");
+        return JsonValue::MakeBool(false);
+      case 'n':
+        ExpectLiteral("null");
+        return JsonValue::MakeNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    std::map<std::string, JsonValue> members;
+    if (!Consume('}')) {
+      for (;;) {
+        std::string key = ParseString();
+        Expect(':');
+        members.insert_or_assign(std::move(key), ParseValue());
+        if (Consume('}')) break;
+        Expect(',');
+      }
+    }
+    return JsonValue::MakeObject(std::move(members));
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    std::vector<JsonValue> items;
+    if (!Consume(']')) {
+      for (;;) {
+        items.push_back(ParseValue());
+        if (Consume(']')) break;
+        Expect(',');
+      }
+    }
+    return JsonValue::MakeArray(std::move(items));
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("invalid \\u escape digit");
+            }
+          }
+          // The tsdist writers only emit \u00xx for control bytes; encode
+          // the general case as UTF-8 anyway.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    SkipWhitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') Fail("malformed number '" + token + "'");
+    return JsonValue::MakeNumber(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  if (type_ != Type::kBool) TypeError("bool", type_);
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (type_ != Type::kNumber) TypeError("number", type_);
+  return number_;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  const double d = AsDouble();
+  if (!std::isfinite(d)) TypeError("finite integer", type_);
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& JsonValue::AsString() const {
+  if (type_ != Type::kString) TypeError("string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (type_ != Type::kArray) TypeError("array", type_);
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  if (type_ != Type::kObject) TypeError("object", type_);
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v(Type::kBool);
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v(Type::kNumber);
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v(Type::kString);
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v(Type::kArray);
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v(Type::kObject);
+  v.object_ = std::move(members);
+  return v;
+}
+
+JsonValue ParseJson(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+JsonValue ParseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read JSON file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return ParseJson(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace tsdist::obs

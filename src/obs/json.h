@@ -1,0 +1,83 @@
+// Minimal read-only JSON parser for tsdist's own artifacts.
+//
+// The observability layer emits JSON (tsdist.metrics.v1 snapshots,
+// tsdist.bench.v2 reports, Chrome traces) and several tools consume it back:
+// the bench orchestrator aggregates per-bench reports into a suite file and
+// bench_compare diffs two suites. This parser covers exactly the JSON those
+// writers produce — objects, arrays, strings with the escapes JsonEscape
+// emits, numbers, booleans, null — with no external dependency. It is a
+// tooling/test path, not a hot path: documents are a few MB at most.
+
+#ifndef TSDIST_OBS_JSON_H_
+#define TSDIST_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tsdist::obs {
+
+/// One parsed JSON value. Object keys are unique (last wins, like most
+/// parsers); numbers are stored as double, which is exact for every integer
+/// the tsdist writers emit below 2^53.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsInt() const;  ///< AsDouble() truncated; throws if non-finite
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object member lookup: nullptr when absent or when this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience lookups with defaults (absent or wrong type -> fallback).
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  // Construction is internal to the parser.
+  static JsonValue MakeNull() { return JsonValue(Type::kNull); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  explicit JsonValue(Type type) : type_(type) {}
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses `text` as one JSON document; throws std::runtime_error with a
+/// byte offset on malformed input or trailing garbage.
+JsonValue ParseJson(const std::string& text);
+
+/// Reads and parses a JSON file; throws std::runtime_error naming the path
+/// when the file cannot be read or parsed.
+JsonValue ParseJsonFile(const std::string& path);
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_JSON_H_

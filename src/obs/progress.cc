@@ -6,6 +6,10 @@
 #include <iostream>
 #include <limits>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "src/obs/obs.h"
 
 namespace tsdist::obs {
@@ -51,7 +55,14 @@ ProgressReporter::ProgressReporter(std::string label, std::uint64_t total_units,
       unit_(std::move(unit)),
       total_(total_units),
       out_(out),
-      start_ns_(NowNs()) {}
+      stderr_sink_(out == nullptr),
+      start_ns_(NowNs()) {
+#if defined(__unix__) || defined(__APPLE__)
+  stderr_tty_ = isatty(STDERR_FILENO) != 0;
+#else
+  stderr_tty_ = true;  // no reliable detection; keep the old behavior
+#endif
+}
 
 ProgressReporter::~ProgressReporter() {
   ProgressReporter* self = this;
@@ -102,6 +113,9 @@ std::string ProgressReporter::RenderLine() const {
 }
 
 void ProgressReporter::MaybePrint(bool force) {
+  // A redirected stderr gets no `\r` frames at all (CI logs, pipes) unless
+  // the driver forced printing; counting still works either way.
+  if (suppressed()) return;
   const std::uint64_t now = NowNs();
   std::uint64_t last = last_print_ns_.load(std::memory_order_relaxed);
   if (!force) {

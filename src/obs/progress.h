@@ -27,6 +27,11 @@ class ProgressReporter {
   /// `label` prefixes the status line; `total_units` of 0 renders without
   /// percentage/ETA; `out` of nullptr writes to stderr; `unit` names the
   /// work unit in the rendered line.
+  ///
+  /// When writing to stderr and stderr is not a terminal (CI logs, piped
+  /// runs), the throttled `\r` status frames are suppressed entirely unless
+  /// set_force(true) was called — drivers call that when the user passed an
+  /// explicit --progress flag. An explicit `out` stream always prints.
   ProgressReporter(std::string label, std::uint64_t total_units,
                    std::ostream* out = nullptr, std::string unit = "cells");
   ~ProgressReporter();
@@ -56,6 +61,13 @@ class ProgressReporter {
   /// Minimum interval between printed updates.
   void set_min_interval_ns(std::uint64_t ns) { min_interval_ns_ = ns; }
 
+  /// Prints to a non-TTY stderr anyway (explicit --progress semantics).
+  void set_force(bool force) { forced_ = force; }
+
+  /// True when status frames are currently being swallowed (stderr sink,
+  /// not a terminal, not forced) — exposed for tests.
+  bool suppressed() const { return stderr_sink_ && !stderr_tty_ && !forced_; }
+
  private:
   void MaybePrint(bool force);
 
@@ -63,6 +75,9 @@ class ProgressReporter {
   std::string unit_;
   std::uint64_t total_;
   std::ostream* out_;
+  bool stderr_sink_ = false;  ///< writing to the process stderr stream
+  bool stderr_tty_ = false;   ///< stderr was a terminal at construction
+  bool forced_ = false;
   std::uint64_t start_ns_;
   std::uint64_t min_interval_ns_ = 200'000'000;  // 200 ms
   std::atomic<std::uint64_t> done_{0};

@@ -1,0 +1,211 @@
+#include "src/obs/runinfo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+// Generated at build time (cmake/BuildInfo.cmake); carries git SHA + dirty
+// flag, compiler id/version, resolved CXX flags, and the build type. The
+// __has_include fallback keeps this file compiling standalone (IDE
+// indexers, ad-hoc builds) with "unknown" provenance.
+#if __has_include("tsdist/buildinfo.h")
+#include "tsdist/buildinfo.h"
+#endif
+
+#ifndef TSDIST_BUILD_GIT_SHA
+#define TSDIST_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef TSDIST_BUILD_GIT_DIRTY
+#define TSDIST_BUILD_GIT_DIRTY 0
+#endif
+#ifndef TSDIST_BUILD_COMPILER
+#define TSDIST_BUILD_COMPILER "unknown"
+#endif
+#ifndef TSDIST_BUILD_FLAGS
+#define TSDIST_BUILD_FLAGS ""
+#endif
+#ifndef TSDIST_BUILD_TYPE
+#define TSDIST_BUILD_TYPE "unknown"
+#endif
+
+namespace tsdist::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Fixed-precision milliseconds: enough to round-trip microsecond timings
+// without dumping 17 significant digits into every sample array.
+std::string MsNumber(double v) {
+  if (!std::isfinite(v) || v < 0) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string CpuModelName() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+RunManifest CollectRunManifest(std::uint64_t threads, std::uint64_t rng_seed,
+                               std::string scale) {
+  RunManifest m;
+  m.git_sha = TSDIST_BUILD_GIT_SHA;
+  m.git_dirty = TSDIST_BUILD_GIT_DIRTY != 0;
+  m.compiler = TSDIST_BUILD_COMPILER;
+  m.compiler_flags = TSDIST_BUILD_FLAGS;
+  m.build_type = TSDIST_BUILD_TYPE;
+  // Computed once: the manifest is collected at most a handful of times per
+  // run, but /proc parsing in a loop would be silly.
+  static const std::string cpu_model = CpuModelName();
+  m.cpu_model = cpu_model;
+  m.cpu_cores = static_cast<int>(std::thread::hardware_concurrency());
+  m.threads = threads;
+  m.rng_seed = rng_seed;
+  m.scale = std::move(scale);
+  return m;
+}
+
+std::string ManifestToJson(const RunManifest& m, int indent) {
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  std::ostringstream os;
+  os << "{\n"
+     << pad << "  \"schema_version\": " << m.schema_version << ",\n"
+     << pad << "  \"git_sha\": \"" << JsonEscape(m.git_sha) << "\",\n"
+     << pad << "  \"git_dirty\": " << (m.git_dirty ? "true" : "false") << ",\n"
+     << pad << "  \"compiler\": \"" << JsonEscape(m.compiler) << "\",\n"
+     << pad << "  \"compiler_flags\": \"" << JsonEscape(m.compiler_flags)
+     << "\",\n"
+     << pad << "  \"build_type\": \"" << JsonEscape(m.build_type) << "\",\n"
+     << pad << "  \"cpu_model\": \"" << JsonEscape(m.cpu_model) << "\",\n"
+     << pad << "  \"cpu_cores\": " << m.cpu_cores << ",\n"
+     << pad << "  \"threads\": " << m.threads << ",\n"
+     << pad << "  \"rng_seed\": " << m.rng_seed << ",\n"
+     << pad << "  \"scale\": \"" << JsonEscape(m.scale) << "\"\n"
+     << pad << "}";
+  return os.str();
+}
+
+std::uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void UpdatePeakRssGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("tsdist.proc.peak_rss_bytes");
+  gauge.Set(static_cast<double>(PeakRssBytes()));
+}
+
+double SampleMedian(std::vector<double> samples) {
+  return SampleQuantile(std::move(samples), 0.5);
+}
+
+double SampleQuantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t n = samples.size();
+  if (q == 0.5 && n % 2 == 0) {
+    // Conventional even-n median: midpoint of the two central samples.
+    return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  }
+  const std::size_t rank = std::min(
+      n - 1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) -
+                 (q > 0.0 ? 1 : 0));
+  return samples[rank];
+}
+
+std::string BenchReportToJson(const BenchReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"tsdist.bench.v2\",\n"
+     << "  \"bench\": \"" << JsonEscape(report.bench) << "\",\n"
+     << "  \"scale\": \"" << JsonEscape(report.scale) << "\",\n"
+     << "  \"threads\": " << report.threads << ",\n"
+     << "  \"wall_ms\": " << MsNumber(report.wall_ms) << ",\n"
+     << "  \"manifest\": " << ManifestToJson(report.manifest, 2) << ",\n"
+     << "  \"peak_rss_bytes\": " << report.peak_rss_bytes << ",\n"
+     << "  \"cases\": [";
+  for (std::size_t i = 0; i < report.cases.size(); ++i) {
+    const BenchCaseResult& c = report.cases[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << JsonEscape(c.name)
+       << "\", \"warmup\": " << c.warmup
+       << ", \"iters\": " << c.samples_ms.size() << ",\n     \"samples_ms\": [";
+    double min_ms = 0.0;
+    double sum = 0.0;
+    for (std::size_t s = 0; s < c.samples_ms.size(); ++s) {
+      if (s > 0) os << ", ";
+      os << MsNumber(c.samples_ms[s]);
+      min_ms = s == 0 ? c.samples_ms[s] : std::min(min_ms, c.samples_ms[s]);
+      sum += c.samples_ms[s];
+    }
+    const double mean =
+        c.samples_ms.empty()
+            ? 0.0
+            : sum / static_cast<double>(c.samples_ms.size());
+    os << "],\n     \"min_ms\": " << MsNumber(min_ms)
+       << ", \"median_ms\": " << MsNumber(SampleMedian(c.samples_ms))
+       << ", \"p90_ms\": " << MsNumber(SampleQuantile(c.samples_ms, 0.9))
+       << ", \"mean_ms\": " << MsNumber(mean) << "}";
+  }
+  os << (report.cases.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"metrics\": ";
+  // The metrics snapshot is already a serialized JSON object; strip its
+  // trailing newline so the enclosing document stays tidy.
+  std::string metrics = report.metrics_json;
+  while (!metrics.empty() &&
+         (metrics.back() == '\n' || metrics.back() == ' ')) {
+    metrics.pop_back();
+  }
+  os << (metrics.empty() ? "{}" : metrics) << "\n}\n";
+  return os.str();
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,90 @@
+// Run provenance and the tsdist.bench.v2 report writer.
+//
+// A benchmark number without provenance cannot be compared across commits:
+// the same binary name may have been built from a dirty tree, with different
+// flags, or run on a different CPU. RunManifest captures that context once
+// per run — git SHA + dirty flag (baked in at build time via the generated
+// buildinfo header), compiler id and flags, build type, CPU model and core
+// count, thread count, RNG seed, and the schema version — and every
+// tsdist.bench.v2 artifact embeds it.
+//
+// BenchReport is the in-memory form of one BENCH_<name>.json file: a set of
+// named cases, each holding the raw per-iteration wall-clock samples (warmup
+// iterations are discarded before recording), plus the peak-RSS gauge and an
+// embedded tsdist.metrics.v1 snapshot. bench_compare consumes the sample
+// arrays directly — min/median/p90 in the JSON are derived conveniences.
+
+#ifndef TSDIST_OBS_RUNINFO_H_
+#define TSDIST_OBS_RUNINFO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsdist::obs {
+
+/// Provenance for one benchmark run; serialized into every v2 artifact.
+struct RunManifest {
+  int schema_version = 2;
+  std::string git_sha;        ///< HEAD commit at build time ("unknown" if absent)
+  bool git_dirty = false;     ///< uncommitted changes at build time
+  std::string compiler;       ///< e.g. "GNU 13.2.0"
+  std::string compiler_flags; ///< base + build-type CXX flags
+  std::string build_type;     ///< e.g. "Release"
+  std::string cpu_model;      ///< from /proc/cpuinfo ("unknown" if unreadable)
+  int cpu_cores = 0;          ///< hardware concurrency
+  std::uint64_t threads = 0;  ///< worker threads the run was configured with
+  std::uint64_t rng_seed = 0; ///< archive/data generator seed
+  std::string scale;          ///< archive scale preset the run used
+};
+
+/// Fills a manifest from the build-time constants and the live host.
+RunManifest CollectRunManifest(std::uint64_t threads, std::uint64_t rng_seed,
+                               std::string scale);
+
+/// Serializes a manifest as a JSON object, each line prefixed by `indent`
+/// spaces (the opening brace is not indented so the value can follow a key).
+std::string ManifestToJson(const RunManifest& manifest, int indent);
+
+/// Peak resident set size of this process in bytes (0 when unavailable).
+/// Monotone over the process lifetime by definition.
+std::uint64_t PeakRssBytes();
+
+/// Sets the `tsdist.proc.peak_rss_bytes` gauge to the current peak RSS.
+/// Successive calls can only raise the gauge value.
+void UpdatePeakRssGauge();
+
+/// One measured case: `samples_ms` holds exactly the measured iterations
+/// (never the warmup ones), in execution order.
+struct BenchCaseResult {
+  std::string name;
+  int warmup = 0;
+  std::vector<double> samples_ms;
+};
+
+/// In-memory form of one tsdist.bench.v2 benchmark artifact.
+struct BenchReport {
+  std::string bench;
+  std::string scale;
+  std::uint64_t threads = 0;
+  double wall_ms = 0.0;
+  RunManifest manifest;
+  std::uint64_t peak_rss_bytes = 0;
+  std::vector<BenchCaseResult> cases;
+  std::string metrics_json;  ///< serialized tsdist.metrics.v1 object
+};
+
+/// Serializes a report as the tsdist.bench.v2 JSON document (schema
+/// validated by tools/check_metrics_schema.py). Derives min/median/p90/mean
+/// per case from the sample arrays.
+std::string BenchReportToJson(const BenchReport& report);
+
+/// Median of `samples` (0 for empty); does not require sorted input.
+double SampleMedian(std::vector<double> samples);
+
+/// Quantile q in [0,1] of `samples` by nearest-rank (0 for empty).
+double SampleQuantile(std::vector<double> samples, double q);
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_RUNINFO_H_

@@ -102,6 +102,21 @@ void TraceRecorder::Clear() {
     std::lock_guard<std::mutex> buf_lock(holder->buf.mu);
     holder->buf.events.clear();
   }
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+bool TraceRecorder::ClaimSlot() {
+  const std::size_t cap = max_spans_.load(std::memory_order_relaxed);
+  if (cap == 0) {
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Optimistically claim; on overshoot, roll back so recorded_spans() stays
+  // an accurate retained-span count and Clear() re-arms cleanly.
+  if (recorded_.fetch_add(1, std::memory_order_relaxed) < cap) return true;
+  recorded_.fetch_sub(1, std::memory_order_relaxed);
+  MetricsRegistry::Global().GetCounter("tsdist.trace.dropped_spans").Add(1);
+  return false;
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
@@ -198,6 +213,9 @@ TraceSpan::~TraceSpan() {
   TraceRecorder& recorder = TraceRecorder::Global();
   TraceRecorder::ThreadBuf& buf = recorder.BufForThisThread();
   buf.open_parent = saved_parent_;
+  // Drop (but keep parent linkage restored) once the retained-span cap is
+  // hit; children already recorded stay valid and export as roots.
+  if (!recorder.ClaimSlot()) return;
   // Record even if tracing was switched off mid-span, so nesting stays
   // balanced for anything recorded while it was on.
   TraceEvent event;

@@ -7,6 +7,13 @@
 // atomic loads. Span begin/end never locks on the hot path — events append
 // to a thread-local buffer whose mutex is only contended when a snapshot or
 // export runs concurrently.
+//
+// The recorder keeps at most max_spans() completed spans (default
+// kDefaultMaxSpans; configurable, 0 = unbounded). Once the cap is reached
+// further spans are dropped — counted in tsdist.trace.dropped_spans — rather
+// than growing the buffers without bound. Dropping never corrupts the
+// export: the Chrome JSON stays a valid event array and SpanForest() turns
+// children of dropped parents into roots.
 
 #ifndef TSDIST_OBS_TRACE_H_
 #define TSDIST_OBS_TRACE_H_
@@ -37,11 +44,29 @@ class TraceRecorder {
  public:
   static TraceRecorder& Global();
 
+  /// Default retained-span cap (see set_max_spans).
+  static constexpr std::size_t kDefaultMaxSpans = 1'000'000;
+
   /// Tracing master switch (default: off).
   void SetEnabled(bool enabled);
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Drops all recorded events (open spans keep their parent linkage).
+  /// Caps the number of completed spans kept in memory; spans past the cap
+  /// are dropped and counted in tsdist.trace.dropped_spans. 0 = unbounded.
+  void set_max_spans(std::size_t cap) {
+    max_spans_.store(cap, std::memory_order_relaxed);
+  }
+  std::size_t max_spans() const {
+    return max_spans_.load(std::memory_order_relaxed);
+  }
+
+  /// Completed spans currently retained across all thread buffers.
+  std::size_t recorded_spans() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded events (open spans keep their parent linkage) and
+  /// re-arms the span cap.
   void Clear();
 
   /// All completed events, sorted by (tid, ts_ns).
@@ -65,7 +90,12 @@ class TraceRecorder {
   friend class TraceSpan;
   ThreadBuf& BufForThisThread();
 
+  /// True when the span may be retained; false counts it as dropped.
+  bool ClaimSlot();
+
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> max_spans_{kDefaultMaxSpans};
+  std::atomic<std::size_t> recorded_{0};
 };
 
 /// RAII span: records a TraceEvent for its lifetime when tracing is enabled.

@@ -1,0 +1,232 @@
+// Perf-regression gate: diffs a tsdist.bench.v2 suite against a checked-in
+// baseline suite (bench/baselines/).
+//
+//   bench_compare new_suite.json baseline.json [--max-regress-pct 10]
+//                 [--alpha 0.05] [--warn-only]
+//
+// A case REGRESSES only when BOTH hold:
+//   1. its median slows down by more than --max-regress-pct, and
+//   2. the slowdown is statistically significant: Wilcoxon signed-rank over
+//      the index-paired samples rejects "no difference" at --alpha (the
+//      same test the paper uses for accuracy comparisons, src/stats/).
+// With fewer than 6 paired samples the two-sided Wilcoxon p-value cannot
+// drop below ~0.06, so the significance arm can never fire; such cases fall
+// back to a gross-only rule — fail when the median regresses by more than
+// max(--max-regress-pct, 50%). Run --repeat >= 6 for the full gate.
+//
+// Exit codes: 0 clean (or --warn-only), 1 at least one regression, 2 usage
+// or file errors. Cases present in only one suite are listed but never
+// fail the gate (bench subsets evolve).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/runinfo.h"
+#include "src/stats/wilcoxon.h"
+
+namespace {
+
+using tsdist::obs::JsonValue;
+
+// Smallest paired-sample count where a two-sided Wilcoxon signed-rank test
+// can reject at alpha = 0.05 (p = 2/2^6 = 0.03125).
+constexpr std::size_t kMinSamplesForWilcoxon = 6;
+
+// Below kMinSamplesForWilcoxon, only gross regressions (median slowdown
+// beyond max(threshold, this)) fail — single-sample timing noise routinely
+// hits tens of percent.
+constexpr double kGrossRegressPct = 50.0;
+
+struct CaseSamples {
+  std::vector<double> samples_ms;
+  double median_ms = 0.0;
+};
+
+struct Options {
+  std::string new_path;
+  std::string baseline_path;
+  double max_regress_pct = 10.0;
+  double alpha = 0.05;
+  bool warn_only = false;
+};
+
+// Flattens a suite (or a single bench report) into "bench/case" -> samples.
+std::map<std::string, CaseSamples> CollectCases(const JsonValue& doc,
+                                                const std::string& path) {
+  std::map<std::string, CaseSamples> out;
+  std::vector<const JsonValue*> reports;
+  if (const JsonValue* benches = doc.Find("benches")) {
+    for (const JsonValue& b : benches->AsArray()) reports.push_back(&b);
+  } else if (doc.Find("cases") != nullptr) {
+    reports.push_back(&doc);
+  } else {
+    throw std::runtime_error(path + ": neither a suite nor a bench report");
+  }
+  for (const JsonValue* report : reports) {
+    const std::string bench = report->GetString("bench", "?");
+    const JsonValue* cases = report->Find("cases");
+    if (cases == nullptr) continue;
+    for (const JsonValue& c : cases->AsArray()) {
+      CaseSamples entry;
+      if (const JsonValue* samples = c.Find("samples_ms")) {
+        for (const JsonValue& s : samples->AsArray()) {
+          entry.samples_ms.push_back(s.AsDouble());
+        }
+      }
+      entry.median_ms =
+          c.GetDouble("median_ms", tsdist::obs::SampleMedian(entry.samples_ms));
+      out[bench + "/" + c.GetString("name", "?")] = std::move(entry);
+    }
+  }
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_compare: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--max-regress-pct") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->max_regress_pct = std::atof(v);
+    } else if (arg == "--alpha") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->alpha = std::atof(v);
+    } else if (arg == "--warn-only") {
+      opt->warn_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bench_compare: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << "bench_compare: need <new_suite.json> <baseline.json>\n";
+    return false;
+  }
+  opt->new_path = positional[0];
+  opt->baseline_path = positional[1];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    std::cerr << "usage: bench_compare <new_suite.json> <baseline.json>\n"
+                 "       [--max-regress-pct P] [--alpha A] [--warn-only]\n";
+    return 2;
+  }
+
+  std::map<std::string, CaseSamples> fresh, base;
+  try {
+    fresh = CollectCases(tsdist::obs::ParseJsonFile(opt.new_path),
+                         opt.new_path);
+    base = CollectCases(tsdist::obs::ParseJsonFile(opt.baseline_path),
+                        opt.baseline_path);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::printf("bench_compare: %s vs baseline %s\n", opt.new_path.c_str(),
+              opt.baseline_path.c_str());
+  std::printf("gate: median regress > %.1f%% AND Wilcoxon p < %.3g "
+              "(n >= %zu), else gross > %.0f%%\n",
+              opt.max_regress_pct, opt.alpha, kMinSamplesForWilcoxon,
+              std::max(opt.max_regress_pct, kGrossRegressPct));
+  std::printf("%-48s %4s %12s %12s %9s %9s  %s\n", "case", "n", "base(ms)",
+              "new(ms)", "delta%", "p", "verdict");
+
+  int regressions = 0;
+  for (const auto& [key, new_case] : fresh) {
+    const auto it = base.find(key);
+    if (it == base.end()) {
+      std::printf("%-48s %4zu %12s %12.3f %9s %9s  new case\n", key.c_str(),
+                  new_case.samples_ms.size(), "-", new_case.median_ms, "-",
+                  "-");
+      continue;
+    }
+    const CaseSamples& old_case = it->second;
+    const double old_med = old_case.median_ms;
+    const double new_med = new_case.median_ms;
+    const double delta_pct =
+        old_med > 0.0 ? 100.0 * (new_med - old_med) / old_med : 0.0;
+
+    const std::size_t n =
+        std::min(new_case.samples_ms.size(), old_case.samples_ms.size());
+    double p = 1.0;
+    bool significant = false;
+    if (n >= kMinSamplesForWilcoxon) {
+      // Index-paired: sample i of the new run against sample i of the
+      // baseline. Iterations are identically configured, so pairing by
+      // index is the natural blocking.
+      std::vector<double> a(new_case.samples_ms.begin(),
+                            new_case.samples_ms.begin() +
+                                static_cast<std::ptrdiff_t>(n));
+      std::vector<double> b(old_case.samples_ms.begin(),
+                            old_case.samples_ms.begin() +
+                                static_cast<std::ptrdiff_t>(n));
+      const tsdist::WilcoxonResult w = tsdist::WilcoxonSignedRank(a, b);
+      p = w.p_value;
+      // One-directional reading: significant AND the rank mass says the new
+      // samples are larger (slower).
+      significant = w.p_value < opt.alpha && w.w_plus > w.w_minus;
+    }
+
+    const bool over_threshold = delta_pct > opt.max_regress_pct;
+    bool regressed;
+    if (n >= kMinSamplesForWilcoxon) {
+      regressed = over_threshold && significant;
+    } else {
+      regressed = delta_pct > std::max(opt.max_regress_pct, kGrossRegressPct);
+    }
+
+    const char* verdict = regressed          ? "REGRESSED"
+                          : delta_pct < -opt.max_regress_pct ? "improved"
+                                                             : "ok";
+    if (regressed) ++regressions;
+    if (n >= kMinSamplesForWilcoxon) {
+      std::printf("%-48s %4zu %12.3f %12.3f %+8.1f%% %9.4f  %s\n", key.c_str(),
+                  n, old_med, new_med, delta_pct, p, verdict);
+    } else {
+      std::printf("%-48s %4zu %12.3f %12.3f %+8.1f%% %9s  %s%s\n", key.c_str(),
+                  n, old_med, new_med, delta_pct, "-", verdict,
+                  over_threshold && !regressed ? " (small n; gross rule)"
+                                               : "");
+    }
+  }
+  for (const auto& [key, old_case] : base) {
+    if (fresh.find(key) == fresh.end()) {
+      std::printf("%-48s %4zu %12.3f %12s %9s %9s  missing from new run\n",
+                  key.c_str(), old_case.samples_ms.size(), old_case.median_ms,
+                  "-", "-", "-");
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("bench_compare: %d case(s) regressed%s\n", regressions,
+                opt.warn_only ? " (warn-only: exiting 0)" : "");
+    return opt.warn_only ? 0 : 1;
+  }
+  std::printf("bench_compare: no regressions\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""End-to-end check of the bench_compare regression gate.
+
+Synthesizes a baseline suite and two candidate suites — one identical, one
+with a case slowed well past the gate threshold — then runs the real
+bench_compare binary against them and checks the exit codes:
+
+  identical vs baseline  -> exit 0 (no regression)
+  slowed    vs baseline  -> exit 1 (regression detected)
+  slowed + --warn-only   -> exit 0 (reported but not fatal)
+
+Usage: bench_compare_selftest.py /path/to/bench_compare [workdir]
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def make_suite(samples_by_case):
+    benches = []
+    for bench, cases in samples_by_case.items():
+        case_list = []
+        for name, samples in cases.items():
+            ordered = sorted(samples)
+            n = len(ordered)
+            median = (ordered[n // 2] if n % 2
+                      else 0.5 * (ordered[n // 2 - 1] + ordered[n // 2]))
+            case_list.append({
+                "name": name, "warmup": 0, "iters": n, "samples_ms": samples,
+                "min_ms": ordered[0], "median_ms": median,
+                "p90_ms": ordered[min(n - 1, int(0.9 * n))],
+                "mean_ms": sum(samples) / n,
+            })
+        benches.append({
+            "schema": "tsdist.bench.v2", "bench": bench, "scale": "tiny",
+            "threads": 1, "wall_ms": 1.0,
+            "manifest": {
+                "schema_version": 2, "git_sha": "selftest", "git_dirty": False,
+                "compiler": "selftest", "compiler_flags": "", "build_type":
+                "Release", "cpu_model": "selftest", "cpu_cores": 1,
+                "threads": 1, "rng_seed": 20200614, "scale": "tiny",
+            },
+            "peak_rss_bytes": 1,
+            "cases": case_list,
+            "metrics": {"schema": "tsdist.metrics.v1", "counters": {},
+                        "gauges": {}, "histograms": {}},
+        })
+    return {
+        "schema": "tsdist.bench.v2", "kind": "suite", "suite": "selftest",
+        "scale": "tiny", "repeat": 6, "warmup": 0,
+        "manifest": benches[0]["manifest"], "benches": benches,
+    }
+
+
+def main():
+    if len(sys.argv) < 2:
+        print("usage: bench_compare_selftest.py BENCH_COMPARE [WORKDIR]",
+              file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    workdir = sys.argv[2] if len(sys.argv) > 2 else tempfile.mkdtemp()
+    os.makedirs(workdir, exist_ok=True)
+
+    # Six samples per case: enough for the Wilcoxon arm of the gate to fire.
+    base_samples = {"bench_a": {"fast": [10.0, 10.2, 9.8, 10.1, 9.9, 10.0],
+                                "steady": [5.0, 5.1, 4.9, 5.0, 5.2, 4.8]}}
+    baseline = make_suite(base_samples)
+
+    slowed_samples = copy.deepcopy(base_samples)
+    slowed_samples["bench_a"]["fast"] = [
+        2.0 * s for s in base_samples["bench_a"]["fast"]]  # +100% median
+    slowed = make_suite(slowed_samples)
+
+    paths = {}
+    for name, doc in (("baseline", baseline), ("identical", baseline),
+                      ("slowed", slowed)):
+        paths[name] = os.path.join(workdir, f"{name}.json")
+        with open(paths[name], "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+
+    def run(*args):
+        proc = subprocess.run([binary, *args], capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+    failures = []
+
+    rc, out = run(paths["identical"], paths["baseline"])
+    if rc != 0:
+        failures.append(f"identical suite: expected exit 0, got {rc}\n{out}")
+
+    rc, out = run(paths["slowed"], paths["baseline"])
+    if rc != 1:
+        failures.append(f"slowed suite: expected exit 1, got {rc}\n{out}")
+    elif "REGRESSED" not in out:
+        failures.append(f"slowed suite: no REGRESSED verdict in output\n{out}")
+
+    rc, out = run(paths["slowed"], paths["baseline"], "--warn-only")
+    if rc != 0:
+        failures.append(f"warn-only: expected exit 0, got {rc}\n{out}")
+
+    # A huge threshold waves the same slowdown through.
+    rc, out = run(paths["slowed"], paths["baseline"],
+                  "--max-regress-pct", "500")
+    if rc != 0:
+        failures.append(f"loose threshold: expected exit 0, got {rc}\n{out}")
+
+    for message in failures:
+        print(f"bench_compare_selftest: {message}", file=sys.stderr)
+    if failures:
+        return 1
+    print("bench_compare_selftest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,26 +2,45 @@
 """Validate tsdist observability JSON artifacts.
 
 Checks a metrics dump against the tsdist.metrics.v1 schema, and optionally a
-trace file against the Chrome trace-event format and a BENCH_*.json file
-against the tsdist.bench.v1 schema. Stdlib only; exits 0 on success, 1 with
-one message per violation otherwise.
+trace file against the Chrome trace-event format and a BENCH_*.json /
+suite.json file against the tsdist.bench.v1 or tsdist.bench.v2 schema (v2
+adds the run manifest, per-case sample arrays, and the peak-RSS gauge; a v2
+"suite" document aggregates several reports). Stdlib only; exits 0 on
+success, 1 with one message per violation otherwise.
 
 Usage:
-  check_metrics_schema.py METRICS.json
+  check_metrics_schema.py [METRICS.json]
       [--trace TRACE.json] [--bench BENCH.json]
       [--require-nonzero COUNTER ...] [--require-histogram NAME ...]
+      [--require-case BENCH/CASE ...] [--min-samples N]
+      [--self-test]
 """
 
 import argparse
+import copy
 import json
 import sys
 
 METRICS_SCHEMA = "tsdist.metrics.v1"
-BENCH_SCHEMA = "tsdist.bench.v1"
+BENCH_SCHEMA_V1 = "tsdist.bench.v1"
+BENCH_SCHEMA_V2 = "tsdist.bench.v2"
+
+MANIFEST_STRING_FIELDS = (
+    "git_sha", "compiler", "compiler_flags", "build_type", "cpu_model",
+    "scale",
+)
 
 
 def _err(errors, path, message):
     errors.append(f"{path}: {message}")
+
+
+def _is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
 def check_histogram(errors, path, name, hist):
@@ -34,7 +53,7 @@ def check_histogram(errors, path, name, hist):
             return
     for key in ("count", "sum", "min", "max"):
         v = hist[key]
-        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        if not _is_int(v) or v < 0:
             _err(errors, path,
                  f"histogram {name!r} field {key!r} must be a non-negative "
                  f"integer, got {v!r}")
@@ -50,7 +69,7 @@ def check_histogram(errors, path, name, hist):
                  f"histogram {name!r} bucket {i} must be {{'le', 'count'}}")
             return
         count = bucket["count"]
-        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        if not _is_int(count) or count < 0:
             _err(errors, path,
                  f"histogram {name!r} bucket {i} count must be a "
                  f"non-negative integer, got {count!r}")
@@ -64,7 +83,7 @@ def check_histogram(errors, path, name, hist):
                      f"histogram {name!r} last bucket le must be '+Inf', "
                      f"got {le!r}")
         else:
-            if not isinstance(le, int) or isinstance(le, bool):
+            if not _is_int(le):
                 _err(errors, path,
                      f"histogram {name!r} bucket {i} le must be an integer "
                      f"bound, got {le!r}")
@@ -94,12 +113,12 @@ def check_metrics(errors, path, doc, require_nonzero=(), require_histogram=()):
             _err(errors, path, f"missing or non-object section {section!r}")
             return
     for name, value in doc["counters"].items():
-        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        if not _is_int(value) or value < 0:
             _err(errors, path,
                  f"counter {name!r} must be a non-negative integer, "
                  f"got {value!r}")
     for name, value in doc["gauges"].items():
-        if not isinstance(value, (int, float)) or isinstance(value, bool):
+        if not _is_num(value):
             _err(errors, path, f"gauge {name!r} must be a number, got {value!r}")
     for name, hist in doc["histograms"].items():
         check_histogram(errors, path, name, hist)
@@ -135,32 +154,200 @@ def check_trace(errors, path, doc):
         if not isinstance(event["ph"], str):
             _err(errors, path, f"event {i} ph must be a string")
         for key in ("ts", "pid", "tid"):
-            if not isinstance(event[key], (int, float)) or isinstance(event[key], bool):
+            if not _is_num(event[key]):
                 _err(errors, path, f"event {i} {key!r} must be a number")
         if event["ph"] == "X":
             dur = event.get("dur")
-            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            if not _is_num(dur) or dur < 0:
                 _err(errors, path,
                      f"complete event {i} needs a non-negative 'dur', "
                      f"got {dur!r}")
 
 
-def check_bench(errors, path, doc):
-    if not isinstance(doc, dict):
-        _err(errors, path, "top level must be a JSON object")
+def check_manifest(errors, path, manifest):
+    if not isinstance(manifest, dict):
+        _err(errors, path, "manifest must be an object")
         return
-    if doc.get("schema") != BENCH_SCHEMA:
+    if manifest.get("schema_version") != 2:
         _err(errors, path,
-             f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+             f"manifest schema_version must be 2, "
+             f"got {manifest.get('schema_version')!r}")
+    for key in MANIFEST_STRING_FIELDS:
+        v = manifest.get(key)
+        if not isinstance(v, str):
+            _err(errors, path, f"manifest field {key!r} must be a string, "
+                               f"got {v!r}")
+        elif key == "git_sha" and not v:
+            _err(errors, path, "manifest git_sha is empty")
+    if not isinstance(manifest.get("git_dirty"), bool):
+        _err(errors, path, "manifest git_dirty must be a boolean")
+    cores = manifest.get("cpu_cores")
+    if not _is_int(cores) or cores <= 0:
+        _err(errors, path,
+             f"manifest cpu_cores must be a positive integer, got {cores!r}")
+    for key in ("threads", "rng_seed"):
+        v = manifest.get(key)
+        if not _is_int(v) or v < 0:
+            _err(errors, path,
+                 f"manifest field {key!r} must be a non-negative integer, "
+                 f"got {v!r}")
+
+
+def check_case(errors, path, i, case, min_samples=1):
+    if not isinstance(case, dict):
+        _err(errors, path, f"case {i} is not an object")
+        return
+    name = case.get("name")
+    if not isinstance(name, str) or not name:
+        _err(errors, path, f"case {i} needs a non-empty 'name'")
+        name = f"#{i}"
+    warmup = case.get("warmup")
+    if not _is_int(warmup) or warmup < 0:
+        _err(errors, path,
+             f"case {name!r} warmup must be a non-negative integer, "
+             f"got {warmup!r}")
+    samples = case.get("samples_ms")
+    if not isinstance(samples, list) or not samples:
+        _err(errors, path, f"case {name!r} needs a non-empty samples_ms array")
+        return
+    for s in samples:
+        if not _is_num(s) or s < 0:
+            _err(errors, path,
+                 f"case {name!r} has a non-numeric/negative sample: {s!r}")
+            return
+    if case.get("iters") != len(samples):
+        _err(errors, path,
+             f"case {name!r} iters ({case.get('iters')!r}) != "
+             f"len(samples_ms) ({len(samples)})")
+    if len(samples) < min_samples:
+        _err(errors, path,
+             f"case {name!r} has {len(samples)} samples, "
+             f"expected at least {min_samples}")
+    for key in ("min_ms", "median_ms", "p90_ms", "mean_ms"):
+        v = case.get(key)
+        if not _is_num(v) or v < 0:
+            _err(errors, path,
+                 f"case {name!r} field {key!r} must be a non-negative "
+                 f"number, got {v!r}")
+            return
+    if case["min_ms"] > case["median_ms"] or case["median_ms"] > case["p90_ms"]:
+        _err(errors, path,
+             f"case {name!r} summary ordering violated: expected "
+             f"min <= median <= p90")
+    if abs(case["min_ms"] - min(samples)) > 1e-3:
+        _err(errors, path,
+             f"case {name!r} min_ms does not match min(samples_ms)")
+
+
+def check_bench_v2(errors, path, doc, min_samples=1):
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
         _err(errors, path, "field 'bench' must be a non-empty string")
+    if not isinstance(doc.get("scale"), str):
+        _err(errors, path, "field 'scale' must be a string")
+    threads = doc.get("threads")
+    if not _is_int(threads) or threads < 0:
+        _err(errors, path,
+             f"field 'threads' must be a non-negative integer, got {threads!r}")
     wall = doc.get("wall_ms")
-    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
-        _err(errors, path, f"field 'wall_ms' must be a non-negative number, got {wall!r}")
+    if not _is_num(wall) or wall < 0:
+        _err(errors, path,
+             f"field 'wall_ms' must be a non-negative number, got {wall!r}")
+    if "manifest" not in doc:
+        _err(errors, path, "v2 report missing 'manifest'")
+    else:
+        check_manifest(errors, f"{path}#manifest", doc["manifest"])
+    rss = doc.get("peak_rss_bytes")
+    if not _is_int(rss) or rss < 0:
+        _err(errors, path,
+             f"field 'peak_rss_bytes' must be a non-negative integer, "
+             f"got {rss!r}")
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        _err(errors, path, "v2 report needs a non-empty 'cases' array")
+    else:
+        for i, case in enumerate(cases):
+            check_case(errors, path, i, case, min_samples=min_samples)
     if "metrics" not in doc:
         _err(errors, path, "missing embedded 'metrics' object")
     else:
         check_metrics(errors, f"{path}#metrics", doc["metrics"])
+
+
+def check_suite(errors, path, doc, min_samples=1):
+    for key in ("suite", "scale"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            _err(errors, path, f"suite field {key!r} must be a non-empty string")
+    repeat = doc.get("repeat")
+    if not _is_int(repeat) or repeat < 1:
+        _err(errors, path,
+             f"suite 'repeat' must be a positive integer, got {repeat!r}")
+    warmup = doc.get("warmup")
+    if not _is_int(warmup) or warmup < 0:
+        _err(errors, path,
+             f"suite 'warmup' must be a non-negative integer, got {warmup!r}")
+    if "manifest" not in doc:
+        _err(errors, path, "suite missing 'manifest'")
+    else:
+        check_manifest(errors, f"{path}#manifest", doc["manifest"])
+    benches = doc.get("benches")
+    if not isinstance(benches, list) or not benches:
+        _err(errors, path, "suite needs a non-empty 'benches' array")
+        return
+    for i, report in enumerate(benches):
+        sub = f"{path}#benches[{i}]"
+        if not isinstance(report, dict):
+            _err(errors, sub, "bench entry is not an object")
+            continue
+        if report.get("schema") != BENCH_SCHEMA_V2:
+            _err(errors, sub,
+                 f"embedded report schema must be {BENCH_SCHEMA_V2!r}, "
+                 f"got {report.get('schema')!r}")
+            continue
+        check_bench_v2(errors, sub, report, min_samples=min_samples)
+
+
+def check_bench(errors, path, doc, min_samples=1):
+    """Dispatches on schema: v1 report, v2 report, or v2 suite."""
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+    schema = doc.get("schema")
+    if schema == BENCH_SCHEMA_V1:
+        if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+            _err(errors, path, "field 'bench' must be a non-empty string")
+        wall = doc.get("wall_ms")
+        if not _is_num(wall) or wall < 0:
+            _err(errors, path,
+                 f"field 'wall_ms' must be a non-negative number, got {wall!r}")
+        if "metrics" not in doc:
+            _err(errors, path, "missing embedded 'metrics' object")
+        else:
+            check_metrics(errors, f"{path}#metrics", doc["metrics"])
+    elif schema == BENCH_SCHEMA_V2:
+        if doc.get("kind") == "suite":
+            check_suite(errors, path, doc, min_samples=min_samples)
+        else:
+            check_bench_v2(errors, path, doc, min_samples=min_samples)
+    else:
+        _err(errors, path,
+             f"schema must be {BENCH_SCHEMA_V1!r} or {BENCH_SCHEMA_V2!r}, "
+             f"got {schema!r}")
+
+
+def check_required_cases(errors, path, doc, required):
+    """--require-case BENCH/CASE entries must exist in the bench/suite doc."""
+    present = set()
+    reports = doc.get("benches", [doc]) if isinstance(doc, dict) else []
+    for report in reports:
+        if not isinstance(report, dict):
+            continue
+        bench = report.get("bench", "?")
+        for case in report.get("cases", []) or []:
+            if isinstance(case, dict):
+                present.add(f"{bench}/{case.get('name')}")
+    for want in required:
+        if want not in present:
+            _err(errors, path, f"required case {want!r} not found")
 
 
 def load(errors, path):
@@ -174,25 +361,151 @@ def load(errors, path):
     return None
 
 
+# --- self test ------------------------------------------------------------
+
+def _valid_metrics():
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": {"tsdist.pool.tasks": 12},
+        "gauges": {"tsdist.proc.peak_rss_bytes": 1048576.0},
+        "histograms": {
+            "tsdist.pairwise.row_ns.euclidean": {
+                "count": 2, "sum": 30, "min": 10, "max": 20,
+                "buckets": [{"le": 16, "count": 1}, {"le": "+Inf", "count": 1}],
+            },
+        },
+    }
+
+
+def _valid_manifest():
+    return {
+        "schema_version": 2, "git_sha": "deadbeef", "git_dirty": False,
+        "compiler": "GNU 13.2.0", "compiler_flags": "-O2", "build_type":
+        "Release", "cpu_model": "test cpu", "cpu_cores": 8, "threads": 4,
+        "rng_seed": 20200614, "scale": "tiny",
+    }
+
+
+def _valid_report():
+    return {
+        "schema": BENCH_SCHEMA_V2, "bench": "bench_x", "scale": "tiny",
+        "threads": 4, "wall_ms": 12.5, "manifest": _valid_manifest(),
+        "peak_rss_bytes": 1048576,
+        "cases": [{
+            "name": "evaluate", "warmup": 1, "iters": 3,
+            "samples_ms": [4.0, 3.5, 5.0],
+            "min_ms": 3.5, "median_ms": 4.0, "p90_ms": 5.0, "mean_ms": 4.1667,
+        }],
+        "metrics": _valid_metrics(),
+    }
+
+
+def _valid_suite():
+    return {
+        "schema": BENCH_SCHEMA_V2, "kind": "suite", "suite": "smoke",
+        "scale": "tiny", "repeat": 3, "warmup": 1,
+        "manifest": _valid_manifest(), "benches": [_valid_report()],
+    }
+
+
+def self_test():
+    failures = []
+
+    def expect(doc, should_pass, label, mutate=None, min_samples=1):
+        doc = copy.deepcopy(doc)
+        if mutate:
+            mutate(doc)
+        errors = []
+        check_bench(errors, label, doc, min_samples=min_samples)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+
+    expect(_valid_report(), True, "valid v2 report")
+    expect(_valid_suite(), True, "valid v2 suite")
+    expect({"schema": BENCH_SCHEMA_V1, "bench": "x", "wall_ms": 1.0,
+            "metrics": _valid_metrics()}, True, "valid v1 report")
+
+    expect(_valid_report(), False, "bad schema string",
+           lambda d: d.update(schema="tsdist.bench.v3"))
+    expect(_valid_report(), False, "missing manifest",
+           lambda d: d.pop("manifest"))
+    expect(_valid_report(), False, "empty git sha",
+           lambda d: d["manifest"].update(git_sha=""))
+    expect(_valid_report(), False, "manifest wrong version",
+           lambda d: d["manifest"].update(schema_version=1))
+    expect(_valid_report(), False, "iters mismatch",
+           lambda d: d["cases"][0].update(iters=7))
+    expect(_valid_report(), False, "negative sample",
+           lambda d: d["cases"][0]["samples_ms"].__setitem__(0, -1.0))
+    expect(_valid_report(), False, "missing peak rss",
+           lambda d: d.pop("peak_rss_bytes"))
+    expect(_valid_report(), False, "empty cases",
+           lambda d: d.update(cases=[]))
+    expect(_valid_report(), False, "summary ordering",
+           lambda d: d["cases"][0].update(median_ms=100.0))
+    expect(_valid_report(), False, "too few samples", min_samples=5)
+    expect(_valid_report(), True, "enough samples", min_samples=3)
+    expect(_valid_suite(), False, "suite zero repeat",
+           lambda d: d.update(repeat=0))
+    expect(_valid_suite(), False, "suite v1 embedded",
+           lambda d: d["benches"][0].update(schema=BENCH_SCHEMA_V1))
+    expect(_valid_report(), False, "broken embedded metrics",
+           lambda d: d["metrics"].update(schema="bogus"))
+
+    # Required-case lookup across a suite.
+    errors = []
+    check_required_cases(errors, "suite", _valid_suite(), ["bench_x/evaluate"])
+    if errors:
+        failures.append(f"require-case present: unexpected errors {errors}")
+    errors = []
+    check_required_cases(errors, "suite", _valid_suite(), ["bench_x/missing"])
+    if not errors:
+        failures.append("require-case absent: expected an error")
+
+    for message in failures:
+        print(f"check_metrics_schema self-test: {message}", file=sys.stderr)
+    if failures:
+        return 1
+    print("check_metrics_schema self-test: OK")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("metrics", help="tsdist.metrics.v1 JSON file")
+    parser.add_argument("metrics", nargs="?",
+                        help="tsdist.metrics.v1 JSON file")
     parser.add_argument("--trace", help="Chrome trace-event JSON file")
-    parser.add_argument("--bench", help="tsdist.bench.v1 BENCH_*.json file")
+    parser.add_argument("--bench",
+                        help="tsdist.bench.v1/v2 BENCH_*.json or suite.json")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="COUNTER",
                         help="fail unless this counter exists and is > 0")
     parser.add_argument("--require-histogram", action="append", default=[],
                         metavar="NAME",
                         help="fail unless this histogram exists with count > 0")
+    parser.add_argument("--require-case", action="append", default=[],
+                        metavar="BENCH/CASE",
+                        help="fail unless the bench/suite doc has this case")
+    parser.add_argument("--min-samples", type=int, default=1, metavar="N",
+                        help="minimum samples_ms length per v2 case")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the validator's built-in self checks")
     args = parser.parse_args(argv)
 
+    if args.self_test:
+        return self_test()
+    if not args.metrics and not args.bench:
+        parser.error("need a METRICS.json, --bench, or --self-test")
+
     errors = []
-    doc = load(errors, args.metrics)
-    if doc is not None:
-        check_metrics(errors, args.metrics, doc,
-                      require_nonzero=args.require_nonzero,
-                      require_histogram=args.require_histogram)
+    if args.metrics:
+        doc = load(errors, args.metrics)
+        if doc is not None:
+            check_metrics(errors, args.metrics, doc,
+                          require_nonzero=args.require_nonzero,
+                          require_histogram=args.require_histogram)
     if args.trace:
         trace = load(errors, args.trace)
         if trace is not None:
@@ -200,7 +513,11 @@ def main(argv):
     if args.bench:
         bench = load(errors, args.bench)
         if bench is not None:
-            check_bench(errors, args.bench, bench)
+            check_bench(errors, args.bench, bench,
+                        min_samples=args.min_samples)
+            if args.require_case:
+                check_required_cases(errors, args.bench, bench,
+                                     args.require_case)
 
     for message in errors:
         print(f"check_metrics_schema: {message}", file=sys.stderr)

@@ -1,0 +1,328 @@
+// Continuous-benchmarking orchestrator: runs a named subset of the bench
+// binaries at a chosen scale and aggregates their tsdist.bench.v2 reports
+// into one suite JSON.
+//
+//   tsdist_bench --scale smoke --repeat 3 --out suite.json
+//
+// Each bench runs as a subprocess with TSDIST_SCALE / TSDIST_THREADS /
+// TSDIST_BENCH_REPEAT / TSDIST_BENCH_WARMUP / TSDIST_BENCH_JSON set; its
+// stdout lands in <artifacts>/<bench>.log and its v2 report in
+// <artifacts>/BENCH_<bench>.json. The suite file embeds every per-bench
+// report verbatim plus the orchestrator's own run manifest, so one artifact
+// captures the whole run's provenance (git SHA, compiler, CPU, scale,
+// repeat policy). bench_compare consumes two suite files; see
+// docs/BENCHMARKING.md.
+//
+// Scales:
+//   smoke  TSDIST_SCALE=tiny, fast subset — CI-friendly (seconds);
+//   paper  TSDIST_SCALE=small, every table/figure reproduction (minutes).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#endif
+
+#include "src/data/archive.h"
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+#include "src/obs/runinfo.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// All bench binaries that speak the bench_common / tsdist.bench.v2 protocol
+// (bench_micro_distance uses google-benchmark and is orchestrated
+// separately, if at all).
+const std::vector<std::string>& AllBenches() {
+  static const std::vector<std::string> kAll = {
+      "bench_table1_inventory",    "bench_fig1_normalizations",
+      "bench_table2_lockstep",     "bench_fig2_lockstep_ranks",
+      "bench_fig3_norm_ranks",     "bench_table3_sliding",
+      "bench_fig4_nccc_ranks",     "bench_table5_elastic",
+      "bench_fig5_fig6_elastic_ranks", "bench_table6_kernel",
+      "bench_fig7_fig8_kernel_ranks",  "bench_table7_embedding",
+      "bench_fig9_acc_runtime",    "bench_fig10_convergence",
+      "bench_ablation_lower_bounds", "bench_ablation_variants",
+      "bench_ablation_clustering", "bench_ablation_indexing",
+      "bench_ext_svm",             "bench_ext_multivariate",
+  };
+  return kAll;
+}
+
+// Smoke subset: lock-step/sliding reproductions that finish in seconds at
+// tiny scale, plus the inventory check. Elastic/kernel LOOCV benches are
+// paper-scale only.
+const std::vector<std::string>& SmokeBenches() {
+  static const std::vector<std::string> kSmoke = {
+      "bench_table1_inventory", "bench_fig1_normalizations",
+      "bench_fig3_norm_ranks",  "bench_fig4_nccc_ranks",
+      "bench_table3_sliding",
+  };
+  return kSmoke;
+}
+
+struct Options {
+  std::string scale = "smoke";  // smoke | paper
+  std::vector<std::string> benches;  // empty = scale default
+  int repeat = 1;
+  int warmup = 0;
+  std::string out;
+  std::string bindir;
+  std::string artifacts;
+  bool list = false;
+};
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: tsdist_bench [options]\n"
+      "  --scale smoke|paper   bench subset + archive scale (default smoke)\n"
+      "  --benches a,b,c       explicit bench list (overrides --scale set)\n"
+      "  --repeat N            measured iterations per case (default 1)\n"
+      "  --warmup N            warmup iterations per case (default 0)\n"
+      "  --out FILE            aggregated suite JSON (default\n"
+      "                        <artifacts>/suite.json)\n"
+      "  --bindir DIR          bench binaries (default: <exe dir>/../bench)\n"
+      "  --artifacts DIR       per-bench logs + reports (default\n"
+      "                        ./tsdist_bench_artifacts)\n"
+      "  --list                print the resolved bench list and exit\n";
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "tsdist_bench: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      const char* v = next("--scale");
+      if (v == nullptr) return false;
+      opt->scale = v;
+      if (opt->scale != "smoke" && opt->scale != "paper") {
+        std::cerr << "tsdist_bench: unknown scale '" << opt->scale << "'\n";
+        return false;
+      }
+    } else if (arg == "--benches") {
+      const char* v = next("--benches");
+      if (v == nullptr) return false;
+      opt->benches = SplitCommas(v);
+    } else if (arg == "--repeat") {
+      const char* v = next("--repeat");
+      if (v == nullptr) return false;
+      opt->repeat = std::max(1, std::atoi(v));
+    } else if (arg == "--warmup") {
+      const char* v = next("--warmup");
+      if (v == nullptr) return false;
+      opt->warmup = std::max(0, std::atoi(v));
+    } else if (arg == "--out") {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      opt->out = v;
+    } else if (arg == "--bindir") {
+      const char* v = next("--bindir");
+      if (v == nullptr) return false;
+      opt->bindir = v;
+    } else if (arg == "--artifacts") {
+      const char* v = next("--artifacts");
+      if (v == nullptr) return false;
+      opt->artifacts = v;
+    } else if (arg == "--list") {
+      opt->list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::cerr << "tsdist_bench: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ShellQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+// Re-indents a serialized JSON document by `pad` spaces so embedded reports
+// stay readable inside the suite array. Purely cosmetic.
+std::string Indent(const std::string& json, int pad) {
+  const std::string prefix(static_cast<std::size_t>(pad), ' ');
+  std::string out;
+  out.reserve(json.size());
+  std::istringstream is(json);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (!first) out += "\n" + prefix;
+    out += line;
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    PrintUsage();
+    return 2;
+  }
+
+  const std::vector<std::string>& benches =
+      !opt.benches.empty() ? opt.benches
+      : opt.scale == "paper" ? AllBenches()
+                             : SmokeBenches();
+  if (opt.list) {
+    for (const auto& b : benches) std::cout << b << "\n";
+    return 0;
+  }
+
+  if (opt.bindir.empty()) {
+    // Default layout: tools/tsdist_bench and bench/bench_* share one build
+    // tree.
+    opt.bindir = (fs::path(argv[0]).parent_path() / ".." / "bench").string();
+  }
+  if (opt.artifacts.empty()) opt.artifacts = "tsdist_bench_artifacts";
+  if (opt.out.empty()) opt.out = opt.artifacts + "/suite.json";
+
+  std::error_code ec;
+  fs::create_directories(opt.artifacts, ec);
+  if (ec) {
+    std::cerr << "tsdist_bench: cannot create " << opt.artifacts << ": "
+              << ec.message() << "\n";
+    return 2;
+  }
+
+  const std::string archive_scale = opt.scale == "paper" ? "small" : "tiny";
+  setenv("TSDIST_SCALE", archive_scale.c_str(), 1);
+  setenv("TSDIST_BENCH_JSON", opt.artifacts.c_str(), 1);
+  setenv("TSDIST_BENCH_REPEAT", std::to_string(opt.repeat).c_str(), 1);
+  setenv("TSDIST_BENCH_WARMUP", std::to_string(opt.warmup).c_str(), 1);
+
+  std::cout << "tsdist_bench: " << benches.size() << " benches, scale "
+            << opt.scale << " (archive " << archive_scale << "), repeat "
+            << opt.repeat << ", warmup " << opt.warmup << "\n";
+
+  struct BenchOutcome {
+    std::string name;
+    int exit_code = 0;
+    double wall_ms = 0.0;
+    std::string report_json;  // verbatim v2 report
+  };
+  std::vector<BenchOutcome> outcomes;
+  bool any_failed = false;
+
+  for (const auto& bench : benches) {
+    BenchOutcome outcome;
+    outcome.name = bench;
+    const fs::path bin = fs::path(opt.bindir) / bench;
+    const std::string log = opt.artifacts + "/" + bench + ".log";
+    const std::string cmd = ShellQuote(bin.string()) + " > " +
+                            ShellQuote(log) + " 2>&1";
+    std::cout << "  " << bench << " ... " << std::flush;
+    const std::uint64_t t0 = tsdist::obs::NowNs();
+    const int rc = std::system(cmd.c_str());
+    outcome.wall_ms =
+        static_cast<double>(tsdist::obs::NowNs() - t0) / 1e6;
+    outcome.exit_code = rc == -1 ? -1 : WEXITSTATUS(rc);
+    if (outcome.exit_code != 0) {
+      any_failed = true;
+      std::cout << "FAILED (exit " << outcome.exit_code << ", see " << log
+                << ")\n";
+    } else {
+      const std::string report_path =
+          opt.artifacts + "/BENCH_" + bench + ".json";
+      std::ifstream in(report_path);
+      if (!in) {
+        any_failed = true;
+        outcome.exit_code = -2;
+        std::cout << "FAILED (no report at " << report_path << ")\n";
+      } else {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        outcome.report_json = ss.str();
+        try {
+          tsdist::obs::ParseJson(outcome.report_json);
+        } catch (const std::exception& e) {
+          any_failed = true;
+          outcome.exit_code = -3;
+          std::cout << "FAILED (unparseable report: " << e.what() << ")\n";
+        }
+        if (outcome.exit_code == 0) {
+          std::printf("ok (%.0f ms)\n", outcome.wall_ms);
+        }
+      }
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+
+  // The suite manifest records the orchestrator's own provenance; the
+  // embedded reports carry their (identical) per-process manifests too.
+  const tsdist::obs::RunManifest manifest = tsdist::obs::CollectRunManifest(
+      /*threads=*/0, tsdist::ArchiveOptions{}.seed, archive_scale);
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "tsdist_bench: cannot write " << opt.out << "\n";
+    return 2;
+  }
+  out << "{\n  \"schema\": \"tsdist.bench.v2\",\n"
+      << "  \"kind\": \"suite\",\n"
+      << "  \"suite\": \"" << opt.scale << "\",\n"
+      << "  \"scale\": \"" << archive_scale << "\",\n"
+      << "  \"repeat\": " << opt.repeat << ",\n"
+      << "  \"warmup\": " << opt.warmup << ",\n"
+      << "  \"manifest\": " << tsdist::obs::ManifestToJson(manifest, 2)
+      << ",\n"
+      << "  \"benches\": [";
+  bool first = true;
+  for (const auto& outcome : outcomes) {
+    if (outcome.report_json.empty() || outcome.exit_code != 0) continue;
+    std::string body = outcome.report_json;
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+    out << (first ? "\n    " : ",\n    ") << Indent(body, 4);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  out.close();
+
+  std::cout << "tsdist_bench: wrote " << opt.out << " ("
+            << outcomes.size() << " benches, "
+            << (any_failed ? "with failures" : "all ok") << ")\n";
+  return any_failed ? 1 : 0;
+}

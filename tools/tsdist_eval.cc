@@ -270,7 +270,12 @@ int main(int argc, char** argv) {
     }
   }
   obs::ProgressReporter progress("tsdist_eval", total_cells);
-  if (options.progress) obs::SetActiveProgress(&progress);
+  if (options.progress) {
+    // Explicit --progress prints even when stderr is piped (the reporter
+    // suppresses its `\r` frames on non-TTY stderr otherwise).
+    progress.set_force(true);
+    obs::SetActiveProgress(&progress);
+  }
 
   const PairwiseEngine engine(options.threads);
   Matrix accuracies(datasets.size(), options.measures.size());
