@@ -1,11 +1,58 @@
 #include "src/classify/tuning.h"
 
 #include <cassert>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <system_error>
 
 #include "src/classify/one_nn.h"
+#include "src/obs/json.h"
 #include "src/obs/obs.h"
+#include "src/resilience/checkpoint.h"
 
 namespace tsdist {
+
+namespace {
+
+// Marks a result cancelled: an expired budget is a DNF (the paper's timeout
+// treatment), a manual cancel is an interrupt. Accuracies stay at their
+// zero-initialized values — a cancelled cell never reports partial numbers.
+void MarkCancelled(EvalResult* result, const CancellationToken* cancel,
+                   const std::string& where) {
+  result->status = (cancel != nullptr && cancel->cancel_requested())
+                       ? EvalStatus::kInterrupted
+                       : EvalStatus::kDnf;
+  result->reason = std::string(ToString(result->status)) + ": " + where;
+}
+
+// One line of the candidates.jsonl cache. %.17g round-trips a double exactly
+// through the JSON parser's strtod, so resumed training accuracies (and
+// therefore the tie-break winner) are bit-identical.
+std::string CandidateLine(const std::string& measure, std::size_t index,
+                          const std::string& params, double train_accuracy) {
+  char acc[40];
+  std::snprintf(acc, sizeof acc, "%.17g", train_accuracy);
+  return "{\"schema\": \"tsdist.cand.v1\", \"measure\": \"" + measure +
+         "\", \"index\": " + std::to_string(index) + ", \"params\": \"" +
+         params + "\", \"train_accuracy\": " + acc + "}";
+}
+
+}  // namespace
+
+const char* ToString(EvalStatus status) {
+  switch (status) {
+    case EvalStatus::kOk:
+      return "ok";
+    case EvalStatus::kDnf:
+      return "dnf";
+    case EvalStatus::kFailed:
+      return "failed";
+    case EvalStatus::kInterrupted:
+      return "interrupted";
+  }
+  return "unknown";
+}
 
 EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params,
                          const Dataset& dataset, const PairwiseEngine& engine,
@@ -24,6 +71,10 @@ EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params
   EvalResult result;
   result.measure = measure_name;
   result.params = params;
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    MarkCancelled(&result, options.cancel, "before test evaluation");
+    return result;
+  }
   if (options.pruned) {
     // Per-query cascade search; predictions (and hence the accuracy) are
     // bit-identical to the matrix path below.
@@ -31,10 +82,26 @@ EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params
         dataset.test(), dataset.train(), *measure);
     result.test_accuracy = OneNnAccuracyFromIndices(
         nn, dataset.test_labels(), dataset.train_labels());
-  } else {
+  } else if (options.cancel == nullptr && options.checkpoint_dir.empty()) {
+    // Default options: the original hot path, untouched.
     const Matrix e = engine.Compute(dataset.test(), dataset.train(), *measure);
     result.test_accuracy =
         OneNnAccuracy(e, dataset.test_labels(), dataset.train_labels());
+  } else {
+    ComputeOptions copts;
+    copts.cancel = options.cancel;
+    copts.tile_rows = options.tile_rows;
+    if (!options.checkpoint_dir.empty()) {
+      copts.checkpoint_dir = options.checkpoint_dir + "/test";
+    }
+    const ComputeResult cr =
+        engine.Compute(dataset.test(), dataset.train(), *measure, copts);
+    if (!cr.complete) {
+      MarkCancelled(&result, options.cancel, "test matrix cancelled");
+      return result;
+    }
+    result.test_accuracy =
+        OneNnAccuracy(cr.matrix, dataset.test_labels(), dataset.train_labels());
   }
   return result;
 }
@@ -57,31 +124,111 @@ EvalResult EvaluateTuned(const std::string& measure_name,
   }
   const std::vector<int> train_labels = dataset.train_labels();
 
+  // Resume: pull finished candidates' training accuracies from the cell's
+  // candidates.jsonl. A cache line is honored only when its measure, index,
+  // and rendered params all match the current grid — a changed grid silently
+  // invalidates stale lines instead of mixing runs.
+  std::vector<std::optional<double>> cached(grid.size());
+  std::string candidate_log;
+  if (!options.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    candidate_log = options.checkpoint_dir + "/candidates.jsonl";
+    std::uint64_t resumed = 0;
+    for (const std::string& line : LoadJsonLog(candidate_log)) {
+      try {
+        const obs::JsonValue v = obs::ParseJson(line);
+        const double raw_index = v.GetDouble("index", -1.0);
+        if (raw_index < 0 ||
+            raw_index >= static_cast<double>(grid.size())) {
+          continue;
+        }
+        const auto index = static_cast<std::size_t>(raw_index);
+        if (v.GetString("measure", "") == measure_name &&
+            v.GetString("params", "") == ToString(grid[index])) {
+          cached[index] = v.GetDouble("train_accuracy", 0.0);
+          ++resumed;
+        }
+      } catch (const std::exception&) {
+        // LoadJsonLog already truncated torn tails; a line that parses but
+        // carries the wrong shape is simply not a cache hit.
+      }
+    }
+    if (resumed > 0 && obs_on) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("tsdist.ckpt.candidates_resumed")
+          .Add(resumed);
+    }
+  }
+
   ParamMap best_params = grid.front();
   double best_train = -1.0;
-  for (const ParamMap& candidate : grid) {
-    // One LOOCV span per grid point: the dominant cost of supervised tuning
-    // (|grid| self-distance matrices per dataset on the full-matrix path;
-    // the pruned path replaces each matrix with a cascade-pruned 1-NN pass).
-    const obs::TraceSpan candidate_span(
-        trace_on ? "tuning.loocv/" + measure_name + "{" + ToString(candidate) +
-                       "}"
-                 : std::string());
-    obs::ScopedTimer candidate_timer(candidate_ns, candidates);
-    const MeasurePtr measure = registry.Create(measure_name, candidate);
-    assert(measure != nullptr && "unknown measure name");
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const ParamMap& candidate = grid[k];
     double train_acc = 0.0;
-    if (options.pruned) {
-      // LeaveOneOutAccuracy returns 0 for < 2 series; match it rather than
-      // tripping the engine's 2-series precondition.
-      if (dataset.train().size() >= 2) {
-        const std::vector<std::size_t> nn =
-            engine.LeaveOneOutNeighborsPruned(dataset.train(), *measure);
-        train_acc = LeaveOneOutAccuracyFromIndices(nn, train_labels);
-      }
+    if (cached[k].has_value()) {
+      train_acc = *cached[k];
     } else {
-      const Matrix w = engine.ComputeSelf(dataset.train(), *measure);
-      train_acc = LeaveOneOutAccuracy(w, train_labels);
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        EvalResult result;
+        result.measure = measure_name;
+        result.params = best_params;
+        MarkCancelled(&result, options.cancel,
+                      "tuning cancelled at candidate " + std::to_string(k) +
+                          "/" + std::to_string(grid.size()));
+        return result;
+      }
+      // One LOOCV span per grid point: the dominant cost of supervised tuning
+      // (|grid| self-distance matrices per dataset on the full-matrix path;
+      // the pruned path replaces each matrix with a cascade-pruned 1-NN pass).
+      const obs::TraceSpan candidate_span(
+          trace_on ? "tuning.loocv/" + measure_name + "{" +
+                         ToString(candidate) + "}"
+                   : std::string());
+      obs::ScopedTimer candidate_timer(candidate_ns, candidates);
+      const MeasurePtr measure = registry.Create(measure_name, candidate);
+      assert(measure != nullptr && "unknown measure name");
+      if (options.pruned) {
+        // LeaveOneOutAccuracy returns 0 for < 2 series; match it rather than
+        // tripping the engine's 2-series precondition.
+        if (dataset.train().size() >= 2) {
+          const std::vector<std::size_t> nn =
+              engine.LeaveOneOutNeighborsPruned(dataset.train(), *measure);
+          train_acc = LeaveOneOutAccuracyFromIndices(nn, train_labels);
+        }
+      } else if (options.cancel == nullptr && options.checkpoint_dir.empty()) {
+        // Default options: the original hot path, untouched.
+        const Matrix w = engine.ComputeSelf(dataset.train(), *measure);
+        train_acc = LeaveOneOutAccuracy(w, train_labels);
+      } else {
+        ComputeOptions copts;
+        copts.cancel = options.cancel;
+        copts.tile_rows = options.tile_rows;
+        if (!options.checkpoint_dir.empty()) {
+          copts.checkpoint_dir =
+              options.checkpoint_dir + "/w" + std::to_string(k);
+        }
+        const ComputeResult cr =
+            engine.ComputeSelf(dataset.train(), *measure, copts);
+        if (!cr.complete) {
+          EvalResult result;
+          result.measure = measure_name;
+          result.params = best_params;
+          MarkCancelled(&result, options.cancel,
+                        "LOOCV matrix cancelled at candidate " +
+                            std::to_string(k) + "/" +
+                            std::to_string(grid.size()));
+          return result;
+        }
+        train_acc = LeaveOneOutAccuracy(cr.matrix, train_labels);
+      }
+      if (!candidate_log.empty()) {
+        // Best-effort: a failed append degrades to recomputing the candidate
+        // on the next run, never to a wrong result.
+        AppendJsonLogLine(candidate_log,
+                          CandidateLine(measure_name, k, ToString(candidate),
+                                        train_acc));
+      }
     }
     if (train_acc > best_train) {
       best_train = train_acc;

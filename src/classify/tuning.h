@@ -25,8 +25,21 @@
 #include "src/core/dataset.h"
 #include "src/core/pairwise_engine.h"
 #include "src/core/registry.h"
+#include "src/resilience/cancellation.h"
 
 namespace tsdist {
+
+/// Terminal state of one (measure, dataset) evaluation cell.
+enum class EvalStatus {
+  kOk,           ///< accuracies are valid
+  kDnf,          ///< budget expired before the cell finished (paper's timeout
+                 ///< treatment: the cell is excluded, the sweep continues)
+  kFailed,       ///< the measure threw (degenerate kernel, injected fault...)
+  kInterrupted,  ///< an external interrupt (SIGINT/SIGTERM) cancelled the cell
+};
+
+/// Lower-case wire name of a status ("ok", "dnf", "failed", "interrupted").
+const char* ToString(EvalStatus status);
 
 /// Result of evaluating one measure on one dataset.
 struct EvalResult {
@@ -34,6 +47,8 @@ struct EvalResult {
   ParamMap params;       ///< parameters actually used
   double train_accuracy = 0.0;  ///< leave-one-out accuracy (supervised only)
   double test_accuracy = 0.0;   ///< Algorithm-1 accuracy on the test split
+  EvalStatus status = EvalStatus::kOk;
+  std::string reason;    ///< human-readable cause when status != kOk
 };
 
 /// Execution options shared by the evaluation entry points.
@@ -43,6 +58,25 @@ struct EvalOptions {
   /// measures (most DTW evaluations are pruned or abandoned). Prune rates
   /// are exported through the tsdist.prune.* counters.
   bool pruned = false;
+
+  /// Cooperative cancellation (budget and/or interrupt). On the full-matrix
+  /// path the token is polled inside the engine (per row / per tile); on the
+  /// pruned path it is polled between grid candidates, so a budget expiry
+  /// cancels at candidate granularity there. A cancelled evaluation returns
+  /// status kDnf (deadline) or kInterrupted (manual cancel), never partial
+  /// accuracies.
+  const CancellationToken* cancel = nullptr;
+
+  /// Non-empty enables durable evaluation state for this cell under the
+  /// given directory: per-candidate LOOCV matrices and the test matrix are
+  /// tile-checkpointed (w<k>/, test/), and finished candidates' training
+  /// accuracies are persisted to candidates.jsonl so a restarted run skips
+  /// them entirely. Accuracies after resume are bit-identical to an
+  /// uninterrupted run.
+  std::string checkpoint_dir;
+
+  /// Rows per checkpoint tile (see ComputeOptions::tile_rows).
+  std::size_t tile_rows = 32;
 };
 
 /// Evaluates `measure_name` with fixed `params` on `dataset`.

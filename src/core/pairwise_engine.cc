@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -10,6 +12,7 @@
 #include "src/elastic/dtw.h"
 #include "src/elastic/lower_bounds.h"
 #include "src/obs/obs.h"
+#include "src/resilience/checkpoint.h"
 
 namespace tsdist {
 
@@ -215,6 +218,67 @@ NearestNeighbor CascadeRow(std::span<const double> query,
   return best;
 }
 
+// Runs `compute_row(i)` for every row of `key.rows` under the resilience
+// options: cancellable row-parallel when no checkpoint directory is set,
+// tile-parallel with durable tile writes otherwise. Exceptions thrown by a
+// row (or by a tile write) on any pool thread are captured, cancel the
+// remaining work, and rethrow on the calling thread. Returns false when the
+// run was cancelled before every row executed.
+bool RunResilientRows(ThreadPool& pool, const ComputeOptions& options,
+                      const ShardKey& key, Matrix* out,
+                      ComputeResult* result,
+                      const std::function<void(std::size_t)>& compute_row) {
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  // Child token: worker exceptions cancel the rest of the job without
+  // touching the caller's token.
+  CancellationToken local_cancel(options.cancel);
+  const auto guarded = [&](const auto& unit) {
+    try {
+      unit();
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      local_cancel.Cancel();
+    }
+  };
+
+  bool complete = true;
+  if (options.checkpoint_dir.empty()) {
+    complete = pool.ParallelFor(
+        key.rows, [&](std::size_t i) { guarded([&] { compute_row(i); }); },
+        &local_cancel);
+  } else {
+    TileCheckpoint checkpoint(options.checkpoint_dir, key, out);
+    result->tiles_total = checkpoint.num_tiles();
+    result->tiles_resumed = checkpoint.tiles_resumed();
+    std::vector<std::size_t> pending;
+    pending.reserve(checkpoint.num_tiles());
+    for (std::size_t t = 0; t < checkpoint.num_tiles(); ++t) {
+      if (!checkpoint.TileDone(t)) pending.push_back(t);
+    }
+    std::atomic<std::size_t> computed{0};
+    complete = pool.ParallelFor(
+        pending.size(),
+        [&](std::size_t k) {
+          guarded([&] {
+            const std::size_t t = pending[k];
+            const std::size_t begin = checkpoint.TileRowBegin(t);
+            const std::size_t end = begin + checkpoint.TileRowCount(t);
+            for (std::size_t i = begin; i < end; ++i) compute_row(i);
+            checkpoint.WriteTile(t, *out);
+            computed.fetch_add(1, std::memory_order_relaxed);
+          });
+        },
+        &local_cancel);
+    result->tiles_computed = computed.load(std::memory_order_relaxed);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return complete;
+}
+
 }  // namespace
 
 PairwiseEngine::PairwiseEngine(std::size_t num_threads)
@@ -290,6 +354,108 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
     }
   }
   return out;
+}
+
+ComputeResult PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
+                                      const std::vector<TimeSeries>& references,
+                                      const DistanceMeasure& measure,
+                                      const ComputeOptions& options) const {
+  const std::size_t r = queries.size();
+  const std::size_t p = references.size();
+  ComputeResult result;
+  result.matrix = Matrix(r, p);
+  if (r == 0 || p == 0) return result;
+  ValidatePair(queries, references, "Compute");
+
+  const bool obs_on = obs::Enabled();
+  const bool trace_on = obs::TraceRecorder::Global().enabled();
+  const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
+                                     : std::string());
+  std::optional<PairwiseMetrics> metrics_storage;
+  if (obs_on) metrics_storage.emplace(measure.name());
+  const PairwiseMetrics* metrics =
+      metrics_storage.has_value() ? &*metrics_storage : nullptr;
+
+  ShardKey key;
+  key.kind = "pair";
+  key.measure = measure.name();
+  key.params = ToString(measure.params());
+  key.rows = r;
+  key.cols = p;
+  key.tile_rows = std::max<std::size_t>(1, options.tile_rows);
+  key.mirror = false;
+  if (!options.checkpoint_dir.empty()) {
+    key.queries_fp = FingerprintSeries(queries);
+    key.references_fp = FingerprintSeries(references);
+  }
+
+  Matrix& out = result.matrix;
+  result.complete = RunResilientRows(
+      *pool_, options, key, &out, &result, [&](std::size_t i) {
+        const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
+        auto row = out.mutable_row(i);
+        const auto q = queries[i].values();
+        for (std::size_t j = 0; j < p; ++j) {
+          row[j] = measure.Distance(q, references[j].values());
+        }
+        if (metrics != nullptr) metrics->RecordRow(p, obs::NowNs() - t0);
+      });
+  return result;
+}
+
+ComputeResult PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
+                                          const DistanceMeasure& measure,
+                                          const ComputeOptions& options) const {
+  const std::size_t n = series.size();
+  ComputeResult result;
+  result.matrix = Matrix(n, n);
+  if (n == 0) return result;
+  ValidateCollection(series, "series", "ComputeSelf");
+
+  const bool obs_on = obs::Enabled();
+  const bool trace_on = obs::TraceRecorder::Global().enabled();
+  const obs::TraceSpan span(trace_on
+                                ? "pairwise.compute_self/" + measure.name()
+                                : std::string());
+  std::optional<PairwiseMetrics> metrics_storage;
+  if (obs_on) metrics_storage.emplace(measure.name());
+  const PairwiseMetrics* metrics =
+      metrics_storage.has_value() ? &*metrics_storage : nullptr;
+
+  const bool mirror = measure.symmetric();
+  ShardKey key;
+  key.kind = "self";
+  key.measure = measure.name();
+  key.params = ToString(measure.params());
+  key.rows = n;
+  key.cols = n;
+  key.tile_rows = std::max<std::size_t>(1, options.tile_rows);
+  key.mirror = mirror;
+  if (!options.checkpoint_dir.empty()) {
+    key.queries_fp = FingerprintSeries(series);
+    key.references_fp = key.queries_fp;
+  }
+
+  // Tiles persist rows exactly as computed here — upper part plus zeros for
+  // symmetric measures. The mirror pass below runs after all tiles on fresh
+  // and resumed runs alike, which is what keeps resume bit-identical.
+  Matrix& out = result.matrix;
+  result.complete = RunResilientRows(
+      *pool_, options, key, &out, &result, [&](std::size_t i) {
+        const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
+        const auto a = series[i].values();
+        const std::size_t start = mirror ? i : 0;
+        for (std::size_t j = start; j < n; ++j) {
+          out(i, j) = measure.Distance(a, series[j].values());
+        }
+        if (metrics != nullptr) metrics->RecordRow(n - start, obs::NowNs() - t0);
+      });
+  if (mirror && result.complete) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+    }
+  }
+  return result;
 }
 
 NearestNeighbor PairwiseEngine::NearestNeighborRow(

@@ -35,6 +35,7 @@
 #include "src/core/thread_pool.h"
 #include "src/core/time_series.h"
 #include "src/linalg/matrix.h"
+#include "src/resilience/cancellation.h"
 
 namespace tsdist {
 
@@ -42,6 +43,36 @@ namespace tsdist {
 struct NearestNeighbor {
   std::size_t index = 0;  ///< position in the reference collection
   double distance = std::numeric_limits<double>::infinity();
+};
+
+/// Resilience controls for one matrix computation. Default-constructed
+/// options reproduce the plain entry points exactly (no cancellation, no
+/// checkpointing, no overhead).
+struct ComputeOptions {
+  /// Cooperative cancellation: polled between rows (or tiles, when
+  /// checkpointing); null means never cancelled.
+  const CancellationToken* cancel = nullptr;
+
+  /// Non-empty enables tile-level checkpointing into this directory (one
+  /// directory per matrix — see src/resilience/checkpoint.h for the resume
+  /// and validation semantics).
+  std::string checkpoint_dir;
+
+  /// Rows per checkpoint tile. Smaller tiles bound the re-computation after
+  /// a crash more tightly but fsync more often.
+  std::size_t tile_rows = 32;
+};
+
+/// Outcome of a cancellable/checkpointed matrix computation.
+struct ComputeResult {
+  Matrix matrix;
+  /// True when every cell was computed. False means the run was cancelled
+  /// (budget expiry or interrupt) and `matrix` is incomplete — consumers
+  /// must treat the cell as DNF, never read the partial values.
+  bool complete = true;
+  std::size_t tiles_total = 0;     ///< 0 when checkpointing was off
+  std::size_t tiles_resumed = 0;   ///< tiles restored from a previous run
+  std::size_t tiles_computed = 0;  ///< tiles computed (and persisted) now
 };
 
 /// Computes dissimilarity matrices between series collections.
@@ -76,6 +107,24 @@ class PairwiseEngine {
   /// argument-order invariant, e.g. SINK's normalization divisions).
   Matrix ComputeSelf(const std::vector<TimeSeries>& series,
                      const DistanceMeasure& measure) const;
+
+  /// Cancellable / checkpointed variant of Compute(). With default options
+  /// this is exactly Compute(); with a checkpoint directory, completed tiles
+  /// stream to disk and a restarted run resumes from them, producing a
+  /// bit-identical matrix. A cancelled run returns complete == false after
+  /// persisting every tile that finished.
+  ComputeResult Compute(const std::vector<TimeSeries>& queries,
+                        const std::vector<TimeSeries>& references,
+                        const DistanceMeasure& measure,
+                        const ComputeOptions& options) const;
+
+  /// Cancellable / checkpointed variant of ComputeSelf(). Tiles store rows
+  /// exactly as computed (upper part only for symmetric measures); the
+  /// mirror pass runs after all tiles on fresh and resumed runs alike, so
+  /// resumed matrices stay bit-identical.
+  ComputeResult ComputeSelf(const std::vector<TimeSeries>& series,
+                            const DistanceMeasure& measure,
+                            const ComputeOptions& options) const;
 
   /// Exact 1-NN of `query` among `references` under `measure`, via the
   /// LB_Kim -> LB_Keogh -> early-abandon cascade when `measure` is DTW

@@ -61,6 +61,13 @@ void ThreadPool::RunJob(Job* job) {
   for (;;) {
     const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->count) return;
+    // Claim first, check second: the cancelled flag is set only when an
+    // index that would have run was skipped, so a false return from
+    // ParallelFor means exactly "the output is missing at least one index".
+    if (job->cancel != nullptr && job->cancel->cancelled()) {
+      job->cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
     (*job->body)(i);
   }
 }
@@ -97,27 +104,39 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(std::size_t count,
-                             const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
+bool ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             const CancellationToken* cancel) {
+  if (count == 0) return true;
   if (workers_.empty() || count == 1) {
+    bool complete = true;
+    const auto run_inline = [&] {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (cancel != nullptr && cancel->cancelled()) {
+          complete = false;
+          return;
+        }
+        body(i);
+      }
+    };
     if (obs::Enabled()) {
       const PoolMetrics metrics;
       metrics.inline_jobs->Add(1);
       metrics.tasks->Add(count);
       const std::uint64_t busy_start = obs::NowNs();
-      for (std::size_t i = 0; i < count; ++i) body(i);
+      run_inline();
       metrics.busy_ns->Add(obs::NowNs() - busy_start);
     } else {
-      for (std::size_t i = 0; i < count; ++i) body(i);
+      run_inline();
     }
-    return;
+    return complete;
   }
 
   const std::lock_guard<std::mutex> submit_lock(submit_mu_);
   Job job;
   job.body = &body;
   job.count = count;
+  job.cancel = cancel;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     job_ = &job;
@@ -142,6 +161,7 @@ void ThreadPool::ParallelFor(std::size_t count,
     job_ = nullptr;
     done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   }
+  return !job.cancelled.load(std::memory_order_relaxed);
 }
 
 }  // namespace tsdist

@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/resilience/cancellation.h"
+
 namespace tsdist {
 
 /// Fixed-size pool of persistent worker threads executing indexed loops.
@@ -55,8 +57,17 @@ class ThreadPool {
   /// dynamically across the pool; blocks until all indices are done. The
   /// calling thread participates. One job at a time: concurrent calls from
   /// different threads are serialized.
-  void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& body);
+  ///
+  /// When `cancel` is non-null, workers stop claiming new indices once the
+  /// token reports cancelled; indices already being executed run to
+  /// completion (cooperative cancellation never tears a body invocation).
+  /// Returns true iff every index in [0, count) was executed — false means
+  /// at least one index was skipped, so the output is incomplete. With
+  /// `cancel == nullptr` the check costs one branch per index and the return
+  /// value is always true.
+  bool ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body,
+                   const CancellationToken* cancel = nullptr);
 
  private:
   // One indexed loop handed to the workers; lives on the ParallelFor stack.
@@ -64,6 +75,8 @@ class ThreadPool {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};  // next unclaimed index
+    const CancellationToken* cancel = nullptr;
+    std::atomic<bool> cancelled{false};  // a *claimed* index was skipped
   };
 
   // Claims and runs indices until the job is exhausted.

@@ -1,6 +1,7 @@
 #include "src/data/ucr_loader.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -8,6 +9,7 @@
 
 #include "src/data/preprocess.h"
 #include "src/obs/obs.h"
+#include "src/resilience/fault.h"
 
 namespace tsdist {
 
@@ -31,11 +33,13 @@ std::vector<std::string> Tokenize(const std::string& line) {
   return tokens;
 }
 
-// Parses a value token; "NaN" (any case) maps to quiet NaN. Returns false on
-// malformed input.
-bool ParseValue(const std::string& token, double* out) {
+// Parses a value token; "NaN" (any case) and "?" map to quiet NaN with
+// `*missing` set. Returns false on malformed input.
+bool ParseValue(const std::string& token, double* out, bool* missing) {
+  *missing = false;
   if (token == "NaN" || token == "nan" || token == "NAN" || token == "?") {
     *out = std::numeric_limits<double>::quiet_NaN();
+    *missing = true;
     return true;
   }
   char* end = nullptr;
@@ -44,9 +48,11 @@ bool ParseValue(const std::string& token, double* out) {
 }
 
 bool ParseSplit(const std::vector<std::string>& lines,
-                const std::string& source_name,
+                const std::string& source_name, const LoadOptions& options,
                 std::vector<TimeSeries>* out, std::string* error) {
+  std::uint64_t missing_count = 0;
   for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    fault::Hit(fault::sites::kLoaderParse);
     const std::vector<std::string> tokens = Tokenize(lines[ln]);
     if (tokens.empty()) continue;  // skip blank lines
     if (tokens.size() < 2) {
@@ -55,7 +61,9 @@ bool ParseSplit(const std::vector<std::string>& lines,
       return false;
     }
     double label_value = 0.0;
-    if (!ParseValue(tokens[0], &label_value) || std::isnan(label_value)) {
+    bool label_missing = false;
+    if (!ParseValue(tokens[0], &label_value, &label_missing) ||
+        label_missing || !std::isfinite(label_value)) {
       *error = source_name + ": line " + std::to_string(ln + 1) +
                " has a malformed label '" + tokens[0] + "'";
       return false;
@@ -64,9 +72,26 @@ bool ParseSplit(const std::vector<std::string>& lines,
     values.reserve(tokens.size() - 1);
     for (std::size_t i = 1; i < tokens.size(); ++i) {
       double v = 0.0;
-      if (!ParseValue(tokens[i], &v)) {
+      bool missing = false;
+      if (!ParseValue(tokens[i], &v, &missing)) {
         *error = source_name + ": line " + std::to_string(ln + 1) +
                  " has a malformed value '" + tokens[i] + "'";
+        return false;
+      }
+      if (missing) {
+        if (options.missing_values == MissingValuePolicy::kReject) {
+          *error = source_name + ": line " + std::to_string(ln + 1) +
+                   " has a missing value '" + tokens[i] +
+                   "' (policy: reject)";
+          return false;
+        }
+        ++missing_count;
+      } else if (!std::isfinite(v)) {
+        // Infinities are never legitimate observations in the archive
+        // format; they used to flow silently into the measures and surface
+        // as NaN accuracies whole datasets later.
+        *error = source_name + ": line " + std::to_string(ln + 1) +
+                 " has a non-finite value '" + tokens[i] + "'";
         return false;
       }
       values.push_back(v);
@@ -76,6 +101,11 @@ bool ParseSplit(const std::vector<std::string>& lines,
   if (out->empty()) {
     *error = source_name + ": no series found";
     return false;
+  }
+  if (missing_count > 0 && obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("tsdist.data.missing_values")
+        .Add(missing_count);
   }
   return true;
 }
@@ -95,14 +125,15 @@ bool ReadLines(const std::string& path, std::vector<std::string>* lines,
 }  // namespace
 
 LoadResult ParseUcrLines(const std::vector<std::string>& lines,
-                         const std::string& source_name) {
+                         const std::string& source_name,
+                         const LoadOptions& options) {
   LoadResult result;
   obs::ScopedTimer timer(
       obs::Enabled() ? &obs::MetricsRegistry::Global().GetHistogram(
                            "tsdist.data.ucr_parse_ns")
                      : nullptr);
   std::vector<TimeSeries> series;
-  if (!ParseSplit(lines, source_name, &series, &result.error)) {
+  if (!ParseSplit(lines, source_name, options, &series, &result.error)) {
     return result;
   }
   if (obs::Enabled()) {
@@ -115,7 +146,8 @@ LoadResult ParseUcrLines(const std::vector<std::string>& lines,
   return result;
 }
 
-LoadResult LoadUcrDataset(const std::string& dir, const std::string& name) {
+LoadResult LoadUcrDataset(const std::string& dir, const std::string& name,
+                          const LoadOptions& options) {
   LoadResult result;
   const obs::TraceSpan span(
       obs::TraceRecorder::Global().enabled() ? "data.ucr_load/" + name
@@ -132,8 +164,9 @@ LoadResult LoadUcrDataset(const std::string& dir, const std::string& name) {
   }
   std::vector<TimeSeries> train;
   std::vector<TimeSeries> test;
-  if (!ParseSplit(train_lines, name + "_TRAIN", &train, &result.error) ||
-      !ParseSplit(test_lines, name + "_TEST", &test, &result.error)) {
+  if (!ParseSplit(train_lines, name + "_TRAIN", options, &train,
+                  &result.error) ||
+      !ParseSplit(test_lines, name + "_TEST", options, &test, &result.error)) {
     return result;
   }
   if (obs::Enabled()) {

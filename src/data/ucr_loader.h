@@ -18,6 +18,23 @@
 
 namespace tsdist {
 
+/// What to do with a missing observation ("NaN" or "?" token).
+enum class MissingValuePolicy {
+  /// Keep the NaN at parse time; preprocessing linearly interpolates over
+  /// NaN runs (edge gaps take the nearest value, all-NaN series become
+  /// zeros — see InterpolateMissing in src/data/preprocess.h). The paper's
+  /// behavior and the default.
+  kInterpolate,
+  /// Fail the load, naming the file, line, and token of the first missing
+  /// value. For pipelines where a gap means an upstream bug.
+  kReject,
+};
+
+/// Loader behavior knobs.
+struct LoadOptions {
+  MissingValuePolicy missing_values = MissingValuePolicy::kInterpolate;
+};
+
 /// Result of a load attempt: check `ok` before using `dataset`.
 struct LoadResult {
   bool ok = false;
@@ -26,13 +43,19 @@ struct LoadResult {
 };
 
 /// Parses UCR-format lines (already split) into labeled series.
-/// Exposed separately for testing.
+/// Exposed separately for testing. Malformed lines and non-finite (inf)
+/// values fail with the source name, 1-based line number, and offending
+/// token; missing values follow `options.missing_values` (no interpolation
+/// happens here — under kInterpolate the NaNs stay in the output and
+/// PreprocessDataset fills them).
 LoadResult ParseUcrLines(const std::vector<std::string>& lines,
-                         const std::string& source_name);
+                         const std::string& source_name,
+                         const LoadOptions& options = {});
 
 /// Loads <dir>/<name>_TRAIN.tsv and <dir>/<name>_TEST.tsv and applies
 /// preprocessing.
-LoadResult LoadUcrDataset(const std::string& dir, const std::string& name);
+LoadResult LoadUcrDataset(const std::string& dir, const std::string& name,
+                          const LoadOptions& options = {});
 
 }  // namespace tsdist
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "src/linalg/eigen.h"
 #include "src/linalg/rng.h"
@@ -95,7 +97,23 @@ void GrailRepresentation::Fit(const std::vector<TimeSeries>& train) {
     }
   }
 
-  const EigenDecomposition eig = SymmetricEigen(w);
+  // A degenerate landmark kernel (NaN similarities, non-convergence) must
+  // fail this dataset's GRAIL cell with a recognizable reason, not poison the
+  // whole sweep; the evaluation loop records the reason and moves on.
+  EigenDecomposition eig;
+  try {
+    eig = SymmetricEigen(w);
+  } catch (const std::exception& e) {
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("tsdist.embedding.fit_failures")
+          .Add(1);
+    }
+    throw std::runtime_error(
+        "GrailRepresentation::Fit: eigendecomposition of the " +
+        std::to_string(k) + "x" + std::to_string(k) +
+        " landmark kernel failed: " + e.what());
+  }
   const double lead = std::max(eig.values.empty() ? 0.0 : eig.values[0], 0.0);
   rank_ = 0;
   while (rank_ < k && eig.values[rank_] > kEigenvalueCutoff * lead &&

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "src/elastic/dtw.h"
 #include "src/linalg/eigen.h"
 #include "src/linalg/rng.h"
+#include "src/obs/obs.h"
 
 namespace tsdist {
 
@@ -68,7 +71,22 @@ void SpiralRepresentation::Fit(const std::vector<TimeSeries>& train) {
     }
   }
 
-  const EigenDecomposition eig = SymmetricEigen(w);
+  // Same degradation contract as GRAIL: a failed eigensolve fails this
+  // dataset's SPIRAL cell with context instead of poisoning the sweep.
+  EigenDecomposition eig;
+  try {
+    eig = SymmetricEigen(w);
+  } catch (const std::exception& e) {
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("tsdist.embedding.fit_failures")
+          .Add(1);
+    }
+    throw std::runtime_error(
+        "SpiralRepresentation::Fit: eigendecomposition of the " +
+        std::to_string(k) + "x" + std::to_string(k) +
+        " similarity matrix failed: " + e.what());
+  }
   const double lead = std::max(eig.values.empty() ? 0.0 : eig.values[0], 0.0);
   rank_ = 0;
   while (rank_ < k && eig.values[rank_] > kEigenvalueCutoff * lead &&

@@ -1,16 +1,40 @@
 #include "src/linalg/eigen.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "src/obs/obs.h"
+#include "src/resilience/fault.h"
 
 namespace tsdist {
 
 EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
-  assert(a.rows() == a.cols());
+  // These used to be asserts — gone under NDEBUG, turning a malformed kernel
+  // matrix into an out-of-bounds read or a silent garbage decomposition deep
+  // inside GRAIL/SPIRAL. Reject loudly instead; embedding Fit() catches and
+  // records the failure per dataset.
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument(
+        "SymmetricEigen: matrix is not square (" + std::to_string(a.rows()) +
+        "x" + std::to_string(a.cols()) + ")");
+  }
+  if (max_sweeps < 1) {
+    throw std::invalid_argument("SymmetricEigen: max_sweeps must be >= 1, got " +
+                                std::to_string(max_sweeps));
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (!std::isfinite(a(i, j))) {
+        throw std::invalid_argument(
+            "SymmetricEigen: non-finite entry at (" + std::to_string(i) + ", " +
+            std::to_string(j) + ")");
+      }
+    }
+  }
+  fault::Hit(fault::sites::kEigensolve);
   const std::size_t n = a.rows();
   const obs::TraceSpan span(
       obs::TraceRecorder::Global().enabled()
@@ -35,6 +59,11 @@ EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
     }
   }
   Matrix v = Matrix::Identity(n);
+  double frobenius = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) frobenius += m(i, j) * m(i, j);
+  }
+  frobenius = std::sqrt(frobenius);
 
   auto off_diagonal_norm = [&m, n]() {
     double acc = 0.0;
@@ -83,6 +112,24 @@ EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
 
   if (eigen_sweeps != nullptr) {
     eigen_sweeps->Add(static_cast<std::uint64_t>(sweeps_run));
+  }
+
+  // The loop used to exit silently at max_sweeps, handing callers a garbage
+  // decomposition. Accept either the caller's absolute tolerance or the
+  // relative stagnation floor — cyclic Jacobi legitimately plateaus near
+  // eps * ||A||_F for large-norm matrices, and throwing there would be a
+  // false alarm — and reject everything else (e.g. a NaN-poisoned spin).
+  const double off = off_diagonal_norm();
+  if (!(off < tol) && !(off <= 1e-12 * frobenius)) {
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("tsdist.linalg.eigen_failures")
+          .Add(1);
+    }
+    throw std::runtime_error(
+        "SymmetricEigen: no convergence after " + std::to_string(sweeps_run) +
+        " sweeps (off-diagonal norm " + std::to_string(off) + ", tol " +
+        std::to_string(tol) + ", n=" + std::to_string(n) + ")");
   }
 
   // Sort eigenpairs by descending eigenvalue.

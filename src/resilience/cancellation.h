@@ -1,0 +1,92 @@
+// Cooperative cancellation for long-running engine jobs.
+//
+// A CancellationToken carries two triggers: a manual flag (set by signal
+// handlers or by test code) and an optional wall-clock deadline (set from a
+// per-measure budget). Workers poll cancelled() between units of work — the
+// thread pool checks before each claimed index, the engine before each
+// checkpoint tile — so cancellation is prompt but never tears a unit in
+// half: a cancelled run is always a clean prefix of tiles, which is what
+// makes checkpoint resume bit-identical.
+//
+// Tokens can be chained: a child created with a parent reports cancelled
+// when either its own triggers or any ancestor fire. tsdist_eval links every
+// per-measure budget token to the process-wide interrupt token, so SIGINT
+// cancels all in-flight work while a budget expiry cancels only its own
+// cell.
+//
+// Cancel() is async-signal-safe (a single relaxed atomic store), which is
+// what allows the SIGINT/SIGTERM handlers to use it directly.
+
+#ifndef TSDIST_RESILIENCE_CANCELLATION_H_
+#define TSDIST_RESILIENCE_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tsdist {
+
+/// Manually- or deadline-triggered cancellation flag, pollable from any
+/// thread. Copying is disabled; share by pointer.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  /// Child token: cancelled when the parent is, too. `parent` must outlive
+  /// this token.
+  explicit CancellationToken(const CancellationToken* parent)
+      : parent_(parent) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Async-signal-safe; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms the deadline trigger `seconds` from now (steady clock). A
+  /// non-positive budget cancels immediately.
+  void SetBudget(double seconds) {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+    const std::int64_t budget_ns =
+        seconds > 0 ? static_cast<std::int64_t>(seconds * 1e9) : 0;
+    deadline_ns_.store(now_ns + budget_ns, std::memory_order_relaxed);
+  }
+
+  /// True when this token or any ancestor was cancelled or timed out. Reads
+  /// the clock only when a deadline is armed.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      if (std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+          deadline) {
+        return true;
+      }
+    }
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// True when the manual flag (not the deadline) fired on this token or an
+  /// ancestor. Distinguishes an external interrupt from a budget expiry.
+  bool cancel_requested() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancel_requested();
+  }
+
+  /// Clears this token's own flag and deadline (not the parent's).
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // steady ns; 0 = no deadline
+  const CancellationToken* parent_ = nullptr;
+};
+
+}  // namespace tsdist
+
+#endif  // TSDIST_RESILIENCE_CANCELLATION_H_

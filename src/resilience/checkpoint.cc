@@ -1,0 +1,382 @@
+#include "src/resilience/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+#include "src/obs/runinfo.h"
+#include "src/resilience/crc32.h"
+#include "src/resilience/fault.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tsdist {
+
+namespace {
+
+constexpr std::uint32_t kTileMagic = 0x54534B31;  // "TSK1"
+constexpr const char kManifestSchema[] = "tsdist.ckpt.v1";
+
+// Fixed-size on-disk tile record header; payload (row_count * cols doubles)
+// follows. `crc` covers tile/row_begin/row_count and the payload bytes, so
+// a torn header and a torn payload are both detected.
+struct TileRecordHeader {
+  std::uint32_t magic;
+  std::uint32_t tile;
+  std::uint32_t row_begin;
+  std::uint32_t row_count;
+  std::uint32_t crc;
+};
+static_assert(sizeof(TileRecordHeader) == 20);
+
+obs::Counter* CkptCounter(const char* name) {
+  return obs::Enabled()
+             ? &obs::MetricsRegistry::Global().GetCounter(name)
+             : nullptr;
+}
+
+void BumpCkpt(const char* name, std::uint64_t n = 1) {
+  if (obs::Counter* c = CkptCounter(name); c != nullptr) c->Add(n);
+}
+
+// Flushes stdio buffers and forces the bytes to disk. fsync is what turns
+// "written" into "durable": without it a kill after fwrite loses the tile
+// even though the write returned.
+bool FlushAndSync(std::FILE* file) {
+  if (std::fflush(file) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  return ::fsync(::fileno(file)) == 0;
+#else
+  return true;
+#endif
+}
+
+// Best-effort directory fsync so a rename (manifest publish) is durable.
+void SyncDirectory(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+std::string HexU64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string JsonEscapeMinimal(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ManifestJson(const ShardKey& key) {
+  // The build SHA ties the shard to the binary that produced it: distance
+  // kernels are only bit-stable within one build (compiler flags and code
+  // changes may legally reassociate floating-point work).
+  static const std::string build_sha =
+      obs::CollectRunManifest(0, 0, "").git_sha;
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"" << kManifestSchema << "\",\n"
+     << "  \"kind\": \"" << JsonEscapeMinimal(key.kind) << "\",\n"
+     << "  \"measure\": \"" << JsonEscapeMinimal(key.measure) << "\",\n"
+     << "  \"params\": \"" << JsonEscapeMinimal(key.params) << "\",\n"
+     << "  \"queries_fp\": \"" << HexU64(key.queries_fp) << "\",\n"
+     << "  \"references_fp\": \"" << HexU64(key.references_fp) << "\",\n"
+     << "  \"rows\": " << key.rows << ",\n"
+     << "  \"cols\": " << key.cols << ",\n"
+     << "  \"tile_rows\": " << key.tile_rows << ",\n"
+     << "  \"mirror\": " << (key.mirror ? "true" : "false") << ",\n"
+     << "  \"build_sha\": \"" << JsonEscapeMinimal(build_sha) << "\"\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t FingerprintSeries(const std::vector<TimeSeries>& series) {
+  // FNV-1a 64-bit over (count, then per series: length, label, value bytes).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix_bytes = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  const std::uint64_t count = series.size();
+  mix_bytes(&count, sizeof count);
+  for (const TimeSeries& s : series) {
+    const std::uint64_t length = s.size();
+    const std::int64_t label = s.label();
+    mix_bytes(&length, sizeof length);
+    mix_bytes(&label, sizeof label);
+    mix_bytes(s.values().data(), s.values().size() * sizeof(double));
+  }
+  return h;
+}
+
+bool AtomicWriteFile(const std::string& path, const std::string& contents,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) {
+      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    const bool ok =
+        std::fwrite(contents.data(), 1, contents.size(), file) ==
+            contents.size() &&
+        FlushAndSync(file);
+    std::fclose(file);
+    if (!ok) {
+      std::remove(tmp.c_str());
+      if (error != nullptr) *error = "short write or fsync failure on " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    return false;
+  }
+  SyncDirectory(std::filesystem::path(path).parent_path().string());
+  return true;
+}
+
+std::size_t TileCheckpoint::TileRowCount(std::size_t t) const {
+  const std::size_t begin = TileRowBegin(t);
+  return std::min(key_.tile_rows, key_.rows - begin);
+}
+
+TileCheckpoint::TileCheckpoint(const std::string& directory,
+                               const ShardKey& key, Matrix* matrix)
+    : directory_(directory), key_(key) {
+  if (key_.tile_rows == 0 || key_.rows == 0 || key_.cols == 0) {
+    throw std::runtime_error("TileCheckpoint: degenerate shard shape");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    throw std::runtime_error("TileCheckpoint: cannot create directory " +
+                             directory_ + ": " + ec.message());
+  }
+  done_.assign((key_.rows + key_.tile_rows - 1) / key_.tile_rows, 0);
+  BumpCkpt("tsdist.ckpt.shards_opened");
+
+  if (!LoadExisting(matrix)) StartFresh();
+
+  const std::string log_path = directory_ + "/tiles.bin";
+  log_ = std::fopen(log_path.c_str(), "ab");
+  if (log_ == nullptr) {
+    throw std::runtime_error("TileCheckpoint: cannot open " + log_path +
+                             " for append");
+  }
+}
+
+TileCheckpoint::~TileCheckpoint() {
+  if (log_ != nullptr) std::fclose(log_);
+}
+
+// Returns true when a matching manifest was found and the tile log's valid
+// prefix was loaded (possibly zero tiles); false means start fresh.
+bool TileCheckpoint::LoadExisting(Matrix* matrix) {
+  const std::string manifest_path = directory_ + "/manifest.json";
+  if (!std::filesystem::exists(manifest_path)) return false;
+
+  try {
+    const obs::JsonValue manifest = obs::ParseJsonFile(manifest_path);
+    const obs::JsonValue expected = obs::ParseJson(ManifestJson(key_));
+    const char* string_fields[] = {"schema",        "kind",   "measure",
+                                   "params",        "queries_fp",
+                                   "references_fp", "build_sha"};
+    const char* number_fields[] = {"rows", "cols", "tile_rows"};
+    bool match = manifest.GetBool("mirror", !key_.mirror) == key_.mirror;
+    for (const char* field : string_fields) {
+      match = match && manifest.GetString(field, "") ==
+                           expected.GetString(field, "\x01");
+    }
+    for (const char* field : number_fields) {
+      match = match && manifest.GetDouble(field, -1.0) ==
+                           expected.GetDouble(field, -2.0);
+    }
+    if (!match) {
+      BumpCkpt("tsdist.ckpt.manifest_mismatch");
+      return false;
+    }
+  } catch (const std::exception&) {
+    // Unreadable or torn manifest: treat as absent.
+    BumpCkpt("tsdist.ckpt.manifest_mismatch");
+    return false;
+  }
+
+  const std::string log_path = directory_ + "/tiles.bin";
+  std::FILE* log = std::fopen(log_path.c_str(), "rb");
+  if (log == nullptr) return true;  // manifest but no tiles yet: resume at 0
+
+  long valid_bytes = 0;
+  std::vector<double> payload;
+  for (;;) {
+    TileRecordHeader header{};
+    if (std::fread(&header, sizeof header, 1, log) != 1) break;
+    fault::Hit(fault::sites::kShardLoad);
+    const bool sane =
+        header.magic == kTileMagic && header.tile < done_.size() &&
+        header.row_begin == TileRowBegin(header.tile) &&
+        header.row_count == TileRowCount(header.tile);
+    if (!sane) {
+      BumpCkpt("tsdist.ckpt.crc_failures");
+      break;
+    }
+    const std::size_t payload_doubles =
+        static_cast<std::size_t>(header.row_count) * key_.cols;
+    payload.resize(payload_doubles);
+    if (std::fread(payload.data(), sizeof(double), payload_doubles, log) !=
+        payload_doubles) {
+      // Torn tail: the kill landed mid-payload.
+      BumpCkpt("tsdist.ckpt.crc_failures");
+      break;
+    }
+    std::uint32_t crc = Crc32(&header.tile, 3 * sizeof(std::uint32_t));
+    crc = Crc32(payload.data(), payload_doubles * sizeof(double), crc);
+    if (crc != header.crc) {
+      BumpCkpt("tsdist.ckpt.crc_failures");
+      break;
+    }
+    for (std::size_t r = 0; r < header.row_count; ++r) {
+      auto row = matrix->mutable_row(header.row_begin + r);
+      std::memcpy(row.data(), payload.data() + r * key_.cols,
+                  key_.cols * sizeof(double));
+    }
+    if (done_[header.tile] == 0) {
+      done_[header.tile] = 1;
+      ++tiles_resumed_;
+    }
+    valid_bytes += static_cast<long>(sizeof header) +
+                   static_cast<long>(payload_doubles * sizeof(double));
+  }
+  std::fclose(log);
+  BumpCkpt("tsdist.ckpt.tiles_resumed", tiles_resumed_);
+
+  // Drop the torn tail so future appends extend a fully valid log.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(log_path, ec);
+  if (!ec && size > static_cast<std::uintmax_t>(valid_bytes)) {
+    std::filesystem::resize_file(
+        log_path, static_cast<std::uintmax_t>(valid_bytes), ec);
+  }
+  return true;
+}
+
+void TileCheckpoint::StartFresh() {
+  std::error_code ec;
+  std::filesystem::remove(directory_ + "/tiles.bin", ec);
+  std::string error;
+  if (!AtomicWriteFile(directory_ + "/manifest.json", ManifestJson(key_),
+                       &error)) {
+    throw std::runtime_error("TileCheckpoint: " + error);
+  }
+}
+
+void TileCheckpoint::WriteTile(std::size_t t, const Matrix& matrix) {
+  const std::size_t row_begin = TileRowBegin(t);
+  const std::size_t row_count = TileRowCount(t);
+  const std::size_t payload_doubles = row_count * key_.cols;
+
+  TileRecordHeader header{};
+  header.magic = kTileMagic;
+  header.tile = static_cast<std::uint32_t>(t);
+  header.row_begin = static_cast<std::uint32_t>(row_begin);
+  header.row_count = static_cast<std::uint32_t>(row_count);
+
+  // Rows are contiguous in the row-major matrix, so the payload is one span.
+  const double* payload = matrix.row(row_begin).data();
+  std::uint32_t crc = Crc32(&header.tile, 3 * sizeof(std::uint32_t));
+  crc = Crc32(payload, payload_doubles * sizeof(double), crc);
+  header.crc = crc;
+
+  const std::lock_guard<std::mutex> lock(write_mu_);
+  fault::Hit(fault::sites::kTileWrite);
+  if (std::fwrite(&header, sizeof header, 1, log_) != 1 ||
+      std::fwrite(payload, sizeof(double), payload_doubles, log_) !=
+          payload_doubles ||
+      !FlushAndSync(log_)) {
+    throw std::runtime_error(
+        "TileCheckpoint: write/fsync failure on " + directory_ +
+        "/tiles.bin (tile " + std::to_string(t) + ")");
+  }
+  BumpCkpt("tsdist.ckpt.tiles_written");
+  BumpCkpt("tsdist.ckpt.bytes_written",
+           sizeof header + payload_doubles * sizeof(double));
+}
+
+std::vector<std::string> LoadJsonLog(const std::string& path) {
+  std::vector<std::string> lines;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return lines;
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(file);
+
+  std::size_t valid_bytes = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // unterminated tail line
+    const std::string line = content.substr(pos, nl - pos);
+    try {
+      if (!obs::ParseJson(line).is_object()) break;
+    } catch (const std::exception&) {
+      break;
+    }
+    lines.push_back(line);
+    pos = nl + 1;
+    valid_bytes = pos;
+  }
+  if (valid_bytes < content.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, valid_bytes, ec);
+  }
+  return lines;
+}
+
+bool AppendJsonLogLine(const std::string& path, const std::string& line) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), file) == line.size() &&
+      std::fwrite("\n", 1, 1, file) == 1 && FlushAndSync(file);
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace tsdist

@@ -1,0 +1,123 @@
+// Tile-level checkpointing for dissimilarity-matrix computation.
+//
+// The paper's headline sweep (71 measures x 8 normalizations x 128 datasets
+// under LOOCV tuning) is a multi-day batch job; before this subsystem a
+// crash, OOM-kill, or Ctrl-C lost every completed cell. A TileCheckpoint
+// makes one matrix computation durable at tile granularity:
+//
+//   <dir>/manifest.json   identity of the computation (measure, params,
+//                         dataset fingerprints, shape, tile size, build SHA)
+//                         written atomically (temp + fsync + rename);
+//   <dir>/tiles.bin       append-only log of completed tiles, each record
+//                         CRC32-protected and fsynced before the tile is
+//                         considered durable.
+//
+// Resume semantics: on open, the manifest is validated field-by-field
+// against the new run's key — any mismatch (different params, different
+// data, different build) discards the shard and restarts from scratch,
+// because bit-identity cannot be promised across those changes. A matching
+// shard has its tile log scanned; every record with a valid CRC is loaded
+// back into the output matrix and marked done, and the log is truncated to
+// that valid prefix (a hard kill mid-append leaves a torn tail, exactly the
+// torn-page recovery rule of a write-ahead log). Each cell of the matrix is
+// an independent pure computation, so recomputing only the missing tiles
+// reproduces the uninterrupted result bit for bit — proven by
+// tests/test_resilience.cc with the fault-injection harness.
+//
+// Counters (docs/OBSERVABILITY.md): tsdist.ckpt.tiles_written / tiles_resumed
+// / bytes_written / crc_failures / manifest_mismatch / shards_opened.
+
+#ifndef TSDIST_RESILIENCE_CHECKPOINT_H_
+#define TSDIST_RESILIENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/time_series.h"
+#include "src/linalg/matrix.h"
+
+namespace tsdist {
+
+/// Order-sensitive FNV-1a fingerprint of a series collection (lengths,
+/// labels, and raw value bytes). Two collections with the same fingerprint
+/// are byte-identical for checkpoint purposes.
+std::uint64_t FingerprintSeries(const std::vector<TimeSeries>& series);
+
+/// Durably writes `contents` to `path`: write to a temp file in the same
+/// directory, fsync, rename over the target, fsync the directory. Either
+/// the old file or the complete new file survives a crash, never a torn
+/// mix. Returns false (with `error` set) on I/O failure.
+bool AtomicWriteFile(const std::string& path, const std::string& contents,
+                     std::string* error);
+
+/// Identity of one matrix computation; every field participates in manifest
+/// validation.
+struct ShardKey {
+  std::string kind;        ///< "pair" (Compute) or "self" (ComputeSelf)
+  std::string measure;     ///< registry name
+  std::string params;      ///< ToString(ParamMap) of the instance
+  std::uint64_t queries_fp = 0;
+  std::uint64_t references_fp = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t tile_rows = 0;
+  bool mirror = false;     ///< self-matrix upper-triangle-only computation
+};
+
+/// One matrix computation's durable shard. Thread-safe for WriteTile; open
+/// and load happen on the calling thread before workers start.
+class TileCheckpoint {
+ public:
+  /// Opens (creating if necessary) the shard in `directory` for `key` and
+  /// loads every durable tile of a matching previous run into `*matrix`.
+  /// `matrix` must already have the key's dimensions and must outlive the
+  /// load call only (it is not retained). Throws std::runtime_error when the
+  /// directory cannot be created or the log cannot be opened for append.
+  TileCheckpoint(const std::string& directory, const ShardKey& key,
+                 Matrix* matrix);
+  ~TileCheckpoint();
+
+  TileCheckpoint(const TileCheckpoint&) = delete;
+  TileCheckpoint& operator=(const TileCheckpoint&) = delete;
+
+  std::size_t num_tiles() const { return done_.size(); }
+  /// True when tile `t` was restored from the previous run.
+  bool TileDone(std::size_t t) const { return done_[t] != 0; }
+  std::size_t tiles_resumed() const { return tiles_resumed_; }
+
+  /// Appends tile `t`'s rows of `matrix` to the log and fsyncs. After this
+  /// returns, the tile survives a hard kill. Thread-safe.
+  void WriteTile(std::size_t t, const Matrix& matrix);
+
+  /// First row of tile `t` / number of rows in tile `t`.
+  std::size_t TileRowBegin(std::size_t t) const { return t * key_.tile_rows; }
+  std::size_t TileRowCount(std::size_t t) const;
+
+ private:
+  bool LoadExisting(Matrix* matrix);
+  void StartFresh();
+
+  std::string directory_;
+  ShardKey key_;
+  std::vector<char> done_;  // vector<bool> is not thread-safe to read
+  std::size_t tiles_resumed_ = 0;
+  std::mutex write_mu_;
+  std::FILE* log_ = nullptr;
+};
+
+/// Reads an append-only log of JSON lines, returning every line of the valid
+/// prefix (complete, newline-terminated, parseable as a JSON object) and
+/// truncating the file past the first invalid line — torn-tail recovery for
+/// the sweep-level candidate cache. A missing file yields an empty vector.
+std::vector<std::string> LoadJsonLog(const std::string& path);
+
+/// Appends one line to a JSON-lines log and fsyncs it. Returns false on I/O
+/// failure (the caller degrades to running without the cache).
+bool AppendJsonLogLine(const std::string& path, const std::string& line);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_RESILIENCE_CHECKPOINT_H_

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial) for checkpoint shard validation.
+//
+// Checkpoint tile records are written by one process and read back by a
+// different one after a crash, so every payload carries a checksum that
+// detects the torn or truncated tail a hard kill leaves behind. The standard
+// reflected CRC-32 is used (polynomial 0xEDB88320) so shards can be verified
+// with any external tool: crc32("123456789") == 0xCBF43926.
+
+#ifndef TSDIST_RESILIENCE_CRC32_H_
+#define TSDIST_RESILIENCE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tsdist {
+
+/// CRC-32 of `size` bytes at `data`, starting from `seed` (pass the previous
+/// return value to checksum a message in chunks; the default starts a new
+/// message).
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace tsdist
+
+#endif  // TSDIST_RESILIENCE_CRC32_H_

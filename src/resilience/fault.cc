@@ -1,0 +1,159 @@
+#include "src/resilience/fault.h"
+
+#if !defined(TSDIST_FAULT_NOOP)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "src/obs/obs.h"
+
+namespace tsdist::fault {
+
+namespace {
+
+enum class Action { kThrow, kExit };
+
+// All mutable state lives behind this mutex except the armed flag, which is
+// read on every Hit() and must stay a lone relaxed load when disarmed.
+struct State {
+  std::mutex mu;
+  std::string site;              // armed site name
+  std::uint64_t fire_at = 0;     // 1-based hit index that fires
+  Action action = Action::kThrow;
+  bool triggered = false;        // the armed hit already fired
+  std::uint64_t fires = 0;
+  std::map<std::string, std::uint64_t> hits;
+};
+
+std::atomic<bool> g_armed{false};
+
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+// Parses "site:n[:exit]"; returns false on malformed input.
+bool ParseSpec(const std::string& spec, std::string* site,
+               std::uint64_t* fire_at, Action* action) {
+  const std::size_t first = spec.find(':');
+  if (first == std::string::npos || first == 0) return false;
+  const std::size_t second = spec.find(':', first + 1);
+  const std::string count_str =
+      second == std::string::npos ? spec.substr(first + 1)
+                                  : spec.substr(first + 1, second - first - 1);
+  if (count_str.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(count_str.c_str(), &end, 10);
+  if (end != count_str.c_str() + count_str.size() || n == 0) return false;
+  *action = Action::kThrow;
+  if (second != std::string::npos) {
+    const std::string mode = spec.substr(second + 1);
+    if (mode == "exit") {
+      *action = Action::kExit;
+    } else if (mode != "throw") {
+      return false;
+    }
+  }
+  *site = spec.substr(0, first);
+  *fire_at = n;
+  return true;
+}
+
+}  // namespace
+
+bool Armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void Arm(const std::string& spec) {
+  std::string site;
+  std::uint64_t fire_at = 0;
+  Action action = Action::kThrow;
+  if (!ParseSpec(spec, &site, &fire_at, &action)) {
+    throw std::invalid_argument(
+        "fault::Arm: malformed spec '" + spec +
+        "' (expected <site>:<n> or <site>:<n>:exit with n >= 1)");
+  }
+  State& state = GetState();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  state.site = site;
+  state.fire_at = fire_at;
+  state.action = action;
+  state.triggered = false;
+  state.fires = 0;
+  state.hits.clear();
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void ArmFromEnv() {
+  const char* spec = std::getenv("TSDIST_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  try {
+    Arm(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "ignoring TSDIST_FAULT: %s\n", e.what());
+  }
+}
+
+void Disarm() {
+  State& state = GetState();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  g_armed.store(false, std::memory_order_relaxed);
+  state.site.clear();
+  state.fire_at = 0;
+  state.triggered = false;
+  state.fires = 0;
+  state.hits.clear();
+}
+
+void Hit(const char* site) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  State& state = GetState();
+  bool fire = false;
+  Action action = Action::kThrow;
+  std::uint64_t hit_index = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state.mu);
+    // Re-check under the lock: Disarm may have raced the relaxed load.
+    if (!g_armed.load(std::memory_order_relaxed)) return;
+    hit_index = ++state.hits[site];
+    if (!state.triggered && state.site == site &&
+        hit_index == state.fire_at) {
+      state.triggered = true;
+      ++state.fires;
+      fire = true;
+      action = state.action;
+    }
+  }
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("tsdist.fault.hits").Add(1);
+    if (fire) registry.GetCounter("tsdist.fault.fired").Add(1);
+  }
+  if (!fire) return;
+  if (action == Action::kExit) {
+    // No unwinding, no flushing, no destructors: the closest in-process
+    // stand-in for SIGKILL. Durability claims must survive this.
+    std::_Exit(kFaultExitCode);
+  }
+  throw FaultInjected("fault injected at site '" + std::string(site) +
+                      "' (hit " + std::to_string(hit_index) + ")");
+}
+
+std::uint64_t HitCount(const std::string& site) {
+  State& state = GetState();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.hits.find(site);
+  return it == state.hits.end() ? 0 : it->second;
+}
+
+std::uint64_t FireCount() {
+  State& state = GetState();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  return state.fires;
+}
+
+}  // namespace tsdist::fault
+
+#endif  // !TSDIST_FAULT_NOOP

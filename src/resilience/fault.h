@@ -1,0 +1,105 @@
+// Deterministic fault-injection harness.
+//
+// Crash-recovery code is only trustworthy if the crashes it recovers from
+// can be produced on demand, at an exact point, every time. This harness
+// places named *sites* on the failure-prone paths (tile write, shard load,
+// eigensolve, loader parse — see kSiteInventory in docs/ROBUSTNESS.md) and
+// lets one site be armed to fire on its n-th hit:
+//
+//   TSDIST_FAULT=ckpt.tile_write:3        # 3rd tile write throws FaultInjected
+//   TSDIST_FAULT=ckpt.tile_write:3:exit   # 3rd tile write hard-exits
+//                                         # (std::_Exit, no unwinding — the
+//                                         # closest in-process stand-in for
+//                                         # SIGKILL / OOM-kill)
+//
+// Tests arm sites programmatically with Arm()/Disarm() instead of the
+// environment variable. Hit counts are tracked per site while armed, so a
+// test can assert a site was reached exactly n times; the obs counters
+// tsdist.fault.hits and tsdist.fault.fired surface the same information in
+// metrics dumps.
+//
+// Disarmed cost is one relaxed atomic load per site hit; configure with
+// -DTSDIST_FAULT_NOOP=ON to compile every site down to nothing (mirroring
+// TSDIST_OBS_NOOP). Production builds that want zero fault-injection surface
+// use that switch; the default build keeps sites live so the robustness
+// tests can run against the same binary configuration users run.
+
+#ifndef TSDIST_RESILIENCE_FAULT_H_
+#define TSDIST_RESILIENCE_FAULT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tsdist::fault {
+
+/// Exit code of the `exit` fault action, distinct from every exit code the
+/// tools use, so a harness observing a child can tell an injected hard kill
+/// from a real failure.
+inline constexpr int kFaultExitCode = 86;
+
+/// Thrown by an armed site firing in the default (`throw`) mode.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Site names. Every call site uses one of these constants so the inventory
+/// in docs/ROBUSTNESS.md is greppable and tests cannot typo a site string.
+namespace sites {
+inline constexpr const char kTileWrite[] = "ckpt.tile_write";
+inline constexpr const char kShardLoad[] = "ckpt.shard_load";
+inline constexpr const char kEigensolve[] = "linalg.eigensolve";
+inline constexpr const char kLoaderParse[] = "data.parse_line";
+}  // namespace sites
+
+#if defined(TSDIST_FAULT_NOOP)
+
+constexpr bool Armed() { return false; }
+inline void Arm(const std::string&) {}
+inline void ArmFromEnv() {}
+inline void Disarm() {}
+inline void Hit(const char*) {}
+inline std::uint64_t HitCount(const std::string&) { return 0; }
+inline std::uint64_t FireCount() { return 0; }
+
+#else
+
+/// True when a site is currently armed (via Arm or TSDIST_FAULT).
+bool Armed();
+
+/// Arms one site from a spec "site:n" or "site:n:exit" (n >= 1, 1-based hit
+/// index). Replaces any previous configuration and zeroes all hit counters.
+/// Throws std::invalid_argument on a malformed spec.
+void Arm(const std::string& spec);
+
+/// Arms from the TSDIST_FAULT environment variable when it is set and
+/// non-empty; malformed values are reported to stderr and ignored (a batch
+/// job must not die because of a typoed debug variable). Called once by the
+/// tools at startup; tests use Arm() directly.
+void ArmFromEnv();
+
+/// Disarms and zeroes every hit counter. Test teardown.
+void Disarm();
+
+/// Records one hit of `site`. When `site` is the armed one and this is its
+/// n-th hit, the fault fires: FaultInjected is thrown (default) or the
+/// process hard-exits with kFaultExitCode (`exit` mode). No-op when nothing
+/// is armed beyond one relaxed atomic load.
+void Hit(const char* site);
+
+/// Hits recorded for `site` since the last Arm()/Disarm(). Always 0 while
+/// disarmed (hits are only counted when the harness is armed, keeping the
+/// disarmed path free of bookkeeping).
+std::uint64_t HitCount(const std::string& site);
+
+/// Number of times the armed fault has fired (0 or 1: firing disarms the
+/// trigger but keeps counting hits).
+std::uint64_t FireCount();
+
+#endif  // TSDIST_FAULT_NOOP
+
+}  // namespace tsdist::fault
+
+#endif  // TSDIST_RESILIENCE_FAULT_H_

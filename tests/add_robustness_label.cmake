@@ -1,0 +1,21 @@
+# Appends the `robustness` label to every test discovered from the
+# test_resilience binary, so CI can run the fault-tolerance suite alone
+# (ctest -L robustness). Same TEST_INCLUDE_FILES technique as
+# add_sanitize_label.cmake (which see): set_tests_properties is the only
+# property command ctest's testfile processing reliably supports, so the
+# full label list is substituted at configure time (@TSDIST_TEST_LABELS@)
+# rather than appended — this script is registered last, so it wins.
+file(GLOB _tsdist_resilience_files
+     "${CMAKE_CURRENT_LIST_DIR}/test_resilience*_tests.cmake")
+foreach(_file IN LISTS _tsdist_resilience_files)
+  file(STRINGS "${_file}" _add_test_lines REGEX "^add_test")
+  foreach(_line IN LISTS _add_test_lines)
+    # add_test([=[SuiteName.TestName]=] ...)
+    if(_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "@TSDIST_TEST_LABELS@;robustness")
+    endif()
+  endforeach()
+endforeach()
+unset(_tsdist_resilience_files)
+unset(_add_test_lines)

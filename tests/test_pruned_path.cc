@@ -172,12 +172,15 @@ TEST(EarlyAbandonContractTest, DefaultImplementationDelegatesToDistance) {
 TEST(PrunedEvaluationTest, EvaluateFixedAccuraciesAreIdentical) {
   const Dataset dataset = SmallDataset(71);
   const PairwiseEngine engine(2);
+  EvalOptions full_options;
+  EvalOptions pruned_options;
+  pruned_options.pruned = true;
   for (const char* name : {"dtw", "euclidean", "kullback_leibler"}) {
     const ParamMap params = UnsupervisedParamsFor(name);
     const EvalResult full = EvaluateFixed(name, params, dataset, engine,
-                                          Registry::Global(), {.pruned = false});
+                                          Registry::Global(), full_options);
     const EvalResult pruned = EvaluateFixed(name, params, dataset, engine,
-                                            Registry::Global(), {.pruned = true});
+                                            Registry::Global(), pruned_options);
     EXPECT_EQ(full.test_accuracy, pruned.test_accuracy) << name;
   }
 }
@@ -185,13 +188,16 @@ TEST(PrunedEvaluationTest, EvaluateFixedAccuraciesAreIdentical) {
 TEST(PrunedEvaluationTest, EvaluateTunedAccuraciesAreIdentical) {
   const Dataset dataset = SmallDataset(73);
   const PairwiseEngine engine(2);
+  EvalOptions full_options;
+  EvalOptions pruned_options;
+  pruned_options.pruned = true;
   for (const char* name : {"dtw", "erp"}) {
     const EvalResult full =
         EvaluateTuned(name, ParamGridFor(name), dataset, engine,
-                      Registry::Global(), {.pruned = false});
+                      Registry::Global(), full_options);
     const EvalResult pruned =
         EvaluateTuned(name, ParamGridFor(name), dataset, engine,
-                      Registry::Global(), {.pruned = true});
+                      Registry::Global(), pruned_options);
     EXPECT_EQ(full.train_accuracy, pruned.train_accuracy) << name;
     EXPECT_EQ(full.test_accuracy, pruned.test_accuracy) << name;
     EXPECT_EQ(full.params, pruned.params) << name;

@@ -1,0 +1,513 @@
+// Tests for the fault-tolerant evaluation runtime (src/resilience):
+// CRC32 / fingerprint primitives, cooperative cancellation, the
+// fault-injection harness, and — the load-bearing contracts — that a matrix
+// computation killed at tile K and resumed from its checkpoint reproduces
+// the uninterrupted result bit for bit, and that a corrupted or mismatched
+// shard is rejected and recomputed instead of poisoning results.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/classify/param_grids.h"
+#include "src/classify/tuning.h"
+#include "src/core/pairwise_engine.h"
+#include "src/core/registry.h"
+#include "src/core/thread_pool.h"
+#include "src/data/ucr_loader.h"
+#include "src/embedding/grail.h"
+#include "src/linalg/eigen.h"
+#include "src/linalg/rng.h"
+#include "src/resilience/cancellation.h"
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/crc32.h"
+#include "src/resilience/fault.h"
+
+namespace tsdist {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Tests that need a site to actually fire cannot run when the sites are
+// compiled out (-DTSDIST_FAULT_NOOP=ON).
+#if defined(TSDIST_FAULT_NOOP)
+#define TSDIST_SKIP_IF_FAULT_NOOP() \
+  GTEST_SKIP() << "fault-injection sites compiled out (TSDIST_FAULT_NOOP)"
+#else
+#define TSDIST_SKIP_IF_FAULT_NOOP()
+#endif
+
+std::vector<TimeSeries> MakeCollection(std::size_t n, std::size_t m,
+                                       std::uint64_t seed,
+                                       bool positive = false) {
+  Rng rng(seed);
+  std::vector<TimeSeries> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(m);
+    for (auto& v : values) {
+      v = positive ? 0.1 + std::abs(rng.Gaussian()) : rng.Gaussian();
+    }
+    out.emplace_back(std::move(values), static_cast<int>(i % 2));
+  }
+  return out;
+}
+
+// Bitwise equality — the resume contract is bit-identity, not tolerance.
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.rows() * a.cols() * sizeof(double)),
+            0);
+}
+
+// Fresh per-test scratch directory under gtest's temp dir.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("resilience_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Disarm();
+    fs::remove_all(dir_);
+  }
+  std::string Dir(const std::string& sub) const { return (dir_ / sub).string(); }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------- primitives
+
+TEST(Crc32Test, MatchesKnownAnswerAndChunks) {
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(check, 9), 0xCBF43926u);
+  // Chunked computation with seeding matches the one-shot result.
+  const std::uint32_t part = Crc32(check, 4);
+  EXPECT_EQ(Crc32(check + 4, 5, part), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(FingerprintTest, SensitiveToValuesLabelsLengthAndOrder) {
+  const auto base = MakeCollection(4, 16, 7);
+  const std::uint64_t fp = FingerprintSeries(base);
+  EXPECT_EQ(FingerprintSeries(base), fp);  // deterministic
+
+  auto value_changed = base;
+  value_changed[2].mutable_values()[5] += 1e-15;
+  EXPECT_NE(FingerprintSeries(value_changed), fp);
+
+  auto reordered = base;
+  std::swap(reordered[0], reordered[1]);
+  EXPECT_NE(FingerprintSeries(reordered), fp);
+
+  std::vector<TimeSeries> label_changed;
+  for (const auto& s : base) {
+    label_changed.emplace_back(
+        std::vector<double>(s.values().begin(), s.values().end()),
+        s.label() + 1);
+  }
+  EXPECT_NE(FingerprintSeries(label_changed), fp);
+
+  auto truncated = base;
+  truncated.pop_back();
+  EXPECT_NE(FingerprintSeries(truncated), fp);
+}
+
+TEST(CancellationTokenTest, ManualBudgetAndParentChain) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  EXPECT_FALSE(child.cancel_requested());
+
+  parent.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(child.cancel_requested());  // manual flag propagates as such
+  parent.Reset();
+  EXPECT_FALSE(child.cancelled());
+
+  // An already-expired budget cancels, but is NOT a manual cancel request —
+  // that distinction is what maps to kDnf vs kInterrupted.
+  child.SetBudget(0.0);
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(child.cancel_requested());
+  child.Reset();
+  child.SetBudget(3600.0);
+  EXPECT_FALSE(child.cancelled());
+}
+
+TEST(ThreadPoolCancellationTest, ParallelForReportsCompletionExactly) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  CancellationToken token;
+  EXPECT_TRUE(pool.ParallelFor(
+      100, [&](std::size_t) { ran.fetch_add(1); }, &token));
+  EXPECT_EQ(ran.load(), 100u);
+
+  // A pre-cancelled token: no index may run, and the call must say so.
+  ran.store(0);
+  token.Cancel();
+  EXPECT_FALSE(pool.ParallelFor(
+      100, [&](std::size_t) { ran.fetch_add(1); }, &token));
+  EXPECT_EQ(ran.load(), 0u);
+
+  // Null token behaves exactly like the original ParallelFor.
+  ran.store(0);
+  EXPECT_TRUE(pool.ParallelFor(17, [&](std::size_t) { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 17u);
+}
+
+// ------------------------------------------------------------- fault harness
+
+TEST(FaultTest, FiresExactlyAtNthHitAndCountsHits) {
+  TSDIST_SKIP_IF_FAULT_NOOP();
+  fault::Arm("ckpt.tile_write:3");
+  EXPECT_TRUE(fault::Armed());
+  EXPECT_NO_THROW(fault::Hit(fault::sites::kTileWrite));
+  EXPECT_NO_THROW(fault::Hit(fault::sites::kTileWrite));
+  EXPECT_THROW(fault::Hit(fault::sites::kTileWrite), fault::FaultInjected);
+  // Firing disarms the trigger but hit accounting continues.
+  EXPECT_NO_THROW(fault::Hit(fault::sites::kTileWrite));
+  EXPECT_EQ(fault::HitCount("ckpt.tile_write"), 4u);
+  EXPECT_EQ(fault::FireCount(), 1u);
+  // Other sites are counted but never fire.
+  EXPECT_NO_THROW(fault::Hit(fault::sites::kShardLoad));
+  EXPECT_EQ(fault::HitCount("ckpt.shard_load"), 1u);
+  fault::Disarm();
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_EQ(fault::HitCount("ckpt.tile_write"), 0u);
+}
+
+TEST(FaultTest, ArmRejectsMalformedSpecs) {
+  TSDIST_SKIP_IF_FAULT_NOOP();
+  EXPECT_THROW(fault::Arm(""), std::invalid_argument);
+  EXPECT_THROW(fault::Arm("ckpt.tile_write"), std::invalid_argument);
+  EXPECT_THROW(fault::Arm("ckpt.tile_write:0"), std::invalid_argument);
+  EXPECT_THROW(fault::Arm("ckpt.tile_write:x"), std::invalid_argument);
+  EXPECT_THROW(fault::Arm("ckpt.tile_write:1:frobnicate"),
+               std::invalid_argument);
+  fault::Disarm();
+}
+
+// ------------------------------------------------------- checkpoint + resume
+
+class CheckpointResumeTest : public ResilienceTest,
+                             public ::testing::WithParamInterface<const char*> {
+};
+
+// Kill-at-tile-K resume bit-identity, the core contract: run to completion
+// for a baseline, then arm the tile-write site so a fresh computation dies
+// mid-flight, then resume from the surviving shard and compare bitwise.
+// Parameterized over a symmetric measure (dtw: upper-triangle + mirror
+// path) and an asymmetric one (kullback_leibler: full-matrix path).
+TEST_P(CheckpointResumeTest, KillAtTileKResumesBitIdentically) {
+  TSDIST_SKIP_IF_FAULT_NOOP();
+  const std::string name = GetParam();
+  const MeasurePtr measure =
+      Registry::Global().Create(name, UnsupervisedParamsFor(name));
+  ASSERT_NE(measure, nullptr);
+  const auto series = MakeCollection(24, 32, 42, /*positive=*/true);
+  const PairwiseEngine engine(2);
+
+  const Matrix baseline = engine.ComputeSelf(series, *measure);
+
+  ComputeOptions options;
+  options.checkpoint_dir = Dir(name);
+  options.tile_rows = 4;
+  fault::Arm("ckpt.tile_write:3");
+  EXPECT_THROW(engine.ComputeSelf(series, *measure, options),
+               fault::FaultInjected);
+  fault::Disarm();
+
+  const ComputeResult resumed = engine.ComputeSelf(series, *measure, options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.tiles_resumed, 0u);
+  EXPECT_LT(resumed.tiles_resumed, resumed.tiles_total);
+  ExpectBitIdentical(resumed.matrix, baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(SymmetricAndAsymmetric, CheckpointResumeTest,
+                         ::testing::Values("dtw", "kullback_leibler"));
+
+TEST_F(ResilienceTest, PairMatrixResumesBitIdentically) {
+  TSDIST_SKIP_IF_FAULT_NOOP();
+  const MeasurePtr measure =
+      Registry::Global().Create("dtw", UnsupervisedParamsFor("dtw"));
+  const auto queries = MakeCollection(10, 32, 1);
+  const auto references = MakeCollection(14, 32, 2);
+  const PairwiseEngine engine(2);
+  const Matrix baseline = engine.Compute(queries, references, *measure);
+
+  ComputeOptions options;
+  options.checkpoint_dir = Dir("pair");
+  options.tile_rows = 2;
+  fault::Arm("ckpt.tile_write:2");
+  EXPECT_THROW(engine.Compute(queries, references, *measure, options),
+               fault::FaultInjected);
+  fault::Disarm();
+
+  const ComputeResult resumed =
+      engine.Compute(queries, references, *measure, options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.tiles_resumed, 0u);
+  ExpectBitIdentical(resumed.matrix, baseline);
+}
+
+TEST_F(ResilienceTest, CorruptedShardIsRejectedAndRecomputed) {
+  const MeasurePtr measure =
+      Registry::Global().Create("dtw", UnsupervisedParamsFor("dtw"));
+  const auto series = MakeCollection(16, 24, 9);
+  const PairwiseEngine engine(2);
+
+  ComputeOptions options;
+  options.checkpoint_dir = Dir("corrupt");
+  options.tile_rows = 4;
+  const ComputeResult first = engine.ComputeSelf(series, *measure, options);
+  ASSERT_TRUE(first.complete);
+
+  // Flip one payload byte near the middle of the tile log: that record's CRC
+  // no longer matches, so it — and the unscanned suffix behind it, per the
+  // valid-prefix rule — must be discarded and recomputed.
+  const std::string log_path = Dir("corrupt") + "/tiles.bin";
+  const auto size = fs::file_size(log_path);
+  ASSERT_GT(size, 64u);
+  {
+    std::fstream f(log_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+
+  const ComputeResult second = engine.ComputeSelf(series, *measure, options);
+  EXPECT_TRUE(second.complete);
+  EXPECT_LT(second.tiles_resumed, second.tiles_total);
+  ExpectBitIdentical(second.matrix, first.matrix);
+}
+
+TEST_F(ResilienceTest, ManifestMismatchDiscardsShard) {
+  const auto series = MakeCollection(12, 24, 3);
+  const PairwiseEngine engine(2);
+  ComputeOptions options;
+  options.checkpoint_dir = Dir("manifest");
+  options.tile_rows = 4;
+
+  const MeasurePtr d5 = Registry::Global().Create("dtw", {{"delta", 5.0}});
+  const ComputeResult first = engine.ComputeSelf(series, *d5, options);
+  ASSERT_TRUE(first.complete);
+
+  // Same directory, different params: nothing may be resumed.
+  const MeasurePtr d9 = Registry::Global().Create("dtw", {{"delta", 9.0}});
+  const ComputeResult second = engine.ComputeSelf(series, *d9, options);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.tiles_resumed, 0u);
+  ExpectBitIdentical(second.matrix, engine.ComputeSelf(series, *d9));
+
+  // And different data under the original params: also a fresh start.
+  const auto other = MakeCollection(12, 24, 4);
+  const ComputeResult third = engine.ComputeSelf(other, *d5, options);
+  EXPECT_TRUE(third.complete);
+  EXPECT_EQ(third.tiles_resumed, 0u);
+}
+
+TEST_F(ResilienceTest, CheckpointedRunMatchesPlainComputeExactly) {
+  // Checkpointing on a fresh directory must not change a single bit of the
+  // result (tiling only reorders the schedule of pure per-cell work).
+  const MeasurePtr measure =
+      Registry::Global().Create("msm", UnsupervisedParamsFor("msm"));
+  const auto series = MakeCollection(15, 20, 5);
+  const PairwiseEngine engine(3);
+  ComputeOptions options;
+  options.checkpoint_dir = Dir("fresh");
+  options.tile_rows = 7;  // deliberately not dividing 15
+  const ComputeResult ckpt = engine.ComputeSelf(series, *measure, options);
+  ASSERT_TRUE(ckpt.complete);
+  EXPECT_EQ(ckpt.tiles_total, 3u);  // ceil(15 / 7)
+  EXPECT_EQ(ckpt.tiles_computed, 3u);
+  ExpectBitIdentical(ckpt.matrix, engine.ComputeSelf(series, *measure));
+}
+
+// --------------------------------------------------------- deadlines / DNF
+
+TEST_F(ResilienceTest, ExpiredBudgetYieldsDeterministicDnf) {
+  const auto series = MakeCollection(10, 16, 8);
+  Dataset dataset("Toy", series, MakeCollection(6, 16, 9));
+  const PairwiseEngine engine(2);
+
+  CancellationToken budget;
+  budget.SetBudget(0.0);  // already expired
+  EvalOptions options;
+  options.cancel = &budget;
+  for (int i = 0; i < 2; ++i) {  // deterministic: same outcome every time
+    const EvalResult result =
+        EvaluateTuned("dtw", ParamGridFor("dtw"), dataset, engine,
+                      Registry::Global(), options);
+    EXPECT_EQ(result.status, EvalStatus::kDnf);
+    EXPECT_NE(result.reason.find("dnf"), std::string::npos);
+    EXPECT_EQ(result.test_accuracy, 0.0);  // never partial numbers
+  }
+
+  // A manual cancel on the same path is an interrupt, not a DNF.
+  CancellationToken interrupt;
+  interrupt.Cancel();
+  options.cancel = &interrupt;
+  const EvalResult result = EvaluateFixed("dtw", UnsupervisedParamsFor("dtw"),
+                                          dataset, engine, Registry::Global(),
+                                          options);
+  EXPECT_EQ(result.status, EvalStatus::kInterrupted);
+}
+
+TEST_F(ResilienceTest, TuningResumesCandidatesFromLog) {
+  const auto series = MakeCollection(12, 16, 21);
+  Dataset dataset("Toy", series, MakeCollection(6, 16, 22));
+  const PairwiseEngine engine(2);
+  const auto grid = ParamGridFor("dtw");
+
+  const EvalResult baseline =
+      EvaluateTuned("dtw", grid, dataset, engine, Registry::Global(), {});
+
+  EvalOptions options;
+  options.checkpoint_dir = Dir("tuning");
+  const EvalResult first = EvaluateTuned("dtw", grid, dataset, engine,
+                                         Registry::Global(), options);
+  ASSERT_EQ(first.status, EvalStatus::kOk);
+  EXPECT_EQ(first.train_accuracy, baseline.train_accuracy);
+  EXPECT_EQ(first.test_accuracy, baseline.test_accuracy);
+  EXPECT_EQ(ToString(first.params), ToString(baseline.params));
+
+  // The candidate cache now holds every grid point; a second run must reuse
+  // it (bit-identical winner) rather than recompute.
+  const auto lines = LoadJsonLog(Dir("tuning") + "/candidates.jsonl");
+  EXPECT_EQ(lines.size(), grid.size());
+  const EvalResult second = EvaluateTuned("dtw", grid, dataset, engine,
+                                          Registry::Global(), options);
+  EXPECT_EQ(second.status, EvalStatus::kOk);
+  EXPECT_EQ(second.train_accuracy, baseline.train_accuracy);
+  EXPECT_EQ(second.test_accuracy, baseline.test_accuracy);
+  EXPECT_EQ(ToString(second.params), ToString(baseline.params));
+}
+
+// ------------------------------------------------------------ durable logs
+
+TEST_F(ResilienceTest, JsonLogRecoversValidPrefixFromTornTail) {
+  const std::string path = Dir("log.jsonl");
+  ASSERT_TRUE(AppendJsonLogLine(path, "{\"a\": 1}"));
+  ASSERT_TRUE(AppendJsonLogLine(path, "{\"a\": 2}"));
+  {
+    // Simulate a torn append: bytes of a record that never got its newline.
+    std::ofstream f(path, std::ios::app | std::ios::binary);
+    f << "{\"a\": 3";
+  }
+  const auto lines = LoadJsonLog(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"a\": 1}");
+  // The torn tail was truncated away, so appends resume cleanly.
+  ASSERT_TRUE(AppendJsonLogLine(path, "{\"a\": 4}"));
+  EXPECT_EQ(LoadJsonLog(path).size(), 3u);
+}
+
+TEST_F(ResilienceTest, AtomicWriteFileReplacesWholeContents) {
+  const std::string path = Dir("atomic.txt");
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path, "first", &error)) << error;
+  ASSERT_TRUE(AtomicWriteFile(path, "second contents", &error)) << error;
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "second contents");
+  EXPECT_FALSE(
+      AtomicWriteFile(Dir("no/such/dir/x.txt"), "data", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------- degradation satellites
+
+TEST(EigenValidationTest, RejectsBadInputsAndReportsNonConvergence) {
+  Matrix rect(2, 3);
+  EXPECT_THROW(SymmetricEigen(rect), std::invalid_argument);
+
+  Matrix bad(2, 2);
+  bad(0, 0) = 1.0;
+  bad(0, 1) = bad(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  bad(1, 1) = 1.0;
+  EXPECT_THROW(SymmetricEigen(bad), std::invalid_argument);
+
+  Matrix ok(2, 2);
+  ok(0, 0) = 2.0;
+  ok(0, 1) = ok(1, 0) = 1.0;
+  ok(1, 1) = 2.0;
+  EXPECT_THROW(SymmetricEigen(ok, 1e-12, 0), std::invalid_argument);
+  const EigenDecomposition e = SymmetricEigen(ok);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-9);
+}
+
+TEST(EigenValidationTest, InjectedEigensolveFaultDegradesGrailFit) {
+  TSDIST_SKIP_IF_FAULT_NOOP();
+  // GRAIL must catch the solver failure and rethrow with fit context, so a
+  // sweep records a per-dataset failure instead of dying.
+  const auto series = MakeCollection(12, 24, 17);
+  GrailRepresentation grail(1.0, 4, 7);
+  fault::Arm("linalg.eigensolve:1");
+  try {
+    grail.Fit(series);
+    fault::Disarm();
+    FAIL() << "expected the injected eigensolve fault to surface";
+  } catch (const std::runtime_error& e) {
+    fault::Disarm();
+    EXPECT_NE(std::string(e.what()).find("GrailRepresentation::Fit"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LoaderPolicyTest, RejectPolicyNamesFileAndLine) {
+  const std::vector<std::string> lines = {"1\t0.5\t0.25", "2\t0.5\tNaN"};
+  LoadOptions reject;
+  reject.missing_values = MissingValuePolicy::kReject;
+  const LoadResult r = ParseUcrLines(lines, "toy.tsv", reject);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("toy.tsv"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+
+  // Default policy keeps the NaN for downstream interpolation.
+  const LoadResult keep = ParseUcrLines(lines, "toy.tsv");
+  ASSERT_TRUE(keep.ok) << keep.error;
+
+  // Non-finite (inf) values are a parse error under every policy.
+  const LoadResult inf_result =
+      ParseUcrLines({"1\t0.5\tinf"}, "toy.tsv");
+  EXPECT_FALSE(inf_result.ok);
+  EXPECT_NE(inf_result.error.find("line 1"), std::string::npos)
+      << inf_result.error;
+}
+
+TEST(LoaderPolicyTest, InjectedParseFaultFiresOnExactLine) {
+  TSDIST_SKIP_IF_FAULT_NOOP();
+  fault::Arm("data.parse_line:2");
+  EXPECT_THROW(ParseUcrLines({"1\t0.5", "2\t0.5", "1\t0.25"}, "toy.tsv"),
+               fault::FaultInjected);
+  EXPECT_EQ(fault::HitCount("data.parse_line"), 2u);
+  fault::Disarm();
+}
+
+}  // namespace
+}  // namespace tsdist

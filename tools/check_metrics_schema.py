@@ -8,9 +8,13 @@ adds the run manifest, per-case sample arrays, and the peak-RSS gauge; a v2
 "suite" document aggregates several reports). Stdlib only; exits 0 on
 success, 1 with one message per violation otherwise.
 
+Also validates tsdist.results.v1 per-cell reports (tsdist_eval
+--results-json) via --results: statuses, reasons, accuracy ranges, and the
+summary tallies must all be internally consistent.
+
 Usage:
   check_metrics_schema.py [METRICS.json]
-      [--trace TRACE.json] [--bench BENCH.json]
+      [--trace TRACE.json] [--bench BENCH.json] [--results RESULTS.json]
       [--require-nonzero COUNTER ...] [--require-histogram NAME ...]
       [--require-case BENCH/CASE ...] [--min-samples N]
       [--self-test]
@@ -24,6 +28,8 @@ import sys
 METRICS_SCHEMA = "tsdist.metrics.v1"
 BENCH_SCHEMA_V1 = "tsdist.bench.v1"
 BENCH_SCHEMA_V2 = "tsdist.bench.v2"
+RESULTS_SCHEMA = "tsdist.results.v1"
+RESULT_STATUSES = ("ok", "dnf", "failed", "interrupted")
 
 MANIFEST_STRING_FIELDS = (
     "git_sha", "compiler", "compiler_flags", "build_type", "cpu_model",
@@ -334,6 +340,78 @@ def check_bench(errors, path, doc, min_samples=1):
              f"got {schema!r}")
 
 
+def check_results(errors, path, doc):
+    """tsdist.results.v1: tsdist_eval's per-cell status report."""
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+    if doc.get("schema") != RESULTS_SCHEMA:
+        _err(errors, path,
+             f"schema must be {RESULTS_SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("supervised", "pruned"):
+        if not isinstance(doc.get(key), bool):
+            _err(errors, path, f"field {key!r} must be a boolean")
+    if not isinstance(doc.get("norm"), str) or not doc.get("norm"):
+        _err(errors, path, "field 'norm' must be a non-empty string")
+    budget = doc.get("budget_sec")
+    if not _is_num(budget) or budget < 0:
+        _err(errors, path,
+             f"field 'budget_sec' must be a non-negative number, got {budget!r}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        _err(errors, path, "field 'cells' must be an array")
+        return
+    tallies = {status: 0 for status in RESULT_STATUSES}
+    resumed = 0
+    for i, cell in enumerate(cells):
+        sub = f"cell {i}"
+        if not isinstance(cell, dict):
+            _err(errors, path, f"{sub} is not an object")
+            return
+        for key in ("dataset", "measure"):
+            if not isinstance(cell.get(key), str) or not cell.get(key):
+                _err(errors, path, f"{sub} field {key!r} must be a non-empty "
+                                   f"string")
+        for key in ("params", "reason"):
+            if not isinstance(cell.get(key), str):
+                _err(errors, path, f"{sub} field {key!r} must be a string")
+        status = cell.get("status")
+        if status not in RESULT_STATUSES:
+            _err(errors, path,
+                 f"{sub} status must be one of {RESULT_STATUSES}, "
+                 f"got {status!r}")
+            continue
+        tallies[status] += 1
+        if status != "ok" and not cell.get("reason"):
+            _err(errors, path, f"{sub} has status {status!r} but no reason")
+        for key in ("train_accuracy", "test_accuracy"):
+            v = cell.get(key)
+            if not _is_num(v):
+                _err(errors, path, f"{sub} field {key!r} must be a number, "
+                                   f"got {v!r}")
+            elif status == "ok" and not 0.0 <= v <= 1.0:
+                _err(errors, path,
+                     f"{sub} is ok but {key!r} is outside [0, 1]: {v!r}")
+        if not isinstance(cell.get("resumed"), bool):
+            _err(errors, path, f"{sub} field 'resumed' must be a boolean")
+        elif cell["resumed"]:
+            resumed += 1
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        _err(errors, path, "field 'summary' must be an object")
+        return
+    expected = dict(tallies, total=len(cells), resumed=resumed)
+    for key, want in sorted(expected.items()):
+        got = summary.get(key)
+        if not _is_int(got) or got < 0:
+            _err(errors, path,
+                 f"summary field {key!r} must be a non-negative integer, "
+                 f"got {got!r}")
+        elif got != want:
+            _err(errors, path,
+                 f"summary {key!r} is {got} but the cells tally to {want}")
+
+
 def check_required_cases(errors, path, doc, required):
     """--require-case BENCH/CASE entries must exist in the bench/suite doc."""
     present = set()
@@ -408,6 +486,23 @@ def _valid_suite():
     }
 
 
+def _valid_results():
+    return {
+        "schema": RESULTS_SCHEMA, "supervised": True, "pruned": False,
+        "norm": "zscore", "budget_sec": 600.0,
+        "summary": {"total": 2, "ok": 1, "failed": 0, "dnf": 1,
+                    "interrupted": 0, "resumed": 1},
+        "cells": [
+            {"dataset": "CBF", "measure": "dtw", "params": "delta=9",
+             "status": "ok", "reason": "", "train_accuracy": 0.9,
+             "test_accuracy": 1.0, "resumed": True},
+            {"dataset": "CBF", "measure": "msm", "params": "",
+             "status": "dnf", "reason": "dnf: LOOCV matrix cancelled",
+             "train_accuracy": 0.0, "test_accuracy": 0.0, "resumed": False},
+        ],
+    }
+
+
 def self_test():
     failures = []
 
@@ -417,6 +512,17 @@ def self_test():
             mutate(doc)
         errors = []
         check_bench(errors, label, doc, min_samples=min_samples)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+
+    def expect_results(should_pass, label, mutate=None):
+        doc = copy.deepcopy(_valid_results())
+        if mutate:
+            mutate(doc)
+        errors = []
+        check_results(errors, label, doc)
         if should_pass and errors:
             failures.append(f"{label}: expected clean, got {errors}")
         if not should_pass and not errors:
@@ -454,6 +560,26 @@ def self_test():
     expect(_valid_report(), False, "broken embedded metrics",
            lambda d: d["metrics"].update(schema="bogus"))
 
+    expect_results(True, "valid results report")
+    expect_results(False, "results bad schema",
+                   lambda d: d.update(schema="tsdist.results.v2"))
+    expect_results(False, "results unknown status",
+                   lambda d: d["cells"][0].update(status="maybe"))
+    expect_results(False, "results dnf without reason",
+                   lambda d: d["cells"][1].update(reason=""))
+    expect_results(False, "results summary tally mismatch",
+                   lambda d: d["summary"].update(ok=2, dnf=0))
+    expect_results(False, "results resumed tally mismatch",
+                   lambda d: d["summary"].update(resumed=0))
+    expect_results(False, "results ok accuracy out of range",
+                   lambda d: d["cells"][0].update(test_accuracy=1.5))
+    expect_results(False, "results non-numeric accuracy",
+                   lambda d: d["cells"][0].update(train_accuracy="high"))
+    expect_results(False, "results missing dataset",
+                   lambda d: d["cells"][0].update(dataset=""))
+    expect_results(False, "results negative budget",
+                   lambda d: d.update(budget_sec=-1.0))
+
     # Required-case lookup across a suite.
     errors = []
     check_required_cases(errors, "suite", _valid_suite(), ["bench_x/evaluate"])
@@ -479,6 +605,9 @@ def main(argv):
     parser.add_argument("--trace", help="Chrome trace-event JSON file")
     parser.add_argument("--bench",
                         help="tsdist.bench.v1/v2 BENCH_*.json or suite.json")
+    parser.add_argument("--results",
+                        help="tsdist.results.v1 per-cell report from "
+                             "tsdist_eval --results-json")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="COUNTER",
                         help="fail unless this counter exists and is > 0")
@@ -496,8 +625,8 @@ def main(argv):
 
     if args.self_test:
         return self_test()
-    if not args.metrics and not args.bench:
-        parser.error("need a METRICS.json, --bench, or --self-test")
+    if not args.metrics and not args.bench and not args.results:
+        parser.error("need a METRICS.json, --bench, --results, or --self-test")
 
     errors = []
     if args.metrics:
@@ -518,6 +647,10 @@ def main(argv):
             if args.require_case:
                 check_required_cases(errors, args.bench, bench,
                                      args.require_case)
+    if args.results:
+        results = load(errors, args.results)
+        if results is not None:
+            check_results(errors, args.results, results)
 
     for message in errors:
         print(f"check_metrics_schema: {message}", file=sys.stderr)

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of tsdist_eval's fault-tolerant runtime.
+
+Drives the real binary as a child process through the failure modes the
+in-process unit tests cannot exercise from outside:
+
+ 1. an injected hard kill (TSDIST_FAULT=ckpt.tile_write:N:exit) must exit
+    with the distinct fault code 86, leaving a resumable checkpoint;
+ 2. rerunning the identical command must exit 0 and produce per-cell
+    results bit-identical to an uninterrupted baseline run;
+ 3. a SIGINT (via the hidden --selftest-interrupt-after hook, which raises
+    the real signal through the real handler) must exit 130 with flushed,
+    schema-valid metrics and results files;
+ 4. resuming after the interrupt must report the pre-interrupt cells as
+    resumed and match the baseline bit for bit;
+ 5. a tiny per-cell budget must record DNF cells while cheap cells still
+    complete, with exit code 0 (partial failure is a report, not an error).
+
+Usage: resilience_smoke.py <tsdist_eval-binary> <scratch-dir>
+Stdlib only; exits 0 on success, 1 with one message per failure.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import check_metrics_schema
+
+COMMON = ["--scale", "tiny", "--measures", "euclidean,dtw", "--supervised"]
+FAILURES = []
+
+
+def fail(message):
+    FAILURES.append(message)
+    print(f"resilience_smoke: FAIL: {message}", file=sys.stderr)
+
+
+def run(binary, args, env_extra=None, timeout=600):
+    env = dict(os.environ)
+    env.pop("TSDIST_FAULT", None)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run([binary] + args, env=env, timeout=timeout,
+                         stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                         text=True)
+    return proc
+
+
+def load_cells(path):
+    """(dataset, measure) -> (params, train_accuracy, test_accuracy, status)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return {
+        (c["dataset"], c["measure"]):
+            (c["params"], c["train_accuracy"], c["test_accuracy"], c["status"])
+        for c in doc["cells"]
+    }, doc
+
+
+def check_schema(kind, path):
+    errors = []
+    doc = check_metrics_schema.load(errors, path)
+    if doc is not None:
+        if kind == "results":
+            check_metrics_schema.check_results(errors, path, doc)
+        else:
+            check_metrics_schema.check_metrics(errors, path, doc)
+    for message in errors:
+        fail(f"{kind} schema: {message}")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary, scratch = argv
+    shutil.rmtree(scratch, ignore_errors=True)
+    os.makedirs(scratch)
+    path = lambda name: os.path.join(scratch, name)
+
+    # Uninterrupted baseline (no checkpointing): the reference results.
+    proc = run(binary, COMMON + ["--results-json", path("baseline.json")])
+    if proc.returncode != 0:
+        fail(f"baseline run exited {proc.returncode}: {proc.stderr[-500:]}")
+        return 1
+    baseline, _ = load_cells(path("baseline.json"))
+    check_schema("results", path("baseline.json"))
+
+    # 1. Injected hard kill mid-sweep: std::_Exit(86), no unwinding — the
+    # in-process stand-in for SIGKILL. Durable tiles must survive it.
+    ckpt = path("ckpt_kill")
+    proc = run(binary, COMMON + ["--checkpoint-dir", ckpt],
+               env_extra={"TSDIST_FAULT": "ckpt.tile_write:40:exit"})
+    if proc.returncode != 86:
+        fail(f"hard-kill run exited {proc.returncode}, expected 86")
+
+    # 2. Identical rerun resumes and matches the baseline bit for bit.
+    proc = run(binary, COMMON + ["--checkpoint-dir", ckpt,
+                                 "--results-json", path("resumed.json")])
+    if proc.returncode != 0:
+        fail(f"resume run exited {proc.returncode}: {proc.stderr[-500:]}")
+    else:
+        resumed, _ = load_cells(path("resumed.json"))
+        if resumed != baseline:
+            diff = [k for k in baseline if resumed.get(k) != baseline[k]]
+            fail(f"resumed cells differ from baseline at {diff[:5]}")
+        check_schema("results", path("resumed.json"))
+
+    # 3. SIGINT through the real handler: exit 130 (128+SIGINT), flushed
+    # metrics and results that still validate.
+    ckpt2 = path("ckpt_int")
+    proc = run(binary, COMMON + [
+        "--checkpoint-dir", ckpt2, "--selftest-interrupt-after", "3",
+        "--results-json", path("interrupted.json"),
+        "--metrics-json", path("interrupted_metrics.json")])
+    if proc.returncode != 130:
+        fail(f"interrupted run exited {proc.returncode}, expected 130")
+    check_schema("results", path("interrupted.json"))
+    check_schema("metrics", path("interrupted_metrics.json"))
+    _, doc = load_cells(path("interrupted.json"))
+    if doc["summary"]["total"] != 3:
+        fail(f"interrupted run recorded {doc['summary']['total']} cells, "
+             f"expected 3")
+
+    # 4. Resume after the interrupt: the 3 finished cells come back as
+    # resumed, and the completed sweep matches the baseline.
+    proc = run(binary, COMMON + ["--checkpoint-dir", ckpt2,
+                                 "--results-json", path("resumed2.json")])
+    if proc.returncode != 0:
+        fail(f"post-interrupt resume exited {proc.returncode}: "
+             f"{proc.stderr[-500:]}")
+    else:
+        resumed2, doc2 = load_cells(path("resumed2.json"))
+        if resumed2 != baseline:
+            diff = [k for k in baseline if resumed2.get(k) != baseline[k]]
+            fail(f"post-interrupt cells differ from baseline at {diff[:5]}")
+        if doc2["summary"]["resumed"] != 3:
+            fail(f"post-interrupt run resumed {doc2['summary']['resumed']} "
+                 f"cells, expected 3")
+
+    # 5. Budget DNF: dtw under a ~zero budget DNFs, euclidean (evaluated
+    # first, before the budget token is consulted mid-matrix... it is also
+    # budgeted, so use a budget tiny enough to kill dtw's LOOCV sweep but
+    # generous for a single euclidean matrix). Exit code must stay 0.
+    proc = run(binary, ["--scale", "tiny", "--measures", "euclidean,dtw",
+                        "--supervised", "--budget-sec", "0.005",
+                        "--results-json", path("budget.json")])
+    if proc.returncode != 0:
+        fail(f"budget run exited {proc.returncode}, expected 0")
+    else:
+        check_schema("results", path("budget.json"))
+        _, doc3 = load_cells(path("budget.json"))
+        statuses = {c["status"] for c in doc3["cells"]}
+        if "dnf" not in statuses:
+            fail(f"budget run produced no DNF cells (statuses: {statuses})")
+        for cell in doc3["cells"]:
+            if cell["status"] == "dnf" and not cell["reason"]:
+                fail("a DNF cell carries no reason")
+
+    if FAILURES:
+        print(f"resilience_smoke: {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("resilience_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,6 +5,17 @@
 // optionally with the statistical analysis. The scriptable entry point for
 // users who want the paper's pipeline without writing C++.
 //
+// Resilience (see docs/ROBUSTNESS.md):
+//   --checkpoint-dir <dir> durable sweep state: finished (dataset, measure)
+//                          cells are skipped on restart, interrupted cells
+//                          resume from their tile checkpoints bit-identically
+//   --budget-sec <s>       per-cell wall-clock budget; an expired cell is
+//                          recorded as DNF and the sweep continues
+//   --results-json <path>  per-cell status/reason report (tsdist.results.v1)
+//   SIGINT/SIGTERM         drain in-flight work, flush checkpoints + metrics,
+//                          exit 128+signal (130 / 143)
+//   TSDIST_FAULT=<site>:<n>[:exit]  deterministic fault injection
+//
 // Observability (see docs/OBSERVABILITY.md):
 //   --metrics-json <path>  dump the tsdist.metrics.v1 JSON after the run
 //   --metrics-csv <path>   same aggregates as flat CSV
@@ -19,14 +30,23 @@
 //               --trace-json t.json     (one line)
 //   tsdist_eval --ucr ~/UCRArchive_2018 --dataset ECGFiveDays
 //               --measures nccc,dtw     (one line)
+//   tsdist_eval --measures dtw,msm --supervised --checkpoint-dir ckpt
+//               --budget-sec 600 --results-json r.json    (one line)
 
+#include <cmath>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <map>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "src/classify/param_grids.h"
@@ -34,10 +54,26 @@
 #include "src/data/archive.h"
 #include "src/data/ucr_loader.h"
 #include "src/normalization/normalization.h"
+#include "src/obs/json.h"
 #include "src/obs/obs.h"
+#include "src/resilience/cancellation.h"
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/fault.h"
 #include "src/stats/ranking.h"
 
 namespace {
+
+// Process-wide interrupt state. The handler only touches async-signal-safe
+// state: one relaxed atomic store plus a sig_atomic_t; everything else
+// (draining, flushing, exiting) happens on the main thread when the eval
+// loop observes the token.
+tsdist::CancellationToken g_interrupt;
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void HandleSignal(int sig) {
+  g_signal = sig;
+  g_interrupt.Cancel();
+}
 
 struct Options {
   tsdist::ArchiveScale scale = tsdist::ArchiveScale::kSmall;
@@ -48,10 +84,19 @@ struct Options {
   bool csv = false;
   std::string ucr_dir;
   std::string ucr_dataset;
+  tsdist::MissingValuePolicy missing_values =
+      tsdist::MissingValuePolicy::kInterpolate;
   std::size_t threads = 0;  // 0 = hardware concurrency
   std::string metrics_json_path;
   std::string metrics_csv_path;
   std::string trace_json_path;
+  std::string results_json_path;
+  std::string checkpoint_dir;
+  double budget_sec = 0.0;  // 0 = no per-cell budget
+  std::size_t tile_rows = 32;
+  // Hidden test hook: raise SIGINT after this many cells complete, driving
+  // the real handler/drain/flush path without timing races (0 = off).
+  std::size_t selftest_interrupt_after = 0;
   bool progress = false;
   bool help = false;
 };
@@ -117,6 +162,18 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (arg == "--dataset") {
       if (!next(&v)) return false;
       options->ucr_dataset = v;
+    } else if (arg == "--missing-values") {
+      if (!next(&v)) return false;
+      if (std::strcmp(v, "interpolate") == 0) {
+        options->missing_values = tsdist::MissingValuePolicy::kInterpolate;
+      } else if (std::strcmp(v, "reject") == 0) {
+        options->missing_values = tsdist::MissingValuePolicy::kReject;
+      } else {
+        std::fprintf(stderr,
+                     "--missing-values must be interpolate or reject (got '%s')\n",
+                     v);
+        return false;
+      }
     } else if (arg == "--threads") {
       if (!next(&v)) return false;
       char* end = nullptr;
@@ -126,6 +183,41 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         return false;
       }
       options->threads = static_cast<std::size_t>(parsed);
+    } else if (arg == "--checkpoint-dir") {
+      if (!next(&v)) return false;
+      options->checkpoint_dir = v;
+    } else if (arg == "--budget-sec") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const double parsed = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(parsed > 0.0)) {
+        std::fprintf(stderr, "--budget-sec must be a positive number (got '%s')\n", v);
+        return false;
+      }
+      options->budget_sec = parsed;
+    } else if (arg == "--tile-rows") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        std::fprintf(stderr, "--tile-rows must be a positive integer (got '%s')\n", v);
+        return false;
+      }
+      options->tile_rows = static_cast<std::size_t>(parsed);
+    } else if (arg == "--selftest-interrupt-after") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        std::fprintf(stderr,
+                     "--selftest-interrupt-after must be a positive integer (got '%s')\n",
+                     v);
+        return false;
+      }
+      options->selftest_interrupt_after = static_cast<std::size_t>(parsed);
+    } else if (arg == "--results-json") {
+      if (!next(&v)) return false;
+      options->results_json_path = v;
     } else if (arg == "--metrics-json") {
       if (!next(&v)) return false;
       options->metrics_json_path = v;
@@ -151,15 +243,32 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "usage: %s [--scale tiny|small|medium] [--measures m1,m2,...]\n"
       "          [--norm zscore|minmax|meannorm|mediannorm|unitlength|\n"
       "                  logistic|tanh|none] [--supervised] [--pruned]\n"
-      "          [--csv] [--ucr <archive-dir> --dataset <Name>] [--threads N]\n"
-      "          [--metrics-json <path>] [--metrics-csv <path>]\n"
-      "          [--trace-json <path>] [--progress] [--help]\n"
+      "          [--csv] [--ucr <archive-dir> --dataset <Name>]\n"
+      "          [--missing-values interpolate|reject] [--threads N]\n"
+      "          [--checkpoint-dir <dir>] [--budget-sec S] [--tile-rows N]\n"
+      "          [--results-json <path>] [--metrics-json <path>]\n"
+      "          [--metrics-csv <path>] [--trace-json <path>]\n"
+      "          [--progress] [--help]\n"
       "\n"
       "  --pruned               classify through the lower-bound cascade\n"
       "                         (LB_Kim -> LB_Keogh -> early-abandoned DTW)\n"
       "                         instead of full dissimilarity matrices.\n"
       "                         Accuracies are identical; a prune-rate\n"
       "                         summary is printed to stderr after the run.\n"
+      "\n"
+      "resilience:\n"
+      "  --checkpoint-dir <dir> persist sweep state: finished cells are\n"
+      "                         skipped on restart and interrupted matrix\n"
+      "                         computations resume from tile checkpoints,\n"
+      "                         bit-identically (docs/ROBUSTNESS.md)\n"
+      "  --budget-sec S         per-cell wall-clock budget; an expired cell\n"
+      "                         is recorded as DNF, the sweep continues\n"
+      "  --tile-rows N          rows per checkpoint tile (default 32)\n"
+      "  --results-json <path>  per-cell status report (tsdist.results.v1);\n"
+      "                         the exit code is 0 unless every cell failed\n"
+      "  --missing-values M     'interpolate' (default; the paper's\n"
+      "                         preprocessing) or 'reject' (fail the load,\n"
+      "                         naming file and line)\n"
       "\n"
       "observability:\n"
       "  --metrics-json <path>  write counters/gauges/histograms\n"
@@ -183,6 +292,131 @@ bool WriteFileOrComplain(const std::string& path, const std::string& contents,
   return static_cast<bool>(out);
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// %.17g: round-trips a double exactly through strtod, so resumed cells
+// report bit-identical accuracies.
+std::string FormatG17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// One evaluated (dataset, measure) cell of the sweep.
+struct CellOutcome {
+  std::string dataset;
+  std::string measure;
+  std::string params;  // rendered ParamMap of the evaluated instance
+  tsdist::EvalStatus status = tsdist::EvalStatus::kOk;
+  std::string reason;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  bool resumed = false;  // restored from the checkpoint's results log
+};
+
+std::string CellKey(const std::string& dataset, const std::string& measure) {
+  return dataset + "\x1f" + measure;
+}
+
+// Serializes one finished cell for the checkpoint's results.jsonl (resume
+// log) — same fields the results JSON report uses.
+std::string CellLogLine(const CellOutcome& cell) {
+  return "{\"schema\": \"tsdist.cell.v1\", \"dataset\": \"" +
+         JsonEscape(cell.dataset) + "\", \"measure\": \"" +
+         JsonEscape(cell.measure) + "\", \"params\": \"" +
+         JsonEscape(cell.params) + "\", \"status\": \"" +
+         tsdist::ToString(cell.status) + "\", \"reason\": \"" +
+         JsonEscape(cell.reason) + "\", \"train_accuracy\": " +
+         FormatG17(cell.train_accuracy) + ", \"test_accuracy\": " +
+         FormatG17(cell.test_accuracy) + "}";
+}
+
+// Loads finished cells from a previous run's results log. Only status "ok"
+// cells are resumed: failed cells are retried (the failure may have been
+// injected or environmental), DNF cells get another chance at the budget.
+std::map<std::string, CellOutcome> LoadFinishedCells(const std::string& path) {
+  std::map<std::string, CellOutcome> finished;
+  for (const std::string& line : tsdist::LoadJsonLog(path)) {
+    try {
+      const tsdist::obs::JsonValue v = tsdist::obs::ParseJson(line);
+      if (v.GetString("schema", "") != "tsdist.cell.v1" ||
+          v.GetString("status", "") != "ok") {
+        continue;
+      }
+      CellOutcome cell;
+      cell.dataset = v.GetString("dataset", "");
+      cell.measure = v.GetString("measure", "");
+      cell.params = v.GetString("params", "");
+      cell.train_accuracy = v.GetDouble("train_accuracy", 0.0);
+      cell.test_accuracy = v.GetDouble("test_accuracy", 0.0);
+      cell.resumed = true;
+      if (!cell.dataset.empty() && !cell.measure.empty()) {
+        finished[CellKey(cell.dataset, cell.measure)] = cell;
+      }
+    } catch (const std::exception&) {
+      // Torn tails are already truncated by LoadJsonLog; anything else
+      // malformed is simply not resumed.
+    }
+  }
+  return finished;
+}
+
+// The tsdist.results.v1 report: every cell with its terminal status, plus a
+// status summary (validated by tools/check_metrics_schema.py --results).
+std::string ResultsToJson(const std::vector<CellOutcome>& cells,
+                          const Options& options) {
+  std::size_t ok = 0, failed = 0, dnf = 0, interrupted = 0, resumed = 0;
+  for (const CellOutcome& cell : cells) {
+    switch (cell.status) {
+      case tsdist::EvalStatus::kOk: ++ok; break;
+      case tsdist::EvalStatus::kFailed: ++failed; break;
+      case tsdist::EvalStatus::kDnf: ++dnf; break;
+      case tsdist::EvalStatus::kInterrupted: ++interrupted; break;
+    }
+    if (cell.resumed) ++resumed;
+  }
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"tsdist.results.v1\",\n"
+     << "  \"supervised\": " << (options.supervised ? "true" : "false")
+     << ",\n"
+     << "  \"pruned\": " << (options.pruned ? "true" : "false") << ",\n"
+     << "  \"norm\": \"" << JsonEscape(options.norm) << "\",\n"
+     << "  \"budget_sec\": " << FormatG17(options.budget_sec) << ",\n"
+     << "  \"summary\": {\"total\": " << cells.size() << ", \"ok\": " << ok
+     << ", \"failed\": " << failed << ", \"dnf\": " << dnf
+     << ", \"interrupted\": " << interrupted << ", \"resumed\": " << resumed
+     << "},\n"
+     << "  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellOutcome& cell = cells[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "    {\"dataset\": \"" << JsonEscape(cell.dataset)
+       << "\", \"measure\": \"" << JsonEscape(cell.measure)
+       << "\", \"params\": \"" << JsonEscape(cell.params)
+       << "\", \"status\": \"" << tsdist::ToString(cell.status)
+       << "\", \"reason\": \"" << JsonEscape(cell.reason)
+       << "\", \"train_accuracy\": " << FormatG17(cell.train_accuracy)
+       << ", \"test_accuracy\": " << FormatG17(cell.test_accuracy)
+       << ", \"resumed\": " << (cell.resumed ? "true" : "false") << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +430,9 @@ int main(int argc, char** argv) {
     PrintUsage(stdout, argv[0]);
     return 0;
   }
+  fault::ArmFromEnv();
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
 
   // Validate measures up front.
   for (const auto& name : options.measures) {
@@ -220,8 +457,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--ucr requires --dataset\n");
       return 2;
     }
+    LoadOptions load_options;
+    load_options.missing_values = options.missing_values;
     const LoadResult loaded =
-        LoadUcrDataset(options.ucr_dir, options.ucr_dataset);
+        LoadUcrDataset(options.ucr_dir, options.ucr_dataset, load_options);
     if (!loaded.ok) {
       std::fprintf(stderr, "load failed: %s\n", loaded.error.c_str());
       return 1;
@@ -241,6 +480,26 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (auto& d : datasets) d = normalizer->Apply(d);
+  }
+
+  // Resume state: cells finished (status ok) by a previous run under the
+  // same checkpoint directory are skipped entirely.
+  std::string cell_log_path;
+  std::map<std::string, CellOutcome> finished;
+  if (!options.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create checkpoint dir '%s': %s\n",
+                   options.checkpoint_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    cell_log_path = options.checkpoint_dir + "/results.jsonl";
+    finished = LoadFinishedCells(cell_log_path);
+    if (!finished.empty()) {
+      std::fprintf(stderr, "checkpoint: resuming, %zu finished cell%s found\n",
+                   finished.size(), finished.size() == 1 ? "" : "s");
+    }
   }
 
   // Total pairwise cells across the whole run, for the progress ETA. The
@@ -279,6 +538,20 @@ int main(int argc, char** argv) {
 
   const PairwiseEngine engine(options.threads);
   Matrix accuracies(datasets.size(), options.measures.size());
+  std::vector<CellOutcome> outcomes;
+  outcomes.reserve(datasets.size() * options.measures.size());
+  std::size_t cells_computed = 0;
+  bool interrupted = false;
+
+  obs::Counter* cell_counters[4] = {nullptr, nullptr, nullptr, nullptr};
+  if (obs::Enabled()) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    cell_counters[0] = &metrics.GetCounter("tsdist.eval.cells_ok");
+    cell_counters[1] = &metrics.GetCounter("tsdist.eval.cells_dnf");
+    cell_counters[2] = &metrics.GetCounter("tsdist.eval.cells_failed");
+    cell_counters[3] = &metrics.GetCounter("tsdist.eval.cells_resumed");
+  }
+
   if (options.csv) {
     std::printf("dataset");
     for (const auto& m : options.measures) std::printf(",%s", m.c_str());
@@ -288,7 +561,7 @@ int main(int argc, char** argv) {
     // Scoped so the root span closes (and lands in the trace file) before
     // the exports below run.
     const obs::TraceSpan run_span("tsdist_eval.run");
-    for (std::size_t i = 0; i < datasets.size(); ++i) {
+    for (std::size_t i = 0; i < datasets.size() && !interrupted; ++i) {
       const obs::TraceSpan dataset_span(
           obs::TraceRecorder::Global().enabled()
               ? "eval.dataset/" + datasets[i].name()
@@ -296,19 +569,98 @@ int main(int argc, char** argv) {
       if (options.csv) std::printf("%s", datasets[i].name().c_str());
       for (std::size_t j = 0; j < options.measures.size(); ++j) {
         const std::string& name = options.measures[j];
-        const EvalOptions eval_options{.pruned = options.pruned};
-        const EvalResult result =
-            options.supervised
-                ? EvaluateTuned(name, ParamGridFor(name), datasets[i], engine,
-                                Registry::Global(), eval_options)
-                : EvaluateFixed(name, UnsupervisedParamsFor(name), datasets[i],
-                                engine, Registry::Global(), eval_options);
-        accuracies(i, j) = result.test_accuracy;
-        if (options.csv) {
-          std::printf(",%.4f", result.test_accuracy);
+        CellOutcome cell;
+        cell.dataset = datasets[i].name();
+        cell.measure = name;
+
+        const auto resumed_it = finished.find(CellKey(cell.dataset, name));
+        if (resumed_it != finished.end()) {
+          cell = resumed_it->second;
+          if (cell_counters[3] != nullptr) cell_counters[3]->Add(1);
         } else {
-          std::printf("%-22s %-14s %.4f\n", datasets[i].name().c_str(),
-                      name.c_str(), result.test_accuracy);
+          // Per-cell budget token, chained to the process interrupt token:
+          // SIGINT cancels everything, a budget expiry only this cell.
+          CancellationToken budget(&g_interrupt);
+          if (options.budget_sec > 0.0) budget.SetBudget(options.budget_sec);
+          EvalOptions eval_options;
+          eval_options.pruned = options.pruned;
+          eval_options.cancel = &budget;
+          eval_options.tile_rows = options.tile_rows;
+          if (!options.checkpoint_dir.empty()) {
+            eval_options.checkpoint_dir =
+                options.checkpoint_dir + "/" + cell.dataset + "/" + name;
+          }
+          try {
+            const EvalResult result =
+                options.supervised
+                    ? EvaluateTuned(name, ParamGridFor(name), datasets[i],
+                                    engine, Registry::Global(), eval_options)
+                    : EvaluateFixed(name, UnsupervisedParamsFor(name),
+                                    datasets[i], engine, Registry::Global(),
+                                    eval_options);
+            cell.params = ToString(result.params);
+            cell.status = result.status;
+            cell.reason = result.reason;
+            cell.train_accuracy = result.train_accuracy;
+            cell.test_accuracy = result.test_accuracy;
+          } catch (const std::exception& e) {
+            cell.status = EvalStatus::kFailed;
+            cell.reason = e.what();
+          }
+          if (cell.status == EvalStatus::kOk &&
+              !std::isfinite(cell.test_accuracy)) {
+            // A non-finite accuracy means every prediction drowned in NaN
+            // distances — an upstream data or measure problem, not a result.
+            cell.status = EvalStatus::kFailed;
+            cell.reason = "non-finite test accuracy";
+            cell.test_accuracy = 0.0;
+          }
+          if (obs::Enabled()) {
+            switch (cell.status) {
+              case EvalStatus::kOk: cell_counters[0]->Add(1); break;
+              case EvalStatus::kDnf: cell_counters[1]->Add(1); break;
+              case EvalStatus::kFailed: cell_counters[2]->Add(1); break;
+              case EvalStatus::kInterrupted: break;
+            }
+          }
+          // Persist terminal outcomes. DNF and interrupted cells are *not*
+          // logged: a rerun (with a bigger budget) should retry them from
+          // their tile checkpoints.
+          if (!cell_log_path.empty() &&
+              (cell.status == EvalStatus::kOk ||
+               cell.status == EvalStatus::kFailed)) {
+            AppendJsonLogLine(cell_log_path, CellLogLine(cell));
+          }
+          ++cells_computed;
+        }
+
+        accuracies(i, j) = cell.status == EvalStatus::kOk
+                               ? cell.test_accuracy
+                               : std::numeric_limits<double>::quiet_NaN();
+        if (options.csv) {
+          if (cell.status == EvalStatus::kOk) {
+            std::printf(",%.4f", cell.test_accuracy);
+          } else {
+            std::printf(",%s", ToString(cell.status));
+          }
+        } else if (cell.status == EvalStatus::kOk) {
+          std::printf("%-22s %-14s %.4f\n", cell.dataset.c_str(), name.c_str(),
+                      cell.test_accuracy);
+        } else {
+          std::printf("%-22s %-14s %s (%s)\n", cell.dataset.c_str(),
+                      name.c_str(), ToString(cell.status),
+                      cell.reason.c_str());
+        }
+        outcomes.push_back(std::move(cell));
+
+        if (options.selftest_interrupt_after > 0 &&
+            cells_computed >= options.selftest_interrupt_after) {
+          options.selftest_interrupt_after = 0;  // fire once
+          std::raise(SIGINT);
+        }
+        if (g_interrupt.cancel_requested()) {
+          interrupted = true;
+          break;
         }
       }
       if (options.csv) std::printf("\n");
@@ -317,6 +669,13 @@ int main(int argc, char** argv) {
   if (options.progress) {
     obs::SetActiveProgress(nullptr);
     progress.Finish();
+  }
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "interrupted by signal %d after %zu cell%s: checkpoints and "
+                 "metrics flushed, rerun to resume\n",
+                 static_cast<int>(g_signal), outcomes.size(),
+                 outcomes.size() == 1 ? "" : "s");
   }
 
   if (options.pruned && obs::Enabled()) {
@@ -344,30 +703,62 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(full), 100.0 * full / denom);
   }
 
-  if (!options.csv && datasets.size() >= 3 && options.measures.size() >= 2) {
+  // The CD diagram needs a complete, finite accuracy matrix; skip it when
+  // any cell is missing (interrupt, DNF, failure).
+  bool all_ok = !interrupted && outcomes.size() ==
+                                    datasets.size() * options.measures.size();
+  for (const CellOutcome& cell : outcomes) {
+    all_ok = all_ok && cell.status == EvalStatus::kOk;
+  }
+  if (all_ok && !options.csv && datasets.size() >= 3 &&
+      options.measures.size() >= 2) {
     const CdAnalysis analysis =
         AnalyzeRanks(accuracies, options.measures, 0.10);
     std::printf("\n");
     std::cout << RenderCdDiagram(analysis);
   }
 
+  // Exports run on interrupted runs too — a flushed metrics file plus the
+  // durable checkpoints is exactly what post-mortem debugging needs.
+  int export_failures = 0;
+  if (!options.results_json_path.empty()) {
+    std::string error;
+    if (!AtomicWriteFile(options.results_json_path,
+                         ResultsToJson(outcomes, options), &error)) {
+      std::fprintf(stderr, "cannot write results JSON: %s\n", error.c_str());
+      ++export_failures;
+    }
+  }
   if (!options.metrics_json_path.empty() &&
       !WriteFileOrComplain(options.metrics_json_path,
                            obs::MetricsRegistry::Global().ToJson(),
                            "metrics JSON")) {
-    return 1;
+    ++export_failures;
   }
   if (!options.metrics_csv_path.empty() &&
       !WriteFileOrComplain(options.metrics_csv_path,
                            obs::MetricsRegistry::Global().ToCsv(),
                            "metrics CSV")) {
-    return 1;
+    ++export_failures;
   }
   if (!options.trace_json_path.empty() &&
       !WriteFileOrComplain(options.trace_json_path,
                            obs::TraceRecorder::Global().ToChromeJson(),
                            "trace JSON")) {
-    return 1;
+    ++export_failures;
+  }
+
+  if (interrupted) return 128 + static_cast<int>(g_signal);
+  if (export_failures > 0) return 1;
+  if (!outcomes.empty()) {
+    bool all_failed = true;
+    for (const CellOutcome& cell : outcomes) {
+      all_failed = all_failed && cell.status == EvalStatus::kFailed;
+    }
+    // Partial failure is a report, not an error: the exit code flags only
+    // the nothing-worked case (e.g. a typoed archive path failing every
+    // load, or an injected fault on every cell).
+    if (all_failed) return 1;
   }
   return 0;
 }
