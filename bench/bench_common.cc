@@ -11,7 +11,9 @@
 #include "src/classify/tuning.h"
 #include "src/core/registry.h"
 #include "src/normalization/normalization.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/perf_counters.h"
 #include "src/stats/ranking.h"
 #include "src/stats/wilcoxon.h"
 
@@ -31,13 +33,26 @@ void ObsSession::RunCase(const std::string& name,
   result.warmup = BenchWarmupFromEnv();
   const int iters = BenchRepeatFromEnv();
   for (int i = 0; i < result.warmup; ++i) body();
+  // Counters cover the calling thread only (it participates in every
+  // ParallelFor); summed over the measured iterations. When unavailable
+  // (containers, CI) the probe warns once and the block is omitted.
+  std::unique_ptr<obs::PerfCounterGroup> perf_group;
+  if (obs::Enabled() && obs::PerfCountersSupported()) {
+    perf_group = std::make_unique<obs::PerfCounterGroup>();
+    if (!perf_group->available()) perf_group.reset();
+  }
+  obs::PerfReading perf_total;
+  perf_total.valid = perf_group != nullptr;
   result.samples_ms.reserve(static_cast<std::size_t>(iters));
   for (int i = 0; i < iters; ++i) {
     const std::uint64_t iter_start = obs::NowNs();
+    if (perf_group != nullptr) perf_group->Start();
     body();
+    if (perf_group != nullptr) perf_total.Accumulate(perf_group->Stop());
     result.samples_ms.push_back(
         static_cast<double>(obs::NowNs() - iter_start) / 1e6);
   }
+  result.perf = perf_total;
   obs::UpdatePeakRssGauge();
   cases_.push_back(std::move(result));
 }
@@ -49,7 +64,9 @@ ObsSession::~ObsSession() {
   const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
   std::ofstream out(path);
   if (!out) {
-    std::cerr << "ObsSession: cannot write " << path << "\n";
+    TSDIST_LOG(obs::LogLevel::kError, "cannot write bench report",
+               obs::F("path", path));
+    obs::Logger::Global().Flush();
     return;
   }
 
@@ -78,9 +95,10 @@ ObsSession::~ObsSession() {
   report.metrics_json = obs::MetricsRegistry::Global().ToJson();
 
   out << obs::BenchReportToJson(report);
-  std::cerr << "ObsSession: wrote " << path << " (wall "
-            << std::fixed << std::setprecision(1) << wall_ms << " ms, "
-            << report.cases.size() << " case(s))\n";
+  TSDIST_LOG(obs::LogLevel::kInfo, "wrote bench report",
+             obs::F("path", path), obs::F("wall_ms", wall_ms),
+             obs::F("cases", static_cast<std::uint64_t>(report.cases.size())));
+  obs::Logger::Global().Flush();
 }
 
 ArchiveScale ScaleFromEnv() {

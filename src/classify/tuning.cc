@@ -8,6 +8,7 @@
 
 #include "src/classify/one_nn.h"
 #include "src/obs/json.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/resilience/checkpoint.h"
 
@@ -158,6 +159,12 @@ EvalResult EvaluateTuned(const std::string& measure_name,
       obs::MetricsRegistry::Global()
           .GetCounter("tsdist.ckpt.candidates_resumed")
           .Add(resumed);
+    }
+    if (resumed > 0) {
+      TSDIST_LOG(obs::LogLevel::kInfo, "tuning candidates resumed",
+                 obs::F("measure", measure_name), obs::F("resumed", resumed),
+                 obs::F("grid",
+                        static_cast<std::uint64_t>(grid.size())));
     }
   }
 

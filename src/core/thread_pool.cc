@@ -29,6 +29,17 @@ struct PoolMetrics {
   }
 };
 
+// Live process-wide pool state, sampled asynchronously by the telemetry
+// server. Updated per job participation (never per index), so the cost is
+// two relaxed atomics around each RunJob, not in the claim loop.
+std::atomic<std::uint64_t> g_live_threads{0};
+std::atomic<std::uint64_t> g_busy_participants{0};
+
+struct ScopedBusy {
+  ScopedBusy() { g_busy_participants.fetch_add(1, std::memory_order_relaxed); }
+  ~ScopedBusy() { g_busy_participants.fetch_sub(1, std::memory_order_relaxed); }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -46,6 +57,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   for (std::size_t t = 0; t + 1 < num_threads; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  g_live_threads.fetch_add(workers_.size(), std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -55,6 +67,7 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  g_live_threads.fetch_sub(workers_.size(), std::memory_order_relaxed);
 }
 
 void ThreadPool::RunJob(Job* job) {
@@ -87,14 +100,17 @@ void ThreadPool::WorkerLoop() {
       job = job_;
       ++active_workers_;
     }
-    if (wait_start != 0 && obs::Enabled()) {
-      const PoolMetrics metrics;
-      metrics.idle_ns->Add(obs::NowNs() - wait_start);
-      const std::uint64_t busy_start = obs::NowNs();
-      RunJob(job);
-      metrics.busy_ns->Add(obs::NowNs() - busy_start);
-    } else {
-      RunJob(job);
+    {
+      const ScopedBusy busy;
+      if (wait_start != 0 && obs::Enabled()) {
+        const PoolMetrics metrics;
+        metrics.idle_ns->Add(obs::NowNs() - wait_start);
+        const std::uint64_t busy_start = obs::NowNs();
+        RunJob(job);
+        metrics.busy_ns->Add(obs::NowNs() - busy_start);
+      } else {
+        RunJob(job);
+      }
     }
     {
       const std::lock_guard<std::mutex> lock(mu_);
@@ -119,6 +135,7 @@ bool ThreadPool::ParallelFor(std::size_t count,
         body(i);
       }
     };
+    const ScopedBusy busy;
     if (obs::Enabled()) {
       const PoolMetrics metrics;
       metrics.inline_jobs->Add(1);
@@ -143,15 +160,18 @@ bool ThreadPool::ParallelFor(std::size_t count,
     ++job_seq_;
   }
   work_cv_.notify_all();
-  if (obs::Enabled()) {
-    const PoolMetrics metrics;
-    metrics.jobs->Add(1);
-    metrics.tasks->Add(count);
-    const std::uint64_t busy_start = obs::NowNs();
-    RunJob(&job);  // the submitting thread participates
-    metrics.busy_ns->Add(obs::NowNs() - busy_start);
-  } else {
-    RunJob(&job);  // the submitting thread participates
+  {
+    const ScopedBusy busy;
+    if (obs::Enabled()) {
+      const PoolMetrics metrics;
+      metrics.jobs->Add(1);
+      metrics.tasks->Add(count);
+      const std::uint64_t busy_start = obs::NowNs();
+      RunJob(&job);  // the submitting thread participates
+      metrics.busy_ns->Add(obs::NowNs() - busy_start);
+    } else {
+      RunJob(&job);  // the submitting thread participates
+    }
   }
   {
     // Retract the job under the lock so a late-waking worker cannot pick it
@@ -162,6 +182,24 @@ bool ThreadPool::ParallelFor(std::size_t count,
     done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   }
   return !job.cancelled.load(std::memory_order_relaxed);
+}
+
+PoolLiveStats CurrentPoolLiveStats() {
+  PoolLiveStats stats;
+  stats.live_threads = g_live_threads.load(std::memory_order_relaxed);
+  stats.busy_participants =
+      g_busy_participants.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void UpdatePoolLiveGauges() {
+  if (!obs::Enabled()) return;
+  const PoolLiveStats stats = CurrentPoolLiveStats();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("tsdist.pool.live_threads")
+      .Set(static_cast<double>(stats.live_threads));
+  registry.GetGauge("tsdist.pool.busy_participants")
+      .Set(static_cast<double>(stats.busy_participants));
 }
 
 }  // namespace tsdist

@@ -97,6 +97,21 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Instantaneous pool telemetry across every ThreadPool in the process,
+/// maintained by cheap per-job (not per-index) atomics.
+struct PoolLiveStats {
+  std::uint64_t live_threads = 0;       ///< worker threads currently alive
+  std::uint64_t busy_participants = 0;  ///< threads currently inside a job
+                                        ///< (workers + submitters, inline too)
+};
+PoolLiveStats CurrentPoolLiveStats();
+
+/// Publishes CurrentPoolLiveStats() into the gauges
+/// `tsdist.pool.live_threads` and `tsdist.pool.busy_participants`. The
+/// telemetry server's background sampler calls this periodically so long
+/// runs expose live pool state; no-op when obs is disabled.
+void UpdatePoolLiveGauges();
+
 }  // namespace tsdist
 
 #endif  // TSDIST_CORE_THREAD_POOL_H_

@@ -9,6 +9,7 @@
 
 #include "src/linalg/eigen.h"
 #include "src/linalg/rng.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/sliding/ncc_measures.h"
 
@@ -109,6 +110,9 @@ void GrailRepresentation::Fit(const std::vector<TimeSeries>& train) {
           .GetCounter("tsdist.embedding.fit_failures")
           .Add(1);
     }
+    TSDIST_LOG(obs::LogLevel::kWarn, "GRAIL fit failed",
+               obs::F("landmarks", static_cast<std::uint64_t>(k)),
+               obs::F("reason", e.what()));
     throw std::runtime_error(
         "GrailRepresentation::Fit: eigendecomposition of the " +
         std::to_string(k) + "x" + std::to_string(k) +

@@ -9,6 +9,7 @@
 #include "src/elastic/dtw.h"
 #include "src/linalg/eigen.h"
 #include "src/linalg/rng.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 
 namespace tsdist {
@@ -82,6 +83,9 @@ void SpiralRepresentation::Fit(const std::vector<TimeSeries>& train) {
           .GetCounter("tsdist.embedding.fit_failures")
           .Add(1);
     }
+    TSDIST_LOG(obs::LogLevel::kWarn, "SPIRAL fit failed",
+               obs::F("landmarks", static_cast<std::uint64_t>(k)),
+               obs::F("reason", e.what()));
     throw std::runtime_error(
         "SpiralRepresentation::Fit: eigendecomposition of the " +
         std::to_string(k) + "x" + std::to_string(k) +

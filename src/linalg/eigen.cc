@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/resilience/fault.h"
 
@@ -126,6 +127,10 @@ EigenDecomposition SymmetricEigen(const Matrix& a, double tol, int max_sweeps) {
           .GetCounter("tsdist.linalg.eigen_failures")
           .Add(1);
     }
+    TSDIST_LOG(obs::LogLevel::kWarn, "eigensolver did not converge",
+               obs::F("n", static_cast<std::uint64_t>(n)),
+               obs::F("sweeps", sweeps_run), obs::F("off_diagonal_norm", off),
+               obs::F("tol", tol));
     throw std::runtime_error(
         "SymmetricEigen: no convergence after " + std::to_string(sweeps_run) +
         " sweeps (off-diagonal norm " + std::to_string(off) + ", tol " +

@@ -1,0 +1,277 @@
+#include "src/obs/expo_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/obs/health.h"
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
+#include "src/obs/openmetrics.h"
+#include "src/obs/runinfo.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 400: return "Bad Request";
+  }
+  return "OK";
+}
+
+// send() the whole buffer; MSG_NOSIGNAL so a client that hung up yields
+// EPIPE instead of killing the process with SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void BumpCounter(const char* name) {
+#if !defined(TSDIST_OBS_NOOP)
+  if (Enabled()) MetricsRegistry::Global().GetCounter(name).Add(1);
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace
+
+ExpoServer::~ExpoServer() { Stop(); }
+
+bool ExpoServer::Start(Options options, std::string* error) {
+  if (running()) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  options_ = std::move(options);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "invalid bind address '" + options_.bind_address + "'";
+    }
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) {
+      *error = std::string("bind/listen on ") + options_.bind_address + ":" +
+               std::to_string(options_.port) + ": " + std::strerror(errno);
+    }
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  } else {
+    port_ = options_.port;
+  }
+
+  if (pipe(wake_fds_) != 0) {
+    if (error != nullptr) {
+      *error = std::string("pipe: ") + std::strerror(errno);
+    }
+    close(listen_fd_);
+    listen_fd_ = -1;
+    port_ = 0;
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  TSDIST_LOG(LogLevel::kInfo, "telemetry server listening",
+             F("address", options_.bind_address), F("port", port_));
+  return true;
+}
+
+void ExpoServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  const char byte = 'x';
+  // Best-effort wakeup; the poll loop also notices running_ on timeout.
+  [[maybe_unused]] const ssize_t n = write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  close(wake_fds_[0]);
+  close(wake_fds_[1]);
+  listen_fd_ = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
+  port_ = 0;
+}
+
+void ExpoServer::SetRunInfoJson(std::string json) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  runinfo_json_ = json.empty() ? "{}" : std::move(json);
+}
+
+void ExpoServer::Sample() {
+  UpdatePeakRssGauge();
+  if (options_.sampler) options_.sampler();
+}
+
+void ExpoServer::ServeLoop() {
+  Sample();  // expose sane gauge values before the first scrape
+  std::uint64_t last_sample_ns = NowNs();
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_fds_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int r =
+        poll(fds, 2, static_cast<int>(options_.sample_interval_ms));
+    if (!running_.load(std::memory_order_acquire)) return;
+    const std::uint64_t now = NowNs();
+    if (now - last_sample_ns >= options_.sample_interval_ms * 1'000'000ULL) {
+      Sample();
+      last_sample_ns = now;
+    }
+    if (r <= 0) continue;  // timeout / EINTR
+    if ((fds[1].revents & POLLIN) != 0) {
+      char buf[16];
+      [[maybe_unused]] const ssize_t n = read(wake_fds_[0], buf, sizeof buf);
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = accept(listen_fd_, nullptr, nullptr);
+      if (conn >= 0) HandleConnection(conn);
+    }
+  }
+}
+
+void ExpoServer::HandleConnection(int fd) {
+  // A stalled client must not wedge the serving loop forever.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  Response response;
+  std::string method;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    response = Handle(method, path);
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (method != "HEAD") out += response.body;
+  SendAll(fd, out);
+  close(fd);
+}
+
+ExpoServer::Response ExpoServer::Handle(const std::string& method,
+                                        const std::string& path) {
+  Response response;
+  BumpCounter("tsdist.expo.requests");
+  if (method != "GET" && method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET and HEAD are supported\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    BumpCounter("tsdist.expo.scrapes");
+    Sample();  // scrape sees current gauges even mid-interval
+    response.content_type = OpenMetricsContentType();
+    response.body =
+        RenderOpenMetrics(MetricsRegistry::Global().Snapshot());
+    return response;
+  }
+  if (path == "/healthz") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = HealthState::Global().ToJson() + "\n";
+    return response;
+  }
+  if (path == "/runinfo") {
+    response.content_type = "application/json; charset=utf-8";
+    const std::lock_guard<std::mutex> lock(mu_);
+    response.body = runinfo_json_ + "\n";
+    return response;
+  }
+  if (path == "/logz") {
+    response.content_type = "application/x-ndjson; charset=utf-8";
+    std::string body;
+    for (const std::string& entry : Logger::Global().Tail()) {
+      body += entry;
+      body += '\n';
+    }
+    response.body = std::move(body);
+    return response;
+  }
+  if (path == "/") {
+    response.body =
+        "tsdist telemetry\n"
+        "  /metrics  OpenMetrics exposition\n"
+        "  /healthz  run health JSON\n"
+        "  /runinfo  provenance manifest JSON\n"
+        "  /logz     recent structured log lines\n";
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found\n";
+  return response;
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,97 @@
+// Embedded, dependency-free telemetry HTTP server.
+//
+// One background thread runs a blocking poll() loop over the listening
+// socket and a self-pipe (used to interrupt the loop on Stop()). Requests
+// are handled synchronously, one at a time — scrapes are rare and cheap, so
+// there is no connection pool and no keep-alive (every response closes the
+// connection). The poll timeout doubles as the background sampling
+// interval: on every pass the server refreshes the peak-RSS gauge (and any
+// driver-supplied sampler, e.g. the live thread-pool gauges), so a
+// long-running sweep exposes live values instead of exit-time ones.
+//
+// Endpoints (GET/HEAD only):
+//   /metrics  — OpenMetrics text rendered from MetricsRegistry::Snapshot()
+//               (gauges are re-sampled right before rendering);
+//   /healthz  — tsdist.health.v1 JSON: uptime, phase, current sweep cell,
+//               checkpoint/cell progress, live ProgressReporter state;
+//   /runinfo  — the run's provenance manifest as JSON (driver-provided);
+//   /logz     — the most recent structured log lines (tsdist.log.v1,
+//               newline-delimited JSON);
+//   /         — plain-text index of the endpoints above.
+//
+// The server binds 127.0.0.1 by default; pass bind_address "0.0.0.0" to
+// expose it beyond the host. Port 0 picks an ephemeral port (see port()).
+
+#ifndef TSDIST_OBS_EXPO_SERVER_H_
+#define TSDIST_OBS_EXPO_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tsdist::obs {
+
+class ExpoServer {
+ public:
+  struct Options {
+    int port = 0;                       ///< 0 = ephemeral (read back via port())
+    std::string bind_address = "127.0.0.1";
+    std::uint64_t sample_interval_ms = 1000;
+    /// Extra gauges to refresh on every sampling pass (the peak-RSS gauge is
+    /// always refreshed); drivers hook the pool live gauges in here.
+    std::function<void()> sampler;
+  };
+
+  ExpoServer() = default;
+  ~ExpoServer();
+
+  ExpoServer(const ExpoServer&) = delete;
+  ExpoServer& operator=(const ExpoServer&) = delete;
+
+  /// Binds, listens, and starts the serving thread. Returns false (with
+  /// `error` filled) when the socket cannot be set up; the server is then
+  /// inert and Start may be retried.
+  bool Start(Options options, std::string* error);
+
+  /// Stops the serving thread and closes the socket. Idempotent; also run
+  /// by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves ephemeral port 0); 0 when not running.
+  int port() const { return port_; }
+
+  /// Sets the JSON document served at /runinfo (typically
+  /// ManifestToJson(CollectRunManifest(...), 0)).
+  void SetRunInfoJson(std::string json);
+
+ private:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  void ServeLoop();
+  void Sample();
+  void HandleConnection(int fd);
+  Response Handle(const std::string& method, const std::string& path);
+
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() writes, poll loop reads
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  mutable std::mutex mu_;  // guards runinfo_json_
+  std::string runinfo_json_ = "{}";
+};
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_EXPO_SERVER_H_

@@ -1,0 +1,106 @@
+#include "src/obs/health.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/obs.h"
+#include "src/obs/progress.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+HealthState::HealthState() : start_ns_(NowNs()) {}
+
+HealthState& HealthState::Global() {
+  static HealthState* state = new HealthState();  // never destroyed
+  return *state;
+}
+
+void HealthState::SetPhase(std::string phase) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  phase_ = std::move(phase);
+}
+
+void HealthState::SetCurrentCell(std::string cell) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  current_cell_ = std::move(cell);
+}
+
+void HealthState::SetCells(std::uint64_t done, std::uint64_t total,
+                           std::uint64_t resumed) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cells_done_ = done;
+  cells_total_ = total;
+  cells_resumed_ = resumed;
+}
+
+std::string HealthState::ToJson() const {
+  const double uptime_sec =
+      static_cast<double>(NowNs() - start_ns_) / 1e9;
+  std::string out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out = "{\"schema\": \"tsdist.health.v1\", \"status\": \"ok\", ";
+    out += "\"uptime_sec\": ";
+    out += Num(uptime_sec);
+    out += ", \"phase\": \"";
+    out += JsonEscape(phase_);
+    out += "\", \"current_cell\": \"";
+    out += JsonEscape(current_cell_);
+    out += "\", \"cells\": {\"done\": ";
+    out += std::to_string(cells_done_);
+    out += ", \"total\": ";
+    out += std::to_string(cells_total_);
+    out += ", \"resumed\": ";
+    out += std::to_string(cells_resumed_);
+    out += "}";
+  }
+  ProgressSnapshot progress;
+  if (SnapshotActiveProgress(&progress)) {
+    out += ", \"progress\": {\"label\": \"";
+    out += JsonEscape(progress.label);
+    out += "\", \"unit\": \"";
+    out += JsonEscape(progress.unit);
+    out += "\", \"done\": ";
+    out += std::to_string(progress.done);
+    out += ", \"total\": ";
+    out += std::to_string(progress.total);
+    out += ", \"rate_per_sec\": ";
+    out += Num(progress.rate_per_sec);
+    out += ", \"eta_sec\": ";
+    out += Num(progress.eta_seconds);
+    out += "}";
+  } else {
+    out += ", \"progress\": null";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,57 @@
+// Process-wide run-health state served at the telemetry server's /healthz.
+//
+// Drivers (tsdist_eval, tsdist_bench) and the tuning layer push coarse
+// state here — phase, the sweep cell currently executing, done/total cell
+// counts — and the server reads a JSON snapshot on demand. Updates are a
+// mutex-guarded string/counter store: they happen per sweep cell or per
+// tuning candidate, never in per-distance hot paths, so a mutex is the
+// right tool (contrast with the sharded metrics write path).
+//
+// The snapshot also folds in the active ProgressReporter (done/total units,
+// rate, ETA) via SnapshotActiveProgress, so /healthz shows live intra-cell
+// progress without any extra instrumentation.
+
+#ifndef TSDIST_OBS_HEALTH_H_
+#define TSDIST_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace tsdist::obs {
+
+class HealthState {
+ public:
+  static HealthState& Global();
+
+  /// Coarse lifecycle label: "idle", "eval", "bench", "export", ...
+  void SetPhase(std::string phase);
+
+  /// The sweep cell currently executing, e.g. "dtw/Coffee"; empty = none.
+  void SetCurrentCell(std::string cell);
+
+  /// Sweep-level progress (cells finished this run / total planned) and how
+  /// many of those were resumed from a checkpoint instead of recomputed.
+  void SetCells(std::uint64_t done, std::uint64_t total,
+                std::uint64_t resumed);
+
+  /// The whole state as a `tsdist.health.v1` JSON object: schema, status,
+  /// uptime, phase, current cell, cell counts, and (when a reporter is
+  /// active) the live progress block.
+  std::string ToJson() const;
+
+ private:
+  HealthState();
+
+  mutable std::mutex mu_;
+  std::uint64_t start_ns_;
+  std::string phase_ = "idle";
+  std::string current_cell_;
+  std::uint64_t cells_done_ = 0;
+  std::uint64_t cells_total_ = 0;
+  std::uint64_t cells_resumed_ = 0;
+};
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_HEALTH_H_

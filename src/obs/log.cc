@@ -1,0 +1,379 @@
+#include "src/obs/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Small sequential thread id, assigned on a thread's first log event.
+// Independent of the trace/metric shard ids: log tids must start at 0 for
+// the process's first logging thread so single-threaded runs are stable.
+std::uint32_t ThisThreadLogId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void BumpSuppressedCounter(std::uint64_t n) {
+#if !defined(TSDIST_OBS_NOOP)
+  if (obs::Enabled()) {
+    MetricsRegistry::Global().GetCounter("tsdist.log.suppressed").Add(n);
+  }
+#else
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+LogField F(std::string key, const std::string& value) {
+  std::string json = "\"";
+  json += JsonEscape(value);
+  json += "\"";
+  return LogField{std::move(key), std::move(json)};
+}
+LogField F(std::string key, const char* value) {
+  return F(std::move(key), std::string(value == nullptr ? "" : value));
+}
+LogField F(std::string key, double value) {
+  if (!std::isfinite(value)) return LogField{std::move(key), "0"};
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return LogField{std::move(key), buf};
+}
+LogField F(std::string key, std::uint64_t value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+LogField F(std::string key, std::int64_t value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+LogField F(std::string key, int value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+LogField F(std::string key, unsigned int value) {
+  return F(std::move(key), static_cast<std::uint64_t>(value));
+}
+LogField F(std::string key, bool value) {
+  return LogField{std::move(key), value ? "true" : "false"};
+}
+
+std::string LogEventToJson(const LogEvent& event) {
+  std::string out = "{\"schema\": \"tsdist.log.v1\", \"ts_ns\": ";
+  out += std::to_string(event.ts_ns);
+  out += ", \"level\": \"";
+  out += ToString(event.level);
+  out += "\", \"tid\": ";
+  out += std::to_string(event.tid);
+  out += ", \"msg\": \"";
+  out += JsonEscape(event.message);
+  out += "\", \"fields\": {";
+  bool first = true;
+  for (const LogField& f : event.fields) {
+    if (!first) out += ", ";
+    out += "\"";
+    out += JsonEscape(f.key);
+    out += "\": ";
+    out += f.json;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string LogEventPretty(const LogEvent& event, bool color) {
+  const char* level = ToString(event.level);
+  std::string out;
+  if (color) {
+    const char* code = "36";  // info: cyan
+    switch (event.level) {
+      case LogLevel::kDebug: code = "2"; break;   // dim
+      case LogLevel::kInfo: code = "36"; break;   // cyan
+      case LogLevel::kWarn: code = "33"; break;   // yellow
+      case LogLevel::kError: code = "31"; break;  // red
+    }
+    out = std::string("\x1b[") + code + "m[" + level + "]\x1b[0m ";
+  } else {
+    out = std::string("[") + level + "] ";
+  }
+  out += event.message;
+  for (const LogField& f : event.fields) {
+    out += " " + f.key + "=" + f.json;
+  }
+  return out;
+}
+
+void LogDirect(LogLevel level, const std::string& message,
+               std::vector<LogField> fields) {
+  if (level < LogLevel::kInfo) return;
+  LogEvent event;
+  event.level = level;
+  event.message = message;
+  event.fields = std::move(fields);
+  const std::string line = LogEventPretty(event, /*color=*/false);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+// One ring slot: `seq` is the Vyukov sequence number (== slot index when
+// free for the producer that owns that turn, == index + 1 once published).
+struct Logger::Cell {
+  std::atomic<std::uint64_t> seq{0};
+  LogEvent event;
+};
+
+Logger::Logger() : cells_(new Cell[kRingCapacity]) {
+  for (std::uint64_t i = 0; i < kRingCapacity; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  stderr_tty_ = isatty(fileno(stderr)) != 0;
+#endif
+  sink_thread_ = std::thread([this] { SinkLoop(); });
+}
+
+Logger::~Logger() {
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    stop_ = true;
+  }
+  sink_cv_.notify_all();
+  if (sink_thread_.joinable()) sink_thread_.join();
+  // The sink thread drained everything enqueued before stop; close the file.
+  if (json_file_ != nullptr) {
+    std::fclose(json_file_);
+    json_file_ = nullptr;
+  }
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // never destroyed
+  return *logger;
+}
+
+std::uint64_t Logger::Now() const {
+  {
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(clock_mu_));
+    if (clock_) return clock_();
+  }
+  return NowNs();
+}
+
+void Logger::SetClockForTest(std::function<std::uint64_t()> clock) {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  clock_ = std::move(clock);
+}
+
+void Logger::Log(LogLevel level, std::string message,
+                 std::vector<LogField> fields, LogSite* site) {
+  if (static_cast<int>(level) < min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::uint64_t backlog = 0;  // drops this site accumulated while throttled
+  if (site != nullptr) {
+    const std::uint64_t now = Now();
+    bool admitted = false;
+    while (site->lock.test_and_set(std::memory_order_acquire)) {
+    }
+    if (site->tokens < 0.0) {
+      site->tokens = site->burst;
+      site->last_refill_ns = now;
+    }
+    const double elapsed_sec =
+        now > site->last_refill_ns
+            ? static_cast<double>(now - site->last_refill_ns) / 1e9
+            : 0.0;
+    site->tokens = std::min(site->burst,
+                            site->tokens + elapsed_sec * site->rate_per_sec);
+    site->last_refill_ns = now;
+    if (site->tokens >= 1.0) {
+      site->tokens -= 1.0;
+      admitted = true;
+      backlog = site->suppressed;
+      site->suppressed = 0;
+    } else {
+      ++site->suppressed;
+    }
+    site->lock.clear(std::memory_order_release);
+    if (!admitted) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      BumpSuppressedCounter(1);
+      return;
+    }
+  }
+
+  LogEvent event;
+  event.ts_ns = Now();
+  event.tid = ThisThreadLogId();
+  event.level = level;
+  event.message = std::move(message);
+  event.fields = std::move(fields);
+  if (backlog > 0) event.fields.push_back(F("suppressed", backlog));
+  if (!TryEnqueue(std::move(event))) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    BumpSuppressedCounter(1);
+    return;
+  }
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  sink_cv_.notify_one();
+}
+
+bool Logger::TryEnqueue(LogEvent event) {
+  std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  Cell* cell;
+  for (;;) {
+    cell = &cells_[pos & (kRingCapacity - 1)];
+    const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    } else if (dif < 0) {
+      return false;  // ring full
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+  cell->event = std::move(event);
+  cell->seq.store(pos + 1, std::memory_order_release);
+  return true;
+}
+
+void Logger::SinkLoop() {
+  std::unique_lock<std::mutex> lock(sink_mu_);
+  for (;;) {
+    // The producers' notify races with this wait (they do not hold the
+    // mutex); the timeout bounds any missed wakeup to one poll interval.
+    sink_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    DrainOnce();
+    flush_cv_.notify_all();
+    if (stop_) {
+      DrainOnce();  // drain anything that raced with the stop flag
+      flush_cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void Logger::DrainOnce() {
+  // Runs on the sink thread with sink_mu_ held (sinks are configured under
+  // the same mutex).
+  for (;;) {
+    Cell& cell = cells_[dequeue_pos_ & (kRingCapacity - 1)];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (seq != dequeue_pos_ + 1) return;  // next slot not yet published
+    LogEvent event = std::move(cell.event);
+    cell.event = LogEvent{};
+    cell.seq.store(dequeue_pos_ + kRingCapacity, std::memory_order_release);
+    ++dequeue_pos_;
+    Dispatch(event);
+    ++drained_;
+  }
+}
+
+void Logger::Dispatch(const LogEvent& event) {
+  const std::string json = LogEventToJson(event);
+  {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    tail_.push_back(json);
+    while (tail_.size() > kDefaultTailCapacity) tail_.pop_front();
+  }
+  if (json_file_ != nullptr) {
+    std::fputs(json.c_str(), json_file_);
+    std::fputc('\n', json_file_);
+  }
+  if (stderr_sink_.load(std::memory_order_relaxed) &&
+      static_cast<int>(event.level) >=
+          stderr_level_.load(std::memory_order_relaxed)) {
+    const std::string line = LogEventPretty(event, stderr_tty_);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+bool Logger::OpenJsonSink(const std::string& path, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open log file '" + path + "'";
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (json_file_ != nullptr) std::fclose(json_file_);
+  json_file_ = file;
+  return true;
+}
+
+void Logger::CloseJsonSink() {
+  Flush();
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (json_file_ != nullptr) {
+    std::fclose(json_file_);
+    json_file_ = nullptr;
+  }
+}
+
+std::vector<std::string> Logger::Tail(std::size_t max_lines) const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  const std::size_t n = std::min(max_lines, tail_.size());
+  return std::vector<std::string>(tail_.end() - static_cast<std::ptrdiff_t>(n),
+                                  tail_.end());
+}
+
+void Logger::Flush() {
+  const std::uint64_t target = enqueued_.load(std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(sink_mu_);
+  while (drained_ < target && !stop_) {
+    sink_cv_.notify_all();
+    flush_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  if (json_file_ != nullptr) std::fflush(json_file_);
+  std::fflush(stderr);
+}
+
+}  // namespace tsdist::obs

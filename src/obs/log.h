@@ -1,0 +1,245 @@
+// Structured, leveled event logging (`tsdist.log.v1`).
+//
+// Every event carries a monotonic timestamp, a small sequential thread id,
+// a level (debug/info/warn/error), a message, and free-form key/value
+// fields. Producers never block and never take a lock: events go through a
+// bounded lock-free MPSC ring (Vyukov-style sequenced slots) drained by a
+// single sink thread. When the ring is full the event is dropped and
+// counted in `tsdist.log.suppressed` — logging degrades, it never stalls
+// the evaluation.
+//
+// Sinks (all fed by the one drain loop, in ring order):
+//   * stderr  — human-readable line per event at >= info (colored when
+//               stderr is a TTY); this replaces the ad-hoc fprintf/cerr
+//               sites that used to be scattered through the pipeline;
+//   * file    — JSON-lines `tsdist.log.v1` records (tsdist_eval
+//               --log-json FILE);
+//   * tail    — a bounded in-memory ring of the most recent formatted JSON
+//               lines, served live at the exposition server's /logz.
+//
+// Noisy call-sites are rate limited with a per-site token bucket
+// (TSDIST_LOG declares one static LogSite per expansion); suppressed events
+// are counted globally and per site, and the next admitted event from a
+// throttled site carries a "suppressed" field with the dropped count.
+//
+// Determinism: logging only reads the clock and formats strings — it never
+// feeds back into numerical results. For byte-identical output in tests the
+// clock can be replaced (SetClockForTest).
+//
+// Under TSDIST_OBS_NOOP the TSDIST_LOG macro bypasses the ring, the
+// metrics, and the rate limiter entirely and degrades to a direct stderr
+// print (operator-facing messages must survive the no-op build); the Logger
+// class itself stays functional so tools keep linking.
+
+#ifndef TSDIST_OBS_LOG_H_
+#define TSDIST_OBS_LOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tsdist::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// "debug" / "info" / "warn" / "error".
+const char* ToString(LogLevel level);
+
+/// One key/value field. `json` holds the value as a ready-to-emit JSON
+/// token (quoted string, bare number, true/false) — built via F() so the
+/// formatting decision happens once, at the call site.
+struct LogField {
+  std::string key;
+  std::string json;
+};
+
+/// Field constructors (string values are JSON-escaped and quoted; numbers
+/// are emitted bare; non-finite doubles degrade to 0).
+LogField F(std::string key, const std::string& value);
+LogField F(std::string key, const char* value);
+LogField F(std::string key, double value);
+LogField F(std::string key, std::uint64_t value);
+LogField F(std::string key, std::int64_t value);
+LogField F(std::string key, int value);
+LogField F(std::string key, unsigned int value);
+LogField F(std::string key, bool value);
+
+/// One fully formed event, as it travels through the ring.
+struct LogEvent {
+  std::uint64_t ts_ns = 0;  ///< monotonic, arbitrary epoch (obs::NowNs)
+  std::uint32_t tid = 0;    ///< small sequential thread id
+  LogLevel level = LogLevel::kInfo;
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+/// Per-call-site rate-limiter state: a token bucket refilled at `rate_per_sec`
+/// up to `burst` tokens. Declared `static` by the TSDIST_LOG macro so each
+/// textual call site throttles independently. Zero-initialization is a full
+/// bucket.
+struct LogSite {
+  constexpr LogSite(const char* file_in, int line_in)
+      : file(file_in), line(line_in) {}
+
+  const char* file = "";
+  int line = 0;
+  double burst = 20.0;
+  double rate_per_sec = 10.0;
+
+  // State below is guarded by the spin flag; log sites are warm paths at
+  // most, never per-cell hot paths.
+  std::atomic_flag lock;  // default-clear since C++20
+  double tokens = -1.0;  ///< -1 = not yet initialized (treated as full)
+  std::uint64_t last_refill_ns = 0;
+  std::uint64_t suppressed = 0;  ///< drops since the last admitted event
+};
+
+/// Process-wide logger. Thread-safe; the Global() instance is never
+/// destroyed (drivers call Flush()/CloseJsonSink() before exit).
+class Logger {
+ public:
+  /// Capacity of the producer ring (events in flight between producers and
+  /// the sink thread) — power of two.
+  static constexpr std::size_t kRingCapacity = 8192;
+  /// Formatted JSON lines retained for /logz.
+  static constexpr std::size_t kDefaultTailCapacity = 256;
+
+  Logger();
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  static Logger& Global();
+
+  /// Enqueues one event (non-blocking). Drops + counts when the ring is
+  /// full or the site's token bucket is empty. `site` may be null (no rate
+  /// limiting). Events below the level floor are dropped silently.
+  void Log(LogLevel level, std::string message,
+           std::vector<LogField> fields = {}, LogSite* site = nullptr);
+
+  /// Minimum level that enters the ring at all (default: debug — the
+  /// stderr sink applies its own floor).
+  void SetLevel(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Opens the JSON-lines sink (tsdist.log.v1 records, one per line).
+  /// Returns false and fills `error` when the file cannot be opened.
+  bool OpenJsonSink(const std::string& path, std::string* error);
+  /// Flushes and closes the JSON sink (idempotent).
+  void CloseJsonSink();
+
+  /// Stderr sink master switch (default on) and its level floor (default
+  /// info). The sink renders one human-readable line per event, with ANSI
+  /// colors only when stderr is a terminal.
+  void SetStderrSink(bool enabled) {
+    stderr_sink_.store(enabled, std::memory_order_relaxed);
+  }
+  void SetStderrLevel(LogLevel level) {
+    stderr_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// The most recent formatted JSON lines (oldest first), newest-`max_lines`
+  /// capped; serves /logz.
+  std::vector<std::string> Tail(std::size_t max_lines = kDefaultTailCapacity) const;
+
+  /// Blocks until every event enqueued before the call has been drained to
+  /// all sinks (and fflushes them). Safe from any thread except the sink
+  /// thread itself.
+  void Flush();
+
+  /// Events dropped because the ring was full or a site was throttled
+  /// (mirrors the tsdist.log.suppressed counter, but usable when the
+  /// metrics registry was Reset() by a test).
+  std::uint64_t suppressed_events() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+  /// Events accepted into the ring over the logger's lifetime.
+  std::uint64_t enqueued_events() const {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces the timestamp source (nullptr restores obs::NowNs). Test-only:
+  /// lets determinism tests produce byte-identical JSON sinks.
+  void SetClockForTest(std::function<std::uint64_t()> clock);
+
+ private:
+  struct Cell;
+
+  bool TryEnqueue(LogEvent event);
+  void SinkLoop();
+  void DrainOnce();          // sink thread: dequeue + dispatch everything
+  void Dispatch(const LogEvent& event);
+  std::uint64_t Now() const;
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kDebug)};
+  std::atomic<bool> stderr_sink_{true};
+  std::atomic<int> stderr_level_{static_cast<int>(LogLevel::kInfo)};
+  bool stderr_tty_ = false;
+
+  // MPSC ring (Vyukov sequenced slots).
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<std::uint64_t> enqueue_pos_{0};
+  std::uint64_t dequeue_pos_ = 0;  // sink thread only
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+
+  // Sink thread + wakeup.
+  std::mutex sink_mu_;
+  std::condition_variable sink_cv_;
+  std::condition_variable flush_cv_;
+  std::uint64_t drained_ = 0;  // events dispatched so far (sink_mu_)
+  bool stop_ = false;
+  std::thread sink_thread_;
+
+  // Sinks (sink thread writes; config calls take sink_mu_).
+  std::FILE* json_file_ = nullptr;
+  mutable std::mutex tail_mu_;
+  std::deque<std::string> tail_;
+
+  std::mutex clock_mu_;
+  std::function<std::uint64_t()> clock_;  // empty = obs::NowNs
+};
+
+/// Serializes one event as a tsdist.log.v1 JSON line (no trailing newline).
+std::string LogEventToJson(const LogEvent& event);
+
+/// Human-readable rendering used by the stderr sink (no trailing newline).
+std::string LogEventPretty(const LogEvent& event, bool color);
+
+/// Direct, ring-free stderr print for TSDIST_OBS_NOOP builds: keeps
+/// operator-facing messages alive when the instrumentation is compiled out.
+void LogDirect(LogLevel level, const std::string& message,
+               std::vector<LogField> fields = {});
+
+#if defined(TSDIST_OBS_NOOP)
+#define TSDIST_LOG(level_, msg_, ...) \
+  ::tsdist::obs::LogDirect((level_), (msg_), {__VA_ARGS__})
+#else
+/// Logs through the global logger with one static rate-limiter per textual
+/// call site. Fields are built with obs::F, e.g.
+///   TSDIST_LOG(obs::LogLevel::kWarn, "eigensolve failed",
+///              obs::F("n", n), obs::F("reason", e.what()));
+#define TSDIST_LOG(level_, msg_, ...)                                      \
+  do {                                                                     \
+    static ::tsdist::obs::LogSite tsdist_log_site_{__FILE__, __LINE__};    \
+    ::tsdist::obs::Logger::Global().Log((level_), (msg_), {__VA_ARGS__},   \
+                                        &tsdist_log_site_);                \
+  } while (0)
+#endif
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_LOG_H_

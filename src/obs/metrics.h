@@ -9,7 +9,7 @@
 // point-in-time cut (fine for telemetry).
 //
 // Histograms use fixed power-of-two bucket bounds — bucket i counts values
-// v <= 64 << i (nanosecond-oriented: 64 ns up to ~8.6 s) plus an overflow
+// v <= 64 << i (nanosecond-oriented: 64 ns up to ~36.7 min) plus an overflow
 // bucket — so histograms from different runs and different builds are always
 // mergeable bucket-by-bucket.
 
@@ -87,7 +87,12 @@ struct HistogramSnapshot {
 class Histogram {
  public:
   /// Number of finite buckets; bucket i holds values v <= kBucketBound(i).
-  static constexpr std::size_t kFiniteBuckets = 28;
+  /// Grew from 28 to 36 (last finite bound ~8.6 s -> ~36.7 min) because
+  /// elastic-measure LOOCV cells on long-series datasets routinely exceed
+  /// 8.6 s and used to pile into the overflow bucket. The first 28 bounds
+  /// are unchanged, so histograms from older runs merge bucket-by-bucket as
+  /// a prefix of newer ones.
+  static constexpr std::size_t kFiniteBuckets = 36;
   /// Upper (inclusive) bound of finite bucket i: 64 << i.
   static constexpr std::uint64_t BucketBound(std::size_t i) {
     return static_cast<std::uint64_t>(64) << i;

@@ -1,0 +1,76 @@
+#include "src/obs/openmetrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace tsdist::obs {
+
+namespace {
+
+// Gauges are doubles but almost always carry integral values (RSS bytes,
+// thread counts); print those without an exponent so the exposition stays
+// human-readable, and fall back to %.17g for true fractions.
+std::string GaugeNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string OpenMetricsName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool legal = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  if (out.empty()) return "_";
+  if (std::isdigit(static_cast<unsigned char>(out.front())) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " counter\n";
+    out += om + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " gauge\n";
+    out += om + " " + GaugeNumber(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string om = OpenMetricsName(name);
+    out += "# TYPE " + om + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      out += om + "_bucket{le=\"";
+      if (i < Histogram::kFiniteBuckets) {
+        out += std::to_string(Histogram::BucketBound(i));
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += om + "_sum " + std::to_string(h.sum) + "\n";
+    out += om + "_count " + std::to_string(h.count) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,39 @@
+// OpenMetrics / Prometheus text exposition of a MetricsSnapshot.
+//
+// The exposition is what the embedded telemetry server (expo_server.h)
+// serves at /metrics, and what check_metrics_schema.py --openmetrics
+// validates. Mangling rules from the dotted tsdist scheme:
+//   * every character outside [A-Za-z0-9_:] becomes '_'
+//     ("tsdist.pool.jobs" -> "tsdist_pool_jobs");
+//   * a name that would start with a digit gets a '_' prefix;
+//   * counters expose the sample as `<name>_total` per the OpenMetrics
+//     counter convention;
+//   * histograms expose cumulative `<name>_bucket{le="<bound>"}` series
+//     (bounds are the raw nanosecond values, ending with le="+Inf") plus
+//     `<name>_sum` and `<name>_count`.
+// Families are emitted in name order, each preceded by its `# TYPE` line,
+// and the document ends with `# EOF`.
+
+#ifndef TSDIST_OBS_OPENMETRICS_H_
+#define TSDIST_OBS_OPENMETRICS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace tsdist::obs {
+
+/// Mangles one dotted metric name into an OpenMetrics-legal name.
+std::string OpenMetricsName(const std::string& name);
+
+/// Renders the whole snapshot as OpenMetrics text (ends with "# EOF\n").
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot);
+
+/// Content-Type header value for the exposition.
+inline const char* OpenMetricsContentType() {
+  return "application/openmetrics-text; version=1.0.0; charset=utf-8";
+}
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_OPENMETRICS_H_

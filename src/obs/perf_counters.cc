@@ -1,0 +1,225 @@
+#include "src/obs/perf_counters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "src/obs/log.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace tsdist::obs {
+
+namespace {
+
+// Test/driver override: when true, PerfCountersSupported() is false without
+// ever probing (so a forced-off process logs no warn event either).
+std::atomic<bool> g_perf_forced_off{false};
+
+std::string RatioNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+#if defined(__linux__)
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr MakeAttr(std::uint64_t config, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = leader ? 1 : 0;  // the group is enabled via the leader
+  attr.exclude_kernel = 1;        // user-space only: works at paranoid <= 2
+  attr.exclude_hv = 1;
+  if (leader) {
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+  }
+  return attr;
+}
+
+constexpr std::uint64_t kConfigs[] = {
+    PERF_COUNT_HW_CPU_CYCLES,        PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES,  PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_INSTRUCTIONS, PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+#endif  // __linux__
+
+}  // namespace
+
+double PerfReading::Ipc() const {
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(instructions) /
+                           static_cast<double>(cycles);
+}
+
+double PerfReading::CacheMissRate() const {
+  return cache_references == 0 ? 0.0
+                               : static_cast<double>(cache_misses) /
+                                     static_cast<double>(cache_references);
+}
+
+double PerfReading::BranchMissRate() const {
+  return branches == 0 ? 0.0
+                       : static_cast<double>(branch_misses) /
+                             static_cast<double>(branches);
+}
+
+double PerfReading::RunningRatio() const {
+  return time_enabled_ns == 0 ? 0.0
+                              : static_cast<double>(time_running_ns) /
+                                    static_cast<double>(time_enabled_ns);
+}
+
+void PerfReading::Accumulate(const PerfReading& other) {
+  valid = valid && other.valid;
+  cycles += other.cycles;
+  instructions += other.instructions;
+  cache_references += other.cache_references;
+  cache_misses += other.cache_misses;
+  branches += other.branches;
+  branch_misses += other.branch_misses;
+  time_enabled_ns += other.time_enabled_ns;
+  time_running_ns += other.time_running_ns;
+}
+
+std::string PerfReadingToJson(const PerfReading& r, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent > 0 ? indent : 0),
+                        ' ');
+  std::string out = "{\n";
+  out += pad + "  \"cycles\": " + std::to_string(r.cycles) + ",\n";
+  out += pad + "  \"instructions\": " + std::to_string(r.instructions) + ",\n";
+  out += pad + "  \"cache_references\": " +
+         std::to_string(r.cache_references) + ",\n";
+  out += pad + "  \"cache_misses\": " + std::to_string(r.cache_misses) + ",\n";
+  out += pad + "  \"branches\": " + std::to_string(r.branches) + ",\n";
+  out += pad + "  \"branch_misses\": " + std::to_string(r.branch_misses) +
+         ",\n";
+  out += pad + "  \"time_enabled_ns\": " + std::to_string(r.time_enabled_ns) +
+         ",\n";
+  out += pad + "  \"time_running_ns\": " + std::to_string(r.time_running_ns) +
+         ",\n";
+  out += pad + "  \"ipc\": " + RatioNumber(r.Ipc()) + ",\n";
+  out += pad + "  \"cache_miss_rate\": " + RatioNumber(r.CacheMissRate()) +
+         ",\n";
+  out += pad + "  \"branch_miss_rate\": " + RatioNumber(r.BranchMissRate()) +
+         ",\n";
+  out += pad + "  \"running_ratio\": " + RatioNumber(r.RunningRatio()) + "\n";
+  out += pad + "}";
+  return out;
+}
+
+PerfCounterGroup::PerfCounterGroup() {
+  fds_.fill(-1);
+  if (!PerfCountersSupported()) return;
+#if defined(__linux__)
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    perf_event_attr attr = MakeAttr(kConfigs[i], /*leader=*/i == 0);
+    const long fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1,
+                                  /*group_fd=*/i == 0 ? -1 : leader_fd_,
+                                  /*flags=*/0);
+    if (fd < 0) {
+      // The probe succeeded but this open failed (fd limits, PMU pressure);
+      // degrade this group only.
+      TSDIST_LOG(LogLevel::kWarn, "perf counter group open failed",
+                 F("errno", std::strerror(errno)),
+                 F("event_index", static_cast<std::uint64_t>(i)));
+      for (std::size_t j = 0; j < i; ++j) close(fds_[j]);
+      fds_.fill(-1);
+      leader_fd_ = -1;
+      return;
+    }
+    fds_[i] = static_cast<int>(fd);
+    if (i == 0) leader_fd_ = fds_[0];
+  }
+#endif
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if defined(__linux__)
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+void PerfCounterGroup::Start() {
+#if defined(__linux__)
+  if (leader_fd_ < 0) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#endif
+}
+
+PerfReading PerfCounterGroup::Stop() {
+  PerfReading out;
+#if defined(__linux__)
+  if (leader_fd_ < 0) return out;
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + kEvents] = {};
+  const ssize_t n = read(leader_fd_, buf, sizeof buf);
+  if (n < static_cast<ssize_t>(sizeof buf)) return out;
+  if (buf[0] != kEvents) return out;
+  out.time_enabled_ns = buf[1];
+  out.time_running_ns = buf[2];
+  out.cycles = buf[3];
+  out.instructions = buf[4];
+  out.cache_references = buf[5];
+  out.cache_misses = buf[6];
+  out.branches = buf[7];
+  out.branch_misses = buf[8];
+  out.valid = true;
+#endif
+  return out;
+}
+
+bool PerfCountersSupported() {
+  if (g_perf_forced_off.load(std::memory_order_relaxed)) return false;
+  // The probe runs at most once per process; a failing probe is the one and
+  // only warn event, after which groups are silently unavailable.
+  static const bool supported = [] {
+#if defined(__linux__)
+    perf_event_attr attr =
+        MakeAttr(PERF_COUNT_HW_CPU_CYCLES, /*leader=*/true);
+    const long fd = PerfEventOpen(&attr, 0, -1, -1, 0);
+    if (fd >= 0) {
+      close(static_cast<int>(fd));
+      return true;
+    }
+    TSDIST_LOG(LogLevel::kWarn,
+               "perf counters unavailable, profiling disabled",
+               F("errno", std::strerror(errno)),
+               F("syscall", "perf_event_open"));
+#else
+    TSDIST_LOG(LogLevel::kWarn,
+               "perf counters unavailable, profiling disabled",
+               F("reason", "not a Linux build"));
+#endif
+    return false;
+  }();
+  return supported;
+}
+
+void SetPerfCountersEnabled(bool enabled) {
+  g_perf_forced_off.store(!enabled, std::memory_order_relaxed);
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,109 @@
+// Hardware performance-counter groups via perf_event_open(2).
+//
+// A PerfCounterGroup opens six hardware events as one scheduled group for
+// the *calling thread* (pid = 0, cpu = -1): cycles (leader), instructions,
+// cache references, cache misses, branches, branch misses. Group scheduling
+// means the six values always cover the same slice of time, so derived
+// ratios (IPC, cache-miss rate, branch-miss rate) are internally consistent.
+// The leader carries PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING, so a reading
+// exposes how much the kernel multiplexed the group off the PMU.
+//
+// Scope: counters measure the thread that opened the group. Worker-pool
+// threads are not included — for bench cases the submitting thread
+// participates in every ParallelFor, so its counters characterize the
+// kernel mix (IPC, miss rates) even though totals are per-thread, and the
+// bench.v2 `perf` block documents that scope.
+//
+// Availability: perf_event_open commonly fails in containers and CI
+// (EPERM under perf_event_paranoid >= 3 or seccomp, ENOSYS when compiled
+// out). PerfCountersSupported() probes once per process and emits exactly
+// one `warn` log event on failure; after that every group is silently
+// unavailable and readings are marked invalid, so runs degrade to reports
+// without a `perf` block instead of failing. Events are opened with
+// exclude_kernel/exclude_hv so the probe works at perf_event_paranoid <= 2
+// (the common unprivileged setting).
+
+#ifndef TSDIST_OBS_PERF_COUNTERS_H_
+#define TSDIST_OBS_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tsdist::obs {
+
+/// One group reading (deltas since Start()). `valid` is false when the
+/// group could not be opened or the read failed.
+struct PerfReading {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t time_enabled_ns = 0;  ///< group was requested for this long
+  std::uint64_t time_running_ns = 0;  ///< ... and actually on the PMU this long
+
+  /// Instructions per cycle (0 when cycles == 0).
+  double Ipc() const;
+  /// cache_misses / cache_references (0 when no references).
+  double CacheMissRate() const;
+  /// branch_misses / branches (0 when no branches).
+  double BranchMissRate() const;
+  /// time_running / time_enabled in [0,1]; < 1 means the kernel multiplexed
+  /// the group and the raw counts are a sampled fraction of the work.
+  double RunningRatio() const;
+
+  /// Element-wise accumulation (used to sum per-iteration readings into one
+  /// per-case block). Keeps `valid` only if both sides are valid.
+  void Accumulate(const PerfReading& other);
+};
+
+/// Serializes a reading as a JSON object with raw counts, the derived
+/// ratios, and the multiplex ratio. `indent` spaces prefix the inner lines
+/// (the opening brace is not indented, so the value can follow a key).
+std::string PerfReadingToJson(const PerfReading& reading, int indent);
+
+/// RAII group of per-thread hardware counters. Open/close are syscalls —
+/// construct once per measured region (a bench case, a coarse trace span),
+/// never per distance call.
+class PerfCounterGroup {
+ public:
+  /// Opens the group for the calling thread. On failure (or when
+  /// PerfCountersSupported() already probed false) the group is simply
+  /// unavailable; nothing throws.
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool available() const { return leader_fd_ >= 0; }
+
+  /// Resets and enables the whole group.
+  void Start();
+
+  /// Disables the group and returns the counts since Start(). Invalid
+  /// reading when unavailable or the read failed.
+  PerfReading Stop();
+
+ private:
+  static constexpr std::size_t kEvents = 6;
+  int leader_fd_ = -1;
+  std::array<int, kEvents> fds_{};  // fds_[0] == leader_fd_
+};
+
+/// One-time probe: true iff a counter group can be opened on this system.
+/// The first failing probe logs a single `warn` event (errno attached) and
+/// the result is cached for the process lifetime.
+bool PerfCountersSupported();
+
+/// Force-disables (or re-enables consulting the probe) perf counters for
+/// this process; tests use it to exercise the unavailable path
+/// deterministically.
+void SetPerfCountersEnabled(bool enabled);
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_PERF_COUNTERS_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 #include <limits>
+#include <mutex>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -17,6 +18,15 @@ namespace tsdist::obs {
 namespace {
 
 std::atomic<ProgressReporter*> g_active{nullptr};
+
+// Serializes SnapshotActiveProgress against install/uninstall so a reporter
+// cannot be destroyed while a snapshot is reading it. ProgressTick stays
+// lock-free: a tick can only come from code running *inside* the reporter's
+// lifetime, whereas the telemetry server reads from an unrelated thread.
+std::mutex& ActiveMutex() {
+  static std::mutex* mu = new std::mutex();  // never destroyed
+  return *mu;
+}
 
 // 1234567 -> "1.2M"; keeps the status line compact.
 std::string HumanCount(double v) {
@@ -65,8 +75,11 @@ ProgressReporter::ProgressReporter(std::string label, std::uint64_t total_units,
 }
 
 ProgressReporter::~ProgressReporter() {
-  ProgressReporter* self = this;
-  g_active.compare_exchange_strong(self, nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(ActiveMutex());
+    ProgressReporter* self = this;
+    g_active.compare_exchange_strong(self, nullptr);
+  }
   Finish();
 }
 
@@ -143,12 +156,26 @@ void ProgressReporter::Finish() {
 }
 
 void SetActiveProgress(ProgressReporter* reporter) {
+  const std::lock_guard<std::mutex> lock(ActiveMutex());
   g_active.store(reporter, std::memory_order_release);
 }
 
 void ProgressTick(std::uint64_t n) {
   ProgressReporter* reporter = g_active.load(std::memory_order_acquire);
   if (reporter != nullptr) reporter->Add(n);
+}
+
+bool SnapshotActiveProgress(ProgressSnapshot* out) {
+  const std::lock_guard<std::mutex> lock(ActiveMutex());
+  const ProgressReporter* reporter = g_active.load(std::memory_order_acquire);
+  if (reporter == nullptr) return false;
+  out->label = reporter->label();
+  out->unit = reporter->unit();
+  out->done = reporter->done();
+  out->total = reporter->total();
+  out->rate_per_sec = reporter->RatePerSec();
+  out->eta_seconds = reporter->EtaSeconds();
+  return true;
 }
 
 }  // namespace tsdist::obs

@@ -68,6 +68,9 @@ class ProgressReporter {
   /// not a terminal, not forced) — exposed for tests.
   bool suppressed() const { return stderr_sink_ && !stderr_tty_ && !forced_; }
 
+  const std::string& label() const { return label_; }
+  const std::string& unit() const { return unit_; }
+
  private:
   void MaybePrint(bool force);
 
@@ -92,6 +95,22 @@ void SetActiveProgress(ProgressReporter* reporter);
 
 /// Forwards `n` completed units to the active reporter, if any.
 void ProgressTick(std::uint64_t n);
+
+/// Point-in-time copy of the active reporter's state, taken by the telemetry
+/// server for /healthz.
+struct ProgressSnapshot {
+  std::string label;
+  std::string unit;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  double rate_per_sec = 0.0;
+  double eta_seconds = 0.0;  ///< 0 when done/unknown total; may be +inf
+};
+
+/// Copies the active reporter's state into `out`; returns false when no
+/// reporter is installed. Serialized against install/uninstall (and thus
+/// against reporter destruction), so the copy never reads a dead reporter.
+bool SnapshotActiveProgress(ProgressSnapshot* out);
 
 }  // namespace tsdist::obs
 

@@ -193,7 +193,11 @@ std::string BenchReportToJson(const BenchReport& report) {
     os << "],\n     \"min_ms\": " << MsNumber(min_ms)
        << ", \"median_ms\": " << MsNumber(SampleMedian(c.samples_ms))
        << ", \"p90_ms\": " << MsNumber(SampleQuantile(c.samples_ms, 0.9))
-       << ", \"mean_ms\": " << MsNumber(mean) << "}";
+       << ", \"mean_ms\": " << MsNumber(mean);
+    if (c.perf.valid) {
+      os << ",\n     \"perf\": " << PerfReadingToJson(c.perf, 5);
+    }
+    os << "}";
   }
   os << (report.cases.empty() ? "" : "\n  ") << "],\n";
   os << "  \"metrics\": ";

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/perf_counters.h"
+
 namespace tsdist::obs {
 
 /// Provenance for one benchmark run; serialized into every v2 artifact.
@@ -60,6 +62,10 @@ struct BenchCaseResult {
   std::string name;
   int warmup = 0;
   std::vector<double> samples_ms;
+  /// Hardware counters summed over the measured iterations (calling-thread
+  /// scope — see perf_counters.h). `perf.valid` false (counters unavailable
+  /// or disabled) omits the `perf` block from the JSON entirely.
+  PerfReading perf;
 };
 
 /// In-memory form of one tsdist.bench.v2 benchmark artifact.

@@ -187,14 +187,17 @@ std::string TraceRecorder::ToChromeJson() const {
        << (static_cast<double>(e.ts_ns) / 1000.0)
        << ", \"dur\": " << (static_cast<double>(e.dur_ns) / 1000.0)
        << ", \"pid\": 1, \"tid\": " << e.tid
-       << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent
-       << "}}";
+       << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent;
+    if (e.perf.valid) {
+      os << ", \"perf\": " << PerfReadingToJson(e.perf, /*indent=*/0);
+    }
+    os << "}}";
   }
   os << "\n]\n";
   return os.str();
 }
 
-TraceSpan::TraceSpan(std::string name, std::string category) {
+TraceSpan::TraceSpan(std::string name, std::string category, bool with_perf) {
   TraceRecorder& recorder = TraceRecorder::Global();
   if (!recorder.enabled()) return;
   name_ = std::move(name);
@@ -203,6 +206,14 @@ TraceSpan::TraceSpan(std::string name, std::string category) {
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   saved_parent_ = buf.open_parent;
   buf.open_parent = id_;
+  if (with_perf && PerfCountersSupported()) {
+    perf_ = std::make_unique<PerfCounterGroup>();
+    if (perf_->available()) {
+      perf_->Start();
+    } else {
+      perf_.reset();
+    }
+  }
   start_ns_ = NowNs();
   active_ = true;
 }
@@ -210,6 +221,8 @@ TraceSpan::TraceSpan(std::string name, std::string category) {
 TraceSpan::~TraceSpan() {
   if (!active_) return;
   const std::uint64_t end_ns = NowNs();
+  PerfReading perf;
+  if (perf_ != nullptr) perf = perf_->Stop();
   TraceRecorder& recorder = TraceRecorder::Global();
   TraceRecorder::ThreadBuf& buf = recorder.BufForThisThread();
   buf.open_parent = saved_parent_;
@@ -219,6 +232,7 @@ TraceSpan::~TraceSpan() {
   // Record even if tracing was switched off mid-span, so nesting stays
   // balanced for anything recorded while it was on.
   TraceEvent event;
+  event.perf = perf;
   event.name = std::move(name_);
   event.category = std::move(category_);
   const std::uint64_t epoch = EpochNs();

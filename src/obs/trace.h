@@ -20,10 +20,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/perf_counters.h"
 
 namespace tsdist::obs {
 
@@ -37,6 +39,10 @@ struct TraceEvent {
   std::uint32_t tid = 0;     ///< small sequential thread id
   std::int64_t id = -1;      ///< unique span id
   std::int64_t parent = -1;  ///< id of the enclosing span, -1 for roots
+  /// Hardware-counter reading covering the span (TraceSpan perf
+  /// attachment); `perf.valid` false means none was taken. Rendered into
+  /// the Chrome JSON "args" block.
+  PerfReading perf;
 };
 
 /// Process-wide collector of completed spans.
@@ -100,9 +106,16 @@ class TraceRecorder {
 
 /// RAII span: records a TraceEvent for its lifetime when tracing is enabled.
 /// Cheap when disabled; never copy/move it across threads.
+///
+/// `with_perf = true` additionally opens a per-thread hardware counter
+/// group for the span's lifetime and attaches the reading to the event
+/// (Chrome "args"). The open/close are syscalls — reserve it for coarse
+/// spans (a dataset evaluation, a bench case), never per-row spans. When
+/// counters are unavailable the span silently records without them.
 class TraceSpan {
  public:
-  explicit TraceSpan(std::string name, std::string category = "tsdist");
+  explicit TraceSpan(std::string name, std::string category = "tsdist",
+                     bool with_perf = false);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -115,6 +128,7 @@ class TraceSpan {
   std::int64_t id_ = -1;
   std::int64_t saved_parent_ = -1;
   bool active_ = false;
+  std::unique_ptr<PerfCounterGroup> perf_;
 };
 
 /// RAII timer: records its lifetime in nanoseconds into a Histogram and

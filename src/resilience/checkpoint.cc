@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/obs/json.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/obs/runinfo.h"
 #include "src/resilience/crc32.h"
@@ -287,6 +288,12 @@ bool TileCheckpoint::LoadExisting(Matrix* matrix) {
   std::error_code ec;
   const auto size = std::filesystem::file_size(log_path, ec);
   if (!ec && size > static_cast<std::uintmax_t>(valid_bytes)) {
+    TSDIST_LOG(obs::LogLevel::kWarn, "checkpoint tile log torn tail dropped",
+               obs::F("path", log_path),
+               obs::F("valid_bytes", static_cast<std::uint64_t>(valid_bytes)),
+               obs::F("dropped_bytes",
+                      static_cast<std::uint64_t>(
+                          size - static_cast<std::uintmax_t>(valid_bytes))));
     std::filesystem::resize_file(
         log_path, static_cast<std::uintmax_t>(valid_bytes), ec);
   }

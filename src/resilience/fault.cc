@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 
 namespace tsdist::fault {
@@ -92,7 +93,8 @@ void ArmFromEnv() {
   try {
     Arm(spec);
   } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "ignoring TSDIST_FAULT: %s\n", e.what());
+    TSDIST_LOG(obs::LogLevel::kWarn, "ignoring TSDIST_FAULT",
+               obs::F("reason", e.what()));
   }
 }
 

@@ -1,0 +1,25 @@
+# Appends the `obs` label to every test discovered from the observability
+# binaries (test_obs, test_log, test_expo, test_perf_counters), so CI can
+# run the telemetry suite alone (ctest -L obs). Same TEST_INCLUDE_FILES
+# technique as add_sanitize_label.cmake (which see): the full label list is
+# substituted at configure time (@TSDIST_TEST_LABELS@) rather than appended
+# — this script is registered after the sanitize one, so it wins for these
+# binaries. The globs are disjoint from test_resilience, so ordering
+# relative to add_robustness_label.cmake does not matter.
+file(GLOB _tsdist_obs_files
+     "${CMAKE_CURRENT_LIST_DIR}/test_obs*_tests.cmake"
+     "${CMAKE_CURRENT_LIST_DIR}/test_log*_tests.cmake"
+     "${CMAKE_CURRENT_LIST_DIR}/test_expo*_tests.cmake"
+     "${CMAKE_CURRENT_LIST_DIR}/test_perf_counters*_tests.cmake")
+foreach(_file IN LISTS _tsdist_obs_files)
+  file(STRINGS "${_file}" _add_test_lines REGEX "^add_test")
+  foreach(_line IN LISTS _add_test_lines)
+    # add_test([=[SuiteName.TestName]=] ...)
+    if(_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "@TSDIST_TEST_LABELS@;obs")
+    endif()
+  endforeach()
+endforeach()
+unset(_tsdist_obs_files)
+unset(_add_test_lines)

@@ -1,0 +1,212 @@
+// Unit tests for the OpenMetrics exposition and the embedded telemetry
+// server: name mangling, a golden rendering of a hand-built snapshot
+// (independently listed bucket bounds), the extended 36-bucket histogram
+// range, and a live socket-level scrape of every endpoint.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/expo_server.h"
+#include "src/obs/health.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/openmetrics.h"
+
+namespace tsdist {
+namespace {
+
+// The 36 finite bucket bounds (64 << i nanoseconds), listed literally so the
+// golden test cannot inherit a bug in Histogram::BucketBound.
+const char* const kBounds[] = {
+    "64",           "128",          "256",           "512",
+    "1024",         "2048",         "4096",          "8192",
+    "16384",        "32768",        "65536",         "131072",
+    "262144",       "524288",       "1048576",       "2097152",
+    "4194304",      "8388608",      "16777216",      "33554432",
+    "67108864",     "134217728",    "268435456",     "536870912",
+    "1073741824",   "2147483648",   "4294967296",    "8589934592",
+    "17179869184",  "34359738368",  "68719476736",   "137438953472",
+    "274877906944", "549755813888", "1099511627776", "2199023255552"};
+
+constexpr std::size_t kNumBounds = sizeof(kBounds) / sizeof(kBounds[0]);
+
+// One plain HTTP/1.1 GET against 127.0.0.1:port; returns the raw response
+// (status line, headers, body) read to EOF.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(OpenMetricsTest, NameMangling) {
+  EXPECT_EQ(obs::OpenMetricsName("tsdist.pool.jobs"), "tsdist_pool_jobs");
+  EXPECT_EQ(obs::OpenMetricsName("tsdist.pairwise.row_ns.dtw-cr"),
+            "tsdist_pairwise_row_ns_dtw_cr");
+  EXPECT_EQ(obs::OpenMetricsName("a:b_c9"), "a:b_c9");
+  EXPECT_EQ(obs::OpenMetricsName("0starts.with.digit"),
+            "_0starts_with_digit");
+  EXPECT_EQ(obs::OpenMetricsName(""), "_");
+}
+
+TEST(OpenMetricsTest, GoldenRendering) {
+  ASSERT_EQ(kNumBounds, obs::Histogram::kFiniteBuckets);
+
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["tsdist.pool.jobs"] = 42;
+  snapshot.gauges["tsdist.proc.peak_rss_bytes"] = 123456789.0;
+  snapshot.gauges["tsdist.frac"] = 0.25;
+  obs::HistogramSnapshot h;
+  h.count = 4;
+  h.sum = 700;
+  h.min = 10;
+  h.max = 80;
+  h.bucket_counts.assign(kNumBounds + 1, 0);
+  h.bucket_counts[0] = 2;   // two values <= 64 ns
+  h.bucket_counts[5] = 1;   // one value <= 2048 ns
+  h.bucket_counts.back() = 1;  // one overflow value
+  snapshot.histograms["tsdist.eval.cell_ns"] = h;
+
+  std::string expected;
+  expected += "# TYPE tsdist_pool_jobs counter\n";
+  expected += "tsdist_pool_jobs_total 42\n";
+  expected += "# TYPE tsdist_frac gauge\n";
+  expected += "tsdist_frac 0.25\n";
+  expected += "# TYPE tsdist_proc_peak_rss_bytes gauge\n";
+  expected += "tsdist_proc_peak_rss_bytes 123456789\n";
+  expected += "# TYPE tsdist_eval_cell_ns histogram\n";
+  for (std::size_t i = 0; i < kNumBounds; ++i) {
+    expected += "tsdist_eval_cell_ns_bucket{le=\"";
+    expected += kBounds[i];
+    expected += "\"} ";
+    expected += (i < 5) ? "2" : "3";  // cumulative: 2, then +1 at bucket 5
+    expected += "\n";
+  }
+  expected += "tsdist_eval_cell_ns_bucket{le=\"+Inf\"} 4\n";
+  expected += "tsdist_eval_cell_ns_sum 700\n";
+  expected += "tsdist_eval_cell_ns_count 4\n";
+  expected += "# EOF\n";
+
+  EXPECT_EQ(obs::RenderOpenMetrics(snapshot), expected);
+}
+
+TEST(OpenMetricsTest, HistogramCoversSecondsToMinutesRange) {
+  // 10 s used to land in the overflow bucket (28 finite buckets topped out
+  // at ~8.6 s); with 36 buckets it must stay finite: 10e9 ns <= 2^34.
+  obs::Histogram histogram;
+  histogram.Record(10'000'000'000ull);
+  const obs::HistogramSnapshot s = histogram.Snapshot();
+  ASSERT_EQ(s.bucket_counts.size(), obs::Histogram::kFiniteBuckets + 1);
+  EXPECT_EQ(s.bucket_counts[28], 1u);
+  EXPECT_EQ(s.bucket_counts.back(), 0u);
+  // The first 28 bounds are the historical ladder (merge-prefix guarantee).
+  EXPECT_EQ(obs::Histogram::BucketBound(27), 8589934592ull);  // ~8.6 s
+  EXPECT_EQ(obs::Histogram::BucketBound(35), 2199023255552ull);  // ~36.7 min
+}
+
+TEST(ExpoServerTest, ServesAllEndpointsOverSockets) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("tsdist.test.expo_scrapes")
+      .Add(3);
+  obs::HealthState::Global().SetPhase("expo-test");
+
+  obs::ExpoServer server;
+  obs::ExpoServer::Options options;
+  options.port = 0;  // ephemeral
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  ASSERT_GT(server.port(), 0);
+  server.SetRunInfoJson("{\"probe\": true}\n");
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("application/openmetrics-text"), std::string::npos);
+  EXPECT_NE(metrics.find("tsdist_test_expo_scrapes_total 3"),
+            std::string::npos);
+  // Sample() runs before rendering, so the RSS gauge is always live.
+  EXPECT_NE(metrics.find("tsdist_proc_peak_rss_bytes"), std::string::npos);
+  EXPECT_NE(metrics.find("# EOF\n"), std::string::npos);
+
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(health.find("\"tsdist.health.v1\""), std::string::npos);
+  EXPECT_NE(health.find("\"expo-test\""), std::string::npos);
+
+  const std::string runinfo = HttpGet(server.port(), "/runinfo");
+  EXPECT_NE(runinfo.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(runinfo.find("\"probe\": true"), std::string::npos);
+
+  const std::string logz = HttpGet(server.port(), "/logz");
+  EXPECT_NE(logz.find("HTTP/1.1 200"), std::string::npos);
+
+  const std::string index = HttpGet(server.port(), "/");
+  EXPECT_NE(index.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(index.find("/metrics"), std::string::npos);
+
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Stop is idempotent and Start can be retried on the same object.
+  server.Stop();
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  EXPECT_GT(server.port(), 0);
+  const std::string again = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(again.find("HTTP/1.1 200"), std::string::npos);
+  server.Stop();
+
+  obs::HealthState::Global().SetPhase("idle");
+}
+
+TEST(ExpoServerTest, SamplerHookRunsOnScrape) {
+  bool sampled = false;
+  obs::ExpoServer server;
+  obs::ExpoServer::Options options;
+  options.port = 0;
+  options.sampler = [&sampled] { sampled = true; };
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  (void)HttpGet(server.port(), "/metrics");
+  server.Stop();
+  EXPECT_TRUE(sampled);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,200 @@
+// Unit tests for the structured logger: event accounting under concurrent
+// producers (nothing lost below ring capacity), per-site token-bucket
+// suppression, the enqueue-or-suppress invariant under overload, and
+// byte-identical JSON sink output for a deterministic single-threaded run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
+
+namespace tsdist {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Keeps the stderr sink quiet during bulk logging and restores the global
+// logger's clock/sink state afterwards, so test order never matters.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Logger::Global().SetStderrSink(false);
+    obs::Logger::Global().SetClockForTest(nullptr);
+  }
+  void TearDown() override {
+    obs::Logger::Global().Flush();
+    obs::Logger::Global().CloseJsonSink();
+    obs::Logger::Global().SetClockForTest(nullptr);
+    obs::Logger::Global().SetStderrSink(true);
+  }
+};
+
+TEST_F(LogTest, NoEventsLostBelowCapacityUnderContention) {
+  auto& logger = obs::Logger::Global();
+  // Drain whatever earlier tests left behind so the ring starts empty.
+  logger.Flush();
+  const std::uint64_t enqueued_before = logger.enqueued_events();
+  const std::uint64_t suppressed_before = logger.suppressed_events();
+
+  // 8 producers x 512 events = 4096 < kRingCapacity (8192): even if the
+  // sink thread never ran, everything would fit, so nothing may be dropped.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 512;
+  static_assert(kThreads * kPerThread < obs::Logger::kRingCapacity);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&logger, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // No LogSite: rate limiting off, only ring capacity can drop.
+        logger.Log(obs::LogLevel::kDebug, "contention",
+                   {obs::F("thread", t), obs::F("i", i)});
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  logger.Flush();
+
+  EXPECT_EQ(logger.enqueued_events() - enqueued_before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(logger.suppressed_events(), suppressed_before);
+}
+
+TEST_F(LogTest, EveryLogCallEitherEnqueuesOrSuppresses) {
+  auto& logger = obs::Logger::Global();
+  const std::uint64_t enqueued_before = logger.enqueued_events();
+  const std::uint64_t suppressed_before = logger.suppressed_events();
+
+  // 4x ring capacity from concurrent producers: overload is likely (though
+  // the sink drains concurrently, so it is not guaranteed). The hard
+  // invariant is that no call vanishes unaccounted.
+  constexpr int kThreads = 4;
+  const int per_thread = static_cast<int>(obs::Logger::kRingCapacity);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&logger, per_thread] {
+      for (int i = 0; i < per_thread; ++i) {
+        logger.Log(obs::LogLevel::kDebug, "overload", {obs::F("i", i)});
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  logger.Flush();
+
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) *
+                              static_cast<std::uint64_t>(per_thread);
+  EXPECT_EQ((logger.enqueued_events() - enqueued_before) +
+                (logger.suppressed_events() - suppressed_before),
+            total);
+}
+
+TEST_F(LogTest, TokenBucketSuppressesPerSite) {
+  auto& logger = obs::Logger::Global();
+  logger.Flush();
+  const std::uint64_t suppressed_before = logger.suppressed_events();
+
+  // A site with a 3-token bucket and no refill admits exactly 3 events.
+  obs::LogSite site{__FILE__, __LINE__};
+  site.burst = 3.0;
+  site.rate_per_sec = 0.0;
+  const std::uint64_t enqueued_before = logger.enqueued_events();
+  for (int i = 0; i < 10; ++i) {
+    logger.Log(obs::LogLevel::kDebug, "throttled", {obs::F("i", i)}, &site);
+  }
+  logger.Flush();
+
+  EXPECT_EQ(logger.enqueued_events() - enqueued_before, 3u);
+  EXPECT_EQ(logger.suppressed_events() - suppressed_before, 7u);
+}
+
+TEST_F(LogTest, JsonSinkIsByteIdenticalForDeterministicRuns) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "tsdist_test_log_json_sink";
+  fs::create_directories(dir);
+  const std::string path_a = (dir / "a.jsonl").string();
+  const std::string path_b = (dir / "b.jsonl").string();
+
+  auto& logger = obs::Logger::Global();
+  auto run_once = [&logger](const std::string& path) {
+    // Fixed fake clock: timestamps advance 1ms per event, every run.
+    std::uint64_t ticks = 0;
+    logger.SetClockForTest(
+        [&ticks]() mutable { return 1000000u * ++ticks; });
+    std::string error;
+    ASSERT_TRUE(logger.OpenJsonSink(path, &error)) << error;
+    for (int i = 0; i < 16; ++i) {
+      logger.Log(obs::LogLevel::kInfo, "deterministic event",
+                 {obs::F("i", i), obs::F("pi", 3.5),
+                  obs::F("note", std::string("quote\"and\\slash")),
+                  obs::F("flag", true)});
+    }
+    logger.Flush();
+    logger.CloseJsonSink();
+    logger.SetClockForTest(nullptr);
+  };
+  run_once(path_a);
+  run_once(path_b);
+
+  const std::string a = ReadFile(path_a);
+  const std::string b = ReadFile(path_b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\": \"tsdist.log.v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"msg\": \"deterministic event\""), std::string::npos);
+  EXPECT_NE(a.find("\"note\": \"quote\\\"and\\\\slash\""), std::string::npos);
+  // 16 events -> 16 lines, none suppressed (burstless direct Log calls).
+  EXPECT_EQ(static_cast<int>(std::count(a.begin(), a.end(), '\n')), 16);
+  fs::remove_all(dir);
+}
+
+TEST_F(LogTest, TailServesMostRecentFormattedLines) {
+  auto& logger = obs::Logger::Global();
+  logger.Log(obs::LogLevel::kInfo, "tail marker",
+             {obs::F("k", std::string("v"))});
+  logger.Flush();
+  const std::vector<std::string> tail = logger.Tail();
+  ASSERT_FALSE(tail.empty());
+  bool found = false;
+  for (const std::string& line : tail) {
+    if (line.find("tail marker") != std::string::npos) {
+      found = true;
+      EXPECT_NE(line.find("\"tsdist.log.v1\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(LogTest, PrettyRenderingAndLevelNames) {
+  obs::LogEvent event;
+  event.level = obs::LogLevel::kWarn;
+  event.message = "telemetry server listening";
+  event.fields.push_back(obs::F("address", std::string("127.0.0.1")));
+  event.fields.push_back(obs::F("port", 9109));
+  const std::string line = obs::LogEventPretty(event, /*color=*/false);
+  // expo_smoke.py greps this exact shape for the ephemeral port.
+  EXPECT_EQ(line,
+            "[warn] telemetry server listening address=\"127.0.0.1\" "
+            "port=9109");
+  EXPECT_STREQ(obs::ToString(obs::LogLevel::kDebug), "debug");
+  EXPECT_STREQ(obs::ToString(obs::LogLevel::kInfo), "info");
+  EXPECT_STREQ(obs::ToString(obs::LogLevel::kWarn), "warn");
+  EXPECT_STREQ(obs::ToString(obs::LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -1,0 +1,118 @@
+// Unit tests for the hardware perf-counter layer: derived-ratio edge cases,
+// accumulation semantics, JSON serialization, the deterministic
+// force-disabled path (containers and CI rarely allow perf_event_open), and
+// — when the kernel permits it — one real measured region.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/obs/perf_counters.h"
+
+namespace tsdist {
+namespace {
+
+// Every test leaves the probe-following default behind, whatever it set.
+class PerfCountersTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::SetPerfCountersEnabled(true); }
+};
+
+obs::PerfReading MakeReading(std::uint64_t base) {
+  obs::PerfReading r;
+  r.valid = true;
+  r.cycles = base;
+  r.instructions = 2 * base;
+  r.cache_references = 100;
+  r.cache_misses = 25;
+  r.branches = 1000;
+  r.branch_misses = 10;
+  r.time_enabled_ns = 400;
+  r.time_running_ns = 100;
+  return r;
+}
+
+TEST_F(PerfCountersTest, DerivedRatios) {
+  const obs::PerfReading r = MakeReading(500);
+  EXPECT_DOUBLE_EQ(r.Ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(r.CacheMissRate(), 0.25);
+  EXPECT_DOUBLE_EQ(r.BranchMissRate(), 0.01);
+  EXPECT_DOUBLE_EQ(r.RunningRatio(), 0.25);
+
+  // Zero denominators degrade to 0, never NaN.
+  const obs::PerfReading zero;
+  EXPECT_DOUBLE_EQ(zero.Ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.CacheMissRate(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.BranchMissRate(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.RunningRatio(), 0.0);
+}
+
+TEST_F(PerfCountersTest, AccumulateSumsAndPropagatesValidity) {
+  obs::PerfReading total = MakeReading(100);
+  total.Accumulate(MakeReading(50));
+  EXPECT_TRUE(total.valid);
+  EXPECT_EQ(total.cycles, 150u);
+  EXPECT_EQ(total.instructions, 300u);
+  EXPECT_EQ(total.cache_references, 200u);
+  EXPECT_EQ(total.cache_misses, 50u);
+  EXPECT_EQ(total.branches, 2000u);
+  EXPECT_EQ(total.branch_misses, 20u);
+  EXPECT_EQ(total.time_enabled_ns, 800u);
+  EXPECT_EQ(total.time_running_ns, 200u);
+
+  // One invalid side poisons the sum: a partial case must not report a
+  // perf block that silently covers only some iterations.
+  obs::PerfReading tainted = MakeReading(100);
+  tainted.Accumulate(obs::PerfReading{});
+  EXPECT_FALSE(tainted.valid);
+}
+
+TEST_F(PerfCountersTest, JsonSerializationRoundTrips) {
+  const obs::PerfReading r = MakeReading(500);
+  const std::string json = obs::PerfReadingToJson(r, 2);
+  const obs::JsonValue v = obs::ParseJson(json);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.GetDouble("cycles", -1), 500.0);
+  EXPECT_DOUBLE_EQ(v.GetDouble("instructions", -1), 1000.0);
+  EXPECT_DOUBLE_EQ(v.GetDouble("cache_references", -1), 100.0);
+  EXPECT_DOUBLE_EQ(v.GetDouble("cache_misses", -1), 25.0);
+  EXPECT_DOUBLE_EQ(v.GetDouble("branches", -1), 1000.0);
+  EXPECT_DOUBLE_EQ(v.GetDouble("branch_misses", -1), 10.0);
+  EXPECT_DOUBLE_EQ(v.GetDouble("ipc", -1), 2.0);
+  EXPECT_DOUBLE_EQ(v.GetDouble("cache_miss_rate", -1), 0.25);
+  EXPECT_DOUBLE_EQ(v.GetDouble("branch_miss_rate", -1), 0.01);
+  EXPECT_DOUBLE_EQ(v.GetDouble("running_ratio", -1), 0.25);
+}
+
+TEST_F(PerfCountersTest, ForceDisabledGroupsAreUnavailable) {
+  obs::SetPerfCountersEnabled(false);
+  EXPECT_FALSE(obs::PerfCountersSupported());
+  obs::PerfCounterGroup group;
+  EXPECT_FALSE(group.available());
+  group.Start();  // no-ops, must not crash
+  const obs::PerfReading r = group.Stop();
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST_F(PerfCountersTest, MeasuresRealWorkWhenKernelAllows) {
+  if (!obs::PerfCountersSupported()) {
+    GTEST_SKIP() << "perf_event_open unavailable (container/CI)";
+  }
+  obs::PerfCounterGroup group;
+  ASSERT_TRUE(group.available());
+  group.Start();
+  // Enough work that zero retired instructions would mean a broken group.
+  volatile std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < 1000000; ++i) acc = acc + i * i;
+  const obs::PerfReading r = group.Stop();
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.time_enabled_ns, 0u);
+}
+
+}  // namespace
+}  // namespace tsdist

@@ -12,9 +12,15 @@ Also validates tsdist.results.v1 per-cell reports (tsdist_eval
 --results-json) via --results: statuses, reasons, accuracy ranges, and the
 summary tallies must all be internally consistent.
 
+Also validates the live exposition endpoint's output via --openmetrics: the
+OpenMetrics text format served at /metrics by tsdist_eval --serve (TYPE
+metadata, counter `_total` samples, cumulative histogram `_bucket` series on
+the 64<<i nanosecond bucket ladder, `_sum`/`_count`, trailing `# EOF`).
+
 Usage:
   check_metrics_schema.py [METRICS.json]
       [--trace TRACE.json] [--bench BENCH.json] [--results RESULTS.json]
+      [--openmetrics METRICS.txt]
       [--require-nonzero COUNTER ...] [--require-histogram NAME ...]
       [--require-case BENCH/CASE ...] [--min-samples N]
       [--self-test]
@@ -23,6 +29,7 @@ Usage:
 import argparse
 import copy
 import json
+import re
 import sys
 
 METRICS_SCHEMA = "tsdist.metrics.v1"
@@ -30,6 +37,15 @@ BENCH_SCHEMA_V1 = "tsdist.bench.v1"
 BENCH_SCHEMA_V2 = "tsdist.bench.v2"
 RESULTS_SCHEMA = "tsdist.results.v1"
 RESULT_STATUSES = ("ok", "dnf", "failed", "interrupted")
+
+# Histogram bucket ladder shared by every tsdist emitter: finite bucket i
+# holds values <= 64 << i (nanoseconds). Bounds from any build are a prefix
+# of this ladder, which is what keeps cross-run merges well-defined.
+BUCKET_LADDER_BASE = 64
+
+
+def _is_ladder_bound(le, index):
+    return le == BUCKET_LADDER_BASE << index
 
 MANIFEST_STRING_FIELDS = (
     "git_sha", "compiler", "compiler_flags", "build_type", "cpu_model",
@@ -98,6 +114,10 @@ def check_histogram(errors, path, name, hist):
                 _err(errors, path,
                      f"histogram {name!r} bucket bounds must be strictly "
                      f"increasing ({le} after {prev_bound})")
+            if not _is_ladder_bound(le, i):
+                _err(errors, path,
+                     f"histogram {name!r} bucket {i} bound {le} is off the "
+                     f"64<<i ladder (expected {BUCKET_LADDER_BASE << i})")
             prev_bound = le
     if total != hist["count"]:
         _err(errors, path,
@@ -412,6 +432,150 @@ def check_results(errors, path, doc):
                  f"summary {key!r} is {got} but the cells tally to {want}")
 
 
+_OM_TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+_OM_SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]+)"\})? (\S+)$')
+
+
+def check_openmetrics(errors, path, text):
+    """Validates the OpenMetrics text exposition served at /metrics.
+
+    Checks the subset tsdist emits: one TYPE line per family; counters
+    sampled as `<name>_total`; gauges sampled bare; histograms as cumulative
+    `_bucket{le="..."}` series on the 64<<i ladder ending at le="+Inf",
+    followed by `_sum` and `_count`; a final `# EOF` line.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        _err(errors, path, "exposition must end with a '# EOF' line")
+        body = lines
+    else:
+        body = lines[:-1]
+
+    types = {}
+    counters = {}        # base name -> value
+    gauges = {}          # name -> value
+    hists = {}           # base name -> {"buckets": [(le, cum)], "sum", "count"}
+    for lineno, line in enumerate(body, 1):
+        if line == "# EOF":
+            _err(errors, path, f"line {lineno}: '# EOF' before the last line")
+            continue
+        if line.startswith("#"):
+            m = _OM_TYPE_RE.match(line)
+            if not m:
+                _err(errors, path,
+                     f"line {lineno}: unrecognized metadata line {line!r}")
+                continue
+            name, family_type = m.groups()
+            if name in types:
+                _err(errors, path,
+                     f"line {lineno}: duplicate TYPE for {name!r}")
+            types[name] = family_type
+            if family_type == "histogram":
+                hists[name] = {"buckets": [], "sum": None, "count": None}
+            continue
+        m = _OM_SAMPLE_RE.match(line)
+        if not m:
+            _err(errors, path, f"line {lineno}: malformed sample {line!r}")
+            continue
+        name, le, raw_value = m.groups()
+        try:
+            value = float(raw_value)
+        except ValueError:
+            _err(errors, path,
+                 f"line {lineno}: non-numeric sample value {raw_value!r}")
+            continue
+        if value != value or value < 0:
+            _err(errors, path,
+                 f"line {lineno}: sample value must be a finite non-negative "
+                 f"number, got {raw_value!r}")
+            continue
+
+        if types.get(name) == "gauge":
+            if le is not None:
+                _err(errors, path, f"line {lineno}: gauge {name!r} must not "
+                                   f"carry an 'le' label")
+            if name in gauges:
+                _err(errors, path, f"line {lineno}: duplicate gauge sample "
+                                   f"for {name!r}")
+            gauges[name] = value
+        elif name.endswith("_total") and types.get(name[:-6]) == "counter":
+            base = name[:-6]
+            if value != int(value):
+                _err(errors, path, f"line {lineno}: counter {base!r} must be "
+                                   f"an integer, got {raw_value!r}")
+            if base in counters:
+                _err(errors, path, f"line {lineno}: duplicate counter sample "
+                                   f"for {base!r}")
+            counters[base] = value
+        elif name.endswith("_bucket") and name[:-7] in hists:
+            if le is None:
+                _err(errors, path, f"line {lineno}: histogram bucket without "
+                                   f"an 'le' label")
+                continue
+            hists[name[:-7]]["buckets"].append((lineno, le, value))
+        elif name.endswith("_sum") and name[:-4] in hists:
+            hists[name[:-4]]["sum"] = value
+        elif name.endswith("_count") and name[:-6] in hists:
+            hists[name[:-6]]["count"] = value
+        else:
+            _err(errors, path,
+                 f"line {lineno}: sample {name!r} has no matching TYPE "
+                 f"declaration")
+
+    for name, family_type in types.items():
+        if family_type == "counter" and name not in counters:
+            _err(errors, path, f"counter {name!r} declared but never sampled")
+        if family_type == "gauge" and name not in gauges:
+            _err(errors, path, f"gauge {name!r} declared but never sampled")
+
+    for name, h in hists.items():
+        buckets = h["buckets"]
+        if not buckets:
+            _err(errors, path, f"histogram {name!r} has no _bucket samples")
+            continue
+        if buckets[-1][1] != "+Inf":
+            _err(errors, path,
+                 f"histogram {name!r} last bucket le must be '+Inf', "
+                 f"got {buckets[-1][1]!r}")
+        prev_cum = -1.0
+        for i, (lineno, le, cum) in enumerate(buckets):
+            if cum < prev_cum:
+                _err(errors, path,
+                     f"line {lineno}: histogram {name!r} bucket series must "
+                     f"be cumulative (value {cum} after {prev_cum})")
+            prev_cum = cum
+            if le == "+Inf":
+                if i != len(buckets) - 1:
+                    _err(errors, path,
+                         f"line {lineno}: histogram {name!r} '+Inf' bucket "
+                         f"must come last")
+                continue
+            try:
+                bound = int(le)
+            except ValueError:
+                _err(errors, path,
+                     f"line {lineno}: histogram {name!r} finite bound must "
+                     f"be an integer, got {le!r}")
+                continue
+            if not _is_ladder_bound(bound, i):
+                _err(errors, path,
+                     f"line {lineno}: histogram {name!r} bound {bound} is "
+                     f"off the 64<<i ladder "
+                     f"(expected {BUCKET_LADDER_BASE << i})")
+        if h["count"] is None:
+            _err(errors, path, f"histogram {name!r} missing _count sample")
+        elif buckets and buckets[-1][1] == "+Inf" and \
+                h["count"] != buckets[-1][2]:
+            _err(errors, path,
+                 f"histogram {name!r} _count ({h['count']}) != '+Inf' "
+                 f"cumulative bucket ({buckets[-1][2]})")
+        if h["sum"] is None:
+            _err(errors, path, f"histogram {name!r} missing _sum sample")
+    return {"counters": counters, "gauges": gauges, "histograms": hists}
+
+
 def check_required_cases(errors, path, doc, required):
     """--require-case BENCH/CASE entries must exist in the bench/suite doc."""
     present = set()
@@ -439,6 +603,26 @@ def load(errors, path):
     return None
 
 
+def load_text(errors, path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError as exc:
+        _err(errors, path, f"cannot read: {exc}")
+    return None
+
+
+def mangle_openmetrics_name(name):
+    """The C++ exposition's name mangling: tsdist.pool.jobs ->
+    tsdist_pool_jobs (so --require-nonzero works on either format)."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out:
+        return "_"
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
 # --- self test ------------------------------------------------------------
 
 def _valid_metrics():
@@ -448,11 +632,29 @@ def _valid_metrics():
         "gauges": {"tsdist.proc.peak_rss_bytes": 1048576.0},
         "histograms": {
             "tsdist.pairwise.row_ns.euclidean": {
-                "count": 2, "sum": 30, "min": 10, "max": 20,
-                "buckets": [{"le": 16, "count": 1}, {"le": "+Inf", "count": 1}],
+                "count": 2, "sum": 90, "min": 10, "max": 80,
+                "buckets": [{"le": 64, "count": 1}, {"le": 128, "count": 1},
+                            {"le": "+Inf", "count": 0}],
             },
         },
     }
+
+
+def _valid_openmetrics():
+    return (
+        "# TYPE tsdist_pool_jobs counter\n"
+        "tsdist_pool_jobs_total 42\n"
+        "# TYPE tsdist_proc_peak_rss_bytes gauge\n"
+        "tsdist_proc_peak_rss_bytes 1048576\n"
+        "# TYPE tsdist_eval_cell_ns histogram\n"
+        'tsdist_eval_cell_ns_bucket{le="64"} 1\n'
+        'tsdist_eval_cell_ns_bucket{le="128"} 3\n'
+        'tsdist_eval_cell_ns_bucket{le="256"} 3\n'
+        'tsdist_eval_cell_ns_bucket{le="+Inf"} 4\n'
+        "tsdist_eval_cell_ns_sum 700\n"
+        "tsdist_eval_cell_ns_count 4\n"
+        "# EOF\n"
+    )
 
 
 def _valid_manifest():
@@ -580,6 +782,60 @@ def self_test():
     expect_results(False, "results negative budget",
                    lambda d: d.update(budget_sec=-1.0))
 
+    # JSON histograms must sit on the shared 64<<i bucket ladder.
+    def expect_metrics(should_pass, label, mutate=None):
+        doc = copy.deepcopy(_valid_metrics())
+        if mutate:
+            mutate(doc)
+        errors = []
+        check_metrics(errors, label, doc)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+
+    expect_metrics(True, "valid metrics")
+    expect_metrics(False, "off-ladder bucket bound",
+                   lambda d: d["histograms"]
+                   ["tsdist.pairwise.row_ns.euclidean"]["buckets"][0]
+                   .update(le=100))
+
+    def expect_om(should_pass, label, mutate=None):
+        text = _valid_openmetrics()
+        if mutate:
+            text = mutate(text)
+        errors = []
+        check_openmetrics(errors, label, text)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+
+    expect_om(True, "valid openmetrics")
+    expect_om(False, "openmetrics missing EOF",
+              lambda t: t.replace("# EOF\n", ""))
+    expect_om(False, "openmetrics counter without _total",
+              lambda t: t.replace("tsdist_pool_jobs_total 42\n",
+                                  "tsdist_pool_jobs 42\n"))
+    expect_om(False, "openmetrics non-cumulative buckets",
+              lambda t: t.replace('le="128"} 3', 'le="128"} 0'))
+    expect_om(False, "openmetrics off-ladder bound",
+              lambda t: t.replace('le="128"', 'le="100"'))
+    expect_om(False, "openmetrics count mismatch",
+              lambda t: t.replace("tsdist_eval_cell_ns_count 4",
+                                  "tsdist_eval_cell_ns_count 9"))
+    expect_om(False, "openmetrics missing +Inf",
+              lambda t: t.replace('tsdist_eval_cell_ns_bucket{le="+Inf"} 4\n',
+                                  ""))
+    expect_om(False, "openmetrics sample without TYPE",
+              lambda t: t + "mystery_metric 1\n# EOF\n")
+    expect_om(False, "openmetrics negative value",
+              lambda t: t.replace("tsdist_pool_jobs_total 42",
+                                  "tsdist_pool_jobs_total -2"))
+
+    if mangle_openmetrics_name("tsdist.pool.jobs") != "tsdist_pool_jobs":
+        failures.append("mangle_openmetrics_name: wrong mangling")
+
     # Required-case lookup across a suite.
     errors = []
     check_required_cases(errors, "suite", _valid_suite(), ["bench_x/evaluate"])
@@ -608,9 +864,16 @@ def main(argv):
     parser.add_argument("--results",
                         help="tsdist.results.v1 per-cell report from "
                              "tsdist_eval --results-json")
+    parser.add_argument("--openmetrics",
+                        help="OpenMetrics text scraped from the /metrics "
+                             "endpoint (tsdist_eval --serve)")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="COUNTER",
                         help="fail unless this counter exists and is > 0")
+    parser.add_argument("--require-gauge", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this gauge is present "
+                             "(--openmetrics only)")
     parser.add_argument("--require-histogram", action="append", default=[],
                         metavar="NAME",
                         help="fail unless this histogram exists with count > 0")
@@ -625,8 +888,10 @@ def main(argv):
 
     if args.self_test:
         return self_test()
-    if not args.metrics and not args.bench and not args.results:
-        parser.error("need a METRICS.json, --bench, --results, or --self-test")
+    if not args.metrics and not args.bench and not args.results \
+            and not args.openmetrics:
+        parser.error("need a METRICS.json, --bench, --results, "
+                     "--openmetrics, or --self-test")
 
     errors = []
     if args.metrics:
@@ -651,6 +916,22 @@ def main(argv):
         results = load(errors, args.results)
         if results is not None:
             check_results(errors, args.results, results)
+    if args.openmetrics:
+        text = load_text(errors, args.openmetrics)
+        if text is not None:
+            families = check_openmetrics(errors, args.openmetrics, text)
+            for name in args.require_nonzero:
+                om = mangle_openmetrics_name(name)
+                value = families["counters"].get(om)
+                if value is None or value <= 0:
+                    _err(errors, args.openmetrics,
+                         f"required counter {name!r} ({om!r}) missing or "
+                         f"zero (got {value!r})")
+            for name in args.require_gauge:
+                om = mangle_openmetrics_name(name)
+                if om not in families["gauges"]:
+                    _err(errors, args.openmetrics,
+                         f"required gauge {name!r} ({om!r}) not exposed")
 
     for message in errors:
         print(f"check_metrics_schema: {message}", file=sys.stderr)

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the embedded telemetry server.
+
+Launches `tsdist_eval --serve 0` (ephemeral port) on the tiny synthetic
+archive, waits for the "telemetry server listening" line on stderr, scrapes
+every endpoint while the sweep is still running, validates the /metrics body
+with check_metrics_schema.check_openmetrics, then sends SIGTERM and expects
+the orderly-shutdown exit code (128 + SIGTERM = 143).
+
+Stdlib only. Exits 0 on success, 1 with a message per failure otherwise.
+
+Usage:
+  expo_smoke.py --binary build/tools/tsdist_eval [--timeout 120]
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_metrics_schema  # noqa: E402
+
+LISTEN_RE = re.compile(r"telemetry server listening.*\bport=(\d+)")
+
+
+def fail(msg):
+    print(f"expo_smoke: {msg}", file=sys.stderr)
+    return 1
+
+
+def fetch(port, path):
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), \
+            resp.read().decode("utf-8")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the tsdist_eval binary")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline in seconds")
+    args = parser.parse_args(argv)
+
+    # The per-cell sleep keeps the sweep alive long enough to scrape it
+    # mid-run without depending on machine speed.
+    cmd = [
+        args.binary, "--scale", "tiny", "--measures", "euclidean",
+        "--serve", "0", "--selftest-cell-sleep-ms", "400",
+    ]
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True)
+
+    # Tail stderr on a thread: the listening line carries the ephemeral port.
+    port_box = {}
+    stderr_lines = []
+
+    def drain():
+        for line in proc.stderr:
+            stderr_lines.append(line)
+            m = LISTEN_RE.search(line)
+            if m and "port" not in port_box:
+                port_box["port"] = int(m.group(1))
+
+    drainer = threading.Thread(target=drain, daemon=True)
+    drainer.start()
+
+    deadline = time.monotonic() + args.timeout
+    try:
+        while "port" not in port_box:
+            if proc.poll() is not None:
+                return fail(
+                    "tsdist_eval exited before the server came up "
+                    f"(exit {proc.returncode}); stderr:\n"
+                    + "".join(stderr_lines))
+            if time.monotonic() > deadline:
+                return fail("timed out waiting for the listening line")
+            time.sleep(0.05)
+        port = port_box["port"]
+
+        status, ctype, metrics = fetch(port, "/metrics")
+        if status != 200:
+            return fail(f"/metrics returned HTTP {status}")
+        if not ctype.startswith("application/openmetrics-text"):
+            return fail(f"/metrics Content-Type is {ctype!r}")
+        errors = []
+        families = check_metrics_schema.check_openmetrics(
+            errors, "/metrics", metrics)
+        for name in ("tsdist.proc.peak_rss_bytes", "tsdist.pool.live_threads",
+                     "tsdist.pool.busy_participants"):
+            om = check_metrics_schema.mangle_openmetrics_name(name)
+            if om not in families["gauges"]:
+                errors.append(f"/metrics: live gauge {name!r} not exposed")
+        if families["gauges"].get("tsdist_proc_peak_rss_bytes", 0) <= 0:
+            errors.append("/metrics: peak RSS gauge is zero mid-run")
+        if errors:
+            for e in errors:
+                print(f"expo_smoke: {e}", file=sys.stderr)
+            return 1
+
+        status, _, health = fetch(port, "/healthz")
+        if status != 200:
+            return fail(f"/healthz returned HTTP {status}")
+        doc = json.loads(health)
+        if doc.get("schema") != "tsdist.health.v1" or doc.get("status") != "ok":
+            return fail(f"/healthz unexpected document: {health!r}")
+        if not isinstance(doc.get("uptime_sec"), (int, float)):
+            return fail("/healthz missing numeric uptime_sec")
+
+        status, _, runinfo = fetch(port, "/runinfo")
+        if status != 200:
+            return fail(f"/runinfo returned HTTP {status}")
+        manifest = json.loads(runinfo)
+        if manifest.get("schema_version") != 2:
+            return fail(f"/runinfo is not a v2 manifest: {runinfo!r}")
+
+        status, _, _logz = fetch(port, "/logz")
+        if status != 200:
+            return fail(f"/logz returned HTTP {status}")
+
+        status, _, _ = fetch(port, "/nonexistent")
+        return fail("/nonexistent should have returned 404")
+    except urllib.error.HTTPError as exc:
+        if exc.code != 404:
+            return fail(f"expected 404 for /nonexistent, got {exc.code}")
+    except Exception as exc:  # noqa: BLE001 - report and fail cleanly
+        proc.kill()
+        proc.wait()
+        return fail(f"{type(exc).__name__}: {exc}")
+
+    # Orderly shutdown: SIGTERM must drain and exit 128 + 15.
+    proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=max(10.0, deadline - time.monotonic()))
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        return fail("tsdist_eval did not exit after SIGTERM")
+    drainer.join(timeout=5)
+    # A sweep that already finished exits 0; one interrupted mid-run exits
+    # 143. Both are orderly; anything else is a crash.
+    if rc not in (0, 143):
+        return fail(f"unexpected exit code {rc}; stderr:\n"
+                    + "".join(stderr_lines))
+    print("expo_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -31,8 +31,12 @@
 #include <sys/wait.h>
 #endif
 
+#include "src/core/thread_pool.h"
 #include "src/data/archive.h"
+#include "src/obs/expo_server.h"
+#include "src/obs/health.h"
 #include "src/obs/json.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/obs/runinfo.h"
 
@@ -79,6 +83,7 @@ struct Options {
   std::string out;
   std::string bindir;
   std::string artifacts;
+  int serve_port = -1;  // -1 = no telemetry server; 0 = ephemeral port
   bool list = false;
 };
 
@@ -104,6 +109,9 @@ void PrintUsage() {
       "  --bindir DIR          bench binaries (default: <exe dir>/../bench)\n"
       "  --artifacts DIR       per-bench logs + reports (default\n"
       "                        ./tsdist_bench_artifacts)\n"
+      "  --serve PORT          embedded telemetry HTTP server on\n"
+      "                        127.0.0.1:PORT (0 = ephemeral): /metrics,\n"
+      "                        /healthz, /runinfo, /logz\n"
       "  --list                print the resolved bench list and exit\n";
 }
 
@@ -149,6 +157,17 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       const char* v = next("--artifacts");
       if (v == nullptr) return false;
       opt->artifacts = v;
+    } else if (arg == "--serve") {
+      const char* v = next("--serve");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || parsed > 65535) {
+        std::cerr << "tsdist_bench: --serve must be a port in [0, 65535] "
+                     "(got '" << v << "')\n";
+        return false;
+      }
+      opt->serve_port = static_cast<int>(parsed);
     } else if (arg == "--list") {
       opt->list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -227,6 +246,30 @@ int main(int argc, char** argv) {
   }
 
   const std::string archive_scale = opt.scale == "paper" ? "small" : "tiny";
+
+  // Telemetry: /healthz names the bench currently running; /runinfo carries
+  // the orchestrator's manifest. The per-bench subprocesses have their own
+  // metrics; the server exposes the orchestrator's view (peak RSS, health).
+  tsdist::obs::ExpoServer server;
+  if (opt.serve_port >= 0) {
+    tsdist::obs::ExpoServer::Options server_options;
+    server_options.port = opt.serve_port;
+    server_options.sampler = tsdist::UpdatePoolLiveGauges;
+    std::string error;
+    if (!server.Start(server_options, &error)) {
+      std::cerr << "tsdist_bench: cannot start telemetry server: " << error
+                << "\n";
+      return 2;
+    }
+    server.SetRunInfoJson(
+        tsdist::obs::ManifestToJson(
+            tsdist::obs::CollectRunManifest(
+                /*threads=*/0, tsdist::ArchiveOptions{}.seed, archive_scale),
+            0) +
+        "\n");
+  }
+  tsdist::obs::HealthState::Global().SetPhase("bench");
+
   setenv("TSDIST_SCALE", archive_scale.c_str(), 1);
   setenv("TSDIST_BENCH_JSON", opt.artifacts.c_str(), 1);
   setenv("TSDIST_BENCH_REPEAT", std::to_string(opt.repeat).c_str(), 1);
@@ -245,7 +288,11 @@ int main(int argc, char** argv) {
   std::vector<BenchOutcome> outcomes;
   bool any_failed = false;
 
+  std::uint64_t benches_done = 0;
   for (const auto& bench : benches) {
+    tsdist::obs::HealthState::Global().SetCurrentCell(bench);
+    tsdist::obs::HealthState::Global().SetCells(benches_done, benches.size(),
+                                                0);
     BenchOutcome outcome;
     outcome.name = bench;
     const fs::path bin = fs::path(opt.bindir) / bench;
@@ -287,7 +334,11 @@ int main(int argc, char** argv) {
       }
     }
     outcomes.push_back(std::move(outcome));
+    ++benches_done;
   }
+  tsdist::obs::HealthState::Global().SetCurrentCell("");
+  tsdist::obs::HealthState::Global().SetCells(benches_done, benches.size(), 0);
+  tsdist::obs::HealthState::Global().SetPhase("export");
 
   // The suite manifest records the orchestrator's own provenance; the
   // embedded reports carry their (identical) per-process manifests too.
@@ -296,7 +347,9 @@ int main(int argc, char** argv) {
 
   std::ofstream out(opt.out);
   if (!out) {
-    std::cerr << "tsdist_bench: cannot write " << opt.out << "\n";
+    TSDIST_LOG(tsdist::obs::LogLevel::kError, "cannot write suite report",
+               tsdist::obs::F("path", opt.out));
+    tsdist::obs::Logger::Global().Flush();
     return 2;
   }
   out << "{\n  \"schema\": \"tsdist.bench.v2\",\n"
@@ -324,5 +377,8 @@ int main(int argc, char** argv) {
   std::cout << "tsdist_bench: wrote " << opt.out << " ("
             << outcomes.size() << " benches, "
             << (any_failed ? "with failures" : "all ok") << ")\n";
+  tsdist::obs::HealthState::Global().SetPhase("done");
+  server.Stop();
+  tsdist::obs::Logger::Global().Flush();
   return any_failed ? 1 : 0;
 }

@@ -22,6 +22,9 @@
 //   --trace-json <path>    record spans; dump Chrome trace-event JSON
 //                          (open in chrome://tracing or ui.perfetto.dev)
 //   --progress             live cells/sec + ETA status line on stderr
+//   --serve PORT           embedded telemetry HTTP server: /metrics
+//                          (OpenMetrics), /healthz, /runinfo, /logz
+//   --log-json <path>      structured JSON-lines event log (tsdist.log.v1)
 //
 // Examples:
 //   tsdist_eval --measures euclidean,lorentzian,nccc --csv
@@ -33,6 +36,7 @@
 //   tsdist_eval --measures dtw,msm --supervised --checkpoint-dir ckpt
 //               --budget-sec 600 --results-json r.json    (one line)
 
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdint>
@@ -47,15 +51,21 @@
 #include <sstream>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "src/classify/param_grids.h"
 #include "src/classify/tuning.h"
+#include "src/core/thread_pool.h"
 #include "src/data/archive.h"
 #include "src/data/ucr_loader.h"
 #include "src/normalization/normalization.h"
+#include "src/obs/expo_server.h"
+#include "src/obs/health.h"
 #include "src/obs/json.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/runinfo.h"
 #include "src/resilience/cancellation.h"
 #include "src/resilience/checkpoint.h"
 #include "src/resilience/fault.h"
@@ -97,6 +107,11 @@ struct Options {
   // Hidden test hook: raise SIGINT after this many cells complete, driving
   // the real handler/drain/flush path without timing races (0 = off).
   std::size_t selftest_interrupt_after = 0;
+  // Hidden test hook: sleep this long after each computed cell so smoke
+  // tests have a window to scrape the telemetry server mid-run (0 = off).
+  std::size_t selftest_cell_sleep_ms = 0;
+  int serve_port = -1;  // -1 = no telemetry server; 0 = ephemeral port
+  std::string log_json_path;
   bool progress = false;
   bool help = false;
 };
@@ -215,6 +230,31 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         return false;
       }
       options->selftest_interrupt_after = static_cast<std::size_t>(parsed);
+    } else if (arg == "--selftest-cell-sleep-ms") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr,
+                     "--selftest-cell-sleep-ms must be a non-negative integer "
+                     "(got '%s')\n",
+                     v);
+        return false;
+      }
+      options->selftest_cell_sleep_ms = static_cast<std::size_t>(parsed);
+    } else if (arg == "--serve") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || parsed > 65535) {
+        std::fprintf(stderr, "--serve must be a port in [0, 65535] (got '%s')\n",
+                     v);
+        return false;
+      }
+      options->serve_port = static_cast<int>(parsed);
+    } else if (arg == "--log-json") {
+      if (!next(&v)) return false;
+      options->log_json_path = v;
     } else if (arg == "--results-json") {
       if (!next(&v)) return false;
       options->results_json_path = v;
@@ -248,6 +288,7 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "          [--checkpoint-dir <dir>] [--budget-sec S] [--tile-rows N]\n"
       "          [--results-json <path>] [--metrics-json <path>]\n"
       "          [--metrics-csv <path>] [--trace-json <path>]\n"
+      "          [--serve PORT] [--log-json <path>]\n"
       "          [--progress] [--help]\n"
       "\n"
       "  --pruned               classify through the lower-bound cascade\n"
@@ -276,6 +317,11 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "  --metrics-csv <path>   the same aggregates as flat CSV\n"
       "  --trace-json <path>    record scoped spans and write Chrome\n"
       "                         trace-event JSON (chrome://tracing, Perfetto)\n"
+      "  --serve PORT           start the embedded telemetry HTTP server on\n"
+      "                         127.0.0.1:PORT (0 = ephemeral): /metrics in\n"
+      "                         OpenMetrics text, /healthz, /runinfo, /logz\n"
+      "  --log-json <path>      append structured tsdist.log.v1 JSON lines\n"
+      "                         for every logged event\n"
       "  --progress             live cells/sec + ETA on stderr\n",
       prog);
 }
@@ -284,8 +330,8 @@ bool WriteFileOrComplain(const std::string& path, const std::string& contents,
                          const char* what) {
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "cannot open %s file '%s' for writing\n", what,
-                 path.c_str());
+    TSDIST_LOG(tsdist::obs::LogLevel::kError, "cannot open output file",
+               tsdist::obs::F("what", what), tsdist::obs::F("path", path));
     return false;
   }
   out << contents;
@@ -330,6 +376,15 @@ struct CellOutcome {
 
 std::string CellKey(const std::string& dataset, const std::string& measure) {
   return dataset + "\x1f" + measure;
+}
+
+const char* ScaleName(tsdist::ArchiveScale scale) {
+  switch (scale) {
+    case tsdist::ArchiveScale::kTiny: return "tiny";
+    case tsdist::ArchiveScale::kSmall: return "small";
+    case tsdist::ArchiveScale::kMedium: return "medium";
+  }
+  return "unknown";
 }
 
 // Serializes one finished cell for the checkpoint's results.jsonl (resume
@@ -434,6 +489,39 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  // Structured log sink first, so every later event lands in the file.
+  if (!options.log_json_path.empty()) {
+    std::string error;
+    if (!obs::Logger::Global().OpenJsonSink(options.log_json_path, &error)) {
+      std::fprintf(stderr, "cannot open log JSON file '%s': %s\n",
+                   options.log_json_path.c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  // Telemetry server next: /healthz is live through dataset loading too.
+  obs::HealthState::Global().SetPhase("startup");
+  obs::ExpoServer server;
+  if (options.serve_port >= 0) {
+    obs::ExpoServer::Options server_options;
+    server_options.port = options.serve_port;
+    // The server refreshes peak RSS on every sampling pass by itself; the
+    // pool gauges live in core, so the driver passes them in.
+    server_options.sampler = UpdatePoolLiveGauges;
+    std::string error;
+    if (!server.Start(server_options, &error)) {
+      std::fprintf(stderr, "cannot start telemetry server: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    server.SetRunInfoJson(
+        obs::ManifestToJson(
+            obs::CollectRunManifest(options.threads, ArchiveOptions{}.seed,
+                                    ScaleName(options.scale)),
+            0) +
+        "\n");
+  }
+
   // Validate measures up front.
   for (const auto& name : options.measures) {
     if (!Registry::Global().Contains(name)) {
@@ -451,6 +539,7 @@ int main(int argc, char** argv) {
   }
 
   // Assemble the datasets.
+  obs::HealthState::Global().SetPhase("load");
   std::vector<Dataset> datasets;
   if (!options.ucr_dir.empty()) {
     if (options.ucr_dataset.empty()) {
@@ -497,8 +586,10 @@ int main(int argc, char** argv) {
     cell_log_path = options.checkpoint_dir + "/results.jsonl";
     finished = LoadFinishedCells(cell_log_path);
     if (!finished.empty()) {
-      std::fprintf(stderr, "checkpoint: resuming, %zu finished cell%s found\n",
-                   finished.size(), finished.size() == 1 ? "" : "s");
+      TSDIST_LOG(obs::LogLevel::kInfo, "checkpoint resuming",
+                 obs::F("finished_cells",
+                        static_cast<std::uint64_t>(finished.size())),
+                 obs::F("dir", options.checkpoint_dir));
     }
   }
 
@@ -557,6 +648,11 @@ int main(int argc, char** argv) {
     for (const auto& m : options.measures) std::printf(",%s", m.c_str());
     std::printf("\n");
   }
+  const std::uint64_t sweep_total =
+      static_cast<std::uint64_t>(datasets.size()) * options.measures.size();
+  std::uint64_t sweep_resumed = 0;
+  obs::HealthState::Global().SetPhase("eval");
+  obs::HealthState::Global().SetCells(0, sweep_total, 0);
   {
     // Scoped so the root span closes (and lands in the trace file) before
     // the exports below run.
@@ -572,10 +668,12 @@ int main(int argc, char** argv) {
         CellOutcome cell;
         cell.dataset = datasets[i].name();
         cell.measure = name;
+        obs::HealthState::Global().SetCurrentCell(cell.dataset + "/" + name);
 
         const auto resumed_it = finished.find(CellKey(cell.dataset, name));
         if (resumed_it != finished.end()) {
           cell = resumed_it->second;
+          ++sweep_resumed;
           if (cell_counters[3] != nullptr) cell_counters[3]->Add(1);
         } else {
           // Per-cell budget token, chained to the process interrupt token:
@@ -632,7 +730,13 @@ int main(int argc, char** argv) {
             AppendJsonLogLine(cell_log_path, CellLogLine(cell));
           }
           ++cells_computed;
+          if (options.selftest_cell_sleep_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options.selftest_cell_sleep_ms));
+          }
         }
+        obs::HealthState::Global().SetCells(outcomes.size() + 1, sweep_total,
+                                            sweep_resumed);
 
         accuracies(i, j) = cell.status == EvalStatus::kOk
                                ? cell.test_accuracy
@@ -671,11 +775,11 @@ int main(int argc, char** argv) {
     progress.Finish();
   }
   if (interrupted) {
-    std::fprintf(stderr,
-                 "interrupted by signal %d after %zu cell%s: checkpoints and "
-                 "metrics flushed, rerun to resume\n",
-                 static_cast<int>(g_signal), outcomes.size(),
-                 outcomes.size() == 1 ? "" : "s");
+    TSDIST_LOG(obs::LogLevel::kWarn,
+               "interrupted: checkpoints and metrics flushed, rerun to resume",
+               obs::F("signal", static_cast<int>(g_signal)),
+               obs::F("cells_done",
+                      static_cast<std::uint64_t>(outcomes.size())));
   }
 
   if (options.pruned && obs::Enabled()) {
@@ -691,16 +795,15 @@ int main(int argc, char** argv) {
         metrics.GetCounter("tsdist.prune.abandoned").Value();
     const std::uint64_t full = metrics.GetCounter("tsdist.prune.full").Value();
     const double denom = candidates > 0 ? static_cast<double>(candidates) : 1.0;
-    std::fprintf(stderr,
-                 "pruning: %llu candidates | LB_Kim pruned %llu (%.1f%%) | "
-                 "LB_Keogh pruned %llu (%.1f%%) | abandoned %llu (%.1f%%) | "
-                 "full computations %llu (%.1f%%)\n",
-                 static_cast<unsigned long long>(candidates),
-                 static_cast<unsigned long long>(kim), 100.0 * kim / denom,
-                 static_cast<unsigned long long>(keogh), 100.0 * keogh / denom,
-                 static_cast<unsigned long long>(abandoned),
-                 100.0 * abandoned / denom,
-                 static_cast<unsigned long long>(full), 100.0 * full / denom);
+    TSDIST_LOG(obs::LogLevel::kInfo, "pruning summary",
+               obs::F("candidates", candidates),
+               obs::F("lb_kim_pruned", kim),
+               obs::F("lb_kim_pct", 100.0 * kim / denom),
+               obs::F("lb_keogh_pruned", keogh),
+               obs::F("lb_keogh_pct", 100.0 * keogh / denom),
+               obs::F("abandoned", abandoned),
+               obs::F("abandoned_pct", 100.0 * abandoned / denom),
+               obs::F("full", full), obs::F("full_pct", 100.0 * full / denom));
   }
 
   // The CD diagram needs a complete, finite accuracy matrix; skip it when
@@ -719,13 +822,19 @@ int main(int argc, char** argv) {
   }
 
   // Exports run on interrupted runs too — a flushed metrics file plus the
-  // durable checkpoints is exactly what post-mortem debugging needs.
+  // durable checkpoints is exactly what post-mortem debugging needs. The
+  // final RSS sample keeps exit-time metrics dumps accurate even when no
+  // telemetry server was sampling in the background.
+  obs::HealthState::Global().SetPhase("export");
+  obs::UpdatePeakRssGauge();
   int export_failures = 0;
   if (!options.results_json_path.empty()) {
     std::string error;
     if (!AtomicWriteFile(options.results_json_path,
                          ResultsToJson(outcomes, options), &error)) {
-      std::fprintf(stderr, "cannot write results JSON: %s\n", error.c_str());
+      TSDIST_LOG(obs::LogLevel::kError, "cannot write results JSON",
+                 obs::F("path", options.results_json_path),
+                 obs::F("error", error));
       ++export_failures;
     }
   }
@@ -747,6 +856,14 @@ int main(int argc, char** argv) {
                            "trace JSON")) {
     ++export_failures;
   }
+
+  // Orderly telemetry shutdown: last health phase for any final scrape,
+  // then stop serving, then drain the log ring so the JSON sink is complete.
+  obs::HealthState::Global().SetPhase("done");
+  obs::HealthState::Global().SetCurrentCell("");
+  server.Stop();
+  obs::Logger::Global().Flush();
+  obs::Logger::Global().CloseJsonSink();
 
   if (interrupted) return 128 + static_cast<int>(g_signal);
   if (export_failures > 0) return 1;
