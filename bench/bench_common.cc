@@ -12,15 +12,25 @@
 #include "src/core/registry.h"
 #include "src/normalization/normalization.h"
 #include "src/obs/log.h"
+#include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/perf_counters.h"
+#include "src/obs/profiler.h"
 #include "src/stats/ranking.h"
 #include "src/stats/wilcoxon.h"
 
 namespace tsdist::bench {
 
 ObsSession::ObsSession(std::string bench_name)
-    : name_(std::move(bench_name)), start_ns_(obs::NowNs()) {}
+    : name_(std::move(bench_name)), start_ns_(obs::NowNs()) {
+  const char* profile = std::getenv("TSDIST_PROFILE_OUT");
+  if (profile != nullptr && *profile != '\0') {
+    profile_out_ = profile;
+    // Failure (already running, NOOP build) degrades to an empty profile;
+    // the destructor still writes a valid header-only file.
+    obs::Profiler::Global().Start();
+  }
+}
 
 double ObsSession::ElapsedSeconds() const {
   return static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
@@ -43,6 +53,13 @@ void ObsSession::RunCase(const std::string& name,
   }
   obs::PerfReading perf_total;
   perf_total.valid = perf_group != nullptr;
+  // The kernel_attribution block is the delta of the tsdist.kernel.*
+  // counter family across the measured iterations, grouped per label.
+  std::map<std::string, std::uint64_t> kernel_before;
+  const bool obs_on = obs::Enabled();
+  if (obs_on) {
+    kernel_before = obs::MetricsRegistry::Global().Snapshot().counters;
+  }
   result.samples_ms.reserve(static_cast<std::size_t>(iters));
   for (int i = 0; i < iters; ++i) {
     const std::uint64_t iter_start = obs::NowNs();
@@ -53,12 +70,20 @@ void ObsSession::RunCase(const std::string& name,
         static_cast<double>(obs::NowNs() - iter_start) / 1e6);
   }
   result.perf = perf_total;
+  if (obs_on) {
+    result.kernel = obs::KernelStatsBetween(
+        kernel_before, obs::MetricsRegistry::Global().Snapshot().counters);
+  }
   obs::UpdatePeakRssGauge();
   cases_.push_back(std::move(result));
 }
 
 ObsSession::~ObsSession() {
   const double wall_ms = ElapsedSeconds() * 1e3;
+  if (!profile_out_.empty()) {
+    obs::Profiler::Global().Stop();
+    obs::WriteProfileFolded(profile_out_);
+  }
   const char* dir = std::getenv("TSDIST_BENCH_JSON");
   if (dir == nullptr || *dir == '\0') return;
   const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";

@@ -24,6 +24,10 @@
 //    sample arrays, the peak-RSS gauge, and the full tsdist.metrics.v1
 //    snapshot, so BENCH_*.json trajectories are self-describing and
 //    comparable across commits (see docs/BENCHMARKING.md)
+//  * TSDIST_PROFILE_OUT = <file>             when set, the sampling profiler
+//    runs for the whole session and the folded profile is written to <file>
+//    on exit (the tsdist_bench orchestrator sets a per-bench path and merges
+//    them into its --profile-out; see docs/PROFILING.md)
 
 #ifndef TSDIST_BENCH_BENCH_COMMON_H_
 #define TSDIST_BENCH_BENCH_COMMON_H_
@@ -71,6 +75,7 @@ class ObsSession {
  private:
   std::string name_;
   std::uint64_t start_ns_;
+  std::string profile_out_;  ///< folded-profile path; empty = not profiling
   std::vector<obs::BenchCaseResult> cases_;
 };
 

@@ -10,6 +10,7 @@
 #include "src/obs/json.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 #include "src/resilience/checkpoint.h"
 
 namespace tsdist {
@@ -62,6 +63,9 @@ EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params
       obs::TraceRecorder::Global().enabled()
           ? "classify.evaluate_fixed/" + measure_name
           : std::string());
+  // Nested pairwise regions claim the kernel itself; what stays on this
+  // label is evaluation overhead (normalization, label bookkeeping).
+  const obs::PerfRegion kernel_region("evaluate/" + measure_name);
   obs::ScopedTimer timer(
       obs::Enabled()
           ? &obs::MetricsRegistry::Global().GetHistogram(
@@ -192,6 +196,7 @@ EvalResult EvaluateTuned(const std::string& measure_name,
           trace_on ? "tuning.loocv/" + measure_name + "{" +
                          ToString(candidate) + "}"
                    : std::string());
+      const obs::PerfRegion kernel_region("tuning/" + measure_name);
       obs::ScopedTimer candidate_timer(candidate_ns, candidates);
       const MeasurePtr measure = registry.Create(measure_name, candidate);
       assert(measure != nullptr && "unknown measure name");

@@ -12,6 +12,7 @@
 #include "src/elastic/dtw.h"
 #include "src/elastic/lower_bounds.h"
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 #include "src/resilience/checkpoint.h"
 
 namespace tsdist {
@@ -300,6 +301,7 @@ Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
   const bool trace_on = obs::TraceRecorder::Global().enabled();
   const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
                                      : std::string());
+  const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name());
   const PairwiseMetrics* metrics =
@@ -329,6 +331,7 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
   const obs::TraceSpan span(trace_on
                                 ? "pairwise.compute_self/" + measure.name()
                                 : std::string());
+  const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name());
   const PairwiseMetrics* metrics =
@@ -371,6 +374,7 @@ ComputeResult PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
   const bool trace_on = obs::TraceRecorder::Global().enabled();
   const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
                                      : std::string());
+  const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name());
   const PairwiseMetrics* metrics =
@@ -417,6 +421,7 @@ ComputeResult PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
   const obs::TraceSpan span(trace_on
                                 ? "pairwise.compute_self/" + measure.name()
                                 : std::string());
+  const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name());
   const PairwiseMetrics* metrics =
@@ -492,6 +497,7 @@ std::vector<std::size_t> PairwiseEngine::NearestNeighborIndicesPruned(
   const obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
                                 ? "pairwise.pruned_nn/" + measure.name()
                                 : std::string());
+  const obs::PerfRegion kernel_region(measure.name());
   const CascadeContext ctx = BuildCascadeContext(references, measure, *pool_);
   const bool obs_on = obs::Enabled();
   std::optional<PruneMetrics> metrics;
@@ -521,6 +527,7 @@ std::vector<std::size_t> PairwiseEngine::LeaveOneOutNeighborsPruned(
   const obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
                                 ? "pairwise.pruned_loocv/" + measure.name()
                                 : std::string());
+  const obs::PerfRegion kernel_region(measure.name());
   const CascadeContext ctx = BuildCascadeContext(series, measure, *pool_);
   const bool obs_on = obs::Enabled();
   std::optional<PruneMetrics> metrics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 
 namespace tsdist {
 
@@ -38,6 +39,14 @@ std::atomic<std::uint64_t> g_busy_participants{0};
 struct ScopedBusy {
   ScopedBusy() { g_busy_participants.fetch_add(1, std::memory_order_relaxed); }
   ~ScopedBusy() { g_busy_participants.fetch_sub(1, std::memory_order_relaxed); }
+};
+
+// Makes a worker sampleable for its whole lifetime: the sampling profiler
+// needs every thread's kernel tid to arm a per-thread CPU-time timer, and
+// the unregister on exit keeps a timer from firing at a dead thread.
+struct ScopedProfilerThread {
+  ScopedProfilerThread() { obs::RegisterProfilerThread(); }
+  ~ScopedProfilerThread() { obs::UnregisterProfilerThread(); }
 };
 
 }  // namespace
@@ -86,6 +95,7 @@ void ThreadPool::RunJob(Job* job) {
 }
 
 void ThreadPool::WorkerLoop() {
+  const ScopedProfilerThread profiler_scope;
   std::uint64_t last_seen = 0;
   for (;;) {
     Job* job = nullptr;

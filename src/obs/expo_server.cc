@@ -13,6 +13,7 @@
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/obs/openmetrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/runinfo.h"
 
 namespace tsdist::obs {
@@ -207,9 +208,13 @@ void ExpoServer::HandleConnection(int fd) {
   } else {
     method = line.substr(0, sp1);
     std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const std::size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
-    response = Handle(method, path);
+    std::string query;
+    const std::size_t qmark = path.find('?');
+    if (qmark != std::string::npos) {
+      query = path.substr(qmark + 1);
+      path.resize(qmark);
+    }
+    response = Handle(method, path, query);
   }
 
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
@@ -223,7 +228,8 @@ void ExpoServer::HandleConnection(int fd) {
 }
 
 ExpoServer::Response ExpoServer::Handle(const std::string& method,
-                                        const std::string& path) {
+                                        const std::string& path,
+                                        const std::string& query) {
   Response response;
   BumpCounter("tsdist.expo.requests");
   if (method != "GET" && method != "HEAD") {
@@ -233,24 +239,39 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
   }
   if (path == "/metrics") {
     BumpCounter("tsdist.expo.scrapes");
+    BumpCounter("tsdist.expo.requests.metrics");
+    [[maybe_unused]] const std::uint64_t t0 = NowNs();
     Sample();  // scrape sees current gauges even mid-interval
     response.content_type = OpenMetricsContentType();
     response.body =
         RenderOpenMetrics(MetricsRegistry::Global().Snapshot());
+#if !defined(TSDIST_OBS_NOOP)
+    // Self-latency of the scrape path (sample + snapshot + render), in the
+    // unit the name promises. The render above predates the recording, so
+    // the first exposed value lags one scrape behind — fine for telemetry.
+    if (Enabled()) {
+      MetricsRegistry::Global()
+          .GetHistogram("tsdist.expo.scrape_ms")
+          .Record((NowNs() - t0) / 1000000);
+    }
+#endif
     return response;
   }
   if (path == "/healthz") {
+    BumpCounter("tsdist.expo.requests.healthz");
     response.content_type = "application/json; charset=utf-8";
     response.body = HealthState::Global().ToJson() + "\n";
     return response;
   }
   if (path == "/runinfo") {
+    BumpCounter("tsdist.expo.requests.runinfo");
     response.content_type = "application/json; charset=utf-8";
     const std::lock_guard<std::mutex> lock(mu_);
     response.body = runinfo_json_ + "\n";
     return response;
   }
   if (path == "/logz") {
+    BumpCounter("tsdist.expo.requests.logz");
     response.content_type = "application/x-ndjson; charset=utf-8";
     std::string body;
     for (const std::string& entry : Logger::Global().Tail()) {
@@ -260,15 +281,49 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
     response.body = std::move(body);
     return response;
   }
-  if (path == "/") {
-    response.body =
-        "tsdist telemetry\n"
-        "  /metrics  OpenMetrics exposition\n"
-        "  /healthz  run health JSON\n"
-        "  /runinfo  provenance manifest JSON\n"
-        "  /logz     recent structured log lines\n";
+  if (path == "/profilez") {
+    BumpCounter("tsdist.expo.requests.profilez");
+    Profiler& profiler = Profiler::Global();
+    if (query == "start") {
+      response.body = profiler.Start()
+                          ? "profiler started\n"
+                          : "profiler not started (already running or "
+                            "observability disabled)\n";
+    } else if (query == "stop") {
+      response.body =
+          profiler.Stop() ? "profiler stopped\n" : "profiler not running\n";
+    } else if (query == "dump") {
+      response.body = profiler.RenderFolded();
+    } else if (query == "trace") {
+      response.content_type = "application/json; charset=utf-8";
+      response.body = profiler.RenderChromeTrace();
+    } else if (query.empty() || query == "status") {
+      const ProfilerStatus st = profiler.Status();
+      response.body = std::string("profiler ") +
+                      (st.running ? "running" : "idle") +
+                      " samples=" + std::to_string(st.samples) +
+                      " dropped=" + std::to_string(st.dropped) +
+                      " threads=" + std::to_string(st.threads) +
+                      " interval_us=" + std::to_string(st.interval_us) + "\n";
+    } else {
+      response.status = 400;
+      response.body = "unknown action '" + query +
+                      "' (use ?start, ?stop, ?dump, ?trace, or ?status)\n";
+    }
     return response;
   }
+  if (path == "/") {
+    BumpCounter("tsdist.expo.requests.index");
+    response.body =
+        "tsdist telemetry\n"
+        "  /metrics   OpenMetrics exposition\n"
+        "  /healthz   run health JSON\n"
+        "  /runinfo   provenance manifest JSON\n"
+        "  /logz      recent structured log lines\n"
+        "  /profilez  sampling profiler (?start ?stop ?dump ?trace ?status)\n";
+    return response;
+  }
+  BumpCounter("tsdist.expo.requests.other");
   response.status = 404;
   response.body = "not found\n";
   return response;

@@ -17,7 +17,14 @@
 //   /runinfo  — the run's provenance manifest as JSON (driver-provided);
 //   /logz     — the most recent structured log lines (tsdist.log.v1,
 //               newline-delimited JSON);
+//   /profilez — sampling-profiler control: ?start begins sampling, ?stop
+//               ends it, ?dump returns the folded profile, ?trace the
+//               Chrome-trace JSON view; bare /profilez reports status;
 //   /         — plain-text index of the endpoints above.
+//
+// The server also reports on itself: per-endpoint request counters
+// (tsdist.expo.requests.<endpoint>) and a /metrics render-latency histogram
+// (tsdist.expo.scrape_ms) appear in the exposition it serves.
 //
 // The server binds 127.0.0.1 by default; pass bind_address "0.0.0.0" to
 // expose it beyond the host. Port 0 picks an ephemeral port (see port()).
@@ -79,7 +86,8 @@ class ExpoServer {
   void ServeLoop();
   void Sample();
   void HandleConnection(int fd);
-  Response Handle(const std::string& method, const std::string& path);
+  Response Handle(const std::string& method, const std::string& path,
+                  const std::string& query);
 
   Options options_;
   int listen_fd_ = -1;

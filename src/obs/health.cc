@@ -53,11 +53,14 @@ void HealthState::SetCurrentCell(std::string cell) {
 }
 
 void HealthState::SetCells(std::uint64_t done, std::uint64_t total,
-                           std::uint64_t resumed) {
+                           std::uint64_t resumed, std::uint64_t dnf,
+                           std::uint64_t failed) {
   const std::lock_guard<std::mutex> lock(mu_);
   cells_done_ = done;
   cells_total_ = total;
   cells_resumed_ = resumed;
+  cells_dnf_ = dnf;
+  cells_failed_ = failed;
 }
 
 std::string HealthState::ToJson() const {
@@ -79,6 +82,10 @@ std::string HealthState::ToJson() const {
     out += std::to_string(cells_total_);
     out += ", \"resumed\": ";
     out += std::to_string(cells_resumed_);
+    out += ", \"dnf\": ";
+    out += std::to_string(cells_dnf_);
+    out += ", \"failed\": ";
+    out += std::to_string(cells_failed_);
     out += "}";
   }
   ProgressSnapshot progress;

@@ -30,10 +30,14 @@ class HealthState {
   /// The sweep cell currently executing, e.g. "dtw/Coffee"; empty = none.
   void SetCurrentCell(std::string cell);
 
-  /// Sweep-level progress (cells finished this run / total planned) and how
-  /// many of those were resumed from a checkpoint instead of recomputed.
+  /// Sweep-level progress (cells finished this run / total planned), how
+  /// many of those were resumed from a checkpoint instead of recomputed,
+  /// and how many degraded — `dnf` budget-exhausted cells, `failed` cells
+  /// that errored — so a sweep piling up DNFs is visible from /healthz
+  /// while it runs, not just in the final report.
   void SetCells(std::uint64_t done, std::uint64_t total,
-                std::uint64_t resumed);
+                std::uint64_t resumed, std::uint64_t dnf = 0,
+                std::uint64_t failed = 0);
 
   /// The whole state as a `tsdist.health.v1` JSON object: schema, status,
   /// uptime, phase, current cell, cell counts, and (when a reporter is
@@ -50,6 +54,8 @@ class HealthState {
   std::uint64_t cells_done_ = 0;
   std::uint64_t cells_total_ = 0;
   std::uint64_t cells_resumed_ = 0;
+  std::uint64_t cells_dnf_ = 0;
+  std::uint64_t cells_failed_ = 0;
 };
 
 }  // namespace tsdist::obs

@@ -173,6 +173,15 @@ PerfReading PerfCounterGroup::Stop() {
 #if defined(__linux__)
   if (leader_fd_ < 0) return out;
   ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  out = ReadNow();
+#endif
+  return out;
+}
+
+PerfReading PerfCounterGroup::ReadNow() const {
+  PerfReading out;
+#if defined(__linux__)
+  if (leader_fd_ < 0) return out;
   // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
   std::uint64_t buf[3 + kEvents] = {};
   const ssize_t n = read(leader_fd_, buf, sizeof buf);

@@ -88,6 +88,12 @@ class PerfCounterGroup {
   /// reading when unavailable or the read failed.
   PerfReading Stop();
 
+  /// Reads the counts since Start() without disabling the group, for
+  /// long-lived per-thread groups sampled at region boundaries (PerfRegion
+  /// takes the difference of two ReadNow() snapshots). Invalid reading when
+  /// unavailable or the read failed.
+  PerfReading ReadNow() const;
+
  private:
   static constexpr std::size_t kEvents = 6;
   int leader_fd_ = -1;

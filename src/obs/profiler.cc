@@ -1,0 +1,767 @@
+#include "src/obs/profiler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+// Fixed field set of the tsdist.kernel.* family. Order matches PerfReading
+// so publication and re-grouping stay in sync.
+constexpr const char* kKernelFields[] = {
+    "calls",         "wall_ns",        "cycles",
+    "instructions",  "cache_references", "cache_misses",
+    "branches",      "branch_misses",  "time_enabled_ns",
+    "time_running_ns",
+};
+
+}  // namespace
+
+bool ParseKernelMetricName(const std::string& name, std::string* field,
+                           std::string* label) {
+  constexpr const char kPrefix[] = "tsdist.kernel.";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  const std::size_t dot = name.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot + 1 >= name.size()) return false;
+  const std::string f = name.substr(kPrefixLen, dot - kPrefixLen);
+  for (const char* known : kKernelFields) {
+    if (f == known) {
+      if (field != nullptr) *field = f;
+      if (label != nullptr) *label = name.substr(dot + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::map<std::string, KernelStats> KernelStatsBetween(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after) {
+  std::map<std::string, KernelStats> out;
+  for (const auto& [name, value] : after) {
+    std::string field, label;
+    if (!ParseKernelMetricName(name, &field, &label)) continue;
+    const auto it = before.find(name);
+    const std::uint64_t prev = it == before.end() ? 0 : it->second;
+    const std::uint64_t delta = value > prev ? value - prev : 0;
+    if (delta == 0) continue;
+    KernelStats& stats = out[label];
+    if (field == "calls") {
+      stats.calls += delta;
+    } else if (field == "wall_ns") {
+      stats.wall_ns += delta;
+    } else if (field == "cycles") {
+      stats.perf.cycles += delta;
+    } else if (field == "instructions") {
+      stats.perf.instructions += delta;
+    } else if (field == "cache_references") {
+      stats.perf.cache_references += delta;
+    } else if (field == "cache_misses") {
+      stats.perf.cache_misses += delta;
+    } else if (field == "branches") {
+      stats.perf.branches += delta;
+    } else if (field == "branch_misses") {
+      stats.perf.branch_misses += delta;
+    } else if (field == "time_enabled_ns") {
+      stats.perf.time_enabled_ns += delta;
+    } else if (field == "time_running_ns") {
+      stats.perf.time_running_ns += delta;
+    }
+  }
+  for (auto& [label, stats] : out) {
+    (void)label;
+    stats.perf.valid =
+        stats.perf.cycles > 0 || stats.perf.instructions > 0;
+  }
+  // Drop labels that only moved derived fields without calls/wall (cannot
+  // happen through PerfRegion, but snapshots may race with writers).
+  for (auto it = out.begin(); it != out.end();) {
+    if (it->second.calls == 0 && it->second.wall_ns == 0) {
+      it = out.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsdist::obs
+
+#if !defined(TSDIST_OBS_NOOP)
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/obs/log.h"
+
+// Older glibc spells the SIGEV_THREAD_ID target field through the union.
+#if !defined(sigev_notify_thread_id)
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace tsdist::obs {
+namespace {
+
+// Raw frames captured per sample, including the handler + trampoline prefix
+// trimmed at fold time.
+constexpr int kMaxStackDepth = 32;
+
+struct SampleSlot {
+  std::uint64_t ts_ns = 0;
+  std::int32_t depth = 0;
+  void* pcs[kMaxStackDepth];
+};
+
+// Per-thread bounded sample store. Only the owning thread's signal handler
+// writes; readers pause sampling (g_sampling) and drain before touching it.
+struct SampleRing {
+  SampleRing(std::size_t capacity, pid_t owner_tid)
+      : slots(capacity), tid(owner_tid) {}
+  std::vector<SampleSlot> slots;
+  std::atomic<std::uint64_t> head{0};  ///< total samples ever written
+  pid_t tid = 0;
+};
+
+struct ThreadRec {
+  pid_t tid = 0;
+  pthread_t pthread{};
+  bool live = false;
+  bool timer_armed = false;
+  timer_t timer{};
+  std::unique_ptr<SampleRing> ring;
+};
+
+// Handler gate: flipped off during Stop() and consistent reads.
+std::atomic<bool> g_sampling{false};
+
+std::mutex g_mu;
+bool g_running = false;
+ProfilerOptions g_options;
+std::vector<std::unique_ptr<ThreadRec>> g_threads;  // live + retired
+
+thread_local ThreadRec* t_rec = nullptr;
+
+}  // namespace
+}  // namespace tsdist::obs
+
+// External linkage (and -rdynamic on the binaries) so fold-time trimming can
+// recognize the handler's own frame by address. Async-signal-safe: backtrace
+// (pre-warmed at Start), clock_gettime, relaxed/release atomics — no malloc,
+// no locks, no formatting.
+extern "C" void tsdist_profiler_signal_handler(int /*signo*/, siginfo_t* info,
+                                               void* /*ucontext*/) {
+  using tsdist::obs::SampleRing;
+  if (info == nullptr || info->si_code != SI_TIMER) return;
+  if (!tsdist::obs::g_sampling.load(std::memory_order_acquire)) return;
+  auto* ring = static_cast<SampleRing*>(info->si_value.sival_ptr);
+  if (ring == nullptr) return;
+  const int saved_errno = errno;
+  const std::uint64_t seq = ring->head.load(std::memory_order_relaxed);
+  tsdist::obs::SampleSlot& slot = ring->slots[seq % ring->slots.size()];
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  slot.ts_ns = static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+  slot.depth = backtrace(slot.pcs, tsdist::obs::kMaxStackDepth);
+  ring->head.store(seq + 1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+namespace tsdist::obs {
+namespace {
+
+void InstallHandlerOnce() {
+  static const bool installed = [] {
+    struct sigaction sa {};
+    sa.sa_sigaction = tsdist_profiler_signal_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    return sigaction(SIGPROF, &sa, nullptr) == 0;
+  }();
+  if (!installed) {
+    TSDIST_LOG(LogLevel::kWarn, "profiler: sigaction(SIGPROF) failed",
+               F("errno", std::strerror(errno)));
+  }
+}
+
+// Arms a per-thread CPU-time timer whose SIGPROF carries the ring pointer.
+// Caller holds g_mu; `rec` must describe a live registered thread.
+void ArmThreadLocked(ThreadRec* rec) {
+  if (rec->timer_armed) return;
+  if (rec->ring == nullptr) {
+    rec->ring = std::make_unique<SampleRing>(g_options.ring_capacity,
+                                             rec->tid);
+  }
+  clockid_t clock{};
+  if (pthread_getcpuclockid(rec->pthread, &clock) != 0) {
+    TSDIST_LOG(LogLevel::kWarn, "profiler: pthread_getcpuclockid failed",
+               F("tid", static_cast<std::uint64_t>(rec->tid)));
+    return;
+  }
+  sigevent sev{};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = rec->tid;
+  sev.sigev_value.sival_ptr = rec->ring.get();
+  if (timer_create(clock, &sev, &rec->timer) != 0) {
+    TSDIST_LOG(LogLevel::kWarn, "profiler: timer_create failed",
+               F("errno", std::strerror(errno)),
+               F("tid", static_cast<std::uint64_t>(rec->tid)));
+    return;
+  }
+  const std::uint64_t us = g_options.interval_us;
+  itimerspec its{};
+  its.it_interval.tv_sec = static_cast<time_t>(us / 1000000);
+  its.it_interval.tv_nsec = static_cast<long>((us % 1000000) * 1000);
+  its.it_value = its.it_interval;
+  if (timer_settime(rec->timer, 0, &its, nullptr) != 0) {
+    TSDIST_LOG(LogLevel::kWarn, "profiler: timer_settime failed",
+               F("errno", std::strerror(errno)));
+    timer_delete(rec->timer);
+    return;
+  }
+  rec->timer_armed = true;
+}
+
+void DisarmThreadLocked(ThreadRec* rec) {
+  if (!rec->timer_armed) return;
+  timer_delete(rec->timer);
+  rec->timer_armed = false;
+}
+
+// Flips sampling off and waits out in-flight handlers plus any SIGPROF the
+// kernel already queued, so rings can be read (or freed) consistently.
+// Caller holds g_mu.
+void QuiesceLocked() {
+  g_sampling.store(false, std::memory_order_release);
+  timespec pause{};
+  pause.tv_nsec = 2000000;  // 2 ms >> one handler execution
+  nanosleep(&pause, nullptr);
+}
+
+std::uint64_t RetainedSamples(const SampleRing& ring) {
+  const std::uint64_t total = ring.head.load(std::memory_order_acquire);
+  return std::min<std::uint64_t>(total, ring.slots.size());
+}
+
+std::uint64_t DroppedSamples(const SampleRing& ring) {
+  const std::uint64_t total = ring.head.load(std::memory_order_acquire);
+  return total > ring.slots.size() ? total - ring.slots.size() : 0;
+}
+
+// Offline symbolization with a per-dump cache. Return addresses point one
+// past the call, so look up pc-1 to stay inside the calling function.
+std::string SymbolizePc(void* pc, std::map<void*, std::string>* cache) {
+  const auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info{};
+  void* lookup = static_cast<char*>(pc) - 1;
+  if (dladdr(lookup, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      name = demangled;
+    } else {
+      name = info.dli_sname;
+    }
+    free(demangled);  // NOLINT: __cxa_demangle mallocs
+  } else if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%s+0x%zx", base,
+                  static_cast<std::size_t>(static_cast<char*>(pc) -
+                                           static_cast<char*>(info.dli_fbase)));
+    name = buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%zx",
+                  reinterpret_cast<std::size_t>(pc));
+    name = buf;
+  }
+  // Folded format reserves ';' (frame separator) and ' ' (count separator).
+  for (char& c : name) {
+    if (c == ';' || c == ' ' || c == '\n') c = '_';
+  }
+  (*cache)[pc] = name;
+  return name;
+}
+
+// Drops the handler + signal-trampoline prefix from a leaf-first stack by
+// recognizing the handler's own code range; symbol-independent, so it works
+// even without -rdynamic.
+int TrimmedStart(void* const* pcs, int depth) {
+  const char* handler =
+      reinterpret_cast<const char*>(&tsdist_profiler_signal_handler);
+  const int scan = std::min(depth, 6);
+  for (int i = 0; i < scan; ++i) {
+    const char* pc = static_cast<const char*>(pcs[i]);
+    if (pc >= handler && pc < handler + 4096) {
+      // i is the handler frame; i+1 the kernel trampoline (__restore_rt).
+      return std::min(i + 2, depth);
+    }
+  }
+  return 0;
+}
+
+struct FoldedProfile {
+  std::map<std::string, std::uint64_t> stacks;  // "root;...;leaf" -> count
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t threads = 0;
+};
+
+// Caller holds g_mu with sampling quiesced.
+FoldedProfile CollectFoldedLocked() {
+  FoldedProfile out;
+  std::map<void*, std::string> cache;
+  for (const auto& rec : g_threads) {
+    if (rec->ring == nullptr) continue;
+    ++out.threads;
+    const SampleRing& ring = *rec->ring;
+    const std::uint64_t n = RetainedSamples(ring);
+    out.dropped += DroppedSamples(ring);
+    for (std::uint64_t s = 0; s < n; ++s) {
+      const SampleSlot& slot = ring.slots[s];
+      const int depth = std::min<std::int32_t>(slot.depth, kMaxStackDepth);
+      std::string key;
+      if (depth <= 0) {
+        key = "[truncated]";
+      } else {
+        const int start = TrimmedStart(slot.pcs, depth);
+        // Leaf-first capture; folded wants root first.
+        for (int i = depth - 1; i >= start; --i) {
+          if (!key.empty()) key += ';';
+          key += SymbolizePc(slot.pcs[i], &cache);
+        }
+        if (key.empty()) key = "[truncated]";
+      }
+      ++out.stacks[key];
+      ++out.samples;
+    }
+  }
+  return out;
+}
+
+std::string JsonEscapeName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void RegisterProfilerThread() {
+  if (t_rec != nullptr) return;
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto rec = std::make_unique<ThreadRec>();
+  rec->tid = static_cast<pid_t>(syscall(SYS_gettid));
+  rec->pthread = pthread_self();
+  rec->live = true;
+  if (g_running) ArmThreadLocked(rec.get());
+  t_rec = rec.get();
+  g_threads.push_back(std::move(rec));
+}
+
+void UnregisterProfilerThread() {
+  if (t_rec == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadRec* rec = t_rec;
+  t_rec = nullptr;
+  DisarmThreadLocked(rec);
+  rec->live = false;
+  // Rings with samples are retired (kept for the next dump); empty records
+  // are erased so churning pools do not grow the registry without bound.
+  const bool keep = rec->ring != nullptr &&
+                    rec->ring->head.load(std::memory_order_acquire) > 0;
+  if (!keep) {
+    for (auto it = g_threads.begin(); it != g_threads.end(); ++it) {
+      if (it->get() == rec) {
+        g_threads.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+bool Profiler::Start(const ProfilerOptions& options) {
+  if (!Enabled()) {
+    TSDIST_LOG(LogLevel::kWarn,
+               "profiler start ignored: observability disabled");
+    return false;
+  }
+  RegisterProfilerThread();
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_running) {
+    TSDIST_LOG(LogLevel::kWarn, "profiler start ignored: already running");
+    return false;
+  }
+  g_options = options;
+  if (g_options.interval_us < 100) g_options.interval_us = 100;
+  if (g_options.ring_capacity < 64) g_options.ring_capacity = 64;
+  // First backtrace call may dlopen/allocate inside libgcc; force that now,
+  // outside signal context.
+  void* warm[4];
+  backtrace(warm, 4);
+  InstallHandlerOnce();
+  g_sampling.store(true, std::memory_order_release);
+  std::uint64_t armed = 0;
+  for (const auto& rec : g_threads) {
+    if (!rec->live) continue;
+    ArmThreadLocked(rec.get());
+    if (rec->timer_armed) ++armed;
+  }
+  g_running = true;
+  TSDIST_LOG(LogLevel::kInfo, "profiler started",
+             F("interval_us", g_options.interval_us),
+             F("threads", armed));
+  return true;
+}
+
+bool Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (!g_running) return false;
+  QuiesceLocked();
+  for (const auto& rec : g_threads) DisarmThreadLocked(rec.get());
+  g_running = false;
+  std::uint64_t samples = 0;
+  for (const auto& rec : g_threads) {
+    if (rec->ring != nullptr) samples += RetainedSamples(*rec->ring);
+  }
+  TSDIST_LOG(LogLevel::kInfo, "profiler stopped", F("samples", samples));
+  return true;
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_running;
+}
+
+ProfilerStatus Profiler::Status() const {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ProfilerStatus st;
+  st.running = g_running;
+  st.interval_us = g_options.interval_us;
+  for (const auto& rec : g_threads) {
+    if (rec->ring == nullptr) continue;
+    ++st.threads;
+    st.samples += RetainedSamples(*rec->ring);
+    st.dropped += DroppedSamples(*rec->ring);
+  }
+  return st;
+}
+
+void Profiler::Clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_running) return;
+  for (auto it = g_threads.begin(); it != g_threads.end();) {
+    if ((*it)->live) {
+      (*it)->ring.reset();
+      ++it;
+    } else {
+      it = g_threads.erase(it);
+    }
+  }
+}
+
+std::string Profiler::RenderFolded() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  const bool was_sampling = g_running;
+  if (was_sampling) QuiesceLocked();
+  const FoldedProfile p = CollectFoldedLocked();
+  if (was_sampling) g_sampling.store(true, std::memory_order_release);
+
+  std::string out = "# ";
+  out += kProfileSchema;
+  out += " samples=" + std::to_string(p.samples);
+  out += " dropped=" + std::to_string(p.dropped);
+  out += " interval_us=" + std::to_string(g_options.interval_us);
+  out += " threads=" + std::to_string(p.threads);
+  out += '\n';
+  // Descending count, then stack text, so output is deterministic and the
+  // hot stacks lead.
+  std::vector<std::pair<const std::string*, std::uint64_t>> rows;
+  rows.reserve(p.stacks.size());
+  for (const auto& [stack, count] : p.stacks) rows.emplace_back(&stack, count);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return *a.first < *b.first;
+  });
+  for (const auto& [stack, count] : rows) {
+    out += *stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::RenderChromeTrace() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  const bool was_sampling = g_running;
+  if (was_sampling) QuiesceLocked();
+
+  // Intern (parent_id, name) -> frame id so common stack prefixes share
+  // nodes, the shape chrome://tracing and Perfetto expect.
+  std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> interned;
+  std::vector<std::pair<std::uint64_t, std::string>> frames;  // id-1 -> node
+  std::map<void*, std::string> cache;
+  std::string samples_json;
+  std::uint64_t sample_count = 0;
+
+  for (const auto& rec : g_threads) {
+    if (rec->ring == nullptr) continue;
+    const SampleRing& ring = *rec->ring;
+    const std::uint64_t n = RetainedSamples(ring);
+    for (std::uint64_t s = 0; s < n; ++s) {
+      const SampleSlot& slot = ring.slots[s];
+      const int depth = std::min<std::int32_t>(slot.depth, kMaxStackDepth);
+      if (depth <= 0) continue;
+      const int start = TrimmedStart(slot.pcs, depth);
+      std::uint64_t parent = 0;  // 0 = no parent (root)
+      for (int i = depth - 1; i >= start; --i) {
+        const std::string name = SymbolizePc(slot.pcs[i], &cache);
+        const auto key = std::make_pair(parent, name);
+        auto it = interned.find(key);
+        if (it == interned.end()) {
+          frames.emplace_back(parent, name);
+          it = interned.emplace(key, frames.size()).first;  // ids start at 1
+        }
+        parent = it->second;
+      }
+      if (parent == 0) continue;
+      if (sample_count > 0) samples_json += ",\n";
+      samples_json += "    {\"cpu\": 0, \"tid\": " +
+                      std::to_string(ring.tid) + ", \"ts\": " +
+                      std::to_string(slot.ts_ns / 1000) +
+                      ", \"name\": \"cpu\", \"sf\": " +
+                      std::to_string(parent) + ", \"weight\": 1}";
+      ++sample_count;
+    }
+  }
+  if (was_sampling) g_sampling.store(true, std::memory_order_release);
+
+  std::string out = "{\n  \"traceEvents\": [],\n  \"stackFrames\": {\n";
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out += "    \"" + std::to_string(i + 1) + "\": {\"name\": \"" +
+           JsonEscapeName(frames[i].second) + "\"";
+    if (frames[i].first != 0) {
+      out += ", \"parent\": \"" + std::to_string(frames[i].first) + "\"";
+    }
+    out += "}";
+    if (i + 1 < frames.size()) out += ",";
+    out += "\n";
+  }
+  out += "  },\n  \"samples\": [\n" + samples_json + "\n  ]\n}\n";
+  return out;
+}
+
+bool WriteProfileFolded(const std::string& path) {
+  const std::string body = Profiler::Global().RenderFolded();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    TSDIST_LOG(LogLevel::kWarn, "profile write failed", F("path", path));
+    return false;
+  }
+  out << body;
+  out.flush();
+  if (!out) {
+    TSDIST_LOG(LogLevel::kWarn, "profile write failed", F("path", path));
+    return false;
+  }
+  TSDIST_LOG(LogLevel::kInfo, "profile written", F("path", path));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PerfRegion: per-label self-cost attribution.
+
+namespace {
+
+constexpr int kMaxRegionDepth = 16;
+
+struct RegionFrame {
+  std::string label;
+  std::uint64_t start_ns = 0;
+  std::uint64_t child_wall_ns = 0;
+  PerfReading entry;       // raw totals at region entry (ReadNow)
+  PerfReading child_perf;  // summed inclusive deltas of finished children
+};
+
+struct RegionStack {
+  RegionFrame frames[kMaxRegionDepth];
+  int depth = 0;
+};
+
+thread_local RegionStack t_regions;
+
+// One long-lived counter group per thread: Start() once, then boundary
+// ReadNow() snapshots. The open verdict is latched per thread, so region
+// entry/exit never re-probes a denied perf_event_open.
+PerfCounterGroup* ThreadPerfGroup() {
+  thread_local std::unique_ptr<PerfCounterGroup> group;
+  thread_local bool probed = false;
+  if (!probed) {
+    probed = true;
+    if (PerfCountersSupported()) {
+      auto g = std::make_unique<PerfCounterGroup>();
+      if (g->available()) {
+        g->Start();
+        group = std::move(g);
+      }
+    }
+  }
+  return group.get();
+}
+
+// Field-wise a - b, saturating at zero (group reads race with nothing, but
+// child sums can exceed a parent delta by rounding of multiplexed counts).
+PerfReading SubSaturating(const PerfReading& a, const PerfReading& b) {
+  auto sub = [](std::uint64_t x, std::uint64_t y) {
+    return x > y ? x - y : 0;
+  };
+  PerfReading out;
+  out.valid = a.valid;
+  out.cycles = sub(a.cycles, b.cycles);
+  out.instructions = sub(a.instructions, b.instructions);
+  out.cache_references = sub(a.cache_references, b.cache_references);
+  out.cache_misses = sub(a.cache_misses, b.cache_misses);
+  out.branches = sub(a.branches, b.branches);
+  out.branch_misses = sub(a.branch_misses, b.branch_misses);
+  out.time_enabled_ns = sub(a.time_enabled_ns, b.time_enabled_ns);
+  out.time_running_ns = sub(a.time_running_ns, b.time_running_ns);
+  return out;
+}
+
+void AddRaw(PerfReading* into, const PerfReading& delta) {
+  into->cycles += delta.cycles;
+  into->instructions += delta.instructions;
+  into->cache_references += delta.cache_references;
+  into->cache_misses += delta.cache_misses;
+  into->branches += delta.branches;
+  into->branch_misses += delta.branch_misses;
+  into->time_enabled_ns += delta.time_enabled_ns;
+  into->time_running_ns += delta.time_running_ns;
+}
+
+void BumpKernel(const std::string& field, const std::string& label,
+                std::uint64_t delta) {
+  if (delta == 0) return;
+  MetricsRegistry::Global()
+      .GetCounter("tsdist.kernel." + field + "." + label)
+      .Add(delta);
+}
+
+std::string SanitizeLabel(std::string_view label) {
+  std::string out(label.empty() ? std::string_view("unlabeled") : label);
+  for (char& c : out) {
+    if (c == ' ' || c == '\n' || c == '"') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+PerfRegion::PerfRegion(std::string_view label) {
+  if (!Enabled()) return;
+  RegionStack& st = t_regions;
+  // Past the depth limit, cost folds into the nearest tracked ancestor.
+  if (st.depth >= kMaxRegionDepth) return;
+  RegionFrame& f = st.frames[st.depth++];
+  f.label = SanitizeLabel(label);
+  f.start_ns = NowNs();
+  f.child_wall_ns = 0;
+  f.child_perf = PerfReading{};
+  if (PerfCounterGroup* g = ThreadPerfGroup()) {
+    f.entry = g->ReadNow();
+  } else {
+    f.entry = PerfReading{};
+  }
+  active_ = true;
+}
+
+PerfRegion::~PerfRegion() {
+  if (!active_) return;
+  RegionStack& st = t_regions;
+  RegionFrame& f = st.frames[st.depth - 1];
+  const std::uint64_t end_ns = NowNs();
+  const std::uint64_t incl_wall =
+      end_ns > f.start_ns ? end_ns - f.start_ns : 0;
+  const std::uint64_t self_wall =
+      incl_wall > f.child_wall_ns ? incl_wall - f.child_wall_ns : 0;
+
+  PerfReading incl_perf;
+  if (f.entry.valid) {
+    if (PerfCounterGroup* g = ThreadPerfGroup()) {
+      const PerfReading exit = g->ReadNow();
+      if (exit.valid) incl_perf = SubSaturating(exit, f.entry);
+    }
+  }
+
+  BumpKernel("calls", f.label, 1);
+  BumpKernel("wall_ns", f.label, self_wall);
+  if (incl_perf.valid) {
+    const PerfReading self = SubSaturating(incl_perf, f.child_perf);
+    BumpKernel("cycles", f.label, self.cycles);
+    BumpKernel("instructions", f.label, self.instructions);
+    BumpKernel("cache_references", f.label, self.cache_references);
+    BumpKernel("cache_misses", f.label, self.cache_misses);
+    BumpKernel("branches", f.label, self.branches);
+    BumpKernel("branch_misses", f.label, self.branch_misses);
+    BumpKernel("time_enabled_ns", f.label, self.time_enabled_ns);
+    BumpKernel("time_running_ns", f.label, self.time_running_ns);
+  }
+
+  --st.depth;
+  if (st.depth > 0) {
+    RegionFrame& parent = st.frames[st.depth - 1];
+    parent.child_wall_ns += incl_wall;
+    if (incl_perf.valid) AddRaw(&parent.child_perf, incl_perf);
+  }
+  f.label.clear();
+}
+
+}  // namespace tsdist::obs
+
+#endif  // !TSDIST_OBS_NOOP

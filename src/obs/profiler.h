@@ -1,0 +1,203 @@
+// In-process sampling profiler and per-measure kernel attribution.
+//
+// Sampling profiler: every registered thread gets its own POSIX interval
+// timer (timer_create with SIGEV_THREAD_ID) firing SIGPROF on that thread's
+// CPU clock. The signal handler is async-signal-safe by construction — it
+// calls backtrace() (pre-warmed at Start so libgcc is already loaded) into a
+// pre-allocated per-thread ring buffer and touches nothing but relaxed
+// atomics: no malloc, no locks, no formatting. Symbolization is entirely
+// offline (dladdr + __cxa_demangle at dump time), so the hot path costs one
+// unwind per sample. Output is the collapsed-stack ("folded") format that
+// flamegraph.pl and speedscope consume, plus a Chrome-trace-compatible
+// sampling JSON (chrome://tracing / Perfetto "stackFrames"+"samples" form).
+//
+// Kernel attribution: PerfRegion is a scoped RAII region that attributes
+// work to a label (typically a distance-measure name). On exit it publishes
+// the region's *self* cost — wall-clock always, plus the 6-event
+// perf_counters group delta when the kernel allows perf_event_open — into
+// the `tsdist.kernel.<field>.<label>` counter family. Nested regions
+// subtract child inclusive cost from the parent, so a tuned measure that
+// evaluates candidate kernels attributes each candidate to itself, not to
+// the driver. bench_common snapshots the family around each case to build
+// the per-case `kernel_attribution` block in tsdist.bench.v2 reports.
+//
+// Under TSDIST_OBS_NOOP everything here compiles to inert stubs; with
+// observability on but the profiler idle, register/unregister is a mutex
+// acquisition and PerfRegion a few counter adds. Profiling must never change
+// evaluation results: the profiler only observes, and tools assert output
+// bit-identity with sampling on vs. off.
+
+#ifndef TSDIST_OBS_PROFILER_H_
+#define TSDIST_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/obs/perf_counters.h"
+
+namespace tsdist::obs {
+
+/// Header line every folded profile starts with (see RenderFolded).
+inline constexpr const char kProfileSchema[] = "tsdist.profile.v1";
+
+struct ProfilerOptions {
+  /// Per-thread sampling period in microseconds of *thread CPU time*
+  /// (an idle thread takes no samples).
+  std::uint64_t interval_us = 1000;
+  /// Samples retained per thread; older samples are overwritten (and
+  /// counted as dropped) once a thread's ring wraps. 8192 slots at the
+  /// default 1 ms period cover ~8 s of busy CPU per thread (~2 MiB each).
+  std::size_t ring_capacity = 1 << 13;
+};
+
+/// Aggregate state for /profilez and tools.
+struct ProfilerStatus {
+  bool running = false;
+  std::uint64_t samples = 0;  ///< captured and still retained
+  std::uint64_t dropped = 0;  ///< overwritten by ring wrap
+  std::uint64_t threads = 0;  ///< rings ever armed (live + retired)
+  std::uint64_t interval_us = 0;
+};
+
+#if !defined(TSDIST_OBS_NOOP)
+
+/// Makes the calling thread sampleable: records its kernel tid and, when the
+/// profiler is already running, arms a per-thread interval timer on the
+/// spot. Idempotent. ThreadPool workers call this at loop entry; Start()
+/// implicitly registers the calling thread.
+void RegisterProfilerThread();
+
+/// Disarms and deletes the calling thread's timer (if any) and retires its
+/// ring. The ring's samples survive until Clear() so a dump after heavy
+/// thread churn still sees short-lived workers. Must be called before the
+/// thread exits if RegisterProfilerThread was called.
+void UnregisterProfilerThread();
+
+class Profiler {
+ public:
+  /// The process-wide profiler used by /profilez and --profile-out.
+  static Profiler& Global();
+
+  /// Installs the SIGPROF handler, pre-warms backtrace, arms one timer per
+  /// registered thread, and begins sampling. Returns false (and logs) when
+  /// already running or when observability is disabled.
+  bool Start(const ProfilerOptions& options = {});
+
+  /// Disarms every timer and stops sampling. Samples are retained for
+  /// RenderFolded/RenderChromeTrace until Clear(). Returns false when not
+  /// running.
+  bool Stop();
+
+  bool running() const;
+  ProfilerStatus Status() const;
+
+  /// Drops all retained samples and retired rings. No-op while running.
+  void Clear();
+
+  /// Collapsed-stack text: a `# tsdist.profile.v1 samples=N dropped=M
+  /// interval_us=U threads=T` header followed by `frame;frame;frame count`
+  /// lines (root first, leaf last), sorted by descending count. Safe to call
+  /// while running: sampling is briefly paused for a consistent read.
+  std::string RenderFolded();
+
+  /// Chrome-trace sampling JSON: {"traceEvents":[],"stackFrames":{...},
+  /// "samples":[...]} — loadable by chrome://tracing and Perfetto.
+  std::string RenderChromeTrace();
+
+ private:
+  Profiler() = default;
+};
+
+/// Writes RenderFolded() to `path`; returns false (and logs) on I/O error.
+bool WriteProfileFolded(const std::string& path);
+
+/// RAII kernel-attribution region. Label should be a stable low-cardinality
+/// name (a measure name, "tuning/<measure>", ...); it becomes a metric-name
+/// suffix. Safe to nest (self-time accounting) up to an internal depth
+/// limit, beyond which extra levels are attributed to the nearest tracked
+/// ancestor. Does nothing when observability is disabled at runtime.
+class PerfRegion {
+ public:
+  explicit PerfRegion(std::string_view label);
+  ~PerfRegion();
+
+  PerfRegion(const PerfRegion&) = delete;
+  PerfRegion& operator=(const PerfRegion&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+#else  // TSDIST_OBS_NOOP
+
+inline void RegisterProfilerThread() {}
+inline void UnregisterProfilerThread() {}
+
+class Profiler {
+ public:
+  static Profiler& Global() {
+    static Profiler p;
+    return p;
+  }
+  bool Start(const ProfilerOptions& = {}) { return false; }
+  bool Stop() { return false; }
+  bool running() const { return false; }
+  ProfilerStatus Status() const { return ProfilerStatus{}; }
+  void Clear() {}
+  std::string RenderFolded() {
+    return std::string("# ") + kProfileSchema +
+           " samples=0 dropped=0 interval_us=0 threads=0\n";
+  }
+  std::string RenderChromeTrace() {
+    return "{\"traceEvents\": [], \"stackFrames\": {}, \"samples\": []}\n";
+  }
+};
+
+// Still writes a schema-valid (header-only) profile, so --profile-out does
+// not become an export failure in NOOP builds.
+inline bool WriteProfileFolded(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << Profiler::Global().RenderFolded();
+  return static_cast<bool>(out);
+}
+
+class PerfRegion {
+ public:
+  explicit PerfRegion(std::string_view) {}
+  PerfRegion(const PerfRegion&) = delete;
+  PerfRegion& operator=(const PerfRegion&) = delete;
+};
+
+#endif  // TSDIST_OBS_NOOP
+
+/// Fields every kernel-attribution label accumulates. `wall_ns` and `calls`
+/// are always present; the perf-group fields stay zero/invalid when
+/// perf_event_open is unavailable (the common container case).
+struct KernelStats {
+  std::uint64_t calls = 0;
+  std::uint64_t wall_ns = 0;  ///< self time, excluding nested regions
+  PerfReading perf;           ///< self counter deltas; valid only with PMU
+};
+
+/// Splits a `tsdist.kernel.<field>.<label>` counter name. Returns false for
+/// anything outside the family (fields are a fixed set; labels may contain
+/// dots). Available in NOOP builds too — consumers diff metric snapshots
+/// that simply contain no kernel counters there.
+bool ParseKernelMetricName(const std::string& name, std::string* field,
+                           std::string* label);
+
+/// Groups the per-label deltas between two counter snapshots (as returned
+/// by MetricsSnapshot::counters) into KernelStats. Labels with zero calls
+/// and zero wall_ns delta are omitted; `perf.valid` is set when the delta
+/// carries PMU counts.
+std::map<std::string, KernelStats> KernelStatsBetween(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after);
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_PROFILER_H_

@@ -197,6 +197,22 @@ std::string BenchReportToJson(const BenchReport& report) {
     if (c.perf.valid) {
       os << ",\n     \"perf\": " << PerfReadingToJson(c.perf, 5);
     }
+    if (!c.kernel.empty()) {
+      os << ",\n     \"kernel_attribution\": {";
+      bool first = true;
+      for (const auto& [label, stats] : c.kernel) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "      \"" << JsonEscape(label)
+           << "\": {\"calls\": " << stats.calls
+           << ", \"wall_ns\": " << stats.wall_ns;
+        if (stats.perf.valid) {
+          os << ",\n       \"perf\": " << PerfReadingToJson(stats.perf, 7);
+        }
+        os << "}";
+      }
+      os << "\n     }";
+    }
     os << "}";
   }
   os << (report.cases.empty() ? "" : "\n  ") << "],\n";

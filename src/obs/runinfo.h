@@ -18,10 +18,12 @@
 #define TSDIST_OBS_RUNINFO_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/obs/perf_counters.h"
+#include "src/obs/profiler.h"
 
 namespace tsdist::obs {
 
@@ -66,6 +68,10 @@ struct BenchCaseResult {
   /// scope — see perf_counters.h). `perf.valid` false (counters unavailable
   /// or disabled) omits the `perf` block from the JSON entirely.
   PerfReading perf;
+  /// Per-label kernel self-cost over the measured iterations (PerfRegion
+  /// deltas of the tsdist.kernel.* family). Empty map omits the
+  /// `kernel_attribution` block from the JSON.
+  std::map<std::string, KernelStats> kernel;
 };
 
 /// In-memory form of one tsdist.bench.v2 benchmark artifact.

@@ -1,0 +1,458 @@
+// Tests for the in-process sampling profiler and PerfRegion kernel
+// attribution (src/obs/profiler.h).
+//
+// The sampling tests drive the real SIGPROF machinery: per-thread POSIX
+// interval timers, the async-signal-safe handler, ring retention across
+// thread churn, and the folded/Chrome-trace renderers. They spin actual CPU
+// time (the timers tick thread CPU clocks, so sleeping produces no samples)
+// and keep assertions coarse — sample counts depend on scheduler weather,
+// but "a busy thread sampled at 1 ms produces samples" does not.
+
+#include "src/obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/perf_counters.h"
+
+namespace tsdist::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseKernelMetricName
+
+TEST(ParseKernelMetricName, AcceptsEveryField) {
+  const char* fields[] = {
+      "calls",        "wall_ns",         "cycles",
+      "instructions", "cache_references", "cache_misses",
+      "branches",     "branch_misses",   "time_enabled_ns",
+      "time_running_ns",
+  };
+  for (const char* f : fields) {
+    const std::string name = std::string("tsdist.kernel.") + f + ".dtw";
+    std::string field, label;
+    EXPECT_TRUE(ParseKernelMetricName(name, &field, &label)) << name;
+    EXPECT_EQ(field, f);
+    EXPECT_EQ(label, "dtw");
+  }
+}
+
+TEST(ParseKernelMetricName, LabelMayContainDotsAndSlashes) {
+  std::string field, label;
+  ASSERT_TRUE(ParseKernelMetricName("tsdist.kernel.wall_ns.tuning/dtw.w5",
+                                    &field, &label));
+  EXPECT_EQ(field, "wall_ns");
+  EXPECT_EQ(label, "tuning/dtw.w5");
+}
+
+TEST(ParseKernelMetricName, RejectsOutsiders) {
+  std::string field, label;
+  EXPECT_FALSE(ParseKernelMetricName("tsdist.pairwise.cells.dtw", &field,
+                                     &label));
+  EXPECT_FALSE(ParseKernelMetricName("tsdist.kernel.bogus.dtw", &field,
+                                     &label));
+  // Missing label.
+  EXPECT_FALSE(ParseKernelMetricName("tsdist.kernel.calls", &field, &label));
+  EXPECT_FALSE(ParseKernelMetricName("tsdist.kernel.calls.", &field, &label));
+  EXPECT_FALSE(ParseKernelMetricName("", &field, &label));
+}
+
+TEST(ParseKernelMetricName, NullOutputsAllowed) {
+  EXPECT_TRUE(
+      ParseKernelMetricName("tsdist.kernel.calls.dtw", nullptr, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// KernelStatsBetween
+
+TEST(KernelStatsBetween, GroupsDeltasPerLabel) {
+  std::map<std::string, std::uint64_t> before{
+      {"tsdist.kernel.calls.dtw", 10},
+      {"tsdist.kernel.wall_ns.dtw", 1000},
+      {"tsdist.kernel.calls.msm", 1},
+  };
+  std::map<std::string, std::uint64_t> after{
+      {"tsdist.kernel.calls.dtw", 13},
+      {"tsdist.kernel.wall_ns.dtw", 4000},
+      {"tsdist.kernel.calls.msm", 1},            // no movement: dropped
+      {"tsdist.kernel.calls.erp", 2},            // absent before: full value
+      {"tsdist.kernel.wall_ns.erp", 500},
+      {"tsdist.pairwise.cells.dtw", 99},         // not in the family
+  };
+  const auto stats = KernelStatsBetween(before, after);
+  ASSERT_EQ(stats.size(), 2u);
+  ASSERT_TRUE(stats.count("dtw"));
+  EXPECT_EQ(stats.at("dtw").calls, 3u);
+  EXPECT_EQ(stats.at("dtw").wall_ns, 3000u);
+  EXPECT_FALSE(stats.at("dtw").perf.valid);
+  ASSERT_TRUE(stats.count("erp"));
+  EXPECT_EQ(stats.at("erp").calls, 2u);
+  EXPECT_EQ(stats.at("erp").wall_ns, 500u);
+  EXPECT_FALSE(stats.count("msm"));
+}
+
+TEST(KernelStatsBetween, PerfValidityFollowsPmuFields) {
+  std::map<std::string, std::uint64_t> before;
+  std::map<std::string, std::uint64_t> after{
+      {"tsdist.kernel.calls.dtw", 1},
+      {"tsdist.kernel.wall_ns.dtw", 100},
+      {"tsdist.kernel.cycles.dtw", 5000},
+      {"tsdist.kernel.instructions.dtw", 9000},
+      {"tsdist.kernel.calls.msm", 1},
+      {"tsdist.kernel.wall_ns.msm", 100},
+  };
+  const auto stats = KernelStatsBetween(before, after);
+  ASSERT_TRUE(stats.count("dtw"));
+  EXPECT_TRUE(stats.at("dtw").perf.valid);
+  EXPECT_EQ(stats.at("dtw").perf.cycles, 5000u);
+  EXPECT_EQ(stats.at("dtw").perf.instructions, 9000u);
+  ASSERT_TRUE(stats.count("msm"));
+  EXPECT_FALSE(stats.at("msm").perf.valid);
+}
+
+TEST(KernelStatsBetween, DecreasingCounterClampsToZero) {
+  std::map<std::string, std::uint64_t> before{
+      {"tsdist.kernel.calls.dtw", 10}};
+  std::map<std::string, std::uint64_t> after{
+      {"tsdist.kernel.calls.dtw", 4}};
+  EXPECT_TRUE(KernelStatsBetween(before, after).empty());
+}
+
+// ---------------------------------------------------------------------------
+// PerfRegion
+
+std::map<std::string, std::uint64_t> CounterSnapshot() {
+  return MetricsRegistry::Global().Snapshot().counters;
+}
+
+// Spins real CPU for roughly `ms` of wall time (profiler timers tick thread
+// CPU clocks, so a sleep would be invisible to them).
+void SpinFor(std::uint64_t ms) {
+  const std::uint64_t until = NowNs() + ms * 1'000'000ull;
+  volatile double sink = 0.0;
+  while (NowNs() < until) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  }
+}
+
+TEST(PerfRegion, PublishesCallsAndSelfWall) {
+  const auto before = CounterSnapshot();
+  {
+    const PerfRegion region("profiler_test_single");
+    SpinFor(2);
+  }
+  const auto stats = KernelStatsBetween(before, CounterSnapshot());
+  ASSERT_TRUE(stats.count("profiler_test_single"));
+  EXPECT_EQ(stats.at("profiler_test_single").calls, 1u);
+  EXPECT_GT(stats.at("profiler_test_single").wall_ns, 1'000'000u);
+}
+
+TEST(PerfRegion, NestedChildCostIsNotDoubleCounted) {
+  const auto before = CounterSnapshot();
+  const std::uint64_t t0 = NowNs();
+  {
+    const PerfRegion outer("profiler_test_outer");
+    SpinFor(2);
+    {
+      const PerfRegion inner("profiler_test_inner");
+      SpinFor(4);
+    }
+    SpinFor(2);
+  }
+  const std::uint64_t elapsed = NowNs() - t0;
+  const auto stats = KernelStatsBetween(before, CounterSnapshot());
+  ASSERT_TRUE(stats.count("profiler_test_outer"));
+  ASSERT_TRUE(stats.count("profiler_test_inner"));
+  const KernelStats& outer = stats.at("profiler_test_outer");
+  const KernelStats& inner = stats.at("profiler_test_inner");
+  EXPECT_EQ(outer.calls, 1u);
+  EXPECT_EQ(inner.calls, 1u);
+  EXPECT_GT(inner.wall_ns, 3'000'000u);
+  // Self accounting: the outer region excludes the inner's inclusive time,
+  // and the two self times cannot exceed the elapsed wall clock.
+  EXPECT_LT(outer.wall_ns, elapsed - inner.wall_ns + 1'000'000u);
+  EXPECT_LE(outer.wall_ns + inner.wall_ns, elapsed);
+}
+
+TEST(PerfRegion, SameLabelAccumulatesAcrossInstances) {
+  const auto before = CounterSnapshot();
+  for (int i = 0; i < 5; ++i) {
+    const PerfRegion region("profiler_test_repeat");
+  }
+  const auto stats = KernelStatsBetween(before, CounterSnapshot());
+  ASSERT_TRUE(stats.count("profiler_test_repeat"));
+  EXPECT_EQ(stats.at("profiler_test_repeat").calls, 5u);
+}
+
+TEST(PerfRegion, LabelIsSanitizedForMetricNames) {
+  const auto before = CounterSnapshot();
+  {
+    const PerfRegion region("bad label\"here");
+  }
+  const auto stats = KernelStatsBetween(before, CounterSnapshot());
+  EXPECT_TRUE(stats.count("bad_label_here"));
+}
+
+TEST(PerfRegion, RuntimeDisabledPublishesNothing) {
+  SetEnabled(false);
+  const auto before = CounterSnapshot();
+  {
+    const PerfRegion region("profiler_test_disabled");
+    SpinFor(1);
+  }
+  const auto after = CounterSnapshot();
+  SetEnabled(true);
+  EXPECT_TRUE(KernelStatsBetween(before, after).empty());
+}
+
+void NestRegions(int remaining) {
+  const PerfRegion region("profiler_test_overflow");
+  if (remaining > 1) NestRegions(remaining - 1);
+}
+
+TEST(PerfRegion, DepthOverflowFoldsIntoAncestors) {
+  const auto before = CounterSnapshot();
+  NestRegions(24);  // kMaxRegionDepth is 16; the rest must deactivate
+  const auto stats = KernelStatsBetween(before, CounterSnapshot());
+  ASSERT_TRUE(stats.count("profiler_test_overflow"));
+  EXPECT_EQ(stats.at("profiler_test_overflow").calls, 16u);
+}
+
+TEST(PerfRegion, DegradedPerfCountersStillPublishWall) {
+  // Force the no-PMU path on a thread whose group latch is still fresh:
+  // ThreadPerfGroup probes once per thread, so a brand-new thread started
+  // while counters are force-disabled can never open a group.
+  SetPerfCountersEnabled(false);
+  auto before = CounterSnapshot();
+  std::thread worker([] {
+    const PerfRegion region("profiler_test_nopmu");
+    SpinFor(1);
+  });
+  worker.join();
+  const auto stats = KernelStatsBetween(before, CounterSnapshot());
+  SetPerfCountersEnabled(true);
+  ASSERT_TRUE(stats.count("profiler_test_nopmu"));
+  EXPECT_EQ(stats.at("profiler_test_nopmu").calls, 1u);
+  EXPECT_GT(stats.at("profiler_test_nopmu").wall_ns, 0u);
+  EXPECT_FALSE(stats.at("profiler_test_nopmu").perf.valid);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler lifecycle
+
+struct FoldedHeader {
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t interval_us = 0;
+  std::uint64_t threads = 0;
+};
+
+// Asserts the folded text is well-formed and returns the parsed header.
+FoldedHeader CheckFolded(const std::string& folded) {
+  FoldedHeader header;
+  std::istringstream in(folded);
+  std::string line;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_EQ(line.rfind("# tsdist.profile.v1 ", 0), 0u) << line;
+  std::istringstream hs(line.substr(1));
+  std::string token;
+  while (hs >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::uint64_t value =
+        std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+    const std::string key = token.substr(0, eq);
+    if (key == "samples") header.samples = value;
+    if (key == "dropped") header.dropped = value;
+    if (key == "interval_us") header.interval_us = value;
+    if (key == "threads") header.threads = value;
+  }
+  std::uint64_t body = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp = line.rfind(' ');
+    EXPECT_TRUE(sp != std::string::npos && sp + 1 < line.size()) << line;
+    if (sp == std::string::npos || sp + 1 >= line.size()) continue;
+    for (std::size_t i = sp + 1; i < line.size(); ++i) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i]))) << line;
+    }
+    body += std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+  }
+  EXPECT_EQ(body, header.samples);
+  return header;
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(Profiler::Global().running())
+        << "a previous test leaked a running profiler";
+    Profiler::Global().Clear();
+  }
+  void TearDown() override {
+    Profiler::Global().Stop();
+    Profiler::Global().Clear();
+    SetEnabled(true);
+  }
+};
+
+TEST_F(ProfilerTest, StartStopLifecycle) {
+  EXPECT_FALSE(Profiler::Global().Stop());  // not running yet
+  ASSERT_TRUE(Profiler::Global().Start());
+  EXPECT_TRUE(Profiler::Global().running());
+  EXPECT_FALSE(Profiler::Global().Start());  // second start refused
+  const ProfilerStatus status = Profiler::Global().Status();
+  EXPECT_TRUE(status.running);
+  EXPECT_EQ(status.interval_us, 1000u);
+  EXPECT_TRUE(Profiler::Global().Stop());
+  EXPECT_FALSE(Profiler::Global().running());
+  EXPECT_FALSE(Profiler::Global().Stop());
+}
+
+TEST_F(ProfilerTest, StartRefusedWhenObservabilityDisabled) {
+  SetEnabled(false);
+  EXPECT_FALSE(Profiler::Global().Start());
+  SetEnabled(true);
+}
+
+TEST_F(ProfilerTest, OptionsAreClampedToSaneFloors) {
+  ProfilerOptions options;
+  options.interval_us = 1;    // clamped to 100
+  options.ring_capacity = 2;  // clamped to 64
+  ASSERT_TRUE(Profiler::Global().Start(options));
+  EXPECT_EQ(Profiler::Global().Status().interval_us, 100u);
+  EXPECT_TRUE(Profiler::Global().Stop());
+}
+
+TEST_F(ProfilerTest, BusyThreadProducesSamples) {
+  ASSERT_TRUE(Profiler::Global().Start());
+  SpinFor(300);
+  ASSERT_TRUE(Profiler::Global().Stop());
+  const ProfilerStatus status = Profiler::Global().Status();
+  // 300 ms of CPU at a 1 ms period; demand only a loose lower bound.
+  EXPECT_GT(status.samples, 10u);
+  EXPECT_GE(status.threads, 1u);
+
+  const std::string folded = Profiler::Global().RenderFolded();
+  const FoldedHeader header = CheckFolded(folded);
+  EXPECT_EQ(header.samples, status.samples);
+  EXPECT_EQ(header.interval_us, 1000u);
+  EXPECT_GE(header.threads, 1u);
+}
+
+TEST_F(ProfilerTest, RenderFoldedIsSafeWhileRunning) {
+  ASSERT_TRUE(Profiler::Global().Start());
+  SpinFor(50);
+  const std::string folded = Profiler::Global().RenderFolded();
+  CheckFolded(folded);
+  EXPECT_TRUE(Profiler::Global().running());  // sampling resumed
+  SpinFor(50);
+  EXPECT_TRUE(Profiler::Global().Stop());
+}
+
+TEST_F(ProfilerTest, SurvivesThreadChurn) {
+  ASSERT_TRUE(Profiler::Global().Start());
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 8; ++i) {
+      workers.emplace_back([] {
+        RegisterProfilerThread();
+        SpinFor(30);
+        UnregisterProfilerThread();
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  SpinFor(30);
+  ASSERT_TRUE(Profiler::Global().Stop());
+  // Retired worker rings survive until Clear(): the dump still sees the
+  // short-lived threads that actually captured samples.
+  const ProfilerStatus status = Profiler::Global().Status();
+  EXPECT_GT(status.samples, 0u);
+  CheckFolded(Profiler::Global().RenderFolded());
+
+  Profiler::Global().Clear();
+  EXPECT_EQ(Profiler::Global().Status().samples, 0u);
+}
+
+TEST_F(ProfilerTest, ClearIsRefusedWhileRunning) {
+  ASSERT_TRUE(Profiler::Global().Start());
+  SpinFor(60);
+  ASSERT_TRUE(Profiler::Global().running());
+  const std::uint64_t before = Profiler::Global().Status().samples;
+  Profiler::Global().Clear();
+  EXPECT_GE(Profiler::Global().Status().samples, before);
+  EXPECT_TRUE(Profiler::Global().Stop());
+}
+
+TEST_F(ProfilerTest, RingWrapCountsDrops) {
+  ProfilerOptions options;
+  options.interval_us = 100;  // fastest allowed
+  options.ring_capacity = 64;  // smallest allowed: wraps in ~6.4 ms busy
+  ASSERT_TRUE(Profiler::Global().Start(options));
+  SpinFor(300);
+  ASSERT_TRUE(Profiler::Global().Stop());
+  const ProfilerStatus status = Profiler::Global().Status();
+  EXPECT_LE(status.samples, 64u);
+  EXPECT_GT(status.dropped, 0u);
+  const FoldedHeader header = CheckFolded(Profiler::Global().RenderFolded());
+  EXPECT_EQ(header.dropped, status.dropped);
+}
+
+TEST_F(ProfilerTest, ChromeTraceIsValidJson) {
+  ASSERT_TRUE(Profiler::Global().Start());
+  SpinFor(150);
+  ASSERT_TRUE(Profiler::Global().Stop());
+  const std::string trace = Profiler::Global().RenderChromeTrace();
+  const JsonValue doc = ParseJson(trace);
+  ASSERT_NE(doc.Find("traceEvents"), nullptr);
+  ASSERT_NE(doc.Find("stackFrames"), nullptr);
+  const JsonValue* samples = doc.Find("samples");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_FALSE(samples->AsArray().empty());
+}
+
+TEST_F(ProfilerTest, WriteProfileFoldedRoundTrips) {
+  ASSERT_TRUE(Profiler::Global().Start());
+  SpinFor(100);
+  ASSERT_TRUE(Profiler::Global().Stop());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsdist_test_profile.folded")
+          .string();
+  ASSERT_TRUE(WriteProfileFolded(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::ostringstream content;
+  content << in.rdbuf();
+  CheckFolded(content.str());
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(WriteProfileFolded("/nonexistent-dir/profile.folded"));
+}
+
+TEST_F(ProfilerTest, RegisterUnregisterAreIdempotent) {
+  RegisterProfilerThread();
+  RegisterProfilerThread();  // second call is a no-op
+  UnregisterProfilerThread();
+  UnregisterProfilerThread();  // already unregistered: no-op
+  // The main thread re-registers on the next Start().
+  ASSERT_TRUE(Profiler::Global().Start());
+  EXPECT_TRUE(Profiler::Global().Stop());
+}
+
+}  // namespace
+}  // namespace tsdist::obs

@@ -17,8 +17,14 @@
 // Exit codes: 0 clean (or --warn-only), 1 at least one regression, 2 usage
 // or file errors. Cases present in only one suite are listed but never
 // fail the gate (bench subsets evolve).
+//
+// When both suites carry per-case PMU perf blocks, the tool additionally
+// warns (never gates) on IPC divergence beyond 20% or a counter
+// running/enabled ratio below 0.9 — both signs that the two runs are not
+// directly comparable.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -43,9 +49,21 @@ constexpr std::size_t kMinSamplesForWilcoxon = 6;
 // hits tens of percent.
 constexpr double kGrossRegressPct = 50.0;
 
+// An IPC shift this large between baseline and candidate usually means the
+// two suites ran on different machines (or one under heavy multiplexing) —
+// the wall-clock comparison is then suspect, so say so out loud.
+constexpr double kIpcDivergencePct = 20.0;
+
+// Counter multiplexing below this running/enabled ratio makes the scaled
+// PMU numbers unreliable.
+constexpr double kMinRunningRatio = 0.9;
+
 struct CaseSamples {
   std::vector<double> samples_ms;
   double median_ms = 0.0;
+  bool has_perf = false;  // the report carried a per-case perf block
+  double ipc = 0.0;
+  double running_ratio = 1.0;
 };
 
 struct Options {
@@ -81,6 +99,11 @@ std::map<std::string, CaseSamples> CollectCases(const JsonValue& doc,
       }
       entry.median_ms =
           c.GetDouble("median_ms", tsdist::obs::SampleMedian(entry.samples_ms));
+      if (const JsonValue* perf = c.Find("perf")) {
+        entry.has_perf = true;
+        entry.ipc = perf->GetDouble("ipc", 0.0);
+        entry.running_ratio = perf->GetDouble("running_ratio", 1.0);
+      }
       out[bench + "/" + c.GetString("name", "?")] = std::move(entry);
     }
   }
@@ -157,6 +180,7 @@ int main(int argc, char** argv) {
               "new(ms)", "delta%", "p", "verdict");
 
   int regressions = 0;
+  int perf_warnings = 0;
   for (const auto& [key, new_case] : fresh) {
     const auto it = base.find(key);
     if (it == base.end()) {
@@ -213,6 +237,31 @@ int main(int argc, char** argv) {
                   over_threshold && !regressed ? " (small n; gross rule)"
                                                : "");
     }
+
+    // Comparability check, not a gate: when both runs carried PMU counters,
+    // a large IPC shift or heavy counter multiplexing means the wall-clock
+    // delta above may reflect the environment, not the code.
+    if (new_case.has_perf && old_case.has_perf) {
+      if (old_case.ipc > 0.0 && new_case.ipc > 0.0) {
+        const double ipc_delta_pct =
+            100.0 * std::abs(new_case.ipc - old_case.ipc) / old_case.ipc;
+        if (ipc_delta_pct > kIpcDivergencePct) {
+          std::printf("  WARNING %s: IPC diverges %.0f%% (base %.2f, new "
+                      "%.2f) — runs may not be comparable\n",
+                      key.c_str(), ipc_delta_pct, old_case.ipc, new_case.ipc);
+          ++perf_warnings;
+        }
+      }
+      const double min_ratio =
+          std::min(new_case.running_ratio, old_case.running_ratio);
+      if (min_ratio < kMinRunningRatio) {
+        std::printf("  WARNING %s: counters multiplexed (running ratio "
+                    "%.2f < %.2f) — PMU-derived numbers are scaled "
+                    "estimates\n",
+                    key.c_str(), min_ratio, kMinRunningRatio);
+        ++perf_warnings;
+      }
+    }
   }
   for (const auto& [key, old_case] : base) {
     if (fresh.find(key) == fresh.end()) {
@@ -222,6 +271,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (perf_warnings > 0) {
+    std::printf("bench_compare: %d perf-comparability warning(s) "
+                "(informational, never gate)\n",
+                perf_warnings);
+  }
   if (regressions > 0) {
     std::printf("bench_compare: %d case(s) regressed%s\n", regressions,
                 opt.warn_only ? " (warn-only: exiting 0)" : "");

@@ -17,10 +17,17 @@ OpenMetrics text format served at /metrics by tsdist_eval --serve (TYPE
 metadata, counter `_total` samples, cumulative histogram `_bucket` series on
 the 64<<i nanosecond bucket ladder, `_sum`/`_count`, trailing `# EOF`).
 
+Also validates tsdist.profile.v1 collapsed-stack profiles via --profile (the
+folded text written by --profile-out / /profilez?dump): the header counts
+must be internally consistent and every body row must be a
+`frame;frame;... count` line whose counts sum to the header's sample total.
+v2 bench cases may carry a per-case `kernel_attribution` block (PerfRegion
+self-cost per kernel label), which is checked alongside the timing fields.
+
 Usage:
   check_metrics_schema.py [METRICS.json]
       [--trace TRACE.json] [--bench BENCH.json] [--results RESULTS.json]
-      [--openmetrics METRICS.txt]
+      [--openmetrics METRICS.txt] [--profile PROFILE.folded]
       [--require-nonzero COUNTER ...] [--require-histogram NAME ...]
       [--require-case BENCH/CASE ...] [--min-samples N]
       [--self-test]
@@ -36,7 +43,22 @@ METRICS_SCHEMA = "tsdist.metrics.v1"
 BENCH_SCHEMA_V1 = "tsdist.bench.v1"
 BENCH_SCHEMA_V2 = "tsdist.bench.v2"
 RESULTS_SCHEMA = "tsdist.results.v1"
+PROFILE_SCHEMA = "tsdist.profile.v1"
 RESULT_STATUSES = ("ok", "dnf", "failed", "interrupted")
+
+# The collapsed-stack header fields, in emission order. All emitters
+# (Profiler::RenderFolded, the NOOP stub, tsdist_bench's merger) write every
+# field even when zero.
+PROFILE_HEADER_FIELDS = ("samples", "dropped", "interval_us", "threads")
+
+# Raw event counts in a perf-reading block (perf_counters.cc,
+# PerfReadingToJson). The derived ratios follow separately.
+PERF_COUNT_FIELDS = (
+    "cycles", "instructions", "cache_references", "cache_misses",
+    "branches", "branch_misses", "time_enabled_ns", "time_running_ns",
+)
+PERF_RATIO_FIELDS = ("ipc", "cache_miss_rate", "branch_miss_rate",
+                     "running_ratio")
 
 # Histogram bucket ladder shared by every tsdist emitter: finite bucket i
 # holds values <= 64 << i (nanoseconds). Bounds from any build are a prefix
@@ -219,6 +241,66 @@ def check_manifest(errors, path, manifest):
                  f"got {v!r}")
 
 
+def check_perf_reading(errors, path, ctx, perf):
+    """A perf_event_open reading block (PerfReadingToJson): raw 64-bit event
+    counts plus derived ratios. Appears as a case's `perf` and nested inside
+    kernel_attribution entries; either way the shape is identical."""
+    if not isinstance(perf, dict):
+        _err(errors, path, f"{ctx} must be an object, got {perf!r}")
+        return
+    for key in PERF_COUNT_FIELDS:
+        v = perf.get(key)
+        if not _is_int(v) or v < 0:
+            _err(errors, path,
+                 f"{ctx} field {key!r} must be a non-negative integer, "
+                 f"got {v!r}")
+    for key in PERF_RATIO_FIELDS:
+        v = perf.get(key)
+        if not _is_num(v) or v < 0:
+            _err(errors, path,
+                 f"{ctx} field {key!r} must be a non-negative number, "
+                 f"got {v!r}")
+    enabled = perf.get("time_enabled_ns")
+    running = perf.get("time_running_ns")
+    if _is_int(enabled) and _is_int(running) and running > enabled:
+        _err(errors, path,
+             f"{ctx} time_running_ns ({running}) exceeds "
+             f"time_enabled_ns ({enabled})")
+
+
+def check_kernel_attribution(errors, path, ctx, attribution):
+    """Per-kernel-label self-cost deltas (KernelStatsBetween over the
+    tsdist.kernel.* counter family). The emitter omits the block when empty
+    and drops labels whose calls and wall_ns are both zero, so an empty
+    object or an all-zero entry means the snapshot logic regressed."""
+    if not isinstance(attribution, dict):
+        _err(errors, path, f"{ctx} must be an object, got {attribution!r}")
+        return
+    if not attribution:
+        _err(errors, path,
+             f"{ctx} is empty (the emitter omits the block instead)")
+        return
+    for label, stats in attribution.items():
+        sub = f"{ctx} label {label!r}"
+        if not label:
+            _err(errors, path, f"{ctx} has an empty kernel label")
+        if not isinstance(stats, dict):
+            _err(errors, path, f"{sub} must be an object, got {stats!r}")
+            continue
+        for key in ("calls", "wall_ns"):
+            v = stats.get(key)
+            if not _is_int(v) or v < 0:
+                _err(errors, path,
+                     f"{sub} field {key!r} must be a non-negative integer, "
+                     f"got {v!r}")
+        if stats.get("calls") == 0 and stats.get("wall_ns") == 0:
+            _err(errors, path,
+                 f"{sub} has calls == 0 and wall_ns == 0 (the emitter "
+                 f"drops such entries)")
+        if "perf" in stats:
+            check_perf_reading(errors, path, f"{sub} perf", stats["perf"])
+
+
 def check_case(errors, path, i, case, min_samples=1):
     if not isinstance(case, dict):
         _err(errors, path, f"case {i} is not an object")
@@ -263,6 +345,12 @@ def check_case(errors, path, i, case, min_samples=1):
     if abs(case["min_ms"] - min(samples)) > 1e-3:
         _err(errors, path,
              f"case {name!r} min_ms does not match min(samples_ms)")
+    if "perf" in case:
+        check_perf_reading(errors, path, f"case {name!r} perf", case["perf"])
+    if "kernel_attribution" in case:
+        check_kernel_attribution(errors, path,
+                                 f"case {name!r} kernel_attribution",
+                                 case["kernel_attribution"])
 
 
 def check_bench_v2(errors, path, doc, min_samples=1):
@@ -576,6 +664,92 @@ def check_openmetrics(errors, path, text):
     return {"counters": counters, "gauges": gauges, "histograms": hists}
 
 
+def check_folded_profile(errors, path, text):
+    """Validates a tsdist.profile.v1 collapsed-stack profile.
+
+    First line: `# tsdist.profile.v1 samples=N dropped=M interval_us=U
+    threads=T` with every field a non-negative integer. Every following
+    line: `frame;frame;... count` with a positive count; counts are
+    non-increasing top to bottom (emitters sort hottest-first), no stack
+    repeats, and the body counts sum to the header's sample total.
+
+    Returns the parsed header as a dict (all fields present, defaulting to
+    0 when the header was unreadable), so callers can assert on e.g.
+    `samples` after the structural checks pass.
+    """
+    header = {key: 0 for key in PROFILE_HEADER_FIELDS}
+    lines = text.splitlines()
+    if not lines:
+        _err(errors, path, "profile is empty")
+        return header
+    first = lines[0]
+    prefix = f"# {PROFILE_SCHEMA} "
+    if not first.startswith(prefix):
+        _err(errors, path,
+             f"header must start with {prefix.strip()!r}, got {first!r}")
+        return header
+    seen = set()
+    for token in first[len(prefix):].split():
+        key, eq, raw = token.partition("=")
+        if not eq or key not in PROFILE_HEADER_FIELDS:
+            _err(errors, path, f"unrecognized header token {token!r}")
+            continue
+        if key in seen:
+            _err(errors, path, f"duplicate header field {key!r}")
+            continue
+        seen.add(key)
+        if not raw.isdigit():
+            _err(errors, path,
+                 f"header field {key!r} must be a non-negative integer, "
+                 f"got {raw!r}")
+            continue
+        header[key] = int(raw)
+    for key in PROFILE_HEADER_FIELDS:
+        if key not in seen:
+            _err(errors, path, f"header missing field {key!r}")
+
+    body_total = 0
+    prev_count = None
+    stacks = set()
+    for lineno, line in enumerate(lines[1:], 2):
+        if not line:
+            _err(errors, path, f"line {lineno}: blank line in profile body")
+            continue
+        if line.startswith("#"):
+            _err(errors, path,
+                 f"line {lineno}: comment after the header line")
+            continue
+        sp = line.rfind(" ")
+        if sp <= 0 or sp + 1 >= len(line):
+            _err(errors, path,
+                 f"line {lineno}: expected 'stack count', got {line!r}")
+            continue
+        stack, raw_count = line[:sp], line[sp + 1:]
+        if not raw_count.isdigit() or int(raw_count) == 0:
+            _err(errors, path,
+                 f"line {lineno}: count must be a positive integer, "
+                 f"got {raw_count!r}")
+            continue
+        count = int(raw_count)
+        body_total += count
+        if prev_count is not None and count > prev_count:
+            _err(errors, path,
+                 f"line {lineno}: counts must be non-increasing "
+                 f"({count} after {prev_count})")
+        prev_count = count
+        if stack in stacks:
+            _err(errors, path, f"line {lineno}: duplicate stack {stack!r}")
+        stacks.add(stack)
+        if any(not frame for frame in stack.split(";")):
+            _err(errors, path,
+                 f"line {lineno}: stack has an empty frame: {stack!r}")
+    if "samples" in seen and body_total != header["samples"]:
+        _err(errors, path,
+             f"body counts sum to {body_total} but the header claims "
+             f"{header['samples']} samples")
+    return header
+
+
 def check_required_cases(errors, path, doc, required):
     """--require-case BENCH/CASE entries must exist in the bench/suite doc."""
     present = set()
@@ -654,6 +828,34 @@ def _valid_openmetrics():
         "tsdist_eval_cell_ns_sum 700\n"
         "tsdist_eval_cell_ns_count 4\n"
         "# EOF\n"
+    )
+
+
+def _valid_perf_reading():
+    return {
+        "cycles": 1000000, "instructions": 2500000,
+        "cache_references": 20000, "cache_misses": 400,
+        "branches": 500000, "branch_misses": 2000,
+        "time_enabled_ns": 800000, "time_running_ns": 800000,
+        "ipc": 2.5, "cache_miss_rate": 0.02, "branch_miss_rate": 0.004,
+        "running_ratio": 1.0,
+    }
+
+
+def _valid_kernel_attribution():
+    return {
+        "euclidean": {"calls": 128, "wall_ns": 73000,
+                      "perf": _valid_perf_reading()},
+        "dtw": {"calls": 64, "wall_ns": 910000},
+    }
+
+
+def _valid_folded():
+    return (
+        f"# {PROFILE_SCHEMA} samples=6 dropped=1 interval_us=1000 threads=2\n"
+        "main;Evaluate;DtwKernel 3\n"
+        "main;Evaluate;EuclideanKernel 2\n"
+        "main;Export 1\n"
     )
 
 
@@ -762,6 +964,35 @@ def self_test():
     expect(_valid_report(), False, "broken embedded metrics",
            lambda d: d["metrics"].update(schema="bogus"))
 
+    # Per-case kernel attribution and perf-reading blocks (optional, but
+    # checked when present).
+    def with_attribution(doc):
+        doc["cases"][0]["kernel_attribution"] = _valid_kernel_attribution()
+        doc["cases"][0]["perf"] = _valid_perf_reading()
+
+    expect(_valid_report(), True, "valid kernel attribution",
+           with_attribution)
+    expect(_valid_report(), False, "attribution empty object",
+           lambda d: d["cases"][0].update(kernel_attribution={}))
+    expect(_valid_report(), False, "attribution negative calls",
+           lambda d: (with_attribution(d), d["cases"][0]
+                      ["kernel_attribution"]["dtw"].update(calls=-1)))
+    expect(_valid_report(), False, "attribution missing wall_ns",
+           lambda d: (with_attribution(d), d["cases"][0]
+                      ["kernel_attribution"]["dtw"].pop("wall_ns")))
+    expect(_valid_report(), False, "attribution all-zero entry",
+           lambda d: (with_attribution(d), d["cases"][0]
+                      ["kernel_attribution"]["dtw"]
+                      .update(calls=0, wall_ns=0)))
+    expect(_valid_report(), False, "attribution non-object stats",
+           lambda d: d["cases"][0].update(kernel_attribution={"dtw": 7}))
+    expect(_valid_report(), False, "perf running > enabled",
+           lambda d: (with_attribution(d), d["cases"][0]["perf"]
+                      .update(time_running_ns=10**9)))
+    expect(_valid_report(), False, "perf non-integer count",
+           lambda d: (with_attribution(d), d["cases"][0]["perf"]
+                      .update(cycles=1.5)))
+
     expect_results(True, "valid results report")
     expect_results(False, "results bad schema",
                    lambda d: d.update(schema="tsdist.results.v2"))
@@ -836,6 +1067,45 @@ def self_test():
     if mangle_openmetrics_name("tsdist.pool.jobs") != "tsdist_pool_jobs":
         failures.append("mangle_openmetrics_name: wrong mangling")
 
+    def expect_folded(should_pass, label, mutate=None, want_samples=None):
+        text = _valid_folded()
+        if mutate:
+            text = mutate(text)
+        errors = []
+        header = check_folded_profile(errors, label, text)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+        if want_samples is not None and header["samples"] != want_samples:
+            failures.append(f"{label}: header samples {header['samples']}, "
+                            f"expected {want_samples}")
+
+    expect_folded(True, "valid folded profile", want_samples=6)
+    expect_folded(True, "header-only folded profile (idle profiler)",
+                  lambda t: t.splitlines()[0].replace(
+                      "samples=6", "samples=0") + "\n")
+    expect_folded(False, "folded wrong schema",
+                  lambda t: t.replace(PROFILE_SCHEMA, "tsdist.profile.v9"))
+    expect_folded(False, "folded missing header field",
+                  lambda t: t.replace(" dropped=1", ""))
+    expect_folded(False, "folded non-numeric header field",
+                  lambda t: t.replace("interval_us=1000", "interval_us=ms"))
+    expect_folded(False, "folded body sum mismatch",
+                  lambda t: t.replace("samples=6", "samples=9"))
+    expect_folded(False, "folded zero count row",
+                  lambda t: t.replace("main;Export 1", "main;Export 0"))
+    expect_folded(False, "folded malformed row",
+                  lambda t: t.replace("main;Export 1", "main;Export"))
+    expect_folded(False, "folded increasing counts",
+                  lambda t: t.replace("main;Export 1", "main;Export 4"))
+    expect_folded(False, "folded duplicate stack",
+                  lambda t: t.replace("main;Export 1",
+                                      "main;Evaluate;DtwKernel 1"))
+    expect_folded(False, "folded empty frame",
+                  lambda t: t.replace("main;Export 1", "main;;Export 1"))
+    expect_folded(False, "folded empty file", lambda t: "")
+
     # Required-case lookup across a suite.
     errors = []
     check_required_cases(errors, "suite", _valid_suite(), ["bench_x/evaluate"])
@@ -867,6 +1137,13 @@ def main(argv):
     parser.add_argument("--openmetrics",
                         help="OpenMetrics text scraped from the /metrics "
                              "endpoint (tsdist_eval --serve)")
+    parser.add_argument("--profile",
+                        help="tsdist.profile.v1 collapsed-stack profile "
+                             "(--profile-out / /profilez?dump)")
+    parser.add_argument("--require-profile-samples", type=int, default=0,
+                        metavar="N",
+                        help="fail unless the --profile header reports at "
+                             "least N samples")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="COUNTER",
                         help="fail unless this counter exists and is > 0")
@@ -889,9 +1166,9 @@ def main(argv):
     if args.self_test:
         return self_test()
     if not args.metrics and not args.bench and not args.results \
-            and not args.openmetrics:
+            and not args.openmetrics and not args.profile:
         parser.error("need a METRICS.json, --bench, --results, "
-                     "--openmetrics, or --self-test")
+                     "--openmetrics, --profile, or --self-test")
 
     errors = []
     if args.metrics:
@@ -932,6 +1209,14 @@ def main(argv):
                 if om not in families["gauges"]:
                     _err(errors, args.openmetrics,
                          f"required gauge {name!r} ({om!r}) not exposed")
+    if args.profile:
+        text = load_text(errors, args.profile)
+        if text is not None:
+            header = check_folded_profile(errors, args.profile, text)
+            if header["samples"] < args.require_profile_samples:
+                _err(errors, args.profile,
+                     f"profile has {header['samples']} samples, required at "
+                     f"least {args.require_profile_samples}")
 
     for message in errors:
         print(f"check_metrics_schema: {message}", file=sys.stderr)

@@ -126,6 +126,21 @@ def main(argv):
         if status != 200:
             return fail(f"/logz returned HTTP {status}")
 
+        # Live profiler control: status, a start/dump/stop round trip, and a
+        # schema-valid folded dump.
+        status, _, profilez = fetch(port, "/profilez")
+        if status != 200 or not profilez.startswith("profiler "):
+            return fail(f"/profilez unexpected: {profilez!r}")
+        status, _, started = fetch(port, "/profilez?start")
+        if status != 200 or "started" not in started:
+            return fail(f"/profilez?start unexpected: {started!r}")
+        status, _, dump = fetch(port, "/profilez?dump")
+        if status != 200 or not dump.startswith("# tsdist.profile.v1 "):
+            return fail(f"/profilez?dump missing folded header: {dump[:80]!r}")
+        status, _, stopped = fetch(port, "/profilez?stop")
+        if status != 200 or "stopped" not in stopped:
+            return fail(f"/profilez?stop unexpected: {stopped!r}")
+
         status, _, _ = fetch(port, "/nonexistent")
         return fail("/nonexistent should have returned 404")
     except urllib.error.HTTPError as exc:

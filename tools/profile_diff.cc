@@ -1,0 +1,279 @@
+// Folded-profile diff gate: compares two collapsed-stack profiles written
+// by the sampling profiler (tsdist_eval/tsdist_bench --profile-out, or
+// /profilez?dump) and reports per-frame share movement.
+//
+//   profile_diff new.folded baseline.folded [--top 20]
+//                [--max-grow-pp 25] [--min-samples 50] [--warn-only]
+//
+// For every frame the tool computes, in each profile:
+//   self share  — fraction of samples with the frame as the leaf;
+//   total share — fraction of samples with the frame anywhere on stack
+//                 (counted once per stack, so recursion does not inflate it).
+// The report lists the --top movers ranked by |delta self share|, in
+// percentage points. The gate FAILS (exit 1) when any frame's self share
+// grows by more than --max-grow-pp percentage points — a new hotspot that
+// big means the profile's cost distribution genuinely shifted. Sampling
+// noise on two identical runs moves single frames by a few points at most,
+// so the default 25 pp threshold keeps same-binary comparisons green while
+// still catching a kernel whose guts changed.
+//
+// With fewer than --min-samples samples in either profile, shares are too
+// noisy to gate on: the comparison is printed but always exits 0.
+//
+// Exit codes: 0 clean (or --warn-only / too few samples), 1 gate failure,
+// 2 usage or file errors.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Profile {
+  std::uint64_t samples = 0;      // from the header
+  std::uint64_t dropped = 0;
+  std::uint64_t interval_us = 0;
+  std::uint64_t body_samples = 0; // sum of body counts (denominator)
+  std::map<std::string, std::uint64_t> self;   // leaf frame -> samples
+  std::map<std::string, std::uint64_t> total;  // frame on stack -> samples
+};
+
+struct Options {
+  std::string new_path;
+  std::string baseline_path;
+  int top = 20;
+  double max_grow_pp = 25.0;
+  std::uint64_t min_samples = 50;
+  bool warn_only = false;
+};
+
+// Splits "a;b;c" into frames. Empty segments (doubled semicolons) are
+// dropped rather than treated as anonymous frames.
+std::vector<std::string> SplitStack(const std::string& stack) {
+  std::vector<std::string> frames;
+  std::stringstream ss(stack);
+  std::string frame;
+  while (std::getline(ss, frame, ';')) {
+    if (!frame.empty()) frames.push_back(frame);
+  }
+  return frames;
+}
+
+bool LoadProfile(const std::string& path, Profile* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.find("tsdist.profile.v1") != std::string::npos) {
+        saw_header = true;
+        std::istringstream header(line.substr(1));
+        std::string token;
+        while (header >> token) {
+          const std::size_t eq = token.find('=');
+          if (eq == std::string::npos) continue;
+          const std::string key = token.substr(0, eq);
+          const std::uint64_t value =
+              std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+          if (key == "samples") out->samples = value;
+          else if (key == "dropped") out->dropped = value;
+          else if (key == "interval_us") out->interval_us = value;
+        }
+      }
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) {
+      *error = path + ": malformed line '" + line + "'";
+      return false;
+    }
+    const std::uint64_t count =
+        std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+    const std::vector<std::string> frames = SplitStack(line.substr(0, sp));
+    if (frames.empty() || count == 0) continue;
+    out->body_samples += count;
+    out->self[frames.back()] += count;
+    // Total share counts each frame once per stack, recursion included.
+    const std::set<std::string> unique(frames.begin(), frames.end());
+    for (const std::string& frame : unique) out->total[frame] += count;
+  }
+  if (!saw_header) {
+    *error = path + ": missing '# tsdist.profile.v1 ...' header";
+    return false;
+  }
+  return true;
+}
+
+double SharePct(const std::map<std::string, std::uint64_t>& counts,
+                const std::string& frame, std::uint64_t denom) {
+  if (denom == 0) return 0.0;
+  const auto it = counts.find(frame);
+  if (it == counts.end()) return 0.0;
+  return 100.0 * static_cast<double>(it->second) /
+         static_cast<double>(denom);
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "profile_diff: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--top") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->top = std::max(1, std::atoi(v));
+    } else if (arg == "--max-grow-pp") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->max_grow_pp = std::atof(v);
+    } else if (arg == "--min-samples") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->min_samples = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--warn-only") {
+      opt->warn_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "profile_diff: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << "profile_diff: need <new.folded> <baseline.folded>\n";
+    return false;
+  }
+  opt->new_path = positional[0];
+  opt->baseline_path = positional[1];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    std::cerr << "usage: profile_diff <new.folded> <baseline.folded>\n"
+                 "       [--top N] [--max-grow-pp P] [--min-samples N]\n"
+                 "       [--warn-only]\n";
+    return 2;
+  }
+
+  Profile fresh, base;
+  std::string error;
+  if (!LoadProfile(opt.new_path, &fresh, &error) ||
+      !LoadProfile(opt.baseline_path, &base, &error)) {
+    std::cerr << "profile_diff: " << error << "\n";
+    return 2;
+  }
+
+  std::printf("profile_diff: %s (%llu samples) vs baseline %s (%llu "
+              "samples)\n",
+              opt.new_path.c_str(),
+              static_cast<unsigned long long>(fresh.body_samples),
+              opt.baseline_path.c_str(),
+              static_cast<unsigned long long>(base.body_samples));
+
+  // Rank every frame seen in either profile by |delta self share|.
+  std::set<std::string> frames;
+  for (const auto& [frame, count] : fresh.self) frames.insert(frame);
+  for (const auto& [frame, count] : base.self) frames.insert(frame);
+
+  struct Mover {
+    std::string frame;
+    double base_self_pct;
+    double new_self_pct;
+    double base_total_pct;
+    double new_total_pct;
+  };
+  std::vector<Mover> movers;
+  movers.reserve(frames.size());
+  for (const std::string& frame : frames) {
+    Mover m;
+    m.frame = frame;
+    m.base_self_pct = SharePct(base.self, frame, base.body_samples);
+    m.new_self_pct = SharePct(fresh.self, frame, fresh.body_samples);
+    m.base_total_pct = SharePct(base.total, frame, base.body_samples);
+    m.new_total_pct = SharePct(fresh.total, frame, fresh.body_samples);
+    movers.push_back(std::move(m));
+  }
+  std::sort(movers.begin(), movers.end(), [](const Mover& a, const Mover& b) {
+    const double da = std::abs(a.new_self_pct - a.base_self_pct);
+    const double db = std::abs(b.new_self_pct - b.base_self_pct);
+    if (da != db) return da > db;
+    return a.frame < b.frame;
+  });
+
+  std::printf("%-56s %9s %9s %9s %9s %9s\n", "frame", "self0%", "self1%",
+              "dself", "total0%", "total1%");
+  const std::size_t shown =
+      std::min(movers.size(), static_cast<std::size_t>(opt.top));
+  int growers = 0;
+  double worst_growth = 0.0;
+  std::string worst_frame;
+  for (const Mover& m : movers) {
+    const double delta = m.new_self_pct - m.base_self_pct;
+    if (delta > worst_growth) {
+      worst_growth = delta;
+      worst_frame = m.frame;
+    }
+    if (delta > opt.max_grow_pp) ++growers;
+  }
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Mover& m = movers[i];
+    std::string frame = m.frame;
+    if (frame.size() > 56) frame = frame.substr(0, 53) + "...";
+    std::printf("%-56s %8.2f%% %8.2f%% %+8.2f%% %8.2f%% %8.2f%%\n",
+                frame.c_str(), m.base_self_pct, m.new_self_pct,
+                m.new_self_pct - m.base_self_pct, m.base_total_pct,
+                m.new_total_pct);
+  }
+  if (movers.size() > shown) {
+    std::printf("  ... %zu more frame(s); rerun with --top %zu\n",
+                movers.size() - shown, movers.size());
+  }
+
+  const std::uint64_t min_observed =
+      std::min(fresh.body_samples, base.body_samples);
+  if (min_observed < opt.min_samples) {
+    std::printf("profile_diff: only %llu samples (< %llu) — shares too "
+                "noisy to gate, exiting 0\n",
+                static_cast<unsigned long long>(min_observed),
+                static_cast<unsigned long long>(opt.min_samples));
+    return 0;
+  }
+  if (growers > 0) {
+    std::printf("profile_diff: %d frame(s) grew self share by more than "
+                "%.1f pp (worst: %s, +%.1f pp)%s\n",
+                growers, opt.max_grow_pp, worst_frame.c_str(), worst_growth,
+                opt.warn_only ? " (warn-only: exiting 0)" : "");
+    return opt.warn_only ? 0 : 1;
+  }
+  std::printf("profile_diff: no frame grew self share beyond %.1f pp "
+              "(worst: %s%.1f pp)\n",
+              opt.max_grow_pp, worst_growth > 0.0 ? "+" : "", worst_growth);
+  return 0;
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the sampling profiler pipeline.
+
+Runs the same tiny evaluation sweep three times with the real tsdist_eval
+binary:
+
+  1. a plain run (no profiling) — the reference results;
+  2. a profiled run (--profile-out + --profile-trace);
+  3. a second profiled run — the diff baseline.
+
+Then asserts the whole contract end to end:
+
+  * the results JSON of all three runs is bit-identical — profiling must
+    never change evaluation output;
+  * both folded profiles carry the tsdist.profile.v1 header and parse
+    (validated via check_metrics_schema.check_folded_profile), and the
+    profiled sweep captured at least one sample;
+  * the Chrome-trace view is valid JSON with the stackFrames/samples shape;
+  * profile_diff over the two captures of the identical binary exits 0 —
+    sampling noise alone must not trip the hotspot gate.
+
+Stdlib only. Exits 0 on success, 1 with a message per failure otherwise.
+
+Usage:
+  profile_smoke.py --eval build/tools/tsdist_eval \
+      --profile-diff build/tools/profile_diff \
+      --schema-check tools/check_metrics_schema.py \
+      --workdir build/tools/profile_smoke [--timeout 300]
+"""
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+
+def fail(msg):
+    print(f"profile_smoke: {msg}", file=sys.stderr)
+    return 1
+
+
+def load_schema_module(path):
+    spec = importlib.util.spec_from_file_location("check_metrics_schema", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_eval(binary, workdir, tag, timeout, profile=False):
+    results = os.path.join(workdir, f"results_{tag}.json")
+    cmd = [
+        binary, "--scale", "tiny", "--measures", "euclidean,dtw",
+        "--results-json", results,
+    ]
+    artifacts = {"results": results}
+    if profile:
+        artifacts["folded"] = os.path.join(workdir, f"profile_{tag}.folded")
+        artifacts["trace"] = os.path.join(workdir, f"profile_{tag}.json")
+        cmd += ["--profile-out", artifacts["folded"],
+                "--profile-trace", artifacts["trace"]]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True, timeout=timeout)
+    return proc, artifacts
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--eval", required=True, dest="eval_binary",
+                        help="path to the tsdist_eval binary")
+    parser.add_argument("--profile-diff", required=True,
+                        help="path to the profile_diff binary")
+    parser.add_argument("--schema-check", required=True,
+                        help="path to check_metrics_schema.py")
+    parser.add_argument("--workdir", required=True,
+                        help="scratch directory for artifacts")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-run deadline in seconds")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.workdir, exist_ok=True)
+    schema = load_schema_module(args.schema_check)
+
+    runs = {}
+    for tag, profile in (("plain", False), ("a", True), ("b", True)):
+        proc, artifacts = run_eval(args.eval_binary, args.workdir, tag,
+                                   args.timeout, profile=profile)
+        if proc.returncode != 0:
+            return fail(f"run '{tag}' exited {proc.returncode}; stderr:\n"
+                        + proc.stderr)
+        runs[tag] = artifacts
+
+    # 1. Bit-identity: profiling must be a pure observer.
+    with open(runs["plain"]["results"], "rb") as f:
+        reference = f.read()
+    for tag in ("a", "b"):
+        with open(runs[tag]["results"], "rb") as f:
+            if f.read() != reference:
+                return fail(f"results JSON of profiled run '{tag}' differs "
+                            "from the unprofiled run")
+
+    # 2. Folded profiles: schema-valid and non-empty.
+    for tag in ("a", "b"):
+        with open(runs[tag]["folded"], "r", encoding="utf-8") as f:
+            folded = f.read()
+        errors = []
+        header = schema.check_folded_profile(errors, runs[tag]["folded"],
+                                             folded)
+        if errors:
+            for e in errors:
+                print(f"profile_smoke: {e}", file=sys.stderr)
+            return 1
+        if header["samples"] == 0:
+            return fail(f"profiled run '{tag}' captured zero samples")
+
+    # 3. Chrome-trace view: valid JSON, sampling-profile shape.
+    with open(runs["a"]["trace"], "r", encoding="utf-8") as f:
+        trace = json.load(f)
+    for key in ("traceEvents", "stackFrames", "samples"):
+        if key not in trace:
+            return fail(f"profile trace missing {key!r}")
+    if not trace["samples"]:
+        return fail("profile trace has no samples")
+
+    # 4. Two captures of the same binary must pass the hotspot gate.
+    diff = subprocess.run(
+        [args.profile_diff, runs["a"]["folded"], runs["b"]["folded"]],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=args.timeout)
+    if diff.returncode != 0:
+        return fail(f"profile_diff exited {diff.returncode} on identical "
+                    f"binaries:\n{diff.stdout}")
+
+    print("profile_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

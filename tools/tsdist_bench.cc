@@ -18,13 +18,16 @@
 //   paper  TSDIST_SCALE=small, every table/figure reproduction (minutes).
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -38,6 +41,7 @@
 #include "src/obs/json.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 #include "src/obs/runinfo.h"
 
 namespace {
@@ -83,6 +87,7 @@ struct Options {
   std::string out;
   std::string bindir;
   std::string artifacts;
+  std::string profile_out;  // merged folded profile across all benches
   int serve_port = -1;  // -1 = no telemetry server; 0 = ephemeral port
   bool list = false;
 };
@@ -112,6 +117,10 @@ void PrintUsage() {
       "  --serve PORT          embedded telemetry HTTP server on\n"
       "                        127.0.0.1:PORT (0 = ephemeral): /metrics,\n"
       "                        /healthz, /runinfo, /logz\n"
+      "  --profile-out FILE    sample every bench subprocess (via\n"
+      "                        TSDIST_PROFILE_OUT) and merge the per-bench\n"
+      "                        folded profiles into FILE; the per-bench\n"
+      "                        captures stay in <artifacts>/PROFILE_*.folded\n"
       "  --list                print the resolved bench list and exit\n";
 }
 
@@ -157,6 +166,10 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       const char* v = next("--artifacts");
       if (v == nullptr) return false;
       opt->artifacts = v;
+    } else if (arg == "--profile-out") {
+      const char* v = next("--profile-out");
+      if (v == nullptr) return false;
+      opt->profile_out = v;
     } else if (arg == "--serve") {
       const char* v = next("--serve");
       if (v == nullptr) return false;
@@ -192,6 +205,72 @@ std::string ShellQuote(const std::string& s) {
   }
   out += "'";
   return out;
+}
+
+// Accumulator for merging the per-bench folded profiles into one suite-wide
+// profile: identical stacks sum their counts; header tallies (samples,
+// dropped, threads) add up, and the sampling interval is taken from the
+// first capture (every subprocess uses the same default).
+struct FoldedAccumulator {
+  std::map<std::string, std::uint64_t> stacks;
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t interval_us = 0;
+  std::uint64_t threads = 0;
+};
+
+bool MergeFoldedFile(const std::string& path, FoldedAccumulator* acc) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string token;
+      while (header >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = token.substr(0, eq);
+        const std::uint64_t value =
+            std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+        if (key == "samples") {
+          acc->samples += value;
+        } else if (key == "dropped") {
+          acc->dropped += value;
+        } else if (key == "threads") {
+          acc->threads += value;
+        } else if (key == "interval_us" && acc->interval_us == 0) {
+          acc->interval_us = value;
+        }
+      }
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) continue;
+    acc->stacks[line.substr(0, sp)] +=
+        std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+  }
+  return true;
+}
+
+bool WriteMergedProfile(const std::string& path,
+                        const FoldedAccumulator& acc) {
+  std::vector<std::pair<std::string, std::uint64_t>> rows(acc.stacks.begin(),
+                                                          acc.stacks.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# " << tsdist::obs::kProfileSchema << " samples=" << acc.samples
+      << " dropped=" << acc.dropped << " interval_us=" << acc.interval_us
+      << " threads=" << acc.threads << "\n";
+  for (const auto& [stack, count] : rows) {
+    out << stack << " " << count << "\n";
+  }
+  return static_cast<bool>(out);
 }
 
 // Re-indents a serialized JSON document by `pad` spaces so embedded reports
@@ -274,6 +353,9 @@ int main(int argc, char** argv) {
   setenv("TSDIST_BENCH_JSON", opt.artifacts.c_str(), 1);
   setenv("TSDIST_BENCH_REPEAT", std::to_string(opt.repeat).c_str(), 1);
   setenv("TSDIST_BENCH_WARMUP", std::to_string(opt.warmup).c_str(), 1);
+  // Each profiled bench writes its own capture; anything inherited from the
+  // caller's environment must not leak into un-profiled runs.
+  unsetenv("TSDIST_PROFILE_OUT");
 
   std::cout << "tsdist_bench: " << benches.size() << " benches, scale "
             << opt.scale << " (archive " << archive_scale << "), repeat "
@@ -297,6 +379,11 @@ int main(int argc, char** argv) {
     outcome.name = bench;
     const fs::path bin = fs::path(opt.bindir) / bench;
     const std::string log = opt.artifacts + "/" + bench + ".log";
+    if (!opt.profile_out.empty()) {
+      const std::string folded =
+          opt.artifacts + "/PROFILE_" + bench + ".folded";
+      setenv("TSDIST_PROFILE_OUT", folded.c_str(), 1);
+    }
     const std::string cmd = ShellQuote(bin.string()) + " > " +
                             ShellQuote(log) + " 2>&1";
     std::cout << "  " << bench << " ... " << std::flush;
@@ -339,6 +426,24 @@ int main(int argc, char** argv) {
   tsdist::obs::HealthState::Global().SetCurrentCell("");
   tsdist::obs::HealthState::Global().SetCells(benches_done, benches.size(), 0);
   tsdist::obs::HealthState::Global().SetPhase("export");
+
+  if (!opt.profile_out.empty()) {
+    FoldedAccumulator acc;
+    std::size_t merged = 0;
+    for (const auto& outcome : outcomes) {
+      const std::string folded =
+          opt.artifacts + "/PROFILE_" + outcome.name + ".folded";
+      if (MergeFoldedFile(folded, &acc)) ++merged;
+    }
+    if (!WriteMergedProfile(opt.profile_out, acc)) {
+      std::cerr << "tsdist_bench: cannot write " << opt.profile_out << "\n";
+      any_failed = true;
+    } else {
+      std::cout << "tsdist_bench: wrote " << opt.profile_out << " ("
+                << acc.samples << " samples from " << merged
+                << " benches)\n";
+    }
+  }
 
   // The suite manifest records the orchestrator's own provenance; the
   // embedded reports carry their (identical) per-process manifests too.

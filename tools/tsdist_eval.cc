@@ -65,6 +65,7 @@
 #include "src/obs/json.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/profiler.h"
 #include "src/obs/runinfo.h"
 #include "src/resilience/cancellation.h"
 #include "src/resilience/checkpoint.h"
@@ -112,6 +113,8 @@ struct Options {
   std::size_t selftest_cell_sleep_ms = 0;
   int serve_port = -1;  // -1 = no telemetry server; 0 = ephemeral port
   std::string log_json_path;
+  std::string profile_out_path;
+  std::string profile_trace_path;
   bool progress = false;
   bool help = false;
 };
@@ -267,6 +270,12 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (arg == "--trace-json") {
       if (!next(&v)) return false;
       options->trace_json_path = v;
+    } else if (arg == "--profile-out") {
+      if (!next(&v)) return false;
+      options->profile_out_path = v;
+    } else if (arg == "--profile-trace") {
+      if (!next(&v)) return false;
+      options->profile_trace_path = v;
     } else if (arg == "--progress") {
       options->progress = true;
     } else {
@@ -289,6 +298,7 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "          [--results-json <path>] [--metrics-json <path>]\n"
       "          [--metrics-csv <path>] [--trace-json <path>]\n"
       "          [--serve PORT] [--log-json <path>]\n"
+      "          [--profile-out <path>] [--profile-trace <path>]\n"
       "          [--progress] [--help]\n"
       "\n"
       "  --pruned               classify through the lower-bound cascade\n"
@@ -322,6 +332,12 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "                         OpenMetrics text, /healthz, /runinfo, /logz\n"
       "  --log-json <path>      append structured tsdist.log.v1 JSON lines\n"
       "                         for every logged event\n"
+      "  --profile-out <path>   run the in-process sampling profiler over the\n"
+      "                         sweep and write a collapsed-stack (folded)\n"
+      "                         profile on exit (docs/PROFILING.md). Results\n"
+      "                         are bit-identical with or without profiling\n"
+      "  --profile-trace <path> the same samples as Chrome trace-event JSON\n"
+      "                         (chrome://tracing, Perfetto)\n"
       "  --progress             live cells/sec + ETA on stderr\n",
       prog);
 }
@@ -651,8 +667,19 @@ int main(int argc, char** argv) {
   const std::uint64_t sweep_total =
       static_cast<std::uint64_t>(datasets.size()) * options.measures.size();
   std::uint64_t sweep_resumed = 0;
+  std::uint64_t sweep_dnf = 0;
+  std::uint64_t sweep_failed = 0;
   obs::HealthState::Global().SetPhase("eval");
   obs::HealthState::Global().SetCells(0, sweep_total, 0);
+
+  // Profiling covers the sweep only — setup and export I/O would otherwise
+  // drown the kernel frames the profile exists to attribute.
+  const bool profiling = !options.profile_out_path.empty() ||
+                         !options.profile_trace_path.empty();
+  if (profiling && !obs::Profiler::Global().Start()) {
+    TSDIST_LOG(obs::LogLevel::kWarn, "profiler did not start",
+               obs::F("reason", "already running or observability disabled"));
+  }
   {
     // Scoped so the root span closes (and lands in the trace file) before
     // the exports below run.
@@ -713,6 +740,8 @@ int main(int argc, char** argv) {
             cell.reason = "non-finite test accuracy";
             cell.test_accuracy = 0.0;
           }
+          if (cell.status == EvalStatus::kDnf) ++sweep_dnf;
+          if (cell.status == EvalStatus::kFailed) ++sweep_failed;
           if (obs::Enabled()) {
             switch (cell.status) {
               case EvalStatus::kOk: cell_counters[0]->Add(1); break;
@@ -736,7 +765,8 @@ int main(int argc, char** argv) {
           }
         }
         obs::HealthState::Global().SetCells(outcomes.size() + 1, sweep_total,
-                                            sweep_resumed);
+                                            sweep_resumed, sweep_dnf,
+                                            sweep_failed);
 
         accuracies(i, j) = cell.status == EvalStatus::kOk
                                ? cell.test_accuracy
@@ -774,6 +804,11 @@ int main(int argc, char** argv) {
     obs::SetActiveProgress(nullptr);
     progress.Finish();
   }
+  if (profiling) obs::Profiler::Global().Stop();
+  TSDIST_LOG(obs::LogLevel::kInfo, "sweep finished",
+             obs::F("done", static_cast<std::uint64_t>(outcomes.size())),
+             obs::F("total", sweep_total), obs::F("resumed", sweep_resumed),
+             obs::F("dnf", sweep_dnf), obs::F("failed", sweep_failed));
   if (interrupted) {
     TSDIST_LOG(obs::LogLevel::kWarn,
                "interrupted: checkpoints and metrics flushed, rerun to resume",
@@ -854,6 +889,16 @@ int main(int argc, char** argv) {
       !WriteFileOrComplain(options.trace_json_path,
                            obs::TraceRecorder::Global().ToChromeJson(),
                            "trace JSON")) {
+    ++export_failures;
+  }
+  if (!options.profile_out_path.empty() &&
+      !obs::WriteProfileFolded(options.profile_out_path)) {
+    ++export_failures;
+  }
+  if (!options.profile_trace_path.empty() &&
+      !WriteFileOrComplain(options.profile_trace_path,
+                           obs::Profiler::Global().RenderChromeTrace(),
+                           "profile trace JSON")) {
     ++export_failures;
   }
 
