@@ -1,0 +1,141 @@
+// Lock-step SIMD kernel benchmark: every batched measure is timed twice —
+// once pinned to the scalar dispatch level and once at the CPU's native
+// level (AVX2/AVX-512) — over the same synthetic collection, so the
+// tsdist.bench.v2 report carries a per-measure scalar-vs-vector sample pair
+// with perf-counter and kernel-attribution evidence. The binary also prints
+// a median-speedup table and verifies the two levels produce bit-identical
+// distance matrices (the dispatch contract; see docs/KERNELS.md).
+//
+// Collection sizes scale with TSDIST_SCALE (tiny/small/medium). The series
+// length is a multiple of neither 8 nor 16 so the tail path is exercised.
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pairwise_engine.h"
+#include "src/core/registry.h"
+#include "src/core/time_series.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/rng.h"
+#include "src/obs/profiler.h"
+#include "src/simd/dispatch.h"
+
+#include "bench/bench_common.h"
+
+namespace {
+
+std::vector<tsdist::TimeSeries> MakeCollection(std::size_t n, std::size_t m,
+                                               std::uint64_t seed) {
+  tsdist::Rng rng(seed);
+  std::vector<tsdist::TimeSeries> out;
+  out.reserve(n);
+  std::vector<double> values(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : values) v = rng.Gaussian();
+    out.emplace_back(values, static_cast<int>(i % 2));
+  }
+  return out;
+}
+
+double MedianOf(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+bool BitIdentical(const tsdist::Matrix& x, const tsdist::Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double xv = x(r, c), yv = y(r, c);
+      if (std::memcmp(&xv, &yv, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  tsdist::bench::ObsSession obs_session("bench_kernel_lockstep");
+  using namespace tsdist;
+
+  std::size_t n = 64, m = 508;  // 508 = 4 mod 8: exercises the lane tail
+  switch (bench::ScaleFromEnv()) {
+    case ArchiveScale::kTiny:
+      n = 32;
+      m = 252;
+      break;
+    case ArchiveScale::kSmall:
+      break;
+    case ArchiveScale::kMedium:
+      n = 128;
+      m = 1020;
+      break;
+  }
+  const std::vector<TimeSeries> queries = MakeCollection(n, m, 1);
+  const std::vector<TimeSeries> references = MakeCollection(n, m, 2);
+
+  // Single-threaded engine: the comparison is kernel ILP, not parallelism.
+  PairwiseEngine engine(1);
+  const Registry& registry = Registry::Global();
+  const std::vector<std::string> measures = {
+      "euclidean",     "manhattan",
+      "chebyshev",     "minkowski",
+      "squared_euclidean", "pearson_chisq",
+      "neyman_chisq",  "squared_chisq",
+      "prob_symmetric_chisq", "divergence",
+      "clark",         "additive_symmetric_chisq"};
+
+  const simd::SimdLevel native = simd::DetectBestSimdLevel();
+  std::cout << "Lock-step kernel dispatch benchmark  (n=" << n << " x " << n
+            << ", m=" << m << ", native=" << simd::ToString(native) << ")\n";
+  std::cout << std::left << std::setw(28) << "measure" << std::right
+            << std::setw(14) << "scalar ms" << std::setw(14) << "native ms"
+            << std::setw(10) << "speedup" << std::setw(8) << "bits" << "\n";
+
+  bool all_identical = true;
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const std::string& name : measures) {
+    const MeasurePtr measure = registry.Create(name);
+    if (measure == nullptr) continue;
+    Matrix scalar_result(0, 0), native_result(0, 0);
+
+    simd::SetActiveSimdLevelForTest(simd::SimdLevel::kScalar);
+    obs_session.RunCase(name + "/scalar", [&] {
+      obs::PerfRegion region("kernel_lockstep/" + name + "/scalar");
+      scalar_result = engine.Compute(queries, references, *measure);
+    });
+    const double scalar_ms = MedianOf(obs_session.cases().back().samples_ms);
+
+    simd::SetActiveSimdLevelForTest(native);
+    obs_session.RunCase(name + "/native", [&] {
+      obs::PerfRegion region("kernel_lockstep/" + name + "/native");
+      native_result = engine.Compute(queries, references, *measure);
+    });
+    const double native_ms = MedianOf(obs_session.cases().back().samples_ms);
+
+    const bool identical = BitIdentical(scalar_result, native_result);
+    all_identical = all_identical && identical;
+    const double speedup = native_ms > 0.0 ? scalar_ms / native_ms : 0.0;
+    speedups.emplace_back(name, speedup);
+    std::cout << std::left << std::setw(28) << name << std::right
+              << std::setw(14) << std::fixed << std::setprecision(3)
+              << scalar_ms << std::setw(14) << native_ms << std::setw(9)
+              << std::setprecision(2) << speedup << "x" << std::setw(8)
+              << (identical ? "same" : "DIFF") << "\n";
+  }
+  simd::ResetActiveSimdLevelForTest();
+
+  std::vector<double> ratios;
+  for (const auto& [name, s] : speedups) ratios.push_back(s);
+  std::cout << "median speedup: " << std::setprecision(2) << MedianOf(ratios)
+            << "x over " << ratios.size() << " measures; matrices "
+            << (all_identical ? "bit-identical" : "DIVERGED") << " across levels\n";
+  return all_identical ? 0 : 1;
+}

@@ -4,6 +4,12 @@
 // predetermined train and test partition ("we respect the split of training
 // and test sets provided by the UCR archive"), making evaluation
 // deterministic and reproducible.
+//
+// Storage: each TimeSeries keeps its values in a 64-byte-aligned buffer
+// (simd::AlignedVector, see src/simd/aligned.h), so whole-series views
+// handed to the SIMD batch kernels start on a cache-line boundary. The
+// alignment is a performance property, never a correctness requirement —
+// kernels accept arbitrary (e.g. subspan) pointers. See docs/KERNELS.md.
 
 #ifndef TSDIST_CORE_DATASET_H_
 #define TSDIST_CORE_DATASET_H_

@@ -10,12 +10,17 @@
 #ifndef TSDIST_CORE_DISTANCE_MEASURE_H_
 #define TSDIST_CORE_DISTANCE_MEASURE_H_
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace tsdist {
+
+/// Read-only view over one series' observations, as handed to measures.
+using SeriesView = std::span<const double>;
 
 /// Category of a distance measure, following the paper's taxonomy.
 enum class MeasureCategory {
@@ -95,6 +100,46 @@ class DistanceMeasure {
                                       std::span<const double> b,
                                       double /*cutoff*/) const {
     return Distance(a, b);
+  }
+
+  /// True when DistanceBatch / EarlyAbandonDistanceBatch are backed by a
+  /// vectorized kernel rather than the generic one-pair loop below.
+  /// PairwiseEngine uses this to attribute batch-kernel usage in metrics;
+  /// callers never need to check it for correctness — the defaults are
+  /// always valid.
+  virtual bool has_batch_kernel() const { return false; }
+
+  /// Distances from one query against many references:
+  /// out[i] = Distance(query, refs[i]). `out.size() == refs.size()`.
+  /// Batched calls MUST return bit-identical values to one-pair calls —
+  /// overrides may amortize dispatch and interleave loads, but not change
+  /// per-pair accumulation order.
+  virtual void DistanceBatch(SeriesView query,
+                             std::span<const SeriesView> refs,
+                             std::span<double> out) const {
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      out[i] = Distance(query, refs[i]);
+    }
+  }
+
+  /// Early-abandoning batch: each pair is evaluated under the
+  /// EarlyAbandonDistance contract against `cutoff` tightened by the best
+  /// value seen *earlier in this batch* (out[i] uses
+  /// min(cutoff, out[0..i-1]...) as its effective cutoff, exactly as a
+  /// caller looping EarlyAbandonDistance and tracking its own best would).
+  /// Entries >= the effective cutoff may be partial accumulations (possibly
+  /// +infinity); entries below it are exact and bit-identical to
+  /// Distance(). NaN results never tighten the cutoff.
+  virtual void EarlyAbandonDistanceBatch(SeriesView query,
+                                         std::span<const SeriesView> refs,
+                                         double cutoff,
+                                         std::span<double> out) const {
+    double local = cutoff;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const double d = EarlyAbandonDistance(query, refs[i], local);
+      out[i] = d;
+      if (d < local) local = d;
+    }
   }
 
   /// Per-comparison asymptotic cost.

@@ -1,6 +1,7 @@
 #include "src/core/pairwise_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <exception>
@@ -74,6 +75,16 @@ void ValidatePair(const std::vector<TimeSeries>& queries,
                         "queries[0]");
 }
 
+// Read-only views over a collection, built once per engine call so row
+// loops and batch kernels index straight into contiguous buffers instead of
+// re-deriving spans from TimeSeries per cell.
+std::vector<SeriesView> BuildViews(const std::vector<TimeSeries>& series) {
+  std::vector<SeriesView> views;
+  views.reserve(series.size());
+  for (const auto& s : series) views.push_back(s.values());
+  return views;
+}
+
 // Cached handles for the pairwise metrics of one measure; resolved once per
 // matrix so the per-row cost is relaxed atomic adds plus two clock reads.
 struct PairwiseMetrics {
@@ -81,14 +92,22 @@ struct PairwiseMetrics {
   obs::Counter* cells_measure = nullptr;
   obs::Counter* rows = nullptr;
   obs::Histogram* row_ns = nullptr;
+  // Non-null only for measures whose DistanceBatch runs on a SIMD kernel;
+  // attributes how much of the workload went through the batch path.
+  obs::Counter* simd_rows = nullptr;
+  obs::Counter* simd_cells = nullptr;
 
-  explicit PairwiseMetrics(const std::string& measure_name) {
+  PairwiseMetrics(const std::string& measure_name, bool batch_kernel) {
     auto& registry = obs::MetricsRegistry::Global();
     cells_total = &registry.GetCounter("tsdist.pairwise.cells");
     cells_measure =
         &registry.GetCounter("tsdist.pairwise.cells." + measure_name);
     rows = &registry.GetCounter("tsdist.pairwise.rows");
     row_ns = &registry.GetHistogram("tsdist.pairwise.row_ns." + measure_name);
+    if (batch_kernel) {
+      simd_rows = &registry.GetCounter("tsdist.simd.batch.rows");
+      simd_cells = &registry.GetCounter("tsdist.simd.batch.cells");
+    }
   }
 
   void RecordRow(std::uint64_t cells, std::uint64_t elapsed_ns) const {
@@ -96,6 +115,10 @@ struct PairwiseMetrics {
     cells_measure->Add(cells);
     rows->Add(1);
     row_ns->Record(elapsed_ns);
+    if (simd_rows != nullptr) {
+      simd_rows->Add(1);
+      simd_cells->Add(cells);
+    }
     obs::ProgressTick(cells);
   }
 };
@@ -109,6 +132,8 @@ struct PruneMetrics {
   obs::Counter* abandoned = nullptr;
   obs::Counter* full = nullptr;
   obs::Counter* nan_distances = nullptr;
+  obs::Counter* ea_batch_rows = nullptr;
+  obs::Counter* ea_batch_cells = nullptr;
 
   PruneMetrics() {
     auto& registry = obs::MetricsRegistry::Global();
@@ -118,6 +143,8 @@ struct PruneMetrics {
     abandoned = &registry.GetCounter("tsdist.prune.abandoned");
     full = &registry.GetCounter("tsdist.prune.full");
     nan_distances = &registry.GetCounter("tsdist.classify.nan_distances");
+    ea_batch_rows = &registry.GetCounter("tsdist.simd.ea_batch.rows");
+    ea_batch_cells = &registry.GetCounter("tsdist.simd.ea_batch.cells");
   }
 };
 
@@ -129,6 +156,8 @@ struct PruneTally {
   std::uint64_t abandoned = 0;
   std::uint64_t full = 0;
   std::uint64_t nan_distances = 0;
+  std::uint64_t ea_batch_rows = 0;
+  std::uint64_t ea_batch_cells = 0;
 
   void FlushTo(const PruneMetrics& metrics) const {
     metrics.candidates->Add(candidates);
@@ -137,6 +166,8 @@ struct PruneTally {
     if (abandoned > 0) metrics.abandoned->Add(abandoned);
     if (full > 0) metrics.full->Add(full);
     if (nan_distances > 0) metrics.nan_distances->Add(nan_distances);
+    if (ea_batch_rows > 0) metrics.ea_batch_rows->Add(ea_batch_rows);
+    if (ea_batch_cells > 0) metrics.ea_batch_cells->Add(ea_batch_cells);
     obs::ProgressTick(candidates);
   }
 };
@@ -165,56 +196,112 @@ CascadeContext BuildCascadeContext(const std::vector<TimeSeries>& references,
   return ctx;
 }
 
+// Candidates per EarlyAbandonDistanceBatch call in the non-DTW cascade.
+// Large enough to amortize virtual dispatch, small enough that the improving
+// local cutoff stays nearly as tight as the strictly sequential loop.
+constexpr std::size_t kEaChunk = 64;
+
+// Folds one computed distance into the running best, with the tally and
+// tie-break rules shared by both cascade paths: abandons (+inf) are
+// discarded, NaN loses every `<` comparison and is never selected (matching
+// the matrix argmin; tallied so silent misclassification has a signal), and
+// strict `<` resolves ties to the lowest index.
+void FoldCandidate(double d, std::size_t j, NearestNeighbor* best,
+                   PruneTally* tally) {
+  if (std::isinf(d) && d > 0.0) {
+    // Abandoning implementations signal via +infinity (see the
+    // EarlyAbandonDistance contract); a completed distance on finite input
+    // is finite, so this candidate reached the cutoff and can be discarded
+    // without affecting the strict minimum.
+    ++tally->abandoned;
+    return;
+  }
+  ++tally->full;
+  if (std::isnan(d)) {
+    ++tally->nan_distances;
+    return;
+  }
+  if (d < best->distance) {
+    best->distance = d;
+    best->index = j;
+  }
+}
+
+// Non-DTW cascade row: candidates are fed to EarlyAbandonDistanceBatch in
+// chunks of kEaChunk, with the best-so-far as the chunk cutoff. The batch
+// contract tightens the cutoff with the best of the *earlier entries in the
+// chunk*, so the per-candidate (cutoff, input) call sequence — and therefore
+// every computed distance — is identical to the sequential loop below; the
+// chunk boundary only decides when `best` is folded, not what is computed.
+NearestNeighbor EaBatchRow(std::span<const double> query,
+                           std::span<const SeriesView> references,
+                           const DistanceMeasure& measure, std::size_t skip,
+                           PruneTally* tally) {
+  NearestNeighbor best;
+  best.index = PairwiseEngine::kNoNeighbor;
+  std::array<SeriesView, kEaChunk> views;
+  std::array<std::size_t, kEaChunk> indices;
+  std::array<double, kEaChunk> distances;
+  const bool kernel_batch = measure.has_batch_kernel();
+  std::size_t count = 0;
+  const auto flush = [&] {
+    measure.EarlyAbandonDistanceBatch(
+        query, std::span<const SeriesView>(views.data(), count), best.distance,
+        std::span<double>(distances.data(), count));
+    for (std::size_t k = 0; k < count; ++k) {
+      FoldCandidate(distances[k], indices[k], &best, tally);
+    }
+    if (kernel_batch) {
+      ++tally->ea_batch_rows;
+      tally->ea_batch_cells += count;
+    }
+    count = 0;
+  };
+  for (std::size_t j = 0; j < references.size(); ++j) {
+    if (j == skip) continue;
+    ++tally->candidates;
+    views[count] = references[j];
+    indices[count] = j;
+    if (++count == kEaChunk) flush();
+  }
+  if (count > 0) flush();
+  return best;
+}
+
 // The cascade for one query row: LB_Kim -> LB_Keogh -> early-abandoned
 // distance, best-so-far as the cutoff. Iterates references in index order
 // with a strict `<` improvement test, so ties resolve to the lowest index —
 // exactly the argmin of the corresponding Compute() row. A pruned candidate
 // has lb >= best and therefore d >= best: it could never have improved the
 // strict minimum, which is why predictions are bit-identical to the matrix
-// path. NaN distances lose every comparison (matching the matrix argmin) and
-// are tallied, never selected.
+// path. Measures without lower bounds take the batched early-abandon path
+// above; the sequential loop remains for DTW, whose LB pruning must
+// interleave per candidate.
 NearestNeighbor CascadeRow(std::span<const double> query,
-                           const std::vector<TimeSeries>& references,
+                           std::span<const SeriesView> references,
                            const DistanceMeasure& measure,
                            const CascadeContext& ctx, std::size_t skip,
                            PruneTally* tally) {
+  if (ctx.dtw == nullptr) {
+    return EaBatchRow(query, references, measure, skip, tally);
+  }
   NearestNeighbor best;
   best.index = PairwiseEngine::kNoNeighbor;
   for (std::size_t j = 0; j < references.size(); ++j) {
     if (j == skip) continue;
     ++tally->candidates;
-    const auto candidate = references[j].values();
-    if (ctx.dtw != nullptr) {
-      if (LbKim(query, candidate) >= best.distance) {
-        ++tally->lb_kim;
-        continue;
-      }
-      if (LbKeogh(query, ctx.envelopes[j]) >= best.distance) {
-        ++tally->lb_keogh;
-        continue;
-      }
-    }
-    const double d = measure.EarlyAbandonDistance(query, candidate, best.distance);
-    if (std::isinf(d) && d > 0.0) {
-      // Abandoning implementations signal via +infinity (see the
-      // EarlyAbandonDistance contract); a completed distance on finite
-      // input is finite, so this candidate reached the cutoff and can be
-      // discarded without affecting the strict minimum.
-      ++tally->abandoned;
+    const auto candidate = references[j];
+    if (LbKim(query, candidate) >= best.distance) {
+      ++tally->lb_kim;
       continue;
     }
-    ++tally->full;
-    if (std::isnan(d)) {
-      // Same policy as the matrix argmin: NaN loses every `<` comparison
-      // and is never selected. Tallied so silent misclassification has a
-      // signal (tsdist.classify.nan_distances).
-      ++tally->nan_distances;
+    if (LbKeogh(query, ctx.envelopes[j]) >= best.distance) {
+      ++tally->lb_keogh;
       continue;
     }
-    if (d < best.distance) {
-      best.distance = d;
-      best.index = j;
-    }
+    const double d =
+        measure.EarlyAbandonDistance(query, candidate, best.distance);
+    FoldCandidate(d, j, &best, tally);
   }
   return best;
 }
@@ -303,17 +390,14 @@ Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
                                      : std::string());
   const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
-  if (obs_on) metrics_storage.emplace(measure.name());
+  if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
       metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
+  const std::vector<SeriesView> ref_views = BuildViews(references);
   pool_->ParallelFor(r, [&](std::size_t i) {
     const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
-    auto row = out.mutable_row(i);
-    const auto q = queries[i].values();
-    for (std::size_t j = 0; j < p; ++j) {
-      row[j] = measure.Distance(q, references[j].values());
-    }
+    measure.DistanceBatch(queries[i].values(), ref_views, out.mutable_row(i));
     if (metrics != nullptr) metrics->RecordRow(p, obs::NowNs() - t0);
   });
   return out;
@@ -333,7 +417,7 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
                                 : std::string());
   const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
-  if (obs_on) metrics_storage.emplace(measure.name());
+  if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
       metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
@@ -342,13 +426,13 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
   // full matrix — mirroring them used to silently corrupt the lower
   // triangle of W and every LOOCV accuracy derived from it.
   const bool mirror = measure.symmetric();
+  const std::vector<SeriesView> views = BuildViews(series);
+  const std::span<const SeriesView> view_span(views);
   pool_->ParallelFor(n, [&](std::size_t i) {
     const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
-    const auto a = series[i].values();
     const std::size_t start = mirror ? i : 0;
-    for (std::size_t j = start; j < n; ++j) {
-      out(i, j) = measure.Distance(a, series[j].values());
-    }
+    measure.DistanceBatch(views[i], view_span.subspan(start),
+                          out.mutable_row(i).subspan(start));
     if (metrics != nullptr) metrics->RecordRow(n - start, obs::NowNs() - t0);
   });
   if (mirror) {
@@ -376,7 +460,7 @@ ComputeResult PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
                                      : std::string());
   const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
-  if (obs_on) metrics_storage.emplace(measure.name());
+  if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
       metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
@@ -393,15 +477,13 @@ ComputeResult PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
     key.references_fp = FingerprintSeries(references);
   }
 
+  const std::vector<SeriesView> ref_views = BuildViews(references);
   Matrix& out = result.matrix;
   result.complete = RunResilientRows(
       *pool_, options, key, &out, &result, [&](std::size_t i) {
         const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
-        auto row = out.mutable_row(i);
-        const auto q = queries[i].values();
-        for (std::size_t j = 0; j < p; ++j) {
-          row[j] = measure.Distance(q, references[j].values());
-        }
+        measure.DistanceBatch(queries[i].values(), ref_views,
+                              out.mutable_row(i));
         if (metrics != nullptr) metrics->RecordRow(p, obs::NowNs() - t0);
       });
   return result;
@@ -423,7 +505,7 @@ ComputeResult PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
                                 : std::string());
   const obs::PerfRegion kernel_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
-  if (obs_on) metrics_storage.emplace(measure.name());
+  if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
       metrics_storage.has_value() ? &*metrics_storage : nullptr;
 
@@ -444,15 +526,15 @@ ComputeResult PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
   // Tiles persist rows exactly as computed here — upper part plus zeros for
   // symmetric measures. The mirror pass below runs after all tiles on fresh
   // and resumed runs alike, which is what keeps resume bit-identical.
+  const std::vector<SeriesView> views = BuildViews(series);
+  const std::span<const SeriesView> view_span(views);
   Matrix& out = result.matrix;
   result.complete = RunResilientRows(
       *pool_, options, key, &out, &result, [&](std::size_t i) {
         const std::uint64_t t0 = metrics != nullptr ? obs::NowNs() : 0;
-        const auto a = series[i].values();
         const std::size_t start = mirror ? i : 0;
-        for (std::size_t j = start; j < n; ++j) {
-          out(i, j) = measure.Distance(a, series[j].values());
-        }
+        measure.DistanceBatch(views[i], view_span.subspan(start),
+                              out.mutable_row(i).subspan(start));
         if (metrics != nullptr) metrics->RecordRow(n - start, obs::NowNs() - t0);
       });
   if (mirror && result.complete) {
@@ -475,10 +557,11 @@ NearestNeighbor PairwiseEngine::NearestNeighborRow(
   ValidatePair(query_collection, references, "NearestNeighborRow");
 
   const CascadeContext ctx = BuildCascadeContext(references, measure, *pool_);
+  const std::vector<SeriesView> ref_views = BuildViews(references);
   const bool obs_on = obs::Enabled();
   PruneTally tally;
   const NearestNeighbor best =
-      CascadeRow(query.values(), references, measure, ctx, skip, &tally);
+      CascadeRow(query.values(), ref_views, measure, ctx, skip, &tally);
   if (obs_on) tally.FlushTo(PruneMetrics());
   return best;
 }
@@ -503,10 +586,11 @@ std::vector<std::size_t> PairwiseEngine::NearestNeighborIndicesPruned(
   std::optional<PruneMetrics> metrics;
   if (obs_on) metrics.emplace();
 
+  const std::vector<SeriesView> ref_views = BuildViews(references);
   std::vector<std::size_t> out(queries.size(), 0);
   pool_->ParallelFor(queries.size(), [&](std::size_t i) {
     PruneTally tally;
-    out[i] = CascadeRow(queries[i].values(), references, measure, ctx, kNoSkip,
+    out[i] = CascadeRow(queries[i].values(), ref_views, measure, ctx, kNoSkip,
                         &tally)
                  .index;
     if (metrics.has_value()) tally.FlushTo(*metrics);
@@ -533,11 +617,12 @@ std::vector<std::size_t> PairwiseEngine::LeaveOneOutNeighborsPruned(
   std::optional<PruneMetrics> metrics;
   if (obs_on) metrics.emplace();
 
+  const std::vector<SeriesView> views = BuildViews(series);
   std::vector<std::size_t> out(series.size(), 0);
   pool_->ParallelFor(series.size(), [&](std::size_t i) {
     PruneTally tally;
     out[i] =
-        CascadeRow(series[i].values(), series, measure, ctx, i, &tally).index;
+        CascadeRow(series[i].values(), views, measure, ctx, i, &tally).index;
     if (metrics.has_value()) tally.FlushTo(*metrics);
   });
   return out;

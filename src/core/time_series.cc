@@ -42,7 +42,7 @@ double TimeSeries::Max() const {
 
 double TimeSeries::Median() const {
   assert(!values_.empty());
-  std::vector<double> tmp = values_;
+  std::vector<double> tmp(values_.begin(), values_.end());
   std::sort(tmp.begin(), tmp.end());
   const std::size_t n = tmp.size();
   if (n % 2 == 1) return tmp[n / 2];

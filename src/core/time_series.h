@@ -5,6 +5,11 @@
 // discrete timestamps omitted). The class is a thin, cache-friendly wrapper
 // around a contiguous buffer plus an integer class label used by the
 // classification-based evaluation framework.
+//
+// The buffer is 64-byte aligned (SeriesBuffer) so the SIMD distance kernels
+// in src/simd/ read from aligned, cache-line-granular storage. Alignment is
+// a performance contract only: the kernels never read past size(), and every
+// dispatch level accepts arbitrary pointers.
 
 #ifndef TSDIST_CORE_TIME_SERIES_H_
 #define TSDIST_CORE_TIME_SERIES_H_
@@ -14,17 +19,23 @@
 #include <string>
 #include <vector>
 
+#include "src/simd/aligned.h"
+
 namespace tsdist {
+
+/// Observation storage: contiguous doubles on a 64-byte boundary.
+using SeriesBuffer = simd::AlignedVector<double>;
 
 /// A univariate, uniformly sampled time series with an optional class label.
 class TimeSeries {
  public:
   TimeSeries() = default;
 
-  /// Constructs a series from raw values. `label` is the class annotation
-  /// used by the 1-NN evaluation framework (-1 means unlabeled).
-  explicit TimeSeries(std::vector<double> values, int label = -1)
-      : values_(std::move(values)), label_(label) {}
+  /// Constructs a series from raw values, copying them into aligned
+  /// storage. `label` is the class annotation used by the 1-NN evaluation
+  /// framework (-1 means unlabeled).
+  explicit TimeSeries(const std::vector<double>& values, int label = -1)
+      : values_(values.begin(), values.end()), label_(label) {}
 
   /// Number of observations.
   std::size_t size() const { return values_.size(); }
@@ -34,10 +45,11 @@ class TimeSeries {
   double operator[](std::size_t i) const { return values_[i]; }
   double& operator[](std::size_t i) { return values_[i]; }
 
-  /// Read-only view over the observations.
+  /// Read-only view over the observations. The data pointer of a non-empty
+  /// series is 64-byte aligned.
   std::span<const double> values() const { return values_; }
-  /// Mutable access to the underlying buffer.
-  std::vector<double>& mutable_values() { return values_; }
+  /// Mutable access to the underlying aligned buffer.
+  SeriesBuffer& mutable_values() { return values_; }
 
   int label() const { return label_; }
   void set_label(int label) { label_ = label; }
@@ -63,7 +75,7 @@ class TimeSeries {
   double Median() const;
 
  private:
-  std::vector<double> values_;
+  SeriesBuffer values_;
   int label_ = -1;
 };
 

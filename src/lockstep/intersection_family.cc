@@ -6,6 +6,8 @@
 
 namespace tsdist {
 
+using lockstep_internal::NanMax;
+using lockstep_internal::NanMin;
 using lockstep_internal::SafeDiv;
 
 double IntersectionDistance::Distance(std::span<const double> a,
@@ -23,7 +25,7 @@ double WaveHedgesDistance::Distance(std::span<const double> a,
   assert(a.size() == b.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += SafeDiv(std::fabs(a[i] - b[i]), std::max(a[i], b[i]));
+    acc += SafeDiv(std::fabs(a[i] - b[i]), NanMax(a[i], b[i]));
   }
   return acc;
 }
@@ -33,7 +35,7 @@ double CzekanowskiDistance::Distance(std::span<const double> a,
   assert(a.size() == b.size());
   double min_sum = 0.0, total = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    min_sum += std::min(a[i], b[i]);
+    min_sum += NanMin(a[i], b[i]);
     total += a[i] + b[i];
   }
   return 1.0 - SafeDiv(2.0 * min_sum, total);
@@ -44,7 +46,7 @@ double MotykaDistance::Distance(std::span<const double> a,
   assert(a.size() == b.size());
   double max_sum = 0.0, total = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    max_sum += std::max(a[i], b[i]);
+    max_sum += NanMax(a[i], b[i]);
     total += a[i] + b[i];
   }
   return SafeDiv(max_sum, total);
@@ -56,7 +58,7 @@ double KulczynskiSDistance::Distance(std::span<const double> a,
   double diff = 0.0, min_sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     diff += std::fabs(a[i] - b[i]);
-    min_sum += std::min(a[i], b[i]);
+    min_sum += NanMin(a[i], b[i]);
   }
   return SafeDiv(diff, min_sum);
 }
@@ -66,8 +68,8 @@ double RuzickaDistance::Distance(std::span<const double> a,
   assert(a.size() == b.size());
   double min_sum = 0.0, max_sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    min_sum += std::min(a[i], b[i]);
-    max_sum += std::max(a[i], b[i]);
+    min_sum += NanMin(a[i], b[i]);
+    max_sum += NanMax(a[i], b[i]);
   }
   return 1.0 - SafeDiv(min_sum, max_sum);
 }
@@ -79,7 +81,7 @@ double TanimotoDistance::Distance(std::span<const double> a,
   for (std::size_t i = 0; i < a.size(); ++i) {
     sum_a += a[i];
     sum_b += b[i];
-    min_sum += std::min(a[i], b[i]);
+    min_sum += NanMin(a[i], b[i]);
   }
   return SafeDiv(sum_a + sum_b - 2.0 * min_sum, sum_a + sum_b - min_sum);
 }

@@ -1,0 +1,83 @@
+// Internal glue between lock-step measure classes and the runtime-dispatched
+// SIMD kernels (src/simd/lockstep_kernels.h).
+//
+// A kernel-backed measure is three pieces: a raw-accumulator kernel slot, a
+// finalizer mapping the accumulator to the distance (identity, *2, sqrt,
+// pow(., 1/p)), and — when the per-point terms are non-negative, so partial
+// sums grow monotonically — a cutoff transform mapping a distance-domain
+// cutoff into accumulator domain (the inverse of the finalizer). The
+// transform is applied ONCE per pair, fixing the seed bug of re-applying
+// sqrt/pow to the accumulator at every abandon check.
+//
+// Every finalizer used here maps +infinity to +infinity, so the kernels'
+// abandon signal (+inf) passes through unchanged and still satisfies the
+// EarlyAbandonDistance contract. Negative, NaN, or infinite cutoffs are safe
+// by the same contract: the true distance is then never < cutoff, so both a
+// completed scan (exact value) and an abandon (+inf) are valid returns.
+
+#ifndef TSDIST_LOCKSTEP_KERNEL_BACKED_H_
+#define TSDIST_LOCKSTEP_KERNEL_BACKED_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+#include "src/core/distance_measure.h"
+#include "src/simd/lockstep_kernels.h"
+
+namespace tsdist::lockstep_internal {
+
+/// out[i] = fin(kernel(query, refs[i])) for every reference.
+template <typename Finalize>
+void KernelDistanceBatch(simd::PairKernel kernel, SeriesView query,
+                         std::span<const SeriesView> refs,
+                         std::span<double> out, Finalize fin) {
+  assert(out.size() == refs.size());
+  const double* q = query.data();
+  const std::size_t m = query.size();
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    assert(refs[i].size() == m);
+    out[i] = fin(kernel(q, refs[i].data(), m));
+  }
+}
+
+/// One early-abandoning pair: the cutoff is transformed into accumulator
+/// domain once, the kernel checks raw partials against it, and the finalizer
+/// maps the result back (abandons surface as +inf, which every finalizer
+/// preserves).
+template <typename ToRaw, typename Finalize>
+double KernelEaDistance(simd::PairEaKernel kernel, SeriesView a, SeriesView b,
+                        double cutoff, ToRaw to_raw, Finalize fin) {
+  assert(a.size() == b.size());
+  return fin(kernel(a.data(), b.data(), a.size(), to_raw(cutoff)));
+}
+
+/// Early-abandoning batch with the DistanceMeasure contract's improving
+/// local cutoff: pair i is evaluated against min(cutoff, best of
+/// out[0..i-1]), exactly matching a caller that loops EarlyAbandonDistance
+/// and tracks its own best — so pruned 1-NN results are unchanged. NaN
+/// results never tighten the cutoff (NaN < local is false).
+template <typename ToRaw, typename Finalize>
+void KernelEaDistanceBatch(simd::PairEaKernel kernel, SeriesView query,
+                           std::span<const SeriesView> refs, double cutoff,
+                           std::span<double> out, ToRaw to_raw,
+                           Finalize fin) {
+  assert(out.size() == refs.size());
+  const double* q = query.data();
+  const std::size_t m = query.size();
+  double local = cutoff;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    assert(refs[i].size() == m);
+    const double d = fin(kernel(q, refs[i].data(), m, to_raw(local)));
+    out[i] = d;
+    if (d < local) local = d;
+  }
+}
+
+/// Finalizers / cutoff transforms shared by the measure classes.
+inline double Identity(double v) { return v; }
+inline double Square(double v) { return v * v; }
+
+}  // namespace tsdist::lockstep_internal
+
+#endif  // TSDIST_LOCKSTEP_KERNEL_BACKED_H_

@@ -7,6 +7,8 @@
 
 namespace tsdist {
 
+using lockstep_internal::NanMax;
+using lockstep_internal::NanMin;
 using lockstep_internal::SafeDiv;
 
 double SorensenDistance::Distance(std::span<const double> a,
@@ -37,7 +39,7 @@ double SoergelDistance::Distance(std::span<const double> a,
   double num = 0.0, den = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     num += std::fabs(a[i] - b[i]);
-    den += std::max(a[i], b[i]);
+    den += NanMax(a[i], b[i]);
   }
   return SafeDiv(num, den);
 }
@@ -48,7 +50,7 @@ double KulczynskiDDistance::Distance(std::span<const double> a,
   double num = 0.0, den = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     num += std::fabs(a[i] - b[i]);
-    den += std::min(a[i], b[i]);
+    den += NanMin(a[i], b[i]);
   }
   return SafeDiv(num, den);
 }
@@ -92,7 +94,12 @@ double GowerDistance::EarlyAbandonDistance(std::span<const double> a,
   assert(a.size() == b.size());
   const std::size_t m = a.size();
   if (m == 0) return 0.0;
-  const double inv_m = static_cast<double>(m);
+  const double count = static_cast<double>(m);
+  // Transform the cutoff into accumulator domain once instead of dividing
+  // the partial sum at every abandon check (acc / m >= cutoff <=>
+  // acc >= cutoff * m for m > 0). Completed scans divide exactly as
+  // Distance() does, so their value is bit-identical.
+  const double raw_cutoff = cutoff * count;
   double acc = 0.0;
   std::size_t i = 0;
   while (i < m) {
@@ -100,9 +107,9 @@ double GowerDistance::EarlyAbandonDistance(std::span<const double> a,
     for (; i < stop; ++i) {
       acc += std::fabs(a[i] - b[i]);
     }
-    if (i < m && acc / inv_m >= cutoff) return kAbandonInf;
+    if (i < m && acc >= raw_cutoff) return kAbandonInf;
   }
-  return acc / inv_m;
+  return acc / count;
 }
 
 double LorentzianDistance::EarlyAbandonDistance(std::span<const double> a,

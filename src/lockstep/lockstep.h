@@ -17,6 +17,13 @@
 // normalizations (which the paper shows these measures prefer) the clamps are
 // rarely exercised; they only guarantee finite, deterministic output on all
 // inputs.
+//
+// NaN policy: a NaN observation anywhere in either input propagates to the
+// distance. Sum-based measures get this for free from IEEE arithmetic, but
+// std::min/std::max are comparison-selects that silently DROP a NaN operand
+// (the historical Chebyshev bug) — measures folding with min/max must use
+// NanMin/NanMax below (or the NaN-tracking max kernel in src/simd/) so a
+// corrupt input cannot masquerade as a valid distance.
 
 #ifndef TSDIST_LOCKSTEP_LOCKSTEP_H_
 #define TSDIST_LOCKSTEP_LOCKSTEP_H_
@@ -55,6 +62,22 @@ inline double SafeLog(double x) { return std::log(x < kEps ? kEps : x); }
 
 /// Square root with negative arguments clamped to zero.
 inline double SafeSqrt(double x) { return std::sqrt(x < 0.0 ? 0.0 : x); }
+
+/// NaN-propagating max: returns NaN when either operand is NaN, otherwise
+/// the larger operand. std::max would return its first argument instead,
+/// silently dropping the NaN.
+inline double NanMax(double x, double y) {
+  if (x != x) return x;
+  if (y != y) return y;
+  return x < y ? y : x;
+}
+
+/// NaN-propagating min (see NanMax).
+inline double NanMin(double x, double y) {
+  if (x != x) return x;
+  if (y != y) return y;
+  return y < x ? y : x;
+}
 
 }  // namespace lockstep_internal
 

@@ -1,6 +1,8 @@
 #include "src/lockstep/lockstep_all.h"
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 namespace tsdist {
 
@@ -24,6 +26,13 @@ void RegisterLockStepMeasures(Registry* registry) {
   registry->Register("minkowski", [](const ParamMap& params) -> MeasurePtr {
     const auto it = params.find("p");
     const double p = it == params.end() ? 2.0 : it->second;
+    // Validate at the registry boundary too (the ctor also throws): callers
+    // constructing from user-supplied ParamMaps get a clear error instead of
+    // relying on a debug-only assert as the seed code did.
+    if (!(p > 0.0)) {
+      throw std::invalid_argument(
+          "minkowski: parameter p must be > 0, got p=" + std::to_string(p));
+    }
     return std::make_unique<MinkowskiDistance>(p);
   });
   // L1 family.

@@ -1,137 +1,185 @@
 #include "src/lockstep/minkowski_family.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "src/lockstep/kernel_backed.h"
+#include "src/simd/lockstep_kernels.h"
 
 namespace tsdist {
+
+using lockstep_internal::Identity;
+using lockstep_internal::KernelDistanceBatch;
+using lockstep_internal::KernelEaDistance;
+using lockstep_internal::KernelEaDistanceBatch;
+using lockstep_internal::Square;
+
+namespace {
+double Sqrt(double v) { return std::sqrt(v); }
+}  // namespace
+
+// --- Euclidean -------------------------------------------------------------
 
 double EuclideanDistance::Distance(std::span<const double> a,
                                    std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(simd::Kernels().sum_sq(a.data(), b.data(), a.size()));
 }
-
-double ManhattanDistance::Distance(std::span<const double> a,
-                                   std::span<const double> b) const {
-  assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += std::fabs(a[i] - b[i]);
-  }
-  return acc;
-}
-
-double ChebyshevDistance::Distance(std::span<const double> a,
-                                   std::span<const double> b) const {
-  assert(a.size() == b.size());
-  double best = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    best = std::max(best, std::fabs(a[i] - b[i]));
-  }
-  return best;
-}
-
-MinkowskiDistance::MinkowskiDistance(double p) : p_(p) {
-  assert(p_ > 0.0);
-}
-
-double MinkowskiDistance::Distance(std::span<const double> a,
-                                   std::span<const double> b) const {
-  assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += std::pow(std::fabs(a[i] - b[i]), p_);
-  }
-  return std::pow(acc, 1.0 / p_);
-}
-
-
-// Early-abandoning variants. Accumulation mirrors Distance() exactly (same
-// order, same operations), so a completed scan returns a bit-identical
-// value; the cutoff is checked once per block of kAbandonCheckEvery points
-// against the final transformation of the partial accumulation, which is
-// monotone in the accumulator, so an abandon implies the completed distance
-// would also have reached the cutoff.
-
-namespace {
-constexpr std::size_t kAbandonCheckEvery = 16;
-constexpr double kAbandonInf = std::numeric_limits<double>::infinity();
-}  // namespace
 
 double EuclideanDistance::EarlyAbandonDistance(std::span<const double> a,
                                                std::span<const double> b,
                                                double cutoff) const {
+  return KernelEaDistance(simd::Kernels().sum_sq_ea, a, b, cutoff, Square,
+                          Sqrt);
+}
+
+void EuclideanDistance::DistanceBatch(SeriesView query,
+                                      std::span<const SeriesView> refs,
+                                      std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_sq, query, refs, out, Sqrt);
+}
+
+void EuclideanDistance::EarlyAbandonDistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs, double cutoff,
+    std::span<double> out) const {
+  KernelEaDistanceBatch(simd::Kernels().sum_sq_ea, query, refs, cutoff, out,
+                        Square, Sqrt);
+}
+
+// --- Manhattan -------------------------------------------------------------
+
+double ManhattanDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
   assert(a.size() == b.size());
-  const std::size_t m = a.size();
-  double acc = 0.0;
-  std::size_t i = 0;
-  while (i < m) {
-    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
-    for (; i < stop; ++i) {
-      const double d = a[i] - b[i];
-      acc += d * d;
-    }
-    if (i < m && std::sqrt(acc) >= cutoff) return kAbandonInf;
-  }
-  return std::sqrt(acc);
+  return simd::Kernels().sum_abs(a.data(), b.data(), a.size());
 }
 
 double ManhattanDistance::EarlyAbandonDistance(std::span<const double> a,
                                                std::span<const double> b,
                                                double cutoff) const {
+  return KernelEaDistance(simd::Kernels().sum_abs_ea, a, b, cutoff, Identity,
+                          Identity);
+}
+
+void ManhattanDistance::DistanceBatch(SeriesView query,
+                                      std::span<const SeriesView> refs,
+                                      std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_abs, query, refs, out, Identity);
+}
+
+void ManhattanDistance::EarlyAbandonDistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs, double cutoff,
+    std::span<double> out) const {
+  KernelEaDistanceBatch(simd::Kernels().sum_abs_ea, query, refs, cutoff, out,
+                        Identity, Identity);
+}
+
+// --- Chebyshev -------------------------------------------------------------
+
+double ChebyshevDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
   assert(a.size() == b.size());
-  const std::size_t m = a.size();
-  double acc = 0.0;
-  std::size_t i = 0;
-  while (i < m) {
-    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
-    for (; i < stop; ++i) {
-      acc += std::fabs(a[i] - b[i]);
-    }
-    if (i < m && acc >= cutoff) return kAbandonInf;
-  }
-  return acc;
+  return simd::Kernels().max_abs(a.data(), b.data(), a.size());
 }
 
 double ChebyshevDistance::EarlyAbandonDistance(std::span<const double> a,
                                                std::span<const double> b,
                                                double cutoff) const {
-  assert(a.size() == b.size());
-  const std::size_t m = a.size();
-  double best = 0.0;
-  std::size_t i = 0;
-  while (i < m) {
-    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
-    for (; i < stop; ++i) {
-      best = std::max(best, std::fabs(a[i] - b[i]));
-    }
-    if (i < m && best >= cutoff) return kAbandonInf;
+  return KernelEaDistance(simd::Kernels().max_abs_ea, a, b, cutoff, Identity,
+                          Identity);
+}
+
+void ChebyshevDistance::DistanceBatch(SeriesView query,
+                                      std::span<const SeriesView> refs,
+                                      std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().max_abs, query, refs, out, Identity);
+}
+
+void ChebyshevDistance::EarlyAbandonDistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs, double cutoff,
+    std::span<double> out) const {
+  KernelEaDistanceBatch(simd::Kernels().max_abs_ea, query, refs, cutoff, out,
+                        Identity, Identity);
+}
+
+// --- Minkowski(p) ----------------------------------------------------------
+
+MinkowskiDistance::MinkowskiDistance(double p) : p_(p) {
+  if (!(p_ > 0.0)) {
+    throw std::invalid_argument(
+        "MinkowskiDistance: p must be > 0, got p=" + std::to_string(p_));
   }
-  return best;
+}
+
+double MinkowskiDistance::Distance(std::span<const double> a,
+                                   std::span<const double> b) const {
+  assert(a.size() == b.size());
+  if (p_ == 2.0) {
+    return std::sqrt(simd::Kernels().sum_sq(a.data(), b.data(), a.size()));
+  }
+  if (p_ == 1.0) {
+    return simd::Kernels().sum_abs(a.data(), b.data(), a.size());
+  }
+  return std::pow(simd::SumPowAbsDiff(a.data(), b.data(), a.size(), p_),
+                  1.0 / p_);
 }
 
 double MinkowskiDistance::EarlyAbandonDistance(std::span<const double> a,
                                                std::span<const double> b,
                                                double cutoff) const {
   assert(a.size() == b.size());
-  const std::size_t m = a.size();
-  double acc = 0.0;
-  std::size_t i = 0;
-  while (i < m) {
-    const std::size_t stop = std::min(m, i + kAbandonCheckEvery);
-    for (; i < stop; ++i) {
-      acc += std::pow(std::fabs(a[i] - b[i]), p_);
-    }
-    if (i < m && std::pow(acc, 1.0 / p_) >= cutoff) return kAbandonInf;
+  if (p_ == 2.0) {
+    return KernelEaDistance(simd::Kernels().sum_sq_ea, a, b, cutoff, Square,
+                            Sqrt);
   }
-  return std::pow(acc, 1.0 / p_);
+  if (p_ == 1.0) {
+    return KernelEaDistance(simd::Kernels().sum_abs_ea, a, b, cutoff,
+                            Identity, Identity);
+  }
+  return std::pow(simd::SumPowAbsDiffEa(a.data(), b.data(), a.size(), p_,
+                                        std::pow(cutoff, p_)),
+                  1.0 / p_);
+}
+
+void MinkowskiDistance::DistanceBatch(SeriesView query,
+                                      std::span<const SeriesView> refs,
+                                      std::span<double> out) const {
+  if (p_ == 2.0) {
+    KernelDistanceBatch(simd::Kernels().sum_sq, query, refs, out, Sqrt);
+    return;
+  }
+  if (p_ == 1.0) {
+    KernelDistanceBatch(simd::Kernels().sum_abs, query, refs, out, Identity);
+    return;
+  }
+  assert(out.size() == refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    out[i] = Distance(query, refs[i]);
+  }
+}
+
+void MinkowskiDistance::EarlyAbandonDistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs, double cutoff,
+    std::span<double> out) const {
+  if (p_ == 2.0) {
+    KernelEaDistanceBatch(simd::Kernels().sum_sq_ea, query, refs, cutoff, out,
+                          Square, Sqrt);
+    return;
+  }
+  if (p_ == 1.0) {
+    KernelEaDistanceBatch(simd::Kernels().sum_abs_ea, query, refs, cutoff,
+                          out, Identity, Identity);
+    return;
+  }
+  assert(out.size() == refs.size());
+  double local = cutoff;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const double d = EarlyAbandonDistance(query, refs[i], local);
+    out[i] = d;
+    if (d < local) local = d;
+  }
 }
 
 }  // namespace tsdist

@@ -3,10 +3,13 @@
 // M2 concerns; Minkowski is the only lock-step measure requiring parameter
 // tuning (Table 4: p in {0.1 ... 20}).
 //
-// All four accumulate non-negative per-point terms (or a running max), so
-// they override EarlyAbandonDistance: the partial value only grows, and once
-// it reaches the cutoff the scan stops and returns +infinity (the abandon
-// signal — see the contract in src/core/distance_measure.h).
+// All four are backed by the runtime-dispatched SIMD kernels
+// (src/simd/lockstep_kernels.h) and override the batch entry points, so
+// PairwiseEngine row loops run on vectorized code. All four accumulate
+// non-negative per-point terms (or a running max), so they also override
+// EarlyAbandonDistance: the cutoff is transformed once into accumulator
+// domain (cutoff^2 for Euclidean, cutoff^p for Minkowski) and the kernel
+// compares raw partial sums against it — see docs/KERNELS.md.
 
 #ifndef TSDIST_LOCKSTEP_MINKOWSKI_FAMILY_H_
 #define TSDIST_LOCKSTEP_MINKOWSKI_FAMILY_H_
@@ -23,6 +26,13 @@ class EuclideanDistance : public LockStepMeasure {
   double EarlyAbandonDistance(std::span<const double> a,
                               std::span<const double> b,
                               double cutoff) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
+  void EarlyAbandonDistanceBatch(SeriesView query,
+                                 std::span<const SeriesView> refs,
+                                 double cutoff,
+                                 std::span<double> out) const override;
   std::string name() const override { return "euclidean"; }
   bool is_metric() const override { return true; }
 };
@@ -35,11 +45,20 @@ class ManhattanDistance : public LockStepMeasure {
   double EarlyAbandonDistance(std::span<const double> a,
                               std::span<const double> b,
                               double cutoff) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
+  void EarlyAbandonDistanceBatch(SeriesView query,
+                                 std::span<const SeriesView> refs,
+                                 double cutoff,
+                                 std::span<double> out) const override;
   std::string name() const override { return "manhattan"; }
   bool is_metric() const override { return true; }
 };
 
-/// Chebyshev (L-infinity) distance: max_i |a_i - b_i|.
+/// Chebyshev (L-infinity) distance: max_i |a_i - b_i|. NaN-propagating: a
+/// NaN anywhere in either input yields NaN (the family contract; a bare
+/// comparison max would silently drop NaN terms).
 class ChebyshevDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
@@ -47,21 +66,38 @@ class ChebyshevDistance : public LockStepMeasure {
   double EarlyAbandonDistance(std::span<const double> a,
                               std::span<const double> b,
                               double cutoff) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
+  void EarlyAbandonDistanceBatch(SeriesView query,
+                                 std::span<const SeriesView> refs,
+                                 double cutoff,
+                                 std::span<double> out) const override;
   std::string name() const override { return "chebyshev"; }
   bool is_metric() const override { return true; }
 };
 
 /// Minkowski (Lp-norm) distance: (sum |a_i - b_i|^p)^(1/p). A metric for
 /// p >= 1; for 0 < p < 1 it is still a valid dissimilarity (the paper tunes
-/// p down to 0.1).
+/// p down to 0.1). p == 2 and p == 1 run on the Euclidean / Manhattan
+/// kernels; other p share one libm-pow path across all dispatch levels.
 class MinkowskiDistance : public LockStepMeasure {
  public:
+  /// Throws std::invalid_argument unless p > 0 (p <= 0, NaN, and -inf are
+  /// all rejected; the formula is not a dissimilarity there).
   explicit MinkowskiDistance(double p = 2.0);
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
   double EarlyAbandonDistance(std::span<const double> a,
                               std::span<const double> b,
                               double cutoff) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
+  void EarlyAbandonDistanceBatch(SeriesView query,
+                                 std::span<const SeriesView> refs,
+                                 double cutoff,
+                                 std::span<double> out) const override;
   std::string name() const override { return "minkowski"; }
   bool is_metric() const override { return p_ >= 1.0; }
   ParamMap params() const override { return {{"p", p_}}; }

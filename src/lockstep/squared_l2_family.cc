@@ -3,97 +3,161 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/lockstep/kernel_backed.h"
+#include "src/simd/lockstep_kernels.h"
+
 namespace tsdist {
 
-using lockstep_internal::SafeDiv;
+using lockstep_internal::Identity;
+using lockstep_internal::KernelDistanceBatch;
+using lockstep_internal::KernelEaDistance;
+using lockstep_internal::KernelEaDistanceBatch;
+using lockstep_internal::Square;
+
+namespace {
+double Sqrt(double v) { return std::sqrt(v); }
+double Double(double v) { return 2.0 * v; }
+double Halve(double c) { return c / 2.0; }
+}  // namespace
 
 double SquaredEuclideanDistance::Distance(std::span<const double> a,
                                           std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::Kernels().sum_sq(a.data(), b.data(), a.size());
+}
+
+double SquaredEuclideanDistance::EarlyAbandonDistance(
+    std::span<const double> a, std::span<const double> b,
+    double cutoff) const {
+  return KernelEaDistance(simd::Kernels().sum_sq_ea, a, b, cutoff, Identity,
+                          Identity);
+}
+
+void SquaredEuclideanDistance::DistanceBatch(SeriesView query,
+                                             std::span<const SeriesView> refs,
+                                             std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_sq, query, refs, out, Identity);
+}
+
+void SquaredEuclideanDistance::EarlyAbandonDistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs, double cutoff,
+    std::span<double> out) const {
+  KernelEaDistanceBatch(simd::Kernels().sum_sq_ea, query, refs, cutoff, out,
+                        Identity, Identity);
 }
 
 double PearsonChiSqDistance::Distance(std::span<const double> a,
                                       std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += SafeDiv(d * d, b[i]);
-  }
-  return acc;
+  return simd::Kernels().sum_pearson(a.data(), b.data(), a.size());
+}
+
+void PearsonChiSqDistance::DistanceBatch(SeriesView query,
+                                         std::span<const SeriesView> refs,
+                                         std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_pearson, query, refs, out,
+                      Identity);
 }
 
 double NeymanChiSqDistance::Distance(std::span<const double> a,
                                      std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += SafeDiv(d * d, a[i]);
-  }
-  return acc;
+  return simd::Kernels().sum_neyman(a.data(), b.data(), a.size());
+}
+
+void NeymanChiSqDistance::DistanceBatch(SeriesView query,
+                                        std::span<const SeriesView> refs,
+                                        std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_neyman, query, refs, out, Identity);
 }
 
 double SquaredChiSqDistance::Distance(std::span<const double> a,
                                       std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += SafeDiv(d * d, a[i] + b[i]);
-  }
-  return acc;
+  return simd::Kernels().sum_sqchi(a.data(), b.data(), a.size());
+}
+
+void SquaredChiSqDistance::DistanceBatch(SeriesView query,
+                                         std::span<const SeriesView> refs,
+                                         std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_sqchi, query, refs, out, Identity);
 }
 
 double ProbSymmetricChiSqDistance::Distance(std::span<const double> a,
                                             std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += SafeDiv(d * d, a[i] + b[i]);
-  }
-  return 2.0 * acc;
+  return 2.0 * simd::Kernels().sum_sqchi(a.data(), b.data(), a.size());
+}
+
+void ProbSymmetricChiSqDistance::DistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs,
+    std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_sqchi, query, refs, out, Double);
 }
 
 double DivergenceDistance::Distance(std::span<const double> a,
                                     std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    const double s = a[i] + b[i];
-    acc += SafeDiv(d * d, s * s);
-  }
-  return 2.0 * acc;
+  return 2.0 * simd::Kernels().sum_divergence(a.data(), b.data(), a.size());
+}
+
+double DivergenceDistance::EarlyAbandonDistance(std::span<const double> a,
+                                                std::span<const double> b,
+                                                double cutoff) const {
+  return KernelEaDistance(simd::Kernels().sum_divergence_ea, a, b, cutoff,
+                          Halve, Double);
+}
+
+void DivergenceDistance::DistanceBatch(SeriesView query,
+                                       std::span<const SeriesView> refs,
+                                       std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_divergence, query, refs, out,
+                      Double);
+}
+
+void DivergenceDistance::EarlyAbandonDistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs, double cutoff,
+    std::span<double> out) const {
+  KernelEaDistanceBatch(simd::Kernels().sum_divergence_ea, query, refs,
+                        cutoff, out, Halve, Double);
 }
 
 double ClarkDistance::Distance(std::span<const double> a,
                                std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double t = SafeDiv(std::fabs(a[i] - b[i]), a[i] + b[i]);
-    acc += t * t;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(simd::Kernels().sum_clark(a.data(), b.data(), a.size()));
 }
 
-double AdditiveSymmetricChiSqDistance::Distance(std::span<const double> a,
-                                                std::span<const double> b) const {
+double ClarkDistance::EarlyAbandonDistance(std::span<const double> a,
+                                           std::span<const double> b,
+                                           double cutoff) const {
+  return KernelEaDistance(simd::Kernels().sum_clark_ea, a, b, cutoff, Square,
+                          Sqrt);
+}
+
+void ClarkDistance::DistanceBatch(SeriesView query,
+                                  std::span<const SeriesView> refs,
+                                  std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_clark, query, refs, out, Sqrt);
+}
+
+void ClarkDistance::EarlyAbandonDistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs, double cutoff,
+    std::span<double> out) const {
+  KernelEaDistanceBatch(simd::Kernels().sum_clark_ea, query, refs, cutoff,
+                        out, Square, Sqrt);
+}
+
+double AdditiveSymmetricChiSqDistance::Distance(
+    std::span<const double> a, std::span<const double> b) const {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += SafeDiv(d * d * (a[i] + b[i]), a[i] * b[i]);
-  }
-  return acc;
+  return simd::Kernels().sum_addsym(a.data(), b.data(), a.size());
+}
+
+void AdditiveSymmetricChiSqDistance::DistanceBatch(
+    SeriesView query, std::span<const SeriesView> refs,
+    std::span<double> out) const {
+  KernelDistanceBatch(simd::Kernels().sum_addsym, query, refs, out, Identity);
 }
 
 }  // namespace tsdist

@@ -3,6 +3,16 @@
 // Divergence, Clark, Additive-symmetric chi^2. These weight squared
 // differences by the coordinate magnitudes. The Clark distance appears in
 // Table 2 of the paper among the measures compared against ED under MinMax.
+//
+// All eight are backed by the runtime-dispatched SIMD kernels
+// (src/simd/lockstep_kernels.h) and override the batch entry points.
+// Early-abandoning variants exist only where the per-point terms are
+// provably non-negative on arbitrary real input — SquaredEuclidean (d^2),
+// Clark (a ratio squared) and Divergence (d^2 over a square) — so partial
+// sums grow monotonically. The chi-square measures dividing by raw
+// coordinates (Pearson, Neyman, Squared, Prob-symmetric, Additive-symmetric)
+// can produce negative terms on real-valued series and keep the
+// compute-everything default.
 
 #ifndef TSDIST_LOCKSTEP_SQUARED_L2_FAMILY_H_
 #define TSDIST_LOCKSTEP_SQUARED_L2_FAMILY_H_
@@ -17,6 +27,16 @@ class SquaredEuclideanDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
+  void EarlyAbandonDistanceBatch(SeriesView query,
+                                 std::span<const SeriesView> refs,
+                                 double cutoff,
+                                 std::span<double> out) const override;
   std::string name() const override { return "squared_euclidean"; }
 };
 
@@ -25,6 +45,9 @@ class PearsonChiSqDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
   std::string name() const override { return "pearson_chisq"; }
   bool symmetric() const override { return false; }
 };
@@ -34,6 +57,9 @@ class NeymanChiSqDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
   std::string name() const override { return "neyman_chisq"; }
   bool symmetric() const override { return false; }
 };
@@ -43,6 +69,9 @@ class SquaredChiSqDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
   std::string name() const override { return "squared_chisq"; }
 };
 
@@ -51,6 +80,9 @@ class ProbSymmetricChiSqDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
   std::string name() const override { return "prob_symmetric_chisq"; }
 };
 
@@ -59,6 +91,16 @@ class DivergenceDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
+  void EarlyAbandonDistanceBatch(SeriesView query,
+                                 std::span<const SeriesView> refs,
+                                 double cutoff,
+                                 std::span<double> out) const override;
   std::string name() const override { return "divergence"; }
 };
 
@@ -67,6 +109,16 @@ class ClarkDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  double EarlyAbandonDistance(std::span<const double> a,
+                              std::span<const double> b,
+                              double cutoff) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
+  void EarlyAbandonDistanceBatch(SeriesView query,
+                                 std::span<const SeriesView> refs,
+                                 double cutoff,
+                                 std::span<double> out) const override;
   std::string name() const override { return "clark"; }
 };
 
@@ -75,6 +127,9 @@ class AdditiveSymmetricChiSqDistance : public LockStepMeasure {
  public:
   double Distance(std::span<const double> a,
                   std::span<const double> b) const override;
+  bool has_batch_kernel() const override { return true; }
+  void DistanceBatch(SeriesView query, std::span<const SeriesView> refs,
+                     std::span<double> out) const override;
   std::string name() const override { return "additive_symmetric_chisq"; }
 };
 

@@ -1,0 +1,76 @@
+// 64-byte-aligned allocation for series storage.
+//
+// The SIMD lock-step kernels (src/simd/lockstep_kernels.h) read series
+// buffers with vector loads. They tolerate arbitrary alignment (loads are
+// unaligned-safe), but 64-byte alignment keeps every 8-double block within a
+// single cache line and lets the compiler emit aligned stores for
+// accumulator spills, so TimeSeries (src/core/time_series.h) stores its
+// observations in an AlignedVector<double>. The alignment is a performance
+// contract, not a correctness one: kernels never read past `size()` and
+// never require padding.
+
+#ifndef TSDIST_SIMD_ALIGNED_H_
+#define TSDIST_SIMD_ALIGNED_H_
+
+#include <cstddef>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace tsdist::simd {
+
+/// Alignment (bytes) of every series buffer: one x86 cache line, and the
+/// natural alignment of a 512-bit vector register.
+inline constexpr std::size_t kSeriesAlignment = 64;
+
+/// Minimal C++17 allocator handing out storage aligned to `Alignment`.
+template <typename T, std::size_t Alignment = kSeriesAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+};
+
+template <typename T, typename U, std::size_t A>
+bool operator==(const AlignedAllocator<T, A>&,
+                const AlignedAllocator<U, A>&) noexcept {
+  return true;
+}
+template <typename T, typename U, std::size_t A>
+bool operator!=(const AlignedAllocator<T, A>&,
+                const AlignedAllocator<U, A>&) noexcept {
+  return false;
+}
+
+/// std::vector with 64-byte-aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace tsdist::simd
+
+#endif  // TSDIST_SIMD_ALIGNED_H_

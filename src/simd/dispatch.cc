@@ -1,0 +1,209 @@
+#include "src/simd/dispatch.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/simd/lockstep_kernels.h"
+
+namespace tsdist::simd {
+
+namespace {
+
+// Active level cache: -1 = not yet resolved. Resolution is idempotent (every
+// racer computes the same value), and compare_exchange makes the gauge /
+// counter publication happen exactly once.
+std::atomic<int> g_active_level{-1};
+
+void PublishResolution(SimdLevel level) {
+  if (!obs::Enabled()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("tsdist.simd.level").Set(static_cast<double>(level));
+  registry.GetCounter("tsdist.simd.dispatch." + ToString(level)).Add(1);
+}
+
+SimdLevel ResolveLevel() {
+  const SimdLevel best = DetectBestSimdLevel();
+  const char* env = std::getenv("TSDIST_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  SimdLevel requested;
+  if (!ParseSimdLevel(env, &requested)) {
+    TSDIST_LOG(obs::LogLevel::kWarn, "ignoring invalid TSDIST_SIMD",
+               obs::F("value", env),
+               obs::F("expected", "scalar|avx2|avx512|native"));
+    return best;
+  }
+  if (requested > best) {
+    TSDIST_LOG(obs::LogLevel::kWarn,
+               "TSDIST_SIMD requests an unsupported level; clamping",
+               obs::F("requested", ToString(requested)),
+               obs::F("using", ToString(best)));
+    return best;
+  }
+  return requested;
+}
+
+}  // namespace
+
+std::string ToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectBestSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  return level <= DetectBestSimdLevel();
+}
+
+SimdLevel ActiveSimdLevel() {
+  int v = g_active_level.load(std::memory_order_acquire);
+  if (v < 0) {
+    const SimdLevel resolved = ResolveLevel();
+    int expected = -1;
+    if (g_active_level.compare_exchange_strong(expected,
+                                               static_cast<int>(resolved),
+                                               std::memory_order_acq_rel)) {
+      PublishResolution(resolved);
+    }
+    v = g_active_level.load(std::memory_order_acquire);
+  }
+  return static_cast<SimdLevel>(v);
+}
+
+void SetActiveSimdLevelForTest(SimdLevel level) {
+  if (!SimdLevelSupported(level)) {
+    throw std::invalid_argument("SetActiveSimdLevelForTest: level " +
+                                ToString(level) +
+                                " is not supported by this CPU");
+  }
+  g_active_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void ResetActiveSimdLevelForTest() {
+  g_active_level.store(-1, std::memory_order_release);
+}
+
+bool ParseSimdLevel(const std::string& text, SimdLevel* out) {
+  if (text == "scalar") {
+    *out = SimdLevel::kScalar;
+  } else if (text == "avx2") {
+    *out = SimdLevel::kAvx2;
+  } else if (text == "avx512") {
+    *out = SimdLevel::kAvx512;
+  } else if (text == "native") {
+    *out = DetectBestSimdLevel();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const KernelTable& KernelsForLevel(SimdLevel level) {
+  if (!SimdLevelSupported(level)) {
+    throw std::invalid_argument("KernelsForLevel: level " + ToString(level) +
+                                " is not supported by this CPU");
+  }
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return kAvx512KernelTable;
+    case SimdLevel::kAvx2:
+      return kAvx2KernelTable;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return kScalarKernelTable;
+}
+
+const KernelTable& Kernels() { return KernelsForLevel(ActiveSimdLevel()); }
+
+// --- Generic Minkowski power sums -----------------------------------------
+//
+// libm std::pow has no vector form in this build, so the generic-p path is
+// one shared implementation (all dispatch levels run this exact code, making
+// cross-level bit-identity trivial). It still uses the 8-lane blocked
+// accumulation and 16-element abandon cadence of the table kernels so the
+// documented accumulation-order contract holds family-wide.
+
+namespace {
+constexpr std::size_t kLanes = 8;
+constexpr std::size_t kAbandonBlock = 16;
+
+inline double PowTerm(double x, double y, double p) {
+  return std::pow(std::fabs(x - y), p);
+}
+
+inline double ReduceSum(const double acc[kLanes]) {
+  const double s01 = acc[0] + acc[1];
+  const double s23 = acc[2] + acc[3];
+  const double s45 = acc[4] + acc[5];
+  const double s67 = acc[6] + acc[7];
+  return (s01 + s23) + (s45 + s67);
+}
+}  // namespace
+
+double SumPowAbsDiff(const double* a, const double* b, std::size_t m,
+                     double p) {
+  double acc[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= m; i += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      acc[k] += PowTerm(a[i + k], b[i + k], p);
+    }
+  }
+  for (std::size_t k = 0; i < m; ++i, ++k) {
+    acc[k] += PowTerm(a[i], b[i], p);
+  }
+  return ReduceSum(acc);
+}
+
+double SumPowAbsDiffEa(const double* a, const double* b, std::size_t m,
+                       double p, double raw_cutoff) {
+  double acc[kLanes] = {};
+  std::size_t i = 0;
+  while (i + kAbandonBlock <= m) {
+    const std::size_t stop = i + kAbandonBlock;
+    for (; i < stop; i += kLanes) {
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        acc[k] += PowTerm(a[i + k], b[i + k], p);
+      }
+    }
+    if (i < m && ReduceSum(acc) >= raw_cutoff) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  for (; i + kLanes <= m; i += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      acc[k] += PowTerm(a[i + k], b[i + k], p);
+    }
+  }
+  for (std::size_t k = 0; i < m; ++i, ++k) {
+    acc[k] += PowTerm(a[i], b[i], p);
+  }
+  return ReduceSum(acc);
+}
+
+}  // namespace tsdist::simd

@@ -1,0 +1,67 @@
+// Runtime SIMD dispatch for the lock-step distance kernels.
+//
+// The same kernel source (lockstep_kernels_impl.inl) is compiled three times
+// — without vector flags, with -mavx2, and with -mavx512f/dq/vl — and the
+// level actually executed is chosen once at runtime from CPUID. Because all
+// three translation units share one accumulation order (8 independent lanes,
+// fixed reduction tree, -ffp-contract=off), every level returns bit-identical
+// results; the dispatcher only decides how fast they arrive. See
+// docs/KERNELS.md for the full contract.
+//
+// Override: the TSDIST_SIMD environment variable pins the level —
+// `scalar`, `avx2`, `avx512`, or `native` (best supported; the default).
+// A request above what the CPU supports is clamped down with a warning.
+// Bit-identity checks run the same binary twice with TSDIST_SIMD=scalar vs
+// native and diff the output.
+//
+// Observability: the resolved level is published as the `tsdist.simd.level`
+// gauge (0 = scalar, 1 = avx2, 2 = avx512) and a one-shot
+// `tsdist.simd.dispatch.<level>` counter; batch usage counters are emitted
+// by PairwiseEngine (see docs/OBSERVABILITY.md).
+
+#ifndef TSDIST_SIMD_DISPATCH_H_
+#define TSDIST_SIMD_DISPATCH_H_
+
+#include <string>
+
+namespace tsdist::simd {
+
+/// Instruction-set level of a kernel build. Order matters: higher enum
+/// values are wider ISAs, and a level is usable only when the CPU supports
+/// it and every lower level too.
+enum class SimdLevel {
+  kScalar = 0,  ///< no vector flags; the bit-identity reference path
+  kAvx2 = 1,    ///< 256-bit vectors (AVX2)
+  kAvx512 = 2,  ///< 512-bit vectors (AVX-512 F+DQ+VL)
+};
+
+/// Human-readable level name: "scalar", "avx2", "avx512".
+std::string ToString(SimdLevel level);
+
+/// Best level this CPU can execute, from CPUID. Always at least kScalar;
+/// non-x86 builds report kScalar.
+SimdLevel DetectBestSimdLevel();
+
+/// True when `level` can execute on this CPU.
+bool SimdLevelSupported(SimdLevel level);
+
+/// The level the kernels dispatch to. Resolved once on first use:
+/// DetectBestSimdLevel() clamped by the TSDIST_SIMD override; cached
+/// afterwards. Publishes the tsdist.simd.level gauge and the
+/// tsdist.simd.dispatch.<level> counter on resolution.
+SimdLevel ActiveSimdLevel();
+
+/// Test hooks: pin the active level (must be supported), or drop the cache
+/// so the next ActiveSimdLevel() re-reads TSDIST_SIMD. Not thread-safe
+/// against concurrent kernel calls; tests only.
+void SetActiveSimdLevelForTest(SimdLevel level);
+void ResetActiveSimdLevelForTest();
+
+/// Parses a TSDIST_SIMD value. Returns true and sets `*out` for
+/// "scalar" / "avx2" / "avx512" / "native" (native maps to
+/// DetectBestSimdLevel()); returns false for anything else.
+bool ParseSimdLevel(const std::string& text, SimdLevel* out);
+
+}  // namespace tsdist::simd
+
+#endif  // TSDIST_SIMD_DISPATCH_H_

@@ -1,0 +1,102 @@
+// Runtime-dispatched SIMD kernels for the lock-step distance hot loops.
+//
+// One generic implementation (lockstep_kernels_impl.inl) is compiled three
+// times — scalar, AVX2, AVX-512 — and selected at runtime through the
+// KernelTable for simd::ActiveSimdLevel(). All levels share one accumulation
+// contract, which is what makes them interchangeable:
+//
+//  * 8 independent accumulator lanes; element i accumulates into lane
+//    (i mod 8);
+//  * lanes are combined with a fixed binary tree
+//    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7));
+//  * kernels are built with -ffp-contract=off (no FMA contraction), so
+//    every level performs the identical sequence of IEEE-754 operations per
+//    lane and returns bit-identical results — including NaN/inf/denormal
+//    inputs. See docs/KERNELS.md.
+//
+// Kernels return the *raw accumulator* (e.g. the sum of squares, not its
+// square root); the measure classes apply the final transform. Early-abandon
+// variants take the cutoff already transformed into accumulator domain
+// (cutoff^2 for Euclidean, cutoff^p for Minkowski, ...), compare raw
+// partial sums every 16 elements, and return +infinity on abandon — the
+// fix for the per-block sqrt/pow re-transformation the scalar seed code
+// performed. A completed scan accumulates in exactly the same order as the
+// plain kernel, so its value is bit-identical.
+//
+// NaN semantics (the lock-step family contract, see docs/KERNELS.md): a NaN
+// anywhere in either input propagates to the result. Sum kernels get this
+// from IEEE addition; the max kernel tracks NaN terms explicitly (a bare
+// comparison-select max would silently drop them — the Chebyshev bug) and
+// never abandons once a NaN has been seen.
+
+#ifndef TSDIST_SIMD_LOCKSTEP_KERNELS_H_
+#define TSDIST_SIMD_LOCKSTEP_KERNELS_H_
+
+#include <cstddef>
+
+#include "src/simd/dispatch.h"
+
+namespace tsdist::simd {
+
+/// Pairwise kernel: raw accumulator over two equal-length buffers.
+using PairKernel = double (*)(const double* a, const double* b,
+                              std::size_t m);
+
+/// Early-abandoning pairwise kernel. `raw_cutoff` lives in accumulator
+/// domain; returns +infinity once a partial raw sum reaches it (checked
+/// every 16 elements), otherwise the exact raw accumulator, bit-identical
+/// to the plain kernel.
+using PairEaKernel = double (*)(const double* a, const double* b,
+                                std::size_t m, double raw_cutoff);
+
+/// Kernel entry points for one dispatch level. Raw-accumulator semantics
+/// per slot (d = a[i] - b[i], s = a[i] + b[i], SafeDiv/kEps as in
+/// src/lockstep/lockstep.h):
+struct KernelTable {
+  PairKernel sum_sq;          ///< sum d^2            (euclidean, sq_euclidean)
+  PairKernel sum_abs;         ///< sum |d|            (manhattan)
+  PairKernel max_abs;         ///< max |d|, NaN-propagating (chebyshev)
+  PairKernel sum_pearson;     ///< sum SafeDiv(d^2, b[i])
+  PairKernel sum_neyman;      ///< sum SafeDiv(d^2, a[i])
+  PairKernel sum_sqchi;       ///< sum SafeDiv(d^2, s)
+  PairKernel sum_divergence;  ///< sum SafeDiv(d^2, s*s)
+  PairKernel sum_clark;       ///< sum SafeDiv(|d|, s)^2
+  PairKernel sum_addsym;      ///< sum SafeDiv(d^2 * s, a[i]*b[i])
+  PairEaKernel sum_sq_ea;
+  PairEaKernel sum_abs_ea;
+  PairEaKernel max_abs_ea;    ///< cutoff in max domain (no transform)
+  PairEaKernel sum_divergence_ea;
+  PairEaKernel sum_clark_ea;
+};
+
+/// Table for the active dispatch level (cheap: one atomic load + index).
+const KernelTable& Kernels();
+
+/// Table for an explicit level, for bit-identity tests and benchmarks.
+/// Requires SimdLevelSupported(level); throws std::invalid_argument
+/// otherwise (calling an unsupported table would fault).
+const KernelTable& KernelsForLevel(SimdLevel level);
+
+/// Generic Minkowski power sum: sum |a[i]-b[i]|^p via std::pow, using the
+/// same 8-lane blocked accumulation as the table kernels. libm pow has no
+/// vector form here, so this path is shared by all dispatch levels and is
+/// trivially level-identical; p == 1 and p == 2 are special-cased by the
+/// measure onto sum_abs / sum_sq before reaching this.
+double SumPowAbsDiff(const double* a, const double* b, std::size_t m,
+                     double p);
+
+/// Early-abandoning SumPowAbsDiff; `raw_cutoff` = cutoff^p.
+double SumPowAbsDiffEa(const double* a, const double* b, std::size_t m,
+                       double p, double raw_cutoff);
+
+/// Per-level tables, defined by lockstep_kernels_{scalar,avx2,avx512}.cc.
+/// Prefer KernelsForLevel(): calling into a table whose ISA the CPU lacks
+/// faults. The AVX tables exist in every build; on non-x86 targets they are
+/// compiled without vector flags and never selected.
+extern const KernelTable kScalarKernelTable;
+extern const KernelTable kAvx2KernelTable;
+extern const KernelTable kAvx512KernelTable;
+
+}  // namespace tsdist::simd
+
+#endif  // TSDIST_SIMD_LOCKSTEP_KERNELS_H_

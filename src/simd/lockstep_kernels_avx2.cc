@@ -1,0 +1,7 @@
+// AVX2 build of the lock-step kernels: same source as the scalar build,
+// compiled with -mavx2 (and -ffp-contract=off, like every level) so the
+// 8-lane loops vectorize to two 256-bit halves. See src/CMakeLists.txt for
+// the flags and docs/KERNELS.md for the bit-identity argument.
+#define TSDIST_KERNEL_NS avx2_kernels
+#define TSDIST_KERNEL_TABLE kAvx2KernelTable
+#include "src/simd/lockstep_kernels_impl.inl"

@@ -1,0 +1,7 @@
+// AVX-512 build of the lock-step kernels: same source as the scalar build,
+// compiled with -mavx512f/dq/vl and -mprefer-vector-width=512 so the 8-lane
+// loops map onto single 512-bit registers. Selected at runtime only when
+// CPUID reports F+DQ+VL support. See docs/KERNELS.md.
+#define TSDIST_KERNEL_NS avx512_kernels
+#define TSDIST_KERNEL_TABLE kAvx512KernelTable
+#include "src/simd/lockstep_kernels_impl.inl"

@@ -1,0 +1,259 @@
+// Generic lock-step kernel bodies, compiled once per dispatch level.
+//
+// This file is #included by lockstep_kernels_{scalar,avx2,avx512}.cc with
+// TSDIST_KERNEL_NS set to a per-level namespace and TSDIST_KERNEL_TABLE set
+// to the table symbol the translation unit must define. Each TU is compiled
+// with different ISA flags (none / -mavx2 / -mavx512f,dq,vl) but ALL of them
+// with -ffp-contract=off, so the compiler may vectorize the lane loops but
+// must perform the identical sequence of IEEE-754 operations per lane.
+//
+// The accumulation contract that makes every level bit-identical:
+//  * kLanes = 8 independent accumulators; element i feeds lane (i mod 8);
+//  * the main loop walks full 8-element blocks; the tail (< 8 elements)
+//    feeds lanes 0.. in order, leaving the rest untouched;
+//  * lanes combine through the fixed tree ((l0+l1)+(l2+l3))+((l4+l5)+(l6+l7)).
+// A scalar build executes the lanes one at a time, an AVX2 build as two
+// 4-wide halves, an AVX-512 build as one 8-wide register — all three are the
+// same per-lane operation sequence, so the results match to the last bit.
+//
+// Early-abandon variants compare the tree-reduced partial accumulator
+// against a cutoff already transformed into accumulator domain once by the
+// caller — never re-applying sqrt/pow per block — every kAbandonBlock = 16
+// elements (matching the scalar seed cadence), and accumulate in exactly
+// the order above so completed scans are bit-identical to the plain kernel.
+//
+// NaN semantics: sum kernels propagate NaN through IEEE addition. The max
+// kernel tracks NaN terms in dedicated lanes (a comparison-select max drops
+// NaN — the historical Chebyshev bug), returns a quiet NaN when any term was
+// NaN, and never abandons once a NaN has been seen (an abandon would mask
+// the NaN with +inf).
+
+#if !defined(TSDIST_KERNEL_NS) || !defined(TSDIST_KERNEL_TABLE)
+#error "define TSDIST_KERNEL_NS and TSDIST_KERNEL_TABLE before including"
+#endif
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "src/simd/lockstep_kernels.h"
+
+namespace tsdist::simd {
+namespace TSDIST_KERNEL_NS {
+namespace {
+
+constexpr std::size_t kLanes = 8;
+/// Elements between early-abandon cutoff checks (two 8-lane blocks),
+/// matching the scalar seed's kAbandonCheckEvery.
+constexpr std::size_t kAbandonBlock = 16;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Domain clamp, bit-compatible with lockstep_internal::SafeDiv but written
+/// branchless so the select lowers to a vector blend.
+constexpr double kEps = 1e-10;
+inline double SafeDiv(double x, double y) {
+  const bool small = (y > -kEps) && (y < kEps);
+  const double clamped = (y < 0.0) ? -kEps : kEps;
+  return x / (small ? clamped : y);
+}
+
+// Per-point term policies. d = x - y throughout; formulas mirror the
+// lock-step measure definitions in src/lockstep/.
+struct SqDiffTerm {
+  static double Eval(double x, double y) {
+    const double d = x - y;
+    return d * d;
+  }
+};
+struct AbsDiffTerm {
+  static double Eval(double x, double y) { return std::fabs(x - y); }
+};
+struct PearsonTerm {  // d^2 / safe(y)
+  static double Eval(double x, double y) {
+    const double d = x - y;
+    return SafeDiv(d * d, y);
+  }
+};
+struct NeymanTerm {  // d^2 / safe(x)
+  static double Eval(double x, double y) {
+    const double d = x - y;
+    return SafeDiv(d * d, x);
+  }
+};
+struct SqChiTerm {  // d^2 / safe(x + y)
+  static double Eval(double x, double y) {
+    const double d = x - y;
+    return SafeDiv(d * d, x + y);
+  }
+};
+struct DivergenceTerm {  // d^2 / safe((x + y)^2)
+  static double Eval(double x, double y) {
+    const double d = x - y;
+    const double s = x + y;
+    return SafeDiv(d * d, s * s);
+  }
+};
+struct ClarkTerm {  // (|d| / safe(x + y))^2
+  static double Eval(double x, double y) {
+    const double t = SafeDiv(std::fabs(x - y), x + y);
+    return t * t;
+  }
+};
+struct AddSymTerm {  // d^2 * (x + y) / safe(x * y)
+  static double Eval(double x, double y) {
+    const double d = x - y;
+    return SafeDiv(d * d * (x + y), x * y);
+  }
+};
+
+/// The fixed lane-combination tree shared by every kernel and level.
+inline double ReduceSum(const double acc[kLanes]) {
+  const double s01 = acc[0] + acc[1];
+  const double s23 = acc[2] + acc[3];
+  const double s45 = acc[4] + acc[5];
+  const double s67 = acc[6] + acc[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+template <typename Term>
+double Sum(const double* a, const double* b, std::size_t m) {
+  double acc[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= m; i += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      acc[k] += Term::Eval(a[i + k], b[i + k]);
+    }
+  }
+  for (std::size_t k = 0; i < m; ++i, ++k) {
+    acc[k] += Term::Eval(a[i], b[i]);
+  }
+  return ReduceSum(acc);
+}
+
+template <typename Term>
+double SumEa(const double* a, const double* b, std::size_t m,
+             double raw_cutoff) {
+  double acc[kLanes] = {};
+  std::size_t i = 0;
+  // Full 16-element superblocks, cutoff check after each except the one
+  // that completes the scan (the final value is returned regardless, per
+  // the EarlyAbandonDistance contract).
+  while (i + kAbandonBlock <= m) {
+    const std::size_t stop = i + kAbandonBlock;
+    for (; i < stop; i += kLanes) {
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        acc[k] += Term::Eval(a[i + k], b[i + k]);
+      }
+    }
+    if (i < m && ReduceSum(acc) >= raw_cutoff) return kInf;
+  }
+  for (; i + kLanes <= m; i += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      acc[k] += Term::Eval(a[i + k], b[i + k]);
+    }
+  }
+  for (std::size_t k = 0; i < m; ++i, ++k) {
+    acc[k] += Term::Eval(a[i], b[i]);
+  }
+  return ReduceSum(acc);
+}
+
+/// NaN-propagating max |a - b|. Lanes hold comparison-select maxima (which
+/// never become NaN); NaN terms are counted in separate lanes, and any
+/// count > 0 turns the result into a quiet NaN.
+inline double ReduceMax(const double acc[kLanes]) {
+  const double m01 = acc[0] > acc[1] ? acc[0] : acc[1];
+  const double m23 = acc[2] > acc[3] ? acc[2] : acc[3];
+  const double m45 = acc[4] > acc[5] ? acc[4] : acc[5];
+  const double m67 = acc[6] > acc[7] ? acc[6] : acc[7];
+  const double lo = m01 > m23 ? m01 : m23;
+  const double hi = m45 > m67 ? m45 : m67;
+  return lo > hi ? lo : hi;
+}
+
+double MaxAbs(const double* a, const double* b, std::size_t m) {
+  double acc[kLanes] = {};
+  double nan_count[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= m; i += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      const double t = std::fabs(a[i + k] - b[i + k]);
+      nan_count[k] += (t != t) ? 1.0 : 0.0;
+      acc[k] = t > acc[k] ? t : acc[k];
+    }
+  }
+  for (std::size_t k = 0; i < m; ++i, ++k) {
+    const double t = std::fabs(a[i] - b[i]);
+    nan_count[k] += (t != t) ? 1.0 : 0.0;
+    acc[k] = t > acc[k] ? t : acc[k];
+  }
+  if (ReduceSum(nan_count) > 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return ReduceMax(acc);
+}
+
+double MaxAbsEa(const double* a, const double* b, std::size_t m,
+                double raw_cutoff) {
+  double acc[kLanes] = {};
+  double nan_count[kLanes] = {};
+  std::size_t i = 0;
+  while (i + kAbandonBlock <= m) {
+    const std::size_t stop = i + kAbandonBlock;
+    for (; i < stop; i += kLanes) {
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        const double t = std::fabs(a[i + k] - b[i + k]);
+        nan_count[k] += (t != t) ? 1.0 : 0.0;
+        acc[k] = t > acc[k] ? t : acc[k];
+      }
+    }
+    // Never abandon after a NaN term: the result must be NaN, not +inf.
+    if (i < m && ReduceSum(nan_count) == 0.0 &&
+        ReduceMax(acc) >= raw_cutoff) {
+      return kInf;
+    }
+  }
+  for (; i + kLanes <= m; i += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      const double t = std::fabs(a[i + k] - b[i + k]);
+      nan_count[k] += (t != t) ? 1.0 : 0.0;
+      acc[k] = t > acc[k] ? t : acc[k];
+    }
+  }
+  for (std::size_t k = 0; i < m; ++i, ++k) {
+    const double t = std::fabs(a[i] - b[i]);
+    nan_count[k] += (t != t) ? 1.0 : 0.0;
+    acc[k] = t > acc[k] ? t : acc[k];
+  }
+  if (ReduceSum(nan_count) > 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return ReduceMax(acc);
+}
+
+}  // namespace
+}  // namespace TSDIST_KERNEL_NS
+
+// The dispatch table for this level. constinit: function pointers are
+// constant-initialized, so there is no static-init-order hazard when the
+// dispatcher reads the table from another translation unit.
+constinit const KernelTable TSDIST_KERNEL_TABLE = {
+    /*sum_sq=*/&TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::SqDiffTerm>,
+    /*sum_abs=*/&TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::AbsDiffTerm>,
+    /*max_abs=*/&TSDIST_KERNEL_NS::MaxAbs,
+    /*sum_pearson=*/&TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::PearsonTerm>,
+    /*sum_neyman=*/&TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::NeymanTerm>,
+    /*sum_sqchi=*/&TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::SqChiTerm>,
+    /*sum_divergence=*/
+    &TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::DivergenceTerm>,
+    /*sum_clark=*/&TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::ClarkTerm>,
+    /*sum_addsym=*/&TSDIST_KERNEL_NS::Sum<TSDIST_KERNEL_NS::AddSymTerm>,
+    /*sum_sq_ea=*/&TSDIST_KERNEL_NS::SumEa<TSDIST_KERNEL_NS::SqDiffTerm>,
+    /*sum_abs_ea=*/&TSDIST_KERNEL_NS::SumEa<TSDIST_KERNEL_NS::AbsDiffTerm>,
+    /*max_abs_ea=*/&TSDIST_KERNEL_NS::MaxAbsEa,
+    /*sum_divergence_ea=*/
+    &TSDIST_KERNEL_NS::SumEa<TSDIST_KERNEL_NS::DivergenceTerm>,
+    /*sum_clark_ea=*/&TSDIST_KERNEL_NS::SumEa<TSDIST_KERNEL_NS::ClarkTerm>,
+};
+
+}  // namespace tsdist::simd

@@ -1,0 +1,6 @@
+// Scalar (reference) build of the lock-step kernels: compiled with
+// vectorization disabled (see src/CMakeLists.txt), so TSDIST_SIMD=scalar is
+// a true scalar baseline for bit-identity checks and speedup measurements.
+#define TSDIST_KERNEL_NS scalar_kernels
+#define TSDIST_KERNEL_TABLE kScalarKernelTable
+#include "src/simd/lockstep_kernels_impl.inl"

@@ -1,0 +1,22 @@
+# Appends the `simd` label to every test discovered from the SIMD kernel and
+# dispatcher binaries (test_simd_kernels, test_simd_dispatch), so the
+# bit-identity suite can be run alone (ctest -L simd / the `simd` test
+# preset) — e.g. once per dispatch level with different TSDIST_SIMD values.
+# Same TEST_INCLUDE_FILES technique as add_obs_label.cmake (which see): the
+# full label list is substituted at configure time (@TSDIST_TEST_LABELS@).
+# The glob is disjoint from the other label scripts' globs, so relative
+# ordering among them does not matter.
+file(GLOB _tsdist_simd_files
+     "${CMAKE_CURRENT_LIST_DIR}/test_simd*_tests.cmake")
+foreach(_file IN LISTS _tsdist_simd_files)
+  file(STRINGS "${_file}" _add_test_lines REGEX "^add_test")
+  foreach(_line IN LISTS _add_test_lines)
+    # add_test([=[SuiteName.TestName]=] ...)
+    if(_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "@TSDIST_TEST_LABELS@;simd")
+    endif()
+  endforeach()
+endforeach()
+unset(_tsdist_simd_files)
+unset(_add_test_lines)

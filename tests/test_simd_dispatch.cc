@@ -1,0 +1,171 @@
+// Tests for the runtime SIMD dispatcher (src/simd/dispatch.h): CPUID
+// detection invariants, the TSDIST_SIMD override, test pinning hooks, and
+// the per-level kernel table accessors.
+
+#include "src/simd/dispatch.h"
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/simd/lockstep_kernels.h"
+
+namespace tsdist::simd {
+namespace {
+
+// Saves/restores TSDIST_SIMD and drops the cached active level, so these
+// tests neither observe nor leak dispatcher state.
+class DispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* env = std::getenv("TSDIST_SIMD");
+    if (env != nullptr) saved_ = env;
+    ::unsetenv("TSDIST_SIMD");
+    ResetActiveSimdLevelForTest();
+  }
+
+  void TearDown() override {
+    if (saved_.has_value()) {
+      ::setenv("TSDIST_SIMD", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("TSDIST_SIMD");
+    }
+    ResetActiveSimdLevelForTest();
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST_F(DispatchTest, ToStringNamesEveryLevel) {
+  EXPECT_EQ(ToString(SimdLevel::kScalar), "scalar");
+  EXPECT_EQ(ToString(SimdLevel::kAvx2), "avx2");
+  EXPECT_EQ(ToString(SimdLevel::kAvx512), "avx512");
+}
+
+TEST_F(DispatchTest, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(SimdLevelSupported(SimdLevel::kScalar));
+  EXPECT_GE(DetectBestSimdLevel(), SimdLevel::kScalar);
+}
+
+TEST_F(DispatchTest, SupportIsMonotoneInLevel) {
+  if (SimdLevelSupported(SimdLevel::kAvx512)) {
+    EXPECT_TRUE(SimdLevelSupported(SimdLevel::kAvx2));
+  }
+}
+
+TEST_F(DispatchTest, ParseAcceptsTheFourSpellings) {
+  SimdLevel level = SimdLevel::kAvx512;
+  ASSERT_TRUE(ParseSimdLevel("scalar", &level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  ASSERT_TRUE(ParseSimdLevel("avx2", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  ASSERT_TRUE(ParseSimdLevel("avx512", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx512);
+  ASSERT_TRUE(ParseSimdLevel("native", &level));
+  EXPECT_EQ(level, DetectBestSimdLevel());
+}
+
+TEST_F(DispatchTest, ParseRejectsEverythingElse) {
+  SimdLevel level;
+  EXPECT_FALSE(ParseSimdLevel("", &level));
+  EXPECT_FALSE(ParseSimdLevel("AVX2", &level));
+  EXPECT_FALSE(ParseSimdLevel("sse", &level));
+  EXPECT_FALSE(ParseSimdLevel("scalar ", &level));
+}
+
+TEST_F(DispatchTest, DefaultActiveLevelIsNative) {
+  EXPECT_EQ(ActiveSimdLevel(), DetectBestSimdLevel());
+}
+
+TEST_F(DispatchTest, EnvOverridePinsScalar) {
+  ::setenv("TSDIST_SIMD", "scalar", 1);
+  ResetActiveSimdLevelForTest();
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+}
+
+TEST_F(DispatchTest, InvalidEnvValueFallsBackToNative) {
+  ::setenv("TSDIST_SIMD", "turbo", 1);
+  ResetActiveSimdLevelForTest();
+  EXPECT_EQ(ActiveSimdLevel(), DetectBestSimdLevel());
+}
+
+TEST_F(DispatchTest, EnvRequestAboveCpuClampsToNative) {
+  if (SimdLevelSupported(SimdLevel::kAvx512)) {
+    GTEST_SKIP() << "CPU supports every level; nothing to clamp";
+  }
+  ::setenv("TSDIST_SIMD", "avx512", 1);
+  ResetActiveSimdLevelForTest();
+  EXPECT_EQ(ActiveSimdLevel(), DetectBestSimdLevel());
+}
+
+TEST_F(DispatchTest, ActiveLevelIsCachedUntilReset) {
+  ::setenv("TSDIST_SIMD", "scalar", 1);
+  ResetActiveSimdLevelForTest();
+  ASSERT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  // A later env change must not affect the cached level...
+  ::unsetenv("TSDIST_SIMD");
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  // ...until the cache is dropped.
+  ResetActiveSimdLevelForTest();
+  EXPECT_EQ(ActiveSimdLevel(), DetectBestSimdLevel());
+}
+
+TEST_F(DispatchTest, SetForTestPinsEverySupportedLevel) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (!SimdLevelSupported(level)) continue;
+    SetActiveSimdLevelForTest(level);
+    EXPECT_EQ(ActiveSimdLevel(), level);
+  }
+}
+
+TEST_F(DispatchTest, SetForTestRejectsUnsupportedLevel) {
+  if (SimdLevelSupported(SimdLevel::kAvx512)) {
+    GTEST_SKIP() << "CPU supports every level; nothing to reject";
+  }
+  EXPECT_THROW(SetActiveSimdLevelForTest(SimdLevel::kAvx512),
+               std::invalid_argument);
+}
+
+TEST_F(DispatchTest, KernelsForLevelRejectsUnsupportedLevel) {
+  if (SimdLevelSupported(SimdLevel::kAvx512)) {
+    GTEST_SKIP() << "CPU supports every level; nothing to reject";
+  }
+  EXPECT_THROW(KernelsForLevel(SimdLevel::kAvx512), std::invalid_argument);
+}
+
+TEST_F(DispatchTest, KernelsFollowsTheActiveLevel) {
+  SetActiveSimdLevelForTest(SimdLevel::kScalar);
+  EXPECT_EQ(&Kernels(), &KernelsForLevel(SimdLevel::kScalar));
+  const SimdLevel best = DetectBestSimdLevel();
+  SetActiveSimdLevelForTest(best);
+  EXPECT_EQ(&Kernels(), &KernelsForLevel(best));
+}
+
+TEST_F(DispatchTest, EveryTableSlotIsPopulated) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (!SimdLevelSupported(level)) continue;
+    const KernelTable& table = KernelsForLevel(level);
+    EXPECT_NE(table.sum_sq, nullptr);
+    EXPECT_NE(table.sum_abs, nullptr);
+    EXPECT_NE(table.max_abs, nullptr);
+    EXPECT_NE(table.sum_pearson, nullptr);
+    EXPECT_NE(table.sum_neyman, nullptr);
+    EXPECT_NE(table.sum_sqchi, nullptr);
+    EXPECT_NE(table.sum_divergence, nullptr);
+    EXPECT_NE(table.sum_clark, nullptr);
+    EXPECT_NE(table.sum_addsym, nullptr);
+    EXPECT_NE(table.sum_sq_ea, nullptr);
+    EXPECT_NE(table.sum_abs_ea, nullptr);
+    EXPECT_NE(table.max_abs_ea, nullptr);
+    EXPECT_NE(table.sum_divergence_ea, nullptr);
+    EXPECT_NE(table.sum_clark_ea, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace tsdist::simd

@@ -1,0 +1,484 @@
+// Bit-identity and correctness properties of the SIMD lock-step kernels
+// (src/simd/lockstep_kernels.h), plus regression tests for the three scalar
+// bugs the kernel rebuild fixed:
+//  1. MinkowskiDistance accepted p <= 0 in release builds (assert only);
+//  2. Euclidean/Minkowski early abandoning re-applied sqrt/pow per block
+//     instead of transforming the cutoff once;
+//  3. Chebyshev's comparison-select max silently dropped NaN terms.
+//
+// The headline property: every kernel returns BIT-identical doubles across
+// scalar / AVX2 / AVX-512 dispatch levels, for every length (straddling the
+// 8-lane block and 16-element abandon boundaries) and for adversarial data
+// classes (denormals, +/-inf, NaN), because all levels share one
+// accumulation order. Prediction-level identity is asserted on two synthetic
+// archives through the pruned 1-NN path.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pairwise_engine.h"
+#include "src/core/registry.h"
+#include "src/data/archive.h"
+#include "src/linalg/rng.h"
+#include "src/lockstep/lockstep_all.h"
+#include "src/simd/aligned.h"
+#include "src/simd/dispatch.h"
+#include "src/simd/lockstep_kernels.h"
+
+namespace tsdist {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kQNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Bit-level equality: NaN == NaN (same payload), +0 != -0.
+bool BitEqual(double x, double y) {
+  std::uint64_t bx, by;
+  std::memcpy(&bx, &x, sizeof(bx));
+  std::memcpy(&by, &y, sizeof(by));
+  return bx == by;
+}
+
+std::vector<simd::SimdLevel> SupportedLevels() {
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  if (simd::SimdLevelSupported(simd::SimdLevel::kAvx2)) {
+    levels.push_back(simd::SimdLevel::kAvx2);
+  }
+  if (simd::SimdLevelSupported(simd::SimdLevel::kAvx512)) {
+    levels.push_back(simd::SimdLevel::kAvx512);
+  }
+  return levels;
+}
+
+// Lengths straddling the 8-lane block boundary, the 16-element abandon
+// cadence, and cache-line multiples.
+const std::vector<std::size_t> kLengths = {0,  1,  2,  3,   7,   8,   9,
+                                           15, 16, 17, 31,  32,  33,  63,
+                                           64, 65, 100, 127, 128, 129, 255,
+                                           256, 257};
+
+enum class DataClass {
+  kGaussian,
+  kTinyMagnitudes,  // denormal-scale values
+  kWithInfs,
+  kWithNaNs,
+  kMixedExtremes,  // infs and NaNs and signed zeros together
+};
+
+std::vector<double> MakeSeries(DataClass cls, std::size_t m,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(m);
+  for (std::size_t i = 0; i < m; ++i) v[i] = rng.Gaussian();
+  switch (cls) {
+    case DataClass::kGaussian:
+      break;
+    case DataClass::kTinyMagnitudes:
+      for (double& x : v) x *= 1e-310;  // below DBL_MIN: denormal range
+      break;
+    case DataClass::kWithInfs:
+      for (std::size_t i = 0; i < m; i += 7) v[i] = (i % 14 == 0) ? kInf : -kInf;
+      break;
+    case DataClass::kWithNaNs:
+      for (std::size_t i = 2; i < m; i += 11) v[i] = kQNaN;
+      break;
+    case DataClass::kMixedExtremes:
+      for (std::size_t i = 0; i < m; ++i) {
+        if (i % 13 == 3) v[i] = kInf;
+        if (i % 13 == 7) v[i] = kQNaN;
+        if (i % 13 == 9) v[i] = -0.0;
+        if (i % 13 == 11) v[i] = 0.0;
+      }
+      break;
+  }
+  return v;
+}
+
+const std::vector<DataClass> kDataClasses = {
+    DataClass::kGaussian, DataClass::kTinyMagnitudes, DataClass::kWithInfs,
+    DataClass::kWithNaNs, DataClass::kMixedExtremes};
+
+struct NamedPairKernel {
+  const char* name;
+  simd::PairKernel simd::KernelTable::* slot;
+};
+
+const std::vector<NamedPairKernel> kPairKernels = {
+    {"sum_sq", &simd::KernelTable::sum_sq},
+    {"sum_abs", &simd::KernelTable::sum_abs},
+    {"max_abs", &simd::KernelTable::max_abs},
+    {"sum_pearson", &simd::KernelTable::sum_pearson},
+    {"sum_neyman", &simd::KernelTable::sum_neyman},
+    {"sum_sqchi", &simd::KernelTable::sum_sqchi},
+    {"sum_divergence", &simd::KernelTable::sum_divergence},
+    {"sum_clark", &simd::KernelTable::sum_clark},
+    {"sum_addsym", &simd::KernelTable::sum_addsym},
+};
+
+struct NamedEaKernel {
+  const char* name;
+  simd::PairEaKernel simd::KernelTable::* ea_slot;
+  simd::PairKernel simd::KernelTable::* plain_slot;
+};
+
+const std::vector<NamedEaKernel> kEaKernels = {
+    {"sum_sq_ea", &simd::KernelTable::sum_sq_ea, &simd::KernelTable::sum_sq},
+    {"sum_abs_ea", &simd::KernelTable::sum_abs_ea,
+     &simd::KernelTable::sum_abs},
+    {"max_abs_ea", &simd::KernelTable::max_abs_ea,
+     &simd::KernelTable::max_abs},
+    {"sum_divergence_ea", &simd::KernelTable::sum_divergence_ea,
+     &simd::KernelTable::sum_divergence},
+    {"sum_clark_ea", &simd::KernelTable::sum_clark_ea,
+     &simd::KernelTable::sum_clark},
+};
+
+// --- Cross-level bit-identity ----------------------------------------------
+
+TEST(SimdKernelBitIdentity, PairKernelsMatchScalarForAllLengthsAndData) {
+  const auto levels = SupportedLevels();
+  const simd::KernelTable& scalar =
+      simd::KernelsForLevel(simd::SimdLevel::kScalar);
+  std::uint64_t seed = 1;
+  for (DataClass cls : kDataClasses) {
+    for (std::size_t m : kLengths) {
+      const std::vector<double> a = MakeSeries(cls, m, seed++);
+      const std::vector<double> b = MakeSeries(cls, m, seed++);
+      for (const auto& k : kPairKernels) {
+        const double ref = (scalar.*(k.slot))(a.data(), b.data(), m);
+        for (simd::SimdLevel level : levels) {
+          const simd::KernelTable& table = simd::KernelsForLevel(level);
+          const double got = (table.*(k.slot))(a.data(), b.data(), m);
+          EXPECT_TRUE(BitEqual(ref, got))
+              << k.name << " level=" << simd::ToString(level) << " m=" << m
+              << " class=" << static_cast<int>(cls) << ": scalar=" << ref
+              << " got=" << got;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelBitIdentity, EaKernelsMatchScalarForAllCutoffs) {
+  const auto levels = SupportedLevels();
+  const simd::KernelTable& scalar =
+      simd::KernelsForLevel(simd::SimdLevel::kScalar);
+  std::uint64_t seed = 1000;
+  for (DataClass cls : kDataClasses) {
+    for (std::size_t m : kLengths) {
+      const std::vector<double> a = MakeSeries(cls, m, seed++);
+      const std::vector<double> b = MakeSeries(cls, m, seed++);
+      for (const auto& k : kEaKernels) {
+        const double full = (scalar.*(k.plain_slot))(a.data(), b.data(), m);
+        // Cutoffs around the true raw value, plus never/always-abandon.
+        const std::vector<double> cutoffs = {kInf,       full * 2.0 + 1.0,
+                                             full,       full * 0.5,
+                                             0.0,        -1.0};
+        for (double cutoff : cutoffs) {
+          const double ref =
+              (scalar.*(k.ea_slot))(a.data(), b.data(), m, cutoff);
+          for (simd::SimdLevel level : levels) {
+            const simd::KernelTable& table = simd::KernelsForLevel(level);
+            const double got =
+                (table.*(k.ea_slot))(a.data(), b.data(), m, cutoff);
+            EXPECT_TRUE(BitEqual(ref, got))
+                << k.name << " level=" << simd::ToString(level) << " m=" << m
+                << " cutoff=" << cutoff << ": scalar=" << ref
+                << " got=" << got;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelBitIdentity, GenericPowSumIsLevelIndependentByConstruction) {
+  // SumPowAbsDiff is one shared implementation; pinning different dispatch
+  // levels must not change it (it does not dispatch at all).
+  const std::vector<double> a = MakeSeries(DataClass::kGaussian, 129, 7);
+  const std::vector<double> b = MakeSeries(DataClass::kGaussian, 129, 8);
+  for (double p : {0.5, 1.5, 3.0, 20.0}) {
+    const double ref = simd::SumPowAbsDiff(a.data(), b.data(), a.size(), p);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      simd::SetActiveSimdLevelForTest(level);
+      EXPECT_TRUE(BitEqual(
+          ref, simd::SumPowAbsDiff(a.data(), b.data(), a.size(), p)));
+    }
+  }
+  simd::ResetActiveSimdLevelForTest();
+}
+
+// --- Early-abandon contract -------------------------------------------------
+
+TEST(SimdKernelEaContract, CompletedScansAreBitIdenticalToPlainKernel) {
+  // Cutoff above the true raw value: the scan completes and must equal the
+  // plain kernel to the last bit (same accumulation order).
+  std::uint64_t seed = 42;
+  for (simd::SimdLevel level : SupportedLevels()) {
+    const simd::KernelTable& table = simd::KernelsForLevel(level);
+    for (std::size_t m : kLengths) {
+      const std::vector<double> a =
+          MakeSeries(DataClass::kGaussian, m, seed++);
+      const std::vector<double> b =
+          MakeSeries(DataClass::kGaussian, m, seed++);
+      for (const auto& k : kEaKernels) {
+        const double full = (table.*(k.plain_slot))(a.data(), b.data(), m);
+        const double ea =
+            (table.*(k.ea_slot))(a.data(), b.data(), m, full + 1.0);
+        EXPECT_TRUE(BitEqual(full, ea))
+            << k.name << " m=" << m << " level=" << simd::ToString(level);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelEaContract, AbandonsSignalPlusInfinity) {
+  const std::vector<double> a = MakeSeries(DataClass::kGaussian, 256, 5);
+  const std::vector<double> b = MakeSeries(DataClass::kGaussian, 256, 6);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    const simd::KernelTable& table = simd::KernelsForLevel(level);
+    for (const auto& k : kEaKernels) {
+      const double full = (table.*(k.plain_slot))(a.data(), b.data(), 256);
+      ASSERT_GT(full, 0.0);
+      // A partial sum reaches full * 0.01 long before the scan ends.
+      const double ea =
+          (table.*(k.ea_slot))(a.data(), b.data(), 256, full * 0.01);
+      EXPECT_EQ(ea, kInf) << k.name << " level=" << simd::ToString(level);
+    }
+  }
+}
+
+// --- Aligned storage ---------------------------------------------------------
+
+TEST(AlignedStorage, TimeSeriesBuffersAre64ByteAligned) {
+  for (std::size_t m : {1u, 7u, 64u, 1000u}) {
+    const TimeSeries ts(std::vector<double>(m, 1.5), 0);
+    const auto addr = reinterpret_cast<std::uintptr_t>(ts.values().data());
+    EXPECT_EQ(addr % simd::kSeriesAlignment, 0u) << "m=" << m;
+  }
+}
+
+// --- Regression: Minkowski p validation (bug 1) ------------------------------
+
+TEST(MinkowskiValidation, ConstructorRejectsNonPositiveP) {
+  EXPECT_THROW(MinkowskiDistance(0.0), std::invalid_argument);
+  EXPECT_THROW(MinkowskiDistance(-1.0), std::invalid_argument);
+  EXPECT_THROW(MinkowskiDistance(-kInf), std::invalid_argument);
+  EXPECT_THROW(MinkowskiDistance{kQNaN}, std::invalid_argument);
+  EXPECT_NO_THROW(MinkowskiDistance(0.1));
+  EXPECT_NO_THROW(MinkowskiDistance(2.0));
+}
+
+TEST(MinkowskiValidation, RegistryRejectsNonPositiveP) {
+  const Registry& registry = Registry::Global();
+  EXPECT_THROW(registry.Create("minkowski", {{"p", 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.Create("minkowski", {{"p", -3.0}}),
+               std::invalid_argument);
+  EXPECT_NE(registry.Create("minkowski", {{"p", 1.5}}), nullptr);
+  // This test must hold in release builds too — the seed code guarded p
+  // with assert(), which NDEBUG compiles away.
+}
+
+// --- Regression: cutoff transformed once (bug 2) -----------------------------
+
+TEST(EarlyAbandonCutoffDomain, CompletedScansMatchDistanceBitForBit) {
+  // The definitive regression for the per-block sqrt/pow re-transformation:
+  // whenever the true distance is below the cutoff, EarlyAbandonDistance
+  // must return exactly Distance() — including cutoffs barely above the
+  // true distance, where a mis-transformed comparison abandons wrongly.
+  Rng rng(99);
+  std::vector<double> av(100), bv(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    av[i] = rng.Gaussian();
+    bv[i] = rng.Gaussian();
+  }
+  const std::span<const double> a(av), b(bv);
+  std::vector<std::unique_ptr<DistanceMeasure>> measures;
+  measures.push_back(std::make_unique<EuclideanDistance>());
+  measures.push_back(std::make_unique<ManhattanDistance>());
+  measures.push_back(std::make_unique<ChebyshevDistance>());
+  measures.push_back(std::make_unique<MinkowskiDistance>(0.5));
+  measures.push_back(std::make_unique<MinkowskiDistance>(3.0));
+  measures.push_back(std::make_unique<SquaredEuclideanDistance>());
+  measures.push_back(std::make_unique<ClarkDistance>());
+  measures.push_back(std::make_unique<DivergenceDistance>());
+  measures.push_back(std::make_unique<GowerDistance>());
+  for (const auto& m : measures) {
+    const double d = m->Distance(a, b);
+    for (double factor : {1.0000001, 1.01, 2.0, 1e6}) {
+      const double ea = m->EarlyAbandonDistance(a, b, d * factor);
+      EXPECT_TRUE(BitEqual(d, ea))
+          << m->name() << " cutoff=d*" << factor << " d=" << d
+          << " ea=" << ea;
+    }
+    // At or below the true distance the contract allows an abandon, and the
+    // returned value must be >= the cutoff.
+    for (double factor : {1.0, 0.5, 0.01}) {
+      const double ea = m->EarlyAbandonDistance(a, b, d * factor);
+      EXPECT_GE(ea, d * factor) << m->name() << " cutoff=d*" << factor;
+    }
+  }
+}
+
+// --- Regression: Chebyshev NaN propagation (bug 3) ---------------------------
+
+TEST(ChebyshevNaN, DistancePropagatesNaNOnBothDispatchPaths) {
+  std::vector<double> av(40, 1.0), bv(40, 0.0);
+  av[37] = kQNaN;  // in the tail, after large finite differences
+  av[3] = 100.0;
+  const ChebyshevDistance cheb;
+  for (simd::SimdLevel level : SupportedLevels()) {
+    simd::SetActiveSimdLevelForTest(level);
+    EXPECT_TRUE(std::isnan(cheb.Distance(av, bv)))
+        << "level=" << simd::ToString(level);
+  }
+  simd::ResetActiveSimdLevelForTest();
+}
+
+TEST(ChebyshevNaN, EarlyAbandonNeverMasksAnObservedNaN) {
+  // NaN lands in the FIRST abandon block; a small cutoff would otherwise
+  // trigger an abandon at the first check. Once a NaN has been seen the
+  // kernel must keep scanning and return NaN, not +inf.
+  std::vector<double> av(64, 1.0), bv(64, 0.0);
+  av[2] = kQNaN;
+  const ChebyshevDistance cheb;
+  for (simd::SimdLevel level : SupportedLevels()) {
+    simd::SetActiveSimdLevelForTest(level);
+    EXPECT_TRUE(std::isnan(cheb.EarlyAbandonDistance(av, bv, 0.5)))
+        << "level=" << simd::ToString(level);
+  }
+  simd::ResetActiveSimdLevelForTest();
+}
+
+TEST(ChebyshevNaN, FamilyNaNPolicyCoversMinFoldingMeasures) {
+  // The same family contract applies to measures folding with min/max
+  // (soergel, kulczynski_d, intersection family): NaN propagates.
+  std::vector<double> av = {1.0, kQNaN, 3.0, 4.0};
+  std::vector<double> bv = {2.0, 1.0, 0.0, 4.0};
+  EXPECT_TRUE(std::isnan(SoergelDistance().Distance(av, bv)));
+  EXPECT_TRUE(std::isnan(KulczynskiDDistance().Distance(av, bv)));
+  EXPECT_TRUE(std::isnan(MotykaDistance().Distance(av, bv)));
+  EXPECT_TRUE(std::isnan(RuzickaDistance().Distance(av, bv)));
+  EXPECT_TRUE(std::isnan(TanimotoDistance().Distance(av, bv)));
+}
+
+// --- Measure-level cross-level identity --------------------------------------
+
+TEST(SimdMeasureIdentity, DistancesAreBitIdenticalAcrossLevels) {
+  std::uint64_t seed = 500;
+  const std::vector<std::string> names = {
+      "euclidean", "manhattan",          "chebyshev", "squared_euclidean",
+      "clark",     "divergence",         "pearson_chisq", "neyman_chisq",
+      "squared_chisq", "prob_symmetric_chisq", "additive_symmetric_chisq"};
+  const Registry& registry = Registry::Global();
+  for (const std::string& name : names) {
+    const MeasurePtr m = registry.Create(name);
+    ASSERT_NE(m, nullptr) << name;
+    for (std::size_t len : {17u, 64u, 129u}) {
+      const std::vector<double> a =
+          MakeSeries(DataClass::kGaussian, len, seed++);
+      const std::vector<double> b =
+          MakeSeries(DataClass::kGaussian, len, seed++);
+      simd::SetActiveSimdLevelForTest(simd::SimdLevel::kScalar);
+      const double ref = m->Distance(a, b);
+      for (simd::SimdLevel level : SupportedLevels()) {
+        simd::SetActiveSimdLevelForTest(level);
+        EXPECT_TRUE(BitEqual(ref, m->Distance(a, b)))
+            << name << " level=" << simd::ToString(level) << " len=" << len;
+      }
+    }
+  }
+  simd::ResetActiveSimdLevelForTest();
+}
+
+// --- Prediction identity across levels on two archives -----------------------
+
+TEST(SimdPredictionIdentity, PrunedOneNnMatchesAcrossLevelsOnTwoArchives) {
+  PairwiseEngine engine(1);
+  const Registry& registry = Registry::Global();
+  const std::vector<std::string> names = {"euclidean", "manhattan",
+                                          "squared_euclidean", "clark"};
+  for (std::uint64_t seed : {20200614ull, 7ull}) {
+    ArchiveOptions options;
+    options.scale = ArchiveScale::kTiny;
+    options.seed = seed;
+    const std::vector<Dataset> archive = BuildArchive(options);
+    ASSERT_FALSE(archive.empty());
+    // Two datasets per archive keep the suite fast while still covering
+    // different generator families.
+    for (std::size_t d = 0; d < 2 && d < archive.size(); ++d) {
+      const Dataset& ds = archive[d];
+      for (const std::string& name : names) {
+        const MeasurePtr m = registry.Create(name);
+        simd::SetActiveSimdLevelForTest(simd::SimdLevel::kScalar);
+        const std::vector<std::size_t> ref =
+            engine.NearestNeighborIndicesPruned(ds.test(), ds.train(), *m);
+        const std::vector<std::size_t> loo_ref =
+            engine.LeaveOneOutNeighborsPruned(ds.train(), *m);
+        for (simd::SimdLevel level : SupportedLevels()) {
+          simd::SetActiveSimdLevelForTest(level);
+          EXPECT_EQ(ref, engine.NearestNeighborIndicesPruned(
+                             ds.test(), ds.train(), *m))
+              << ds.name() << "/" << name
+              << " level=" << simd::ToString(level);
+          EXPECT_EQ(loo_ref, engine.LeaveOneOutNeighborsPruned(ds.train(), *m))
+              << ds.name() << "/" << name
+              << " level=" << simd::ToString(level);
+        }
+      }
+    }
+  }
+  simd::ResetActiveSimdLevelForTest();
+}
+
+TEST(SimdPredictionIdentity, BatchPathEqualsOnePairPath) {
+  // DistanceBatch must be bit-identical to looping Distance, and the
+  // chunked early-abandon cascade must produce the same neighbor as the
+  // matrix argmin.
+  ArchiveOptions options;
+  options.scale = ArchiveScale::kTiny;
+  const std::vector<Dataset> archive = BuildArchive(options);
+  ASSERT_FALSE(archive.empty());
+  const Dataset& ds = archive[0];
+  PairwiseEngine engine(1);
+  const Registry& registry = Registry::Global();
+  for (const std::string name : {"euclidean", "chebyshev", "divergence"}) {
+    const MeasurePtr m = registry.Create(name);
+    const Matrix w = engine.Compute(ds.test(), ds.train(), *m);
+    for (std::size_t i = 0; i < ds.test_size(); ++i) {
+      const auto& q = ds.test()[i].values();
+      for (std::size_t j = 0; j < ds.train_size(); ++j) {
+        EXPECT_TRUE(
+            BitEqual(w(i, j), m->Distance(q, ds.train()[j].values())))
+            << name << " (" << i << "," << j << ")";
+      }
+    }
+    // Pruned argmin == matrix argmin (strict-<, lowest index wins).
+    const std::vector<std::size_t> pruned =
+        engine.NearestNeighborIndicesPruned(ds.test(), ds.train(), *m);
+    for (std::size_t i = 0; i < ds.test_size(); ++i) {
+      std::size_t best = PairwiseEngine::kNoNeighbor;
+      double best_d = kInf;
+      for (std::size_t j = 0; j < ds.train_size(); ++j) {
+        if (w(i, j) < best_d) {
+          best_d = w(i, j);
+          best = j;
+        }
+      }
+      EXPECT_EQ(pruned[i], best) << name << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsdist

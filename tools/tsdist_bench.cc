@@ -63,6 +63,7 @@ const std::vector<std::string>& AllBenches() {
       "bench_ablation_lower_bounds", "bench_ablation_variants",
       "bench_ablation_clustering", "bench_ablation_indexing",
       "bench_ext_svm",             "bench_ext_multivariate",
+      "bench_kernel_lockstep",
   };
   return kAll;
 }
@@ -74,7 +75,7 @@ const std::vector<std::string>& SmokeBenches() {
   static const std::vector<std::string> kSmoke = {
       "bench_table1_inventory", "bench_fig1_normalizations",
       "bench_fig3_norm_ranks",  "bench_fig4_nccc_ranks",
-      "bench_table3_sliding",
+      "bench_table3_sliding",   "bench_kernel_lockstep",
   };
   return kSmoke;
 }
