@@ -30,6 +30,13 @@ ObsSession::ObsSession(std::string bench_name)
     // the destructor still writes a valid header-only file.
     obs::Profiler::Global().Start();
   }
+  const char* heap = std::getenv("TSDIST_HEAP_PROFILE_OUT");
+  if (heap != nullptr && *heap != '\0') {
+    heap_profile_out_ = heap;
+    // Same degradation contract: unavailable (sanitizer, NOOP, non-glibc)
+    // still yields a schema-valid header-only heap profile on exit.
+    obs::HeapProfiler::Global().Start();
+  }
 }
 
 double ObsSession::ElapsedSeconds() const {
@@ -58,6 +65,9 @@ void ObsSession::RunCase(const std::string& name,
   std::map<std::string, std::uint64_t> kernel_before;
   const bool obs_on = obs::Enabled();
   if (obs_on) {
+    // Peak-live gauges are per-case high-water marks: rebase them to the
+    // current live estimate so this case cannot inherit a prior case's peak.
+    obs::ResetMemPeaks();
     kernel_before = obs::MetricsRegistry::Global().Snapshot().counters;
   }
   result.samples_ms.reserve(static_cast<std::size_t>(iters));
@@ -68,11 +78,16 @@ void ObsSession::RunCase(const std::string& name,
     if (perf_group != nullptr) perf_total.Accumulate(perf_group->Stop());
     result.samples_ms.push_back(
         static_cast<double>(obs::NowNs() - iter_start) / 1e6);
+    // Per-repeat, not per-case: a case whose footprint shrinks by its last
+    // repeat would otherwise under-report its true high-water.
+    obs::UpdatePeakRssGauge();
   }
   result.perf = perf_total;
   if (obs_on) {
-    result.kernel = obs::KernelStatsBetween(
-        kernel_before, obs::MetricsRegistry::Global().Snapshot().counters);
+    const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+    result.kernel = obs::KernelStatsBetween(kernel_before, after.counters);
+    result.memory =
+        obs::MemStatsBetween(kernel_before, after.counters, after.gauges);
   }
   obs::UpdatePeakRssGauge();
   cases_.push_back(std::move(result));
@@ -83,6 +98,10 @@ ObsSession::~ObsSession() {
   if (!profile_out_.empty()) {
     obs::Profiler::Global().Stop();
     obs::WriteProfileFolded(profile_out_);
+  }
+  if (!heap_profile_out_.empty()) {
+    obs::HeapProfiler::Global().Stop();
+    obs::WriteHeapProfileFolded(heap_profile_out_);
   }
   const char* dir = std::getenv("TSDIST_BENCH_JSON");
   if (dir == nullptr || *dir == '\0') return;

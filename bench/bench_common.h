@@ -28,6 +28,11 @@
 //    runs for the whole session and the folded profile is written to <file>
 //    on exit (the tsdist_bench orchestrator sets a per-bench path and merges
 //    them into its --profile-out; see docs/PROFILING.md)
+//  * TSDIST_HEAP_PROFILE_OUT = <file>        same contract for the
+//    allocation-sampling heap profiler: armed for the whole session, the
+//    tsdist.heapprofile.v1 collapsed stacks land in <file> on exit (the
+//    orchestrator's --heap-profile-out merge mirrors --profile-out; see
+//    docs/MEMORY.md)
 
 #ifndef TSDIST_BENCH_BENCH_COMMON_H_
 #define TSDIST_BENCH_BENCH_COMMON_H_
@@ -76,6 +81,7 @@ class ObsSession {
   std::string name_;
   std::uint64_t start_ns_;
   std::string profile_out_;  ///< folded-profile path; empty = not profiling
+  std::string heap_profile_out_;  ///< heap-profile path; empty = off
   std::vector<obs::BenchCaseResult> cases_;
 };
 

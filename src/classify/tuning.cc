@@ -10,6 +10,7 @@
 #include "src/obs/json.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/heap_profiler.h"
 #include "src/obs/profiler.h"
 #include "src/resilience/checkpoint.h"
 
@@ -66,6 +67,7 @@ EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params
   // Nested pairwise regions claim the kernel itself; what stays on this
   // label is evaluation overhead (normalization, label bookkeeping).
   const obs::PerfRegion kernel_region("evaluate/" + measure_name);
+  const obs::MemRegion mem_region("evaluate/" + measure_name);
   obs::ScopedTimer timer(
       obs::Enabled()
           ? &obs::MetricsRegistry::Global().GetHistogram(
@@ -197,6 +199,7 @@ EvalResult EvaluateTuned(const std::string& measure_name,
                          ToString(candidate) + "}"
                    : std::string());
       const obs::PerfRegion kernel_region("tuning/" + measure_name);
+      const obs::MemRegion mem_region("tuning/" + measure_name);
       obs::ScopedTimer candidate_timer(candidate_ns, candidates);
       const MeasurePtr measure = registry.Create(measure_name, candidate);
       assert(measure != nullptr && "unknown measure name");

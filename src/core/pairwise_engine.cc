@@ -13,6 +13,7 @@
 #include "src/elastic/dtw.h"
 #include "src/elastic/lower_bounds.h"
 #include "src/obs/obs.h"
+#include "src/obs/heap_profiler.h"
 #include "src/obs/profiler.h"
 #include "src/resilience/checkpoint.h"
 
@@ -389,6 +390,7 @@ Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
   const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
                                      : std::string());
   const obs::PerfRegion kernel_region(measure.name());
+  const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
@@ -416,6 +418,7 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
                                 ? "pairwise.compute_self/" + measure.name()
                                 : std::string());
   const obs::PerfRegion kernel_region(measure.name());
+  const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
@@ -459,6 +462,7 @@ ComputeResult PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
   const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
                                      : std::string());
   const obs::PerfRegion kernel_region(measure.name());
+  const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
@@ -504,6 +508,7 @@ ComputeResult PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
                                 ? "pairwise.compute_self/" + measure.name()
                                 : std::string());
   const obs::PerfRegion kernel_region(measure.name());
+  const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
   if (obs_on) metrics_storage.emplace(measure.name(), measure.has_batch_kernel());
   const PairwiseMetrics* metrics =
@@ -581,6 +586,7 @@ std::vector<std::size_t> PairwiseEngine::NearestNeighborIndicesPruned(
                                 ? "pairwise.pruned_nn/" + measure.name()
                                 : std::string());
   const obs::PerfRegion kernel_region(measure.name());
+  const obs::MemRegion mem_region(measure.name());
   const CascadeContext ctx = BuildCascadeContext(references, measure, *pool_);
   const bool obs_on = obs::Enabled();
   std::optional<PruneMetrics> metrics;
@@ -612,6 +618,7 @@ std::vector<std::size_t> PairwiseEngine::LeaveOneOutNeighborsPruned(
                                 ? "pairwise.pruned_loocv/" + measure.name()
                                 : std::string());
   const obs::PerfRegion kernel_region(measure.name());
+  const obs::MemRegion mem_region(measure.name());
   const CascadeContext ctx = BuildCascadeContext(series, measure, *pool_);
   const bool obs_on = obs::Enabled();
   std::optional<PruneMetrics> metrics;

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "src/obs/health.h"
+#include "src/obs/heap_profiler.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/obs/openmetrics.h"
@@ -141,6 +142,7 @@ void ExpoServer::SetRunInfoJson(std::string json) {
 
 void ExpoServer::Sample() {
   UpdatePeakRssGauge();
+  UpdateCurrentRssGauge();
   if (options_.sampler) options_.sampler();
 }
 
@@ -312,6 +314,40 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
     }
     return response;
   }
+  if (path == "/heapz") {
+    BumpCounter("tsdist.expo.requests.heapz");
+    HeapProfiler& heap = HeapProfiler::Global();
+    if (query == "start") {
+      response.body = heap.Start()
+                          ? "heap profiler started\n"
+                          : "heap profiler not started (already running, "
+                            "unavailable, or observability disabled)\n";
+    } else if (query == "stop") {
+      response.body = heap.Stop() ? "heap profiler stopped\n"
+                                  : "heap profiler not running\n";
+    } else if (query == "dump") {
+      response.body = heap.RenderFolded();
+    } else if (query == "live") {
+      response.body = heap.RenderLeakReport();
+    } else if (query.empty() || query == "status") {
+      const HeapProfilerStatus st = heap.Status();
+      response.body =
+          std::string("heap profiler ") + (st.running ? "running" : "idle") +
+          " available=" + (st.available ? "1" : "0") +
+          " samples=" + std::to_string(st.samples) +
+          " dropped=" + std::to_string(st.dropped) +
+          " live_allocs=" + std::to_string(st.live_allocs) +
+          " live_bytes=" + std::to_string(st.live_bytes) +
+          " cumulative_bytes=" + std::to_string(st.cumulative_bytes) +
+          " interval_bytes=" + std::to_string(st.sample_interval_bytes) +
+          "\n";
+    } else {
+      response.status = 400;
+      response.body = "unknown action '" + query +
+                      "' (use ?start, ?stop, ?dump, ?live, or ?status)\n";
+    }
+    return response;
+  }
   if (path == "/") {
     BumpCounter("tsdist.expo.requests.index");
     response.body =
@@ -320,7 +356,8 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
         "  /healthz   run health JSON\n"
         "  /runinfo   provenance manifest JSON\n"
         "  /logz      recent structured log lines\n"
-        "  /profilez  sampling profiler (?start ?stop ?dump ?trace ?status)\n";
+        "  /profilez  sampling profiler (?start ?stop ?dump ?trace ?status)\n"
+        "  /heapz     heap profiler (?start ?stop ?dump ?live ?status)\n";
     return response;
   }
   BumpCounter("tsdist.expo.requests.other");

@@ -1,0 +1,976 @@
+#include "src/obs/heap_profiler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace tsdist::obs {
+
+namespace {
+
+// Fixed field set of the tsdist.mem.* family. alloc_bytes/alloc_count are
+// counters; peak_live_bytes is a gauge (a high-water mark, not a rate).
+constexpr const char* kMemFields[] = {
+    "alloc_bytes",
+    "alloc_count",
+    "peak_live_bytes",
+};
+
+}  // namespace
+
+bool ParseMemMetricName(const std::string& name, std::string* field,
+                        std::string* label) {
+  constexpr const char kPrefix[] = "tsdist.mem.";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  const std::size_t dot = name.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot + 1 >= name.size()) return false;
+  const std::string f = name.substr(kPrefixLen, dot - kPrefixLen);
+  for (const char* known : kMemFields) {
+    if (f == known) {
+      if (field != nullptr) *field = f;
+      if (label != nullptr) *label = name.substr(dot + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::map<std::string, MemStats> MemStatsBetween(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after,
+    const std::map<std::string, double>& gauges_after) {
+  std::map<std::string, MemStats> out;
+  for (const auto& [name, value] : after) {
+    std::string field, label;
+    if (!ParseMemMetricName(name, &field, &label)) continue;
+    const auto it = before.find(name);
+    const std::uint64_t prev = it == before.end() ? 0 : it->second;
+    const std::uint64_t delta = value > prev ? value - prev : 0;
+    if (delta == 0) continue;
+    if (field == "alloc_bytes") {
+      out[label].alloc_bytes += delta;
+    } else if (field == "alloc_count") {
+      out[label].alloc_count += delta;
+    }
+    // peak_live_bytes lives in the gauge map; a counter with that name is
+    // outside the contract and ignored.
+  }
+  // Labels whose counters never moved are dropped before peaks are attached,
+  // so an idle label with a stale peak gauge does not resurface.
+  for (auto it = out.begin(); it != out.end();) {
+    if (it->second.alloc_bytes == 0 && it->second.alloc_count == 0) {
+      it = out.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, value] : gauges_after) {
+    std::string field, label;
+    if (!ParseMemMetricName(name, &field, &label)) continue;
+    if (field != "peak_live_bytes") continue;
+    const auto it = out.find(label);
+    if (it == out.end()) continue;
+    it->second.peak_live_bytes =
+        value > 0 ? static_cast<std::uint64_t>(value) : 0;
+  }
+  return out;
+}
+
+}  // namespace tsdist::obs
+
+#if defined(TSDIST_OBS_NOOP)
+
+namespace tsdist::obs {
+
+bool HeapProfilingAvailable() { return false; }
+
+void ResetMemPeaks() {}
+
+}  // namespace tsdist::obs
+
+#else  // !TSDIST_OBS_NOOP
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+#include <utility>
+
+#include "src/obs/log.h"
+
+// The wrappers are only compiled when glibc backs the allocator (so the
+// __libc_* entry points exist) and no sanitizer owns malloc — ASan/TSan
+// interpose the same symbols and must win.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TSDIST_HEAP_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define TSDIST_HEAP_SANITIZED 1
+#endif
+#endif
+
+#if !defined(TSDIST_HEAP_SANITIZED) && defined(__GLIBC__)
+#define TSDIST_HEAP_INTERPOSE 1
+#endif
+
+#if defined(TSDIST_HEAP_INTERPOSE)
+// The real glibc allocator entry points. Resolved directly (not via dlsym,
+// which itself allocates) so the wrappers work from the first pre-main
+// allocation onward.
+extern "C" void* __libc_malloc(std::size_t size);
+extern "C" void __libc_free(void* ptr);
+extern "C" void* __libc_realloc(void* ptr, std::size_t size);
+extern "C" void* __libc_calloc(std::size_t n, std::size_t size);
+extern "C" void* __libc_memalign(std::size_t alignment, std::size_t size);
+#endif
+
+#define TSDIST_HEAP_NOINLINE __attribute__((noinline))
+
+namespace tsdist::obs {
+namespace {
+
+constexpr int kMaxHeapStackDepth = 32;
+constexpr std::uint64_t kMinIntervalBytes = 1024;
+constexpr std::size_t kLiveShardCount = 16;  // power of two
+constexpr std::size_t kMaxTrackedStacks = 1 << 14;
+constexpr int kMaxMemRegionDepth = 16;
+
+// Per-label attribution state. Counter/gauge pointers are resolved once at
+// MemRegion entry (registry lookup takes a mutex — never safe inside the
+// hook); the hook only performs lock-free adds on them. Entries are never
+// freed: labels are low-cardinality by contract.
+struct MemLabelStats {
+  Counter* bytes_counter = nullptr;
+  Counter* count_counter = nullptr;
+  Gauge* peak_gauge = nullptr;
+  std::atomic<std::uint64_t> live_bytes{0};       // sampled upscaled estimate
+  std::atomic<std::uint64_t> peak_live_bytes{0};  // high-water of live_bytes
+};
+
+// One sampled call stack with its byte aggregates. pcs are leaf-first as
+// captured; aggregates are atomics because frees retire bytes without the
+// stack-table mutex.
+struct StackRec {
+  std::vector<void*> pcs;
+  std::atomic<std::uint64_t> cum_bytes{0};
+  std::atomic<std::uint64_t> cum_count{0};
+  std::atomic<std::uint64_t> live_bytes{0};
+  std::atomic<std::uint64_t> live_count{0};
+};
+
+// One sampled live allocation, keyed by pointer in its shard.
+struct LiveRec {
+  std::uint64_t weight = 0;
+  StackRec* stack = nullptr;
+  MemLabelStats* label = nullptr;
+};
+
+struct alignas(64) LiveShard {
+  std::mutex mu;
+  std::unordered_map<std::uintptr_t, LiveRec> map;
+};
+
+// Fast-path gates. All constant-initialized: the wrappers run before any
+// static constructor, so nothing here may require dynamic initialization.
+std::atomic<bool> g_sampling{false};
+std::atomic<std::uint64_t> g_tracked{0};  // live-table entries
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<std::int64_t> g_interval{512 * 1024};
+std::atomic<std::uint64_t> g_samples{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::uint64_t> g_live_bytes_total{0};
+std::atomic<std::uint64_t> g_cum_bytes_total{0};
+
+std::mutex g_heap_mu;  // API state below
+bool g_heap_running = false;
+HeapProfilerOptions g_heap_options;
+
+// Sampled-stack table and live shards, allocated at first Start() and
+// intentionally leaked so late frees in static destructors stay safe.
+std::mutex g_stacks_mu;
+std::map<std::vector<void*>, std::unique_ptr<StackRec>>* g_stacks = nullptr;
+LiveShard* g_live_shards = nullptr;
+
+// Label registry (MemRegion entry only — never the hook).
+std::mutex g_labels_mu;
+std::map<std::string, std::unique_ptr<MemLabelStats>>* g_labels = nullptr;
+
+// Trivially-initialized thread state: byte countdown to the next sample
+// (epoch-stamped so Start() resets every thread lazily) and the reentrancy
+// guard that keeps profiler-internal allocations out of the accounting.
+struct ThreadHeapState {
+  std::uint64_t epoch;
+  std::int64_t countdown;
+  bool in_hook;
+};
+thread_local ThreadHeapState t_heap;  // zero-initialized
+
+struct MemRegionStack {
+  MemLabelStats* stack[kMaxMemRegionDepth];
+  int depth;
+};
+thread_local MemRegionStack t_mem;                 // zero-initialized
+thread_local MemLabelStats* t_mem_current;         // innermost active label
+
+// RAII reentrancy guard for profiler-internal code paths (render, table
+// bookkeeping): their allocations neither sample nor attribute.
+class ScopedHookGuard {
+ public:
+  ScopedHookGuard() : saved_(t_heap.in_hook) { t_heap.in_hook = true; }
+  ~ScopedHookGuard() { t_heap.in_hook = saved_; }
+  ScopedHookGuard(const ScopedHookGuard&) = delete;
+  ScopedHookGuard& operator=(const ScopedHookGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// The next three helpers serve the wrapper hook paths; without the
+// interposed wrappers (sanitizer / non-glibc builds) nothing calls them.
+[[maybe_unused]] std::size_t ShardIndex(const void* ptr) {
+  const auto p = reinterpret_cast<std::uintptr_t>(ptr);
+  return ((p >> 4) ^ (p >> 12)) & (kLiveShardCount - 1);
+}
+
+[[maybe_unused]] void SubClamped(std::atomic<std::uint64_t>* value,
+                                 std::uint64_t delta) {
+  std::uint64_t observed = value->load(std::memory_order_relaxed);
+  while (!value->compare_exchange_weak(
+      observed, observed > delta ? observed - delta : 0,
+      std::memory_order_relaxed)) {
+  }
+}
+
+// Raises the label's live high-water mark and mirrors it into the gauge.
+[[maybe_unused]] void RaiseLabelPeak(MemLabelStats* label,
+                                     std::uint64_t live_now) {
+  std::uint64_t peak = label->peak_live_bytes.load(std::memory_order_relaxed);
+  while (live_now > peak &&
+         !label->peak_live_bytes.compare_exchange_weak(
+             peak, live_now, std::memory_order_relaxed)) {
+  }
+  if (live_now > peak) {
+    label->peak_gauge->Set(static_cast<double>(live_now));
+  }
+}
+
+// Offline symbolization with a per-dump cache (same contract as the CPU
+// profiler's: pc-1 lookup, demangle, module+offset fallback, folded-format
+// character sanitization).
+std::string SymbolizeHeapPc(void* pc, std::map<void*, std::string>* cache) {
+  const auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info{};
+  void* lookup = static_cast<char*>(pc) - 1;
+  if (dladdr(lookup, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      name = demangled;
+    } else {
+      name = info.dli_sname;
+    }
+    free(demangled);  // NOLINT: __cxa_demangle mallocs
+  } else if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%s+0x%zx", base,
+                  static_cast<std::size_t>(static_cast<char*>(pc) -
+                                           static_cast<char*>(info.dli_fbase)));
+    name = buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%zx",
+                  reinterpret_cast<std::size_t>(pc));
+    name = buf;
+  }
+  for (char& c : name) {
+    if (c == ';' || c == ' ' || c == '\n') c = '_';
+  }
+  (*cache)[pc] = name;
+  return name;
+}
+
+// Caller holds g_heap_mu (Start path). Leaked on purpose — see above.
+void EnsureTablesLocked() {
+  if (g_live_shards == nullptr) g_live_shards = new LiveShard[kLiveShardCount];
+  std::lock_guard<std::mutex> lock(g_stacks_mu);
+  if (g_stacks == nullptr) {
+    g_stacks = new std::map<std::vector<void*>, std::unique_ptr<StackRec>>();
+  }
+}
+
+std::string SanitizeMemLabel(std::string_view label) {
+  std::string out(label.empty() ? std::string_view("unlabeled") : label);
+  for (char& c : out) {
+    if (c == ' ' || c == '\n' || c == '"') c = '_';
+  }
+  return out;
+}
+
+// MemRegion entry only: resolves (or creates) the per-label stats record.
+// Takes g_labels_mu and the registry mutex — never callable from the hook.
+MemLabelStats* GetLabelStats(const std::string& label) {
+  std::lock_guard<std::mutex> lock(g_labels_mu);
+  if (g_labels == nullptr) {
+    g_labels = new std::map<std::string, std::unique_ptr<MemLabelStats>>();
+  }
+  auto it = g_labels->find(label);
+  if (it == g_labels->end()) {
+    auto stats = std::make_unique<MemLabelStats>();
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    stats->bytes_counter =
+        &registry.GetCounter("tsdist.mem.alloc_bytes." + label);
+    stats->count_counter =
+        &registry.GetCounter("tsdist.mem.alloc_count." + label);
+    stats->peak_gauge =
+        &registry.GetGauge("tsdist.mem.peak_live_bytes." + label);
+    it = g_labels->emplace(label, std::move(stats)).first;
+  }
+  return it->second.get();
+}
+
+// One merged folded row after symbolization.
+struct HeapRow {
+  std::uint64_t live = 0;
+  std::uint64_t cum = 0;
+  std::uint64_t count = 0;
+};
+
+// Snapshots the stack table and symbolizes it into "root;...;leaf" rows.
+// Totals are summed from the emitted rows so the rendered header always
+// equals the column sums, even while frees race with the copy.
+std::map<std::string, HeapRow> CollectHeapRows() {
+  ScopedHookGuard guard;
+  struct RawRow {
+    std::vector<void*> pcs;
+    std::uint64_t live = 0;
+    std::uint64_t cum = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<RawRow> raw;
+  {
+    std::lock_guard<std::mutex> lock(g_stacks_mu);
+    if (g_stacks != nullptr) {
+      raw.reserve(g_stacks->size());
+      for (const auto& [pcs, rec] : *g_stacks) {
+        RawRow row;
+        row.pcs = pcs;
+        row.live = rec->live_bytes.load(std::memory_order_relaxed);
+        row.cum = rec->cum_bytes.load(std::memory_order_relaxed);
+        row.count = rec->cum_count.load(std::memory_order_relaxed);
+        raw.push_back(std::move(row));
+      }
+    }
+  }
+  std::map<void*, std::string> cache;
+  std::map<std::string, HeapRow> rows;
+  for (const RawRow& r : raw) {
+    if (r.cum == 0) continue;
+    std::string key;
+    for (auto it = r.pcs.rbegin(); it != r.pcs.rend(); ++it) {
+      if (!key.empty()) key += ';';
+      key += SymbolizeHeapPc(*it, &cache);
+    }
+    if (key.empty()) key = "[truncated]";
+    HeapRow& row = rows[key];
+    row.live += r.live;
+    row.cum += r.cum;
+    row.count += r.count;
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace tsdist::obs
+
+#if defined(TSDIST_HEAP_INTERPOSE)
+
+namespace tsdist::obs {
+namespace {
+
+// Forward declaration so the marker table below can reference it.
+TSDIST_HEAP_NOINLINE void RecordSample(void* ptr, std::size_t size,
+                                       MemLabelStats* label);
+
+// Attributes and (countdown permitting) samples one successful allocation.
+// Runs on every malloc in the process: the no-region, no-sampling path is
+// two thread-local reads and one relaxed atomic load.
+TSDIST_HEAP_NOINLINE void AccountAlloc(void* ptr, std::size_t size) {
+  if (ptr == nullptr) return;
+  ThreadHeapState& ts = t_heap;
+  if (ts.in_hook) return;
+  MemLabelStats* label = t_mem_current;
+  const bool sampling = g_sampling.load(std::memory_order_acquire);
+  if (label == nullptr && !sampling) return;
+  ts.in_hook = true;
+  if (label != nullptr) {
+    label->bytes_counter->Add(size);
+    label->count_counter->Add(1);
+  }
+  if (sampling) {
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+    if (ts.epoch != epoch) {
+      ts.epoch = epoch;
+      ts.countdown = g_interval.load(std::memory_order_relaxed);
+    }
+    ts.countdown -= static_cast<std::int64_t>(size);
+    if (ts.countdown <= 0) RecordSample(ptr, size, label);
+  }
+  ts.in_hook = false;
+}
+
+// Retires a sampled allocation. Runs on every free, but costs a single
+// relaxed load while the live table is empty (profiler never armed).
+void AccountFree(void* ptr) {
+  if (ptr == nullptr) return;
+  if (g_tracked.load(std::memory_order_acquire) == 0) return;
+  if (t_heap.in_hook) return;
+  t_heap.in_hook = true;
+  LiveShard& shard = g_live_shards[ShardIndex(ptr)];
+  LiveRec rec;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(reinterpret_cast<std::uintptr_t>(ptr));
+    if (it != shard.map.end()) {
+      rec = it->second;
+      shard.map.erase(it);
+      found = true;
+    }
+  }
+  if (found) {
+    g_tracked.fetch_sub(1, std::memory_order_release);
+    SubClamped(&rec.stack->live_bytes, rec.weight);
+    SubClamped(&rec.stack->live_count, 1);
+    SubClamped(&g_live_bytes_total, rec.weight);
+    if (rec.label != nullptr) SubClamped(&rec.label->live_bytes, rec.weight);
+  }
+  t_heap.in_hook = false;
+}
+
+// Fold-time trimming markers: frames inside these functions are profiler
+// plumbing, not the allocation site. Addresses are compared by range because
+// the hook chain is partly internal-linkage (dladdr cannot name it).
+const std::array<const char*, 10>& TrimMarkers();
+
+int TrimmedHeapStart(void* const* pcs, int depth) {
+  const int scan = std::min(depth, 8);
+  int start = 0;
+  for (int i = 0; i < scan; ++i) {
+    const char* pc = static_cast<const char*>(pcs[i]);
+    for (const char* marker : TrimMarkers()) {
+      if (pc >= marker && pc < marker + 1024) {
+        start = i + 1;
+        break;
+      }
+    }
+  }
+  return std::min(start, depth);
+}
+
+// Caller set t_heap.in_hook (so everything allocated here — the backtrace
+// warmup, table nodes, vectors — bypasses accounting and cannot recurse).
+TSDIST_HEAP_NOINLINE void RecordSample(void* ptr, std::size_t size,
+                                       MemLabelStats* label) {
+  const std::int64_t interval = g_interval.load(std::memory_order_relaxed);
+  // Deterministic upscaling: a sample stands for every whole interval the
+  // countdown crossed, so an allocation of B >= interval bytes weighs
+  // within one interval of B and small allocations aggregate unbiased.
+  const std::uint64_t deficit = static_cast<std::uint64_t>(-t_heap.countdown);
+  const std::uint64_t intervals =
+      1 + deficit / static_cast<std::uint64_t>(interval);
+  t_heap.countdown += static_cast<std::int64_t>(intervals) * interval;
+  const std::uint64_t weight = intervals * static_cast<std::uint64_t>(interval);
+  (void)size;
+
+  void* pcs[kMaxHeapStackDepth];
+  const int depth = backtrace(pcs, kMaxHeapStackDepth);
+  const int start = depth > 0 ? TrimmedHeapStart(pcs, depth) : 0;
+
+  StackRec* rec = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_stacks_mu);
+    if (g_stacks == nullptr) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<void*> key(pcs + start, pcs + std::max(depth, start));
+    auto it = g_stacks->find(key);
+    if (it == g_stacks->end()) {
+      if (g_stacks->size() >= kMaxTrackedStacks) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      it = g_stacks->emplace(std::move(key), std::make_unique<StackRec>())
+               .first;
+      it->second->pcs = it->first;
+    }
+    rec = it->second.get();
+  }
+  rec->cum_bytes.fetch_add(weight, std::memory_order_relaxed);
+  rec->cum_count.fetch_add(1, std::memory_order_relaxed);
+  rec->live_bytes.fetch_add(weight, std::memory_order_relaxed);
+  rec->live_count.fetch_add(1, std::memory_order_relaxed);
+  g_samples.fetch_add(1, std::memory_order_relaxed);
+  g_cum_bytes_total.fetch_add(weight, std::memory_order_relaxed);
+  g_live_bytes_total.fetch_add(weight, std::memory_order_relaxed);
+
+  if (label != nullptr) {
+    const std::uint64_t live_now =
+        label->live_bytes.fetch_add(weight, std::memory_order_relaxed) +
+        weight;
+    RaiseLabelPeak(label, live_now);
+  }
+
+  LiveShard& shard = g_live_shards[ShardIndex(ptr)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[reinterpret_cast<std::uintptr_t>(ptr)] =
+        LiveRec{weight, rec, label};
+  }
+  g_tracked.fetch_add(1, std::memory_order_release);
+}
+
+// glibc's memalign entry backs both aligned_alloc and the aligned operator
+// new family.
+TSDIST_HEAP_NOINLINE void* AlignedAllocate(std::size_t alignment,
+                                           std::size_t size) {
+  void* ptr = __libc_memalign(alignment, size);
+  AccountAlloc(ptr, size);
+  return ptr;
+}
+
+}  // namespace
+}  // namespace tsdist::obs
+
+// ---------------------------------------------------------------------------
+// Link-order allocator wrappers. These strong definitions live in the tsdist
+// archive, which the linker scans before libc: every tsdist binary binds its
+// allocation calls here. Each wrapper delegates to the real glibc allocator
+// and then observes — it never changes what the caller gets back.
+
+extern "C" void* malloc(std::size_t size) noexcept {
+  void* ptr = __libc_malloc(size);
+  tsdist::obs::AccountAlloc(ptr, size);
+  return ptr;
+}
+
+extern "C" void free(void* ptr) noexcept {
+  tsdist::obs::AccountFree(ptr);
+  __libc_free(ptr);
+}
+
+extern "C" void* calloc(std::size_t n, std::size_t size) noexcept {
+  void* ptr = __libc_calloc(n, size);
+  tsdist::obs::AccountAlloc(ptr, n * size);
+  return ptr;
+}
+
+extern "C" void* realloc(void* ptr, std::size_t size) noexcept {
+  void* out = __libc_realloc(ptr, size);
+  // Accounting model: realloc = free(old) + alloc(new), including in-place
+  // growth. On failure (null with size != 0) the old block survives and
+  // keeps its tracking entry.
+  if (out != nullptr || size == 0) tsdist::obs::AccountFree(ptr);
+  if (out != nullptr) tsdist::obs::AccountAlloc(out, size);
+  return out;
+}
+
+extern "C" void* aligned_alloc(std::size_t alignment,
+                               std::size_t size) noexcept {
+  return tsdist::obs::AlignedAllocate(alignment, size);
+}
+
+void* operator new(std::size_t size) {
+  for (;;) {
+    void* ptr = malloc(size);  // NOLINT: routes through the wrapper above
+    if (ptr != nullptr) return ptr;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ::operator new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ::operator new(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  for (;;) {
+    void* ptr = tsdist::obs::AlignedAllocate(
+        static_cast<std::size_t>(alignment), size);
+    if (ptr != nullptr) return ptr;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return ::operator new(size, alignment);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return ::operator new(size, alignment);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* ptr) noexcept { free(ptr); }
+void operator delete[](void* ptr) noexcept { free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept { free(ptr); }
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  free(ptr);
+}
+
+namespace tsdist::obs {
+namespace {
+
+const std::array<const char*, 10>& TrimMarkers() {
+  static const std::array<const char*, 10> markers = {
+      reinterpret_cast<const char*>(&RecordSample),
+      reinterpret_cast<const char*>(&AccountAlloc),
+      reinterpret_cast<const char*>(&AlignedAllocate),
+      reinterpret_cast<const char*>(&::malloc),
+      reinterpret_cast<const char*>(&::calloc),
+      reinterpret_cast<const char*>(&::realloc),
+      reinterpret_cast<const char*>(&::aligned_alloc),
+      reinterpret_cast<const char*>(
+          static_cast<void* (*)(std::size_t)>(&::operator new)),
+      reinterpret_cast<const char*>(
+          static_cast<void* (*)(std::size_t)>(&::operator new[])),
+      reinterpret_cast<const char*>(
+          static_cast<void* (*)(std::size_t, std::align_val_t)>(
+              &::operator new)),
+  };
+  return markers;
+}
+
+}  // namespace
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_HEAP_INTERPOSE
+
+namespace tsdist::obs {
+
+bool HeapProfilingAvailable() {
+#if defined(TSDIST_HEAP_INTERPOSE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+HeapProfiler& HeapProfiler::Global() {
+  static HeapProfiler* instance = new HeapProfiler();
+  return *instance;
+}
+
+bool HeapProfiler::Start(const HeapProfilerOptions& options) {
+  if (!Enabled()) {
+    TSDIST_LOG(LogLevel::kWarn,
+               "heap profiler start ignored: observability disabled");
+    return false;
+  }
+  if (!HeapProfilingAvailable()) {
+    // One-shot so a sanitize-preset sweep does not drown in warnings.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      TSDIST_LOG(LogLevel::kWarn,
+                 "heap profiler unavailable: allocator wrappers disabled "
+                 "(sanitizer owns malloc, or non-glibc libc)");
+    }
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_heap_mu);
+  if (g_heap_running) {
+    TSDIST_LOG(LogLevel::kWarn, "heap profiler start ignored: already running");
+    return false;
+  }
+  g_heap_options = options;
+  if (g_heap_options.sample_interval_bytes < kMinIntervalBytes) {
+    g_heap_options.sample_interval_bytes = kMinIntervalBytes;
+  }
+  {
+    ScopedHookGuard guard;
+    EnsureTablesLocked();
+#if defined(TSDIST_HEAP_INTERPOSE)
+    // First backtrace call may dlopen/allocate inside libgcc; force that
+    // now, outside the allocation hook.
+    void* warm[4];
+    backtrace(warm, 4);
+#endif
+  }
+  g_interval.store(
+      static_cast<std::int64_t>(g_heap_options.sample_interval_bytes),
+      std::memory_order_relaxed);
+  // Epoch bump: every thread resets its countdown to the new interval on
+  // its next allocation — deterministic, no cross-thread TLS pokes.
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+  g_sampling.store(true, std::memory_order_release);
+  g_heap_running = true;
+  TSDIST_LOG(LogLevel::kInfo, "heap profiler started",
+             F("interval_bytes", g_heap_options.sample_interval_bytes));
+  return true;
+}
+
+bool HeapProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_heap_mu);
+  if (!g_heap_running) return false;
+  g_sampling.store(false, std::memory_order_release);
+  g_heap_running = false;
+  TSDIST_LOG(LogLevel::kInfo, "heap profiler stopped",
+             F("samples", g_samples.load(std::memory_order_relaxed)),
+             F("live_bytes",
+               g_live_bytes_total.load(std::memory_order_relaxed)));
+  return true;
+}
+
+bool HeapProfiler::running() const {
+  std::lock_guard<std::mutex> lock(g_heap_mu);
+  return g_heap_running;
+}
+
+HeapProfilerStatus HeapProfiler::Status() const {
+  std::lock_guard<std::mutex> lock(g_heap_mu);
+  HeapProfilerStatus st;
+  st.running = g_heap_running;
+  st.available = HeapProfilingAvailable();
+  st.samples = g_samples.load(std::memory_order_relaxed);
+  st.dropped = g_dropped.load(std::memory_order_relaxed);
+  st.live_allocs = g_tracked.load(std::memory_order_relaxed);
+  st.live_bytes = g_live_bytes_total.load(std::memory_order_relaxed);
+  st.cumulative_bytes = g_cum_bytes_total.load(std::memory_order_relaxed);
+  st.sample_interval_bytes = g_heap_options.sample_interval_bytes != 0
+                                 ? g_heap_options.sample_interval_bytes
+                                 : static_cast<std::uint64_t>(
+                                       g_interval.load(
+                                           std::memory_order_relaxed));
+  return st;
+}
+
+void HeapProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(g_heap_mu);
+  if (g_heap_running) return;
+  ScopedHookGuard guard;
+  {
+    std::lock_guard<std::mutex> stacks_lock(g_stacks_mu);
+    if (g_stacks != nullptr) g_stacks->clear();
+  }
+  if (g_live_shards != nullptr) {
+    for (std::size_t i = 0; i < kLiveShardCount; ++i) {
+      std::lock_guard<std::mutex> shard_lock(g_live_shards[i].mu);
+      g_live_shards[i].map.clear();
+    }
+  }
+  g_tracked.store(0, std::memory_order_release);
+  g_samples.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_live_bytes_total.store(0, std::memory_order_relaxed);
+  g_cum_bytes_total.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> labels_lock(g_labels_mu);
+  if (g_labels != nullptr) {
+    for (auto& [label, stats] : *g_labels) {
+      (void)label;
+      stats->live_bytes.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string HeapProfiler::RenderFolded() {
+  std::lock_guard<std::mutex> lock(g_heap_mu);
+  const std::map<std::string, HeapRow> rows = CollectHeapRows();
+  ScopedHookGuard guard;
+
+  std::uint64_t samples = 0, live = 0, cum = 0;
+  for (const auto& [stack, row] : rows) {
+    (void)stack;
+    samples += row.count;
+    live += row.live;
+    cum += row.cum;
+  }
+  std::string out = "# ";
+  out += kHeapProfileSchema;
+  out += " samples=" + std::to_string(samples);
+  out += " dropped=" +
+         std::to_string(g_dropped.load(std::memory_order_relaxed));
+  out += " live_bytes=" + std::to_string(live);
+  out += " cumulative_bytes=" + std::to_string(cum);
+  out += " interval_bytes=" +
+         std::to_string(static_cast<std::uint64_t>(
+             g_interval.load(std::memory_order_relaxed)));
+  out += '\n';
+  // Hottest live stacks first; cumulative breaks ties so fully-freed stacks
+  // still order deterministically.
+  std::vector<std::pair<const std::string*, const HeapRow*>> sorted;
+  sorted.reserve(rows.size());
+  for (const auto& [stack, row] : rows) sorted.emplace_back(&stack, &row);
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second->live != b.second->live) return a.second->live > b.second->live;
+    if (a.second->cum != b.second->cum) return a.second->cum > b.second->cum;
+    return *a.first < *b.first;
+  });
+  for (const auto& [stack, row] : sorted) {
+    out += *stack;
+    out += ' ';
+    out += std::to_string(row->live);
+    out += ' ';
+    out += std::to_string(row->cum);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string HeapProfiler::RenderLeakReport(std::size_t max_stacks) {
+  std::lock_guard<std::mutex> lock(g_heap_mu);
+  const std::map<std::string, HeapRow> rows = CollectHeapRows();
+  ScopedHookGuard guard;
+
+  std::vector<std::pair<const std::string*, const HeapRow*>> live;
+  std::uint64_t live_bytes = 0;
+  for (const auto& [stack, row] : rows) {
+    if (row.live == 0) continue;
+    live.emplace_back(&stack, &row);
+    live_bytes += row.live;
+  }
+  if (live.empty()) {
+    return "heap live report: no live sampled allocations\n";
+  }
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    if (a.second->live != b.second->live)
+      return a.second->live > b.second->live;
+    return *a.first < *b.first;
+  });
+  std::string out = "heap live report: " + std::to_string(live.size()) +
+                    " stack(s), " + std::to_string(live_bytes) +
+                    " bytes live (estimated; interval=" +
+                    std::to_string(static_cast<std::uint64_t>(
+                        g_interval.load(std::memory_order_relaxed))) +
+                    ")\n";
+  const std::size_t shown = std::min(max_stacks, live.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    out += "  " + std::to_string(i + 1) + ". " +
+           std::to_string(live[i].second->live) + " bytes: " +
+           *live[i].first + "\n";
+  }
+  if (shown < live.size()) {
+    out += "  ... " + std::to_string(live.size() - shown) +
+           " more stack(s)\n";
+  }
+  return out;
+}
+
+bool WriteHeapProfileFolded(const std::string& path) {
+  const std::string body = HeapProfiler::Global().RenderFolded();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    TSDIST_LOG(LogLevel::kWarn, "heap profile write failed", F("path", path));
+    return false;
+  }
+  out << body;
+  out.flush();
+  if (!out) {
+    TSDIST_LOG(LogLevel::kWarn, "heap profile write failed", F("path", path));
+    return false;
+  }
+  TSDIST_LOG(LogLevel::kInfo, "heap profile written", F("path", path));
+  return true;
+}
+
+void ResetMemPeaks() {
+  std::lock_guard<std::mutex> lock(g_labels_mu);
+  if (g_labels == nullptr) return;
+  ScopedHookGuard guard;
+  for (auto& [label, stats] : *g_labels) {
+    (void)label;
+    const std::uint64_t live =
+        stats->live_bytes.load(std::memory_order_relaxed);
+    stats->peak_live_bytes.store(live, std::memory_order_relaxed);
+    stats->peak_gauge->Set(static_cast<double>(live));
+  }
+}
+
+MemRegion::MemRegion(std::string_view label) {
+  if (!Enabled()) return;
+  MemRegionStack& st = t_mem;
+  // Past the depth limit, allocations attribute to the nearest tracked
+  // ancestor (t_mem_current keeps pointing at it).
+  if (st.depth >= kMaxMemRegionDepth) return;
+  MemLabelStats* stats = nullptr;
+  {
+    ScopedHookGuard guard;  // region bookkeeping is not the region's memory
+    stats = GetLabelStats(SanitizeMemLabel(label));
+  }
+  if (stats == nullptr) return;
+  st.stack[st.depth++] = stats;
+  t_mem_current = stats;
+  active_ = true;
+}
+
+MemRegion::~MemRegion() {
+  if (!active_) return;
+  MemRegionStack& st = t_mem;
+  --st.depth;
+  t_mem_current = st.depth > 0 ? st.stack[st.depth - 1] : nullptr;
+}
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_NOOP

@@ -1,0 +1,215 @@
+// Allocation-sampling heap profiler and per-measure memory attribution.
+//
+// Heap profiler: the tsdist static library carries strong definitions of
+// malloc/free/realloc/calloc/aligned_alloc and the operator new/delete
+// family. Because the archive is scanned before libc, the linker binds every
+// allocation in a tsdist binary to these wrappers, which delegate to the
+// real glibc allocator (__libc_malloc and friends) and — when the profiler
+// is armed — sample the stream tcmalloc-style: a deterministic per-thread
+// byte countdown takes one sample every `sample_interval_bytes` allocated
+// bytes (default 512 KiB). A sampled allocation captures a backtrace,
+// upscales to an estimated byte weight (intervals consumed x interval, so an
+// allocation of B >= interval bytes weighs ~B — byte-accurate for large
+// blocks, statistically unbiased for small ones), and enters a lock-sharded
+// live-allocation hash table keyed by pointer. free() retires the entry, so
+// the table always holds the sampled *live* set. Symbolization is entirely
+// offline (dladdr + __cxa_demangle at dump time). Output is collapsed-stack
+// text under the `tsdist.heapprofile.v1` header — two counts per stack,
+// live bytes then cumulative bytes, hottest-first — plus a leak-style
+// end-of-run report of the top live stacks.
+//
+// Memory attribution: MemRegion is the heap companion of PerfRegion. While
+// a region is active on a thread, every allocation that thread makes is
+// attributed — exactly, independent of sampling — to the innermost label
+// via the `tsdist.mem.{alloc_bytes,alloc_count}.<label>` counter family;
+// the sampled live estimate additionally drives the
+// `tsdist.mem.peak_live_bytes.<label>` gauge while the profiler is armed.
+// bench_common snapshots the family around each case to build the per-case
+// `memory_attribution` block in tsdist.bench.v2 reports.
+//
+// House rules: the wrappers only observe (results stay bit-identical with
+// profiling on vs. off), TSDIST_OBS_NOOP compiles everything here to inert
+// stubs, and when ASan/TSan own the allocator the wrappers are not compiled
+// at all — Start() then refuses with a one-shot warning so the `sanitize`
+// preset stays green. Non-glibc platforms degrade the same way.
+
+#ifndef TSDIST_OBS_HEAP_PROFILER_H_
+#define TSDIST_OBS_HEAP_PROFILER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tsdist::obs {
+
+/// Header line every heap profile starts with (see RenderFolded).
+inline constexpr const char kHeapProfileSchema[] = "tsdist.heapprofile.v1";
+
+struct HeapProfilerOptions {
+  /// Mean allocated bytes between samples. Smaller intervals trade overhead
+  /// for resolution; 1 KiB is the floor (tests pin it for determinism —
+  /// every allocation of >= interval bytes is then sampled exactly once per
+  /// interval it spans).
+  std::uint64_t sample_interval_bytes = 512 * 1024;
+};
+
+/// Aggregate state for /heapz and tools.
+struct HeapProfilerStatus {
+  bool running = false;    ///< sampling new allocations right now
+  bool available = false;  ///< wrappers compiled in and sanitizer-free
+  std::uint64_t samples = 0;        ///< allocations ever sampled
+  std::uint64_t dropped = 0;        ///< sampled but not recorded (table cap)
+  std::uint64_t live_allocs = 0;    ///< sampled allocations still live
+  std::uint64_t live_bytes = 0;     ///< upscaled live-byte estimate
+  std::uint64_t cumulative_bytes = 0;  ///< upscaled ever-allocated estimate
+  std::uint64_t sample_interval_bytes = 0;
+};
+
+/// True when the allocator wrappers are compiled in and no sanitizer owns
+/// the heap — i.e. Start() can actually sample. Constant per build.
+bool HeapProfilingAvailable();
+
+/// Rebases every label's `tsdist.mem.peak_live_bytes.<label>` gauge to its
+/// current sampled live estimate. bench_common calls this at the start of
+/// each case so per-case peaks do not inherit an earlier case's high-water.
+/// No-op in NOOP builds (defined out of line in both variants).
+void ResetMemPeaks();
+
+#if !defined(TSDIST_OBS_NOOP)
+
+class HeapProfiler {
+ public:
+  /// The process-wide heap profiler used by /heapz and --heap-profile-out.
+  static HeapProfiler& Global();
+
+  /// Arms sampling: resets every thread's byte countdown to the interval
+  /// (via an epoch bump) and pre-warms backtrace. Returns false (and logs)
+  /// when already running, when observability is disabled, or when the
+  /// wrappers are unavailable (sanitizer build / non-glibc) — the latter
+  /// warns once per process.
+  bool Start(const HeapProfilerOptions& options = {});
+
+  /// Stops sampling new allocations. frees of already-sampled blocks keep
+  /// retiring table entries until Clear(), so an end-of-run dump reports
+  /// genuinely-live memory. Returns false when not running.
+  bool Stop();
+
+  bool running() const;
+  HeapProfilerStatus Status() const;
+
+  /// Drops every sampled stack and live entry. No-op while running.
+  void Clear();
+
+  /// Collapsed-stack text: a `# tsdist.heapprofile.v1 samples=N dropped=D
+  /// live_bytes=L cumulative_bytes=C interval_bytes=I` header followed by
+  /// `frame;frame;frame live cum` lines (root first, leaf last), sorted by
+  /// descending live bytes, then descending cumulative bytes. The header
+  /// totals are computed from the emitted rows, so they always equal the
+  /// column sums. Safe to call while running.
+  std::string RenderFolded();
+
+  /// Human-readable top-`max_stacks` live stacks ("leak-style" because at
+  /// process exit live == leaked): one summary line plus one indented line
+  /// per stack. Empty live set renders a single "no live sampled
+  /// allocations" line.
+  std::string RenderLeakReport(std::size_t max_stacks = 10);
+
+ private:
+  HeapProfiler() = default;
+};
+
+/// Writes RenderFolded() to `path`; returns false (and logs) on I/O error.
+bool WriteHeapProfileFolded(const std::string& path);
+
+/// RAII memory-attribution region. Label should be a stable low-cardinality
+/// name (a measure name, "tuning/<measure>", ...); it becomes a metric-name
+/// suffix. Allocations are attributed to the innermost active region on the
+/// allocating thread (no parent/child splitting — an allocation has exactly
+/// one owner). Safe to nest up to an internal depth limit, beyond which
+/// extra levels attribute to the nearest tracked ancestor. Does nothing when
+/// observability is disabled at runtime.
+class MemRegion {
+ public:
+  explicit MemRegion(std::string_view label);
+  ~MemRegion();
+
+  MemRegion(const MemRegion&) = delete;
+  MemRegion& operator=(const MemRegion&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+#else  // TSDIST_OBS_NOOP
+
+class HeapProfiler {
+ public:
+  static HeapProfiler& Global() {
+    static HeapProfiler p;
+    return p;
+  }
+  bool Start(const HeapProfilerOptions& = {}) { return false; }
+  bool Stop() { return false; }
+  bool running() const { return false; }
+  HeapProfilerStatus Status() const { return HeapProfilerStatus{}; }
+  void Clear() {}
+  std::string RenderFolded() {
+    return std::string("# ") + kHeapProfileSchema +
+           " samples=0 dropped=0 live_bytes=0 cumulative_bytes=0"
+           " interval_bytes=0\n";
+  }
+  std::string RenderLeakReport(std::size_t = 10) {
+    return "heap live report: no live sampled allocations\n";
+  }
+};
+
+// Still writes a schema-valid (header-only) profile, so --heap-profile-out
+// does not become an export failure in NOOP builds.
+inline bool WriteHeapProfileFolded(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << HeapProfiler::Global().RenderFolded();
+  return static_cast<bool>(out);
+}
+
+class MemRegion {
+ public:
+  explicit MemRegion(std::string_view) {}
+  MemRegion(const MemRegion&) = delete;
+  MemRegion& operator=(const MemRegion&) = delete;
+};
+
+#endif  // TSDIST_OBS_NOOP
+
+/// Fields every memory-attribution label accumulates. `alloc_bytes` and
+/// `alloc_count` are exact (every allocation under the region is counted);
+/// `peak_live_bytes` is the sampled upscaled estimate and stays 0 unless
+/// the heap profiler was armed while the region ran.
+struct MemStats {
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t peak_live_bytes = 0;
+};
+
+/// Splits a `tsdist.mem.<field>.<label>` metric name. Returns false for
+/// anything outside the family (fields are a fixed set; labels may contain
+/// dots). Available in NOOP builds too — consumers diff metric snapshots
+/// that simply contain no mem metrics there.
+bool ParseMemMetricName(const std::string& name, std::string* field,
+                        std::string* label);
+
+/// Groups the per-label deltas between two counter snapshots into MemStats.
+/// `alloc_bytes`/`alloc_count` come from saturating counter deltas;
+/// `peak_live_bytes` is read absolute from `gauges_after` (a peak is a
+/// high-water mark, not a rate). Labels whose alloc_bytes and alloc_count
+/// deltas are both zero are omitted.
+std::map<std::string, MemStats> MemStatsBetween(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after,
+    const std::map<std::string, double>& gauges_after);
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_HEAP_PROFILER_H_

@@ -1,6 +1,7 @@
 #include "src/obs/runinfo.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -126,7 +128,19 @@ std::string ManifestToJson(const RunManifest& m, int indent) {
 std::uint64_t PeakRssBytes() {
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    // A failing getrusage would silently zero every peak-RSS artifact; warn
+    // once and keep an error counter so downstream consumers can tell
+    // "0 = tiny process" apart from "0 = reads failing".
+    MetricsRegistry::Global()
+        .GetCounter("tsdist.proc.rss_read_errors")
+        .Add(1);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      TSDIST_LOG(LogLevel::kWarn, "getrusage failed; peak RSS reads as 0");
+    }
+    return 0;
+  }
 #if defined(__APPLE__)
   return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
 #else
@@ -141,6 +155,32 @@ void UpdatePeakRssGauge() {
   static Gauge& gauge =
       MetricsRegistry::Global().GetGauge("tsdist.proc.peak_rss_bytes");
   gauge.Set(static_cast<double>(PeakRssBytes()));
+}
+
+std::uint64_t CurrentRssBytes() {
+#if defined(__linux__)
+  // VmRSS from /proc/self/status; getrusage has no "current" equivalent.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, 6, "VmRSS:") != 0) continue;
+    std::uint64_t kb = 0;
+    if (std::sscanf(line.c_str() + 6, "%llu",
+                    reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+      return kb * 1024;
+    }
+    break;
+  }
+  return 0;
+#else
+  return 0;
+#endif
+}
+
+void UpdateCurrentRssGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("tsdist.proc.current_rss_bytes");
+  gauge.Set(static_cast<double>(CurrentRssBytes()));
 }
 
 double SampleMedian(std::vector<double> samples) {
@@ -210,6 +250,19 @@ std::string BenchReportToJson(const BenchReport& report) {
           os << ",\n       \"perf\": " << PerfReadingToJson(stats.perf, 7);
         }
         os << "}";
+      }
+      os << "\n     }";
+    }
+    if (!c.memory.empty()) {
+      os << ",\n     \"memory_attribution\": {";
+      bool first = true;
+      for (const auto& [label, stats] : c.memory) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "      \"" << JsonEscape(label)
+           << "\": {\"alloc_bytes\": " << stats.alloc_bytes
+           << ", \"alloc_count\": " << stats.alloc_count
+           << ", \"peak_live_bytes\": " << stats.peak_live_bytes << "}";
       }
       os << "\n     }";
     }

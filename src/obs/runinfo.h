@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/heap_profiler.h"
 #include "src/obs/perf_counters.h"
 #include "src/obs/profiler.h"
 
@@ -58,6 +59,16 @@ std::uint64_t PeakRssBytes();
 /// Successive calls can only raise the gauge value.
 void UpdatePeakRssGauge();
 
+/// Current (not peak) resident set size in bytes, read from
+/// /proc/self/status VmRSS. Returns 0 on non-Linux platforms or when the
+/// file is unreadable — callers treat 0 as "unavailable".
+std::uint64_t CurrentRssBytes();
+
+/// Sets the `tsdist.proc.current_rss_bytes` gauge to CurrentRssBytes().
+/// Unlike the peak gauge this can move in both directions; /healthz and the
+/// expo sampler use it to show live footprint, not just high-water.
+void UpdateCurrentRssGauge();
+
 /// One measured case: `samples_ms` holds exactly the measured iterations
 /// (never the warmup ones), in execution order.
 struct BenchCaseResult {
@@ -72,6 +83,10 @@ struct BenchCaseResult {
   /// deltas of the tsdist.kernel.* family). Empty map omits the
   /// `kernel_attribution` block from the JSON.
   std::map<std::string, KernelStats> kernel;
+  /// Per-label heap attribution over the measured iterations (MemRegion
+  /// deltas of the tsdist.mem.* family; see MemStatsBetween). Empty map
+  /// omits the `memory_attribution` block from the JSON.
+  std::map<std::string, MemStats> memory;
 };
 
 /// In-memory form of one tsdist.bench.v2 benchmark artifact.

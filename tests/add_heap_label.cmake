@@ -1,0 +1,22 @@
+# Appends the `obs` and `heap` labels to every test discovered from the
+# heap-profiler binary (test_heap_profiler), so CI can run the allocator-
+# wrapper suite alone (ctest -L heap / the `heap` test preset). Same
+# TEST_INCLUDE_FILES technique as add_obs_label.cmake (which see): the full
+# label list is substituted at configure time (@TSDIST_TEST_LABELS@), and
+# this script is registered after the sanitize one, so it wins for this
+# binary. The glob is disjoint from the other label scripts' globs, so
+# relative ordering among them does not matter.
+file(GLOB _tsdist_heap_files
+     "${CMAKE_CURRENT_LIST_DIR}/test_heap_profiler*_tests.cmake")
+foreach(_file IN LISTS _tsdist_heap_files)
+  file(STRINGS "${_file}" _add_test_lines REGEX "^add_test")
+  foreach(_line IN LISTS _add_test_lines)
+    # add_test([=[SuiteName.TestName]=] ...)
+    if(_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "@TSDIST_TEST_LABELS@;obs;heap")
+    endif()
+  endforeach()
+endforeach()
+unset(_tsdist_heap_files)
+unset(_add_test_lines)

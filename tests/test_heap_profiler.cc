@@ -1,0 +1,530 @@
+// Tests for the allocation-sampling heap profiler and MemRegion memory
+// attribution (src/obs/heap_profiler.h).
+//
+// The sampling tests drive the real allocator wrappers: because this binary
+// links libtsdist, every malloc/new in the process goes through them. The
+// interval is pinned to the 1 KiB floor so sampling is deterministic for
+// the large blocks the tests allocate (every block of >= interval bytes is
+// sampled, with a byte-accurate weight). Background allocations from gtest
+// and the standard library also flow through the profiler, so assertions
+// are lower bounds on deltas, never exact totals of global state.
+//
+// On sanitizer builds the wrappers are compiled out and
+// HeapProfilingAvailable() is false; every sampling test then SKIPs, while
+// the attribution and parsing tests (which do not need sampling) still run.
+
+#include "src/obs/heap_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace tsdist::obs {
+namespace {
+
+constexpr std::uint64_t kPinnedInterval = 1024;  // the documented floor
+
+// Keeps the compiler from eliding an allocation the test wants sampled.
+void* volatile g_sink;
+
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void* AllocateBlock(std::size_t size) {
+  void* p = std::malloc(size);
+  g_sink = p;
+  return p;
+}
+
+HeapProfilerOptions PinnedOptions() {
+  HeapProfilerOptions options;
+  options.sample_interval_bytes = kPinnedInterval;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// ParseMemMetricName
+
+TEST(ParseMemMetricName, AcceptsEveryField) {
+  const char* fields[] = {"alloc_bytes", "alloc_count", "peak_live_bytes"};
+  for (const char* f : fields) {
+    const std::string name = std::string("tsdist.mem.") + f + ".dtw";
+    std::string field, label;
+    EXPECT_TRUE(ParseMemMetricName(name, &field, &label)) << name;
+    EXPECT_EQ(field, f);
+    EXPECT_EQ(label, "dtw");
+  }
+}
+
+TEST(ParseMemMetricName, LabelMayContainDotsAndSlashes) {
+  std::string field, label;
+  ASSERT_TRUE(ParseMemMetricName("tsdist.mem.alloc_bytes.tuning/dtw.w5",
+                                 &field, &label));
+  EXPECT_EQ(field, "alloc_bytes");
+  EXPECT_EQ(label, "tuning/dtw.w5");
+}
+
+TEST(ParseMemMetricName, RejectsOutsiders) {
+  std::string field, label;
+  EXPECT_FALSE(ParseMemMetricName("tsdist.kernel.calls.dtw", &field, &label));
+  EXPECT_FALSE(ParseMemMetricName("tsdist.mem.bogus.dtw", &field, &label));
+  EXPECT_FALSE(ParseMemMetricName("tsdist.mem.alloc_bytes", &field, &label));
+  EXPECT_FALSE(ParseMemMetricName("tsdist.mem.alloc_bytes.", &field, &label));
+  EXPECT_FALSE(ParseMemMetricName("", &field, &label));
+}
+
+TEST(ParseMemMetricName, NullOutputsAllowed) {
+  EXPECT_TRUE(
+      ParseMemMetricName("tsdist.mem.alloc_count.dtw", nullptr, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// MemStatsBetween
+
+TEST(MemStatsBetween, GroupsDeltasPerLabel) {
+  std::map<std::string, std::uint64_t> before{
+      {"tsdist.mem.alloc_bytes.dtw", 1000},
+      {"tsdist.mem.alloc_count.dtw", 10},
+      {"tsdist.mem.alloc_bytes.msm", 500},
+  };
+  std::map<std::string, std::uint64_t> after{
+      {"tsdist.mem.alloc_bytes.dtw", 5000},
+      {"tsdist.mem.alloc_count.dtw", 12},
+      {"tsdist.mem.alloc_bytes.msm", 500},   // no movement: dropped
+      {"tsdist.mem.alloc_bytes.erp", 300},   // absent before: full value
+      {"tsdist.mem.alloc_count.erp", 1},
+      {"tsdist.kernel.calls.dtw", 99},       // not in the family
+  };
+  std::map<std::string, double> gauges{
+      {"tsdist.mem.peak_live_bytes.dtw", 2048.0},
+  };
+  const auto stats = MemStatsBetween(before, after, gauges);
+  ASSERT_EQ(stats.size(), 2u);
+  ASSERT_TRUE(stats.count("dtw"));
+  EXPECT_EQ(stats.at("dtw").alloc_bytes, 4000u);
+  EXPECT_EQ(stats.at("dtw").alloc_count, 2u);
+  EXPECT_EQ(stats.at("dtw").peak_live_bytes, 2048u);
+  ASSERT_TRUE(stats.count("erp"));
+  EXPECT_EQ(stats.at("erp").alloc_bytes, 300u);
+  EXPECT_EQ(stats.at("erp").peak_live_bytes, 0u);
+  EXPECT_FALSE(stats.count("msm"));
+}
+
+TEST(MemStatsBetween, PeakAloneDoesNotCreateALabel) {
+  std::map<std::string, std::uint64_t> none;
+  std::map<std::string, double> gauges{
+      {"tsdist.mem.peak_live_bytes.idle", 4096.0},
+  };
+  EXPECT_TRUE(MemStatsBetween(none, none, gauges).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Folded parsing helper shared by the shape tests
+
+struct FoldedProfile {
+  std::map<std::string, std::uint64_t> header;
+  struct Row {
+    std::string stack;
+    std::uint64_t live;
+    std::uint64_t cum;
+  };
+  std::vector<Row> rows;
+};
+
+FoldedProfile ParseFolded(const std::string& text) {
+  FoldedProfile profile;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string token;
+      while (header >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) continue;
+        profile.header[token.substr(0, eq)] =
+            std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+      }
+      continue;
+    }
+    const std::size_t sp2 = line.rfind(' ');
+    const std::size_t sp1 = line.rfind(' ', sp2 - 1);
+    FoldedProfile::Row row;
+    row.stack = line.substr(0, sp1);
+    row.live = std::strtoull(line.c_str() + sp1 + 1, nullptr, 10);
+    row.cum = std::strtoull(line.c_str() + sp2 + 1, nullptr, 10);
+    profile.rows.push_back(row);
+  }
+  return profile;
+}
+
+// Structural invariants every rendering must satisfy (the "golden shape"):
+// complete header, per-row live <= cum with cum > 0, hottest-first ordering,
+// and header totals equal to the column sums.
+void CheckFoldedShape(const FoldedProfile& profile) {
+  for (const char* key : {"samples", "dropped", "live_bytes",
+                          "cumulative_bytes", "interval_bytes"}) {
+    EXPECT_TRUE(profile.header.count(key)) << "header missing " << key;
+  }
+  std::uint64_t live_total = 0;
+  std::uint64_t cum_total = 0;
+  const FoldedProfile::Row* prev = nullptr;
+  for (const auto& row : profile.rows) {
+    EXPECT_FALSE(row.stack.empty());
+    EXPECT_GT(row.cum, 0u);
+    EXPECT_LE(row.live, row.cum);
+    EXPECT_EQ(row.stack.find(' '), std::string::npos)
+        << "unsanitized frame: " << row.stack;
+    if (prev != nullptr) {
+      const bool ordered = row.live < prev->live ||
+                           (row.live == prev->live && row.cum <= prev->cum);
+      EXPECT_TRUE(ordered) << "rows not hottest-first at " << row.stack;
+    }
+    prev = &row;
+    live_total += row.live;
+    cum_total += row.cum;
+  }
+  EXPECT_EQ(live_total, profile.header.at("live_bytes"));
+  EXPECT_EQ(cum_total, profile.header.at("cumulative_bytes"));
+  if (profile.header.at("samples") == 0) {
+    EXPECT_TRUE(profile.rows.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+TEST(HeapProfilerLifecycle, IdleRenderIsHeaderOnly) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  ASSERT_FALSE(profiler.running());
+  profiler.Clear();
+  const FoldedProfile profile = ParseFolded(profiler.RenderFolded());
+  CheckFoldedShape(profile);
+  EXPECT_TRUE(profile.rows.empty());
+  EXPECT_NE(profiler.RenderLeakReport().find("no live sampled allocations"),
+            std::string::npos);
+}
+
+TEST(HeapProfilerLifecycle, StartStopClear) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!HeapProfilingAvailable()) {
+    EXPECT_FALSE(profiler.Start(PinnedOptions()));
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  ASSERT_TRUE(profiler.Start(PinnedOptions()));
+  EXPECT_TRUE(profiler.running());
+  EXPECT_FALSE(profiler.Start(PinnedOptions()));  // double start refused
+  EXPECT_EQ(profiler.Status().sample_interval_bytes, kPinnedInterval);
+
+  const std::uint64_t live_before_clear = profiler.Status().samples;
+  profiler.Clear();  // refused while running
+  EXPECT_GE(profiler.Status().samples, live_before_clear);
+
+  EXPECT_TRUE(profiler.Stop());
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(profiler.Stop());  // double stop refused
+  profiler.Clear();
+  EXPECT_EQ(profiler.Status().samples, 0u);
+  EXPECT_EQ(profiler.Status().live_bytes, 0u);
+}
+
+TEST(HeapProfilerLifecycle, IntervalIsClampedToFloor) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  HeapProfilerOptions options;
+  options.sample_interval_bytes = 1;  // below the 1 KiB floor
+  ASSERT_TRUE(profiler.Start(options));
+  EXPECT_EQ(profiler.Status().sample_interval_bytes, kPinnedInterval);
+  EXPECT_TRUE(profiler.Stop());
+  profiler.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+
+TEST(HeapProfilerSampling, LargeBlocksAreByteAccurate) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  profiler.Clear();
+  ASSERT_TRUE(profiler.Start(PinnedOptions()));
+
+  // Every 64 KiB block spans 64 pinned intervals, so each one is sampled
+  // deterministically with a weight of exactly its size.
+  constexpr std::size_t kBlock = 64 * 1024;
+  constexpr int kBlocks = 32;
+  std::vector<void*> blocks;
+  for (int i = 0; i < kBlocks; ++i) {
+    blocks.push_back(AllocateBlock(kBlock));
+    ASSERT_NE(blocks.back(), nullptr);
+    std::memset(blocks.back(), 0x5a, kBlock);
+  }
+  const HeapProfilerStatus held = profiler.Status();
+  EXPECT_GE(held.samples, static_cast<std::uint64_t>(kBlocks));
+  EXPECT_GE(held.live_bytes, static_cast<std::uint64_t>(kBlocks) * kBlock);
+  EXPECT_GE(held.cumulative_bytes,
+            static_cast<std::uint64_t>(kBlocks) * kBlock);
+
+  for (void* p : blocks) std::free(p);
+  const HeapProfilerStatus freed = profiler.Status();
+  // Retired live bytes drop by at least the blocks' weight; the slack
+  // absorbs unrelated allocations sampled between the two reads. Cumulative
+  // never decreases.
+  EXPECT_LE(freed.live_bytes,
+            held.live_bytes - static_cast<std::uint64_t>(kBlocks) * kBlock +
+                64 * kPinnedInterval);
+  EXPECT_GE(freed.cumulative_bytes, held.cumulative_bytes);
+
+  EXPECT_TRUE(profiler.Stop());
+  profiler.Clear();
+}
+
+TEST(HeapProfilerSampling, FoldedShapeHoldsUnderLoad) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  profiler.Clear();
+  ASSERT_TRUE(profiler.Start(PinnedOptions()));
+  std::vector<void*> blocks;
+  for (int i = 0; i < 16; ++i) blocks.push_back(AllocateBlock(8 * 1024));
+  const FoldedProfile mid = ParseFolded(profiler.RenderFolded());
+  CheckFoldedShape(mid);
+  EXPECT_FALSE(mid.rows.empty());
+  EXPECT_GT(mid.header.at("samples"), 0u);
+  EXPECT_EQ(mid.header.at("interval_bytes"), kPinnedInterval);
+  for (void* p : blocks) std::free(p);
+  EXPECT_TRUE(profiler.Stop());
+  // Stop() keeps retirement active: rendering after stop is still valid.
+  CheckFoldedShape(ParseFolded(profiler.RenderFolded()));
+  profiler.Clear();
+}
+
+TEST(HeapProfilerSampling, ReallocMovesTheLiveEntry) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  profiler.Clear();
+  ASSERT_TRUE(profiler.Start(PinnedOptions()));
+  constexpr std::size_t kBlock = 128 * 1024;
+  void* p = std::malloc(kBlock);
+  ASSERT_NE(p, nullptr);
+  const std::uint64_t live_held = profiler.Status().live_bytes;
+  // Growing retires the old sampled entry and samples the new block: live
+  // grows by about the size difference, not by the sum of both blocks.
+  void* q = std::realloc(p, 2 * kBlock);
+  ASSERT_NE(q, nullptr);
+  const std::uint64_t live_grown = profiler.Status().live_bytes;
+  EXPECT_GE(live_grown, live_held + kBlock - kPinnedInterval);
+  EXPECT_LT(live_grown, live_held + 2 * kBlock);
+  std::free(q);
+  EXPECT_LE(profiler.Status().live_bytes, live_grown - 2 * kBlock +
+                                              64 * kPinnedInterval);
+  EXPECT_TRUE(profiler.Stop());
+  profiler.Clear();
+}
+
+TEST(HeapProfilerSampling, CallocAndAlignedAllocAreAccounted) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  profiler.Clear();
+  ASSERT_TRUE(profiler.Start(PinnedOptions()));
+  const std::uint64_t before = profiler.Status().cumulative_bytes;
+  constexpr std::size_t kBlock = 64 * 1024;
+  void* c = std::calloc(kBlock, 1);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(static_cast<unsigned char*>(c)[kBlock - 1], 0);  // still zeroed
+  void* a = std::aligned_alloc(4096, kBlock);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 4096, 0u);
+  EXPECT_GE(profiler.Status().cumulative_bytes, before + 2 * kBlock);
+  std::free(c);
+  std::free(a);
+  EXPECT_TRUE(profiler.Stop());
+  profiler.Clear();
+}
+
+TEST(HeapProfilerSampling, ShardedTableSurvivesThreadChurn) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  profiler.Clear();
+  ASSERT_TRUE(profiler.Start(PinnedOptions()));
+  // Hammer the sharded live table from a full pool: every index allocates,
+  // touches, and frees blocks large enough that each one is sampled, while
+  // renders run concurrently from the driving thread's turn in the pool.
+  ThreadPool pool(4);
+  ASSERT_TRUE(pool.ParallelFor(256, [](std::size_t i) {
+    std::vector<void*> blocks;
+    for (int j = 0; j < 8; ++j) {
+      void* p = AllocateBlock(4 * 1024 + 512 * (i % 7));
+      if (p != nullptr) {
+        std::memset(p, static_cast<int>(i), 64);
+        blocks.push_back(p);
+      }
+    }
+    for (void* p : blocks) std::free(p);
+  }));
+  const HeapProfilerStatus status = profiler.Status();
+  EXPECT_GE(status.samples, 256u);  // >= one sample per index's 32+ KiB
+  const FoldedProfile profile = ParseFolded(profiler.RenderFolded());
+  CheckFoldedShape(profile);
+  EXPECT_TRUE(profiler.Stop());
+  profiler.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// WriteHeapProfileFolded
+
+TEST(WriteHeapProfileFolded, RoundTripsAndFailsCleanly) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsdist_heap_test.folded")
+          .string();
+  ASSERT_TRUE(WriteHeapProfileFolded(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  CheckFoldedShape(ParseFolded(buffer.str()));
+  std::filesystem::remove(path);
+  EXPECT_FALSE(WriteHeapProfileFolded("/nonexistent-dir/heap.folded"));
+}
+
+// ---------------------------------------------------------------------------
+// MemRegion attribution
+
+std::uint64_t CounterValue(const MetricsSnapshot& snapshot,
+                           const std::string& name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+TEST(MemRegionAttribution, ExactCountsIndependentOfSampling) {
+  if (!Enabled()) GTEST_SKIP() << "observability disabled";
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "allocator wrappers unavailable in this build";
+  }
+  // No profiler Start(): exact attribution must work unarmed.
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  constexpr std::size_t kBlock = 32 * 1024;
+  {
+    const MemRegion region("heap_test/exact");
+    void* p = AllocateBlock(kBlock);
+    ASSERT_NE(p, nullptr);
+    std::free(p);
+  }
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  const std::string bytes_name = "tsdist.mem.alloc_bytes.heap_test/exact";
+  const std::string count_name = "tsdist.mem.alloc_count.heap_test/exact";
+  EXPECT_GE(CounterValue(after, bytes_name),
+            CounterValue(before, bytes_name) + kBlock);
+  EXPECT_GE(CounterValue(after, count_name),
+            CounterValue(before, count_name) + 1);
+}
+
+TEST(MemRegionAttribution, InnermostRegionOwnsTheAllocation) {
+  if (!Enabled()) GTEST_SKIP() << "observability disabled";
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "allocator wrappers unavailable in this build";
+  }
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  constexpr std::size_t kBlock = 16 * 1024;
+  {
+    const MemRegion outer("heap_test/outer");
+    const MemRegion inner("heap_test/inner");
+    void* p = AllocateBlock(kBlock);
+    ASSERT_NE(p, nullptr);
+    std::free(p);
+  }
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(CounterValue(after, "tsdist.mem.alloc_bytes.heap_test/inner"),
+            CounterValue(before, "tsdist.mem.alloc_bytes.heap_test/inner") +
+                kBlock);
+  EXPECT_EQ(CounterValue(after, "tsdist.mem.alloc_bytes.heap_test/outer"),
+            CounterValue(before, "tsdist.mem.alloc_bytes.heap_test/outer"));
+}
+
+TEST(MemRegionAttribution, LabelsAreSanitizedForMetricNames) {
+  if (!Enabled()) GTEST_SKIP() << "observability disabled";
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "allocator wrappers unavailable in this build";
+  }
+  {
+    const MemRegion region("heap test\nweird");
+    void* p = AllocateBlock(8 * 1024);
+    ASSERT_NE(p, nullptr);
+    std::free(p);
+  }
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(CounterValue(after, "tsdist.mem.alloc_bytes.heap_test_weird"),
+            0u);
+}
+
+TEST(MemRegionAttribution, ArmedProfilerPublishesLabelPeaks) {
+  HeapProfiler& profiler = HeapProfiler::Global();
+  if (!Enabled()) GTEST_SKIP() << "observability disabled";
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "heap profiling unavailable in this build";
+  }
+  profiler.Clear();
+  ResetMemPeaks();
+  ASSERT_TRUE(profiler.Start(PinnedOptions()));
+  constexpr std::size_t kBlock = 256 * 1024;
+  {
+    const MemRegion region("heap_test/peak");
+    void* p = AllocateBlock(kBlock);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 1, kBlock);
+    std::free(p);
+  }
+  EXPECT_TRUE(profiler.Stop());
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  const auto it =
+      after.gauges.find("tsdist.mem.peak_live_bytes.heap_test/peak");
+  ASSERT_NE(it, after.gauges.end());
+  EXPECT_GE(it->second, static_cast<double>(kBlock));
+  profiler.Clear();
+}
+
+TEST(MemRegionAttribution, MemStatsBetweenPicksUpRealRegions) {
+  if (!Enabled()) GTEST_SKIP() << "observability disabled";
+  if (!HeapProfilingAvailable()) {
+    GTEST_SKIP() << "allocator wrappers unavailable in this build";
+  }
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  {
+    const MemRegion region("heap_test/delta");
+    void* p = AllocateBlock(24 * 1024);
+    ASSERT_NE(p, nullptr);
+    std::free(p);
+  }
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  const auto stats =
+      MemStatsBetween(before.counters, after.counters, after.gauges);
+  ASSERT_TRUE(stats.count("heap_test/delta"));
+  EXPECT_GE(stats.at("heap_test/delta").alloc_bytes, 24u * 1024);
+  EXPECT_GE(stats.at("heap_test/delta").alloc_count, 1u);
+}
+
+}  // namespace
+}  // namespace tsdist::obs

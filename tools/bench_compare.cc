@@ -22,6 +22,11 @@
 // warns (never gates) on IPC divergence beyond 20% or a counter
 // running/enabled ratio below 0.9 — both signs that the two runs are not
 // directly comparable.
+//
+// Memory is watched at the same informational tier: a case whose
+// surrounding report peak RSS or summed memory_attribution alloc_bytes
+// grows beyond --max-mem-grow-pct (default 20%) vs the baseline gets a
+// warning, never an exit-code change.
 
 #include <algorithm>
 #include <cmath>
@@ -58,12 +63,21 @@ constexpr double kIpcDivergencePct = 20.0;
 // PMU numbers unreliable.
 constexpr double kMinRunningRatio = 0.9;
 
+// Default --max-mem-grow-pct: memory growth beyond this (peak RSS or
+// attributed alloc_bytes) earns an informational warning.
+constexpr double kDefaultMemGrowPct = 20.0;
+
 struct CaseSamples {
   std::vector<double> samples_ms;
   double median_ms = 0.0;
   bool has_perf = false;  // the report carried a per-case perf block
   double ipc = 0.0;
   double running_ratio = 1.0;
+  // Memory signals: the enclosing report's peak RSS (process-wide, repeated
+  // onto each of its cases) and this case's memory_attribution alloc_bytes
+  // summed over labels. Zero = absent from the report.
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t alloc_bytes = 0;
 };
 
 struct Options {
@@ -71,6 +85,7 @@ struct Options {
   std::string baseline_path;
   double max_regress_pct = 10.0;
   double alpha = 0.05;
+  double max_mem_grow_pct = kDefaultMemGrowPct;
   bool warn_only = false;
 };
 
@@ -104,6 +119,15 @@ std::map<std::string, CaseSamples> CollectCases(const JsonValue& doc,
         entry.ipc = perf->GetDouble("ipc", 0.0);
         entry.running_ratio = perf->GetDouble("running_ratio", 1.0);
       }
+      entry.peak_rss_bytes = static_cast<std::uint64_t>(
+          report->GetDouble("peak_rss_bytes", 0.0));
+      if (const JsonValue* mem = c.Find("memory_attribution")) {
+        for (const auto& [label, stats] : mem->AsObject()) {
+          (void)label;
+          entry.alloc_bytes += static_cast<std::uint64_t>(
+              stats.GetDouble("alloc_bytes", 0.0));
+        }
+      }
       out[bench + "/" + c.GetString("name", "?")] = std::move(entry);
     }
   }
@@ -129,6 +153,10 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       const char* v = next(arg.c_str());
       if (v == nullptr) return false;
       opt->alpha = std::atof(v);
+    } else if (arg == "--max-mem-grow-pct") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->max_mem_grow_pct = std::atof(v);
     } else if (arg == "--warn-only") {
       opt->warn_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -155,7 +183,8 @@ int main(int argc, char** argv) {
   Options opt;
   if (!ParseArgs(argc, argv, &opt)) {
     std::cerr << "usage: bench_compare <new_suite.json> <baseline.json>\n"
-                 "       [--max-regress-pct P] [--alpha A] [--warn-only]\n";
+                 "       [--max-regress-pct P] [--alpha A]\n"
+                 "       [--max-mem-grow-pct P] [--warn-only]\n";
     return 2;
   }
 
@@ -181,6 +210,7 @@ int main(int argc, char** argv) {
 
   int regressions = 0;
   int perf_warnings = 0;
+  int mem_warnings = 0;
   for (const auto& [key, new_case] : fresh) {
     const auto it = base.find(key);
     if (it == base.end()) {
@@ -262,6 +292,40 @@ int main(int argc, char** argv) {
         ++perf_warnings;
       }
     }
+
+    // Memory growth check, same informational tier as the IPC divergence
+    // warning above: footprint creep deserves a call-out long before it
+    // fails any wall-clock gate.
+    if (old_case.peak_rss_bytes > 0 && new_case.peak_rss_bytes > 0) {
+      const double rss_grow_pct =
+          100.0 *
+          (static_cast<double>(new_case.peak_rss_bytes) -
+           static_cast<double>(old_case.peak_rss_bytes)) /
+          static_cast<double>(old_case.peak_rss_bytes);
+      if (rss_grow_pct > opt.max_mem_grow_pct) {
+        std::printf("  WARNING %s: peak RSS grew %.0f%% (base %zu, new "
+                    "%zu bytes) — check for footprint creep\n",
+                    key.c_str(), rss_grow_pct,
+                    static_cast<std::size_t>(old_case.peak_rss_bytes),
+                    static_cast<std::size_t>(new_case.peak_rss_bytes));
+        ++mem_warnings;
+      }
+    }
+    if (old_case.alloc_bytes > 0 && new_case.alloc_bytes > 0) {
+      const double alloc_grow_pct =
+          100.0 *
+          (static_cast<double>(new_case.alloc_bytes) -
+           static_cast<double>(old_case.alloc_bytes)) /
+          static_cast<double>(old_case.alloc_bytes);
+      if (alloc_grow_pct > opt.max_mem_grow_pct) {
+        std::printf("  WARNING %s: attributed alloc_bytes grew %.0f%% "
+                    "(base %zu, new %zu) — check for allocation creep\n",
+                    key.c_str(), alloc_grow_pct,
+                    static_cast<std::size_t>(old_case.alloc_bytes),
+                    static_cast<std::size_t>(new_case.alloc_bytes));
+        ++mem_warnings;
+      }
+    }
   }
   for (const auto& [key, old_case] : base) {
     if (fresh.find(key) == fresh.end()) {
@@ -275,6 +339,11 @@ int main(int argc, char** argv) {
     std::printf("bench_compare: %d perf-comparability warning(s) "
                 "(informational, never gate)\n",
                 perf_warnings);
+  }
+  if (mem_warnings > 0) {
+    std::printf("bench_compare: %d memory-growth warning(s) > %.0f%% "
+                "(informational, never gate; --max-mem-grow-pct)\n",
+                mem_warnings, opt.max_mem_grow_pct);
   }
   if (regressions > 0) {
     std::printf("bench_compare: %d case(s) regressed%s\n", regressions,

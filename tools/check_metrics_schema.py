@@ -22,12 +22,21 @@ folded text written by --profile-out / /profilez?dump): the header counts
 must be internally consistent and every body row must be a
 `frame;frame;... count` line whose counts sum to the header's sample total.
 v2 bench cases may carry a per-case `kernel_attribution` block (PerfRegion
-self-cost per kernel label), which is checked alongside the timing fields.
+self-cost per kernel label), which is checked alongside the timing fields,
+and a `memory_attribution` block (MemRegion alloc deltas per label), checked
+the same way.
+
+Also validates tsdist.heapprofile.v1 collapsed-stack heap profiles via
+--heap (the folded text written by --heap-profile-out / /heapz?dump): two
+counts per row (live bytes, cumulative bytes), live <= cumulative, rows
+sorted hottest-first by live then cumulative, and both column sums equal to
+the header totals.
 
 Usage:
   check_metrics_schema.py [METRICS.json]
       [--trace TRACE.json] [--bench BENCH.json] [--results RESULTS.json]
       [--openmetrics METRICS.txt] [--profile PROFILE.folded]
+      [--heap HEAP.folded]
       [--require-nonzero COUNTER ...] [--require-histogram NAME ...]
       [--require-case BENCH/CASE ...] [--min-samples N]
       [--self-test]
@@ -44,12 +53,22 @@ BENCH_SCHEMA_V1 = "tsdist.bench.v1"
 BENCH_SCHEMA_V2 = "tsdist.bench.v2"
 RESULTS_SCHEMA = "tsdist.results.v1"
 PROFILE_SCHEMA = "tsdist.profile.v1"
+HEAP_PROFILE_SCHEMA = "tsdist.heapprofile.v1"
 RESULT_STATUSES = ("ok", "dnf", "failed", "interrupted")
 
 # The collapsed-stack header fields, in emission order. All emitters
 # (Profiler::RenderFolded, the NOOP stub, tsdist_bench's merger) write every
 # field even when zero.
 PROFILE_HEADER_FIELDS = ("samples", "dropped", "interval_us", "threads")
+
+# Same contract for the heap profiler's folded output
+# (HeapProfiler::RenderFolded, its NOOP stub, tsdist_bench's heap merger).
+HEAP_HEADER_FIELDS = ("samples", "dropped", "live_bytes",
+                      "cumulative_bytes", "interval_bytes")
+
+# Per-label fields of a v2 case's memory_attribution block
+# (MemStatsBetween): exact alloc deltas plus the sampled live peak.
+MEM_ATTRIBUTION_FIELDS = ("alloc_bytes", "alloc_count", "peak_live_bytes")
 
 # Raw event counts in a perf-reading block (perf_counters.cc,
 # PerfReadingToJson). The derived ratios follow separately.
@@ -301,6 +320,38 @@ def check_kernel_attribution(errors, path, ctx, attribution):
             check_perf_reading(errors, path, f"{sub} perf", stats["perf"])
 
 
+def check_memory_attribution(errors, path, ctx, attribution):
+    """Per-MemRegion-label allocation deltas (MemStatsBetween over the
+    tsdist.mem.* metric family). Mirrors kernel_attribution: the emitter
+    omits the block when empty and drops labels whose alloc_bytes and
+    alloc_count deltas are both zero. peak_live_bytes is the sampled
+    estimate and legitimately stays 0 when the heap profiler was idle."""
+    if not isinstance(attribution, dict):
+        _err(errors, path, f"{ctx} must be an object, got {attribution!r}")
+        return
+    if not attribution:
+        _err(errors, path,
+             f"{ctx} is empty (the emitter omits the block instead)")
+        return
+    for label, stats in attribution.items():
+        sub = f"{ctx} label {label!r}"
+        if not label:
+            _err(errors, path, f"{ctx} has an empty memory label")
+        if not isinstance(stats, dict):
+            _err(errors, path, f"{sub} must be an object, got {stats!r}")
+            continue
+        for key in MEM_ATTRIBUTION_FIELDS:
+            v = stats.get(key)
+            if not _is_int(v) or v < 0:
+                _err(errors, path,
+                     f"{sub} field {key!r} must be a non-negative integer, "
+                     f"got {v!r}")
+        if stats.get("alloc_bytes") == 0 and stats.get("alloc_count") == 0:
+            _err(errors, path,
+                 f"{sub} has alloc_bytes == 0 and alloc_count == 0 (the "
+                 f"emitter drops such entries)")
+
+
 def check_case(errors, path, i, case, min_samples=1):
     if not isinstance(case, dict):
         _err(errors, path, f"case {i} is not an object")
@@ -351,6 +402,10 @@ def check_case(errors, path, i, case, min_samples=1):
         check_kernel_attribution(errors, path,
                                  f"case {name!r} kernel_attribution",
                                  case["kernel_attribution"])
+    if "memory_attribution" in case:
+        check_memory_attribution(errors, path,
+                                 f"case {name!r} memory_attribution",
+                                 case["memory_attribution"])
 
 
 def check_bench_v2(errors, path, doc, min_samples=1):
@@ -750,6 +805,116 @@ def check_folded_profile(errors, path, text):
     return header
 
 
+def check_heap_profile(errors, path, text):
+    """Validates a tsdist.heapprofile.v1 collapsed-stack heap profile.
+
+    First line: `# tsdist.heapprofile.v1 samples=N dropped=D live_bytes=L
+    cumulative_bytes=C interval_bytes=I` with every field a non-negative
+    integer. Every following line: `frame;frame;... live cum` with
+    0 <= live <= cum and cum > 0 (fully-retired stacks keep their cumulative
+    bytes; zero-cumulative rows are dropped by the emitter). Rows sort by
+    descending live bytes, then descending cumulative bytes; no stack
+    repeats; the live and cum column sums equal the header's live_bytes and
+    cumulative_bytes (the emitters compute the header from the rows). A
+    samples=0 header (idle or unavailable profiler, NOOP stub) must carry an
+    empty body.
+
+    Returns the parsed header as a dict, defaulting to 0 on unreadable
+    fields, so callers can assert on e.g. `samples` afterwards.
+    """
+    header = {key: 0 for key in HEAP_HEADER_FIELDS}
+    lines = text.splitlines()
+    if not lines:
+        _err(errors, path, "heap profile is empty")
+        return header
+    first = lines[0]
+    prefix = f"# {HEAP_PROFILE_SCHEMA} "
+    if not first.startswith(prefix):
+        _err(errors, path,
+             f"header must start with {prefix.strip()!r}, got {first!r}")
+        return header
+    seen = set()
+    for token in first[len(prefix):].split():
+        key, eq, raw = token.partition("=")
+        if not eq or key not in HEAP_HEADER_FIELDS:
+            _err(errors, path, f"unrecognized header token {token!r}")
+            continue
+        if key in seen:
+            _err(errors, path, f"duplicate header field {key!r}")
+            continue
+        seen.add(key)
+        if not raw.isdigit():
+            _err(errors, path,
+                 f"header field {key!r} must be a non-negative integer, "
+                 f"got {raw!r}")
+            continue
+        header[key] = int(raw)
+    for key in HEAP_HEADER_FIELDS:
+        if key not in seen:
+            _err(errors, path, f"header missing field {key!r}")
+
+    live_total = 0
+    cum_total = 0
+    rows = 0
+    prev = None  # (live, cum) of the previous row
+    stacks = set()
+    for lineno, line in enumerate(lines[1:], 2):
+        if not line:
+            _err(errors, path, f"line {lineno}: blank line in profile body")
+            continue
+        if line.startswith("#"):
+            _err(errors, path,
+                 f"line {lineno}: comment after the header line")
+            continue
+        parts = line.rsplit(" ", 2)
+        if len(parts) != 3 or not parts[0]:
+            _err(errors, path,
+                 f"line {lineno}: expected 'stack live cum', got {line!r}")
+            continue
+        stack, raw_live, raw_cum = parts
+        if not raw_live.isdigit() or not raw_cum.isdigit():
+            _err(errors, path,
+                 f"line {lineno}: counts must be non-negative integers, "
+                 f"got {raw_live!r} {raw_cum!r}")
+            continue
+        live, cum = int(raw_live), int(raw_cum)
+        if cum == 0:
+            _err(errors, path,
+                 f"line {lineno}: cumulative bytes must be positive (the "
+                 f"emitter drops zero-cumulative rows)")
+            continue
+        if live > cum:
+            _err(errors, path,
+                 f"line {lineno}: live bytes ({live}) exceed cumulative "
+                 f"bytes ({cum})")
+        rows += 1
+        live_total += live
+        cum_total += cum
+        if prev is not None and (live, cum) > prev:
+            _err(errors, path,
+                 f"line {lineno}: rows must be sorted by descending live, "
+                 f"then cumulative bytes ({(live, cum)} after {prev})")
+        prev = (live, cum)
+        if stack in stacks:
+            _err(errors, path, f"line {lineno}: duplicate stack {stack!r}")
+        stacks.add(stack)
+        if any(not frame for frame in stack.split(";")):
+            _err(errors, path,
+                 f"line {lineno}: stack has an empty frame: {stack!r}")
+    if "live_bytes" in seen and live_total != header["live_bytes"]:
+        _err(errors, path,
+             f"live column sums to {live_total} but the header claims "
+             f"{header['live_bytes']}")
+    if "cumulative_bytes" in seen and cum_total != header["cumulative_bytes"]:
+        _err(errors, path,
+             f"cumulative column sums to {cum_total} but the header claims "
+             f"{header['cumulative_bytes']}")
+    if "samples" in seen and header["samples"] == 0 and rows:
+        _err(errors, path,
+             f"header claims 0 samples but the body has {rows} row(s)")
+    return header
+
+
 def check_required_cases(errors, path, doc, required):
     """--require-case BENCH/CASE entries must exist in the bench/suite doc."""
     present = set()
@@ -856,6 +1021,25 @@ def _valid_folded():
         "main;Evaluate;DtwKernel 3\n"
         "main;Evaluate;EuclideanKernel 2\n"
         "main;Export 1\n"
+    )
+
+
+def _valid_memory_attribution():
+    return {
+        "euclidean": {"alloc_bytes": 262144, "alloc_count": 128,
+                      "peak_live_bytes": 131072},
+        "dtw": {"alloc_bytes": 9437184, "alloc_count": 4096,
+                "peak_live_bytes": 0},
+    }
+
+
+def _valid_heap_folded():
+    return (
+        f"# {HEAP_PROFILE_SCHEMA} samples=5 dropped=1 live_bytes=3072"
+        " cumulative_bytes=7168 interval_bytes=1024\n"
+        "main;Evaluate;DtwKernel 2048 4096\n"
+        "main;Evaluate;EuclideanKernel 1024 2048\n"
+        "main;Export 0 1024\n"
     )
 
 
@@ -993,6 +1177,29 @@ def self_test():
            lambda d: (with_attribution(d), d["cases"][0]["perf"]
                       .update(cycles=1.5)))
 
+    # Per-case memory attribution (optional, checked when present).
+    def with_memory(doc):
+        doc["cases"][0]["memory_attribution"] = _valid_memory_attribution()
+
+    expect(_valid_report(), True, "valid memory attribution", with_memory)
+    expect(_valid_report(), False, "memory attribution empty object",
+           lambda d: d["cases"][0].update(memory_attribution={}))
+    expect(_valid_report(), False, "memory attribution negative bytes",
+           lambda d: (with_memory(d), d["cases"][0]
+                      ["memory_attribution"]["dtw"].update(alloc_bytes=-1)))
+    expect(_valid_report(), False, "memory attribution missing peak",
+           lambda d: (with_memory(d), d["cases"][0]
+                      ["memory_attribution"]["dtw"].pop("peak_live_bytes")))
+    expect(_valid_report(), False, "memory attribution all-zero allocs",
+           lambda d: (with_memory(d), d["cases"][0]
+                      ["memory_attribution"]["dtw"]
+                      .update(alloc_bytes=0, alloc_count=0)))
+    expect(_valid_report(), False, "memory attribution non-object stats",
+           lambda d: d["cases"][0].update(memory_attribution={"dtw": 7}))
+    expect(_valid_report(), False, "memory attribution float count",
+           lambda d: (with_memory(d), d["cases"][0]
+                      ["memory_attribution"]["dtw"].update(alloc_count=1.5)))
+
     expect_results(True, "valid results report")
     expect_results(False, "results bad schema",
                    lambda d: d.update(schema="tsdist.results.v2"))
@@ -1106,6 +1313,58 @@ def self_test():
                   lambda t: t.replace("main;Export 1", "main;;Export 1"))
     expect_folded(False, "folded empty file", lambda t: "")
 
+    def expect_heap(should_pass, label, mutate=None, want_samples=None):
+        text = _valid_heap_folded()
+        if mutate:
+            text = mutate(text)
+        errors = []
+        header = check_heap_profile(errors, label, text)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+        if want_samples is not None and header["samples"] != want_samples:
+            failures.append(f"{label}: header samples {header['samples']}, "
+                            f"expected {want_samples}")
+
+    expect_heap(True, "valid heap profile", want_samples=5)
+    expect_heap(True, "header-only heap profile (idle/NOOP profiler)",
+                lambda t: f"# {HEAP_PROFILE_SCHEMA} samples=0 dropped=0"
+                          " live_bytes=0 cumulative_bytes=0"
+                          " interval_bytes=0\n")
+    expect_heap(False, "heap wrong schema",
+                lambda t: t.replace(HEAP_PROFILE_SCHEMA,
+                                    "tsdist.heapprofile.v9"))
+    expect_heap(False, "heap missing header field",
+                lambda t: t.replace(" dropped=1", ""))
+    expect_heap(False, "heap non-numeric header field",
+                lambda t: t.replace("interval_bytes=1024",
+                                    "interval_bytes=KiB"))
+    expect_heap(False, "heap live exceeds cumulative",
+                lambda t: t.replace("main;Export 0 1024",
+                                    "main;Export 2048 1024"))
+    expect_heap(False, "heap zero cumulative row",
+                lambda t: t.replace("main;Export 0 1024", "main;Export 0 0"))
+    expect_heap(False, "heap live sum mismatch",
+                lambda t: t.replace("live_bytes=3072", "live_bytes=4096"))
+    expect_heap(False, "heap cumulative sum mismatch",
+                lambda t: t.replace("cumulative_bytes=7168",
+                                    "cumulative_bytes=9999"))
+    expect_heap(False, "heap ordering violated",
+                lambda t: t.replace("main;Export 0 1024",
+                                    "main;Export 1536 2048"))
+    expect_heap(False, "heap samples=0 with body",
+                lambda t: t.replace("samples=5", "samples=0"))
+    expect_heap(False, "heap duplicate stack",
+                lambda t: t.replace("main;Export 0 1024",
+                                    "main;Evaluate;EuclideanKernel 0 1024"))
+    expect_heap(False, "heap malformed row",
+                lambda t: t.replace("main;Export 0 1024", "main;Export 1024"))
+    expect_heap(False, "heap empty frame",
+                lambda t: t.replace("main;Export 0 1024",
+                                    "main;;Export 0 1024"))
+    expect_heap(False, "heap empty file", lambda t: "")
+
     # Required-case lookup across a suite.
     errors = []
     check_required_cases(errors, "suite", _valid_suite(), ["bench_x/evaluate"])
@@ -1144,6 +1403,13 @@ def main(argv):
                         metavar="N",
                         help="fail unless the --profile header reports at "
                              "least N samples")
+    parser.add_argument("--heap",
+                        help="tsdist.heapprofile.v1 collapsed-stack heap "
+                             "profile (--heap-profile-out / /heapz?dump)")
+    parser.add_argument("--require-heap-samples", type=int, default=0,
+                        metavar="N",
+                        help="fail unless the --heap header reports at "
+                             "least N samples")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="COUNTER",
                         help="fail unless this counter exists and is > 0")
@@ -1166,9 +1432,9 @@ def main(argv):
     if args.self_test:
         return self_test()
     if not args.metrics and not args.bench and not args.results \
-            and not args.openmetrics and not args.profile:
+            and not args.openmetrics and not args.profile and not args.heap:
         parser.error("need a METRICS.json, --bench, --results, "
-                     "--openmetrics, --profile, or --self-test")
+                     "--openmetrics, --profile, --heap, or --self-test")
 
     errors = []
     if args.metrics:
@@ -1217,6 +1483,14 @@ def main(argv):
                 _err(errors, args.profile,
                      f"profile has {header['samples']} samples, required at "
                      f"least {args.require_profile_samples}")
+    if args.heap:
+        text = load_text(errors, args.heap)
+        if text is not None:
+            header = check_heap_profile(errors, args.heap, text)
+            if header["samples"] < args.require_heap_samples:
+                _err(errors, args.heap,
+                     f"heap profile has {header['samples']} samples, "
+                     f"required at least {args.require_heap_samples}")
 
     for message in errors:
         print(f"check_metrics_schema: {message}", file=sys.stderr)

@@ -1,0 +1,291 @@
+// Heap-profile diff gate: compares two tsdist.heapprofile.v1 collapsed-stack
+// profiles (tsdist_eval/tsdist_bench --heap-profile-out, or /heapz?dump) and
+// reports per-stack live-share movement.
+//
+//   heap_diff new.folded baseline.folded [--top 20]
+//             [--max-grow-pp 25] [--min-live-bytes 65536] [--warn-only]
+//
+// For every stack the tool computes its live share — the stack's live bytes
+// as a fraction of all live bytes — in both profiles, plus the cumulative
+// share for context. The report lists the --top movers ranked by |delta
+// live share| in percentage points. The gate FAILS (exit 1) when any
+// stack's live share grows by more than --max-grow-pp percentage points:
+// one call site suddenly owning that much more of the retained heap is how
+// leaks and cache blowups look. Sampling noise between identical runs moves
+// shares by a few points at most, so the default 25 pp keeps same-binary
+// comparisons green.
+//
+// With fewer than --min-live-bytes live bytes in either profile, shares are
+// dominated by sampling noise (or the profiler was unavailable — sanitizer
+// builds emit header-only profiles): the comparison is printed but always
+// exits 0.
+//
+// Exit codes: 0 clean (or --warn-only / too little live data), 1 gate
+// failure, 2 usage or file errors.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct HeapProfile {
+  std::uint64_t samples = 0;  // from the header
+  std::uint64_t dropped = 0;
+  std::uint64_t interval_bytes = 0;
+  std::uint64_t live_total = 0;  // sum of body live bytes (denominator)
+  std::uint64_t cum_total = 0;   // sum of body cumulative bytes
+  struct Counts {
+    std::uint64_t live = 0;
+    std::uint64_t cum = 0;
+  };
+  std::map<std::string, Counts> stacks;
+};
+
+struct Options {
+  std::string new_path;
+  std::string baseline_path;
+  int top = 20;
+  double max_grow_pp = 25.0;
+  std::uint64_t min_live_bytes = 64 * 1024;
+  bool warn_only = false;
+};
+
+bool LoadHeapProfile(const std::string& path, HeapProfile* out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.find("tsdist.heapprofile.v1") != std::string::npos) {
+        saw_header = true;
+        std::istringstream header(line.substr(1));
+        std::string token;
+        while (header >> token) {
+          const std::size_t eq = token.find('=');
+          if (eq == std::string::npos) continue;
+          const std::string key = token.substr(0, eq);
+          const std::uint64_t value =
+              std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+          if (key == "samples") out->samples = value;
+          else if (key == "dropped") out->dropped = value;
+          else if (key == "interval_bytes") out->interval_bytes = value;
+        }
+      }
+      continue;
+    }
+    // "<stack> <live> <cum>": two numeric columns after the stack.
+    const std::size_t sp2 = line.rfind(' ');
+    if (sp2 == std::string::npos || sp2 + 1 >= line.size()) {
+      *error = path + ": malformed line '" + line + "'";
+      return false;
+    }
+    const std::size_t sp1 = line.rfind(' ', sp2 - 1);
+    if (sp1 == std::string::npos || sp1 == 0) {
+      *error = path + ": malformed line '" + line + "'";
+      return false;
+    }
+    const std::uint64_t live =
+        std::strtoull(line.c_str() + sp1 + 1, nullptr, 10);
+    const std::uint64_t cum =
+        std::strtoull(line.c_str() + sp2 + 1, nullptr, 10);
+    if (cum == 0) continue;
+    HeapProfile::Counts& c = out->stacks[line.substr(0, sp1)];
+    c.live += live;
+    c.cum += cum;
+    out->live_total += live;
+    out->cum_total += cum;
+  }
+  if (!saw_header) {
+    *error = path + ": missing '# tsdist.heapprofile.v1 ...' header";
+    return false;
+  }
+  return true;
+}
+
+double SharePct(std::uint64_t part, std::uint64_t denom) {
+  if (denom == 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(denom);
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "heap_diff: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--top") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->top = std::max(1, std::atoi(v));
+    } else if (arg == "--max-grow-pp") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->max_grow_pp = std::atof(v);
+    } else if (arg == "--min-live-bytes") {
+      const char* v = next(arg.c_str());
+      if (v == nullptr) return false;
+      opt->min_live_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--warn-only") {
+      opt->warn_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "heap_diff: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << "heap_diff: need <new.folded> <baseline.folded>\n";
+    return false;
+  }
+  opt->new_path = positional[0];
+  opt->baseline_path = positional[1];
+  return true;
+}
+
+// Leaf-biased display label: the last up-to-3 frames tell a human which
+// call site this is without printing a 15-frame stack.
+std::string StackLabel(const std::string& stack) {
+  std::size_t pos = stack.size();
+  for (int i = 0; i < 3 && pos != std::string::npos && pos > 0; ++i) {
+    pos = stack.rfind(';', pos - 1);
+  }
+  std::string label =
+      pos == std::string::npos ? stack : "..." + stack.substr(pos + 1);
+  if (label.size() > 56) label = label.substr(0, 53) + "...";
+  return label;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    std::cerr << "usage: heap_diff <new.folded> <baseline.folded>\n"
+                 "       [--top N] [--max-grow-pp P] [--min-live-bytes N]\n"
+                 "       [--warn-only]\n";
+    return 2;
+  }
+
+  HeapProfile fresh, base;
+  std::string error;
+  if (!LoadHeapProfile(opt.new_path, &fresh, &error) ||
+      !LoadHeapProfile(opt.baseline_path, &base, &error)) {
+    std::cerr << "heap_diff: " << error << "\n";
+    return 2;
+  }
+
+  std::printf("heap_diff: %s (%llu live bytes) vs baseline %s (%llu live "
+              "bytes)\n",
+              opt.new_path.c_str(),
+              static_cast<unsigned long long>(fresh.live_total),
+              opt.baseline_path.c_str(),
+              static_cast<unsigned long long>(base.live_total));
+
+  std::set<std::string> stacks;
+  for (const auto& [stack, counts] : fresh.stacks) stacks.insert(stack);
+  for (const auto& [stack, counts] : base.stacks) stacks.insert(stack);
+
+  struct Mover {
+    std::string stack;
+    double base_live_pct;
+    double new_live_pct;
+    double base_cum_pct;
+    double new_cum_pct;
+  };
+  std::vector<Mover> movers;
+  movers.reserve(stacks.size());
+  for (const std::string& stack : stacks) {
+    const auto fit = fresh.stacks.find(stack);
+    const auto bit = base.stacks.find(stack);
+    Mover m;
+    m.stack = stack;
+    m.new_live_pct = SharePct(
+        fit == fresh.stacks.end() ? 0 : fit->second.live, fresh.live_total);
+    m.base_live_pct = SharePct(
+        bit == base.stacks.end() ? 0 : bit->second.live, base.live_total);
+    m.new_cum_pct = SharePct(fit == fresh.stacks.end() ? 0 : fit->second.cum,
+                             fresh.cum_total);
+    m.base_cum_pct = SharePct(bit == base.stacks.end() ? 0 : bit->second.cum,
+                              base.cum_total);
+    movers.push_back(std::move(m));
+  }
+  std::sort(movers.begin(), movers.end(), [](const Mover& a, const Mover& b) {
+    const double da = std::abs(a.new_live_pct - a.base_live_pct);
+    const double db = std::abs(b.new_live_pct - b.base_live_pct);
+    if (da != db) return da > db;
+    return a.stack < b.stack;
+  });
+
+  std::printf("%-56s %9s %9s %9s %9s %9s\n", "stack (leaf-most frames)",
+              "live0%", "live1%", "dlive", "cum0%", "cum1%");
+  const std::size_t shown =
+      std::min(movers.size(), static_cast<std::size_t>(opt.top));
+  int growers = 0;
+  double worst_growth = 0.0;
+  std::string worst_stack;
+  for (const Mover& m : movers) {
+    const double delta = m.new_live_pct - m.base_live_pct;
+    if (delta > worst_growth) {
+      worst_growth = delta;
+      worst_stack = m.stack;
+    }
+    if (delta > opt.max_grow_pp) ++growers;
+  }
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Mover& m = movers[i];
+    std::printf("%-56s %8.2f%% %8.2f%% %+8.2f%% %8.2f%% %8.2f%%\n",
+                StackLabel(m.stack).c_str(), m.base_live_pct, m.new_live_pct,
+                m.new_live_pct - m.base_live_pct, m.base_cum_pct,
+                m.new_cum_pct);
+  }
+  if (movers.size() > shown) {
+    std::printf("  ... %zu more stack(s); rerun with --top %zu\n",
+                movers.size() - shown, movers.size());
+  }
+
+  const std::uint64_t min_live =
+      std::min(fresh.live_total, base.live_total);
+  if (min_live < opt.min_live_bytes) {
+    std::printf("heap_diff: only %llu live bytes (< %llu) — shares too "
+                "noisy to gate, exiting 0\n",
+                static_cast<unsigned long long>(min_live),
+                static_cast<unsigned long long>(opt.min_live_bytes));
+    return 0;
+  }
+  if (growers > 0) {
+    std::printf("heap_diff: %d stack(s) grew live share by more than "
+                "%.1f pp (worst: %s, +%.1f pp)%s\n",
+                growers, opt.max_grow_pp, StackLabel(worst_stack).c_str(),
+                worst_growth, opt.warn_only ? " (warn-only: exiting 0)" : "");
+    return opt.warn_only ? 0 : 1;
+  }
+  std::printf("heap_diff: no stack grew live share beyond %.1f pp "
+              "(worst: %s%.1f pp)\n",
+              opt.max_grow_pp, worst_growth > 0.0 ? "+" : "", worst_growth);
+  return 0;
+}

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the heap profiler pipeline.
+
+Runs the same tiny evaluation sweep three times with the real tsdist_eval
+binary:
+
+  1. a plain run (no heap profiling) — the reference results;
+  2. a heap-profiled run (--heap-profile-out);
+  3. a second heap-profiled run — the diff baseline.
+
+Then asserts the whole contract end to end:
+
+  * the results JSON and stdout of all three runs are bit-identical — the
+    allocator wrappers must be pure observers;
+  * both folded heap profiles carry the tsdist.heapprofile.v1 header and
+    parse (validated via check_metrics_schema.check_heap_profile);
+  * when heap profiling is actually available (the run sampled something),
+    heap_diff over the two captures of the identical binary exits 0 —
+    sampling noise alone must not trip the live-share gate;
+  * /heapz round-trips a start / status / dump / stop cycle against a live
+    --serve session, with a schema-valid dump.
+
+On sanitizer builds the wrappers are compiled out: every profile is then a
+valid header-only document with samples=0 and the diff/endpoint assertions
+degrade to "still schema-valid, still orderly" — the test passes either
+way, which is what lets the `sanitize` preset keep running it.
+
+Stdlib only. Exits 0 on success, 1 with a message per failure otherwise.
+
+Usage:
+  heap_smoke.py --eval build/tools/tsdist_eval \
+      --heap-diff build/tools/heap_diff \
+      --schema-check tools/check_metrics_schema.py \
+      --workdir build/tools/heap_smoke [--timeout 300]
+"""
+
+import argparse
+import importlib.util
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+LISTEN_RE = re.compile(r"telemetry server listening.*\bport=(\d+)")
+
+
+def fail(msg):
+    print(f"heap_smoke: {msg}", file=sys.stderr)
+    return 1
+
+
+def load_schema_module(path):
+    spec = importlib.util.spec_from_file_location("check_metrics_schema", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_eval(binary, workdir, tag, timeout, heap=False):
+    results = os.path.join(workdir, f"results_{tag}.json")
+    cmd = [
+        binary, "--scale", "tiny", "--measures", "euclidean,dtw",
+        "--results-json", results,
+    ]
+    artifacts = {"results": results}
+    if heap:
+        artifacts["folded"] = os.path.join(workdir, f"heap_{tag}.folded")
+        cmd += ["--heap-profile-out", artifacts["folded"]]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True, timeout=timeout)
+    return proc, artifacts
+
+
+def fetch(port, path):
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def check_heapz(binary, timeout, schema):
+    """Boot a --serve session and round-trip /heapz start/status/dump/stop."""
+    cmd = [
+        binary, "--scale", "tiny", "--measures", "euclidean",
+        "--serve", "0", "--selftest-cell-sleep-ms", "400",
+    ]
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True)
+    port_box = {}
+    stderr_lines = []
+
+    def drain():
+        for line in proc.stderr:
+            stderr_lines.append(line)
+            m = LISTEN_RE.search(line)
+            if m and "port" not in port_box:
+                port_box["port"] = int(m.group(1))
+
+    drainer = threading.Thread(target=drain, daemon=True)
+    drainer.start()
+
+    deadline = time.monotonic() + timeout
+    try:
+        while "port" not in port_box:
+            if proc.poll() is not None:
+                return ("tsdist_eval exited before the server came up "
+                        f"(exit {proc.returncode}); stderr:\n"
+                        + "".join(stderr_lines))
+            if time.monotonic() > deadline:
+                return "timed out waiting for the listening line"
+            time.sleep(0.05)
+        port = port_box["port"]
+
+        status, body = fetch(port, "/heapz")
+        if status != 200 or not body.startswith("heap profiler "):
+            return f"/heapz unexpected: {body!r}"
+
+        status, started = fetch(port, "/heapz?start")
+        if status != 200:
+            return f"/heapz?start returned HTTP {status}"
+        # On sanitizer builds Start() refuses; the endpoint still answers.
+        armed = "not started" not in started
+
+        status, heap_status = fetch(port, "/heapz?status")
+        if status != 200 or not heap_status.startswith("heap profiler "):
+            return f"/heapz?status unexpected: {heap_status!r}"
+        if armed and "running" not in heap_status.split("\n")[0]:
+            return f"/heapz?status not running after start: {heap_status!r}"
+
+        status, dump = fetch(port, "/heapz?dump")
+        if status != 200:
+            return f"/heapz?dump returned HTTP {status}"
+        errors = []
+        schema.check_heap_profile(errors, "/heapz?dump", dump)
+        if errors:
+            return "; ".join(errors)
+
+        status, live = fetch(port, "/heapz?live")
+        if status != 200 or "heap live report" not in live:
+            return f"/heapz?live unexpected: {live[:120]!r}"
+
+        status, stopped = fetch(port, "/heapz?stop")
+        if status != 200:
+            return f"/heapz?stop returned HTTP {status}"
+        if armed and "stopped" not in stopped:
+            return f"/heapz?stop unexpected after a start: {stopped!r}"
+    except Exception as exc:  # noqa: BLE001 - report and fail cleanly
+        proc.kill()
+        proc.wait()
+        return f"{type(exc).__name__}: {exc}"
+
+    proc.send_signal(signal.SIGTERM)
+    try:
+        rc = proc.wait(timeout=max(10.0, deadline - time.monotonic()))
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        return "tsdist_eval did not exit after SIGTERM"
+    drainer.join(timeout=5)
+    if rc not in (0, 143):
+        return (f"unexpected exit code {rc}; stderr:\n"
+                + "".join(stderr_lines))
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--eval", required=True, dest="eval_binary",
+                        help="path to the tsdist_eval binary")
+    parser.add_argument("--heap-diff", required=True,
+                        help="path to the heap_diff binary")
+    parser.add_argument("--schema-check", required=True,
+                        help="path to check_metrics_schema.py")
+    parser.add_argument("--workdir", required=True,
+                        help="scratch directory for artifacts")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-run deadline in seconds")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.workdir, exist_ok=True)
+    schema = load_schema_module(args.schema_check)
+
+    runs = {}
+    stdouts = {}
+    for tag, heap in (("plain", False), ("a", True), ("b", True)):
+        proc, artifacts = run_eval(args.eval_binary, args.workdir, tag,
+                                   args.timeout, heap=heap)
+        if proc.returncode != 0:
+            return fail(f"run '{tag}' exited {proc.returncode}; stderr:\n"
+                        + proc.stderr)
+        runs[tag] = artifacts
+        stdouts[tag] = proc.stdout
+
+    # 1. Bit-identity: the wrappers must be pure observers.
+    with open(runs["plain"]["results"], "rb") as f:
+        reference = f.read()
+    for tag in ("a", "b"):
+        with open(runs[tag]["results"], "rb") as f:
+            if f.read() != reference:
+                return fail(f"results JSON of heap-profiled run '{tag}' "
+                            "differs from the unprofiled run")
+        if stdouts[tag] != stdouts["plain"]:
+            return fail(f"stdout of heap-profiled run '{tag}' differs from "
+                        "the unprofiled run")
+
+    # 2. Folded heap profiles: schema-valid; samples > 0 whenever the
+    # profiler is available (samples == 0 means a sanitizer/NOOP build).
+    samples = {}
+    for tag in ("a", "b"):
+        with open(runs[tag]["folded"], "r", encoding="utf-8") as f:
+            folded = f.read()
+        errors = []
+        header = schema.check_heap_profile(errors, runs[tag]["folded"],
+                                           folded)
+        if errors:
+            for e in errors:
+                print(f"heap_smoke: {e}", file=sys.stderr)
+            return 1
+        samples[tag] = header["samples"]
+    if (samples["a"] == 0) != (samples["b"] == 0):
+        return fail("one heap-profiled run sampled and the other did not "
+                    f"(a={samples['a']}, b={samples['b']})")
+
+    # 3. Two captures of the same binary must pass the live-share gate.
+    if samples["a"] > 0:
+        diff = subprocess.run(
+            [args.heap_diff, runs["a"]["folded"], runs["b"]["folded"]],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            timeout=args.timeout)
+        if diff.returncode != 0:
+            return fail(f"heap_diff exited {diff.returncode} on identical "
+                        f"binaries:\n{diff.stdout}")
+    else:
+        print("heap_smoke: profiler unavailable (sanitizer build?); "
+              "header-only profiles accepted, diff gate skipped")
+
+    # 4. /heapz round trip against a live session.
+    error = check_heapz(args.eval_binary, args.timeout, schema)
+    if error is not None:
+        return fail(error)
+
+    print("heap_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -38,6 +38,7 @@
 #include "src/data/archive.h"
 #include "src/obs/expo_server.h"
 #include "src/obs/health.h"
+#include "src/obs/heap_profiler.h"
 #include "src/obs/json.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
@@ -89,6 +90,7 @@ struct Options {
   std::string bindir;
   std::string artifacts;
   std::string profile_out;  // merged folded profile across all benches
+  std::string heap_profile_out;  // merged heap profile across all benches
   int serve_port = -1;  // -1 = no telemetry server; 0 = ephemeral port
   bool list = false;
 };
@@ -122,6 +124,11 @@ void PrintUsage() {
       "                        TSDIST_PROFILE_OUT) and merge the per-bench\n"
       "                        folded profiles into FILE; the per-bench\n"
       "                        captures stay in <artifacts>/PROFILE_*.folded\n"
+      "  --heap-profile-out FILE  heap-sample every bench subprocess (via\n"
+      "                        TSDIST_HEAP_PROFILE_OUT) and merge the\n"
+      "                        per-bench tsdist.heapprofile.v1 captures into\n"
+      "                        FILE; per-bench files stay in\n"
+      "                        <artifacts>/HEAP_*.folded\n"
       "  --list                print the resolved bench list and exit\n";
 }
 
@@ -167,6 +174,10 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       const char* v = next("--artifacts");
       if (v == nullptr) return false;
       opt->artifacts = v;
+    } else if (arg == "--heap-profile-out") {
+      const char* v = next("--heap-profile-out");
+      if (v == nullptr) return false;
+      opt->heap_profile_out = v;
     } else if (arg == "--profile-out") {
       const char* v = next("--profile-out");
       if (v == nullptr) return false;
@@ -253,6 +264,84 @@ bool MergeFoldedFile(const std::string& path, FoldedAccumulator* acc) {
         std::strtoull(line.c_str() + sp + 1, nullptr, 10);
   }
   return true;
+}
+
+// Heap variant of FoldedAccumulator: heap rows carry two counts (live
+// bytes, then cumulative bytes) and the header byte totals are recomputed
+// from the merged rows so they always match the column sums.
+struct HeapFoldedAccumulator {
+  struct Counts {
+    std::uint64_t live = 0;
+    std::uint64_t cum = 0;
+  };
+  std::map<std::string, Counts> stacks;
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t interval_bytes = 0;
+};
+
+bool MergeHeapFoldedFile(const std::string& path,
+                         HeapFoldedAccumulator* acc) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string token;
+      while (header >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = token.substr(0, eq);
+        const std::uint64_t value =
+            std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+        if (key == "samples") {
+          acc->samples += value;
+        } else if (key == "dropped") {
+          acc->dropped += value;
+        } else if (key == "interval_bytes" && acc->interval_bytes == 0) {
+          acc->interval_bytes = value;
+        }
+      }
+      continue;
+    }
+    // "<stack> <live> <cum>": split off the last two fields.
+    const std::size_t sp2 = line.rfind(' ');
+    if (sp2 == std::string::npos || sp2 + 1 >= line.size()) continue;
+    const std::size_t sp1 = line.rfind(' ', sp2 - 1);
+    if (sp1 == std::string::npos || sp1 == 0) continue;
+    HeapFoldedAccumulator::Counts& c = acc->stacks[line.substr(0, sp1)];
+    c.live += std::strtoull(line.c_str() + sp1 + 1, nullptr, 10);
+    c.cum += std::strtoull(line.c_str() + sp2 + 1, nullptr, 10);
+  }
+  return true;
+}
+
+bool WriteMergedHeapProfile(const std::string& path,
+                            const HeapFoldedAccumulator& acc) {
+  std::vector<std::pair<std::string, HeapFoldedAccumulator::Counts>> rows(
+      acc.stacks.begin(), acc.stacks.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.live != b.second.live) return a.second.live > b.second.live;
+    if (a.second.cum != b.second.cum) return a.second.cum > b.second.cum;
+    return a.first < b.first;
+  });
+  std::uint64_t live = 0, cum = 0;
+  for (const auto& [stack, counts] : rows) {
+    live += counts.live;
+    cum += counts.cum;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# " << tsdist::obs::kHeapProfileSchema << " samples=" << acc.samples
+      << " dropped=" << acc.dropped << " live_bytes=" << live
+      << " cumulative_bytes=" << cum
+      << " interval_bytes=" << acc.interval_bytes << "\n";
+  for (const auto& [stack, counts] : rows) {
+    out << stack << " " << counts.live << " " << counts.cum << "\n";
+  }
+  return static_cast<bool>(out);
 }
 
 bool WriteMergedProfile(const std::string& path,
@@ -357,6 +446,7 @@ int main(int argc, char** argv) {
   // Each profiled bench writes its own capture; anything inherited from the
   // caller's environment must not leak into un-profiled runs.
   unsetenv("TSDIST_PROFILE_OUT");
+  unsetenv("TSDIST_HEAP_PROFILE_OUT");
 
   std::cout << "tsdist_bench: " << benches.size() << " benches, scale "
             << opt.scale << " (archive " << archive_scale << "), repeat "
@@ -384,6 +474,11 @@ int main(int argc, char** argv) {
       const std::string folded =
           opt.artifacts + "/PROFILE_" + bench + ".folded";
       setenv("TSDIST_PROFILE_OUT", folded.c_str(), 1);
+    }
+    if (!opt.heap_profile_out.empty()) {
+      const std::string folded =
+          opt.artifacts + "/HEAP_" + bench + ".folded";
+      setenv("TSDIST_HEAP_PROFILE_OUT", folded.c_str(), 1);
     }
     const std::string cmd = ShellQuote(bin.string()) + " > " +
                             ShellQuote(log) + " 2>&1";
@@ -442,6 +537,25 @@ int main(int argc, char** argv) {
     } else {
       std::cout << "tsdist_bench: wrote " << opt.profile_out << " ("
                 << acc.samples << " samples from " << merged
+                << " benches)\n";
+    }
+  }
+
+  if (!opt.heap_profile_out.empty()) {
+    HeapFoldedAccumulator acc;
+    std::size_t merged = 0;
+    for (const auto& outcome : outcomes) {
+      const std::string folded =
+          opt.artifacts + "/HEAP_" + outcome.name + ".folded";
+      if (MergeHeapFoldedFile(folded, &acc)) ++merged;
+    }
+    if (!WriteMergedHeapProfile(opt.heap_profile_out, acc)) {
+      std::cerr << "tsdist_bench: cannot write " << opt.heap_profile_out
+                << "\n";
+      any_failed = true;
+    } else {
+      std::cout << "tsdist_bench: wrote " << opt.heap_profile_out << " ("
+                << acc.samples << " heap samples from " << merged
                 << " benches)\n";
     }
   }

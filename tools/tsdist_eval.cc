@@ -62,6 +62,7 @@
 #include "src/normalization/normalization.h"
 #include "src/obs/expo_server.h"
 #include "src/obs/health.h"
+#include "src/obs/heap_profiler.h"
 #include "src/obs/json.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
@@ -115,6 +116,7 @@ struct Options {
   std::string log_json_path;
   std::string profile_out_path;
   std::string profile_trace_path;
+  std::string heap_profile_out_path;
   bool progress = false;
   bool help = false;
 };
@@ -276,6 +278,9 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (arg == "--profile-trace") {
       if (!next(&v)) return false;
       options->profile_trace_path = v;
+    } else if (arg == "--heap-profile-out") {
+      if (!next(&v)) return false;
+      options->heap_profile_out_path = v;
     } else if (arg == "--progress") {
       options->progress = true;
     } else {
@@ -299,7 +304,7 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "          [--metrics-csv <path>] [--trace-json <path>]\n"
       "          [--serve PORT] [--log-json <path>]\n"
       "          [--profile-out <path>] [--profile-trace <path>]\n"
-      "          [--progress] [--help]\n"
+      "          [--heap-profile-out <path>] [--progress] [--help]\n"
       "\n"
       "  --pruned               classify through the lower-bound cascade\n"
       "                         (LB_Kim -> LB_Keogh -> early-abandoned DTW)\n"
@@ -338,6 +343,11 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "                         are bit-identical with or without profiling\n"
       "  --profile-trace <path> the same samples as Chrome trace-event JSON\n"
       "                         (chrome://tracing, Perfetto)\n"
+      "  --heap-profile-out <path>  sample the allocation stream over the\n"
+      "                         sweep (tcmalloc-style byte countdown) and\n"
+      "                         write tsdist.heapprofile.v1 collapsed stacks\n"
+      "                         on exit; a live-stack summary goes to stderr\n"
+      "                         (docs/MEMORY.md). Results stay bit-identical\n"
       "  --progress             live cells/sec + ETA on stderr\n",
       prog);
 }
@@ -680,6 +690,12 @@ int main(int argc, char** argv) {
     TSDIST_LOG(obs::LogLevel::kWarn, "profiler did not start",
                obs::F("reason", "already running or observability disabled"));
   }
+  const bool heap_profiling = !options.heap_profile_out_path.empty();
+  if (heap_profiling && !obs::HeapProfiler::Global().Start()) {
+    // Unavailable (sanitizer build, non-glibc) or disabled: the export
+    // below still writes a schema-valid header-only profile.
+    TSDIST_LOG(obs::LogLevel::kWarn, "heap profiler did not start");
+  }
   {
     // Scoped so the root span closes (and lands in the trace file) before
     // the exports below run.
@@ -759,6 +775,11 @@ int main(int argc, char** argv) {
             AppendJsonLogLine(cell_log_path, CellLogLine(cell));
           }
           ++cells_computed;
+          // Keep the RSS gauges fresh for runs without a telemetry server
+          // sampling in the background (peak would otherwise only be read
+          // at exit, and current never).
+          obs::UpdatePeakRssGauge();
+          obs::UpdateCurrentRssGauge();
           if (options.selftest_cell_sleep_ms > 0) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(options.selftest_cell_sleep_ms));
@@ -805,6 +826,13 @@ int main(int argc, char** argv) {
     progress.Finish();
   }
   if (profiling) obs::Profiler::Global().Stop();
+  if (heap_profiling) {
+    obs::HeapProfiler::Global().Stop();
+    // Leak-style summary: allocations sampled during the sweep and still
+    // live now. Stays on stderr so it never perturbs stdout tables.
+    std::fputs(obs::HeapProfiler::Global().RenderLeakReport().c_str(),
+               stderr);
+  }
   TSDIST_LOG(obs::LogLevel::kInfo, "sweep finished",
              obs::F("done", static_cast<std::uint64_t>(outcomes.size())),
              obs::F("total", sweep_total), obs::F("resumed", sweep_resumed),
@@ -899,6 +927,10 @@ int main(int argc, char** argv) {
       !WriteFileOrComplain(options.profile_trace_path,
                            obs::Profiler::Global().RenderChromeTrace(),
                            "profile trace JSON")) {
+    ++export_failures;
+  }
+  if (!options.heap_profile_out_path.empty() &&
+      !obs::WriteHeapProfileFolded(options.heap_profile_out_path)) {
     ++export_failures;
   }
 
