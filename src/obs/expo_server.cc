@@ -265,6 +265,20 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
     response.body = HealthState::Global().ToJson() + "\n";
     return response;
   }
+  if (path == "/fleetz") {
+    BumpCounter("tsdist.expo.requests.fleetz");
+    response.content_type = "application/json; charset=utf-8";
+    const std::string fleet = HealthState::Global().FleetJson();
+    // No shard fleet federating health through this process: serve a valid
+    // empty fleet so scrapers need no special case.
+    response.body =
+        fleet.empty()
+            ? "{\"schema\": \"tsdist.fleethealth.v1\", \"stale_after_sec\": "
+              "0, \"summary\": {\"workers\": 0, \"live\": 0, \"stale\": 0}, "
+              "\"workers\": []}\n"
+            : fleet + "\n";
+    return response;
+  }
   if (path == "/runinfo") {
     BumpCounter("tsdist.expo.requests.runinfo");
     response.content_type = "application/json; charset=utf-8";
@@ -354,6 +368,7 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
         "tsdist telemetry\n"
         "  /metrics   OpenMetrics exposition\n"
         "  /healthz   run health JSON\n"
+        "  /fleetz    federated shard-worker fleet health JSON\n"
         "  /runinfo   provenance manifest JSON\n"
         "  /logz      recent structured log lines\n"
         "  /profilez  sampling profiler (?start ?stop ?dump ?trace ?status)\n"

@@ -52,6 +52,22 @@ void HealthState::SetCurrentCell(std::string cell) {
   current_cell_ = std::move(cell);
 }
 
+void HealthState::SetFleetJson(std::string fleet_json) {
+  // Trim trailing whitespace so the document embeds cleanly as a nested
+  // JSON value inside the /healthz object.
+  while (!fleet_json.empty() &&
+         (fleet_json.back() == '\n' || fleet_json.back() == ' ')) {
+    fleet_json.pop_back();
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  fleet_json_ = std::move(fleet_json);
+}
+
+std::string HealthState::FleetJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return fleet_json_;
+}
+
 void HealthState::SetCells(std::uint64_t done, std::uint64_t total,
                            std::uint64_t resumed, std::uint64_t dnf,
                            std::uint64_t failed) {
@@ -87,6 +103,10 @@ std::string HealthState::ToJson() const {
     out += ", \"failed\": ";
     out += std::to_string(cells_failed_);
     out += "}";
+    if (!fleet_json_.empty()) {
+      out += ", \"fleet\": ";
+      out += fleet_json_;
+    }
   }
   ProgressSnapshot progress;
   if (SnapshotActiveProgress(&progress)) {

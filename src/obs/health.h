@@ -39,9 +39,19 @@ class HealthState {
                 std::uint64_t resumed, std::uint64_t dnf = 0,
                 std::uint64_t failed = 0);
 
+  /// Federated shard-fleet health: a tsdist.fleethealth.v1 JSON document
+  /// aggregated from the checkpoint directory's per-worker snapshots (see
+  /// src/shard/fleet.h). Empty (the default) removes the fleet block from
+  /// /healthz and makes /fleetz report an empty fleet.
+  void SetFleetJson(std::string fleet_json);
+
+  /// The current fleet document ("" when no shard fleet is active).
+  std::string FleetJson() const;
+
   /// The whole state as a `tsdist.health.v1` JSON object: schema, status,
-  /// uptime, phase, current cell, cell counts, and (when a reporter is
-  /// active) the live progress block.
+  /// uptime, phase, current cell, cell counts, a fleet block when shard
+  /// workers are federating health, and (when a reporter is active) the
+  /// live progress block.
   std::string ToJson() const;
 
  private:
@@ -56,6 +66,7 @@ class HealthState {
   std::uint64_t cells_resumed_ = 0;
   std::uint64_t cells_dnf_ = 0;
   std::uint64_t cells_failed_ = 0;
+  std::string fleet_json_;
 };
 
 }  // namespace tsdist::obs

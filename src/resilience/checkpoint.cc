@@ -59,16 +59,21 @@ bool FlushAndSync(std::FILE* file) {
 #endif
 }
 
-// Best-effort directory fsync so a rename (manifest publish) is durable.
-void SyncDirectory(const std::string& dir) {
+// Best-effort directory fsync so a rename (manifest publish) or a file
+// creation (tile log, results log) is durable: data fsync alone does not
+// persist the directory entry, so a power loss could otherwise forget the
+// file ever existed. An empty `dir` (a bare filename's parent) means the
+// current directory.
+bool SyncDirectory(const std::string& dir) {
 #if defined(__unix__) || defined(__APPLE__)
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 #else
   (void)dir;
+  return true;
 #endif
 }
 
@@ -166,8 +171,15 @@ bool AtomicWriteFile(const std::string& path, const std::string& contents,
     if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
     return false;
   }
-  SyncDirectory(std::filesystem::path(path).parent_path().string());
+  // The rename only becomes durable once the parent directory's entry table
+  // is on disk; a power loss before this fsync could resurrect the old file
+  // (or, for a fresh manifest, forget it entirely).
+  SyncParentDirectory(path);
   return true;
+}
+
+bool SyncParentDirectory(const std::string& path) {
+  return SyncDirectory(std::filesystem::path(path).parent_path().string());
 }
 
 std::size_t TileCheckpoint::TileRowCount(std::size_t t) const {
@@ -193,11 +205,16 @@ TileCheckpoint::TileCheckpoint(const std::string& directory,
   if (!LoadExisting(matrix)) StartFresh();
 
   const std::string log_path = directory_ + "/tiles.bin";
+  const bool log_existed = std::filesystem::exists(log_path);
   log_ = std::fopen(log_path.c_str(), "ab");
   if (log_ == nullptr) {
     throw std::runtime_error("TileCheckpoint: cannot open " + log_path +
                              " for append");
   }
+  // A freshly created log needs its directory entry persisted too: tile
+  // payload fsyncs alone would not survive a power loss that forgets the
+  // file was ever created.
+  if (!log_existed) SyncDirectory(directory_);
 }
 
 TileCheckpoint::~TileCheckpoint() {
@@ -342,8 +359,17 @@ void TileCheckpoint::WriteTile(std::size_t t, const Matrix& matrix) {
            sizeof header + payload_doubles * sizeof(double));
 }
 
-std::vector<std::string> LoadJsonLog(const std::string& path) {
+namespace {
+
+// Shared valid-prefix scan for JSON-lines logs. Returns the parsed lines
+// and reports how many leading bytes were valid so callers can decide
+// whether (and when) to truncate the torn tail.
+std::vector<std::string> ScanJsonLog(const std::string& path,
+                                     std::size_t* valid_bytes,
+                                     std::size_t* total_bytes) {
   std::vector<std::string> lines;
+  *valid_bytes = 0;
+  *total_bytes = 0;
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return lines;
   std::string content;
@@ -353,8 +379,8 @@ std::vector<std::string> LoadJsonLog(const std::string& path) {
     content.append(buf, n);
   }
   std::fclose(file);
+  *total_bytes = content.size();
 
-  std::size_t valid_bytes = 0;
   std::size_t pos = 0;
   while (pos < content.size()) {
     const std::size_t nl = content.find('\n', pos);
@@ -367,22 +393,42 @@ std::vector<std::string> LoadJsonLog(const std::string& path) {
     }
     lines.push_back(line);
     pos = nl + 1;
-    valid_bytes = pos;
+    *valid_bytes = pos;
   }
-  if (valid_bytes < content.size()) {
+  return lines;
+}
+
+}  // namespace
+
+std::vector<std::string> LoadJsonLog(const std::string& path) {
+  std::size_t valid_bytes = 0;
+  std::size_t total_bytes = 0;
+  std::vector<std::string> lines =
+      ScanJsonLog(path, &valid_bytes, &total_bytes);
+  if (valid_bytes < total_bytes) {
     std::error_code ec;
     std::filesystem::resize_file(path, valid_bytes, ec);
   }
   return lines;
 }
 
+std::vector<std::string> ReadJsonLogPrefix(const std::string& path) {
+  std::size_t valid_bytes = 0;
+  std::size_t total_bytes = 0;
+  return ScanJsonLog(path, &valid_bytes, &total_bytes);
+}
+
 bool AppendJsonLogLine(const std::string& path, const std::string& line) {
+  const bool existed = std::filesystem::exists(path);
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) return false;
   const bool ok =
       std::fwrite(line.data(), 1, line.size(), file) == line.size() &&
       std::fwrite("\n", 1, 1, file) == 1 && FlushAndSync(file);
   std::fclose(file);
+  // First append created the file: persist the directory entry as well, or
+  // a power loss could forget the log while claiming the line was durable.
+  if (ok && !existed) SyncParentDirectory(path);
   return ok;
 }
 

@@ -53,6 +53,12 @@ std::uint64_t FingerprintSeries(const std::vector<TimeSeries>& series);
 bool AtomicWriteFile(const std::string& path, const std::string& contents,
                      std::string* error);
 
+/// Fsyncs the directory containing `path` (the directory itself when `path`
+/// names one without a parent component), making a rename or file creation
+/// inside it durable. Best-effort: returns false when the directory cannot
+/// be opened or synced.
+bool SyncParentDirectory(const std::string& path);
+
 /// Identity of one matrix computation; every field participates in manifest
 /// validation.
 struct ShardKey {
@@ -113,6 +119,11 @@ class TileCheckpoint {
 /// truncating the file past the first invalid line — torn-tail recovery for
 /// the sweep-level candidate cache. A missing file yields an empty vector.
 std::vector<std::string> LoadJsonLog(const std::string& path);
+
+/// Same valid-prefix read as LoadJsonLog but without the truncation, for
+/// reading a log another process may still own (a fenced zombie worker must
+/// never have its own file rewritten under it by a reader).
+std::vector<std::string> ReadJsonLogPrefix(const std::string& path);
 
 /// Appends one line to a JSON-lines log and fsyncs it. Returns false on I/O
 /// failure (the caller degrades to running without the cache).

@@ -52,6 +52,9 @@ inline constexpr const char kTileWrite[] = "ckpt.tile_write";
 inline constexpr const char kShardLoad[] = "ckpt.shard_load";
 inline constexpr const char kEigensolve[] = "linalg.eigensolve";
 inline constexpr const char kLoaderParse[] = "data.parse_line";
+inline constexpr const char kShardLeaseAcquire[] = "shard.lease_acquire";
+inline constexpr const char kShardHeartbeat[] = "shard.heartbeat";
+inline constexpr const char kShardMerge[] = "shard.merge";
 }  // namespace sites
 
 #if defined(TSDIST_FAULT_NOOP)

@@ -1,0 +1,102 @@
+#include "src/shard/cell_log.h"
+
+#include <cstdio>
+
+#include "src/obs/json.h"
+#include "src/resilience/checkpoint.h"
+
+namespace tsdist::shard {
+
+std::string CellKey(const std::string& dataset, const std::string& measure) {
+  return dataset + "\x1f" + measure;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatG17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string CellLogLine(const CellOutcome& cell) {
+  return "{\"schema\": \"tsdist.cell.v1\", \"dataset\": \"" +
+         JsonEscape(cell.dataset) + "\", \"measure\": \"" +
+         JsonEscape(cell.measure) + "\", \"params\": \"" +
+         JsonEscape(cell.params) + "\", \"status\": \"" +
+         ToString(cell.status) + "\", \"reason\": \"" +
+         JsonEscape(cell.reason) + "\", \"train_accuracy\": " +
+         FormatG17(cell.train_accuracy) + ", \"test_accuracy\": " +
+         FormatG17(cell.test_accuracy) + "}";
+}
+
+bool ParseCellLogLine(const std::string& line, CellOutcome* cell) {
+  try {
+    const obs::JsonValue v = obs::ParseJson(line);
+    if (v.GetString("schema", "") != "tsdist.cell.v1") return false;
+    cell->dataset = v.GetString("dataset", "");
+    cell->measure = v.GetString("measure", "");
+    if (cell->dataset.empty() || cell->measure.empty()) return false;
+    cell->params = v.GetString("params", "");
+    const std::string status = v.GetString("status", "");
+    if (status == "ok") {
+      cell->status = EvalStatus::kOk;
+    } else if (status == "failed") {
+      cell->status = EvalStatus::kFailed;
+    } else if (status == "dnf") {
+      cell->status = EvalStatus::kDnf;
+    } else if (status == "interrupted") {
+      cell->status = EvalStatus::kInterrupted;
+    } else {
+      return false;
+    }
+    cell->reason = v.GetString("reason", "");
+    cell->train_accuracy = v.GetDouble("train_accuracy", 0.0);
+    cell->test_accuracy = v.GetDouble("test_accuracy", 0.0);
+    cell->resumed = false;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+namespace {
+
+std::map<std::string, CellOutcome> CellsFromLines(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, CellOutcome> finished;
+  for (const std::string& line : lines) {
+    CellOutcome cell;
+    if (!ParseCellLogLine(line, &cell)) continue;
+    if (cell.status != EvalStatus::kOk) continue;
+    cell.resumed = true;
+    finished[CellKey(cell.dataset, cell.measure)] = cell;
+  }
+  return finished;
+}
+
+}  // namespace
+
+std::map<std::string, CellOutcome> LoadFinishedCells(const std::string& path) {
+  return CellsFromLines(LoadJsonLog(path));
+}
+
+std::map<std::string, CellOutcome> ReadFinishedCells(const std::string& path) {
+  return CellsFromLines(ReadJsonLogPrefix(path));
+}
+
+}  // namespace tsdist::shard

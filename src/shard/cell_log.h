@@ -1,0 +1,69 @@
+// Shared wire format for sweep-cell result logs (`tsdist.cell.v1`).
+//
+// One (dataset, measure) evaluation cell serializes to exactly one JSON
+// line. The single-process driver appends these lines to the checkpoint's
+// results.jsonl as cells finish; shard workers append the same lines to
+// their per-epoch shard logs; the merge step reorders worker lines into the
+// canonical sweep order. Byte-identity of a merged sweep against a
+// single-process run rests on every writer using this one formatter: the
+// %.17g accuracy round-trip plus a fixed field order make the line a pure
+// function of the cell outcome, which is itself bit-identical across
+// processes (each cell is a pure computation over fingerprint-checked
+// inputs).
+
+#ifndef TSDIST_SHARD_CELL_LOG_H_
+#define TSDIST_SHARD_CELL_LOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/classify/tuning.h"
+
+namespace tsdist::shard {
+
+/// One evaluated (dataset, measure) cell of the sweep.
+struct CellOutcome {
+  std::string dataset;
+  std::string measure;
+  std::string params;  ///< rendered ParamMap of the evaluated instance
+  EvalStatus status = EvalStatus::kOk;
+  std::string reason;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  bool resumed = false;  ///< restored from a results log, not recomputed
+};
+
+/// Map key for a cell: dataset and measure joined on a separator that can
+/// appear in neither.
+std::string CellKey(const std::string& dataset, const std::string& measure);
+
+/// JSON escaping for the minimal set the cell log needs (quotes, backslash;
+/// control bytes become spaces).
+std::string JsonEscape(const std::string& s);
+
+/// %.17g: round-trips a double exactly through strtod, so resumed and
+/// merged cells report bit-identical accuracies.
+std::string FormatG17(double v);
+
+/// Serializes one finished cell as its tsdist.cell.v1 JSON line (no
+/// trailing newline).
+std::string CellLogLine(const CellOutcome& cell);
+
+/// Parses one tsdist.cell.v1 line. Returns false when the line is not a
+/// cell record (wrong schema, missing dataset/measure).
+bool ParseCellLogLine(const std::string& line, CellOutcome* cell);
+
+/// Loads finished cells from a results log, truncating any torn tail (the
+/// caller owns the file). Only status "ok" cells are returned: failed cells
+/// are retried on resume, DNF cells get another chance at the budget.
+std::map<std::string, CellOutcome> LoadFinishedCells(const std::string& path);
+
+/// Read-only variant of LoadFinishedCells for logs another process may
+/// still own (e.g. a fenced zombie's epoch log): reads the valid prefix,
+/// never truncates.
+std::map<std::string, CellOutcome> ReadFinishedCells(const std::string& path);
+
+}  // namespace tsdist::shard
+
+#endif  // TSDIST_SHARD_CELL_LOG_H_

@@ -1,0 +1,107 @@
+#include "src/shard/fleet.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/resilience/checkpoint.h"
+#include "src/shard/cell_log.h"
+
+namespace tsdist::shard {
+
+std::string WorkerHealthToJson(const WorkerHealth& health) {
+  std::ostringstream os;
+  os << "{\"schema\": \"" << kWorkerHealthSchema << "\", \"worker\": \""
+     << JsonEscape(health.worker) << "\", \"pid\": " << health.pid
+     << ", \"phase\": \"" << JsonEscape(health.phase)
+     << "\", \"shard\": " << health.shard << ", \"epoch\": " << health.epoch
+     << ", \"cells\": {\"done\": " << health.cells_done
+     << ", \"total\": " << health.cells_total
+     << "}, \"wall_ms\": " << health.wall_ms << "}\n";
+  return os.str();
+}
+
+bool WriteWorkerHealth(const std::string& checkpoint_dir,
+                       const WorkerHealth& health) {
+  const std::string dir = checkpoint_dir + "/health";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  std::string error;
+  return AtomicWriteFile(dir + "/" + health.worker + ".json",
+                         WorkerHealthToJson(health), &error);
+}
+
+std::string AggregateFleetHealth(const std::string& checkpoint_dir,
+                                 std::uint64_t now_ms, double stale_sec) {
+  std::vector<std::string> files;
+  const std::string dir = checkpoint_dir + "/health";
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == ".json") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t live = 0, stale = 0;
+  std::ostringstream workers;
+  bool first = true;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    WorkerHealth h;
+    try {
+      const obs::JsonValue v = obs::ParseJson(content.str());
+      if (v.GetString("schema", "") != kWorkerHealthSchema) continue;
+      h.worker = v.GetString("worker", "");
+      if (h.worker.empty()) continue;
+      h.pid = static_cast<std::uint32_t>(v.GetDouble("pid", 0));
+      h.phase = v.GetString("phase", "");
+      h.shard = static_cast<long>(v.GetDouble("shard", -1));
+      h.epoch = static_cast<std::uint32_t>(v.GetDouble("epoch", 0));
+      if (const obs::JsonValue* cells = v.Find("cells")) {
+        h.cells_done =
+            static_cast<std::uint64_t>(cells->GetDouble("done", 0));
+        h.cells_total =
+            static_cast<std::uint64_t>(cells->GetDouble("total", 0));
+      }
+      h.wall_ms = static_cast<std::uint64_t>(v.GetDouble("wall_ms", 0));
+    } catch (const std::exception&) {
+      continue;  // torn or foreign file; the fleet view skips it
+    }
+    const double age_sec =
+        now_ms > h.wall_ms ? (now_ms - h.wall_ms) / 1000.0 : 0.0;
+    const bool is_stale = age_sec > stale_sec;
+    if (is_stale) {
+      ++stale;
+    } else {
+      ++live;
+    }
+    workers << (first ? "\n" : ",\n") << "    {\"worker\": \""
+            << JsonEscape(h.worker) << "\", \"pid\": " << h.pid
+            << ", \"phase\": \"" << JsonEscape(h.phase)
+            << "\", \"shard\": " << h.shard << ", \"epoch\": " << h.epoch
+            << ", \"cells\": {\"done\": " << h.cells_done
+            << ", \"total\": " << h.cells_total << "}, \"age_sec\": "
+            << FormatG17(age_sec) << ", \"stale\": "
+            << (is_stale ? "true" : "false") << "}";
+    first = false;
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kFleetHealthSchema << "\",\n"
+     << "  \"stale_after_sec\": " << FormatG17(stale_sec) << ",\n"
+     << "  \"summary\": {\"workers\": " << (live + stale)
+     << ", \"live\": " << live << ", \"stale\": " << stale << "},\n"
+     << "  \"workers\": [" << workers.str() << (first ? "" : "\n  ")
+     << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace tsdist::shard

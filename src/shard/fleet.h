@@ -1,0 +1,59 @@
+// Federated worker health (`tsdist.workerhealth.v1` / `tsdist.fleethealth.v1`).
+//
+// Every shard worker publishes a small JSON snapshot of its own state to
+// `<checkpoint>/health/<worker>.json` on each heartbeat (atomic write, so a
+// reader never sees a torn snapshot). Any process — another worker serving
+// /healthz, an operator's shell, the merge step — can aggregate those
+// snapshots into one fleet document without talking to the workers: the
+// shared checkpoint directory doubles as the federation bus, which is the
+// same trick the leases use and needs no extra ports or discovery.
+//
+// A worker whose snapshot has not been refreshed within the staleness
+// window is flagged stale (crashed, wedged, or SIGSTOPped — exactly the
+// population whose leases will expire next), so the fleet view predicts
+// upcoming reclaims.
+
+#ifndef TSDIST_SHARD_FLEET_H_
+#define TSDIST_SHARD_FLEET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tsdist::shard {
+
+inline constexpr const char kWorkerHealthSchema[] = "tsdist.workerhealth.v1";
+inline constexpr const char kFleetHealthSchema[] = "tsdist.fleethealth.v1";
+
+/// One worker's self-reported state.
+struct WorkerHealth {
+  std::string worker;
+  std::uint32_t pid = 0;
+  std::string phase;            ///< "scan", "eval", "idle", "done"
+  long shard = -1;              ///< shard being executed; -1 = none
+  std::uint32_t epoch = 0;      ///< lease epoch of that shard; 0 = none
+  std::uint64_t cells_done = 0;
+  std::uint64_t cells_total = 0;
+  std::uint64_t wall_ms = 0;    ///< snapshot wall time (WallMs())
+};
+
+/// Renders one snapshot as its tsdist.workerhealth.v1 JSON document.
+std::string WorkerHealthToJson(const WorkerHealth& health);
+
+/// Atomically publishes `health` to `<checkpoint_dir>/health/<worker>.json`.
+/// Best-effort (returns false on I/O failure); a worker keeps computing even
+/// when its health snapshots cannot be written.
+bool WriteWorkerHealth(const std::string& checkpoint_dir,
+                       const WorkerHealth& health);
+
+/// Reads every snapshot under `<checkpoint_dir>/health/` (sorted by worker
+/// name, so output is deterministic for a fixed set of snapshots) and
+/// renders the tsdist.fleethealth.v1 aggregate. `now_ms` is the reference
+/// wall clock; a snapshot older than `stale_sec` is flagged stale.
+/// Unparseable snapshot files are skipped. An absent directory yields an
+/// empty-fleet document.
+std::string AggregateFleetHealth(const std::string& checkpoint_dir,
+                                 std::uint64_t now_ms, double stale_sec);
+
+}  // namespace tsdist::shard
+
+#endif  // TSDIST_SHARD_FLEET_H_

@@ -1,0 +1,280 @@
+#include "src/shard/lease.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/crc32.h"
+#include "src/resilience/fault.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tsdist::shard {
+
+namespace {
+
+constexpr std::uint32_t kLeaseMagic = 0x54534C31;  // "TSL1"
+constexpr std::size_t kWorkerBytes = 28;           // zero-padded, NUL-capped
+
+// Fixed-size on-disk record: 52 header/payload bytes + trailing CRC over
+// them. Fixed size keeps the valid-prefix scan trivial (a torn append is
+// any trailing fragment shorter than one record, or one failing the CRC).
+// The worker field is sized so the struct is naturally packed (56 bytes, a
+// multiple of the 8-byte alignment with no padding holes), making the
+// in-memory layout the wire layout on every ABI this builds on.
+struct WireRecord {
+  std::uint32_t magic;
+  std::uint32_t type;
+  std::uint32_t epoch;
+  std::uint32_t pid;
+  std::uint64_t wall_ms;
+  char worker[kWorkerBytes];
+  std::uint32_t crc;
+};
+static_assert(sizeof(WireRecord) == 56);
+static_assert(offsetof(WireRecord, crc) == 52);
+
+WireRecord EncodeRecord(LeaseRecordType type, std::uint32_t epoch,
+                        std::uint64_t wall_ms, const std::string& worker) {
+  WireRecord record{};
+  record.magic = kLeaseMagic;
+  record.type = static_cast<std::uint32_t>(type);
+  record.epoch = epoch;
+#if defined(__unix__) || defined(__APPLE__)
+  record.pid = static_cast<std::uint32_t>(::getpid());
+#endif
+  record.wall_ms = wall_ms;
+  std::memset(record.worker, 0, kWorkerBytes);
+  std::memcpy(record.worker, worker.data(),
+              std::min(worker.size(), kWorkerBytes - 1));
+  record.crc = Crc32(&record, sizeof(WireRecord) - sizeof(std::uint32_t));
+  return record;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+bool WriteRecordFd(int fd, const WireRecord& record, std::string* error) {
+  const char* bytes = reinterpret_cast<const char*>(&record);
+  std::size_t written = 0;
+  while (written < sizeof(WireRecord)) {
+    const ssize_t n =
+        ::write(fd, bytes + written, sizeof(WireRecord) - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("lease write failed: ") + std::strerror(errno);
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    if (error != nullptr) {
+      *error = std::string("lease fsync failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
+std::uint64_t WallMs() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+std::string LeaseFileName(std::uint32_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "lease.e%06u", epoch);
+  return buf;
+}
+
+std::string EpochDirName(std::uint32_t epoch) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "e%06u", epoch);
+  return buf;
+}
+
+std::uint64_t FileMtimeMs(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return 0;
+  // file_clock -> system_clock via the C++20 clock_cast would be exact;
+  // duration arithmetic against the epoch difference is the portable
+  // pre-cast form and exact enough for a TTL measured in seconds.
+  const auto sys = std::chrono::file_clock::to_sys(mtime).time_since_epoch();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(sys);
+  return ms.count() > 0 ? static_cast<std::uint64_t>(ms.count()) : 0;
+}
+
+LeaseHandle::~LeaseHandle() { Close(); }
+
+LeaseHandle::LeaseHandle(LeaseHandle&& other) noexcept
+    : fd_(other.fd_), epoch_(other.epoch_), path_(std::move(other.path_)),
+      worker_(std::move(other.worker_)) {
+  other.fd_ = -1;
+}
+
+LeaseHandle& LeaseHandle::operator=(LeaseHandle&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    epoch_ = other.epoch_;
+    path_ = std::move(other.path_);
+    worker_ = std::move(other.worker_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LeaseHandle::Close() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+bool LeaseHandle::AppendHeartbeat(std::string* error) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "lease not held";
+    return false;
+  }
+  fault::Hit(fault::sites::kShardHeartbeat);
+  return WriteRecordFd(
+      fd_, EncodeRecord(LeaseRecordType::kHeartbeat, epoch_, WallMs(), worker_),
+      error);
+#else
+  (void)error;
+  return false;
+#endif
+}
+
+bool LeaseHandle::AppendRelease(std::string* error) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "lease not held";
+    return false;
+  }
+  const bool ok = WriteRecordFd(
+      fd_, EncodeRecord(LeaseRecordType::kRelease, epoch_, WallMs(), worker_),
+      error);
+  Close();
+  return ok;
+#else
+  (void)error;
+  return false;
+#endif
+}
+
+// Out-of-class worker so LeaseHandle can befriend one named function.
+LeaseAcquire TryAcquireLeaseImpl(const std::string& shard_dir,
+                                 std::uint32_t epoch,
+                                 const std::string& worker,
+                                 LeaseHandle* handle, std::string* error) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string path = shard_dir + "/" + LeaseFileName(epoch);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_APPEND,
+                        0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return LeaseAcquire::kConflict;
+    if (error != nullptr) {
+      *error = "cannot create " + path + ": " + std::strerror(errno);
+    }
+    return LeaseAcquire::kError;
+  }
+  if (!WriteRecordFd(
+          fd, EncodeRecord(LeaseRecordType::kClaim, epoch, WallMs(), worker),
+          error)) {
+    ::close(fd);
+    return LeaseAcquire::kError;
+  }
+  handle->fd_ = fd;
+  handle->epoch_ = epoch;
+  handle->path_ = path;
+  handle->worker_ = worker;
+  // The O_EXCL creation is the arbitration point, so the directory entry
+  // must survive a crash: without this, a power loss could let a second
+  // worker "win" an epoch a first worker already produced output under.
+  SyncParentDirectory(path);
+  return LeaseAcquire::kAcquired;
+#else
+  (void)shard_dir;
+  (void)epoch;
+  (void)worker;
+  (void)handle;
+  if (error != nullptr) *error = "shard leases require a POSIX filesystem";
+  return LeaseAcquire::kError;
+#endif
+}
+
+LeaseAcquire TryAcquireLease(const std::string& shard_dir, std::uint32_t epoch,
+                             const std::string& worker, LeaseHandle* handle,
+                             std::string* error) {
+  // The fault site fires before any filesystem effect, so an injected
+  // `shard.lease_acquire:<n>:exit` models a worker dying at the claim
+  // boundary — the next worker must find the shard claimable.
+  fault::Hit(fault::sites::kShardLeaseAcquire);
+  return TryAcquireLeaseImpl(shard_dir, epoch, worker, handle, error);
+}
+
+bool ReadLease(const std::string& path, LeaseInfo* info) {
+  *info = LeaseInfo{};
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  info->exists = true;
+
+  std::vector<char> content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    content.insert(content.end(), buf, buf + n);
+  }
+  std::fclose(file);
+
+  std::size_t pos = 0;
+  while (pos + sizeof(WireRecord) <= content.size()) {
+    WireRecord record{};
+    std::memcpy(&record, content.data() + pos, sizeof(WireRecord));
+    if (record.magic != kLeaseMagic ||
+        record.crc !=
+            Crc32(&record, sizeof(WireRecord) - sizeof(std::uint32_t)) ||
+        record.type < static_cast<std::uint32_t>(LeaseRecordType::kClaim) ||
+        record.type > static_cast<std::uint32_t>(LeaseRecordType::kRelease)) {
+      break;
+    }
+    if (info->valid_records == 0) {
+      // First record carries the claim identity; a non-claim first record
+      // means the file is not a lease we understand — stop.
+      if (record.type != static_cast<std::uint32_t>(LeaseRecordType::kClaim)) {
+        break;
+      }
+      info->epoch = record.epoch;
+      info->pid = record.pid;
+      info->claim_wall_ms = record.wall_ms;
+      char worker[kWorkerBytes];
+      std::memcpy(worker, record.worker, kWorkerBytes);
+      worker[kWorkerBytes - 1] = '\0';
+      info->worker = worker;
+    }
+    info->last_wall_ms = record.wall_ms;
+    if (record.type == static_cast<std::uint32_t>(LeaseRecordType::kRelease)) {
+      info->released = true;
+    }
+    ++info->valid_records;
+    pos += sizeof(WireRecord);
+  }
+  info->torn_bytes = content.size() - pos;
+  return true;
+}
+
+}  // namespace tsdist::shard

@@ -1,0 +1,141 @@
+// Crash-tolerant shard leases (`tsdist.lease.v1`).
+//
+// A lease is what lets N cooperating worker processes split one sweep over
+// a shared checkpoint directory without a coordinator in the loop: to work
+// on shard S at epoch E, a worker must create `<shard-dir>/lease.e<E>` with
+// O_CREAT|O_EXCL — the filesystem arbitrates every race, including two
+// workers reclaiming the same expired shard at the same instant. The file
+// then becomes an append-only log of fixed-size, CRC-framed records
+// (claim, then heartbeats, optionally a release), each fsynced before it
+// counts, mirroring the checkpoint tile log's write-ahead discipline.
+//
+// Fencing epochs are the zombie defense. A worker that stops heartbeating
+// (SIGKILL, OOM, or a multi-minute SIGSTOP) has its lease expire after the
+// TTL; a reclaiming worker claims epoch E+1 and writes all of its output
+// under the *epoch-scoped* directory `e<E+1>/`. If the original worker was
+// merely paused and resumes, it keeps appending to its own `lease.e<E>` and
+// its own `e<E>/` outputs — it can never touch the reclaimer's files, so a
+// zombie is fenced by construction rather than by delicate time checks.
+// (Because every cell is a pure computation over fingerprint-checked
+// inputs, even a zombie that *finishes* produces bit-identical results; the
+// fence exists so two processes never append to the same file.)
+//
+// Readers use the valid-prefix rule: records are consumed until the first
+// bad magic or CRC (a torn tail from a kill mid-append), and readers never
+// truncate — the file may still be owned by a live writer.
+
+#ifndef TSDIST_SHARD_LEASE_H_
+#define TSDIST_SHARD_LEASE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tsdist::shard {
+
+inline constexpr const char kLeaseSchema[] = "tsdist.lease.v1";
+
+/// Record kinds, in file order: exactly one claim first, then heartbeats,
+/// optionally a final release (clean handoff; absence of a release is what
+/// a crash looks like).
+enum class LeaseRecordType : std::uint32_t {
+  kClaim = 1,
+  kHeartbeat = 2,
+  kRelease = 3,
+};
+
+/// One decoded lease record.
+struct LeaseRecord {
+  LeaseRecordType type = LeaseRecordType::kClaim;
+  std::uint32_t epoch = 0;
+  std::uint32_t pid = 0;
+  std::uint64_t wall_ms = 0;      ///< CLOCK_REALTIME milliseconds
+  std::string worker;             ///< claiming worker id (<= 27 bytes kept)
+};
+
+/// Decoded state of one lease file: the valid record prefix, summarized.
+struct LeaseInfo {
+  bool exists = false;
+  std::uint32_t epoch = 0;
+  std::string worker;             ///< from the claim record
+  std::uint32_t pid = 0;
+  std::uint64_t claim_wall_ms = 0;
+  std::uint64_t last_wall_ms = 0;  ///< newest valid record's timestamp
+  std::size_t valid_records = 0;
+  std::size_t torn_bytes = 0;      ///< bytes past the valid prefix
+  bool released = false;           ///< a release record closed the lease
+};
+
+/// Wall-clock milliseconds (CLOCK_REALTIME). Lease freshness is compared
+/// across processes on one shared filesystem, so wall time — not the
+/// per-process steady clock — is the common ruler.
+std::uint64_t WallMs();
+
+enum class LeaseAcquire {
+  kAcquired,  ///< this process now holds the epoch's lease
+  kConflict,  ///< another process created the epoch's lease first
+  kError,     ///< I/O failure (error string filled)
+};
+
+/// Append handle for a held lease. Obtained only through TryAcquireLease,
+/// so holding one implies having won the O_EXCL race for this epoch.
+class LeaseHandle {
+ public:
+  LeaseHandle() = default;
+  ~LeaseHandle();
+  LeaseHandle(LeaseHandle&& other) noexcept;
+  LeaseHandle& operator=(LeaseHandle&& other) noexcept;
+  LeaseHandle(const LeaseHandle&) = delete;
+  LeaseHandle& operator=(const LeaseHandle&) = delete;
+
+  bool held() const { return fd_ >= 0; }
+  std::uint32_t epoch() const { return epoch_; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one heartbeat record and fsyncs it. Returns false on I/O
+  /// failure (the caller should treat the lease as lost). Hits the
+  /// `shard.heartbeat` fault site.
+  bool AppendHeartbeat(std::string* error);
+
+  /// Appends a release record (clean handoff marker) and closes the handle.
+  bool AppendRelease(std::string* error);
+
+  /// Closes without releasing (what a crash leaves behind).
+  void Close();
+
+ private:
+  friend LeaseAcquire TryAcquireLeaseImpl(const std::string&, std::uint32_t,
+                                          const std::string&, LeaseHandle*,
+                                          std::string*);
+  int fd_ = -1;
+  std::uint32_t epoch_ = 0;
+  std::string path_;
+  std::string worker_;
+};
+
+/// Attempts to claim `epoch` of the shard rooted at `shard_dir` for
+/// `worker`: O_CREAT|O_EXCL on `<shard_dir>/lease.e<epoch>`, then the claim
+/// record is written and fsynced and the directory entry synced. Hits the
+/// `shard.lease_acquire` fault site before touching the filesystem.
+LeaseAcquire TryAcquireLease(const std::string& shard_dir, std::uint32_t epoch,
+                             const std::string& worker, LeaseHandle* handle,
+                             std::string* error);
+
+/// Decodes the valid record prefix of one lease file (read-only; never
+/// truncates). Returns false when the file does not exist. A file with zero
+/// valid records (torn claim) still reports exists=true so the epoch stays
+/// occupied; its freshness falls back to the file mtime.
+bool ReadLease(const std::string& path, LeaseInfo* info);
+
+/// Lease file name for an epoch: "lease.e%06u".
+std::string LeaseFileName(std::uint32_t epoch);
+
+/// Epoch-scoped output directory name: "e%06u".
+std::string EpochDirName(std::uint32_t epoch);
+
+/// File modification time in wall milliseconds (0 when unreadable) — the
+/// freshness fallback for lease files whose claim record was torn.
+std::uint64_t FileMtimeMs(const std::string& path);
+
+}  // namespace tsdist::shard
+
+#endif  // TSDIST_SHARD_LEASE_H_

@@ -1,0 +1,274 @@
+#include "src/shard/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.h"
+#include "src/resilience/checkpoint.h"
+#include "src/shard/cell_log.h"
+#include "src/shard/lease.h"
+
+namespace tsdist::shard {
+
+namespace {
+
+std::string HexU64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ParseHexU64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::string();
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+void PartitionCells(ShardPlan* plan, std::size_t num_shards) {
+  const std::size_t total = plan->total_cells();
+  if (num_shards == 0) num_shards = 1;
+  // More shards than cells would leave permanently-empty shards; clamp so
+  // every shard has at least one cell (workers treat an empty shard list as
+  // a configuration error).
+  num_shards = std::min(num_shards, total == 0 ? 1 : total);
+  plan->shards.assign(num_shards, {});
+  const std::size_t measures = plan->measures.size();
+  for (std::size_t index = 0; index < total; ++index) {
+    plan->shards[index % num_shards].push_back(
+        PlanCell{index / measures, index % measures});
+  }
+}
+
+std::string PlanToJson(const ShardPlan& plan) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kPlanSchema << "\",\n"
+     << "  \"supervised\": " << (plan.supervised ? "true" : "false") << ",\n"
+     << "  \"pruned\": " << (plan.pruned ? "true" : "false") << ",\n"
+     << "  \"norm\": \"" << JsonEscape(plan.norm) << "\",\n"
+     << "  \"scale\": \"" << JsonEscape(plan.scale) << "\",\n"
+     << "  \"budget_sec\": " << FormatG17(plan.budget_sec) << ",\n"
+     << "  \"tile_rows\": " << plan.tile_rows << ",\n"
+     << "  \"lease_ttl_sec\": " << FormatG17(plan.lease_ttl_sec) << ",\n"
+     << "  \"retry_max\": " << plan.retry_max << ",\n"
+     << "  \"measures\": [";
+  for (std::size_t j = 0; j < plan.measures.size(); ++j) {
+    os << (j == 0 ? "" : ", ") << "\"" << JsonEscape(plan.measures[j]) << "\"";
+  }
+  os << "],\n  \"datasets\": [";
+  for (std::size_t i = 0; i < plan.datasets.size(); ++i) {
+    const PlanDataset& d = plan.datasets[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+       << JsonEscape(d.name) << "\", \"train_fp\": \"" << HexU64(d.train_fp)
+       << "\", \"test_fp\": \"" << HexU64(d.test_fp) << "\"}";
+  }
+  os << "\n  ],\n  \"shards\": [";
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    os << (s == 0 ? "\n" : ",\n") << "    {\"id\": " << s << ", \"cells\": [";
+    for (std::size_t c = 0; c < plan.shards[s].size(); ++c) {
+      const PlanCell& cell = plan.shards[s][c];
+      os << (c == 0 ? "" : ", ") << "[" << cell.dataset << ", "
+         << cell.measure << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool PlanFromJson(const std::string& text, ShardPlan* plan,
+                  std::string* error) {
+  try {
+    const obs::JsonValue doc = obs::ParseJson(text);
+    if (doc.GetString("schema", "") != kPlanSchema) {
+      *error = "manifest schema is not " + std::string(kPlanSchema);
+      return false;
+    }
+    plan->supervised = doc.GetBool("supervised", false);
+    plan->pruned = doc.GetBool("pruned", false);
+    plan->norm = doc.GetString("norm", "");
+    plan->scale = doc.GetString("scale", "");
+    plan->budget_sec = doc.GetDouble("budget_sec", 0.0);
+    plan->tile_rows =
+        static_cast<std::size_t>(doc.GetDouble("tile_rows", 32.0));
+    plan->lease_ttl_sec = doc.GetDouble("lease_ttl_sec", 10.0);
+    plan->retry_max =
+        static_cast<std::uint32_t>(doc.GetDouble("retry_max", 5.0));
+    plan->measures.clear();
+    const obs::JsonValue* measures = doc.Find("measures");
+    if (measures == nullptr || !measures->is_array()) {
+      *error = "manifest has no measures array";
+      return false;
+    }
+    for (const obs::JsonValue& m : measures->AsArray()) {
+      plan->measures.push_back(m.AsString());
+    }
+    plan->datasets.clear();
+    const obs::JsonValue* datasets = doc.Find("datasets");
+    if (datasets == nullptr || !datasets->is_array()) {
+      *error = "manifest has no datasets array";
+      return false;
+    }
+    for (const obs::JsonValue& d : datasets->AsArray()) {
+      PlanDataset entry;
+      entry.name = d.GetString("name", "");
+      if (entry.name.empty() ||
+          !ParseHexU64(d.GetString("train_fp", ""), &entry.train_fp) ||
+          !ParseHexU64(d.GetString("test_fp", ""), &entry.test_fp)) {
+        *error = "manifest dataset entry malformed";
+        return false;
+      }
+      plan->datasets.push_back(std::move(entry));
+    }
+    plan->shards.clear();
+    const obs::JsonValue* shards = doc.Find("shards");
+    if (shards == nullptr || !shards->is_array() ||
+        shards->AsArray().empty()) {
+      *error = "manifest has no shards array";
+      return false;
+    }
+    for (const obs::JsonValue& s : shards->AsArray()) {
+      const obs::JsonValue* cells = s.Find("cells");
+      if (cells == nullptr || !cells->is_array()) {
+        *error = "manifest shard entry has no cells array";
+        return false;
+      }
+      std::vector<PlanCell> shard;
+      for (const obs::JsonValue& c : cells->AsArray()) {
+        if (!c.is_array() || c.AsArray().size() != 2) {
+          *error = "manifest cell entry malformed";
+          return false;
+        }
+        PlanCell cell;
+        cell.dataset = static_cast<std::size_t>(c.AsArray()[0].AsInt());
+        cell.measure = static_cast<std::size_t>(c.AsArray()[1].AsInt());
+        if (cell.dataset >= plan->datasets.size() ||
+            cell.measure >= plan->measures.size()) {
+          *error = "manifest cell indexes out of range";
+          return false;
+        }
+        shard.push_back(cell);
+      }
+      plan->shards.push_back(std::move(shard));
+    }
+    return true;
+  } catch (const std::exception& e) {
+    *error = std::string("manifest parse failed: ") + e.what();
+    return false;
+  }
+}
+
+std::string PlanPath(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/shard_manifest.json";
+}
+
+std::string ShardDirPath(const std::string& checkpoint_dir, std::size_t id) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "/shards/s%04zu", id);
+  return checkpoint_dir + buf;
+}
+
+bool WriteShardPlan(const std::string& checkpoint_dir, const ShardPlan& plan,
+                    std::string* error) {
+  const std::string rendered = PlanToJson(plan);
+  const std::string path = PlanPath(checkpoint_dir);
+  if (std::filesystem::exists(path)) {
+    const std::string existing = ReadWholeFile(path);
+    if (existing == rendered) return true;  // idempotent restart
+    *error = "an incompatible shard manifest already exists at " + path +
+             " — one checkpoint directory holds exactly one sweep";
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(checkpoint_dir + "/shards", ec);
+  std::filesystem::create_directories(checkpoint_dir + "/health", ec);
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    std::filesystem::create_directories(ShardDirPath(checkpoint_dir, s), ec);
+    if (ec) {
+      *error = "cannot create shard directory: " + ec.message();
+      return false;
+    }
+  }
+  // Shard directories are published before the manifest: a worker that sees
+  // the manifest is guaranteed to see every shard directory (same-dir
+  // rename ordering), so a coordinator killed mid-publish leaves either no
+  // manifest (workers wait/fail cleanly) or a complete layout.
+  return AtomicWriteFile(path, rendered, error);
+}
+
+bool LoadShardPlan(const std::string& checkpoint_dir, ShardPlan* plan,
+                   std::string* error) {
+  const std::string path = PlanPath(checkpoint_dir);
+  if (!std::filesystem::exists(path)) {
+    *error = "no shard manifest at " + path +
+             " (run --shard-coordinator first)";
+    return false;
+  }
+  const std::string text = ReadWholeFile(path);
+  if (text.empty()) {
+    *error = "shard manifest " + path + " is empty or unreadable";
+    return false;
+  }
+  return PlanFromJson(text, plan, error);
+}
+
+std::vector<PlanDataset> FingerprintDatasets(
+    const std::vector<Dataset>& datasets) {
+  std::vector<PlanDataset> out;
+  out.reserve(datasets.size());
+  for (const Dataset& d : datasets) {
+    PlanDataset entry;
+    entry.name = d.name();
+    entry.train_fp = FingerprintSeries(d.train());
+    entry.test_fp = FingerprintSeries(d.test());
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+bool ValidatePlanDatasets(const ShardPlan& plan,
+                          const std::vector<Dataset>& datasets,
+                          std::string* error) {
+  if (plan.datasets.size() != datasets.size()) {
+    *error = "manifest lists " + std::to_string(plan.datasets.size()) +
+             " datasets but this process loaded " +
+             std::to_string(datasets.size());
+    return false;
+  }
+  const std::vector<PlanDataset> mine = FingerprintDatasets(datasets);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (mine[i].name != plan.datasets[i].name ||
+        mine[i].train_fp != plan.datasets[i].train_fp ||
+        mine[i].test_fp != plan.datasets[i].test_fp) {
+      *error = "dataset '" + mine[i].name + "' (index " + std::to_string(i) +
+               ") does not match the manifest (name or fingerprint) — "
+               "different archive, seed, or normalization";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tsdist::shard

@@ -1,0 +1,121 @@
+// Shard plan manifest (`tsdist.shardplan.v1`).
+//
+// The coordinator partitions the sweep's (dataset x measure) cell grid into
+// M shards and publishes the partition — together with everything that
+// pins the sweep's identity (measure list and order, dataset names and
+// fingerprints, normalization, supervision, budget, tile size) — as one
+// atomically-written JSON manifest in the shared checkpoint directory.
+// Workers refuse to run against a manifest whose identity fields do not
+// match their own command line and data (bit-identity cannot be promised
+// across different grids), and the merge step reconstructs the canonical
+// sweep order from the same manifest, so every process derives the cell
+// ordering from one durable source of truth.
+//
+// Cells are partitioned round-robin by canonical cell index
+// (i * |measures| + j): neighboring cells of one dataset land on different
+// shards, which balances elastic-measure-heavy cells across workers better
+// than contiguous blocks would.
+
+#ifndef TSDIST_SHARD_MANIFEST_H_
+#define TSDIST_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace tsdist::shard {
+
+inline constexpr const char kPlanSchema[] = "tsdist.shardplan.v1";
+
+/// One cell of the sweep grid, as indices into the plan's dataset and
+/// measure lists.
+struct PlanCell {
+  std::size_t dataset = 0;
+  std::size_t measure = 0;
+};
+
+/// Identity of one dataset in the plan: name plus split fingerprints, so a
+/// worker pointing at a different archive (or a different seed) is rejected
+/// instead of silently merging incompatible results.
+struct PlanDataset {
+  std::string name;
+  std::uint64_t train_fp = 0;
+  std::uint64_t test_fp = 0;
+};
+
+/// The whole partition plus the sweep identity it was built for.
+struct ShardPlan {
+  bool supervised = false;
+  bool pruned = false;
+  std::string norm = "zscore";
+  std::string scale;            ///< archive scale name, or "ucr"
+  double budget_sec = 0.0;
+  std::size_t tile_rows = 32;
+  double lease_ttl_sec = 10.0;
+  std::uint32_t retry_max = 5;
+  std::vector<std::string> measures;
+  std::vector<PlanDataset> datasets;
+  std::vector<std::vector<PlanCell>> shards;
+
+  std::size_t total_cells() const {
+    return datasets.size() * measures.size();
+  }
+};
+
+/// Canonical sweep-order index of a cell (dataset-major, then measure).
+inline std::size_t CellIndex(const ShardPlan& plan, const PlanCell& cell) {
+  return cell.dataset * plan.measures.size() + cell.measure;
+}
+
+/// Partitions the full grid over `num_shards` shards round-robin by cell
+/// index. `plan` must already carry the identity fields and the dataset /
+/// measure lists; shards are filled in. Within each shard, cells stay in
+/// canonical sweep order.
+void PartitionCells(ShardPlan* plan, std::size_t num_shards);
+
+/// Renders the plan as its tsdist.shardplan.v1 JSON document. Deterministic
+/// (field order fixed, %.17g numbers), so re-running the coordinator over
+/// an unchanged configuration reproduces the manifest byte for byte —
+/// which is what makes coordinator restarts idempotent.
+std::string PlanToJson(const ShardPlan& plan);
+
+/// Parses a manifest document. Returns false with `error` on a malformed or
+/// wrong-schema document.
+bool PlanFromJson(const std::string& text, ShardPlan* plan,
+                  std::string* error);
+
+/// Manifest path inside a checkpoint directory.
+std::string PlanPath(const std::string& checkpoint_dir);
+
+/// Shard subdirectory ("shards/s%04zu") under the checkpoint directory.
+std::string ShardDirPath(const std::string& checkpoint_dir, std::size_t id);
+
+/// Publishes the plan into `checkpoint_dir` (atomic write + directory
+/// fsync) and pre-creates the shard directories. Idempotent: when a
+/// manifest already exists it must match byte for byte; a mismatch returns
+/// false with `error` (the operator mixed incompatible sweeps into one
+/// directory), leaving the existing manifest untouched.
+bool WriteShardPlan(const std::string& checkpoint_dir, const ShardPlan& plan,
+                    std::string* error);
+
+/// Loads the manifest from `checkpoint_dir`. Returns false with `error`
+/// when absent or malformed.
+bool LoadShardPlan(const std::string& checkpoint_dir, ShardPlan* plan,
+                   std::string* error);
+
+/// Validates that `datasets` (as loaded by this process) match the plan's
+/// dataset names and fingerprints, in order. Returns false with `error`
+/// naming the first divergence.
+bool ValidatePlanDatasets(const ShardPlan& plan,
+                          const std::vector<Dataset>& datasets,
+                          std::string* error);
+
+/// Builds the PlanDataset identity list from loaded datasets.
+std::vector<PlanDataset> FingerprintDatasets(
+    const std::vector<Dataset>& datasets);
+
+}  // namespace tsdist::shard
+
+#endif  // TSDIST_SHARD_MANIFEST_H_

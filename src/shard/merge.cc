@@ -1,0 +1,145 @@
+#include "src/shard/merge.h"
+
+#include <filesystem>
+#include <map>
+
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/fault.h"
+#include "src/shard/lease.h"
+#include "src/shard/worker.h"
+
+namespace tsdist::shard {
+
+namespace {
+
+void Bump(const char* name, std::uint64_t n = 1) {
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter(name).Add(n);
+  }
+}
+
+}  // namespace
+
+bool MergeShards(const std::string& checkpoint_dir, const ShardPlan& plan,
+                 MergeReport* report, std::string* error) {
+  *report = MergeReport{};
+  report->shards = plan.shards.size();
+
+  // Canonical index -> (raw line, parsed outcome). The raw line is reused
+  // verbatim so the merged bytes are exactly the worker's bytes (which are
+  // exactly the single-process driver's bytes, by the shared formatter).
+  std::map<std::size_t, std::pair<std::string, CellOutcome>> merged;
+
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    const std::string shard_dir = ShardDirPath(checkpoint_dir, s);
+    if (std::filesystem::exists(QuarantinePath(shard_dir))) {
+      *error = "shard " + std::to_string(s) +
+               " is quarantined (exhausted its retry budget) — inspect " +
+               QuarantinePath(shard_dir) + ", fix the cause, remove the "
+               "marker, and rerun workers before merging";
+      return false;
+    }
+    std::uint32_t done_epoch = 0;
+    if (!ShardDone(shard_dir, &done_epoch)) {
+      *error = "shard " + std::to_string(s) +
+               " has no finished epoch — workers are still running (or all "
+               "died); rerun workers, then merge";
+      return false;
+    }
+    const std::string epoch_dir =
+        shard_dir + "/" + EpochDirName(done_epoch);
+
+    std::size_t done_ok = 0, done_failed = 0, done_dnf = 0;
+    try {
+      const obs::JsonValue done = obs::ParseJsonFile(epoch_dir + "/DONE");
+      if (done.GetString("schema", "") != kDoneSchema) {
+        *error = "shard " + std::to_string(s) + " DONE marker has wrong "
+                 "schema";
+        return false;
+      }
+      done_ok = static_cast<std::size_t>(done.GetDouble("ok", 0));
+      done_failed = static_cast<std::size_t>(done.GetDouble("failed", 0));
+      done_dnf = static_cast<std::size_t>(done.GetDouble("dnf", 0));
+    } catch (const std::exception& e) {
+      *error = "shard " + std::to_string(s) + " DONE marker unreadable: " +
+               e.what();
+      return false;
+    }
+    report->ok += done_ok;
+    report->failed += done_failed;
+    report->dnf += done_dnf;
+
+    std::size_t shard_lines = 0;
+    for (const std::string& line :
+         ReadJsonLogPrefix(epoch_dir + "/results.jsonl")) {
+      CellOutcome cell;
+      if (!ParseCellLogLine(line, &cell)) {
+        *error = "shard " + std::to_string(s) + " epoch " +
+                 std::to_string(done_epoch) +
+                 " has a malformed cell line in results.jsonl";
+        return false;
+      }
+      // Map the (dataset, measure) names back to canonical indices via the
+      // manifest — the log itself carries names, not indices.
+      std::size_t di = plan.datasets.size();
+      for (std::size_t i = 0; i < plan.datasets.size(); ++i) {
+        if (plan.datasets[i].name == cell.dataset) { di = i; break; }
+      }
+      std::size_t mj = plan.measures.size();
+      for (std::size_t j = 0; j < plan.measures.size(); ++j) {
+        if (plan.measures[j] == cell.measure) { mj = j; break; }
+      }
+      if (di == plan.datasets.size() || mj == plan.measures.size()) {
+        *error = "shard " + std::to_string(s) + " logged cell '" +
+                 cell.dataset + "/" + cell.measure +
+                 "' that is not in the manifest";
+        return false;
+      }
+      const std::size_t index = di * plan.measures.size() + mj;
+      const auto it = merged.find(index);
+      if (it != merged.end()) {
+        if (it->second.first != line) {
+          *error = "cell '" + cell.dataset + "/" + cell.measure +
+                   "' was merged twice with different bytes — shard state "
+                   "is inconsistent (mixed sweeps in one directory?)";
+          return false;
+        }
+        continue;  // bit-identical duplicate (stolen shard); keep one
+      }
+      merged.emplace(index, std::make_pair(line, std::move(cell)));
+      ++shard_lines;
+    }
+    if (shard_lines != done_ok + done_failed) {
+      *error = "shard " + std::to_string(s) + " epoch " +
+               std::to_string(done_epoch) + " log has " +
+               std::to_string(shard_lines) + " cells but its DONE marker "
+               "promises " + std::to_string(done_ok + done_failed) +
+               " — torn or foreign log";
+      return false;
+    }
+  }
+
+  // All inputs read and validated. The fault site sits exactly at the
+  // read/write boundary: an injected shard.merge fault aborts with every
+  // shard input untouched, and a rerun merges cleanly.
+  fault::Hit(fault::sites::kShardMerge);
+
+  std::string payload;
+  report->cells.reserve(merged.size());
+  for (auto& entry : merged) {
+    payload += entry.second.first;
+    payload += '\n';
+    report->cells.push_back(std::move(entry.second.second));
+  }
+  report->lines = merged.size();
+  if (!AtomicWriteFile(checkpoint_dir + "/results.jsonl", payload, error)) {
+    return false;
+  }
+  Bump("tsdist.shard.merges");
+  Bump("tsdist.shard.merged_cells", report->lines);
+  return true;
+}
+
+}  // namespace tsdist::shard

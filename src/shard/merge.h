@@ -1,0 +1,54 @@
+// Bit-identical merge of per-shard result logs.
+//
+// Each finished shard has exactly one DONE epoch whose results.jsonl holds
+// the shard's terminal ok/failed cells, rendered by the shared
+// tsdist.cell.v1 formatter. Because every cell is a pure computation over
+// fingerprint-checked inputs, those lines are byte-for-byte what a
+// single-process sweep would have appended — the merge step therefore only
+// *reorders*: it maps every line to its canonical sweep index
+// (dataset-major, then measure, from the manifest) and writes the
+// checkpoint root's results.jsonl in that order, atomically.
+//
+// The merged file is indistinguishable from a single-process run's resume
+// log, which buys two properties for free: the smoke test's memcmp against
+// a single-process baseline, and the ability to point a plain
+// `--checkpoint-dir` run at the merged directory and have it resume every
+// merged cell.
+//
+// Merge is read-only over shard state (a fault or crash mid-merge corrupts
+// nothing; rerun it) and refuses to run while any shard is incomplete or
+// quarantined — partial merges would silently drop cells.
+
+#ifndef TSDIST_SHARD_MERGE_H_
+#define TSDIST_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/shard/cell_log.h"
+#include "src/shard/manifest.h"
+
+namespace tsdist::shard {
+
+struct MergeReport {
+  std::size_t shards = 0;
+  std::size_t lines = 0;        ///< cell lines written to the merged log
+  std::size_t ok = 0;           ///< from the shards' DONE markers
+  std::size_t failed = 0;
+  std::size_t dnf = 0;          ///< terminal-but-unlogged cells (absent lines)
+  /// Parsed outcome of every merged line, in canonical order — for report
+  /// generation (tsdist.results.v1) without re-reading the merged file.
+  std::vector<CellOutcome> cells;
+};
+
+/// Merges every shard's DONE-epoch log into `<checkpoint_dir>/results.jsonl`.
+/// Fails (false + `error`, inputs untouched) when any shard lacks a DONE
+/// epoch, is quarantined, or has an inconsistent log. Hits the `shard.merge`
+/// fault site after reading inputs and before writing the merged file.
+bool MergeShards(const std::string& checkpoint_dir, const ShardPlan& plan,
+                 MergeReport* report, std::string* error);
+
+}  // namespace tsdist::shard
+
+#endif  // TSDIST_SHARD_MERGE_H_

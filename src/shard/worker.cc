@@ -1,0 +1,525 @@
+#include "src/shard/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "src/classify/param_grids.h"
+#include "src/classify/tuning.h"
+#include "src/obs/health.h"
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/fault.h"
+#include "src/shard/cell_log.h"
+#include "src/shard/fleet.h"
+#include "src/shard/lease.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace tsdist::shard {
+
+namespace {
+
+void Bump(const char* name, std::uint64_t n = 1) {
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter(name).Add(n);
+  }
+}
+
+std::uint32_t OwnPid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint32_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// How one shard looks to a scanning worker.
+enum class ShardClass {
+  kDone,
+  kQuarantined,
+  kClaimable,   ///< no lease, released lease, or stale lease
+  kLive,        ///< fresh lease held by someone else
+  kStealable,   ///< fresh lease, but held past the steal threshold
+};
+
+struct ShardView {
+  ShardClass cls = ShardClass::kLive;
+  std::uint32_t claim_epoch = 0;  ///< epoch to claim (kClaimable/kStealable)
+  bool reclaim = false;           ///< claim follows a stale (not absent) lease
+};
+
+std::uint32_t MaxLeaseEpoch(const std::string& shard_dir) {
+  std::uint32_t max_epoch = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(shard_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind("lease.e", 0) != 0) continue;
+    const unsigned long epoch = std::strtoul(name.c_str() + 7, nullptr, 10);
+    if (epoch > max_epoch) max_epoch = static_cast<std::uint32_t>(epoch);
+  }
+  return max_epoch;
+}
+
+ShardView ClassifyShard(const std::string& shard_dir, std::uint64_t now_ms,
+                        std::uint64_t ttl_ms, std::uint64_t steal_ms) {
+  ShardView view;
+  if (std::filesystem::exists(QuarantinePath(shard_dir))) {
+    view.cls = ShardClass::kQuarantined;
+    return view;
+  }
+  std::uint32_t done_epoch = 0;
+  if (ShardDone(shard_dir, &done_epoch)) {
+    view.cls = ShardClass::kDone;
+    return view;
+  }
+  const std::uint32_t epoch = MaxLeaseEpoch(shard_dir);
+  if (epoch == 0) {
+    view.cls = ShardClass::kClaimable;
+    view.claim_epoch = 1;
+    return view;
+  }
+  const std::string lease_path = shard_dir + "/" + LeaseFileName(epoch);
+  LeaseInfo info;
+  if (!ReadLease(lease_path, &info)) {
+    // The lease file vanished between the directory scan and the read —
+    // nothing ever deletes leases, so treat the epoch as occupied and let
+    // the next scan settle it.
+    view.cls = ShardClass::kLive;
+    return view;
+  }
+  if (info.released) {
+    // Clean handoff: the holder exited (e.g. interrupted) without finishing.
+    view.cls = ShardClass::kClaimable;
+    view.claim_epoch = epoch + 1;
+    return view;
+  }
+  // Freshness: the newest valid record's wall time; a lease whose claim
+  // record itself was torn (kill between O_EXCL create and the fsynced
+  // claim write) falls back to the file mtime, so a torn claim still
+  // occupies the epoch for one TTL instead of forever.
+  const std::uint64_t last_ms =
+      info.valid_records > 0 ? info.last_wall_ms : FileMtimeMs(lease_path);
+  const std::uint64_t age_ms = now_ms > last_ms ? now_ms - last_ms : 0;
+  if (age_ms > ttl_ms) {
+    view.cls = ShardClass::kClaimable;
+    view.claim_epoch = epoch + 1;
+    view.reclaim = true;
+    return view;
+  }
+  const std::uint64_t claim_ms =
+      info.claim_wall_ms > 0 ? info.claim_wall_ms : FileMtimeMs(lease_path);
+  const std::uint64_t held_ms = now_ms > claim_ms ? now_ms - claim_ms : 0;
+  if (held_ms > steal_ms) {
+    view.cls = ShardClass::kStealable;
+    view.claim_epoch = epoch + 1;
+    return view;
+  }
+  view.cls = ShardClass::kLive;
+  return view;
+}
+
+void WriteQuarantine(const std::string& shard_dir, std::size_t shard,
+                     std::uint32_t epochs_tried, const std::string& worker) {
+  if (std::filesystem::exists(QuarantinePath(shard_dir))) return;
+  std::ostringstream os;
+  os << "{\"schema\": \"" << kQuarantineSchema << "\", \"shard\": " << shard
+     << ", \"epochs_tried\": " << epochs_tried << ", \"worker\": \""
+     << JsonEscape(worker) << "\", \"wall_ms\": " << WallMs() << "}\n";
+  std::string error;
+  AtomicWriteFile(QuarantinePath(shard_dir), os.str(), &error);
+}
+
+/// Outcome of one claimed shard execution.
+enum class ShardRun {
+  kDone,         ///< DONE marker written, lease released
+  kLost,         ///< lease lost mid-run (heartbeat failure); abandoned
+  kInterrupted,  ///< external interrupt; lease released without DONE
+  kError,        ///< unrecoverable I/O error
+};
+
+CellOutcome ComputeCell(const ShardPlan& plan,
+                        const std::vector<Dataset>& datasets,
+                        const PairwiseEngine& engine, const PlanCell& cell,
+                        const std::string& epoch_dir,
+                        const CancellationToken* parent) {
+  const Dataset& dataset = datasets[cell.dataset];
+  const std::string& name = plan.measures[cell.measure];
+  CellOutcome out;
+  out.dataset = dataset.name();
+  out.measure = name;
+  // Same budget/options construction as the single-process driver: the plan
+  // pins budget, pruning, and tile size, so a cell computed here is the
+  // same pure function of the data as in a single-process sweep.
+  CancellationToken budget(parent);
+  if (plan.budget_sec > 0.0) budget.SetBudget(plan.budget_sec);
+  EvalOptions eval_options;
+  eval_options.pruned = plan.pruned;
+  eval_options.cancel = &budget;
+  eval_options.tile_rows = plan.tile_rows;
+  eval_options.checkpoint_dir = epoch_dir + "/" + out.dataset + "/" + name;
+  try {
+    const EvalResult result =
+        plan.supervised
+            ? EvaluateTuned(name, ParamGridFor(name), dataset, engine,
+                            Registry::Global(), eval_options)
+            : EvaluateFixed(name, UnsupervisedParamsFor(name), dataset,
+                            engine, Registry::Global(), eval_options);
+    out.params = ToString(result.params);
+    out.status = result.status;
+    out.reason = result.reason;
+    out.train_accuracy = result.train_accuracy;
+    out.test_accuracy = result.test_accuracy;
+  } catch (const std::exception& e) {
+    out.status = EvalStatus::kFailed;
+    out.reason = e.what();
+  }
+  if (out.status == EvalStatus::kOk && !std::isfinite(out.test_accuracy)) {
+    out.status = EvalStatus::kFailed;
+    out.reason = "non-finite test accuracy";
+    out.test_accuracy = 0.0;
+  }
+  return out;
+}
+
+ShardRun RunShard(const ShardPlan& plan, const std::vector<Dataset>& datasets,
+                  const PairwiseEngine& engine, const WorkerOptions& options,
+                  std::size_t shard, LeaseHandle* lease,
+                  std::uint64_t heartbeat_ms, WorkerStats* stats,
+                  std::string* error) {
+  const std::string shard_dir =
+      ShardDirPath(options.checkpoint_dir, shard);
+  const std::uint32_t epoch = lease->epoch();
+  const std::string epoch_dir = shard_dir + "/" + EpochDirName(epoch);
+  std::error_code ec;
+  std::filesystem::create_directories(epoch_dir, ec);
+  if (ec) {
+    *error = "cannot create " + epoch_dir + ": " + ec.message();
+    return ShardRun::kError;
+  }
+
+  // Salvage: every prior epoch's durable ok-cells, via the read-only
+  // valid-prefix reader — a paused zombie may still own its log, so prior
+  // epochs are never truncated, only read.
+  std::map<std::string, CellOutcome> salvaged;
+  for (std::uint32_t prior = 1; prior < epoch; ++prior) {
+    const std::string log =
+        shard_dir + "/" + EpochDirName(prior) + "/results.jsonl";
+    for (auto& entry : ReadFinishedCells(log)) {
+      salvaged[entry.first] = std::move(entry.second);
+    }
+  }
+
+  const std::vector<PlanCell>& cells = plan.shards[shard];
+  std::atomic<bool> lease_lost{false};
+  std::atomic<std::uint64_t> cells_done{0};
+
+  // Heartbeat thread: renews the lease and republishes this worker's health
+  // snapshot. A heartbeat failure (I/O error or an injected shard.heartbeat
+  // fault) marks the lease lost; the cell loop aborts the shard at the next
+  // cell boundary and another epoch finishes the work.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(hb_mu);
+    while (!hb_stop) {
+      hb_cv.wait_for(lock, std::chrono::milliseconds(heartbeat_ms),
+                     [&] { return hb_stop; });
+      if (hb_stop) break;
+      lock.unlock();
+      bool ok = false;
+      std::string hb_error;
+      try {
+        ok = lease->AppendHeartbeat(&hb_error);
+      } catch (const fault::FaultInjected& e) {
+        hb_error = e.what();
+      }
+      if (!ok) {
+        lease_lost.store(true, std::memory_order_relaxed);
+        Bump("tsdist.shard.lease_lost");
+        TSDIST_LOG(obs::LogLevel::kWarn, "shard lease lost",
+                   obs::F("shard", static_cast<std::uint64_t>(shard)),
+                   obs::F("epoch", static_cast<std::uint64_t>(epoch)),
+                   obs::F("error", hb_error));
+        lock.lock();
+        break;
+      }
+      Bump("tsdist.shard.heartbeats");
+      WorkerHealth health;
+      health.worker = options.worker_id;
+      health.pid = OwnPid();
+      health.phase = "eval";
+      health.shard = static_cast<long>(shard);
+      health.epoch = epoch;
+      health.cells_done = cells_done.load(std::memory_order_relaxed);
+      health.cells_total = cells.size();
+      health.wall_ms = WallMs();
+      WriteWorkerHealth(options.checkpoint_dir, health);
+      lock.lock();
+    }
+  });
+  const auto stop_heartbeat = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  };
+
+  const std::string log_path = epoch_dir + "/results.jsonl";
+  std::size_t ok = 0, failed = 0, dnf = 0, salvage_count = 0;
+  for (const PlanCell& cell : cells) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      stop_heartbeat();
+      std::string release_error;
+      lease->AppendRelease(&release_error);
+      stats->interrupted = true;
+      return ShardRun::kInterrupted;
+    }
+    if (lease_lost.load(std::memory_order_relaxed)) {
+      stop_heartbeat();
+      lease->Close();
+      return ShardRun::kLost;
+    }
+    const std::string key = CellKey(datasets[cell.dataset].name(),
+                                    plan.measures[cell.measure]);
+    const auto it = salvaged.find(key);
+    CellOutcome out;
+    if (it != salvaged.end()) {
+      // Re-rendering the salvaged cell through the shared formatter
+      // reproduces the prior epoch's bytes exactly (%.17g round-trip), so
+      // this epoch's log is self-contained — merge reads one epoch only.
+      out = it->second;
+      ++salvage_count;
+      ++stats->cells_salvaged;
+      Bump("tsdist.shard.cells_salvaged");
+    } else {
+      obs::HealthState::Global().SetCurrentCell(
+          datasets[cell.dataset].name() + "/" + plan.measures[cell.measure]);
+      out = ComputeCell(plan, datasets, engine, cell, epoch_dir,
+                        options.cancel);
+      if (out.status == EvalStatus::kInterrupted) {
+        stop_heartbeat();
+        std::string release_error;
+        lease->AppendRelease(&release_error);
+        stats->interrupted = true;
+        return ShardRun::kInterrupted;
+      }
+      ++stats->cells_computed;
+      Bump("tsdist.shard.cells_computed");
+      if (options.selftest_cell_sleep_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.selftest_cell_sleep_ms));
+      }
+    }
+    switch (out.status) {
+      case EvalStatus::kOk: ++ok; break;
+      case EvalStatus::kFailed: ++failed; ++stats->cells_failed; break;
+      case EvalStatus::kDnf: ++dnf; ++stats->cells_dnf; break;
+      case EvalStatus::kInterrupted: break;  // handled above
+    }
+    // Same persistence rule as the single-process driver: only terminal
+    // ok/failed cells are logged; a DNF cell is retryable and must not
+    // poison the merged log.
+    if (out.status == EvalStatus::kOk || out.status == EvalStatus::kFailed) {
+      AppendJsonLogLine(log_path, CellLogLine(out));
+    }
+    cells_done.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  stop_heartbeat();
+  if (lease_lost.load(std::memory_order_relaxed)) {
+    lease->Close();
+    return ShardRun::kLost;
+  }
+
+  // Every cell is terminal: publish the DONE marker, then release. The
+  // marker is written atomically *before* the release so a reader that sees
+  // a released lease with no DONE knows the shard genuinely needs another
+  // epoch (interrupt), while DONE-then-crash just leaves an unreleased
+  // stale lease on a finished shard — which the scan treats as done.
+  std::ostringstream os;
+  os << "{\"schema\": \"" << kDoneSchema << "\", \"shard\": " << shard
+     << ", \"epoch\": " << epoch << ", \"worker\": \""
+     << JsonEscape(options.worker_id) << "\", \"cells\": " << cells.size()
+     << ", \"ok\": " << ok << ", \"failed\": " << failed
+     << ", \"dnf\": " << dnf << ", \"salvaged\": " << salvage_count << "}\n";
+  std::string write_error;
+  if (!AtomicWriteFile(epoch_dir + "/DONE", os.str(), &write_error)) {
+    *error = "cannot write DONE marker for shard " + std::to_string(shard) +
+             ": " + write_error;
+    return ShardRun::kError;
+  }
+  std::string release_error;
+  lease->AppendRelease(&release_error);
+  ++stats->shards_done;
+  Bump("tsdist.shard.shards_done");
+  TSDIST_LOG(obs::LogLevel::kInfo, "shard done",
+             obs::F("shard", static_cast<std::uint64_t>(shard)),
+             obs::F("epoch", static_cast<std::uint64_t>(epoch)),
+             obs::F("ok", static_cast<std::uint64_t>(ok)),
+             obs::F("failed", static_cast<std::uint64_t>(failed)),
+             obs::F("dnf", static_cast<std::uint64_t>(dnf)),
+             obs::F("salvaged", static_cast<std::uint64_t>(salvage_count)));
+  return ShardRun::kDone;
+}
+
+}  // namespace
+
+std::string QuarantinePath(const std::string& shard_dir) {
+  return shard_dir + "/QUARANTINE";
+}
+
+bool ShardDone(const std::string& shard_dir, std::uint32_t* done_epoch) {
+  std::uint32_t best = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(shard_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_directory(ec)) continue;
+    const std::string name = it->path().filename().string();
+    if (name.size() < 2 || name[0] != 'e' ||
+        name.find_first_not_of("0123456789", 1) != std::string::npos) {
+      continue;
+    }
+    if (!std::filesystem::exists(it->path() / "DONE")) continue;
+    const unsigned long epoch = std::strtoul(name.c_str() + 1, nullptr, 10);
+    if (epoch > best) best = static_cast<std::uint32_t>(epoch);
+  }
+  if (best == 0) return false;
+  if (done_epoch != nullptr) *done_epoch = best;
+  return true;
+}
+
+bool RunShardWorker(const ShardPlan& plan,
+                    const std::vector<Dataset>& datasets,
+                    const PairwiseEngine& engine, const WorkerOptions& options,
+                    WorkerStats* stats, std::string* error) {
+  const std::uint64_t ttl_ms =
+      static_cast<std::uint64_t>(plan.lease_ttl_sec * 1000.0);
+  const std::uint64_t heartbeat_ms =
+      options.heartbeat_sec > 0.0
+          ? static_cast<std::uint64_t>(options.heartbeat_sec * 1000.0)
+          : std::max<std::uint64_t>(50, ttl_ms / 3);
+  const std::uint64_t steal_ms =
+      options.steal_after_sec > 0.0
+          ? static_cast<std::uint64_t>(options.steal_after_sec * 1000.0)
+          : 4 * ttl_ms;
+
+  const auto publish_health = [&](const char* phase) {
+    WorkerHealth health;
+    health.worker = options.worker_id;
+    health.pid = OwnPid();
+    health.phase = phase;
+    health.wall_ms = WallMs();
+    WriteWorkerHealth(options.checkpoint_dir, health);
+    obs::HealthState::Global().SetFleetJson(AggregateFleetHealth(
+        options.checkpoint_dir, WallMs(), plan.lease_ttl_sec));
+  };
+
+  obs::HealthState::Global().SetPhase("eval");
+  while (true) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      stats->interrupted = true;
+      break;
+    }
+    publish_health("scan");
+
+    const std::uint64_t now_ms = WallMs();
+    std::vector<ShardView> views(plan.shards.size());
+    bool all_terminal = true;
+    for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+      views[s] = ClassifyShard(ShardDirPath(options.checkpoint_dir, s),
+                               now_ms, ttl_ms, steal_ms);
+      if (views[s].cls != ShardClass::kDone &&
+          views[s].cls != ShardClass::kQuarantined) {
+        all_terminal = false;
+      }
+    }
+    if (all_terminal) break;
+
+    // Claim pass: fresh/reclaimable shards first, straggler steals only
+    // when nothing else is available (stealing is speculative duplicate
+    // work — correct, but a last resort).
+    bool ran = false;
+    for (const ShardClass want :
+         {ShardClass::kClaimable, ShardClass::kStealable}) {
+      for (std::size_t s = 0; s < views.size() && !ran; ++s) {
+        if (views[s].cls != want) continue;
+        const std::string shard_dir =
+            ShardDirPath(options.checkpoint_dir, s);
+        if (views[s].claim_epoch > plan.retry_max) {
+          WriteQuarantine(shard_dir, s, plan.retry_max, options.worker_id);
+          ++stats->shards_quarantined;
+          Bump("tsdist.shard.quarantined");
+          TSDIST_LOG(obs::LogLevel::kError, "shard quarantined",
+                     obs::F("shard", static_cast<std::uint64_t>(s)),
+                     obs::F("epochs_tried",
+                            static_cast<std::uint64_t>(plan.retry_max)));
+          continue;
+        }
+        LeaseHandle lease;
+        std::string acquire_error;
+        const LeaseAcquire acquired =
+            TryAcquireLease(shard_dir, views[s].claim_epoch,
+                            options.worker_id, &lease, &acquire_error);
+        if (acquired == LeaseAcquire::kConflict) {
+          Bump("tsdist.shard.conflicts");
+          continue;  // another worker won this epoch; move on
+        }
+        if (acquired == LeaseAcquire::kError) {
+          *error = acquire_error;
+          return false;
+        }
+        Bump("tsdist.shard.claims");
+        if (want == ShardClass::kStealable) {
+          ++stats->shards_stolen;
+          Bump("tsdist.shard.steals");
+        } else if (views[s].reclaim) {
+          ++stats->shards_reclaimed;
+          Bump("tsdist.shard.reclaims");
+        }
+        TSDIST_LOG(obs::LogLevel::kInfo, "shard claimed",
+                   obs::F("shard", static_cast<std::uint64_t>(s)),
+                   obs::F("epoch",
+                          static_cast<std::uint64_t>(views[s].claim_epoch)),
+                   obs::F("stolen", want == ShardClass::kStealable),
+                   obs::F("reclaimed", views[s].reclaim));
+        const ShardRun run =
+            RunShard(plan, datasets, engine, options, s, &lease,
+                     heartbeat_ms, stats, error);
+        if (run == ShardRun::kError) return false;
+        if (run == ShardRun::kInterrupted) {
+          publish_health("done");
+          return true;
+        }
+        ran = true;  // kDone or kLost: rescan either way
+      }
+      if (ran) break;
+    }
+    if (ran) continue;
+
+    // Nothing claimable: other workers hold every remaining shard. Wait a
+    // beat (bounded, so a newly-stale lease is noticed promptly) and rescan.
+    publish_health("idle");
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::uint64_t>(heartbeat_ms, 200)));
+  }
+
+  publish_health("done");
+  obs::HealthState::Global().SetCurrentCell("");
+  return true;
+}
+
+}  // namespace tsdist::shard

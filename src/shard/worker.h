@@ -1,0 +1,88 @@
+// Autonomous shard worker: claim, compute, heartbeat, reclaim, steal.
+//
+// A worker is a peer, not a subordinate — after the coordinator publishes
+// the manifest, any number of workers run this loop against the shared
+// checkpoint directory with no further coordination:
+//
+//   scan    classify every shard (done / quarantined / claimable at some
+//           epoch / live / stealable straggler) from its lease files and
+//           DONE markers alone;
+//   claim   win `lease.e<E>` via O_EXCL (the filesystem arbitrates);
+//   run     evaluate the shard's cells in canonical order into the
+//           epoch-scoped directory `e<E>/`, salvaging finished cells from
+//           prior epochs' logs (read-only) and appending every ok/failed
+//           cell to the epoch's results.jsonl with the shared formatter;
+//   mark    write the epoch's DONE marker (tsdist.sharddone.v1) and release
+//           the lease.
+//
+// Crash tolerance falls out of the scan rules: a SIGKILLed worker stops
+// heartbeating, its lease goes stale after the TTL, and the next scanning
+// worker reclaims the shard at epoch E+1 — salvaging the dead epoch's
+// durable cells so no finished work is recomputed. A straggler still
+// heartbeating can be *stolen* the same way after `steal_after_sec`
+// (speculative duplicate execution is safe: cells are pure and outputs are
+// epoch-scoped, so the merge step just takes the first epoch to finish). A
+// shard whose next epoch would exceed `retry_max` is quarantined instead of
+// retried forever — the poison-shard brake.
+//
+// Counters: tsdist.shard.{claims,conflicts,reclaims,steals,shards_done,
+// quarantined,cells_computed,cells_salvaged,heartbeats,lease_lost}.
+
+#ifndef TSDIST_SHARD_WORKER_H_
+#define TSDIST_SHARD_WORKER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/pairwise_engine.h"
+#include "src/resilience/cancellation.h"
+#include "src/shard/manifest.h"
+
+namespace tsdist::shard {
+
+inline constexpr const char kDoneSchema[] = "tsdist.sharddone.v1";
+inline constexpr const char kQuarantineSchema[] = "tsdist.quarantine.v1";
+
+struct WorkerOptions {
+  std::string checkpoint_dir;
+  std::string worker_id;          ///< unique per process (e.g. "w0")
+  double heartbeat_sec = 0.0;     ///< 0 = lease_ttl / 3, floored at 50 ms
+  double steal_after_sec = 0.0;   ///< 0 = 4 * lease_ttl
+  std::size_t selftest_cell_sleep_ms = 0;  ///< post-cell sleep (kill window)
+  const CancellationToken* cancel = nullptr;  ///< process interrupt token
+};
+
+struct WorkerStats {
+  std::size_t shards_done = 0;
+  std::size_t shards_reclaimed = 0;
+  std::size_t shards_stolen = 0;
+  std::size_t shards_quarantined = 0;  ///< quarantines written by this worker
+  std::size_t cells_computed = 0;
+  std::size_t cells_salvaged = 0;
+  std::size_t cells_failed = 0;
+  std::size_t cells_dnf = 0;
+  bool interrupted = false;
+};
+
+/// Runs the worker loop until every shard is done or quarantined, the
+/// process is interrupted, or an unrecoverable I/O error occurs. `datasets`
+/// must already be fingerprint-validated against `plan`
+/// (ValidatePlanDatasets). Returns false with `error` only on unrecoverable
+/// errors; interruption returns true with stats.interrupted set.
+bool RunShardWorker(const ShardPlan& plan,
+                    const std::vector<Dataset>& datasets,
+                    const PairwiseEngine& engine, const WorkerOptions& options,
+                    WorkerStats* stats, std::string* error);
+
+/// Path of a shard's quarantine marker.
+std::string QuarantinePath(const std::string& shard_dir);
+
+/// True when some epoch of `shard_dir` has a DONE marker; fills
+/// `*done_epoch` with the highest such epoch.
+bool ShardDone(const std::string& shard_dir, std::uint32_t* done_epoch);
+
+}  // namespace tsdist::shard
+
+#endif  // TSDIST_SHARD_WORKER_H_

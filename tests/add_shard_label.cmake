@@ -1,0 +1,22 @@
+# Appends the `robustness` and `shard` labels to every test discovered from
+# the sharded-execution binary (test_shard), so CI can run the multi-process
+# sweep suite alone (ctest -L shard / the `shard` test preset) or as part of
+# the fault-tolerance selection (ctest -L robustness). Same
+# TEST_INCLUDE_FILES technique as add_heap_label.cmake (which see): the full
+# label list is substituted at configure time (@TSDIST_TEST_LABELS@), and
+# this script's glob is disjoint from the other label scripts' globs, so
+# relative ordering among them does not matter.
+file(GLOB _tsdist_shard_files
+     "${CMAKE_CURRENT_LIST_DIR}/test_shard*_tests.cmake")
+foreach(_file IN LISTS _tsdist_shard_files)
+  file(STRINGS "${_file}" _add_test_lines REGEX "^add_test")
+  foreach(_line IN LISTS _add_test_lines)
+    # add_test([=[SuiteName.TestName]=] ...)
+    if(_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "@TSDIST_TEST_LABELS@;robustness;shard")
+    endif()
+  endforeach()
+endforeach()
+unset(_tsdist_shard_files)
+unset(_add_test_lines)

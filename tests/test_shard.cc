@@ -1,0 +1,639 @@
+// Tests for the sharded sweep runtime (src/shard): the tsdist.lease.v1 wire
+// format (torn-tail recovery, O_EXCL double-claim arbitration), the shard
+// plan manifest, fleet-health aggregation, and — the load-bearing contracts
+// — that a sharded sweep merged back together is byte-identical to a
+// single-process run (for symmetric and asymmetric measures), that a dead
+// worker's shard is reclaimed with its durable cells salvaged while the
+// fenced zombie stays harmless, that a poison shard is quarantined after
+// retry_max epochs, and that a fault in the merge step leaves every shard
+// input untouched.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/classify/param_grids.h"
+#include "src/classify/tuning.h"
+#include "src/core/pairwise_engine.h"
+#include "src/core/registry.h"
+#include "src/linalg/rng.h"
+#include "src/obs/json.h"
+#include "src/resilience/cancellation.h"
+#include "src/resilience/checkpoint.h"
+#include "src/resilience/fault.h"
+#include "src/shard/cell_log.h"
+#include "src/shard/fleet.h"
+#include "src/shard/lease.h"
+#include "src/shard/manifest.h"
+#include "src/shard/merge.h"
+#include "src/shard/worker.h"
+
+namespace tsdist {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace tsdist::shard;  // NOLINT: exercising one subsystem
+
+#if defined(TSDIST_FAULT_NOOP)
+#define TSDIST_SKIP_IF_FAULT_NOOP() \
+  GTEST_SKIP() << "fault-injection sites compiled out (TSDIST_FAULT_NOOP)"
+#else
+#define TSDIST_SKIP_IF_FAULT_NOOP()
+#endif
+
+std::vector<TimeSeries> MakeCollection(std::size_t n, std::size_t m,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimeSeries> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(m);
+    // Strictly positive values so the asymmetric entropy-family measures
+    // (kullback_leibler) are well-defined on every cell.
+    for (auto& v : values) v = 0.1 + std::abs(rng.Gaussian());
+    out.emplace_back(std::move(values), static_cast<int>(i % 2));
+  }
+  return out;
+}
+
+std::vector<Dataset> MakeDatasets() {
+  std::vector<Dataset> out;
+  out.emplace_back("SynthA", MakeCollection(6, 16, 11),
+                   MakeCollection(4, 16, 12));
+  out.emplace_back("SynthB", MakeCollection(5, 16, 21),
+                   MakeCollection(3, 16, 22));
+  return out;
+}
+
+ShardPlan MakePlan(const std::vector<Dataset>& datasets,
+                   std::vector<std::string> measures, std::size_t num_shards,
+                   double ttl_sec = 10.0) {
+  ShardPlan plan;
+  plan.supervised = false;
+  plan.pruned = false;
+  plan.norm = "none";
+  plan.scale = "selftest";
+  plan.budget_sec = 0.0;
+  plan.tile_rows = 32;
+  plan.lease_ttl_sec = ttl_sec;
+  plan.retry_max = 5;
+  plan.measures = std::move(measures);
+  plan.datasets = FingerprintDatasets(datasets);
+  PartitionCells(&plan, num_shards);
+  return plan;
+}
+
+// The single-process reference: evaluates one cell exactly the way the
+// worker's ComputeCell and the tsdist_eval driver do, so the expected
+// results.jsonl can be rendered in-process.
+CellOutcome ReferenceCell(const ShardPlan& plan,
+                          const std::vector<Dataset>& datasets,
+                          const PairwiseEngine& engine, std::size_t di,
+                          std::size_t mi, const std::string& ckpt_dir) {
+  const Dataset& dataset = datasets[di];
+  const std::string& name = plan.measures[mi];
+  CellOutcome out;
+  out.dataset = dataset.name();
+  out.measure = name;
+  CancellationToken budget;
+  if (plan.budget_sec > 0.0) budget.SetBudget(plan.budget_sec);
+  EvalOptions eval_options;
+  eval_options.pruned = plan.pruned;
+  eval_options.cancel = &budget;
+  eval_options.tile_rows = plan.tile_rows;
+  eval_options.checkpoint_dir = ckpt_dir + "/" + out.dataset + "/" + name;
+  try {
+    const EvalResult result =
+        plan.supervised
+            ? EvaluateTuned(name, ParamGridFor(name), dataset, engine,
+                            Registry::Global(), eval_options)
+            : EvaluateFixed(name, UnsupervisedParamsFor(name), dataset,
+                            engine, Registry::Global(), eval_options);
+    out.params = ToString(result.params);
+    out.status = result.status;
+    out.reason = result.reason;
+    out.train_accuracy = result.train_accuracy;
+    out.test_accuracy = result.test_accuracy;
+  } catch (const std::exception& e) {
+    out.status = EvalStatus::kFailed;
+    out.reason = e.what();
+  }
+  return out;
+}
+
+// What an uninterrupted single-process sweep's results.jsonl holds: every
+// ok/failed cell's tsdist.cell.v1 line in canonical order.
+std::string ReferenceLog(const ShardPlan& plan,
+                         const std::vector<Dataset>& datasets,
+                         const PairwiseEngine& engine,
+                         const std::string& ckpt_dir) {
+  std::string log;
+  for (std::size_t di = 0; di < datasets.size(); ++di) {
+    for (std::size_t mi = 0; mi < plan.measures.size(); ++mi) {
+      const CellOutcome out =
+          ReferenceCell(plan, datasets, engine, di, mi, ckpt_dir);
+      EXPECT_TRUE(out.status == EvalStatus::kOk ||
+                  out.status == EvalStatus::kFailed)
+          << out.dataset << "/" << out.measure << ": " << out.reason;
+      log += CellLogLine(out) + "\n";
+    }
+  }
+  return log;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void AppendBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("shard_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Disarm();
+    fs::remove_all(dir_);
+  }
+  std::string Dir(const std::string& sub = "") const {
+    return sub.empty() ? dir_.string() : (dir_ / sub).string();
+  }
+  // Publishes `plan` into a fresh checkpoint directory rooted at `sub`.
+  std::string Publish(const ShardPlan& plan, const std::string& sub) {
+    const std::string ckpt = Dir(sub);
+    std::error_code ec;
+    fs::create_directories(ckpt, ec);
+    std::string error;
+    EXPECT_TRUE(WriteShardPlan(ckpt, plan, &error)) << error;
+    return ckpt;
+  }
+
+  fs::path dir_;
+};
+
+// ----------------------------------------------------------------- cell log
+
+TEST_F(ShardTest, CellLogLineRoundTripsAwkwardDoubles) {
+  CellOutcome cell;
+  cell.dataset = "CBF";
+  cell.measure = "dtw";
+  cell.params = "delta=9";
+  cell.status = EvalStatus::kOk;
+  cell.train_accuracy = 1.0 / 3.0;
+  cell.test_accuracy = 0.1 + 0.2;  // classic non-representable sum
+  const std::string line = CellLogLine(cell);
+  CellOutcome parsed;
+  ASSERT_TRUE(ParseCellLogLine(line, &parsed));
+  EXPECT_EQ(parsed.dataset, cell.dataset);
+  EXPECT_EQ(parsed.measure, cell.measure);
+  EXPECT_EQ(parsed.params, cell.params);
+  // Bitwise equality after the %.17g round trip — the merge bit-identity
+  // contract rests on this.
+  EXPECT_EQ(std::memcmp(&parsed.train_accuracy, &cell.train_accuracy,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&parsed.test_accuracy, &cell.test_accuracy,
+                        sizeof(double)),
+            0);
+  // Re-rendering the parsed cell reproduces the original bytes.
+  EXPECT_EQ(CellLogLine(parsed), line);
+}
+
+TEST_F(ShardTest, ReadFinishedCellsToleratesTornTailWithoutTruncating) {
+  const std::string log = Dir("results.jsonl");
+  CellOutcome cell;
+  cell.dataset = "A";
+  cell.measure = "euclidean";
+  cell.status = EvalStatus::kOk;
+  cell.test_accuracy = 0.75;
+  ASSERT_TRUE(AppendJsonLogLine(log, CellLogLine(cell)));
+  cell.measure = "dtw";
+  ASSERT_TRUE(AppendJsonLogLine(log, CellLogLine(cell)));
+  // A kill mid-append leaves a partial third line with no newline.
+  AppendBytes(log, "{\"schema\": \"tsdist.cell.v1\", \"dataset\": \"A");
+  const auto before = fs::file_size(log);
+
+  const auto cells = ReadFinishedCells(log);
+  EXPECT_EQ(cells.size(), 2u);
+  EXPECT_TRUE(cells.count(CellKey("A", "euclidean")));
+  EXPECT_TRUE(cells.count(CellKey("A", "dtw")));
+  for (const auto& entry : cells) EXPECT_TRUE(entry.second.resumed);
+  // Read-only: the torn tail is still there (the file may belong to a
+  // paused zombie that will resume appending).
+  EXPECT_EQ(fs::file_size(log), before);
+}
+
+// ------------------------------------------------------------------- leases
+
+TEST_F(ShardTest, LeaseLifecycleAndReadBack) {
+  LeaseHandle lease;
+  std::string error;
+  ASSERT_EQ(TryAcquireLease(Dir(), 1, "w0", &lease, &error),
+            LeaseAcquire::kAcquired)
+      << error;
+  ASSERT_TRUE(lease.held());
+  EXPECT_TRUE(lease.AppendHeartbeat(&error)) << error;
+  EXPECT_TRUE(lease.AppendHeartbeat(&error)) << error;
+  EXPECT_TRUE(lease.AppendRelease(&error)) << error;
+  EXPECT_FALSE(lease.held());
+
+  LeaseInfo info;
+  ASSERT_TRUE(ReadLease(Dir() + "/" + LeaseFileName(1), &info));
+  EXPECT_TRUE(info.exists);
+  EXPECT_EQ(info.epoch, 1u);
+  EXPECT_EQ(info.worker, "w0");
+  EXPECT_EQ(info.valid_records, 4u);  // claim + 2 heartbeats + release
+  EXPECT_EQ(info.torn_bytes, 0u);
+  EXPECT_TRUE(info.released);
+  EXPECT_GE(info.last_wall_ms, info.claim_wall_ms);
+}
+
+TEST_F(ShardTest, LeaseTornTailRecoversValidPrefix) {
+  LeaseHandle lease;
+  std::string error;
+  ASSERT_EQ(TryAcquireLease(Dir(), 3, "w1", &lease, &error),
+            LeaseAcquire::kAcquired)
+      << error;
+  ASSERT_TRUE(lease.AppendHeartbeat(&error)) << error;
+  lease.Close();  // crash: no release record
+
+  const std::string path = Dir() + "/" + LeaseFileName(3);
+  LeaseInfo clean;
+  ASSERT_TRUE(ReadLease(path, &clean));
+  ASSERT_EQ(clean.valid_records, 2u);
+  const std::uint64_t clean_last = clean.last_wall_ms;
+
+  // A torn append: the first 13 bytes of what would have been the next
+  // record (valid magic, then silence).
+  AppendBytes(path, std::string("1LST", 4) + std::string(9, '\x02'));
+  const auto size_with_tail = fs::file_size(path);
+
+  LeaseInfo info;
+  ASSERT_TRUE(ReadLease(path, &info));
+  EXPECT_EQ(info.valid_records, 2u);
+  EXPECT_EQ(info.torn_bytes, 13u);
+  EXPECT_EQ(info.last_wall_ms, clean_last);
+  EXPECT_FALSE(info.released);
+  EXPECT_EQ(info.worker, "w1");
+  // Readers never truncate.
+  EXPECT_EQ(fs::file_size(path), size_with_tail);
+
+  // A full-size but bit-flipped record (CRC mismatch) is also a torn tail.
+  std::string garbage(56, '\0');
+  std::memcpy(garbage.data(), "1LST", 4);  // valid magic, bogus payload+crc
+  AppendBytes(path, garbage);
+  ASSERT_TRUE(ReadLease(path, &info));
+  EXPECT_EQ(info.valid_records, 2u);
+  EXPECT_EQ(info.torn_bytes, 13u + 56u);
+}
+
+TEST_F(ShardTest, DoubleClaimRaceAdmitsExactlyOneWinner) {
+  // Two threads race the O_EXCL create for the same epoch, many rounds.
+  for (std::uint32_t epoch = 1; epoch <= 16; ++epoch) {
+    std::atomic<int> ready{0};
+    std::atomic<int> acquired{0};
+    std::atomic<int> conflicted{0};
+    auto contender = [&](const char* worker) {
+      LeaseHandle lease;
+      std::string error;
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }  // start line
+      const LeaseAcquire result =
+          TryAcquireLease(Dir(), epoch, worker, &lease, &error);
+      if (result == LeaseAcquire::kAcquired) {
+        acquired.fetch_add(1);
+        lease.AppendRelease(&error);
+      } else if (result == LeaseAcquire::kConflict) {
+        conflicted.fetch_add(1);
+      }
+    };
+    std::thread a(contender, "wa");
+    std::thread b(contender, "wb");
+    a.join();
+    b.join();
+    EXPECT_EQ(acquired.load(), 1) << "epoch " << epoch;
+    EXPECT_EQ(conflicted.load(), 1) << "epoch " << epoch;
+  }
+}
+
+TEST_F(ShardTest, LeaseWorkerNameIsCappedNotOverflowed) {
+  const std::string longname(64, 'x');
+  LeaseHandle lease;
+  std::string error;
+  ASSERT_EQ(TryAcquireLease(Dir(), 1, longname, &lease, &error),
+            LeaseAcquire::kAcquired)
+      << error;
+  lease.Close();
+  LeaseInfo info;
+  ASSERT_TRUE(ReadLease(Dir() + "/" + LeaseFileName(1), &info));
+  EXPECT_EQ(info.worker, std::string(27, 'x'));  // 27 bytes kept + NUL
+}
+
+// ----------------------------------------------------------------- manifest
+
+TEST_F(ShardTest, PlanJsonRoundTripAndIdempotentPublish) {
+  const std::vector<Dataset> datasets = MakeDatasets();
+  const ShardPlan plan = MakePlan(datasets, {"euclidean", "dtw"}, 3);
+
+  ShardPlan parsed;
+  std::string error;
+  ASSERT_TRUE(PlanFromJson(PlanToJson(plan), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.measures, plan.measures);
+  EXPECT_EQ(parsed.datasets.size(), plan.datasets.size());
+  EXPECT_EQ(parsed.datasets[0].train_fp, plan.datasets[0].train_fp);
+  EXPECT_EQ(parsed.shards.size(), plan.shards.size());
+  EXPECT_EQ(PlanToJson(parsed), PlanToJson(plan));  // render is stable
+  EXPECT_TRUE(ValidatePlanDatasets(parsed, datasets, &error)) << error;
+
+  const std::string ckpt = Publish(plan, "ckpt");
+  // Re-publishing the identical plan is the idempotent coordinator restart.
+  EXPECT_TRUE(WriteShardPlan(ckpt, plan, &error)) << error;
+  // A different grid in the same directory is refused.
+  ShardPlan other = plan;
+  other.measures.push_back("msm");
+  PartitionCells(&other, 3);
+  EXPECT_FALSE(WriteShardPlan(ckpt, other, &error));
+  EXPECT_NE(error.find("incompatible"), std::string::npos) << error;
+  // The original manifest survived the refusal.
+  ShardPlan reloaded;
+  ASSERT_TRUE(LoadShardPlan(ckpt, &reloaded, &error)) << error;
+  EXPECT_EQ(PlanToJson(reloaded), PlanToJson(plan));
+}
+
+TEST_F(ShardTest, PartitionIsRoundRobinAndClampsToCellCount) {
+  const std::vector<Dataset> datasets = MakeDatasets();
+  ShardPlan plan = MakePlan(datasets, {"euclidean", "dtw"}, 3);
+  ASSERT_EQ(plan.shards.size(), 3u);
+  // 2 datasets x 2 measures = 4 cells round-robin over 3 shards.
+  EXPECT_EQ(plan.shards[0].size(), 2u);
+  EXPECT_EQ(plan.shards[1].size(), 1u);
+  EXPECT_EQ(plan.shards[2].size(), 1u);
+  EXPECT_EQ(CellIndex(plan, plan.shards[0][0]), 0u);
+  EXPECT_EQ(CellIndex(plan, plan.shards[0][1]), 3u);
+  EXPECT_EQ(CellIndex(plan, plan.shards[1][0]), 1u);
+  // More shards than cells clamps: every shard keeps at least one cell.
+  ShardPlan wide = MakePlan(datasets, {"euclidean"}, 64);
+  EXPECT_EQ(wide.shards.size(), 2u);
+}
+
+// ------------------------------------------------------------- fleet health
+
+TEST_F(ShardTest, FleetHealthAggregatesLiveAndStaleWorkers) {
+  WorkerHealth fresh;
+  fresh.worker = "w0";
+  fresh.pid = 123;
+  fresh.phase = "eval";
+  fresh.shard = 2;
+  fresh.epoch = 1;
+  fresh.cells_done = 3;
+  fresh.cells_total = 8;
+  fresh.wall_ms = WallMs();
+  ASSERT_TRUE(WriteWorkerHealth(Dir(), fresh));
+  WorkerHealth stale = fresh;
+  stale.worker = "w1";
+  stale.wall_ms = WallMs() - 60'000;  // a minute silent
+  ASSERT_TRUE(WriteWorkerHealth(Dir(), stale));
+
+  const std::string doc = AggregateFleetHealth(Dir(), WallMs(), 10.0);
+  const obs::JsonValue v = obs::ParseJson(doc);
+  EXPECT_EQ(v.GetString("schema", ""), "tsdist.fleethealth.v1");
+  const obs::JsonValue* summary = v.Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->GetDouble("workers", -1), 2);
+  EXPECT_EQ(summary->GetDouble("live", -1), 1);
+  EXPECT_EQ(summary->GetDouble("stale", -1), 1);
+  const obs::JsonValue* workers = v.Find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->AsArray().size(), 2u);
+  EXPECT_FALSE(workers->AsArray()[0].GetBool("stale", true));
+  EXPECT_TRUE(workers->AsArray()[1].GetBool("stale", false));
+
+  // A torn or foreign health file is skipped, not fatal.
+  AppendBytes(Dir() + "/health/w2.json", "{\"schema\": \"tsd");
+  const obs::JsonValue again = obs::ParseJson(
+      AggregateFleetHealth(Dir(), WallMs(), 10.0));
+  EXPECT_EQ(again.Find("summary")->GetDouble("workers", -1), 2);
+}
+
+// ----------------------------------------------- sharded-vs-single identity
+
+TEST_F(ShardTest, MergedResultsBitIdenticalToSingleProcess) {
+  const std::vector<Dataset> datasets = MakeDatasets();
+  const PairwiseEngine engine(2);
+  // One symmetric and one asymmetric measure: kullback_leibler's d(x,y) !=
+  // d(y,x) makes any train/test orientation slip in the sharded path show
+  // up as a byte difference here.
+  const ShardPlan plan =
+      MakePlan(datasets, {"euclidean", "kullback_leibler"}, 3);
+  const std::string ckpt = Publish(plan, "ckpt");
+
+  WorkerOptions options;
+  options.checkpoint_dir = ckpt;
+  options.worker_id = "w0";
+  WorkerStats stats;
+  std::string error;
+  ASSERT_TRUE(RunShardWorker(plan, datasets, engine, options, &stats, &error))
+      << error;
+  EXPECT_EQ(stats.shards_done, 3u);
+  EXPECT_EQ(stats.cells_computed, 4u);
+  EXPECT_FALSE(stats.interrupted);
+
+  MergeReport report;
+  ASSERT_TRUE(MergeShards(ckpt, plan, &report, &error)) << error;
+  EXPECT_EQ(report.shards, 3u);
+  EXPECT_EQ(report.lines, 4u);
+  EXPECT_EQ(report.cells.size(), 4u);
+
+  const std::string merged = ReadFile(ckpt + "/results.jsonl");
+  const std::string expected =
+      ReferenceLog(plan, datasets, engine, Dir("single"));
+  ASSERT_EQ(merged.size(), expected.size());
+  EXPECT_EQ(std::memcmp(merged.data(), expected.data(), merged.size()), 0)
+      << "merged:\n"
+      << merged << "expected:\n"
+      << expected;
+  // Canonical order: report cells follow dataset-major sweep order.
+  EXPECT_EQ(report.cells[0].dataset, "SynthA");
+  EXPECT_EQ(report.cells[0].measure, "euclidean");
+  EXPECT_EQ(report.cells[1].measure, "kullback_leibler");
+  EXPECT_EQ(report.cells[2].dataset, "SynthB");
+}
+
+// -------------------------------------------- expiry, reclaim, and fencing
+
+TEST_F(ShardTest, StaleLeaseReclaimSalvagesCellsAndFencesZombie) {
+  const std::vector<Dataset> datasets = MakeDatasets();
+  const PairwiseEngine engine(2);
+  // One shard holding all 2 cells; 50 ms TTL so the dead lease expires fast.
+  const ShardPlan plan = MakePlan(datasets, {"euclidean"}, 1, 0.05);
+  const std::string ckpt = Publish(plan, "ckpt");
+  const std::string shard_dir = ShardDirPath(ckpt, 0);
+
+  // The "victim": claims epoch 1, durably logs its first cell, then dies
+  // without releasing (handle kept open — it may be a paused zombie, not a
+  // dead process).
+  LeaseHandle zombie;
+  std::string error;
+  ASSERT_EQ(TryAcquireLease(shard_dir, 1, "victim", &zombie, &error),
+            LeaseAcquire::kAcquired)
+      << error;
+  const std::string e1 = shard_dir + "/" + EpochDirName(1);
+  fs::create_directories(e1);
+  const CellOutcome first =
+      ReferenceCell(plan, datasets, engine, 0, 0, Dir("victim_ckpt"));
+  ASSERT_EQ(first.status, EvalStatus::kOk) << first.reason;
+  ASSERT_TRUE(AppendJsonLogLine(e1 + "/results.jsonl", CellLogLine(first)));
+
+  // Let the lease go stale (TTL 50 ms, no heartbeats).
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  // The rescuer reclaims at epoch 2, salvages the victim's durable cell,
+  // and computes only the remaining one.
+  WorkerOptions options;
+  options.checkpoint_dir = ckpt;
+  options.worker_id = "rescuer";
+  WorkerStats stats;
+  ASSERT_TRUE(RunShardWorker(plan, datasets, engine, options, &stats, &error))
+      << error;
+  EXPECT_EQ(stats.shards_reclaimed, 1u);
+  EXPECT_EQ(stats.cells_salvaged, 1u);
+  EXPECT_EQ(stats.cells_computed, 1u);
+  EXPECT_EQ(stats.shards_done, 1u);
+
+  std::uint32_t done_epoch = 0;
+  ASSERT_TRUE(ShardDone(shard_dir, &done_epoch));
+  EXPECT_EQ(done_epoch, 2u);
+
+  // The zombie wakes up: it can still append to its own epoch's lease and
+  // log (fenced by construction — nothing it owns is shared with epoch 2).
+  EXPECT_TRUE(zombie.AppendHeartbeat(&error)) << error;
+  AppendBytes(e1 + "/results.jsonl", "{\"schema\": \"tsdist.cell.v1\", ");
+  zombie.Close();
+
+  // The shard is still done and the merge reads only the DONE epoch, so the
+  // zombie's late writes change nothing.
+  EXPECT_TRUE(ShardDone(shard_dir, &done_epoch));
+  MergeReport report;
+  ASSERT_TRUE(MergeShards(ckpt, plan, &report, &error)) << error;
+  const std::string merged = ReadFile(ckpt + "/results.jsonl");
+  const std::string expected =
+      ReferenceLog(plan, datasets, engine, Dir("single"));
+  ASSERT_EQ(merged, expected);
+  // The salvaged first cell kept the victim's exact bytes.
+  EXPECT_EQ(merged.compare(0, CellLogLine(first).size(), CellLogLine(first)),
+            0);
+}
+
+// ----------------------------------------------------------------- poison
+
+TEST_F(ShardTest, PoisonShardIsQuarantinedAfterRetryMax) {
+  const std::vector<Dataset> datasets = MakeDatasets();
+  const PairwiseEngine engine(2);
+  ShardPlan plan = MakePlan(datasets, {"euclidean"}, 1, 0.05);
+  plan.retry_max = 1;  // epoch 1 only; the reclaim at epoch 2 is over budget
+  const std::string ckpt = Publish(plan, "ckpt");
+  const std::string shard_dir = ShardDirPath(ckpt, 0);
+
+  // Epoch 1 claimed and abandoned — as if the shard killed its worker.
+  LeaseHandle dead;
+  std::string error;
+  ASSERT_EQ(TryAcquireLease(shard_dir, 1, "victim", &dead, &error),
+            LeaseAcquire::kAcquired)
+      << error;
+  dead.Close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  WorkerOptions options;
+  options.checkpoint_dir = ckpt;
+  options.worker_id = "w0";
+  WorkerStats stats;
+  ASSERT_TRUE(RunShardWorker(plan, datasets, engine, options, &stats, &error))
+      << error;
+  EXPECT_EQ(stats.shards_quarantined, 1u);
+  EXPECT_EQ(stats.shards_done, 0u);
+  EXPECT_TRUE(fs::exists(QuarantinePath(shard_dir)));
+
+  // The quarantine marker names the shard and survives re-scanning.
+  const obs::JsonValue marker =
+      obs::ParseJson(ReadFile(QuarantinePath(shard_dir)));
+  EXPECT_EQ(marker.GetString("schema", ""), kQuarantineSchema);
+  EXPECT_EQ(marker.GetDouble("shard", -1), 0);
+
+  // Merge refuses a quarantined shard instead of dropping its cells.
+  MergeReport report;
+  EXPECT_FALSE(MergeShards(ckpt, plan, &report, &error));
+  EXPECT_NE(error.find("quarantine"), std::string::npos) << error;
+  EXPECT_FALSE(fs::exists(ckpt + "/results.jsonl"));
+}
+
+// ------------------------------------------------------------- merge fault
+
+TEST_F(ShardTest, MergeFaultLeavesShardInputsIntact) {
+  TSDIST_SKIP_IF_FAULT_NOOP();
+  const std::vector<Dataset> datasets = MakeDatasets();
+  const PairwiseEngine engine(2);
+  const ShardPlan plan = MakePlan(datasets, {"euclidean"}, 2);
+  const std::string ckpt = Publish(plan, "ckpt");
+
+  WorkerOptions options;
+  options.checkpoint_dir = ckpt;
+  options.worker_id = "w0";
+  WorkerStats stats;
+  std::string error;
+  ASSERT_TRUE(RunShardWorker(plan, datasets, engine, options, &stats, &error))
+      << error;
+
+  // Snapshot every shard input the merge reads.
+  std::vector<std::pair<std::string, std::string>> snapshot;
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    const std::string e1 = ShardDirPath(ckpt, s) + "/" + EpochDirName(1);
+    snapshot.emplace_back(e1 + "/DONE", ReadFile(e1 + "/DONE"));
+    snapshot.emplace_back(e1 + "/results.jsonl",
+                          ReadFile(e1 + "/results.jsonl"));
+  }
+
+  fault::Arm(std::string(fault::sites::kShardMerge) + ":1");
+  MergeReport report;
+  EXPECT_THROW(MergeShards(ckpt, plan, &report, &error),
+               fault::FaultInjected);
+  fault::Disarm();
+
+  // The fault fired after reading and before writing: no merged file, and
+  // every input byte is exactly as it was.
+  EXPECT_FALSE(fs::exists(ckpt + "/results.jsonl"));
+  for (const auto& entry : snapshot) {
+    EXPECT_EQ(ReadFile(entry.first), entry.second) << entry.first;
+  }
+
+  // A clean rerun completes from the same inputs.
+  ASSERT_TRUE(MergeShards(ckpt, plan, &report, &error)) << error;
+  EXPECT_EQ(report.lines, 2u);
+  const std::string merged = ReadFile(ckpt + "/results.jsonl");
+  EXPECT_EQ(merged, ReferenceLog(plan, datasets, engine, Dir("single")));
+}
+
+}  // namespace
+}  // namespace tsdist

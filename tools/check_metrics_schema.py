@@ -46,12 +46,15 @@ import argparse
 import copy
 import json
 import re
+import struct
 import sys
+import zlib
 
 METRICS_SCHEMA = "tsdist.metrics.v1"
 BENCH_SCHEMA_V1 = "tsdist.bench.v1"
 BENCH_SCHEMA_V2 = "tsdist.bench.v2"
 RESULTS_SCHEMA = "tsdist.results.v1"
+FLEET_HEALTH_SCHEMA = "tsdist.fleethealth.v1"
 PROFILE_SCHEMA = "tsdist.profile.v1"
 HEAP_PROFILE_SCHEMA = "tsdist.heapprofile.v1"
 RESULT_STATUSES = ("ok", "dnf", "failed", "interrupted")
@@ -78,6 +81,17 @@ PERF_COUNT_FIELDS = (
 )
 PERF_RATIO_FIELDS = ("ipc", "cache_miss_rate", "branch_miss_rate",
                      "running_ratio")
+
+# The tsdist.lease.v1 wire record (src/shard/lease.cc WireRecord): 56 bytes,
+# little-endian, naturally packed — magic "TSL1", record type
+# (1 claim / 2 heartbeat / 3 release), fencing epoch, writer pid, wall-clock
+# milliseconds, a 28-byte zero-padded worker id, and a zlib-compatible CRC-32
+# over the first 52 bytes. Validating it from Python with nothing but struct
+# + zlib is itself part of the contract: the format must stay simple enough
+# for any out-of-process observer to audit.
+LEASE_RECORD = struct.Struct("<IIIIQ28sI")
+LEASE_MAGIC = 0x54534C31  # "TSL1"
+LEASE_TYPES = {1: "claim", 2: "heartbeat", 3: "release"}
 
 # Histogram bucket ladder shared by every tsdist emitter: finite bucket i
 # holds values <= 64 << i (nanoseconds). Bounds from any build are a prefix
@@ -915,6 +929,154 @@ def check_heap_profile(errors, path, text):
     return header
 
 
+def check_lease(errors, path, data):
+    """Validates a tsdist.lease.v1 shard-lease file (binary).
+
+    Decodes the valid prefix of fixed-size CRC-framed records exactly the way
+    the C++ reader does: records are consumed until the first bad magic, CRC,
+    or type, and anything after that point is a *torn tail* — legitimate
+    (that is what a kill mid-append leaves behind) and therefore never an
+    error here. Within the valid prefix the file must be a well-formed lease
+    history: at least one record, the first a claim, every record carrying
+    the claim's fencing epoch, and nothing appended after a release (the
+    release closes the lease; the writer closes the descriptor with it).
+
+    Returns a summary dict: records, epoch, worker, pid, released,
+    torn_bytes.
+    """
+    summary = {"records": 0, "epoch": 0, "worker": "", "pid": 0,
+               "released": False, "torn_bytes": 0}
+    pos = 0
+    while pos + LEASE_RECORD.size <= len(data):
+        raw = data[pos:pos + LEASE_RECORD.size]
+        magic, rtype, epoch, pid, wall_ms, worker, crc = \
+            LEASE_RECORD.unpack(raw)
+        if magic != LEASE_MAGIC or rtype not in LEASE_TYPES or \
+                crc != zlib.crc32(raw[:-4]):
+            break  # torn tail: the valid prefix ends here
+        record = summary["records"]
+        if record == 0:
+            if rtype != 1:
+                _err(errors, path,
+                     f"first record must be a claim, got "
+                     f"{LEASE_TYPES[rtype]!r}")
+                return summary
+            summary["epoch"] = epoch
+            summary["pid"] = pid
+            summary["worker"] = worker.split(b"\0", 1)[0].decode(
+                "utf-8", "replace")
+        else:
+            if summary["released"]:
+                _err(errors, path,
+                     f"record {record} appended after a release (the "
+                     f"release record must close the lease)")
+            if epoch != summary["epoch"]:
+                _err(errors, path,
+                     f"record {record} carries epoch {epoch} but the claim "
+                     f"pinned epoch {summary['epoch']} (fencing violation)")
+            if rtype == 1:
+                _err(errors, path, f"record {record} is a second claim")
+        if worker[-1:] != b"\0":
+            _err(errors, path,
+                 f"record {record} worker field is not NUL-terminated")
+        if rtype == 3:
+            summary["released"] = True
+        summary["records"] += 1
+        pos += LEASE_RECORD.size
+    summary["torn_bytes"] = len(data) - pos
+    if summary["records"] == 0:
+        _err(errors, path,
+             f"no valid record in {len(data)} bytes (a lease must start "
+             f"with a CRC-framed claim)")
+    return summary
+
+
+def check_fleet_health(errors, path, doc):
+    """tsdist.fleethealth.v1: the aggregated fleet view served at /fleetz
+    and embedded as the `fleet` block of a shard worker's /healthz."""
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+    if doc.get("schema") != FLEET_HEALTH_SCHEMA:
+        _err(errors, path,
+             f"schema must be {FLEET_HEALTH_SCHEMA!r}, "
+             f"got {doc.get('schema')!r}")
+    stale_after = doc.get("stale_after_sec")
+    if not _is_num(stale_after) or stale_after < 0:
+        _err(errors, path,
+             f"field 'stale_after_sec' must be a non-negative number, "
+             f"got {stale_after!r}")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        _err(errors, path, "field 'summary' must be an object")
+        return
+    for key in ("workers", "live", "stale"):
+        v = summary.get(key)
+        if not _is_int(v) or v < 0:
+            _err(errors, path,
+                 f"summary field {key!r} must be a non-negative integer, "
+                 f"got {v!r}")
+            return
+    if summary["workers"] != summary["live"] + summary["stale"]:
+        _err(errors, path,
+             f"summary workers ({summary['workers']}) != live "
+             f"({summary['live']}) + stale ({summary['stale']})")
+    workers = doc.get("workers")
+    if not isinstance(workers, list):
+        _err(errors, path, "field 'workers' must be an array")
+        return
+    if len(workers) != summary["workers"]:
+        _err(errors, path,
+             f"summary counts {summary['workers']} workers but the array "
+             f"has {len(workers)}")
+    stale_flags = 0
+    for i, worker in enumerate(workers):
+        sub = f"worker {i}"
+        if not isinstance(worker, dict):
+            _err(errors, path, f"{sub} is not an object")
+            return
+        if not isinstance(worker.get("worker"), str) or \
+                not worker.get("worker"):
+            _err(errors, path, f"{sub} field 'worker' must be a non-empty "
+                               f"string")
+        if not isinstance(worker.get("phase"), str):
+            _err(errors, path, f"{sub} field 'phase' must be a string")
+        for key in ("pid", "epoch"):
+            v = worker.get(key)
+            if not _is_int(v) or v < 0:
+                _err(errors, path,
+                     f"{sub} field {key!r} must be a non-negative integer, "
+                     f"got {v!r}")
+        if not _is_int(worker.get("shard")):
+            # -1 means "between shards", so only integer-ness is required.
+            _err(errors, path,
+                 f"{sub} field 'shard' must be an integer, "
+                 f"got {worker.get('shard')!r}")
+        cells = worker.get("cells")
+        if not isinstance(cells, dict):
+            _err(errors, path, f"{sub} field 'cells' must be an object")
+        else:
+            for key in ("done", "total"):
+                v = cells.get(key)
+                if not _is_int(v) or v < 0:
+                    _err(errors, path,
+                         f"{sub} cells field {key!r} must be a non-negative "
+                         f"integer, got {v!r}")
+        age = worker.get("age_sec")
+        if not _is_num(age) or age < 0:
+            _err(errors, path,
+                 f"{sub} field 'age_sec' must be a non-negative number, "
+                 f"got {age!r}")
+        if not isinstance(worker.get("stale"), bool):
+            _err(errors, path, f"{sub} field 'stale' must be a boolean")
+        elif worker["stale"]:
+            stale_flags += 1
+    if stale_flags != summary["stale"]:
+        _err(errors, path,
+             f"summary claims {summary['stale']} stale workers but "
+             f"{stale_flags} carry the stale flag")
+
+
 def check_required_cases(errors, path, doc, required):
     """--require-case BENCH/CASE entries must exist in the bench/suite doc."""
     present = set()
@@ -945,6 +1107,15 @@ def load(errors, path):
 def load_text(errors, path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError as exc:
+        _err(errors, path, f"cannot read: {exc}")
+    return None
+
+
+def load_bytes(errors, path):
+    try:
+        with open(path, "rb") as fh:
             return fh.read()
     except OSError as exc:
         _err(errors, path, f"cannot read: {exc}")
@@ -1087,6 +1258,36 @@ def _valid_results():
             {"dataset": "CBF", "measure": "msm", "params": "",
              "status": "dnf", "reason": "dnf: LOOCV matrix cancelled",
              "train_accuracy": 0.0, "test_accuracy": 0.0, "resumed": False},
+        ],
+    }
+
+
+def _lease_record(rtype, epoch, pid=4242, wall_ms=1718000000000,
+                  worker=b"w0"):
+    """One CRC-framed tsdist.lease.v1 record, byte-compatible with the C++
+    writer (struct's `28s` zero-pads the worker field the same way)."""
+    body = LEASE_RECORD.pack(LEASE_MAGIC, rtype, epoch, pid, wall_ms,
+                             worker, 0)[:-4]
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def _valid_lease():
+    return (_lease_record(1, 3) + _lease_record(2, 3) +
+            _lease_record(2, 3) + _lease_record(3, 3))
+
+
+def _valid_fleet_health():
+    return {
+        "schema": FLEET_HEALTH_SCHEMA,
+        "stale_after_sec": 15.0,
+        "summary": {"workers": 2, "live": 1, "stale": 1},
+        "workers": [
+            {"worker": "w0", "pid": 100, "phase": "compute", "shard": 3,
+             "epoch": 1, "cells": {"done": 5, "total": 16},
+             "age_sec": 0.4, "stale": False},
+            {"worker": "w1", "pid": 101, "phase": "claim", "shard": -1,
+             "epoch": 2, "cells": {"done": 0, "total": 0},
+             "age_sec": 61.0, "stale": True},
         ],
     }
 
@@ -1365,6 +1566,75 @@ def self_test():
                                     "main;;Export 0 1024"))
     expect_heap(False, "heap empty file", lambda t: "")
 
+    def expect_lease(should_pass, label, mutate=None, want=None):
+        data = _valid_lease()
+        if mutate:
+            data = mutate(data)
+        errors = []
+        summary = check_lease(errors, label, data)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+        for key, value in (want or {}).items():
+            if summary[key] != value:
+                failures.append(f"{label}: summary {key}={summary[key]!r}, "
+                                f"expected {value!r}")
+
+    rec = LEASE_RECORD.size
+    expect_lease(True, "valid lease",
+                 want={"records": 4, "epoch": 3, "released": True,
+                       "worker": "w0", "torn_bytes": 0})
+    expect_lease(True, "lease torn tail tolerated",
+                 lambda d: d + b"1LST" + b"\x7f" * 9,
+                 want={"records": 4, "torn_bytes": 13})
+    expect_lease(True, "lease claim only (live holder)",
+                 lambda d: d[:rec],
+                 want={"records": 1, "released": False})
+    expect_lease(False, "lease empty file", lambda d: b"")
+    expect_lease(False, "lease all-torn file", lambda d: b"junk" * 20)
+    expect_lease(False, "lease first record is a heartbeat",
+                 lambda d: _lease_record(2, 3) + d[rec:])
+    expect_lease(False, "lease epoch drifts mid-history (fencing)",
+                 lambda d: d[:rec] + _lease_record(2, 4) + d[2 * rec:])
+    expect_lease(False, "lease record appended after release",
+                 lambda d: d + _lease_record(2, 3))
+    expect_lease(False, "lease double claim in one file",
+                 lambda d: d[:rec] + _lease_record(1, 3) + d[2 * rec:])
+    expect_lease(False, "lease corrupt CRC on the claim",
+                 lambda d: d[:rec - 1] + bytes([d[rec - 1] ^ 0xFF]) + d[rec:])
+
+    def expect_fleet(should_pass, label, mutate=None):
+        doc = copy.deepcopy(_valid_fleet_health())
+        if mutate:
+            mutate(doc)
+        errors = []
+        check_fleet_health(errors, label, doc)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+
+    expect_fleet(True, "valid fleet health")
+    expect_fleet(False, "fleet wrong schema",
+                 lambda d: d.update(schema="tsdist.fleethealth.v9"))
+    expect_fleet(False, "fleet summary arithmetic broken",
+                 lambda d: d["summary"].update(live=2))
+    expect_fleet(False, "fleet summary vs array length",
+                 lambda d: d["workers"].pop())
+    expect_fleet(False, "fleet stale-flag tally mismatch",
+                 lambda d: d["workers"][1].update(stale=False))
+    expect_fleet(False, "fleet negative age",
+                 lambda d: d["workers"][0].update(age_sec=-1.0))
+    expect_fleet(False, "fleet non-boolean stale flag",
+                 lambda d: d["workers"][0].update(stale=0))
+    expect_fleet(False, "fleet empty worker id",
+                 lambda d: d["workers"][0].update(worker=""))
+    expect_fleet(False, "fleet negative stale_after",
+                 lambda d: d.update(stale_after_sec=-5))
+    expect_fleet(False, "fleet non-integer shard",
+                 lambda d: d["workers"][0].update(shard=1.5))
+
     # Required-case lookup across a suite.
     errors = []
     check_required_cases(errors, "suite", _valid_suite(), ["bench_x/evaluate"])
@@ -1410,6 +1680,14 @@ def main(argv):
                         metavar="N",
                         help="fail unless the --heap header reports at "
                              "least N samples")
+    parser.add_argument("--lease", action="append", default=[],
+                        metavar="LEASE",
+                        help="tsdist.lease.v1 binary shard-lease file "
+                             "(repeatable; torn tails are tolerated, "
+                             "malformed histories are not)")
+    parser.add_argument("--fleet-health",
+                        help="tsdist.fleethealth.v1 JSON from /fleetz or a "
+                             "worker /healthz fleet block")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="COUNTER",
                         help="fail unless this counter exists and is > 0")
@@ -1432,9 +1710,11 @@ def main(argv):
     if args.self_test:
         return self_test()
     if not args.metrics and not args.bench and not args.results \
-            and not args.openmetrics and not args.profile and not args.heap:
+            and not args.openmetrics and not args.profile and not args.heap \
+            and not args.lease and not args.fleet_health:
         parser.error("need a METRICS.json, --bench, --results, "
-                     "--openmetrics, --profile, --heap, or --self-test")
+                     "--openmetrics, --profile, --heap, --lease, "
+                     "--fleet-health, or --self-test")
 
     errors = []
     if args.metrics:
@@ -1491,6 +1771,15 @@ def main(argv):
                 _err(errors, args.heap,
                      f"heap profile has {header['samples']} samples, "
                      f"required at least {args.require_heap_samples}")
+
+    for path in args.lease:
+        data = load_bytes(errors, path)
+        if data is not None:
+            check_lease(errors, path, data)
+    if args.fleet_health:
+        fleet = load(errors, args.fleet_health)
+        if fleet is not None:
+            check_fleet_health(errors, args.fleet_health, fleet)
 
     for message in errors:
         print(f"check_metrics_schema: {message}", file=sys.stderr)

@@ -6,20 +6,30 @@ in-process unit tests cannot exercise from outside:
 
  1. an injected hard kill (TSDIST_FAULT=ckpt.tile_write:N:exit) must exit
     with the distinct fault code 86, leaving a resumable checkpoint;
- 2. rerunning the identical command must exit 0 and produce per-cell
-    results bit-identical to an uninterrupted baseline run;
+ 2. rerunning the identical command must exit 0, actually resume finished
+    cells (a rerun that silently recomputes everything is a vacuous pass),
+    and produce per-cell results bit-identical to an uninterrupted baseline;
  3. a SIGINT (via the hidden --selftest-interrupt-after hook, which raises
     the real signal through the real handler) must exit 130 with flushed,
     schema-valid metrics and results files;
  4. resuming after the interrupt must report the pre-interrupt cells as
     resumed and match the baseline bit for bit;
  5. a tiny per-cell budget must record DNF cells while cheap cells still
-    complete, with exit code 0 (partial failure is a report, not an error).
+    complete, with exit code 0 (partial failure is a report, not an error);
+ 6. the multi-process kill matrix: a coordinator killed mid-publish, a
+    shard worker killed mid-shard (heartbeat fault exit), and a merge
+    killed by its own fault site must each be recovered by a plain rerun,
+    ending in a merged report that matches the baseline cell for cell.
+
+Each phase records its completion; if any phase is skipped — an early
+return, an unexpected exception, a conditional that falls through — the
+harness fails instead of passing vacuously on the phases that did run.
 
 Usage: resilience_smoke.py <tsdist_eval-binary> <scratch-dir>
 Stdlib only; exits 0 on success, 1 with one message per failure.
 """
 
+import glob
 import json
 import os
 import shutil
@@ -29,12 +39,20 @@ import sys
 import check_metrics_schema
 
 COMMON = ["--scale", "tiny", "--measures", "euclidean,dtw", "--supervised"]
+FAULT_EXIT = 86  # src/resilience/fault.h kFaultExitCode
 FAILURES = []
+PHASES = ["baseline", "hard-kill", "resume", "sigint", "resume-after-sigint",
+          "budget-dnf", "kill-coordinator", "kill-worker", "kill-merge"]
+COMPLETED = []
 
 
 def fail(message):
     FAILURES.append(message)
     print(f"resilience_smoke: FAIL: {message}", file=sys.stderr)
+
+
+def done(phase):
+    COMPLETED.append(phase)
 
 
 def run(binary, args, env_extra=None, timeout=600):
@@ -87,26 +105,38 @@ def main(argv):
         return 1
     baseline, _ = load_cells(path("baseline.json"))
     check_schema("results", path("baseline.json"))
+    done("baseline")
 
     # 1. Injected hard kill mid-sweep: std::_Exit(86), no unwinding — the
-    # in-process stand-in for SIGKILL. Durable tiles must survive it.
+    # in-process stand-in for SIGKILL. Durable tiles must survive it: an
+    # empty checkpoint directory here would make the resume phase below a
+    # vacuous from-scratch recomputation, so require on-disk state now.
     ckpt = path("ckpt_kill")
     proc = run(binary, COMMON + ["--checkpoint-dir", ckpt],
                env_extra={"TSDIST_FAULT": "ckpt.tile_write:40:exit"})
-    if proc.returncode != 86:
-        fail(f"hard-kill run exited {proc.returncode}, expected 86")
+    if proc.returncode != FAULT_EXIT:
+        fail(f"hard-kill run exited {proc.returncode}, expected {FAULT_EXIT}")
+    if not glob.glob(os.path.join(ckpt, "**", "tiles.bin"), recursive=True):
+        fail("hard kill left no durable tiles; the resume phase would pass "
+             "vacuously")
+    done("hard-kill")
 
-    # 2. Identical rerun resumes and matches the baseline bit for bit.
+    # 2. Identical rerun resumes and matches the baseline bit for bit. The
+    # summary must confirm cells actually came back from the checkpoint.
     proc = run(binary, COMMON + ["--checkpoint-dir", ckpt,
                                  "--results-json", path("resumed.json")])
     if proc.returncode != 0:
         fail(f"resume run exited {proc.returncode}: {proc.stderr[-500:]}")
     else:
-        resumed, _ = load_cells(path("resumed.json"))
+        resumed, doc = load_cells(path("resumed.json"))
         if resumed != baseline:
             diff = [k for k in baseline if resumed.get(k) != baseline[k]]
             fail(f"resumed cells differ from baseline at {diff[:5]}")
+        if doc["summary"]["resumed"] < 1:
+            fail("rerun after the hard kill resumed 0 cells — it recomputed "
+                 "the sweep instead of resuming (vacuous pass)")
         check_schema("results", path("resumed.json"))
+        done("resume")
 
     # 3. SIGINT through the real handler: exit 130 (128+SIGINT), flushed
     # metrics and results that still validate.
@@ -123,6 +153,7 @@ def main(argv):
     if doc["summary"]["total"] != 3:
         fail(f"interrupted run recorded {doc['summary']['total']} cells, "
              f"expected 3")
+    done("sigint")
 
     # 4. Resume after the interrupt: the 3 finished cells come back as
     # resumed, and the completed sweep matches the baseline.
@@ -139,6 +170,7 @@ def main(argv):
         if doc2["summary"]["resumed"] != 3:
             fail(f"post-interrupt run resumed {doc2['summary']['resumed']} "
                  f"cells, expected 3")
+        done("resume-after-sigint")
 
     # 5. Budget DNF: dtw under a ~zero budget DNFs, euclidean (evaluated
     # first, before the budget token is consulted mid-matrix... it is also
@@ -158,7 +190,77 @@ def main(argv):
         for cell in doc3["cells"]:
             if cell["status"] == "dnf" and not cell["reason"]:
                 fail("a DNF cell carries no reason")
+        done("budget-dnf")
 
+    # 6. Multi-process kill matrix over the sharded runtime (see
+    # shard_smoke.py for the full lifecycle; here each role is killed).
+    shard = path("shard_matrix")
+    coord = COMMON + ["--checkpoint-dir", shard, "--shard-coordinator", "3",
+                      "--lease-ttl-sec", "0.5"]
+
+    # 6a. Coordinator killed mid-publish: the manifest lands via atomic
+    # rename, so whatever instant the kill hits, a rerun must converge on a
+    # usable plan instead of tripping over torn state.
+    env = dict(os.environ)
+    env.pop("TSDIST_FAULT", None)
+    victim = subprocess.Popen([binary] + coord, env=env,
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+    victim.kill()
+    victim.wait(timeout=60)
+    proc = run(binary, coord)
+    if proc.returncode != 0:
+        fail(f"coordinator rerun after kill exited {proc.returncode}: "
+             f"{proc.stderr[-500:]}")
+    else:
+        done("kill-coordinator")
+
+    # 6b. Worker killed mid-shard: the heartbeat fault site fires in the
+    # renewal thread only while a lease is held, so the std::_Exit(86)
+    # always orphans a claimed shard. The slowed cells guarantee the sweep
+    # is unfinished at the third heartbeat. A fresh worker must then watch
+    # the lease go stale, reclaim at a higher fencing epoch, and drain the
+    # remaining cells.
+    proc = run(binary, COMMON + ["--checkpoint-dir", shard,
+                                 "--shard-worker", "w0",
+                                 "--selftest-cell-sleep-ms", "20"],
+               env_extra={"TSDIST_FAULT": "shard.heartbeat:3:exit"})
+    if proc.returncode != FAULT_EXIT:
+        fail(f"killed worker exited {proc.returncode}, expected {FAULT_EXIT}")
+    proc = run(binary, COMMON + ["--checkpoint-dir", shard,
+                                 "--shard-worker", "w1"])
+    if proc.returncode != 0:
+        fail(f"rescue worker exited {proc.returncode}: {proc.stderr[-500:]}")
+    elif not glob.glob(os.path.join(shard, "shards", "s*", "lease.e000002")):
+        fail("no epoch-2 lease after the worker kill: nothing was actually "
+             "reclaimed (vacuous recovery)")
+    else:
+        done("kill-worker")
+
+    # 6c. Merge killed by its own fault site: nonzero exit, shard inputs
+    # untouched (the merge is read-only over them), and a plain rerun
+    # produces a report matching the baseline cell for cell.
+    proc = run(binary, ["--checkpoint-dir", shard, "--shard-merge"],
+               env_extra={"TSDIST_FAULT": "shard.merge:1:exit"})
+    if proc.returncode != FAULT_EXIT:
+        fail(f"killed merge exited {proc.returncode}, expected {FAULT_EXIT}")
+    if os.path.exists(os.path.join(shard, "results.jsonl")):
+        fail("killed merge left a results.jsonl behind")
+    proc = run(binary, ["--checkpoint-dir", shard, "--shard-merge",
+                        "--results-json", path("shard_matrix.json")])
+    if proc.returncode != 0:
+        fail(f"merge rerun exited {proc.returncode}: {proc.stderr[-500:]}")
+    else:
+        merged, _ = load_cells(path("shard_matrix.json"))
+        if merged != baseline:
+            diff = [k for k in baseline if merged.get(k) != baseline[k]]
+            fail(f"merged cells differ from baseline at {diff[:5]}")
+        check_schema("results", path("shard_matrix.json"))
+        done("kill-merge")
+
+    skipped = [p for p in PHASES if p not in COMPLETED]
+    if skipped:
+        fail(f"phases skipped: {skipped}")
     if FAILURES:
         print(f"resilience_smoke: {len(FAILURES)} failure(s)", file=sys.stderr)
         return 1

@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of tsdist_eval's sharded multi-process mode.
+
+Drives the real binary through the coordinator/worker/merge lifecycle the
+in-process unit tests cannot exercise from outside, proving the three
+acceptance properties of the sharded runtime:
+
+ 1. three concurrent workers plus a coordinator produce a merged
+    results.jsonl byte-identical to an uninterrupted single-process run;
+ 2. SIGKILL of a worker mid-shard is recovered by lease expiry + fencing
+    reclaim — no lost cells, no duplicated cells (the byte-compare proves
+    both at once);
+ 3. an injected `shard.merge` fault exits nonzero without corrupting any
+    shard input, and a clean rerun of the merge succeeds bit for bit.
+
+Along the way it checks the supporting contracts: a worker pointed at a
+directory with no published plan fails fast, coordinator re-publish is
+idempotent while an incompatible grid is refused, every lease file on disk
+is a well-formed tsdist.lease.v1 history (via check_metrics_schema), and a
+live worker's /fleetz endpoint serves a schema-valid fleet-health document.
+
+Each phase records its completion; a phase that is skipped — by an early
+return, an unexpected exception, or a future edit that forgets to run it —
+fails the harness rather than passing vacuously.
+
+Usage: shard_smoke.py <tsdist_eval-binary> <scratch-dir>
+Stdlib only; exits 0 on success, 1 with one message per failure.
+"""
+
+import glob
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import check_metrics_schema
+
+COMMON = ["--scale", "tiny", "--measures", "euclidean,kullback_leibler",
+          "--supervised"]
+LISTEN_RE = re.compile(r"telemetry server listening.*\bport=(\d+)")
+FAULT_EXIT = 86  # src/resilience/fault.h kFaultExitCode
+
+FAILURES = []
+PHASES = ["baseline", "orphan-worker", "coordinator", "three-workers",
+          "merge", "kill-reclaim", "merge-fault"]
+COMPLETED = []
+
+
+def fail(message):
+    FAILURES.append(message)
+    print(f"shard_smoke: FAIL: {message}", file=sys.stderr)
+
+
+def run(binary, args, env_extra=None, timeout=300):
+    env = dict(os.environ)
+    env.pop("TSDIST_FAULT", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run([binary] + args, env=env, timeout=timeout,
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                          text=True)
+
+
+def spawn_worker(binary, ckpt, worker, extra=None):
+    env = dict(os.environ)
+    env.pop("TSDIST_FAULT", None)
+    return subprocess.Popen(
+        [binary] + COMMON + ["--checkpoint-dir", ckpt,
+                             "--shard-worker", worker] + (extra or []),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+
+def read_bytes(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def snapshot_tree(root):
+    """{relative path: bytes} for every regular file under root."""
+    out = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for name in files:
+            full = os.path.join(dirpath, name)
+            out[os.path.relpath(full, root)] = read_bytes(full)
+    return out
+
+
+def check_leases(ckpt):
+    """Every lease on disk must be a valid tsdist.lease.v1 history."""
+    paths = sorted(glob.glob(os.path.join(ckpt, "shards", "s*", "lease.e*")))
+    if not paths:
+        fail(f"{ckpt}: no lease files on disk after the sweep")
+    for path in paths:
+        errors = []
+        check_metrics_schema.check_lease(errors, path, read_bytes(path))
+        for message in errors:
+            fail(f"lease schema: {message}")
+    return paths
+
+
+def check_results_json(path):
+    errors = []
+    doc = check_metrics_schema.load(errors, path)
+    if doc is not None:
+        check_metrics_schema.check_results(errors, path, doc)
+    for message in errors:
+        fail(f"results schema: {message}")
+    return doc
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary, scratch = argv
+    shutil.rmtree(scratch, ignore_errors=True)
+    os.makedirs(scratch)
+    path = lambda name: os.path.join(scratch, name)
+
+    # --- baseline: the single-process cell log every merge must reproduce.
+    base = path("base")
+    proc = run(binary, COMMON + ["--checkpoint-dir", base])
+    if proc.returncode != 0:
+        fail(f"baseline run exited {proc.returncode}: {proc.stderr[-500:]}")
+        return 1
+    baseline = read_bytes(os.path.join(base, "results.jsonl"))
+    if not baseline.endswith(b"\n") or not baseline.strip():
+        fail("baseline results.jsonl is empty or unterminated")
+        return 1
+    COMPLETED.append("baseline")
+
+    # --- orphan worker: no published plan -> fail fast, not hang or spin.
+    orphan = path("orphan")
+    os.makedirs(orphan)
+    start = time.monotonic()
+    proc = run(binary, COMMON + ["--checkpoint-dir", orphan,
+                                 "--shard-worker", "w0"], timeout=60)
+    elapsed = time.monotonic() - start
+    if proc.returncode == 0:
+        fail("worker with no shard plan exited 0, expected an error")
+    if elapsed > 30:
+        fail(f"plan-less worker took {elapsed:.1f}s to fail, expected fast")
+    COMPLETED.append("orphan-worker")
+
+    # --- coordinator: publish 4 shards; re-publish is idempotent; a
+    # different grid against the same directory is refused.
+    shared = path("shared")
+    coord = COMMON + ["--checkpoint-dir", shared, "--shard-coordinator", "4",
+                      "--lease-ttl-sec", "2"]
+    proc = run(binary, coord)
+    if proc.returncode != 0:
+        fail(f"coordinator exited {proc.returncode}: {proc.stderr[-500:]}")
+        return 1
+    proc = run(binary, coord)
+    if proc.returncode != 0:
+        fail(f"idempotent coordinator rerun exited {proc.returncode}: "
+             f"{proc.stderr[-500:]}")
+    proc = run(binary, ["--scale", "tiny", "--measures", "euclidean",
+                        "--supervised", "--checkpoint-dir", shared,
+                        "--shard-coordinator", "4"])
+    if proc.returncode == 0:
+        fail("coordinator accepted an incompatible grid over an existing "
+             "plan")
+    COMPLETED.append("coordinator")
+
+    # --- three workers race the same plan; all must drain to completion.
+    workers = [spawn_worker(binary, shared, f"w{i}") for i in range(3)]
+    for i, worker in enumerate(workers):
+        _out, err = worker.communicate(timeout=300)
+        if worker.returncode != 0:
+            fail(f"worker w{i} exited {worker.returncode}: {err[-500:]}")
+    for shard_dir in sorted(glob.glob(os.path.join(shared, "shards", "s*"))):
+        if not glob.glob(os.path.join(shard_dir, "e*", "DONE")):
+            fail(f"{shard_dir}: no DONE epoch after all workers drained")
+    check_leases(shared)
+    COMPLETED.append("three-workers")
+
+    # --- merge: byte-identical to the single-process baseline, twice (the
+    # merge is read-only over shard state, so a rerun is a no-op rewrite).
+    for attempt in ("merge", "merge rerun"):
+        proc = run(binary, ["--checkpoint-dir", shared, "--shard-merge",
+                            "--results-json", path("merged.json")])
+        if proc.returncode != 0:
+            fail(f"{attempt} exited {proc.returncode}: {proc.stderr[-500:]}")
+            break
+        merged = read_bytes(os.path.join(shared, "results.jsonl"))
+        if merged != baseline:
+            fail(f"{attempt}: merged results.jsonl differs from the "
+                 f"single-process baseline ({len(merged)} vs "
+                 f"{len(baseline)} bytes)")
+    check_results_json(path("merged.json"))
+    COMPLETED.append("merge")
+
+    # --- SIGKILL mid-shard: a deliberately slow victim claims a shard, is
+    # killed without ceremony, and a rescuer must observe the stale lease,
+    # reclaim at a higher fencing epoch, and finish the sweep. While the
+    # victim is alive, its /fleetz endpoint must serve a schema-valid
+    # fleet-health aggregate naming it as the one live worker.
+    shared2 = path("shared2")
+    proc = run(binary, COMMON + ["--checkpoint-dir", shared2,
+                                 "--shard-coordinator", "4",
+                                 "--lease-ttl-sec", "0.5"])
+    if proc.returncode != 0:
+        fail(f"second coordinator exited {proc.returncode}: "
+             f"{proc.stderr[-500:]}")
+        return 1
+    victim = spawn_worker(binary, shared2, "victim",
+                          ["--selftest-cell-sleep-ms", "80", "--serve", "0"])
+    port_box = {}
+    stderr_tail = []
+
+    def tail_stderr():
+        for line in victim.stderr:
+            stderr_tail.append(line)
+            m = LISTEN_RE.search(line)
+            if m and "port" not in port_box:
+                port_box["port"] = int(m.group(1))
+
+    tail = threading.Thread(target=tail_stderr, daemon=True)
+    tail.start()
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline and "port" not in port_box:
+        time.sleep(0.02)
+    if "port" in port_box:
+        # The fleet view populates on the victim's first heartbeat, so poll
+        # briefly instead of racing it; then the document must validate and
+        # name the victim as the one live worker. Polling first also pins
+        # the kill timing below: fleet-live means the victim has only just
+        # claimed its first shard.
+        fleet_doc, fleet_error = None, "never scraped"
+        fleet_deadline = time.monotonic() + 8
+        while time.monotonic() < fleet_deadline:
+            try:
+                with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port_box['port']}/fleetz",
+                        timeout=10) as response:
+                    doc = json.loads(response.read().decode("utf-8"))
+            except (OSError, ValueError) as exc:
+                fleet_error = f"cannot scrape /fleetz: {exc}"
+                time.sleep(0.1)
+                continue
+            if doc.get("summary", {}).get("live") == 1:
+                fleet_doc = doc
+                break
+            fleet_error = f"live != 1 in {doc.get('summary')!r}"
+            time.sleep(0.1)
+        if fleet_doc is None:
+            fail(f"/fleetz never reported the victim live: {fleet_error}")
+        else:
+            errors = []
+            check_metrics_schema.check_fleet_health(errors, "/fleetz",
+                                                    fleet_doc)
+            for message in errors:
+                fail(f"fleet-health schema: {message}")
+    else:
+        fail(f"victim never reported a listening port: "
+             f"{''.join(stderr_tail)[-500:]}")
+    # Let the victim sink real work into its shard before the kill: with
+    # 80 ms per cell a 16-cell shard takes >1.2 s, so killing ~1 s after the
+    # first heartbeat always lands mid-shard, leaving an unfinished lease
+    # for the rescuer to find stale and reclaim.
+    time.sleep(1.0)
+    if not glob.glob(os.path.join(shared2, "shards", "s*", "lease.e000001")):
+        fail("victim ran for ~1s without claiming any shard")
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=60)
+    tail.join(timeout=10)
+
+    rescuer = spawn_worker(binary, shared2, "rescuer")
+    _out, err = rescuer.communicate(timeout=300)
+    if rescuer.returncode != 0:
+        fail(f"rescuer exited {rescuer.returncode}: {err[-500:]}")
+    if not glob.glob(os.path.join(shared2, "shards", "s*", "lease.e000002")):
+        fail("no epoch-2 lease on disk: the rescuer never actually "
+             "reclaimed the victim's shard (vacuous recovery)")
+    check_leases(shared2)
+    COMPLETED.append("kill-reclaim")
+
+    # --- injected merge fault: exit code 86 via std::_Exit, no
+    # results.jsonl, and every shard input byte-unchanged; then the clean
+    # rerun reproduces the baseline exactly (which also proves the kill +
+    # reclaim above lost and duplicated nothing).
+    before = snapshot_tree(os.path.join(shared2, "shards"))
+    proc = run(binary, ["--checkpoint-dir", shared2, "--shard-merge"],
+               env_extra={"TSDIST_FAULT": "shard.merge:1:exit"})
+    if proc.returncode != FAULT_EXIT:
+        fail(f"faulted merge exited {proc.returncode}, expected "
+             f"{FAULT_EXIT}")
+    if os.path.exists(os.path.join(shared2, "results.jsonl")):
+        fail("faulted merge left a results.jsonl behind")
+    after = snapshot_tree(os.path.join(shared2, "shards"))
+    if before != after:
+        changed = sorted(set(before) ^ set(after)) or sorted(
+            k for k in before if before[k] != after.get(k))
+        fail(f"faulted merge mutated shard inputs: {changed[:5]}")
+    proc = run(binary, ["--checkpoint-dir", shared2, "--shard-merge"])
+    if proc.returncode != 0:
+        fail(f"post-fault merge exited {proc.returncode}: "
+             f"{proc.stderr[-500:]}")
+    else:
+        merged2 = read_bytes(os.path.join(shared2, "results.jsonl"))
+        if merged2 != baseline:
+            fail(f"post-kill merge differs from the single-process baseline "
+                 f"({len(merged2)} vs {len(baseline)} bytes)")
+    COMPLETED.append("merge-fault")
+
+    skipped = [p for p in PHASES if p not in COMPLETED]
+    if skipped:
+        fail(f"phases skipped: {skipped}")
+    if FAILURES:
+        print(f"shard_smoke: {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("shard_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -71,6 +71,12 @@
 #include "src/resilience/cancellation.h"
 #include "src/resilience/checkpoint.h"
 #include "src/resilience/fault.h"
+#include "src/shard/cell_log.h"
+#include "src/shard/fleet.h"
+#include "src/shard/lease.h"
+#include "src/shard/manifest.h"
+#include "src/shard/merge.h"
+#include "src/shard/worker.h"
 #include "src/stats/ranking.h"
 
 namespace {
@@ -106,6 +112,14 @@ struct Options {
   std::string checkpoint_dir;
   double budget_sec = 0.0;  // 0 = no per-cell budget
   std::size_t tile_rows = 32;
+  // Sharded multi-process execution (docs/ROBUSTNESS.md): exactly one of
+  // these modes may be active, and all require --checkpoint-dir.
+  std::size_t shard_coordinator = 0;  // partition into N shards and publish
+  std::string shard_worker;           // worker id; claim and execute shards
+  bool shard_merge = false;           // stitch shard logs into results.jsonl
+  double lease_ttl_sec = 10.0;
+  std::size_t shard_retry_max = 5;
+  double shard_steal_after_sec = 0.0;  // 0 = 4 * lease TTL
   // Hidden test hook: raise SIGINT after this many cells complete, driving
   // the real handler/drain/flush path without timing races (0 = off).
   std::size_t selftest_interrupt_after = 0;
@@ -224,6 +238,66 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         return false;
       }
       options->tile_rows = static_cast<std::size_t>(parsed);
+    } else if (arg == "--shard-coordinator") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        std::fprintf(stderr,
+                     "--shard-coordinator must be a positive shard count "
+                     "(got '%s')\n",
+                     v);
+        return false;
+      }
+      options->shard_coordinator = static_cast<std::size_t>(parsed);
+    } else if (arg == "--shard-worker") {
+      if (!next(&v)) return false;
+      options->shard_worker = v;
+      if (options->shard_worker.empty() ||
+          options->shard_worker.find('/') != std::string::npos) {
+        std::fprintf(stderr,
+                     "--shard-worker needs a non-empty id without '/' "
+                     "(got '%s')\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--shard-merge") {
+      options->shard_merge = true;
+    } else if (arg == "--lease-ttl-sec") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const double parsed = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(parsed > 0.0)) {
+        std::fprintf(stderr,
+                     "--lease-ttl-sec must be a positive number (got '%s')\n",
+                     v);
+        return false;
+      }
+      options->lease_ttl_sec = parsed;
+    } else if (arg == "--shard-retry-max") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        std::fprintf(stderr,
+                     "--shard-retry-max must be a positive integer "
+                     "(got '%s')\n",
+                     v);
+        return false;
+      }
+      options->shard_retry_max = static_cast<std::size_t>(parsed);
+    } else if (arg == "--shard-steal-after-sec") {
+      if (!next(&v)) return false;
+      char* end = nullptr;
+      const double parsed = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(parsed > 0.0)) {
+        std::fprintf(stderr,
+                     "--shard-steal-after-sec must be a positive number "
+                     "(got '%s')\n",
+                     v);
+        return false;
+      }
+      options->shard_steal_after_sec = parsed;
     } else if (arg == "--selftest-interrupt-after") {
       if (!next(&v)) return false;
       char* end = nullptr;
@@ -288,6 +362,19 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       return false;
     }
   }
+  const int shard_modes = (options->shard_coordinator > 0 ? 1 : 0) +
+                          (!options->shard_worker.empty() ? 1 : 0) +
+                          (options->shard_merge ? 1 : 0);
+  if (shard_modes > 1) {
+    std::fprintf(stderr,
+                 "--shard-coordinator, --shard-worker, and --shard-merge are "
+                 "mutually exclusive\n");
+    return false;
+  }
+  if (shard_modes == 1 && options->checkpoint_dir.empty()) {
+    std::fprintf(stderr, "shard modes require --checkpoint-dir\n");
+    return false;
+  }
   return true;
 }
 
@@ -325,6 +412,22 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "  --missing-values M     'interpolate' (default; the paper's\n"
       "                         preprocessing) or 'reject' (fail the load,\n"
       "                         naming file and line)\n"
+      "\n"
+      "sharded execution (multi-process; all need --checkpoint-dir):\n"
+      "  --shard-coordinator N  partition the sweep into N shards and\n"
+      "                         publish the manifest, then exit (idempotent)\n"
+      "  --shard-worker ID      claim shards via crash-tolerant leases and\n"
+      "                         execute them until the sweep is finished;\n"
+      "                         run any number of workers concurrently\n"
+      "  --shard-merge          stitch finished shard logs into the\n"
+      "                         checkpoint's results.jsonl, byte-identical\n"
+      "                         to a single-process run\n"
+      "  --lease-ttl-sec S      heartbeat TTL before a dead worker's shard\n"
+      "                         is reclaimed (coordinator; default 10)\n"
+      "  --shard-retry-max N    epochs before a crashing shard is\n"
+      "                         quarantined (coordinator; default 5)\n"
+      "  --shard-steal-after-sec S  steal a live straggler's shard after S\n"
+      "                         seconds (worker; default 4x lease TTL)\n"
       "\n"
       "observability:\n"
       "  --metrics-json <path>  write counters/gauges/histograms\n"
@@ -364,45 +467,15 @@ bool WriteFileOrComplain(const std::string& path, const std::string& contents,
   return static_cast<bool>(out);
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out.push_back(' ');
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-// %.17g: round-trips a double exactly through strtod, so resumed cells
-// report bit-identical accuracies.
-std::string FormatG17(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-// One evaluated (dataset, measure) cell of the sweep.
-struct CellOutcome {
-  std::string dataset;
-  std::string measure;
-  std::string params;  // rendered ParamMap of the evaluated instance
-  tsdist::EvalStatus status = tsdist::EvalStatus::kOk;
-  std::string reason;
-  double train_accuracy = 0.0;
-  double test_accuracy = 0.0;
-  bool resumed = false;  // restored from the checkpoint's results log
-};
-
-std::string CellKey(const std::string& dataset, const std::string& measure) {
-  return dataset + "\x1f" + measure;
-}
+// Cell serialization lives in src/shard/cell_log.{h,cc} now: the driver,
+// the shard workers, and the merge step must share one formatter for the
+// merged log to be byte-identical to a single-process run.
+using tsdist::shard::CellKey;
+using tsdist::shard::CellLogLine;
+using tsdist::shard::CellOutcome;
+using tsdist::shard::FormatG17;
+using tsdist::shard::JsonEscape;
+using tsdist::shard::LoadFinishedCells;
 
 const char* ScaleName(tsdist::ArchiveScale scale) {
   switch (scale) {
@@ -413,47 +486,17 @@ const char* ScaleName(tsdist::ArchiveScale scale) {
   return "unknown";
 }
 
-// Serializes one finished cell for the checkpoint's results.jsonl (resume
-// log) — same fields the results JSON report uses.
-std::string CellLogLine(const CellOutcome& cell) {
-  return "{\"schema\": \"tsdist.cell.v1\", \"dataset\": \"" +
-         JsonEscape(cell.dataset) + "\", \"measure\": \"" +
-         JsonEscape(cell.measure) + "\", \"params\": \"" +
-         JsonEscape(cell.params) + "\", \"status\": \"" +
-         tsdist::ToString(cell.status) + "\", \"reason\": \"" +
-         JsonEscape(cell.reason) + "\", \"train_accuracy\": " +
-         FormatG17(cell.train_accuracy) + ", \"test_accuracy\": " +
-         FormatG17(cell.test_accuracy) + "}";
-}
-
-// Loads finished cells from a previous run's results log. Only status "ok"
-// cells are resumed: failed cells are retried (the failure may have been
-// injected or environmental), DNF cells get another chance at the budget.
-std::map<std::string, CellOutcome> LoadFinishedCells(const std::string& path) {
-  std::map<std::string, CellOutcome> finished;
-  for (const std::string& line : tsdist::LoadJsonLog(path)) {
-    try {
-      const tsdist::obs::JsonValue v = tsdist::obs::ParseJson(line);
-      if (v.GetString("schema", "") != "tsdist.cell.v1" ||
-          v.GetString("status", "") != "ok") {
-        continue;
-      }
-      CellOutcome cell;
-      cell.dataset = v.GetString("dataset", "");
-      cell.measure = v.GetString("measure", "");
-      cell.params = v.GetString("params", "");
-      cell.train_accuracy = v.GetDouble("train_accuracy", 0.0);
-      cell.test_accuracy = v.GetDouble("test_accuracy", 0.0);
-      cell.resumed = true;
-      if (!cell.dataset.empty() && !cell.measure.empty()) {
-        finished[CellKey(cell.dataset, cell.measure)] = cell;
-      }
-    } catch (const std::exception&) {
-      // Torn tails are already truncated by LoadJsonLog; anything else
-      // malformed is simply not resumed.
-    }
+bool ScaleFromName(const std::string& name, tsdist::ArchiveScale* scale) {
+  if (name == "tiny") {
+    *scale = tsdist::ArchiveScale::kTiny;
+  } else if (name == "small") {
+    *scale = tsdist::ArchiveScale::kSmall;
+  } else if (name == "medium") {
+    *scale = tsdist::ArchiveScale::kMedium;
+  } else {
+    return false;
   }
-  return finished;
+  return true;
 }
 
 // The tsdist.results.v1 report: every cell with its terminal status, plus a
@@ -522,6 +565,109 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open log JSON file '%s': %s\n",
                    options.log_json_path.c_str(), error.c_str());
       return 2;
+    }
+  }
+
+  // Merge mode needs no datasets, no engine, and no server: it reads the
+  // manifest plus every shard's finished epoch log and rewrites the
+  // checkpoint root's results.jsonl. Read-only over shard state, so a fault
+  // or kill mid-merge corrupts nothing and a rerun succeeds.
+  if (options.shard_merge) {
+    obs::HealthState::Global().SetPhase("merge");
+    shard::ShardPlan plan;
+    shard::MergeReport report;
+    std::string error;
+    bool merged = false;
+    if (shard::LoadShardPlan(options.checkpoint_dir, &plan, &error)) {
+      try {
+        merged = shard::MergeShards(options.checkpoint_dir, plan, &report,
+                                    &error);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    }
+    if (!merged) {
+      std::fprintf(stderr, "shard merge failed: %s\n", error.c_str());
+      obs::Logger::Global().Flush();
+      obs::Logger::Global().CloseJsonSink();
+      return 1;
+    }
+    if (!options.results_json_path.empty()) {
+      // The merged log holds ok/failed cells; any manifest cell absent from
+      // it is a terminal DNF (workers only mark DONE when every cell is
+      // terminal, and DNF cells are deliberately unlogged so a rerun with a
+      // bigger budget retries them).
+      std::vector<CellOutcome> outcomes;
+      outcomes.reserve(plan.total_cells());
+      std::size_t next = 0;
+      for (const auto& dataset : plan.datasets) {
+        for (const auto& measure : plan.measures) {
+          if (next < report.cells.size() &&
+              report.cells[next].dataset == dataset.name &&
+              report.cells[next].measure == measure) {
+            outcomes.push_back(report.cells[next++]);
+          } else {
+            CellOutcome dnf;
+            dnf.dataset = dataset.name;
+            dnf.measure = measure;
+            dnf.status = EvalStatus::kDnf;
+            dnf.reason = "did not finish within the shard budget";
+            outcomes.push_back(std::move(dnf));
+          }
+        }
+      }
+      Options report_options = options;
+      report_options.supervised = plan.supervised;
+      report_options.pruned = plan.pruned;
+      report_options.norm = plan.norm;
+      report_options.budget_sec = plan.budget_sec;
+      if (!AtomicWriteFile(options.results_json_path,
+                           ResultsToJson(outcomes, report_options), &error)) {
+        std::fprintf(stderr, "cannot write results JSON: %s\n",
+                     error.c_str());
+        obs::Logger::Global().Flush();
+        obs::Logger::Global().CloseJsonSink();
+        return 1;
+      }
+    }
+    std::printf(
+        "merged %zu shards: %zu cells (%zu ok, %zu failed, %zu dnf) -> %s\n",
+        report.shards, report.lines + report.dnf, report.ok, report.failed,
+        report.dnf, (options.checkpoint_dir + "/results.jsonl").c_str());
+    obs::Logger::Global().Flush();
+    obs::Logger::Global().CloseJsonSink();
+    return 0;
+  }
+
+  // Worker mode: the manifest — not the command line — pins the sweep
+  // (measures, supervision, pruning, budget, tile size, normalization,
+  // archive scale), so every worker computes exactly the grid the
+  // coordinator published. Loaded before measure validation so the plan's
+  // measures are validated like CLI ones.
+  shard::ShardPlan worker_plan;
+  if (!options.shard_worker.empty()) {
+    std::string error;
+    if (!shard::LoadShardPlan(options.checkpoint_dir, &worker_plan, &error)) {
+      std::fprintf(stderr, "shard worker cannot start: %s\n", error.c_str());
+      return 1;
+    }
+    options.measures = worker_plan.measures;
+    options.supervised = worker_plan.supervised;
+    options.pruned = worker_plan.pruned;
+    options.budget_sec = worker_plan.budget_sec;
+    options.tile_rows = worker_plan.tile_rows;
+    options.norm = worker_plan.norm;
+    if (worker_plan.scale == "ucr") {
+      if (options.ucr_dir.empty() || options.ucr_dataset.empty()) {
+        std::fprintf(stderr,
+                     "the shard manifest was built from a UCR dataset; pass "
+                     "the same --ucr/--dataset to the worker\n");
+        return 1;
+      }
+    } else if (!ScaleFromName(worker_plan.scale, &options.scale)) {
+      std::fprintf(stderr, "shard manifest has unknown scale '%s'\n",
+                   worker_plan.scale.c_str());
+      return 1;
     }
   }
 
@@ -595,6 +741,115 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (auto& d : datasets) d = normalizer->Apply(d);
+  }
+
+  // Coordinator mode: publish the shard manifest and exit. Idempotent — a
+  // coordinator killed mid-publish leaves either no manifest or a complete
+  // one, and a rerun over an unchanged configuration reproduces the same
+  // bytes; a *changed* configuration against an existing manifest is
+  // refused.
+  if (options.shard_coordinator > 0) {
+    obs::HealthState::Global().SetPhase("plan");
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create checkpoint dir '%s': %s\n",
+                   options.checkpoint_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    shard::ShardPlan plan;
+    plan.supervised = options.supervised;
+    plan.pruned = options.pruned;
+    plan.norm = options.norm;
+    plan.scale = options.ucr_dir.empty() ? ScaleName(options.scale) : "ucr";
+    plan.budget_sec = options.budget_sec;
+    plan.tile_rows = options.tile_rows;
+    plan.lease_ttl_sec = options.lease_ttl_sec;
+    plan.retry_max = static_cast<std::uint32_t>(options.shard_retry_max);
+    plan.measures = options.measures;
+    plan.datasets = shard::FingerprintDatasets(datasets);
+    shard::PartitionCells(&plan, options.shard_coordinator);
+    std::string error;
+    const bool written =
+        shard::WriteShardPlan(options.checkpoint_dir, plan, &error);
+    obs::HealthState::Global().SetPhase("done");
+    server.Stop();
+    obs::Logger::Global().Flush();
+    obs::Logger::Global().CloseJsonSink();
+    if (!written) {
+      std::fprintf(stderr, "cannot publish shard plan: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "published %zu shards over %zu cells (%zu datasets x %zu measures) "
+        "to %s\n",
+        plan.shards.size(), plan.total_cells(), plan.datasets.size(),
+        plan.measures.size(),
+        shard::PlanPath(options.checkpoint_dir).c_str());
+    return 0;
+  }
+
+  // Worker mode: validate this process's data against the manifest, then
+  // hand the loop to the shard worker until the sweep is finished or we are
+  // interrupted.
+  if (!options.shard_worker.empty()) {
+    std::string error;
+    if (!shard::ValidatePlanDatasets(worker_plan, datasets, &error)) {
+      std::fprintf(stderr, "shard worker cannot start: %s\n", error.c_str());
+      server.Stop();
+      obs::Logger::Global().Flush();
+      obs::Logger::Global().CloseJsonSink();
+      return 1;
+    }
+    const PairwiseEngine worker_engine(options.threads);
+    shard::WorkerOptions worker_options;
+    worker_options.checkpoint_dir = options.checkpoint_dir;
+    worker_options.worker_id = options.shard_worker;
+    worker_options.steal_after_sec = options.shard_steal_after_sec;
+    worker_options.selftest_cell_sleep_ms = options.selftest_cell_sleep_ms;
+    worker_options.cancel = &g_interrupt;
+    shard::WorkerStats stats;
+    bool worker_ok = false;
+    try {
+      worker_ok = shard::RunShardWorker(worker_plan, datasets, worker_engine,
+                                        worker_options, &stats, &error);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    TSDIST_LOG(obs::LogLevel::kInfo, "shard worker finished",
+               obs::F("worker", options.shard_worker),
+               obs::F("shards_done",
+                      static_cast<std::uint64_t>(stats.shards_done)),
+               obs::F("reclaimed",
+                      static_cast<std::uint64_t>(stats.shards_reclaimed)),
+               obs::F("stolen",
+                      static_cast<std::uint64_t>(stats.shards_stolen)),
+               obs::F("quarantined",
+                      static_cast<std::uint64_t>(stats.shards_quarantined)),
+               obs::F("cells_computed",
+                      static_cast<std::uint64_t>(stats.cells_computed)),
+               obs::F("cells_salvaged",
+                      static_cast<std::uint64_t>(stats.cells_salvaged)),
+               obs::F("interrupted", stats.interrupted));
+    int export_failures = 0;
+    if (!options.metrics_json_path.empty() &&
+        !WriteFileOrComplain(options.metrics_json_path,
+                             obs::MetricsRegistry::Global().ToJson(),
+                             "metrics JSON")) {
+      ++export_failures;
+    }
+    obs::HealthState::Global().SetPhase("done");
+    server.Stop();
+    obs::Logger::Global().Flush();
+    obs::Logger::Global().CloseJsonSink();
+    if (!worker_ok) {
+      std::fprintf(stderr, "shard worker failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (stats.interrupted && g_signal != 0) {
+      return 128 + static_cast<int>(g_signal);
+    }
+    return export_failures > 0 ? 1 : 0;
   }
 
   // Resume state: cells finished (status ok) by a previous run under the
