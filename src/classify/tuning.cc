@@ -60,10 +60,14 @@ const char* ToString(EvalStatus status) {
 EvalResult EvaluateFixed(const std::string& measure_name, const ParamMap& params,
                          const Dataset& dataset, const PairwiseEngine& engine,
                          const Registry& registry, const EvalOptions& options) {
-  const obs::TraceSpan span(
+  obs::TraceSpan span(
       obs::TraceRecorder::Global().enabled()
           ? "classify.evaluate_fixed/" + measure_name
           : std::string());
+  span.Arg("measure", measure_name);
+  span.Arg("dataset", dataset.name());
+  span.Arg("params", ToString(params));
+  span.Arg("pruned", options.pruned);
   // Nested pairwise regions claim the kernel itself; what stays on this
   // label is evaluation overhead (normalization, label bookkeeping).
   const obs::PerfRegion kernel_region("evaluate/" + measure_name);
@@ -120,8 +124,14 @@ EvalResult EvaluateTuned(const std::string& measure_name,
   assert(!grid.empty());
   const bool trace_on = obs::TraceRecorder::Global().enabled();
   const bool obs_on = obs::Enabled();
-  const obs::TraceSpan span(
+  obs::TraceSpan span(
       trace_on ? "classify.evaluate_tuned/" + measure_name : std::string());
+  if (trace_on) {
+    span.Arg("measure", measure_name);
+    span.Arg("dataset", dataset.name());
+    span.Arg("grid", static_cast<std::uint64_t>(grid.size()));
+    span.Arg("pruned", options.pruned);
+  }
   obs::Histogram* candidate_ns = nullptr;
   obs::Counter* candidates = nullptr;
   if (obs_on) {
@@ -194,10 +204,15 @@ EvalResult EvaluateTuned(const std::string& measure_name,
       // One LOOCV span per grid point: the dominant cost of supervised tuning
       // (|grid| self-distance matrices per dataset on the full-matrix path;
       // the pruned path replaces each matrix with a cascade-pruned 1-NN pass).
-      const obs::TraceSpan candidate_span(
+      obs::TraceSpan candidate_span(
           trace_on ? "tuning.loocv/" + measure_name + "{" +
                          ToString(candidate) + "}"
                    : std::string());
+      if (trace_on) {
+        candidate_span.Arg("measure", measure_name);
+        candidate_span.Arg("params", ToString(candidate));
+        candidate_span.Arg("candidate", static_cast<std::uint64_t>(k));
+      }
       const obs::PerfRegion kernel_region("tuning/" + measure_name);
       const obs::MemRegion mem_region("tuning/" + measure_name);
       obs::ScopedTimer candidate_timer(candidate_ns, candidates);

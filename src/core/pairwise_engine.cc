@@ -387,8 +387,13 @@ Matrix PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
 
   const bool obs_on = obs::Enabled();
   const bool trace_on = obs::TraceRecorder::Global().enabled();
-  const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
-                                     : std::string());
+  obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
+                               : std::string());
+  if (trace_on) {
+    span.Arg("measure", measure.name());
+    span.Arg("rows", static_cast<std::uint64_t>(r));
+    span.Arg("cols", static_cast<std::uint64_t>(p));
+  }
   const obs::PerfRegion kernel_region(measure.name());
   const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
@@ -414,9 +419,13 @@ Matrix PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
 
   const bool obs_on = obs::Enabled();
   const bool trace_on = obs::TraceRecorder::Global().enabled();
-  const obs::TraceSpan span(trace_on
-                                ? "pairwise.compute_self/" + measure.name()
-                                : std::string());
+  obs::TraceSpan span(trace_on
+                          ? "pairwise.compute_self/" + measure.name()
+                          : std::string());
+  if (trace_on) {
+    span.Arg("measure", measure.name());
+    span.Arg("n", static_cast<std::uint64_t>(n));
+  }
   const obs::PerfRegion kernel_region(measure.name());
   const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
@@ -459,8 +468,14 @@ ComputeResult PairwiseEngine::Compute(const std::vector<TimeSeries>& queries,
 
   const bool obs_on = obs::Enabled();
   const bool trace_on = obs::TraceRecorder::Global().enabled();
-  const obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
-                                     : std::string());
+  obs::TraceSpan span(trace_on ? "pairwise.compute/" + measure.name()
+                               : std::string());
+  if (trace_on) {
+    span.Arg("measure", measure.name());
+    span.Arg("rows", static_cast<std::uint64_t>(r));
+    span.Arg("cols", static_cast<std::uint64_t>(p));
+    span.Arg("tile_rows", static_cast<std::uint64_t>(options.tile_rows));
+  }
   const obs::PerfRegion kernel_region(measure.name());
   const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
@@ -504,9 +519,14 @@ ComputeResult PairwiseEngine::ComputeSelf(const std::vector<TimeSeries>& series,
 
   const bool obs_on = obs::Enabled();
   const bool trace_on = obs::TraceRecorder::Global().enabled();
-  const obs::TraceSpan span(trace_on
-                                ? "pairwise.compute_self/" + measure.name()
-                                : std::string());
+  obs::TraceSpan span(trace_on
+                          ? "pairwise.compute_self/" + measure.name()
+                          : std::string());
+  if (trace_on) {
+    span.Arg("measure", measure.name());
+    span.Arg("n", static_cast<std::uint64_t>(n));
+    span.Arg("tile_rows", static_cast<std::uint64_t>(options.tile_rows));
+  }
   const obs::PerfRegion kernel_region(measure.name());
   const obs::MemRegion mem_region(measure.name());
   std::optional<PairwiseMetrics> metrics_storage;
@@ -582,9 +602,12 @@ std::vector<std::size_t> PairwiseEngine::NearestNeighborIndicesPruned(
   }
   ValidatePair(queries, references, "NearestNeighborIndicesPruned");
 
-  const obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
-                                ? "pairwise.pruned_nn/" + measure.name()
-                                : std::string());
+  obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
+                          ? "pairwise.pruned_nn/" + measure.name()
+                          : std::string());
+  span.Arg("measure", measure.name());
+  span.Arg("queries", static_cast<std::uint64_t>(queries.size()));
+  span.Arg("references", static_cast<std::uint64_t>(references.size()));
   const obs::PerfRegion kernel_region(measure.name());
   const obs::MemRegion mem_region(measure.name());
   const CascadeContext ctx = BuildCascadeContext(references, measure, *pool_);
@@ -614,9 +637,11 @@ std::vector<std::size_t> PairwiseEngine::LeaveOneOutNeighborsPruned(
   }
   ValidateCollection(series, "series", "LeaveOneOutNeighborsPruned");
 
-  const obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
-                                ? "pairwise.pruned_loocv/" + measure.name()
-                                : std::string());
+  obs::TraceSpan span(obs::TraceRecorder::Global().enabled()
+                          ? "pairwise.pruned_loocv/" + measure.name()
+                          : std::string());
+  span.Arg("measure", measure.name());
+  span.Arg("n", static_cast<std::uint64_t>(series.size()));
   const obs::PerfRegion kernel_region(measure.name());
   const obs::MemRegion mem_region(measure.name());
   const CascadeContext ctx = BuildCascadeContext(series, measure, *pool_);

@@ -16,6 +16,8 @@
 #include "src/obs/openmetrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/runinfo.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_spool.h"
 
 namespace tsdist::obs {
 
@@ -115,6 +117,8 @@ bool ExpoServer::Start(Options options, std::string* error) {
   }
 
   running_.store(true, std::memory_order_release);
+  HealthState::Global().SetEndpoints(
+      "/metrics /healthz /fleetz /runinfo /logz /profilez /heapz /tracez");
   thread_ = std::thread([this] { ServeLoop(); });
   TSDIST_LOG(LogLevel::kInfo, "telemetry server listening",
              F("address", options_.bind_address), F("port", port_));
@@ -275,6 +279,7 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
         fleet.empty()
             ? "{\"schema\": \"tsdist.fleethealth.v1\", \"stale_after_sec\": "
               "0, \"summary\": {\"workers\": 0, \"live\": 0, \"stale\": 0}, "
+              "\"trace\": {\"spooling_workers\": 0, \"spooled_spans\": 0}, "
               "\"workers\": []}\n"
             : fleet + "\n";
     return response;
@@ -362,6 +367,44 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
     }
     return response;
   }
+  if (path == "/tracez") {
+    BumpCounter("tsdist.expo.requests.tracez");
+    TraceRecorder& recorder = TraceRecorder::Global();
+    if (query == "start") {
+      recorder.SetEnabled(true);
+      response.body = recorder.enabled()
+                          ? "tracing started\n"
+                          : "tracing not started (compiled out)\n";
+    } else if (query == "stop") {
+      const bool was_on = recorder.enabled();
+      recorder.SetEnabled(false);
+      response.body = was_on ? "tracing stopped\n" : "tracing not running\n";
+    } else if (query == "dump") {
+      // Spans still buffered in this process; with a spool active the
+      // flusher drains them continuously, so the durable record is the
+      // spool file named by ?status, not this dump.
+      response.content_type = "application/json; charset=utf-8";
+      response.body = recorder.ToChromeJson();
+    } else if (query.empty() || query == "status") {
+      const TraceSpool::Status spool = TraceSpool::Global().status();
+      const TraceContext context = recorder.context();
+      response.body =
+          std::string("tracing ") + (recorder.enabled() ? "on" : "off") +
+          " spans=" + std::to_string(recorder.recorded_spans()) +
+          " run_id=" + (context.run_id.empty() ? "-" : context.run_id) +
+          " role=" + (context.role.empty() ? "-" : context.role) +
+          " spool=" + (spool.active ? "active" : "off") +
+          " spooled=" + std::to_string(spool.spans_spooled) +
+          " flushes=" + std::to_string(spool.flushes) +
+          " errors=" + std::to_string(spool.errors) +
+          (spool.path.empty() ? "" : " path=" + spool.path) + "\n";
+    } else {
+      response.status = 400;
+      response.body = "unknown action '" + query +
+                      "' (use ?start, ?stop, ?dump, or ?status)\n";
+    }
+    return response;
+  }
   if (path == "/") {
     BumpCounter("tsdist.expo.requests.index");
     response.body =
@@ -372,12 +415,15 @@ ExpoServer::Response ExpoServer::Handle(const std::string& method,
         "  /runinfo   provenance manifest JSON\n"
         "  /logz      recent structured log lines\n"
         "  /profilez  sampling profiler (?start ?stop ?dump ?trace ?status)\n"
-        "  /heapz     heap profiler (?start ?stop ?dump ?live ?status)\n";
+        "  /heapz     heap profiler (?start ?stop ?dump ?live ?status)\n"
+        "  /tracez    span tracing (?start ?stop ?dump ?status)\n";
     return response;
   }
   BumpCounter("tsdist.expo.requests.other");
   response.status = 404;
-  response.body = "not found\n";
+  response.body =
+      "not found — endpoints: /metrics /healthz /fleetz /runinfo /logz "
+      "/profilez /heapz /tracez\n";
   return response;
 }
 

@@ -68,6 +68,11 @@ std::string HealthState::FleetJson() const {
   return fleet_json_;
 }
 
+void HealthState::SetEndpoints(std::string endpoints) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  endpoints_ = std::move(endpoints);
+}
+
 void HealthState::SetCells(std::uint64_t done, std::uint64_t total,
                            std::uint64_t resumed, std::uint64_t dnf,
                            std::uint64_t failed) {
@@ -103,6 +108,24 @@ std::string HealthState::ToJson() const {
     out += ", \"failed\": ";
     out += std::to_string(cells_failed_);
     out += "}";
+    if (!endpoints_.empty()) {
+      out += ", \"endpoints\": [";
+      bool first = true;
+      std::size_t pos = 0;
+      while (pos < endpoints_.size()) {
+        const std::size_t space = endpoints_.find(' ', pos);
+        const std::size_t end =
+            space == std::string::npos ? endpoints_.size() : space;
+        if (end > pos) {
+          out += first ? "\"" : ", \"";
+          out += JsonEscape(endpoints_.substr(pos, end - pos));
+          out += "\"";
+          first = false;
+        }
+        pos = end + 1;
+      }
+      out += "]";
+    }
     if (!fleet_json_.empty()) {
       out += ", \"fleet\": ";
       out += fleet_json_;

@@ -48,6 +48,12 @@ class HealthState {
   /// The current fleet document ("" when no shard fleet is active).
   std::string FleetJson() const;
 
+  /// HTTP endpoint inventory served in the /healthz document, e.g.
+  /// "/metrics /healthz /profilez /heapz /tracez". The telemetry server
+  /// sets this at Start so operators can discover every live endpoint from
+  /// the health snapshot alone. Empty (the default) omits the block.
+  void SetEndpoints(std::string endpoints);
+
   /// The whole state as a `tsdist.health.v1` JSON object: schema, status,
   /// uptime, phase, current cell, cell counts, a fleet block when shard
   /// workers are federating health, and (when a reporter is active) the
@@ -67,6 +73,7 @@ class HealthState {
   std::uint64_t cells_dnf_ = 0;
   std::uint64_t cells_failed_ = 0;
   std::string fleet_json_;
+  std::string endpoints_;
 };
 
 }  // namespace tsdist::obs

@@ -1,6 +1,8 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -28,15 +30,44 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Chrome trace timestamps are microseconds. Rendering ns/1000.0 through a
+// default-precision ostream collapses anything past ~1 s to 6 significant
+// digits (scientific notation); fixed-point integer math keeps the full
+// nanosecond resolution: 1234567 ns -> "1234.567".
+std::string MicrosFixed(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
 std::atomic<std::int64_t> g_next_span_id{0};
 std::atomic<std::uint32_t> g_next_tid{0};
 
-// The recorder epoch: first NowNs() observed by the trace module, so ts
-// values stay small and chrome://tracing renders from t=0.
-std::uint64_t EpochNs() {
-  static const std::uint64_t epoch = NowNs();
-  return epoch;
+// The recorder epoch with its wall-clock anchor: CLOCK_MONOTONIC (NowNs)
+// and CLOCK_REALTIME (system_clock) sampled back to back on first use, so
+// ts values stay small, chrome://tracing renders from t=0, and trace_merge
+// can place this process's spans on the fleet's shared wall-clock timeline.
+struct EpochAnchor {
+  std::uint64_t mono_ns = 0;
+  std::uint64_t wall_us = 0;
+};
+
+const EpochAnchor& PinnedEpoch() {
+  static const EpochAnchor pinned = [] {
+    EpochAnchor a;
+    a.mono_ns = NowNs();
+    a.wall_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return a;
+  }();
+  return pinned;
 }
+
+std::uint64_t EpochNs() { return PinnedEpoch().mono_ns; }
 
 struct BufHolder;
 
@@ -44,6 +75,17 @@ struct Registry {
   std::mutex mu;
   std::vector<std::shared_ptr<BufHolder>> bufs;
 };
+
+// Guards the recorder's TraceContext (strings; too wide for atomics).
+std::mutex& ContextMutex() {
+  static std::mutex* mu = new std::mutex();  // never destroyed
+  return *mu;
+}
+
+TraceContext& ContextStorage() {
+  static TraceContext* context = new TraceContext();  // never destroyed
+  return *context;
+}
 
 }  // namespace
 
@@ -90,9 +132,53 @@ void TraceRecorder::SetEnabled(bool enabled) {
 #if defined(TSDIST_OBS_NOOP)
   (void)enabled;  // tracing cannot be enabled in a no-op build
 #else
-  if (enabled) EpochNs();  // pin the epoch before the first span
+  if (enabled) PinnedEpoch();  // pin epoch + wall anchor before the first span
   enabled_.store(enabled, std::memory_order_relaxed);
 #endif
+}
+
+void TraceRecorder::SetContext(TraceContext context) {
+  const std::lock_guard<std::mutex> lock(ContextMutex());
+  ContextStorage() = std::move(context);
+}
+
+TraceContext TraceRecorder::context() const {
+  const std::lock_guard<std::mutex> lock(ContextMutex());
+  return ContextStorage();
+}
+
+void TraceRecorder::set_context_epoch(std::uint32_t epoch) {
+  const std::lock_guard<std::mutex> lock(ContextMutex());
+  ContextStorage().epoch = epoch;
+}
+
+WallAnchor TraceRecorder::anchor() const {
+  const EpochAnchor& pinned = PinnedEpoch();
+  WallAnchor anchor;
+  anchor.wall_us = pinned.wall_us;
+  anchor.mono_ns = pinned.mono_ns;
+  return anchor;
+}
+
+void TraceRecorder::Instant(std::string name, std::string category,
+                            std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  ThreadBuf& buf = BufForThisThread();
+  if (!ClaimSlot()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.args = std::move(args);
+  const std::uint64_t now = NowNs();
+  const std::uint64_t epoch = EpochNs();
+  event.ts_ns = now >= epoch ? now - epoch : 0;
+  event.dur_ns = 0;
+  event.instant = true;
+  event.tid = buf.tid;
+  event.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event.parent = buf.open_parent;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(event));
 }
 
 void TraceRecorder::Clear() {
@@ -132,6 +218,37 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
     return a.id < b.id;
   });
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::DrainEvents() {
+  std::vector<TraceEvent> out;
+  Registry& registry = GlobalRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (auto& holder : registry.bufs) {
+      std::lock_guard<std::mutex> buf_lock(holder->buf.mu);
+      for (TraceEvent& e : holder->buf.events) out.push_back(std::move(e));
+      holder->buf.events.clear();
+    }
+  }
+  if (!out.empty()) {
+    // Re-arm the cap by exactly what was taken; clamp against a concurrent
+    // Clear() having already zeroed the count.
+    std::size_t expected = recorded_.load(std::memory_order_relaxed);
+    while (true) {
+      const std::size_t take = std::min(expected, out.size());
+      if (recorded_.compare_exchange_weak(expected, expected - take,
+                                          std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.id < b.id;
+            });
   return out;
 }
 
@@ -183,11 +300,23 @@ std::string TraceRecorder::ToChromeJson() const {
     os << (first ? "\n" : ",\n");
     first = false;
     os << "  {\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \""
-       << JsonEscape(e.category) << "\", \"ph\": \"X\", \"ts\": "
-       << (static_cast<double>(e.ts_ns) / 1000.0)
-       << ", \"dur\": " << (static_cast<double>(e.dur_ns) / 1000.0)
-       << ", \"pid\": 1, \"tid\": " << e.tid
+       << JsonEscape(e.category) << "\", \"ph\": \""
+       << (e.instant ? "i" : "X") << "\", \"ts\": " << MicrosFixed(e.ts_ns);
+    if (e.instant) {
+      os << ", \"s\": \"t\"";
+    } else {
+      os << ", \"dur\": " << MicrosFixed(e.dur_ns);
+    }
+    os << ", \"pid\": 1, \"tid\": " << e.tid
        << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent;
+    for (const TraceArg& arg : e.args) {
+      os << ", \"" << JsonEscape(arg.key) << "\": ";
+      if (arg.is_string) {
+        os << "\"" << JsonEscape(arg.value) << "\"";
+      } else {
+        os << arg.value;
+      }
+    }
     if (e.perf.valid) {
       os << ", \"perf\": " << PerfReadingToJson(e.perf, /*indent=*/0);
     }
@@ -218,6 +347,37 @@ TraceSpan::TraceSpan(std::string name, std::string category, bool with_perf) {
   active_ = true;
 }
 
+void TraceSpan::Arg(std::string key, std::string value) {
+  if (!active_) return;
+  args_.push_back({std::move(key), std::move(value), /*is_string=*/true});
+}
+
+void TraceSpan::Arg(std::string key, const char* value) {
+  Arg(std::move(key), std::string(value));
+}
+
+void TraceSpan::Arg(std::string key, std::uint64_t value) {
+  if (!active_) return;
+  args_.push_back({std::move(key), std::to_string(value), false});
+}
+
+void TraceSpan::Arg(std::string key, std::int64_t value) {
+  if (!active_) return;
+  args_.push_back({std::move(key), std::to_string(value), false});
+}
+
+void TraceSpan::Arg(std::string key, double value) {
+  if (!active_) return;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  args_.push_back({std::move(key), buf, false});
+}
+
+void TraceSpan::Arg(std::string key, bool value) {
+  if (!active_) return;
+  args_.push_back({std::move(key), value ? "true" : "false", false});
+}
+
 TraceSpan::~TraceSpan() {
   if (!active_) return;
   const std::uint64_t end_ns = NowNs();
@@ -235,6 +395,7 @@ TraceSpan::~TraceSpan() {
   event.perf = perf;
   event.name = std::move(name_);
   event.category = std::move(category_);
+  event.args = std::move(args_);
   const std::uint64_t epoch = EpochNs();
   event.ts_ns = start_ns_ >= epoch ? start_ns_ - epoch : 0;
   event.dur_ns = end_ns - start_ns_;

@@ -14,6 +14,13 @@
 // than growing the buffers without bound. Dropping never corrupts the
 // export: the Chrome JSON stays a valid event array and SpanForest() turns
 // children of dropped parents into roots.
+//
+// Fleet alignment (docs/TRACING.md): the recorder carries a TraceContext
+// (run id, process role, worker id, fencing epoch) and a wall-clock anchor —
+// CLOCK_REALTIME and CLOCK_MONOTONIC sampled back to back when the recorder
+// epoch is pinned — so spans from N cooperating processes can be placed on
+// one wall-clock timeline by trace_merge even though each process records
+// monotonic timestamps relative to its own epoch.
 
 #ifndef TSDIST_OBS_TRACE_H_
 #define TSDIST_OBS_TRACE_H_
@@ -29,6 +36,15 @@
 
 namespace tsdist::obs {
 
+/// One key/value annotation on a span or instant event. `value` is held
+/// pre-rendered: a raw JSON literal (number, boolean) when `is_string` is
+/// false, an unescaped string otherwise (escaped at export time).
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool is_string = true;
+};
+
 /// One completed span. Timestamps are nanoseconds relative to the recorder
 /// epoch (process start of tracing).
 struct TraceEvent {
@@ -39,10 +55,30 @@ struct TraceEvent {
   std::uint32_t tid = 0;     ///< small sequential thread id
   std::int64_t id = -1;      ///< unique span id
   std::int64_t parent = -1;  ///< id of the enclosing span, -1 for roots
+  bool instant = false;      ///< point event (Chrome "ph":"i"), dur_ns == 0
+  std::vector<TraceArg> args;  ///< user annotations (Chrome "args" block)
   /// Hardware-counter reading covering the span (TraceSpan perf
   /// attachment); `perf.valid` false means none was taken. Rendered into
   /// the Chrome JSON "args" block.
   PerfReading perf;
+};
+
+/// Identity of the recording process within a fleet-wide run. All fields are
+/// advisory labels: they ride along in the spool header so trace_merge can
+/// stitch per-process spools into one timeline and name each pid row.
+struct TraceContext {
+  std::string run_id;     ///< shared across the fleet (plan fingerprint)
+  std::string role;       ///< "driver", "coordinator", "worker", "merge", ...
+  std::string worker_id;  ///< non-empty for shard workers
+  std::uint32_t epoch = 0;  ///< current fencing epoch (0 = none)
+};
+
+/// CLOCK_REALTIME / CLOCK_MONOTONIC pair sampled back to back at recorder
+/// init: the wall-clock time of a span is wall_us + (ts_ns / 1000), because
+/// every ts_ns is relative to the monotonic instant mono_ns was read at.
+struct WallAnchor {
+  std::uint64_t wall_us = 0;  ///< CLOCK_REALTIME microseconds at the epoch
+  std::uint64_t mono_ns = 0;  ///< CLOCK_MONOTONIC nanoseconds at the epoch
 };
 
 /// Process-wide collector of completed spans.
@@ -71,12 +107,35 @@ class TraceRecorder {
     return recorded_.load(std::memory_order_relaxed);
   }
 
+  /// Fleet identity attached to this process's spans (spool header fields).
+  void SetContext(TraceContext context);
+  TraceContext context() const;
+  /// Updates just the fencing epoch (a worker moves through epochs as it
+  /// claims shards; the rest of the context is fixed at startup).
+  void set_context_epoch(std::uint32_t epoch);
+
+  /// The wall-clock anchor pinned with the recorder epoch (first SetEnabled
+  /// or first span). Stable for the life of the process.
+  WallAnchor anchor() const;
+
+  /// Records a zero-duration instant event ("ph":"i") at the current time
+  /// on the calling thread, parented to the innermost open span. No-op when
+  /// tracing is disabled or the span cap is hit.
+  void Instant(std::string name, std::string category = "tsdist",
+               std::vector<TraceArg> args = {});
+
   /// Drops all recorded events (open spans keep their parent linkage) and
   /// re-arms the span cap.
   void Clear();
 
   /// All completed events, sorted by (tid, ts_ns).
   std::vector<TraceEvent> Events() const;
+
+  /// Moves all completed events out of the thread buffers (sorted by
+  /// (ts_ns, id)) and re-arms the span cap by the number taken. The spool
+  /// flusher calls this periodically so long sweeps stay bounded-memory;
+  /// events drained here no longer appear in Events()/ToChromeJson().
+  std::vector<TraceEvent> DrainEvents();
 
   /// Span tree rebuilt from parent links; one forest entry per root span.
   struct SpanNode {
@@ -85,8 +144,12 @@ class TraceRecorder {
   };
   std::vector<SpanNode> SpanForest() const;
 
-  /// Chrome trace-event format: a JSON array of complete ("ph":"X") events
-  /// with name/cat/ph/ts/dur/pid/tid fields (ts and dur in microseconds).
+  /// Chrome trace-event format: a JSON array of complete ("ph":"X") and
+  /// instant ("ph":"i") events with name/cat/ph/ts/dur/pid/tid fields. Per
+  /// the spec ts and dur are microseconds; they are rendered with fixed
+  /// sub-microsecond precision (ns/1000 with a 3-digit fraction), never
+  /// through default double formatting, so timestamps beyond ~1 s keep
+  /// nanosecond fidelity instead of collapsing to 6 significant digits.
   std::string ToChromeJson() const;
 
   /// Implementation detail shared with TraceSpan; not part of the API.
@@ -121,6 +184,15 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Annotates the span (Chrome "args"); no-ops when the span is inactive.
+  /// String values are escaped at export; numeric overloads render exactly.
+  void Arg(std::string key, std::string value);
+  void Arg(std::string key, const char* value);
+  void Arg(std::string key, std::uint64_t value);
+  void Arg(std::string key, std::int64_t value);
+  void Arg(std::string key, double value);
+  void Arg(std::string key, bool value);
+
  private:
   std::string name_;
   std::string category_;
@@ -128,6 +200,7 @@ class TraceSpan {
   std::int64_t id_ = -1;
   std::int64_t saved_parent_ = -1;
   bool active_ = false;
+  std::vector<TraceArg> args_;
   std::unique_ptr<PerfCounterGroup> perf_;
 };
 

@@ -1,0 +1,399 @@
+#include "src/obs/trace_spool.h"
+
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace tsdist::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+#if !defined(TSDIST_OBS_NOOP)
+std::uint32_t OwnPid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint32_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+#endif
+
+void Bump(const char* name, std::uint64_t n = 1) {
+  if (Enabled()) MetricsRegistry::Global().GetCounter(name).Add(n);
+}
+
+void SyncFile(std::FILE* file) {
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(::fileno(file));
+#else
+  (void)file;
+#endif
+}
+
+// All spool-writer state lives behind the singleton so the flusher thread,
+// Status() callers (expo server, worker health), and Stop() share one lock.
+struct SpoolState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread flusher;
+  bool active = false;
+  bool stopping = false;
+  std::FILE* file = nullptr;
+  std::string path;
+  std::uint64_t flush_interval_ms = 200;
+  std::uint64_t spans_spooled = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t errors = 0;
+};
+
+SpoolState& State() {
+  static SpoolState* state = new SpoolState();  // never destroyed
+  return *state;
+}
+
+// Appends every drained span as one line, then makes the batch durable.
+// Called with the state lock held (drain itself takes only recorder locks).
+void FlushLocked(SpoolState& state) {
+  if (state.file == nullptr) return;
+  const std::vector<TraceEvent> events =
+      TraceRecorder::Global().DrainEvents();
+  if (events.empty()) return;
+  std::string batch;
+  for (const TraceEvent& event : events) {
+    batch += TraceSpoolEventLine(event);
+  }
+  if (std::fwrite(batch.data(), 1, batch.size(), state.file) != batch.size() ||
+      std::fflush(state.file) != 0) {
+    ++state.errors;
+    Bump("tsdist.trace.spool_errors");
+    return;
+  }
+  SyncFile(state.file);
+  state.spans_spooled += events.size();
+  ++state.flushes;
+  Bump("tsdist.trace.spooled_spans", events.size());
+  Bump("tsdist.trace.spool_flushes");
+}
+
+#if !defined(TSDIST_OBS_NOOP)
+bool RotateExisting(const std::string& dir, const std::string& proc,
+                    const std::string& path, std::string* error) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) ||
+      std::filesystem::file_size(path, ec) == 0) {
+    return true;
+  }
+  for (unsigned r = 1; r < 1000; ++r) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".r%03u.trace.jsonl", r);
+    const std::string rotated = dir + "/" + proc + suffix;
+    if (std::filesystem::exists(rotated, ec)) continue;
+    std::filesystem::rename(path, rotated, ec);
+    if (ec) {
+      *error = "cannot rotate existing spool " + path + ": " + ec.message();
+      return false;
+    }
+    return true;
+  }
+  *error = "cannot rotate existing spool " + path + ": 999 rotations exist";
+  return false;
+}
+#endif  // !TSDIST_OBS_NOOP
+
+}  // namespace
+
+std::string TraceRunIdFromBytes(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, h);
+  return buf;
+}
+
+std::string TraceSpoolHeaderLine(const TraceContext& context,
+                                 const WallAnchor& anchor, std::uint32_t pid) {
+  std::ostringstream os;
+  os << "{\"schema\": \"" << kTraceSpoolSchema << "\", \"run_id\": \""
+     << JsonEscape(context.run_id) << "\", \"role\": \""
+     << JsonEscape(context.role) << "\", \"worker\": \""
+     << JsonEscape(context.worker_id) << "\", \"pid\": " << pid
+     << ", \"epoch\": " << context.epoch
+     << ", \"anchor_wall_us\": " << anchor.wall_us << "}\n";
+  return os.str();
+}
+
+std::string TraceSpoolEventLine(const TraceEvent& event) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << JsonEscape(event.name) << "\", \"cat\": \""
+     << JsonEscape(event.category) << "\", \"ts_ns\": " << event.ts_ns
+     << ", \"dur_ns\": " << event.dur_ns << ", \"tid\": " << event.tid
+     << ", \"id\": " << event.id << ", \"parent\": " << event.parent;
+  if (event.instant) os << ", \"ph\": \"i\"";
+  if (!event.args.empty()) {
+    os << ", \"args\": {";
+    bool first = true;
+    for (const TraceArg& arg : event.args) {
+      os << (first ? "" : ", ") << "\"" << JsonEscape(arg.key) << "\": ";
+      if (arg.is_string) {
+        os << "\"" << JsonEscape(arg.value) << "\"";
+      } else {
+        os << arg.value;
+      }
+      first = false;
+    }
+    os << "}";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+TraceSpool& TraceSpool::Global() {
+  static TraceSpool* spool = new TraceSpool();  // never destroyed
+  return *spool;
+}
+
+bool TraceSpool::Start(const TraceSpoolOptions& options, std::string* error) {
+#if defined(TSDIST_OBS_NOOP)
+  (void)options;
+  *error = "tracing is compiled out (TSDIST_OBS_NOOP)";
+  return false;
+#else
+  if (options.proc.empty() ||
+      options.proc.find('/') != std::string::npos) {
+    *error = "spool proc name must be non-empty and '/'-free, got '" +
+             options.proc + "'";
+    return false;
+  }
+  SpoolState& state = State();
+  std::unique_lock<std::mutex> lock(state.mu);
+  if (state.active) {
+    *error = "trace spool already active at " + state.path;
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    *error = "cannot create spool dir " + options.dir + ": " + ec.message();
+    return false;
+  }
+  const std::string path = options.dir + "/" + options.proc + ".trace.jsonl";
+  if (!RotateExisting(options.dir, options.proc, path, error)) return false;
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    *error = "cannot open spool file " + path;
+    return false;
+  }
+
+  // Tracing on before the header so the anchor is pinned by the time it is
+  // rendered; the header is durable before the first span can possibly be.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetEnabled(true);
+  const std::string header = TraceSpoolHeaderLine(
+      recorder.context(), recorder.anchor(), OwnPid());
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+      std::fflush(file) != 0) {
+    std::fclose(file);
+    *error = "cannot write spool header to " + path;
+    return false;
+  }
+  SyncFile(file);
+
+  state.file = file;
+  state.path = path;
+  state.flush_interval_ms =
+      options.flush_interval_ms > 0 ? options.flush_interval_ms : 200;
+  state.spans_spooled = 0;
+  state.flushes = 0;
+  state.errors = 0;
+  state.active = true;
+  state.stopping = false;
+  state.flusher = std::thread([&state] {
+    std::unique_lock<std::mutex> flusher_lock(state.mu);
+    while (!state.stopping) {
+      state.cv.wait_for(flusher_lock,
+                        std::chrono::milliseconds(state.flush_interval_ms),
+                        [&state] { return state.stopping; });
+      if (state.stopping) break;
+      FlushLocked(state);
+    }
+  });
+  return true;
+#endif
+}
+
+void TraceSpool::Stop() {
+  SpoolState& state = State();
+  std::thread flusher;
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    if (!state.active) return;
+    state.stopping = true;
+    flusher = std::move(state.flusher);
+  }
+  state.cv.notify_all();
+  if (flusher.joinable()) flusher.join();
+  std::unique_lock<std::mutex> lock(state.mu);
+  FlushLocked(state);  // final drain: spans completed since the last tick
+  if (state.file != nullptr) {
+    std::fflush(state.file);
+    SyncFile(state.file);
+    std::fclose(state.file);
+    state.file = nullptr;
+  }
+  state.active = false;
+  state.stopping = false;
+}
+
+TraceSpool::Status TraceSpool::status() const {
+  SpoolState& state = State();
+  std::unique_lock<std::mutex> lock(state.mu);
+  Status status;
+  status.active = state.active;
+  status.spans_spooled = state.spans_spooled;
+  status.flushes = state.flushes;
+  status.errors = state.errors;
+  status.path = state.path;
+  return status;
+}
+
+bool ReadTraceSpool(const std::string& path, TraceSpoolContents* out,
+                    std::string* error) {
+  *out = TraceSpoolContents{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string data = content.str();
+
+  std::size_t pos = 0;
+  bool have_header = false;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) break;  // unterminated final line: torn
+    const std::string line = data.substr(pos, nl - pos);
+    if (!have_header) {
+      // The header is fsynced before any span; a file whose first line is
+      // not a valid header is not a spool (or died before Start finished).
+      try {
+        const JsonValue v = ParseJson(line);
+        if (v.GetString("schema", "") != kTraceSpoolSchema) {
+          *error = path + ": first line is not a " +
+                   std::string(kTraceSpoolSchema) + " header";
+          return false;
+        }
+        out->header.run_id = v.GetString("run_id", "");
+        out->header.role = v.GetString("role", "");
+        out->header.worker = v.GetString("worker", "");
+        out->header.pid = static_cast<std::uint32_t>(v.GetDouble("pid", 0));
+        out->header.anchor_wall_us =
+            static_cast<std::uint64_t>(v.GetDouble("anchor_wall_us", 0));
+      } catch (const std::exception&) {
+        *error = path + ": unparseable spool header";
+        return false;
+      }
+      have_header = true;
+      ++out->valid_lines;
+      pos = nl + 1;
+      continue;
+    }
+    TraceEvent event;
+    bool parsed = false;
+    try {
+      const JsonValue v = ParseJson(line);
+      const JsonValue* name = v.Find("name");
+      const JsonValue* ts = v.Find("ts_ns");
+      if (name != nullptr && name->is_string() && ts != nullptr &&
+          ts->is_number()) {
+        event.name = name->AsString();
+        event.category = v.GetString("cat", "");
+        event.ts_ns = static_cast<std::uint64_t>(ts->AsDouble());
+        event.dur_ns = static_cast<std::uint64_t>(v.GetDouble("dur_ns", 0));
+        event.tid = static_cast<std::uint32_t>(v.GetDouble("tid", 0));
+        event.id = static_cast<std::int64_t>(v.GetDouble("id", -1));
+        event.parent = static_cast<std::int64_t>(v.GetDouble("parent", -1));
+        event.instant = v.GetString("ph", "") == "i";
+        if (const JsonValue* args = v.Find("args");
+            args != nullptr && args->is_object()) {
+          for (const auto& member : args->AsObject()) {
+            TraceArg arg;
+            arg.key = member.first;
+            if (member.second.is_string()) {
+              arg.value = member.second.AsString();
+              arg.is_string = true;
+            } else if (member.second.is_bool()) {
+              arg.value = member.second.AsBool() ? "true" : "false";
+              arg.is_string = false;
+            } else if (member.second.is_number()) {
+              char buf[40];
+              std::snprintf(buf, sizeof buf, "%.17g",
+                            member.second.AsDouble());
+              arg.value = buf;
+              arg.is_string = false;
+            } else {
+              continue;
+            }
+            event.args.push_back(std::move(arg));
+          }
+        }
+        parsed = true;
+      }
+    } catch (const std::exception&) {
+      parsed = false;
+    }
+    if (!parsed) break;  // torn tail starts at this line
+    out->events.push_back(std::move(event));
+    ++out->valid_lines;
+    pos = nl + 1;
+  }
+  if (!have_header) {
+    *error = path + ": no complete header line (died before Start finished)";
+    return false;
+  }
+  // Whatever follows the valid prefix is the kill tail: count lines (a
+  // trailing fragment without '\n' counts as one) and bytes, never reject.
+  out->torn_bytes = data.size() - pos;
+  for (std::size_t p = pos; p < data.size();) {
+    ++out->torn_lines;
+    const std::size_t nl = data.find('\n', p);
+    if (nl == std::string::npos) break;
+    p = nl + 1;
+  }
+  return true;
+}
+
+}  // namespace tsdist::obs

@@ -1,0 +1,116 @@
+// Crash-durable span spooling: the tsdist.tracespool.v1 wire format and the
+// process-wide flusher that feeds it (docs/TRACING.md).
+//
+// A fleet process (coordinator, shard worker, merge, or a single-process
+// driver) does not export its trace at clean exit — a SIGKILL'd worker has
+// no clean exit. Instead a background flusher periodically drains completed
+// spans out of the TraceRecorder and appends them, one JSON line each, to
+// <dir>/<proc>.trace.jsonl with an fsync per batch. Like the lease log, the
+// spool is an append-only file whose readers consume the valid prefix: a
+// kill mid-append leaves at most one torn final line, which trace_merge and
+// ReadTraceSpool() count and skip rather than reject.
+//
+// Wire format (line-delimited JSON):
+//   line 1   header: {"schema": "tsdist.tracespool.v1", "run_id": ...,
+//            "role": ..., "worker": ..., "pid": N, "anchor_wall_us": N}
+//   line 2+  events: {"name": ..., "cat": ..., "ts_ns": N, "dur_ns": N,
+//            "tid": N, "id": N, "parent": N[, "ph": "i"][, "args": {...}]}
+//
+// ts_ns/dur_ns are CLOCK_MONOTONIC nanoseconds relative to this process's
+// recorder epoch; anchor_wall_us is CLOCK_REALTIME microseconds sampled at
+// that same epoch, so the absolute wall-clock start of an event is
+// anchor_wall_us + ts_ns/1000 — the common ruler trace_merge aligns every
+// process's spool onto.
+
+#ifndef TSDIST_OBS_TRACE_SPOOL_H_
+#define TSDIST_OBS_TRACE_SPOOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace tsdist::obs {
+
+inline constexpr char kTraceSpoolSchema[] = "tsdist.tracespool.v1";
+
+/// Derives a fleet-shared run id from identity bytes (FNV-1a, hex). Shard
+/// processes hash the published plan file so every process of one sweep —
+/// coordinator, workers, merge — lands on the same id without coordination.
+std::string TraceRunIdFromBytes(const std::string& bytes);
+
+/// Renders the spool header line (newline-terminated) for this process.
+std::string TraceSpoolHeaderLine(const TraceContext& context,
+                                 const WallAnchor& anchor, std::uint32_t pid);
+
+/// Renders one event line (newline-terminated). Perf readings are an
+/// in-memory export detail and are not spooled.
+std::string TraceSpoolEventLine(const TraceEvent& event);
+
+struct TraceSpoolOptions {
+  std::string dir;   ///< spool directory, e.g. <checkpoint>/trace
+  std::string proc;  ///< file stem ("coordinator", worker id, ...); no '/'
+  std::uint64_t flush_interval_ms = 200;
+};
+
+/// Process-wide spool writer. Start() enables tracing, writes the header,
+/// and launches the flusher thread; Stop() performs a final drain and
+/// closes the file. Exactly one spool per process.
+class TraceSpool {
+ public:
+  static TraceSpool& Global();
+
+  /// Opens <dir>/<proc>.trace.jsonl and starts flushing. An existing
+  /// non-empty spool under the same name (a restarted worker id) is rotated
+  /// aside to <proc>.rNNN.trace.jsonl first — never truncated, because a
+  /// fenced zombie may still hold the descriptor, and its rotated stream
+  /// remains a self-contained spool for trace_merge. Returns false (with
+  /// *error) on I/O failure or under TSDIST_OBS_NOOP.
+  bool Start(const TraceSpoolOptions& options, std::string* error);
+
+  /// Final drain + fsync + join; idempotent, safe without a prior Start.
+  void Stop();
+
+  struct Status {
+    bool active = false;
+    std::uint64_t spans_spooled = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t errors = 0;
+    std::string path;
+  };
+  Status status() const;
+
+ private:
+  TraceSpool() = default;
+};
+
+/// Parsed identity of one spool file.
+struct TraceSpoolHeader {
+  std::string run_id;
+  std::string role;
+  std::string worker;
+  std::uint32_t pid = 0;
+  std::uint64_t anchor_wall_us = 0;
+};
+
+/// One spool file decoded by the valid-prefix rule.
+struct TraceSpoolContents {
+  TraceSpoolHeader header;
+  std::vector<TraceEvent> events;
+  std::size_t valid_lines = 0;  ///< header + parsed event lines
+  std::size_t torn_lines = 0;   ///< lines after the valid prefix (kill tail)
+  std::size_t torn_bytes = 0;   ///< bytes after the valid prefix
+};
+
+/// Reads a spool file the way the lease reader reads leases: consume lines
+/// while they parse (a final line without a terminating newline is torn by
+/// definition), then count — never reject — whatever follows. Returns false
+/// (with *error) only when the file is unreadable or its first line is not
+/// a tsdist.tracespool.v1 header; a torn tail is success.
+bool ReadTraceSpool(const std::string& path, TraceSpoolContents* out,
+                    std::string* error);
+
+}  // namespace tsdist::obs
+
+#endif  // TSDIST_OBS_TRACE_SPOOL_H_

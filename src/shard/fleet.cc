@@ -20,7 +20,8 @@ std::string WorkerHealthToJson(const WorkerHealth& health) {
      << "\", \"shard\": " << health.shard << ", \"epoch\": " << health.epoch
      << ", \"cells\": {\"done\": " << health.cells_done
      << ", \"total\": " << health.cells_total
-     << "}, \"wall_ms\": " << health.wall_ms << "}\n";
+     << "}, \"spans_spooled\": " << health.spans_spooled
+     << ", \"wall_ms\": " << health.wall_ms << "}\n";
   return os.str();
 }
 
@@ -48,7 +49,8 @@ std::string AggregateFleetHealth(const std::string& checkpoint_dir,
   }
   std::sort(files.begin(), files.end());
 
-  std::size_t live = 0, stale = 0;
+  std::size_t live = 0, stale = 0, spooling = 0;
+  std::uint64_t spooled_spans = 0;
   std::ostringstream workers;
   bool first = true;
   for (const std::string& path : files) {
@@ -71,6 +73,8 @@ std::string AggregateFleetHealth(const std::string& checkpoint_dir,
         h.cells_total =
             static_cast<std::uint64_t>(cells->GetDouble("total", 0));
       }
+      h.spans_spooled =
+          static_cast<std::uint64_t>(v.GetDouble("spans_spooled", 0));
       h.wall_ms = static_cast<std::uint64_t>(v.GetDouble("wall_ms", 0));
     } catch (const std::exception&) {
       continue;  // torn or foreign file; the fleet view skips it
@@ -83,13 +87,16 @@ std::string AggregateFleetHealth(const std::string& checkpoint_dir,
     } else {
       ++live;
     }
+    if (h.spans_spooled > 0) ++spooling;
+    spooled_spans += h.spans_spooled;
     workers << (first ? "\n" : ",\n") << "    {\"worker\": \""
             << JsonEscape(h.worker) << "\", \"pid\": " << h.pid
             << ", \"phase\": \"" << JsonEscape(h.phase)
             << "\", \"shard\": " << h.shard << ", \"epoch\": " << h.epoch
             << ", \"cells\": {\"done\": " << h.cells_done
-            << ", \"total\": " << h.cells_total << "}, \"age_sec\": "
-            << FormatG17(age_sec) << ", \"stale\": "
+            << ", \"total\": " << h.cells_total
+            << "}, \"spans_spooled\": " << h.spans_spooled
+            << ", \"age_sec\": " << FormatG17(age_sec) << ", \"stale\": "
             << (is_stale ? "true" : "false") << "}";
     first = false;
   }
@@ -99,6 +106,8 @@ std::string AggregateFleetHealth(const std::string& checkpoint_dir,
      << "  \"stale_after_sec\": " << FormatG17(stale_sec) << ",\n"
      << "  \"summary\": {\"workers\": " << (live + stale)
      << ", \"live\": " << live << ", \"stale\": " << stale << "},\n"
+     << "  \"trace\": {\"spooling_workers\": " << spooling
+     << ", \"spooled_spans\": " << spooled_spans << "},\n"
      << "  \"workers\": [" << workers.str() << (first ? "" : "\n  ")
      << "]\n}\n";
   return os.str();

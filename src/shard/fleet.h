@@ -33,6 +33,7 @@ struct WorkerHealth {
   std::uint32_t epoch = 0;      ///< lease epoch of that shard; 0 = none
   std::uint64_t cells_done = 0;
   std::uint64_t cells_total = 0;
+  std::uint64_t spans_spooled = 0;  ///< spans durably spooled (0 = no spool)
   std::uint64_t wall_ms = 0;    ///< snapshot wall time (WallMs())
 };
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/obs/json.h"
+#include "src/obs/trace.h"
 #include "src/resilience/checkpoint.h"
 #include "src/shard/cell_log.h"
 #include "src/shard/lease.h"
@@ -192,6 +193,8 @@ std::string ShardDirPath(const std::string& checkpoint_dir, std::size_t id) {
 
 bool WriteShardPlan(const std::string& checkpoint_dir, const ShardPlan& plan,
                     std::string* error) {
+  obs::TraceSpan publish_span("shard.plan_publish", "shard");
+  publish_span.Arg("shards", static_cast<std::uint64_t>(plan.shards.size()));
   const std::string rendered = PlanToJson(plan);
   const std::string path = PlanPath(checkpoint_dir);
   if (std::filesystem::exists(path)) {

@@ -5,6 +5,7 @@
 
 #include "src/obs/json.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/resilience/checkpoint.h"
 #include "src/resilience/fault.h"
 #include "src/shard/lease.h"
@@ -26,6 +27,8 @@ bool MergeShards(const std::string& checkpoint_dir, const ShardPlan& plan,
                  MergeReport* report, std::string* error) {
   *report = MergeReport{};
   report->shards = plan.shards.size();
+  obs::TraceSpan merge_span("shard.merge", "shard");
+  merge_span.Arg("shards", static_cast<std::uint64_t>(plan.shards.size()));
 
   // Canonical index -> (raw line, parsed outcome). The raw line is reused
   // verbatim so the merged bytes are exactly the worker's bytes (which are
@@ -139,6 +142,7 @@ bool MergeShards(const std::string& checkpoint_dir, const ShardPlan& plan,
   }
   Bump("tsdist.shard.merges");
   Bump("tsdist.shard.merged_cells", report->lines);
+  merge_span.Arg("lines", static_cast<std::uint64_t>(report->lines));
   return true;
 }
 

@@ -15,6 +15,8 @@
 #include "src/obs/health.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_spool.h"
 #include "src/resilience/checkpoint.h"
 #include "src/resilience/fault.h"
 #include "src/shard/cell_log.h"
@@ -200,6 +202,13 @@ ShardRun RunShard(const ShardPlan& plan, const std::vector<Dataset>& datasets,
   const std::string shard_dir =
       ShardDirPath(options.checkpoint_dir, shard);
   const std::uint32_t epoch = lease->epoch();
+  // The fencing epoch rides along in the trace context so spans recorded
+  // from here on (and the spool header of a restarted worker) name it.
+  obs::TraceRecorder::Global().set_context_epoch(epoch);
+  obs::TraceSpan run_span("shard.run", "shard");
+  run_span.Arg("shard", static_cast<std::uint64_t>(shard));
+  run_span.Arg("epoch", static_cast<std::uint64_t>(epoch));
+  run_span.Arg("worker", options.worker_id);
   const std::string epoch_dir = shard_dir + "/" + EpochDirName(epoch);
   std::error_code ec;
   std::filesystem::create_directories(epoch_dir, ec);
@@ -256,6 +265,10 @@ ShardRun RunShard(const ShardPlan& plan, const std::vector<Dataset>& datasets,
         break;
       }
       Bump("tsdist.shard.heartbeats");
+      obs::TraceRecorder::Global().Instant(
+          "shard.heartbeat", "shard",
+          {{"shard", std::to_string(shard), false},
+           {"epoch", std::to_string(epoch), false}});
       WorkerHealth health;
       health.worker = options.worker_id;
       health.pid = OwnPid();
@@ -264,6 +277,7 @@ ShardRun RunShard(const ShardPlan& plan, const std::vector<Dataset>& datasets,
       health.epoch = epoch;
       health.cells_done = cells_done.load(std::memory_order_relaxed);
       health.cells_total = cells.size();
+      health.spans_spooled = obs::TraceSpool::Global().status().spans_spooled;
       health.wall_ms = WallMs();
       WriteWorkerHealth(options.checkpoint_dir, health);
       lock.lock();
@@ -293,8 +307,9 @@ ShardRun RunShard(const ShardPlan& plan, const std::vector<Dataset>& datasets,
       lease->Close();
       return ShardRun::kLost;
     }
-    const std::string key = CellKey(datasets[cell.dataset].name(),
-                                    plan.measures[cell.measure]);
+    const std::string& dataset_name = datasets[cell.dataset].name();
+    const std::string& measure_name = plan.measures[cell.measure];
+    const std::string key = CellKey(dataset_name, measure_name);
     const auto it = salvaged.find(key);
     CellOutcome out;
     if (it != salvaged.end()) {
@@ -305,11 +320,25 @@ ShardRun RunShard(const ShardPlan& plan, const std::vector<Dataset>& datasets,
       ++salvage_count;
       ++stats->cells_salvaged;
       Bump("tsdist.shard.cells_salvaged");
+      obs::TraceRecorder::Global().Instant(
+          "shard.salvage", "shard",
+          {{"dataset", dataset_name}, {"measure", measure_name},
+           {"shard", std::to_string(shard), false}});
     } else {
-      obs::HealthState::Global().SetCurrentCell(
-          datasets[cell.dataset].name() + "/" + plan.measures[cell.measure]);
+      obs::HealthState::Global().SetCurrentCell(dataset_name + "/" +
+                                               measure_name);
+      // The cell span is what trace_merge attributes busy time and
+      // stragglers to; it covers the selftest sleep so smoke-scale sweeps
+      // have honest per-cell durations.
+      obs::TraceSpan cell_span(
+          "shard.cell/" + dataset_name + "/" + measure_name, "shard");
+      cell_span.Arg("dataset", dataset_name);
+      cell_span.Arg("measure", measure_name);
+      cell_span.Arg("shard", static_cast<std::uint64_t>(shard));
+      cell_span.Arg("epoch", static_cast<std::uint64_t>(epoch));
       out = ComputeCell(plan, datasets, engine, cell, epoch_dir,
                         options.cancel);
+      cell_span.Arg("ok", out.status == EvalStatus::kOk);
       if (out.status == EvalStatus::kInterrupted) {
         stop_heartbeat();
         std::string release_error;
@@ -422,6 +451,7 @@ bool RunShardWorker(const ShardPlan& plan,
     health.worker = options.worker_id;
     health.pid = OwnPid();
     health.phase = phase;
+    health.spans_spooled = obs::TraceSpool::Global().status().spans_spooled;
     health.wall_ms = WallMs();
     WriteWorkerHealth(options.checkpoint_dir, health);
     obs::HealthState::Global().SetFleetJson(AggregateFleetHealth(
@@ -463,6 +493,10 @@ bool RunShardWorker(const ShardPlan& plan,
           WriteQuarantine(shard_dir, s, plan.retry_max, options.worker_id);
           ++stats->shards_quarantined;
           Bump("tsdist.shard.quarantined");
+          obs::TraceRecorder::Global().Instant(
+              "shard.quarantine", "shard",
+              {{"shard", std::to_string(s), false},
+               {"epochs_tried", std::to_string(plan.retry_max), false}});
           TSDIST_LOG(obs::LogLevel::kError, "shard quarantined",
                      obs::F("shard", static_cast<std::uint64_t>(s)),
                      obs::F("epochs_tried",
@@ -476,6 +510,10 @@ bool RunShardWorker(const ShardPlan& plan,
                             options.worker_id, &lease, &acquire_error);
         if (acquired == LeaseAcquire::kConflict) {
           Bump("tsdist.shard.conflicts");
+          obs::TraceRecorder::Global().Instant(
+              "shard.conflict", "shard",
+              {{"shard", std::to_string(s), false},
+               {"epoch", std::to_string(views[s].claim_epoch), false}});
           continue;  // another worker won this epoch; move on
         }
         if (acquired == LeaseAcquire::kError) {
@@ -483,12 +521,27 @@ bool RunShardWorker(const ShardPlan& plan,
           return false;
         }
         Bump("tsdist.shard.claims");
+        obs::TraceRecorder::Global().Instant(
+            "shard.claim", "shard",
+            {{"shard", std::to_string(s), false},
+             {"epoch", std::to_string(views[s].claim_epoch), false},
+             {"stolen", want == ShardClass::kStealable ? "true" : "false",
+              false},
+             {"reclaimed", views[s].reclaim ? "true" : "false", false}});
         if (want == ShardClass::kStealable) {
           ++stats->shards_stolen;
           Bump("tsdist.shard.steals");
+          obs::TraceRecorder::Global().Instant(
+              "shard.steal", "shard",
+              {{"shard", std::to_string(s), false},
+               {"epoch", std::to_string(views[s].claim_epoch), false}});
         } else if (views[s].reclaim) {
           ++stats->shards_reclaimed;
           Bump("tsdist.shard.reclaims");
+          obs::TraceRecorder::Global().Instant(
+              "shard.reclaim", "shard",
+              {{"shard", std::to_string(s), false},
+               {"epoch", std::to_string(views[s].claim_epoch), false}});
         }
         TSDIST_LOG(obs::LogLevel::kInfo, "shard claimed",
                    obs::F("shard", static_cast<std::uint64_t>(s)),

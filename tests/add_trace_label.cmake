@@ -1,0 +1,22 @@
+# Appends the `obs` and `trace` labels to every test discovered from the
+# distributed-tracing binary (test_trace_spool), so CI can run the
+# fleet-tracing suite alone (ctest -L trace / the `trace` test preset) or as
+# part of the observability selection (ctest -L obs). Same
+# TEST_INCLUDE_FILES technique as add_shard_label.cmake (which see): the
+# full label list is substituted at configure time (@TSDIST_TEST_LABELS@),
+# and this script's glob is disjoint from the other label scripts' globs, so
+# relative ordering among them does not matter.
+file(GLOB _tsdist_trace_files
+     "${CMAKE_CURRENT_LIST_DIR}/test_trace*_tests.cmake")
+foreach(_file IN LISTS _tsdist_trace_files)
+  file(STRINGS "${_file}" _add_test_lines REGEX "^add_test")
+  foreach(_line IN LISTS _add_test_lines)
+    # add_test([=[SuiteName.TestName]=] ...)
+    if(_line MATCHES "^add_test\\(\\[=\\[(.+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "@TSDIST_TEST_LABELS@;obs;trace")
+    endif()
+  endforeach()
+endforeach()
+unset(_tsdist_trace_files)
+unset(_add_test_lines)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -232,6 +234,113 @@ TEST_F(ObsTest, TraceDisabledRecordsNothing) {
   auto& recorder = obs::TraceRecorder::Global();
   { obs::TraceSpan span("ignored"); }
   EXPECT_TRUE(recorder.Events().empty());
+}
+
+// Golden check of the Chrome export's time rendering: per the trace-event
+// spec ts/dur are MICROSECONDS, and they must be rendered as fixed-point
+// ns/1000 with a 3-digit fraction — never through default double
+// formatting, which collapses to 6 significant digits (a 1.2345678-second
+// timestamp would round to the wrong millisecond) or flips to scientific
+// notation.
+TEST_F(ObsTest, TraceChromeJsonRendersMicrosecondsFixedPoint) {
+#if defined(TSDIST_OBS_NOOP)
+  GTEST_SKIP() << "tracing compiled out in TSDIST_OBS_NOOP builds";
+#else
+  auto& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(true);
+  { obs::TraceSpan span("golden"); }
+  recorder.SetEnabled(false);
+  const std::string json = recorder.ToChromeJson();
+  // No scientific notation anywhere in a ts/dur value: every occurrence
+  // must be the exact fixed-point string computed below.
+  for (const auto& event : recorder.Events()) {
+    char ts[48], dur[48];
+    std::snprintf(ts, sizeof ts, "\"ts\": %llu.%03llu",
+                  static_cast<unsigned long long>(event.ts_ns / 1000),
+                  static_cast<unsigned long long>(event.ts_ns % 1000));
+    std::snprintf(dur, sizeof dur, "\"dur\": %llu.%03llu",
+                  static_cast<unsigned long long>(event.dur_ns / 1000),
+                  static_cast<unsigned long long>(event.dur_ns % 1000));
+    EXPECT_NE(json.find(ts), std::string::npos)
+        << ts << " not found for ts_ns=" << event.ts_ns;
+    EXPECT_NE(json.find(dur), std::string::npos)
+        << dur << " not found for dur_ns=" << event.dur_ns;
+  }
+#endif
+}
+
+TEST_F(ObsTest, TraceInstantAndArgsRenderInChromeJson) {
+#if defined(TSDIST_OBS_NOOP)
+  GTEST_SKIP() << "tracing compiled out in TSDIST_OBS_NOOP builds";
+#else
+  auto& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(true);
+  {
+    obs::TraceSpan span("annotated");
+    span.Arg("dataset", "Coffee \"arabica\"");
+    span.Arg("shard", std::uint64_t{3});
+    span.Arg("ok", true);
+  }
+  recorder.Instant("shard.claim", "shard",
+                   {{"epoch", "2", false}});
+  recorder.SetEnabled(false);
+
+  const std::string json = recorder.ToChromeJson();
+  // String args are escaped and quoted; numeric/bool args are raw JSON.
+  EXPECT_NE(json.find("\"dataset\": \"Coffee \\\"arabica\\\"\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shard\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos) << json;
+  // Instants render as "ph":"i" with thread scope and carry their args.
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"epoch\": 2"), std::string::npos) << json;
+
+  const auto events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_instant = false;
+  for (const auto& event : events) {
+    if (event.instant) {
+      saw_instant = true;
+      EXPECT_EQ(event.name, "shard.claim");
+      EXPECT_EQ(event.dur_ns, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+#endif
+}
+
+TEST_F(ObsTest, TraceContextAndAnchorCarryFleetIdentity) {
+#if defined(TSDIST_OBS_NOOP)
+  GTEST_SKIP() << "tracing compiled out in TSDIST_OBS_NOOP builds";
+#else
+  auto& recorder = obs::TraceRecorder::Global();
+  obs::TraceContext context;
+  context.run_id = "f00dfeedbeefcafe";
+  context.role = "worker";
+  context.worker_id = "w1";
+  context.epoch = 1;
+  recorder.SetContext(context);
+  recorder.set_context_epoch(7);  // a reclaim moves the fencing epoch
+
+  const obs::TraceContext seen = recorder.context();
+  EXPECT_EQ(seen.run_id, "f00dfeedbeefcafe");
+  EXPECT_EQ(seen.role, "worker");
+  EXPECT_EQ(seen.worker_id, "w1");
+  EXPECT_EQ(seen.epoch, 7u);
+
+  // The wall anchor is pinned with the recorder epoch and stable: spans
+  // from this process land on the fleet timeline at wall_us + ts_ns/1000.
+  recorder.SetEnabled(true);
+  const obs::WallAnchor anchor = recorder.anchor();
+  EXPECT_GT(anchor.wall_us, 0u);
+  const obs::WallAnchor again = recorder.anchor();
+  EXPECT_EQ(anchor.wall_us, again.wall_us);
+  EXPECT_EQ(anchor.mono_ns, again.mono_ns);
+  recorder.SetEnabled(false);
+  recorder.SetContext(obs::TraceContext{});
+#endif
 }
 
 TEST_F(ObsTest, ProgressReporterCountsAndRenders) {

@@ -1,0 +1,409 @@
+// Unit tests for the crash-durable span spool (src/obs/trace_spool.*): the
+// tsdist.tracespool.v1 wire format, the valid-prefix torn-tail reader (a
+// SIGKILL mid-append must never cost more than the torn final line), spool
+// rotation for restarted worker ids, and the recorder drain semantics the
+// flusher is built on.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/obs.h"
+#include "src/obs/trace_spool.h"
+
+namespace tsdist {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::ReadTraceSpool;
+using obs::TraceArg;
+using obs::TraceContext;
+using obs::TraceEvent;
+using obs::TraceRecorder;
+using obs::TraceRunIdFromBytes;
+using obs::TraceSpool;
+using obs::TraceSpoolContents;
+using obs::TraceSpoolEventLine;
+using obs::TraceSpoolHeaderLine;
+using obs::TraceSpoolOptions;
+using obs::WallAnchor;
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Only the spool-writer tests (compiled out under TSDIST_OBS_NOOP) read
+// files back.
+[[maybe_unused]] std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class TraceSpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("trace_spool_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceSpool::Global().Stop();
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().SetContext(TraceContext{});
+    fs::remove_all(dir_);
+  }
+  std::string Dir(const std::string& sub = "") const {
+    return sub.empty() ? dir_.string() : (dir_ / sub).string();
+  }
+
+  fs::path dir_;
+};
+
+// ------------------------------------------------------------------ run id
+
+TEST_F(TraceSpoolTest, RunIdMatchesFnv1aReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors: the run id must stay stable
+  // across builds because it is the key trace_merge groups a fleet by.
+  EXPECT_EQ(TraceRunIdFromBytes(""), "cbf29ce484222325");
+  EXPECT_EQ(TraceRunIdFromBytes("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(TraceRunIdFromBytes("foobar"), "85944171f73967e8");
+  // Deterministic, and sensitive to every byte.
+  EXPECT_EQ(TraceRunIdFromBytes("plan"), TraceRunIdFromBytes("plan"));
+  EXPECT_NE(TraceRunIdFromBytes("plan"), TraceRunIdFromBytes("plam"));
+  EXPECT_EQ(TraceRunIdFromBytes("plan").size(), 16u);
+}
+
+// ------------------------------------------------------------- wire format
+
+TraceContext TestContext() {
+  TraceContext context;
+  context.run_id = "f00dfeedbeefcafe";
+  context.role = "worker";
+  context.worker_id = "w\"1";  // the quote must be escaped in the header
+  context.epoch = 3;
+  return context;
+}
+
+TEST_F(TraceSpoolTest, HeaderLineRoundTripsThroughReader) {
+  WallAnchor anchor;
+  anchor.wall_us = 1718000000000000ull;
+  anchor.mono_ns = 42;
+  const std::string header = TraceSpoolHeaderLine(TestContext(), anchor, 777);
+  ASSERT_FALSE(header.empty());
+  EXPECT_EQ(header.back(), '\n');
+
+  const std::string path = Dir("header.trace.jsonl");
+  WriteFile(path, header);
+  TraceSpoolContents contents;
+  std::string error;
+  ASSERT_TRUE(ReadTraceSpool(path, &contents, &error)) << error;
+  EXPECT_EQ(contents.header.run_id, "f00dfeedbeefcafe");
+  EXPECT_EQ(contents.header.role, "worker");
+  EXPECT_EQ(contents.header.worker, "w\"1");
+  EXPECT_EQ(contents.header.pid, 777u);
+  EXPECT_EQ(contents.header.anchor_wall_us, 1718000000000000ull);
+  EXPECT_TRUE(contents.events.empty());
+  EXPECT_EQ(contents.valid_lines, 1u);
+  EXPECT_EQ(contents.torn_lines, 0u);
+}
+
+TEST_F(TraceSpoolTest, EventLineRendersInstantMarkerAndArgs) {
+  TraceEvent event;
+  event.name = "shard.claim";
+  event.category = "shard";
+  event.ts_ns = 1234567;
+  event.dur_ns = 0;
+  event.tid = 2;
+  event.id = 9;
+  event.parent = 4;
+  event.instant = true;
+  event.args = {{"worker", "w\"1", true},
+                {"shard", "3", false},
+                {"stolen", "true", false}};
+  const std::string line = TraceSpoolEventLine(event);
+  EXPECT_NE(line.find("\"ph\": \"i\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"worker\": \"w\\\"1\""), std::string::npos) << line;
+  // Non-string args are raw JSON literals, never quoted.
+  EXPECT_NE(line.find("\"shard\": 3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"stolen\": true"), std::string::npos) << line;
+
+  TraceEvent complete = event;
+  complete.instant = false;
+  complete.dur_ns = 500;
+  complete.args.clear();
+  const std::string span_line = TraceSpoolEventLine(complete);
+  EXPECT_EQ(span_line.find("\"ph\""), std::string::npos) << span_line;
+  EXPECT_EQ(span_line.find("\"args\""), std::string::npos) << span_line;
+}
+
+TEST_F(TraceSpoolTest, SpoolRoundTripsEventsThroughReader) {
+  WallAnchor anchor;
+  anchor.wall_us = 1000000;
+  std::string data = TraceSpoolHeaderLine(TestContext(), anchor, 1);
+
+  std::vector<TraceEvent> events(3);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].name = "shard.cell/Coffee/euclidean";
+    events[i].category = "shard";
+    events[i].ts_ns = 1000 * (i + 1);
+    events[i].dur_ns = 500 + i;
+    events[i].tid = 1;
+    events[i].id = static_cast<std::int64_t>(i + 1);
+    events[i].parent = -1;
+    events[i].args = {{"dataset", "Coffee", true}, {"shard", "3", false}};
+    data += TraceSpoolEventLine(events[i]);
+  }
+  const std::string path = Dir("roundtrip.trace.jsonl");
+  WriteFile(path, data);
+
+  TraceSpoolContents contents;
+  std::string error;
+  ASSERT_TRUE(ReadTraceSpool(path, &contents, &error)) << error;
+  ASSERT_EQ(contents.events.size(), events.size());
+  EXPECT_EQ(contents.valid_lines, events.size() + 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(contents.events[i].name, events[i].name);
+    EXPECT_EQ(contents.events[i].ts_ns, events[i].ts_ns);
+    EXPECT_EQ(contents.events[i].dur_ns, events[i].dur_ns);
+    EXPECT_EQ(contents.events[i].parent, -1);
+    EXPECT_FALSE(contents.events[i].instant);
+    ASSERT_EQ(contents.events[i].args.size(), 2u);
+    EXPECT_EQ(contents.events[i].args[0].key, "dataset");
+    EXPECT_EQ(contents.events[i].args[0].value, "Coffee");
+    EXPECT_TRUE(contents.events[i].args[0].is_string);
+    EXPECT_EQ(contents.events[i].args[1].value, "3");
+    EXPECT_FALSE(contents.events[i].args[1].is_string);
+  }
+}
+
+TEST_F(TraceSpoolTest, ReaderRejectsFilesWithoutAValidHeader) {
+  TraceSpoolContents contents;
+  std::string error;
+  EXPECT_FALSE(ReadTraceSpool(Dir("missing.trace.jsonl"), &contents, &error));
+
+  const std::string empty = Dir("empty.trace.jsonl");
+  WriteFile(empty, "");
+  EXPECT_FALSE(ReadTraceSpool(empty, &contents, &error));
+
+  const std::string garbage = Dir("garbage.trace.jsonl");
+  WriteFile(garbage, "not json at all\n");
+  EXPECT_FALSE(ReadTraceSpool(garbage, &contents, &error));
+
+  // A header torn before its newline was durable is no header at all.
+  WallAnchor anchor;
+  anchor.wall_us = 1;
+  std::string header = TraceSpoolHeaderLine(TestContext(), anchor, 1);
+  header.pop_back();
+  const std::string torn = Dir("torn_header.trace.jsonl");
+  WriteFile(torn, header);
+  EXPECT_FALSE(ReadTraceSpool(torn, &contents, &error));
+}
+
+// The acceptance property of crash durability: truncate the spool at EVERY
+// byte offset (any of which a SIGKILL mid-append can produce) and the
+// reader must recover exactly the complete lines before the cut, counting
+// the remainder as torn — never erroring once the header is durable.
+TEST_F(TraceSpoolTest, TornTailRecoversValidPrefixAtEveryByteOffset) {
+  WallAnchor anchor;
+  anchor.wall_us = 1000000;
+  const std::string header = TraceSpoolHeaderLine(TestContext(), anchor, 1);
+  std::vector<std::string> lines = {header};
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent event;
+    event.name = "shard.cell/Coffee/sbd";
+    event.category = "shard";
+    event.ts_ns = static_cast<std::uint64_t>(1000 + i);
+    event.dur_ns = 77;
+    event.tid = 1;
+    event.id = i + 1;
+    event.parent = -1;
+    event.args = {{"shard", std::to_string(i), false}};
+    lines.push_back(TraceSpoolEventLine(event));
+  }
+  std::string full;
+  for (const std::string& line : lines) full += line;
+
+  const std::string path = Dir("cut.trace.jsonl");
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFile(path, full.substr(0, cut));
+    TraceSpoolContents contents;
+    std::string error;
+    const bool ok = ReadTraceSpool(path, &contents, &error);
+
+    // How many whole lines (newline included) fit under the cut?
+    std::size_t whole = 0, consumed = 0;
+    while (whole < lines.size() &&
+           consumed + lines[whole].size() <= cut) {
+      consumed += lines[whole].size();
+      ++whole;
+    }
+    if (whole == 0) {
+      EXPECT_FALSE(ok) << "cut=" << cut
+                       << ": a torn header must not read as a spool";
+      continue;
+    }
+    ASSERT_TRUE(ok) << "cut=" << cut << ": " << error;
+    EXPECT_EQ(contents.events.size(), whole - 1) << "cut=" << cut;
+    EXPECT_EQ(contents.valid_lines, whole) << "cut=" << cut;
+    const std::size_t tail = cut - consumed;
+    EXPECT_EQ(contents.torn_bytes, tail) << "cut=" << cut;
+    EXPECT_EQ(contents.torn_lines, tail > 0 ? 1u : 0u) << "cut=" << cut;
+  }
+}
+
+TEST_F(TraceSpoolTest, ReaderStopsAtFirstUnparseableLine) {
+  WallAnchor anchor;
+  anchor.wall_us = 1;
+  TraceEvent event;
+  event.name = "a";
+  event.ts_ns = 1;
+  std::string data = TraceSpoolHeaderLine(TestContext(), anchor, 1) +
+                     TraceSpoolEventLine(event) +
+                     "{\"name\": \"half-writ\n" +  // torn mid-line
+                     TraceSpoolEventLine(event);   // lost to the tail
+  const std::string path = Dir("midtear.trace.jsonl");
+  WriteFile(path, data);
+  TraceSpoolContents contents;
+  std::string error;
+  ASSERT_TRUE(ReadTraceSpool(path, &contents, &error)) << error;
+  EXPECT_EQ(contents.events.size(), 1u);
+  EXPECT_EQ(contents.torn_lines, 2u);
+}
+
+// ------------------------------------------------------------ live spooling
+
+#if !defined(TSDIST_OBS_NOOP)
+
+TEST_F(TraceSpoolTest, StartSpoolsRecordedSpansDurably) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.SetContext(TestContext());
+
+  TraceSpoolOptions options;
+  options.dir = Dir("trace");
+  options.proc = "w1";
+  options.flush_interval_ms = 10;
+  std::string error;
+  ASSERT_TRUE(TraceSpool::Global().Start(options, &error)) << error;
+  EXPECT_TRUE(recorder.enabled()) << "Start must enable tracing";
+
+  {
+    obs::TraceSpan span("shard.cell/Coffee/euclidean", "shard");
+    span.Arg("dataset", "Coffee");
+  }
+  recorder.Instant("shard.claim", "shard", {{"shard", "3", false}});
+  TraceSpool::Global().Stop();
+
+  const TraceSpool::Status status = TraceSpool::Global().status();
+  EXPECT_FALSE(status.active);
+  EXPECT_GE(status.spans_spooled, 2u);
+  EXPECT_EQ(status.errors, 0u);
+
+  TraceSpoolContents contents;
+  ASSERT_TRUE(ReadTraceSpool(Dir("trace/w1.trace.jsonl"), &contents, &error))
+      << error;
+  EXPECT_EQ(contents.header.run_id, "f00dfeedbeefcafe");
+  EXPECT_EQ(contents.header.worker, "w\"1");
+  EXPECT_GT(contents.header.anchor_wall_us, 0u);
+  ASSERT_GE(contents.events.size(), 2u);
+  bool saw_span = false, saw_instant = false;
+  for (const TraceEvent& event : contents.events) {
+    if (event.name == "shard.cell/Coffee/euclidean" && !event.instant) {
+      saw_span = true;
+    }
+    if (event.name == "shard.claim" && event.instant) saw_instant = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  // The flusher drained the recorder: nothing left for the in-memory export.
+  EXPECT_TRUE(recorder.Events().empty());
+}
+
+TEST_F(TraceSpoolTest, StartRotatesAnExistingSpoolAside) {
+  TraceSpoolOptions options;
+  options.dir = Dir("trace");
+  options.proc = "w1";
+  std::string error;
+
+  // A previous incarnation's spool: rotation must preserve its bytes (a
+  // fenced zombie may still hold the descriptor, so never truncate).
+  fs::create_directories(options.dir);
+  const std::string old_path = Dir("trace/w1.trace.jsonl");
+  WriteFile(old_path, "previous incarnation\n");
+
+  ASSERT_TRUE(TraceSpool::Global().Start(options, &error)) << error;
+  TraceSpool::Global().Stop();
+  EXPECT_EQ(ReadFile(Dir("trace/w1.r001.trace.jsonl")),
+            "previous incarnation\n");
+  // The fresh spool replaced it under the canonical name.
+  TraceSpoolContents contents;
+  ASSERT_TRUE(ReadTraceSpool(old_path, &contents, &error)) << error;
+
+  // A second restart rotates to the next free slot.
+  ASSERT_TRUE(TraceSpool::Global().Start(options, &error)) << error;
+  TraceSpool::Global().Stop();
+  EXPECT_TRUE(fs::exists(Dir("trace/w1.r002.trace.jsonl")));
+}
+
+TEST_F(TraceSpoolTest, StartRejectsBadProcNames) {
+  TraceSpoolOptions options;
+  options.dir = Dir("trace");
+  std::string error;
+  options.proc = "";
+  EXPECT_FALSE(TraceSpool::Global().Start(options, &error));
+  options.proc = "w/1";
+  error.clear();
+  EXPECT_FALSE(TraceSpool::Global().Start(options, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TraceSpoolTest, DrainEventsMovesSpansAndRearmsTheCap) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.SetEnabled(true);
+  { obs::TraceSpan a("a"); }
+  { obs::TraceSpan b("b"); }
+  EXPECT_EQ(recorder.recorded_spans(), 2u);
+
+  const std::vector<TraceEvent> drained = recorder.DrainEvents();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].name, "a");
+  EXPECT_EQ(drained[1].name, "b");
+  EXPECT_EQ(recorder.recorded_spans(), 0u);
+  EXPECT_TRUE(recorder.Events().empty());
+
+  // The cap is re-armed: spans recorded after a drain are kept.
+  { obs::TraceSpan c("c"); }
+  recorder.SetEnabled(false);
+  const std::vector<TraceEvent> after = recorder.DrainEvents();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].name, "c");
+}
+
+#else  // TSDIST_OBS_NOOP
+
+TEST_F(TraceSpoolTest, StartRefusesUnderObsNoop) {
+  TraceSpoolOptions options;
+  options.dir = Dir("trace");
+  options.proc = "w1";
+  std::string error;
+  EXPECT_FALSE(TraceSpool::Global().Start(options, &error));
+  EXPECT_NE(error.find("compiled out"), std::string::npos) << error;
+}
+
+#endif  // TSDIST_OBS_NOOP
+
+}  // namespace
+}  // namespace tsdist

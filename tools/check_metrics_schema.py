@@ -32,11 +32,19 @@ counts per row (live bytes, cumulative bytes), live <= cumulative, rows
 sorted hottest-first by live then cumulative, and both column sums equal to
 the header totals.
 
+Also validates tsdist.tracespool.v1 crash-durable span spools via
+--trace-spool (the line-delimited files a --trace-spool run leaves under
+<checkpoint>/trace/): a valid header line, well-formed event lines, and at
+most one torn line at EOF (the legitimate residue of a kill mid-flush), and
+tsdist.fleettrace.v1 analyses via --fleet-trace (trace_merge --analysis-out):
+critical path, per-worker busy/idle shares, and the imbalance figure.
+
 Usage:
   check_metrics_schema.py [METRICS.json]
       [--trace TRACE.json] [--bench BENCH.json] [--results RESULTS.json]
       [--openmetrics METRICS.txt] [--profile PROFILE.folded]
-      [--heap HEAP.folded]
+      [--heap HEAP.folded] [--trace-spool SPOOL.jsonl ...]
+      [--fleet-trace ANALYSIS.json]
       [--require-nonzero COUNTER ...] [--require-histogram NAME ...]
       [--require-case BENCH/CASE ...] [--min-samples N]
       [--self-test]
@@ -55,6 +63,8 @@ BENCH_SCHEMA_V1 = "tsdist.bench.v1"
 BENCH_SCHEMA_V2 = "tsdist.bench.v2"
 RESULTS_SCHEMA = "tsdist.results.v1"
 FLEET_HEALTH_SCHEMA = "tsdist.fleethealth.v1"
+TRACE_SPOOL_SCHEMA = "tsdist.tracespool.v1"
+FLEET_TRACE_SCHEMA = "tsdist.fleettrace.v1"
 PROFILE_SCHEMA = "tsdist.profile.v1"
 HEAP_PROFILE_SCHEMA = "tsdist.heapprofile.v1"
 RESULT_STATUSES = ("ok", "dnf", "failed", "interrupted")
@@ -1021,6 +1031,21 @@ def check_fleet_health(errors, path, doc):
         _err(errors, path,
              f"summary workers ({summary['workers']}) != live "
              f"({summary['live']}) + stale ({summary['stale']})")
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        _err(errors, path, "field 'trace' must be an object")
+    else:
+        for key in ("spooling_workers", "spooled_spans"):
+            v = trace.get(key)
+            if not _is_int(v) or v < 0:
+                _err(errors, path,
+                     f"trace field {key!r} must be a non-negative integer, "
+                     f"got {v!r}")
+        if _is_int(trace.get("spooling_workers")) and \
+                trace["spooling_workers"] > summary["workers"]:
+            _err(errors, path,
+                 f"trace spooling_workers ({trace['spooling_workers']}) "
+                 f"exceeds the fleet size ({summary['workers']})")
     workers = doc.get("workers")
     if not isinstance(workers, list):
         _err(errors, path, "field 'workers' must be an array")
@@ -1062,6 +1087,11 @@ def check_fleet_health(errors, path, doc):
                     _err(errors, path,
                          f"{sub} cells field {key!r} must be a non-negative "
                          f"integer, got {v!r}")
+        spooled = worker.get("spans_spooled")
+        if not _is_int(spooled) or spooled < 0:
+            _err(errors, path,
+                 f"{sub} field 'spans_spooled' must be a non-negative "
+                 f"integer (0 = not spooling), got {spooled!r}")
         age = worker.get("age_sec")
         if not _is_num(age) or age < 0:
             _err(errors, path,
@@ -1075,6 +1105,256 @@ def check_fleet_health(errors, path, doc):
         _err(errors, path,
              f"summary claims {summary['stale']} stale workers but "
              f"{stale_flags} carry the stale flag")
+
+
+def check_trace_spool(errors, path, text):
+    """Validates a tsdist.tracespool.v1 crash-durable span spool.
+
+    The spool is line-delimited JSON: a header line pinning the process's
+    trace identity (run id, role, worker, pid, fencing epoch) and its
+    CLOCK_REALTIME anchor, then one event line per flushed span. The writer
+    appends whole lines and fsyncs each flush, so a SIGKILL can leave at
+    most one torn line, at EOF, without a trailing newline — that is
+    legitimate kill residue and never an error here. Anything else
+    malformed (a bad header, a complete-but-invalid line, garbage before
+    EOF) is corruption and fails.
+
+    Returns a summary dict: events, torn_lines, run_id, role, worker, pid.
+    """
+    summary = {"events": 0, "torn_lines": 0, "run_id": "", "role": "",
+               "worker": "", "pid": 0}
+    if not text:
+        _err(errors, path, "empty spool (no header line)")
+        return summary
+    terminated = text.endswith("\n")
+    lines = text.split("\n")
+    if terminated:
+        lines.pop()  # the split artifact, not a line
+    for i, line in enumerate(lines):
+        last = i == len(lines) - 1
+        torn_ok = last and not terminated
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if torn_ok and i > 0:
+                summary["torn_lines"] = 1
+                return summary
+            _err(errors, path,
+                 f"line {i + 1} is not JSON and not a torn tail "
+                 f"({'header line' if i == 0 else 'mid-file garbage'})")
+            return summary
+        if not isinstance(record, dict):
+            _err(errors, path, f"line {i + 1} is not a JSON object")
+            return summary
+        if i == 0 and torn_ok:
+            _err(errors, path,
+                 "header line has no trailing newline (the process died "
+                 "before its header was durable; nothing to merge)")
+            return summary
+        if i == 0:
+            if record.get("schema") != TRACE_SPOOL_SCHEMA:
+                _err(errors, path,
+                     f"header schema must be {TRACE_SPOOL_SCHEMA!r}, got "
+                     f"{record.get('schema')!r}")
+                return summary
+            for key in ("run_id", "role", "worker"):
+                if not isinstance(record.get(key), str):
+                    _err(errors, path,
+                         f"header field {key!r} must be a string, got "
+                         f"{record.get(key)!r}")
+            if not record.get("run_id"):
+                _err(errors, path, "header run_id must be non-empty")
+            if not record.get("role"):
+                _err(errors, path, "header role must be non-empty")
+            for key in ("pid", "epoch", "anchor_wall_us"):
+                if not _is_int(record.get(key)) or record.get(key) < 0:
+                    _err(errors, path,
+                         f"header field {key!r} must be a non-negative "
+                         f"integer, got {record.get(key)!r}")
+            if record.get("anchor_wall_us") == 0:
+                _err(errors, path,
+                     "header anchor_wall_us is 0 (no wall-clock anchor; "
+                     "events cannot be placed on the fleet timeline)")
+            summary["run_id"] = record.get("run_id", "")
+            summary["role"] = record.get("role", "")
+            summary["worker"] = record.get("worker", "")
+            summary["pid"] = record.get("pid", 0)
+            continue
+        sub = f"event line {i + 1}"
+        if not isinstance(record.get("name"), str) or not record["name"]:
+            _err(errors, path,
+                 f"{sub}: field 'name' must be a non-empty string")
+        if not isinstance(record.get("cat"), str):
+            _err(errors, path, f"{sub}: field 'cat' must be a string")
+        for key in ("ts_ns", "dur_ns", "tid", "id"):
+            if not _is_int(record.get(key)) or record.get(key) < 0:
+                _err(errors, path,
+                     f"{sub}: field {key!r} must be a non-negative "
+                     f"integer, got {record.get(key)!r}")
+        if not _is_int(record.get("parent")):
+            _err(errors, path,
+                 f"{sub}: field 'parent' must be an integer (-1 for a "
+                 f"root span), got {record.get('parent')!r}")
+        ph = record.get("ph")
+        if ph is not None and ph != "i":
+            _err(errors, path,
+                 f"{sub}: field 'ph' must be 'i' when present (complete "
+                 f"spans omit it), got {ph!r}")
+        if ph == "i" and record.get("dur_ns") not in (0, None):
+            _err(errors, path,
+                 f"{sub}: instant event carries dur_ns "
+                 f"{record.get('dur_ns')!r}, expected 0")
+        if "args" in record and not isinstance(record["args"], dict):
+            _err(errors, path, f"{sub}: field 'args' must be an object")
+        summary["events"] += 1
+    return summary
+
+
+def check_fleet_trace(errors, path, doc):
+    """tsdist.fleettrace.v1: the fleet-wide analysis trace_merge emits
+    alongside the stitched Chrome trace (--analysis-out)."""
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+    if doc.get("schema") != FLEET_TRACE_SCHEMA:
+        _err(errors, path,
+             f"schema must be {FLEET_TRACE_SCHEMA!r}, "
+             f"got {doc.get('schema')!r}")
+    if not isinstance(doc.get("run_id"), str):
+        _err(errors, path, "field 'run_id' must be a string")
+    for key in ("processes", "events"):
+        if not _is_int(doc.get(key)) or doc.get(key) < 0:
+            _err(errors, path,
+                 f"field {key!r} must be a non-negative integer, got "
+                 f"{doc.get(key)!r}")
+    if doc.get("processes") == 0:
+        _err(errors, path, "field 'processes' is 0 (nothing was merged)")
+    torn = doc.get("torn")
+    if not isinstance(torn, dict):
+        _err(errors, path, "field 'torn' must be an object")
+    else:
+        for key in ("files", "lines", "bytes"):
+            if not _is_int(torn.get(key)) or torn.get(key) < 0:
+                _err(errors, path,
+                     f"torn field {key!r} must be a non-negative integer, "
+                     f"got {torn.get(key)!r}")
+    shard_events = doc.get("shard_events")
+    if not isinstance(shard_events, dict):
+        _err(errors, path, "field 'shard_events' must be an object")
+    else:
+        for key in ("claims", "steals", "reclaims", "conflicts"):
+            if not _is_int(shard_events.get(key)) or shard_events[key] < 0:
+                _err(errors, path,
+                     f"shard_events field {key!r} must be a non-negative "
+                     f"integer, got {shard_events.get(key)!r}")
+    if not _is_num(doc.get("makespan_ms")) or doc.get("makespan_ms") < 0:
+        _err(errors, path,
+             f"field 'makespan_ms' must be a non-negative number, got "
+             f"{doc.get('makespan_ms')!r}")
+    imbalance = doc.get("imbalance_pct")
+    if not _is_num(imbalance) or not 0 <= imbalance <= 100:
+        _err(errors, path,
+             f"field 'imbalance_pct' must be a number in [0, 100], got "
+             f"{imbalance!r}")
+    critical = doc.get("critical_path")
+    if not isinstance(critical, dict) or \
+            not isinstance(critical.get("segments"), list):
+        _err(errors, path,
+             "field 'critical_path' must be an object with a 'segments' "
+             "array")
+    else:
+        coverage = critical.get("coverage_pct")
+        # The chain's segments are disjoint in time, so coverage cannot
+        # exceed the makespan (tiny float slack for the ms rounding).
+        if not _is_num(coverage) or not 0 <= coverage <= 100.5:
+            _err(errors, path,
+                 f"critical_path coverage_pct must be a number in "
+                 f"[0, 100], got {coverage!r}")
+        prev_start = -1.0
+        for i, seg in enumerate(critical["segments"]):
+            sub = f"critical_path segment {i}"
+            if not isinstance(seg, dict):
+                _err(errors, path, f"{sub} is not an object")
+                return
+            for key in ("proc", "name"):
+                if not isinstance(seg.get(key), str) or not seg.get(key):
+                    _err(errors, path,
+                         f"{sub} field {key!r} must be a non-empty string")
+            for key in ("start_ms", "dur_ms"):
+                if not _is_num(seg.get(key)) or seg.get(key) < 0:
+                    _err(errors, path,
+                         f"{sub} field {key!r} must be a non-negative "
+                         f"number, got {seg.get(key)!r}")
+            if _is_num(seg.get("start_ms")):
+                if seg["start_ms"] < prev_start:
+                    _err(errors, path,
+                         f"{sub} starts at {seg['start_ms']} ms, before "
+                         f"the previous segment ({prev_start} ms) — the "
+                         f"chain must be emitted in time order")
+                prev_start = seg["start_ms"]
+    workers = doc.get("workers")
+    if not isinstance(workers, list) or not workers:
+        _err(errors, path, "field 'workers' must be a non-empty array")
+        return
+    if _is_int(doc.get("processes")) and len(workers) != doc["processes"]:
+        _err(errors, path,
+             f"'processes' counts {doc['processes']} but the workers array "
+             f"has {len(workers)}")
+    for i, worker in enumerate(workers):
+        sub = f"worker {i}"
+        if not isinstance(worker, dict):
+            _err(errors, path, f"{sub} is not an object")
+            return
+        if not isinstance(worker.get("proc"), str) or not worker["proc"]:
+            _err(errors, path,
+                 f"{sub} field 'proc' must be a non-empty string")
+        for key in ("role", "worker"):
+            if not isinstance(worker.get(key), str):
+                _err(errors, path, f"{sub} field {key!r} must be a string")
+        for key in ("pid", "cells", "torn_lines"):
+            if not _is_int(worker.get(key)) or worker.get(key) < 0:
+                _err(errors, path,
+                     f"{sub} field {key!r} must be a non-negative "
+                     f"integer, got {worker.get(key)!r}")
+        for key in ("busy_ms", "idle_ms"):
+            if not _is_num(worker.get(key)) or worker.get(key) < 0:
+                _err(errors, path,
+                     f"{sub} field {key!r} must be a non-negative number, "
+                     f"got {worker.get(key)!r}")
+        busy_pct = worker.get("busy_pct")
+        if not _is_num(busy_pct) or not 0 <= busy_pct <= 100.5:
+            _err(errors, path,
+                 f"{sub} field 'busy_pct' must be a number in [0, 100], "
+                 f"got {busy_pct!r}")
+    stragglers = doc.get("stragglers")
+    if not isinstance(stragglers, list):
+        _err(errors, path, "field 'stragglers' must be an array")
+        return
+    prev_dur = None
+    for i, cell in enumerate(stragglers):
+        sub = f"straggler {i}"
+        if not isinstance(cell, dict):
+            _err(errors, path, f"{sub} is not an object")
+            return
+        for key in ("name", "proc"):
+            if not isinstance(cell.get(key), str) or not cell.get(key):
+                _err(errors, path,
+                     f"{sub} field {key!r} must be a non-empty string")
+        for key in ("dataset", "measure"):
+            if not isinstance(cell.get(key), str):
+                _err(errors, path, f"{sub} field {key!r} must be a string")
+        dur = cell.get("dur_ms")
+        if not _is_num(dur) or dur < 0:
+            _err(errors, path,
+                 f"{sub} field 'dur_ms' must be a non-negative number, "
+                 f"got {dur!r}")
+        elif prev_dur is not None and dur > prev_dur:
+            _err(errors, path,
+                 f"{sub} ({dur} ms) is longer than the one before it "
+                 f"({prev_dur} ms) — stragglers must be sorted slowest "
+                 f"first")
+        if _is_num(dur):
+            prev_dur = dur
 
 
 def check_required_cases(errors, path, doc, required):
@@ -1281,13 +1561,72 @@ def _valid_fleet_health():
         "schema": FLEET_HEALTH_SCHEMA,
         "stale_after_sec": 15.0,
         "summary": {"workers": 2, "live": 1, "stale": 1},
+        "trace": {"spooling_workers": 1, "spooled_spans": 37},
         "workers": [
             {"worker": "w0", "pid": 100, "phase": "compute", "shard": 3,
              "epoch": 1, "cells": {"done": 5, "total": 16},
-             "age_sec": 0.4, "stale": False},
+             "spans_spooled": 37, "age_sec": 0.4, "stale": False},
             {"worker": "w1", "pid": 101, "phase": "claim", "shard": -1,
              "epoch": 2, "cells": {"done": 0, "total": 0},
-             "age_sec": 61.0, "stale": True},
+             "spans_spooled": 0, "age_sec": 61.0, "stale": True},
+        ],
+    }
+
+
+def _valid_trace_spool():
+    """A tsdist.tracespool.v1 spool: header, two complete spans, one
+    instant, line-for-line the way TraceSpool's flusher writes them."""
+    return (
+        '{"schema": "tsdist.tracespool.v1", "run_id": "f00dfeedbeefcafe", '
+        '"role": "worker", "worker": "w0", "pid": 4242, "epoch": 2, '
+        '"anchor_wall_us": 1718000000000000}\n'
+        '{"name": "shard.run", "cat": "shard", "ts_ns": 1000, '
+        '"dur_ns": 900000000, "tid": 1, "id": 1, "parent": -1, '
+        '"args": {"shard": 3, "epoch": 2}}\n'
+        '{"name": "shard.cell/Coffee/euclidean", "cat": "shard", '
+        '"ts_ns": 2000, "dur_ns": 450000000, "tid": 1, "id": 2, '
+        '"parent": 1, "args": {"dataset": "Coffee", '
+        '"measure": "euclidean"}}\n'
+        '{"name": "shard.claim", "cat": "shard", "ts_ns": 500, '
+        '"dur_ns": 0, "tid": 1, "id": 3, "parent": -1, "ph": "i", '
+        '"args": {"shard": 3}}\n'
+    )
+
+
+def _valid_fleet_trace():
+    return {
+        "schema": FLEET_TRACE_SCHEMA,
+        "run_id": "f00dfeedbeefcafe",
+        "processes": 2,
+        "events": 7,
+        "torn": {"files": 1, "lines": 1, "bytes": 42},
+        "shard_events": {"claims": 2, "steals": 1, "reclaims": 1,
+                         "conflicts": 0},
+        "makespan_ms": 1200.0,
+        "imbalance_pct": 25.0,
+        "critical_path": {
+            "segments": [
+                {"proc": "w0", "name": "shard.cell/Coffee/euclidean",
+                 "start_ms": 0.0, "dur_ms": 450.0},
+                {"proc": "w1", "name": "shard.cell/Coffee/sbd",
+                 "start_ms": 500.0, "dur_ms": 700.0},
+            ],
+            "coverage_pct": 95.8,
+        },
+        "workers": [
+            {"proc": "w0", "role": "worker", "worker": "w0", "pid": 100,
+             "cells": 3, "busy_ms": 900.0, "idle_ms": 300.0,
+             "busy_pct": 75.0, "torn_lines": 1},
+            {"proc": "w1", "role": "worker", "worker": "w1", "pid": 101,
+             "cells": 4, "busy_ms": 1200.0, "idle_ms": 0.0,
+             "busy_pct": 100.0, "torn_lines": 0},
+        ],
+        "stragglers": [
+            {"name": "shard.cell/Coffee/sbd", "proc": "w1",
+             "dataset": "Coffee", "measure": "sbd", "dur_ms": 700.0},
+            {"name": "shard.cell/Coffee/euclidean", "proc": "w0",
+             "dataset": "Coffee", "measure": "euclidean",
+             "dur_ms": 450.0},
         ],
     }
 
@@ -1634,6 +1973,100 @@ def self_test():
                  lambda d: d.update(stale_after_sec=-5))
     expect_fleet(False, "fleet non-integer shard",
                  lambda d: d["workers"][0].update(shard=1.5))
+    expect_fleet(False, "fleet missing trace block",
+                 lambda d: d.pop("trace"))
+    expect_fleet(False, "fleet spooling exceeds fleet size",
+                 lambda d: d["trace"].update(spooling_workers=9))
+    expect_fleet(False, "fleet negative spooled spans",
+                 lambda d: d["trace"].update(spooled_spans=-1))
+    expect_fleet(False, "fleet worker missing spans_spooled",
+                 lambda d: d["workers"][0].pop("spans_spooled"))
+
+    def expect_spool(should_pass, label, mutate=None, want=None):
+        text = _valid_trace_spool()
+        if mutate:
+            text = mutate(text)
+        errors = []
+        summary = check_trace_spool(errors, label, text)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+        for key, value in (want or {}).items():
+            if summary[key] != value:
+                failures.append(f"{label}: summary {key}={summary[key]!r}, "
+                                f"expected {value!r}")
+
+    expect_spool(True, "valid trace spool",
+                 want={"events": 3, "torn_lines": 0, "role": "worker",
+                       "worker": "w0", "run_id": "f00dfeedbeefcafe"})
+    expect_spool(True, "spool header only (killed before first flush)",
+                 lambda t: t.split("\n", 1)[0] + "\n",
+                 want={"events": 0, "torn_lines": 0})
+    expect_spool(True, "spool torn tail tolerated",
+                 lambda t: t + '{"name": "shard.cell/Coff',
+                 want={"events": 3, "torn_lines": 1})
+    expect_spool(False, "spool empty file", lambda t: "")
+    expect_spool(False, "spool torn header (no newline, nothing durable)",
+                 lambda t: t.split("\n", 1)[0])
+    expect_spool(False, "spool wrong schema",
+                 lambda t: t.replace(TRACE_SPOOL_SCHEMA,
+                                     "tsdist.tracespool.v9"))
+    expect_spool(False, "spool empty run id",
+                 lambda t: t.replace('"run_id": "f00dfeedbeefcafe"',
+                                     '"run_id": ""'))
+    expect_spool(False, "spool zero anchor (no fleet timeline)",
+                 lambda t: t.replace('"anchor_wall_us": 1718000000000000',
+                                     '"anchor_wall_us": 0'))
+    expect_spool(False, "spool mid-file garbage is not a torn tail",
+                 lambda t: t.replace(
+                     '{"name": "shard.cell/Coffee/euclidean"',
+                     'garbage{"name": "shard.cell/Coffee/euclidean"'))
+    expect_spool(False, "spool event missing ts_ns",
+                 lambda t: t.replace('"ts_ns": 2000, ', ''))
+    expect_spool(False, "spool event empty name",
+                 lambda t: t.replace('"name": "shard.run"', '"name": ""'))
+    expect_spool(False, "spool instant with nonzero duration",
+                 lambda t: t.replace('"dur_ns": 0', '"dur_ns": 7'))
+    expect_spool(False, "spool bad ph marker",
+                 lambda t: t.replace('"ph": "i"', '"ph": "X"'))
+
+    def expect_fleettrace(should_pass, label, mutate=None):
+        doc = copy.deepcopy(_valid_fleet_trace())
+        if mutate:
+            mutate(doc)
+        errors = []
+        check_fleet_trace(errors, label, doc)
+        if should_pass and errors:
+            failures.append(f"{label}: expected clean, got {errors}")
+        if not should_pass and not errors:
+            failures.append(f"{label}: expected errors, got none")
+
+    expect_fleettrace(True, "valid fleet trace")
+    expect_fleettrace(False, "fleettrace wrong schema",
+                      lambda d: d.update(schema="tsdist.fleettrace.v9"))
+    expect_fleettrace(False, "fleettrace zero processes",
+                      lambda d: d.update(processes=0, workers=[]))
+    expect_fleettrace(False, "fleettrace processes vs workers mismatch",
+                      lambda d: d.update(processes=3))
+    expect_fleettrace(False, "fleettrace missing torn block",
+                      lambda d: d.pop("torn"))
+    expect_fleettrace(False, "fleettrace negative makespan",
+                      lambda d: d.update(makespan_ms=-1.0))
+    expect_fleettrace(False, "fleettrace imbalance out of range",
+                      lambda d: d.update(imbalance_pct=120.0))
+    expect_fleettrace(False, "fleettrace critical path out of time order",
+                      lambda d: d["critical_path"]["segments"]
+                      .reverse())
+    expect_fleettrace(False, "fleettrace coverage over 100",
+                      lambda d: d["critical_path"]
+                      .update(coverage_pct=140.0))
+    expect_fleettrace(False, "fleettrace worker negative busy",
+                      lambda d: d["workers"][0].update(busy_ms=-5.0))
+    expect_fleettrace(False, "fleettrace stragglers unsorted",
+                      lambda d: d["stragglers"].reverse())
+    expect_fleettrace(False, "fleettrace missing shard_events",
+                      lambda d: d.pop("shard_events"))
 
     # Required-case lookup across a suite.
     errors = []
@@ -1688,6 +2121,15 @@ def main(argv):
     parser.add_argument("--fleet-health",
                         help="tsdist.fleethealth.v1 JSON from /fleetz or a "
                              "worker /healthz fleet block")
+    parser.add_argument("--trace-spool", action="append", default=[],
+                        metavar="SPOOL",
+                        help="tsdist.tracespool.v1 span spool from "
+                             "<checkpoint>/trace/ (repeatable; a single "
+                             "torn line at EOF is tolerated, anything else "
+                             "malformed is not)")
+    parser.add_argument("--fleet-trace",
+                        help="tsdist.fleettrace.v1 analysis JSON from "
+                             "trace_merge --analysis-out")
     parser.add_argument("--require-nonzero", action="append", default=[],
                         metavar="COUNTER",
                         help="fail unless this counter exists and is > 0")
@@ -1711,10 +2153,12 @@ def main(argv):
         return self_test()
     if not args.metrics and not args.bench and not args.results \
             and not args.openmetrics and not args.profile and not args.heap \
-            and not args.lease and not args.fleet_health:
+            and not args.lease and not args.fleet_health \
+            and not args.trace_spool and not args.fleet_trace:
         parser.error("need a METRICS.json, --bench, --results, "
                      "--openmetrics, --profile, --heap, --lease, "
-                     "--fleet-health, or --self-test")
+                     "--fleet-health, --trace-spool, --fleet-trace, or "
+                     "--self-test")
 
     errors = []
     if args.metrics:
@@ -1780,6 +2224,14 @@ def main(argv):
         fleet = load(errors, args.fleet_health)
         if fleet is not None:
             check_fleet_health(errors, args.fleet_health, fleet)
+    for path in args.trace_spool:
+        text = load_text(errors, path)
+        if text is not None:
+            check_trace_spool(errors, path, text)
+    if args.fleet_trace:
+        fleet_trace = load(errors, args.fleet_trace)
+        if fleet_trace is not None:
+            check_fleet_trace(errors, args.fleet_trace, fleet_trace)
 
     for message in errors:
         print(f"check_metrics_schema: {message}", file=sys.stderr)

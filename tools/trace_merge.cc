@@ -1,0 +1,615 @@
+// Fleet trace stitcher + straggler gate: merges the per-process
+// tsdist.tracespool.v1 spools a sharded sweep leaves under
+// <checkpoint>/trace/ into one Chrome trace on a single wall-clock
+// timeline, and reports where the makespan went.
+//
+//   trace_merge <spool-dir | spool.jsonl...> [--chrome-out <path>]
+//               [--analysis-out <path>] [--top 10]
+//               [--max-imbalance-pct P] [--warn-only]
+//
+// Every spool carries a CLOCK_REALTIME anchor sampled at its recorder
+// epoch, so event times from N processes (started at different moments,
+// some SIGKILL'd mid-run) land on one shared ruler: wall_us = anchor_wall_us
+// + ts_ns/1000, rebased to the earliest anchor. Each spool becomes one pid
+// row in the Chrome trace (chrome://tracing, Perfetto), with instant events
+// for claims/steals/reclaims riding along.
+//
+// The analysis (tsdist.fleettrace.v1) attributes the makespan:
+//   critical path — greedy backward chain over cell spans from the last
+//                   finisher: each hop is the latest-ending cell that ends
+//                   before the current one starts. Its coverage share says
+//                   how much of the makespan is explained by one dependent
+//                   chain of work (high = serialized, low = imbalance).
+//   busy/idle     — per process, the interval union of its cell spans vs
+//                   the fleet makespan.
+//   imbalance     — 100 * (1 - mean_busy / max_busy) over cell-computing
+//                   processes. 0 = perfectly level, 50 = the average worker
+//                   computed half as long as the busiest.
+//   stragglers    — the --top longest cells, labeled by dataset/measure.
+//
+// With --max-imbalance-pct the tool becomes a gate in the profile_diff /
+// heap_diff mold: exit 1 when the fleet imbalance exceeds the threshold
+// (suppressed by --warn-only). Torn spool tails — the kill residue the
+// valid-prefix reader counts — are reported, never fatal.
+//
+// Exit codes: 0 clean (or --warn-only), 1 imbalance gate failure, 2 usage
+// or input errors (no readable spool).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/obs/trace_spool.h"
+
+namespace {
+
+using tsdist::obs::ReadTraceSpool;
+using tsdist::obs::TraceArg;
+using tsdist::obs::TraceEvent;
+using tsdist::obs::TraceSpoolContents;
+
+struct Options {
+  std::vector<std::string> inputs;
+  std::string chrome_out;
+  std::string analysis_out;
+  int top = 10;
+  double max_imbalance_pct = -1.0;  // < 0: report only, never gate
+  bool warn_only = false;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: trace_merge <spool-dir | spool.trace.jsonl...>\n"
+      "                   [--chrome-out <path>] [--analysis-out <path>]\n"
+      "                   [--top N] [--max-imbalance-pct P] [--warn-only]\n"
+      "\n"
+      "  <spool-dir>            read every *.trace.jsonl under the directory\n"
+      "                         (a sweep's <checkpoint>/trace/)\n"
+      "  --chrome-out <path>    write the stitched Chrome trace-event JSON\n"
+      "  --analysis-out <path>  write the tsdist.fleettrace.v1 analysis\n"
+      "  --top N                stragglers / critical-path segments to list\n"
+      "                         (default 10)\n"
+      "  --max-imbalance-pct P  exit 1 when fleet imbalance exceeds P\n"
+      "                         (default: report only)\n"
+      "  --warn-only            report gate failures but exit 0\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char** value) -> bool {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_merge: %s needs a value\n", arg.c_str());
+        return false;
+      }
+      *value = argv[++i];
+      return true;
+    };
+    const char* v = nullptr;
+    if (arg == "--chrome-out") {
+      if (!next(&v)) return false;
+      opt->chrome_out = v;
+    } else if (arg == "--analysis-out") {
+      if (!next(&v)) return false;
+      opt->analysis_out = v;
+    } else if (arg == "--top") {
+      if (!next(&v)) return false;
+      opt->top = std::max(1, std::atoi(v));
+    } else if (arg == "--max-imbalance-pct") {
+      if (!next(&v)) return false;
+      opt->max_imbalance_pct = std::atof(v);
+    } else if (arg == "--warn-only") {
+      opt->warn_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "trace_merge: unknown flag '%s'\n", arg.c_str());
+      return false;
+    } else {
+      opt->inputs.push_back(arg);
+    }
+  }
+  if (opt->inputs.empty()) {
+    std::fprintf(stderr, "trace_merge: no spool directory or files given\n");
+    return false;
+  }
+  return true;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Microseconds with a fixed 3-digit nanosecond fraction (the same fixed-
+// point rendering the recorder's own Chrome export uses).
+std::string MicrosFixed(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+std::string Ms(double ms) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+/// One loaded spool file: contents plus the display identity it gets in the
+/// merged trace (pid row = file index, not OS pid — a restarted worker's
+/// rotated spool must not share a row with its successor).
+struct Spool {
+  std::string path;
+  std::string proc;  ///< filename stem, e.g. "w1" or "w1.r001"
+  TraceSpoolContents contents;
+};
+
+/// A cell span placed on the fleet timeline (absolute wall nanoseconds
+/// rebased to the earliest anchor).
+struct Cell {
+  std::size_t spool = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  const TraceEvent* event = nullptr;
+};
+
+const std::string* FindArg(const TraceEvent& event, const char* key) {
+  for (const TraceArg& arg : event.args) {
+    if (arg.key == key) return &arg.value;
+  }
+  return nullptr;
+}
+
+std::uint64_t Rebase(const Spool& spool, std::uint64_t ts_ns,
+                     std::uint64_t fleet_t0_us) {
+  return (spool.contents.header.anchor_wall_us - fleet_t0_us) * 1000 + ts_ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  // Expand directory inputs into their spool files (sorted for stable pid
+  // assignment and deterministic output).
+  std::vector<std::string> paths;
+  for (const std::string& input : opt.inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      std::vector<std::string> found;
+      for (std::filesystem::directory_iterator it(input, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        const std::string p = it->path().string();
+        if (it->is_regular_file(ec) && EndsWith(p, ".trace.jsonl")) {
+          found.push_back(p);
+        }
+      }
+      std::sort(found.begin(), found.end());
+      paths.insert(paths.end(), found.begin(), found.end());
+    } else {
+      paths.push_back(input);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "trace_merge: no *.trace.jsonl files found\n");
+    return 2;
+  }
+
+  std::vector<Spool> spools;
+  std::size_t torn_files = 0, torn_lines = 0, torn_bytes = 0;
+  std::size_t skipped = 0;
+  for (const std::string& path : paths) {
+    Spool spool;
+    spool.path = path;
+    spool.proc = std::filesystem::path(path).filename().string();
+    if (EndsWith(spool.proc, ".trace.jsonl")) {
+      spool.proc.resize(spool.proc.size() - std::strlen(".trace.jsonl"));
+    }
+    std::string error;
+    if (!ReadTraceSpool(path, &spool.contents, &error)) {
+      // A header-less file is a process killed inside spool Start — there
+      // is nothing to merge from it, but the others still stitch.
+      std::fprintf(stderr, "trace_merge: skipping %s\n", error.c_str());
+      ++skipped;
+      continue;
+    }
+    if (spool.contents.torn_lines > 0) {
+      ++torn_files;
+      torn_lines += spool.contents.torn_lines;
+      torn_bytes += spool.contents.torn_bytes;
+    }
+    spools.push_back(std::move(spool));
+  }
+  if (spools.empty()) {
+    std::fprintf(stderr, "trace_merge: no readable spools among %zu files\n",
+                 paths.size());
+    return 2;
+  }
+
+  // Shared ruler: rebase every event to the earliest process anchor so the
+  // merged timeline starts near zero and keeps ns fidelity in uint64 math.
+  std::uint64_t fleet_t0_us = UINT64_MAX;
+  for (const Spool& spool : spools) {
+    fleet_t0_us = std::min(fleet_t0_us, spool.contents.header.anchor_wall_us);
+  }
+
+  std::set<std::string> run_ids;
+  for (const Spool& spool : spools) {
+    if (!spool.contents.header.run_id.empty()) {
+      run_ids.insert(spool.contents.header.run_id);
+    }
+  }
+  if (run_ids.size() > 1) {
+    std::fprintf(stderr,
+                 "trace_merge: warning: %zu distinct run ids in one spool "
+                 "set — mixed sweeps in one trace directory?\n",
+                 run_ids.size());
+  }
+  const std::string run_id = run_ids.empty() ? "" : *run_ids.begin();
+
+  // Fleet extent and the cell-span population (the unit of work busy time,
+  // stragglers, and the critical path are attributed to).
+  std::uint64_t fleet_start_ns = UINT64_MAX, fleet_end_ns = 0;
+  std::size_t total_events = 0;
+  std::vector<Cell> cells;
+  std::size_t claims = 0, steals = 0, reclaims = 0, conflicts = 0;
+  for (std::size_t i = 0; i < spools.size(); ++i) {
+    for (const TraceEvent& event : spools[i].contents.events) {
+      ++total_events;
+      const std::uint64_t start = Rebase(spools[i], event.ts_ns, fleet_t0_us);
+      fleet_start_ns = std::min(fleet_start_ns, start);
+      fleet_end_ns = std::max(fleet_end_ns, start + event.dur_ns);
+      if (event.name.rfind("shard.cell/", 0) == 0) {
+        cells.push_back(Cell{i, start, start + event.dur_ns, &event});
+      } else if (event.name == "shard.claim") {
+        ++claims;
+      } else if (event.name == "shard.steal") {
+        ++steals;
+      } else if (event.name == "shard.reclaim") {
+        ++reclaims;
+      } else if (event.name == "shard.conflict") {
+        ++conflicts;
+      }
+    }
+  }
+  if (total_events == 0) fleet_start_ns = 0;
+  const double makespan_ms =
+      static_cast<double>(fleet_end_ns - fleet_start_ns) / 1e6;
+
+  // Per-process busy time: interval union of that process's cell spans.
+  struct ProcStat {
+    double busy_ms = 0.0;
+    std::size_t cells = 0;
+  };
+  std::vector<ProcStat> stats(spools.size());
+  {
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> per(
+        spools.size());
+    for (const Cell& cell : cells) {
+      per[cell.spool].push_back({cell.start_ns, cell.end_ns});
+      ++stats[cell.spool].cells;
+    }
+    for (std::size_t i = 0; i < spools.size(); ++i) {
+      auto& iv = per[i];
+      std::sort(iv.begin(), iv.end());
+      std::uint64_t busy = 0, cur_lo = 0, cur_hi = 0;
+      bool open = false;
+      for (const auto& [lo, hi] : iv) {
+        if (!open || lo > cur_hi) {
+          if (open) busy += cur_hi - cur_lo;
+          cur_lo = lo;
+          cur_hi = hi;
+          open = true;
+        } else {
+          cur_hi = std::max(cur_hi, hi);
+        }
+      }
+      if (open) busy += cur_hi - cur_lo;
+      stats[i].busy_ms = static_cast<double>(busy) / 1e6;
+    }
+  }
+
+  // Imbalance over the processes that actually computed cells.
+  double max_busy = 0.0, sum_busy = 0.0;
+  std::size_t computing = 0;
+  for (const ProcStat& stat : stats) {
+    if (stat.cells == 0) continue;
+    ++computing;
+    sum_busy += stat.busy_ms;
+    max_busy = std::max(max_busy, stat.busy_ms);
+  }
+  const double imbalance_pct =
+      computing >= 2 && max_busy > 0.0
+          ? 100.0 * (1.0 - (sum_busy / static_cast<double>(computing)) /
+                               max_busy)
+          : 0.0;
+
+  // Critical path: greedy backward chain from the last-ending cell. Each
+  // hop picks the latest-ending cell that finished before the current one
+  // started — the chain no schedule could have compressed by adding
+  // workers, under the conservative assumption that later cells could not
+  // start before earlier ones freed capacity.
+  std::vector<const Cell*> chain;
+  {
+    const Cell* cur = nullptr;
+    for (const Cell& cell : cells) {
+      if (cur == nullptr || cell.end_ns > cur->end_ns) cur = &cell;
+    }
+    while (cur != nullptr) {
+      chain.push_back(cur);
+      const Cell* prev = nullptr;
+      for (const Cell& cell : cells) {
+        if (cell.end_ns > cur->start_ns) continue;
+        if (prev == nullptr || cell.end_ns > prev->end_ns) prev = &cell;
+      }
+      cur = prev;
+    }
+    std::reverse(chain.begin(), chain.end());
+  }
+  double chain_ms = 0.0;
+  for (const Cell* cell : chain) {
+    chain_ms += static_cast<double>(cell->end_ns - cell->start_ns) / 1e6;
+  }
+  const double coverage_pct =
+      makespan_ms > 0.0 ? 100.0 * chain_ms / makespan_ms : 0.0;
+
+  // Stragglers: the longest individual cells fleet-wide.
+  std::vector<const Cell*> by_duration;
+  by_duration.reserve(cells.size());
+  for (const Cell& cell : cells) by_duration.push_back(&cell);
+  std::sort(by_duration.begin(), by_duration.end(),
+            [](const Cell* a, const Cell* b) {
+              const std::uint64_t da = a->end_ns - a->start_ns;
+              const std::uint64_t db = b->end_ns - b->start_ns;
+              if (da != db) return da > db;
+              return a->start_ns < b->start_ns;
+            });
+  if (by_duration.size() > static_cast<std::size_t>(opt.top)) {
+    by_duration.resize(static_cast<std::size_t>(opt.top));
+  }
+
+  // ---- Chrome trace ----
+  if (!opt.chrome_out.empty()) {
+    std::ofstream out(opt.chrome_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "trace_merge: cannot write %s\n",
+                   opt.chrome_out.c_str());
+      return 2;
+    }
+    out << "[";
+    bool first = true;
+    for (std::size_t i = 0; i < spools.size(); ++i) {
+      const auto& header = spools[i].contents.header;
+      const std::size_t pid = i + 1;
+      std::string label = header.role.empty() ? spools[i].proc : header.role;
+      if (!header.worker.empty() && header.worker != label) {
+        label += ":" + header.worker;
+      }
+      label += " (" + spools[i].proc + ", pid " +
+               std::to_string(header.pid) + ")";
+      out << (first ? "\n" : ",\n")
+          << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"tid\": 0, \"args\": {\"name\": \"" << JsonEscape(label)
+          << "\"}}";
+      first = false;
+      for (const TraceEvent& event : spools[i].contents.events) {
+        const std::uint64_t start =
+            Rebase(spools[i], event.ts_ns, fleet_t0_us) - fleet_start_ns;
+        out << ",\n  {\"name\": \"" << JsonEscape(event.name)
+            << "\", \"cat\": \"" << JsonEscape(event.category) << "\"";
+        if (event.instant) {
+          out << ", \"ph\": \"i\", \"s\": \"t\", \"ts\": "
+              << MicrosFixed(start);
+        } else {
+          out << ", \"ph\": \"X\", \"ts\": " << MicrosFixed(start)
+              << ", \"dur\": " << MicrosFixed(event.dur_ns);
+        }
+        out << ", \"pid\": " << pid << ", \"tid\": " << event.tid;
+        if (!event.args.empty()) {
+          out << ", \"args\": {";
+          bool first_arg = true;
+          for (const TraceArg& arg : event.args) {
+            out << (first_arg ? "" : ", ") << "\"" << JsonEscape(arg.key)
+                << "\": ";
+            if (arg.is_string) {
+              out << "\"" << JsonEscape(arg.value) << "\"";
+            } else {
+              out << arg.value;
+            }
+            first_arg = false;
+          }
+          out << "}";
+        }
+        out << "}";
+      }
+    }
+    out << "\n]\n";
+    if (!out) {
+      std::fprintf(stderr, "trace_merge: cannot write %s\n",
+                   opt.chrome_out.c_str());
+      return 2;
+    }
+  }
+
+  // ---- tsdist.fleettrace.v1 analysis ----
+  std::string analysis;
+  {
+    analysis += "{\n  \"schema\": \"tsdist.fleettrace.v1\",\n";
+    analysis += "  \"run_id\": \"" + JsonEscape(run_id) + "\",\n";
+    analysis += "  \"processes\": " + std::to_string(spools.size()) + ",\n";
+    analysis += "  \"events\": " + std::to_string(total_events) + ",\n";
+    analysis += "  \"torn\": {\"files\": " + std::to_string(torn_files) +
+                ", \"lines\": " + std::to_string(torn_lines) +
+                ", \"bytes\": " + std::to_string(torn_bytes) + "},\n";
+    analysis += "  \"shard_events\": {\"claims\": " + std::to_string(claims) +
+                ", \"steals\": " + std::to_string(steals) +
+                ", \"reclaims\": " + std::to_string(reclaims) +
+                ", \"conflicts\": " + std::to_string(conflicts) + "},\n";
+    analysis += "  \"makespan_ms\": " + Ms(makespan_ms) + ",\n";
+    analysis += "  \"imbalance_pct\": " + Ms(imbalance_pct) + ",\n";
+    analysis += "  \"critical_path\": {\"segments\": [";
+    bool first = true;
+    for (const Cell* cell : chain) {
+      analysis += first ? "\n" : ",\n";
+      analysis += "    {\"proc\": \"" +
+                  JsonEscape(spools[cell->spool].proc) + "\", \"name\": \"" +
+                  JsonEscape(cell->event->name) + "\", \"start_ms\": " +
+                  Ms(static_cast<double>(cell->start_ns - fleet_start_ns) /
+                     1e6) +
+                  ", \"dur_ms\": " +
+                  Ms(static_cast<double>(cell->end_ns - cell->start_ns) /
+                     1e6) +
+                  "}";
+      first = false;
+    }
+    analysis += std::string(first ? "" : "\n  ") +
+                "], \"coverage_pct\": " + Ms(coverage_pct) + "},\n";
+    analysis += "  \"workers\": [";
+    first = true;
+    for (std::size_t i = 0; i < spools.size(); ++i) {
+      const auto& header = spools[i].contents.header;
+      const double busy = stats[i].busy_ms;
+      const double idle = std::max(0.0, makespan_ms - busy);
+      analysis += first ? "\n" : ",\n";
+      analysis += "    {\"proc\": \"" + JsonEscape(spools[i].proc) +
+                  "\", \"role\": \"" + JsonEscape(header.role) +
+                  "\", \"worker\": \"" + JsonEscape(header.worker) +
+                  "\", \"pid\": " + std::to_string(header.pid) +
+                  ", \"cells\": " + std::to_string(stats[i].cells) +
+                  ", \"busy_ms\": " + Ms(busy) +
+                  ", \"idle_ms\": " + Ms(idle) + ", \"busy_pct\": " +
+                  Ms(makespan_ms > 0.0 ? 100.0 * busy / makespan_ms : 0.0) +
+                  ", \"torn_lines\": " +
+                  std::to_string(spools[i].contents.torn_lines) + "}";
+      first = false;
+    }
+    analysis += std::string(first ? "" : "\n  ") + "],\n";
+    analysis += "  \"stragglers\": [";
+    first = true;
+    for (const Cell* cell : by_duration) {
+      const std::string* dataset = FindArg(*cell->event, "dataset");
+      const std::string* measure = FindArg(*cell->event, "measure");
+      analysis += first ? "\n" : ",\n";
+      analysis += "    {\"name\": \"" + JsonEscape(cell->event->name) +
+                  "\", \"proc\": \"" + JsonEscape(spools[cell->spool].proc) +
+                  "\", \"dataset\": \"" +
+                  JsonEscape(dataset != nullptr ? *dataset : "") +
+                  "\", \"measure\": \"" +
+                  JsonEscape(measure != nullptr ? *measure : "") +
+                  "\", \"dur_ms\": " +
+                  Ms(static_cast<double>(cell->end_ns - cell->start_ns) /
+                     1e6) +
+                  "}";
+      first = false;
+    }
+    analysis += std::string(first ? "" : "\n  ") + "]\n}\n";
+  }
+  if (!opt.analysis_out.empty()) {
+    std::ofstream out(opt.analysis_out, std::ios::binary);
+    out << analysis;
+    if (!out) {
+      std::fprintf(stderr, "trace_merge: cannot write %s\n",
+                   opt.analysis_out.c_str());
+      return 2;
+    }
+  }
+
+  // ---- human report ----
+  std::printf("fleet trace: %zu processes, %zu events, makespan %.1f ms%s\n",
+              spools.size(), total_events, makespan_ms,
+              run_id.empty() ? "" : (", run " + run_id).c_str());
+  if (skipped > 0) {
+    std::printf("  skipped %zu unreadable spool file(s)\n", skipped);
+  }
+  if (torn_files > 0) {
+    std::printf("  torn tails: %zu file(s), %zu line(s), %zu byte(s) — kill "
+                "residue past the valid prefix\n",
+                torn_files, torn_lines, torn_bytes);
+  }
+  std::printf("  shard events: %zu claims, %zu steals, %zu reclaims, %zu "
+              "conflicts\n",
+              claims, steals, reclaims, conflicts);
+  for (std::size_t i = 0; i < spools.size(); ++i) {
+    const auto& header = spools[i].contents.header;
+    std::printf("  %-20s role=%-11s cells=%-4zu busy=%9.1f ms  idle=%9.1f "
+                "ms  busy%%=%5.1f\n",
+                spools[i].proc.c_str(),
+                header.role.empty() ? "?" : header.role.c_str(),
+                stats[i].cells, stats[i].busy_ms,
+                std::max(0.0, makespan_ms - stats[i].busy_ms),
+                makespan_ms > 0.0 ? 100.0 * stats[i].busy_ms / makespan_ms
+                                  : 0.0);
+  }
+  std::printf("critical path: %zu segment(s), %.1f ms (%.1f%% of makespan)\n",
+              chain.size(), chain_ms, coverage_pct);
+  const std::size_t chain_show =
+      std::min(chain.size(), static_cast<std::size_t>(opt.top));
+  for (std::size_t i = 0; i < chain_show; ++i) {
+    const Cell* cell = chain[i];
+    std::printf("  %8.1f ms  %-12s %s\n",
+                static_cast<double>(cell->end_ns - cell->start_ns) / 1e6,
+                spools[cell->spool].proc.c_str(), cell->event->name.c_str());
+  }
+  if (chain.size() > chain_show) {
+    std::printf("  ... %zu more segment(s)\n", chain.size() - chain_show);
+  }
+  if (!by_duration.empty()) {
+    std::printf("top stragglers:\n");
+    for (const Cell* cell : by_duration) {
+      std::printf("  %8.1f ms  %-12s %s\n",
+                  static_cast<double>(cell->end_ns - cell->start_ns) / 1e6,
+                  spools[cell->spool].proc.c_str(),
+                  cell->event->name.c_str());
+    }
+  }
+  std::printf("imbalance: %.1f%% across %zu cell-computing process(es)\n",
+              imbalance_pct, computing);
+
+  if (opt.max_imbalance_pct >= 0.0 &&
+      imbalance_pct > opt.max_imbalance_pct) {
+    std::printf("GATE FAILED: imbalance %.1f%% exceeds --max-imbalance-pct "
+                "%.1f%s\n",
+                imbalance_pct, opt.max_imbalance_pct,
+                opt.warn_only ? " (warn-only: exiting 0)" : "");
+    return opt.warn_only ? 0 : 1;
+  }
+  if (opt.max_imbalance_pct >= 0.0) {
+    std::printf("gate ok: imbalance %.1f%% within %.1f%%\n", imbalance_pct,
+                opt.max_imbalance_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,397 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the fleet-wide distributed tracing pipeline.
+
+Drives the real tsdist_eval binary through a traced sharded sweep —
+coordinator, three spooling workers (one SIGKILLed mid-shard), merge — and
+asserts the whole contract:
+
+  1. the merged results.jsonl is byte-identical to an untraced
+     single-process baseline — tracing must never change evaluation output;
+  2. every process of the fleet leaves a crash-durable
+     tsdist.tracespool.v1 spool under <checkpoint>/trace/, including the
+     SIGKILLed victim, whose spans survive the kill (validated via
+     check_metrics_schema.check_trace_spool: at most one torn line, at
+     EOF);
+  3. the live /tracez endpoint reports an active spool and /fleetz
+     aggregates the spooling workers while the victim is alive;
+  4. trace_merge stitches all spools onto one wall-clock timeline: the
+     Chrome trace names one pid row per process and carries the victim's
+     spans, and the tsdist.fleettrace.v1 analysis reports a critical path,
+     per-worker busy/idle shares, and straggler cells;
+  5. the --max-imbalance-pct gate holds on a synthetic two-worker fixture
+     with a known 45% imbalance: exit 1 over the threshold, exit 0 under
+     it or with --warn-only, torn tails tolerated throughout.
+
+Each phase records its completion; a skipped phase fails the harness
+rather than passing vacuously.
+
+Stdlib only. Exits 0 on success, 1 with a message per failure otherwise.
+
+Usage:
+  trace_smoke.py --eval build/tools/tsdist_eval \
+      --trace-merge build/tools/trace_merge \
+      --schema-check tools/check_metrics_schema.py \
+      --workdir build/tools/trace_smoke [--timeout 300]
+"""
+
+import argparse
+import glob
+import importlib.util
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+COMMON = ["--scale", "tiny", "--measures", "euclidean,kullback_leibler",
+          "--supervised"]
+LISTEN_RE = re.compile(r"telemetry server listening.*\bport=(\d+)")
+
+FAILURES = []
+PHASES = ["baseline", "coordinator", "fleet", "merge-identical", "spools",
+          "trace-merge", "gate"]
+COMPLETED = []
+
+
+def fail(message):
+    FAILURES.append(message)
+    print(f"trace_smoke: FAIL: {message}", file=sys.stderr)
+
+
+def load_schema_module(path):
+    spec = importlib.util.spec_from_file_location("check_metrics_schema",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run(binary, args, timeout=300):
+    env = dict(os.environ)
+    env.pop("TSDIST_FAULT", None)
+    return subprocess.run([binary] + args, env=env, timeout=timeout,
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                          text=True)
+
+
+def spawn_worker(binary, ckpt, worker, extra=None):
+    env = dict(os.environ)
+    env.pop("TSDIST_FAULT", None)
+    return subprocess.Popen(
+        [binary] + COMMON + ["--checkpoint-dir", ckpt,
+                             "--shard-worker", worker, "--trace-spool"]
+        + (extra or []),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+
+def read_bytes(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def scrape(port, path, timeout=10):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def synthetic_spool(path, worker, pid, cell, dur_ns, torn_tail=""):
+    """A hand-written tsdist.tracespool.v1 spool with one cell span."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            '{"schema": "tsdist.tracespool.v1", "run_id": "cafef00d12345678"'
+            f', "role": "worker", "worker": "{worker}", "pid": {pid}, '
+            '"epoch": 1, "anchor_wall_us": 1000000}\n')
+        fh.write(
+            f'{{"name": "shard.cell/{cell}", "cat": "shard", "ts_ns": 0, '
+            f'"dur_ns": {dur_ns}, "tid": 1, "id": 1, "parent": -1, '
+            f'"args": {{"dataset": "{cell.split("/")[0]}", '
+            f'"measure": "{cell.split("/")[1]}"}}}}\n')
+        if torn_tail:
+            fh.write(torn_tail)  # no newline: the kill residue
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--eval", required=True, dest="eval_binary")
+    parser.add_argument("--trace-merge", required=True, dest="trace_merge")
+    parser.add_argument("--schema-check", required=True)
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    schema = load_schema_module(args.schema_check)
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir)
+    path = lambda name: os.path.join(args.workdir, name)
+
+    # --- baseline: untraced single-process run; the bytes every traced
+    # configuration must reproduce exactly.
+    base = path("base")
+    proc = run(args.eval_binary, COMMON + ["--checkpoint-dir", base],
+               timeout=args.timeout)
+    if proc.returncode != 0:
+        fail(f"baseline run exited {proc.returncode}: {proc.stderr[-500:]}")
+        return 1
+    baseline = read_bytes(os.path.join(base, "results.jsonl"))
+    if not baseline.strip():
+        fail("baseline results.jsonl is empty")
+        return 1
+    COMPLETED.append("baseline")
+
+    # --- coordinator with --trace-spool: publishes the plan, then spools
+    # its own shard.plan_publish span (the run id is the plan-bytes hash,
+    # so the spool can only start after the plan exists).
+    shared = path("shared")
+    proc = run(args.eval_binary,
+               COMMON + ["--checkpoint-dir", shared,
+                         "--shard-coordinator", "4",
+                         "--lease-ttl-sec", "0.5", "--trace-spool"],
+               timeout=args.timeout)
+    if proc.returncode != 0:
+        fail(f"coordinator exited {proc.returncode}: {proc.stderr[-500:]}")
+        return 1
+    trace_dir = os.path.join(shared, "trace")
+    coord_spool = os.path.join(trace_dir, "coordinator.trace.jsonl")
+    if not os.path.exists(coord_spool):
+        fail(f"coordinator left no spool at {coord_spool}")
+    COMPLETED.append("coordinator")
+
+    # --- fleet: a deliberately slow victim claims a shard with tracing on;
+    # its live endpoints must report the active spool; then SIGKILL, and
+    # two rescuers drain the plan.
+    victim = spawn_worker(args.eval_binary, shared, "victim",
+                          ["--selftest-cell-sleep-ms", "80", "--serve", "0"])
+    port_box = {}
+    stderr_tail = []
+
+    def tail_stderr():
+        for line in victim.stderr:
+            stderr_tail.append(line)
+            m = LISTEN_RE.search(line)
+            if m and "port" not in port_box:
+                port_box["port"] = int(m.group(1))
+
+    tail = threading.Thread(target=tail_stderr, daemon=True)
+    tail.start()
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline and "port" not in port_box:
+        time.sleep(0.02)
+    if "port" in port_box:
+        port = port_box["port"]
+        # /tracez must report the recorder on and the spool active.
+        status, status_error = "", "never scraped"
+        status_deadline = time.monotonic() + 8
+        while time.monotonic() < status_deadline:
+            try:
+                status = scrape(port, "/tracez?status")
+            except OSError as exc:
+                status_error = f"cannot scrape /tracez: {exc}"
+                time.sleep(0.1)
+                continue
+            if "tracing on" in status and "spool=active" in status:
+                break
+            status_error = f"unexpected status {status!r}"
+            time.sleep(0.1)
+        else:
+            fail(f"/tracez never reported an active spool: {status_error}")
+        # /fleetz must aggregate the victim as a spooling worker once its
+        # first flushed spans ride a heartbeat.
+        fleet_doc, fleet_error = None, "never scraped"
+        fleet_deadline = time.monotonic() + 10
+        while time.monotonic() < fleet_deadline:
+            try:
+                doc = json.loads(scrape(port, "/fleetz"))
+            except (OSError, ValueError) as exc:
+                fleet_error = f"cannot scrape /fleetz: {exc}"
+                time.sleep(0.1)
+                continue
+            trace_block = doc.get("trace", {})
+            if trace_block.get("spooling_workers", 0) >= 1:
+                fleet_doc = doc
+                break
+            fleet_error = f"trace block {trace_block!r}"
+            time.sleep(0.1)
+        if fleet_doc is None:
+            fail(f"/fleetz never counted a spooling worker: {fleet_error}")
+        else:
+            errors = []
+            schema.check_fleet_health(errors, "/fleetz", fleet_doc)
+            for message in errors:
+                fail(f"fleet-health schema: {message}")
+    else:
+        fail(f"victim never reported a listening port: "
+             f"{''.join(stderr_tail)[-500:]}")
+    # Let the victim sink real spans into its spool (80 ms per cell, the
+    # flusher fsyncs every 200 ms), then kill it without ceremony.
+    time.sleep(1.0)
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=60)
+    tail.join(timeout=10)
+    victim_spool = os.path.join(trace_dir, "victim.trace.jsonl")
+    if not os.path.exists(victim_spool):
+        fail(f"SIGKILLed victim left no spool at {victim_spool}")
+
+    rescuers = [spawn_worker(args.eval_binary, shared, f"w{i}")
+                for i in (1, 2)]
+    for i, rescuer in zip((1, 2), rescuers):
+        _out, err = rescuer.communicate(timeout=args.timeout)
+        if rescuer.returncode != 0:
+            fail(f"rescuer w{i} exited {rescuer.returncode}: {err[-500:]}")
+    for shard_dir in sorted(glob.glob(os.path.join(shared, "shards", "s*"))):
+        if not glob.glob(os.path.join(shard_dir, "e*", "DONE")):
+            fail(f"{shard_dir}: no DONE epoch after the rescuers drained")
+    COMPLETED.append("fleet")
+
+    # --- merge with --trace-spool: byte-identical to the untraced
+    # baseline; the rerun proves spool rotation (the first merge's spool
+    # must survive as merge.r001.trace.jsonl, never truncated).
+    for attempt in ("merge", "merge rerun"):
+        proc = run(args.eval_binary,
+                   ["--checkpoint-dir", shared, "--shard-merge",
+                    "--trace-spool"], timeout=args.timeout)
+        if proc.returncode != 0:
+            fail(f"{attempt} exited {proc.returncode}: {proc.stderr[-500:]}")
+            break
+        merged = read_bytes(os.path.join(shared, "results.jsonl"))
+        if merged != baseline:
+            fail(f"{attempt}: traced merge differs from the untraced "
+                 f"baseline ({len(merged)} vs {len(baseline)} bytes)")
+    if not os.path.exists(os.path.join(trace_dir,
+                                       "merge.r001.trace.jsonl")):
+        fail("merge rerun did not rotate the first merge spool to "
+             "merge.r001.trace.jsonl")
+    COMPLETED.append("merge-identical")
+
+    # --- spools: every file under <checkpoint>/trace/ must validate, the
+    # victim's flushed spans must have survived the SIGKILL, and all
+    # fleet processes must share the coordinator's run id.
+    spool_paths = sorted(glob.glob(os.path.join(trace_dir,
+                                                "*.trace.jsonl")))
+    expected = {"coordinator", "victim", "w1", "w2", "merge"}
+    procs = {os.path.basename(p)[:-len(".trace.jsonl")].split(".r")[0]
+             for p in spool_paths}
+    if not expected <= procs:
+        fail(f"missing spools for {sorted(expected - procs)} "
+             f"(found {sorted(procs)})")
+    run_ids, victim_events = set(), 0
+    for spool_path in spool_paths:
+        errors = []
+        with open(spool_path, "r", encoding="utf-8", errors="replace") as fh:
+            summary = schema.check_trace_spool(errors, spool_path,
+                                               fh.read())
+        for message in errors:
+            fail(f"spool schema: {message}")
+        if summary["run_id"]:
+            run_ids.add(summary["run_id"])
+        if summary["worker"] == "victim":
+            victim_events += summary["events"]
+    if victim_events < 1:
+        fail("the victim's spool holds no events: its flushed spans did "
+             "not survive the SIGKILL")
+    if len(run_ids) != 1:
+        fail(f"fleet spools disagree on the run id: {sorted(run_ids)}")
+    COMPLETED.append("spools")
+
+    # --- trace_merge: one Chrome timeline with a pid row per process
+    # (victim included) and a schema-valid fleet analysis.
+    chrome_out = path("fleet_trace.json")
+    analysis_out = path("fleet_analysis.json")
+    proc = run(args.trace_merge,
+               [trace_dir, "--chrome-out", chrome_out,
+                "--analysis-out", analysis_out, "--top", "5"],
+               timeout=args.timeout)
+    if proc.returncode != 0:
+        fail(f"trace_merge exited {proc.returncode}: {proc.stderr[-500:]}")
+    else:
+        try:
+            chrome = json.loads(read_bytes(chrome_out))
+        except ValueError as exc:
+            chrome = None
+            fail(f"chrome trace is not valid JSON: {exc}")
+        if chrome is not None:
+            rows = [e for e in chrome if e.get("ph") == "M"
+                    and e.get("name") == "process_name"]
+            labels = " ".join(e["args"]["name"] for e in rows)
+            if len(rows) < 5:
+                fail(f"chrome trace has {len(rows)} process rows, expected "
+                     f">= 5 (coordinator, victim, w1, w2, merge)")
+            if "victim" not in labels:
+                fail(f"no victim row in the merged trace: {labels!r}")
+            phases_seen = {e.get("ph") for e in chrome}
+            if "X" not in phases_seen or "i" not in phases_seen:
+                fail(f"merged trace lacks complete spans or instants: "
+                     f"{sorted(phases_seen)}")
+        errors = []
+        doc = schema.load(errors, analysis_out)
+        if doc is not None:
+            schema.check_fleet_trace(errors, analysis_out, doc)
+        for message in errors:
+            fail(f"fleet-trace schema: {message}")
+        if doc is not None:
+            victims = [w for w in doc.get("workers", [])
+                       if w.get("worker") == "victim"]
+            if not victims or victims[0].get("cells", 0) < 1:
+                fail(f"analysis attributes no cells to the victim: "
+                     f"{victims!r}")
+            if not doc.get("critical_path", {}).get("segments"):
+                fail("analysis reports an empty critical path over a "
+                     "multi-shard sweep")
+            if doc.get("run_id") not in run_ids:
+                fail(f"analysis run id {doc.get('run_id')!r} does not "
+                     f"match the fleet spools {sorted(run_ids)}")
+    COMPLETED.append("trace-merge")
+
+    # --- gate: a synthetic fixture with exactly known busy times. Worker a
+    # computes 100 ms, worker b 10 ms (plus a torn tail): imbalance is
+    # 100 * (1 - 55/100) = 45%.
+    gate_dir = path("gate")
+    os.makedirs(gate_dir)
+    synthetic_spool(os.path.join(gate_dir, "a.trace.jsonl"), "a", 1,
+                    "Coffee/euclidean", 100_000_000)
+    synthetic_spool(os.path.join(gate_dir, "b.trace.jsonl"), "b", 2,
+                    "Coffee/sbd", 10_000_000,
+                    torn_tail='{"name": "shard.cell/Coff')
+    gate_analysis = path("gate_analysis.json")
+    checks = [(["--max-imbalance-pct", "40"], 1, "over threshold"),
+              (["--max-imbalance-pct", "40", "--warn-only"], 0,
+               "over threshold, warn-only"),
+              (["--max-imbalance-pct", "50"], 0, "under threshold")]
+    for extra, want, label in checks:
+        proc = run(args.trace_merge,
+                   [gate_dir, "--analysis-out", gate_analysis] + extra,
+                   timeout=args.timeout)
+        if proc.returncode != want:
+            fail(f"gate {label}: exited {proc.returncode}, expected {want} "
+                 f"(stdout: {proc.stdout[-300:]})")
+    errors = []
+    doc = schema.load(errors, gate_analysis)
+    if doc is not None:
+        schema.check_fleet_trace(errors, gate_analysis, doc)
+    for message in errors:
+        fail(f"gate analysis schema: {message}")
+    if doc is not None:
+        if abs(doc.get("imbalance_pct", -1) - 45.0) > 0.01:
+            fail(f"synthetic imbalance is {doc.get('imbalance_pct')!r}, "
+                 f"expected 45.0")
+        if doc.get("torn", {}).get("lines") != 1:
+            fail(f"synthetic torn tail not counted: {doc.get('torn')!r}")
+    COMPLETED.append("gate")
+
+    skipped = [p for p in PHASES if p not in COMPLETED]
+    if skipped:
+        fail(f"phases skipped: {skipped}")
+    if FAILURES:
+        print(f"trace_smoke: {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("trace_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

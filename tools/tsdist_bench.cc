@@ -44,6 +44,8 @@
 #include "src/obs/obs.h"
 #include "src/obs/profiler.h"
 #include "src/obs/runinfo.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_spool.h"
 
 namespace {
 
@@ -92,6 +94,7 @@ struct Options {
   std::string profile_out;  // merged folded profile across all benches
   std::string heap_profile_out;  // merged heap profile across all benches
   int serve_port = -1;  // -1 = no telemetry server; 0 = ephemeral port
+  bool trace_spool = false;  // spool orchestrator spans to <artifacts>/trace
   bool list = false;
 };
 
@@ -129,6 +132,9 @@ void PrintUsage() {
       "                        per-bench tsdist.heapprofile.v1 captures into\n"
       "                        FILE; per-bench files stay in\n"
       "                        <artifacts>/HEAP_*.folded\n"
+      "  --trace-spool         append the orchestrator's spans continuously\n"
+      "                        to <artifacts>/trace/bench.trace.jsonl\n"
+      "                        (tsdist.tracespool.v1; docs/TRACING.md)\n"
       "  --list                print the resolved bench list and exit\n";
 }
 
@@ -193,6 +199,8 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->serve_port = static_cast<int>(parsed);
+    } else if (arg == "--trace-spool") {
+      opt->trace_spool = true;
     } else if (arg == "--list") {
       opt->list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -439,6 +447,22 @@ int main(int argc, char** argv) {
   }
   tsdist::obs::HealthState::Global().SetPhase("bench");
 
+  if (opt.trace_spool) {
+    tsdist::obs::TraceContext context;
+    context.role = "bench";
+    context.run_id = tsdist::obs::TraceRunIdFromBytes(opt.artifacts);
+    tsdist::obs::TraceRecorder::Global().SetContext(context);
+    tsdist::obs::TraceSpoolOptions spool_options;
+    spool_options.dir = opt.artifacts + "/trace";
+    spool_options.proc = "bench";
+    std::string error;
+    if (!tsdist::obs::TraceSpool::Global().Start(spool_options, &error)) {
+      std::cerr << "tsdist_bench: cannot start trace spool: " << error
+                << "\n";
+      return 2;
+    }
+  }
+
   setenv("TSDIST_SCALE", archive_scale.c_str(), 1);
   setenv("TSDIST_BENCH_JSON", opt.artifacts.c_str(), 1);
   setenv("TSDIST_BENCH_REPEAT", std::to_string(opt.repeat).c_str(), 1);
@@ -484,7 +508,15 @@ int main(int argc, char** argv) {
                             ShellQuote(log) + " 2>&1";
     std::cout << "  " << bench << " ... " << std::flush;
     const std::uint64_t t0 = tsdist::obs::NowNs();
-    const int rc = std::system(cmd.c_str());
+    int rc = 0;
+    {
+      tsdist::obs::TraceSpan bench_span("bench.run/" + bench, "bench");
+      bench_span.Arg("bench", bench);
+      rc = std::system(cmd.c_str());
+      bench_span.Arg("exit_code",
+                     static_cast<std::int64_t>(rc == -1 ? -1
+                                                        : WEXITSTATUS(rc)));
+    }
     outcome.wall_ms =
         static_cast<double>(tsdist::obs::NowNs() - t0) / 1e6;
     outcome.exit_code = rc == -1 ? -1 : WEXITSTATUS(rc);
@@ -569,6 +601,7 @@ int main(int argc, char** argv) {
   if (!out) {
     TSDIST_LOG(tsdist::obs::LogLevel::kError, "cannot write suite report",
                tsdist::obs::F("path", opt.out));
+    tsdist::obs::TraceSpool::Global().Stop();
     tsdist::obs::Logger::Global().Flush();
     return 2;
   }
@@ -598,6 +631,7 @@ int main(int argc, char** argv) {
             << outcomes.size() << " benches, "
             << (any_failed ? "with failures" : "all ok") << ")\n";
   tsdist::obs::HealthState::Global().SetPhase("done");
+  tsdist::obs::TraceSpool::Global().Stop();
   server.Stop();
   tsdist::obs::Logger::Global().Flush();
   return any_failed ? 1 : 0;

@@ -68,6 +68,8 @@
 #include "src/obs/obs.h"
 #include "src/obs/profiler.h"
 #include "src/obs/runinfo.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_spool.h"
 #include "src/resilience/cancellation.h"
 #include "src/resilience/checkpoint.h"
 #include "src/resilience/fault.h"
@@ -108,6 +110,7 @@ struct Options {
   std::string metrics_json_path;
   std::string metrics_csv_path;
   std::string trace_json_path;
+  bool trace_spool = false;  // crash-durable span spooling (needs ckpt dir)
   std::string results_json_path;
   std::string checkpoint_dir;
   double budget_sec = 0.0;  // 0 = no per-cell budget
@@ -346,6 +349,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (arg == "--trace-json") {
       if (!next(&v)) return false;
       options->trace_json_path = v;
+    } else if (arg == "--trace-spool") {
+      options->trace_spool = true;
     } else if (arg == "--profile-out") {
       if (!next(&v)) return false;
       options->profile_out_path = v;
@@ -375,6 +380,12 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     std::fprintf(stderr, "shard modes require --checkpoint-dir\n");
     return false;
   }
+  if (options->trace_spool && options->checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "--trace-spool requires --checkpoint-dir (spans spool to "
+                 "<checkpoint>/trace/)\n");
+    return false;
+  }
   return true;
 }
 
@@ -388,7 +399,7 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "          [--missing-values interpolate|reject] [--threads N]\n"
       "          [--checkpoint-dir <dir>] [--budget-sec S] [--tile-rows N]\n"
       "          [--results-json <path>] [--metrics-json <path>]\n"
-      "          [--metrics-csv <path>] [--trace-json <path>]\n"
+      "          [--metrics-csv <path>] [--trace-json <path>] [--trace-spool]\n"
       "          [--serve PORT] [--log-json <path>]\n"
       "          [--profile-out <path>] [--profile-trace <path>]\n"
       "          [--heap-profile-out <path>] [--progress] [--help]\n"
@@ -435,6 +446,11 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "  --metrics-csv <path>   the same aggregates as flat CSV\n"
       "  --trace-json <path>    record scoped spans and write Chrome\n"
       "                         trace-event JSON (chrome://tracing, Perfetto)\n"
+      "  --trace-spool          append completed spans continuously to\n"
+      "                         <checkpoint>/trace/<proc>.trace.jsonl\n"
+      "                         (tsdist.tracespool.v1) so a killed process's\n"
+      "                         spans survive; stitch the fleet's spools with\n"
+      "                         trace_merge (docs/TRACING.md)\n"
       "  --serve PORT           start the embedded telemetry HTTP server on\n"
       "                         127.0.0.1:PORT (0 = ephemeral): /metrics in\n"
       "                         OpenMetrics text, /healthz, /runinfo, /logz\n"
@@ -453,6 +469,40 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "                         (docs/MEMORY.md). Results stay bit-identical\n"
       "  --progress             live cells/sec + ETA on stderr\n",
       prog);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Pins the fleet identity on the recorder and opens this process's spool
+// under <checkpoint>/trace/. Workers and merge hash the published plan
+// bytes, so every process of one sweep lands on the same run id; the
+// single-process driver (no plan) hashes the checkpoint path instead.
+bool StartTraceSpool(const Options& options, const std::string& role,
+                     const std::string& proc) {
+  tsdist::obs::TraceContext context;
+  context.role = role;
+  if (role == "worker") context.worker_id = options.shard_worker;
+  if (role == "driver") {
+    context.run_id = tsdist::obs::TraceRunIdFromBytes(options.checkpoint_dir);
+  } else {
+    context.run_id = tsdist::obs::TraceRunIdFromBytes(
+        ReadFileBytes(tsdist::shard::PlanPath(options.checkpoint_dir)));
+  }
+  tsdist::obs::TraceRecorder::Global().SetContext(context);
+  tsdist::obs::TraceSpoolOptions spool_options;
+  spool_options.dir = options.checkpoint_dir + "/trace";
+  spool_options.proc = proc;
+  std::string error;
+  if (!tsdist::obs::TraceSpool::Global().Start(spool_options, &error)) {
+    std::fprintf(stderr, "cannot start trace spool: %s\n", error.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool WriteFileOrComplain(const std::string& path, const std::string& contents,
@@ -574,6 +624,7 @@ int main(int argc, char** argv) {
   // or kill mid-merge corrupts nothing and a rerun succeeds.
   if (options.shard_merge) {
     obs::HealthState::Global().SetPhase("merge");
+    if (options.trace_spool) StartTraceSpool(options, "merge", "merge");
     shard::ShardPlan plan;
     shard::MergeReport report;
     std::string error;
@@ -588,6 +639,7 @@ int main(int argc, char** argv) {
     }
     if (!merged) {
       std::fprintf(stderr, "shard merge failed: %s\n", error.c_str());
+      obs::TraceSpool::Global().Stop();
       obs::Logger::Global().Flush();
       obs::Logger::Global().CloseJsonSink();
       return 1;
@@ -625,6 +677,7 @@ int main(int argc, char** argv) {
                            ResultsToJson(outcomes, report_options), &error)) {
         std::fprintf(stderr, "cannot write results JSON: %s\n",
                      error.c_str());
+        obs::TraceSpool::Global().Stop();
         obs::Logger::Global().Flush();
         obs::Logger::Global().CloseJsonSink();
         return 1;
@@ -634,6 +687,7 @@ int main(int argc, char** argv) {
         "merged %zu shards: %zu cells (%zu ok, %zu failed, %zu dnf) -> %s\n",
         report.shards, report.lines + report.dnf, report.ok, report.failed,
         report.dnf, (options.checkpoint_dir + "/results.jsonl").c_str());
+    obs::TraceSpool::Global().Stop();
     obs::Logger::Global().Flush();
     obs::Logger::Global().CloseJsonSink();
     return 0;
@@ -709,6 +763,22 @@ int main(int argc, char** argv) {
   if (!options.trace_json_path.empty()) {
     obs::TraceRecorder::Global().SetEnabled(true);
   }
+  if (options.trace_spool) {
+    if (!options.trace_json_path.empty()) {
+      std::fprintf(stderr,
+                   "note: --trace-spool drains spans continuously; the "
+                   "--trace-json export will hold only the final batch\n");
+    }
+    if (options.shard_coordinator > 0) {
+      // The run id is the hash of the plan bytes, which do not exist yet:
+      // record spans from here on and open the spool after the publish.
+      obs::TraceRecorder::Global().SetEnabled(true);
+    } else if (!options.shard_worker.empty()) {
+      if (!StartTraceSpool(options, "worker", options.shard_worker)) return 2;
+    } else {
+      if (!StartTraceSpool(options, "driver", "driver")) return 2;
+    }
+  }
 
   // Assemble the datasets.
   obs::HealthState::Global().SetPhase("load");
@@ -772,6 +842,12 @@ int main(int argc, char** argv) {
     std::string error;
     const bool written =
         shard::WriteShardPlan(options.checkpoint_dir, plan, &error);
+    if (written && options.trace_spool) {
+      // Now that the plan bytes exist the fleet run id is known; the spool
+      // drains the already-recorded plan_publish span on Stop.
+      StartTraceSpool(options, "coordinator", "coordinator");
+      obs::TraceSpool::Global().Stop();
+    }
     obs::HealthState::Global().SetPhase("done");
     server.Stop();
     obs::Logger::Global().Flush();
@@ -839,6 +915,7 @@ int main(int argc, char** argv) {
       ++export_failures;
     }
     obs::HealthState::Global().SetPhase("done");
+    obs::TraceSpool::Global().Stop();
     server.Stop();
     obs::Logger::Global().Flush();
     obs::Logger::Global().CloseJsonSink();
@@ -1193,6 +1270,7 @@ int main(int argc, char** argv) {
   // then stop serving, then drain the log ring so the JSON sink is complete.
   obs::HealthState::Global().SetPhase("done");
   obs::HealthState::Global().SetCurrentCell("");
+  obs::TraceSpool::Global().Stop();
   server.Stop();
   obs::Logger::Global().Flush();
   obs::Logger::Global().CloseJsonSink();
